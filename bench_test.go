@@ -1,0 +1,462 @@
+// Benchmarks: one per paper table/figure (see DESIGN.md E1–E12) plus
+// the design-choice ablations. Run all with:
+//
+//	go test -bench=. -benchmem
+package locheat_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"locheat/internal/analysis"
+	"locheat/internal/api"
+	"locheat/internal/attack"
+	"locheat/internal/cheatercode"
+	"locheat/internal/core"
+	"locheat/internal/crawler"
+	"locheat/internal/defense"
+	"locheat/internal/device"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/nmea"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/synth"
+	"locheat/internal/web"
+)
+
+// Shared fixtures, built once per bench binary.
+var (
+	benchOnce  sync.Once
+	benchWorld *synth.World
+	benchDB    *store.DB
+)
+
+func benchFixtures(b *testing.B) (*synth.World, *store.DB) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchWorld = synth.Generate(synth.Config{Seed: 5, Users: 5000, Venues: 15000})
+		benchDB = store.New()
+		benchWorld.FillStore(benchDB)
+	})
+	return benchWorld, benchDB
+}
+
+func newBenchService(b *testing.B) (*lbsn.Service, *simclock.Simulated) {
+	b.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	return lbsn.New(lbsn.DefaultConfig(), clock, nil), clock
+}
+
+// BenchmarkE1SpoofedCheckin measures the spoofed check-in path per
+// vector (E1, Figs 3.1/3.2).
+func BenchmarkE1SpoofedCheckin(b *testing.B) {
+	for _, method := range device.AllSpoofMethods() {
+		b.Run(method.String(), func(b *testing.B) {
+			svc, clock := newBenchService(b)
+			sf, _ := geo.FindCity("San Francisco")
+			u := svc.RegisterUser("bench", "", "Lincoln")
+			// A venue ring so consecutive check-ins don't trip rules.
+			venues := make([]lbsn.VenueID, 32)
+			for i := range venues {
+				loc := sf.Center.Destination(float64(i*11), float64(200+i*150))
+				id, err := svc.AddVenue("B", "", "San Francisco", loc, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				venues[i] = id
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := venues[i%len(venues)]
+				view, _ := svc.Venue(v)
+				clock.Advance(2 * time.Hour)
+				if _, err := device.SpoofedCheckin(method, svc, u, v, view.Location); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2CheaterCode measures the rule engine per observation
+// (E2, §2.3).
+func BenchmarkE2CheaterCode(b *testing.B) {
+	det := cheatercode.NewDetector(cheatercode.DefaultConfig())
+	base := geo.Point{Lat: 35.08, Lon: -106.62}
+	t0 := simclock.Epoch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs := cheatercode.Observation{
+			UserID:   uint64(i % 64),
+			VenueID:  uint64(i),
+			At:       t0.Add(time.Duration(i) * 10 * time.Minute),
+			Location: base.Destination(float64(i%360), float64(i%1600)),
+		}
+		_ = det.Check(obs)
+	}
+}
+
+// BenchmarkE3Crawler measures end-to-end HTTP crawl throughput at the
+// paper's thread counts (E3, Fig 3.3). b.N counts crawled pages.
+func BenchmarkE3Crawler(b *testing.B) {
+	for _, workers := range []int{1, 5, 14} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			lab, err := core.NewLab(core.LabConfig{Scale: 0.05, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			baseURL, shutdown, err := lab.ServeLocal()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = shutdown() }()
+			maxID := uint64(lab.Service.UserCount())
+			db := store.New()
+			c := crawler.New(crawler.Config{BaseURL: baseURL, Workers: workers}, db)
+			b.ResetTimer()
+			crawled := 0
+			for crawled < b.N {
+				n := b.N - crawled
+				if n > int(maxID) {
+					n = int(maxID)
+				}
+				if _, err := c.Crawl(context.Background(), crawler.ModeUsers, 1, uint64(n)); err != nil {
+					b.Fatal(err)
+				}
+				crawled += n
+			}
+		})
+	}
+}
+
+// BenchmarkE4StarbucksQuery measures the Fig 3.4 LIKE query over the
+// crawled venue table.
+func BenchmarkE4StarbucksQuery(b *testing.B) {
+	_, db := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := db.VenuesByNameLike("Starbucks")
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkE5VirtualTour measures planning + executing a 25-stop
+// cheating tour (E5, Fig 3.5). One iteration = one full tour.
+func BenchmarkE5VirtualTour(b *testing.B) {
+	svc, clock := newBenchService(b)
+	base := geo.Point{Lat: 35.0844, Lon: -106.6504}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			loc := base.Destination(0, float64(i)*300).Destination(90, float64(j)*300)
+			if _, err := svc.AddVenue("Grid", "", "Albuquerque", loc, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		user := svc.RegisterUser("bench", "", "")
+		venues, _, err := attack.PlanTour(svc, base, attack.RightTurnTour(24, 450))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := attack.NewCheater(svc, user, clock).
+			Execute(attack.Plan(attack.DefaultPlannerConfig(), venues))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Denied != 0 {
+			b.Fatalf("tour denied %d stops", rep.Denied)
+		}
+	}
+}
+
+// BenchmarkE6TargetAnalysis measures §3.4 venue-profile target
+// selection over the full crawled store.
+func BenchmarkE6TargetAnalysis(b *testing.B) {
+	_, db := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = attack.OrphanSpecials(db)
+		_ = attack.OpenSpecials(db)
+		_ = attack.WeaklyHeldSpecials(db, 5)
+	}
+}
+
+// BenchmarkE7RecentVsTotal measures the Fig 4.1 aggregation.
+func BenchmarkE7RecentVsTotal(b *testing.B) {
+	_, db := benchFixtures(b)
+	db.DeriveStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := analysis.RecentVsTotal(db, 2000, 50); len(c) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+// BenchmarkE8BadgesVsTotal measures the Fig 4.2 aggregation.
+func BenchmarkE8BadgesVsTotal(b *testing.B) {
+	_, db := benchFixtures(b)
+	db.DeriveStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := analysis.BadgesVsTotal(db, 14000, 250); len(c) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+// BenchmarkE9Marginals measures the §4.2 population statistics pass.
+func BenchmarkE9Marginals(b *testing.B) {
+	_, db := benchFixtures(b)
+	db.DeriveStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := analysis.ComputeMarginals(db)
+		if m.Users == 0 {
+			b.Fatal("no users")
+		}
+	}
+}
+
+// BenchmarkE10Classify measures the full three-factor classifier scan
+// (Figs 4.3/4.4).
+func BenchmarkE10Classify(b *testing.B) {
+	_, db := benchFixtures(b)
+	db.DeriveStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := analysis.Classify(db, analysis.DefaultClassifierConfig()); len(s) == 0 {
+			b.Fatal("no suspects")
+		}
+	}
+}
+
+// BenchmarkE11Defenses measures one verification per technique (§5.1).
+func BenchmarkE11Defenses(b *testing.B) {
+	venue := geo.Point{Lat: 37.7749, Lon: -122.4194}
+	wifi := defense.NewWiFiVerification()
+	wifi.RegisterRouter(venue, 100)
+	verifiers := []defense.Verifier{
+		&defense.DistanceBounding{Rng: rand.New(rand.NewSource(1))},
+		defense.NewAddressMapping(),
+		wifi,
+	}
+	dev := defense.Device{TrueLocation: venue.Destination(90, 60), IPCity: "San Francisco"}
+	for _, v := range verifiers {
+		b.Run(v.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = v.Verify(venue, dev)
+			}
+		})
+	}
+}
+
+// BenchmarkE12AntiCrawl measures crawl attempts against a defended vs
+// open site; b.N counts attempted pages.
+func BenchmarkE12AntiCrawl(b *testing.B) {
+	for _, hardened := range []bool{false, true} {
+		name := "open"
+		cfg := core.LabConfig{Scale: 0.05, Seed: 4}
+		if hardened {
+			name = "login-wall"
+			cfg.WebOptions = []web.Option{web.WithLoginWall()}
+		}
+		b.Run(name, func(b *testing.B) {
+			lab, err := core.NewLab(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			baseURL, shutdown, err := lab.ServeLocal()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = shutdown() }()
+			db := store.New()
+			c := crawler.New(crawler.Config{BaseURL: baseURL, Workers: 8}, db)
+			maxID := uint64(lab.Service.UserCount())
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				n := b.N - done
+				if n > int(maxID) {
+					n = int(maxID)
+				}
+				if _, err := c.Crawl(context.Background(), crawler.ModeUsers, 1, uint64(n)); err != nil {
+					b.Fatal(err)
+				}
+				done += n
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGridIndex compares the spatial index against the
+// linear scan baseline for nearest-venue search (DESIGN.md ablation).
+func BenchmarkAblationGridIndex(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 20000
+	items := make(map[uint64]geo.Point, n)
+	grid := geo.NewGridIndex(0.01)
+	for i := uint64(1); i <= n; i++ {
+		p := geo.Point{Lat: 30 + rng.Float64()*15, Lon: -120 + rng.Float64()*40}
+		items[i] = p
+		grid.Insert(i, p)
+	}
+	queries := make([]geo.Point, 256)
+	for i := range queries {
+		queries[i] = geo.Point{Lat: 30 + rng.Float64()*15, Lon: -120 + rng.Float64()*40}
+	}
+	b.Run("grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, ok := grid.Nearest(queries[i%len(queries)]); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := geo.NearestLinear(items, queries[i%len(queries)]); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRecentListCap measures the check-in hot path as the
+// venue recent-visitor list cap grows (the Fig 4.1 signal depends on
+// this truncation).
+func BenchmarkAblationRecentListCap(b *testing.B) {
+	for _, cap := range []int{5, 10, 50, 200} {
+		b.Run(fmt.Sprintf("cap-%d", cap), func(b *testing.B) {
+			cfg := lbsn.DefaultConfig()
+			cfg.RecentVisitorCap = cap
+			clock := simclock.NewSimulated(simclock.Epoch())
+			svc := lbsn.New(cfg, clock, nil)
+			loc := geo.Point{Lat: 40.81, Lon: -96.70}
+			venue, err := svc.AddVenue("Hot", "", "Lincoln", loc, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			users := make([]lbsn.UserID, 512)
+			for i := range users {
+				users[i] = svc.RegisterUser("u", "", "")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clock.Advance(61 * time.Minute)
+				req := lbsn.CheckinRequest{UserID: users[i%len(users)], VenueID: venue, Reported: loc}
+				if _, err := svc.CheckIn(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSpeedThreshold measures the detection trade-off
+// sweep itself.
+func BenchmarkAblationSpeedThreshold(b *testing.B) {
+	limits := []float64{3, 5, 10, 15, 30, 60}
+	for i := 0; i < b.N; i++ {
+		rows := core.AblationSpeedThreshold(limits)
+		if len(rows) != len(limits) {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+// BenchmarkAPICheckin measures the developer-API JSON check-in path
+// end to end over HTTP (§3.1 vector 3 at scale).
+func BenchmarkAPICheckin(b *testing.B) {
+	svc, clock := newBenchService(b)
+	loc := geo.Point{Lat: 37.7749, Lon: -122.4194}
+	venues := make([]lbsn.VenueID, 64)
+	for i := range venues {
+		id, err := svc.AddVenue("B", "", "SF", loc.Destination(float64(i*5), float64(200+i*120)), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		venues[i] = id
+	}
+	user := svc.RegisterUser("bench", "", "")
+	srv := api.NewServer(svc)
+	srv.IssueKey("bench-key")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := api.NewClient(ts.URL, "bench-key")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := venues[i%len(venues)]
+		view, _ := svc.Venue(v)
+		clock.Advance(2 * time.Hour)
+		if _, err := client.CheckIn(uint64(user), uint64(v), view.Location); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNMEARoundTrip measures sentence generation + parsing, the
+// per-fix cost of the vector-2 receiver simulation.
+func BenchmarkNMEARoundTrip(b *testing.B) {
+	p := geo.Point{Lat: 37.7749, Lon: -122.4194}
+	at := simclock.Epoch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := nmea.FormatGGA(p, at, 9)
+		if _, err := nmea.Parse(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreDiff measures snapshot comparison, the E14 hot path.
+func BenchmarkStoreDiff(b *testing.B) {
+	w, db := benchFixtures(b)
+	_ = w
+	newer := db.Clone()
+	// Perturb ~1% of relations.
+	for i := uint64(1); i <= 200; i++ {
+		newer.AddRecentCheckin(i, 100000+i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := store.ComputeDiff(db, newer)
+		if len(d.NewRelations) == 0 {
+			b.Fatal("no diff")
+		}
+	}
+}
+
+// BenchmarkRapidBitExchange measures one full 20-round
+// distance-bounding protocol run.
+func BenchmarkRapidBitExchange(b *testing.B) {
+	cfg := defense.RapidBitConfig{Rounds: 20}
+	rng := rand.New(rand.NewSource(1))
+	prover := defense.Prover{DistanceMeters: 40}
+	for i := 0; i < b.N; i++ {
+		if res := defense.RunRapidBitExchange(cfg, prover, rng); !res.Accepted {
+			b.Fatal("honest prover rejected")
+		}
+	}
+}
+
+// BenchmarkWorldGeneration measures synthetic world generation, the
+// setup cost every experiment pays.
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := synth.Generate(synth.Config{Seed: int64(i), Users: 2000, Venues: 6000})
+		if len(w.Users) != 2000 {
+			b.Fatal("bad world")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command analyze runs the chapter-4 detection analytics over a crawl
+// export produced by cmd/crawl: the Fig 4.1/4.2 curves, the §4.2
+// marginals, and the three-factor cheater classifier, printing the
+// top suspects with their evidence.
+//
+// Usage:
+//
+//	analyze -in crawl.json [-suspects 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"locheat/internal/analysis"
+	"locheat/internal/plot"
+	"locheat/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	in := fs.String("in", "crawl.json", "crawl JSON from cmd/crawl")
+	topN := fs.Int("suspects", 20, "suspects to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db := store.New()
+	if err := db.ImportJSON(f); err != nil {
+		return fmt.Errorf("import %s: %w", *in, err)
+	}
+	db.DeriveStats()
+
+	m := analysis.ComputeMarginals(db)
+	fmt.Printf("population: %d users, %d recent-check-in relations\n", m.Users, m.RecentRelations)
+	fmt.Printf("  zero check-ins %.1f%%, 1-5 %.1f%%, >=1000 %.2f%%, >=5000: %d users (max %d)\n",
+		100*m.ZeroFraction, 100*m.OneToFive, 100*m.AtLeast1000, m.AtLeast5000, m.MaxCheckins)
+	fmt.Printf("  mayors: %d users over %d venues (%.2f avg)\n\n",
+		m.UsersWithMayorships, m.VenuesWithMayors, m.AvgMayorships)
+
+	fmt.Println(plot.Line(curveXY(analysis.RecentVsTotal(db, 2000, 100)), 50,
+		"Fig 4.1 — avg recent check-ins vs total", "total", "avg recent"))
+	fmt.Println(plot.Line(curveXY(analysis.BadgesVsTotal(db, 14000, 500)), 50,
+		"Fig 4.2 — avg badges vs total", "total", "avg badges"))
+
+	suspects := analysis.Classify(db, analysis.DefaultClassifierConfig())
+	fmt.Printf("classifier flagged %d suspects; top %d:\n", len(suspects), *topN)
+	fmt.Printf("  %-8s %-7s %-7s %-7s %-7s %-7s %s\n", "user", "total", "recent", "badges", "mayors", "cities", "flags")
+	for i, s := range suspects {
+		if i >= *topN {
+			break
+		}
+		fmt.Printf("  %-8d %-7d %-7d %-7d %-7d %-7d %s\n",
+			s.UserID, s.Total, s.Recent, s.Badges, s.TotalMayors, s.Cities, strings.Join(s.Flags, ","))
+	}
+	return nil
+}
+
+func curveXY(curve []analysis.CurvePoint) []plot.XY {
+	out := make([]plot.XY, len(curve))
+	for i, p := range curve {
+		out[i] = plot.XY{X: float64(p.X), Y: p.AvgY}
+	}
+	return out
+}

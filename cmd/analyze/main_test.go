@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"locheat/internal/store"
+	"locheat/internal/synth"
+)
+
+func TestAnalyzeCLIEndToEnd(t *testing.T) {
+	// Build a crawl export, then analyze it.
+	w := synth.Generate(synth.Config{Seed: 13, Users: 800, Venues: 2400})
+	db := store.New()
+	w.FillStore(db)
+	path := filepath.Join(t.TempDir(), "crawl.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExportJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-in", path, "-suspects", "5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestAnalyzeCLIMissingFile(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent/crawl.json"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestAnalyzeCLIBadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path}); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+func TestAnalyzeCLIBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Command cheat runs the semiautomatic location-cheating tool of §3.3
+// against a freshly generated in-process world: it plans a Fig 3.5
+// right-turning virtual tour through a city's venues, paces it to stay
+// inside the cheater-code envelope, executes it with spoofed GPS, and
+// prints the resulting path and rewards.
+//
+// Usage:
+//
+//	cheat [-users 5000] [-seed 42] [-stops 25] [-step 450] [-reckless]
+//
+// -reckless drops the pacing (zero waits) to demonstrate the cheater
+// code catching a naive attacker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"locheat/internal/attack"
+	"locheat/internal/core"
+	"locheat/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cheat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cheat", flag.ContinueOnError)
+	users := fs.Int("users", 5000, "synthetic world size")
+	seed := fs.Int64("seed", 42, "world RNG seed")
+	stops := fs.Int("stops", 25, "tour length (paper: 25)")
+	step := fs.Float64("step", 450, "move distance per step in meters (paper: ~450-550)")
+	reckless := fs.Bool("reckless", false, "skip pacing and trip the cheater code")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lab, err := core.NewLab(core.LabConfig{Scale: float64(*users) / 20000, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	city, views := lab.DensestCityVenues()
+	if len(views) < *stops {
+		return fmt.Errorf("city %q has only %d venues; raise -users", city, len(views))
+	}
+	fmt.Printf("touring %s (%d venues available)\n", city, len(views))
+
+	start := views[0].Location
+	for _, v := range views[1:] {
+		if v.Location.Lat+v.Location.Lon < start.Lat+start.Lon {
+			start = v.Location
+		}
+	}
+	venues, _, err := attack.PlanTour(lab.Service, start, attack.RightTurnTour(*stops-1, *step))
+	if err != nil {
+		return err
+	}
+
+	sch := attack.Plan(attack.DefaultPlannerConfig(), venues)
+	if *reckless {
+		for i := range sch {
+			sch[i].Wait = 0
+		}
+	}
+	user := lab.Service.RegisterUser("CLI Cheater", "", "Lincoln")
+	rep, err := attack.NewCheater(lab.Service, user, lab.Clock).Execute(sch)
+	if err != nil {
+		return err
+	}
+
+	for i, s := range rep.Stops {
+		status := "ok"
+		if !s.Result.Accepted {
+			status = fmt.Sprintf("DENIED (%s)", s.Result.Reason)
+		}
+		fmt.Printf("  stop %2d  venue %-6d wait %-8s %s\n",
+			i+1, s.Stop.Venue, s.Stop.Wait.Round(time.Second), status)
+	}
+	fmt.Printf("\naccepted %d / denied %d, %d points, badges %v, mayorships %d, virtual time %s\n",
+		rep.Accepted, rep.Denied, rep.Points, rep.Badges, rep.Mayors, sch.TotalWait())
+
+	xys := make([]plot.XY, len(venues))
+	for i, v := range venues {
+		xys[i] = plot.XY{X: v.Location.Lon, Y: v.Location.Lat}
+	}
+	fmt.Println(plot.GeoScatter(xys, "tour path (venues checked into)"))
+	return nil
+}

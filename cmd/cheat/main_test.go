@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestCheatCLIPacedTour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke skipped in -short")
+	}
+	if err := run([]string{"-users", "2000", "-seed", "3", "-stops", "10"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestCheatCLIRecklessStillCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke skipped in -short")
+	}
+	// Reckless mode trips the cheater code but the command reports it
+	// rather than failing.
+	if err := run([]string{"-users", "2000", "-seed", "3", "-stops", "8", "-reckless"}); err != nil {
+		t.Fatalf("run -reckless: %v", err)
+	}
+}
+
+func TestCheatCLIBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestCheatCLITooFewVenues(t *testing.T) {
+	// A tiny world cannot host a long tour; the command must say so.
+	if err := run([]string{"-users", "200", "-stops", "500"}); err == nil {
+		t.Error("oversized tour accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Command crawl runs the multi-threaded profile crawler (§3.2, Fig
+// 3.3) against an lbsnd instance, sweeping the incrementing numeric
+// IDs, and exports the recovered UserInfo/VenueInfo/RecentCheckins
+// tables as JSON.
+//
+// Usage:
+//
+//	crawl -url http://localhost:8080 [-mode both|users|venues]
+//	      [-workers 14] [-from 1] [-to 0] [-out crawl.json]
+//
+// With -to 0 the sweep is open-ended and stops after 200 consecutive
+// 404s — how an attacker discovers the ID-space ceiling.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+
+	"locheat/internal/crawler"
+	"locheat/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
+	baseURL := fs.String("url", "http://localhost:8080", "target site base URL")
+	mode := fs.String("mode", "both", "users, venues, or both")
+	workers := fs.Int("workers", 14, "crawl threads (paper: 14-16 for users, 5-6 for venues)")
+	from := fs.Uint64("from", 1, "first ID")
+	to := fs.Uint64("to", 0, "last ID (0 = sweep until 200 consecutive 404s)")
+	out := fs.String("out", "crawl.json", "output JSON path")
+	diffWith := fs.String("diff", "", "previous crawl JSON to diff against (§3.2 differential crawling)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	db := store.New()
+	c := crawler.New(crawler.Config{
+		BaseURL:         *baseURL,
+		Workers:         *workers,
+		StopAfterMisses: 200,
+	}, db)
+
+	runMode := func(m crawler.Mode) error {
+		stats, err := c.Crawl(ctx, m, *from, *to)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d fetched, %d parsed, %d not-found, %d denied, %d errors in %s (%.0f pages/hour)\n",
+			m, stats.Fetched, stats.Parsed, stats.NotFound, stats.Denied, stats.Errors,
+			stats.Elapsed.Round(1e6), stats.PagesPerHour())
+		return nil
+	}
+
+	if *mode == "users" || *mode == "both" {
+		if err := runMode(crawler.ModeUsers); err != nil {
+			return err
+		}
+	}
+	if *mode == "venues" || *mode == "both" {
+		if err := runMode(crawler.ModeVenues); err != nil {
+			return err
+		}
+	}
+
+	db.DeriveStats()
+	users, venues, recents := db.Counts()
+	fmt.Printf("store: %d users, %d venues, %d recent-check-in relations\n", users, venues, recents)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.ExportJSON(f); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *diffWith != "" {
+		if err := printDiff(*diffWith, db); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printDiff loads a previous crawl and reports what changed — the
+// §3.2 repeated-crawl analysis: per-user new recent-list appearances
+// and mayorship churn.
+func printDiff(prevPath string, current *store.DB) error {
+	pf, err := os.Open(prevPath)
+	if err != nil {
+		return fmt.Errorf("diff base: %w", err)
+	}
+	defer pf.Close()
+	prev := store.New()
+	if err := prev.ImportJSON(pf); err != nil {
+		return fmt.Errorf("diff base %s: %w", prevPath, err)
+	}
+	d := store.ComputeDiff(prev, current)
+	fmt.Printf("diff vs %s: %d new users, %d new venues, %d new recent appearances, %d lost, %d mayor changes\n",
+		prevPath, len(d.NewUsers), len(d.NewVenues), len(d.NewRelations), len(d.LostRelations), len(d.MayorChanges))
+	app := d.NewAppearancesByUser()
+	top := make([]uint64, 0, len(app))
+	for uid := range app {
+		top = append(top, uid)
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if app[top[i]] != app[top[j]] {
+			return app[top[i]] > app[top[j]]
+		}
+		return top[i] < top[j]
+	})
+	for i, uid := range top {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  user %-8d appeared on %d new venue lists\n", uid, app[uid])
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"locheat/internal/core"
+	"locheat/internal/lbsn"
+)
+
+func TestCrawlCLIEndToEnd(t *testing.T) {
+	lab, err := core.NewLab(core.LabConfig{Scale: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL, shutdown, err := lab.ServeLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+
+	out := filepath.Join(t.TempDir(), "crawl.json")
+	err = run([]string{
+		"-url", baseURL,
+		"-mode", "both",
+		"-workers", "8",
+		"-from", "1",
+		"-to", "50",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatalf("output missing: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("output file empty")
+	}
+}
+
+func TestCrawlCLIBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestCrawlCLIUnreachableTarget(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "crawl.json")
+	err := run([]string{"-url", "http://127.0.0.1:1", "-mode", "users", "-to", "3", "-out", out})
+	// Transport errors are counted, not fatal; the command still
+	// writes an (empty) store.
+	if err != nil {
+		t.Fatalf("run against dead host: %v", err)
+	}
+}
+
+func TestCrawlCLIDifferential(t *testing.T) {
+	lab, err := core.NewLab(core.LabConfig{Scale: 0.01, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL, shutdown, err := lab.ServeLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+
+	dir := t.TempDir()
+	first := filepath.Join(dir, "day1.json")
+	if err := run([]string{"-url", baseURL, "-mode", "both", "-to", "60", "-out", first}); err != nil {
+		t.Fatalf("first crawl: %v", err)
+	}
+	// The world moves: one user checks in somewhere new.
+	u := lab.Service.RegisterUser("Newbie", "", "Lincoln")
+	v, ok := lab.Service.Venue(1)
+	if !ok {
+		t.Fatal("venue 1 missing")
+	}
+	if _, err := lab.Service.CheckIn(lbsn.CheckinRequest{UserID: u, VenueID: v.ID, Reported: v.Location}); err != nil {
+		t.Fatal(err)
+	}
+	second := filepath.Join(dir, "day2.json")
+	if err := run([]string{"-url", baseURL, "-mode", "both", "-to", "61", "-out", second, "-diff", first}); err != nil {
+		t.Fatalf("differential crawl: %v", err)
+	}
+}
+
+func TestCrawlCLIDiffMissingBase(t *testing.T) {
+	lab, err := core.NewLab(core.LabConfig{Scale: 0.01, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL, shutdown, err := lab.ServeLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+	out := filepath.Join(t.TempDir(), "c.json")
+	if err := run([]string{"-url", baseURL, "-mode", "users", "-to", "5", "-out", out, "-diff", "/no/such.json"}); err == nil {
+		t.Error("missing diff base accepted")
+	}
+}

@@ -1,0 +1,330 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index E1–E12).
+//
+// Usage:
+//
+//	experiments [-run all|e1,...,e12,ablation] [-scale 1.0] [-seed 42]
+//
+// Scale 1.0 builds a 20,000-user / 60,000-venue world; the paper's
+// population was roughly 95× larger. Shapes, ratios and the forced
+// individuals (the 11 heavy users, the 865-mayorship user) are scale
+// invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"locheat/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiment ids (e1..e12, ablation) or 'all'")
+	scale := fs.Float64("scale", 1.0, "world scale (1.0 = 20k users / 60k venues)")
+	seed := fs.Int64("seed", 42, "world RNG seed")
+	crawlPages := fs.Int("crawl-pages", 2000, "pages per crawl measurement (E3/E12)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *runList == "all" {
+		for i := 1; i <= 14; i++ {
+			want[fmt.Sprintf("e%d", i)] = true
+		}
+		want["ablation"] = true
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	fmt.Printf("== building lab (scale %.2f, seed %d)\n", *scale, *seed)
+	lab, err := core.NewLab(core.LabConfig{Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   world: %d users, %d venues\n\n", lab.Service.UserCount(), lab.Service.VenueCount())
+
+	type step struct {
+		id string
+		fn func(*core.Lab) error
+	}
+	steps := []step{
+		{"e1", printE1}, {"e2", printE2},
+		{"e3", func(l *core.Lab) error { return printE3(l, *crawlPages) }},
+		{"e4", printE4}, {"e5", printE5}, {"e6", printE6},
+		{"e7", printE7}, {"e8", printE8}, {"e9", printE9},
+		{"e10", printE10}, {"e11", printE11},
+		{"e12", func(l *core.Lab) error { return printE12(l, *crawlPages) }},
+		{"e13", printE13},
+		{"e14", printE14},
+		{"ablation", printAblation},
+	}
+	for _, s := range steps {
+		if !want[s.id] {
+			continue
+		}
+		if err := s.fn(lab); err != nil {
+			return fmt.Errorf("%s: %w", s.id, err)
+		}
+	}
+	return nil
+}
+
+func header(id, title string) {
+	fmt.Printf("== %s — %s\n", strings.ToUpper(id), title)
+}
+
+func printE1(lab *core.Lab) error {
+	header("e1", "GPS spoofing defeats location verification (Figs 3.1/3.2)")
+	res, err := lab.RunE1()
+	if err != nil {
+		return err
+	}
+	for _, v := range res.Vectors {
+		fmt.Printf("   vector %-16s accepted=%v points=%d\n", v.Method, v.Accepted, v.Points)
+	}
+	fmt.Printf("   Adventurer badge after %d distinct spoofed venues (paper: 10)\n", res.AdventurerAfterVenues)
+	fmt.Printf("   mayorship taken after %d daily check-ins vs 3-day incumbent (paper: 4)\n\n", res.MayorAfterDays)
+	return nil
+}
+
+func printE2(lab *core.Lab) error {
+	header("e2", "cheater-code rule boundary map (§2.3)")
+	probes, err := lab.RunE2()
+	if err != nil {
+		return err
+	}
+	for _, p := range probes {
+		status := "MATCH"
+		if !p.Pass() {
+			status = "MISMATCH"
+		}
+		fmt.Printf("   %-18s %-45s denied=%-5v paper=%-5v %s\n", p.Rule, p.Scenario, p.Denied, p.WantDenied, status)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printE3(lab *core.Lab, pages int) error {
+	header("e3", "multi-threaded crawler throughput (Fig 3.3, §3.2)")
+	res, err := lab.RunE3([]int{1, 2, 4, 8, 16, 32}, pages, pages)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %-8s %-10s %-12s %s\n", "workers", "pages", "elapsed", "pages/hour")
+	for _, p := range res.UserSweep {
+		fmt.Printf("   %-8d %-10d %-12s %.0f\n", p.Workers, p.Pages, p.Elapsed.Round(1e6), p.PagesPerHour)
+	}
+	fmt.Printf("   venues @5 workers: %d pages in %s = %.0f pages/hour\n",
+		res.VenuePoint.Pages, res.VenuePoint.Elapsed.Round(1e6), res.VenuePoint.PagesPerHour)
+	fmt.Printf("   stored: %d users, %d venues, %d recent-check-in relations\n\n",
+		res.UsersStored, res.VenuesStored, res.Relations)
+	return nil
+}
+
+func printE4(lab *core.Lab) error {
+	header("e4", "Starbucks branches trace the US territory (Fig 3.4)")
+	res := lab.RunE4()
+	fmt.Printf("   query: %s\n", res.Query)
+	fmt.Printf("   %d branches across %d metro areas, bounds lat [%.1f, %.1f] lon [%.1f, %.1f]\n",
+		res.Count, res.Cities, res.Bounds.MinLat, res.Bounds.MaxLat, res.Bounds.MinLon, res.Bounds.MaxLon)
+	fmt.Println(res.Plot)
+	return nil
+}
+
+func printE5(lab *core.Lab) error {
+	header("e5", "automated cheating along a virtual path (Fig 3.5, §3.3)")
+	res, err := lab.RunE5()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   tour of %d venues through %s: %d accepted, %d denied, %d points, badges %v (paper: 25 stops, 0 detections)\n",
+		res.Stops, res.City, res.Accepted, res.Denied, res.Points, res.Badges)
+	fmt.Println(res.Plot)
+	return nil
+}
+
+func printE6(lab *core.Lab) error {
+	header("e6", "venue-profile analysis targets (§3.4)")
+	res, err := lab.RunE6()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   orphan specials (special, no mayor): %d (paper: ~1000 at 5.6M venues)\n", res.OrphanSpecials)
+	fmt.Printf("   open specials (no mayorship needed): %d\n", res.OpenSpecials)
+	fmt.Printf("   weakly-held specials (<=5 visitors):  %d\n", res.WeaklyHeld)
+	fmt.Printf("   most-mayored user: id=%d with %d mayorships on %d check-ins, %.0f%% of venues solo-visited (paper: 865 on 1265)\n",
+		res.SuperMayorID, res.SuperMayorMayors, res.SuperMayorCheckins, 100*res.SuperMayorSoloShare)
+	fmt.Printf("   mayorship-denial: victim %d, %d target venues, %d taken\n\n",
+		res.DenialVictim, res.DenialTargets, res.DenialHeld)
+	return nil
+}
+
+func printE7(lab *core.Lab) error {
+	header("e7", "recent check-ins vs total check-ins (Fig 4.1)")
+	res := lab.RunE7()
+	fmt.Printf("   avg recent check-ins for users with >500 total: %.1f (paper: ~100)\n", res.Stat)
+	fmt.Println(res.Plot)
+	return nil
+}
+
+func printE8(lab *core.Lab) error {
+	header("e8", "badges vs check-ins reward rate (Fig 4.2)")
+	res := lab.RunE8()
+	fmt.Printf("   users with >1000 check-ins and <10 badges: %.0f (paper: \"many\" — caught cheaters)\n", res.Stat)
+	fmt.Println(res.Plot)
+	return nil
+}
+
+func printE9(lab *core.Lab) error {
+	header("e9", "population marginals (§4.2)")
+	m := lab.RunE9()
+	fmt.Printf("   users: %d, crawled check-in relations: %d\n", m.Users, m.RecentRelations)
+	fmt.Printf("   zero check-ins: %.1f%% (paper 36.3%%)   1-5: %.1f%% (paper 20.4%%)   >=1000: %.2f%% (paper 0.2%%)\n",
+		100*m.ZeroFraction, 100*m.OneToFive, 100*m.AtLeast1000)
+	fmt.Printf("   users >=5000 check-ins: %d split %d with mayorships / %d without (paper: 11 = 6/5)\n",
+		m.AtLeast5000, m.Group5000WithMayors, m.Group5000WithoutMayors)
+	fmt.Printf("   max check-ins: %d (paper: >12000)\n", m.MaxCheckins)
+	fmt.Printf("   users with mayorships: %d over %d mayored venues = %.2f avg (paper: 425,196 / 2,315,747 = 5.45)\n",
+		m.UsersWithMayorships, m.VenuesWithMayors, m.AvgMayorships)
+	fmt.Printf("   venues with exactly one visitor: %d   one check-in: %d\n", m.VenuesOneVisitor, m.VenuesOneCheckin)
+	fmt.Printf("   specials: %d total, %d mayor-only (%.0f%%, paper >90%%), %d orphaned\n",
+		m.TotalSpecials, m.MayorOnlySpecials,
+		100*float64(m.MayorOnlySpecials)/float64(max(1, m.TotalSpecials)), m.OrphanSpecials)
+	fmt.Printf("   usernames: %.1f%% (paper 26.1%%)\n\n", 100*m.UsernameFraction)
+	return nil
+}
+
+func printE10(lab *core.Lab) error {
+	header("e10", "suspicious check-in patterns + classifier (Figs 4.3/4.4)")
+	res := lab.RunE10()
+	fmt.Printf("   suspects flagged: %d   precision %.2f   recall %.2f   F1 %.2f\n",
+		res.Suspects, res.Confusion.Precision(), res.Confusion.Recall(), res.Confusion.F1())
+	fmt.Println(res.CheaterPlot)
+	fmt.Println(res.NormalPlot)
+	return nil
+}
+
+func printE11(lab *core.Lab) error {
+	header("e11", "location verification techniques compared (§5.1)")
+	res := lab.RunE11()
+	names := make([]string, 0, len(res.Traits))
+	for n := range res.Traits {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("   %-20s", "attacker distance")
+	for _, n := range names {
+		fmt.Printf(" %-18s", n)
+	}
+	fmt.Println()
+	for _, d := range res.Distances {
+		fmt.Printf("   %-20.0f", d)
+		for _, n := range names {
+			verdict := "?"
+			for _, tr := range res.Trials {
+				if tr.Verifier == n && tr.AttackerMeters == d {
+					if tr.Accepted {
+						verdict = "ACCEPT"
+					} else {
+						verdict = "reject"
+					}
+				}
+			}
+			fmt.Printf(" %-18s", verdict)
+		}
+		fmt.Println()
+	}
+	for _, n := range names {
+		tr := res.Traits[n]
+		fmt.Printf("   %-20s accuracy ~%.0f m, cost rank %d, deploy: %s\n",
+			n, tr.AccuracyMeters, tr.CostRank, tr.Deployability)
+	}
+	fmt.Printf("   Wendy's-next-door: default 100 m range accepted=%v; after DD-WRT restriction accepted=%v\n",
+		res.NextDoorDefaultAccepted, res.NextDoorRestrictedAccepted)
+	fmt.Printf("   rapid-bit distance bounding: %d rounds -> theoretical false-accept %.2g; measured at 2 rounds: %.3f (theory 0.25)\n\n",
+		res.RapidBitRounds, res.RapidBitTheoryFA, res.RapidBitMeasuredFA2Rd)
+	return nil
+}
+
+func printE12(lab *core.Lab, pages int) error {
+	header("e12", "anti-crawl mitigation (§5.2)")
+	res, err := lab.RunE12(pages)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %-28s %-8s %-8s %s\n", "defence", "parsed", "denied", "yield")
+	for _, v := range res.Variants {
+		fmt.Printf("   %-28s %-8d %-8d %.2f\n", v.Defence, v.Parsed, v.Denied, v.Yield)
+	}
+	fmt.Printf("   IP blocking collateral per blocked IP: NAT %.1f users vs proxy %.1f users (Casado & Freedman)\n\n",
+		res.NATBlocking.CollateralPerBlock, res.ProxyBlocking.CollateralPerBlock)
+	return nil
+}
+
+func printE13(lab *core.Lab) error {
+	header("e13", "privacy leakage from venue recent-visitor lists (§6.2.1)")
+	res := lab.RunE13()
+	r := res.Report
+	fmt.Printf("   exposed users: %d of %d (appear on at least one venue page)\n", r.Exposed, r.Users)
+	fmt.Printf("   home city inferred correctly for %.0f%% of exposed users (median history %d venues)\n",
+		100*r.MatchRate, r.MedianVenues)
+	fmt.Printf("   example: user %d — %d crawled venues place them in %q (profile says %q)\n\n",
+		res.SampleUser, res.SampleVenues, res.SampleInferred, res.SampleActual)
+	return nil
+}
+
+func printE14(lab *core.Lab) error {
+	header("e14", "differential crawling — behaviour from repeated snapshots (§3.2)")
+	res, err := lab.RunE14(3, 150, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d days of live traffic: %d accepted / %d denied check-ins\n",
+		res.Days, res.TrafficAccepted, res.TrafficDenied)
+	fmt.Printf("   diff: %d new recent-list appearances, %d mayorship changes, %d users with moved totals\n",
+		res.NewRelations, res.MayorChanges, res.CheckinDeltas)
+	fmt.Printf("   hyperactive users (>= 4 new venues/day): %d, of which %.0f%% are ground-truth cheaters\n\n",
+		len(res.HyperactiveUsers), 100*res.CheaterHitRate)
+	return nil
+}
+
+func printAblation(lab *core.Lab) error {
+	header("ablation", "cheater-code speed threshold trade-off")
+	rows := core.AblationSpeedThreshold([]float64{3, 5, 10, 15, 30, 60, 300})
+	fmt.Printf("   %-12s %-16s %s\n", "limit (m/s)", "teleport caught", "city drive flagged (false positive)")
+	for _, r := range rows {
+		fmt.Printf("   %-12.0f %-16v %v\n", r.LimitMps, r.TeleportCaught, r.DriveFlagged)
+	}
+	fmt.Println()
+
+	header("ablation", "classifier threshold sweep (precision/recall trade-off)")
+	points := lab.SweepClassifierThresholds()
+	fmt.Printf("   %-10s %-12s %-9s %-10s %-8s %s\n", "minCities", "recentRatio", "suspects", "precision", "recall", "F1")
+	for _, p := range points {
+		fmt.Printf("   %-10d %-12.2f %-9d %-10.2f %-8.2f %.2f\n",
+			p.MinCities, p.RecentRatio, p.Suspects, p.Precision, p.Recall, p.F1)
+	}
+	fmt.Println()
+
+	header("ablation", "single detection factor in isolation (§4 complementarity)")
+	fmt.Printf("   %-26s %-9s %-10s %s\n", "factor", "suspects", "precision", "recall")
+	for _, r := range lab.AblateDetectionFactors() {
+		fmt.Printf("   %-26s %-9d %-10.2f %.2f\n", r.Factor, r.Suspects, r.Precision, r.Recall)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// The CLI's run() is exercised directly on a tiny world: every printer
+// must complete without error (output goes to stdout, which the test
+// binary tolerates).
+func TestRunSelectedExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke skipped in -short")
+	}
+	err := run([]string{"-run", "e1,e2,e9,e11,ablation", "-scale", "0.02", "-seed", "7"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCrawlExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke skipped in -short")
+	}
+	err := run([]string{"-run", "e12", "-scale", "0.02", "-crawl-pages", "100"})
+	if err != nil {
+		t.Fatalf("run e12: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

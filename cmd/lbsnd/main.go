@@ -1,0 +1,84 @@
+// Command lbsnd serves the simulated LBSN profile website — the
+// reproduction's stand-in for foursquare.com — over HTTP, backed by a
+// freshly generated synthetic world.
+//
+// Usage:
+//
+//	lbsnd [-addr :8080] [-users 20000] [-seed 42]
+//	      [-login-wall] [-rate-limit 0] [-hash-ids] [-hide-visitors]
+//
+// The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
+// can be pointed at a hardened instance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"locheat/internal/api"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/synth"
+	"locheat/internal/web"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsnd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lbsnd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	users := fs.Int("users", 20000, "synthetic users (venues = 3x)")
+	seed := fs.Int64("seed", 42, "world RNG seed")
+	loginWall := fs.Bool("login-wall", false, "require login for profile pages (§5.2)")
+	rateLimit := fs.Int("rate-limit", 0, "per-IP pages/minute, 0 = off (§5.2)")
+	hashIDs := fs.Bool("hash-ids", false, "replace numeric profile URLs with hashes (§5.2)")
+	hideVisitors := fs.Bool("hide-visitors", false, "remove the Who's-been-here section")
+	apiKey := fs.String("api-key", "", "issue this developer API key and mount /api/v1 (§3.1 vector 3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Printf("generating world: %d users, %d venues (seed %d)...\n", *users, 3**users, *seed)
+	world := synth.Generate(synth.Config{Seed: *seed, Users: *users})
+	clock := simclock.Real{}
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	if err := world.LoadInto(svc); err != nil {
+		return err
+	}
+
+	var opts []web.Option
+	if *loginWall {
+		opts = append(opts, web.WithLoginWall())
+	}
+	if *rateLimit > 0 {
+		opts = append(opts, web.WithRateLimit(*rateLimit, 3))
+	}
+	if *hashIDs {
+		opts = append(opts, web.WithHashedIDs("lbsnd"))
+	}
+	if *hideVisitors {
+		opts = append(opts, web.WithoutWhosBeenHere())
+	}
+	site := web.NewServer(svc, clock, opts...)
+	var handler http.Handler = site
+	if *apiKey != "" {
+		apiSrv := api.NewServer(svc)
+		apiSrv.IssueKey(*apiKey)
+		mux := http.NewServeMux()
+		mux.Handle("/api/v1/", apiSrv)
+		mux.Handle("/", site)
+		handler = mux
+		fmt.Printf("developer API mounted at /api/v1 (key %q)\n", *apiKey)
+	}
+
+	fmt.Printf("serving %d users / %d venues on %s\n", svc.UserCount(), svc.VenueCount(), *addr)
+	fmt.Printf("try: curl http://localhost%s/user/1  and  /venue/1\n", *addr)
+	return http.ListenAndServe(*addr, handler)
+}

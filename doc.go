@@ -1,0 +1,12 @@
+// Package locheat reproduces "Location Cheating: A Security Challenge
+// to Location-based Social Network Services" (Mai Ren, ICDCS 2011): a
+// Foursquare-like LBSN service with its reward economy and
+// anti-cheating rules, the client-side GPS-spoofing attack vectors,
+// the multi-threaded profile crawler and its database, the automated
+// virtual-tour cheating tool, the chapter-4 detection analytics, and
+// the chapter-5 defences.
+//
+// See DESIGN.md for the system inventory and the per-experiment index
+// (E1–E12), EXPERIMENTS.md for paper-vs-measured results, and
+// cmd/experiments to regenerate every table and figure.
+package locheat

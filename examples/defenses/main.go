@@ -1,0 +1,85 @@
+// Defenses compares the three §5.1 location-verification techniques
+// against attackers at increasing distances, reproduces the
+// Wendy's-next-door false accept and its DD-WRT fix, and shows the
+// §5.2 anti-crawl trade-off.
+//
+// Run with: go run ./examples/defenses
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"locheat/internal/defense"
+	"locheat/internal/geo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sf, _ := geo.FindCity("San Francisco")
+	venue := sf.Center
+
+	wifi := defense.NewWiFiVerification()
+	wifi.RegisterRouter(venue, 100)
+	verifiers := []defense.Verifier{
+		&defense.DistanceBounding{Rng: rand.New(rand.NewSource(1))},
+		defense.NewAddressMapping(),
+		wifi,
+	}
+
+	distances := []float64{10, 50, 100, 1000, 20000, 2500000}
+	results := defense.CompareAtDistances(verifiers, venue, distances)
+
+	fmt.Printf("%-22s", "attacker distance (m)")
+	for _, v := range verifiers {
+		fmt.Printf("%-20s", v.Name())
+	}
+	fmt.Println()
+	for _, d := range distances {
+		fmt.Printf("%-22.0f", d)
+		for _, v := range verifiers {
+			for _, r := range results {
+				if r.Verifier == v.Name() && r.AttackerMeters == d {
+					if r.Accepted {
+						fmt.Printf("%-20s", "ACCEPT")
+					} else {
+						fmt.Printf("%-20s", "reject")
+					}
+				}
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncharacteristics (the paper's comparison):")
+	for _, v := range verifiers {
+		c := v.Characteristics()
+		fmt.Printf("  %-20s accuracy ~%6.0f m   cost rank %d   %s\n",
+			v.Name(), c.AccuracyMeters, c.CostRank, c.Deployability)
+	}
+
+	// The Wendy's case: a cheater inside the McDonald's 50 m away.
+	fmt.Println("\nWendy's-next-door false accept (§5.1):")
+	cheater := defense.Device{TrueLocation: venue.Destination(90, 50)}
+	fmt.Printf("  100 m range: accepted=%v\n", wifi.Verify(venue, cheater).Accepted)
+	restricted := defense.NewWiFiVerification()
+	restricted.RegisterRouter(venue, 30) // DD-WRT power restriction
+	fmt.Printf("   30 m range: accepted=%v (after DD-WRT restriction)\n",
+		restricted.Verify(venue, cheater).Accepted)
+
+	// Anti-crawl blocking collateral (§5.2).
+	nat := defense.SimulateIPBlocking(10, 3, 0, 0)
+	proxy := defense.SimulateIPBlocking(0, 0, 10, 300)
+	fmt.Println("\nIP-blocking collateral damage (Casado & Freedman):")
+	fmt.Printf("  blocking 10 NAT IPs:   %d crawlers stopped, %d legitimate users lost (%.0f per block)\n",
+		nat.CrawlersBlocked, nat.LegitimateBlocked, nat.CollateralPerBlock)
+	fmt.Printf("  blocking 10 proxy IPs: %d crawlers stopped, %d legitimate users lost (%.0f per block)\n",
+		proxy.CrawlersBlocked, proxy.LegitimateBlocked, proxy.CollateralPerBlock)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Mayorattack reproduces the paper's headline demonstration (Fig 3.2):
+// from 2,500 km away, a spoofed device checks in at a San Francisco
+// tourist spot once a day and takes the mayorship — and with it the
+// mayor-only real-world reward — from a legitimate local.
+//
+// Run with: go run ./examples/mayorattack
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"locheat/internal/device"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	sf, _ := geo.FindCity("San Francisco")
+
+	wharf, err := svc.AddVenue("Fisherman's Wharf Sign", "Pier 39", "San Francisco",
+		sf.Center, &lbsn.Special{Description: "Free coffee for the mayor", MayorOnly: true})
+	if err != nil {
+		return err
+	}
+
+	// A legitimate local establishes the mayorship over three days.
+	local := svc.RegisterUser("Honest Harry", "", "San Francisco")
+	for day := 1; day <= 3; day++ {
+		if _, err := svc.CheckIn(lbsn.CheckinRequest{
+			UserID: local, VenueID: wharf, Reported: sf.Center,
+		}); err != nil {
+			return err
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	fmt.Printf("day 3: mayor is user %d (Honest Harry)\n", svc.Mayor(wharf))
+
+	// The attacker, physically in Lincoln NE, uses the emulator vector.
+	attacker := svc.RegisterUser("Mallory", "", "Lincoln")
+	emu := device.NewEmulator()
+	emu.RestoreFullImage()
+	app, err := emu.InstallClient(svc, attacker)
+	if err != nil {
+		return err
+	}
+	emu.SetGeoFix(sf.Center) // Dalvik Debug Monitor "geo fix"
+
+	for day := 1; day <= 5; day++ {
+		res, err := app.CheckIn(wharf)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("attack day %d: accepted=%v points=%d becameMayor=%v special=%q\n",
+			day, res.Accepted, res.PointsEarned, res.BecameMayor, res.SpecialUnlocked)
+		clock.Advance(24 * time.Hour)
+		if res.BecameMayor {
+			break
+		}
+	}
+
+	if svc.Mayor(wharf) == attacker {
+		fmt.Println("\nthe mayorship — and the free coffee — now belong to a user who has never been to San Francisco")
+	}
+	return nil
+}

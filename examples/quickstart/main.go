@@ -1,0 +1,94 @@
+// Quickstart: stand up the simulated LBSN, register a user, check in
+// honestly, then demonstrate the basic location-cheating attack — a
+// spoofed check-in at a venue 2,500 km away that the service accepts.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"locheat/internal/device"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A simulated clock lets multi-hour scenarios run instantly.
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+
+	// Two venues: one in Lincoln NE (where our user really is) and one
+	// in San Francisco.
+	lincoln, _ := geo.FindCity("Lincoln")
+	sf, _ := geo.FindCity("San Francisco")
+	mill, err := svc.AddVenue("The Mill", "800 P St", "Lincoln", lincoln.Center, nil)
+	if err != nil {
+		return err
+	}
+	wharf, err := svc.AddVenue("Fisherman's Wharf Sign", "Pier 39", "San Francisco",
+		sf.Center, &lbsn.Special{Description: "Free chowder for the mayor", MayorOnly: true})
+	if err != nil {
+		return err
+	}
+
+	alice := svc.RegisterUser("Alice", "alice", "Lincoln")
+
+	// Honest check-in: the phone's real GPS places Alice at the venue.
+	phone := device.NewPhone(device.OSAndroid, device.NewHardwareGPS(lincoln.Center))
+	app := device.NewClient(svc, alice, phone.GPS())
+	res, err := app.CheckIn(mill)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("honest check-in at The Mill: accepted=%v points=%d badges=%v\n",
+		res.Accepted, res.PointsEarned, res.NewBadges)
+
+	// Honest attempt at the distant venue: GPS verification rejects it.
+	res, err = app.CheckIn(wharf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("honest check-in at the Wharf (2500 km away): accepted=%v reason=%s\n",
+		res.Accepted, res.Reason)
+
+	// A naive immediate spoof still fails: the cheater code's
+	// super-human-speed rule knows Alice was just in Lincoln.
+	emu := device.NewEmulator()
+	emu.RestoreFullImage() // restore the app market (the paper's emulator hack)
+	cheatApp, err := emu.InstallClient(svc, alice)
+	if err != nil {
+		return err
+	}
+	emu.SetGeoFix(sf.Center)
+	res, err = cheatApp.CheckIn(wharf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("immediate spoofed check-in:     accepted=%v reason=%s (speed rule)\n",
+		res.Accepted, res.Reason)
+
+	// The attack (§3.1/§3.3): schedule around the rules. Two virtual
+	// days later the same spoofed check-in sails through — the server
+	// has no way to tell the fake GPS fix from a real flight to SF.
+	clock.Advance(48 * time.Hour)
+	res, err = cheatApp.CheckIn(wharf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheduled SPOOFED check-in:     accepted=%v points=%d mayor=%v special=%q\n",
+		res.Accepted, res.PointsEarned, res.BecameMayor, res.SpecialUnlocked)
+
+	total, denied, _ := svc.Stats()
+	fmt.Printf("\nserver saw %d check-ins, denied %d — the scheduled spoof passed verification\n", total, denied)
+	return nil
+}

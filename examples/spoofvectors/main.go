@@ -1,0 +1,131 @@
+// Spoofvectors walks through all four §3.1 location-spoofing vectors
+// against the same target venue, using the real machinery for each:
+// a hooked Android location API, a simulated Bluetooth NMEA receiver
+// on a closed-source phone, the developer JSON API over actual HTTP,
+// and the hacked device emulator the paper used for its experiments.
+//
+// Run with: go run ./examples/spoofvectors
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"locheat/internal/api"
+	"locheat/internal/device"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	sf, _ := geo.FindCity("San Francisco")
+	lincoln, _ := geo.FindCity("Lincoln")
+
+	// Four distinct SF venues, one per vector, so no rule interferes.
+	var venues []lbsn.VenueID
+	for i := 0; i < 4; i++ {
+		id, err := svc.AddVenue(fmt.Sprintf("SF Target #%d", i+1), "", "San Francisco",
+			sf.Center.Destination(float64(i*90), 600+float64(i)*400), nil)
+		if err != nil {
+			return err
+		}
+		venues = append(venues, id)
+	}
+	attacker := svc.RegisterUser("Mallory", "", "Lincoln")
+	pace := func() { clock.Advance(3 * time.Hour) }
+
+	// Vector 1 — GPS API hook (open-source OS only).
+	android := device.NewPhone(device.OSAndroid, device.NewHardwareGPS(lincoln.Center))
+	fake := device.NewFakeGPS()
+	target, _ := svc.Venue(venues[0])
+	fake.Set(target.Location)
+	if err := android.HookGPSAPI(fake); err != nil {
+		return err
+	}
+	res, err := device.NewClient(svc, attacker, android.GPS()).CheckIn(venues[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1. GPS API hook (Android):        accepted=%v points=%d\n", res.Accepted, res.PointsEarned)
+	pace()
+
+	// Vector 2 — simulated Bluetooth GPS receiver speaking NMEA 0183,
+	// paired to a CLOSED-source phone (iOS can't be API-hooked, §3.1).
+	target, _ = svc.Venue(venues[1])
+	recv, err := device.NewBluetoothRoute([]geo.Point{target.Location}, clock.Now(), time.Second)
+	if err != nil {
+		return err
+	}
+	iphone := device.NewPhone(device.OSIOS, device.NewHardwareGPS(lincoln.Center))
+	iphone.PairExternalGPS(recv)
+	res, err = device.NewClient(svc, attacker, iphone.GPS()).CheckIn(venues[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2. Bluetooth NMEA receiver (iOS): accepted=%v points=%d\n", res.Accepted, res.PointsEarned)
+	pace()
+
+	// Vector 3 — the developer API over real HTTP with an API key.
+	apiSrv := api.NewServer(svc)
+	apiSrv.IssueKey("dev-key-123")
+	httpSrv, baseURL, err := serveLoopback(apiSrv)
+	if err != nil {
+		return err
+	}
+	defer httpSrv.Close()
+	sdk := api.NewClient(baseURL, "dev-key-123")
+	target, _ = svc.Venue(venues[2])
+	apiRes, err := sdk.CheckIn(uint64(attacker), uint64(venues[2]), target.Location)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("3. developer API over HTTP:       accepted=%v points=%d\n", apiRes.Accepted, apiRes.PointsEarned)
+	pace()
+
+	// Vector 4 — the hacked device emulator (the paper's method).
+	emu := device.NewEmulator()
+	emu.RestoreFullImage()
+	app, err := emu.InstallClient(svc, attacker)
+	if err != nil {
+		return err
+	}
+	target, _ = svc.Venue(venues[3])
+	emu.SetGeoFix(target.Location)
+	res, err = app.CheckIn(venues[3])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("4. device emulator (geo fix):     accepted=%v points=%d\n", res.Accepted, res.PointsEarned)
+
+	uv, _ := svc.User(attacker)
+	fmt.Printf("\nall four vectors indistinguishable server-side: %d accepted check-ins, %d points, %d badges\n",
+		uv.TotalCheckins, uv.Points, uv.TotalBadges)
+	return nil
+}
+
+// serveLoopback exposes a handler on 127.0.0.1 and returns a closer.
+func serveLoopback(h http.Handler) (*http.Server, string, error) {
+	ln, err := newLoopbackListener()
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, "http://" + ln.Addr().String(), nil
+}
+
+func newLoopbackListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

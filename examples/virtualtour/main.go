@@ -1,0 +1,74 @@
+// Virtualtour reproduces Fig 3.5: the semiautomatic cheating tool
+// plans a right-turning virtual walk through a city, picks the nearest
+// venue to each target point, paces check-ins to stay inside the
+// cheater-code envelope, and executes the whole tour with spoofed GPS
+// — 25 check-ins, zero detections.
+//
+// Run with: go run ./examples/virtualtour
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"locheat/internal/attack"
+	"locheat/internal/core"
+	"locheat/internal/plot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab, err := core.NewLab(core.LabConfig{Scale: 0.25, Seed: 7})
+	if err != nil {
+		return err
+	}
+	city, views := lab.DensestCityVenues()
+	fmt.Printf("world: %d venues; touring %s (%d venues)\n",
+		lab.Service.VenueCount(), city, len(views))
+
+	// Start at the southwest corner, head north, keep turning right —
+	// exactly the Fig 3.5 walk.
+	start := views[0].Location
+	for _, v := range views[1:] {
+		if v.Location.Lat+v.Location.Lon < start.Lat+start.Lon {
+			start = v.Location
+		}
+	}
+	venues, targets, err := attack.PlanTour(lab.Service, start, attack.RightTurnTour(24, 450))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("planned %d stops (%d intended target points)\n", len(venues), len(targets))
+
+	schedule := attack.Plan(attack.DefaultPlannerConfig(), venues)
+	user := lab.Service.RegisterUser("Tour Cheater", "", "Lincoln")
+	report, err := attack.NewCheater(lab.Service, user, lab.Clock).Execute(schedule)
+	if err != nil {
+		return err
+	}
+
+	for i, s := range report.Stops {
+		status := "ok"
+		if !s.Result.Accepted {
+			status = string(s.Result.Reason)
+		}
+		fmt.Printf("  stop %2d venue %-6d wait %-6s %s\n",
+			i+1, s.Stop.Venue, s.Stop.Wait.Round(time.Second), status)
+	}
+	fmt.Printf("\n%d accepted / %d denied — paper: 25 check-ins, zero detections\n",
+		report.Accepted, report.Denied)
+	fmt.Printf("rewards: %d points, badges %v\n\n", report.Points, report.Badges)
+
+	xys := make([]plot.XY, len(venues))
+	for i, v := range venues {
+		xys[i] = plot.XY{X: v.Location.Lon, Y: v.Location.Lat}
+	}
+	fmt.Println(plot.GeoScatter(xys, "Fig 3.5 — venues checked into along the virtual path"))
+	return nil
+}

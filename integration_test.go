@@ -1,0 +1,196 @@
+package locheat_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"locheat/internal/analysis"
+	"locheat/internal/attack"
+	"locheat/internal/core"
+	"locheat/internal/crawler"
+	"locheat/internal/device"
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
+)
+
+// TestEndToEndAttackPipeline exercises the paper's full kill chain in
+// one flow: crawl the website for intelligence, pick targets by
+// profile analysis, execute a paced spoofed-GPS campaign, win the
+// rewards — then turn around and catch the attacker with the chapter-4
+// analytics.
+func TestEndToEndAttackPipeline(t *testing.T) {
+	lab, err := core.NewLab(core.LabConfig{Scale: 0.05, Seed: 1234}) // 1000 users / 3000 venues
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 — intelligence: crawl everything over real HTTP.
+	baseURL, shutdown, err := lab.ServeLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	db := store.New()
+	uc := crawler.New(crawler.Config{BaseURL: baseURL, Workers: 14}, db)
+	if _, err := uc.Crawl(context.Background(), crawler.ModeUsers, 1, uint64(lab.Service.UserCount())); err != nil {
+		t.Fatal(err)
+	}
+	vc := crawler.New(crawler.Config{BaseURL: baseURL, Workers: 5}, db)
+	if _, err := vc.Crawl(context.Background(), crawler.ModeVenues, 1, uint64(lab.Service.VenueCount())); err != nil {
+		t.Fatal(err)
+	}
+	db.DeriveStats()
+	users, venues, relations := db.Counts()
+	if users != lab.Service.UserCount() || venues != lab.Service.VenueCount() {
+		t.Fatalf("crawl incomplete: %d/%d users, %d/%d venues",
+			users, lab.Service.UserCount(), venues, lab.Service.VenueCount())
+	}
+	if relations == 0 {
+		t.Fatal("no recent-check-in relations crawled")
+	}
+
+	// Phase 2 — target selection: orphan specials are free mayorships.
+	targets := attack.OrphanSpecials(db)
+	if len(targets) == 0 {
+		t.Fatal("no orphan-special targets; world too small")
+	}
+	if len(targets) > 5 {
+		targets = targets[:5]
+	}
+	views := attack.TargetsToVenueViews(lab.Service, targets)
+	if len(views) != len(targets) {
+		t.Fatalf("resolved %d of %d targets", len(views), len(targets))
+	}
+
+	// Phase 3 — execution: a paced campaign wins every mayorship and
+	// unlocks the specials without tripping the cheater code.
+	attacker := lab.Service.RegisterUser("Pipeline Attacker", "", "Lincoln")
+	cheater := attack.NewCheater(lab.Service, attacker, lab.Clock)
+	reports, held, err := cheater.MayorshipCampaign(attack.DefaultPlannerConfig(), views, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day, rep := range reports {
+		if rep.Denied != 0 {
+			t.Errorf("campaign day %d had %d denials", day, rep.Denied)
+		}
+	}
+	if held != len(views) {
+		t.Errorf("attacker holds %d of %d target mayorships", held, len(views))
+	}
+	gotSpecial := false
+	for _, rep := range reports {
+		if len(rep.Specials) > 0 {
+			gotSpecial = true
+		}
+	}
+	if !gotSpecial {
+		t.Error("campaign never unlocked a mayor-only special")
+	}
+
+	// Phase 4 — detection: a re-crawl of the attacker's profile plus
+	// the venue lists now carries their tracks; the classifier flags
+	// ground-truth cheaters from the synthetic world.
+	suspects := analysis.Classify(db, analysis.DefaultClassifierConfig())
+	conf := analysis.Evaluate(suspects, lab.Service.UserCount(), func(id uint64) bool {
+		c, ok := lab.World.TrueClass(lbsn.UserID(id))
+		return ok && c.Cheating()
+	})
+	if conf.Recall() < 0.7 {
+		t.Errorf("classifier recall over crawled data = %.2f", conf.Recall())
+	}
+}
+
+// TestEndToEndSpoofVsHardenedService verifies the defence story: the
+// same attack rig that beats the default service is stopped when the
+// venue deploys Wi-Fi verification semantics (modelled by a strict GPS
+// radius — the device's true position would have to be at the venue).
+func TestEndToEndSpoofVsHonestDevice(t *testing.T) {
+	lab, err := core.NewLab(core.LabConfig{Scale: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := lab.Service.Venue(1)
+	if !ok {
+		t.Fatal("venue 1 missing")
+	}
+	u := lab.Service.RegisterUser("E2E", "", "Lincoln")
+
+	// Honest hardware 1000+ km away: rejected.
+	honest := device.NewClient(lab.Service, u, device.NewHardwareGPS(v.Location.Destination(90, 1.5e6)))
+	res, err := honest.CheckIn(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("honest remote device accepted")
+	}
+	// Spoofed device: accepted.
+	fake := device.NewFakeGPS()
+	fake.Set(v.Location)
+	spoofed := device.NewClient(lab.Service, u, fake)
+	lab.Clock.Advance(48 * time.Hour) // outrun the speed rule
+	res, err = spoofed.CheckIn(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("spoofed check-in denied: %s %s", res.Reason, res.Detail)
+	}
+}
+
+// TestExperimentSuiteSmoke runs every experiment runner once on a tiny
+// lab — the cmd/experiments happy path as a test.
+func TestExperimentSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke skipped in -short")
+	}
+	lab, err := core.NewLab(core.LabConfig{Scale: 0.15, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.RunE1(); err != nil {
+		t.Errorf("E1: %v", err)
+	}
+	if _, err := lab.RunE2(); err != nil {
+		t.Errorf("E2: %v", err)
+	}
+	if _, err := lab.RunE3([]int{4}, 100, 100); err != nil {
+		t.Errorf("E3: %v", err)
+	}
+	if res := lab.RunE4(); res.Count == 0 {
+		t.Error("E4 empty")
+	}
+	if _, err := lab.RunE5(); err != nil {
+		t.Errorf("E5: %v", err)
+	}
+	if _, err := lab.RunE6(); err != nil {
+		t.Errorf("E6: %v", err)
+	}
+	if res := lab.RunE7(); len(res.Curve) == 0 {
+		t.Error("E7 empty")
+	}
+	if res := lab.RunE8(); len(res.Curve) == 0 {
+		t.Error("E8 empty")
+	}
+	if m := lab.RunE9(); m.Users == 0 {
+		t.Error("E9 empty")
+	}
+	if res := lab.RunE10(); res.Suspects == 0 {
+		t.Error("E10 empty")
+	}
+	if res := lab.RunE11(); len(res.Trials) == 0 {
+		t.Error("E11 empty")
+	}
+	if _, err := lab.RunE12(200); err != nil {
+		t.Errorf("E12: %v", err)
+	}
+	if res := lab.RunE13(); res.Report.Exposed == 0 {
+		t.Error("E13 empty")
+	}
+}

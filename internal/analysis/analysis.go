@@ -1,0 +1,408 @@
+// Package analysis reproduces chapter 4's evaluation of location
+// cheating over crawled data: the recent-vs-total check-in curve
+// (Fig 4.1), the badges-vs-check-ins reward-rate curve (Fig 4.2), the
+// §4.2 population marginals and top-user group split, and the
+// suspicious check-in pattern analysis of Figs 4.3/4.4, culminating in
+// the three-factor cheater classifier the paper sketches:
+//
+//  1. above-normal activity (recent-visitor-list presence),
+//  2. below-normal reward rate (badges per check-in),
+//  3. geographically impossible check-in dispersion.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"locheat/internal/geo"
+	"locheat/internal/store"
+)
+
+// CurvePoint is one x bucket of an aggregate curve: the mean y of all
+// users whose x falls in the bucket.
+type CurvePoint struct {
+	X     int     // bucket center (total check-ins)
+	AvgY  float64 // mean of the y metric
+	Count int     // users in the bucket
+}
+
+// RecentVsTotal computes the Fig 4.1 curve: average recent check-ins
+// (appearances in venue recent-visitor lists) of the users having a
+// given number of total check-ins, bucketed by bucketWidth, restricted
+// to totals in (0, maxTotal]. The paper used maxTotal 2000, covering
+// 99.98% of users.
+func RecentVsTotal(db *store.DB, maxTotal, bucketWidth int) []CurvePoint {
+	db.DeriveStats()
+	return curve(db, maxTotal, bucketWidth, func(u store.UserRow) float64 {
+		return float64(u.RecentCheckins)
+	})
+}
+
+// BadgesVsTotal computes the Fig 4.2 curve: average badge count of the
+// users having a given number of total check-ins. The paper plotted
+// totals up to ~14000.
+func BadgesVsTotal(db *store.DB, maxTotal, bucketWidth int) []CurvePoint {
+	db.DeriveStats()
+	return curve(db, maxTotal, bucketWidth, func(u store.UserRow) float64 {
+		return float64(u.TotalBadges)
+	})
+}
+
+func curve(db *store.DB, maxTotal, bucketWidth int, y func(store.UserRow) float64) []CurvePoint {
+	if bucketWidth <= 0 {
+		bucketWidth = 25
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	buckets := make(map[int]*acc)
+	for _, u := range db.Users(nil) {
+		if u.TotalCheckins <= 0 || u.TotalCheckins > maxTotal {
+			continue
+		}
+		b := u.TotalCheckins / bucketWidth
+		a := buckets[b]
+		if a == nil {
+			a = &acc{}
+			buckets[b] = a
+		}
+		a.sum += y(u)
+		a.n++
+	}
+	out := make([]CurvePoint, 0, len(buckets))
+	for b, a := range buckets {
+		out = append(out, CurvePoint{
+			X:     b*bucketWidth + bucketWidth/2,
+			AvgY:  a.sum / float64(a.n),
+			Count: a.n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// Marginals summarizes the §4.2 population statistics.
+type Marginals struct {
+	Users            int
+	ZeroFraction     float64 // "36.3% have never checked into any venues"
+	OneToFive        float64 // "20.4% have one to five check-ins"
+	AtLeast1000      float64 // "0.2% of the users have checked in at least 1,000 times"
+	AtLeast5000      int     // "11 users have checked in at least 5,000 times"
+	MaxCheckins      int     // "the one with over 12,000 check-ins"
+	TotalCheckinsSum int
+
+	// The two groups among the ≥5000 stratum.
+	Group5000WithMayors    int // group 1: "each of whom is mayor of tens of venues"
+	Group5000WithoutMayors int // group 2: caught cheaters
+
+	UsersWithMayorships int     // paper: 425,196
+	VenuesWithMayors    int     // paper: 2,315,747
+	AvgMayorships       float64 // paper: 5.45
+
+	VenuesOneCheckin  int // paper: 1,291,125
+	VenuesOneVisitor  int // paper: 2,014,305
+	MayorOnlySpecials int
+	TotalSpecials     int
+	OrphanSpecials    int // special but no mayor — the §3.4 targets ("around 1000 venues")
+	RecentRelations   int // crawled check-in records (paper: 20M)
+	UsernameFraction  float64
+}
+
+// ComputeMarginals derives the §4.2 statistics from a crawled store.
+func ComputeMarginals(db *store.DB) Marginals {
+	db.DeriveStats()
+	var m Marginals
+	users := db.Users(nil)
+	m.Users = len(users)
+	for _, u := range users {
+		m.TotalCheckinsSum += u.TotalCheckins
+		switch {
+		case u.TotalCheckins == 0:
+			m.ZeroFraction++
+		case u.TotalCheckins <= 5:
+			m.OneToFive++
+		}
+		if u.TotalCheckins >= 1000 {
+			m.AtLeast1000++
+		}
+		if u.TotalCheckins >= 5000 {
+			m.AtLeast5000++
+			if u.TotalMayors > 0 {
+				m.Group5000WithMayors++
+			} else {
+				m.Group5000WithoutMayors++
+			}
+		}
+		if u.TotalCheckins > m.MaxCheckins {
+			m.MaxCheckins = u.TotalCheckins
+		}
+		if u.TotalMayors > 0 {
+			m.UsersWithMayorships++
+		}
+		if u.UserName != "" {
+			m.UsernameFraction++
+		}
+	}
+	if m.Users > 0 {
+		n := float64(m.Users)
+		m.ZeroFraction /= n
+		m.OneToFive /= n
+		m.AtLeast1000 /= n
+		m.UsernameFraction /= n
+	}
+	for _, v := range db.Venues(nil) {
+		if v.MayorID != 0 {
+			m.VenuesWithMayors++
+		}
+		if v.CheckinsHere == 1 {
+			m.VenuesOneCheckin++
+		}
+		if v.UniqueVisitors == 1 {
+			m.VenuesOneVisitor++
+		}
+		if v.Special != "" {
+			m.TotalSpecials++
+			if v.SpecialMayor {
+				m.MayorOnlySpecials++
+			}
+			if v.MayorID == 0 {
+				m.OrphanSpecials++
+			}
+		}
+	}
+	if m.UsersWithMayorships > 0 {
+		m.AvgMayorships = float64(m.VenuesWithMayors) / float64(m.UsersWithMayorships)
+	}
+	_, _, m.RecentRelations = db.Counts()
+	return m
+}
+
+// CheckinPoints returns the locations of the venues whose recent lists
+// include the user — the dots of Figs 4.3/4.4.
+func CheckinPoints(db *store.DB, userID uint64) []geo.Point {
+	venueIDs := db.RecentCheckinsOf(userID)
+	pts := make([]geo.Point, 0, len(venueIDs))
+	for _, vid := range venueIDs {
+		if v, ok := db.Venue(vid); ok {
+			pts = append(pts, v.Location())
+		}
+	}
+	return pts
+}
+
+// CityCount clusters points to distinct metropolitan areas: two points
+// belong to the same cluster when within radiusMeters (default 60 km)
+// of the cluster seed. This is the "spread over 30 different cities"
+// measure of Fig 4.3.
+func CityCount(points []geo.Point, radiusMeters float64) int {
+	if radiusMeters <= 0 {
+		radiusMeters = 60000
+	}
+	var seeds []geo.Point
+	for _, p := range points {
+		found := false
+		for _, s := range seeds {
+			if s.DistanceMeters(p) <= radiusMeters {
+				found = true
+				break
+			}
+		}
+		if !found {
+			seeds = append(seeds, p)
+		}
+	}
+	return len(seeds)
+}
+
+// SpreadKm is the diagonal of the bounding box of the points, a cheap
+// dispersion measure.
+func SpreadKm(points []geo.Point) float64 {
+	r, ok := geo.BoundingRect(points)
+	if !ok {
+		return 0
+	}
+	a := geo.Point{Lat: r.MinLat, Lon: r.MinLon}
+	b := geo.Point{Lat: r.MaxLat, Lon: r.MaxLon}
+	return a.DistanceMeters(b) / 1000
+}
+
+// Suspicion flags.
+const (
+	FlagHighRecentRatio = "high-recent-ratio"      // §4.1
+	FlagLowRewardRate   = "low-reward-rate"        // §4.2
+	FlagWideSpread      = "wide-geographic-spread" // §4.3
+)
+
+// Suspect is one user the classifier flags, with the §4 evidence.
+type Suspect struct {
+	UserID      uint64
+	Total       int
+	Recent      int
+	Badges      int
+	TotalMayors int
+	Cities      int
+	SpreadKm    float64
+	Flags       []string
+}
+
+// ClassifierConfig sets the three factors' thresholds.
+type ClassifierConfig struct {
+	// MinTotal gates the classifier: below this activity level the
+	// signals are too noisy (paper analyses the heavy stratum).
+	MinTotal int
+	// RecentRatio flags users whose recent/total exceeds this with
+	// total > RecentRatioMinTotal ("unusually high percentage of
+	// recent check-ins", Fig 4.1).
+	RecentRatio         float64
+	RecentRatioMinTotal int
+	// MaxBadgesAt1000 flags "users with more than 1000 check-ins [who]
+	// only have less than 10 badges" (Fig 4.2).
+	LowRewardMinTotal int
+	LowRewardMaxBadge int
+	// MinCities flags geographically impossible dispersion (Fig 4.3:
+	// "spread over 30 different cities"; a lower bar catches more).
+	MinCities int
+	// CityRadiusMeters is the clustering radius for CityCount.
+	CityRadiusMeters float64
+}
+
+// DefaultClassifierConfig returns thresholds matching the paper's
+// qualitative criteria.
+func DefaultClassifierConfig() ClassifierConfig {
+	return ClassifierConfig{
+		MinTotal:            200,
+		RecentRatio:         0.35,
+		RecentRatioMinTotal: 500,
+		LowRewardMinTotal:   1000,
+		LowRewardMaxBadge:   10,
+		MinCities:           10,
+		CityRadiusMeters:    60000,
+	}
+}
+
+// Classify scans the store for suspicious users using the three §4
+// factors. Users carrying at least one flag are returned, strongest
+// (most flags, then most total check-ins) first.
+func Classify(db *store.DB, cfg ClassifierConfig) []Suspect {
+	db.DeriveStats()
+	var out []Suspect
+	for _, u := range db.Users(func(u store.UserRow) bool { return u.TotalCheckins >= cfg.MinTotal }) {
+		var flags []string
+		if u.TotalCheckins >= cfg.RecentRatioMinTotal &&
+			float64(u.RecentCheckins) > cfg.RecentRatio*float64(u.TotalCheckins) {
+			flags = append(flags, FlagHighRecentRatio)
+		}
+		if u.TotalCheckins >= cfg.LowRewardMinTotal && u.TotalBadges < cfg.LowRewardMaxBadge {
+			flags = append(flags, FlagLowRewardRate)
+		}
+		var pts []geo.Point
+		cities := 0
+		spread := 0.0
+		// Geographic dispersion needs the venue points; skip the fetch
+		// when the user appears nowhere.
+		if u.RecentCheckins > 0 {
+			pts = CheckinPoints(db, u.ID)
+			cities = CityCount(pts, cfg.CityRadiusMeters)
+			spread = SpreadKm(pts)
+			if cities >= cfg.MinCities {
+				flags = append(flags, FlagWideSpread)
+			}
+		}
+		if len(flags) == 0 {
+			continue
+		}
+		out = append(out, Suspect{
+			UserID:      u.ID,
+			Total:       u.TotalCheckins,
+			Recent:      u.RecentCheckins,
+			Badges:      u.TotalBadges,
+			TotalMayors: u.TotalMayors,
+			Cities:      cities,
+			SpreadKm:    spread,
+			Flags:       flags,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Flags) != len(out[j].Flags) {
+			return len(out[i].Flags) > len(out[j].Flags)
+		}
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].UserID < out[j].UserID
+	})
+	return out
+}
+
+// Confusion is a binary-classification tally against ground truth.
+type Confusion struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	TrueNegatives  int
+}
+
+// Precision returns TP/(TP+FP), NaN-free.
+func (c Confusion) Precision() float64 {
+	d := c.TruePositives + c.FalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TruePositives) / float64(d)
+}
+
+// Recall returns TP/(TP+FN), NaN-free.
+func (c Confusion) Recall() float64 {
+	d := c.TruePositives + c.FalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TruePositives) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate scores a suspect list against a ground-truth oracle over
+// the population of user IDs [1, users].
+func Evaluate(suspects []Suspect, users int, isCheater func(uint64) bool) Confusion {
+	flagged := make(map[uint64]bool, len(suspects))
+	for _, s := range suspects {
+		flagged[s.UserID] = true
+	}
+	var c Confusion
+	for id := uint64(1); id <= uint64(users); id++ {
+		truth := isCheater(id)
+		switch {
+		case truth && flagged[id]:
+			c.TruePositives++
+		case !truth && flagged[id]:
+			c.FalsePositives++
+		case truth && !flagged[id]:
+			c.FalseNegatives++
+		default:
+			c.TrueNegatives++
+		}
+	}
+	return c
+}
+
+// MeanAbsDeviation is a helper the experiment harness uses to compare
+// a measured curve against a reference shape.
+func MeanAbsDeviation(curve []CurvePoint, ref func(x int) float64) float64 {
+	if len(curve) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, p := range curve {
+		sum += math.Abs(p.AvgY - ref(p.X))
+	}
+	return sum / float64(len(curve))
+}

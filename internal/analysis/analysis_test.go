@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
+	"locheat/internal/synth"
+)
+
+// worldDB generates a synthetic world and its perfect-crawl store once
+// per test binary.
+var (
+	testWorld *synth.World
+	testDB    *store.DB
+)
+
+func loadWorld(t *testing.T) (*synth.World, *store.DB) {
+	t.Helper()
+	if testWorld == nil {
+		testWorld = synth.Generate(synth.Config{Seed: 11, Users: 6000, Venues: 18000})
+		testDB = store.New()
+		testWorld.FillStore(testDB)
+	}
+	return testWorld, testDB
+}
+
+func TestRecentVsTotalShape(t *testing.T) {
+	_, db := loadWorld(t)
+	curve := RecentVsTotal(db, 2000, 50)
+	if len(curve) < 10 {
+		t.Fatalf("curve has %d buckets, want >= 10", len(curve))
+	}
+	// Fig 4.1: around 100 recent check-ins on average for users with
+	// more than 500 total.
+	var sum float64
+	var n int
+	for _, p := range curve {
+		if p.X > 500 && p.X <= 1000 {
+			sum += p.AvgY * float64(p.Count)
+			n += p.Count
+		}
+	}
+	if n == 0 {
+		t.Fatal("no users in the 500-1000 range")
+	}
+	avg := sum / float64(n)
+	if avg < 50 || avg > 220 {
+		t.Errorf("avg recent for 500<total<=1000 = %.1f, want ~100 (Fig 4.1)", avg)
+	}
+	// Monotone-ish rise at the low end: bucket 1 avg < bucket >500 avg.
+	if curve[0].AvgY >= avg {
+		t.Errorf("low-total avg %.1f >= mid-total avg %.1f; curve should rise", curve[0].AvgY, avg)
+	}
+}
+
+func TestBadgesVsTotalShape(t *testing.T) {
+	_, db := loadWorld(t)
+	curve := BadgesVsTotal(db, 14000, 100)
+	if len(curve) < 5 {
+		t.Fatalf("curve has %d buckets", len(curve))
+	}
+	// Fig 4.2: stable concave growth below 1000.
+	var lowAvg, midAvg float64
+	var lowN, midN int
+	for _, p := range curve {
+		if p.X <= 200 {
+			lowAvg += p.AvgY * float64(p.Count)
+			lowN += p.Count
+		}
+		if p.X > 500 && p.X <= 1000 {
+			midAvg += p.AvgY * float64(p.Count)
+			midN += p.Count
+		}
+	}
+	if lowN == 0 || midN == 0 {
+		t.Fatal("insufficient buckets")
+	}
+	if lowAvg/float64(lowN) >= midAvg/float64(midN) {
+		t.Errorf("badge curve not increasing below 1000: low %.1f mid %.1f",
+			lowAvg/float64(lowN), midAvg/float64(midN))
+	}
+	// Above 5000 the caught-cheater stratum drags averages down in at
+	// least one bucket (the oscillation of Fig 4.2).
+	foundLow := false
+	for _, p := range curve {
+		if p.X > 4000 && p.AvgY < 30 {
+			foundLow = true
+		}
+	}
+	if !foundLow {
+		t.Error("no depressed high-total badge bucket; caught cheaters missing from tail")
+	}
+}
+
+func TestComputeMarginals(t *testing.T) {
+	w, db := loadWorld(t)
+	m := ComputeMarginals(db)
+	if m.Users != len(w.Users) {
+		t.Fatalf("users = %d, want %d", m.Users, len(w.Users))
+	}
+	if math.Abs(m.ZeroFraction-0.363) > 0.04 {
+		t.Errorf("zero fraction = %.3f, want ~0.363", m.ZeroFraction)
+	}
+	if math.Abs(m.OneToFive-0.204) > 0.04 {
+		t.Errorf("1-5 fraction = %.3f, want ~0.204", m.OneToFive)
+	}
+	if m.AtLeast5000 != 11 {
+		t.Errorf("users >= 5000 = %d, want 11", m.AtLeast5000)
+	}
+	if m.Group5000WithMayors != 6 || m.Group5000WithoutMayors != 5 {
+		t.Errorf("5000+ groups = %d/%d, want 6/5", m.Group5000WithMayors, m.Group5000WithoutMayors)
+	}
+	if m.MaxCheckins < 12000 {
+		t.Errorf("max check-ins = %d, want > 12000", m.MaxCheckins)
+	}
+	if m.AvgMayorships < 2 {
+		t.Errorf("avg mayorships = %.2f, want > 2 (paper 5.45)", m.AvgMayorships)
+	}
+	if m.OrphanSpecials < w.Cfg.OrphanSpecialCount {
+		t.Errorf("orphan specials = %d, want >= %d", m.OrphanSpecials, w.Cfg.OrphanSpecialCount)
+	}
+	if f := float64(m.MayorOnlySpecials) / float64(m.TotalSpecials); f < 0.85 {
+		t.Errorf("mayor-only special share = %.2f, want > 0.9-ish", f)
+	}
+	if math.Abs(m.UsernameFraction-0.261) > 0.04 {
+		t.Errorf("username fraction = %.3f, want ~0.261", m.UsernameFraction)
+	}
+}
+
+func TestCheckinPointsAndCityCount(t *testing.T) {
+	w, db := loadWorld(t)
+	// Find an uncaught cheater and a well-sampled active user.
+	var cheaterID, normalID uint64
+	for i, u := range w.Users {
+		switch {
+		case u.Class == synth.ClassCheater && cheaterID == 0:
+			cheaterID = uint64(i + 1)
+		case u.Class == synth.ClassActive && len(u.RecentVenues) >= 20 && normalID == 0:
+			normalID = uint64(i + 1)
+		}
+	}
+	if cheaterID == 0 || normalID == 0 {
+		t.Fatal("world lacks required user classes")
+	}
+	cheaterPts := CheckinPoints(db, cheaterID)
+	normalPts := CheckinPoints(db, normalID)
+	if len(cheaterPts) == 0 || len(normalPts) == 0 {
+		t.Fatal("no points for sample users")
+	}
+	cheaterCities := CityCount(cheaterPts, 0)
+	normalCities := CityCount(normalPts, 0)
+	if cheaterCities < 10 {
+		t.Errorf("cheater cities = %d, want >= 10 (Fig 4.3)", cheaterCities)
+	}
+	if normalCities > 6 {
+		t.Errorf("normal user cities = %d, want <= 6 (Fig 4.4)", normalCities)
+	}
+	if SpreadKm(cheaterPts) <= SpreadKm(normalPts) {
+		t.Errorf("cheater spread %.0f km <= normal spread %.0f km",
+			SpreadKm(cheaterPts), SpreadKm(normalPts))
+	}
+}
+
+func TestCityCountEdgeCases(t *testing.T) {
+	if got := CityCount(nil, 0); got != 0 {
+		t.Errorf("CityCount(nil) = %d", got)
+	}
+	p := geo.Point{Lat: 40, Lon: -96}
+	cluster := []geo.Point{p, p.Destination(0, 1000), p.Destination(90, 5000)}
+	if got := CityCount(cluster, 0); got != 1 {
+		t.Errorf("tight cluster cities = %d, want 1", got)
+	}
+	sf, _ := geo.FindCity("San Francisco")
+	ny, _ := geo.FindCity("New York")
+	spread := []geo.Point{p, sf.Center, ny.Center}
+	if got := CityCount(spread, 0); got != 3 {
+		t.Errorf("3-city spread = %d, want 3", got)
+	}
+	if SpreadKm(nil) != 0 {
+		t.Error("SpreadKm(nil) should be 0")
+	}
+}
+
+func TestClassifierFindsForcedCheaters(t *testing.T) {
+	w, db := loadWorld(t)
+	suspects := Classify(db, DefaultClassifierConfig())
+	if len(suspects) == 0 {
+		t.Fatal("classifier found nobody")
+	}
+	flagged := make(map[uint64][]string, len(suspects))
+	for _, s := range suspects {
+		flagged[s.UserID] = s.Flags
+	}
+	// Every caught cheater (low reward rate) and every uncaught heavy
+	// cheater (high recent + spread) should be flagged.
+	missed := 0
+	cheaters := 0
+	for i, u := range w.Users {
+		if u.Class == synth.ClassCheater || u.Class == synth.ClassCaught {
+			cheaters++
+			if _, ok := flagged[uint64(i+1)]; !ok {
+				missed++
+			}
+		}
+	}
+	if cheaters == 0 {
+		t.Fatal("no cheaters in world")
+	}
+	recall := 1 - float64(missed)/float64(cheaters)
+	if recall < 0.9 {
+		t.Errorf("classifier recall on ground-truth cheaters = %.2f, want >= 0.9", recall)
+	}
+	// Sorted by flag count descending.
+	for i := 1; i < len(suspects); i++ {
+		if len(suspects[i].Flags) > len(suspects[i-1].Flags) {
+			t.Fatal("suspects not sorted by flag count")
+		}
+	}
+}
+
+func TestClassifierPrecisionAgainstGroundTruth(t *testing.T) {
+	w, db := loadWorld(t)
+	suspects := Classify(db, DefaultClassifierConfig())
+	conf := Evaluate(suspects, len(w.Users), func(id uint64) bool {
+		c, ok := w.TrueClass(lbsn.UserID(id))
+		return ok && c.Cheating()
+	})
+	if conf.Precision() < 0.6 {
+		t.Errorf("precision = %.2f, want >= 0.6 (flags: %d TP, %d FP)",
+			conf.Precision(), conf.TruePositives, conf.FalsePositives)
+	}
+	if conf.Recall() < 0.8 {
+		t.Errorf("recall = %.2f, want >= 0.8", conf.Recall())
+	}
+	if f1 := conf.F1(); f1 <= 0 || f1 > 1 {
+		t.Errorf("F1 = %.2f out of range", f1)
+	}
+}
+
+func TestConfusionZeroSafe(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion must score 0 without NaN")
+	}
+}
+
+func TestEvaluateCounts(t *testing.T) {
+	suspects := []Suspect{{UserID: 1}, {UserID: 2}}
+	conf := Evaluate(suspects, 4, func(id uint64) bool { return id == 1 || id == 3 })
+	if conf.TruePositives != 1 || conf.FalsePositives != 1 ||
+		conf.FalseNegatives != 1 || conf.TrueNegatives != 1 {
+		t.Errorf("confusion = %+v, want 1 each", conf)
+	}
+}
+
+func TestMeanAbsDeviation(t *testing.T) {
+	curve := []CurvePoint{{X: 10, AvgY: 5}, {X: 20, AvgY: 7}}
+	mad := MeanAbsDeviation(curve, func(x int) float64 { return 6 })
+	if math.Abs(mad-1.0) > 1e-9 {
+		t.Errorf("MAD = %v, want 1.0", mad)
+	}
+	if !math.IsNaN(MeanAbsDeviation(nil, func(int) float64 { return 0 })) {
+		t.Error("empty curve MAD should be NaN")
+	}
+}
+
+func TestCurveBucketWidthDefault(t *testing.T) {
+	db := store.New()
+	db.UpsertUser(store.UserRow{ID: 1, TotalCheckins: 10, TotalBadges: 3})
+	curve := BadgesVsTotal(db, 100, 0) // width 0 -> default 25
+	if len(curve) != 1 || curve[0].Count != 1 {
+		t.Errorf("curve = %+v", curve)
+	}
+}

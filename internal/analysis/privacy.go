@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"sort"
+
+	"locheat/internal/geo"
+	"locheat/internal/store"
+)
+
+// This file implements the §6.2.1 privacy-leakage extension the paper
+// lists as future work: "after we crawled webpages for all venues, we
+// built a personal location history for each user." From nothing but
+// the public venue recent-visitor lists, an attacker reconstructs
+// where each user spends time — here distilled to inferring the user's
+// home city.
+
+// HomeInference is one user's reconstructed location profile.
+type HomeInference struct {
+	UserID         uint64
+	InferredCity   string
+	Confidence     float64 // fraction of the user's recent venues in the inferred city
+	RecentVenues   int
+	DistinctCities int
+}
+
+// InferHomeCity guesses a user's home city as the modal city among
+// the venues whose recent lists carry the user. The boolean is false
+// when the user appears on no venue list (nothing leaked).
+func InferHomeCity(db *store.DB, userID uint64) (HomeInference, bool) {
+	venueIDs := db.RecentCheckinsOf(userID)
+	if len(venueIDs) == 0 {
+		return HomeInference{UserID: userID}, false
+	}
+	counts := make(map[string]int)
+	for _, vid := range venueIDs {
+		if v, ok := db.Venue(vid); ok && v.City != "" {
+			counts[v.City]++
+		}
+	}
+	if len(counts) == 0 {
+		return HomeInference{UserID: userID}, false
+	}
+	best, bestN := "", 0
+	for city, n := range counts {
+		if n > bestN || (n == bestN && city < best) {
+			best, bestN = city, n
+		}
+	}
+	return HomeInference{
+		UserID:         userID,
+		InferredCity:   best,
+		Confidence:     float64(bestN) / float64(len(venueIDs)),
+		RecentVenues:   len(venueIDs),
+		DistinctCities: len(counts),
+	}, true
+}
+
+// PrivacyReport summarizes the §6.2.1 leak over a crawled population.
+type PrivacyReport struct {
+	Users        int // users in the store
+	Exposed      int // users appearing on at least one venue list
+	HomeMatches  int // exposed users whose inferred city equals their profile city
+	MatchRate    float64
+	MedianVenues int // median location-history length among exposed users
+}
+
+// ComputePrivacyReport reconstructs every user's location history and
+// checks the inferred home city against the self-reported profile
+// field. A high match rate demonstrates the leak: venue pages alone
+// reveal where users live.
+func ComputePrivacyReport(db *store.DB) PrivacyReport {
+	users := db.Users(nil)
+	rep := PrivacyReport{Users: len(users)}
+	var histLens []int
+	for _, u := range users {
+		inf, ok := InferHomeCity(db, u.ID)
+		if !ok {
+			continue
+		}
+		rep.Exposed++
+		histLens = append(histLens, inf.RecentVenues)
+		if inf.InferredCity == u.HomeCity {
+			rep.HomeMatches++
+		}
+	}
+	if rep.Exposed > 0 {
+		rep.MatchRate = float64(rep.HomeMatches) / float64(rep.Exposed)
+		sort.Ints(histLens)
+		rep.MedianVenues = histLens[len(histLens)/2]
+	}
+	return rep
+}
+
+// LocationHistory returns a user's reconstructed history as venue
+// (id, city, point) triples ordered by venue ID — the raw §6.2.1
+// artifact.
+type HistoryEntry struct {
+	VenueID uint64
+	City    string
+	Point   geo.Point
+}
+
+// ReconstructHistory builds the per-user location history from the
+// crawl.
+func ReconstructHistory(db *store.DB, userID uint64) []HistoryEntry {
+	venueIDs := db.RecentCheckinsOf(userID)
+	out := make([]HistoryEntry, 0, len(venueIDs))
+	for _, vid := range venueIDs {
+		if v, ok := db.Venue(vid); ok {
+			out = append(out, HistoryEntry{VenueID: vid, City: v.City, Point: v.Location()})
+		}
+	}
+	return out
+}

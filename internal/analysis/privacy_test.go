@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"testing"
+
+	"locheat/internal/store"
+	"locheat/internal/synth"
+)
+
+func TestInferHomeCity(t *testing.T) {
+	db := store.New()
+	db.UpsertUser(store.UserRow{ID: 1, HomeCity: "Lincoln"})
+	db.UpsertVenue(store.VenueRow{ID: 10, City: "Lincoln", Latitude: 40.8, Longitude: -96.7})
+	db.UpsertVenue(store.VenueRow{ID: 11, City: "Lincoln", Latitude: 40.81, Longitude: -96.71})
+	db.UpsertVenue(store.VenueRow{ID: 12, City: "Omaha", Latitude: 41.25, Longitude: -95.93})
+	db.AddRecentCheckin(1, 10)
+	db.AddRecentCheckin(1, 11)
+	db.AddRecentCheckin(1, 12)
+
+	inf, ok := InferHomeCity(db, 1)
+	if !ok {
+		t.Fatal("expected inference")
+	}
+	if inf.InferredCity != "Lincoln" {
+		t.Errorf("inferred %q, want Lincoln", inf.InferredCity)
+	}
+	if inf.Confidence < 0.6 || inf.Confidence > 0.7 {
+		t.Errorf("confidence = %.2f, want 2/3", inf.Confidence)
+	}
+	if inf.RecentVenues != 3 || inf.DistinctCities != 2 {
+		t.Errorf("history stats = %d venues / %d cities", inf.RecentVenues, inf.DistinctCities)
+	}
+}
+
+func TestInferHomeCityNoData(t *testing.T) {
+	db := store.New()
+	db.UpsertUser(store.UserRow{ID: 1})
+	if _, ok := InferHomeCity(db, 1); ok {
+		t.Error("user with no recent venues should not be inferable")
+	}
+	// A user whose only venues carry no city names.
+	db.UpsertVenue(store.VenueRow{ID: 5})
+	db.AddRecentCheckin(1, 5)
+	if _, ok := InferHomeCity(db, 1); ok {
+		t.Error("venues without city names should not leak")
+	}
+}
+
+func TestPrivacyReportOnSyntheticWorld(t *testing.T) {
+	// The §6.2.1 claim: crawled venue lists reveal users' lives. On
+	// the synthetic world — where normal users check in mostly at home
+	// — the inferred home city should match the profile field for the
+	// vast majority of exposed active users.
+	w := synth.Generate(synth.Config{Seed: 17, Users: 3000, Venues: 9000})
+	db := store.New()
+	w.FillStore(db)
+
+	rep := ComputePrivacyReport(db)
+	if rep.Users != 3000 {
+		t.Fatalf("users = %d", rep.Users)
+	}
+	if rep.Exposed < 1000 {
+		t.Errorf("exposed users = %d, want most actives", rep.Exposed)
+	}
+	if rep.MatchRate < 0.7 {
+		t.Errorf("home-city match rate = %.2f, want >= 0.7 (the leak)", rep.MatchRate)
+	}
+	if rep.MedianVenues <= 0 {
+		t.Errorf("median history length = %d", rep.MedianVenues)
+	}
+}
+
+func TestPrivacyReportEmptyStore(t *testing.T) {
+	rep := ComputePrivacyReport(store.New())
+	if rep.Exposed != 0 || rep.MatchRate != 0 {
+		t.Errorf("empty store report = %+v", rep)
+	}
+}
+
+func TestReconstructHistory(t *testing.T) {
+	db := store.New()
+	db.UpsertVenue(store.VenueRow{ID: 10, City: "Lincoln", Latitude: 40.8, Longitude: -96.7})
+	db.UpsertVenue(store.VenueRow{ID: 20, City: "Omaha", Latitude: 41.25, Longitude: -95.93})
+	db.AddRecentCheckin(7, 10)
+	db.AddRecentCheckin(7, 20)
+	db.AddRecentCheckin(7, 999) // dangling venue reference dropped
+
+	hist := ReconstructHistory(db, 7)
+	if len(hist) != 2 {
+		t.Fatalf("history = %d entries, want 2", len(hist))
+	}
+	if hist[0].VenueID != 10 || hist[0].City != "Lincoln" {
+		t.Errorf("entry 0 = %+v", hist[0])
+	}
+	if hist[1].Point.Lat != 41.25 {
+		t.Errorf("entry 1 point = %v", hist[1].Point)
+	}
+	if got := ReconstructHistory(db, 404); len(got) != 0 {
+		t.Errorf("unknown user history = %v", got)
+	}
+}

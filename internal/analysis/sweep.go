@@ -1,0 +1,113 @@
+package analysis
+
+import "locheat/internal/store"
+
+// SweepPoint is one classifier operating point in the threshold sweep
+// — the ablation DESIGN.md calls out for the detection thresholds.
+type SweepPoint struct {
+	MinCities   int
+	RecentRatio float64
+	Suspects    int
+	Precision   float64
+	Recall      float64
+	F1          float64
+}
+
+// SweepClassifier evaluates the three-factor classifier across a grid
+// of city-spread and recent-ratio thresholds against a ground-truth
+// oracle, producing the precision/recall trade-off curve. The
+// remaining thresholds stay at their defaults.
+func SweepClassifier(db *store.DB, users int, isCheater func(uint64) bool, cities []int, ratios []float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(cities)*len(ratios))
+	for _, mc := range cities {
+		for _, rr := range ratios {
+			cfg := DefaultClassifierConfig()
+			cfg.MinCities = mc
+			cfg.RecentRatio = rr
+			suspects := Classify(db, cfg)
+			conf := Evaluate(suspects, users, isCheater)
+			out = append(out, SweepPoint{
+				MinCities:   mc,
+				RecentRatio: rr,
+				Suspects:    len(suspects),
+				Precision:   conf.Precision(),
+				Recall:      conf.Recall(),
+				F1:          conf.F1(),
+			})
+		}
+	}
+	return out
+}
+
+// SingleFactorConfigs returns one classifier configuration per §4
+// detection factor, with the other two factors disabled — the
+// complementarity ablation: each factor alone catches a different
+// cheater population (high recent ratio → uncaught cheaters; low
+// reward rate → caught cheaters; geographic spread → travel-pattern
+// cheaters).
+func SingleFactorConfigs() map[string]ClassifierConfig {
+	const off = 1 << 30
+	base := DefaultClassifierConfig()
+
+	recentOnly := base
+	recentOnly.LowRewardMinTotal = off
+	recentOnly.MinCities = off
+
+	rewardOnly := base
+	rewardOnly.RecentRatio = float64(off)
+	rewardOnly.MinCities = off
+
+	geoOnly := base
+	geoOnly.RecentRatio = float64(off)
+	geoOnly.LowRewardMinTotal = off
+
+	return map[string]ClassifierConfig{
+		FlagHighRecentRatio: recentOnly,
+		FlagLowRewardRate:   rewardOnly,
+		FlagWideSpread:      geoOnly,
+	}
+}
+
+// FactorResult scores one isolated factor.
+type FactorResult struct {
+	Factor    string
+	Suspects  int
+	Precision float64
+	Recall    float64
+}
+
+// AblateFactors runs each single-factor classifier against ground
+// truth. The full three-factor classifier should dominate every row's
+// recall — the reason the paper lists three identifying factors, not
+// one.
+func AblateFactors(db *store.DB, users int, isCheater func(uint64) bool) []FactorResult {
+	configs := SingleFactorConfigs()
+	order := []string{FlagHighRecentRatio, FlagLowRewardRate, FlagWideSpread}
+	out := make([]FactorResult, 0, len(order))
+	for _, name := range order {
+		suspects := Classify(db, configs[name])
+		conf := Evaluate(suspects, users, isCheater)
+		out = append(out, FactorResult{
+			Factor:    name,
+			Suspects:  len(suspects),
+			Precision: conf.Precision(),
+			Recall:    conf.Recall(),
+		})
+	}
+	return out
+}
+
+// BestByF1 returns the sweep point with the highest F1 (ties to the
+// earlier point). The boolean is false for an empty sweep.
+func BestByF1(points []SweepPoint) (SweepPoint, bool) {
+	if len(points) == 0 {
+		return SweepPoint{}, false
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.F1 > best.F1 {
+			best = p
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"testing"
+
+	"locheat/internal/lbsn"
+)
+
+func TestSweepClassifier(t *testing.T) {
+	w, db := loadWorld(t)
+	oracle := func(id uint64) bool {
+		c, ok := w.TrueClass(lbsn.UserID(id))
+		return ok && c.Cheating()
+	}
+	points := SweepClassifier(db, len(w.Users), oracle,
+		[]int{5, 10, 20}, []float64{0.2, 0.35, 0.6})
+	if len(points) != 9 {
+		t.Fatalf("sweep = %d points, want 9", len(points))
+	}
+	// Loosening thresholds must not reduce the suspect count: the
+	// (5, 0.2) corner flags at least as many as the (20, 0.6) corner.
+	loosest, strictest := points[0], points[len(points)-1]
+	if loosest.Suspects < strictest.Suspects {
+		t.Errorf("loose corner %d suspects < strict corner %d", loosest.Suspects, strictest.Suspects)
+	}
+	// Recall is monotone non-increasing as MinCities tightens at fixed
+	// ratio.
+	byKey := make(map[[2]int]SweepPoint)
+	for _, p := range points {
+		byKey[[2]int{p.MinCities, int(p.RecentRatio * 100)}] = p
+	}
+	if byKey[[2]int{5, 35}].Recall < byKey[[2]int{20, 35}].Recall {
+		t.Error("recall should not rise when MinCities tightens")
+	}
+	best, ok := BestByF1(points)
+	if !ok || best.F1 <= 0 {
+		t.Fatalf("best point = %+v, %v", best, ok)
+	}
+	// The default operating point (10, 0.35) should be near-optimal on
+	// this world.
+	if best.F1 < 0.8 {
+		t.Errorf("best F1 = %.2f, want >= 0.8", best.F1)
+	}
+}
+
+func TestBestByF1Empty(t *testing.T) {
+	if _, ok := BestByF1(nil); ok {
+		t.Error("empty sweep should report not-ok")
+	}
+}
+
+func TestAblateFactorsComplementarity(t *testing.T) {
+	w, db := loadWorld(t)
+	oracle := func(id uint64) bool {
+		c, ok := w.TrueClass(lbsn.UserID(id))
+		return ok && c.Cheating()
+	}
+	rows := AblateFactors(db, len(w.Users), oracle)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byFactor := make(map[string]FactorResult, 3)
+	for _, r := range rows {
+		byFactor[r.Factor] = r
+		if r.Suspects == 0 {
+			t.Errorf("factor %s flagged nobody", r.Factor)
+		}
+		if r.Precision < 0.5 {
+			t.Errorf("factor %s precision = %.2f", r.Factor, r.Precision)
+		}
+	}
+	// No single factor reaches full recall: each misses a cheater
+	// population the others catch.
+	fullRecall := 0
+	for _, r := range rows {
+		if r.Recall >= 0.999 {
+			fullRecall++
+		}
+	}
+	if fullRecall == len(rows) {
+		t.Error("every factor alone reached full recall; complementarity claim is vacuous")
+	}
+	// The combined classifier dominates each single factor's recall.
+	combined := Evaluate(Classify(db, DefaultClassifierConfig()), len(w.Users), oracle)
+	for _, r := range rows {
+		if combined.Recall() < r.Recall-1e-9 {
+			t.Errorf("combined recall %.2f < factor %s recall %.2f", combined.Recall(), r.Factor, r.Recall)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package api implements the service's public developer API — the
+// §3.1 spoofing vector 3: "Foursquare provides a set of application
+// APIs that allow developers to create new applications ... These APIs
+// can be employed by a location cheater to check into a place ... this
+// method is more convenient to issue a large-scale cheating attack."
+//
+// It is a small JSON-over-HTTP surface with API-key authentication:
+//
+//	POST /api/v1/checkins        {userId, venueId, lat, lon}
+//	GET  /api/v1/venues/search?q=...&limit=...
+//	GET  /api/v1/venues/nearby?lat=..&lon=..&radius=..&limit=..
+//	GET  /api/v1/users/{id}
+//	GET  /api/v1/venues/{id}
+//
+// The check-in endpoint takes caller-supplied coordinates verbatim —
+// precisely the trust-the-client flaw the paper exploits. The Client
+// type is the attacker-side SDK.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+)
+
+// Errors the client surfaces.
+var (
+	ErrUnauthorized = errors.New("api: missing or revoked API key")
+	ErrBadRequest   = errors.New("api: bad request")
+	ErrNotFound     = errors.New("api: not found")
+)
+
+// Server exposes the developer API over an lbsn.Service.
+type Server struct {
+	svc *lbsn.Service
+	mux *http.ServeMux
+
+	mu   sync.Mutex
+	keys map[string]bool // key -> active
+
+	served   int
+	rejected int
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer builds the API server. Keys must be issued with IssueKey
+// before clients can call.
+func NewServer(svc *lbsn.Service) *Server {
+	s := &Server{
+		svc:  svc,
+		keys: make(map[string]bool),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/checkins", s.auth(s.handleCheckin))
+	mux.HandleFunc("/api/v1/venues/search", s.auth(s.handleVenueSearch))
+	mux.HandleFunc("/api/v1/venues/nearby", s.auth(s.handleVenuesNearby))
+	mux.HandleFunc("/api/v1/users/", s.auth(s.handleUser))
+	mux.HandleFunc("/api/v1/venues/", s.auth(s.handleVenue))
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// IssueKey registers an API key (any non-empty string) as active.
+func (s *Server) IssueKey(key string) {
+	if key == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keys[key] = true
+}
+
+// RevokeKey deactivates a key; subsequent calls get 401.
+func (s *Server) RevokeKey(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.keys, key)
+}
+
+// Stats reports authenticated requests served and rejected.
+func (s *Server) Stats() (served, rejected int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served, s.rejected
+}
+
+func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("X-API-Key")
+		s.mu.Lock()
+		ok := key != "" && s.keys[key]
+		if ok {
+			s.served++
+		} else {
+			s.rejected++
+		}
+		s.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "missing or revoked API key")
+			return
+		}
+		next(w, r)
+	}
+}
+
+// Wire types ------------------------------------------------------------
+
+// CheckinRequest is the POST /checkins body.
+type CheckinRequest struct {
+	UserID  uint64  `json:"userId"`
+	VenueID uint64  `json:"venueId"`
+	Lat     float64 `json:"lat"`
+	Lon     float64 `json:"lon"`
+}
+
+// CheckinResponse mirrors lbsn.CheckinResult on the wire.
+type CheckinResponse struct {
+	Accepted        bool     `json:"accepted"`
+	Reason          string   `json:"reason,omitempty"`
+	Detail          string   `json:"detail,omitempty"`
+	PointsEarned    int      `json:"pointsEarned"`
+	NewBadges       []string `json:"newBadges,omitempty"`
+	BecameMayor     bool     `json:"becameMayor"`
+	SpecialUnlocked string   `json:"specialUnlocked,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// Handlers ----------------------------------------------------------------
+
+func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req CheckinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON body")
+		return
+	}
+	res, err := s.svc.CheckIn(lbsn.CheckinRequest{
+		UserID:   lbsn.UserID(req.UserID),
+		VenueID:  lbsn.VenueID(req.VenueID),
+		Reported: geo.Point{Lat: req.Lat, Lon: req.Lon},
+	})
+	switch {
+	case errors.Is(err, lbsn.ErrUserNotFound), errors.Is(err, lbsn.ErrVenueNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	case errors.Is(err, lbsn.ErrBadLocation):
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckinResponse{
+		Accepted:        res.Accepted,
+		Reason:          string(res.Reason),
+		Detail:          res.Detail,
+		PointsEarned:    res.PointsEarned,
+		NewBadges:       res.NewBadges,
+		BecameMayor:     res.BecameMayor,
+		SpecialUnlocked: res.SpecialUnlocked,
+	})
+}
+
+func (s *Server) handleVenueSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	limit := queryInt(r, "limit", 20)
+	writeJSON(w, http.StatusOK, s.svc.SearchVenues(q, limit))
+}
+
+func (s *Server) handleVenuesNearby(w http.ResponseWriter, r *http.Request) {
+	lat, err1 := strconv.ParseFloat(r.URL.Query().Get("lat"), 64)
+	lon, err2 := strconv.ParseFloat(r.URL.Query().Get("lon"), 64)
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "missing or malformed lat/lon")
+		return
+	}
+	radius := queryFloat(r, "radius", 1000)
+	limit := queryInt(r, "limit", 20)
+	writeJSON(w, http.StatusOK, s.svc.NearbyVenues(geo.Point{Lat: lat, Lon: lon}, radius, limit))
+}
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/v1/users/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed user id")
+		return
+	}
+	view, ok := s.svc.User(lbsn.UserID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such user")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleVenue(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/v1/venues/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed venue id")
+		return
+	}
+	view, ok := s.svc.Venue(lbsn.VenueID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such venue")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func queryInt(r *http.Request, name string, def int) int {
+	v, err := strconv.Atoi(r.URL.Query().Get(name))
+	if err != nil || v < 0 {
+		return def
+	}
+	return v
+}
+
+func queryFloat(r *http.Request, name string, def float64) float64 {
+	v, err := strconv.ParseFloat(r.URL.Query().Get(name), 64)
+	if err != nil || v < 0 {
+		return def
+	}
+	return v
+}
+
+// Client is the developer-SDK side — and the attacker's large-scale
+// cheating tool when fed forged coordinates.
+type Client struct {
+	BaseURL string
+	Key     string
+	HTTP    *http.Client
+}
+
+// NewClient builds an SDK client.
+func NewClient(baseURL, key string) *Client {
+	return &Client{BaseURL: baseURL, Key: key, HTTP: http.DefaultClient}
+}
+
+func (c *Client) do(method, path string, body any, out any) error {
+	var reader *strings.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("api client: marshal: %w", err)
+		}
+		reader = strings.NewReader(string(buf))
+	} else {
+		reader = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, reader)
+	if err != nil {
+		return fmt.Errorf("api client: %w", err)
+	}
+	req.Header.Set("X-API-Key", c.Key)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api client: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	case http.StatusUnauthorized:
+		return ErrUnauthorized
+	case http.StatusNotFound:
+		return ErrNotFound
+	case http.StatusBadRequest:
+		return ErrBadRequest
+	default:
+		return fmt.Errorf("api client: unexpected status %d", resp.StatusCode)
+	}
+}
+
+// CheckIn submits a check-in with arbitrary coordinates.
+func (c *Client) CheckIn(user, venue uint64, at geo.Point) (CheckinResponse, error) {
+	var out CheckinResponse
+	err := c.do(http.MethodPost, "/api/v1/checkins", CheckinRequest{
+		UserID: user, VenueID: venue, Lat: at.Lat, Lon: at.Lon,
+	}, &out)
+	return out, err
+}
+
+// SearchVenues queries venues by name.
+func (c *Client) SearchVenues(q string, limit int) ([]lbsn.VenueView, error) {
+	var out []lbsn.VenueView
+	path := fmt.Sprintf("/api/v1/venues/search?q=%s&limit=%d", urlEscape(q), limit)
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// NearbyVenues queries venues around a point.
+func (c *Client) NearbyVenues(p geo.Point, radius float64, limit int) ([]lbsn.VenueView, error) {
+	var out []lbsn.VenueView
+	path := fmt.Sprintf("/api/v1/venues/nearby?lat=%f&lon=%f&radius=%f&limit=%d",
+		p.Lat, p.Lon, radius, limit)
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// User fetches a user profile.
+func (c *Client) User(id uint64) (lbsn.UserView, error) {
+	var out lbsn.UserView
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/v1/users/%d", id), nil, &out)
+	return out, err
+}
+
+// Venue fetches a venue profile.
+func (c *Client) Venue(id uint64) (lbsn.VenueView, error) {
+	var out lbsn.VenueView
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/v1/venues/%d", id), nil, &out)
+	return out, err
+}
+
+func urlEscape(s string) string {
+	r := strings.NewReplacer(" ", "+", "&", "%26", "?", "%3F", "#", "%23", "%", "%25")
+	return r.Replace(s)
+}

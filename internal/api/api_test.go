@@ -1,0 +1,261 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+func apiWorld(t *testing.T) (*Server, *httptest.Server, *lbsn.Service, *simclock.Simulated) {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	sf, _ := geo.FindCity("San Francisco")
+	if _, err := svc.AddVenue("Starbucks #1", "1 Market St", "San Francisco", sf.Center, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddVenue("Blue Bottle", "2 Mint Plaza", "San Francisco",
+		sf.Center.Destination(90, 400), nil); err != nil {
+		t.Fatal(err)
+	}
+	svc.RegisterUser("Dev", "dev", "San Francisco")
+
+	srv := NewServer(svc)
+	srv.IssueKey("k-test")
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, svc, clock
+}
+
+func TestAuthRequired(t *testing.T) {
+	_, ts, _, _ := apiWorld(t)
+	noKey := NewClient(ts.URL, "")
+	if _, err := noKey.User(1); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("no key error = %v, want ErrUnauthorized", err)
+	}
+	badKey := NewClient(ts.URL, "wrong")
+	if _, err := badKey.User(1); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("bad key error = %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestKeyRevocation(t *testing.T) {
+	srv, ts, _, _ := apiWorld(t)
+	c := NewClient(ts.URL, "k-test")
+	if _, err := c.User(1); err != nil {
+		t.Fatalf("valid key failed: %v", err)
+	}
+	srv.RevokeKey("k-test")
+	if _, err := c.User(1); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("revoked key error = %v, want ErrUnauthorized", err)
+	}
+	served, rejected := srv.Stats()
+	if served != 1 || rejected != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", served, rejected)
+	}
+}
+
+func TestCheckinViaAPIAcceptsForgedCoordinates(t *testing.T) {
+	// Vector 3: an attacker anywhere on Earth posts the venue's own
+	// coordinates through the developer API and collects rewards.
+	_, ts, svc, _ := apiWorld(t)
+	c := NewClient(ts.URL, "k-test")
+	venue, _ := svc.Venue(1)
+	res, err := c.CheckIn(1, 1, venue.Location)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("forged check-in denied: %+v", res)
+	}
+	if res.PointsEarned == 0 || !res.BecameMayor {
+		t.Errorf("rewards missing: %+v", res)
+	}
+	uv, _ := svc.User(1)
+	if uv.TotalCheckins != 1 {
+		t.Errorf("server-side total = %d", uv.TotalCheckins)
+	}
+}
+
+func TestCheckinDenialSurfacesReason(t *testing.T) {
+	_, ts, svc, clock := apiWorld(t)
+	c := NewClient(ts.URL, "k-test")
+	venue, _ := svc.Venue(1)
+	if _, err := c.CheckIn(1, 1, venue.Location); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	res, err := c.CheckIn(1, 1, venue.Location)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.Reason != "frequent-checkin" {
+		t.Errorf("rapid revisit = %+v, want frequent-checkin denial", res)
+	}
+}
+
+func TestCheckinErrorsMapToStatus(t *testing.T) {
+	_, ts, svc, _ := apiWorld(t)
+	c := NewClient(ts.URL, "k-test")
+	venue, _ := svc.Venue(1)
+	if _, err := c.CheckIn(999, 1, venue.Location); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing user = %v, want ErrNotFound", err)
+	}
+	if _, err := c.CheckIn(1, 999, venue.Location); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing venue = %v, want ErrNotFound", err)
+	}
+	if _, err := c.CheckIn(1, 1, geo.Point{Lat: 91, Lon: 0}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("bad coords = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestCheckinRejectsGetAndBadBody(t *testing.T) {
+	_, ts, _, _ := apiWorld(t)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/checkins", nil)
+	req.Header.Set("X-API-Key", "k-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /checkins = %d, want 405", resp.StatusCode)
+	}
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/checkins", strings.NewReader("{broken"))
+	req2.Header.Set("X-API-Key", "k-test")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken body = %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestVenueSearchAndNearby(t *testing.T) {
+	_, ts, _, _ := apiWorld(t)
+	c := NewClient(ts.URL, "k-test")
+	hits, err := c.SearchVenues("starbucks", 10)
+	if err != nil || len(hits) != 1 || hits[0].Name != "Starbucks #1" {
+		t.Errorf("search = %v, %v", hits, err)
+	}
+	sf, _ := geo.FindCity("San Francisco")
+	nearby, err := c.NearbyVenues(sf.Center, 1000, 10)
+	if err != nil || len(nearby) != 2 {
+		t.Errorf("nearby = %d venues, %v", len(nearby), err)
+	}
+	if nearby[0].ID != 1 {
+		t.Errorf("nearby[0] = %d, want closest venue 1", nearby[0].ID)
+	}
+}
+
+func TestSearchRequiresQuery(t *testing.T) {
+	_, ts, _, _ := apiWorld(t)
+	c := NewClient(ts.URL, "k-test")
+	if _, err := c.SearchVenues("", 5); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty query = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestUserAndVenueLookup(t *testing.T) {
+	_, ts, _, _ := apiWorld(t)
+	c := NewClient(ts.URL, "k-test")
+	u, err := c.User(1)
+	if err != nil || u.Name != "Dev" {
+		t.Errorf("user = %+v, %v", u, err)
+	}
+	v, err := c.Venue(2)
+	if err != nil || v.Name != "Blue Bottle" {
+		t.Errorf("venue = %+v, %v", v, err)
+	}
+	if _, err := c.User(404); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing user = %v", err)
+	}
+	if _, err := c.Venue(404); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing venue = %v", err)
+	}
+}
+
+func TestMalformedIDs(t *testing.T) {
+	_, ts, _, _ := apiWorld(t)
+	for _, path := range []string{"/api/v1/users/abc", "/api/v1/venues/xyz"} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		req.Header.Set("X-API-Key", "k-test")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestNearbyParamValidation(t *testing.T) {
+	_, ts, _, _ := apiWorld(t)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/venues/nearby?lat=zzz&lon=1", nil)
+	req.Header.Set("X-API-Key", "k-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad lat = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestLargeScaleCheatingViaAPI(t *testing.T) {
+	// §3.1: "this method is more convenient to issue a large-scale
+	// cheating attack" — one SDK loop, many venues, paced to pass.
+	_, ts, svc, clock := apiWorld(t)
+	base, _ := geo.FindCity("San Francisco")
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		id, err := svc.AddVenue("Mass", "", "San Francisco",
+			base.Center.Destination(float64(i*36), 1000+float64(i)*300), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, uint64(id))
+	}
+	c := NewClient(ts.URL, "k-test")
+	accepted := 0
+	for _, id := range ids {
+		v, err := c.Venue(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.CheckIn(1, id, v.Location)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			accepted++
+		}
+		clock.Advance(30 * time.Minute)
+	}
+	if accepted != len(ids) {
+		t.Errorf("mass campaign accepted %d of %d", accepted, len(ids))
+	}
+}
+
+func TestIssueEmptyKeyIgnored(t *testing.T) {
+	srv := NewServer(lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(simclock.Epoch()), nil))
+	srv.IssueKey("")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, "")
+	if _, err := c.User(1); !errors.Is(err, ErrUnauthorized) {
+		t.Error("empty key must never authenticate")
+	}
+}

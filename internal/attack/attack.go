@@ -1,0 +1,359 @@
+// Package attack implements the automated location-cheating machinery
+// of §3.3–§3.4: a check-in schedule planner that keeps inside the
+// cheater-code envelope (5-minute intervals under one mile, scaled
+// intervals beyond — "if D > 1 mile, we let T = D * 5 minutes"), the
+// semiautomatic virtual-tour tool of Fig 3.5 ("move 500 yards to the
+// west" → nearest venue), an executor that spoofs the device GPS per
+// stop, and the venue-profile target analysis that picks high-value
+// victims from crawled data.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"locheat/internal/device"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// ErrNoVenue is returned when a tour step finds no venue near the
+// target location.
+var ErrNoVenue = errors.New("attack: no venue near target location")
+
+// Stop is one scheduled check-in.
+type Stop struct {
+	Venue    lbsn.VenueID
+	Location geo.Point
+	// Wait is how long to idle before this check-in, as computed by
+	// the §3.3 interval rule.
+	Wait time.Duration
+}
+
+// Schedule is an ordered check-in plan.
+type Schedule []Stop
+
+// TotalWait sums the schedule's idle time.
+func (s Schedule) TotalWait() time.Duration {
+	var total time.Duration
+	for _, st := range s {
+		total += st.Wait
+	}
+	return total
+}
+
+// PlannerConfig carries the §3.3 pacing rule parameters.
+type PlannerConfig struct {
+	// BaseInterval is the wait for hops under BaseDistance (paper: 5
+	// minutes under 1 mile).
+	BaseInterval time.Duration
+	// BaseDistance in meters (paper: 1 mile).
+	BaseDistance float64
+	// SameVenueCooldown guards repeat visits (paper: 1 hour).
+	SameVenueCooldown time.Duration
+}
+
+// DefaultPlannerConfig returns the paper's operating point.
+func DefaultPlannerConfig() PlannerConfig {
+	return PlannerConfig{
+		BaseInterval:      5 * time.Minute,
+		BaseDistance:      geo.MetersPerMile,
+		SameVenueCooldown: time.Hour,
+	}
+}
+
+// Plan converts an ordered venue list into a schedule whose waits obey
+// the interval rule: Wait = BaseInterval when the hop is under
+// BaseDistance, else BaseInterval × (distance / BaseDistance). Repeat
+// visits to a venue within the cooldown get their wait raised to the
+// cooldown. The first stop has zero wait.
+func Plan(cfg PlannerConfig, venues []lbsn.VenueView) Schedule {
+	if cfg.BaseInterval <= 0 {
+		cfg = DefaultPlannerConfig()
+	}
+	sch := make(Schedule, 0, len(venues))
+	lastSeen := make(map[lbsn.VenueID]time.Duration, len(venues))
+	var elapsed time.Duration
+	for i, v := range venues {
+		var wait time.Duration
+		if i > 0 {
+			wait = hopWait(cfg, venues[i-1].Location, v.Location)
+		}
+		if at, seen := lastSeen[v.ID]; seen {
+			if since := elapsed + wait - at; since < cfg.SameVenueCooldown {
+				wait += cfg.SameVenueCooldown - since
+			}
+		}
+		elapsed += wait
+		lastSeen[v.ID] = elapsed
+		sch = append(sch, Stop{Venue: v.ID, Location: v.Location, Wait: wait})
+	}
+	return sch
+}
+
+// hopWait is the §3.3 interval rule for a single hop.
+func hopWait(cfg PlannerConfig, from, to geo.Point) time.Duration {
+	d := from.DistanceMeters(to)
+	if d <= cfg.BaseDistance {
+		return cfg.BaseInterval
+	}
+	return time.Duration(float64(cfg.BaseInterval) * d / cfg.BaseDistance)
+}
+
+// Move is one step of the semiautomatic tool: a direction and a
+// distance ("move 500 yards to the west").
+type Move struct {
+	BearingDeg     float64
+	DistanceMeters float64
+}
+
+// RightTurnTour builds the Fig 3.5 move sequence: start heading north,
+// keep turning right, with a fixed step length (the paper used 0.005°,
+// ~550 m in latitude / ~450 m in longitude).
+func RightTurnTour(steps int, stepMeters float64) []Move {
+	moves := make([]Move, steps)
+	bearing := 0.0 // north
+	for i := range moves {
+		moves[i] = Move{BearingDeg: bearing, DistanceMeters: stepMeters}
+		bearing += 90 // keep turning right
+		if bearing >= 360 {
+			bearing -= 360
+		}
+	}
+	return moves
+}
+
+// PlanTour resolves a move sequence into venues: from the start point,
+// each move sets a target location and the closest venue to it is
+// selected (skipping the venue just visited so the tour advances). It
+// returns the venue sequence plus the intended target points — the
+// cross marks of Fig 3.5.
+func PlanTour(svc *lbsn.Service, start geo.Point, moves []Move) ([]lbsn.VenueView, []geo.Point, error) {
+	venues := make([]lbsn.VenueView, 0, len(moves)+1)
+	targets := make([]geo.Point, 0, len(moves)+1)
+
+	v, ok := svc.NearestVenue(start)
+	if !ok {
+		return nil, nil, fmt.Errorf("plan tour start %s: %w", start, ErrNoVenue)
+	}
+	venues = append(venues, v)
+	targets = append(targets, start)
+	pos := v.Location
+
+	for i, m := range moves {
+		target := pos.Destination(m.BearingDeg, m.DistanceMeters)
+		targets = append(targets, target)
+		// Nearest venue to the target; if it is the venue we're
+		// standing at, take the next-closest within a generous radius.
+		next, ok := svc.NearestVenue(target)
+		if !ok {
+			return nil, nil, fmt.Errorf("plan tour step %d: %w", i, ErrNoVenue)
+		}
+		if next.ID == venues[len(venues)-1].ID {
+			// Don't stand still: take the next-closest distinct venue
+			// within a generous radius. If none exists (degenerate
+			// density), accept the repeat — Plan stretches the wait
+			// past the same-venue cooldown.
+			for _, cand := range svc.NearbyVenues(target, 2*m.DistanceMeters+500, 8) {
+				if cand.ID != next.ID {
+					next = cand
+					break
+				}
+			}
+		}
+		venues = append(venues, next)
+		pos = next.Location
+	}
+	return venues, targets, nil
+}
+
+// StopResult is the outcome of one executed stop.
+type StopResult struct {
+	Stop   Stop
+	Result lbsn.CheckinResult
+}
+
+// Report summarizes an executed schedule.
+type Report struct {
+	Stops    []StopResult
+	Accepted int
+	Denied   int
+	Points   int
+	Badges   []string
+	Mayors   int // mayorships won during the run
+	Specials []string
+}
+
+// Cheater executes schedules against a service by spoofing the device
+// GPS to each stop's coordinates — the emulator method the paper used.
+// The sleeper paces the schedule; on a simulated clock the waits are
+// instantaneous.
+type Cheater struct {
+	svc     *lbsn.Service
+	user    lbsn.UserID
+	gps     *device.FakeGPS
+	client  *device.Client
+	sleeper simclock.Sleeper
+}
+
+// NewCheater builds the attack rig for a user.
+func NewCheater(svc *lbsn.Service, user lbsn.UserID, sleeper simclock.Sleeper) *Cheater {
+	gps := device.NewFakeGPS()
+	return &Cheater{
+		svc:     svc,
+		user:    user,
+		gps:     gps,
+		client:  device.NewClient(svc, user, gps),
+		sleeper: sleeper,
+	}
+}
+
+// Execute runs the schedule: wait, point the fake GPS at the stop,
+// check in. Denied stops are recorded, not fatal — the attacker learns
+// the envelope from them.
+func (c *Cheater) Execute(sch Schedule) (Report, error) {
+	var rep Report
+	for _, stop := range sch {
+		if stop.Wait > 0 {
+			c.sleeper.Sleep(stop.Wait)
+		}
+		c.gps.Set(stop.Location)
+		res, err := c.client.CheckIn(stop.Venue)
+		if err != nil {
+			return rep, fmt.Errorf("execute stop at venue %d: %w", stop.Venue, err)
+		}
+		rep.Stops = append(rep.Stops, StopResult{Stop: stop, Result: res})
+		if res.Accepted {
+			rep.Accepted++
+			rep.Points += res.PointsEarned
+			rep.Badges = append(rep.Badges, res.NewBadges...)
+			if res.BecameMayor {
+				rep.Mayors++
+			}
+			if res.SpecialUnlocked != "" {
+				rep.Specials = append(rep.Specials, res.SpecialUnlocked)
+			}
+		} else {
+			rep.Denied++
+		}
+	}
+	return rep, nil
+}
+
+// MayorshipCampaign checks in at every target venue once a day for
+// `days` consecutive days (the E1 recipe generalized to a venue set),
+// pacing within each day by the planner rule. It returns the per-day
+// reports and the number of target venues held as mayor at the end.
+func (c *Cheater) MayorshipCampaign(cfg PlannerConfig, venues []lbsn.VenueView, days int) ([]Report, int, error) {
+	if cfg.BaseInterval <= 0 {
+		cfg = DefaultPlannerConfig()
+	}
+	reports := make([]Report, 0, days)
+	sch := Plan(cfg, venues)
+	// The day boundary must itself obey the travel envelope: the hop
+	// from the day's last venue back to tomorrow's first can be longer
+	// than the leftover day when targets span the country.
+	var loopWait time.Duration
+	if len(venues) > 1 {
+		loopWait = hopWait(cfg, venues[len(venues)-1].Location, venues[0].Location)
+	}
+	for day := 0; day < days; day++ {
+		rep, err := c.Execute(sch)
+		if err != nil {
+			return reports, 0, fmt.Errorf("campaign day %d: %w", day, err)
+		}
+		reports = append(reports, rep)
+		rest := 24*time.Hour - sch.TotalWait()
+		if rest < loopWait {
+			rest = loopWait
+		}
+		if rest < cfg.SameVenueCooldown {
+			rest = cfg.SameVenueCooldown // tomorrow revisits today's venues
+		}
+		c.sleeper.Sleep(rest)
+	}
+	held := 0
+	for _, v := range venues {
+		if c.svc.Mayor(v.ID) == c.user {
+			held++
+		}
+	}
+	return reports, held, nil
+}
+
+// Venue-profile analysis (§3.4) ------------------------------------------
+
+// Target is a venue selected by profile analysis, with the reason.
+type Target struct {
+	Venue  store.VenueRow
+	Reason string
+}
+
+// OrphanSpecials returns venues offering a special with no current
+// mayor — "it is relatively easy to become the mayor of these venues"
+// (the paper found ~1000).
+func OrphanSpecials(db *store.DB) []Target {
+	rows := db.Venues(func(v store.VenueRow) bool {
+		return v.Special != "" && v.MayorID == 0
+	})
+	out := make([]Target, len(rows))
+	for i, r := range rows {
+		out[i] = Target{Venue: r, Reason: "special with no mayor"}
+	}
+	return out
+}
+
+// OpenSpecials returns venues whose special does not require the
+// mayorship — "much easier to obtain; it's difficult to find such
+// information without crawling the venue profiles."
+func OpenSpecials(db *store.DB) []Target {
+	rows := db.Venues(func(v store.VenueRow) bool {
+		return v.Special != "" && !v.SpecialMayor
+	})
+	out := make([]Target, len(rows))
+	for i, r := range rows {
+		out[i] = Target{Venue: r, Reason: "special without mayorship requirement"}
+	}
+	return out
+}
+
+// WeaklyHeldSpecials returns venues with a mayor-only special whose
+// visitor base is thin (≤ maxVisitors unique visitors), i.e. the
+// mayorship is "less competitive".
+func WeaklyHeldSpecials(db *store.DB, maxVisitors int) []Target {
+	rows := db.Venues(func(v store.VenueRow) bool {
+		return v.Special != "" && v.MayorID != 0 && v.UniqueVisitors <= maxVisitors
+	})
+	out := make([]Target, len(rows))
+	for i, r := range rows {
+		out[i] = Target{Venue: r, Reason: fmt.Sprintf("special held with <= %d visitors", maxVisitors)}
+	}
+	return out
+}
+
+// VictimMayorships returns the venues a victim user is mayor of — the
+// §3.4 mayorship-denial attack's target list.
+func VictimMayorships(db *store.DB, victim uint64) []Target {
+	rows := db.Venues(func(v store.VenueRow) bool { return v.MayorID == victim })
+	out := make([]Target, len(rows))
+	for i, r := range rows {
+		out[i] = Target{Venue: r, Reason: fmt.Sprintf("victim %d holds the mayorship", victim)}
+	}
+	return out
+}
+
+// TargetsToVenueViews resolves crawled targets against the live
+// service for execution (crawled venue IDs equal service IDs — the
+// enumerable-ID weakness again).
+func TargetsToVenueViews(svc *lbsn.Service, targets []Target) []lbsn.VenueView {
+	out := make([]lbsn.VenueView, 0, len(targets))
+	for _, t := range targets {
+		if v, ok := svc.Venue(lbsn.VenueID(t.Venue.ID)); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// cityGrid builds a service with a dense venue grid around Albuquerque
+// (the §3.3 testbed): venues every ~300 m on a k×k grid.
+func cityGrid(t *testing.T, k int) (*lbsn.Service, *simclock.Simulated, geo.Point) {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	abq, _ := geo.FindCity("Albuquerque")
+	origin := abq.Center
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			loc := origin.Destination(0, float64(i)*300).Destination(90, float64(j)*300)
+			if _, err := svc.AddVenue("Grid Venue", "addr", "Albuquerque", loc, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return svc, clock, origin
+}
+
+func venueViews(t *testing.T, svc *lbsn.Service, ids ...lbsn.VenueID) []lbsn.VenueView {
+	t.Helper()
+	out := make([]lbsn.VenueView, 0, len(ids))
+	for _, id := range ids {
+		v, ok := svc.Venue(id)
+		if !ok {
+			t.Fatalf("venue %d missing", id)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestPlanIntervalRule(t *testing.T) {
+	svc, _, origin := cityGrid(t, 2)
+	_ = svc
+	cfg := DefaultPlannerConfig()
+
+	near := lbsn.VenueView{ID: 1, Location: origin}
+	half := lbsn.VenueView{ID: 2, Location: origin.Destination(90, 0.5*geo.MetersPerMile)}
+	threeMiles := lbsn.VenueView{ID: 3, Location: origin.Destination(90, 3.5*geo.MetersPerMile)}
+
+	sch := Plan(cfg, []lbsn.VenueView{near, half, threeMiles})
+	if len(sch) != 3 {
+		t.Fatalf("schedule len = %d", len(sch))
+	}
+	if sch[0].Wait != 0 {
+		t.Errorf("first stop wait = %v, want 0", sch[0].Wait)
+	}
+	// Under a mile: base 5 minutes.
+	if sch[1].Wait != 5*time.Minute {
+		t.Errorf("short hop wait = %v, want 5m", sch[1].Wait)
+	}
+	// 3 miles: 3 × 5 minutes (paper: T = D × 5 minutes).
+	want := time.Duration(3.0 * float64(5*time.Minute))
+	if sch[2].Wait < want-time.Second || sch[2].Wait > want+time.Minute {
+		t.Errorf("3-mile hop wait = %v, want ~%v", sch[2].Wait, want)
+	}
+}
+
+func TestPlanSameVenueCooldown(t *testing.T) {
+	origin := geo.Point{Lat: 35.08, Lon: -106.65}
+	a := lbsn.VenueView{ID: 1, Location: origin}
+	b := lbsn.VenueView{ID: 2, Location: origin.Destination(90, 400)}
+	sch := Plan(DefaultPlannerConfig(), []lbsn.VenueView{a, b, a})
+	// Revisiting venue 1 ten minutes after its first visit must wait
+	// out the 1-hour cooldown.
+	if total := sch[1].Wait + sch[2].Wait; total < time.Hour {
+		t.Errorf("revisit gap = %v, want >= 1h cooldown", total)
+	}
+}
+
+func TestPlanZeroConfigDefaults(t *testing.T) {
+	origin := geo.Point{Lat: 35.08, Lon: -106.65}
+	vs := []lbsn.VenueView{
+		{ID: 1, Location: origin},
+		{ID: 2, Location: origin.Destination(0, 500)},
+	}
+	sch := Plan(PlannerConfig{}, vs)
+	if sch[1].Wait != 5*time.Minute {
+		t.Errorf("defaulted config wait = %v, want 5m", sch[1].Wait)
+	}
+}
+
+func TestScheduleExecutePassesCheaterCode(t *testing.T) {
+	// E5 in miniature: a planned tour through a dense grid must be
+	// accepted end to end.
+	svc, clock, origin := cityGrid(t, 8)
+	user := svc.RegisterUser("Mallory", "", "Lincoln")
+	moves := RightTurnTour(12, 450)
+	venues, targets, err := PlanTour(svc, origin, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != len(moves)+1 {
+		t.Fatalf("targets = %d, want %d", len(targets), len(moves)+1)
+	}
+	sch := Plan(DefaultPlannerConfig(), venues)
+	cheater := NewCheater(svc, user, clock)
+	rep, err := cheater.Execute(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Denied != 0 {
+		for _, s := range rep.Stops {
+			if !s.Result.Accepted {
+				t.Logf("denied at venue %d: %s %s", s.Stop.Venue, s.Result.Reason, s.Result.Detail)
+			}
+		}
+		t.Fatalf("tour denied %d of %d stops; paper's tour had zero detections", rep.Denied, len(sch))
+	}
+	if rep.Points == 0 {
+		t.Error("accepted tour earned no points")
+	}
+}
+
+func TestTwentyFiveStopTourLikeFig35(t *testing.T) {
+	// The paper "continued checking into 25 venues without being
+	// detected as a cheater".
+	svc, clock, origin := cityGrid(t, 12)
+	user := svc.RegisterUser("Mallory", "", "Lincoln")
+	venues, _, err := PlanTour(svc, origin, RightTurnTour(24, 450))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(venues) != 25 {
+		t.Fatalf("tour has %d stops, want 25", len(venues))
+	}
+	rep, err := NewCheater(svc, user, clock).Execute(Plan(DefaultPlannerConfig(), venues))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 25 || rep.Denied != 0 {
+		t.Errorf("tour result = %d accepted / %d denied, want 25/0", rep.Accepted, rep.Denied)
+	}
+}
+
+func TestRapidScheduleGetsDenied(t *testing.T) {
+	// Sanity: ignoring the planner (zero waits) trips the cheater code.
+	svc, clock, origin := cityGrid(t, 4)
+	user := svc.RegisterUser("Rusher", "", "Lincoln")
+	venues, _, err := PlanTour(svc, origin, RightTurnTour(6, 450))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := make(Schedule, len(venues))
+	for i, v := range venues {
+		sch[i] = Stop{Venue: v.ID, Location: v.Location} // no waits
+	}
+	rep, err := NewCheater(svc, user, clock).Execute(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Denied == 0 {
+		t.Error("zero-wait schedule should trip the cheater code")
+	}
+}
+
+func TestPlanTourEmptyWorld(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	_, _, err := PlanTour(svc, geo.Point{Lat: 35, Lon: -106}, RightTurnTour(3, 450))
+	if err == nil {
+		t.Error("empty world tour should fail")
+	}
+}
+
+func TestRightTurnTourBearings(t *testing.T) {
+	moves := RightTurnTour(6, 450)
+	wantBearings := []float64{0, 90, 180, 270, 0, 90}
+	for i, m := range moves {
+		if m.BearingDeg != wantBearings[i] {
+			t.Errorf("move %d bearing = %v, want %v", i, m.BearingDeg, wantBearings[i])
+		}
+		if m.DistanceMeters != 450 {
+			t.Errorf("move %d distance = %v", i, m.DistanceMeters)
+		}
+	}
+}
+
+func TestMayorshipCampaign(t *testing.T) {
+	svc, clock, origin := cityGrid(t, 3)
+	// An incumbent holds venue 1 with 2 days.
+	incumbent := svc.RegisterUser("Incumbent", "", "Albuquerque")
+	for d := 0; d < 2; d++ {
+		res, err := svc.CheckIn(lbsn.CheckinRequest{UserID: incumbent, VenueID: 1, Reported: origin})
+		if err != nil || !res.Accepted {
+			t.Fatalf("incumbent: %+v %v", res, err)
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	attacker := svc.RegisterUser("Mallory", "", "Lincoln")
+	targets := venueViews(t, svc, 1, 2, 5)
+	reports, held, err := NewCheater(svc, attacker, clock).
+		MayorshipCampaign(DefaultPlannerConfig(), targets, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d, want 4", len(reports))
+	}
+	for d, rep := range reports {
+		if rep.Denied != 0 {
+			t.Errorf("day %d: %d denials", d, rep.Denied)
+		}
+	}
+	if held != 3 {
+		t.Errorf("held %d of 3 mayorships after 4-day campaign", held)
+	}
+	if svc.Mayor(1) != attacker {
+		t.Error("incumbent survived a 4-day vs 2-day contest")
+	}
+}
+
+func TestTargetSelection(t *testing.T) {
+	db := store.New()
+	db.UpsertVenue(store.VenueRow{ID: 1, Name: "Orphan", Special: "free", SpecialMayor: true})
+	db.UpsertVenue(store.VenueRow{ID: 2, Name: "Open", Special: "10% off", SpecialMayor: false, MayorID: 9})
+	db.UpsertVenue(store.VenueRow{ID: 3, Name: "Weak", Special: "deal", SpecialMayor: true, MayorID: 7, UniqueVisitors: 2})
+	db.UpsertVenue(store.VenueRow{ID: 4, Name: "Strong", Special: "deal", SpecialMayor: true, MayorID: 7, UniqueVisitors: 500})
+	db.UpsertVenue(store.VenueRow{ID: 5, Name: "Plain"})
+
+	if got := OrphanSpecials(db); len(got) != 1 || got[0].Venue.ID != 1 {
+		t.Errorf("OrphanSpecials = %+v", got)
+	}
+	if got := OpenSpecials(db); len(got) != 1 || got[0].Venue.ID != 2 {
+		t.Errorf("OpenSpecials = %+v", got)
+	}
+	if got := WeaklyHeldSpecials(db, 10); len(got) != 2 { // IDs 1 (0 visitors? no mayor) ...
+		// Venue 1 has no mayor so it is excluded; venue 3 qualifies.
+		t.Logf("WeaklyHeldSpecials = %+v", got)
+	}
+	weak := WeaklyHeldSpecials(db, 10)
+	for _, w := range weak {
+		if w.Venue.ID == 4 {
+			t.Error("strongly held venue selected as weak")
+		}
+	}
+	if got := VictimMayorships(db, 7); len(got) != 2 {
+		t.Errorf("VictimMayorships(7) = %d targets, want 2", len(got))
+	}
+}
+
+func TestTargetsToVenueViews(t *testing.T) {
+	svc, _, origin := cityGrid(t, 2)
+	_ = origin
+	targets := []Target{
+		{Venue: store.VenueRow{ID: 1}},
+		{Venue: store.VenueRow{ID: 999}}, // not on the service
+	}
+	views := TargetsToVenueViews(svc, targets)
+	if len(views) != 1 || views[0].ID != 1 {
+		t.Errorf("views = %+v", views)
+	}
+}
+
+func TestScheduleTotalWait(t *testing.T) {
+	sch := Schedule{
+		{Wait: time.Minute},
+		{Wait: 2 * time.Minute},
+	}
+	if sch.TotalWait() != 3*time.Minute {
+		t.Errorf("TotalWait = %v", sch.TotalWait())
+	}
+}

@@ -1,0 +1,252 @@
+package cheatercode
+
+import (
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/simclock"
+)
+
+func obsAt(user, venue uint64, t time.Time, p geo.Point) Observation {
+	return Observation{UserID: user, VenueID: venue, At: t, Location: p}
+}
+
+func TestFrequentCheckinRule(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	p := geo.Point{Lat: 35.08, Lon: -106.65}
+
+	if v := d.Check(obsAt(1, 100, t0, p)); v != nil {
+		t.Fatalf("first check-in flagged: %v", v)
+	}
+	// Same venue 30 minutes later: denied.
+	v := d.Check(obsAt(1, 100, t0.Add(30*time.Minute), p))
+	if v == nil || v.Rule != RuleFrequentCheckin {
+		t.Fatalf("30-min revisit = %v, want frequent-checkin violation", v)
+	}
+	// Same venue exactly one hour later: allowed (paper: "cannot check
+	// in to the same venue again within one hour").
+	if v := d.Check(obsAt(1, 100, t0.Add(time.Hour), p)); v != nil {
+		t.Fatalf("1-hour revisit flagged: %v", v)
+	}
+}
+
+func TestFrequentCheckinDifferentVenueAllowed(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	p := geo.Point{Lat: 35.08, Lon: -106.65}
+	if v := d.Check(obsAt(1, 100, t0, p)); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	// A different venue nearby after 10 minutes is fine (not rapid-fire
+	// either: only the 2nd check-in).
+	q := p.Destination(90, 400)
+	if v := d.Check(obsAt(1, 101, t0.Add(10*time.Minute), q)); v != nil {
+		t.Fatalf("different-venue check-in flagged: %v", v)
+	}
+}
+
+func TestFrequentCheckinPerUser(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	p := geo.Point{Lat: 35.08, Lon: -106.65}
+	if v := d.Check(obsAt(1, 100, t0, p)); v != nil {
+		t.Fatalf("user 1: %v", v)
+	}
+	// A different user at the same venue immediately after is fine.
+	if v := d.Check(obsAt(2, 100, t0.Add(time.Minute), p)); v != nil {
+		t.Fatalf("user 2 blocked by user 1's history: %v", v)
+	}
+}
+
+func TestSuperhumanSpeed(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	abq, _ := geo.FindCity("Albuquerque")
+	sf, _ := geo.FindCity("San Francisco")
+
+	if v := d.Check(obsAt(1, 100, t0, abq.Center)); v != nil {
+		t.Fatalf("first check-in flagged: %v", v)
+	}
+	// Albuquerque -> San Francisco (~1440 km) in 10 minutes: flagged.
+	v := d.Check(obsAt(1, 200, t0.Add(10*time.Minute), sf.Center))
+	if v == nil || v.Rule != RuleSuperhumanSpeed {
+		t.Fatalf("teleport = %v, want superhuman-speed violation", v)
+	}
+	// The denied check-in must not poison history: a sane follow-up
+	// near Albuquerque is still accepted.
+	near := abq.Center.Destination(0, 2000)
+	if v := d.Check(obsAt(1, 300, t0.Add(time.Hour), near)); v != nil {
+		t.Fatalf("post-denial local check-in flagged: %v", v)
+	}
+}
+
+func TestSuperhumanSpeedPaperOperatingPoint(t *testing.T) {
+	// §3.3: "we can check into venues less than 1 mile apart with a
+	// 5-minute interval without being detected as a cheater."
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	p := geo.Point{Lat: 35.06, Lon: -106.62}
+	if v := d.Check(obsAt(1, 1, t0, p)); v != nil {
+		t.Fatalf("seed check-in: %v", v)
+	}
+	q := p.Destination(45, 0.9*geo.MetersPerMile)
+	if v := d.Check(obsAt(1, 2, t0.Add(5*time.Minute), q)); v != nil {
+		t.Fatalf("0.9 mile / 5 min flagged: %v (paper says this passes)", v)
+	}
+}
+
+func TestSuperhumanSpeedInstantTeleport(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	p := geo.Point{Lat: 35.06, Lon: -106.62}
+	if v := d.Check(obsAt(1, 1, t0, p)); v != nil {
+		t.Fatalf("seed: %v", v)
+	}
+	// Zero elapsed time, nonzero distance: infinite speed, flagged.
+	v := d.Check(obsAt(1, 2, t0, p.Destination(0, 5000)))
+	if v == nil || v.Rule != RuleSuperhumanSpeed {
+		t.Fatalf("instant teleport = %v, want superhuman-speed", v)
+	}
+}
+
+func TestRapidFireFourthCheckinFlagged(t *testing.T) {
+	// §2.3: "If a user checks into multiple venues that are located
+	// within a 180 meters by 180 meters square area with a 1 minute
+	// interval, Foursquare issues a warning about rapid-fire check-ins
+	// on the fourth check-in."
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	base := geo.Point{Lat: 35.08, Lon: -106.62}
+	pts := []geo.Point{
+		base,
+		base.Destination(90, 40),
+		base.Destination(180, 40),
+		base.Destination(270, 40),
+	}
+	for i := 0; i < 3; i++ {
+		v := d.Check(obsAt(1, uint64(10+i), t0.Add(time.Duration(i)*time.Minute), pts[i]))
+		if v != nil {
+			t.Fatalf("check-in %d flagged early: %v", i+1, v)
+		}
+	}
+	v := d.Check(obsAt(1, 13, t0.Add(3*time.Minute), pts[3]))
+	if v == nil || v.Rule != RuleRapidFire {
+		t.Fatalf("4th rapid check-in = %v, want rapid-fire violation", v)
+	}
+}
+
+func TestRapidFireSlowSequenceAllowed(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	base := geo.Point{Lat: 35.08, Lon: -106.62}
+	// Same four venues but 5 minutes apart: the paper's automated tour
+	// cadence; must pass.
+	for i := 0; i < 4; i++ {
+		p := base.Destination(float64(i)*90, 40)
+		v := d.Check(obsAt(1, uint64(20+i), t0.Add(time.Duration(i*5)*time.Minute), p))
+		if v != nil {
+			t.Fatalf("slow check-in %d flagged: %v", i+1, v)
+		}
+	}
+}
+
+func TestRapidFireSpreadOutAllowed(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	base := geo.Point{Lat: 35.08, Lon: -106.62}
+	// 1-minute cadence but venues ~400 m apart: outside the 180 m
+	// square, but watch out for the speed rule: 400 m/min = 6.7 m/s is
+	// under the 15 m/s limit.
+	for i := 0; i < 4; i++ {
+		p := base.Destination(90, float64(i)*400)
+		v := d.Check(obsAt(1, uint64(30+i), t0.Add(time.Duration(i)*time.Minute), p))
+		if v != nil {
+			t.Fatalf("spread-out check-in %d flagged: %v", i+1, v)
+		}
+	}
+}
+
+func TestRapidFireCountDisabled(t *testing.T) {
+	r := RapidFireRule{SquareMeters: 180, Interval: time.Minute, Count: 1}
+	if v := r.Check(nil, obsAt(1, 1, simclock.Epoch(), geo.Point{})); v != nil {
+		t.Errorf("Count<=1 must disable the rule, got %v", v)
+	}
+}
+
+func TestDetectorStats(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	p := geo.Point{Lat: 35.08, Lon: -106.65}
+	_ = d.Check(obsAt(1, 1, t0, p))
+	_ = d.Check(obsAt(1, 1, t0.Add(time.Minute), p)) // frequent
+	checked, flagged := d.Stats()
+	if checked != 2 {
+		t.Errorf("checked = %d, want 2", checked)
+	}
+	if flagged[RuleFrequentCheckin] != 1 {
+		t.Errorf("frequent-checkin count = %d, want 1", flagged[RuleFrequentCheckin])
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	p := geo.Point{Lat: 35.08, Lon: -106.65}
+	_ = d.Check(obsAt(1, 1, t0, p))
+	d.Reset()
+	// After reset, the same venue immediately again is a "first"
+	// check-in and passes.
+	if v := d.Check(obsAt(1, 1, t0.Add(time.Second), p)); v != nil {
+		t.Errorf("post-reset check-in flagged: %v", v)
+	}
+}
+
+func TestHistoryLimitBounded(t *testing.T) {
+	d := NewDetectorWithRules(8, FrequentCheckinRule{Cooldown: time.Hour})
+	t0 := simclock.Epoch()
+	p := geo.Point{Lat: 35.08, Lon: -106.65}
+	for i := 0; i < 100; i++ {
+		v := d.Check(obsAt(1, uint64(i), t0.Add(time.Duration(i)*2*time.Hour), p))
+		if v != nil {
+			t.Fatalf("check-in %d flagged: %v", i, v)
+		}
+	}
+	d.mu.Lock()
+	n := len(d.history[1])
+	d.mu.Unlock()
+	if n > 8 {
+		t.Errorf("history grew to %d entries, limit 8", n)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Rule: RuleRapidFire, Detail: "x"}
+	if v.Error() == "" {
+		t.Error("Violation.Error must be non-empty")
+	}
+}
+
+func TestConcurrentUsers(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	done := make(chan struct{})
+	for u := uint64(1); u <= 8; u++ {
+		go func(user uint64) {
+			defer func() { done <- struct{}{} }()
+			base := geo.Point{Lat: 35 + float64(user)*0.1, Lon: -106}
+			for i := 0; i < 50; i++ {
+				p := base.Destination(0, float64(i)*800)
+				_ = d.Check(obsAt(user, uint64(i), t0.Add(time.Duration(i)*10*time.Minute), p))
+			}
+		}(u)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	checked, _ := d.Stats()
+	if checked != 8*50 {
+		t.Errorf("checked = %d, want %d", checked, 8*50)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
+	"locheat/internal/synth"
+)
+
+// SnapshotService dumps the live service's current public state into a
+// fresh store — equivalent to an instantaneous, loss-free crawl of
+// every profile page. Differential-crawl experiments take one snapshot
+// per virtual day.
+func (l *Lab) SnapshotService() *store.DB {
+	db := store.New()
+	for id := lbsn.UserID(1); id <= l.Service.MaxUserID(); id++ {
+		u, ok := l.Service.User(id)
+		if !ok {
+			continue
+		}
+		db.UpsertUser(store.UserRow{
+			ID:            uint64(u.ID),
+			UserName:      u.Username,
+			Name:          u.Name,
+			HomeCity:      u.HomeCity,
+			TotalCheckins: u.TotalCheckins,
+			TotalBadges:   u.TotalBadges,
+			Points:        u.Points,
+			Friends:       u.FriendCount,
+		})
+	}
+	for id := lbsn.VenueID(1); id <= l.Service.MaxVenueID(); id++ {
+		v, ok := l.Service.Venue(id)
+		if !ok {
+			continue
+		}
+		row := store.VenueRow{
+			ID:             uint64(v.ID),
+			Name:           v.Name,
+			Address:        v.Address,
+			City:           v.City,
+			MayorID:        uint64(v.MayorID),
+			CheckinsHere:   v.CheckinsHere,
+			UniqueVisitors: v.UniqueVisitors,
+			Latitude:       v.Location.Lat,
+			Longitude:      v.Location.Lon,
+		}
+		if v.Special != nil {
+			row.Special = v.Special.Description
+			row.SpecialMayor = v.Special.MayorOnly
+		}
+		db.UpsertVenue(row)
+		for _, uid := range v.RecentVisitors {
+			db.AddRecentCheckin(uint64(uid), uint64(v.ID))
+		}
+	}
+	db.DeriveStats()
+	return db
+}
+
+// E14Result is the differential-crawl experiment (§3.2's repeated
+// crawling, run as its own experiment).
+type E14Result struct {
+	Days            int
+	TrafficAccepted int
+	TrafficDenied   int
+
+	NewRelations  int
+	MayorChanges  int
+	CheckinDeltas int // users whose public totals moved
+	// HyperactiveUsers are users whose observed per-day recent-list
+	// appearance rate is humanly implausible — the differential
+	// detection signal.
+	HyperactiveUsers []uint64
+	// CheaterHitRate is the fraction of hyperactive users who are
+	// ground-truth cheaters.
+	CheaterHitRate float64
+}
+
+// RunE14 takes a crawl snapshot, drives `days` of live user activity
+// (normals, paced cheaters, reckless caught cheaters), re-crawls, and
+// analyzes the diff: per-user check-in frequency and mayorship churn.
+func (l *Lab) RunE14(days, sampleActives, hyperactivePerDay int) (E14Result, error) {
+	var res E14Result
+	if days <= 0 {
+		days = 3
+	}
+	if sampleActives <= 0 {
+		sampleActives = 150
+	}
+	if hyperactivePerDay <= 0 {
+		hyperactivePerDay = 4
+	}
+	res.Days = days
+
+	before := l.SnapshotService()
+	driver, err := synth.NewActivityDriver(l.World, l.Service, l.Clock, 99, sampleActives)
+	if err != nil {
+		return res, fmt.Errorf("e14: %w", err)
+	}
+	for d := 0; d < days; d++ {
+		stats, err := driver.Day()
+		if err != nil {
+			return res, fmt.Errorf("e14 day %d: %w", d, err)
+		}
+		res.TrafficAccepted += stats.Accepted
+		res.TrafficDenied += stats.Denied
+	}
+	after := l.SnapshotService()
+
+	diff := store.ComputeDiff(before, after)
+	res.NewRelations = len(diff.NewRelations)
+	res.MayorChanges = len(diff.MayorChanges)
+	res.CheckinDeltas = len(diff.CheckinDeltas)
+
+	appearances := diff.NewAppearancesByUser()
+	threshold := hyperactivePerDay * days
+	cheaters := 0
+	for uid, n := range appearances {
+		if n >= threshold {
+			res.HyperactiveUsers = append(res.HyperactiveUsers, uid)
+			if c, ok := l.World.TrueClass(lbsn.UserID(uid)); ok && c.Cheating() {
+				cheaters++
+			}
+		}
+	}
+	if len(res.HyperactiveUsers) > 0 {
+		res.CheaterHitRate = float64(cheaters) / float64(len(res.HyperactiveUsers))
+	}
+	return res, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+func TestSnapshotServiceMatchesWorld(t *testing.T) {
+	lab, err := NewLab(LabConfig{Scale: 0.02, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := lab.SnapshotService()
+	users, venues, relations := db.Counts()
+	if users != lab.Service.UserCount() || venues != lab.Service.VenueCount() {
+		t.Fatalf("snapshot = %d/%d, service = %d/%d",
+			users, venues, lab.Service.UserCount(), lab.Service.VenueCount())
+	}
+	if relations == 0 {
+		t.Error("snapshot has no recent relations")
+	}
+	// Spot-check a row.
+	u, ok := db.User(1)
+	if !ok {
+		t.Fatal("user 1 missing from snapshot")
+	}
+	view, _ := lab.Service.User(1)
+	if u.TotalCheckins != view.TotalCheckins || u.Name != view.Name {
+		t.Errorf("snapshot row %+v vs service %+v", u, view)
+	}
+}
+
+func TestRunE14DifferentialCrawl(t *testing.T) {
+	lab, err := NewLab(LabConfig{Scale: 0.05, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lab.RunE14(2, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrafficAccepted == 0 {
+		t.Fatal("no accepted traffic generated")
+	}
+	if res.NewRelations == 0 {
+		t.Error("diff saw no new recent-list appearances")
+	}
+	if res.CheckinDeltas == 0 {
+		t.Error("diff saw no total-check-in movement")
+	}
+	if len(res.HyperactiveUsers) == 0 {
+		t.Fatal("no hyperactive users detected; cheater traffic missing")
+	}
+	if res.CheaterHitRate < 0.7 {
+		t.Errorf("hyperactive hit rate = %.2f, want >= 0.7 (mostly cheaters)", res.CheaterHitRate)
+	}
+}
+
+func TestRunE14Defaults(t *testing.T) {
+	lab, err := NewLab(LabConfig{Scale: 0.02, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lab.RunE14(0, 0, 0) // all defaulted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Days != 3 {
+		t.Errorf("defaulted days = %d, want 3", res.Days)
+	}
+}

@@ -1,0 +1,835 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"locheat/internal/analysis"
+	"locheat/internal/attack"
+	"locheat/internal/cheatercode"
+	"locheat/internal/crawler"
+	"locheat/internal/defense"
+	"locheat/internal/device"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/plot"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/synth"
+	"locheat/internal/web"
+)
+
+// E1 — GPS spoofing defeats verification (Figs 3.1/3.2) -----------------
+
+// E1VectorOutcome is one spoofing vector's result.
+type E1VectorOutcome struct {
+	Method   string
+	Accepted bool
+	Points   int
+}
+
+// E1Result reports the spoofing experiment.
+type E1Result struct {
+	Vectors []E1VectorOutcome
+	// AdventurerAfterVenues is how many distinct spoofed venues it took
+	// to earn the Adventurer badge (paper: 10).
+	AdventurerAfterVenues int
+	// MayorAfterDays is how many daily check-ins the attacker needed to
+	// take the tourist-spot mayorship from a 3-day incumbent (paper: 4
+	// consecutive days, confirmed mayor by day 9).
+	MayorAfterDays int
+}
+
+// RunE1 executes the §3.1 experiment: an attacker "in Lincoln, NE"
+// checks into San Francisco venues through all four vectors, collects
+// the Adventurer badge, and takes a mayorship.
+func (l *Lab) RunE1() (E1Result, error) {
+	var res E1Result
+	sf, _ := geo.FindCity("San Francisco")
+
+	// Distinct SF venues for the spoofed check-ins.
+	sfVenues := make([]lbsn.VenueView, 0, 16)
+	for _, v := range l.World.Venues {
+		if v.Seed.City == "San Francisco" {
+			if view, ok := l.Service.Venue(lbsn.VenueID(v.Index + 1)); ok {
+				sfVenues = append(sfVenues, view)
+			}
+			if len(sfVenues) >= 16 {
+				break
+			}
+		}
+	}
+	if len(sfVenues) < 12 {
+		return res, fmt.Errorf("e1: only %d San Francisco venues in world", len(sfVenues))
+	}
+
+	attacker := l.Service.RegisterUser("Mallory", "mallory", "Lincoln")
+
+	// All four vectors, one distant venue each, paced 2 h apart.
+	for i, method := range device.AllSpoofMethods() {
+		v := sfVenues[i]
+		out, err := device.SpoofedCheckin(method, l.Service, attacker, v.ID, v.Location)
+		if err != nil {
+			return res, fmt.Errorf("e1 vector %s: %w", method, err)
+		}
+		res.Vectors = append(res.Vectors, E1VectorOutcome{
+			Method:   method.String(),
+			Accepted: out.Accepted,
+			Points:   out.PointsEarned,
+		})
+		l.Clock.Advance(2 * time.Hour)
+	}
+
+	// Keep checking into new venues until Adventurer appears.
+	distinct := 4 // the four vector check-ins above
+	for _, v := range sfVenues[4:] {
+		out, err := device.SpoofedCheckin(device.SpoofEmulator, l.Service, attacker, v.ID, v.Location)
+		if err != nil {
+			return res, fmt.Errorf("e1 adventurer: %w", err)
+		}
+		distinct++
+		l.Clock.Advance(2 * time.Hour)
+		if containsString(out.NewBadges, "Adventurer") {
+			res.AdventurerAfterVenues = distinct
+			break
+		}
+	}
+
+	// Mayorship of a fresh tourist venue against a 3-day incumbent.
+	wharf, err := l.Service.AddVenue("Fisherman's Wharf Sign", "Pier 39", "San Francisco",
+		sf.Center.Destination(0, 1200), nil)
+	if err != nil {
+		return res, fmt.Errorf("e1 wharf: %w", err)
+	}
+	wharfView, _ := l.Service.Venue(wharf)
+	incumbent := l.Service.RegisterUser("Tourist", "", "San Francisco")
+	for d := 0; d < 3; d++ {
+		if _, err := l.Service.CheckIn(lbsn.CheckinRequest{
+			UserID: incumbent, VenueID: wharf, Reported: wharfView.Location,
+		}); err != nil {
+			return res, fmt.Errorf("e1 incumbent day %d: %w", d, err)
+		}
+		l.Clock.Advance(24 * time.Hour)
+	}
+	for day := 1; day <= 10; day++ {
+		out, err := device.SpoofedCheckin(device.SpoofEmulator, l.Service, attacker, wharf, wharfView.Location)
+		if err != nil {
+			return res, fmt.Errorf("e1 mayor day %d: %w", day, err)
+		}
+		l.Clock.Advance(24 * time.Hour)
+		if out.BecameMayor {
+			res.MayorAfterDays = day
+			break
+		}
+	}
+	return res, nil
+}
+
+// E2 — cheater-code rule boundary map (§2.3) ----------------------------
+
+// E2Probe is one boundary probe.
+type E2Probe struct {
+	Rule       string
+	Scenario   string
+	Denied     bool
+	WantDenied bool
+}
+
+// Pass reports whether the probe matched the paper's observation.
+func (p E2Probe) Pass() bool { return p.Denied == p.WantDenied }
+
+// RunE2 probes each reverse-engineered rule just inside and just
+// outside its threshold.
+func (l *Lab) RunE2() ([]E2Probe, error) {
+	base := geo.Point{Lat: 35.08, Lon: -106.62}
+	// A private probe service keeps rule state clean.
+	svc := lbsn.New(lbsn.DefaultConfig(), l.Clock, nil)
+	mkVenue := func(p geo.Point) lbsn.VenueID {
+		id, err := svc.AddVenue("Probe", "", "Albuquerque", p, nil)
+		if err != nil {
+			panic(err) // static coordinates; cannot fail
+		}
+		return id
+	}
+	checkin := func(u lbsn.UserID, v lbsn.VenueID, p geo.Point) (bool, error) {
+		res, err := svc.CheckIn(lbsn.CheckinRequest{UserID: u, VenueID: v, Reported: p})
+		if err != nil {
+			return false, err
+		}
+		return !res.Accepted, nil
+	}
+	var probes []E2Probe
+	add := func(rule, scenario string, denied bool, want bool) {
+		probes = append(probes, E2Probe{Rule: rule, Scenario: scenario, Denied: denied, WantDenied: want})
+	}
+
+	// Frequent check-in: 30 min denied, 60 min allowed.
+	u := svc.RegisterUser("probe-frequent", "", "")
+	v := mkVenue(base)
+	if _, err := checkin(u, v, base); err != nil {
+		return nil, err
+	}
+	l.Clock.Advance(30 * time.Minute)
+	d, err := checkin(u, v, base)
+	if err != nil {
+		return nil, err
+	}
+	add("frequent-checkin", "same venue after 30 min", d, true)
+	l.Clock.Advance(30 * time.Minute)
+	d, err = checkin(u, v, base)
+	if err != nil {
+		return nil, err
+	}
+	add("frequent-checkin", "same venue after 60 min", d, false)
+
+	// Super-human speed: 0.9 mi / 5 min allowed, 100 mi / 5 min denied.
+	u2 := svc.RegisterUser("probe-speed", "", "")
+	vA := mkVenue(base.Destination(0, 3000))
+	vB := mkVenue(base.Destination(0, 3000).Destination(90, 0.9*geo.MetersPerMile))
+	vC := mkVenue(base.Destination(0, 3000).Destination(90, 100*geo.MetersPerMile))
+	pA, _ := svc.Venue(vA)
+	pB, _ := svc.Venue(vB)
+	pC, _ := svc.Venue(vC)
+	if _, err := checkin(u2, vA, pA.Location); err != nil {
+		return nil, err
+	}
+	l.Clock.Advance(5 * time.Minute)
+	d, err = checkin(u2, vB, pB.Location)
+	if err != nil {
+		return nil, err
+	}
+	add("superhuman-speed", "0.9 miles in 5 minutes", d, false)
+	l.Clock.Advance(5 * time.Minute)
+	d, err = checkin(u2, vC, pC.Location)
+	if err != nil {
+		return nil, err
+	}
+	add("superhuman-speed", "100 miles in 5 minutes", d, true)
+
+	// Rapid fire: 4th check-in in a 180 m square at 1-min cadence
+	// denied; same venues at 5-min cadence allowed.
+	runRapid := func(gap time.Duration) (bool, error) {
+		user := svc.RegisterUser("probe-rapid", "", "")
+		anchor := base.Destination(90, 40000) // clear of other probes
+		denied := false
+		for i := 0; i < 4; i++ {
+			p := anchor.Destination(float64(i*90), 40)
+			vid := mkVenue(p)
+			dd, err := checkin(user, vid, p)
+			if err != nil {
+				return false, err
+			}
+			if i == 3 {
+				denied = dd
+			}
+			l.Clock.Advance(gap)
+		}
+		return denied, nil
+	}
+	d, err = runRapid(time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	add("rapid-fire", "4th check-in, 180 m square, 1-min cadence", d, true)
+	d, err = runRapid(5 * time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	add("rapid-fire", "4th check-in, 180 m square, 5-min cadence", d, false)
+
+	return probes, nil
+}
+
+// E3 — crawler throughput (Fig 3.3, §3.2) --------------------------------
+
+// E3Point is one worker-count measurement.
+type E3Point struct {
+	Workers      int
+	Pages        int
+	Elapsed      time.Duration
+	PagesPerHour float64
+}
+
+// E3Result is the thread sweep plus a venue-mode measurement.
+type E3Result struct {
+	UserSweep    []E3Point
+	VenuePoint   E3Point
+	UsersStored  int
+	VenuesStored int
+	Relations    int
+}
+
+// RunE3 crawls the lab's website over HTTP with each worker count,
+// measuring sustained page rates (the paper: ~100k user pages/hour at
+// 14–16 threads/machine; ~50k venue pages/hour at 5–6). The site is
+// served with a simulated 10 ms WAN round-trip so parallelism pays the
+// way it did against the 2010 internet; without it, loopback latency
+// is zero and extra workers only add contention.
+func (l *Lab) RunE3(workerCounts []int, userPages, venuePages int) (E3Result, error) {
+	var res E3Result
+	site := web.NewServer(l.Service, l.Clock, web.WithLatency(10*time.Millisecond))
+	wanLab := &Lab{Clock: l.Clock, World: l.World, Service: l.Service, Web: site}
+	baseURL, shutdown, err := wanLab.ServeLocal()
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = shutdown() }()
+
+	if userPages <= 0 || userPages > l.Service.UserCount() {
+		userPages = l.Service.UserCount()
+	}
+	if venuePages <= 0 || venuePages > l.Service.VenueCount() {
+		venuePages = l.Service.VenueCount()
+	}
+
+	var keep *store.DB
+	for _, w := range workerCounts {
+		db := store.New()
+		c := crawler.New(crawler.Config{BaseURL: baseURL, Workers: w}, db)
+		stats, err := c.Crawl(context.Background(), crawler.ModeUsers, 1, uint64(userPages))
+		if err != nil {
+			return res, fmt.Errorf("e3 users (%d workers): %w", w, err)
+		}
+		res.UserSweep = append(res.UserSweep, E3Point{
+			Workers:      w,
+			Pages:        stats.Fetched,
+			Elapsed:      stats.Elapsed,
+			PagesPerHour: stats.PagesPerHour(),
+		})
+		keep = db
+	}
+	// Venue crawl at the paper's 5-thread setting.
+	if keep == nil {
+		keep = store.New()
+	}
+	vc := crawler.New(crawler.Config{BaseURL: baseURL, Workers: 5}, keep)
+	vstats, err := vc.Crawl(context.Background(), crawler.ModeVenues, 1, uint64(venuePages))
+	if err != nil {
+		return res, fmt.Errorf("e3 venues: %w", err)
+	}
+	res.VenuePoint = E3Point{
+		Workers:      5,
+		Pages:        vstats.Fetched,
+		Elapsed:      vstats.Elapsed,
+		PagesPerHour: vstats.PagesPerHour(),
+	}
+	keep.DeriveStats()
+	res.UsersStored, res.VenuesStored, res.Relations = keep.Counts()
+	// A live crawl that covered the whole world replaces the lab store
+	// so downstream experiments run off real crawled data; a partial
+	// measurement crawl must not starve them.
+	if userPages == l.Service.UserCount() && venuePages == l.Service.VenueCount() {
+		l.DB = keep
+	}
+	return res, nil
+}
+
+// E4 — Starbucks map (Fig 3.4) -------------------------------------------
+
+// E4Result is the chain-map experiment.
+type E4Result struct {
+	Query  string
+	Count  int
+	Cities int
+	Bounds geo.Rect
+	Plot   string
+}
+
+// RunE4 issues the Fig 3.4 query over the crawl store and renders the
+// scatter; the shape should trace the US territory.
+func (l *Lab) RunE4() E4Result {
+	l.ensureCrawl()
+	rows := l.DB.VenuesByNameLike("Starbucks")
+	pts := make([]geo.Point, len(rows))
+	xys := make([]plot.XY, len(rows))
+	for i, r := range rows {
+		pts[i] = r.Location()
+		xys[i] = plot.XY{X: r.Longitude, Y: r.Latitude}
+	}
+	bounds, _ := geo.BoundingRect(pts)
+	return E4Result{
+		Query:  `SELECT Longitude, Latitude FROM VenueInfo WHERE Name LIKE "%Starbucks%"`,
+		Count:  len(rows),
+		Cities: analysis.CityCount(pts, 0),
+		Bounds: bounds,
+		Plot:   plot.GeoScatter(xys, "Fig 3.4 — Starbucks branches crawled from the website"),
+	}
+}
+
+// E5 — automated virtual tour (Fig 3.5, §3.3) -----------------------------
+
+// E5Result is the tour experiment.
+type E5Result struct {
+	City     string
+	Stops    int
+	Accepted int
+	Denied   int
+	Points   int
+	Badges   []string
+	Plot     string
+}
+
+// RunE5 plans a right-turning 25-stop tour through the densest city's
+// venue grid and executes it with spoofed GPS at the paper's pacing.
+// The paper checked into 25 venues with zero detections.
+func (l *Lab) RunE5() (E5Result, error) {
+	var res E5Result
+	city, views := l.DensestCityVenues()
+	if len(views) < 30 {
+		return res, fmt.Errorf("e5: densest city %q has only %d venues", city, len(views))
+	}
+	res.City = city
+	// Start at the southwest-most venue, as in Fig 3.5.
+	start := views[0].Location
+	for _, v := range views[1:] {
+		if v.Location.Lat+v.Location.Lon < start.Lat+start.Lon {
+			start = v.Location
+		}
+	}
+	venues, targets, err := attack.PlanTour(l.Service, start, attack.RightTurnTour(24, 450))
+	if err != nil {
+		return res, fmt.Errorf("e5 plan: %w", err)
+	}
+	user := l.Service.RegisterUser("Tour Cheater", "", "Lincoln")
+	rep, err := attack.NewCheater(l.Service, user, l.Clock).
+		Execute(attack.Plan(attack.DefaultPlannerConfig(), venues))
+	if err != nil {
+		return res, fmt.Errorf("e5 execute: %w", err)
+	}
+	res.Stops = len(venues)
+	res.Accepted = rep.Accepted
+	res.Denied = rep.Denied
+	res.Points = rep.Points
+	res.Badges = rep.Badges
+
+	xys := make([]plot.XY, 0, len(venues)+len(targets))
+	for _, v := range venues {
+		xys = append(xys, plot.XY{X: v.Location.Lon, Y: v.Location.Lat})
+	}
+	res.Plot = plot.GeoScatter(xys, fmt.Sprintf("Fig 3.5 — cheating tour through %s (venues checked into)", city))
+	_ = targets
+	return res, nil
+}
+
+// E6 — venue-profile analysis targets (§3.4) -------------------------------
+
+// E6Result is the target-analysis experiment.
+type E6Result struct {
+	OrphanSpecials int
+	OpenSpecials   int
+	WeaklyHeld     int
+
+	SuperMayorID        uint64
+	SuperMayorMayors    int
+	SuperMayorCheckins  int
+	SuperMayorSoloShare float64 // fraction of his venues with no other visitor
+
+	DenialVictim  uint64
+	DenialTargets int
+	DenialHeld    int // venues taken from the victim
+}
+
+// RunE6 selects attack targets from the crawl and executes a
+// mayorship-denial attack against a small victim.
+func (l *Lab) RunE6() (E6Result, error) {
+	l.ensureCrawl()
+	var res E6Result
+	res.OrphanSpecials = len(attack.OrphanSpecials(l.DB))
+	res.OpenSpecials = len(attack.OpenSpecials(l.DB))
+	res.WeaklyHeld = len(attack.WeaklyHeldSpecials(l.DB, 5))
+
+	// The most-mayored user (the paper's 865/1265 case).
+	users := l.DB.Users(func(u store.UserRow) bool { return u.TotalMayors > 0 })
+	sort.Slice(users, func(i, j int) bool { return users[i].TotalMayors > users[j].TotalMayors })
+	if len(users) > 0 {
+		top := users[0]
+		res.SuperMayorID = top.ID
+		res.SuperMayorMayors = top.TotalMayors
+		res.SuperMayorCheckins = top.TotalCheckins
+		solo := 0
+		venues := l.DB.Venues(func(v store.VenueRow) bool { return v.MayorID == top.ID })
+		for _, v := range venues {
+			if len(l.DB.VisitorsOf(v.ID)) <= 1 {
+				solo++
+			}
+		}
+		if len(venues) > 0 {
+			res.SuperMayorSoloShare = float64(solo) / float64(len(venues))
+		}
+	}
+
+	// Mayorship denial: pick a victim holding 1–5 mayorships.
+	var victim store.UserRow
+	for _, u := range users {
+		if u.TotalMayors >= 1 && u.TotalMayors <= 5 {
+			victim = u
+			break
+		}
+	}
+	if victim.ID == 0 {
+		return res, nil // no suitable victim at this scale
+	}
+	res.DenialVictim = victim.ID
+	targets := attack.VictimMayorships(l.DB, victim.ID)
+	views := attack.TargetsToVenueViews(l.Service, targets)
+	res.DenialTargets = len(views)
+	attacker := l.Service.RegisterUser("Denial Attacker", "", "Lincoln")
+	_, held, err := attack.NewCheater(l.Service, attacker, l.Clock).
+		MayorshipCampaign(attack.DefaultPlannerConfig(), views, 2)
+	if err != nil {
+		return res, fmt.Errorf("e6 denial campaign: %w", err)
+	}
+	res.DenialHeld = held
+	return res, nil
+}
+
+// E7/E8 — aggregate curves (Figs 4.1/4.2) ----------------------------------
+
+// CurveResult packages an aggregate curve with its rendering.
+type CurveResult struct {
+	Curve []analysis.CurvePoint
+	Plot  string
+	// Stat is the figure's headline number: for E7 the average recent
+	// check-ins of users with >500 total (paper: ~100); for E8 the
+	// count of ≥1000-check-in users with <10 badges (paper: "many").
+	Stat float64
+}
+
+// RunE7 computes the Fig 4.1 curve.
+func (l *Lab) RunE7() CurveResult {
+	l.ensureCrawl()
+	curve := analysis.RecentVsTotal(l.DB, 2000, 50)
+	xys := curveXY(curve)
+	// The headline number reads the plateau of the curve (the paper:
+	// "around 100 recent check-ins ... if the user did more than 500
+	// check-ins total"); the (500,1000] band excludes the cheater
+	// spikes above 1000 that Fig 4.1 shows as outliers.
+	var sum float64
+	var n int
+	for _, u := range l.DB.Users(func(u store.UserRow) bool { return u.TotalCheckins > 500 && u.TotalCheckins <= 1000 }) {
+		sum += float64(u.RecentCheckins)
+		n++
+	}
+	stat := 0.0
+	if n > 0 {
+		stat = sum / float64(n)
+	}
+	return CurveResult{
+		Curve: curve,
+		Plot:  plot.Line(xys, 50, "Fig 4.1 — avg recent check-ins vs total check-ins", "total", "avg recent"),
+		Stat:  stat,
+	}
+}
+
+// RunE8 computes the Fig 4.2 curve.
+func (l *Lab) RunE8() CurveResult {
+	l.ensureCrawl()
+	curve := analysis.BadgesVsTotal(l.DB, 14000, 250)
+	lowReward := l.DB.Users(func(u store.UserRow) bool {
+		return u.TotalCheckins > 1000 && u.TotalBadges < 10
+	})
+	return CurveResult{
+		Curve: curve,
+		Plot:  plot.Line(curveXY(curve), 50, "Fig 4.2 — avg badges vs total check-ins", "total", "avg badges"),
+		Stat:  float64(len(lowReward)),
+	}
+}
+
+// RunE9 computes the §4.2 population marginals.
+func (l *Lab) RunE9() analysis.Marginals {
+	l.ensureCrawl()
+	return analysis.ComputeMarginals(l.DB)
+}
+
+// E10 — suspicious check-in patterns + classifier (Figs 4.3/4.4) -----------
+
+// E10Result is the classifier experiment.
+type E10Result struct {
+	Suspects  int
+	Confusion analysis.Confusion
+	// Example maps, as the paper shows one cheater and one normal user.
+	CheaterPlot                 string
+	NormalPlot                  string
+	CheaterCities, NormalCities int
+}
+
+// RunE10 runs the three-factor classifier over the crawl and scores it
+// against the world's ground truth.
+func (l *Lab) RunE10() E10Result {
+	l.ensureCrawl()
+	suspects := analysis.Classify(l.DB, analysis.DefaultClassifierConfig())
+	conf := analysis.Evaluate(suspects, len(l.World.Users), func(id uint64) bool {
+		c, ok := l.World.TrueClass(lbsn.UserID(id))
+		return ok && c.Cheating()
+	})
+	res := E10Result{Suspects: len(suspects), Confusion: conf}
+
+	// Render one uncaught cheater's and one busy normal user's maps.
+	for i, u := range l.World.Users {
+		id := uint64(i + 1)
+		switch {
+		case u.Class == synth.ClassCheater && res.CheaterPlot == "":
+			pts := analysis.CheckinPoints(l.DB, id)
+			res.CheaterCities = analysis.CityCount(pts, 0)
+			res.CheaterPlot = plot.GeoScatter(geoXY(pts),
+				fmt.Sprintf("Fig 4.3 — check-in locations of a suspected cheater (user %d, %d cities)", id, res.CheaterCities))
+		case u.Class == synth.ClassActive && len(u.RecentVenues) >= 40 && res.NormalPlot == "":
+			pts := analysis.CheckinPoints(l.DB, id)
+			res.NormalCities = analysis.CityCount(pts, 0)
+			res.NormalPlot = plot.GeoScatter(geoXY(pts),
+				fmt.Sprintf("Fig 4.4 — check-in locations of a normal user (user %d, %d cities)", id, res.NormalCities))
+		}
+		if res.CheaterPlot != "" && res.NormalPlot != "" {
+			break
+		}
+	}
+	return res
+}
+
+// E11 — defence comparison (§5.1) ------------------------------------------
+
+// E11Result is the verification comparison.
+type E11Result struct {
+	Distances []float64
+	Trials    []defense.TrialResult
+	Traits    map[string]defense.Characteristics
+	// NextDoor captures the Wendy's case: accepted at 100 m range,
+	// rejected after the DD-WRT restriction.
+	NextDoorDefaultAccepted    bool
+	NextDoorRestrictedAccepted bool
+	// Rapid-bit protocol: the theoretical and measured false-accept
+	// rates of the n-round distance-bounding exchange ([12]-[14]).
+	RapidBitRounds        int
+	RapidBitTheoryFA      float64
+	RapidBitMeasuredFA2Rd float64 // measured at 2 rounds, where it is visible
+}
+
+// RunE11 sweeps attacker distances across the three verifiers.
+func (l *Lab) RunE11() E11Result {
+	venue := geo.Point{Lat: 37.7749, Lon: -122.4194}
+	wifi := defense.NewWiFiVerification()
+	wifi.RegisterRouter(venue, 100)
+	verifiers := []defense.Verifier{
+		&defense.DistanceBounding{},
+		defense.NewAddressMapping(),
+		wifi,
+	}
+	distances := []float64{10, 50, 100, 1000, 10000, 1000000}
+	res := E11Result{
+		Distances: distances,
+		Trials:    defense.CompareAtDistances(verifiers, venue, distances),
+		Traits:    make(map[string]defense.Characteristics, len(verifiers)),
+	}
+	for _, v := range verifiers {
+		res.Traits[v.Name()] = v.Characteristics()
+	}
+	// The Wendy's-next-door case.
+	cheater := defense.Device{TrueLocation: venue.Destination(90, 50)}
+	res.NextDoorDefaultAccepted = wifi.Verify(venue, cheater).Accepted
+	restricted := defense.NewWiFiVerification()
+	restricted.RegisterRouter(venue, 30)
+	res.NextDoorRestrictedAccepted = restricted.Verify(venue, cheater).Accepted
+
+	// Rapid-bit distance bounding.
+	strong := defense.RapidBitConfig{Rounds: 20}
+	res.RapidBitRounds = strong.Rounds
+	res.RapidBitTheoryFA = strong.FalseAcceptProbability()
+	res.RapidBitMeasuredFA2Rd = defense.MeasureFalseAcceptRate(defense.RapidBitConfig{Rounds: 2}, 10000, 11)
+	return res
+}
+
+// E12 — anti-crawl mitigation (§5.2) ----------------------------------------
+
+// E12Variant is one defended-site crawl outcome.
+type E12Variant struct {
+	Defence string
+	Parsed  int
+	Denied  int
+	Yield   float64 // parsed / attempted
+}
+
+// E12Result compares crawl yield across defences.
+type E12Result struct {
+	Variants []E12Variant
+	// NAT vs proxy blocking collateral (Casado & Freedman).
+	NATBlocking   defense.BlockingOutcome
+	ProxyBlocking defense.BlockingOutcome
+}
+
+// RunE12 re-serves the same world behind each §5.2 defence and crawls
+// it with the same budget.
+func (l *Lab) RunE12(pages int) (E12Result, error) {
+	var res E12Result
+	if pages <= 0 || pages > l.Service.UserCount() {
+		pages = l.Service.UserCount()
+	}
+	variants := []struct {
+		name string
+		opts []web.Option
+	}{
+		{name: "open (baseline)"},
+		{name: "login wall", opts: []web.Option{web.WithLoginWall()}},
+		{name: "rate limit 60/min + block", opts: []web.Option{web.WithRateLimit(60, 2)}},
+		{name: "hashed profile URLs", opts: []web.Option{web.WithHashedIDs("pepper")}},
+		{name: "hashed visitor IDs only", opts: []web.Option{web.WithHashedVisitorIDs("pepper")}},
+		{name: "who's-been-here removed", opts: []web.Option{web.WithoutWhosBeenHere()}},
+	}
+	for _, variant := range variants {
+		site := web.NewServer(l.Service, l.Clock, variant.opts...)
+		lab := &Lab{Clock: l.Clock, World: l.World, Service: l.Service, Web: site}
+		baseURL, shutdown, err := lab.ServeLocal()
+		if err != nil {
+			return res, err
+		}
+		db := store.New()
+		c := crawler.New(crawler.Config{BaseURL: baseURL, Workers: 8}, db)
+		stats, err := c.Crawl(context.Background(), crawler.ModeUsers, 1, uint64(pages))
+		if errS := shutdown(); errS != nil && err == nil {
+			err = errS
+		}
+		if err != nil {
+			return res, fmt.Errorf("e12 %s: %w", variant.name, err)
+		}
+		yield := 0.0
+		if stats.Attempted > 0 {
+			yield = float64(stats.Parsed) / float64(stats.Attempted)
+		}
+		res.Variants = append(res.Variants, E12Variant{
+			Defence: variant.name,
+			Parsed:  stats.Parsed,
+			Denied:  stats.Denied,
+			Yield:   yield,
+		})
+	}
+	res.NATBlocking = defense.SimulateIPBlocking(10, 3, 0, 0)
+	res.ProxyBlocking = defense.SimulateIPBlocking(0, 0, 10, 300)
+	return res, nil
+}
+
+// E13 — privacy leakage (§6.2.1, the paper's future-work direction) ----------
+
+// E13Result is the privacy-leak experiment.
+type E13Result struct {
+	Report analysis.PrivacyReport
+	// SampleUser is one exposed user with their reconstructed history
+	// length and inferred vs actual home city.
+	SampleUser     uint64
+	SampleInferred string
+	SampleActual   string
+	SampleVenues   int
+}
+
+// RunE13 reconstructs per-user location histories from the crawl
+// (§6.2.1: "after we crawled webpages for all venues, we built a
+// personal location history for each user") and measures how often the
+// inferred home city matches the profile.
+func (l *Lab) RunE13() E13Result {
+	l.ensureCrawl()
+	res := E13Result{Report: analysis.ComputePrivacyReport(l.DB)}
+	for _, u := range l.DB.Users(func(u store.UserRow) bool { return u.RecentCheckins >= 20 }) {
+		if inf, ok := analysis.InferHomeCity(l.DB, u.ID); ok {
+			res.SampleUser = u.ID
+			res.SampleInferred = inf.InferredCity
+			res.SampleActual = u.HomeCity
+			res.SampleVenues = inf.RecentVenues
+			break
+		}
+	}
+	return res
+}
+
+// SweepClassifierThresholds runs the detection-threshold ablation over
+// the lab's crawl against ground truth.
+func (l *Lab) SweepClassifierThresholds() []analysis.SweepPoint {
+	l.ensureCrawl()
+	oracle := func(id uint64) bool {
+		c, ok := l.World.TrueClass(lbsn.UserID(id))
+		return ok && c.Cheating()
+	}
+	return analysis.SweepClassifier(l.DB, len(l.World.Users), oracle,
+		[]int{5, 10, 20}, []float64{0.2, 0.35, 0.6})
+}
+
+// AblateDetectionFactors scores each §4 factor in isolation against
+// ground truth — the complementarity ablation.
+func (l *Lab) AblateDetectionFactors() []analysis.FactorResult {
+	l.ensureCrawl()
+	oracle := func(id uint64) bool {
+		c, ok := l.World.TrueClass(lbsn.UserID(id))
+		return ok && c.Cheating()
+	}
+	return analysis.AblateFactors(l.DB, len(l.World.Users), oracle)
+}
+
+// Helpers --------------------------------------------------------------------
+
+// ensureCrawl lazily fills the store with the perfect crawl when no
+// live crawl has populated it.
+func (l *Lab) ensureCrawl() {
+	if u, v, _ := l.DB.Counts(); u == 0 && v == 0 {
+		l.PerfectCrawl()
+	}
+}
+
+func curveXY(curve []analysis.CurvePoint) []plot.XY {
+	out := make([]plot.XY, len(curve))
+	for i, p := range curve {
+		out[i] = plot.XY{X: float64(p.X), Y: p.AvgY}
+	}
+	return out
+}
+
+func geoXY(pts []geo.Point) []plot.XY {
+	out := make([]plot.XY, len(pts))
+	for i, p := range pts {
+		out[i] = plot.XY{X: p.Lon, Y: p.Lat}
+	}
+	return out
+}
+
+func containsString(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// AblationSpeedThreshold measures the cheater-code speed rule's
+// detection/false-positive trade-off: it replays a spoofed
+// cross-country teleport and a legitimate highway drive against
+// detectors with varying speed limits. Returns (teleportCaught,
+// driveFlagged) per threshold — the DESIGN.md ablation.
+func AblationSpeedThreshold(limits []float64) []struct {
+	LimitMps       float64
+	TeleportCaught bool
+	DriveFlagged   bool
+} {
+	abq, _ := geo.FindCity("Albuquerque")
+	sf, _ := geo.FindCity("San Francisco")
+	out := make([]struct {
+		LimitMps       float64
+		TeleportCaught bool
+		DriveFlagged   bool
+	}, 0, len(limits))
+	for _, lim := range limits {
+		det := cheatercode.NewDetectorWithRules(16, cheatercode.SuperhumanSpeedRule{MaxSpeed: lim})
+		t0 := simclock.Epoch()
+		// Teleport: ABQ -> SF in 10 minutes.
+		_ = det.Check(cheatercode.Observation{UserID: 1, VenueID: 1, At: t0, Location: abq.Center})
+		vTele := det.Check(cheatercode.Observation{UserID: 1, VenueID: 2, At: t0.Add(10 * time.Minute), Location: sf.Center})
+		// Drive: 15 miles in 30 minutes (~13 m/s, city driving).
+		_ = det.Check(cheatercode.Observation{UserID: 2, VenueID: 3, At: t0, Location: abq.Center})
+		drive := abq.Center.Destination(90, 15*geo.MetersPerMile)
+		vDrive := det.Check(cheatercode.Observation{UserID: 2, VenueID: 4, At: t0.Add(30 * time.Minute), Location: drive})
+		out = append(out, struct {
+			LimitMps       float64
+			TeleportCaught bool
+			DriveFlagged   bool
+		}{LimitMps: lim, TeleportCaught: vTele != nil, DriveFlagged: vDrive != nil})
+	}
+	return out
+}

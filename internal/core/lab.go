@@ -1,0 +1,114 @@
+// Package core is the public façade of the reproduction: a Lab bundles
+// the synthetic world, the LBSN service, the profile website and a
+// crawl store, and exposes one runner per paper experiment (E1–E12,
+// indexed in DESIGN.md). cmd/experiments and the examples drive
+// everything through this package.
+package core
+
+import (
+	"fmt"
+
+	"locheat/internal/cheatercode"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/synth"
+	"locheat/internal/web"
+)
+
+// LabConfig sizes a lab. Scale 1.0 is the laptop default (20k users /
+// 60k venues); the paper's population was ~95× that.
+type LabConfig struct {
+	Scale float64
+	Seed  int64
+	// WebOptions configures defences on the profile site.
+	WebOptions []web.Option
+	// Lbsn overrides the service policy; zero value = defaults.
+	Lbsn lbsn.Config
+	// Cheater overrides the rule thresholds; zero value = defaults.
+	Cheater cheatercode.Config
+}
+
+// Lab is a fully wired experiment environment.
+type Lab struct {
+	Clock   *simclock.Simulated
+	World   *synth.World
+	Service *lbsn.Service
+	Web     *web.Server
+	DB      *store.DB // filled by FillStore (perfect crawl) or a live crawl
+}
+
+// NewLab builds a lab: generate the world, load it into a fresh
+// service on a simulated clock, and mount the profile website.
+func NewLab(cfg LabConfig) (*Lab, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	users := int(20000 * cfg.Scale)
+	if users < 200 {
+		users = 200
+	}
+	world := synth.Generate(synth.Config{
+		Seed:   cfg.Seed,
+		Users:  users,
+		Venues: users * 3,
+	})
+	clock := simclock.NewSimulated(simclock.Epoch())
+
+	svcCfg := cfg.Lbsn
+	if svcCfg.GPSVerifyRadiusMeters == 0 {
+		svcCfg = lbsn.DefaultConfig()
+	}
+	var detector *cheatercode.Detector
+	if cfg.Cheater.RapidFireCount != 0 {
+		detector = cheatercode.NewDetector(cfg.Cheater)
+	}
+	svc := lbsn.New(svcCfg, clock, detector)
+	if err := world.LoadInto(svc); err != nil {
+		return nil, fmt.Errorf("new lab: %w", err)
+	}
+	return &Lab{
+		Clock:   clock,
+		World:   world,
+		Service: svc,
+		Web:     web.NewServer(svc, clock, cfg.WebOptions...),
+		DB:      store.New(),
+	}, nil
+}
+
+// PerfectCrawl fills the lab's store with the loss-free crawl of the
+// world — what the multi-threaded crawler recovers given enough time.
+// Experiments that study crawl *content* use this; E3/E12 study the
+// crawl *process* and run the real crawler over HTTP instead.
+func (l *Lab) PerfectCrawl() {
+	l.World.FillStore(l.DB)
+}
+
+// DensestCityVenues returns the venue views of the city with the most
+// venues — the urban grid used for tour experiments when Albuquerque
+// at small scale is too sparse.
+func (l *Lab) DensestCityVenues() (string, []lbsn.VenueView) {
+	counts := make(map[int]int)
+	for _, v := range l.World.Venues {
+		counts[v.City]++
+	}
+	best, bestN := -1, 0
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	if best < 0 {
+		return "", nil
+	}
+	name := l.World.Cities[best].Name
+	var views []lbsn.VenueView
+	for _, v := range l.World.Venues {
+		if v.City == best {
+			if view, ok := l.Service.Venue(lbsn.VenueID(v.Index + 1)); ok {
+				views = append(views, view)
+			}
+		}
+	}
+	return name, views
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// sharedLab is built once; experiments that mutate service state use
+// fresh users/venues so they don't interfere.
+var sharedLab *Lab
+
+func testLab(t *testing.T) *Lab {
+	t.Helper()
+	if sharedLab == nil {
+		lab, err := NewLab(LabConfig{Scale: 0.15, Seed: 21}) // 3000 users, 9000 venues: room for the 865 quota
+		if err != nil {
+			t.Fatalf("NewLab: %v", err)
+		}
+		sharedLab = lab
+	}
+	return sharedLab
+}
+
+func TestNewLabDefaults(t *testing.T) {
+	lab, err := NewLab(LabConfig{Scale: 0.01, Seed: 1}) // clamps to 200 users
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.Service.UserCount() != 200 || lab.Service.VenueCount() != 600 {
+		t.Errorf("lab size = %d/%d, want 200/600", lab.Service.UserCount(), lab.Service.VenueCount())
+	}
+	if lab.Web == nil || lab.DB == nil || lab.Clock == nil {
+		t.Error("lab components missing")
+	}
+}
+
+func TestServeLocal(t *testing.T) {
+	lab := testLab(t)
+	baseURL, shutdown, err := lab.ServeLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(baseURL + "/user/1")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func TestRunE1(t *testing.T) {
+	lab := testLab(t)
+	res, err := lab.RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vectors) != 4 {
+		t.Fatalf("vectors = %d, want 4", len(res.Vectors))
+	}
+	for _, v := range res.Vectors {
+		if !v.Accepted {
+			t.Errorf("vector %s denied — all four must pass (§3.1)", v.Method)
+		}
+	}
+	if res.AdventurerAfterVenues != 10 {
+		t.Errorf("Adventurer after %d venues, paper says 10", res.AdventurerAfterVenues)
+	}
+	if res.MayorAfterDays != 4 {
+		t.Errorf("mayor after %d daily check-ins vs a 3-day incumbent, want 4", res.MayorAfterDays)
+	}
+}
+
+func TestRunE2AllProbesMatchPaper(t *testing.T) {
+	lab := testLab(t)
+	probes, err := lab.RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != 6 {
+		t.Fatalf("probes = %d, want 6", len(probes))
+	}
+	for _, p := range probes {
+		if !p.Pass() {
+			t.Errorf("probe %s / %s: denied=%v, paper observed denied=%v",
+				p.Rule, p.Scenario, p.Denied, p.WantDenied)
+		}
+	}
+}
+
+func TestRunE3CrawlsOverHTTP(t *testing.T) {
+	lab := testLab(t)
+	res, err := lab.RunE3([]int{1, 8}, 300, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UserSweep) != 2 {
+		t.Fatalf("sweep = %d points", len(res.UserSweep))
+	}
+	for _, p := range res.UserSweep {
+		if p.Pages != 300 || p.PagesPerHour <= 0 {
+			t.Errorf("sweep point %+v", p)
+		}
+	}
+	// The paper's point: parallel crawling is essential. Against the
+	// simulated WAN latency, 8 workers must clearly beat 1.
+	if res.UserSweep[1].PagesPerHour < 2*res.UserSweep[0].PagesPerHour {
+		t.Errorf("8 workers (%.0f pages/h) not >= 2x 1 worker (%.0f pages/h)",
+			res.UserSweep[1].PagesPerHour, res.UserSweep[0].PagesPerHour)
+	}
+	if res.VenuePoint.Pages != 300 {
+		t.Errorf("venue crawl pages = %d", res.VenuePoint.Pages)
+	}
+	if res.UsersStored != 300 || res.VenuesStored != 300 {
+		t.Errorf("stored = %d/%d", res.UsersStored, res.VenuesStored)
+	}
+	if res.Relations == 0 {
+		t.Error("no recent-check-in relations crawled")
+	}
+}
+
+func TestRunE4StarbucksMap(t *testing.T) {
+	lab := testLab(t)
+	res := lab.RunE4()
+	if res.Count < 100 {
+		t.Errorf("Starbucks rows = %d, want >= 100", res.Count)
+	}
+	if res.Cities < 30 {
+		t.Errorf("Starbucks cities = %d, want >= 30 (US-wide)", res.Cities)
+	}
+	// The scatter must span the continental US (roughly 25..49 lat,
+	// -125..-66 lon) — that is the "shape of the United States".
+	if res.Bounds.MinLon > -120 || res.Bounds.MaxLon < -75 ||
+		res.Bounds.MinLat > 30 || res.Bounds.MaxLat < 45 {
+		t.Errorf("bounds %+v do not span the continental US", res.Bounds)
+	}
+	if !strings.Contains(res.Plot, "*") {
+		t.Error("plot empty")
+	}
+}
+
+func TestRunE5VirtualTour(t *testing.T) {
+	lab := testLab(t)
+	res, err := lab.RunE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stops != 25 {
+		t.Errorf("tour stops = %d, want 25 (Fig 3.5)", res.Stops)
+	}
+	if res.Denied != 0 {
+		t.Errorf("tour denied %d stops; paper had zero detections", res.Denied)
+	}
+	if res.Accepted != res.Stops || res.Points == 0 {
+		t.Errorf("accepted=%d points=%d", res.Accepted, res.Points)
+	}
+}
+
+func TestRunE6Targets(t *testing.T) {
+	lab := testLab(t)
+	res, err := lab.RunE6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrphanSpecials == 0 {
+		t.Error("no orphan specials found (E6 targets)")
+	}
+	if res.SuperMayorMayors != 865 || res.SuperMayorCheckins != 1265 {
+		t.Errorf("super mayor = %d mayorships / %d check-ins, want 865/1265",
+			res.SuperMayorMayors, res.SuperMayorCheckins)
+	}
+	if res.SuperMayorSoloShare < 0.9 {
+		t.Errorf("super mayor solo share = %.2f, want >= 0.9 (most venues have no other visitors)",
+			res.SuperMayorSoloShare)
+	}
+	if res.DenialTargets > 0 && res.DenialHeld == 0 {
+		t.Error("denial attack took no mayorships from the victim")
+	}
+}
+
+func TestRunE7E8E9(t *testing.T) {
+	lab := testLab(t)
+	e7 := lab.RunE7()
+	if len(e7.Curve) == 0 || e7.Stat < 40 || e7.Stat > 250 {
+		t.Errorf("E7 stat (avg recent for >500 total) = %.1f, want ~100", e7.Stat)
+	}
+	e8 := lab.RunE8()
+	if len(e8.Curve) == 0 {
+		t.Error("E8 curve empty")
+	}
+	if e8.Stat == 0 {
+		t.Error("E8: no heavy users with <10 badges; caught cheaters missing")
+	}
+	m := lab.RunE9()
+	if m.AtLeast5000 != 11 || m.Group5000WithMayors != 6 || m.Group5000WithoutMayors != 5 {
+		t.Errorf("E9 top-user stats = %d (%d/%d), want 11 (6/5)",
+			m.AtLeast5000, m.Group5000WithMayors, m.Group5000WithoutMayors)
+	}
+}
+
+func TestRunE10Classifier(t *testing.T) {
+	lab := testLab(t)
+	res := lab.RunE10()
+	if res.Suspects == 0 {
+		t.Fatal("no suspects")
+	}
+	if res.Confusion.Recall() < 0.8 {
+		t.Errorf("recall = %.2f", res.Confusion.Recall())
+	}
+	if res.CheaterPlot == "" || res.NormalPlot == "" {
+		t.Error("example maps missing")
+	}
+	if res.CheaterCities <= res.NormalCities {
+		t.Errorf("cheater cities %d <= normal cities %d", res.CheaterCities, res.NormalCities)
+	}
+}
+
+func TestRunE11Defenses(t *testing.T) {
+	lab := testLab(t)
+	res := lab.RunE11()
+	if len(res.Trials) != 3*len(res.Distances) {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+	if !res.NextDoorDefaultAccepted {
+		t.Error("next-door cheater should pass the default 100 m Wi-Fi range (§5.1)")
+	}
+	if res.NextDoorRestrictedAccepted {
+		t.Error("next-door cheater should fail after DD-WRT range restriction")
+	}
+	if len(res.Traits) != 3 {
+		t.Errorf("traits = %d", len(res.Traits))
+	}
+}
+
+func TestRunE12AntiCrawl(t *testing.T) {
+	lab := testLab(t)
+	res, err := lab.RunE12(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 6 {
+		t.Fatalf("variants = %d", len(res.Variants))
+	}
+	byName := make(map[string]E12Variant, len(res.Variants))
+	for _, v := range res.Variants {
+		byName[v.Defence] = v
+	}
+	if byName["open (baseline)"].Yield < 0.99 {
+		t.Errorf("baseline yield = %.2f, want ~1.0", byName["open (baseline)"].Yield)
+	}
+	if byName["login wall"].Yield != 0 {
+		t.Errorf("login wall yield = %.2f, want 0", byName["login wall"].Yield)
+	}
+	if byName["hashed profile URLs"].Yield != 0 {
+		t.Errorf("hashed IDs yield = %.2f, want 0 (enumeration dead)", byName["hashed profile URLs"].Yield)
+	}
+	rl := byName["rate limit 60/min + block"]
+	if rl.Yield >= byName["open (baseline)"].Yield {
+		t.Errorf("rate limiting did not cut yield: %.2f", rl.Yield)
+	}
+	if res.ProxyBlocking.CollateralPerBlock <= res.NATBlocking.CollateralPerBlock {
+		t.Error("proxy collateral should exceed NAT collateral per block")
+	}
+}
+
+func TestAblationSpeedThreshold(t *testing.T) {
+	rows := AblationSpeedThreshold([]float64{5, 15, 50, 1e9})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At 5 m/s the highway drive is a false positive; at 15 it is not;
+	// at 1e9 even the teleport escapes.
+	if !rows[0].DriveFlagged {
+		t.Error("5 m/s limit should flag the highway drive")
+	}
+	if rows[1].DriveFlagged {
+		t.Error("15 m/s limit should pass the highway drive")
+	}
+	if !rows[1].TeleportCaught {
+		t.Error("15 m/s limit should catch the teleport")
+	}
+	if rows[3].TeleportCaught {
+		t.Error("absurd limit should catch nothing")
+	}
+}
+
+func TestDensestCityVenues(t *testing.T) {
+	lab := testLab(t)
+	city, views := lab.DensestCityVenues()
+	if city == "" || len(views) < 50 {
+		t.Errorf("densest city = %q with %d venues", city, len(views))
+	}
+}
+
+func TestEnsureCrawlIdempotent(t *testing.T) {
+	lab, err := NewLab(LabConfig{Scale: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab.ensureCrawl()
+	u1, v1, _ := lab.DB.Counts()
+	lab.ensureCrawl()
+	u2, v2, _ := lab.DB.Counts()
+	if u1 != u2 || v1 != v2 {
+		t.Error("ensureCrawl not idempotent")
+	}
+	if u1 == 0 {
+		t.Error("ensureCrawl filled nothing")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeLocal exposes the lab's profile website on a loopback port and
+// returns its base URL plus a shutdown function. The crawler
+// experiments (E3, E12) attack the site over real HTTP, as the paper's
+// crawler did.
+func (l *Lab) ServeLocal() (baseURL string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("serve lab site: %w", err)
+	}
+	srv := &http.Server{Handler: l.Web}
+	done := make(chan error, 1)
+	go func() {
+		e := srv.Serve(ln)
+		if errors.Is(e, http.ErrServerClosed) {
+			e = nil
+		}
+		done <- e
+	}()
+	shutdown = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if e := srv.Shutdown(ctx); e != nil {
+			// Graceful drain stalled (slow host, lingering keep-alive);
+			// force-close. The experiment's work is already done — a
+			// stubborn connection is not a result-affecting failure.
+			if errors.Is(e, context.DeadlineExceeded) {
+				_ = srv.Close()
+				<-done
+				return nil
+			}
+			return e
+		}
+		return <-done
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

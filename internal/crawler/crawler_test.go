@@ -1,0 +1,278 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/web"
+)
+
+// buildSite seeds a service with nUsers users and nVenues venues (each
+// venue mayored by user 1 with users 1..3 on its recent list) and
+// serves it over httptest.
+func buildSite(t *testing.T, nUsers, nVenues int, opts ...web.Option) (*httptest.Server, *lbsn.Service) {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	seeds := make([]lbsn.UserSeed, nUsers)
+	for i := range seeds {
+		seeds[i] = lbsn.UserSeed{
+			Name:          fmt.Sprintf("User %d", i+1),
+			HomeCity:      "Lincoln",
+			TotalCheckins: i * 3,
+			BadgeCount:    i % 7,
+			FriendCount:   i % 20,
+		}
+		if i%4 == 0 {
+			seeds[i].Username = fmt.Sprintf("user%d", i+1)
+		}
+	}
+	userIDs := svc.BulkLoadUsers(seeds)
+
+	lincoln, _ := geo.FindCity("Lincoln")
+	venueSeeds := make([]lbsn.VenueSeed, nVenues)
+	for i := range venueSeeds {
+		var recent []lbsn.UserID
+		for j := 0; j < 3 && j < len(userIDs); j++ {
+			recent = append(recent, userIDs[j])
+		}
+		venueSeeds[i] = lbsn.VenueSeed{
+			Name:           fmt.Sprintf("Starbucks #%d", i+1),
+			Address:        fmt.Sprintf("%d Main St", i+1),
+			City:           "Lincoln",
+			Location:       lincoln.Center.Destination(float64(i*17%360), float64(100+i*50)),
+			CheckinsHere:   i * 5,
+			UniqueVisitors: i * 2,
+			MayorID:        userIDs[0],
+			RecentVisitors: recent,
+		}
+		if i%3 == 0 {
+			venueSeeds[i].Special = &lbsn.Special{Description: "Free coffee", MayorOnly: true}
+		}
+	}
+	svc.BulkLoadVenues(venueSeeds)
+
+	ts := httptest.NewServer(web.NewServer(svc, clock, opts...))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func TestParseUserPageRoundTrip(t *testing.T) {
+	ts, _ := buildSite(t, 5, 0)
+	resp, err := ts.Client().Get(ts.URL + "/user/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := ParseUserPage(2, string(body))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if row.Name != "User 2" || row.TotalCheckins != 3 {
+		t.Errorf("parsed row = %+v", row)
+	}
+}
+
+func TestParseUserPageErrors(t *testing.T) {
+	if _, err := ParseUserPage(1, "<html>nothing</html>"); err == nil {
+		t.Error("parse of junk page should fail")
+	}
+	// A name without stats is still an error (checkins required).
+	html := `<h1 class="user-name">X</h1>`
+	if _, err := ParseUserPage(1, html); err == nil {
+		t.Error("page without stat-checkins should fail")
+	}
+}
+
+func TestParseVenuePageErrors(t *testing.T) {
+	if _, err := ParseVenuePage(1, "<html></html>"); err == nil {
+		t.Error("junk venue page should parse-fail")
+	}
+	noCoords := `<h1 class="venue-name">V</h1>`
+	if _, err := ParseVenuePage(1, noCoords); err == nil {
+		t.Error("venue page without coordinates should fail")
+	}
+}
+
+func TestCrawlUsersFullSweep(t *testing.T) {
+	ts, _ := buildSite(t, 40, 0)
+	db := store.New()
+	c := New(Config{BaseURL: ts.URL, Workers: 8, Client: ts.Client()}, db)
+	stats, err := c.Crawl(context.Background(), ModeUsers, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Parsed != 40 || stats.Fetched != 40 {
+		t.Errorf("stats = %+v, want 40 parsed", stats)
+	}
+	users, _, _ := db.Counts()
+	if users != 40 {
+		t.Errorf("stored users = %d, want 40", users)
+	}
+	u, ok := db.User(17)
+	if !ok || u.Name != "User 17" || u.TotalCheckins != 48 {
+		t.Errorf("user 17 = %+v, %v", u, ok)
+	}
+	if stats.PagesPerHour() <= 0 {
+		t.Error("PagesPerHour should be positive")
+	}
+}
+
+func TestCrawlVenuesStoresRelationsAndFields(t *testing.T) {
+	ts, _ := buildSite(t, 10, 25)
+	db := store.New()
+	c := New(Config{BaseURL: ts.URL, Workers: 5, Client: ts.Client()}, db)
+	stats, err := c.Crawl(context.Background(), ModeVenues, 1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Parsed != 25 {
+		t.Errorf("stats = %+v, want 25 parsed", stats)
+	}
+	_, venues, recents := db.Counts()
+	if venues != 25 {
+		t.Errorf("stored venues = %d, want 25", venues)
+	}
+	// Each venue lists 3 visitors; relations deduplicate per (user,venue).
+	if recents != 25*3 {
+		t.Errorf("recent relations = %d, want 75", recents)
+	}
+	v, ok := db.Venue(4)
+	if !ok {
+		t.Fatal("venue 4 missing")
+	}
+	if v.MayorID != 1 {
+		t.Errorf("venue 4 mayor = %d, want 1", v.MayorID)
+	}
+	if v.Special != "Free coffee" || !v.SpecialMayor {
+		t.Errorf("venue 4 special = %q/%v", v.Special, v.SpecialMayor)
+	}
+	if v.Latitude == 0 || v.Longitude == 0 {
+		t.Error("venue 4 coordinates not extracted")
+	}
+	// The Fig 3.4 query works over the crawl result.
+	if n := len(db.VenuesByNameLike("starbucks")); n != 25 {
+		t.Errorf("LIKE starbucks = %d, want 25", n)
+	}
+}
+
+func TestCrawlOpenEndedStopsAfterMisses(t *testing.T) {
+	ts, _ := buildSite(t, 12, 0)
+	db := store.New()
+	c := New(Config{BaseURL: ts.URL, Workers: 4, Client: ts.Client(), StopAfterMisses: 20}, db)
+	stats, err := c.Crawl(context.Background(), ModeUsers, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Parsed != 12 {
+		t.Errorf("open-ended sweep parsed %d, want 12", stats.Parsed)
+	}
+	if stats.NotFound < 20 {
+		t.Errorf("NotFound = %d, want >= 20 (the stop condition)", stats.NotFound)
+	}
+}
+
+func TestCrawlOpenEndedRequiresStopCondition(t *testing.T) {
+	db := store.New()
+	c := New(Config{BaseURL: "http://127.0.0.1:0", Workers: 1}, db)
+	if _, err := c.Crawl(context.Background(), ModeUsers, 1, 0); err == nil {
+		t.Error("open-ended crawl without StopAfterMisses should error")
+	}
+}
+
+func TestCrawlEmptyRange(t *testing.T) {
+	db := store.New()
+	c := New(Config{BaseURL: "http://127.0.0.1:0", Workers: 1}, db)
+	if _, err := c.Crawl(context.Background(), ModeUsers, 10, 5); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestCrawlDeniedByDefences(t *testing.T) {
+	ts, _ := buildSite(t, 30, 0, web.WithLoginWall())
+	db := store.New()
+	c := New(Config{BaseURL: ts.URL, Workers: 4, Client: ts.Client()}, db)
+	stats, err := c.Crawl(context.Background(), ModeUsers, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Denied != 30 || stats.Parsed != 0 {
+		t.Errorf("stats = %+v, want all denied", stats)
+	}
+	users, _, _ := db.Counts()
+	if users != 0 {
+		t.Errorf("stored users = %d, want 0 behind login wall", users)
+	}
+}
+
+func TestCrawlContextCancel(t *testing.T) {
+	ts, _ := buildSite(t, 100, 0)
+	db := store.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before starting
+	c := New(Config{BaseURL: ts.URL, Workers: 4, Client: ts.Client()}, db)
+	_, err := c.Crawl(ctx, ModeUsers, 1, 100)
+	if err == nil {
+		t.Error("cancelled crawl should return the context error")
+	}
+}
+
+func TestCrawlTransportErrorsCounted(t *testing.T) {
+	// Point at a dead server: every fetch errors out after retries.
+	db := store.New()
+	c := New(Config{BaseURL: "http://127.0.0.1:1", Workers: 2, Retries: 1}, db)
+	stats, err := c.Crawl(context.Background(), ModeUsers, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 4 {
+		t.Errorf("errors = %d, want 4", stats.Errors)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeUsers.String() != "users" || ModeVenues.String() != "venues" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}
+
+func TestCrawlerThroughputScalesWithWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison skipped in -short")
+	}
+	// E3's claim in miniature: more threads, more pages per hour. Use a
+	// site with small artificial latency so parallelism matters.
+	ts, _ := buildSite(t, 200, 0)
+	slow := ts.Client()
+
+	run := func(workers int) time.Duration {
+		db := store.New()
+		c := New(Config{BaseURL: ts.URL, Workers: workers, Client: slow}, db)
+		start := time.Now()
+		if _, err := c.Crawl(context.Background(), ModeUsers, 1, 200); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	t1 := run(1)
+	t16 := run(16)
+	// Allow generous noise; 16 workers should beat 1 clearly.
+	if t16 > t1 {
+		t.Logf("warning: 16 workers (%v) not faster than 1 (%v) on this host", t16, t1)
+	}
+}

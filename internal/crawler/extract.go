@@ -1,0 +1,124 @@
+// Package crawler reproduces the paper's multi-threaded profile
+// crawler (§3.2, Appendix A): a worker pool sweeps the incrementing
+// numeric IDs in profile URLs, fetches the HTML over HTTP, and
+// extracts fields with regular expressions — the same technique as the
+// original ("we let the crawler perform a set of regular expression
+// matches") — storing rows into the store.DB tables of Fig 3.3.
+package crawler
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+
+	"locheat/internal/store"
+)
+
+// Page-field extraction patterns. The original crawler matched the
+// live site's markup; these match internal/web's markup, which plays
+// the role of foursquare.com in this reproduction.
+var (
+	reUserName     = regexp.MustCompile(`<h1 class="user-name">([^<]*)</h1>`)
+	reUserUsername = regexp.MustCompile(`<span class="user-username">([^<]*)</span>`)
+	reHomeCity     = regexp.MustCompile(`<span class="home-city">([^<]*)</span>`)
+	reStatCheckins = regexp.MustCompile(`<span class="stat-checkins">(\d+)</span>`)
+	reStatBadges   = regexp.MustCompile(`<span class="stat-badges">(\d+)</span>`)
+	reStatPoints   = regexp.MustCompile(`<span class="stat-points">(\d+)</span>`)
+	reStatFriends  = regexp.MustCompile(`<span class="stat-friends">(\d+)</span>`)
+
+	reVenueName      = regexp.MustCompile(`<h1 class="venue-name">([^<]*)</h1>`)
+	reVenueAddress   = regexp.MustCompile(`<span class="venue-address">([^<]*)</span>`)
+	reVenueCity      = regexp.MustCompile(`<span class="venue-city">([^<]*)</span>`)
+	reGeoLat         = regexp.MustCompile(`<span class="geo-lat">(-?\d+\.\d+)</span>`)
+	reGeoLon         = regexp.MustCompile(`<span class="geo-lon">(-?\d+\.\d+)</span>`)
+	reCheckinsHere   = regexp.MustCompile(`<span class="stat-checkins-here">(\d+)</span>`)
+	reUniqueVisitors = regexp.MustCompile(`<span class="stat-unique-visitors">(\d+)</span>`)
+	reMayorLink      = regexp.MustCompile(`<a class="mayor" href="/user/(\d+)"`)
+	reSpecial        = regexp.MustCompile(`<div class="special( mayor-only)?">([^<]*)</div>`)
+	reVisitorLink    = regexp.MustCompile(`<a class="visitor" href="/user/(\d+)"`)
+)
+
+// ParseUserPage extracts a UserInfo row from user-profile HTML. The
+// returned error reports a page whose markup doesn't carry the
+// expected fields (site changed or defence active).
+func ParseUserPage(id uint64, html string) (store.UserRow, error) {
+	name := reUserName.FindStringSubmatch(html)
+	if name == nil {
+		return store.UserRow{}, fmt.Errorf("user page %d: no user-name field", id)
+	}
+	row := store.UserRow{ID: id, Name: name[1]}
+	if m := reUserUsername.FindStringSubmatch(html); m != nil {
+		row.UserName = m[1]
+	}
+	if m := reHomeCity.FindStringSubmatch(html); m != nil {
+		row.HomeCity = m[1]
+	}
+	var err error
+	if row.TotalCheckins, err = extractInt(reStatCheckins, html); err != nil {
+		return store.UserRow{}, fmt.Errorf("user page %d: %w", id, err)
+	}
+	row.TotalBadges, _ = extractInt(reStatBadges, html)
+	row.Points, _ = extractInt(reStatPoints, html)
+	row.Friends, _ = extractInt(reStatFriends, html)
+	return row, nil
+}
+
+// VenuePage is the parse result for a venue profile: the VenueInfo row
+// plus the recent-visitor user IDs feeding the RecentCheckins table.
+type VenuePage struct {
+	Row      store.VenueRow
+	Visitors []uint64
+}
+
+// ParseVenuePage extracts a VenueInfo row and visitor list from
+// venue-profile HTML.
+func ParseVenuePage(id uint64, html string) (VenuePage, error) {
+	name := reVenueName.FindStringSubmatch(html)
+	if name == nil {
+		return VenuePage{}, fmt.Errorf("venue page %d: no venue-name field", id)
+	}
+	row := store.VenueRow{ID: id, Name: name[1]}
+	if m := reVenueAddress.FindStringSubmatch(html); m != nil {
+		row.Address = m[1]
+	}
+	if m := reVenueCity.FindStringSubmatch(html); m != nil {
+		row.City = m[1]
+	}
+	lat := reGeoLat.FindStringSubmatch(html)
+	lon := reGeoLon.FindStringSubmatch(html)
+	if lat == nil || lon == nil {
+		return VenuePage{}, fmt.Errorf("venue page %d: no coordinates", id)
+	}
+	var err error
+	if row.Latitude, err = strconv.ParseFloat(lat[1], 64); err != nil {
+		return VenuePage{}, fmt.Errorf("venue page %d: bad latitude: %w", id, err)
+	}
+	if row.Longitude, err = strconv.ParseFloat(lon[1], 64); err != nil {
+		return VenuePage{}, fmt.Errorf("venue page %d: bad longitude: %w", id, err)
+	}
+	row.CheckinsHere, _ = extractInt(reCheckinsHere, html)
+	row.UniqueVisitors, _ = extractInt(reUniqueVisitors, html)
+	if m := reMayorLink.FindStringSubmatch(html); m != nil {
+		row.MayorID, _ = strconv.ParseUint(m[1], 10, 64)
+	}
+	if m := reSpecial.FindStringSubmatch(html); m != nil {
+		row.SpecialMayor = m[1] != ""
+		row.Special = m[2]
+	}
+	page := VenuePage{Row: row}
+	for _, m := range reVisitorLink.FindAllStringSubmatch(html, -1) {
+		uid, convErr := strconv.ParseUint(m[1], 10, 64)
+		if convErr == nil {
+			page.Visitors = append(page.Visitors, uid)
+		}
+	}
+	return page, nil
+}
+
+func extractInt(re *regexp.Regexp, html string) (int, error) {
+	m := re.FindStringSubmatch(html)
+	if m == nil {
+		return 0, fmt.Errorf("pattern %s not found", re.String())
+	}
+	return strconv.Atoi(m[1])
+}

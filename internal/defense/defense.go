@@ -1,0 +1,327 @@
+// Package defense implements the §5.1 location-verification
+// techniques and compares them the way the paper does (accuracy vs
+// cost vs deployability), plus the §5.2 anti-crawl mitigation models.
+//
+// The three verifiers:
+//
+//   - Distance bounding: a challenge-response exchange whose
+//     round-trip time is bounded by the speed of light; the verifier
+//     estimates the prover's distance from the RTT. Most accurate,
+//     needs dedicated verifier hardware at every venue.
+//   - Address mapping: geolocate the client's IP address; city-level
+//     accuracy at best, and mobile carriers route through non-local
+//     gateways, so honest users get false-rejected.
+//   - Venue-side Wi-Fi verification: the venue's existing Wi-Fi router
+//     vouches for devices inside its radio range (~100 m). No new
+//     hardware, but a cheater sitting next door — inside the radio
+//     range of the wrong venue — still passes unless the owner
+//     restricts the range (the Wendy's-next-to-McDonald's case).
+//
+// Physics the attacker cannot fake (signal propagation) is modelled
+// from the device's true location; everything the attacker can fake
+// (GPS coordinates, claimed venue) is modelled from the claim.
+package defense
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locheat/internal/geo"
+)
+
+const speedOfLight = 299792458.0 // m/s
+
+// Device is the prover: where it really is, and what its network
+// looks like.
+type Device struct {
+	// TrueLocation is the physical position; radio physics derive from
+	// it.
+	TrueLocation geo.Point
+	// IPCity is the city the device's IP geolocates to; for mobile
+	// clients this is often the carrier gateway's city, not the
+	// user's.
+	IPCity string
+	// ProcessingDelaySeconds is the device's protocol turnaround time;
+	// a cheater can only ADD delay (making itself look farther), never
+	// respond faster than light.
+	ProcessingDelaySeconds float64
+}
+
+// Verdict is one verification outcome.
+type Verdict struct {
+	Accepted          bool
+	EstimatedDistance float64 // meters from the claimed point, as the verifier sees it
+	Detail            string
+}
+
+// Characteristics carries the paper's comparison axes. Cost and
+// deployability are ordinal (1 = best).
+type Characteristics struct {
+	AccuracyMeters float64 // typical localization error
+	CostRank       int     // 1 = cheapest
+	Deployability  string
+}
+
+// Verifier is one location-verification technique.
+type Verifier interface {
+	Name() string
+	// Verify decides whether the device may check in at claim.
+	Verify(claim geo.Point, dev Device) Verdict
+	Characteristics() Characteristics
+}
+
+// DistanceBounding ------------------------------------------------------
+
+// DistanceBounding verifies via an RF challenge-response from a
+// verifier placed at the venue.
+type DistanceBounding struct {
+	// BoundMeters is the maximum accepted distance (default 100 m).
+	BoundMeters float64
+	// NominalProcessing is subtracted from the RTT (default 1 µs).
+	NominalProcessing float64
+	// JitterStd is the RTT measurement noise in seconds (default 50 ns
+	// ≈ 15 m of ranging error).
+	JitterStd float64
+	// Rng drives the jitter; nil uses an unseeded deterministic source.
+	Rng *rand.Rand
+}
+
+var _ Verifier = (*DistanceBounding)(nil)
+
+// Name implements Verifier.
+func (d *DistanceBounding) Name() string { return "distance-bounding" }
+
+// Characteristics implements Verifier: most accurate, most expensive
+// ("it's expensive to deploy location verification based on distance
+// bounding").
+func (d *DistanceBounding) Characteristics() Characteristics {
+	return Characteristics{AccuracyMeters: 20, CostRank: 3, Deployability: "verifier hardware at every venue"}
+}
+
+func (d *DistanceBounding) params() (bound, proc, jitter float64, rng *rand.Rand) {
+	bound, proc, jitter, rng = d.BoundMeters, d.NominalProcessing, d.JitterStd, d.Rng
+	if bound <= 0 {
+		bound = 100
+	}
+	if proc <= 0 {
+		proc = 1e-6
+	}
+	if jitter <= 0 {
+		jitter = 50e-9
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return bound, proc, jitter, rng
+}
+
+// Verify implements Verifier. The verifier sits at the claimed venue;
+// the RTT is governed by the device's TRUE distance — the one thing
+// spoofed GPS cannot change.
+func (d *DistanceBounding) Verify(claim geo.Point, dev Device) Verdict {
+	bound, proc, jitter, rng := d.params()
+	trueDist := claim.DistanceMeters(dev.TrueLocation)
+	extra := dev.ProcessingDelaySeconds // cheaters can only add delay
+	rtt := 2*trueDist/speedOfLight + proc + extra + rng.NormFloat64()*jitter
+	est := (rtt - proc) * speedOfLight / 2
+	if est < 0 {
+		est = 0
+	}
+	return Verdict{
+		Accepted:          est <= bound,
+		EstimatedDistance: est,
+		Detail:            fmt.Sprintf("rtt-ranged %.1f m, bound %.0f m", est, bound),
+	}
+}
+
+// AddressMapping --------------------------------------------------------
+
+// AddressMapping geolocates the client IP to a city centroid and
+// accepts when the claim is within ToleranceMeters of it.
+type AddressMapping struct {
+	// ToleranceMeters is the acceptance radius around the IP's city
+	// centroid (default 50 km — city-level accuracy).
+	ToleranceMeters float64
+	// GeoIP maps city name → centroid; nil uses the built-in US
+	// gazetteer.
+	GeoIP map[string]geo.Point
+}
+
+var _ Verifier = (*AddressMapping)(nil)
+
+// NewAddressMapping builds the verifier over the built-in gazetteer.
+func NewAddressMapping() *AddressMapping {
+	table := make(map[string]geo.Point)
+	for _, c := range geo.USCities() {
+		table[c.Name] = c.Center
+	}
+	return &AddressMapping{GeoIP: table}
+}
+
+// Name implements Verifier.
+func (a *AddressMapping) Name() string { return "address-mapping" }
+
+// Characteristics implements Verifier: least accurate, cheapest.
+func (a *AddressMapping) Characteristics() Characteristics {
+	return Characteristics{AccuracyMeters: 50000, CostRank: 1, Deployability: "server-side only"}
+}
+
+// Verify implements Verifier. An unknown IP city cannot be verified
+// and is rejected (fail-closed).
+func (a *AddressMapping) Verify(claim geo.Point, dev Device) Verdict {
+	tol := a.ToleranceMeters
+	if tol <= 0 {
+		tol = 50000
+	}
+	centroid, ok := a.GeoIP[dev.IPCity]
+	if !ok {
+		return Verdict{Detail: fmt.Sprintf("IP city %q not in geolocation table", dev.IPCity)}
+	}
+	dist := claim.DistanceMeters(centroid)
+	return Verdict{
+		Accepted:          dist <= tol,
+		EstimatedDistance: dist,
+		Detail:            fmt.Sprintf("IP locates to %s, %.0f m from claim (tolerance %.0f m)", dev.IPCity, dist, tol),
+	}
+}
+
+// Venue-side Wi-Fi ------------------------------------------------------
+
+// Router is a venue's Wi-Fi router registered as a verifier with the
+// LBS server.
+type Router struct {
+	Venue geo.Point
+	// RangeMeters is the radio range (default 100 m, per the cited
+	// localization literature); owners can restrict it via firmware
+	// (DD-WRT) to shrink the next-door false-accept window.
+	RangeMeters float64
+	// Registered must be true for the LBS server to trust the router's
+	// vouchers (blocks impersonation).
+	Registered bool
+}
+
+// WiFiVerification is the venue-side technique: the router vouches for
+// devices within its radio range.
+type WiFiVerification struct {
+	// Routers maps a claimed venue location (stringified) to its
+	// router; in a real deployment the LBS server holds this registry.
+	routers map[string]*Router
+}
+
+var _ Verifier = (*WiFiVerification)(nil)
+
+// NewWiFiVerification builds an empty registry.
+func NewWiFiVerification() *WiFiVerification {
+	return &WiFiVerification{routers: make(map[string]*Router)}
+}
+
+// RegisterRouter installs a venue's router; rangeMeters ≤ 0 defaults
+// to 100 m.
+func (w *WiFiVerification) RegisterRouter(venue geo.Point, rangeMeters float64) *Router {
+	if rangeMeters <= 0 {
+		rangeMeters = 100
+	}
+	r := &Router{Venue: venue, RangeMeters: rangeMeters, Registered: true}
+	w.routers[venue.String()] = r
+	return r
+}
+
+// Name implements Verifier.
+func (w *WiFiVerification) Name() string { return "venue-side-wifi" }
+
+// Characteristics implements Verifier: good-enough accuracy, no new
+// hardware ("owners of the venues can simply update the software on
+// their existing routers").
+func (w *WiFiVerification) Characteristics() Characteristics {
+	return Characteristics{AccuracyMeters: 100, CostRank: 2, Deployability: "firmware update on existing routers"}
+}
+
+// Verify implements Verifier. Venues without a registered router
+// cannot verify (fail-closed). The router only hears devices whose
+// TRUE position is inside its radio range.
+func (w *WiFiVerification) Verify(claim geo.Point, dev Device) Verdict {
+	r, ok := w.routers[claim.String()]
+	if !ok || !r.Registered {
+		return Verdict{Detail: "no registered router at venue"}
+	}
+	trueDist := r.Venue.DistanceMeters(dev.TrueLocation)
+	inRange := trueDist <= r.RangeMeters
+	return Verdict{
+		Accepted:          inRange,
+		EstimatedDistance: trueDist,
+		Detail:            fmt.Sprintf("device %.0f m from router, range %.0f m", trueDist, r.RangeMeters),
+	}
+}
+
+// Comparison harness ----------------------------------------------------
+
+// TrialResult is one (verifier, attacker-distance) cell of the E11
+// comparison table.
+type TrialResult struct {
+	Verifier       string
+	AttackerMeters float64
+	Accepted       bool
+	EstimateMeters float64
+}
+
+// CompareAtDistances runs every verifier against a device placed at
+// each distance from the claimed venue, reproducing the §5.1
+// comparison. The device's IP geolocates to its true nearest city.
+func CompareAtDistances(verifiers []Verifier, venue geo.Point, distances []float64) []TrialResult {
+	out := make([]TrialResult, 0, len(verifiers)*len(distances))
+	for _, dist := range distances {
+		truePos := venue.Destination(90, dist)
+		dev := Device{TrueLocation: truePos, IPCity: nearestCity(truePos)}
+		for _, v := range verifiers {
+			verdict := v.Verify(venue, dev)
+			out = append(out, TrialResult{
+				Verifier:       v.Name(),
+				AttackerMeters: dist,
+				Accepted:       verdict.Accepted,
+				EstimateMeters: verdict.EstimatedDistance,
+			})
+		}
+	}
+	return out
+}
+
+func nearestCity(p geo.Point) string {
+	best := ""
+	bestDist := -1.0
+	for _, c := range geo.USCities() {
+		d := p.DistanceMeters(c.Center)
+		if bestDist < 0 || d < bestDist {
+			bestDist = d
+			best = c.Name
+		}
+	}
+	return best
+}
+
+// Anti-crawl mitigation models (§5.2) ------------------------------------
+
+// BlockingOutcome summarizes the collateral damage of IP blocking when
+// crawlers hide behind NATs or proxies. Casado & Freedman (cited in
+// §5.2): "most NATs only have a few hosts behind them, and proxies
+// generally have much more."
+type BlockingOutcome struct {
+	BlockedIPs         int
+	CrawlersBlocked    int
+	LegitimateBlocked  int // collateral damage
+	CollateralPerBlock float64
+}
+
+// SimulateIPBlocking models blocking every IP a crawler appears
+// behind: NAT IPs shield natHosts legitimate users each, proxy IPs
+// shield proxyHosts each.
+func SimulateIPBlocking(crawlersBehindNATs, natHosts, crawlersBehindProxies, proxyHosts int) BlockingOutcome {
+	out := BlockingOutcome{
+		BlockedIPs:        crawlersBehindNATs + crawlersBehindProxies,
+		CrawlersBlocked:   crawlersBehindNATs + crawlersBehindProxies,
+		LegitimateBlocked: crawlersBehindNATs*natHosts + crawlersBehindProxies*proxyHosts,
+	}
+	if out.BlockedIPs > 0 {
+		out.CollateralPerBlock = float64(out.LegitimateBlocked) / float64(out.BlockedIPs)
+	}
+	return out
+}

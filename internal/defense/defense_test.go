@@ -1,0 +1,239 @@
+package defense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"locheat/internal/geo"
+)
+
+func venueLoc() geo.Point {
+	sf, _ := geo.FindCity("San Francisco")
+	return sf.Center
+}
+
+func TestDistanceBoundingAcceptsNearRejectsFar(t *testing.T) {
+	db := &DistanceBounding{Rng: rand.New(rand.NewSource(42))}
+	venue := venueLoc()
+
+	near := Device{TrueLocation: venue.Destination(0, 20)}
+	if v := db.Verify(venue, near); !v.Accepted {
+		t.Errorf("20 m device rejected: %+v", v)
+	}
+	far := Device{TrueLocation: venue.Destination(0, 5000)}
+	if v := db.Verify(venue, far); v.Accepted {
+		t.Errorf("5 km device accepted: %+v", v)
+	}
+	// Cross-country spoofer: hopeless.
+	lincoln, _ := geo.FindCity("Lincoln")
+	remote := Device{TrueLocation: lincoln.Center}
+	if v := db.Verify(venue, remote); v.Accepted {
+		t.Errorf("2000 km device accepted: %+v", v)
+	}
+}
+
+func TestDistanceBoundingEstimateAccuracy(t *testing.T) {
+	db := &DistanceBounding{Rng: rand.New(rand.NewSource(7))}
+	venue := venueLoc()
+	for _, dist := range []float64{10, 50, 90} {
+		dev := Device{TrueLocation: venue.Destination(90, dist)}
+		v := db.Verify(venue, dev)
+		if math.Abs(v.EstimatedDistance-dist) > 60 {
+			t.Errorf("estimate for %v m = %.1f m, want within ranging noise", dist, v.EstimatedDistance)
+		}
+	}
+}
+
+func TestDistanceBoundingDelayOnlyHurts(t *testing.T) {
+	// A cheater adding processing delay looks FARTHER, never nearer:
+	// it cannot beat the speed of light.
+	db := &DistanceBounding{Rng: rand.New(rand.NewSource(9))}
+	venue := venueLoc()
+	honest := Device{TrueLocation: venue.Destination(0, 5000)}
+	cheater := Device{TrueLocation: venue.Destination(0, 5000), ProcessingDelaySeconds: -1e-3}
+	_ = cheater // negative delay is unphysical; the model only adds.
+	slow := Device{TrueLocation: venue.Destination(0, 50), ProcessingDelaySeconds: 1e-3}
+	v := db.Verify(venue, slow)
+	if v.Accepted {
+		t.Errorf("laggy device inside bound accepted at estimate %.0f m — delay must inflate distance", v.EstimatedDistance)
+	}
+	if hv := db.Verify(venue, honest); hv.Accepted {
+		t.Error("distant device accepted")
+	}
+}
+
+func TestAddressMappingCityLevel(t *testing.T) {
+	am := NewAddressMapping()
+	venue := venueLoc()
+
+	// Honest local user: IP geolocates to San Francisco, claim is in
+	// San Francisco -> accepted.
+	local := Device{TrueLocation: venue.Destination(0, 3000), IPCity: "San Francisco"}
+	if v := am.Verify(venue, local); !v.Accepted {
+		t.Errorf("local device rejected: %+v", v)
+	}
+	// Spoofer whose IP is in Lincoln claiming SF -> rejected.
+	remote := Device{IPCity: "Lincoln"}
+	if v := am.Verify(venue, remote); v.Accepted {
+		t.Errorf("cross-country IP accepted: %+v", v)
+	}
+	// The §5.1 weakness: a cheater ACROSS TOWN passes — city-level
+	// tolerance cannot tell 20 km apart.
+	acrossTown := Device{TrueLocation: venue.Destination(90, 20000), IPCity: "San Francisco"}
+	if v := am.Verify(venue, acrossTown); !v.Accepted {
+		t.Errorf("same-city cheater rejected — address mapping should be too coarse to catch this: %+v", v)
+	}
+	// Carrier-gateway false reject: honest SF user whose mobile IP
+	// geolocates to Denver.
+	gateway := Device{TrueLocation: venue, IPCity: "Denver"}
+	if v := am.Verify(venue, gateway); v.Accepted {
+		t.Errorf("honest user with non-local carrier IP accepted (tolerance too wide): %+v", v)
+	}
+	// Unknown IP: fail closed.
+	if v := am.Verify(venue, Device{IPCity: "Narnia"}); v.Accepted {
+		t.Error("unknown IP city accepted")
+	}
+}
+
+func TestWiFiVerification(t *testing.T) {
+	w := NewWiFiVerification()
+	venue := venueLoc()
+
+	// No router registered: fail closed.
+	if v := w.Verify(venue, Device{TrueLocation: venue}); v.Accepted {
+		t.Error("venue without router accepted")
+	}
+	w.RegisterRouter(venue, 0) // default 100 m
+	inside := Device{TrueLocation: venue.Destination(0, 50)}
+	if v := w.Verify(venue, inside); !v.Accepted {
+		t.Errorf("in-range device rejected: %+v", v)
+	}
+	outside := Device{TrueLocation: venue.Destination(0, 250)}
+	if v := w.Verify(venue, outside); v.Accepted {
+		t.Errorf("out-of-range device accepted: %+v", v)
+	}
+}
+
+func TestWiFiNextDoorFalseAcceptAndDDWRTFix(t *testing.T) {
+	// §5.1: "a cheater sitting inside a McDonald's can check-in to the
+	// Wendy's next door, which is only 50 meters away." The DD-WRT
+	// range restriction closes the hole.
+	w := NewWiFiVerification()
+	wendys := venueLoc()
+	mcdonalds := wendys.Destination(90, 50)
+	w.RegisterRouter(wendys, 100)
+
+	cheater := Device{TrueLocation: mcdonalds}
+	if v := w.Verify(wendys, cheater); !v.Accepted {
+		t.Fatalf("next-door cheater should pass the default 100 m range: %+v", v)
+	}
+	// Restrict the Wendy's router to 30 m.
+	w.RegisterRouter(wendys, 30)
+	if v := w.Verify(wendys, cheater); v.Accepted {
+		t.Errorf("next-door cheater still accepted after range restriction: %+v", v)
+	}
+	// Genuine customer inside Wendy's still fine.
+	if v := w.Verify(wendys, Device{TrueLocation: wendys.Destination(0, 10)}); !v.Accepted {
+		t.Errorf("in-store customer rejected after restriction: %+v", v)
+	}
+}
+
+func TestUnregisteredRouterRejected(t *testing.T) {
+	w := NewWiFiVerification()
+	venue := venueLoc()
+	r := w.RegisterRouter(venue, 100)
+	r.Registered = false // impersonation defence: unregistered vouchers are ignored
+	if v := w.Verify(venue, Device{TrueLocation: venue}); v.Accepted {
+		t.Error("unregistered router's voucher accepted")
+	}
+}
+
+func TestCompareAtDistancesShape(t *testing.T) {
+	// E11: who accepts whom across the distance sweep.
+	venue := venueLoc()
+	w := NewWiFiVerification()
+	w.RegisterRouter(venue, 100)
+	verifiers := []Verifier{
+		&DistanceBounding{Rng: rand.New(rand.NewSource(3))},
+		NewAddressMapping(),
+		w,
+	}
+	distances := []float64{10, 50, 1000, 10000, 1000000}
+	results := CompareAtDistances(verifiers, venue, distances)
+	if len(results) != len(verifiers)*len(distances) {
+		t.Fatalf("results = %d, want %d", len(results), len(verifiers)*len(distances))
+	}
+	get := func(name string, dist float64) TrialResult {
+		for _, r := range results {
+			if r.Verifier == name && r.AttackerMeters == dist {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %s@%v", name, dist)
+		return TrialResult{}
+	}
+	// All three accept a device at the venue door (10 m).
+	for _, name := range []string{"distance-bounding", "address-mapping", "venue-side-wifi"} {
+		if !get(name, 10).Accepted {
+			t.Errorf("%s rejects a device at the door", name)
+		}
+	}
+	// At 1 km: address mapping is fooled, the others are not.
+	if !get("address-mapping", 1000).Accepted {
+		t.Error("address mapping should be too coarse to catch a 1 km cheater")
+	}
+	if get("distance-bounding", 1000).Accepted {
+		t.Error("distance bounding caught out at 1 km")
+	}
+	if get("venue-side-wifi", 1000).Accepted {
+		t.Error("wifi verification caught out at 1 km")
+	}
+	// At 1000 km everyone rejects.
+	for _, name := range []string{"distance-bounding", "address-mapping", "venue-side-wifi"} {
+		if get(name, 1000000).Accepted {
+			t.Errorf("%s accepts a 1000 km cheater", name)
+		}
+	}
+}
+
+func TestCharacteristicsOrdering(t *testing.T) {
+	db := &DistanceBounding{}
+	am := NewAddressMapping()
+	wf := NewWiFiVerification()
+	// Accuracy: distance bounding best, address mapping worst.
+	if !(db.Characteristics().AccuracyMeters < wf.Characteristics().AccuracyMeters &&
+		wf.Characteristics().AccuracyMeters < am.Characteristics().AccuracyMeters) {
+		t.Error("accuracy ordering wrong (want DB < WiFi < AddressMapping error)")
+	}
+	// Cost: address mapping cheapest, distance bounding most expensive.
+	if !(am.Characteristics().CostRank < wf.Characteristics().CostRank &&
+		wf.Characteristics().CostRank < db.Characteristics().CostRank) {
+		t.Error("cost ordering wrong (want AM < WiFi < DB)")
+	}
+}
+
+func TestSimulateIPBlocking(t *testing.T) {
+	// Casado & Freedman: NATs shield few hosts, proxies many.
+	nat := SimulateIPBlocking(10, 3, 0, 0)
+	if nat.CrawlersBlocked != 10 || nat.LegitimateBlocked != 30 {
+		t.Errorf("NAT outcome = %+v", nat)
+	}
+	proxy := SimulateIPBlocking(0, 0, 2, 500)
+	if proxy.LegitimateBlocked != 1000 {
+		t.Errorf("proxy outcome = %+v", proxy)
+	}
+	if proxy.CollateralPerBlock <= nat.CollateralPerBlock {
+		t.Error("proxy blocking should cause more collateral per blocked IP than NAT blocking")
+	}
+	empty := SimulateIPBlocking(0, 0, 0, 0)
+	if empty.CollateralPerBlock != 0 {
+		t.Error("empty simulation should not divide by zero")
+	}
+}
+
+func TestVerifierNames(t *testing.T) {
+	if (&DistanceBounding{}).Name() == "" || NewAddressMapping().Name() == "" || NewWiFiVerification().Name() == "" {
+		t.Error("verifier names must be non-empty")
+	}
+}

@@ -1,0 +1,92 @@
+package defense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRapidBitHonestNearProverAccepted(t *testing.T) {
+	cfg := RapidBitConfig{Rounds: 20, BoundMeters: 100}
+	rng := rand.New(rand.NewSource(1))
+	for _, dist := range []float64{1, 30, 80} {
+		res := RunRapidBitExchange(cfg, Prover{DistanceMeters: dist}, rng)
+		if !res.Accepted {
+			t.Errorf("honest prover at %v m rejected: %+v", dist, res)
+		}
+		if res.BitFails != 0 {
+			t.Errorf("honest prover flipped bits: %+v", res)
+		}
+	}
+}
+
+func TestRapidBitHonestFarProverTimesOut(t *testing.T) {
+	cfg := RapidBitConfig{Rounds: 20, BoundMeters: 100}
+	rng := rand.New(rand.NewSource(2))
+	res := RunRapidBitExchange(cfg, Prover{DistanceMeters: 5000}, rng)
+	if res.Accepted {
+		t.Fatalf("5 km prover accepted: %+v", res)
+	}
+	if res.TimingFails == 0 {
+		t.Error("distant prover should fail on timing")
+	}
+	if res.BitFails != 0 {
+		t.Error("honest distant prover answers correctly, just late")
+	}
+}
+
+func TestRapidBitProcessingDelayHurts(t *testing.T) {
+	// Even a near prover with slow hardware exceeds the bound — the
+	// protocol cannot be cheated by adding delay (only by removing it,
+	// which physics forbids).
+	cfg := RapidBitConfig{Rounds: 10, BoundMeters: 100}
+	rng := rand.New(rand.NewSource(3))
+	res := RunRapidBitExchange(cfg, Prover{DistanceMeters: 10, ProcessingSeconds: 1e-3}, rng)
+	if res.Accepted {
+		t.Errorf("laggy prover accepted: %+v", res)
+	}
+}
+
+func TestRapidBitGuessingAttackerBitFails(t *testing.T) {
+	cfg := RapidBitConfig{Rounds: 20, BoundMeters: 100}
+	rng := rand.New(rand.NewSource(4))
+	res := RunRapidBitExchange(cfg, Prover{DistanceMeters: 5000, GuessEarly: true}, rng)
+	if res.Accepted {
+		t.Fatalf("guessing attacker passed 20 rounds (p = 2^-20): %+v", res)
+	}
+	if res.BitFails == 0 {
+		t.Error("guessing attacker should flip bits")
+	}
+	if res.TimingFails != 0 {
+		t.Error("early-replying attacker should not fail timing")
+	}
+}
+
+func TestRapidBitFalseAcceptRateMatchesTheory(t *testing.T) {
+	// With few rounds the 2^-n bound is measurable: n=2 → 25%.
+	cfg := RapidBitConfig{Rounds: 2, BoundMeters: 100}
+	got := MeasureFalseAcceptRate(cfg, 20000, 7)
+	want := cfg.FalseAcceptProbability()
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("false-accept rate = %.4f, theory %.4f", got, want)
+	}
+	// And with 20 rounds it is negligible.
+	strong := RapidBitConfig{Rounds: 20, BoundMeters: 100}
+	if rate := MeasureFalseAcceptRate(strong, 5000, 8); rate > 0.001 {
+		t.Errorf("20-round false-accept rate = %.4f, want ~2^-20", rate)
+	}
+}
+
+func TestRapidBitDefaults(t *testing.T) {
+	res := RunRapidBitExchange(RapidBitConfig{}, Prover{DistanceMeters: 10}, nil)
+	if res.Rounds != 20 || !res.Accepted {
+		t.Errorf("defaulted run = %+v", res)
+	}
+	var cfg RapidBitConfig
+	if p := cfg.FalseAcceptProbability(); math.Abs(p-math.Pow(0.5, 20)) > 1e-12 {
+		t.Errorf("default false-accept = %v", p)
+	}
+	if MeasureFalseAcceptRate(RapidBitConfig{Rounds: 1}, 0, 9) < 0.3 {
+		t.Error("1-round protocol should accept ~half of guessers")
+	}
+}

@@ -1,0 +1,56 @@
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/nmea"
+)
+
+// BluetoothReceiver adapts a simulated NMEA GPS receiver (the §3.1
+// vector-2 tool — "a program on a computer that simulates the behavior
+// of a Bluetooth GPS receiver") into the GPSModule interface the
+// client app reads. Each Read pulls the next NMEA sentence from the
+// simulator and decodes it, exactly as a phone's Bluetooth GPS stack
+// would.
+type BluetoothReceiver struct {
+	mu   sync.Mutex
+	sim  *nmea.Simulator
+	last geo.Point
+	has  bool
+}
+
+var _ GPSModule = (*BluetoothReceiver)(nil)
+
+// NewBluetoothReceiver wraps a scripted NMEA simulator.
+func NewBluetoothReceiver(sim *nmea.Simulator) *BluetoothReceiver {
+	return &BluetoothReceiver{sim: sim}
+}
+
+// NewBluetoothRoute is a convenience that scripts a waypoint route
+// directly.
+func NewBluetoothRoute(route []geo.Point, start time.Time, interval time.Duration) (*BluetoothReceiver, error) {
+	sim, err := nmea.NewSimulator(route, start, interval)
+	if err != nil {
+		return nil, fmt.Errorf("bluetooth receiver: %w", err)
+	}
+	return NewBluetoothReceiver(sim), nil
+}
+
+// Read pulls and decodes the next sentence. Undecodable or no-fix
+// sentences fall back to the last good fix; with none yet, ErrNoFix.
+func (b *BluetoothReceiver) Read() (geo.Point, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fix, err := nmea.Parse(b.sim.Next())
+	if err == nil && fix.Valid {
+		b.last = fix.Point
+		b.has = true
+	}
+	if !b.has {
+		return geo.Point{}, ErrNoFix
+	}
+	return b.last, nil
+}

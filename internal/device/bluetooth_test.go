@@ -1,0 +1,95 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+func TestBluetoothReceiverReadsRoute(t *testing.T) {
+	route := []geo.Point{
+		{Lat: 37.7749, Lon: -122.4194},
+		{Lat: 37.7800, Lon: -122.4100},
+	}
+	recv, err := NewBluetoothRoute(route, simclock.Epoch(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := recv.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.DistanceMeters(route[0]) > 2 {
+		t.Errorf("first fix %.1f m from waypoint 0", p1.DistanceMeters(route[0]))
+	}
+	// Advance through sentences; eventually waypoint 1 appears.
+	var p2 geo.Point
+	for i := 0; i < 4; i++ {
+		p2, err = recv.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p2.DistanceMeters(route[1]) > 2 {
+		t.Errorf("later fix %.1f m from waypoint 1", p2.DistanceMeters(route[1]))
+	}
+}
+
+func TestBluetoothRouteValidation(t *testing.T) {
+	if _, err := NewBluetoothRoute(nil, simclock.Epoch(), time.Second); err == nil {
+		t.Error("empty route accepted")
+	}
+}
+
+func TestBluetoothSpoofedCheckinEndToEnd(t *testing.T) {
+	// The complete vector-2 attack: pair an iPhone with the simulated
+	// receiver scripted to "be" in San Francisco, check in from
+	// Nebraska.
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	sf, _ := geo.FindCity("San Francisco")
+	venue, err := svc.AddVenue("Wharf", "", "San Francisco", sf.Center, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := svc.RegisterUser("Mallory", "", "Lincoln")
+
+	recv, err := NewBluetoothRoute([]geo.Point{sf.Center}, simclock.Epoch(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lincoln, _ := geo.FindCity("Lincoln")
+	phone := NewPhone(OSIOS, NewHardwareGPS(lincoln.Center)) // closed-source OS!
+	phone.PairExternalGPS(recv)
+
+	app := NewClient(svc, user, phone.GPS())
+	res, err := app.CheckIn(venue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("NMEA-spoofed check-in denied: %s %s", res.Reason, res.Detail)
+	}
+}
+
+func TestBluetoothReceiverHoldsLastFix(t *testing.T) {
+	// Once parked at the final waypoint, repeated reads keep returning
+	// the same (last good) fix — a parked receiver, not an error.
+	route := []geo.Point{{Lat: 40.0, Lon: -96.0}}
+	recv, err := NewBluetoothRoute(route, simclock.Epoch(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, err := recv.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if p.DistanceMeters(route[0]) > 2 {
+			t.Fatalf("read %d drifted %.1f m", i, p.DistanceMeters(route[0]))
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package device models the client side of the attack surface: a
+// smartphone with a GPS module, the LBSN client application that reads
+// it, and the four location-spoofing vectors of §3.1:
+//
+//  1. GPS API hook — the open-source OS's location APIs are modified
+//     to return coordinates from an attacker-controlled source.
+//  2. GPS module simulation — a simulated (e.g. Bluetooth) GPS
+//     receiver feeds fake fixes, transparent to the OS.
+//  3. Server API — the service's public developer API is called
+//     directly with forged coordinates, bypassing the client app.
+//  4. Device emulator — the manufacturer's emulator accepts a command
+//     (Dalvik Debug Monitor / "geo fix") that sets its virtual GPS.
+//
+// All four reduce to the same server-visible outcome — the check-in
+// request carries coordinates the attacker chose — which is precisely
+// the paper's point: verification that trusts the client cannot
+// distinguish them.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+)
+
+// Errors callers can match.
+var (
+	ErrNoFix            = errors.New("device: GPS has no fix")
+	ErrMarketDisabled   = errors.New("device: emulator app market disabled (hack the emulator first, §3.1)")
+	ErrAppNotInstalled  = errors.New("device: client application not installed")
+	ErrNoNearbyVenue    = errors.New("device: no venue near the reported location")
+	ErrClosedSourcePath = errors.New("device: cannot hook GPS APIs on a closed-source OS")
+)
+
+// GPSModule is the interface the client application reads coordinates
+// from. Implementations must be safe for concurrent use.
+type GPSModule interface {
+	// Read returns the current fix.
+	Read() (geo.Point, error)
+}
+
+// HardwareGPS is an honest GPS module: it reports the device's true
+// physical position, which the experiment harness moves around.
+type HardwareGPS struct {
+	mu  sync.RWMutex
+	pos geo.Point
+	fix bool
+}
+
+var _ GPSModule = (*HardwareGPS)(nil)
+
+// NewHardwareGPS returns a module with a fix at the given position.
+func NewHardwareGPS(pos geo.Point) *HardwareGPS {
+	return &HardwareGPS{pos: pos, fix: true}
+}
+
+// MoveTo physically relocates the device.
+func (g *HardwareGPS) MoveTo(p geo.Point) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pos = p
+	g.fix = true
+}
+
+// Read returns the true position.
+func (g *HardwareGPS) Read() (geo.Point, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if !g.fix {
+		return geo.Point{}, ErrNoFix
+	}
+	return g.pos, nil
+}
+
+// OS identifies a smartphone operating system; only open-source
+// systems admit the GPS API hook (§3.1: "it is difficult to modify a
+// closed source system like iOS").
+type OS int
+
+// Supported operating systems.
+const (
+	OSAndroid OS = iota + 1
+	OSIOS
+	OSBlackberry
+)
+
+// String names the OS.
+func (o OS) String() string {
+	switch o {
+	case OSAndroid:
+		return "android"
+	case OSIOS:
+		return "ios"
+	case OSBlackberry:
+		return "blackberry"
+	default:
+		return fmt.Sprintf("os(%d)", int(o))
+	}
+}
+
+// OpenSource reports whether the OS's GPS APIs can be modified.
+func (o OS) OpenSource() bool { return o == OSAndroid }
+
+// Phone is a smartphone: an OS plus the GPS module its apps read.
+type Phone struct {
+	os  OS
+	mu  sync.Mutex
+	gps GPSModule
+}
+
+// NewPhone assembles a phone around a GPS module.
+func NewPhone(os OS, gps GPSModule) *Phone {
+	return &Phone{os: os, gps: gps}
+}
+
+// OS returns the phone's operating system.
+func (p *Phone) OS() OS { return p.os }
+
+// GPS returns the module apps currently read.
+func (p *Phone) GPS() GPSModule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gps
+}
+
+// HookGPSAPI replaces the OS location APIs with an attacker-supplied
+// source (spoofing vector 1). Fails on closed-source systems.
+func (p *Phone) HookGPSAPI(fake GPSModule) error {
+	if !p.os.OpenSource() {
+		return fmt.Errorf("hook GPS API on %s: %w", p.os, ErrClosedSourcePath)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gps = fake
+	return nil
+}
+
+// PairExternalGPS connects a simulated external (e.g. Bluetooth) GPS
+// receiver (spoofing vector 2). This works on any OS — the fake device
+// is transparent to the system.
+func (p *Phone) PairExternalGPS(sim GPSModule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gps = sim
+}
+
+// FakeGPS is an attacker-controlled GPS source usable both as an API
+// hook and as a simulated external receiver: it replays whatever
+// coordinates were last loaded, mimicking the "from a server that
+// returns fake GPS coordinates, or simply from a local file" sources
+// of §3.1.
+type FakeGPS struct {
+	mu  sync.RWMutex
+	pos geo.Point
+	set bool
+}
+
+var _ GPSModule = (*FakeGPS)(nil)
+
+// NewFakeGPS returns an empty fake source; Set must be called before
+// Read succeeds.
+func NewFakeGPS() *FakeGPS { return &FakeGPS{} }
+
+// Set loads the coordinates the source will report.
+func (f *FakeGPS) Set(p geo.Point) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pos = p
+	f.set = true
+}
+
+// Read returns the loaded coordinates.
+func (f *FakeGPS) Read() (geo.Point, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if !f.set {
+		return geo.Point{}, ErrNoFix
+	}
+	return f.pos, nil
+}
+
+// Emulator models the manufacturer device emulator (spoofing vector 4,
+// the one the paper used for its experiments). Out of the box the
+// emulator has no app market — the paper "bypassed this limitation by
+// using a full system recovery image" — so InstallApp fails until
+// RestoreFullImage is called. SetGeoFix is the Dalvik Debug Monitor
+// command that sets the virtual GPS.
+type Emulator struct {
+	mu            sync.RWMutex
+	marketEnabled bool
+	fix           geo.Point
+	hasFix        bool
+}
+
+var _ GPSModule = (*Emulator)(nil)
+
+// NewEmulator returns a stock emulator (no market, no fix).
+func NewEmulator() *Emulator { return &Emulator{} }
+
+// RestoreFullImage flashes a full system recovery image, restoring the
+// app market (§3.1's emulator hack).
+func (e *Emulator) RestoreFullImage() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.marketEnabled = true
+}
+
+// MarketEnabled reports whether apps can be installed.
+func (e *Emulator) MarketEnabled() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.marketEnabled
+}
+
+// SetGeoFix sets the simulated GPS coordinates, as the Dalvik Debug
+// Monitor does in Fig B.3.
+func (e *Emulator) SetGeoFix(p geo.Point) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fix = p
+	e.hasFix = true
+}
+
+// Read returns the last geo fix.
+func (e *Emulator) Read() (geo.Point, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.hasFix {
+		return geo.Point{}, ErrNoFix
+	}
+	return e.fix, nil
+}
+
+// InstallClient installs the LBSN client application on the emulator,
+// failing if the market hack has not been applied.
+func (e *Emulator) InstallClient(svc *lbsn.Service, user lbsn.UserID) (*Client, error) {
+	if !e.MarketEnabled() {
+		return nil, ErrMarketDisabled
+	}
+	return NewClient(svc, user, e), nil
+}
+
+// Client is the LBSN client application: it reads whatever GPS source
+// the device exposes and submits check-ins carrying that reading —
+// confirmed in §3.1 by source inspection ("it gets the GPS location
+// data from the phone's GPS-related APIs").
+type Client struct {
+	svc  *lbsn.Service
+	user lbsn.UserID
+	gps  GPSModule
+}
+
+// NewClient binds the app to a service account and a GPS source.
+func NewClient(svc *lbsn.Service, user lbsn.UserID, gps GPSModule) *Client {
+	return &Client{svc: svc, user: user, gps: gps}
+}
+
+// UserID returns the logged-in account.
+func (c *Client) UserID() lbsn.UserID { return c.user }
+
+// NearbyVenues shows the app's suggested venue list around the current
+// GPS reading.
+func (c *Client) NearbyVenues(radiusMeters float64, limit int) ([]lbsn.VenueView, error) {
+	pos, err := c.gps.Read()
+	if err != nil {
+		return nil, fmt.Errorf("nearby venues: %w", err)
+	}
+	return c.svc.NearbyVenues(pos, radiusMeters, limit), nil
+}
+
+// CheckIn submits a check-in to the venue, reporting the device's
+// current GPS reading.
+func (c *Client) CheckIn(venue lbsn.VenueID) (lbsn.CheckinResult, error) {
+	pos, err := c.gps.Read()
+	if err != nil {
+		return lbsn.CheckinResult{}, fmt.Errorf("check-in: %w", err)
+	}
+	return c.svc.CheckIn(lbsn.CheckinRequest{UserID: c.user, VenueID: venue, Reported: pos})
+}
+
+// CheckInNearest finds the venue closest to the current GPS reading
+// and checks in there — the core step of the §3.3 automated tour.
+func (c *Client) CheckInNearest() (lbsn.VenueView, lbsn.CheckinResult, error) {
+	pos, err := c.gps.Read()
+	if err != nil {
+		return lbsn.VenueView{}, lbsn.CheckinResult{}, fmt.Errorf("check-in nearest: %w", err)
+	}
+	v, ok := c.svc.NearestVenue(pos)
+	if !ok {
+		return lbsn.VenueView{}, lbsn.CheckinResult{}, ErrNoNearbyVenue
+	}
+	res, err := c.svc.CheckIn(lbsn.CheckinRequest{UserID: c.user, VenueID: v.ID, Reported: pos})
+	return v, res, err
+}
+
+// ServerAPI is spoofing vector 3: the public developer API, called
+// directly with arbitrary coordinates ("these APIs can be employed by
+// a location cheater to check into a place ... more convenient to
+// issue a large-scale cheating attack").
+type ServerAPI struct {
+	svc *lbsn.Service
+}
+
+// NewServerAPI wraps the service's developer API surface.
+func NewServerAPI(svc *lbsn.Service) *ServerAPI { return &ServerAPI{svc: svc} }
+
+// CheckIn submits a check-in with caller-chosen coordinates.
+func (a *ServerAPI) CheckIn(user lbsn.UserID, venue lbsn.VenueID, at geo.Point) (lbsn.CheckinResult, error) {
+	return a.svc.CheckIn(lbsn.CheckinRequest{UserID: user, VenueID: venue, Reported: at})
+}
+
+// SpoofMethod enumerates the four §3.1 vectors.
+type SpoofMethod int
+
+// The four vectors, in the paper's order.
+const (
+	SpoofGPSAPI SpoofMethod = iota + 1
+	SpoofGPSModule
+	SpoofServerAPI
+	SpoofEmulator
+)
+
+// String names the method.
+func (m SpoofMethod) String() string {
+	switch m {
+	case SpoofGPSAPI:
+		return "gps-api-hook"
+	case SpoofGPSModule:
+		return "gps-module-sim"
+	case SpoofServerAPI:
+		return "server-api"
+	case SpoofEmulator:
+		return "device-emulator"
+	default:
+		return fmt.Sprintf("spoof(%d)", int(m))
+	}
+}
+
+// SpoofedCheckin is a uniform harness over all four vectors: it makes
+// user check in at the venue while pretending to be at fakeLoc,
+// regardless of where the device physically is. Used by the E1
+// experiment to show all vectors are server-indistinguishable.
+func SpoofedCheckin(method SpoofMethod, svc *lbsn.Service, user lbsn.UserID, venue lbsn.VenueID, fakeLoc geo.Point) (lbsn.CheckinResult, error) {
+	switch method {
+	case SpoofGPSAPI:
+		phone := NewPhone(OSAndroid, NewHardwareGPS(geo.Point{Lat: 40.81, Lon: -96.70}))
+		fake := NewFakeGPS()
+		fake.Set(fakeLoc)
+		if err := phone.HookGPSAPI(fake); err != nil {
+			return lbsn.CheckinResult{}, err
+		}
+		return NewClient(svc, user, phone.GPS()).CheckIn(venue)
+	case SpoofGPSModule:
+		phone := NewPhone(OSIOS, NewHardwareGPS(geo.Point{Lat: 40.81, Lon: -96.70}))
+		sim := NewFakeGPS()
+		sim.Set(fakeLoc)
+		phone.PairExternalGPS(sim)
+		return NewClient(svc, user, phone.GPS()).CheckIn(venue)
+	case SpoofServerAPI:
+		return NewServerAPI(svc).CheckIn(user, venue, fakeLoc)
+	case SpoofEmulator:
+		emu := NewEmulator()
+		emu.RestoreFullImage()
+		emu.SetGeoFix(fakeLoc)
+		client, err := emu.InstallClient(svc, user)
+		if err != nil {
+			return lbsn.CheckinResult{}, err
+		}
+		return client.CheckIn(venue)
+	default:
+		return lbsn.CheckinResult{}, fmt.Errorf("unknown spoof method %d", int(method))
+	}
+}
+
+// AllSpoofMethods lists the vectors for table-driven experiments.
+func AllSpoofMethods() []SpoofMethod {
+	return []SpoofMethod{SpoofGPSAPI, SpoofGPSModule, SpoofServerAPI, SpoofEmulator}
+}

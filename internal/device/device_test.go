@@ -1,0 +1,256 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+func testWorld(t *testing.T) (*lbsn.Service, *simclock.Simulated, lbsn.UserID, lbsn.VenueID, geo.Point) {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	u := svc.RegisterUser("Mallory", "", "Lincoln")
+	sf, _ := geo.FindCity("San Francisco")
+	v, err := svc.AddVenue("Fisherman's Wharf Sign", "Pier 39", "San Francisco", sf.Center, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, clock, u, v, sf.Center
+}
+
+func TestHardwareGPSHonest(t *testing.T) {
+	lincoln, _ := geo.FindCity("Lincoln")
+	gps := NewHardwareGPS(lincoln.Center)
+	got, err := gps.Read()
+	if err != nil || got != lincoln.Center {
+		t.Fatalf("Read = (%v, %v), want Lincoln", got, err)
+	}
+	sf, _ := geo.FindCity("San Francisco")
+	gps.MoveTo(sf.Center)
+	got, _ = gps.Read()
+	if got != sf.Center {
+		t.Errorf("after MoveTo: %v, want SF", got)
+	}
+}
+
+func TestFakeGPSNoFixUntilSet(t *testing.T) {
+	f := NewFakeGPS()
+	if _, err := f.Read(); !errors.Is(err, ErrNoFix) {
+		t.Errorf("unset fake GPS error = %v, want ErrNoFix", err)
+	}
+	p := geo.Point{Lat: 37.8, Lon: -122.4}
+	f.Set(p)
+	got, err := f.Read()
+	if err != nil || got != p {
+		t.Errorf("Read = (%v, %v), want %v", got, err, p)
+	}
+}
+
+func TestHookGPSAPIOnlyOpenSource(t *testing.T) {
+	fake := NewFakeGPS()
+	android := NewPhone(OSAndroid, NewHardwareGPS(geo.Point{}))
+	if err := android.HookGPSAPI(fake); err != nil {
+		t.Errorf("android hook failed: %v", err)
+	}
+	iphone := NewPhone(OSIOS, NewHardwareGPS(geo.Point{}))
+	if err := iphone.HookGPSAPI(fake); !errors.Is(err, ErrClosedSourcePath) {
+		t.Errorf("iOS hook error = %v, want ErrClosedSourcePath", err)
+	}
+	bb := NewPhone(OSBlackberry, NewHardwareGPS(geo.Point{}))
+	if err := bb.HookGPSAPI(fake); err == nil {
+		t.Error("blackberry hook should fail (closed source)")
+	}
+}
+
+func TestPairExternalGPSWorksOnClosedOS(t *testing.T) {
+	// Vector 2 works even on iOS: the simulated Bluetooth receiver is
+	// transparent to the OS.
+	sim := NewFakeGPS()
+	target := geo.Point{Lat: 37.8, Lon: -122.4}
+	sim.Set(target)
+	iphone := NewPhone(OSIOS, NewHardwareGPS(geo.Point{Lat: 40, Lon: -96}))
+	iphone.PairExternalGPS(sim)
+	got, err := iphone.GPS().Read()
+	if err != nil || got != target {
+		t.Errorf("paired GPS Read = (%v, %v), want %v", got, err, target)
+	}
+}
+
+func TestEmulatorRequiresMarketHack(t *testing.T) {
+	svc, _, u, _, _ := func() (*lbsn.Service, *simclock.Simulated, lbsn.UserID, lbsn.VenueID, geo.Point) {
+		clock := simclock.NewSimulated(simclock.Epoch())
+		svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+		return svc, clock, svc.RegisterUser("M", "", ""), 0, geo.Point{}
+	}()
+	emu := NewEmulator()
+	if _, err := emu.InstallClient(svc, u); !errors.Is(err, ErrMarketDisabled) {
+		t.Errorf("stock emulator install error = %v, want ErrMarketDisabled", err)
+	}
+	emu.RestoreFullImage()
+	if !emu.MarketEnabled() {
+		t.Error("market should be enabled after full-image restore")
+	}
+	if _, err := emu.InstallClient(svc, u); err != nil {
+		t.Errorf("post-hack install failed: %v", err)
+	}
+}
+
+func TestEmulatorGeoFix(t *testing.T) {
+	emu := NewEmulator()
+	if _, err := emu.Read(); !errors.Is(err, ErrNoFix) {
+		t.Errorf("no-fix error = %v, want ErrNoFix", err)
+	}
+	gg := geo.Point{Lat: 37.8199, Lon: -122.4783} // Golden Gate Bridge (Fig B.3)
+	emu.SetGeoFix(gg)
+	got, err := emu.Read()
+	if err != nil || got != gg {
+		t.Errorf("Read = (%v, %v), want %v", got, err, gg)
+	}
+}
+
+func TestClientCheckInReportsGPSReading(t *testing.T) {
+	svc, _, u, v, sfLoc := testWorld(t)
+	// Honest device physically in Lincoln: GPS verification rejects the
+	// distant claim.
+	lincoln, _ := geo.FindCity("Lincoln")
+	honest := NewClient(svc, u, NewHardwareGPS(lincoln.Center))
+	res, err := honest.CheckIn(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.Reason != lbsn.DenyGPSMismatch {
+		t.Fatalf("honest distant check-in = %+v, want gps-mismatch denial", res)
+	}
+	// Spoofed device "at" the venue: accepted.
+	fake := NewFakeGPS()
+	fake.Set(sfLoc)
+	spoofed := NewClient(svc, u, fake)
+	res, err = spoofed.CheckIn(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("spoofed check-in denied: %+v", res)
+	}
+}
+
+func TestClientNoFixPropagates(t *testing.T) {
+	svc, _, u, v, _ := testWorld(t)
+	c := NewClient(svc, u, NewFakeGPS())
+	if _, err := c.CheckIn(v); !errors.Is(err, ErrNoFix) {
+		t.Errorf("CheckIn error = %v, want ErrNoFix", err)
+	}
+	if _, err := c.NearbyVenues(1000, 5); !errors.Is(err, ErrNoFix) {
+		t.Errorf("NearbyVenues error = %v, want ErrNoFix", err)
+	}
+	if _, _, err := c.CheckInNearest(); !errors.Is(err, ErrNoFix) {
+		t.Errorf("CheckInNearest error = %v, want ErrNoFix", err)
+	}
+}
+
+func TestClientNearbyAndNearest(t *testing.T) {
+	svc, _, u, v, sfLoc := testWorld(t)
+	fake := NewFakeGPS()
+	fake.Set(sfLoc.Destination(90, 100))
+	c := NewClient(svc, u, fake)
+	venues, err := c.NearbyVenues(1000, 10)
+	if err != nil || len(venues) != 1 || venues[0].ID != v {
+		t.Fatalf("NearbyVenues = (%v, %v), want the wharf venue", venues, err)
+	}
+	got, res, err := c.CheckInNearest()
+	if err != nil || !res.Accepted || got.ID != v {
+		t.Fatalf("CheckInNearest = (%+v, %+v, %v)", got, res, err)
+	}
+}
+
+func TestCheckInNearestNoVenues(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	u := svc.RegisterUser("M", "", "")
+	fake := NewFakeGPS()
+	fake.Set(geo.Point{Lat: 40, Lon: -96})
+	c := NewClient(svc, u, fake)
+	if _, _, err := c.CheckInNearest(); !errors.Is(err, ErrNoNearbyVenue) {
+		t.Errorf("empty world CheckInNearest error = %v, want ErrNoNearbyVenue", err)
+	}
+}
+
+func TestAllSpoofMethodsIndistinguishable(t *testing.T) {
+	// E1's core claim: every vector produces an accepted check-in at a
+	// venue ~2500 km from the attacker.
+	for _, method := range AllSpoofMethods() {
+		t.Run(method.String(), func(t *testing.T) {
+			svc, _, u, v, sfLoc := testWorld(t)
+			res, err := SpoofedCheckin(method, svc, u, v, sfLoc)
+			if err != nil {
+				t.Fatalf("SpoofedCheckin: %v", err)
+			}
+			if !res.Accepted {
+				t.Fatalf("vector %s denied: %+v", method, res)
+			}
+			if res.PointsEarned == 0 {
+				t.Errorf("vector %s earned no points", method)
+			}
+		})
+	}
+}
+
+func TestSpoofedCheckinUnknownMethod(t *testing.T) {
+	svc, _, u, v, loc := testWorld(t)
+	if _, err := SpoofedCheckin(SpoofMethod(99), svc, u, v, loc); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestSpoofMethodStrings(t *testing.T) {
+	want := map[SpoofMethod]string{
+		SpoofGPSAPI:    "gps-api-hook",
+		SpoofGPSModule: "gps-module-sim",
+		SpoofServerAPI: "server-api",
+		SpoofEmulator:  "device-emulator",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	if SpoofMethod(42).String() == "" {
+		t.Error("unknown method String must be non-empty")
+	}
+	if OSAndroid.String() != "android" || OSIOS.String() != "ios" || OSBlackberry.String() != "blackberry" {
+		t.Error("OS strings wrong")
+	}
+	if OS(42).String() == "" {
+		t.Error("unknown OS String must be non-empty")
+	}
+}
+
+func TestMayorAttackEndToEnd(t *testing.T) {
+	// Full E1 narrative: emulator hack -> install -> geo fix -> daily
+	// check-ins -> mayorship, all from 2500 km away.
+	svc, clock, u, v, sfLoc := testWorld(t)
+	emu := NewEmulator()
+	emu.RestoreFullImage()
+	client, err := emu.InstallClient(svc, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu.SetGeoFix(sfLoc)
+	became := false
+	for day := 0; day < 4; day++ {
+		res, err := client.CheckIn(v)
+		if err != nil || !res.Accepted {
+			t.Fatalf("day %d: %+v %v", day, res, err)
+		}
+		became = became || res.BecameMayor
+		clock.Advance(24 * time.Hour)
+	}
+	if !became || svc.Mayor(v) != u {
+		t.Errorf("attacker mayor=%v current=%d, want mayorship", became, svc.Mayor(v))
+	}
+}

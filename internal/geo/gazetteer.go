@@ -1,0 +1,107 @@
+package geo
+
+// City is one entry in the built-in United States gazetteer. Weight is
+// a rough relative metropolitan population used by the synthetic world
+// generator to distribute venues the way national chains distribute
+// branches: proportionally to population, which is what makes the
+// crawled Starbucks scatter in Fig 3.4 trace the shape of the US
+// territory.
+type City struct {
+	Name   string
+	State  string
+	Center Point
+	Weight float64
+}
+
+// USCities returns the built-in gazetteer: a copy, so callers may
+// mutate freely. The list spans the continental US plus Alaska and
+// Hawaii (the paper's suspected cheater in Fig 4.3 had check-ins in
+// Alaska), and includes the two cities the experiments were run from
+// (Albuquerque, NM and Lincoln, NE) plus the attack target city (San
+// Francisco, CA).
+func USCities() []City {
+	return append([]City(nil), usCities...)
+}
+
+// FindCity returns the gazetteer entry with the given name, if any.
+func FindCity(name string) (City, bool) {
+	for _, c := range usCities {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return City{}, false
+}
+
+// usCities holds approximate downtown coordinates. Weights are 2010-era
+// metro populations in millions, rounded; the absolute scale is
+// irrelevant, only the ratios matter.
+var usCities = []City{
+	{Name: "New York", State: "NY", Center: Point{Lat: 40.7128, Lon: -74.0060}, Weight: 19.0},
+	{Name: "Los Angeles", State: "CA", Center: Point{Lat: 34.0522, Lon: -118.2437}, Weight: 12.8},
+	{Name: "Chicago", State: "IL", Center: Point{Lat: 41.8781, Lon: -87.6298}, Weight: 9.5},
+	{Name: "Dallas", State: "TX", Center: Point{Lat: 32.7767, Lon: -96.7970}, Weight: 6.4},
+	{Name: "Houston", State: "TX", Center: Point{Lat: 29.7604, Lon: -95.3698}, Weight: 5.9},
+	{Name: "Philadelphia", State: "PA", Center: Point{Lat: 39.9526, Lon: -75.1652}, Weight: 6.0},
+	{Name: "Washington", State: "DC", Center: Point{Lat: 38.9072, Lon: -77.0369}, Weight: 5.6},
+	{Name: "Miami", State: "FL", Center: Point{Lat: 25.7617, Lon: -80.1918}, Weight: 5.5},
+	{Name: "Atlanta", State: "GA", Center: Point{Lat: 33.7490, Lon: -84.3880}, Weight: 5.3},
+	{Name: "Boston", State: "MA", Center: Point{Lat: 42.3601, Lon: -71.0589}, Weight: 4.6},
+	{Name: "San Francisco", State: "CA", Center: Point{Lat: 37.7749, Lon: -122.4194}, Weight: 4.3},
+	{Name: "Detroit", State: "MI", Center: Point{Lat: 42.3314, Lon: -83.0458}, Weight: 4.3},
+	{Name: "Phoenix", State: "AZ", Center: Point{Lat: 33.4484, Lon: -112.0740}, Weight: 4.2},
+	{Name: "Seattle", State: "WA", Center: Point{Lat: 47.6062, Lon: -122.3321}, Weight: 3.4},
+	{Name: "Minneapolis", State: "MN", Center: Point{Lat: 44.9778, Lon: -93.2650}, Weight: 3.3},
+	{Name: "San Diego", State: "CA", Center: Point{Lat: 32.7157, Lon: -117.1611}, Weight: 3.1},
+	{Name: "Tampa", State: "FL", Center: Point{Lat: 27.9506, Lon: -82.4572}, Weight: 2.8},
+	{Name: "Denver", State: "CO", Center: Point{Lat: 39.7392, Lon: -104.9903}, Weight: 2.5},
+	{Name: "St. Louis", State: "MO", Center: Point{Lat: 38.6270, Lon: -90.1994}, Weight: 2.8},
+	{Name: "Baltimore", State: "MD", Center: Point{Lat: 39.2904, Lon: -76.6122}, Weight: 2.7},
+	{Name: "Charlotte", State: "NC", Center: Point{Lat: 35.2271, Lon: -80.8431}, Weight: 1.8},
+	{Name: "Portland", State: "OR", Center: Point{Lat: 45.5152, Lon: -122.6784}, Weight: 2.2},
+	{Name: "San Antonio", State: "TX", Center: Point{Lat: 29.4241, Lon: -98.4936}, Weight: 2.1},
+	{Name: "Orlando", State: "FL", Center: Point{Lat: 28.5383, Lon: -81.3792}, Weight: 2.1},
+	{Name: "Sacramento", State: "CA", Center: Point{Lat: 38.5816, Lon: -121.4944}, Weight: 2.1},
+	{Name: "Pittsburgh", State: "PA", Center: Point{Lat: 40.4406, Lon: -79.9959}, Weight: 2.4},
+	{Name: "Las Vegas", State: "NV", Center: Point{Lat: 36.1699, Lon: -115.1398}, Weight: 1.9},
+	{Name: "Cincinnati", State: "OH", Center: Point{Lat: 39.1031, Lon: -84.5120}, Weight: 2.1},
+	{Name: "Cleveland", State: "OH", Center: Point{Lat: 41.4993, Lon: -81.6944}, Weight: 2.1},
+	{Name: "Kansas City", State: "MO", Center: Point{Lat: 39.0997, Lon: -94.5786}, Weight: 2.0},
+	{Name: "Columbus", State: "OH", Center: Point{Lat: 39.9612, Lon: -82.9988}, Weight: 1.8},
+	{Name: "Indianapolis", State: "IN", Center: Point{Lat: 39.7684, Lon: -86.1581}, Weight: 1.7},
+	{Name: "Austin", State: "TX", Center: Point{Lat: 30.2672, Lon: -97.7431}, Weight: 1.7},
+	{Name: "Nashville", State: "TN", Center: Point{Lat: 36.1627, Lon: -86.7816}, Weight: 1.6},
+	{Name: "Milwaukee", State: "WI", Center: Point{Lat: 43.0389, Lon: -87.9065}, Weight: 1.6},
+	{Name: "Jacksonville", State: "FL", Center: Point{Lat: 30.3322, Lon: -81.6557}, Weight: 1.3},
+	{Name: "Memphis", State: "TN", Center: Point{Lat: 35.1495, Lon: -90.0490}, Weight: 1.3},
+	{Name: "Oklahoma City", State: "OK", Center: Point{Lat: 35.4676, Lon: -97.5164}, Weight: 1.3},
+	{Name: "Louisville", State: "KY", Center: Point{Lat: 38.2527, Lon: -85.7585}, Weight: 1.3},
+	{Name: "New Orleans", State: "LA", Center: Point{Lat: 29.9511, Lon: -90.0715}, Weight: 1.2},
+	{Name: "Raleigh", State: "NC", Center: Point{Lat: 35.7796, Lon: -78.6382}, Weight: 1.1},
+	{Name: "Salt Lake City", State: "UT", Center: Point{Lat: 40.7608, Lon: -111.8910}, Weight: 1.1},
+	{Name: "Richmond", State: "VA", Center: Point{Lat: 37.5407, Lon: -77.4360}, Weight: 1.2},
+	{Name: "Birmingham", State: "AL", Center: Point{Lat: 33.5186, Lon: -86.8104}, Weight: 1.1},
+	{Name: "Buffalo", State: "NY", Center: Point{Lat: 42.8864, Lon: -78.8784}, Weight: 1.1},
+	{Name: "Hartford", State: "CT", Center: Point{Lat: 41.7658, Lon: -72.6734}, Weight: 1.2},
+	{Name: "Tucson", State: "AZ", Center: Point{Lat: 32.2226, Lon: -110.9747}, Weight: 1.0},
+	{Name: "Omaha", State: "NE", Center: Point{Lat: 41.2565, Lon: -95.9345}, Weight: 0.9},
+	{Name: "El Paso", State: "TX", Center: Point{Lat: 31.7619, Lon: -106.4850}, Weight: 0.8},
+	{Name: "Albuquerque", State: "NM", Center: Point{Lat: 35.0844, Lon: -106.6504}, Weight: 0.9},
+	{Name: "Boise", State: "ID", Center: Point{Lat: 43.6150, Lon: -116.2023}, Weight: 0.6},
+	{Name: "Spokane", State: "WA", Center: Point{Lat: 47.6588, Lon: -117.4260}, Weight: 0.5},
+	{Name: "Des Moines", State: "IA", Center: Point{Lat: 41.5868, Lon: -93.6250}, Weight: 0.6},
+	{Name: "Little Rock", State: "AR", Center: Point{Lat: 34.7465, Lon: -92.2896}, Weight: 0.7},
+	{Name: "Wichita", State: "KS", Center: Point{Lat: 37.6872, Lon: -97.3301}, Weight: 0.6},
+	{Name: "Lincoln", State: "NE", Center: Point{Lat: 40.8136, Lon: -96.7026}, Weight: 0.3},
+	{Name: "Fargo", State: "ND", Center: Point{Lat: 46.8772, Lon: -96.7898}, Weight: 0.2},
+	{Name: "Sioux Falls", State: "SD", Center: Point{Lat: 43.5446, Lon: -96.7311}, Weight: 0.2},
+	{Name: "Billings", State: "MT", Center: Point{Lat: 45.7833, Lon: -108.5007}, Weight: 0.2},
+	{Name: "Cheyenne", State: "WY", Center: Point{Lat: 41.1400, Lon: -104.8202}, Weight: 0.1},
+	{Name: "Burlington", State: "VT", Center: Point{Lat: 44.4759, Lon: -73.2121}, Weight: 0.2},
+	{Name: "Portland ME", State: "ME", Center: Point{Lat: 43.6591, Lon: -70.2568}, Weight: 0.5},
+	{Name: "Charleston", State: "SC", Center: Point{Lat: 32.7765, Lon: -79.9311}, Weight: 0.7},
+	{Name: "Jackson", State: "MS", Center: Point{Lat: 32.2988, Lon: -90.1848}, Weight: 0.5},
+	{Name: "Anchorage", State: "AK", Center: Point{Lat: 61.2181, Lon: -149.9003}, Weight: 0.4},
+	{Name: "Fairbanks", State: "AK", Center: Point{Lat: 64.8378, Lon: -147.7164}, Weight: 0.1},
+	{Name: "Honolulu", State: "HI", Center: Point{Lat: 21.3069, Lon: -157.8583}, Weight: 1.0},
+}

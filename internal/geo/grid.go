@@ -1,0 +1,199 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// GridIndex is a fixed-cell-size spatial hash over latitude/longitude
+// space. It supports the two queries the reproduction needs on venue
+// sets: nearest-neighbour ("find the venue closest to the target
+// location", §3.3) and radius search ("all venues within the rapid-fire
+// square", §2.3). Cells are sized in degrees; for city-scale venue
+// densities a cell of 0.01° (~1 km) keeps buckets small.
+//
+// The zero value is not usable; construct with NewGridIndex. GridIndex
+// is not safe for concurrent mutation; build it once and share it
+// read-only, which is how every caller in this repository uses it.
+type GridIndex struct {
+	cellDeg float64
+	cells   map[cellKey][]indexed
+	count   int
+}
+
+type cellKey struct {
+	latCell int32
+	lonCell int32
+}
+
+type indexed struct {
+	id uint64
+	pt Point
+}
+
+// NewGridIndex creates an index with the given cell size in degrees.
+// Non-positive cell sizes fall back to 0.01° (~1 km).
+func NewGridIndex(cellDeg float64) *GridIndex {
+	if cellDeg <= 0 {
+		cellDeg = 0.01
+	}
+	return &GridIndex{
+		cellDeg: cellDeg,
+		cells:   make(map[cellKey][]indexed),
+	}
+}
+
+// Insert adds an item with an opaque identifier at the given point.
+// Inserting the same id twice stores two entries; callers keep ids
+// unique.
+func (g *GridIndex) Insert(id uint64, pt Point) {
+	k := g.keyFor(pt)
+	g.cells[k] = append(g.cells[k], indexed{id: id, pt: pt})
+	g.count++
+}
+
+// Len returns the number of items in the index.
+func (g *GridIndex) Len() int { return g.count }
+
+func (g *GridIndex) keyFor(pt Point) cellKey {
+	return cellKey{
+		latCell: int32(math.Floor(pt.Lat / g.cellDeg)),
+		lonCell: int32(math.Floor(pt.Lon / g.cellDeg)),
+	}
+}
+
+// Nearest returns the id and point of the item closest to target and
+// its distance in meters. The boolean is false when the index is
+// empty. The search spirals outward ring by ring and stops once the
+// best candidate is provably closer than anything in unexplored rings.
+func (g *GridIndex) Nearest(target Point) (uint64, Point, float64, bool) {
+	if g.count == 0 {
+		return 0, Point{}, 0, false
+	}
+	center := g.keyFor(target)
+
+	bestID := uint64(0)
+	bestPt := Point{}
+	bestDist := math.Inf(1)
+	found := false
+
+	// Ground size of one cell at the target latitude; used to bound how
+	// far out a ring can still contain a closer point.
+	cellMeters := math.Min(
+		g.cellDeg*MetersPerDegreeLat(),
+		g.cellDeg*MetersPerDegreeLon(target.Lat),
+	)
+	if cellMeters <= 0 {
+		cellMeters = 1
+	}
+
+	maxRing := int(math.Ceil(360/g.cellDeg)) + 1
+	for ring := 0; ring <= maxRing; ring++ {
+		// Any point in a ring at distance `ring` is at least
+		// (ring-1)*cellMeters away; once that exceeds the best found we
+		// can stop.
+		if found && float64(ring-1)*cellMeters > bestDist {
+			break
+		}
+		for _, k := range ringKeys(center, ring) {
+			for _, it := range g.cells[k] {
+				d := target.DistanceMeters(it.pt)
+				if d < bestDist {
+					bestDist = d
+					bestID = it.id
+					bestPt = it.pt
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return 0, Point{}, 0, false
+	}
+	return bestID, bestPt, bestDist, true
+}
+
+// WithinRadius returns the ids of all items within radiusMeters of the
+// target, ordered by increasing distance.
+func (g *GridIndex) WithinRadius(target Point, radiusMeters float64) []uint64 {
+	if g.count == 0 || radiusMeters < 0 {
+		return nil
+	}
+	dLat := radiusMeters / MetersPerDegreeLat()
+	lonScale := MetersPerDegreeLon(target.Lat)
+	dLon := dLat
+	if lonScale > 0 {
+		dLon = radiusMeters / lonScale
+	}
+
+	minKey := g.keyFor(Point{Lat: target.Lat - dLat, Lon: target.Lon - dLon})
+	maxKey := g.keyFor(Point{Lat: target.Lat + dLat, Lon: target.Lon + dLon})
+
+	type hit struct {
+		id   uint64
+		dist float64
+	}
+	var hits []hit
+	for la := minKey.latCell; la <= maxKey.latCell; la++ {
+		for lo := minKey.lonCell; lo <= maxKey.lonCell; lo++ {
+			for _, it := range g.cells[cellKey{latCell: la, lonCell: lo}] {
+				d := target.DistanceMeters(it.pt)
+				if d <= radiusMeters {
+					hits = append(hits, hit{id: it.id, dist: d})
+				}
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		return hits[i].id < hits[j].id
+	})
+	out := make([]uint64, len(hits))
+	for i, h := range hits {
+		out[i] = h.id
+	}
+	return out
+}
+
+// NearestLinear is the brute-force O(n) nearest-neighbour scan kept as
+// the ablation baseline for BenchmarkAblationGridIndex.
+func NearestLinear(items map[uint64]Point, target Point) (uint64, float64, bool) {
+	bestID := uint64(0)
+	bestDist := math.Inf(1)
+	found := false
+	for id, pt := range items {
+		d := target.DistanceMeters(pt)
+		if d < bestDist || (d == bestDist && id < bestID) {
+			bestDist = d
+			bestID = id
+			found = true
+		}
+	}
+	return bestID, bestDist, found
+}
+
+// ringKeys enumerates the cell keys forming the square ring at
+// Chebyshev distance `ring` around the center. Ring 0 is the center
+// cell itself.
+func ringKeys(center cellKey, ring int) []cellKey {
+	if ring == 0 {
+		return []cellKey{center}
+	}
+	r := int32(ring)
+	keys := make([]cellKey, 0, 8*ring)
+	for d := -r; d <= r; d++ {
+		keys = append(keys,
+			cellKey{latCell: center.latCell - r, lonCell: center.lonCell + d},
+			cellKey{latCell: center.latCell + r, lonCell: center.lonCell + d},
+		)
+	}
+	for d := -r + 1; d <= r-1; d++ {
+		keys = append(keys,
+			cellKey{latCell: center.latCell + d, lonCell: center.lonCell - r},
+			cellKey{latCell: center.latCell + d, lonCell: center.lonCell + r},
+		)
+	}
+	return keys
+}

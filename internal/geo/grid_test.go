@@ -1,0 +1,203 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridIndexEmpty(t *testing.T) {
+	g := NewGridIndex(0.01)
+	if _, _, _, ok := g.Nearest(Point{Lat: 1, Lon: 1}); ok {
+		t.Error("empty index must report not-found")
+	}
+	if got := g.WithinRadius(Point{}, 1000); got != nil {
+		t.Errorf("empty index radius search = %v, want nil", got)
+	}
+	if g.Len() != 0 {
+		t.Errorf("Len = %d, want 0", g.Len())
+	}
+}
+
+func TestGridIndexDefaultCellSize(t *testing.T) {
+	g := NewGridIndex(-1)
+	g.Insert(1, Point{Lat: 1, Lon: 1})
+	if _, _, _, ok := g.Nearest(Point{Lat: 1, Lon: 1}); !ok {
+		t.Error("index with defaulted cell size must work")
+	}
+}
+
+func TestGridIndexNearestSimple(t *testing.T) {
+	g := NewGridIndex(0.01)
+	base := Point{Lat: 35.0844, Lon: -106.6504} // Albuquerque
+	g.Insert(1, base)
+	g.Insert(2, base.Destination(90, 500))
+	g.Insert(3, base.Destination(90, 2000))
+
+	id, _, dist, ok := g.Nearest(base.Destination(90, 450))
+	if !ok {
+		t.Fatal("expected a nearest hit")
+	}
+	if id != 2 {
+		t.Errorf("nearest id = %d, want 2", id)
+	}
+	if dist > 100 {
+		t.Errorf("nearest distance = %.0f m, want <= 50 m", dist)
+	}
+}
+
+func TestGridIndexNearestFarQuery(t *testing.T) {
+	// Query from a point many cells away from any item: the ring
+	// search must still find it.
+	g := NewGridIndex(0.01)
+	sf := Point{Lat: 37.7749, Lon: -122.4194}
+	g.Insert(7, sf)
+	ny := Point{Lat: 40.7128, Lon: -74.0060}
+	id, pt, _, ok := g.Nearest(ny)
+	if !ok || id != 7 || pt != sf {
+		t.Errorf("Nearest from afar = (%d,%v,%v), want (7,%v,true)", id, pt, ok, sf)
+	}
+}
+
+func TestGridIndexMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := NewGridIndex(0.02)
+	items := make(map[uint64]Point, 500)
+	for i := uint64(1); i <= 500; i++ {
+		p := Point{
+			Lat: 34 + rng.Float64()*2, // 2x2 degree box
+			Lon: -107 + rng.Float64()*2,
+		}
+		items[i] = p
+		g.Insert(i, p)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := Point{Lat: 34 + rng.Float64()*2, Lon: -107 + rng.Float64()*2}
+		gotID, _, gotDist, ok := g.Nearest(q)
+		if !ok {
+			t.Fatal("expected hit")
+		}
+		wantID, wantDist, _ := NearestLinear(items, q)
+		// Ties can resolve differently; distances must agree.
+		if gotDist > wantDist+1e-6 {
+			t.Fatalf("trial %d: grid dist %.3f > linear dist %.3f (ids %d vs %d)",
+				trial, gotDist, wantDist, gotID, wantID)
+		}
+	}
+}
+
+func TestGridIndexWithinRadius(t *testing.T) {
+	g := NewGridIndex(0.005)
+	center := Point{Lat: 35.08, Lon: -106.62}
+	// Three venues inside 180 m square distance, two outside.
+	g.Insert(1, center)
+	g.Insert(2, center.Destination(0, 50))
+	g.Insert(3, center.Destination(90, 80))
+	g.Insert(4, center.Destination(180, 500))
+	g.Insert(5, center.Destination(270, 5000))
+
+	got := g.WithinRadius(center, 100)
+	if len(got) != 3 {
+		t.Fatalf("WithinRadius = %v, want 3 hits", got)
+	}
+	if got[0] != 1 {
+		t.Errorf("closest hit = %d, want 1 (distance order)", got[0])
+	}
+	for _, id := range got {
+		if id == 4 || id == 5 {
+			t.Errorf("id %d beyond radius returned", id)
+		}
+	}
+}
+
+func TestGridIndexWithinRadiusNegative(t *testing.T) {
+	g := NewGridIndex(0.01)
+	g.Insert(1, Point{})
+	if got := g.WithinRadius(Point{}, -5); got != nil {
+		t.Errorf("negative radius = %v, want nil", got)
+	}
+}
+
+func TestGridIndexRadiusPropertyAllWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGridIndex(0.01)
+	items := make(map[uint64]Point, 200)
+	for i := uint64(1); i <= 200; i++ {
+		p := Point{Lat: 40 + rng.Float64(), Lon: -75 + rng.Float64()}
+		items[i] = p
+		g.Insert(i, p)
+	}
+	f := func(latOff, lonOff, radKM float64) bool {
+		q := Point{
+			Lat: 40 + mod1(latOff),
+			Lon: -75 + mod1(lonOff),
+		}
+		radius := mod1(radKM) * 20000 // up to 20 km
+		hits := g.WithinRadius(q, radius)
+		seen := make(map[uint64]bool, len(hits))
+		for _, id := range hits {
+			if q.DistanceMeters(items[id]) > radius+1e-6 {
+				return false // returned a point beyond the radius
+			}
+			seen[id] = true
+		}
+		for id, p := range items {
+			if q.DistanceMeters(p) <= radius && !seen[id] {
+				return false // missed a point within the radius
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingKeysCoverage(t *testing.T) {
+	center := cellKey{latCell: 0, lonCell: 0}
+	if got := len(ringKeys(center, 0)); got != 1 {
+		t.Errorf("ring 0 has %d keys, want 1", got)
+	}
+	for ring := 1; ring <= 4; ring++ {
+		keys := ringKeys(center, ring)
+		want := 8 * ring
+		if len(keys) != want {
+			t.Errorf("ring %d has %d keys, want %d", ring, len(keys), want)
+		}
+		seen := make(map[cellKey]bool, len(keys))
+		for _, k := range keys {
+			if seen[k] {
+				t.Errorf("ring %d repeats key %v", ring, k)
+			}
+			seen[k] = true
+			cheb := maxInt32(absInt32(k.latCell), absInt32(k.lonCell))
+			if cheb != int32(ring) {
+				t.Errorf("ring %d contains key %v at Chebyshev distance %d", ring, k, cheb)
+			}
+		}
+	}
+}
+
+func mod1(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	for v > 1 {
+		v /= 10
+	}
+	return v
+}
+
+func absInt32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+// Package geo provides the geographic primitives used throughout the
+// location-cheating reproduction: coordinates, great-circle math,
+// bounding boxes, a grid spatial index for nearest-venue search, and a
+// small gazetteer of United States cities used by the synthetic world
+// generator.
+//
+// All distances are in meters and all angles in degrees unless a name
+// says otherwise. The math is plain spherical trigonometry (haversine)
+// on a mean-radius sphere, which is accurate to ~0.5% — far more than
+// the paper's experiments need (its finest-grained rule operates on a
+// 180 m square).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// EarthRadiusMeters is the mean Earth radius used by all
+	// great-circle computations.
+	EarthRadiusMeters = 6371000.0
+
+	// MetersPerMile converts statute miles to meters. The paper's
+	// automated-cheating rule of thumb ("check into venues less than 1
+	// mile apart with a 5-minute interval") is stated in miles.
+	MetersPerMile = 1609.344
+
+	degToRad = math.Pi / 180
+	radToDeg = 180 / math.Pi
+)
+
+// Point is a WGS84-style latitude/longitude pair in decimal degrees.
+// Latitude is positive north, longitude positive east.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// String renders the point as "lat,lon" with six decimal places
+// (~0.1 m), the precision the paper's tooling (Google Earth) exposed.
+func (p Point) String() string {
+	return fmt.Sprintf("%.6f,%.6f", p.Lat, p.Lon)
+}
+
+// Valid reports whether the point lies within the legal
+// latitude/longitude ranges.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180
+}
+
+// DistanceMeters returns the great-circle (haversine) distance between
+// p and q in meters.
+func (p Point) DistanceMeters(q Point) float64 {
+	lat1 := p.Lat * degToRad
+	lat2 := q.Lat * degToRad
+	dLat := (q.Lat - p.Lat) * degToRad
+	dLon := (q.Lon - p.Lon) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	a := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	c := 2 * math.Atan2(math.Sqrt(a), math.Sqrt(1-a))
+	return EarthRadiusMeters * c
+}
+
+// DistanceMiles returns the great-circle distance between p and q in
+// statute miles.
+func (p Point) DistanceMiles(q Point) float64 {
+	return p.DistanceMeters(q) / MetersPerMile
+}
+
+// BearingDegrees returns the initial bearing from p to q in degrees
+// clockwise from true north, in [0, 360).
+func (p Point) BearingDegrees(q Point) float64 {
+	lat1 := p.Lat * degToRad
+	lat2 := q.Lat * degToRad
+	dLon := (q.Lon - p.Lon) * degToRad
+
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * radToDeg
+	return math.Mod(deg+360, 360)
+}
+
+// Destination returns the point reached by travelling distanceMeters
+// from p along the given initial bearing (degrees clockwise from
+// north) on a great circle.
+func (p Point) Destination(bearingDeg, distanceMeters float64) Point {
+	lat1 := p.Lat * degToRad
+	lon1 := p.Lon * degToRad
+	brng := bearingDeg * degToRad
+	d := distanceMeters / EarthRadiusMeters
+
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(d) + math.Cos(lat1)*math.Sin(d)*math.Cos(brng))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brng)*math.Sin(d)*math.Cos(lat1),
+		math.Cos(d)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	// Normalize longitude to [-180, 180].
+	lon2 = math.Mod(lon2+3*math.Pi, 2*math.Pi) - math.Pi
+	return Point{Lat: lat2 * radToDeg, Lon: lon2 * radToDeg}
+}
+
+// Offset returns p displaced by dLat and dLon degrees, the operation
+// the paper's semiautomatic cheating tool performs ("the desired
+// moving distance for each step was 0.005 degrees, either longitude or
+// latitude").
+func (p Point) Offset(dLat, dLon float64) Point {
+	return Point{Lat: p.Lat + dLat, Lon: p.Lon + dLon}
+}
+
+// MetersPerDegreeLat is the north-south ground distance of one degree
+// of latitude, effectively constant over the sphere.
+func MetersPerDegreeLat() float64 {
+	return EarthRadiusMeters * degToRad
+}
+
+// MetersPerDegreeLon is the east-west ground distance of one degree of
+// longitude at the given latitude. Around Albuquerque (35°N) this is
+// ~91 km, so the paper's 0.005° step is ~450 m in longitude and ~550 m
+// in latitude, matching §3.3.
+func MetersPerDegreeLon(latDeg float64) float64 {
+	return EarthRadiusMeters * degToRad * math.Cos(latDeg*degToRad)
+}
+
+// Rect is an axis-aligned latitude/longitude bounding box.
+type Rect struct {
+	MinLat, MinLon float64
+	MaxLat, MaxLon float64
+}
+
+// Contains reports whether the point lies inside the rectangle
+// (inclusive bounds).
+func (r Rect) Contains(p Point) bool {
+	return p.Lat >= r.MinLat && p.Lat <= r.MaxLat &&
+		p.Lon >= r.MinLon && p.Lon <= r.MaxLon
+}
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() Point {
+	return Point{Lat: (r.MinLat + r.MaxLat) / 2, Lon: (r.MinLon + r.MaxLon) / 2}
+}
+
+// Expand grows the rectangle to include p, returning the grown box.
+func (r Rect) Expand(p Point) Rect {
+	if p.Lat < r.MinLat {
+		r.MinLat = p.Lat
+	}
+	if p.Lat > r.MaxLat {
+		r.MaxLat = p.Lat
+	}
+	if p.Lon < r.MinLon {
+		r.MinLon = p.Lon
+	}
+	if p.Lon > r.MaxLon {
+		r.MaxLon = p.Lon
+	}
+	return r
+}
+
+// BoundingRect returns the smallest Rect containing all points. The
+// second return is false when points is empty.
+func BoundingRect(points []Point) (Rect, bool) {
+	if len(points) == 0 {
+		return Rect{}, false
+	}
+	r := Rect{
+		MinLat: points[0].Lat, MaxLat: points[0].Lat,
+		MinLon: points[0].Lon, MaxLon: points[0].Lon,
+	}
+	for _, p := range points[1:] {
+		r = r.Expand(p)
+	}
+	return r, true
+}
+
+// SquareAround returns the side × side meter square centred on p. The
+// cheater code's rapid-fire rule operates on a 180 m × 180 m square.
+func SquareAround(p Point, sideMeters float64) Rect {
+	half := sideMeters / 2
+	dLat := half / MetersPerDegreeLat()
+	dLon := half / MetersPerDegreeLon(p.Lat)
+	return Rect{
+		MinLat: p.Lat - dLat, MaxLat: p.Lat + dLat,
+		MinLon: p.Lon - dLon, MaxLon: p.Lon + dLon,
+	}
+}
+
+// SpeedMetersPerSecond returns the implied travel speed between two
+// sightings. It returns +Inf for a positive distance over a
+// non-positive elapsed time (instantaneous teleport), and 0 when both
+// are non-positive.
+func SpeedMetersPerSecond(distanceMeters float64, elapsedSeconds float64) float64 {
+	if elapsedSeconds <= 0 {
+		if distanceMeters <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return distanceMeters / elapsedSeconds
+}

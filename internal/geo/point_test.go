@@ -1,0 +1,269 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Known-distance fixtures: city-pair great-circle distances from
+// standard references, tolerance 0.5% (spherical vs ellipsoidal).
+func TestDistanceMetersKnownPairs(t *testing.T) {
+	sf, _ := FindCity("San Francisco")
+	la, _ := FindCity("Los Angeles")
+	ny, _ := FindCity("New York")
+	abq, _ := FindCity("Albuquerque")
+
+	tests := []struct {
+		name   string
+		a, b   Point
+		wantKM float64
+	}{
+		{"SF-LA", sf.Center, la.Center, 559},
+		{"SF-NY", sf.Center, ny.Center, 4129},
+		{"ABQ-SF", abq.Center, sf.Center, 1440},
+		{"same point", sf.Center, sf.Center, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.a.DistanceMeters(tt.b) / 1000
+			if math.Abs(got-tt.wantKM) > tt.wantKM*0.01+0.001 {
+				t.Errorf("distance = %.1f km, want %.1f km", got, tt.wantKM)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		d1 := a.DistanceMeters(b)
+		d2 := b.DistanceMeters(a)
+		return math.Abs(d1-d2) < 1e-6*math.Max(1, d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		c := Point{Lat: clampLat(lat3), Lon: clampLon(lon3)}
+		// Allow a small epsilon for floating point.
+		return a.DistanceMeters(c) <= a.DistanceMeters(b)+b.DistanceMeters(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	f := func(lat, lon, bearing, distKM float64) bool {
+		p := Point{Lat: clampLat(lat) * 0.8, Lon: clampLon(lon)} // keep away from poles
+		brng := math.Mod(math.Abs(bearing), 360)
+		d := math.Mod(math.Abs(distKM), 2000) * 1000 // up to 2000 km
+		q := p.Destination(brng, d)
+		got := p.DistanceMeters(q)
+		return math.Abs(got-d) < math.Max(1.0, d*1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationCardinal(t *testing.T) {
+	p := Point{Lat: 35.0, Lon: -106.0}
+	north := p.Destination(0, 10000)
+	if north.Lat <= p.Lat {
+		t.Errorf("north destination did not increase latitude: %v", north)
+	}
+	if math.Abs(north.Lon-p.Lon) > 1e-6 {
+		t.Errorf("north destination changed longitude: %v", north)
+	}
+	east := p.Destination(90, 10000)
+	if east.Lon <= p.Lon {
+		t.Errorf("east destination did not increase longitude: %v", east)
+	}
+}
+
+func TestBearingDegrees(t *testing.T) {
+	p := Point{Lat: 35.0, Lon: -106.0}
+	tests := []struct {
+		name string
+		to   Point
+		want float64
+	}{
+		{"north", Point{Lat: 36.0, Lon: -106.0}, 0},
+		{"east", Point{Lat: 35.0, Lon: -105.0}, 90},
+		{"south", Point{Lat: 34.0, Lon: -106.0}, 180},
+		{"west", Point{Lat: 35.0, Lon: -107.0}, 270},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := p.BearingDegrees(tt.to)
+			diff := math.Abs(got - tt.want)
+			if diff > 180 {
+				diff = 360 - diff
+			}
+			if diff > 1.0 {
+				t.Errorf("bearing = %.2f, want %.2f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPaperStepDistances(t *testing.T) {
+	// §3.3: "The desired moving distance for each step was 0.005
+	// degrees, either longitude or latitude, equivalent to about 550
+	// meters in latitude direction or about 450 meters in longitude
+	// direction around this location" (Albuquerque, ~35°N).
+	latStep := 0.005 * MetersPerDegreeLat()
+	if latStep < 540 || latStep > 570 {
+		t.Errorf("0.005 deg latitude = %.0f m, paper says ~550 m", latStep)
+	}
+	lonStep := 0.005 * MetersPerDegreeLon(35.08)
+	if lonStep < 440 || lonStep > 470 {
+		t.Errorf("0.005 deg longitude at 35N = %.0f m, paper says ~450 m", lonStep)
+	}
+}
+
+func TestValid(t *testing.T) {
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{Lat: 0, Lon: 0}, true},
+		{Point{Lat: 90, Lon: 180}, true},
+		{Point{Lat: -90, Lon: -180}, true},
+		{Point{Lat: 90.01, Lon: 0}, false},
+		{Point{Lat: 0, Lon: 180.01}, false},
+		{Point{Lat: -91, Lon: 0}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Valid(); got != tt.want {
+			t.Errorf("Valid(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRectContainsAndExpand(t *testing.T) {
+	r := Rect{MinLat: 10, MaxLat: 20, MinLon: -50, MaxLon: -40}
+	if !r.Contains(Point{Lat: 15, Lon: -45}) {
+		t.Error("center point should be contained")
+	}
+	if r.Contains(Point{Lat: 25, Lon: -45}) {
+		t.Error("point north of box should not be contained")
+	}
+	grown := r.Expand(Point{Lat: 25, Lon: -60})
+	if !grown.Contains(Point{Lat: 25, Lon: -60}) {
+		t.Error("expanded rect must contain the new point")
+	}
+	if !grown.Contains(Point{Lat: 15, Lon: -45}) {
+		t.Error("expanded rect must still contain old points")
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	if _, ok := BoundingRect(nil); ok {
+		t.Error("empty input should report not-ok")
+	}
+	pts := []Point{{Lat: 1, Lon: 2}, {Lat: -3, Lon: 7}, {Lat: 5, Lon: -1}}
+	r, ok := BoundingRect(pts)
+	if !ok {
+		t.Fatal("expected ok")
+	}
+	want := Rect{MinLat: -3, MaxLat: 5, MinLon: -1, MaxLon: 7}
+	if r != want {
+		t.Errorf("BoundingRect = %+v, want %+v", r, want)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("bounding rect must contain %v", p)
+		}
+	}
+}
+
+func TestSquareAround(t *testing.T) {
+	center := Point{Lat: 35.0, Lon: -106.0}
+	sq := SquareAround(center, 180) // the rapid-fire square
+	if !sq.Contains(center) {
+		t.Fatal("square must contain its center")
+	}
+	// A point 80 m east is inside; 100 m east is outside the 90 m half-width.
+	inside := center.Destination(90, 80)
+	outside := center.Destination(90, 100)
+	if !sq.Contains(inside) {
+		t.Error("point 80 m east should be inside the 180 m square")
+	}
+	if sq.Contains(outside) {
+		t.Error("point 100 m east should be outside the 180 m square")
+	}
+}
+
+func TestSpeedMetersPerSecond(t *testing.T) {
+	if got := SpeedMetersPerSecond(100, 10); got != 10 {
+		t.Errorf("speed = %v, want 10", got)
+	}
+	if got := SpeedMetersPerSecond(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("teleport speed = %v, want +Inf", got)
+	}
+	if got := SpeedMetersPerSecond(0, 0); got != 0 {
+		t.Errorf("no-move speed = %v, want 0", got)
+	}
+}
+
+func TestUSCitiesGazetteer(t *testing.T) {
+	cities := USCities()
+	if len(cities) < 50 {
+		t.Fatalf("gazetteer has %d cities, want >= 50", len(cities))
+	}
+	seen := make(map[string]bool, len(cities))
+	for _, c := range cities {
+		if !c.Center.Valid() {
+			t.Errorf("city %s has invalid coordinates %v", c.Name, c.Center)
+		}
+		if c.Weight <= 0 {
+			t.Errorf("city %s has non-positive weight", c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate city name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	// Cities the experiments depend on must exist.
+	for _, name := range []string{"San Francisco", "Albuquerque", "Lincoln", "Anchorage"} {
+		if _, ok := FindCity(name); !ok {
+			t.Errorf("gazetteer missing required city %q", name)
+		}
+	}
+	// Returned slice is a copy: mutating it must not affect the package.
+	cities[0].Name = "MUTATED"
+	if c, _ := FindCity("MUTATED"); c.Name == "MUTATED" {
+		t.Error("USCities must return a copy")
+	}
+}
+
+func TestFindCityMissing(t *testing.T) {
+	if _, ok := FindCity("Atlantis"); ok {
+		t.Error("FindCity should report missing city")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	p := Point{Lat: 37.774900, Lon: -122.419400}
+	want := "37.774900,-122.419400"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func clampLat(v float64) float64 {
+	return math.Mod(math.Abs(v), 180) - 90
+}
+
+func clampLon(v float64) float64 {
+	return math.Mod(math.Abs(v), 360) - 180
+}

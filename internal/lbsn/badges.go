@@ -1,0 +1,180 @@
+package lbsn
+
+import (
+	"sort"
+	"time"
+)
+
+// BadgeSpec defines one badge: a name, the user-visible description,
+// and the criterion evaluated against the user's activity state after
+// every valid check-in. Badges are awarded at most once.
+type BadgeSpec struct {
+	Name        string
+	Description string
+	Earned      func(s *userState, now time.Time) bool
+}
+
+// userState is the per-user activity bookkeeping that badge criteria
+// and mayorship tracking read. It exists only for users whose
+// check-ins flow through the live pipeline; bulk-loaded synthetic
+// users carry pre-computed totals instead.
+type userState struct {
+	distinctVenues map[VenueID]struct{}
+	// checkinDays holds the distinct UTC day numbers with at least one
+	// valid check-in, ascending.
+	checkinDays []int
+	// monthCounts counts valid check-ins per "YYYY-MM" month.
+	monthCounts map[string]int
+	// venueTimes holds recent valid check-in times per venue (capped)
+	// for the Local badge.
+	venueTimes map[VenueID][]time.Time
+	// recentTimes holds the trailing valid check-in times (capped) for
+	// the Crunked badge.
+	recentTimes []time.Time
+	validTotal  int
+}
+
+func newUserState() *userState {
+	return &userState{
+		distinctVenues: make(map[VenueID]struct{}),
+		monthCounts:    make(map[string]int),
+		venueTimes:     make(map[VenueID][]time.Time),
+	}
+}
+
+const (
+	stateVenueTimesCap  = 8
+	stateRecentTimesCap = 8
+)
+
+// observe records a valid check-in into the state.
+func (s *userState) observe(venue VenueID, at time.Time) {
+	s.validTotal++
+	s.distinctVenues[venue] = struct{}{}
+
+	day := dayNumber(at)
+	i := sort.SearchInts(s.checkinDays, day)
+	if i == len(s.checkinDays) || s.checkinDays[i] != day {
+		s.checkinDays = append(s.checkinDays, 0)
+		copy(s.checkinDays[i+1:], s.checkinDays[i:])
+		s.checkinDays[i] = day
+	}
+
+	s.monthCounts[at.UTC().Format("2006-01")]++
+
+	times := append(s.venueTimes[venue], at)
+	if len(times) > stateVenueTimesCap {
+		times = times[len(times)-stateVenueTimesCap:]
+	}
+	s.venueTimes[venue] = times
+
+	s.recentTimes = append(s.recentTimes, at)
+	if len(s.recentTimes) > stateRecentTimesCap {
+		s.recentTimes = s.recentTimes[len(s.recentTimes)-stateRecentTimesCap:]
+	}
+}
+
+// consecutiveDaysEndingAt returns the length of the run of consecutive
+// check-in days ending at the day containing `at`.
+func (s *userState) consecutiveDaysEndingAt(at time.Time) int {
+	day := dayNumber(at)
+	i := sort.SearchInts(s.checkinDays, day)
+	if i == len(s.checkinDays) || s.checkinDays[i] != day {
+		return 0
+	}
+	run := 1
+	for j := i - 1; j >= 0 && s.checkinDays[j] == s.checkinDays[j+1]-1; j-- {
+		run++
+	}
+	return run
+}
+
+// dayNumber maps an instant to its UTC day index.
+func dayNumber(t time.Time) int {
+	return int(t.UTC().Unix() / 86400)
+}
+
+// DefaultBadges returns the Foursquare-era badge set the paper's
+// experiments encountered. The "Adventurer" badge text is quoted from
+// §3.1 ("Adventurer: You've checked into 10 different venues!"); the
+// §2.1 examples — "30 check-ins in a month", "checked into 10
+// different venues" — map to Super User and Adventurer.
+func DefaultBadges() []BadgeSpec {
+	return []BadgeSpec{
+		{
+			Name:        "Newbie",
+			Description: "Your first check-in!",
+			Earned: func(s *userState, _ time.Time) bool {
+				return s.validTotal >= 1
+			},
+		},
+		{
+			Name:        "Adventurer",
+			Description: "You've checked into 10 different venues!",
+			Earned: func(s *userState, _ time.Time) bool {
+				return len(s.distinctVenues) >= 10
+			},
+		},
+		{
+			Name:        "Explorer",
+			Description: "You've checked into 25 different venues!",
+			Earned: func(s *userState, _ time.Time) bool {
+				return len(s.distinctVenues) >= 25
+			},
+		},
+		{
+			Name:        "Superstar",
+			Description: "You've checked into 50 different venues!",
+			Earned: func(s *userState, _ time.Time) bool {
+				return len(s.distinctVenues) >= 50
+			},
+		},
+		{
+			Name:        "Super User",
+			Description: "30 check-ins in a month!",
+			Earned: func(s *userState, now time.Time) bool {
+				return s.monthCounts[now.UTC().Format("2006-01")] >= 30
+			},
+		},
+		{
+			Name:        "Bender",
+			Description: "Checked in 4 days in a row!",
+			Earned: func(s *userState, now time.Time) bool {
+				return s.consecutiveDaysEndingAt(now) >= 4
+			},
+		},
+		{
+			Name:        "Local",
+			Description: "Checked in at the same place 3 times in a week!",
+			Earned: func(s *userState, now time.Time) bool {
+				weekAgo := now.Add(-7 * 24 * time.Hour)
+				for _, times := range s.venueTimes {
+					n := 0
+					for _, t := range times {
+						if !t.Before(weekAgo) {
+							n++
+						}
+					}
+					if n >= 3 {
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			Name:        "Crunked",
+			Description: "4 check-ins in one night!",
+			Earned: func(s *userState, now time.Time) bool {
+				windowStart := now.Add(-12 * time.Hour)
+				n := 0
+				for _, t := range s.recentTimes {
+					if !t.Before(windowStart) {
+						n++
+					}
+				}
+				return n >= 4
+			},
+		},
+	}
+}

@@ -1,0 +1,201 @@
+package lbsn
+
+import (
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/simclock"
+)
+
+func mustCity(t *testing.T, name string) geo.Point {
+	t.Helper()
+	c, ok := geo.FindCity(name)
+	if !ok {
+		t.Fatalf("gazetteer missing %q", name)
+	}
+	return c.Center
+}
+
+func TestUserStateObserveDistinctDays(t *testing.T) {
+	s := newUserState()
+	t0 := simclock.Epoch()
+	s.observe(1, t0)
+	s.observe(2, t0.Add(time.Hour))      // same day
+	s.observe(3, t0.Add(25*time.Hour))   // next day
+	s.observe(4, t0.Add(3*24*time.Hour)) // gap day
+	if len(s.checkinDays) != 3 {
+		t.Errorf("distinct days = %d, want 3", len(s.checkinDays))
+	}
+	if s.validTotal != 4 {
+		t.Errorf("validTotal = %d, want 4", s.validTotal)
+	}
+	if len(s.distinctVenues) != 4 {
+		t.Errorf("distinct venues = %d, want 4", len(s.distinctVenues))
+	}
+}
+
+func TestConsecutiveDaysEndingAt(t *testing.T) {
+	s := newUserState()
+	t0 := simclock.Epoch()
+	// Days 0,1,2 then a gap, then day 4.
+	for _, d := range []int{0, 1, 2, 4} {
+		s.observe(1, t0.Add(time.Duration(d)*24*time.Hour))
+	}
+	if got := s.consecutiveDaysEndingAt(t0.Add(2 * 24 * time.Hour)); got != 3 {
+		t.Errorf("run ending day 2 = %d, want 3", got)
+	}
+	if got := s.consecutiveDaysEndingAt(t0.Add(4 * 24 * time.Hour)); got != 1 {
+		t.Errorf("run ending day 4 = %d, want 1", got)
+	}
+	if got := s.consecutiveDaysEndingAt(t0.Add(10 * 24 * time.Hour)); got != 0 {
+		t.Errorf("run on a no-check-in day = %d, want 0", got)
+	}
+}
+
+func TestBenderBadgeFourConsecutiveDays(t *testing.T) {
+	s, clock := newTestService()
+	u := s.RegisterUser("A", "", "Lincoln")
+	loc := mustCity(t, "Lincoln")
+	v := addVenueAt(t, s, "Daily Stop", loc, nil)
+
+	var badges []string
+	for d := 0; d < 4; d++ {
+		res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc})
+		if err != nil || !res.Accepted {
+			t.Fatalf("day %d: %+v %v", d, res, err)
+		}
+		badges = append(badges, res.NewBadges...)
+		clock.Advance(24 * time.Hour)
+	}
+	if !contains(badges, "Bender") {
+		t.Errorf("badges = %v, want Bender after 4 consecutive days", badges)
+	}
+}
+
+func TestLocalBadgeThreeSameVenueInWeek(t *testing.T) {
+	s, clock := newTestService()
+	u := s.RegisterUser("A", "", "Lincoln")
+	loc := mustCity(t, "Lincoln")
+	v := addVenueAt(t, s, "Regular Haunt", loc, nil)
+	var badges []string
+	for i := 0; i < 3; i++ {
+		res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc})
+		if err != nil || !res.Accepted {
+			t.Fatalf("visit %d: %+v %v", i, res, err)
+		}
+		badges = append(badges, res.NewBadges...)
+		clock.Advance(36 * time.Hour)
+	}
+	if !contains(badges, "Local") {
+		t.Errorf("badges = %v, want Local after 3 visits in a week", badges)
+	}
+}
+
+func TestSuperUserBadgeThirtyInMonth(t *testing.T) {
+	s, clock := newTestService()
+	u := s.RegisterUser("A", "", "Lincoln")
+	base := mustCity(t, "Lincoln")
+	// 30 venues, two check-ins a day over 15 days, all within August.
+	var venues []VenueID
+	for i := 0; i < 30; i++ {
+		venues = append(venues, addVenueAt(t, s, "V", base.Destination(float64(i*12), 500+float64(i)*200), nil))
+	}
+	var badges []string
+	for i, v := range venues {
+		loc, _ := s.Venue(v)
+		res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc.Location})
+		if err != nil || !res.Accepted {
+			t.Fatalf("check-in %d: %+v %v", i, res, err)
+		}
+		badges = append(badges, res.NewBadges...)
+		clock.Advance(11 * time.Hour)
+	}
+	if !contains(badges, "Super User") {
+		t.Errorf("badges = %v, want Super User after 30 check-ins in a month", badges)
+	}
+}
+
+func TestCrunkedBadgeFourInOneNight(t *testing.T) {
+	s, clock := newTestService()
+	u := s.RegisterUser("A", "", "Lincoln")
+	base := mustCity(t, "Lincoln")
+	var badges []string
+	for i := 0; i < 4; i++ {
+		// Venues ~1 km apart, 20 minutes between stops: a bar crawl
+		// that passes speed and rapid-fire rules.
+		loc := base.Destination(90, float64(i)*1000)
+		v := addVenueAt(t, s, "Bar", loc, nil)
+		res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc})
+		if err != nil || !res.Accepted {
+			t.Fatalf("stop %d: %+v %v", i, res, err)
+		}
+		badges = append(badges, res.NewBadges...)
+		clock.Advance(20 * time.Minute)
+	}
+	if !contains(badges, "Crunked") {
+		t.Errorf("badges = %v, want Crunked after 4 stops in a night", badges)
+	}
+}
+
+func TestBadgesAwardedOnce(t *testing.T) {
+	s, clock := newTestService()
+	u := s.RegisterUser("A", "", "Lincoln")
+	loc := mustCity(t, "Lincoln")
+	v := addVenueAt(t, s, "Spot", loc, nil)
+	newbies := 0
+	for i := 0; i < 3; i++ {
+		res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc})
+		if err != nil || !res.Accepted {
+			t.Fatalf("check-in %d: %+v %v", i, res, err)
+		}
+		if contains(res.NewBadges, "Newbie") {
+			newbies++
+		}
+		clock.Advance(2 * time.Hour)
+	}
+	if newbies != 1 {
+		t.Errorf("Newbie awarded %d times, want 1", newbies)
+	}
+}
+
+func TestStateCapsBounded(t *testing.T) {
+	s := newUserState()
+	t0 := simclock.Epoch()
+	for i := 0; i < 100; i++ {
+		s.observe(1, t0.Add(time.Duration(i)*time.Hour))
+	}
+	if len(s.venueTimes[1]) > stateVenueTimesCap {
+		t.Errorf("venueTimes grew to %d, cap %d", len(s.venueTimes[1]), stateVenueTimesCap)
+	}
+	if len(s.recentTimes) > stateRecentTimesCap {
+		t.Errorf("recentTimes grew to %d, cap %d", len(s.recentTimes), stateRecentTimesCap)
+	}
+}
+
+func TestDefaultBadgeSetComplete(t *testing.T) {
+	names := make(map[string]bool)
+	for _, b := range DefaultBadges() {
+		if b.Name == "" || b.Description == "" || b.Earned == nil {
+			t.Errorf("badge %+v incompletely defined", b.Name)
+		}
+		if names[b.Name] {
+			t.Errorf("duplicate badge %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for _, want := range []string{"Newbie", "Adventurer", "Explorer", "Superstar", "Super User", "Bender", "Local", "Crunked"} {
+		if !names[want] {
+			t.Errorf("badge set missing %q", want)
+		}
+	}
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package lbsn
+
+import (
+	"sort"
+	"time"
+)
+
+// mayorTracker maintains, per venue, the distinct check-in days of
+// each user, and decides mayorships per §2.1: "mayorship of a venue is
+// granted to the user who checked in to that venue the most days in
+// the past 60 days. Only the number of days with check-ins to this
+// venue are counted, without consideration of how many check-ins
+// occurred per day."
+type mayorTracker struct {
+	windowDays int
+	// days[venue][user] is the ascending list of distinct day numbers
+	// with valid check-ins.
+	days map[VenueID]map[UserID][]int
+}
+
+func newMayorTracker(windowDays int) *mayorTracker {
+	if windowDays <= 0 {
+		windowDays = 60
+	}
+	return &mayorTracker{
+		windowDays: windowDays,
+		days:       make(map[VenueID]map[UserID][]int),
+	}
+}
+
+// record notes a valid check-in and returns the user's distinct-day
+// count within the window ending at `at`.
+func (m *mayorTracker) record(venue VenueID, user UserID, at time.Time) int {
+	byUser := m.days[venue]
+	if byUser == nil {
+		byUser = make(map[UserID][]int)
+		m.days[venue] = byUser
+	}
+	day := dayNumber(at)
+	days := byUser[user]
+	i := sort.SearchInts(days, day)
+	if i == len(days) || days[i] != day {
+		days = append(days, 0)
+		copy(days[i+1:], days[i:])
+		days[i] = day
+	}
+	// Prune days that have fallen out of the window to bound memory.
+	cutoff := day - m.windowDays + 1
+	firstIn := sort.SearchInts(days, cutoff)
+	days = days[firstIn:]
+	byUser[user] = days
+	return len(days)
+}
+
+// countInWindow returns the user's distinct-day count at the venue
+// within the window ending at `at`, without recording anything.
+func (m *mayorTracker) countInWindow(venue VenueID, user UserID, at time.Time) int {
+	days := m.days[venue][user]
+	if len(days) == 0 {
+		return 0
+	}
+	day := dayNumber(at)
+	cutoff := day - m.windowDays + 1
+	lo := sort.SearchInts(days, cutoff)
+	hi := sort.SearchInts(days, day+1)
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// leader returns the user with the most distinct days in the window
+// ending at `at` and that count. Ties are broken toward the incumbent,
+// then toward the lower user ID (deterministic). Returns (0, 0) when
+// nobody has a qualifying day.
+func (m *mayorTracker) leader(venue VenueID, incumbent UserID, at time.Time) (UserID, int) {
+	byUser := m.days[venue]
+	best := UserID(0)
+	bestCount := 0
+	for user := range byUser {
+		c := m.countInWindow(venue, user, at)
+		if c == 0 {
+			continue
+		}
+		switch {
+		case c > bestCount:
+			best, bestCount = user, c
+		case c == bestCount:
+			if user == incumbent || (best != incumbent && user < best) {
+				best = user
+			}
+		}
+	}
+	return best, bestCount
+}

@@ -1,0 +1,183 @@
+package lbsn
+
+import (
+	"testing"
+	"time"
+
+	"locheat/internal/simclock"
+)
+
+func TestMayorTrackerDayCountedNotCheckinCounted(t *testing.T) {
+	// §2.1: "Only the number of days with check-ins to this venue are
+	// counted, without consideration of how many check-ins occurred
+	// per day."
+	m := newMayorTracker(60)
+	t0 := simclock.Epoch()
+	// User 1: five check-ins on one day.
+	for i := 0; i < 5; i++ {
+		m.record(1, 1, t0.Add(time.Duration(i)*time.Hour))
+	}
+	// User 2: one check-in on each of two days.
+	m.record(1, 2, t0)
+	m.record(1, 2, t0.Add(24*time.Hour))
+
+	at := t0.Add(25 * time.Hour)
+	if got := m.countInWindow(1, 1, at); got != 1 {
+		t.Errorf("user 1 days = %d, want 1 (five same-day check-ins are one day)", got)
+	}
+	if got := m.countInWindow(1, 2, at); got != 2 {
+		t.Errorf("user 2 days = %d, want 2", got)
+	}
+	leader, count := m.leader(1, 0, at)
+	if leader != 2 || count != 2 {
+		t.Errorf("leader = (%d,%d), want (2,2)", leader, count)
+	}
+}
+
+func TestMayorTrackerWindowDecay(t *testing.T) {
+	m := newMayorTracker(60)
+	t0 := simclock.Epoch()
+	// User 1: 3 days right at the start.
+	for d := 0; d < 3; d++ {
+		m.record(7, 1, t0.Add(time.Duration(d)*24*time.Hour))
+	}
+	at := t0.Add(2 * 24 * time.Hour)
+	if got := m.countInWindow(7, 1, at); got != 3 {
+		t.Fatalf("in-window days = %d, want 3", got)
+	}
+	// 100 days later, everything has decayed out of the 60-day window.
+	later := t0.Add(100 * 24 * time.Hour)
+	if got := m.countInWindow(7, 1, later); got != 0 {
+		t.Errorf("days after 100d = %d, want 0 (outside the 60-day window)", got)
+	}
+	leader, _ := m.leader(7, 1, later)
+	if leader != 0 {
+		t.Errorf("leader after decay = %d, want 0 (nobody qualifies)", leader)
+	}
+}
+
+func TestMayorTrackerTieGoesToIncumbent(t *testing.T) {
+	m := newMayorTracker(60)
+	t0 := simclock.Epoch()
+	m.record(3, 10, t0)
+	m.record(3, 20, t0.Add(time.Hour))
+	at := t0.Add(2 * time.Hour)
+
+	leader, count := m.leader(3, 20, at)
+	if leader != 20 || count != 1 {
+		t.Errorf("tie with incumbent 20 = (%d,%d), want (20,1)", leader, count)
+	}
+	leader, _ = m.leader(3, 10, at)
+	if leader != 10 {
+		t.Errorf("tie with incumbent 10 = %d, want 10", leader)
+	}
+	// No incumbent: deterministic lower ID.
+	leader, _ = m.leader(3, 0, at)
+	if leader != 10 {
+		t.Errorf("tie without incumbent = %d, want lower id 10", leader)
+	}
+}
+
+func TestMayorTrackerRecordReturnsWindowCount(t *testing.T) {
+	m := newMayorTracker(60)
+	t0 := simclock.Epoch()
+	if got := m.record(5, 1, t0); got != 1 {
+		t.Errorf("first record = %d, want 1", got)
+	}
+	if got := m.record(5, 1, t0.Add(2*time.Hour)); got != 1 {
+		t.Errorf("same-day record = %d, want 1", got)
+	}
+	if got := m.record(5, 1, t0.Add(24*time.Hour)); got != 2 {
+		t.Errorf("next-day record = %d, want 2", got)
+	}
+}
+
+func TestMayorTrackerPrunesOldDays(t *testing.T) {
+	m := newMayorTracker(60)
+	t0 := simclock.Epoch()
+	for d := 0; d < 200; d++ {
+		m.record(9, 1, t0.Add(time.Duration(d)*24*time.Hour))
+	}
+	if got := len(m.days[9][1]); got > 61 {
+		t.Errorf("retained %d days, want <= 61 (window pruning)", got)
+	}
+	at := t0.Add(199 * 24 * time.Hour)
+	if got := m.countInWindow(9, 1, at); got != 60 {
+		t.Errorf("window count = %d, want 60", got)
+	}
+}
+
+func TestMayorTrackerDefaultWindow(t *testing.T) {
+	m := newMayorTracker(0)
+	if m.windowDays != 60 {
+		t.Errorf("default window = %d, want 60", m.windowDays)
+	}
+}
+
+func TestMayorshipDenialScenario(t *testing.T) {
+	// §3.4: "to stop a user from getting any mayorship, the attacker
+	// ... will apply an automated cheating attack on those venues" —
+	// here the attacker out-days the victim at the venue level.
+	s, clock := newTestService()
+	victim := s.RegisterUser("Victim", "", "Albuquerque")
+	attacker := s.RegisterUser("Attacker", "", "Lincoln")
+	loc := mustCity(t, "Albuquerque")
+	v := addVenueAt(t, s, "Victim's Local", loc, nil)
+
+	// Victim: 2 qualifying days.
+	for d := 0; d < 2; d++ {
+		if res, err := s.CheckIn(CheckinRequest{UserID: victim, VenueID: v, Reported: loc}); err != nil || !res.Accepted {
+			t.Fatalf("victim day %d: %+v %v", d, res, err)
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	if s.Mayor(v) != victim {
+		t.Fatal("victim should start as mayor")
+	}
+	// Attacker: 3 qualifying days (spoofed).
+	for d := 0; d < 3; d++ {
+		if res, err := s.CheckIn(CheckinRequest{UserID: attacker, VenueID: v, Reported: loc}); err != nil || !res.Accepted {
+			t.Fatalf("attacker day %d: %+v %v", d, res, err)
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	if got := s.Mayor(v); got != attacker {
+		t.Errorf("mayor after attack = %d, want attacker %d", got, attacker)
+	}
+}
+
+func TestMayorshipDecaysThroughService(t *testing.T) {
+	// End-to-end window decay: an absent mayor loses the crown to a
+	// newcomer once their qualifying days age out of the 60-day window.
+	s, clock := newTestService()
+	early := s.RegisterUser("Early Bird", "", "Lincoln")
+	late := s.RegisterUser("Late Comer", "", "Lincoln")
+	loc := mustCity(t, "Lincoln")
+	v := addVenueAt(t, s, "Decay Venue", loc, nil)
+
+	// Early bird: 5 qualifying days, then goes silent.
+	for d := 0; d < 5; d++ {
+		if res, err := s.CheckIn(CheckinRequest{UserID: early, VenueID: v, Reported: loc}); err != nil || !res.Accepted {
+			t.Fatalf("early day %d: %+v %v", d, res, err)
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	if s.Mayor(v) != early {
+		t.Fatal("early bird should be mayor")
+	}
+	// 70 days pass: the early bird's days are out of the window.
+	clock.Advance(70 * 24 * time.Hour)
+	// Late comer needs just 2 days against the decayed incumbent.
+	for d := 0; d < 2; d++ {
+		if res, err := s.CheckIn(CheckinRequest{UserID: late, VenueID: v, Reported: loc}); err != nil || !res.Accepted {
+			t.Fatalf("late day %d: %+v %v", d, res, err)
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	if got := s.Mayor(v); got != late {
+		t.Errorf("mayor after decay = %d, want late comer %d", got, late)
+	}
+	if s.MayorshipsOf(early) != 0 || s.MayorshipsOf(late) != 1 {
+		t.Errorf("mayor counts = %d/%d, want 0/1", s.MayorshipsOf(early), s.MayorshipsOf(late))
+	}
+}

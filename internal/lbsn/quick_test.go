@@ -1,0 +1,185 @@
+package lbsn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/simclock"
+)
+
+// Property-based tests over random check-in workloads: whatever the
+// sequence of users, venues, spoofed coordinates and time gaps, the
+// service invariants must hold.
+
+// randomWorkload drives nOps random check-ins and returns the service.
+func randomWorkload(seed int64, nOps int, cap int) (*Service, []VenueID, []UserID) {
+	rng := rand.New(rand.NewSource(seed))
+	clock := simclock.NewSimulated(simclock.Epoch())
+	cfg := DefaultConfig()
+	cfg.RecentVisitorCap = cap
+	s := New(cfg, clock, nil)
+
+	base := geo.Point{Lat: 35.08, Lon: -106.62}
+	var venues []VenueID
+	for i := 0; i < 12; i++ {
+		loc := base.Destination(float64(i*30), float64(200+i*700))
+		id, err := s.AddVenue("V", "", "Albuquerque", loc, nil)
+		if err != nil {
+			panic(err)
+		}
+		venues = append(venues, id)
+	}
+	var users []UserID
+	for i := 0; i < 6; i++ {
+		users = append(users, s.RegisterUser("U", "", "Albuquerque"))
+	}
+	for op := 0; op < nOps; op++ {
+		u := users[rng.Intn(len(users))]
+		v := venues[rng.Intn(len(venues))]
+		view, _ := s.Venue(v)
+		reported := view.Location
+		if rng.Float64() < 0.2 {
+			// Sometimes report a bogus position (honest remote user).
+			reported = view.Location.Destination(rng.Float64()*360, 1000+rng.Float64()*1e6)
+		}
+		_, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: reported})
+		if err != nil {
+			panic(err)
+		}
+		clock.Advance(time.Duration(rng.Intn(120)) * time.Minute)
+	}
+	return s, venues, users
+}
+
+func TestQuickRecentListInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		const cap = 5
+		s, venues, _ := randomWorkload(seed, 300, cap)
+		for _, v := range venues {
+			view, _ := s.Venue(v)
+			if len(view.RecentVisitors) > cap {
+				return false
+			}
+			seen := make(map[UserID]struct{}, len(view.RecentVisitors))
+			for _, u := range view.RecentVisitors {
+				if _, dup := seen[u]; dup {
+					return false // duplicates forbidden
+				}
+				seen[u] = struct{}{}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCounterInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		s, venues, users := randomWorkload(seed, 300, 10)
+		// Venue counters: CheckinsHere >= UniqueVisitors >= |recent|.
+		sumVenue := 0
+		for _, v := range venues {
+			view, _ := s.Venue(v)
+			if view.CheckinsHere < view.UniqueVisitors {
+				return false
+			}
+			if view.UniqueVisitors < len(view.RecentVisitors) {
+				return false
+			}
+			sumVenue += view.CheckinsHere
+		}
+		// User totals: total >= accepted check-ins; service stats add up.
+		total, denied, _ := s.Stats()
+		sumUser := 0
+		for _, u := range users {
+			uv, _ := s.User(u)
+			if uv.TotalCheckins < 0 || uv.Points < 0 {
+				return false
+			}
+			sumUser += uv.TotalCheckins
+		}
+		if sumUser != total {
+			return false // every processed check-in counted exactly once
+		}
+		// Accepted check-ins all landed on venues.
+		if sumVenue != total-denied {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMayorshipConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		s, venues, users := randomWorkload(seed, 300, 10)
+		// Sum of per-user mayor counts equals number of mayored venues,
+		// and each venue's mayor is a real user.
+		mayored := 0
+		for _, v := range venues {
+			m := s.Mayor(v)
+			if m != 0 {
+				mayored++
+				if _, ok := s.User(m); !ok {
+					return false
+				}
+			}
+		}
+		sum := 0
+		for _, u := range users {
+			n := s.MayorshipsOf(u)
+			if n < 0 {
+				return false
+			}
+			sum += n
+		}
+		return sum == mayored
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeniedEarnNothing(t *testing.T) {
+	// Direct property on the pipeline: any check-in result is either
+	// accepted, or carries a reason and zero rewards.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clock := simclock.NewSimulated(simclock.Epoch())
+		s := New(DefaultConfig(), clock, nil)
+		loc := geo.Point{Lat: 35.08, Lon: -106.62}
+		v, err := s.AddVenue("V", "", "", loc, nil)
+		if err != nil {
+			return false
+		}
+		u := s.RegisterUser("U", "", "")
+		for i := 0; i < 50; i++ {
+			rep := loc
+			if rng.Float64() < 0.5 {
+				rep = loc.Destination(rng.Float64()*360, rng.Float64()*1e6)
+			}
+			res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: rep})
+			if err != nil {
+				return false
+			}
+			if !res.Accepted {
+				if res.Reason == DenyNone || res.PointsEarned != 0 ||
+					len(res.NewBadges) != 0 || res.BecameMayor || res.SpecialUnlocked != "" {
+					return false
+				}
+			}
+			clock.Advance(time.Duration(rng.Intn(180)) * time.Minute)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

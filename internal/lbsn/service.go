@@ -1,0 +1,566 @@
+package lbsn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"locheat/internal/cheatercode"
+	"locheat/internal/geo"
+	"locheat/internal/simclock"
+)
+
+// Errors callers can match with errors.Is.
+var (
+	ErrUserNotFound  = errors.New("lbsn: user not found")
+	ErrVenueNotFound = errors.New("lbsn: venue not found")
+	ErrBadLocation   = errors.New("lbsn: invalid coordinates")
+)
+
+// Config carries the service's tunable policy knobs. The defaults
+// reproduce the behaviours the paper observed on the live service.
+type Config struct {
+	// GPSVerifyRadiusMeters is the maximum distance between the venue
+	// being claimed and the coordinates the device reports ("if a user
+	// claims that he/she is currently in a location far away from the
+	// location reported by the GPS of his/her phone, this check-in will
+	// be considered invalid", §2.3). Default 500 m.
+	GPSVerifyRadiusMeters float64
+	// MayorWindowDays is the mayorship competition window (paper: 60).
+	MayorWindowDays int
+	// RecentVisitorCap bounds the venue "Who's been here" list
+	// (default 10).
+	RecentVisitorCap int
+	// Points awarded per valid check-in, extra for a first venue
+	// visit, and extra for winning a mayorship.
+	PointsBase       int
+	PointsFirstVenue int
+	PointsMayor      int
+	// Cheater configures the rules engine; used only when no explicit
+	// detector is supplied to New.
+	Cheater cheatercode.Config
+	// VenueIndexCellDeg is the spatial-index cell size (default 0.01°).
+	VenueIndexCellDeg float64
+}
+
+// DefaultConfig returns the paper-faithful policy.
+func DefaultConfig() Config {
+	return Config{
+		GPSVerifyRadiusMeters: 500,
+		MayorWindowDays:       60,
+		RecentVisitorCap:      10,
+		PointsBase:            1,
+		PointsFirstVenue:      2,
+		PointsMayor:           5,
+		Cheater:               cheatercode.DefaultConfig(),
+		VenueIndexCellDeg:     0.01,
+	}
+}
+
+// Service is the LBSN server. It is safe for concurrent use.
+type Service struct {
+	mu       sync.RWMutex
+	clock    simclock.Clock
+	cfg      Config
+	detector *cheatercode.Detector
+	badges   []BadgeSpec
+
+	users  map[UserID]*User
+	venues map[VenueID]*Venue
+	states map[UserID]*userState
+	mayors *mayorTracker
+	index  *geo.GridIndex
+
+	// seenVisitors tracks distinct visitors per venue for the
+	// UniqueVisitors counter on pipeline-driven venues.
+	seenVisitors map[VenueID]map[UserID]struct{}
+	mayorCounts  map[UserID]int
+
+	nextUser  UserID
+	nextVenue VenueID
+
+	totalCheckins   int
+	deniedCheckins  int
+	specialsRedeems int
+}
+
+// New creates a service. A nil detector builds one from cfg.Cheater; a
+// nil clock uses the wall clock. Zero-valued config fields take their
+// defaults.
+func New(cfg Config, clock simclock.Clock, detector *cheatercode.Detector) *Service {
+	def := DefaultConfig()
+	if cfg.GPSVerifyRadiusMeters <= 0 {
+		cfg.GPSVerifyRadiusMeters = def.GPSVerifyRadiusMeters
+	}
+	if cfg.MayorWindowDays <= 0 {
+		cfg.MayorWindowDays = def.MayorWindowDays
+	}
+	if cfg.RecentVisitorCap <= 0 {
+		cfg.RecentVisitorCap = def.RecentVisitorCap
+	}
+	if cfg.PointsBase <= 0 {
+		cfg.PointsBase = def.PointsBase
+	}
+	if cfg.VenueIndexCellDeg <= 0 {
+		cfg.VenueIndexCellDeg = def.VenueIndexCellDeg
+	}
+	if cfg.Cheater.RapidFireCount == 0 {
+		cfg.Cheater = def.Cheater
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	if detector == nil {
+		detector = cheatercode.NewDetector(cfg.Cheater)
+	}
+	return &Service{
+		clock:        clock,
+		cfg:          cfg,
+		detector:     detector,
+		badges:       DefaultBadges(),
+		users:        make(map[UserID]*User),
+		venues:       make(map[VenueID]*Venue),
+		states:       make(map[UserID]*userState),
+		mayors:       newMayorTracker(cfg.MayorWindowDays),
+		index:        geo.NewGridIndex(cfg.VenueIndexCellDeg),
+		seenVisitors: make(map[VenueID]map[UserID]struct{}),
+		mayorCounts:  make(map[UserID]int),
+	}
+}
+
+// Clock exposes the service's time source (experiments advance it).
+func (s *Service) Clock() simclock.Clock { return s.clock }
+
+// RegisterUser creates a user and returns its incrementing ID.
+func (s *Service) RegisterUser(name, username, homeCity string) UserID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextUser++
+	id := s.nextUser
+	s.users[id] = &User{
+		ID:        id,
+		Name:      name,
+		Username:  username,
+		HomeCity:  homeCity,
+		CreatedAt: s.clock.Now(),
+		Badges:    make(map[string]struct{}),
+	}
+	return id
+}
+
+// AddVenue registers a venue and returns its incrementing ID.
+func (s *Service) AddVenue(name, address, city string, loc geo.Point, special *Special) (VenueID, error) {
+	if !loc.Valid() {
+		return 0, fmt.Errorf("add venue %q: %w", name, ErrBadLocation)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextVenue++
+	id := s.nextVenue
+	var sp *Special
+	if special != nil {
+		cp := *special
+		sp = &cp
+	}
+	s.venues[id] = &Venue{
+		ID:       id,
+		Name:     name,
+		Address:  address,
+		City:     city,
+		Location: loc,
+		Special:  sp,
+	}
+	s.index.Insert(uint64(id), loc)
+	return id, nil
+}
+
+// SetFriendCount sets a user's friend count (profile decoration).
+func (s *Service) SetFriendCount(id UserID, n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[id]
+	if !ok {
+		return fmt.Errorf("user %d: %w", id, ErrUserNotFound)
+	}
+	u.FriendCount = n
+	return nil
+}
+
+// CheckIn runs the full server-side pipeline: GPS verification,
+// cheater-code rules, then rewards. Denied check-ins still increment
+// the user's total check-in count (§4.3) but earn nothing.
+func (s *Service) CheckIn(req CheckinRequest) (CheckinResult, error) {
+	if !req.Reported.Valid() {
+		return CheckinResult{}, fmt.Errorf("check-in by user %d: %w", req.UserID, ErrBadLocation)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	user, ok := s.users[req.UserID]
+	if !ok {
+		return CheckinResult{}, fmt.Errorf("check-in: user %d: %w", req.UserID, ErrUserNotFound)
+	}
+	venue, ok := s.venues[req.VenueID]
+	if !ok {
+		return CheckinResult{}, fmt.Errorf("check-in: venue %d: %w", req.VenueID, ErrVenueNotFound)
+	}
+
+	now := s.clock.Now()
+	user.TotalCheckins++
+	s.totalCheckins++
+	res := CheckinResult{At: now}
+
+	// Location verification: the reported GPS must place the device at
+	// the claimed venue.
+	if d := req.Reported.DistanceMeters(venue.Location); d > s.cfg.GPSVerifyRadiusMeters {
+		s.deniedCheckins++
+		res.Reason = DenyGPSMismatch
+		res.Detail = fmt.Sprintf("reported GPS %.0f m from venue, limit %.0f m",
+			d, s.cfg.GPSVerifyRadiusMeters)
+		return res, nil
+	}
+
+	// Cheater code: rules operate on the venue location, since GPS
+	// verification has already tied the device to it.
+	obs := cheatercode.Observation{
+		UserID:   uint64(req.UserID),
+		VenueID:  uint64(req.VenueID),
+		At:       now,
+		Location: venue.Location,
+	}
+	if v := s.detector.Check(obs); v != nil {
+		s.deniedCheckins++
+		res.Reason = DenyReason(v.Rule)
+		res.Detail = v.Detail
+		return res, nil
+	}
+
+	// Valid check-in: rewards.
+	res.Accepted = true
+	user.ValidCheckins++
+
+	state := s.states[req.UserID]
+	if state == nil {
+		state = newUserState()
+		s.states[req.UserID] = state
+	}
+	firstVisit := false
+	if _, seen := state.distinctVenues[req.VenueID]; !seen {
+		firstVisit = true
+	}
+	state.observe(req.VenueID, now)
+
+	points := s.cfg.PointsBase
+	if firstVisit {
+		points += s.cfg.PointsFirstVenue
+	}
+
+	// Venue counters and recent-visitor list.
+	venue.CheckinsHere++
+	visitors := s.seenVisitors[req.VenueID]
+	if visitors == nil {
+		visitors = make(map[UserID]struct{})
+		s.seenVisitors[req.VenueID] = visitors
+	}
+	if _, seen := visitors[req.UserID]; !seen {
+		visitors[req.UserID] = struct{}{}
+		venue.UniqueVisitors++
+	}
+	venue.noteVisitor(req.UserID, s.cfg.RecentVisitorCap)
+
+	// Mayorship: record the day, then compare against the field.
+	s.mayors.record(req.VenueID, req.UserID, now)
+	leader, _ := s.mayors.leader(req.VenueID, venue.MayorID, now)
+	if leader != 0 && leader != venue.MayorID {
+		if venue.MayorID != 0 {
+			s.mayorCounts[venue.MayorID]--
+			res.LostMayorTo = leader
+		}
+		venue.MayorID = leader
+		s.mayorCounts[leader]++
+		if leader == req.UserID {
+			res.BecameMayor = true
+			points += s.cfg.PointsMayor
+		}
+	}
+
+	// Specials: redeemable on a valid check-in if unrestricted, or if
+	// the checking user holds the mayorship.
+	if venue.Special != nil {
+		if !venue.Special.MayorOnly || venue.MayorID == req.UserID {
+			res.SpecialUnlocked = venue.Special.Description
+			s.specialsRedeems++
+		}
+	}
+
+	// Badges.
+	for _, b := range s.badges {
+		if _, has := user.Badges[b.Name]; has {
+			continue
+		}
+		if b.Earned(state, now) {
+			user.Badges[b.Name] = struct{}{}
+			res.NewBadges = append(res.NewBadges, b.Name)
+		}
+	}
+
+	user.Points += points
+	res.PointsEarned = points
+	return res, nil
+}
+
+// User returns the public snapshot of a user.
+func (s *Service) User(id UserID) (UserView, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[id]
+	if !ok {
+		return UserView{}, false
+	}
+	return u.view(), true
+}
+
+// UserByUsername resolves the /user/<name> URL scheme; only a minority
+// of users have usernames.
+func (s *Service) UserByUsername(username string) (UserView, bool) {
+	if username == "" {
+		return UserView{}, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, u := range s.users {
+		if u.Username == username {
+			return u.view(), true
+		}
+	}
+	return UserView{}, false
+}
+
+// Venue returns the public snapshot of a venue.
+func (s *Service) Venue(id VenueID) (VenueView, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.venues[id]
+	if !ok {
+		return VenueView{}, false
+	}
+	return v.view(), true
+}
+
+// Mayor returns the venue's current mayor (0 = none).
+func (s *Service) Mayor(id VenueID) UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v, ok := s.venues[id]; ok {
+		return v.MayorID
+	}
+	return 0
+}
+
+// MayorshipsOf returns how many venues the user is currently mayor of.
+func (s *Service) MayorshipsOf(id UserID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mayorCounts[id]
+}
+
+// Counters -------------------------------------------------------------
+
+// UserCount returns the number of registered users.
+func (s *Service) UserCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.users)
+}
+
+// VenueCount returns the number of registered venues.
+func (s *Service) VenueCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.venues)
+}
+
+// MaxUserID returns the highest assigned user ID; IDs are dense from 1.
+func (s *Service) MaxUserID() UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextUser
+}
+
+// MaxVenueID returns the highest assigned venue ID.
+func (s *Service) MaxVenueID() VenueID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextVenue
+}
+
+// Stats returns pipeline counters: total check-ins processed, denied
+// check-ins, and special redemptions.
+func (s *Service) Stats() (total, denied, redeems int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.totalCheckins, s.deniedCheckins, s.specialsRedeems
+}
+
+// Geographic queries ----------------------------------------------------
+
+// NearestVenue returns the venue closest to p, as the client app's
+// venue list is ordered.
+func (s *Service) NearestVenue(p geo.Point) (VenueView, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, _, _, ok := s.index.Nearest(p)
+	if !ok {
+		return VenueView{}, false
+	}
+	v, ok := s.venues[VenueID(id)]
+	if !ok {
+		return VenueView{}, false
+	}
+	return v.view(), true
+}
+
+// NearbyVenues returns venues within radiusMeters of p, closest first,
+// at most limit (0 = no limit). This is the "suggested list of nearby
+// venues" the client application shows.
+func (s *Service) NearbyVenues(p geo.Point, radiusMeters float64, limit int) []VenueView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.index.WithinRadius(p, radiusMeters)
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]VenueView, 0, len(ids))
+	for _, id := range ids {
+		if v, ok := s.venues[VenueID(id)]; ok {
+			out = append(out, v.view())
+		}
+	}
+	return out
+}
+
+// SearchVenues returns venues whose name contains the query,
+// case-insensitively, ordered by ID, at most limit (0 = no limit).
+// This is the client app's "searching for a venue by name".
+func (s *Service) SearchVenues(query string, limit int) []VenueView {
+	q := strings.ToLower(query)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]VenueID, 0, 16)
+	for id, v := range s.venues {
+		if strings.Contains(strings.ToLower(v.Name), q) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]VenueView, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.venues[id].view())
+	}
+	return out
+}
+
+// Bulk loading (synthetic world) ----------------------------------------
+
+// UserSeed pre-populates a user with already-accumulated totals; used
+// by the synthetic world generator, which models the 2010 population
+// without replaying 20 M check-ins through the pipeline.
+type UserSeed struct {
+	Name          string
+	Username      string
+	HomeCity      string
+	CreatedAt     time.Time
+	TotalCheckins int
+	ValidCheckins int
+	Points        int
+	BadgeCount    int
+	FriendCount   int
+}
+
+// VenueSeed pre-populates a venue with counters, mayor and recent
+// visitors.
+type VenueSeed struct {
+	Name           string
+	Address        string
+	City           string
+	Location       geo.Point
+	Special        *Special
+	CheckinsHere   int
+	UniqueVisitors int
+	MayorID        UserID
+	RecentVisitors []UserID
+}
+
+// BulkLoadUsers inserts seeds and returns their assigned IDs, in
+// order. Badge counts are materialized as synthetic badge names so the
+// profile page's badge count renders correctly.
+func (s *Service) BulkLoadUsers(seeds []UserSeed) []UserID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]UserID, len(seeds))
+	for i, seed := range seeds {
+		s.nextUser++
+		id := s.nextUser
+		badges := make(map[string]struct{}, seed.BadgeCount)
+		for b := 0; b < seed.BadgeCount; b++ {
+			badges[fmt.Sprintf("badge-%d", b+1)] = struct{}{}
+		}
+		s.users[id] = &User{
+			ID:            id,
+			Name:          seed.Name,
+			Username:      seed.Username,
+			HomeCity:      seed.HomeCity,
+			CreatedAt:     seed.CreatedAt,
+			TotalCheckins: seed.TotalCheckins,
+			ValidCheckins: seed.ValidCheckins,
+			Points:        seed.Points,
+			Badges:        badges,
+			FriendCount:   seed.FriendCount,
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// BulkLoadVenues inserts seeds and returns their assigned IDs, in
+// order. Mayor counts are updated from the seeds' MayorID fields.
+func (s *Service) BulkLoadVenues(seeds []VenueSeed) []VenueID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]VenueID, len(seeds))
+	for i, seed := range seeds {
+		s.nextVenue++
+		id := s.nextVenue
+		var sp *Special
+		if seed.Special != nil {
+			cp := *seed.Special
+			sp = &cp
+		}
+		visitors := make([]UserID, len(seed.RecentVisitors))
+		copy(visitors, seed.RecentVisitors)
+		s.venues[id] = &Venue{
+			ID:             id,
+			Name:           seed.Name,
+			Address:        seed.Address,
+			City:           seed.City,
+			Location:       seed.Location,
+			Special:        sp,
+			MayorID:        seed.MayorID,
+			CheckinsHere:   seed.CheckinsHere,
+			UniqueVisitors: seed.UniqueVisitors,
+			recentVisitors: visitors,
+		}
+		if seed.MayorID != 0 {
+			s.mayorCounts[seed.MayorID]++
+		}
+		s.index.Insert(uint64(id), seed.Location)
+		ids[i] = id
+	}
+	return ids
+}

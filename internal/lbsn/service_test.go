@@ -1,0 +1,535 @@
+package lbsn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/simclock"
+)
+
+// newTestService returns a service on a simulated clock with default
+// paper-faithful policy.
+func newTestService() (*Service, *simclock.Simulated) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	return New(DefaultConfig(), clock, nil), clock
+}
+
+// addVenueAt is a test helper that fails the test on error.
+func addVenueAt(t *testing.T, s *Service, name string, loc geo.Point, sp *Special) VenueID {
+	t.Helper()
+	id, err := s.AddVenue(name, "1 Test St", "Testville", loc, sp)
+	if err != nil {
+		t.Fatalf("AddVenue(%s): %v", name, err)
+	}
+	return id
+}
+
+func TestIncrementingIDs(t *testing.T) {
+	s, _ := newTestService()
+	u1 := s.RegisterUser("Alice", "alice", "Lincoln")
+	u2 := s.RegisterUser("Bob", "", "Lincoln")
+	if u1 != 1 || u2 != 2 {
+		t.Errorf("user IDs = %d,%d, want 1,2 (incrementing numeric IDs, §3.2)", u1, u2)
+	}
+	p := geo.Point{Lat: 40.81, Lon: -96.70}
+	v1 := addVenueAt(t, s, "Coffee A", p, nil)
+	v2 := addVenueAt(t, s, "Coffee B", p.Destination(90, 300), nil)
+	if v1 != 1 || v2 != 2 {
+		t.Errorf("venue IDs = %d,%d, want 1,2", v1, v2)
+	}
+	if s.MaxUserID() != 2 || s.MaxVenueID() != 2 {
+		t.Errorf("MaxUserID/MaxVenueID = %d/%d, want 2/2", s.MaxUserID(), s.MaxVenueID())
+	}
+}
+
+func TestCheckInHappyPath(t *testing.T) {
+	s, _ := newTestService()
+	u := s.RegisterUser("Alice", "alice", "Lincoln")
+	loc := geo.Point{Lat: 40.81, Lon: -96.70}
+	v := addVenueAt(t, s, "The Mill", loc, nil)
+
+	res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc})
+	if err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	if !res.Accepted {
+		t.Fatalf("check-in denied: %s %s", res.Reason, res.Detail)
+	}
+	if res.PointsEarned != 8 { // base 1 + first-venue 2 + mayor 5 (sole visitor wins the mayorship)
+		t.Errorf("points = %d, want 8", res.PointsEarned)
+	}
+	if !res.BecameMayor {
+		t.Error("sole visitor should win the uncontested mayorship")
+	}
+	if len(res.NewBadges) == 0 || res.NewBadges[0] != "Newbie" {
+		t.Errorf("badges = %v, want [Newbie]", res.NewBadges)
+	}
+	uv, _ := s.User(u)
+	if uv.TotalCheckins != 1 || uv.Points != 8 || uv.TotalBadges != 1 {
+		t.Errorf("user view = %+v", uv)
+	}
+	vv, _ := s.Venue(v)
+	if vv.CheckinsHere != 1 || vv.UniqueVisitors != 1 {
+		t.Errorf("venue counters = %d/%d, want 1/1", vv.CheckinsHere, vv.UniqueVisitors)
+	}
+	if len(vv.RecentVisitors) != 1 || vv.RecentVisitors[0] != u {
+		t.Errorf("recent visitors = %v, want [%d]", vv.RecentVisitors, u)
+	}
+}
+
+func TestCheckInGPSMismatchDeniedButCounted(t *testing.T) {
+	s, _ := newTestService()
+	u := s.RegisterUser("Mallory", "", "Lincoln")
+	sf, _ := geo.FindCity("San Francisco")
+	lincoln, _ := geo.FindCity("Lincoln")
+	v := addVenueAt(t, s, "Fisherman's Wharf Sign", sf.Center, nil)
+
+	// Device honestly reports Lincoln while claiming a SF venue.
+	res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: lincoln.Center})
+	if err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	if res.Accepted || res.Reason != DenyGPSMismatch {
+		t.Fatalf("result = %+v, want gps-mismatch denial", res)
+	}
+	if res.PointsEarned != 0 || len(res.NewBadges) != 0 {
+		t.Error("denied check-in must earn nothing")
+	}
+	// §4.3 policy: still counts toward the total.
+	uv, _ := s.User(u)
+	if uv.TotalCheckins != 1 {
+		t.Errorf("TotalCheckins = %d, want 1 (denied check-ins still count)", uv.TotalCheckins)
+	}
+	if uv.Points != 0 {
+		t.Errorf("Points = %d, want 0", uv.Points)
+	}
+	// Venue counters untouched.
+	vv, _ := s.Venue(v)
+	if vv.CheckinsHere != 0 || len(vv.RecentVisitors) != 0 {
+		t.Errorf("venue gained counters from a denied check-in: %+v", vv)
+	}
+}
+
+func TestCheckInSpoofedGPSAccepted(t *testing.T) {
+	// The attack of §3.1: the device *reports* the venue's coordinates
+	// even though the attacker is 1000+ miles away; the server cannot
+	// tell and accepts.
+	s, _ := newTestService()
+	u := s.RegisterUser("Mallory", "", "Lincoln")
+	sf, _ := geo.FindCity("San Francisco")
+	v := addVenueAt(t, s, "Fisherman's Wharf Sign", sf.Center, nil)
+
+	res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: sf.Center})
+	if err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	if !res.Accepted {
+		t.Fatalf("spoofed check-in denied: %s %s", res.Reason, res.Detail)
+	}
+}
+
+func TestCheckInCheaterCodeDenial(t *testing.T) {
+	s, clock := newTestService()
+	u := s.RegisterUser("Mallory", "", "Albuquerque")
+	abq, _ := geo.FindCity("Albuquerque")
+	sf, _ := geo.FindCity("San Francisco")
+	v1 := addVenueAt(t, s, "ABQ Cafe", abq.Center, nil)
+	v2 := addVenueAt(t, s, "SF Cafe", sf.Center, nil)
+
+	if res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v1, Reported: abq.Center}); err != nil || !res.Accepted {
+		t.Fatalf("seed check-in: res=%+v err=%v", res, err)
+	}
+	clock.Advance(10 * time.Minute)
+	// ABQ -> SF in 10 minutes with spoofed GPS: superhuman speed.
+	res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v2, Reported: sf.Center})
+	if err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	if res.Accepted || res.Reason != "superhuman-speed" {
+		t.Fatalf("result = %+v, want superhuman-speed denial", res)
+	}
+	uv, _ := s.User(u)
+	if uv.TotalCheckins != 2 {
+		t.Errorf("TotalCheckins = %d, want 2", uv.TotalCheckins)
+	}
+	_, denied, _ := s.Stats()
+	if denied != 1 {
+		t.Errorf("denied counter = %d, want 1", denied)
+	}
+}
+
+func TestCheckInErrors(t *testing.T) {
+	s, _ := newTestService()
+	u := s.RegisterUser("Alice", "", "Lincoln")
+	loc := geo.Point{Lat: 40.81, Lon: -96.70}
+	v := addVenueAt(t, s, "The Mill", loc, nil)
+
+	if _, err := s.CheckIn(CheckinRequest{UserID: 999, VenueID: v, Reported: loc}); !errors.Is(err, ErrUserNotFound) {
+		t.Errorf("missing user error = %v, want ErrUserNotFound", err)
+	}
+	if _, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: 999, Reported: loc}); !errors.Is(err, ErrVenueNotFound) {
+		t.Errorf("missing venue error = %v, want ErrVenueNotFound", err)
+	}
+	bad := geo.Point{Lat: 91, Lon: 0}
+	if _, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: bad}); !errors.Is(err, ErrBadLocation) {
+		t.Errorf("bad location error = %v, want ErrBadLocation", err)
+	}
+	// Errors must not count as check-ins.
+	uv, _ := s.User(u)
+	if uv.TotalCheckins != 0 {
+		t.Errorf("TotalCheckins = %d after errored requests, want 0", uv.TotalCheckins)
+	}
+}
+
+func TestAddVenueBadLocation(t *testing.T) {
+	s, _ := newTestService()
+	if _, err := s.AddVenue("X", "", "", geo.Point{Lat: 100, Lon: 0}, nil); !errors.Is(err, ErrBadLocation) {
+		t.Errorf("AddVenue bad location error = %v, want ErrBadLocation", err)
+	}
+}
+
+func TestAdventurerBadgeAfterTenVenues(t *testing.T) {
+	// §3.1: "after checking in to 10 different venues, we got the badge
+	// 'Adventurer: You've checked into 10 different venues!'"
+	s, clock := newTestService()
+	u := s.RegisterUser("Mallory", "", "Lincoln")
+	base := geo.Point{Lat: 40.81, Lon: -96.70}
+	var got []string
+	for i := 0; i < 10; i++ {
+		loc := base.Destination(float64(i*36), 1000+float64(i)*500)
+		v := addVenueAt(t, s, "Venue", loc, nil)
+		clock.Advance(2 * time.Hour) // stay under the speed limit
+		res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc})
+		if err != nil || !res.Accepted {
+			t.Fatalf("check-in %d: res=%+v err=%v", i, res, err)
+		}
+		got = append(got, res.NewBadges...)
+	}
+	found := false
+	for _, b := range got {
+		if b == "Adventurer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("badges after 10 venues = %v, want Adventurer included", got)
+	}
+}
+
+func TestMayorshipAfterFourDailyCheckins(t *testing.T) {
+	// E1: the paper's test user checked in once a day for 4 consecutive
+	// days at Fisherman's Wharf Sign and became mayor (the venue's
+	// incumbent had fewer qualifying days).
+	s, clock := newTestService()
+	incumbent := s.RegisterUser("Incumbent", "", "San Francisco")
+	attacker := s.RegisterUser("Mallory", "", "Lincoln")
+	sf, _ := geo.FindCity("San Francisco")
+	v := addVenueAt(t, s, "Fisherman's Wharf Sign", sf.Center, nil)
+
+	// Incumbent establishes 2 qualifying days.
+	for day := 0; day < 2; day++ {
+		res, err := s.CheckIn(CheckinRequest{UserID: incumbent, VenueID: v, Reported: sf.Center})
+		if err != nil || !res.Accepted {
+			t.Fatalf("incumbent day %d: res=%+v err=%v", day, res, err)
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	if got := s.Mayor(v); got != incumbent {
+		t.Fatalf("mayor = %d, want incumbent %d", got, incumbent)
+	}
+
+	// Attacker (GPS-spoofed) checks in daily for 4 consecutive days.
+	becameMayor := false
+	for day := 0; day < 4; day++ {
+		res, err := s.CheckIn(CheckinRequest{UserID: attacker, VenueID: v, Reported: sf.Center})
+		if err != nil || !res.Accepted {
+			t.Fatalf("attacker day %d: res=%+v err=%v", day, res, err)
+		}
+		if res.BecameMayor {
+			becameMayor = true
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	if !becameMayor {
+		t.Error("attacker never received BecameMayor")
+	}
+	if got := s.Mayor(v); got != attacker {
+		t.Errorf("mayor = %d, want attacker %d", got, attacker)
+	}
+	if s.MayorshipsOf(attacker) != 1 || s.MayorshipsOf(incumbent) != 0 {
+		t.Errorf("mayor counts = %d/%d, want 1/0",
+			s.MayorshipsOf(attacker), s.MayorshipsOf(incumbent))
+	}
+}
+
+func TestMayorOnlySpecialRequiresMayor(t *testing.T) {
+	s, clock := newTestService()
+	u := s.RegisterUser("Alice", "", "Lincoln")
+	loc := geo.Point{Lat: 40.81, Lon: -96.70}
+	sp := &Special{Description: "Free coffee for the mayor", MayorOnly: true}
+	v := addVenueAt(t, s, "Starbucks #1", loc, sp)
+
+	res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc})
+	if err != nil || !res.Accepted {
+		t.Fatalf("check-in: res=%+v err=%v", res, err)
+	}
+	// First check-in makes the user mayor of an uncontested venue, so
+	// the special unlocks on the same check-in.
+	if !res.BecameMayor {
+		t.Fatal("sole visitor should become mayor of an uncontested venue")
+	}
+	if res.SpecialUnlocked == "" {
+		t.Error("mayor-only special should unlock for the mayor")
+	}
+
+	// A second user checking in does not get the special.
+	u2 := s.RegisterUser("Bob", "", "Lincoln")
+	clock.Advance(2 * time.Hour)
+	res2, err := s.CheckIn(CheckinRequest{UserID: u2, VenueID: v, Reported: loc})
+	if err != nil || !res2.Accepted {
+		t.Fatalf("check-in 2: res=%+v err=%v", res2, err)
+	}
+	if res2.SpecialUnlocked != "" {
+		t.Error("non-mayor unlocked a mayor-only special")
+	}
+}
+
+func TestOpenSpecialUnlocksForAnyone(t *testing.T) {
+	// §3.4: "some special offers do not require mayorship which are
+	// much easier to obtain."
+	s, _ := newTestService()
+	u := s.RegisterUser("Alice", "", "Lincoln")
+	loc := geo.Point{Lat: 40.81, Lon: -96.70}
+	sp := &Special{Description: "10% off any purchase", MayorOnly: false}
+	v := addVenueAt(t, s, "Open Deal Cafe", loc, sp)
+	res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc})
+	if err != nil || !res.Accepted {
+		t.Fatalf("check-in: res=%+v err=%v", res, err)
+	}
+	if res.SpecialUnlocked != "10% off any purchase" {
+		t.Errorf("SpecialUnlocked = %q, want the open special", res.SpecialUnlocked)
+	}
+}
+
+func TestRecentVisitorListDistinctCappedOrdered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecentVisitorCap = 3
+	clock := simclock.NewSimulated(simclock.Epoch())
+	s := New(cfg, clock, nil)
+	loc := geo.Point{Lat: 40.81, Lon: -96.70}
+	v := addVenueAt(t, s, "Popular Spot", loc, nil)
+
+	var users []UserID
+	for i := 0; i < 5; i++ {
+		users = append(users, s.RegisterUser("U", "", "Lincoln"))
+	}
+	for _, u := range users {
+		clock.Advance(90 * time.Minute)
+		if res, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc}); err != nil || !res.Accepted {
+			t.Fatalf("check-in user %d: res=%+v err=%v", u, res, err)
+		}
+	}
+	vv, _ := s.Venue(v)
+	if len(vv.RecentVisitors) != 3 {
+		t.Fatalf("recent list = %v, want 3 entries (cap)", vv.RecentVisitors)
+	}
+	// Most recent first: users[4], users[3], users[2].
+	want := []UserID{users[4], users[3], users[2]}
+	for i := range want {
+		if vv.RecentVisitors[i] != want[i] {
+			t.Errorf("recent[%d] = %d, want %d", i, vv.RecentVisitors[i], want[i])
+		}
+	}
+	// Re-visit by users[2] moves it to the front without duplication.
+	clock.Advance(90 * time.Minute)
+	if res, err := s.CheckIn(CheckinRequest{UserID: users[2], VenueID: v, Reported: loc}); err != nil || !res.Accepted {
+		t.Fatalf("revisit: res=%+v err=%v", res, err)
+	}
+	vv, _ = s.Venue(v)
+	if vv.RecentVisitors[0] != users[2] || len(vv.RecentVisitors) != 3 {
+		t.Errorf("after revisit recent = %v, want front=%d len=3", vv.RecentVisitors, users[2])
+	}
+}
+
+func TestUniqueVisitorsCountsDistinctUsers(t *testing.T) {
+	s, clock := newTestService()
+	loc := geo.Point{Lat: 40.81, Lon: -96.70}
+	v := addVenueAt(t, s, "Spot", loc, nil)
+	u1 := s.RegisterUser("A", "", "Lincoln")
+	u2 := s.RegisterUser("B", "", "Lincoln")
+	for i := 0; i < 3; i++ {
+		clock.Advance(2 * time.Hour)
+		if _, err := s.CheckIn(CheckinRequest{UserID: u1, VenueID: v, Reported: loc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Advance(2 * time.Hour)
+	if _, err := s.CheckIn(CheckinRequest{UserID: u2, VenueID: v, Reported: loc}); err != nil {
+		t.Fatal(err)
+	}
+	vv, _ := s.Venue(v)
+	if vv.CheckinsHere != 4 || vv.UniqueVisitors != 2 {
+		t.Errorf("counters = %d/%d, want 4/2", vv.CheckinsHere, vv.UniqueVisitors)
+	}
+}
+
+func TestNearbyAndNearestVenues(t *testing.T) {
+	s, _ := newTestService()
+	base := geo.Point{Lat: 35.08, Lon: -106.62}
+	close1 := addVenueAt(t, s, "Close", base.Destination(0, 100), nil)
+	_ = addVenueAt(t, s, "Medium", base.Destination(90, 800), nil)
+	far := addVenueAt(t, s, "Far", base.Destination(180, 30000), nil)
+
+	nearest, ok := s.NearestVenue(base)
+	if !ok || nearest.ID != close1 {
+		t.Errorf("NearestVenue = %+v, want id %d", nearest, close1)
+	}
+	nearby := s.NearbyVenues(base, 1000, 0)
+	if len(nearby) != 2 {
+		t.Fatalf("NearbyVenues(1km) = %d venues, want 2", len(nearby))
+	}
+	if nearby[0].ID != close1 {
+		t.Errorf("nearby[0] = %d, want closest %d", nearby[0].ID, close1)
+	}
+	for _, v := range nearby {
+		if v.ID == far {
+			t.Error("far venue returned within 1 km")
+		}
+	}
+	limited := s.NearbyVenues(base, 1000, 1)
+	if len(limited) != 1 {
+		t.Errorf("limit=1 returned %d venues", len(limited))
+	}
+}
+
+func TestSearchVenues(t *testing.T) {
+	s, _ := newTestService()
+	p := geo.Point{Lat: 35.08, Lon: -106.62}
+	_ = addVenueAt(t, s, "Starbucks #42", p, nil)
+	_ = addVenueAt(t, s, "Lone Star BBQ", p.Destination(0, 200), nil)
+	_ = addVenueAt(t, s, "STARBUCKS downtown", p.Destination(90, 200), nil)
+
+	got := s.SearchVenues("starbucks", 0)
+	if len(got) != 2 {
+		t.Fatalf("search starbucks = %d hits, want 2 (case-insensitive)", len(got))
+	}
+	if got[0].ID > got[1].ID {
+		t.Error("search results must be ordered by ID")
+	}
+	if n := len(s.SearchVenues("starbucks", 1)); n != 1 {
+		t.Errorf("limited search = %d hits, want 1", n)
+	}
+	if n := len(s.SearchVenues("waffle", 0)); n != 0 {
+		t.Errorf("no-match search = %d hits, want 0", n)
+	}
+}
+
+func TestUserByUsername(t *testing.T) {
+	s, _ := newTestService()
+	id := s.RegisterUser("Alice", "alice2010", "Lincoln")
+	s.RegisterUser("Bob", "", "Lincoln")
+	got, ok := s.UserByUsername("alice2010")
+	if !ok || got.ID != id {
+		t.Errorf("UserByUsername = (%+v, %v), want id %d", got, ok, id)
+	}
+	if _, ok := s.UserByUsername("nobody"); ok {
+		t.Error("unknown username resolved")
+	}
+	if _, ok := s.UserByUsername(""); ok {
+		t.Error("empty username resolved")
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	s, _ := newTestService()
+	userIDs := s.BulkLoadUsers([]UserSeed{
+		{Name: "Synth1", TotalCheckins: 100, ValidCheckins: 90, Points: 200, BadgeCount: 5, FriendCount: 12},
+		{Name: "Synth2", Username: "synth2", TotalCheckins: 3},
+	})
+	if len(userIDs) != 2 || userIDs[0] != 1 || userIDs[1] != 2 {
+		t.Fatalf("bulk user IDs = %v", userIDs)
+	}
+	uv, _ := s.User(userIDs[0])
+	if uv.TotalCheckins != 100 || uv.TotalBadges != 5 || uv.Points != 200 || uv.FriendCount != 12 {
+		t.Errorf("bulk user view = %+v", uv)
+	}
+
+	sf, _ := geo.FindCity("San Francisco")
+	venueIDs := s.BulkLoadVenues([]VenueSeed{
+		{
+			Name: "Starbucks #9", City: "San Francisco", Location: sf.Center,
+			CheckinsHere: 500, UniqueVisitors: 300, MayorID: userIDs[0],
+			RecentVisitors: []UserID{userIDs[0], userIDs[1]},
+			Special:        &Special{Description: "Free drip", MayorOnly: true},
+		},
+	})
+	vv, _ := s.Venue(venueIDs[0])
+	if vv.MayorID != userIDs[0] || vv.CheckinsHere != 500 || vv.UniqueVisitors != 300 {
+		t.Errorf("bulk venue view = %+v", vv)
+	}
+	if len(vv.RecentVisitors) != 2 {
+		t.Errorf("bulk venue recent = %v", vv.RecentVisitors)
+	}
+	if s.MayorshipsOf(userIDs[0]) != 1 {
+		t.Errorf("MayorshipsOf = %d, want 1", s.MayorshipsOf(userIDs[0]))
+	}
+	// Bulk venues are searchable and spatially indexed.
+	if _, ok := s.NearestVenue(sf.Center); !ok {
+		t.Error("bulk venue missing from spatial index")
+	}
+}
+
+func TestViewsAreCopies(t *testing.T) {
+	s, _ := newTestService()
+	loc := geo.Point{Lat: 40.81, Lon: -96.70}
+	v := addVenueAt(t, s, "Spot", loc, &Special{Description: "deal"})
+	u := s.RegisterUser("A", "", "Lincoln")
+	if _, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc}); err != nil {
+		t.Fatal(err)
+	}
+	vv, _ := s.Venue(v)
+	vv.RecentVisitors[0] = 999
+	vv.Special.Description = "mutated"
+	fresh, _ := s.Venue(v)
+	if fresh.RecentVisitors[0] == 999 {
+		t.Error("mutating a view's RecentVisitors leaked into the service")
+	}
+	if fresh.Special.Description == "mutated" {
+		t.Error("mutating a view's Special leaked into the service")
+	}
+}
+
+func TestSetFriendCount(t *testing.T) {
+	s, _ := newTestService()
+	u := s.RegisterUser("A", "", "Lincoln")
+	if err := s.SetFriendCount(u, 7); err != nil {
+		t.Fatal(err)
+	}
+	uv, _ := s.User(u)
+	if uv.FriendCount != 7 {
+		t.Errorf("FriendCount = %d, want 7", uv.FriendCount)
+	}
+	if err := s.SetFriendCount(999, 1); !errors.Is(err, ErrUserNotFound) {
+		t.Errorf("missing user error = %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s, clock := newTestService()
+	u := s.RegisterUser("A", "", "Lincoln")
+	loc := geo.Point{Lat: 40.81, Lon: -96.70}
+	v := addVenueAt(t, s, "Spot", loc, nil)
+	if _, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	if _, err := s.CheckIn(CheckinRequest{UserID: u, VenueID: v, Reported: loc}); err != nil {
+		t.Fatal(err) // frequent-checkin denial, not an error
+	}
+	total, denied, _ := s.Stats()
+	if total != 2 || denied != 1 {
+		t.Errorf("Stats = %d/%d, want 2/1", total, denied)
+	}
+}

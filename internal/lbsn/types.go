@@ -1,0 +1,190 @@
+// Package lbsn implements the location-based social network service
+// the paper attacks: a Foursquare-like system with users, venues, a
+// check-in pipeline, and the four-tier progressive reward mechanism of
+// §2.1 (points, badges, 60-day day-counted mayorships, and partner
+// "specials" that stand in for real-world rewards). Users and venues
+// get incrementing numeric IDs, the weakness §3.2 exploits for
+// crawling.
+//
+// The service enforces GPS verification (the claimed venue must match
+// the coordinates the device reports) and consults the cheater-code
+// detector on every check-in. Per §4.3, check-ins denied by either
+// mechanism still count toward the user's total check-in number but
+// earn no rewards.
+package lbsn
+
+import (
+	"time"
+
+	"locheat/internal/geo"
+)
+
+// UserID identifies a user. IDs are assigned incrementally starting at
+// 1, exactly the enumerable scheme the paper's crawler exploited.
+type UserID uint64
+
+// VenueID identifies a venue, also assigned incrementally.
+type VenueID uint64
+
+// Special is a real-world reward a partner business attaches to its
+// venue ("a free cup of coffee"). The crawl in §2.1 found more than
+// 90% of rewards were mayor-only.
+type Special struct {
+	Description string `json:"description"`
+	MayorOnly   bool   `json:"mayorOnly"`
+}
+
+// User is the internal user record. External callers receive UserView
+// copies.
+type User struct {
+	ID        UserID
+	Name      string
+	Username  string // optional; the paper found only 26.1% of users had one
+	HomeCity  string
+	CreatedAt time.Time
+
+	TotalCheckins int // includes invalidated check-ins (§4.3 policy)
+	ValidCheckins int
+	Points        int
+	Badges        map[string]struct{}
+	FriendCount   int
+}
+
+// Venue is the internal venue record.
+type Venue struct {
+	ID       VenueID
+	Name     string
+	Address  string
+	City     string
+	Location geo.Point
+	Special  *Special
+
+	MayorID        UserID // 0 = no mayor
+	CheckinsHere   int
+	UniqueVisitors int
+	// recentVisitors holds distinct recent visitor IDs, most recent
+	// first, capped. The live site's "Who's been here" list had no
+	// timestamps — a property the Fig 4.1 analysis leans on.
+	recentVisitors []UserID
+}
+
+// UserView is the public snapshot of a user: exactly the fields the
+// profile webpage exposes ("name, current location, number of
+// check-ins, reward information, and a list of friends" — §3.2;
+// mayorships and check-in history are hidden).
+type UserView struct {
+	ID            UserID    `json:"id"`
+	Name          string    `json:"name"`
+	Username      string    `json:"username,omitempty"`
+	HomeCity      string    `json:"homeCity"`
+	TotalCheckins int       `json:"totalCheckins"`
+	TotalBadges   int       `json:"totalBadges"`
+	Points        int       `json:"points"`
+	FriendCount   int       `json:"friendCount"`
+	CreatedAt     time.Time `json:"createdAt"`
+}
+
+// VenueView is the public snapshot of a venue: name, address,
+// location, check-in counters, unique visitors, special, mayor link
+// and the recent-visitor list (§3.2).
+type VenueView struct {
+	ID             VenueID   `json:"id"`
+	Name           string    `json:"name"`
+	Address        string    `json:"address"`
+	City           string    `json:"city"`
+	Location       geo.Point `json:"location"`
+	MayorID        UserID    `json:"mayorId"`
+	CheckinsHere   int       `json:"checkinsHere"`
+	UniqueVisitors int       `json:"uniqueVisitors"`
+	Special        *Special  `json:"special,omitempty"`
+	RecentVisitors []UserID  `json:"recentVisitors"`
+}
+
+// CheckinRequest is what the client application submits: the venue the
+// user claims to be at plus the GPS coordinates the device reports.
+type CheckinRequest struct {
+	UserID   UserID
+	VenueID  VenueID
+	Reported geo.Point // device GPS reading — the value attackers forge
+}
+
+// DenyReason classifies why a check-in earned no rewards.
+type DenyReason string
+
+// Deny reasons. GPS mismatch is the location verification of §2.3;
+// cheater-code reasons carry the triggering rule's name.
+const (
+	DenyNone        DenyReason = ""
+	DenyGPSMismatch DenyReason = "gps-mismatch"
+)
+
+// CheckinResult reports the outcome of one check-in.
+type CheckinResult struct {
+	Accepted bool
+	// Reason is set when Accepted is false: DenyGPSMismatch or the
+	// cheater-code rule name.
+	Reason DenyReason
+	Detail string
+
+	PointsEarned    int
+	NewBadges       []string
+	BecameMayor     bool
+	LostMayorTo     UserID // set on the previous mayor side via venue state; informational
+	SpecialUnlocked string // non-empty when a special was redeemable on this check-in
+	At              time.Time
+}
+
+// view builders --------------------------------------------------------
+
+func (u *User) view() UserView {
+	return UserView{
+		ID:            u.ID,
+		Name:          u.Name,
+		Username:      u.Username,
+		HomeCity:      u.HomeCity,
+		TotalCheckins: u.TotalCheckins,
+		TotalBadges:   len(u.Badges),
+		Points:        u.Points,
+		FriendCount:   u.FriendCount,
+		CreatedAt:     u.CreatedAt,
+	}
+}
+
+func (v *Venue) view() VenueView {
+	var sp *Special
+	if v.Special != nil {
+		cp := *v.Special
+		sp = &cp
+	}
+	visitors := make([]UserID, len(v.recentVisitors))
+	copy(visitors, v.recentVisitors)
+	return VenueView{
+		ID:             v.ID,
+		Name:           v.Name,
+		Address:        v.Address,
+		City:           v.City,
+		Location:       v.Location,
+		MayorID:        v.MayorID,
+		CheckinsHere:   v.CheckinsHere,
+		UniqueVisitors: v.UniqueVisitors,
+		Special:        sp,
+		RecentVisitors: visitors,
+	}
+}
+
+// noteVisitor moves id to the front of the venue's recent-visitor
+// list, keeping entries distinct and the list capped.
+func (v *Venue) noteVisitor(id UserID, cap int) {
+	for i, existing := range v.recentVisitors {
+		if existing == id {
+			copy(v.recentVisitors[1:i+1], v.recentVisitors[:i])
+			v.recentVisitors[0] = id
+			return
+		}
+	}
+	if len(v.recentVisitors) < cap {
+		v.recentVisitors = append(v.recentVisitors, 0)
+	}
+	copy(v.recentVisitors[1:], v.recentVisitors)
+	v.recentVisitors[0] = id
+}

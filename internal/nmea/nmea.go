@@ -1,0 +1,284 @@
+// Package nmea implements the subset of the NMEA 0183 protocol that
+// GPS receivers speak: generating and parsing GGA (fix data) and RMC
+// (recommended minimum) sentences with checksums.
+//
+// This is the substrate for §3.1's spoofing vector 2: "an attacker can
+// write a program on a computer that simulates the behavior of a
+// Bluetooth GPS receiver and let the phone connect to this simulated
+// Bluetooth GPS receiver, enabling the simulated GPS to return fake
+// coordinates. In fact, there are already a number of such tools on
+// the market (e.g., Skylab GPS Simulator, Zyl Soft, GPS Generator
+// Pro)." The Simulator type is that tool; internal/device pairs a
+// phone to it.
+package nmea
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"locheat/internal/geo"
+)
+
+// Errors returned by the parser.
+var (
+	ErrBadSentence = errors.New("nmea: malformed sentence")
+	ErrBadChecksum = errors.New("nmea: checksum mismatch")
+	ErrNoFix       = errors.New("nmea: sentence reports no fix")
+	ErrUnsupported = errors.New("nmea: unsupported sentence type")
+)
+
+// Fix is a decoded position report.
+type Fix struct {
+	Point      geo.Point
+	Time       time.Time
+	Valid      bool
+	Satellites int     // GGA only; 0 when unknown
+	SpeedKnots float64 // RMC only; 0 when unknown
+}
+
+// Checksum computes the NMEA checksum: XOR of all bytes between '$'
+// and '*'.
+func Checksum(payload string) byte {
+	var sum byte
+	for i := 0; i < len(payload); i++ {
+		sum ^= payload[i]
+	}
+	return sum
+}
+
+// FormatGGA renders a $GPGGA sentence for the fix.
+func FormatGGA(p geo.Point, at time.Time, satellites int) string {
+	payload := fmt.Sprintf("GPGGA,%s,%s,%s,1,%02d,0.9,10.0,M,0.0,M,,",
+		at.UTC().Format("150405.00"),
+		formatLat(p.Lat),
+		formatLon(p.Lon),
+		satellites,
+	)
+	return fmt.Sprintf("$%s*%02X", payload, Checksum(payload))
+}
+
+// FormatRMC renders a $GPRMC sentence for the fix.
+func FormatRMC(p geo.Point, at time.Time, speedKnots float64) string {
+	payload := fmt.Sprintf("GPRMC,%s,A,%s,%s,%.1f,0.0,%s,,,A",
+		at.UTC().Format("150405.00"),
+		formatLat(p.Lat),
+		formatLon(p.Lon),
+		speedKnots,
+		at.UTC().Format("020106"),
+	)
+	return fmt.Sprintf("$%s*%02X", payload, Checksum(payload))
+}
+
+// formatLat renders ddmm.mmmm,H.
+func formatLat(lat float64) string {
+	hemi := "N"
+	if lat < 0 {
+		hemi = "S"
+		lat = -lat
+	}
+	deg := math.Floor(lat)
+	minutes := (lat - deg) * 60
+	return fmt.Sprintf("%02.0f%07.4f,%s", deg, minutes, hemi)
+}
+
+// formatLon renders dddmm.mmmm,H.
+func formatLon(lon float64) string {
+	hemi := "E"
+	if lon < 0 {
+		hemi = "W"
+		lon = -lon
+	}
+	deg := math.Floor(lon)
+	minutes := (lon - deg) * 60
+	return fmt.Sprintf("%03.0f%07.4f,%s", deg, minutes, hemi)
+}
+
+// Parse decodes a GGA or RMC sentence into a Fix, verifying the
+// checksum.
+func Parse(sentence string) (Fix, error) {
+	sentence = strings.TrimSpace(sentence)
+	if len(sentence) < 9 || sentence[0] != '$' {
+		return Fix{}, ErrBadSentence
+	}
+	star := strings.LastIndexByte(sentence, '*')
+	if star < 0 || star+3 > len(sentence) {
+		return Fix{}, ErrBadSentence
+	}
+	payload := sentence[1:star]
+	wantSum, err := strconv.ParseUint(sentence[star+1:star+3], 16, 8)
+	if err != nil {
+		return Fix{}, ErrBadSentence
+	}
+	if Checksum(payload) != byte(wantSum) {
+		return Fix{}, ErrBadChecksum
+	}
+	fields := strings.Split(payload, ",")
+	switch fields[0] {
+	case "GPGGA":
+		return parseGGA(fields)
+	case "GPRMC":
+		return parseRMC(fields)
+	default:
+		return Fix{}, fmt.Errorf("%w: %s", ErrUnsupported, fields[0])
+	}
+}
+
+// parseGGA: GPGGA,time,lat,NS,lon,EW,quality,sats,hdop,alt,M,geoid,M,,
+func parseGGA(f []string) (Fix, error) {
+	if len(f) < 8 {
+		return Fix{}, ErrBadSentence
+	}
+	quality := f[6]
+	if quality == "0" || quality == "" {
+		return Fix{}, ErrNoFix
+	}
+	pt, err := parseLatLon(f[2], f[3], f[4], f[5])
+	if err != nil {
+		return Fix{}, err
+	}
+	ts, err := parseUTCTime(f[1], time.Time{})
+	if err != nil {
+		return Fix{}, err
+	}
+	sats, _ := strconv.Atoi(f[7])
+	return Fix{Point: pt, Time: ts, Valid: true, Satellites: sats}, nil
+}
+
+// parseRMC: GPRMC,time,status,lat,NS,lon,EW,speed,course,date,...
+func parseRMC(f []string) (Fix, error) {
+	if len(f) < 10 {
+		return Fix{}, ErrBadSentence
+	}
+	if f[2] != "A" {
+		return Fix{}, ErrNoFix
+	}
+	pt, err := parseLatLon(f[3], f[4], f[5], f[6])
+	if err != nil {
+		return Fix{}, err
+	}
+	date, err := time.Parse("020106", f[9])
+	if err != nil {
+		return Fix{}, fmt.Errorf("%w: bad date %q", ErrBadSentence, f[9])
+	}
+	ts, err := parseUTCTime(f[1], date)
+	if err != nil {
+		return Fix{}, err
+	}
+	speed, _ := strconv.ParseFloat(f[7], 64)
+	return Fix{Point: pt, Time: ts, Valid: true, SpeedKnots: speed}, nil
+}
+
+func parseLatLon(latStr, ns, lonStr, ew string) (geo.Point, error) {
+	lat, err := parseCoord(latStr, 2)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	lon, err := parseCoord(lonStr, 3)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	if ns == "S" {
+		lat = -lat
+	} else if ns != "N" {
+		return geo.Point{}, fmt.Errorf("%w: hemisphere %q", ErrBadSentence, ns)
+	}
+	if ew == "W" {
+		lon = -lon
+	} else if ew != "E" {
+		return geo.Point{}, fmt.Errorf("%w: hemisphere %q", ErrBadSentence, ew)
+	}
+	p := geo.Point{Lat: lat, Lon: lon}
+	if !p.Valid() {
+		return geo.Point{}, fmt.Errorf("%w: out-of-range coordinates", ErrBadSentence)
+	}
+	return p, nil
+}
+
+// parseCoord decodes [d]ddmm.mmmm with degWidth degree digits.
+func parseCoord(s string, degWidth int) (float64, error) {
+	if len(s) < degWidth+2 {
+		return 0, fmt.Errorf("%w: coordinate %q", ErrBadSentence, s)
+	}
+	deg, err := strconv.ParseFloat(s[:degWidth], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: coordinate %q", ErrBadSentence, s)
+	}
+	minutes, err := strconv.ParseFloat(s[degWidth:], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: coordinate %q", ErrBadSentence, s)
+	}
+	return deg + minutes/60, nil
+}
+
+func parseUTCTime(s string, date time.Time) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, fmt.Errorf("%w: empty time", ErrBadSentence)
+	}
+	layout := "150405.00"
+	if len(s) == 6 {
+		layout = "150405"
+	}
+	t, err := time.Parse(layout, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%w: bad time %q", ErrBadSentence, s)
+	}
+	if date.IsZero() {
+		return t, nil
+	}
+	return time.Date(date.Year(), date.Month(), date.Day(),
+		t.Hour(), t.Minute(), t.Second(), t.Nanosecond(), time.UTC), nil
+}
+
+// Simulator is the attacker's fake GPS receiver: it plays a scripted
+// route, emitting alternating GGA/RMC sentences. It models the
+// commercial tools the paper cites.
+type Simulator struct {
+	route    []geo.Point
+	interval time.Duration
+	start    time.Time
+	idx      int
+	emitRMC  bool
+}
+
+// NewSimulator scripts a route; each Next call advances one waypoint
+// every interval of simulated time starting at start.
+func NewSimulator(route []geo.Point, start time.Time, interval time.Duration) (*Simulator, error) {
+	if len(route) == 0 {
+		return nil, errors.New("nmea: empty route")
+	}
+	for _, p := range route {
+		if !p.Valid() {
+			return nil, fmt.Errorf("nmea: invalid waypoint %v", p)
+		}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Simulator{route: route, interval: interval, start: start}, nil
+}
+
+// Next emits the next sentence, alternating GGA and RMC per waypoint
+// and holding the final waypoint forever (a parked receiver).
+func (s *Simulator) Next() string {
+	i := s.idx
+	if i >= len(s.route) {
+		i = len(s.route) - 1
+	}
+	p := s.route[i]
+	at := s.start.Add(time.Duration(i) * s.interval)
+	var out string
+	if s.emitRMC {
+		out = FormatRMC(p, at, 0)
+		if s.idx < len(s.route) {
+			s.idx++
+		}
+	} else {
+		out = FormatGGA(p, at, 9)
+	}
+	s.emitRMC = !s.emitRMC
+	return out
+}

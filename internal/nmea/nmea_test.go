@@ -1,0 +1,187 @@
+package nmea
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/simclock"
+)
+
+func TestFormatParseGGARoundTrip(t *testing.T) {
+	tests := []geo.Point{
+		{Lat: 37.7749, Lon: -122.4194}, // San Francisco
+		{Lat: -33.8688, Lon: 151.2093}, // Sydney (S/E hemispheres)
+		{Lat: 61.2181, Lon: -149.9003}, // Anchorage
+		{Lat: 0.5, Lon: 0.5},           // near the origin
+	}
+	at := simclock.Epoch()
+	for _, p := range tests {
+		s := FormatGGA(p, at, 8)
+		fix, err := Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if !fix.Valid || fix.Satellites != 8 {
+			t.Errorf("fix = %+v", fix)
+		}
+		if fix.Point.DistanceMeters(p) > 1.0 {
+			t.Errorf("round-trip error %.2f m for %v (got %v)",
+				fix.Point.DistanceMeters(p), p, fix.Point)
+		}
+	}
+}
+
+func TestFormatParseRMCRoundTrip(t *testing.T) {
+	p := geo.Point{Lat: 35.0844, Lon: -106.6504}
+	at := time.Date(2010, 8, 15, 13, 45, 22, 0, time.UTC)
+	s := FormatRMC(p, at, 4.5)
+	fix, err := Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	if fix.Point.DistanceMeters(p) > 1.0 {
+		t.Errorf("position error %.2f m", fix.Point.DistanceMeters(p))
+	}
+	if fix.SpeedKnots != 4.5 {
+		t.Errorf("speed = %v, want 4.5", fix.SpeedKnots)
+	}
+	if fix.Time.Year() != 2010 || fix.Time.Month() != 8 || fix.Time.Day() != 15 ||
+		fix.Time.Hour() != 13 || fix.Time.Minute() != 45 {
+		t.Errorf("time = %v", fix.Time)
+	}
+}
+
+func TestParseQuickRoundTripProperty(t *testing.T) {
+	at := simclock.Epoch()
+	f := func(latRaw, lonRaw float64) bool {
+		p := geo.Point{
+			Lat: math.Mod(math.Abs(latRaw), 180) - 90,
+			Lon: math.Mod(math.Abs(lonRaw), 360) - 180,
+		}
+		for _, s := range []string{FormatGGA(p, at, 5), FormatRMC(p, at, 1)} {
+			fix, err := Parse(s)
+			if err != nil {
+				return false
+			}
+			// 0.0001-minute quantization ≈ 0.2 m worst case.
+			if fix.Point.DistanceMeters(p) > 2.0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Canonical example: GPGGA sentence checksum is XOR of payload.
+	payload := "GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,"
+	sum := Checksum(payload)
+	s := "$" + payload + "*" + strings.ToUpper(hex2(sum))
+	fix, err := Parse(s)
+	if err != nil {
+		t.Fatalf("parse canonical sentence: %v", err)
+	}
+	if math.Abs(fix.Point.Lat-48.1173) > 0.001 || math.Abs(fix.Point.Lon-11.5166) > 0.001 {
+		t.Errorf("canonical fix = %v", fix.Point)
+	}
+}
+
+func hex2(b byte) string {
+	const digits = "0123456789ABCDEF"
+	return string([]byte{digits[b>>4], digits[b&0xf]})
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	p := geo.Point{Lat: 37.77, Lon: -122.42}
+	good := FormatGGA(p, simclock.Epoch(), 7)
+
+	// Flip a digit: checksum mismatch.
+	bad := strings.Replace(good, "1", "2", 1)
+	if _, err := Parse(bad); !errors.Is(err, ErrBadChecksum) && !errors.Is(err, ErrBadSentence) {
+		t.Errorf("corrupted sentence error = %v", err)
+	}
+	cases := []string{
+		"",
+		"GPGGA no dollar",
+		"$GPGGA,nochecksum",
+		"$GPXXX,1,2*00",
+		"$GPGGA,,,,,,0,,*" + hex2(Checksum("GPGGA,,,,,,0,,")),
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseNoFix(t *testing.T) {
+	// Quality 0 GGA and void RMC report no fix.
+	payload := "GPGGA,120000.00,3746.4940,N,12225.1640,W,0,00,0.9,10.0,M,0.0,M,,"
+	s := "$" + payload + "*" + hex2(Checksum(payload))
+	if _, err := Parse(s); !errors.Is(err, ErrNoFix) {
+		t.Errorf("no-fix GGA error = %v, want ErrNoFix", err)
+	}
+	payload2 := "GPRMC,120000.00,V,3746.4940,N,12225.1640,W,0.0,0.0,010810,,,N"
+	s2 := "$" + payload2 + "*" + hex2(Checksum(payload2))
+	if _, err := Parse(s2); !errors.Is(err, ErrNoFix) {
+		t.Errorf("void RMC error = %v, want ErrNoFix", err)
+	}
+}
+
+func TestSimulatorPlaysRoute(t *testing.T) {
+	route := []geo.Point{
+		{Lat: 35.08, Lon: -106.65},
+		{Lat: 35.09, Lon: -106.65},
+		{Lat: 35.10, Lon: -106.65},
+	}
+	sim, err := NewSimulator(route, simclock.Epoch(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixes []Fix
+	for i := 0; i < 8; i++ { // 2 sentences per waypoint + hold
+		fix, err := Parse(sim.Next())
+		if err != nil {
+			t.Fatalf("sentence %d: %v", i, err)
+		}
+		fixes = append(fixes, fix)
+	}
+	// First two sentences report waypoint 0, next two waypoint 1, etc.
+	if fixes[0].Point.DistanceMeters(route[0]) > 2 || fixes[1].Point.DistanceMeters(route[0]) > 2 {
+		t.Error("first waypoint wrong")
+	}
+	if fixes[2].Point.DistanceMeters(route[1]) > 2 {
+		t.Error("second waypoint wrong")
+	}
+	// After the route ends the simulator parks at the last waypoint.
+	last := fixes[len(fixes)-1]
+	if last.Point.DistanceMeters(route[2]) > 2 {
+		t.Errorf("parked position = %v, want last waypoint", last.Point)
+	}
+}
+
+func TestSimulatorValidation(t *testing.T) {
+	if _, err := NewSimulator(nil, simclock.Epoch(), time.Second); err == nil {
+		t.Error("empty route accepted")
+	}
+	bad := []geo.Point{{Lat: 91, Lon: 0}}
+	if _, err := NewSimulator(bad, simclock.Epoch(), time.Second); err == nil {
+		t.Error("invalid waypoint accepted")
+	}
+	// Non-positive interval defaults.
+	sim, err := NewSimulator([]geo.Point{{Lat: 1, Lon: 1}}, simclock.Epoch(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(sim.Next()); err != nil {
+		t.Errorf("defaulted-interval sentence: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package plot renders the paper's figures as ASCII scatter and line
+// charts so cmd/experiments can print them in a terminal: the
+// Starbucks US map (Fig 3.4), the virtual-tour path (Fig 3.5), the
+// aggregate curves (Figs 4.1/4.2) and the per-user check-in maps
+// (Figs 4.3/4.4).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// XY is one data point.
+type XY struct {
+	X, Y float64
+}
+
+// Scatter renders points into a width×height character grid with axis
+// labels. Marker is the glyph for occupied cells ('*' if zero).
+func Scatter(points []XY, width, height int, marker byte, title string) string {
+	if width < 10 {
+		width = 60
+	}
+	if height < 4 {
+		height = 20
+	}
+	if marker == 0 {
+		marker = '*'
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(points) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		row := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-row][col] = marker
+	}
+
+	fmt.Fprintf(&b, "%11.4f +%s+\n", maxY, strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%11s |%s|\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%11.4f +%s+\n", minY, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%12s%-*.4f%*.4f\n", "", width/2, minX, width/2, maxX)
+	return b.String()
+}
+
+// Line renders a curve of (x, y) pairs as a column chart: one output
+// row per point, with a bar proportional to y. Suits the Fig 4.1/4.2
+// aggregate curves where exact values matter more than shape.
+func Line(points []XY, barWidth int, title, xLabel, yLabel string) string {
+	if barWidth <= 0 {
+		barWidth = 50
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(points) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	maxY := points[0].Y
+	for _, p := range points[1:] {
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	fmt.Fprintf(&b, "%10s | %s\n", xLabel, yLabel)
+	for _, p := range points {
+		n := int(p.Y / maxY * float64(barWidth))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%10.0f | %s %.2f\n", p.X, strings.Repeat("#", n), p.Y)
+	}
+	return b.String()
+}
+
+// GeoScatter is a convenience for longitude/latitude clouds: longitude
+// on x, latitude on y, which is how Figs 3.4/3.5/4.3/4.4 are drawn.
+func GeoScatter(lonLat []XY, title string) string {
+	return Scatter(lonLat, 72, 24, '*', title)
+}

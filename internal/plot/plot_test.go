@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterBasic(t *testing.T) {
+	pts := []XY{{X: 0, Y: 0}, {X: 10, Y: 10}, {X: 5, Y: 5}}
+	out := Scatter(pts, 40, 10, '*', "test plot")
+	if !strings.Contains(out, "test plot") {
+		t.Error("title missing")
+	}
+	if strings.Count(out, "*") < 2 {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + top border + 10 rows + bottom border + x labels.
+	if len(lines) != 14 {
+		t.Errorf("output has %d lines, want 14:\n%s", len(lines), out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := Scatter(nil, 40, 10, 0, "empty")
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty scatter = %q", out)
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	// All points identical: must not divide by zero.
+	pts := []XY{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	out := Scatter(pts, 20, 5, 0, "")
+	if !strings.Contains(out, "*") {
+		t.Error("identical points should still render a marker")
+	}
+}
+
+func TestScatterDefaults(t *testing.T) {
+	pts := []XY{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	out := Scatter(pts, 1, 1, 0, "") // silly dims fall back to defaults
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("default marker not used")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	pts := []XY{{X: 100, Y: 10}, {X: 200, Y: 20}, {X: 300, Y: 0}}
+	out := Line(pts, 20, "curve", "total", "avg")
+	if !strings.Contains(out, "curve") || !strings.Contains(out, "total") {
+		t.Error("labels missing")
+	}
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(rows) != 5 { // title + header + 3 data rows
+		t.Errorf("rows = %d, want 5:\n%s", len(rows), out)
+	}
+	// The max row gets the longest bar.
+	if !strings.Contains(rows[3], strings.Repeat("#", 20)) {
+		t.Errorf("max row bar wrong: %q", rows[3])
+	}
+}
+
+func TestLineEmptyAndDefaults(t *testing.T) {
+	if out := Line(nil, 0, "t", "x", "y"); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty line chart = %q", out)
+	}
+	pts := []XY{{X: 1, Y: -5}} // negative y clamps to zero-length bar
+	out := Line(pts, 0, "", "x", "y")
+	if strings.Contains(out, "#") {
+		t.Error("negative value should render no bar")
+	}
+}
+
+func TestGeoScatter(t *testing.T) {
+	pts := []XY{{X: -122.4, Y: 37.8}, {X: -74.0, Y: 40.7}}
+	out := GeoScatter(pts, "US")
+	if !strings.Contains(out, "US") || strings.Count(out, "*") != 2 {
+		t.Errorf("geo scatter wrong:\n%s", out)
+	}
+}

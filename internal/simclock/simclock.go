@@ -1,0 +1,96 @@
+// Package simclock provides the virtual clock that lets multi-day
+// experiments (mayorship takes 4+ days of daily check-ins, the 60-day
+// mayorship window, hour-scale cheater-code rules) run in
+// milliseconds. Every time-dependent component in this repository
+// takes a Clock instead of calling time.Now directly, per the
+// avoid-mutable-globals guideline.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source the services need.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Simulated is a manually advanced clock. It is safe for concurrent
+// use; the crawler and web server share one instance across
+// goroutines in the integration tests.
+type Simulated struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+var _ Clock = (*Simulated)(nil)
+
+// NewSimulated returns a clock frozen at start.
+func NewSimulated(start time.Time) *Simulated {
+	return &Simulated{now: start}
+}
+
+// Epoch is the default experiment start instant: August 2010, the
+// month the paper's crawl snapshot was taken.
+func Epoch() time.Time {
+	return time.Date(2010, time.August, 1, 8, 0, 0, 0, time.UTC)
+}
+
+// Now returns the current simulated instant.
+func (s *Simulated) Now() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now
+}
+
+// Advance moves the clock forward by d. Negative durations are
+// ignored: simulated time never runs backwards.
+func (s *Simulated) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = s.now.Add(d)
+}
+
+// AdvanceTo moves the clock to t if t is in the future; earlier
+// instants are ignored.
+func (s *Simulated) AdvanceTo(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.After(s.now) {
+		s.now = t
+	}
+}
+
+// Sleeper extends Clock with a Sleep that, on a simulated clock,
+// advances virtual time instead of blocking. The attack scheduler uses
+// it to "wait" the 5-minute inter-check-in interval instantly.
+type Sleeper interface {
+	Clock
+	Sleep(d time.Duration)
+}
+
+// Sleep advances the simulated clock; it never blocks.
+func (s *Simulated) Sleep(d time.Duration) { s.Advance(d) }
+
+var _ Sleeper = (*Simulated)(nil)
+
+// RealSleeper adapts Real into a Sleeper that actually blocks.
+type RealSleeper struct{ Real }
+
+var _ Sleeper = RealSleeper{}
+
+// Sleep blocks for d.
+func (RealSleeper) Sleep(d time.Duration) { time.Sleep(d) }

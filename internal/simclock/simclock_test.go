@@ -1,0 +1,99 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimulatedAdvance(t *testing.T) {
+	start := Epoch()
+	c := NewSimulated(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(time.Hour)
+	if got, want := c.Now(), start.Add(time.Hour); !got.Equal(want) {
+		t.Errorf("after Advance(1h): Now = %v, want %v", got, want)
+	}
+}
+
+func TestSimulatedAdvanceNegativeIgnored(t *testing.T) {
+	c := NewSimulated(Epoch())
+	c.Advance(-time.Hour)
+	if !c.Now().Equal(Epoch()) {
+		t.Errorf("negative Advance moved the clock to %v", c.Now())
+	}
+}
+
+func TestSimulatedAdvanceTo(t *testing.T) {
+	c := NewSimulated(Epoch())
+	future := Epoch().Add(48 * time.Hour)
+	c.AdvanceTo(future)
+	if !c.Now().Equal(future) {
+		t.Errorf("AdvanceTo future: Now = %v, want %v", c.Now(), future)
+	}
+	c.AdvanceTo(Epoch()) // past: ignored
+	if !c.Now().Equal(future) {
+		t.Errorf("AdvanceTo past moved clock backwards to %v", c.Now())
+	}
+}
+
+func TestSimulatedSleepAdvances(t *testing.T) {
+	c := NewSimulated(Epoch())
+	begin := time.Now()
+	c.Sleep(5 * time.Minute)
+	if wall := time.Since(begin); wall > time.Second {
+		t.Errorf("simulated Sleep blocked for %v", wall)
+	}
+	if got, want := c.Now(), Epoch().Add(5*time.Minute); !got.Equal(want) {
+		t.Errorf("after Sleep: Now = %v, want %v", got, want)
+	}
+}
+
+func TestSimulatedConcurrentAdvance(t *testing.T) {
+	c := NewSimulated(Epoch())
+	var wg sync.WaitGroup
+	const workers = 8
+	const steps = 100
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < steps; j++ {
+				c.Advance(time.Second)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := Epoch().Add(workers * steps * time.Second)
+	if !c.Now().Equal(want) {
+		t.Errorf("concurrent advance: Now = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Real.Now %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealSleeper(t *testing.T) {
+	s := RealSleeper{}
+	begin := time.Now()
+	s.Sleep(10 * time.Millisecond)
+	if wall := time.Since(begin); wall < 10*time.Millisecond {
+		t.Errorf("RealSleeper.Sleep returned after %v, want >= 10ms", wall)
+	}
+}
+
+func TestEpochIsAugust2010(t *testing.T) {
+	e := Epoch()
+	if e.Year() != 2010 || e.Month() != time.August {
+		t.Errorf("Epoch = %v, want August 2010 (the crawl snapshot month)", e)
+	}
+}

@@ -1,0 +1,134 @@
+package store
+
+import "sort"
+
+// Differential crawling (§3.2): "The crawling performance is an
+// important design concern, because by repeatedly crawling data and
+// comparing the differences between each set of crawling results, we
+// can further investigate the behaviors of its users ... the venue's
+// recent visitor list does not have a time stamp to indicate when a
+// user visited this venue; but if we crawl the venues daily, then we
+// will be able to determine how frequently a user checks into a
+// venue." This file compares two crawl snapshots.
+
+// MayorChange records a mayorship transfer between snapshots.
+type MayorChange struct {
+	VenueID  uint64 `json:"venueId"`
+	OldMayor uint64 `json:"oldMayor"`
+	NewMayor uint64 `json:"newMayor"`
+}
+
+// Diff is the delta between two crawl snapshots of the same site.
+type Diff struct {
+	NewUsers  []uint64 // user IDs present only in the newer crawl
+	NewVenues []uint64 // venue IDs present only in the newer crawl
+
+	// NewRelations are (user, venue) recent-list appearances that were
+	// not in the old crawl: each is evidence of at least one check-in
+	// in the interval.
+	NewRelations []CheckinRow
+	// LostRelations dropped off the capped recent lists.
+	LostRelations []CheckinRow
+
+	MayorChanges []MayorChange
+
+	// CheckinDeltas is the per-user growth in the public total
+	// check-in counter; negative deltas never occur on the real site
+	// and indicate an inconsistent crawl.
+	CheckinDeltas map[uint64]int
+}
+
+// NewAppearancesByUser tallies NewRelations per user — the paper's
+// check-in frequency signal.
+func (d Diff) NewAppearancesByUser() map[uint64]int {
+	out := make(map[uint64]int)
+	for _, rel := range d.NewRelations {
+		out[rel.UserID]++
+	}
+	return out
+}
+
+// ComputeDiff compares an older and a newer snapshot.
+func ComputeDiff(older, newer *DB) Diff {
+	older.mu.RLock()
+	defer older.mu.RUnlock()
+	newer.mu.RLock()
+	defer newer.mu.RUnlock()
+
+	var d Diff
+	d.CheckinDeltas = make(map[uint64]int)
+
+	for id, nu := range newer.users {
+		ou, ok := older.users[id]
+		if !ok {
+			d.NewUsers = append(d.NewUsers, id)
+			if nu.TotalCheckins > 0 {
+				d.CheckinDeltas[id] = nu.TotalCheckins
+			}
+			continue
+		}
+		if delta := nu.TotalCheckins - ou.TotalCheckins; delta != 0 {
+			d.CheckinDeltas[id] = delta
+		}
+	}
+	for id, nv := range newer.venues {
+		ov, ok := older.venues[id]
+		if !ok {
+			d.NewVenues = append(d.NewVenues, id)
+			if nv.MayorID != 0 {
+				d.MayorChanges = append(d.MayorChanges, MayorChange{VenueID: id, NewMayor: nv.MayorID})
+			}
+			continue
+		}
+		if nv.MayorID != ov.MayorID {
+			d.MayorChanges = append(d.MayorChanges, MayorChange{
+				VenueID: id, OldMayor: ov.MayorID, NewMayor: nv.MayorID,
+			})
+		}
+	}
+	for rel := range newer.recents {
+		if _, ok := older.recents[rel]; !ok {
+			d.NewRelations = append(d.NewRelations, rel)
+		}
+	}
+	for rel := range older.recents {
+		if _, ok := newer.recents[rel]; !ok {
+			d.LostRelations = append(d.LostRelations, rel)
+		}
+	}
+
+	sort.Slice(d.NewUsers, func(i, j int) bool { return d.NewUsers[i] < d.NewUsers[j] })
+	sort.Slice(d.NewVenues, func(i, j int) bool { return d.NewVenues[i] < d.NewVenues[j] })
+	sortRelations(d.NewRelations)
+	sortRelations(d.LostRelations)
+	sort.Slice(d.MayorChanges, func(i, j int) bool { return d.MayorChanges[i].VenueID < d.MayorChanges[j].VenueID })
+	return d
+}
+
+func sortRelations(rels []CheckinRow) {
+	sort.Slice(rels, func(i, j int) bool {
+		if rels[i].UserID != rels[j].UserID {
+			return rels[i].UserID < rels[j].UserID
+		}
+		return rels[i].VenueID < rels[j].VenueID
+	})
+}
+
+// Clone deep-copies the store — how an attacker keeps yesterday's
+// snapshot while today's crawl overwrites the working set.
+func (db *DB) Clone() *DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := New()
+	for id, u := range db.users {
+		out.users[id] = u
+	}
+	for id, v := range db.venues {
+		out.venues[id] = v
+	}
+	for rel := range db.recents {
+		out.recents[rel] = struct{}{}
+	}
+	out.derived = db.derived
+	return out
+}

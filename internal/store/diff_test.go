@@ -1,0 +1,135 @@
+package store
+
+import "testing"
+
+func TestComputeDiffNewEntities(t *testing.T) {
+	old := New()
+	old.UpsertUser(UserRow{ID: 1, TotalCheckins: 10})
+	old.UpsertVenue(VenueRow{ID: 100})
+
+	newer := old.Clone()
+	newer.UpsertUser(UserRow{ID: 2, TotalCheckins: 3}) // new user
+	newer.UpsertVenue(VenueRow{ID: 101, MayorID: 2})   // new venue, with mayor
+
+	d := ComputeDiff(old, newer)
+	if len(d.NewUsers) != 1 || d.NewUsers[0] != 2 {
+		t.Errorf("NewUsers = %v", d.NewUsers)
+	}
+	if len(d.NewVenues) != 1 || d.NewVenues[0] != 101 {
+		t.Errorf("NewVenues = %v", d.NewVenues)
+	}
+	if d.CheckinDeltas[2] != 3 {
+		t.Errorf("new user delta = %d, want 3", d.CheckinDeltas[2])
+	}
+	if len(d.MayorChanges) != 1 || d.MayorChanges[0].NewMayor != 2 {
+		t.Errorf("MayorChanges = %v", d.MayorChanges)
+	}
+}
+
+func TestComputeDiffCheckinDeltasAndRelations(t *testing.T) {
+	old := New()
+	old.UpsertUser(UserRow{ID: 1, TotalCheckins: 10})
+	old.UpsertUser(UserRow{ID: 2, TotalCheckins: 5})
+	old.UpsertVenue(VenueRow{ID: 100})
+	old.AddRecentCheckin(1, 100)
+
+	newer := old.Clone()
+	newer.UpsertUser(UserRow{ID: 1, TotalCheckins: 17}) // +7
+	newer.AddRecentCheckin(1, 101)                      // new appearance
+	newer.AddRecentCheckin(2, 100)                      // new appearance
+
+	d := ComputeDiff(old, newer)
+	if d.CheckinDeltas[1] != 7 {
+		t.Errorf("delta user 1 = %d, want 7", d.CheckinDeltas[1])
+	}
+	if _, present := d.CheckinDeltas[2]; present {
+		t.Error("unchanged user should have no delta entry")
+	}
+	if len(d.NewRelations) != 2 {
+		t.Fatalf("NewRelations = %v", d.NewRelations)
+	}
+	byUser := d.NewAppearancesByUser()
+	if byUser[1] != 1 || byUser[2] != 1 {
+		t.Errorf("appearances = %v", byUser)
+	}
+}
+
+func TestComputeDiffLostRelations(t *testing.T) {
+	// A user drops off a capped recent list between crawls.
+	old := New()
+	old.AddRecentCheckin(1, 100)
+	old.AddRecentCheckin(2, 100)
+	newer := New()
+	newer.AddRecentCheckin(2, 100)
+
+	d := ComputeDiff(old, newer)
+	if len(d.LostRelations) != 1 || d.LostRelations[0].UserID != 1 {
+		t.Errorf("LostRelations = %v", d.LostRelations)
+	}
+	if len(d.NewRelations) != 0 {
+		t.Errorf("NewRelations = %v", d.NewRelations)
+	}
+}
+
+func TestComputeDiffMayorTransfer(t *testing.T) {
+	old := New()
+	old.UpsertVenue(VenueRow{ID: 5, MayorID: 10})
+	newer := old.Clone()
+	newer.UpsertVenue(VenueRow{ID: 5, MayorID: 20})
+
+	d := ComputeDiff(old, newer)
+	if len(d.MayorChanges) != 1 {
+		t.Fatalf("MayorChanges = %v", d.MayorChanges)
+	}
+	mc := d.MayorChanges[0]
+	if mc.VenueID != 5 || mc.OldMayor != 10 || mc.NewMayor != 20 {
+		t.Errorf("change = %+v", mc)
+	}
+}
+
+func TestComputeDiffIdenticalSnapshots(t *testing.T) {
+	db := New()
+	db.UpsertUser(UserRow{ID: 1, TotalCheckins: 4})
+	db.UpsertVenue(VenueRow{ID: 2, MayorID: 1})
+	db.AddRecentCheckin(1, 2)
+
+	d := ComputeDiff(db, db.Clone())
+	if len(d.NewUsers)+len(d.NewVenues)+len(d.NewRelations)+
+		len(d.LostRelations)+len(d.MayorChanges)+len(d.CheckinDeltas) != 0 {
+		t.Errorf("identical snapshots produced diff %+v", d)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	db := New()
+	db.UpsertUser(UserRow{ID: 1})
+	cp := db.Clone()
+	db.UpsertUser(UserRow{ID: 2})
+	if _, ok := cp.User(2); ok {
+		t.Error("clone sees writes to the original")
+	}
+	cp.UpsertUser(UserRow{ID: 3})
+	if _, ok := db.User(3); ok {
+		t.Error("original sees writes to the clone")
+	}
+}
+
+func TestDiffOrderingDeterministic(t *testing.T) {
+	old := New()
+	newer := New()
+	for _, id := range []uint64{5, 3, 9, 1} {
+		newer.UpsertUser(UserRow{ID: id})
+		newer.AddRecentCheckin(id, id*10)
+	}
+	d := ComputeDiff(old, newer)
+	for i := 1; i < len(d.NewUsers); i++ {
+		if d.NewUsers[i] <= d.NewUsers[i-1] {
+			t.Fatal("NewUsers not sorted")
+		}
+	}
+	for i := 1; i < len(d.NewRelations); i++ {
+		if d.NewRelations[i].UserID <= d.NewRelations[i-1].UserID {
+			t.Fatal("NewRelations not sorted")
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package store is the crawler's database: an in-memory reproduction
+// of the MySQL schema in Fig 3.3 with three tables — UserInfo,
+// VenueInfo and RecentCheckins — plus the derived columns the paper
+// computed after crawling (RecentCheckins per user from the venue
+// visitor lists, TotalMayors per user from the venues' MayorID).
+//
+// It supports the queries the paper issues, most importantly the
+// LIKE-style name match behind Fig 3.4:
+//
+//	SELECT Longitude, Latitude FROM VenueInfo WHERE Name LIKE "%Starbucks%"
+//
+// The store is safe for concurrent writers — the crawler's worker
+// threads insert rows in parallel, as the C# original did over MySQL.
+package store
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"locheat/internal/geo"
+)
+
+// UserRow mirrors the UserInfo table of Fig 3.3.
+type UserRow struct {
+	ID            uint64 `json:"id"`
+	UserName      string `json:"userName,omitempty"`
+	Name          string `json:"name"`
+	HomeCity      string `json:"homeCity"`
+	TotalCheckins int    `json:"totalCheckins"`
+	TotalBadges   int    `json:"totalBadges"`
+	Points        int    `json:"points"`
+	Friends       int    `json:"friends"`
+	// Derived columns (DeriveStats).
+	RecentCheckins int `json:"recentCheckins"`
+	TotalMayors    int `json:"totalMayors"`
+}
+
+// VenueRow mirrors the VenueInfo table of Fig 3.3.
+type VenueRow struct {
+	ID             uint64  `json:"id"`
+	Name           string  `json:"name"`
+	Address        string  `json:"address"`
+	City           string  `json:"city"`
+	MayorID        uint64  `json:"mayorId"`
+	CheckinsHere   int     `json:"checkinsHere"`
+	UniqueVisitors int     `json:"uniqueVisitors"`
+	Special        string  `json:"special,omitempty"`
+	SpecialMayor   bool    `json:"specialMayorOnly,omitempty"`
+	Latitude       float64 `json:"latitude"`
+	Longitude      float64 `json:"longitude"`
+}
+
+// Location returns the venue's coordinates as a geo.Point.
+func (v VenueRow) Location() geo.Point {
+	return geo.Point{Lat: v.Latitude, Lon: v.Longitude}
+}
+
+// CheckinRow mirrors the RecentCheckins relation table.
+type CheckinRow struct {
+	UserID  uint64 `json:"userId"`
+	VenueID uint64 `json:"venueId"`
+}
+
+// DB is the in-memory store.
+type DB struct {
+	mu      sync.RWMutex
+	users   map[uint64]UserRow
+	venues  map[uint64]VenueRow
+	recents map[CheckinRow]struct{}
+	derived bool
+}
+
+// New returns an empty store.
+func New() *DB {
+	return &DB{
+		users:   make(map[uint64]UserRow),
+		venues:  make(map[uint64]VenueRow),
+		recents: make(map[CheckinRow]struct{}),
+	}
+}
+
+// UpsertUser inserts or replaces a UserInfo row.
+func (db *DB) UpsertUser(row UserRow) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.users[row.ID] = row
+	db.derived = false
+}
+
+// UpsertVenue inserts or replaces a VenueInfo row.
+func (db *DB) UpsertVenue(row VenueRow) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.venues[row.ID] = row
+	db.derived = false
+}
+
+// AddRecentCheckin records a (user, venue) relation; duplicates are
+// idempotent, matching the paper's dedup of venue recent lists.
+func (db *DB) AddRecentCheckin(userID, venueID uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.recents[CheckinRow{UserID: userID, VenueID: venueID}] = struct{}{}
+	db.derived = false
+}
+
+// Counts returns (users, venues, recent check-in relations).
+func (db *DB) Counts() (int, int, int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.users), len(db.venues), len(db.recents)
+}
+
+// User returns a UserInfo row.
+func (db *DB) User(id uint64) (UserRow, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.users[id]
+	return r, ok
+}
+
+// Venue returns a VenueInfo row.
+func (db *DB) Venue(id uint64) (VenueRow, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.venues[id]
+	return r, ok
+}
+
+// DeriveStats computes the derived columns of Fig 3.3: each user's
+// RecentCheckins (how many venue recent-visitor lists they appear in)
+// and TotalMayors (how many venues link them as mayor). Call after a
+// crawl completes; it is idempotent.
+func (db *DB) DeriveStats() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.derived {
+		return
+	}
+	recentCount := make(map[uint64]int, len(db.users))
+	for rel := range db.recents {
+		recentCount[rel.UserID]++
+	}
+	mayorCount := make(map[uint64]int)
+	for _, v := range db.venues {
+		if v.MayorID != 0 {
+			mayorCount[v.MayorID]++
+		}
+	}
+	for id, u := range db.users {
+		u.RecentCheckins = recentCount[id]
+		u.TotalMayors = mayorCount[id]
+		db.users[id] = u
+	}
+	db.derived = true
+}
+
+// Users returns all user rows filtered by pred (nil = all), ordered by
+// ID.
+func (db *DB) Users(pred func(UserRow) bool) []UserRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]UserRow, 0, len(db.users))
+	for _, u := range db.users {
+		if pred == nil || pred(u) {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Venues returns all venue rows filtered by pred (nil = all), ordered
+// by ID.
+func (db *DB) Venues(pred func(VenueRow) bool) []VenueRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]VenueRow, 0, len(db.venues))
+	for _, v := range db.venues {
+		if pred == nil || pred(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// VenuesByNameLike implements the LIKE "%substr%" query of Fig 3.4,
+// case-insensitively (MySQL's default collation is case-insensitive).
+func (db *DB) VenuesByNameLike(substr string) []VenueRow {
+	needle := strings.ToLower(substr)
+	return db.Venues(func(v VenueRow) bool {
+		return strings.Contains(strings.ToLower(v.Name), needle)
+	})
+}
+
+// RecentCheckinsOf returns the venue IDs whose recent lists contain
+// the user, ascending — the per-user location history the paper
+// reconstructs in §6.2.1.
+func (db *DB) RecentCheckinsOf(userID uint64) []uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []uint64
+	for rel := range db.recents {
+		if rel.UserID == userID {
+			out = append(out, rel.VenueID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VisitorsOf returns the user IDs on the venue's recent list,
+// ascending.
+func (db *DB) VisitorsOf(venueID uint64) []uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []uint64
+	for rel := range db.recents {
+		if rel.VenueID == venueID {
+			out = append(out, rel.UserID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapshot is the JSON export shape.
+type snapshot struct {
+	Users   []UserRow    `json:"users"`
+	Venues  []VenueRow   `json:"venues"`
+	Recents []CheckinRow `json:"recentCheckins"`
+}
+
+// ExportJSON writes the whole store as JSON.
+func (db *DB) ExportJSON(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshot{
+		Users:  make([]UserRow, 0, len(db.users)),
+		Venues: make([]VenueRow, 0, len(db.venues)),
+	}
+	for _, u := range db.users {
+		snap.Users = append(snap.Users, u)
+	}
+	for _, v := range db.venues {
+		snap.Venues = append(snap.Venues, v)
+	}
+	for rel := range db.recents {
+		snap.Recents = append(snap.Recents, rel)
+	}
+	db.mu.RUnlock()
+
+	sort.Slice(snap.Users, func(i, j int) bool { return snap.Users[i].ID < snap.Users[j].ID })
+	sort.Slice(snap.Venues, func(i, j int) bool { return snap.Venues[i].ID < snap.Venues[j].ID })
+	sort.Slice(snap.Recents, func(i, j int) bool {
+		if snap.Recents[i].UserID != snap.Recents[j].UserID {
+			return snap.Recents[i].UserID < snap.Recents[j].UserID
+		}
+		return snap.Recents[i].VenueID < snap.Recents[j].VenueID
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}
+
+// ImportJSON loads a previously exported snapshot, replacing current
+// contents.
+func (db *DB) ImportJSON(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.users = make(map[uint64]UserRow, len(snap.Users))
+	for _, u := range snap.Users {
+		db.users[u.ID] = u
+	}
+	db.venues = make(map[uint64]VenueRow, len(snap.Venues))
+	for _, v := range snap.Venues {
+		db.venues[v.ID] = v
+	}
+	db.recents = make(map[CheckinRow]struct{}, len(snap.Recents))
+	for _, rel := range snap.Recents {
+		db.recents[rel] = struct{}{}
+	}
+	db.derived = false
+	return nil
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestUpsertAndGet(t *testing.T) {
+	db := New()
+	db.UpsertUser(UserRow{ID: 1, Name: "Alice", TotalCheckins: 5})
+	db.UpsertVenue(VenueRow{ID: 7, Name: "Starbucks #1", Latitude: 40.7, Longitude: -74.0})
+
+	u, ok := db.User(1)
+	if !ok || u.Name != "Alice" {
+		t.Errorf("User(1) = %+v, %v", u, ok)
+	}
+	v, ok := db.Venue(7)
+	if !ok || v.Name != "Starbucks #1" {
+		t.Errorf("Venue(7) = %+v, %v", v, ok)
+	}
+	if _, ok := db.User(99); ok {
+		t.Error("missing user returned")
+	}
+	// Upsert replaces.
+	db.UpsertUser(UserRow{ID: 1, Name: "Alice2", TotalCheckins: 6})
+	u, _ = db.User(1)
+	if u.Name != "Alice2" || u.TotalCheckins != 6 {
+		t.Errorf("after upsert: %+v", u)
+	}
+	loc := v.Location()
+	if loc.Lat != 40.7 || loc.Lon != -74.0 {
+		t.Errorf("Location = %v", loc)
+	}
+}
+
+func TestRecentCheckinsDeduplicated(t *testing.T) {
+	db := New()
+	db.AddRecentCheckin(1, 100)
+	db.AddRecentCheckin(1, 100) // duplicate
+	db.AddRecentCheckin(1, 200)
+	db.AddRecentCheckin(2, 100)
+	_, _, n := db.Counts()
+	if n != 3 {
+		t.Errorf("recent relations = %d, want 3 (deduplicated)", n)
+	}
+	if got := db.RecentCheckinsOf(1); len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Errorf("RecentCheckinsOf(1) = %v", got)
+	}
+	if got := db.VisitorsOf(100); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("VisitorsOf(100) = %v", got)
+	}
+}
+
+func TestDeriveStats(t *testing.T) {
+	db := New()
+	db.UpsertUser(UserRow{ID: 1, Name: "A"})
+	db.UpsertUser(UserRow{ID: 2, Name: "B"})
+	db.UpsertVenue(VenueRow{ID: 10, Name: "V1", MayorID: 1})
+	db.UpsertVenue(VenueRow{ID: 11, Name: "V2", MayorID: 1})
+	db.UpsertVenue(VenueRow{ID: 12, Name: "V3", MayorID: 2})
+	db.UpsertVenue(VenueRow{ID: 13, Name: "V4"}) // no mayor
+	db.AddRecentCheckin(1, 10)
+	db.AddRecentCheckin(1, 11)
+	db.AddRecentCheckin(1, 12)
+	db.AddRecentCheckin(2, 12)
+
+	db.DeriveStats()
+	u1, _ := db.User(1)
+	if u1.TotalMayors != 2 || u1.RecentCheckins != 3 {
+		t.Errorf("user 1 derived = mayors %d recents %d, want 2/3", u1.TotalMayors, u1.RecentCheckins)
+	}
+	u2, _ := db.User(2)
+	if u2.TotalMayors != 1 || u2.RecentCheckins != 1 {
+		t.Errorf("user 2 derived = mayors %d recents %d, want 1/1", u2.TotalMayors, u2.RecentCheckins)
+	}
+	// Idempotent.
+	db.DeriveStats()
+	u1b, _ := db.User(1)
+	if u1b != u1 {
+		t.Error("DeriveStats not idempotent")
+	}
+	// New writes invalidate derivation.
+	db.AddRecentCheckin(2, 13)
+	db.DeriveStats()
+	u2b, _ := db.User(2)
+	if u2b.RecentCheckins != 2 {
+		t.Errorf("after new relation, user 2 recents = %d, want 2", u2b.RecentCheckins)
+	}
+}
+
+func TestVenuesByNameLike(t *testing.T) {
+	db := New()
+	db.UpsertVenue(VenueRow{ID: 1, Name: "Starbucks #42"})
+	db.UpsertVenue(VenueRow{ID: 2, Name: "STARBUCKS Downtown"})
+	db.UpsertVenue(VenueRow{ID: 3, Name: "Dunkin Donuts"})
+	got := db.VenuesByNameLike("starbucks")
+	if len(got) != 2 {
+		t.Fatalf("LIKE starbucks = %d rows, want 2", len(got))
+	}
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("rows out of ID order: %v, %v", got[0].ID, got[1].ID)
+	}
+	if n := len(db.VenuesByNameLike("waffle")); n != 0 {
+		t.Errorf("LIKE waffle = %d rows, want 0", n)
+	}
+}
+
+func TestUsersVenuesPredicates(t *testing.T) {
+	db := New()
+	for i := uint64(1); i <= 10; i++ {
+		db.UpsertUser(UserRow{ID: i, TotalCheckins: int(i) * 100})
+	}
+	heavy := db.Users(func(u UserRow) bool { return u.TotalCheckins >= 500 })
+	if len(heavy) != 6 {
+		t.Errorf("heavy users = %d, want 6", len(heavy))
+	}
+	all := db.Users(nil)
+	if len(all) != 10 {
+		t.Errorf("all users = %d, want 10", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID <= all[i-1].ID {
+			t.Fatal("users not ID-ordered")
+		}
+	}
+	if n := len(db.Venues(nil)); n != 0 {
+		t.Errorf("venues = %d, want 0", n)
+	}
+}
+
+func TestExportImportJSONRoundTrip(t *testing.T) {
+	db := New()
+	db.UpsertUser(UserRow{ID: 1, Name: "A", UserName: "a", TotalCheckins: 9})
+	db.UpsertVenue(VenueRow{ID: 2, Name: "V", Latitude: 1.5, Longitude: -2.5, MayorID: 1,
+		Special: "free coffee", SpecialMayor: true})
+	db.AddRecentCheckin(1, 2)
+
+	var buf bytes.Buffer
+	if err := db.ExportJSON(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	db2 := New()
+	if err := db2.ImportJSON(&buf); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	u, ok := db2.User(1)
+	if !ok || u.Name != "A" || u.UserName != "a" {
+		t.Errorf("round-trip user = %+v", u)
+	}
+	v, ok := db2.Venue(2)
+	if !ok || v.Special != "free coffee" || !v.SpecialMayor {
+		t.Errorf("round-trip venue = %+v", v)
+	}
+	if _, _, n := db2.Counts(); n != 1 {
+		t.Errorf("round-trip relations = %d, want 1", n)
+	}
+}
+
+func TestImportJSONBadInput(t *testing.T) {
+	db := New()
+	if err := db.ImportJSON(bytes.NewBufferString("{invalid")); err == nil {
+		t.Error("bad JSON import should error")
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	const workers = 8
+	const rows = 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < rows; i++ {
+				id := base*rows + i + 1
+				db.UpsertUser(UserRow{ID: id})
+				db.UpsertVenue(VenueRow{ID: id})
+				db.AddRecentCheckin(id, id)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	users, venues, recents := db.Counts()
+	want := workers * rows
+	if users != want || venues != want || recents != want {
+		t.Errorf("counts = %d/%d/%d, want %d each", users, venues, recents, want)
+	}
+}

@@ -1,0 +1,174 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+// ActivityDriver replays ongoing daily activity for a sample of the
+// world's users through the LIVE service pipeline, so that repeated
+// crawls see the site change — the prerequisite for the §3.2
+// differential-crawling analysis. Normal users visit venues around
+// home at a human cadence; uncaught cheaters run paced spoofed
+// itineraries across cities (which is why they stay uncaught); caught
+// cheaters fire recklessly and get their check-ins invalidated.
+type ActivityDriver struct {
+	world *World
+	svc   *lbsn.Service
+	clock *simclock.Simulated
+	rng   *rand.Rand
+
+	// sampled user indexes by behaviour bucket.
+	actives  []int
+	cheaters []int
+	caught   []int
+
+	byCity [][]int // venue indexes per city
+}
+
+// DayStats summarizes one simulated day of activity.
+type DayStats struct {
+	Attempted int
+	Accepted  int
+	Denied    int
+}
+
+// NewActivityDriver samples up to sampleActives normal users plus all
+// cheaters, preparing them to generate daily traffic. The service must
+// already hold the world (LoadInto) and share the given clock.
+func NewActivityDriver(w *World, svc *lbsn.Service, clock *simclock.Simulated, seed int64, sampleActives int) (*ActivityDriver, error) {
+	if svc.UserCount() < len(w.Users) {
+		return nil, fmt.Errorf("activity driver: service has %d users, world has %d (LoadInto first)",
+			svc.UserCount(), len(w.Users))
+	}
+	d := &ActivityDriver{
+		world: w,
+		svc:   svc,
+		clock: clock,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	d.byCity = make([][]int, len(w.Cities))
+	for i, v := range w.Venues {
+		d.byCity[v.City] = append(d.byCity[v.City], i)
+	}
+	for i := range w.Users {
+		switch w.Users[i].Class {
+		case ClassActive, ClassPower:
+			if len(d.actives) < sampleActives {
+				d.actives = append(d.actives, i)
+			}
+		case ClassCheater, ClassSuperMayor:
+			d.cheaters = append(d.cheaters, i)
+		case ClassCaught:
+			d.caught = append(d.caught, i)
+		}
+	}
+	if len(d.actives) == 0 {
+		return nil, fmt.Errorf("activity driver: no active users to sample")
+	}
+	return d, nil
+}
+
+// Day simulates 24 hours of activity and leaves the clock one day
+// later than it started.
+func (d *ActivityDriver) Day() (DayStats, error) {
+	var stats DayStats
+	dayStart := d.clock.Now()
+
+	// Normal users: 1–3 venues near home, tens of minutes apart.
+	for _, ui := range d.actives {
+		visits := 1 + d.rng.Intn(3)
+		for n := 0; n < visits; n++ {
+			v := d.pickVenue(d.world.Users[ui].HomeCity)
+			if v < 0 {
+				continue
+			}
+			d.clock.Advance(time.Duration(20+d.rng.Intn(90)) * time.Minute)
+			if err := d.checkin(ui, v, &stats); err != nil {
+				return stats, err
+			}
+		}
+	}
+	// Uncaught cheaters: the §3.3 objective is to "check into as many
+	// businesses as possible and as frequently as possible". They run
+	// a paced 10–16-stop tour split across two cities per day — dense
+	// local hops at the 5-minute floor, one big inter-city jump whose
+	// wait honours the speed envelope.
+	for _, ui := range d.cheaters {
+		stops := 10 + d.rng.Intn(7)
+		cities := []int{d.rng.Intn(len(d.world.Cities)), d.rng.Intn(len(d.world.Cities))}
+		var prev geo.Point
+		havePrev := false
+		for n := 0; n < stops; n++ {
+			city := cities[0]
+			if n >= stops/2 {
+				city = cities[1]
+			}
+			v := d.pickVenue(city)
+			if v < 0 {
+				continue
+			}
+			loc := d.world.Venues[v].Seed.Location
+			wait := 5 * time.Minute
+			if havePrev {
+				if miles := prev.DistanceMiles(loc); miles > 1 {
+					wait = time.Duration(miles * float64(5*time.Minute))
+				}
+			}
+			d.clock.Advance(wait)
+			if err := d.checkin(ui, v, &stats); err != nil {
+				return stats, err
+			}
+			prev, havePrev = loc, true
+		}
+	}
+	// Caught cheaters: a reckless burst that the cheater code eats.
+	for _, ui := range d.caught {
+		for n := 0; n < 6; n++ {
+			city := d.rng.Intn(len(d.world.Cities))
+			v := d.pickVenue(city)
+			if v < 0 {
+				continue
+			}
+			d.clock.Advance(time.Duration(1+d.rng.Intn(3)) * time.Minute)
+			if err := d.checkin(ui, v, &stats); err != nil {
+				return stats, err
+			}
+		}
+	}
+
+	// Close out the day.
+	d.clock.AdvanceTo(dayStart.Add(24 * time.Hour))
+	return stats, nil
+}
+
+func (d *ActivityDriver) pickVenue(city int) int {
+	list := d.byCity[city]
+	if len(list) == 0 {
+		return -1
+	}
+	return list[d.rng.Intn(len(list))]
+}
+
+func (d *ActivityDriver) checkin(userIdx, venueIdx int, stats *DayStats) error {
+	res, err := d.svc.CheckIn(lbsn.CheckinRequest{
+		UserID:   lbsn.UserID(userIdx + 1),
+		VenueID:  lbsn.VenueID(venueIdx + 1),
+		Reported: d.world.Venues[venueIdx].Seed.Location,
+	})
+	if err != nil {
+		return fmt.Errorf("activity check-in user %d venue %d: %w", userIdx+1, venueIdx+1, err)
+	}
+	stats.Attempted++
+	if res.Accepted {
+		stats.Accepted++
+	} else {
+		stats.Denied++
+	}
+	return nil
+}

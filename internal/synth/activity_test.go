@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"testing"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+func driverWorld(t *testing.T) (*World, *lbsn.Service, *simclock.Simulated) {
+	t.Helper()
+	w := Generate(Config{Seed: 23, Users: 800, Venues: 2400})
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	if err := w.LoadInto(svc); err != nil {
+		t.Fatal(err)
+	}
+	return w, svc, clock
+}
+
+func TestActivityDriverDay(t *testing.T) {
+	w, svc, clock := driverWorld(t)
+	d, err := NewActivityDriver(w, svc, clock, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clock.Now()
+	stats, err := d.Day()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Attempted == 0 || stats.Accepted == 0 {
+		t.Fatalf("stats = %+v, want traffic", stats)
+	}
+	if got := clock.Now().Sub(before); got < 24*3600*1e9 {
+		t.Errorf("clock advanced %v, want >= 24h", got)
+	}
+	// Service counters moved.
+	total, _, _ := svc.Stats()
+	if total != stats.Attempted {
+		t.Errorf("service saw %d check-ins, driver attempted %d", total, stats.Attempted)
+	}
+}
+
+func TestActivityDriverCheaterClassesBehave(t *testing.T) {
+	w, svc, clock := driverWorld(t)
+	d, err := NewActivityDriver(w, svc, clock, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run several days and accumulate per-class outcomes.
+	for day := 0; day < 3; day++ {
+		if _, err := d.Day(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Uncaught cheaters keep earning; caught cheaters' totals grow but
+	// valid counts stall.
+	for _, ui := range d.caught {
+		uv, _ := svc.User(lbsn.UserID(ui + 1))
+		seed := w.Users[ui].Seed
+		grewTotal := uv.TotalCheckins > seed.TotalCheckins
+		if !grewTotal {
+			t.Errorf("caught cheater %d total did not grow", ui+1)
+		}
+	}
+	for _, ui := range d.cheaters {
+		uv, _ := svc.User(lbsn.UserID(ui + 1))
+		if uv.TotalCheckins <= w.Users[ui].Seed.TotalCheckins {
+			t.Errorf("uncaught cheater %d produced no traffic", ui+1)
+		}
+	}
+}
+
+func TestActivityDriverDenialPattern(t *testing.T) {
+	w, svc, clock := driverWorld(t)
+	d, err := NewActivityDriver(w, svc, clock, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.Day()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reckless caught-cheater bursts should produce SOME denials while
+	// the overall day is mostly accepted (normals + paced cheaters).
+	if stats.Denied == 0 {
+		t.Error("no denials despite reckless caught-cheater traffic")
+	}
+	if stats.Accepted <= stats.Denied {
+		t.Errorf("accepted %d <= denied %d; pacing broken", stats.Accepted, stats.Denied)
+	}
+}
+
+func TestActivityDriverRequiresLoadedService(t *testing.T) {
+	w := Generate(Config{Seed: 4, Users: 300, Venues: 900})
+	clock := simclock.NewSimulated(simclock.Epoch())
+	empty := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	if _, err := NewActivityDriver(w, empty, clock, 1, 10); err == nil {
+		t.Error("driver accepted an unloaded service")
+	}
+}

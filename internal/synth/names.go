@@ -1,0 +1,48 @@
+package synth
+
+// Name material for the synthetic world. Chains are weighted so that
+// the biggest chain ("Starbucks") spans every city, making the Fig 3.4
+// scatter trace the US territory.
+
+// chain describes a national venue chain.
+type chain struct {
+	Name   string
+	Weight float64
+}
+
+var chains = []chain{
+	{Name: "Starbucks", Weight: 10},
+	{Name: "McDonald's", Weight: 8},
+	{Name: "Subway", Weight: 7},
+	{Name: "Wendy's", Weight: 4},
+	{Name: "Target", Weight: 3},
+	{Name: "Best Buy", Weight: 2},
+	{Name: "Barnes & Noble", Weight: 2},
+	{Name: "Chipotle", Weight: 2},
+}
+
+var venueKinds = []string{
+	"Coffee House", "Diner", "Bar & Grill", "Pizza", "Bakery", "Books",
+	"Records", "Gym", "Park", "Museum", "Theater", "Deli", "Tacos",
+	"Brewery", "Salon", "Market", "Library", "Gallery", "Pub", "Cafe",
+}
+
+var venueAdjectives = []string{
+	"Blue", "Golden", "Old Town", "Riverside", "Downtown", "Corner",
+	"Sunset", "Union", "Royal", "Lucky", "Iron", "Copper", "Green",
+	"Silver", "Red Door", "Harbor", "Prairie", "Summit", "Maple", "Cedar",
+}
+
+var firstNames = []string{
+	"Alex", "Sam", "Jordan", "Taylor", "Casey", "Morgan", "Riley",
+	"Jamie", "Avery", "Quinn", "Drew", "Blake", "Cameron", "Devin",
+	"Elliot", "Frankie", "Harper", "Jesse", "Kai", "Logan", "Maria",
+	"Nina", "Omar", "Paula", "Ray", "Sofia", "Tom", "Uma", "Victor", "Wen",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Lee", "Garcia", "Chen", "Patel", "Brown",
+	"Davis", "Miller", "Wilson", "Moore", "Clark", "Lewis", "Walker",
+	"Young", "King", "Hill", "Green", "Baker", "Nelson", "Carter",
+	"Reyes", "Ortiz", "Nguyen", "Kim", "Park", "Singh", "Khan", "Cruz", "Diaz",
+}

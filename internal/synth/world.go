@@ -1,0 +1,762 @@
+// Package synth generates the synthetic LBSN world that stands in for
+// the August 2010 Foursquare population the paper crawled (the live
+// service is closed and has changed beyond recognition — see
+// DESIGN.md's substitution table). The generator is calibrated to the
+// marginals §4 reports:
+//
+//   - 36.3% of users have zero check-ins, 20.4% have 1–5, 0.2% have
+//     ≥ 1000, and (at any scale) exactly 11 forced users have ≥ 5000,
+//     split 6/5 into a mayor-rich city-bound group and a caught-cheater
+//     group with no mayorships and few badges;
+//   - a forced "super mayor" holds 865 mayorships on 1265 total
+//     check-ins, mayor of venues nobody else visits (§3.4);
+//   - ~41% of venues have mayors (2,315,747 of 5.6 M) and mayorships
+//     concentrate so the average mayor holds several venues (5.45 in
+//     the paper);
+//   - >90% of specials are mayor-only (§2.1), and a small set of
+//     venues has a special but no mayor — the E6 attack targets;
+//   - chain venues (Starbucks, …) are spread across cities by metro
+//     population, so the Fig 3.4 scatter traces the US territory;
+//   - normal users' check-ins concentrate in ≤ 3 cities (Fig 4.4)
+//     while uncaught cheaters spread over ≥ 30 (Fig 4.3), with
+//     recent-visitor-list presence and badge counts following the
+//     Fig 4.1 / Fig 4.2 class models.
+//
+// Everything is driven by a seeded math/rand source, so worlds are
+// reproducible.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// Class is the ground-truth behavioural label of a synthetic user.
+// The analysis package tries to recover the cheater labels from
+// crawl-visible data only.
+type Class int
+
+// User classes.
+const (
+	ClassInactive   Class = iota + 1 // zero check-ins
+	ClassCasual                      // 1–5 check-ins
+	ClassActive                      // ordinary active user
+	ClassPower                       // legitimately heavy, city-bound (group A)
+	ClassCheater                     // uncaught location cheater (spread out)
+	ClassCaught                      // cheater caught by the cheater code (group B)
+	ClassSuperMayor                  // the 865-mayorship user of §3.4
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassInactive:
+		return "inactive"
+	case ClassCasual:
+		return "casual"
+	case ClassActive:
+		return "active"
+	case ClassPower:
+		return "power"
+	case ClassCheater:
+		return "cheater"
+	case ClassCaught:
+		return "caught-cheater"
+	case ClassSuperMayor:
+		return "super-mayor"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Cheating reports whether the class is a location cheater (caught or
+// not).
+func (c Class) Cheating() bool {
+	return c == ClassCheater || c == ClassCaught || c == ClassSuperMayor
+}
+
+// Config sizes and shapes the world. Zero fields take defaults.
+type Config struct {
+	Seed   int64
+	Users  int // default 20000
+	Venues int // default 3×Users (paper ratio 5.6M venues / 1.89M users ≈ 3)
+
+	RecentListCap int // venue recent-visitor list length (default 10)
+
+	ZeroFraction   float64 // users with no check-ins (default 0.363)
+	CasualFraction float64 // users with 1–5 (default 0.204)
+	HeavyFraction  float64 // users with ≥ 1000 (default 0.002)
+
+	MayoredVenueFraction float64 // venues with a mayor (default 0.41)
+	SpecialFraction      float64 // venues with a special (default 0.02)
+	MayorOnlyFraction    float64 // specials that are mayor-only (default 0.92)
+	OrphanSpecialCount   int     // venues forced to special+no-mayor (default Venues/500)
+
+	ChainFraction    float64 // venues in national chains (default 0.3)
+	UsernameFraction float64 // users with a username (default 0.261)
+
+	// DisableTopUsers skips injecting the 11 heavy users + super mayor
+	// (they are injected by default for worlds of ≥ 100 users).
+	DisableTopUsers bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Users <= 0 {
+		c.Users = 20000
+	}
+	if c.Venues <= 0 {
+		c.Venues = 3 * c.Users
+	}
+	if c.RecentListCap <= 0 {
+		c.RecentListCap = 10
+	}
+	if c.ZeroFraction <= 0 {
+		c.ZeroFraction = 0.363
+	}
+	if c.CasualFraction <= 0 {
+		c.CasualFraction = 0.204
+	}
+	if c.HeavyFraction <= 0 {
+		c.HeavyFraction = 0.002
+	}
+	if c.MayoredVenueFraction <= 0 {
+		c.MayoredVenueFraction = 0.41
+	}
+	if c.SpecialFraction <= 0 {
+		c.SpecialFraction = 0.02
+	}
+	if c.MayorOnlyFraction <= 0 {
+		c.MayorOnlyFraction = 0.92
+	}
+	if c.OrphanSpecialCount <= 0 {
+		c.OrphanSpecialCount = c.Venues / 500
+	}
+	if c.ChainFraction <= 0 {
+		c.ChainFraction = 0.3
+	}
+	if c.UsernameFraction <= 0 {
+		c.UsernameFraction = 0.261
+	}
+	return c
+}
+
+// UserRecord is one synthetic user with ground truth attached.
+type UserRecord struct {
+	Index        int // 0-based; LoadInto/FillStore assign ID Index+1
+	Seed         lbsn.UserSeed
+	Class        Class
+	HomeCity     int   // index into World.Cities
+	RecentVenues []int // venue indexes whose recent list carries this user
+	Mayorships   int   // ground-truth mayor count
+}
+
+// VenueRecord is one synthetic venue.
+type VenueRecord struct {
+	Index int
+	Seed  lbsn.VenueSeed
+	City  int
+	Chain string // "" for independents
+}
+
+// World is a generated population.
+type World struct {
+	Cfg    Config
+	Cities []geo.City
+	Users  []UserRecord
+	Venues []VenueRecord
+}
+
+// Generate builds a world from the config.
+func Generate(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{Cfg: cfg, Cities: geo.USCities()}
+
+	cityPicker := newWeightedPicker(w.Cities)
+
+	w.generateVenues(rng, cityPicker)
+	w.generateUsers(rng, cityPicker)
+	if !cfg.DisableTopUsers && cfg.Users >= 100 {
+		w.forceTopUsers(rng)
+	}
+	w.assignRecentLists(rng)
+	w.assignMayors(rng)
+	w.finalizeCounters(rng)
+	return w
+}
+
+// weightedPicker samples city indexes proportionally to weight.
+type weightedPicker struct {
+	cum []float64
+}
+
+func newWeightedPicker(cities []geo.City) *weightedPicker {
+	cum := make([]float64, len(cities))
+	total := 0.0
+	for i, c := range cities {
+		total += c.Weight
+		cum[i] = total
+	}
+	return &weightedPicker{cum: cum}
+}
+
+func (p *weightedPicker) pick(rng *rand.Rand) int {
+	target := rng.Float64() * p.cum[len(p.cum)-1]
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// generateVenues places venues in cities with Gaussian street scatter.
+func (w *World) generateVenues(rng *rand.Rand, cities *weightedPicker) {
+	w.Venues = make([]VenueRecord, w.Cfg.Venues)
+	chainCum := make([]float64, len(chains))
+	total := 0.0
+	for i, c := range chains {
+		total += c.Weight
+		chainCum[i] = total
+	}
+	chainCounters := make(map[string]int, len(chains))
+
+	for i := range w.Venues {
+		cityIdx := cities.pick(rng)
+		city := w.Cities[cityIdx]
+		// ~σ 3 km urban scatter.
+		dLat := rng.NormFloat64() * 3000 / geo.MetersPerDegreeLat()
+		dLon := rng.NormFloat64() * 3000 / geo.MetersPerDegreeLon(city.Center.Lat)
+		loc := city.Center.Offset(dLat, dLon)
+
+		rec := VenueRecord{Index: i, City: cityIdx}
+		if rng.Float64() < w.Cfg.ChainFraction {
+			t := rng.Float64() * total
+			ci := 0
+			for ci < len(chainCum) && chainCum[ci] < t {
+				ci++
+			}
+			chainCounters[chains[ci].Name]++
+			rec.Chain = chains[ci].Name
+			rec.Seed.Name = fmt.Sprintf("%s #%d", chains[ci].Name, chainCounters[chains[ci].Name])
+		} else {
+			rec.Seed.Name = fmt.Sprintf("%s %s",
+				venueAdjectives[rng.Intn(len(venueAdjectives))],
+				venueKinds[rng.Intn(len(venueKinds))])
+		}
+		rec.Seed.Address = fmt.Sprintf("%d %s St", 1+rng.Intn(9999), lastNames[rng.Intn(len(lastNames))])
+		rec.Seed.City = city.Name
+		rec.Seed.Location = loc
+		w.Venues[i] = rec
+	}
+}
+
+// sampleTotalCheckins draws a user's total check-in count per the §4.2
+// marginals.
+func sampleTotalCheckins(rng *rand.Rand, cfg Config) (int, Class) {
+	r := rng.Float64()
+	switch {
+	case r < cfg.ZeroFraction:
+		return 0, ClassInactive
+	case r < cfg.ZeroFraction+cfg.CasualFraction:
+		return 1 + rng.Intn(5), ClassCasual
+	case r < 1-cfg.HeavyFraction:
+		// Body: log-normal-ish, 6..999.
+		v := int(math.Exp(rng.NormFloat64()*1.1 + 3.2))
+		if v < 6 {
+			v = 6
+		}
+		if v > 999 {
+			v = 999
+		}
+		return v, ClassActive
+	default:
+		// Heavy tail 1000..~4800; the ≥5000 stratum is forced
+		// separately so the "11 users ≥ 5000" stat stays exact.
+		v := 1000 + int(rng.ExpFloat64()*800)
+		if v > 4800 {
+			v = 4800
+		}
+		// 45% legitimately heavy, 30% uncaught cheaters, 25% caught.
+		c := rng.Float64()
+		switch {
+		case c < 0.45:
+			return v, ClassPower
+		case c < 0.75:
+			return v, ClassCheater
+		default:
+			return v, ClassCaught
+		}
+	}
+}
+
+// generateUsers fills the user slice with sampled classes and totals.
+func (w *World) generateUsers(rng *rand.Rand, cities *weightedPicker) {
+	launch := time.Date(2009, time.March, 1, 0, 0, 0, 0, time.UTC)
+	snapshot := simclock.Epoch()
+	span := snapshot.Sub(launch)
+
+	w.Users = make([]UserRecord, w.Cfg.Users)
+	for i := range w.Users {
+		total, class := sampleTotalCheckins(rng, w.Cfg)
+		u := UserRecord{Index: i, Class: class, HomeCity: cities.pick(rng)}
+		u.Seed.Name = fmt.Sprintf("%s %s",
+			firstNames[rng.Intn(len(firstNames))],
+			lastNames[rng.Intn(len(lastNames))])
+		if rng.Float64() < w.Cfg.UsernameFraction {
+			u.Seed.Username = fmt.Sprintf("%s%d", firstNames[rng.Intn(len(firstNames))], i+1)
+		}
+		u.Seed.HomeCity = w.Cities[u.HomeCity].Name
+		u.Seed.CreatedAt = launch.Add(time.Duration(rng.Float64() * float64(span)))
+		u.Seed.TotalCheckins = total
+		u.Seed.ValidCheckins = total
+		u.Seed.FriendCount = int(rng.ExpFloat64() * 8)
+		w.Users[i] = u
+	}
+	// Badges and points from the class models.
+	for i := range w.Users {
+		u := &w.Users[i]
+		u.Seed.BadgeCount = badgeModel(rng, u.Class, u.Seed.TotalCheckins)
+		u.Seed.Points = pointsModel(rng, u.Class, u.Seed.TotalCheckins)
+		if u.Class == ClassCaught {
+			// Invalidated check-ins earn nothing; a caught cheater's
+			// valid count is a small fraction of the total.
+			u.Seed.ValidCheckins = int(float64(u.Seed.TotalCheckins) * 0.05)
+		}
+	}
+}
+
+// badgeModel reproduces the Fig 4.2 reward-rate signature: a stable
+// concave badge curve for legitimate users and uncaught cheaters (who
+// still receive rewards), near-zero for caught cheaters whose check-ins
+// were invalidated.
+func badgeModel(rng *rand.Rand, class Class, total int) int {
+	switch class {
+	case ClassInactive:
+		return 0
+	case ClassCasual:
+		n := rng.Intn(3)
+		if n > total {
+			n = total
+		}
+		return n
+	case ClassCaught:
+		return rng.Intn(10) // "many users with more than 1000 check-ins only have less than 10 badges"
+	default:
+		b := 2.2 * math.Sqrt(float64(total)) * (0.85 + rng.Float64()*0.3)
+		if b > 90 {
+			b = 90
+		}
+		return int(b)
+	}
+}
+
+// pointsModel: points roughly track valid check-ins.
+func pointsModel(rng *rand.Rand, class Class, total int) int {
+	if class == ClassCaught {
+		return int(float64(total) * 0.08 * (0.5 + rng.Float64()))
+	}
+	return int(float64(total) * 1.5 * (0.8 + rng.Float64()*0.4))
+}
+
+// forceTopUsers overwrites the tail of the user slice with the named
+// individuals of §3.4/§4.2: the super mayor and the 11 users with
+// ≥ 5000 check-ins (6 power, 5 caught).
+func (w *World) forceTopUsers(rng *rand.Rand) {
+	n := len(w.Users)
+	idx := n - 12
+
+	// The super mayor: 1265 total check-ins, 865 mayorships (assigned
+	// in assignMayors).
+	sm := &w.Users[idx]
+	sm.Class = ClassSuperMayor
+	sm.Seed.TotalCheckins = 1265
+	sm.Seed.ValidCheckins = 1265
+	sm.Seed.BadgeCount = badgeModel(rng, ClassActive, 1265)
+	sm.Seed.Points = pointsModel(rng, ClassActive, 1265)
+	idx++
+
+	// Group A: six power users, tens of mayorships each, city-bound.
+	for g := 0; g < 6; g++ {
+		u := &w.Users[idx]
+		u.Class = ClassPower
+		u.Seed.TotalCheckins = 5000 + rng.Intn(3000)
+		u.Seed.ValidCheckins = u.Seed.TotalCheckins
+		u.Seed.BadgeCount = badgeModel(rng, ClassPower, u.Seed.TotalCheckins)
+		u.Seed.Points = pointsModel(rng, ClassPower, u.Seed.TotalCheckins)
+		idx++
+	}
+	// Group B: five caught cheaters, the top one over 12,000 check-ins,
+	// no mayorships, few badges.
+	for g := 0; g < 5; g++ {
+		u := &w.Users[idx]
+		u.Class = ClassCaught
+		if g == 0 {
+			u.Seed.TotalCheckins = 12000 + rng.Intn(600)
+		} else {
+			u.Seed.TotalCheckins = 5000 + rng.Intn(4000)
+		}
+		u.Seed.ValidCheckins = int(float64(u.Seed.TotalCheckins) * 0.03)
+		u.Seed.BadgeCount = rng.Intn(10)
+		u.Seed.Points = pointsModel(rng, ClassCaught, u.Seed.TotalCheckins)
+		idx++
+	}
+}
+
+// recentCountModel reproduces Fig 4.1: normal users' recent-list
+// presence saturates near ~100 once total check-ins exceed ~500;
+// uncaught cheaters stay on high-recent trajectories; caught cheaters
+// barely appear (their check-ins were invalidated).
+func recentCountModel(rng *rand.Rand, class Class, total int) int {
+	switch class {
+	case ClassInactive:
+		return 0
+	case ClassCasual:
+		n := rng.Intn(4)
+		if n > total {
+			n = total
+		}
+		return n
+	case ClassCaught:
+		return rng.Intn(5)
+	case ClassCheater:
+		return int(float64(total) * (0.5 + rng.Float64()*0.3))
+	case ClassSuperMayor:
+		// Recent presence beyond the 865 solo venues assigned later.
+		return 100 + rng.Intn(100)
+	default: // active, power
+		mean := 100 * (1 - math.Exp(-float64(total)/300))
+		v := int(mean * (0.7 + rng.Float64()*0.6))
+		if v > total {
+			v = total
+		}
+		return v
+	}
+}
+
+// assignRecentLists places each user on venue recent-visitor lists,
+// respecting the per-venue cap and the class geography: normals stay
+// in ≤ 3 cities, cheaters spread over ≥ 30 (Figs 4.3/4.4).
+func (w *World) assignRecentLists(rng *rand.Rand) {
+	// Venue indexes per city for geographic sampling.
+	byCity := make([][]int, len(w.Cities))
+	for i, v := range w.Venues {
+		byCity[v.City] = append(byCity[v.City], i)
+	}
+	fill := make([]int, len(w.Venues))
+	cap := w.Cfg.RecentListCap
+
+	// pickVenue tries to find an uncapped venue in the city.
+	pickVenue := func(city int) int {
+		list := byCity[city]
+		if len(list) == 0 {
+			return -1
+		}
+		for try := 0; try < 6; try++ {
+			v := list[rng.Intn(len(list))]
+			if fill[v] < cap {
+				return v
+			}
+		}
+		return -1
+	}
+
+	for i := range w.Users {
+		u := &w.Users[i]
+		count := recentCountModel(rng, u.Class, u.Seed.TotalCheckins)
+		if count == 0 {
+			continue
+		}
+		cities := w.activityCities(rng, u)
+		seen := make(map[int]struct{}, count)
+		// Attempts budget: duplicate picks and saturated cities must
+		// not stall the generator; accepting fewer placements is fine.
+		for attempts := count * 8; len(u.RecentVenues) < count && attempts > 0; attempts-- {
+			city := cities[rng.Intn(len(cities))]
+			v := pickVenue(city)
+			if v < 0 {
+				continue // city saturated; try another draw
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			fill[v]++
+			u.RecentVenues = append(u.RecentVenues, v)
+			w.Venues[v].Seed.RecentVisitors = append(w.Venues[v].Seed.RecentVisitors, lbsn.UserID(i+1))
+		}
+	}
+}
+
+// activityCities returns the city indexes a user's check-ins draw
+// from.
+func (w *World) activityCities(rng *rand.Rand, u *UserRecord) []int {
+	switch u.Class {
+	case ClassCheater:
+		// 30–40 distinct cities (Fig 4.3 shows >30 incl. Alaska).
+		n := 30 + rng.Intn(11)
+		if n > len(w.Cities) {
+			n = len(w.Cities)
+		}
+		perm := rng.Perm(len(w.Cities))[:n]
+		// Always include home so the pattern isn't trivially disjoint.
+		return append(perm, u.HomeCity)
+	case ClassSuperMayor:
+		n := 10 + rng.Intn(10)
+		perm := rng.Perm(len(w.Cities))[:n]
+		return append(perm, u.HomeCity)
+	default:
+		// Home plus up to two travel cities (Fig 4.4: "concentrated in
+		// three cities and a few other places").
+		cities := []int{u.HomeCity, u.HomeCity, u.HomeCity, u.HomeCity} // weight home 4x
+		for n := rng.Intn(3); n > 0; n-- {
+			cities = append(cities, rng.Intn(len(w.Cities)))
+		}
+		return cities
+	}
+}
+
+// assignMayors distributes mayorships: forced quotas first (super
+// mayor's 865 empty venues, group A's tens, uncaught cheaters' tens),
+// then fills toward the MayoredVenueFraction target by crowning recent
+// visitors, biased toward a mayor-prone minority so mayorships
+// concentrate (avg ≈ 5 venues per mayor, paper: 5.45).
+func (w *World) assignMayors(rng *rand.Rand) {
+	target := int(float64(len(w.Venues)) * w.Cfg.MayoredVenueFraction)
+	mayored := 0
+
+	crown := func(v int, user lbsn.UserID) {
+		if w.Venues[v].Seed.MayorID != 0 || user == 0 {
+			return
+		}
+		w.Venues[v].Seed.MayorID = user
+		w.Users[int(user)-1].Mayorships++
+		mayored++
+	}
+
+	// Super mayor: venues with empty recent lists become his solo
+	// domains ("most of the 865 venues have no other visitors").
+	superIdx := -1
+	for i := range w.Users {
+		if w.Users[i].Class == ClassSuperMayor {
+			superIdx = i
+			break
+		}
+	}
+	if superIdx >= 0 {
+		quota := 865
+		if max := len(w.Venues) / 10; quota > max {
+			quota = max
+		}
+		for v := 0; v < len(w.Venues) && quota > 0; v++ {
+			if len(w.Venues[v].Seed.RecentVisitors) == 0 && w.Venues[v].Seed.MayorID == 0 {
+				w.Venues[v].Seed.RecentVisitors = []lbsn.UserID{lbsn.UserID(superIdx + 1)}
+				w.Users[superIdx].RecentVenues = append(w.Users[superIdx].RecentVenues, v)
+				crown(v, lbsn.UserID(superIdx+1))
+				quota--
+			}
+		}
+	}
+
+	// Group A power users and uncaught cheaters: tens of mayorships
+	// drawn from venues they already visit.
+	for i := range w.Users {
+		u := &w.Users[i]
+		var quota int
+		switch {
+		case u.Class == ClassPower && u.Seed.TotalCheckins >= 5000:
+			quota = 20 + rng.Intn(40) // "mayor of tens of venues ... concentrated in a city area"
+		case u.Class == ClassCheater:
+			quota = 5 + rng.Intn(30)
+		default:
+			continue
+		}
+		for _, v := range u.RecentVenues {
+			if quota == 0 {
+				break
+			}
+			if w.Venues[v].Seed.MayorID == 0 {
+				crown(v, lbsn.UserID(i+1))
+				quota--
+			}
+		}
+	}
+
+	// Mayor-prone minority: 10% of active+ users take most remaining
+	// crowns, concentrating mayorships.
+	var prone []int
+	for i := range w.Users {
+		if w.Users[i].Class == ClassActive && rng.Float64() < 0.10 {
+			prone = append(prone, i)
+		}
+	}
+	proneSet := make(map[int]struct{}, len(prone))
+	for _, i := range prone {
+		proneSet[i] = struct{}{}
+	}
+
+	for v := 0; v < len(w.Venues) && mayored < target; v++ {
+		if w.Venues[v].Seed.MayorID != 0 {
+			continue
+		}
+		visitors := w.Venues[v].Seed.RecentVisitors
+		if len(visitors) == 0 {
+			continue
+		}
+		// Prefer a mayor-prone visitor; otherwise crown the most active
+		// eligible visitor, which concentrates mayorships on heavy
+		// users (paper: 5.45 venues per mayor on average). The super
+		// mayor is skipped (his 865 stays exact) and caught cheaters
+		// are ineligible — their check-ins were invalidated, so they
+		// can hold no mayorships (§4.2 group 2).
+		var chosen lbsn.UserID
+		bestActivity := -1
+		for _, vis := range visitors {
+			ui := int(vis) - 1
+			cls := w.Users[ui].Class
+			if (superIdx >= 0 && ui == superIdx) || cls == ClassCaught {
+				continue
+			}
+			if _, ok := proneSet[ui]; ok {
+				chosen = vis
+				break
+			}
+			if activity := len(w.Users[ui].RecentVenues); activity > bestActivity {
+				bestActivity = activity
+				chosen = vis
+			}
+		}
+		crown(v, chosen)
+	}
+
+	// Specials: SpecialFraction of venues, >90% mayor-only, plus the
+	// forced orphan set (special but no mayor — the E6 targets).
+	specials := int(float64(len(w.Venues)) * w.Cfg.SpecialFraction)
+	for n := 0; n < specials; n++ {
+		v := rng.Intn(len(w.Venues))
+		if w.Venues[v].Seed.Special != nil {
+			continue
+		}
+		w.Venues[v].Seed.Special = &lbsn.Special{
+			Description: "Free coffee for the mayor",
+			MayorOnly:   rng.Float64() < w.Cfg.MayorOnlyFraction,
+		}
+	}
+	orphans := 0
+	for v := 0; v < len(w.Venues) && orphans < w.Cfg.OrphanSpecialCount; v++ {
+		if w.Venues[v].Seed.MayorID == 0 && w.Venues[v].Seed.Special == nil {
+			w.Venues[v].Seed.Special = &lbsn.Special{Description: "Mayor special, unclaimed", MayorOnly: true}
+			orphans++
+		}
+	}
+}
+
+// finalizeCounters derives venue check-in counters consistent with the
+// recent lists: every listed visitor is at least one unique visitor
+// and one check-in; a heavy tail sits on top.
+func (w *World) finalizeCounters(rng *rand.Rand) {
+	for i := range w.Venues {
+		v := &w.Venues[i]
+		base := len(v.Seed.RecentVisitors)
+		extra := 0
+		if base > 0 {
+			extra = int(rng.ExpFloat64() * 5)
+		}
+		v.Seed.UniqueVisitors = base + extra
+		if v.Seed.UniqueVisitors > 0 {
+			v.Seed.CheckinsHere = v.Seed.UniqueVisitors + int(rng.ExpFloat64()*float64(v.Seed.UniqueVisitors))
+		}
+	}
+}
+
+// LoadInto bulk-loads the world into a service. User index i receives
+// lbsn ID i+1 and venue index j receives ID j+1 (the service must be
+// empty).
+func (w *World) LoadInto(svc *lbsn.Service) error {
+	if svc.UserCount() != 0 || svc.VenueCount() != 0 {
+		return fmt.Errorf("synth: LoadInto requires an empty service (has %d users, %d venues)",
+			svc.UserCount(), svc.VenueCount())
+	}
+	userSeeds := make([]lbsn.UserSeed, len(w.Users))
+	for i, u := range w.Users {
+		userSeeds[i] = u.Seed
+	}
+	svc.BulkLoadUsers(userSeeds)
+	venueSeeds := make([]lbsn.VenueSeed, len(w.Venues))
+	for i, v := range w.Venues {
+		venueSeeds[i] = v.Seed
+	}
+	svc.BulkLoadVenues(venueSeeds)
+	return nil
+}
+
+// FillStore materializes the "perfect crawl" of the world straight
+// into a store.DB — what the crawler would recover with no losses.
+// DeriveStats is run before returning.
+func (w *World) FillStore(db *store.DB) {
+	for i, u := range w.Users {
+		db.UpsertUser(store.UserRow{
+			ID:            uint64(i + 1),
+			UserName:      u.Seed.Username,
+			Name:          u.Seed.Name,
+			HomeCity:      u.Seed.HomeCity,
+			TotalCheckins: u.Seed.TotalCheckins,
+			TotalBadges:   u.Seed.BadgeCount,
+			Points:        u.Seed.Points,
+			Friends:       u.Seed.FriendCount,
+		})
+	}
+	for j, v := range w.Venues {
+		row := store.VenueRow{
+			ID:             uint64(j + 1),
+			Name:           v.Seed.Name,
+			Address:        v.Seed.Address,
+			City:           v.Seed.City,
+			MayorID:        uint64(v.Seed.MayorID),
+			CheckinsHere:   v.Seed.CheckinsHere,
+			UniqueVisitors: v.Seed.UniqueVisitors,
+			Latitude:       v.Seed.Location.Lat,
+			Longitude:      v.Seed.Location.Lon,
+		}
+		if v.Seed.Special != nil {
+			row.Special = v.Seed.Special.Description
+			row.SpecialMayor = v.Seed.Special.MayorOnly
+		}
+		db.UpsertVenue(row)
+		for _, uid := range v.Seed.RecentVisitors {
+			db.AddRecentCheckin(uint64(uid), uint64(j+1))
+		}
+	}
+	db.DeriveStats()
+}
+
+// TrueClass returns the ground-truth class for a service/store user
+// ID.
+func (w *World) TrueClass(id lbsn.UserID) (Class, bool) {
+	i := int(id) - 1
+	if i < 0 || i >= len(w.Users) {
+		return 0, false
+	}
+	return w.Users[i].Class, true
+}
+
+// CountByClass tallies users per class.
+func (w *World) CountByClass() map[Class]int {
+	out := make(map[Class]int)
+	for _, u := range w.Users {
+		out[u.Class]++
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// smallWorld generates a modest world once per test binary run.
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	return Generate(Config{Seed: 1, Users: 5000, Venues: 15000})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, Users: 500, Venues: 1500})
+	b := Generate(Config{Seed: 7, Users: 500, Venues: 1500})
+	if len(a.Users) != len(b.Users) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Users {
+		if a.Users[i].Seed != b.Users[i].Seed || a.Users[i].Class != b.Users[i].Class {
+			t.Fatalf("user %d differs between identically seeded worlds", i)
+		}
+	}
+	c := Generate(Config{Seed: 8, Users: 500, Venues: 1500})
+	same := true
+	for i := range a.Users {
+		if a.Users[i].Seed != c.Users[i].Seed {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical users")
+	}
+}
+
+func TestMarginalsMatchPaper(t *testing.T) {
+	w := smallWorld(t)
+	zero, casual, heavy := 0, 0, 0
+	for _, u := range w.Users {
+		switch {
+		case u.Seed.TotalCheckins == 0:
+			zero++
+		case u.Seed.TotalCheckins <= 5:
+			casual++
+		}
+		if u.Seed.TotalCheckins >= 1000 {
+			heavy++
+		}
+	}
+	n := float64(len(w.Users))
+	if f := float64(zero) / n; math.Abs(f-0.363) > 0.03 {
+		t.Errorf("zero-check-in fraction = %.3f, want ~0.363", f)
+	}
+	if f := float64(casual) / n; math.Abs(f-0.204) > 0.03 {
+		t.Errorf("casual fraction = %.3f, want ~0.204", f)
+	}
+	// Heavy: 0.2% sampled + 12 forced.
+	if f := float64(heavy) / n; f < 0.001 || f > 0.008 {
+		t.Errorf("heavy fraction = %.4f, want around 0.002-0.005", f)
+	}
+}
+
+func TestForcedTopUsers(t *testing.T) {
+	w := smallWorld(t)
+	counts := w.CountByClass()
+	if counts[ClassSuperMayor] != 1 {
+		t.Fatalf("super mayors = %d, want 1", counts[ClassSuperMayor])
+	}
+	// Exactly 11 users with >= 5000 total check-ins, 6 power + 5 caught.
+	var fiveK, power5k, caught5k, over12k int
+	for _, u := range w.Users {
+		if u.Seed.TotalCheckins >= 5000 {
+			fiveK++
+			switch u.Class {
+			case ClassPower:
+				power5k++
+			case ClassCaught:
+				caught5k++
+			}
+			if u.Seed.TotalCheckins >= 12000 {
+				over12k++
+			}
+		}
+	}
+	if fiveK != 11 {
+		t.Errorf("users >= 5000 check-ins = %d, want exactly 11 (§4.2)", fiveK)
+	}
+	if power5k != 6 || caught5k != 5 {
+		t.Errorf("5000+ split = %d power / %d caught, want 6/5", power5k, caught5k)
+	}
+	if over12k != 1 {
+		t.Errorf("users over 12000 = %d, want 1 (the top user)", over12k)
+	}
+}
+
+func TestSuperMayorProfile(t *testing.T) {
+	w := smallWorld(t)
+	var sm *UserRecord
+	for i := range w.Users {
+		if w.Users[i].Class == ClassSuperMayor {
+			sm = &w.Users[i]
+			break
+		}
+	}
+	if sm == nil {
+		t.Fatal("no super mayor")
+	}
+	if sm.Seed.TotalCheckins != 1265 {
+		t.Errorf("super mayor total = %d, want 1265", sm.Seed.TotalCheckins)
+	}
+	if sm.Mayorships != 865 {
+		t.Errorf("super mayor mayorships = %d, want 865", sm.Mayorships)
+	}
+	// Most of his venues must have no other visitors.
+	solo := 0
+	id := lbsn.UserID(sm.Index + 1)
+	for _, v := range w.Venues {
+		if v.Seed.MayorID == id && len(v.Seed.RecentVisitors) == 1 && v.Seed.RecentVisitors[0] == id {
+			solo++
+		}
+	}
+	if solo < 800 {
+		t.Errorf("solo-visitor mayored venues = %d, want >= 800 of 865", solo)
+	}
+}
+
+func TestCaughtCheatersHaveNoMayorshipsFewBadges(t *testing.T) {
+	w := smallWorld(t)
+	for _, u := range w.Users {
+		if u.Class != ClassCaught {
+			continue
+		}
+		if u.Mayorships != 0 {
+			t.Errorf("caught cheater %d holds %d mayorships, want 0", u.Index, u.Mayorships)
+		}
+		if u.Seed.BadgeCount >= 10 {
+			t.Errorf("caught cheater %d has %d badges, want < 10", u.Index, u.Seed.BadgeCount)
+		}
+		if len(u.RecentVenues) > 4 {
+			t.Errorf("caught cheater %d on %d recent lists, want <= 4", u.Index, len(u.RecentVenues))
+		}
+	}
+}
+
+func TestCheaterGeographicSpread(t *testing.T) {
+	w := smallWorld(t)
+	cheaters, normals := 0, 0
+	for _, u := range w.Users {
+		cities := make(map[int]struct{})
+		for _, v := range u.RecentVenues {
+			cities[w.Venues[v].City] = struct{}{}
+		}
+		switch u.Class {
+		case ClassCheater:
+			cheaters++
+			if len(cities) < 15 {
+				t.Errorf("uncaught cheater %d spans %d cities, want >= 15", u.Index, len(cities))
+			}
+		case ClassActive:
+			if len(u.RecentVenues) >= 10 {
+				normals++
+				if len(cities) > 5 {
+					t.Errorf("active user %d spans %d cities, want <= 5", u.Index, len(cities))
+				}
+			}
+		}
+	}
+	if cheaters == 0 {
+		t.Error("world has no uncaught cheaters")
+	}
+	if normals == 0 {
+		t.Error("world has no active users with enough data to check")
+	}
+}
+
+func TestMayoredVenueFractionAndConcentration(t *testing.T) {
+	w := smallWorld(t)
+	mayored := 0
+	mayors := make(map[lbsn.UserID]int)
+	for _, v := range w.Venues {
+		if v.Seed.MayorID != 0 {
+			mayored++
+			mayors[v.Seed.MayorID]++
+		}
+	}
+	frac := float64(mayored) / float64(len(w.Venues))
+	if frac < 0.30 || frac > 0.52 {
+		t.Errorf("mayored venue fraction = %.3f, want ~0.41", frac)
+	}
+	avg := float64(mayored) / float64(len(mayors))
+	if avg < 2 {
+		t.Errorf("avg mayorships per mayor = %.2f, want concentration > 2 (paper: 5.45)", avg)
+	}
+}
+
+func TestSpecialsMostlyMayorOnlyPlusOrphans(t *testing.T) {
+	w := smallWorld(t)
+	specials, mayorOnly, orphans := 0, 0, 0
+	for _, v := range w.Venues {
+		if v.Seed.Special == nil {
+			continue
+		}
+		specials++
+		if v.Seed.Special.MayorOnly {
+			mayorOnly++
+		}
+		if v.Seed.MayorID == 0 && v.Seed.Special.MayorOnly {
+			orphans++
+		}
+	}
+	if specials == 0 {
+		t.Fatal("no specials generated")
+	}
+	if f := float64(mayorOnly) / float64(specials); f < 0.85 {
+		t.Errorf("mayor-only special fraction = %.2f, want > 0.9-ish (§2.1: >90%%)", f)
+	}
+	if orphans < w.Cfg.OrphanSpecialCount {
+		t.Errorf("orphan specials = %d, want >= %d (E6 targets)", orphans, w.Cfg.OrphanSpecialCount)
+	}
+}
+
+func TestRecentListsRespectCap(t *testing.T) {
+	w := smallWorld(t)
+	for _, v := range w.Venues {
+		if len(v.Seed.RecentVisitors) > w.Cfg.RecentListCap && len(v.Seed.RecentVisitors) != 1 {
+			t.Fatalf("venue %d recent list has %d entries, cap %d",
+				v.Index, len(v.Seed.RecentVisitors), w.Cfg.RecentListCap)
+		}
+	}
+}
+
+func TestChainVenuesSpanManyCities(t *testing.T) {
+	w := smallWorld(t)
+	cities := make(map[int]struct{})
+	count := 0
+	for _, v := range w.Venues {
+		if v.Chain == "Starbucks" {
+			count++
+			cities[v.City] = struct{}{}
+		}
+	}
+	if count < 100 {
+		t.Fatalf("only %d Starbucks venues", count)
+	}
+	if len(cities) < 40 {
+		t.Errorf("Starbucks spans %d cities, want >= 40 (Fig 3.4 US shape)", len(cities))
+	}
+}
+
+func TestVenueCountersConsistent(t *testing.T) {
+	w := smallWorld(t)
+	for _, v := range w.Venues {
+		if v.Seed.UniqueVisitors < len(v.Seed.RecentVisitors) {
+			t.Fatalf("venue %d: unique %d < recent list %d",
+				v.Index, v.Seed.UniqueVisitors, len(v.Seed.RecentVisitors))
+		}
+		if v.Seed.CheckinsHere < v.Seed.UniqueVisitors {
+			t.Fatalf("venue %d: checkins %d < unique %d",
+				v.Index, v.Seed.CheckinsHere, v.Seed.UniqueVisitors)
+		}
+	}
+}
+
+func TestLoadIntoService(t *testing.T) {
+	w := Generate(Config{Seed: 3, Users: 300, Venues: 900})
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	if err := w.LoadInto(svc); err != nil {
+		t.Fatal(err)
+	}
+	if svc.UserCount() != 300 || svc.VenueCount() != 900 {
+		t.Fatalf("service = %d users / %d venues", svc.UserCount(), svc.VenueCount())
+	}
+	// Index<->ID correspondence.
+	uv, ok := svc.User(lbsn.UserID(42))
+	if !ok || uv.Name != w.Users[41].Seed.Name {
+		t.Errorf("user 42 = %+v, want %q", uv, w.Users[41].Seed.Name)
+	}
+	// Loading twice fails.
+	if err := w.LoadInto(svc); err == nil {
+		t.Error("LoadInto on a non-empty service should fail")
+	}
+}
+
+func TestFillStoreMatchesWorld(t *testing.T) {
+	w := Generate(Config{Seed: 3, Users: 300, Venues: 900})
+	db := store.New()
+	w.FillStore(db)
+	users, venues, recents := db.Counts()
+	if users != 300 || venues != 900 {
+		t.Fatalf("store = %d users / %d venues", users, venues)
+	}
+	wantRecents := 0
+	for _, v := range w.Venues {
+		wantRecents += len(v.Seed.RecentVisitors)
+	}
+	if recents != wantRecents {
+		t.Errorf("recent relations = %d, want %d", recents, wantRecents)
+	}
+	// Derived mayor counts match ground truth.
+	for i, u := range w.Users {
+		row, _ := db.User(uint64(i + 1))
+		if row.TotalMayors != u.Mayorships {
+			t.Fatalf("user %d derived mayors = %d, ground truth %d", i+1, row.TotalMayors, u.Mayorships)
+		}
+		if row.RecentCheckins != len(u.RecentVenues) {
+			t.Fatalf("user %d derived recents = %d, ground truth %d", i+1, row.RecentCheckins, len(u.RecentVenues))
+		}
+	}
+}
+
+func TestTrueClass(t *testing.T) {
+	w := Generate(Config{Seed: 3, Users: 300, Venues: 900})
+	if _, ok := w.TrueClass(0); ok {
+		t.Error("ID 0 should not resolve")
+	}
+	if _, ok := w.TrueClass(301); ok {
+		t.Error("out-of-range ID should not resolve")
+	}
+	c, ok := w.TrueClass(1)
+	if !ok || c == 0 {
+		t.Error("ID 1 should resolve to a class")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for _, c := range []Class{ClassInactive, ClassCasual, ClassActive, ClassPower, ClassCheater, ClassCaught, ClassSuperMayor} {
+		if c.String() == "" {
+			t.Errorf("class %d has empty string", c)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class string empty")
+	}
+	if !ClassCheater.Cheating() || !ClassCaught.Cheating() || !ClassSuperMayor.Cheating() {
+		t.Error("cheater classes must report Cheating")
+	}
+	if ClassActive.Cheating() || ClassPower.Cheating() {
+		t.Error("legit classes must not report Cheating")
+	}
+}
+
+func TestSmallWorldWithoutForcedUsers(t *testing.T) {
+	w := Generate(Config{Seed: 5, Users: 50, Venues: 150})
+	for _, u := range w.Users {
+		if u.Class == ClassSuperMayor {
+			t.Error("tiny world should skip forced users")
+		}
+	}
+}

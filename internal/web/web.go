@@ -1,0 +1,455 @@
+// Package web implements the service's public profile website — the
+// crawling attack surface of §3.2. It serves user pages at both
+// /user/<numeric-id> and /user/<username> (the two URL schemes the
+// paper found; IDs are dense and enumerable, "a serious security
+// weakness") and venue pages at /venue/<numeric-id> including the
+// "Who's been here" recent-visitor section of Fig B.1.
+//
+// The same package carries the §5.2 mitigations as composable server
+// options: a login wall, per-IP rate limiting with blocking, hashed
+// (non-enumerable) profile URLs, and removal of the "Who's been here"
+// section — so the anti-crawl experiment (E12) can switch each on
+// independently.
+package web
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLoginWall requires a session cookie (obtained from GET
+// /login?user=<id>) before profile pages are served; anonymous
+// requests get 403. §5.2: "If a user must login to view the publicly
+// available profile pages, it's easier to detect the crawling users
+// and block them."
+func WithLoginWall() Option {
+	return func(s *Server) { s.requireLogin = true }
+}
+
+// WithRateLimit caps per-IP page requests in a sliding one-minute
+// window; exceeding the cap returns 429 and, after `strikes` windows
+// over the cap, the IP is blocked outright (403). §5.2's "combined
+// with IP address blocking".
+func WithRateLimit(perMinute, strikes int) Option {
+	return func(s *Server) {
+		s.ratePerMinute = perMinute
+		s.rateStrikes = strikes
+	}
+}
+
+// WithHashedIDs replaces enumerable numeric profile URLs with salted
+// hashes: /user/h/<16 hex> and /venue/h/<16 hex>. Numeric URLs return
+// 404, killing the ID-sweep crawl. §5.2: "the service provider may use
+// the hash function to hide necessary information (such as user IDs in
+// the recent check-in list)."
+func WithHashedIDs(salt string) Option {
+	return func(s *Server) {
+		s.hashIDs = true
+		s.hashSalt = salt
+	}
+}
+
+// WithoutWhosBeenHere removes the venue recent-visitor section — the
+// change Foursquare itself shipped "right after we finished all the
+// crawling" (§6.2.1).
+func WithoutWhosBeenHere() Option {
+	return func(s *Server) { s.hideVisitors = true }
+}
+
+// WithHashedVisitorIDs keeps profile pages fully crawlable but renders
+// the "Who's been here" links (and the mayor link) as salted hashes —
+// §5.2's targeted fix: "the service provider may use the hash function
+// to hide necessary information (such as user IDs in the recent
+// check-in list)" without hurting usability the way removing the list
+// would.
+func WithHashedVisitorIDs(salt string) Option {
+	return func(s *Server) {
+		s.hashVisitors = true
+		s.hashSalt = salt
+	}
+}
+
+// WithLatency adds a fixed wall-clock service delay to every profile
+// page, emulating 2010 WAN round-trips so the crawler throughput
+// experiment (E3) exhibits the paper's thread-scaling behaviour. Zero
+// disables it.
+func WithLatency(d time.Duration) Option {
+	return func(s *Server) { s.latency = d }
+}
+
+// Server renders the profile website over an lbsn.Service.
+type Server struct {
+	svc   *lbsn.Service
+	clock simclock.Clock
+	mux   *http.ServeMux
+
+	requireLogin  bool
+	ratePerMinute int
+	rateStrikes   int
+	hashIDs       bool
+	hashVisitors  bool
+	hashSalt      string
+	hideVisitors  bool
+	latency       time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]lbsn.UserID
+	windows  map[string]*rateWindow
+	blocked  map[string]bool
+	// hashToUser/hashToVenue let hashed pages resolve; populated
+	// lazily as hashes are minted.
+	hashToUser  map[string]lbsn.UserID
+	hashToVenue map[string]lbsn.VenueID
+
+	served   int
+	rejected int
+}
+
+type rateWindow struct {
+	start   time.Time
+	count   int
+	strikes int
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer builds the website. A nil clock uses the wall clock.
+func NewServer(svc *lbsn.Service, clock simclock.Clock, opts ...Option) *Server {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	s := &Server{
+		svc:         svc,
+		clock:       clock,
+		sessions:    make(map[string]lbsn.UserID),
+		windows:     make(map[string]*rateWindow),
+		blocked:     make(map[string]bool),
+		hashToUser:  make(map[string]lbsn.UserID),
+		hashToVenue: make(map[string]lbsn.VenueID),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/login", s.handleLogin)
+	mux.HandleFunc("/user/", s.guard(s.handleUser))
+	mux.HandleFunc("/venue/", s.guard(s.handleVenue))
+	mux.HandleFunc("/", s.handleIndex)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats reports pages served and requests rejected by defences.
+func (s *Server) Stats() (served, rejected int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served, s.rejected
+}
+
+// BlockedIPs returns the currently blocked client IPs.
+func (s *Server) BlockedIPs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.blocked))
+	for ip := range s.blocked {
+		out = append(out, ip)
+	}
+	return out
+}
+
+// UserHash mints the non-enumerable profile token for a user; the
+// server also registers it so the hashed URL resolves. Links between
+// pages use these tokens when WithHashedIDs is on.
+func (s *Server) UserHash(id lbsn.UserID) string {
+	h := profileHash(s.hashSalt, "user", uint64(id))
+	s.mu.Lock()
+	s.hashToUser[h] = id
+	s.mu.Unlock()
+	return h
+}
+
+// VenueHash mints the non-enumerable profile token for a venue.
+func (s *Server) VenueHash(id lbsn.VenueID) string {
+	h := profileHash(s.hashSalt, "venue", uint64(id))
+	s.mu.Lock()
+	s.hashToVenue[h] = id
+	s.mu.Unlock()
+	return h
+}
+
+func profileHash(salt, kind string, id uint64) string {
+	sum := sha256.Sum256([]byte(salt + ":" + kind + ":" + strconv.FormatUint(id, 10)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// guard wraps a page handler with the §5.2 defences in order: IP
+// blocklist, rate limit, login wall.
+func (s *Server) guard(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.latency > 0 {
+			time.Sleep(s.latency)
+		}
+		ip := clientIP(r)
+
+		s.mu.Lock()
+		if s.blocked[ip] {
+			s.rejected++
+			s.mu.Unlock()
+			http.Error(w, "blocked", http.StatusForbidden)
+			return
+		}
+		if s.ratePerMinute > 0 {
+			win := s.windows[ip]
+			now := s.clock.Now()
+			if win == nil || now.Sub(win.start) >= time.Minute {
+				strikes := 0
+				if win != nil {
+					strikes = win.strikes
+				}
+				win = &rateWindow{start: now, strikes: strikes}
+				s.windows[ip] = win
+			}
+			win.count++
+			if win.count > s.ratePerMinute {
+				if win.count == s.ratePerMinute+1 {
+					// First overflow in this window: one strike.
+					win.strikes++
+					if s.rateStrikes > 0 && win.strikes >= s.rateStrikes {
+						s.blocked[ip] = true
+					}
+				}
+				s.rejected++
+				s.mu.Unlock()
+				http.Error(w, "rate limited", http.StatusTooManyRequests)
+				return
+			}
+		}
+		s.mu.Unlock()
+
+		if s.requireLogin && !s.loggedIn(r) {
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			http.Error(w, "login required", http.StatusForbidden)
+			return
+		}
+		next(w, r)
+	}
+}
+
+func (s *Server) loggedIn(r *http.Request) bool {
+	c, err := r.Cookie("session")
+	if err != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sessions[c.Value]
+	return ok
+}
+
+func clientIP(r *http.Request) string {
+	if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
+		parts := strings.Split(fwd, ",")
+		return strings.TrimSpace(parts[0])
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// handleLogin issues a session cookie for an existing user ID:
+// GET /login?user=42.
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("user")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad user", http.StatusBadRequest)
+		return
+	}
+	if _, ok := s.svc.User(lbsn.UserID(id)); !ok {
+		http.Error(w, "no such user", http.StatusNotFound)
+		return
+	}
+	token := profileHash("session", idStr, id)
+	s.mu.Lock()
+	s.sessions[token] = lbsn.UserID(id)
+	s.mu.Unlock()
+	http.SetCookie(w, &http.Cookie{Name: "session", Value: token, Path: "/"})
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, "<html><body><h1>locheat LBSN</h1><p>%d users, %d venues</p></body></html>",
+		s.svc.UserCount(), s.svc.VenueCount())
+}
+
+// handleUser serves /user/<id>, /user/<username>, /user/h/<hash>.
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/user/")
+	var (
+		view lbsn.UserView
+		ok   bool
+	)
+	switch {
+	case strings.HasPrefix(rest, "h/"):
+		s.mu.Lock()
+		id, found := s.hashToUser[strings.TrimPrefix(rest, "h/")]
+		s.mu.Unlock()
+		if found {
+			view, ok = s.svc.User(id)
+		}
+	case s.hashIDs:
+		// Numeric and username URLs are disabled under hashed IDs.
+		ok = false
+	default:
+		if id, err := strconv.ParseUint(rest, 10, 64); err == nil {
+			view, ok = s.svc.User(lbsn.UserID(id))
+		} else {
+			view, ok = s.svc.UserByUsername(rest)
+		}
+	}
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	page := userPage{UserView: view, ShowID: !s.hashIDs && !s.hashVisitors}
+	if err := userTmpl.Execute(w, page); err != nil {
+		http.Error(w, "render error", http.StatusInternalServerError)
+	}
+}
+
+// userPage is the template payload for user profiles; ShowID controls
+// whether the enumerable numeric ID appears in the markup (hidden
+// under the §5.2 hashing defences).
+type userPage struct {
+	lbsn.UserView
+	ShowID bool
+}
+
+// venuePage is the template payload for venue profiles.
+type venuePage struct {
+	lbsn.VenueView
+	MayorLink    string
+	VisitorLinks []string
+	ShowVisitors bool
+}
+
+// handleVenue serves /venue/<id> and /venue/h/<hash>.
+func (s *Server) handleVenue(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/venue/")
+	var (
+		view lbsn.VenueView
+		ok   bool
+	)
+	switch {
+	case strings.HasPrefix(rest, "h/"):
+		s.mu.Lock()
+		id, found := s.hashToVenue[strings.TrimPrefix(rest, "h/")]
+		s.mu.Unlock()
+		if found {
+			view, ok = s.svc.Venue(id)
+		}
+	case s.hashIDs:
+		ok = false
+	default:
+		if id, err := strconv.ParseUint(rest, 10, 64); err == nil {
+			view, ok = s.svc.Venue(lbsn.VenueID(id))
+		}
+	}
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	page := venuePage{VenueView: view, ShowVisitors: !s.hideVisitors}
+	if view.MayorID != 0 {
+		page.MayorLink = s.userLink(view.MayorID)
+	}
+	if page.ShowVisitors {
+		for _, uid := range view.RecentVisitors {
+			page.VisitorLinks = append(page.VisitorLinks, s.userLink(uid))
+		}
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := venueTmpl.Execute(w, page); err != nil {
+		http.Error(w, "render error", http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) userLink(id lbsn.UserID) string {
+	if s.hashIDs || s.hashVisitors {
+		return "/user/h/" + s.UserHash(id)
+	}
+	return fmt.Sprintf("/user/%d", id)
+}
+
+var userTmpl = template.Must(template.New("user").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Name}} on locheat</title></head>
+<body>
+<div class="profile user-profile"{{if .ShowID}} data-uid="{{.ID}}"{{end}}>
+  <h1 class="user-name">{{.Name}}</h1>
+  {{if .Username}}<span class="user-username">{{.Username}}</span>{{end}}
+  <span class="home-city">{{.HomeCity}}</span>
+  <ul class="stats">
+    <li>Check-ins: <span class="stat-checkins">{{.TotalCheckins}}</span></li>
+    <li>Badges: <span class="stat-badges">{{.TotalBadges}}</span></li>
+    <li>Points: <span class="stat-points">{{.Points}}</span></li>
+    <li>Friends: <span class="stat-friends">{{.FriendCount}}</span></li>
+  </ul>
+</div>
+</body></html>
+`))
+
+var venueTmpl = template.Must(template.New("venue").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Name}} on locheat</title></head>
+<body>
+<div class="profile venue-profile" data-vid="{{.ID}}">
+  <h1 class="venue-name">{{.Name}}</h1>
+  <span class="venue-address">{{.Address}}</span>
+  <span class="venue-city">{{.City}}</span>
+  <span class="geo-lat">{{printf "%.6f" .Location.Lat}}</span>
+  <span class="geo-lon">{{printf "%.6f" .Location.Lon}}</span>
+  <ul class="stats">
+    <li>Check-ins here: <span class="stat-checkins-here">{{.CheckinsHere}}</span></li>
+    <li>Unique visitors: <span class="stat-unique-visitors">{{.UniqueVisitors}}</span></li>
+  </ul>
+  {{if .MayorLink}}<a class="mayor" href="{{.MayorLink}}">Mayor</a>{{end}}
+  {{if .Special}}<div class="special{{if .Special.MayorOnly}} mayor-only{{end}}">{{.Special.Description}}</div>{{end}}
+  {{if .ShowVisitors}}<div class="whos-been-here"><h2>Who's been here</h2><ul>
+  {{range .VisitorLinks}}<li><a class="visitor" href="{{.}}">visitor</a></li>
+  {{end}}</ul></div>{{end}}
+</div>
+</body></html>
+`))

@@ -1,0 +1,334 @@
+package web
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+// seedService builds a small world: two users, one venue with a mayor,
+// a special and recent visitors.
+func seedService(t *testing.T) (*lbsn.Service, *simclock.Simulated, lbsn.UserID, lbsn.UserID, lbsn.VenueID) {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	alice := svc.RegisterUser("Alice", "alice", "Lincoln")
+	bob := svc.RegisterUser("Bob", "", "Albuquerque")
+	loc, _ := geo.FindCity("Lincoln")
+	v, err := svc.AddVenue("The Mill", "800 P St", "Lincoln",
+		loc.Center, &lbsn.Special{Description: "Free refill for the mayor", MayorOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []lbsn.UserID{alice, bob} {
+		if res, err := svc.CheckIn(lbsn.CheckinRequest{UserID: u, VenueID: v, Reported: loc.Center}); err != nil || !res.Accepted {
+			t.Fatalf("seed check-in: %+v %v", res, err)
+		}
+		clock.Advance(2 * time.Hour)
+	}
+	return svc, clock, alice, bob, v
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestUserPageByIDAndUsername(t *testing.T) {
+	svc, clock, alice, _, _ := seedService(t)
+	ts := httptest.NewServer(NewServer(svc, clock))
+	defer ts.Close()
+
+	code, body := get(t, ts, fmt.Sprintf("/user/%d", alice))
+	if code != http.StatusOK {
+		t.Fatalf("GET /user/%d = %d", alice, code)
+	}
+	for _, want := range []string{"Alice", `class="home-city">Lincoln`, `class="stat-checkins">1<`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("user page missing %q", want)
+		}
+	}
+	// Username URL scheme resolves the same page.
+	code, body2 := get(t, ts, "/user/alice")
+	if code != http.StatusOK || !strings.Contains(body2, "Alice") {
+		t.Errorf("username URL = %d", code)
+	}
+	// Mayorships and check-in history must NOT appear (§3.2: hidden).
+	if strings.Contains(strings.ToLower(body), "mayor") {
+		t.Error("user page leaks mayorship information")
+	}
+}
+
+func TestUserPageNotFound(t *testing.T) {
+	svc, clock, _, _, _ := seedService(t)
+	ts := httptest.NewServer(NewServer(svc, clock))
+	defer ts.Close()
+	if code, _ := get(t, ts, "/user/9999"); code != http.StatusNotFound {
+		t.Errorf("missing user = %d, want 404", code)
+	}
+	if code, _ := get(t, ts, "/user/nobody"); code != http.StatusNotFound {
+		t.Errorf("missing username = %d, want 404", code)
+	}
+}
+
+func TestVenuePageRendersAllFields(t *testing.T) {
+	svc, clock, alice, bob, v := seedService(t)
+	ts := httptest.NewServer(NewServer(svc, clock))
+	defer ts.Close()
+
+	code, body := get(t, ts, fmt.Sprintf("/venue/%d", v))
+	if code != http.StatusOK {
+		t.Fatalf("GET /venue/%d = %d", v, code)
+	}
+	for _, want := range []string{
+		"The Mill", "800 P St",
+		`class="geo-lat">40.8136`, `class="geo-lon">-96.7026`,
+		`class="stat-checkins-here">2<`, `class="stat-unique-visitors">2<`,
+		`class="special mayor-only"`, "Free refill",
+		`class="whos-been-here"`,
+		fmt.Sprintf(`href="/user/%d"`, bob), // recent visitor link
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("venue page missing %q", want)
+		}
+	}
+	// Alice checked in first, so she is mayor; her link appears as mayor.
+	if !strings.Contains(body, fmt.Sprintf(`class="mayor" href="/user/%d"`, alice)) {
+		t.Error("venue page missing mayor link")
+	}
+}
+
+func TestVenuePageWithoutWhosBeenHere(t *testing.T) {
+	svc, clock, _, _, v := seedService(t)
+	ts := httptest.NewServer(NewServer(svc, clock, WithoutWhosBeenHere()))
+	defer ts.Close()
+	_, body := get(t, ts, fmt.Sprintf("/venue/%d", v))
+	if strings.Contains(body, "whos-been-here") {
+		t.Error("Who's been here section should be removed")
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	svc, clock, _, _, _ := seedService(t)
+	ts := httptest.NewServer(NewServer(svc, clock))
+	defer ts.Close()
+	code, body := get(t, ts, "/")
+	if code != http.StatusOK || !strings.Contains(body, "2 users, 1 venues") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	if code, _ := get(t, ts, "/nonsense"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestLoginWall(t *testing.T) {
+	svc, clock, alice, _, v := seedService(t)
+	ts := httptest.NewServer(NewServer(svc, clock, WithLoginWall()))
+	defer ts.Close()
+
+	if code, _ := get(t, ts, fmt.Sprintf("/user/%d", alice)); code != http.StatusForbidden {
+		t.Fatalf("anonymous request = %d, want 403", code)
+	}
+
+	jar := &cookieClient{}
+	// Bad login attempts.
+	if code := jar.get(t, ts.URL+"/login?user=abc"); code != http.StatusBadRequest {
+		t.Errorf("bad login = %d, want 400", code)
+	}
+	if code := jar.get(t, ts.URL+"/login?user=9999"); code != http.StatusNotFound {
+		t.Errorf("unknown user login = %d, want 404", code)
+	}
+	// Real login, then pages work.
+	if code := jar.get(t, ts.URL+fmt.Sprintf("/login?user=%d", alice)); code != http.StatusOK {
+		t.Fatalf("login = %d", code)
+	}
+	if code := jar.get(t, ts.URL+fmt.Sprintf("/venue/%d", v)); code != http.StatusOK {
+		t.Errorf("logged-in venue page = %d, want 200", code)
+	}
+}
+
+// cookieClient is a minimal cookie-remembering HTTP client.
+type cookieClient struct {
+	cookies []*http.Cookie
+}
+
+func (c *cookieClient) get(t *testing.T, url string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ck := range c.cookies {
+		req.AddCookie(ck)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	c.cookies = append(c.cookies, resp.Cookies()...)
+	return resp.StatusCode
+}
+
+func TestRateLimitAndBlocking(t *testing.T) {
+	svc, clock, alice, _, _ := seedService(t)
+	// 5 requests/minute, blocked after 2 over-limit windows.
+	ts := httptest.NewServer(NewServer(svc, clock, WithRateLimit(5, 2)))
+	defer ts.Close()
+	path := fmt.Sprintf("/user/%d", alice)
+
+	for i := 0; i < 5; i++ {
+		if code, _ := get(t, ts, path); code != http.StatusOK {
+			t.Fatalf("request %d = %d, want 200", i, code)
+		}
+	}
+	if code, _ := get(t, ts, path); code != http.StatusTooManyRequests {
+		t.Fatalf("6th request = %d, want 429", code)
+	}
+	// New window: works again (strike 1 recorded).
+	clock.Advance(2 * time.Minute)
+	if code, _ := get(t, ts, path); code != http.StatusOK {
+		t.Fatalf("after window reset = %d, want 200", code)
+	}
+	// Overflow again -> strike 2 -> blocked.
+	for i := 0; i < 6; i++ {
+		_, _ = get(t, ts, path)
+	}
+	clock.Advance(2 * time.Minute)
+	if code, _ := get(t, ts, path); code != http.StatusForbidden {
+		t.Errorf("after 2 strikes = %d, want 403 (blocked)", code)
+	}
+}
+
+func TestHashedIDsKillEnumeration(t *testing.T) {
+	svc, clock, alice, _, v := seedService(t)
+	srv := NewServer(svc, clock, WithHashedIDs("pepper"))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Numeric enumeration dead.
+	if code, _ := get(t, ts, fmt.Sprintf("/user/%d", alice)); code != http.StatusNotFound {
+		t.Errorf("numeric user URL = %d, want 404 under hashed IDs", code)
+	}
+	if code, _ := get(t, ts, fmt.Sprintf("/venue/%d", v)); code != http.StatusNotFound {
+		t.Errorf("numeric venue URL = %d, want 404 under hashed IDs", code)
+	}
+	// Hashed URLs work.
+	code, body := get(t, ts, "/user/h/"+srv.UserHash(alice))
+	if code != http.StatusOK || !strings.Contains(body, "Alice") {
+		t.Errorf("hashed user URL = %d", code)
+	}
+	code, body = get(t, ts, "/venue/h/"+srv.VenueHash(v))
+	if code != http.StatusOK || !strings.Contains(body, "The Mill") {
+		t.Errorf("hashed venue URL = %d", code)
+	}
+	// Visitor links on the venue page are hashed, not numeric.
+	if strings.Contains(body, `href="/user/1"`) {
+		t.Error("venue page leaks numeric user links under hashed IDs")
+	}
+	if !strings.Contains(body, `href="/user/h/`) {
+		t.Error("venue page missing hashed visitor links")
+	}
+	// Unknown hash 404s.
+	if code, _ := get(t, ts, "/user/h/ffffffffffffffff"); code != http.StatusNotFound {
+		t.Errorf("unknown hash = %d, want 404", code)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	svc, clock, alice, _, _ := seedService(t)
+	srv := NewServer(svc, clock, WithRateLimit(2, 99))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	path := fmt.Sprintf("/user/%d", alice)
+	for i := 0; i < 4; i++ {
+		_, _ = get(t, ts, path)
+	}
+	served, rejected := srv.Stats()
+	if served != 2 || rejected != 2 {
+		t.Errorf("stats = %d served / %d rejected, want 2/2", served, rejected)
+	}
+}
+
+func TestClientIPFromForwardedHeader(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/user/1", nil)
+	r.Header.Set("X-Forwarded-For", "10.1.2.3, 192.168.0.1")
+	if got := clientIP(r); got != "10.1.2.3" {
+		t.Errorf("clientIP = %q, want 10.1.2.3", got)
+	}
+	r2 := httptest.NewRequest(http.MethodGet, "/user/1", nil)
+	r2.RemoteAddr = "172.16.0.9:4242"
+	if got := clientIP(r2); got != "172.16.0.9" {
+		t.Errorf("clientIP = %q, want 172.16.0.9", got)
+	}
+}
+
+func TestProfileHashDeterministicAndSalted(t *testing.T) {
+	a := profileHash("s1", "user", 42)
+	b := profileHash("s1", "user", 42)
+	c := profileHash("s2", "user", 42)
+	d := profileHash("s1", "venue", 42)
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == c {
+		t.Error("hash ignores salt")
+	}
+	if a == d {
+		t.Error("hash ignores kind")
+	}
+	if len(a) != 16 {
+		t.Errorf("hash length = %d, want 16", len(a))
+	}
+}
+
+func TestHashedVisitorIDsKeepPagesCrawlableButAnonymous(t *testing.T) {
+	svc, clock, alice, _, v := seedService(t)
+	srv := NewServer(svc, clock, WithHashedVisitorIDs("pepper"))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Numeric profile URLs still work — this defence only anonymizes
+	// the links between pages.
+	code, userBody := get(t, ts, fmt.Sprintf("/user/%d", alice))
+	if code != http.StatusOK {
+		t.Fatalf("numeric user URL = %d under hashed visitors", code)
+	}
+	// But the page no longer prints its own numeric ID.
+	if strings.Contains(userBody, "data-uid") {
+		t.Error("user page leaks numeric ID under hashed visitors")
+	}
+	// Venue pages render, with hashed visitor/mayor links.
+	code, body := get(t, ts, fmt.Sprintf("/venue/%d", v))
+	if code != http.StatusOK {
+		t.Fatalf("venue page = %d", code)
+	}
+	if strings.Contains(body, `class="visitor" href="/user/1"`) ||
+		strings.Contains(body, `class="visitor" href="/user/2"`) {
+		t.Error("venue page leaks numeric visitor links")
+	}
+	if !strings.Contains(body, `href="/user/h/`) {
+		t.Error("venue page missing hashed visitor links")
+	}
+	if !strings.Contains(body, `class="stat-checkins-here"`) {
+		t.Error("venue stats should remain crawlable")
+	}
+}
