@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"locheat/internal/nmea"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
+	"locheat/internal/stream"
 	"locheat/internal/synth"
 	"locheat/internal/web"
 )
@@ -402,6 +404,63 @@ func BenchmarkAPICheckin(b *testing.B) {
 		if _, err := client.CheckIn(uint64(user), uint64(v), view.Location); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStreamPipeline measures online-detection throughput: events
+// published into the internal/stream pipeline and drained through all
+// four detector stages, at 1, 4, and GOMAXPROCS shards. Reported
+// events/sec counts fully processed events.
+func BenchmarkStreamPipeline(b *testing.B) {
+	shardCounts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		shardCounts = append(shardCounts, g)
+	}
+	// Pre-build a reusable event ring: many users, a venue ring per
+	// user, timestamps pre-spread so detector state stays warm but
+	// bounded.
+	const ringSize = 1 << 14
+	base := geo.Point{Lat: 40.8136, Lon: -96.7026}
+	events := make([]lbsn.CheckinEvent, ringSize)
+	t0 := simclock.Epoch()
+	for i := range events {
+		loc := base.Destination(float64(i%360), float64(200+i%1600))
+		events[i] = lbsn.CheckinEvent{
+			UserID:   lbsn.UserID(i%1024 + 1),
+			VenueID:  lbsn.VenueID(i%4096 + 1),
+			At:       t0.Add(time.Duration(i) * 37 * time.Second),
+			Venue:    loc,
+			Reported: loc,
+			Accepted: true,
+		}
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			p := stream.New(stream.Config{
+				Shards:      shards,
+				ShardBuffer: 1 << 14,
+				Clock:       simclock.NewSimulated(t0),
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := events[i%ringSize]
+				// Advance event time across ring reuse so windows and
+				// dedupe keys keep moving forward.
+				ev.At = ev.At.Add(time.Duration(i/ringSize) * 7 * 24 * time.Hour)
+				for !p.Publish(ev) {
+					// Full shard queue: yield to the workers.
+					runtime.Gosched()
+				}
+			}
+			p.Close() // drain: throughput counts processed events
+			elapsed := b.Elapsed()
+			if st := p.Stats(); st.Processed != uint64(b.N) {
+				b.Fatalf("processed %d of %d", st.Processed, b.N)
+			}
+			if secs := elapsed.Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "events/sec")
+			}
+		})
 	}
 }
 

@@ -1,25 +1,37 @@
 // Command lbsnd serves the simulated LBSN profile website — the
 // reproduction's stand-in for foursquare.com — over HTTP, backed by a
-// freshly generated synthetic world.
+// freshly generated synthetic world, with the internal/stream pipeline
+// running the paper's cheating detection online over every check-in.
 //
 // Usage:
 //
 //	lbsnd [-addr :8080] [-users 20000] [-seed 42]
 //	      [-login-wall] [-rate-limit 0] [-hash-ids] [-hide-visitors]
+//	      [-api-key KEY] [-stream] [-stream-shards 0] [-stream-buffer 1024]
 //
 // The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
-// can be pointed at a hardened instance.
+// can be pointed at a hardened instance. With -api-key the developer
+// API is mounted at /api/v1, including GET /api/v1/alerts and
+// /api/v1/alerts/stats for the online detector. The daemon shuts down
+// gracefully on SIGINT/SIGTERM: the HTTP server drains, then the
+// pipeline processes every queued event before final stats print.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"locheat/internal/api"
 	"locheat/internal/lbsn"
 	"locheat/internal/simclock"
+	"locheat/internal/stream"
 	"locheat/internal/synth"
 	"locheat/internal/web"
 )
@@ -41,6 +53,9 @@ func run(args []string) error {
 	hashIDs := fs.Bool("hash-ids", false, "replace numeric profile URLs with hashes (§5.2)")
 	hideVisitors := fs.Bool("hide-visitors", false, "remove the Who's-been-here section")
 	apiKey := fs.String("api-key", "", "issue this developer API key and mount /api/v1 (§3.1 vector 3)")
+	streamOn := fs.Bool("stream", true, "run the online cheating-detection pipeline")
+	streamShards := fs.Int("stream-shards", 0, "pipeline shards, 0 = GOMAXPROCS")
+	streamBuffer := fs.Int("stream-buffer", 1024, "per-shard event queue (full queue drops, never blocks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +66,35 @@ func run(args []string) error {
 	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
 	if err := world.LoadInto(svc); err != nil {
 		return err
+	}
+
+	var pipeline *stream.Pipeline
+	if *streamOn {
+		if *streamBuffer <= 0 {
+			*streamBuffer = 1024 // keep the banner honest about the effective size
+		}
+		pipeline = stream.New(stream.Config{
+			Shards:      *streamShards,
+			ShardBuffer: *streamBuffer,
+			Clock:       clock,
+		})
+		svc.SetCheckinObserver(func(ev lbsn.CheckinEvent) { pipeline.Publish(ev) })
+		// Surface dead letters and alerts on the console; both reads are
+		// best-effort and never slow the pipeline down.
+		go func() {
+			for dl := range pipeline.DeadLetters() {
+				fmt.Printf("stream: dead letter: %s (user %d venue %d)\n",
+					dl.Reason, dl.Event.UserID, dl.Event.VenueID)
+			}
+		}()
+		go func() {
+			for a := range pipeline.Subscribe(256) {
+				fmt.Printf("stream: ALERT [%s] user %d venue %d: %s\n",
+					a.Detector, a.UserID, a.VenueID, a.Detail)
+			}
+		}()
+		fmt.Printf("online detector running: %d shards, %d-event queues\n",
+			len(pipeline.Stats().PerShard), *streamBuffer)
 	}
 
 	var opts []web.Option
@@ -71,14 +115,56 @@ func run(args []string) error {
 	if *apiKey != "" {
 		apiSrv := api.NewServer(svc)
 		apiSrv.IssueKey(*apiKey)
+		if pipeline != nil {
+			apiSrv.AttachPipeline(pipeline)
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/api/v1/", apiSrv)
 		mux.Handle("/", site)
 		handler = mux
 		fmt.Printf("developer API mounted at /api/v1 (key %q)\n", *apiKey)
+		if pipeline != nil {
+			fmt.Printf("alerts: GET /api/v1/alerts and /api/v1/alerts/stats\n")
+		}
 	}
 
 	fmt.Printf("serving %d users / %d venues on %s\n", svc.UserCount(), svc.VenueCount(), *addr)
 	fmt.Printf("try: curl http://localhost%s/user/1  and  /venue/1\n", *addr)
-	return http.ListenAndServe(*addr, handler)
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		if pipeline != nil {
+			pipeline.Close()
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("\nshutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "lbsnd: http drain timed out; open connections abandoned")
+		} else {
+			fmt.Fprintln(os.Stderr, "lbsnd: http shutdown:", err)
+		}
+	}
+	if pipeline != nil {
+		pipeline.Close() // drains every queued event through the detectors
+		st := pipeline.Stats()
+		fmt.Printf("stream: %d published, %d processed, %d dropped, %d dead-lettered, %d alerts\n",
+			st.Published, st.Processed, st.Dropped, st.DeadLettered, st.Alerts)
+		for det, n := range st.AlertsByDetector {
+			fmt.Printf("stream:   %-14s %d\n", det, n)
+		}
+	}
+	return nil
 }

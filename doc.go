@@ -6,6 +6,13 @@
 // virtual-tour cheating tool, the chapter-4 detection analytics, and
 // the chapter-5 defences.
 //
+// Beyond the paper's batch analytics, internal/stream runs the same
+// detection online: a channel-based pipeline, sharded by user, that
+// consumes every check-in event the lbsn service publishes and raises
+// alerts for impossible travel, rate abuse (escalated to the §5.1
+// rapid-bit distance-bounding challenge), and cheater-code violations
+// — served live by cmd/lbsnd at /api/v1/alerts.
+//
 // See DESIGN.md for the system inventory and the per-experiment index
 // (E1–E12), EXPERIMENTS.md for paper-vs-measured results, and
 // cmd/experiments to regenerate every table and figure.

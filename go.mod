@@ -1,0 +1,3 @@
+module locheat
+
+go 1.22

@@ -1,0 +1,82 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+
+	"locheat/internal/stream"
+)
+
+// This file mounts the online-detection surface: when a stream.Pipeline
+// is attached, the API exposes its recent alerts and counters so
+// operators (and the paper's would-be Foursquare admins) can watch
+// cheating detection happen live instead of waiting for the §4 batch
+// analytics.
+//
+//	GET /api/v1/alerts?limit=N   recent alerts, newest first
+//	GET /api/v1/alerts/stats     pipeline counters + tumbling-window rates
+//
+// Both endpoints require an API key, like the rest of the surface, and
+// return 503 until a pipeline is attached.
+
+// StreamStatsResponse is the GET /alerts/stats body.
+type StreamStatsResponse struct {
+	Pipeline stream.Stats         `json:"pipeline"`
+	Rates    stream.Rates         `json:"rates"`
+	Windows  []stream.WindowStats `json:"windows"`
+}
+
+// AttachPipeline mounts the alert endpoints over p. Call once, before
+// serving; a nil pipeline leaves the endpoints answering 503.
+func (s *Server) AttachPipeline(p *stream.Pipeline) {
+	s.mu.Lock()
+	s.pipeline = p
+	s.mu.Unlock()
+}
+
+func (s *Server) streamPipeline() *stream.Pipeline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipeline
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	p := s.streamPipeline()
+	if p == nil {
+		writeError(w, http.StatusServiceUnavailable, "no stream pipeline attached")
+		return
+	}
+	limit := queryInt(r, "limit", 50)
+	alerts := p.RecentAlerts(limit)
+	if alerts == nil {
+		alerts = []stream.Alert{}
+	}
+	writeJSON(w, http.StatusOK, alerts)
+}
+
+func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
+	p := s.streamPipeline()
+	if p == nil {
+		writeError(w, http.StatusServiceUnavailable, "no stream pipeline attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, StreamStatsResponse{
+		Pipeline: p.Stats(),
+		Rates:    p.Rates(),
+		Windows:  p.Windows(),
+	})
+}
+
+// Alerts fetches up to limit recent alerts, newest first (client side).
+func (c *Client) Alerts(limit int) ([]stream.Alert, error) {
+	var out []stream.Alert
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/v1/alerts?limit=%d", limit), nil, &out)
+	return out, err
+}
+
+// StreamStats fetches the pipeline counter snapshot and window rates.
+func (c *Client) StreamStats() (StreamStatsResponse, error) {
+	var out StreamStatsResponse
+	err := c.do(http.MethodGet, "/api/v1/alerts/stats", nil, &out)
+	return out, err
+}

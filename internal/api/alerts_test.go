@@ -1,0 +1,106 @@
+package api
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/stream"
+)
+
+func TestAlertsEndpoints(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	lincoln := geo.Point{Lat: 40.8136, Lon: -96.7026}
+	sf := geo.Point{Lat: 37.7749, Lon: -122.4194}
+	v1, err := svc.AddVenue("Here", "", "Lincoln", lincoln, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := svc.AddVenue("There", "", "San Francisco", sf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := svc.RegisterUser("cheat", "", "Lincoln")
+
+	p := stream.New(stream.Config{Shards: 1, Clock: clock})
+	defer p.Close()
+	svc.SetCheckinObserver(func(ev lbsn.CheckinEvent) { p.Publish(ev) })
+
+	srv := NewServer(svc)
+	srv.IssueKey("k")
+	srv.AttachPipeline(p)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := NewClient(ts.URL, "k")
+
+	// A cross-country teleport through the developer API — §3.1 vector
+	// 3 — must surface on /alerts.
+	if _, err := client.CheckIn(uint64(user), uint64(v1), lincoln); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10 * time.Minute)
+	if _, err := client.CheckIn(uint64(user), uint64(v2), sf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pipeline is asynchronous; poll briefly for the alert to land.
+	deadline := time.Now().Add(2 * time.Second)
+	var alerts []stream.Alert
+	for time.Now().Before(deadline) {
+		alerts, err = client.Alerts(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alerts) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("no alerts after a teleporting check-in")
+	}
+	foundSpeed := false
+	for _, a := range alerts {
+		if a.Detector == stream.StageSpeed && a.UserID == user {
+			foundSpeed = true
+		}
+	}
+	if !foundSpeed {
+		t.Fatalf("no speed alert for the teleporting user: %+v", alerts)
+	}
+
+	stats, err := client.StreamStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pipeline.Published != 2 {
+		t.Fatalf("pipeline published %d, want 2", stats.Pipeline.Published)
+	}
+	if stats.Pipeline.AlertsByDetector[stream.StageSpeed] == 0 {
+		t.Fatalf("stats missing speed alerts: %+v", stats.Pipeline)
+	}
+	if len(stats.Windows) == 0 {
+		t.Fatal("stats missing tumbling windows")
+	}
+
+	// Without a key the alert surface must stay closed.
+	if _, err := NewClient(ts.URL, "").Alerts(1); err != ErrUnauthorized {
+		t.Fatalf("unauthenticated alerts read: %v", err)
+	}
+}
+
+func TestAlertsWithoutPipeline(t *testing.T) {
+	svc := lbsn.New(lbsn.DefaultConfig(), simclock.Real{}, nil)
+	srv := NewServer(svc)
+	srv.IssueKey("k")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := NewClient(ts.URL, "k")
+	if _, err := client.Alerts(1); err == nil {
+		t.Fatal("alerts served with no pipeline attached")
+	}
+}

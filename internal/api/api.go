@@ -28,6 +28,7 @@ import (
 
 	"locheat/internal/geo"
 	"locheat/internal/lbsn"
+	"locheat/internal/stream"
 )
 
 // Errors the client surfaces.
@@ -42,8 +43,9 @@ type Server struct {
 	svc *lbsn.Service
 	mux *http.ServeMux
 
-	mu   sync.Mutex
-	keys map[string]bool // key -> active
+	mu       sync.Mutex
+	keys     map[string]bool // key -> active
+	pipeline *stream.Pipeline
 
 	served   int
 	rejected int
@@ -64,6 +66,8 @@ func NewServer(svc *lbsn.Service) *Server {
 	mux.HandleFunc("/api/v1/venues/nearby", s.auth(s.handleVenuesNearby))
 	mux.HandleFunc("/api/v1/users/", s.auth(s.handleUser))
 	mux.HandleFunc("/api/v1/venues/", s.auth(s.handleVenue))
+	mux.HandleFunc("/api/v1/alerts", s.auth(s.handleAlerts))
+	mux.HandleFunc("/api/v1/alerts/stats", s.auth(s.handleAlertStats))
 	s.mux = mux
 	return s
 }

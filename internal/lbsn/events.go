@@ -1,0 +1,65 @@
+package lbsn
+
+import (
+	"time"
+
+	"locheat/internal/geo"
+)
+
+// CheckinEvent is the service's record of one check-in attempt as it
+// happened, published to observers on the hot path. It carries both the
+// venue's registered location and the device-reported coordinates so
+// downstream detectors can re-derive every §4 signal without holding a
+// reference back into the service. Denied attempts are published too:
+// per §4.3 a denied check-in still counts, and for online detection the
+// *claim* is the evidence, accepted or not.
+type CheckinEvent struct {
+	// Seq is left zero by the service; stream publishers assign it.
+	Seq     uint64
+	UserID  UserID
+	VenueID VenueID
+	At      time.Time
+	// Venue is the registered venue location (the coordinates the §2.3
+	// rules operate on once GPS verification ties the device to them).
+	Venue geo.Point
+	// Reported is the raw device GPS reading — the value attackers
+	// forge.
+	Reported geo.Point
+	Accepted bool
+	// Reason is the deny reason for rejected attempts, empty when
+	// Accepted.
+	Reason DenyReason
+}
+
+// CheckinObserver receives every check-in attempt the service
+// processes. Implementations MUST NOT block and MUST NOT call back into
+// the Service: the observer runs on the check-in hot path while the
+// service lock is held. The stream pipeline's Publish satisfies both
+// (it is non-blocking by construction and touches no lbsn state).
+type CheckinObserver func(CheckinEvent)
+
+// SetCheckinObserver installs fn as the check-in event sink. A nil fn
+// disables publication. Only one observer is supported; fan-out belongs
+// to the pipeline layer.
+func (s *Service) SetCheckinObserver(fn CheckinObserver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
+// emit publishes an event to the observer, if any. Called with s.mu
+// held; see CheckinObserver for the contract that makes that safe.
+func (s *Service) emit(req CheckinRequest, venueLoc geo.Point, at time.Time, res CheckinResult) {
+	if s.observer == nil {
+		return
+	}
+	s.observer(CheckinEvent{
+		UserID:   req.UserID,
+		VenueID:  req.VenueID,
+		At:       at,
+		Venue:    venueLoc,
+		Reported: req.Reported,
+		Accepted: res.Accepted,
+		Reason:   res.Reason,
+	})
+}

@@ -68,6 +68,8 @@ type Service struct {
 	detector *cheatercode.Detector
 	badges   []BadgeSpec
 
+	observer CheckinObserver
+
 	users  map[UserID]*User
 	venues map[VenueID]*Venue
 	states map[UserID]*userState
@@ -220,6 +222,7 @@ func (s *Service) CheckIn(req CheckinRequest) (CheckinResult, error) {
 		res.Reason = DenyGPSMismatch
 		res.Detail = fmt.Sprintf("reported GPS %.0f m from venue, limit %.0f m",
 			d, s.cfg.GPSVerifyRadiusMeters)
+		s.emit(req, venue.Location, now, res)
 		return res, nil
 	}
 
@@ -235,6 +238,7 @@ func (s *Service) CheckIn(req CheckinRequest) (CheckinResult, error) {
 		s.deniedCheckins++
 		res.Reason = DenyReason(v.Rule)
 		res.Detail = v.Detail
+		s.emit(req, venue.Location, now, res)
 		return res, nil
 	}
 
@@ -309,6 +313,7 @@ func (s *Service) CheckIn(req CheckinRequest) (CheckinResult, error) {
 
 	user.Points += points
 	res.PointsEarned = points
+	s.emit(req, venue.Location, now, res)
 	return res, nil
 }
 

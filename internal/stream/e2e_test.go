@@ -1,0 +1,201 @@
+package stream_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"locheat/internal/attack"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/stream"
+	"locheat/internal/synth"
+)
+
+// TestVirtualTourRaisesSpeedAlert runs the paper's §3.3 automated
+// virtual tour through the real lbsn.Service with the pipeline
+// installed as its check-in observer — the exact wiring cmd/lbsnd uses.
+// The cheater is impatient: it compresses the §3.3 pacing 20× (15 s
+// instead of 5 min between ~450 m hops ≈ 30 m/s), and the online speed
+// detector must flag the impossible travel.
+func TestVirtualTourRaisesSpeedAlert(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+
+	// A venue grid dense enough for every tour stop to find a target.
+	base := geo.Point{Lat: 35.0844, Lon: -106.6504} // Albuquerque
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			loc := base.Destination(0, float64(i)*300).Destination(90, float64(j)*300)
+			if _, err := svc.AddVenue("Grid", "", "Albuquerque", loc, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	user := svc.RegisterUser("tourist", "", "Lincoln")
+
+	p := stream.New(stream.Config{Shards: 2, Clock: clock})
+	defer p.Close()
+	svc.SetCheckinObserver(func(ev lbsn.CheckinEvent) { p.Publish(ev) })
+
+	venues, _, err := attack.PlanTour(svc, base, attack.RightTurnTour(20, 450))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := attack.Plan(attack.DefaultPlannerConfig(), venues)
+	for i := range sch {
+		sch[i].Wait /= 20
+	}
+	rep, err := attack.NewCheater(svc, user, clock).Execute(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close() // drain before inspecting
+
+	st := p.Stats()
+	if st.Published == 0 || st.Processed != st.Published {
+		t.Fatalf("pipeline saw %d/%d of the tour", st.Processed, st.Published)
+	}
+	if st.AlertsByDetector[stream.StageSpeed] == 0 {
+		t.Fatalf("compressed tour raised no speed alert; stats %+v, report %d/%d accepted",
+			st, rep.Accepted, len(sch))
+	}
+	// The alert must name the touring user.
+	found := false
+	for _, a := range p.RecentAlerts(0) {
+		if a.Detector == stream.StageSpeed && a.UserID == user {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("speed alert does not identify the cheater")
+	}
+}
+
+// TestPipeline100kSyntheticCheckins pushes 100k synthetic check-in
+// events (from an internal/synth world) through every detector stage,
+// concurrently from several producers, and verifies the acceptance
+// criteria: the producer is never blocked (Publish is non-blocking by
+// construction — this run must finish), counters balance exactly, and
+// drop/alert/dead-letter counts are reported. Run with -race.
+func TestPipeline100kSyntheticCheckins(t *testing.T) {
+	const total = 100_000
+	world := synth.Generate(synth.Config{Seed: 11, Users: 2000, Venues: 6000})
+
+	clock := simclock.NewSimulated(simclock.Epoch())
+	p := stream.New(stream.Config{
+		Shards:      4,
+		ShardBuffer: 8192,
+		Clock:       clock,
+	})
+
+	// Count dead letters as they arrive, like a real consumer would.
+	dlDone := make(chan int)
+	go func() {
+		n := 0
+		for range p.DeadLetters() {
+			n++
+		}
+		dlDone <- n
+	}()
+
+	const producers = 4
+	const perProducer = total / producers
+	t0 := simclock.Epoch()
+	type result struct{ published, dead int }
+	results := make(chan result, producers)
+	for pr := 0; pr < producers; pr++ {
+		go func(pr int) {
+			rng := rand.New(rand.NewSource(int64(100 + pr)))
+			// Each producer owns a disjoint user range so per-user event
+			// time stays monotonic.
+			userBase := pr * (len(world.Users) / producers)
+			var res result
+			for i := 0; i < perProducer; i++ {
+				u := userBase + rng.Intn(len(world.Users)/producers)
+				v := world.Venues[rng.Intn(len(world.Venues))]
+				ev := lbsn.CheckinEvent{
+					UserID:   lbsn.UserID(u + 1),
+					VenueID:  lbsn.VenueID(rng.Intn(len(world.Venues)) + 1),
+					At:       t0.Add(time.Duration(i)*time.Minute + time.Duration(u)*time.Millisecond),
+					Venue:    v.Seed.Location,
+					Reported: v.Seed.Location,
+					Accepted: true,
+				}
+				bad := false
+				switch {
+				case i%997 == 0:
+					ev.UserID = 0 // malformed: exercises the DLQ
+					bad = true
+				case i%211 == 0:
+					ev.Venue = geo.Point{Lat: 91, Lon: 0} // malformed coords
+					bad = true
+				}
+				if bad {
+					if p.Publish(ev) {
+						t.Error("malformed event enqueued")
+						return
+					}
+					res.dead++
+					continue
+				}
+				// Publish never blocks; a refusal is the backpressure
+				// signal, and this producer chooses to back off and
+				// retry so every event flows through the detectors.
+				for !p.Publish(ev) {
+					time.Sleep(50 * time.Microsecond)
+				}
+				res.published++
+			}
+			results <- res
+		}(pr)
+	}
+	var published, dead int
+	for pr := 0; pr < producers; pr++ {
+		r := <-results
+		published += r.published
+		dead += r.dead
+	}
+	clock.Advance(time.Duration(perProducer) * time.Minute)
+	p.Close()
+	deadLetters := <-dlDone
+
+	st := p.Stats()
+	if st.Published != uint64(published) {
+		t.Fatalf("published counter %d != %d", st.Published, published)
+	}
+	if got := st.Published + st.DeadLettered; got != total {
+		t.Fatalf("published %d + dead-lettered %d = %d, want %d",
+			st.Published, st.DeadLettered, got, total)
+	}
+	if st.Processed != st.Published {
+		t.Fatalf("drained %d of %d published", st.Processed, st.Published)
+	}
+	if st.DeadLettered != uint64(dead) {
+		t.Fatalf("dead-lettered %d, producers counted %d", st.DeadLettered, dead)
+	}
+	if uint64(deadLetters)+st.DLQDropped != st.DeadLettered {
+		t.Fatalf("DLQ consumer saw %d + %d dropped != %d dead-lettered",
+			deadLetters, st.DLQDropped, st.DeadLettered)
+	}
+	// Random venue-hopping across whole cities is exactly what the
+	// detectors exist for: the run must produce alerts, and they must
+	// be counted both in total and per detector.
+	if st.Alerts == 0 {
+		t.Fatal("100k random-walk check-ins produced no alerts")
+	}
+	var byDet uint64
+	for _, n := range st.AlertsByDetector {
+		byDet += n
+	}
+	if byDet != st.Alerts {
+		t.Fatalf("per-detector alert counts %d != total %d", byDet, st.Alerts)
+	}
+	if st.AlertsByDetector[stream.StageSpeed] == 0 {
+		t.Fatal("no impossible-travel alerts in a teleporting workload")
+	}
+	t.Logf("100k events: published=%d refusedAttempts=%d deadLettered=%d alerts=%v",
+		st.Published, st.Dropped, st.DeadLettered, st.AlertsByDetector)
+}

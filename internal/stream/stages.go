@@ -1,0 +1,322 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"locheat/internal/cheatercode"
+	"locheat/internal/defense"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+)
+
+// Detector names used in alerts and stats.
+const (
+	StageDedupe       = "dedupe"
+	StageSpeed        = "speed"
+	StageRateThrottle = "rate-throttle"
+	StageCheaterCode  = "cheater-code"
+)
+
+// DetectConfig tunes the default stage chain.
+type DetectConfig struct {
+	// DedupeTTL is how long an event key (user, venue, instant) is
+	// remembered; replays inside the TTL are filtered (default 10m).
+	DedupeTTL time.Duration
+	// SpeedMaxMetersPerSecond is the impossible-travel threshold between
+	// consecutive claims (default matches cheatercode: 15 m/s).
+	SpeedMaxMetersPerSecond float64
+	// SpeedWindow bounds how far back the previous claim may lie and
+	// still be compared; older claims have expired (default 1h).
+	SpeedWindow time.Duration
+	// RateMaxPerWindow is the claim budget per user per RateWindow
+	// (default 12 — the §3.3 tour pace of one check-in per 5 minutes
+	// sustained for the full window).
+	RateMaxPerWindow int
+	// RateWindow is the throttle's sliding window (default 30m).
+	RateWindow time.Duration
+	// Challenge parameterizes the §5.1 rapid-bit distance-bounding
+	// exchange run against rate-flagged devices (zero value = protocol
+	// defaults: 20 rounds, 100 m bound).
+	Challenge defense.RapidBitConfig
+	// Cheater configures the online cheater-code rule engine (zero
+	// value = cheatercode.DefaultConfig).
+	Cheater cheatercode.Config
+}
+
+func (c DetectConfig) withDefaults() DetectConfig {
+	if c.DedupeTTL <= 0 {
+		c.DedupeTTL = 10 * time.Minute
+	}
+	if c.SpeedMaxMetersPerSecond <= 0 {
+		c.SpeedMaxMetersPerSecond = 15
+	}
+	if c.SpeedWindow <= 0 {
+		c.SpeedWindow = time.Hour
+	}
+	if c.RateMaxPerWindow <= 0 {
+		c.RateMaxPerWindow = 12
+	}
+	if c.RateWindow <= 0 {
+		c.RateWindow = 30 * time.Minute
+	}
+	// Default the rule thresholds per field so a caller overriding one
+	// (say, a longer cooldown) keeps the paper's values for the rest.
+	def := cheatercode.DefaultConfig()
+	if c.Cheater.SameVenueCooldown <= 0 {
+		c.Cheater.SameVenueCooldown = def.SameVenueCooldown
+	}
+	if c.Cheater.MaxSpeedMetersPerSecond <= 0 {
+		c.Cheater.MaxSpeedMetersPerSecond = def.MaxSpeedMetersPerSecond
+	}
+	if c.Cheater.RapidFireSquareMeters <= 0 {
+		c.Cheater.RapidFireSquareMeters = def.RapidFireSquareMeters
+	}
+	if c.Cheater.RapidFireInterval <= 0 {
+		c.Cheater.RapidFireInterval = def.RapidFireInterval
+	}
+	if c.Cheater.RapidFireCount <= 0 {
+		c.Cheater.RapidFireCount = def.RapidFireCount
+	}
+	if c.Cheater.HistoryLimit <= 0 {
+		c.Cheater.HistoryLimit = def.HistoryLimit
+	}
+	return c
+}
+
+// DefaultStages builds the paper's stage chain for one shard. Each call
+// returns fresh stage state — stages are shard-local and unlocked.
+func DefaultStages(cfg DetectConfig) []Stage {
+	cfg = cfg.withDefaults()
+	return []Stage{
+		NewDedupeStage(cfg.DedupeTTL),
+		NewSpeedStage(cfg.SpeedMaxMetersPerSecond, cfg.SpeedWindow),
+		NewRateThrottleStage(cfg.RateMaxPerWindow, cfg.RateWindow, cfg.Challenge),
+		NewCheaterCodeStage(cfg.Cheater),
+	}
+}
+
+// DedupeStage filters replayed events: the same user claiming the same
+// venue at the same instant inside the TTL is an ingest replay, not a
+// second check-in. Keys expire by event time, so behaviour is
+// deterministic under simclock.
+type DedupeStage struct {
+	ttl       time.Duration
+	seen      map[dedupeKey]struct{}
+	latest    time.Time
+	lastSweep time.Time
+}
+
+// dedupeKey encodes the event instant, so the set needs no values: a
+// key's age is readable from the key itself.
+type dedupeKey struct {
+	user  lbsn.UserID
+	venue lbsn.VenueID
+	at    int64
+}
+
+func (k dedupeKey) age(latest time.Time) time.Duration {
+	return latest.Sub(time.Unix(0, k.at))
+}
+
+// NewDedupeStage builds a dedupe stage with the given TTL.
+func NewDedupeStage(ttl time.Duration) *DedupeStage {
+	return &DedupeStage{ttl: ttl, seen: make(map[dedupeKey]struct{})}
+}
+
+// Name implements Stage.
+func (d *DedupeStage) Name() string { return StageDedupe }
+
+// Process implements Stage: keep=false for replays.
+func (d *DedupeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
+	if ev.At.After(d.latest) {
+		d.latest = ev.At
+	}
+	key := dedupeKey{user: ev.UserID, venue: ev.VenueID, at: ev.At.UnixNano()}
+	if _, ok := d.seen[key]; ok && key.age(d.latest) < d.ttl {
+		return nil, false
+	}
+	d.seen[key] = struct{}{}
+	d.sweep()
+	return nil, true
+}
+
+// sweep lazily evicts expired keys once per TTL of event time, keeping
+// the set proportional to the live working set.
+func (d *DedupeStage) sweep() {
+	if d.latest.Sub(d.lastSweep) < d.ttl {
+		return
+	}
+	d.lastSweep = d.latest
+	for k := range d.seen {
+		if k.age(d.latest) >= d.ttl {
+			delete(d.seen, k)
+		}
+	}
+}
+
+// timedPoint is one retained claim for the sliding-window stages.
+type timedPoint struct {
+	at  time.Time
+	loc geo.Point
+}
+
+// SpeedStage is the per-user sliding-window speed-of-travel check: two
+// consecutive claims within the window whose implied travel speed
+// exceeds the limit raise an alert. Only the latest claim per user is
+// retained — it is always the one a new claim is "consecutive" with,
+// and if it has aged out of the window there is nothing to compare.
+// The stage operates on claims — denied check-ins included — because
+// per §4.3 the claim itself is the evidence; only GPS-mismatch denials
+// are skipped (the claimed venue was never tied to the device, so no
+// location fact exists).
+type SpeedStage struct {
+	maxSpeed float64
+	window   time.Duration
+	last     map[lbsn.UserID]timedPoint
+}
+
+// NewSpeedStage builds a speed stage.
+func NewSpeedStage(maxSpeed float64, window time.Duration) *SpeedStage {
+	return &SpeedStage{
+		maxSpeed: maxSpeed,
+		window:   window,
+		last:     make(map[lbsn.UserID]timedPoint),
+	}
+}
+
+// Name implements Stage.
+func (s *SpeedStage) Name() string { return StageSpeed }
+
+// Process implements Stage.
+func (s *SpeedStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
+	if ev.Reason == lbsn.DenyGPSMismatch {
+		return nil, true
+	}
+	var alerts []Alert
+	if prev, ok := s.last[ev.UserID]; ok && ev.At.Sub(prev.at) <= s.window {
+		dist := prev.loc.DistanceMeters(ev.Venue)
+		elapsed := ev.At.Sub(prev.at).Seconds()
+		if speed := geo.SpeedMetersPerSecond(dist, elapsed); speed > s.maxSpeed {
+			alerts = append(alerts, Alert{
+				Seq:      ev.Seq,
+				Detector: StageSpeed,
+				UserID:   ev.UserID,
+				VenueID:  ev.VenueID,
+				At:       ev.At,
+				Detail: fmt.Sprintf("impossible travel: %.0f m in %.0f s = %.1f m/s exceeds %.1f m/s",
+					dist, elapsed, speed, s.maxSpeed),
+			})
+		}
+	}
+	s.last[ev.UserID] = timedPoint{at: ev.At, loc: ev.Venue}
+	return alerts, true
+}
+
+// RateThrottleStage flags users whose claim rate exceeds the per-window
+// budget, then escalates: the flagged device is challenged with the
+// §5.1 rapid-bit distance-bounding exchange (internal/defense). The
+// simulation places the prover at the device-reported coordinates —
+// what a deployment would physically measure — and the alert carries
+// the challenge verdict plus the protocol's false-accept bound. The
+// exchange RNG is seeded from the user and event sequence, keeping runs
+// deterministic.
+type RateThrottleStage struct {
+	max       int
+	window    time.Duration
+	challenge defense.RapidBitConfig
+	recent    map[lbsn.UserID][]time.Time
+}
+
+// NewRateThrottleStage builds a rate-throttle stage.
+func NewRateThrottleStage(max int, window time.Duration, challenge defense.RapidBitConfig) *RateThrottleStage {
+	return &RateThrottleStage{
+		max:       max,
+		window:    window,
+		challenge: challenge,
+		recent:    make(map[lbsn.UserID][]time.Time),
+	}
+}
+
+// Name implements Stage.
+func (r *RateThrottleStage) Name() string { return StageRateThrottle }
+
+// Process implements Stage.
+func (r *RateThrottleStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
+	hist := r.recent[ev.UserID]
+	cut := 0
+	for cut < len(hist) && ev.At.Sub(hist[cut]) > r.window {
+		cut++
+	}
+	hist = append(hist[cut:], ev.At)
+	// History is bounded without a cap: one append per event, cleared
+	// whenever the budget is blown, so it never exceeds max+1 entries.
+	if len(hist) <= r.max {
+		r.recent[ev.UserID] = hist
+		return nil, true
+	}
+	count := len(hist)
+	// Budget blown: challenge the device, then reset the window so the
+	// throttle re-arms instead of alerting on every subsequent claim.
+	r.recent[ev.UserID] = hist[:0]
+
+	prover := defense.Prover{DistanceMeters: ev.Reported.DistanceMeters(ev.Venue)}
+	rng := rand.New(rand.NewSource(int64(ev.UserID)<<20 ^ int64(ev.Seq)))
+	res := defense.RunRapidBitExchange(r.challenge, prover, rng)
+	verdict := "device verified at venue"
+	if !res.Accepted {
+		verdict = fmt.Sprintf("device FAILED distance bounding (%d timing, %d bit fails)",
+			res.TimingFails, res.BitFails)
+	}
+	return []Alert{{
+		Seq:      ev.Seq,
+		Detector: StageRateThrottle,
+		UserID:   ev.UserID,
+		VenueID:  ev.VenueID,
+		At:       ev.At,
+		Detail: fmt.Sprintf("%d claims in %s exceeds %d; rapid-bit challenge: %s (false-accept p=%.2g)",
+			count, r.window, r.max, verdict, r.challenge.FalseAcceptProbability()),
+	}}, true
+}
+
+// CheaterCodeStage runs an independent online instance of the §2.3 rule
+// engine over the stream, so inline denials — and anything an
+// alternative ingest path lets through — surface as alerts. GPS-denied
+// events are skipped: the rules operate on venue coordinates, which a
+// failed GPS verification never tied to the device.
+type CheaterCodeStage struct {
+	det *cheatercode.Detector
+}
+
+// NewCheaterCodeStage builds a cheater-code stage.
+func NewCheaterCodeStage(cfg cheatercode.Config) *CheaterCodeStage {
+	return &CheaterCodeStage{det: cheatercode.NewDetector(cfg)}
+}
+
+// Name implements Stage.
+func (c *CheaterCodeStage) Name() string { return StageCheaterCode }
+
+// Process implements Stage.
+func (c *CheaterCodeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
+	if ev.Reason == lbsn.DenyGPSMismatch {
+		return nil, true
+	}
+	v := c.det.Check(cheatercode.Observation{
+		UserID:   uint64(ev.UserID),
+		VenueID:  uint64(ev.VenueID),
+		At:       ev.At,
+		Location: ev.Venue,
+	})
+	if v == nil {
+		return nil, true
+	}
+	return []Alert{{
+		Seq:      ev.Seq,
+		Detector: StageCheaterCode,
+		UserID:   ev.UserID,
+		VenueID:  ev.VenueID,
+		At:       ev.At,
+		Detail:   fmt.Sprintf("%s: %s", v.Rule, v.Detail),
+	}}, true
+}

@@ -1,0 +1,454 @@
+// Package stream runs the paper's cheating detection online. The seed
+// reproduced §4's detection and §5's defences as batch analytics over a
+// crawled snapshot; a production LBSN cannot wait for a crawl — it must
+// flag location cheats as check-ins arrive. This package is that hot
+// path: a composable, channel-based pipeline that ingests
+// lbsn.CheckinEvents, shards them by user across worker goroutines
+// (order-preserving per user, since every §4 signal is a per-user
+// sequence property), and runs a stage chain per shard:
+//
+//   - dedupe        — drops replayed events (same user/venue/instant)
+//     within a TTL, the idempotency guard a real ingest tier needs;
+//   - speed         — per-user sliding-window impossible-travel check,
+//     the paper's core §2.3/§5 signal, applied to *claims* (a denied
+//     check-in still evidences cheating, §4.3);
+//   - rate-throttle — flags users whose claim rate exceeds the window
+//     budget, then escalates to the §5.1 rapid-bit distance-bounding
+//     challenge (internal/defense) as secondary verification;
+//   - cheater-code  — an independent online instance of the §2.3 rule
+//     engine (internal/cheatercode), turning silent inline denials
+//     into queryable alerts.
+//
+// The pipeline NEVER blocks the producer: shard queues are bounded and
+// enqueue is drop-on-full with a counter; malformed events go to a
+// bounded dead-letter channel. All stage state is shard-local (one
+// goroutine per shard), so detection needs no locks, and the hot-path
+// aggregates (window counts, shard counters) are per-shard or atomic —
+// cross-shard locks are only taken for the rare alert and for stats
+// reads. Processing is deterministic under internal/simclock: every
+// window decision is keyed off event timestamps, not wall arrival
+// time.
+package stream
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+// Alert is one detector finding, the pipeline's primary output.
+type Alert struct {
+	// Seq is the pipeline-assigned event sequence number that triggered
+	// the alert.
+	Seq      uint64       `json:"seq"`
+	Detector string       `json:"detector"`
+	UserID   lbsn.UserID  `json:"userId"`
+	VenueID  lbsn.VenueID `json:"venueId"`
+	At       time.Time    `json:"at"`
+	Detail   string       `json:"detail"`
+}
+
+// DeadLetter is a malformed event the pipeline refused to process.
+type DeadLetter struct {
+	Event  lbsn.CheckinEvent
+	Reason string
+}
+
+// Stage is one processor in a shard's chain. A stage instance is owned
+// by exactly one shard goroutine, so implementations need no internal
+// locking; per-user state is safe because a user always hashes to the
+// same shard.
+type Stage interface {
+	// Name identifies the stage in alerts and stats.
+	Name() string
+	// Process inspects one event. It returns any alerts raised and
+	// whether the event should continue to later stages (dedupe returns
+	// keep=false for replays).
+	Process(ev lbsn.CheckinEvent) (alerts []Alert, keep bool)
+}
+
+// Config parameterizes a Pipeline. Zero values take defaults.
+type Config struct {
+	// Shards is the worker count (default GOMAXPROCS). Events shard by
+	// UserID, so per-user order is preserved.
+	Shards int
+	// ShardBuffer is each shard's bounded queue (default 1024). A full
+	// queue drops the event — the producer is never blocked.
+	ShardBuffer int
+	// DLQBuffer bounds the dead-letter channel (default 256). An
+	// undrained full DLQ drops too, counted separately.
+	DLQBuffer int
+	// AlertRing bounds the in-memory recent-alert log served by the
+	// /alerts API (default 1024).
+	AlertRing int
+	// StatsWindow is the tumbling-window size for aggregate rates
+	// (default 1s). Windows are keyed by event time.
+	StatsWindow time.Duration
+	// StatsHistory is how many completed windows to retain (default 120).
+	StatsHistory int
+	// Clock separates "current window" from completed ones when
+	// reporting rates; simulated clocks make that deterministic.
+	Clock simclock.Clock
+	// Stages builds the per-shard stage chain. Nil uses DefaultStages
+	// with Detect.
+	Stages func(shard int) []Stage
+	// Detect tunes the default stage chain; ignored when Stages is set.
+	Detect DetectConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardBuffer <= 0 {
+		c.ShardBuffer = 1024
+	}
+	if c.DLQBuffer <= 0 {
+		c.DLQBuffer = 256
+	}
+	if c.AlertRing <= 0 {
+		c.AlertRing = 1024
+	}
+	if c.StatsWindow <= 0 {
+		c.StatsWindow = time.Second
+	}
+	if c.StatsHistory <= 0 {
+		c.StatsHistory = 120
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.Real{}
+	}
+	if c.Stages == nil {
+		det := c.Detect.withDefaults()
+		c.Stages = func(int) []Stage { return DefaultStages(det) }
+	}
+	return c
+}
+
+// shard is one worker's bounded queue plus counters. Each shard owns
+// its slice of the tumbling-window stats so the per-event bump never
+// contends with other shards.
+type shard struct {
+	in        chan lbsn.CheckinEvent
+	windows   *windowTracker
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+	filtered  atomic.Uint64
+}
+
+// Pipeline is the online detector. Create with New, feed with Publish
+// (typically installed as the lbsn.Service check-in observer), and stop
+// with Close, which drains every queued event before returning.
+type Pipeline struct {
+	cfg    Config
+	clock  simclock.Clock
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// mu guards closed against Publish/Close races; Publish holds it
+	// shared so the hot path stays concurrent.
+	mu     sync.RWMutex
+	closed bool
+
+	seq          atomic.Uint64
+	published    atomic.Uint64
+	deadLettered atomic.Uint64
+	dlqDropped   atomic.Uint64
+
+	dlq chan DeadLetter
+
+	// alertMu guards the ring, per-detector counters, per-stage filter
+	// counters and subscribers.
+	alertMu     sync.Mutex
+	ring        []Alert
+	ringNext    int
+	ringFull    bool
+	alertsTotal uint64
+	byDetector  map[string]uint64
+	filteredBy  map[string]uint64
+	subs        []chan Alert
+	subsClosed  bool
+}
+
+// New builds and starts a pipeline; its shard workers run until Close.
+func New(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		dlq:        make(chan DeadLetter, cfg.DLQBuffer),
+		ring:       make([]Alert, cfg.AlertRing),
+		byDetector: make(map[string]uint64),
+		filteredBy: make(map[string]uint64),
+	}
+	p.shards = make([]*shard, cfg.Shards)
+	for i := range p.shards {
+		sh := &shard{
+			in:      make(chan lbsn.CheckinEvent, cfg.ShardBuffer),
+			windows: newWindowTracker(cfg.StatsWindow, cfg.StatsHistory),
+		}
+		p.shards[i] = sh
+		stages := cfg.Stages(i)
+		p.wg.Add(1)
+		go p.run(sh, stages)
+	}
+	return p
+}
+
+// run is one shard worker: strictly sequential over its queue, which is
+// what preserves per-user order.
+func (p *Pipeline) run(sh *shard, stages []Stage) {
+	defer p.wg.Done()
+	for ev := range sh.in {
+		sh.windows.observe(ev.At)
+		for _, st := range stages {
+			alerts, keep := st.Process(ev)
+			for _, a := range alerts {
+				sh.windows.alert(a.At, a.Detector)
+				p.recordAlert(a)
+			}
+			if !keep {
+				sh.filtered.Add(1)
+				p.noteFiltered(st.Name())
+				break
+			}
+		}
+		sh.processed.Add(1)
+	}
+}
+
+// Publish offers one event to the pipeline. It never blocks: a full
+// shard queue drops the event (counted), malformed events go to the
+// dead-letter queue, and a closed pipeline refuses. Returns whether the
+// event was enqueued for processing.
+func (p *Pipeline) Publish(ev lbsn.CheckinEvent) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	if reason := malformed(ev); reason != "" {
+		p.deadLettered.Add(1)
+		select {
+		case p.dlq <- DeadLetter{Event: ev, Reason: reason}:
+		default:
+			p.dlqDropped.Add(1)
+		}
+		return false
+	}
+	ev.Seq = p.seq.Add(1)
+	sh := p.shards[uint64(ev.UserID)%uint64(len(p.shards))]
+	// Count before enqueueing: the shard worker can process the event
+	// (and bump its counter) before a post-send increment would land,
+	// which would let a live Stats read show processed > published.
+	p.published.Add(1)
+	select {
+	case sh.in <- ev:
+		return true
+	default:
+		p.published.Add(^uint64(0)) // undo: the event was never enqueued
+		sh.dropped.Add(1)
+		return false
+	}
+}
+
+// malformed returns a non-empty reason when the event cannot be
+// processed.
+func malformed(ev lbsn.CheckinEvent) string {
+	switch {
+	case ev.UserID == 0:
+		return "zero user id"
+	case ev.VenueID == 0:
+		return "zero venue id"
+	case ev.At.IsZero():
+		return "zero timestamp"
+	case !ev.Venue.Valid():
+		return "invalid venue coordinates"
+	case !ev.Reported.Valid():
+		// The rate-throttle escalation measures the reported position;
+		// garbage coordinates would turn the distance-bounding verdict
+		// into a silent false negative (NaN comparisons), so they are a
+		// dead letter like any other malformed field.
+		return "invalid reported coordinates"
+	default:
+		return ""
+	}
+}
+
+// DeadLetters exposes the malformed-event channel. Draining is
+// optional; an ignored full DLQ drops (counted), it never backs up the
+// pipeline. The channel closes on Close.
+func (p *Pipeline) DeadLetters() <-chan DeadLetter { return p.dlq }
+
+// Subscribe returns a channel that receives subsequent alerts. Delivery
+// is best-effort: a slow subscriber misses alerts rather than slowing
+// detection. The channel closes on Close.
+func (p *Pipeline) Subscribe(buf int) <-chan Alert {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Alert, buf)
+	p.alertMu.Lock()
+	defer p.alertMu.Unlock()
+	if p.subsClosed {
+		close(ch)
+		return ch
+	}
+	p.subs = append(p.subs, ch)
+	return ch
+}
+
+func (p *Pipeline) recordAlert(a Alert) {
+	p.alertMu.Lock()
+	defer p.alertMu.Unlock()
+	p.alertsTotal++
+	p.byDetector[a.Detector]++
+	p.ring[p.ringNext] = a
+	p.ringNext++
+	if p.ringNext == len(p.ring) {
+		p.ringNext = 0
+		p.ringFull = true
+	}
+	for _, ch := range p.subs {
+		select {
+		case ch <- a:
+		default:
+		}
+	}
+}
+
+func (p *Pipeline) noteFiltered(stage string) {
+	p.alertMu.Lock()
+	p.filteredBy[stage]++
+	p.alertMu.Unlock()
+}
+
+// RecentAlerts returns up to limit most-recent alerts, newest first
+// (limit <= 0 means the whole retained ring).
+func (p *Pipeline) RecentAlerts(limit int) []Alert {
+	p.alertMu.Lock()
+	defer p.alertMu.Unlock()
+	n := p.ringNext
+	if p.ringFull {
+		n = len(p.ring)
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Alert, 0, limit)
+	for i := 1; i <= limit; i++ {
+		idx := (p.ringNext - i + len(p.ring)) % len(p.ring)
+		out = append(out, p.ring[idx])
+	}
+	return out
+}
+
+// ShardStats is one shard's counters.
+type ShardStats struct {
+	Shard     int    `json:"shard"`
+	Queued    int    `json:"queued"`
+	Processed uint64 `json:"processed"`
+	Dropped   uint64 `json:"dropped"`
+	Filtered  uint64 `json:"filtered"`
+}
+
+// Stats is a pipeline-wide counter snapshot.
+type Stats struct {
+	Shards           int               `json:"shards"`
+	Published        uint64            `json:"published"`
+	Processed        uint64            `json:"processed"`
+	Dropped          uint64            `json:"dropped"`
+	DeadLettered     uint64            `json:"deadLettered"`
+	DLQDropped       uint64            `json:"dlqDropped"`
+	Filtered         uint64            `json:"filtered"`
+	Alerts           uint64            `json:"alerts"`
+	AlertsByDetector map[string]uint64 `json:"alertsByDetector"`
+	FilteredByStage  map[string]uint64 `json:"filteredByStage"`
+	PerShard         []ShardStats      `json:"perShard"`
+}
+
+// Stats snapshots all counters. Safe to call concurrently with
+// processing; per-shard numbers are individually atomic.
+func (p *Pipeline) Stats() Stats {
+	s := Stats{
+		Shards:       len(p.shards),
+		Published:    p.published.Load(),
+		DeadLettered: p.deadLettered.Load(),
+		DLQDropped:   p.dlqDropped.Load(),
+	}
+	for i, sh := range p.shards {
+		st := ShardStats{
+			Shard:     i,
+			Queued:    len(sh.in),
+			Processed: sh.processed.Load(),
+			Dropped:   sh.dropped.Load(),
+			Filtered:  sh.filtered.Load(),
+		}
+		s.Processed += st.Processed
+		s.Dropped += st.Dropped
+		s.Filtered += st.Filtered
+		s.PerShard = append(s.PerShard, st)
+	}
+	p.alertMu.Lock()
+	s.Alerts = p.alertsTotal
+	s.AlertsByDetector = make(map[string]uint64, len(p.byDetector))
+	for k, v := range p.byDetector {
+		s.AlertsByDetector[k] = v
+	}
+	s.FilteredByStage = make(map[string]uint64, len(p.filteredBy))
+	for k, v := range p.filteredBy {
+		s.FilteredByStage[k] = v
+	}
+	p.alertMu.Unlock()
+	return s
+}
+
+// trackers lists the per-shard window trackers for merging.
+func (p *Pipeline) trackers() []*windowTracker {
+	ts := make([]*windowTracker, len(p.shards))
+	for i, sh := range p.shards {
+		ts[i] = sh.windows
+	}
+	return ts
+}
+
+// Windows returns the retained tumbling windows merged across shards,
+// oldest first.
+func (p *Pipeline) Windows() []WindowStats {
+	return sortedWindows(mergeWindows(p.trackers()))
+}
+
+// Rates aggregates completed windows (strictly before the clock's
+// current window) into check-ins/sec and per-detector alert rates.
+func (p *Pipeline) Rates() Rates {
+	return computeRates(mergeWindows(p.trackers()), p.clock.Now(), p.cfg.StatsWindow)
+}
+
+// Close stops intake, drains every queued event through the stages,
+// then closes the dead-letter and subscriber channels. Idempotent.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, sh := range p.shards {
+		close(sh.in)
+	}
+	p.mu.Unlock()
+
+	p.wg.Wait()
+	close(p.dlq)
+	p.alertMu.Lock()
+	p.subsClosed = true
+	for _, ch := range p.subs {
+		close(ch)
+	}
+	p.subs = nil
+	p.alertMu.Unlock()
+}

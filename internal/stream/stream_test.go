@@ -1,0 +1,456 @@
+package stream
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"locheat/internal/cheatercode"
+	"locheat/internal/defense"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+)
+
+var (
+	testVenueLoc = geo.Point{Lat: 40.8136, Lon: -96.7026} // Lincoln, NE
+	farVenueLoc  = geo.Point{Lat: 37.7749, Lon: -122.4194}
+)
+
+func event(user, venue uint64, at time.Time, loc geo.Point) lbsn.CheckinEvent {
+	return lbsn.CheckinEvent{
+		UserID:   lbsn.UserID(user),
+		VenueID:  lbsn.VenueID(venue),
+		At:       at,
+		Venue:    loc,
+		Reported: loc,
+		Accepted: true,
+	}
+}
+
+// --- stage units -------------------------------------------------------
+
+func TestDedupeFiltersReplaysWithinTTL(t *testing.T) {
+	st := NewDedupeStage(10 * time.Minute)
+	t0 := simclock.Epoch()
+	ev := event(1, 1, t0, testVenueLoc)
+
+	if _, keep := st.Process(ev); !keep {
+		t.Fatal("first delivery filtered")
+	}
+	if _, keep := st.Process(ev); keep {
+		t.Fatal("replay inside TTL not filtered")
+	}
+	// A different instant is a distinct check-in, not a replay.
+	if _, keep := st.Process(event(1, 1, t0.Add(time.Minute), testVenueLoc)); !keep {
+		t.Fatal("distinct instant filtered")
+	}
+	// Past the TTL the key has expired and the event passes again.
+	if _, keep := st.Process(event(2, 2, t0.Add(11*time.Minute), testVenueLoc)); !keep {
+		t.Fatal("unrelated event filtered")
+	}
+	if _, keep := st.Process(ev); !keep {
+		t.Fatal("replay after TTL expiry still filtered")
+	}
+}
+
+func TestSpeedImpossibleTravel(t *testing.T) {
+	st := NewSpeedStage(15, time.Hour)
+	t0 := simclock.Epoch()
+
+	alerts, keep := st.Process(event(7, 1, t0, testVenueLoc))
+	if len(alerts) != 0 || !keep {
+		t.Fatalf("first claim alerted: %v", alerts)
+	}
+	// Lincoln -> San Francisco (~2000 km) in 10 minutes.
+	alerts, _ = st.Process(event(7, 2, t0.Add(10*time.Minute), farVenueLoc))
+	if len(alerts) != 1 {
+		t.Fatalf("teleport not alerted: %v", alerts)
+	}
+	if alerts[0].Detector != StageSpeed || alerts[0].UserID != 7 {
+		t.Fatalf("wrong alert: %+v", alerts[0])
+	}
+	if !strings.Contains(alerts[0].Detail, "impossible travel") {
+		t.Fatalf("detail missing cause: %q", alerts[0].Detail)
+	}
+}
+
+func TestSpeedWindowExpiry(t *testing.T) {
+	st := NewSpeedStage(15, time.Hour)
+	t0 := simclock.Epoch()
+
+	if alerts, _ := st.Process(event(3, 1, t0, testVenueLoc)); len(alerts) != 0 {
+		t.Fatalf("unexpected alerts: %v", alerts)
+	}
+	// The previous claim is older than the window: it has expired, so a
+	// far-away claim is not "consecutive" and raises nothing.
+	if alerts, _ := st.Process(event(3, 2, t0.Add(2*time.Hour), farVenueLoc)); len(alerts) != 0 {
+		t.Fatalf("expired claim still compared: %v", alerts)
+	}
+	// But inside the window the same hop is impossible travel.
+	if alerts, _ := st.Process(event(3, 3, t0.Add(2*time.Hour+30*time.Minute), testVenueLoc)); len(alerts) != 1 {
+		t.Fatal("in-window teleport not alerted")
+	}
+}
+
+func TestSpeedSkipsGPSMismatch(t *testing.T) {
+	st := NewSpeedStage(15, time.Hour)
+	t0 := simclock.Epoch()
+	st.Process(event(9, 1, t0, testVenueLoc))
+
+	ev := event(9, 2, t0.Add(time.Minute), farVenueLoc)
+	ev.Accepted = false
+	ev.Reason = lbsn.DenyGPSMismatch
+	if alerts, _ := st.Process(ev); len(alerts) != 0 {
+		t.Fatalf("gps-mismatch claim treated as location fact: %v", alerts)
+	}
+}
+
+func TestRateThrottleChallengesAndRearms(t *testing.T) {
+	st := NewRateThrottleStage(3, 10*time.Minute, defense.RapidBitConfig{})
+	t0 := simclock.Epoch()
+
+	var got []Alert
+	for i := 0; i < 8; i++ {
+		alerts, keep := st.Process(event(5, uint64(i+1), t0.Add(time.Duration(i)*time.Minute), testVenueLoc))
+		if !keep {
+			t.Fatal("rate throttle must not filter events")
+		}
+		got = append(got, alerts...)
+	}
+	// Budget of 3 per window: the 4th claim alerts and resets, the 8th
+	// claim alerts again (4 more since the reset).
+	if len(got) != 2 {
+		t.Fatalf("want 2 alerts, got %d: %v", len(got), got)
+	}
+	for _, a := range got {
+		if a.Detector != StageRateThrottle {
+			t.Fatalf("wrong detector: %+v", a)
+		}
+		if !strings.Contains(a.Detail, "rapid-bit challenge") {
+			t.Fatalf("alert missing distance-bounding escalation: %q", a.Detail)
+		}
+	}
+	// Honest-rate claims after the window passes raise nothing.
+	if alerts, _ := st.Process(event(5, 99, t0.Add(2*time.Hour), testVenueLoc)); len(alerts) != 0 {
+		t.Fatalf("re-armed throttle misfired: %v", alerts)
+	}
+}
+
+func TestRateThrottleHighBudget(t *testing.T) {
+	// Regression: budgets above the per-user history cap must still be
+	// enforceable — the history is bounded by the reset-on-alert, not
+	// by a trim that would keep the count from ever exceeding max.
+	st := NewRateThrottleStage(100, time.Hour, defense.RapidBitConfig{})
+	t0 := simclock.Epoch()
+	var alerts []Alert
+	for i := 0; i < 101; i++ {
+		a, _ := st.Process(event(6, uint64(i+1), t0.Add(time.Duration(i)*time.Second), testVenueLoc))
+		alerts = append(alerts, a...)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("101 claims against budget 100: %d alerts, want 1", len(alerts))
+	}
+}
+
+func TestCheaterCodeStageFlagsFrequentCheckin(t *testing.T) {
+	st := NewCheaterCodeStage(cheatercode.DefaultConfig())
+	t0 := simclock.Epoch()
+
+	if alerts, _ := st.Process(event(2, 1, t0, testVenueLoc)); len(alerts) != 0 {
+		t.Fatalf("clean claim alerted: %v", alerts)
+	}
+	alerts, keep := st.Process(event(2, 1, t0.Add(10*time.Minute), testVenueLoc))
+	if !keep || len(alerts) != 1 {
+		t.Fatalf("same-venue revisit inside cooldown not alerted: %v", alerts)
+	}
+	if !strings.Contains(alerts[0].Detail, string(cheatercode.RuleFrequentCheckin)) {
+		t.Fatalf("wrong rule: %q", alerts[0].Detail)
+	}
+}
+
+// --- pipeline ----------------------------------------------------------
+
+// captureStage records the order each user's events arrive in. One
+// instance per shard; the shared map is mutex-guarded because distinct
+// shards write concurrently.
+type captureStage struct {
+	mu   *sync.Mutex
+	seqs map[lbsn.UserID][]uint64
+}
+
+func (c *captureStage) Name() string { return "capture" }
+func (c *captureStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
+	c.mu.Lock()
+	c.seqs[ev.UserID] = append(c.seqs[ev.UserID], ev.Seq)
+	c.mu.Unlock()
+	return nil, true
+}
+
+func TestShardOrderingPerUser(t *testing.T) {
+	var mu sync.Mutex
+	seqs := make(map[lbsn.UserID][]uint64)
+	p := New(Config{
+		Shards:      4,
+		ShardBuffer: 4096,
+		Clock:       simclock.NewSimulated(simclock.Epoch()),
+		Stages: func(int) []Stage {
+			return []Stage{&captureStage{mu: &mu, seqs: seqs}}
+		},
+	})
+
+	const users, perUser = 16, 200
+	t0 := simclock.Epoch()
+	var wg sync.WaitGroup
+	for u := 1; u <= users; u++ {
+		wg.Add(1)
+		go func(u uint64) {
+			defer wg.Done()
+			for i := 0; i < perUser; i++ {
+				if !p.Publish(event(u, uint64(i+1), t0.Add(time.Duration(i)*time.Minute), testVenueLoc)) {
+					t.Errorf("publish dropped with roomy buffers (user %d event %d)", u, i)
+					return
+				}
+			}
+		}(uint64(u))
+	}
+	wg.Wait()
+	p.Close()
+
+	if len(seqs) != users {
+		t.Fatalf("saw %d users, want %d", len(seqs), users)
+	}
+	for u, got := range seqs {
+		if len(got) != perUser {
+			t.Fatalf("user %d: %d events, want %d", u, len(got), perUser)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("user %d: out of order at %d: %d after %d", u, i, got[i], got[i-1])
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Published != users*perUser || st.Processed != users*perUser {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestMalformedEventsDeadLetter(t *testing.T) {
+	p := New(Config{Shards: 1, Clock: simclock.NewSimulated(simclock.Epoch())})
+	t0 := simclock.Epoch()
+
+	badReported := event(1, 1, t0, testVenueLoc)
+	badReported.Reported = geo.Point{Lat: 999, Lon: 0}
+	bad := []lbsn.CheckinEvent{
+		event(0, 1, t0, testVenueLoc),                     // zero user
+		event(1, 0, t0, testVenueLoc),                     // zero venue
+		event(1, 1, time.Time{}, testVenueLoc),            // zero time
+		event(1, 1, t0, geo.Point{Lat: 999, Lon: -96.70}), // invalid venue coords
+		badReported, // invalid device coords
+	}
+	for _, ev := range bad {
+		if p.Publish(ev) {
+			t.Fatalf("malformed event accepted: %+v", ev)
+		}
+	}
+	if !p.Publish(event(1, 1, t0, testVenueLoc)) {
+		t.Fatal("valid event refused")
+	}
+	p.Close()
+
+	var reasons []string
+	for dl := range p.DeadLetters() {
+		reasons = append(reasons, dl.Reason)
+	}
+	if len(reasons) != len(bad) {
+		t.Fatalf("dead letters: %v", reasons)
+	}
+	st := p.Stats()
+	if st.DeadLettered != uint64(len(bad)) || st.Published != 1 || st.Processed != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+// gateStage blocks processing until released, letting tests fill shard
+// queues deterministically.
+type gateStage struct{ gate chan struct{} }
+
+func (g *gateStage) Name() string { return "gate" }
+func (g *gateStage) Process(lbsn.CheckinEvent) ([]Alert, bool) {
+	<-g.gate
+	return nil, true
+}
+
+func TestFullShardDropsInsteadOfBlocking(t *testing.T) {
+	gate := make(chan struct{})
+	p := New(Config{
+		Shards:      1,
+		ShardBuffer: 8,
+		Clock:       simclock.NewSimulated(simclock.Epoch()),
+		Stages:      func(int) []Stage { return []Stage{&gateStage{gate: gate}} },
+	})
+	t0 := simclock.Epoch()
+
+	// With the worker gated, at most buffer+1 events can be in flight;
+	// everything beyond must drop immediately rather than block.
+	const total = 100
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			p.Publish(event(1, uint64(i+1), t0.Add(time.Duration(i)*time.Second), testVenueLoc))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a full shard queue")
+	}
+	close(gate)
+	p.Close()
+
+	st := p.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no drops counted on a saturated queue")
+	}
+	if st.Published+st.Dropped != total {
+		t.Fatalf("published %d + dropped %d != %d", st.Published, st.Dropped, total)
+	}
+	if st.Processed != st.Published {
+		t.Fatalf("drained %d of %d published", st.Processed, st.Published)
+	}
+}
+
+func TestPublishAfterCloseRefused(t *testing.T) {
+	p := New(Config{Shards: 1, Clock: simclock.NewSimulated(simclock.Epoch())})
+	p.Close()
+	p.Close() // idempotent
+	if p.Publish(event(1, 1, simclock.Epoch(), testVenueLoc)) {
+		t.Fatal("publish accepted after close")
+	}
+}
+
+func TestWindowRatesAndStats(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	p := New(Config{
+		Shards:      2,
+		Clock:       clock,
+		StatsWindow: time.Second,
+		Detect: DetectConfig{
+			SpeedMaxMetersPerSecond: 15,
+			SpeedWindow:             time.Hour,
+			RateMaxPerWindow:        1000, // keep the throttle quiet
+		},
+	})
+	t0 := simclock.Epoch()
+
+	// 10 clean events per second for 4 seconds, one user per event so
+	// no per-user rule fires, plus one teleporting user alerting once
+	// per second.
+	for s := 0; s < 4; s++ {
+		base := t0.Add(time.Duration(s) * time.Second)
+		for i := 0; i < 10; i++ {
+			u := uint64(100 + s*10 + i)
+			if !p.Publish(event(u, u, base.Add(time.Duration(i)*100*time.Millisecond), testVenueLoc)) {
+				t.Fatal("publish refused")
+			}
+		}
+		loc := testVenueLoc
+		if s%2 == 1 {
+			loc = farVenueLoc
+		}
+		if !p.Publish(event(1, uint64(1000+s), base.Add(500*time.Millisecond), loc)) {
+			t.Fatal("publish refused")
+		}
+	}
+	clock.Advance(10 * time.Second) // all four windows complete
+	p.Close()
+
+	windows := p.Windows()
+	if len(windows) != 4 {
+		t.Fatalf("want 4 windows, got %d: %+v", len(windows), windows)
+	}
+	for _, w := range windows {
+		if w.Events != 11 {
+			t.Fatalf("window %s: %d events, want 11", w.Start, w.Events)
+		}
+	}
+	r := p.Rates()
+	if r.Windows != 4 {
+		t.Fatalf("rates over %d windows, want 4", r.Windows)
+	}
+	if r.EventsPerSec != 11 {
+		t.Fatalf("events/sec = %v, want 11", r.EventsPerSec)
+	}
+	// User 1 teleports Lincoln->SF->Lincoln->SF: 3 speed alerts.
+	if got := r.AlertsPerSec[StageSpeed]; got != 0.75 {
+		t.Fatalf("speed alerts/sec = %v, want 0.75", got)
+	}
+	st := p.Stats()
+	if st.AlertsByDetector[StageSpeed] != 3 {
+		t.Fatalf("speed alerts = %d, want 3", st.AlertsByDetector[StageSpeed])
+	}
+}
+
+func TestRecentAlertsNewestFirstAndRingWrap(t *testing.T) {
+	p := New(Config{
+		Shards:    1,
+		AlertRing: 4,
+		Clock:     simclock.NewSimulated(simclock.Epoch()),
+		Detect:    DetectConfig{RateMaxPerWindow: 1000},
+	})
+	t0 := simclock.Epoch()
+	// Alternate a user between two distant venues: every claim after
+	// the first is a speed violation.
+	for i := 0; i < 7; i++ {
+		loc := testVenueLoc
+		if i%2 == 1 {
+			loc = farVenueLoc
+		}
+		p.Publish(event(1, uint64(i+1), t0.Add(time.Duration(i)*time.Minute), loc))
+	}
+	p.Close()
+
+	alerts := p.RecentAlerts(0)
+	if len(alerts) != 4 {
+		t.Fatalf("ring retained %d, want 4", len(alerts))
+	}
+	for i := 1; i < len(alerts); i++ {
+		// Two detectors can alert on the same event (equal Seq); newest
+		// first means Seq never increases as we walk back.
+		if alerts[i].Seq > alerts[i-1].Seq {
+			t.Fatalf("not newest-first: %+v", alerts)
+		}
+	}
+	if two := p.RecentAlerts(2); len(two) != 2 || two[0].Seq != alerts[0].Seq {
+		t.Fatalf("limited query wrong: %+v", two)
+	}
+}
+
+func TestSubscribeReceivesAlerts(t *testing.T) {
+	p := New(Config{Shards: 1, Clock: simclock.NewSimulated(simclock.Epoch())})
+	sub := p.Subscribe(16)
+	t0 := simclock.Epoch()
+	p.Publish(event(1, 1, t0, testVenueLoc))
+	p.Publish(event(1, 2, t0.Add(time.Minute), farVenueLoc)) // teleport
+	p.Close()
+
+	var got []Alert
+	for a := range sub {
+		got = append(got, a)
+	}
+	if len(got) == 0 {
+		t.Fatal("subscriber saw no alerts")
+	}
+	found := false
+	for _, a := range got {
+		if a.Detector == StageSpeed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no speed alert delivered: %v", got)
+	}
+}

@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WindowStats is one tumbling window's aggregate: how many check-in
+// events fell into it and how many alerts each detector raised.
+// Windows are keyed by event timestamps, not arrival time, so the
+// aggregates are deterministic under simclock and indifferent to shard
+// scheduling.
+type WindowStats struct {
+	Start  time.Time         `json:"start"`
+	Events uint64            `json:"events"`
+	Alerts map[string]uint64 `json:"alerts,omitempty"`
+}
+
+// Rates summarizes completed windows into per-second figures — the
+// operator's "check-ins/sec and alert rate per detector" view.
+type Rates struct {
+	WindowSize time.Duration `json:"windowSize"`
+	// Windows is how many completed windows the figures aggregate.
+	Windows      int     `json:"windows"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+	// AlertsPerSec is per-detector alert throughput.
+	AlertsPerSec map[string]float64 `json:"alertsPerSec,omitempty"`
+	// AlertFraction is per-detector alerts per processed event.
+	AlertFraction map[string]float64 `json:"alertFraction,omitempty"`
+}
+
+// windowTracker maintains one shard's bounded set of recent tumbling
+// windows. Each shard owns its own tracker so the per-event bump never
+// contends across shards; the mutex only synchronizes with stats
+// readers, and merged views are computed on demand.
+type windowTracker struct {
+	mu      sync.Mutex
+	size    time.Duration
+	history int
+	windows map[int64]*WindowStats
+	// order holds the bucket keys ascending. Event time is
+	// near-monotonic per shard, so creation is almost always an append
+	// and eviction pops the front — O(1) on the hot path instead of a
+	// map scan.
+	order []int64
+}
+
+func newWindowTracker(size time.Duration, history int) *windowTracker {
+	return &windowTracker{
+		size:    size,
+		history: history,
+		windows: make(map[int64]*WindowStats),
+	}
+}
+
+func (w *windowTracker) bucket(at time.Time) *WindowStats {
+	key := at.UnixNano() / int64(w.size)
+	ws, ok := w.windows[key]
+	if !ok {
+		ws = &WindowStats{Start: time.Unix(0, key*int64(w.size)).UTC()}
+		w.windows[key] = ws
+		if n := len(w.order); n == 0 || key > w.order[n-1] {
+			w.order = append(w.order, key)
+		} else {
+			// Rare out-of-order event: insert in place.
+			i := sort.Search(n, func(i int) bool { return w.order[i] > key })
+			w.order = append(w.order, 0)
+			copy(w.order[i+1:], w.order[i:])
+			w.order[i] = key
+		}
+		w.evict()
+	}
+	return ws
+}
+
+// evict keeps only the newest history windows.
+func (w *windowTracker) evict() {
+	for len(w.order) > w.history {
+		delete(w.windows, w.order[0])
+		w.order = w.order[1:]
+	}
+}
+
+func (w *windowTracker) observe(at time.Time) {
+	w.mu.Lock()
+	w.bucket(at).Events++
+	w.mu.Unlock()
+}
+
+func (w *windowTracker) alert(at time.Time, detector string) {
+	w.mu.Lock()
+	ws := w.bucket(at)
+	if ws.Alerts == nil {
+		ws.Alerts = make(map[string]uint64)
+	}
+	ws.Alerts[detector]++
+	w.mu.Unlock()
+}
+
+// collect sums this tracker's windows into a merged, key-bucketed map.
+func (w *windowTracker) collect(into map[int64]*WindowStats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for k, ws := range w.windows {
+		m, ok := into[k]
+		if !ok {
+			m = &WindowStats{Start: ws.Start}
+			into[k] = m
+		}
+		m.Events += ws.Events
+		for det, n := range ws.Alerts {
+			if m.Alerts == nil {
+				m.Alerts = make(map[string]uint64)
+			}
+			m.Alerts[det] += n
+		}
+	}
+}
+
+// mergeWindows combines per-shard trackers into one keyed view.
+func mergeWindows(trackers []*windowTracker) map[int64]*WindowStats {
+	merged := make(map[int64]*WindowStats)
+	for _, t := range trackers {
+		t.collect(merged)
+	}
+	return merged
+}
+
+// sortedWindows flattens a merged view, oldest first.
+func sortedWindows(merged map[int64]*WindowStats) []WindowStats {
+	out := make([]WindowStats, 0, len(merged))
+	for _, ws := range merged {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// computeRates aggregates merged windows that completed strictly before
+// now's window; the in-progress window would bias per-second figures
+// low.
+func computeRates(merged map[int64]*WindowStats, now time.Time, size time.Duration) Rates {
+	currentKey := now.UnixNano() / int64(size)
+	r := Rates{WindowSize: size}
+	var events uint64
+	alerts := make(map[string]uint64)
+	for k, ws := range merged {
+		if k >= currentKey {
+			continue
+		}
+		r.Windows++
+		events += ws.Events
+		for det, n := range ws.Alerts {
+			alerts[det] += n
+		}
+	}
+	if r.Windows == 0 {
+		return r
+	}
+	secs := float64(r.Windows) * size.Seconds()
+	r.EventsPerSec = float64(events) / secs
+	if len(alerts) > 0 {
+		r.AlertsPerSec = make(map[string]float64, len(alerts))
+		r.AlertFraction = make(map[string]float64, len(alerts))
+		for det, n := range alerts {
+			r.AlertsPerSec[det] = float64(n) / secs
+			if events > 0 {
+				r.AlertFraction[det] = float64(n) / float64(events)
+			}
+		}
+	}
+	return r
+}
