@@ -464,6 +464,84 @@ func BenchmarkStreamPipeline(b *testing.B) {
 	}
 }
 
+// journalBenchAlert builds one representative alert for the journal
+// benchmarks.
+func journalBenchAlert(i int) store.Alert {
+	return store.Alert{
+		Seq:      uint64(i),
+		Detector: stream.StageSpeed,
+		UserID:   uint64(i%4096 + 1),
+		VenueID:  uint64(i%1024 + 1),
+		At:       simclock.Epoch().Add(time.Duration(i) * time.Second),
+		Detail:   "impossible travel: 2230462 m in 600 s = 3717.4 m/s exceeds 15.0 m/s",
+	}
+}
+
+// BenchmarkAlertJournalAppend measures the durable alert path per
+// record at several fsync batch sizes — the cost the pipeline pays to
+// make an alert survive a restart.
+func BenchmarkAlertJournalAppend(b *testing.B) {
+	for _, fsyncEvery := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("fsync-%d", fsyncEvery), func(b *testing.B) {
+			j, err := store.OpenAlertJournal(store.JournalConfig{
+				Dir:        b.TempDir(),
+				FsyncEvery: fsyncEvery,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append(journalBenchAlert(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "alerts/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkReplay measures journal replay-on-open — the restart cost of
+// serving pre-restart alert history. One iteration opens (and fully
+// replays) a 10k-alert journal.
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	j, err := store.OpenAlertJournal(store.JournalConfig{Dir: dir, FsyncEvery: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const alerts = 10_000
+	for i := 0; i < alerts; i++ {
+		if err := j.Append(journalBenchAlert(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := store.OpenAlertJournal(store.JournalConfig{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := j.Stats(); st.Replayed != alerts {
+			b.Fatalf("replayed %d of %d", st.Replayed, alerts)
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*alerts/secs, "alerts/sec")
+	}
+}
+
 // BenchmarkNMEARoundTrip measures sentence generation + parsing, the
 // per-fix cost of the vector-2 receiver simulation.
 func BenchmarkNMEARoundTrip(b *testing.B) {

@@ -8,13 +8,27 @@
 //	lbsnd [-addr :8080] [-users 20000] [-seed 42]
 //	      [-login-wall] [-rate-limit 0] [-hash-ids] [-hide-visitors]
 //	      [-api-key KEY] [-stream] [-stream-shards 0] [-stream-buffer 1024]
+//	      [-journal-dir DIR] [-journal-fsync 64] [-journal-segment-bytes N]
+//	      [-journal-segments 8] [-quarantine] [-quarantine-threshold 5]
+//	      [-quarantine-window 10m] [-quarantine-duration 1h]
 //
 // The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
 // can be pointed at a hardened instance. With -api-key the developer
-// API is mounted at /api/v1, including GET /api/v1/alerts and
-// /api/v1/alerts/stats for the online detector. The daemon shuts down
-// gracefully on SIGINT/SIGTERM: the HTTP server drains, then the
-// pipeline processes every queued event before final stats print.
+// API is mounted at /api/v1, including GET /api/v1/alerts,
+// /api/v1/alerts/stats and the /api/v1/quarantine admin surface.
+//
+// With -journal-dir the detector's alerts go to an append-only
+// segmented journal instead of the default in-memory ring: on startup
+// the journal is replayed so /api/v1/alerts serves pre-restart
+// history, and on shutdown it is flushed and closed after the pipeline
+// drains. With -quarantine (default on when the stream runs) the §4→
+// §2.3 feedback loop is closed: users whose alert volume crosses the
+// threshold are auto-quarantined and their check-ins denied until the
+// quarantine expires.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP server
+// drains, then the pipeline processes every queued event before final
+// stats print.
 package main
 
 import (
@@ -31,6 +45,7 @@ import (
 	"locheat/internal/api"
 	"locheat/internal/lbsn"
 	"locheat/internal/simclock"
+	"locheat/internal/store"
 	"locheat/internal/stream"
 	"locheat/internal/synth"
 	"locheat/internal/web"
@@ -56,6 +71,14 @@ func run(args []string) error {
 	streamOn := fs.Bool("stream", true, "run the online cheating-detection pipeline")
 	streamShards := fs.Int("stream-shards", 0, "pipeline shards, 0 = GOMAXPROCS")
 	streamBuffer := fs.Int("stream-buffer", 1024, "per-shard event queue (full queue drops, never blocks)")
+	journalDir := fs.String("journal-dir", "", "persist alerts to an append-only journal in this directory (replayed on start)")
+	journalFsync := fs.Int("journal-fsync", 64, "fsync the journal every N alerts (1 = every alert)")
+	journalSegBytes := fs.Int64("journal-segment-bytes", 1<<20, "rotate journal segments at this size")
+	journalSegments := fs.Int("journal-segments", 8, "journal segments retained (older ones are deleted)")
+	quarOn := fs.Bool("quarantine", true, "auto-quarantine users whose alert volume crosses the threshold (needs -stream)")
+	quarThreshold := fs.Int("quarantine-threshold", 5, "alerts within -quarantine-window that trigger quarantine")
+	quarWindow := fs.Duration("quarantine-window", 10*time.Minute, "alert-counting window (event time)")
+	quarDuration := fs.Duration("quarantine-duration", time.Hour, "how long an auto-quarantine lasts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,14 +92,37 @@ func run(args []string) error {
 	}
 
 	var pipeline *stream.Pipeline
+	var journal *store.AlertJournal
+	var policy *lbsn.QuarantinePolicy
 	if *streamOn {
 		if *streamBuffer <= 0 {
 			*streamBuffer = 1024 // keep the banner honest about the effective size
+		}
+		var alertStore store.AlertStore
+		if *journalDir != "" {
+			var err error
+			journal, err = store.OpenAlertJournal(store.JournalConfig{
+				Dir:          *journalDir,
+				SegmentBytes: *journalSegBytes,
+				MaxSegments:  *journalSegments,
+				FsyncEvery:   *journalFsync,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				return err
+			}
+			alertStore = journal
+			st := journal.Stats()
+			fmt.Printf("alert journal %s: %d alerts replayed from %d segment(s)\n",
+				*journalDir, st.Replayed, st.Segments)
 		}
 		pipeline = stream.New(stream.Config{
 			Shards:      *streamShards,
 			ShardBuffer: *streamBuffer,
 			Clock:       clock,
+			Store:       alertStore,
 		})
 		svc.SetCheckinObserver(func(ev lbsn.CheckinEvent) { pipeline.Publish(ev) })
 		// Surface dead letters and alerts on the console; both reads are
@@ -93,6 +139,18 @@ func run(args []string) error {
 					a.Detector, a.UserID, a.VenueID, a.Detail)
 			}
 		}()
+		if *quarOn {
+			// The feedback loop: alert volume past the threshold turns
+			// detection into access control (§4 → §2.3).
+			policy = lbsn.NewQuarantinePolicy(svc, lbsn.QuarantinePolicyConfig{
+				Threshold: *quarThreshold,
+				Window:    *quarWindow,
+				Duration:  *quarDuration,
+			})
+			go policy.Run(pipeline.Subscribe(256))
+			fmt.Printf("auto-quarantine armed: %d alerts / %s => %s quarantine\n",
+				*quarThreshold, *quarWindow, *quarDuration)
+		}
 		fmt.Printf("online detector running: %d shards, %d-event queues\n",
 			len(pipeline.Stats().PerShard), *streamBuffer)
 	}
@@ -118,13 +176,16 @@ func run(args []string) error {
 		if pipeline != nil {
 			apiSrv.AttachPipeline(pipeline)
 		}
+		if policy != nil {
+			apiSrv.AttachQuarantinePolicy(policy)
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/api/v1/", apiSrv)
 		mux.Handle("/", site)
 		handler = mux
 		fmt.Printf("developer API mounted at /api/v1 (key %q)\n", *apiKey)
 		if pipeline != nil {
-			fmt.Printf("alerts: GET /api/v1/alerts and /api/v1/alerts/stats\n")
+			fmt.Printf("alerts: GET /api/v1/alerts (paginated), /api/v1/alerts/stats, /api/v1/quarantine\n")
 		}
 	}
 
@@ -143,6 +204,11 @@ func run(args []string) error {
 		if pipeline != nil {
 			pipeline.Close()
 		}
+		if journal != nil {
+			if cerr := journal.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "lbsnd: journal close:", cerr)
+			}
+		}
 		return err
 	case <-ctx.Done():
 	}
@@ -158,13 +224,28 @@ func run(args []string) error {
 		}
 	}
 	if pipeline != nil {
-		pipeline.Close() // drains every queued event through the detectors
+		pipeline.Close() // drains every queued event through the detectors, then flushes the store
 		st := pipeline.Stats()
-		fmt.Printf("stream: %d published, %d processed, %d dropped, %d dead-lettered, %d alerts\n",
-			st.Published, st.Processed, st.Dropped, st.DeadLettered, st.Alerts)
+		fmt.Printf("stream: %d published, %d processed, %d dropped, %d dead-lettered, %d alerts, %d evicted\n",
+			st.Published, st.Processed, st.Dropped, st.DeadLettered, st.Alerts, st.Evicted)
 		for det, n := range st.AlertsByDetector {
 			fmt.Printf("stream:   %-14s %d\n", det, n)
 		}
+		if policy != nil {
+			ps := policy.Stats()
+			qs := svc.QuarantineStats()
+			fmt.Printf("quarantine: %d triggered by policy, %d active, %d check-ins denied\n",
+				ps.Triggered, qs.Active, qs.DeniedCheckins)
+		}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsnd: journal close:", err)
+		}
+		// Stats after Close so the banner includes the final flush.
+		st := journal.Stats()
+		fmt.Printf("alert journal: %d appended across %d segment(s), %d fsyncs; history preserved in %s\n",
+			st.Appended, st.Segments, st.Fsyncs, *journalDir)
 	}
 	return nil
 }

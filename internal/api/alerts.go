@@ -3,27 +3,66 @@ package api
 import (
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
+	"time"
 
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
 	"locheat/internal/stream"
 )
 
 // This file mounts the online-detection surface: when a stream.Pipeline
-// is attached, the API exposes its recent alerts and counters so
-// operators (and the paper's would-be Foursquare admins) can watch
-// cheating detection happen live instead of waiting for the §4 batch
-// analytics.
+// is attached, the API serves its alert store and counters so operators
+// (and the paper's would-be Foursquare admins) can watch cheating
+// detection happen live instead of waiting for the §4 batch analytics.
+// Alerts come from the pipeline's store.AlertStore — a journal-backed
+// daemon serves pre-restart history through the same endpoint.
 //
-//	GET /api/v1/alerts?limit=N   recent alerts, newest first
-//	GET /api/v1/alerts/stats     pipeline counters + tumbling-window rates
+//	GET /api/v1/alerts?limit=N&offset=N&since=T&until=T&user=N&detector=S
+//	    paginated alerts, newest first; limit defaults to 50, capped at
+//	    500; since/until accept RFC 3339 or unix seconds
+//	GET /api/v1/alerts/stats
+//	    pipeline counters (incl. dead-letter, drop, eviction and
+//	    store-error counts), tumbling-window rates, alert-store stats
+//	    and the quarantine feedback state
 //
 // Both endpoints require an API key, like the rest of the surface, and
 // return 503 until a pipeline is attached.
 
+// DefaultAlertsLimit is the page size when ?limit is absent;
+// MaxAlertsLimit is the hard cap — the endpoint used to return the
+// whole retained set, which is unbounded with a journal behind it.
+const (
+	DefaultAlertsLimit = 50
+	MaxAlertsLimit     = 500
+)
+
+// AlertsResponse is the GET /alerts body: one page plus the pagination
+// frame the client needs to fetch the rest.
+type AlertsResponse struct {
+	Alerts []store.Alert `json:"alerts"`
+	// Total counts every alert matching the filters, ignoring
+	// offset/limit.
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+}
+
+// QuarantineStatsResponse bundles the feedback-loop state: the
+// service-side counters plus the policy's, when one is attached.
+type QuarantineStatsResponse struct {
+	Service lbsn.QuarantineStats        `json:"service"`
+	Policy  *lbsn.QuarantinePolicyStats `json:"policy,omitempty"`
+}
+
 // StreamStatsResponse is the GET /alerts/stats body.
 type StreamStatsResponse struct {
-	Pipeline stream.Stats         `json:"pipeline"`
-	Rates    stream.Rates         `json:"rates"`
-	Windows  []stream.WindowStats `json:"windows"`
+	Pipeline   stream.Stats            `json:"pipeline"`
+	Store      store.AlertStoreStats   `json:"store"`
+	Rates      stream.Rates            `json:"rates"`
+	Windows    []stream.WindowStats    `json:"windows"`
+	Quarantine QuarantineStatsResponse `json:"quarantine"`
 }
 
 // AttachPipeline mounts the alert endpoints over p. Call once, before
@@ -34,10 +73,74 @@ func (s *Server) AttachPipeline(p *stream.Pipeline) {
 	s.mu.Unlock()
 }
 
+// AttachQuarantinePolicy surfaces the auto-quarantine policy's counters
+// on /alerts/stats. Optional.
+func (s *Server) AttachQuarantinePolicy(p *lbsn.QuarantinePolicy) {
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
+}
+
 func (s *Server) streamPipeline() *stream.Pipeline {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pipeline
+}
+
+// parseAlertQuery builds the store query from request parameters,
+// clamping the page size.
+func parseAlertQuery(r *http.Request) (store.AlertQuery, error) {
+	q := store.AlertQuery{
+		Limit:    DefaultAlertsLimit,
+		Detector: r.URL.Query().Get("detector"),
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return q, fmt.Errorf("malformed limit %q", v)
+		}
+		q.Limit = n
+	}
+	if q.Limit > MaxAlertsLimit {
+		q.Limit = MaxAlertsLimit
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("malformed offset %q", v)
+		}
+		q.Offset = n
+	}
+	if v := r.URL.Query().Get("user"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return q, fmt.Errorf("malformed user %q", v)
+		}
+		q.UserID = n
+	}
+	var err error
+	if q.Since, err = parseTimeParam(r, "since"); err != nil {
+		return q, err
+	}
+	if q.Until, err = parseTimeParam(r, "until"); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// parseTimeParam reads an RFC 3339 timestamp or unix seconds.
+func parseTimeParam(r *http.Request, name string) (time.Time, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t, nil
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return time.Unix(secs, 0).UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("malformed %s %q (want RFC 3339 or unix seconds)", name, v)
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
@@ -46,31 +149,81 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no stream pipeline attached")
 		return
 	}
-	limit := queryInt(r, "limit", 50)
-	alerts := p.RecentAlerts(limit)
-	if alerts == nil {
-		alerts = []stream.Alert{}
+	q, err := parseAlertQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	writeJSON(w, http.StatusOK, alerts)
+	page, total := p.Alerts(q)
+	if page == nil {
+		page = []store.Alert{}
+	}
+	writeJSON(w, http.StatusOK, AlertsResponse{
+		Alerts: page,
+		Total:  total,
+		Limit:  q.Limit,
+		Offset: q.Offset,
+	})
 }
 
 func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
-	p := s.streamPipeline()
+	s.mu.Lock()
+	p, pol := s.pipeline, s.policy
+	s.mu.Unlock()
 	if p == nil {
 		writeError(w, http.StatusServiceUnavailable, "no stream pipeline attached")
 		return
 	}
-	writeJSON(w, http.StatusOK, StreamStatsResponse{
-		Pipeline: p.Stats(),
-		Rates:    p.Rates(),
-		Windows:  p.Windows(),
-	})
+	resp := StreamStatsResponse{
+		Pipeline:   p.Stats(),
+		Store:      p.AlertStore().Stats(),
+		Rates:      p.Rates(),
+		Windows:    p.Windows(),
+		Quarantine: QuarantineStatsResponse{Service: s.svc.QuarantineStats()},
+	}
+	if pol != nil {
+		st := pol.Stats()
+		resp.Quarantine.Policy = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Alerts fetches up to limit recent alerts, newest first (client side).
-func (c *Client) Alerts(limit int) ([]stream.Alert, error) {
-	var out []stream.Alert
-	err := c.do(http.MethodGet, fmt.Sprintf("/api/v1/alerts?limit=%d", limit), nil, &out)
+func (c *Client) Alerts(limit int) ([]store.Alert, error) {
+	resp, err := c.AlertsPage(store.AlertQuery{Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Alerts, nil
+}
+
+// AlertsPage fetches one page of alerts with the full filter set.
+func (c *Client) AlertsPage(q store.AlertQuery) (AlertsResponse, error) {
+	params := url.Values{}
+	if q.Limit > 0 {
+		params.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Offset > 0 {
+		params.Set("offset", strconv.Itoa(q.Offset))
+	}
+	if q.UserID != 0 {
+		params.Set("user", strconv.FormatUint(q.UserID, 10))
+	}
+	if q.Detector != "" {
+		params.Set("detector", q.Detector)
+	}
+	if !q.Since.IsZero() {
+		params.Set("since", q.Since.Format(time.RFC3339))
+	}
+	if !q.Until.IsZero() {
+		params.Set("until", q.Until.Format(time.RFC3339))
+	}
+	path := "/api/v1/alerts"
+	if len(params) > 0 {
+		path += "?" + params.Encode()
+	}
+	var out AlertsResponse
+	err := c.do(http.MethodGet, path, nil, &out)
 	return out, err
 }
 

@@ -65,7 +65,7 @@ func TestAlertsEndpoints(t *testing.T) {
 	}
 	foundSpeed := false
 	for _, a := range alerts {
-		if a.Detector == stream.StageSpeed && a.UserID == user {
+		if a.Detector == stream.StageSpeed && a.UserID == uint64(user) {
 			foundSpeed = true
 		}
 	}

@@ -46,6 +46,7 @@ type Server struct {
 	mu       sync.Mutex
 	keys     map[string]bool // key -> active
 	pipeline *stream.Pipeline
+	policy   *lbsn.QuarantinePolicy
 
 	served   int
 	rejected int
@@ -68,6 +69,8 @@ func NewServer(svc *lbsn.Service) *Server {
 	mux.HandleFunc("/api/v1/venues/", s.auth(s.handleVenue))
 	mux.HandleFunc("/api/v1/alerts", s.auth(s.handleAlerts))
 	mux.HandleFunc("/api/v1/alerts/stats", s.auth(s.handleAlertStats))
+	mux.HandleFunc("/api/v1/quarantine", s.auth(s.handleQuarantine))
+	mux.HandleFunc("/api/v1/quarantine/", s.auth(s.handleQuarantineUser))
 	s.mux = mux
 	return s
 }

@@ -1,0 +1,127 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"locheat/internal/lbsn"
+)
+
+// Quarantine admin surface — the operator's view of the §4 → §2.3
+// feedback loop, plus manual overrides for the cases the policy gets
+// wrong in either direction:
+//
+//	GET    /api/v1/quarantine          active quarantines
+//	POST   /api/v1/quarantine          {userId, seconds, reason} manual quarantine
+//	DELETE /api/v1/quarantine/{id}     lift a quarantine early
+//
+// All three require an API key. Unlike the alert endpoints these work
+// without a pipeline attached — quarantine is service state.
+
+// QuarantineRequest is the POST /quarantine body.
+type QuarantineRequest struct {
+	UserID  uint64 `json:"userId"`
+	Seconds int64  `json:"seconds"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// QuarantineResponse confirms a manual quarantine or release. Until is
+// a pointer so release responses omit it (encoding/json never treats a
+// struct-typed time.Time as empty).
+type QuarantineResponse struct {
+	UserID      uint64     `json:"userId"`
+	Quarantined bool       `json:"quarantined"`
+	Until       *time.Time `json:"until,omitempty"`
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		list := s.svc.QuarantinedUsers()
+		if list == nil {
+			list = []lbsn.QuarantineView{}
+		}
+		writeJSON(w, http.StatusOK, list)
+	case http.MethodPost:
+		var req QuarantineRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed JSON body")
+			return
+		}
+		if req.Seconds <= 0 {
+			writeError(w, http.StatusBadRequest, "seconds must be positive")
+			return
+		}
+		reason := req.Reason
+		if reason == "" {
+			reason = "operator action"
+		}
+		d := time.Duration(req.Seconds) * time.Second
+		err := s.svc.Quarantine(lbsn.UserID(req.UserID), d, reason, lbsn.QuarantineSourceManual)
+		switch {
+		case errors.Is(err, lbsn.ErrUserNotFound):
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		until := s.svc.Clock().Now().Add(d)
+		writeJSON(w, http.StatusOK, QuarantineResponse{
+			UserID:      req.UserID,
+			Quarantined: true,
+			Until:       &until,
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func (s *Server) handleQuarantineUser(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/v1/quarantine/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed user id")
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		if !s.svc.Unquarantine(lbsn.UserID(id)) {
+			writeError(w, http.StatusNotFound, "no active quarantine for that user")
+			return
+		}
+		writeJSON(w, http.StatusOK, QuarantineResponse{UserID: id, Quarantined: false})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "DELETE only")
+	}
+}
+
+// QuarantineList fetches the active quarantines (client side).
+func (c *Client) QuarantineList() ([]lbsn.QuarantineView, error) {
+	var out []lbsn.QuarantineView
+	err := c.do(http.MethodGet, "/api/v1/quarantine", nil, &out)
+	return out, err
+}
+
+// QuarantineUser manually quarantines a user for d.
+func (c *Client) QuarantineUser(id uint64, d time.Duration, reason string) (QuarantineResponse, error) {
+	var out QuarantineResponse
+	err := c.do(http.MethodPost, "/api/v1/quarantine", QuarantineRequest{
+		UserID:  id,
+		Seconds: int64(d / time.Second),
+		Reason:  reason,
+	}, &out)
+	return out, err
+}
+
+// UnquarantineUser lifts a quarantine early.
+func (c *Client) UnquarantineUser(id uint64) (QuarantineResponse, error) {
+	var out QuarantineResponse
+	err := c.do(http.MethodDelete, fmt.Sprintf("/api/v1/quarantine/%d", id), nil, &out)
+	return out, err
+}

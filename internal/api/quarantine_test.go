@@ -1,0 +1,327 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+)
+
+func TestQuarantineEndpoints(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	user := svc.RegisterUser("suspect", "", "Lincoln")
+	srv := NewServer(svc)
+	srv.IssueKey("k")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := NewClient(ts.URL, "k")
+
+	// Empty list first.
+	list, err := client.QuarantineList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("fresh service has quarantines: %+v", list)
+	}
+
+	// Manual quarantine.
+	resp, err := client.QuarantineUser(uint64(user), time.Hour, "ops override")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Quarantined || resp.Until == nil || !resp.Until.Equal(clock.Now().Add(time.Hour)) {
+		t.Fatalf("quarantine response %+v", resp)
+	}
+	if !svc.IsQuarantined(user) {
+		t.Fatal("POST /quarantine did not quarantine")
+	}
+	list, err = client.QuarantineList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].UserID != user || list[0].Source != lbsn.QuarantineSourceManual {
+		t.Fatalf("list %+v", list)
+	}
+	if list[0].Reason != "ops override" {
+		t.Fatalf("reason %q", list[0].Reason)
+	}
+
+	// Release: no expiry on the response, just the cleared state.
+	rel, err := client.UnquarantineUser(uint64(user))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Quarantined || rel.Until != nil {
+		t.Fatalf("release response %+v", rel)
+	}
+	if svc.IsQuarantined(user) {
+		t.Fatal("DELETE /quarantine/{id} did not release")
+	}
+	if _, err := client.UnquarantineUser(uint64(user)); err != ErrNotFound {
+		t.Fatalf("double release: %v", err)
+	}
+
+	// Error paths.
+	if _, err := client.QuarantineUser(9999, time.Hour, ""); err != ErrNotFound {
+		t.Fatalf("unknown user: %v", err)
+	}
+	if _, err := client.QuarantineUser(uint64(user), 0, ""); err != ErrBadRequest {
+		t.Fatalf("zero duration: %v", err)
+	}
+	// No key: closed.
+	if _, err := NewClient(ts.URL, "").QuarantineList(); err != ErrUnauthorized {
+		t.Fatalf("unauthenticated quarantine list: %v", err)
+	}
+}
+
+// TestJournalRestartAndAutoQuarantine is the PR's acceptance path end
+// to end: a daemon-shaped stack (service + journal-backed pipeline +
+// policy + API) detects a synthetic cheater, auto-quarantines them,
+// denies their next check-in — then "restarts" onto the same journal
+// dir and serves the pre-restart alerts from /api/v1/alerts.
+func TestJournalRestartAndAutoQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	lincoln := geo.Point{Lat: 40.8136, Lon: -96.7026}
+	sf := geo.Point{Lat: 37.7749, Lon: -122.4194}
+
+	buildStack := func() (*lbsn.Service, *stream.Pipeline, *store.AlertJournal, *httptest.Server, *simclock.Simulated) {
+		clock := simclock.NewSimulated(simclock.Epoch())
+		svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+		j, err := store.OpenAlertJournal(store.JournalConfig{Dir: dir, FsyncEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := stream.New(stream.Config{Shards: 1, Clock: clock, Store: j})
+		svc.SetCheckinObserver(func(ev lbsn.CheckinEvent) { p.Publish(ev) })
+		policy := lbsn.NewQuarantinePolicy(svc, lbsn.QuarantinePolicyConfig{
+			Threshold: 3,
+			Window:    time.Hour,
+			Duration:  24 * time.Hour,
+		})
+		go policy.Run(p.Subscribe(64))
+		srv := NewServer(svc)
+		srv.IssueKey("k")
+		srv.AttachPipeline(p)
+		srv.AttachQuarantinePolicy(policy)
+		return svc, p, j, httptest.NewServer(srv), clock
+	}
+
+	// --- first life: detect and quarantine a teleporting cheater.
+	svc, p, j, ts, clock := buildStack()
+	user := svc.RegisterUser("cheat", "", "Lincoln")
+	v1, err := svc.AddVenue("Here", "", "Lincoln", lincoln, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := svc.AddVenue("There", "", "San Francisco", sf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ts.URL, "k")
+
+	// Teleport back and forth: every hop raises speed (and
+	// cheater-code) alerts until the policy trips.
+	venues := []struct {
+		id  lbsn.VenueID
+		loc geo.Point
+	}{{v1, lincoln}, {v2, sf}}
+	start := time.Now()
+	for i := 0; i < 8 && !svc.IsQuarantined(user); i++ {
+		v := venues[i%2]
+		clock.Advance(5 * time.Minute)
+		if _, err := client.CheckIn(uint64(user), uint64(v.id), v.loc); err != nil {
+			t.Fatal(err)
+		}
+		// The pipeline and policy are asynchronous; give this hop's
+		// alert a moment to propagate before the next.
+		deadline := time.Now().Add(time.Second)
+		for time.Now().Before(deadline) {
+			if st := p.Stats(); st.Processed == st.Published {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitQuarantine := time.Now().Add(2 * time.Second)
+	for !svc.IsQuarantined(user) && time.Now().Before(waitQuarantine) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !svc.IsQuarantined(user) {
+		t.Fatalf("cheater never auto-quarantined; stats %+v", p.Stats())
+	}
+	t.Logf("detection-to-quarantine: %v wall for a threshold-3 policy", time.Since(start))
+
+	// Subsequent check-ins are denied by quarantine.
+	res, err := client.CheckIn(uint64(user), uint64(v1), lincoln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.Reason != string(lbsn.DenyQuarantined) {
+		t.Fatalf("post-quarantine check-in: %+v", res)
+	}
+
+	// Stats surface the whole loop.
+	stats, err := client.StreamStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.Kind != "journal" || stats.Store.Appended == 0 {
+		t.Fatalf("store stats %+v", stats.Store)
+	}
+	if stats.Quarantine.Service.Active != 1 || stats.Quarantine.Policy == nil || stats.Quarantine.Policy.Triggered != 1 {
+		t.Fatalf("quarantine stats %+v", stats.Quarantine)
+	}
+
+	preRestart, err := client.AlertsPage(store.AlertQuery{Limit: MaxAlertsLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preRestart.Total == 0 {
+		t.Fatal("no alerts before restart")
+	}
+
+	// --- shutdown: drain pipeline, close journal.
+	ts.Close()
+	p.Close()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- second life on the same journal dir.
+	_, p2, j2, ts2, _ := buildStack()
+	defer func() { ts2.Close(); p2.Close(); j2.Close() }()
+	client2 := NewClient(ts2.URL, "k")
+	replayed, err := client2.AlertsPage(store.AlertQuery{Limit: MaxAlertsLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Total != preRestart.Total {
+		t.Fatalf("restart lost alerts: %d before, %d after", preRestart.Total, replayed.Total)
+	}
+	if len(replayed.Alerts) == 0 || replayed.Alerts[0].UserID != uint64(user) {
+		t.Fatalf("replayed alerts wrong: %+v", replayed.Alerts[:1])
+	}
+	// Filtered view also spans the restart.
+	byUser, err := client2.AlertsPage(store.AlertQuery{UserID: uint64(user), Detector: stream.StageSpeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byUser.Total == 0 {
+		t.Fatal("filtered query found nothing after restart")
+	}
+}
+
+func TestAlertsPagination(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	mem := store.NewMemoryAlertStore(256)
+	// Seed the store directly: endpoint behaviour is what's under test.
+	t0 := simclock.Epoch()
+	for i := 1; i <= 120; i++ {
+		det := stream.StageSpeed
+		if i%3 == 0 {
+			det = stream.StageCheaterCode
+		}
+		if err := mem.Append(store.Alert{
+			Seq: uint64(i), Detector: det, UserID: uint64(i%2 + 1),
+			At: t0.Add(time.Duration(i) * time.Minute), Detail: "x",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := stream.New(stream.Config{Shards: 1, Clock: clock, Store: mem})
+	defer p.Close()
+	srv := NewServer(svc)
+	srv.IssueKey("k")
+	srv.AttachPipeline(p)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := NewClient(ts.URL, "k")
+
+	// Default limit bounds the formerly unbounded endpoint.
+	page, err := client.AlertsPage(store.AlertQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Alerts) != DefaultAlertsLimit || page.Total != 120 || page.Limit != DefaultAlertsLimit {
+		t.Fatalf("default page: %d alerts, total %d, limit %d", len(page.Alerts), page.Total, page.Limit)
+	}
+	if page.Alerts[0].Seq != 120 {
+		t.Fatalf("newest first violated: %d", page.Alerts[0].Seq)
+	}
+
+	// Offset walks the set without overlap.
+	p2, err := client.AlertsPage(store.AlertQuery{Limit: 40, Offset: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Alerts) != 40 || p2.Alerts[0].Seq != 80 || p2.Offset != 40 {
+		t.Fatalf("offset page: %d alerts, first seq %d", len(p2.Alerts), p2.Alerts[0].Seq)
+	}
+
+	// The server clamps absurd limits.
+	raw, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/alerts?limit=999999", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Header.Set("X-API-Key", "k")
+	resp, err := http.DefaultClient.Do(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var clamped AlertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&clamped); err != nil {
+		t.Fatal(err)
+	}
+	if clamped.Limit != MaxAlertsLimit || len(clamped.Alerts) != 120 {
+		t.Fatalf("limit not clamped: limit %d, %d alerts", clamped.Limit, len(clamped.Alerts))
+	}
+
+	// since + detector + user filters compose.
+	f, err := client.AlertsPage(store.AlertQuery{
+		Detector: stream.StageCheaterCode,
+		UserID:   2,
+		Since:    t0.Add(60 * time.Minute),
+		Limit:    500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 61; i <= 120; i++ {
+		if i%3 == 0 && i%2+1 == 2 {
+			want++
+		}
+	}
+	if f.Total != want {
+		t.Fatalf("filtered total %d, want %d", f.Total, want)
+	}
+
+	// Malformed params are 400s, not silent defaults.
+	for _, qs := range []string{"limit=-1", "limit=zero", "offset=-2", "user=bob", "since=notatime"} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/alerts?"+qs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", "k")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", qs, resp.StatusCode)
+		}
+	}
+}

@@ -197,6 +197,32 @@ func (d *Detector) Reset() {
 	d.history = make(map[uint64][]Observation)
 }
 
+// EvictIdle drops the history of every user whose latest accepted
+// check-in predates olderThan and returns how many users were evicted.
+// The rules only compare against recent history, so an idle user's
+// record can never influence a verdict again; without eviction the
+// history map grows with the lifetime user set.
+func (d *Detector) EvictIdle(olderThan time.Time) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for u, hist := range d.history {
+		if len(hist) == 0 || hist[len(hist)-1].At.Before(olderThan) {
+			delete(d.history, u)
+			n++
+		}
+	}
+	return n
+}
+
+// TrackedUsers reports how many users currently have retained history
+// — the quantity EvictIdle bounds.
+func (d *Detector) TrackedUsers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.history)
+}
+
 // FrequentCheckinRule denies a second check-in at the same venue
 // within the cooldown.
 type FrequentCheckinRule struct {

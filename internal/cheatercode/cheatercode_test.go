@@ -228,6 +228,41 @@ func TestViolationError(t *testing.T) {
 	}
 }
 
+func TestEvictIdle(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	t0 := simclock.Epoch()
+	base := geo.Point{Lat: 35.08, Lon: -106.62}
+	// Three users, last seen at t0, t0+1h, t0+2h.
+	for u := uint64(1); u <= 3; u++ {
+		at := t0.Add(time.Duration(u-1) * time.Hour)
+		if v := d.Check(obsAt(u, u, at, base)); v != nil {
+			t.Fatalf("setup check flagged: %v", v)
+		}
+	}
+	if d.TrackedUsers() != 3 {
+		t.Fatalf("tracked %d, want 3", d.TrackedUsers())
+	}
+	if n := d.EvictIdle(t0.Add(90 * time.Minute)); n != 2 {
+		t.Fatalf("evicted %d, want 2", n)
+	}
+	if d.TrackedUsers() != 1 {
+		t.Fatalf("tracked %d after eviction, want 1", d.TrackedUsers())
+	}
+	// The surviving user's history still drives the rules: an immediate
+	// same-venue revisit is flagged...
+	if v := d.Check(obsAt(3, 3, t0.Add(2*time.Hour+time.Minute), base)); v == nil {
+		t.Fatal("survivor's history lost")
+	}
+	// ...while an evicted user starts fresh and passes.
+	if v := d.Check(obsAt(1, 1, t0.Add(2*time.Hour+time.Minute), base)); v != nil {
+		t.Fatalf("evicted user still has history: %v", v)
+	}
+	// Idempotent on an already-clean map.
+	if n := d.EvictIdle(t0.Add(-time.Hour)); n != 0 {
+		t.Fatalf("evicted %d from a fresh cutoff, want 0", n)
+	}
+}
+
 func TestConcurrentUsers(t *testing.T) {
 	d := NewDetector(DefaultConfig())
 	t0 := simclock.Epoch()

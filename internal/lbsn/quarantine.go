@@ -1,0 +1,311 @@
+// Quarantine: the service-side half of the §4 → §2.3 feedback loop.
+// The paper's detection signals only matter if flagged cheaters are
+// acted on; this file gives the Service an access-control state
+// (quarantined users have every check-in denied until an expiry) and a
+// QuarantinePolicy that closes the loop automatically — it watches the
+// stream pipeline's alert feed and quarantines any user whose alert
+// volume crosses a threshold. Expiry is read off the service clock, so
+// under simclock the whole loop is deterministic and testable without
+// sleeps.
+package lbsn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// Quarantine sources recorded on entries, so operators can tell a
+// manual ban from a policy trigger.
+const (
+	QuarantineSourceManual = "manual"
+	QuarantineSourcePolicy = "policy"
+)
+
+// quarantineEntry is the internal record of one active quarantine.
+type quarantineEntry struct {
+	until  time.Time
+	reason string
+	source string
+	since  time.Time
+}
+
+// QuarantineView is the public snapshot of an active quarantine.
+type QuarantineView struct {
+	UserID UserID    `json:"userId"`
+	Since  time.Time `json:"since"`
+	Until  time.Time `json:"until"`
+	Reason string    `json:"reason"`
+	Source string    `json:"source"`
+}
+
+// QuarantineStats counts quarantine activity for the stats surface.
+type QuarantineStats struct {
+	// Active is the number of currently quarantined users.
+	Active int `json:"active"`
+	// Issued counts Quarantine calls (manual and policy).
+	Issued int `json:"issued"`
+	// DeniedCheckins counts check-ins refused because of quarantine.
+	DeniedCheckins int `json:"deniedCheckins"`
+}
+
+// Quarantine denies the user's check-ins for d from now. A second call
+// extends or shortens the window (last writer wins). The user must
+// exist; the reason is surfaced in check-in denials and the admin list.
+func (s *Service) Quarantine(id UserID, d time.Duration, reason, source string) error {
+	if d <= 0 {
+		return fmt.Errorf("quarantine user %d: non-positive duration %s", id, d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[id]; !ok {
+		return fmt.Errorf("quarantine: user %d: %w", id, ErrUserNotFound)
+	}
+	now := s.clock.Now()
+	s.quarantined[id] = quarantineEntry{
+		until:  now.Add(d),
+		reason: reason,
+		source: source,
+		since:  now,
+	}
+	s.quarantinesIssued++
+	return nil
+}
+
+// Unquarantine lifts a quarantine early; reports whether one was
+// active.
+func (s *Service) Unquarantine(id UserID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.quarantined[id]
+	if !ok || !e.until.After(s.clock.Now()) {
+		delete(s.quarantined, id)
+		return false
+	}
+	delete(s.quarantined, id)
+	return true
+}
+
+// IsQuarantined reports whether the user is currently quarantined;
+// expired entries read as not quarantined (and are reaped lazily by
+// the write paths).
+func (s *Service) IsQuarantined(id UserID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.quarantined[id]
+	return ok && e.until.After(s.clock.Now())
+}
+
+// QuarantinedUsers lists active quarantines ordered by user ID,
+// reaping expired entries on the way.
+func (s *Service) QuarantinedUsers() []QuarantineView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	out := make([]QuarantineView, 0, len(s.quarantined))
+	for id, e := range s.quarantined {
+		if !e.until.After(now) {
+			delete(s.quarantined, id)
+			continue
+		}
+		out = append(out, QuarantineView{
+			UserID: id,
+			Since:  e.since,
+			Until:  e.until,
+			Reason: e.reason,
+			Source: e.source,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UserID < out[j].UserID })
+	return out
+}
+
+// QuarantineStats snapshots quarantine counters.
+func (s *Service) QuarantineStats() QuarantineStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	now := s.clock.Now()
+	active := 0
+	for _, e := range s.quarantined {
+		if e.until.After(now) {
+			active++
+		}
+	}
+	return QuarantineStats{
+		Active:         active,
+		Issued:         s.quarantinesIssued,
+		DeniedCheckins: s.quarantineDenied,
+	}
+}
+
+// checkQuarantine is the CheckIn gate. Called with s.mu held; returns
+// the denial detail when the user is quarantined, reaping the entry if
+// it has expired.
+func (s *Service) checkQuarantine(id UserID, now time.Time) (string, bool) {
+	e, ok := s.quarantined[id]
+	if !ok {
+		return "", false
+	}
+	if !e.until.After(now) {
+		delete(s.quarantined, id)
+		return "", false
+	}
+	return fmt.Sprintf("quarantined until %s (%s: %s)",
+		e.until.UTC().Format(time.RFC3339), e.source, e.reason), true
+}
+
+// QuarantinePolicyConfig tunes the automatic feedback loop. Zero
+// values take defaults.
+type QuarantinePolicyConfig struct {
+	// Threshold is how many alerts inside Window trigger a quarantine
+	// (default 5).
+	Threshold int
+	// Window is the sliding alert-counting window, in event time
+	// (default 10m).
+	Window time.Duration
+	// Duration is how long a triggered quarantine lasts (default 1h).
+	Duration time.Duration
+	// IdleAfter drops a user's alert history after this much event time
+	// without alerts, bounding the policy's own memory (default
+	// 8×Window).
+	IdleAfter time.Duration
+}
+
+func (c QuarantinePolicyConfig) withDefaults() QuarantinePolicyConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Minute
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Hour
+	}
+	if c.IdleAfter <= 0 {
+		c.IdleAfter = 8 * c.Window
+	}
+	return c
+}
+
+// QuarantinePolicy subscribes to the detector's alert feed and
+// auto-quarantines users whose alert volume crosses the threshold —
+// the §4 → §2.3 loop. Feed it alerts via Observe (or Run over a
+// subscription channel); it calls Service.Quarantine when triggered.
+// Counting is keyed off alert event time, deterministic under
+// simclock. Safe for concurrent use.
+type QuarantinePolicy struct {
+	svc *Service
+	cfg QuarantinePolicyConfig
+
+	mu        sync.Mutex
+	recent    map[UserID][]time.Time
+	latest    time.Time
+	lastSweep time.Time
+	observed  uint64
+	triggered uint64
+}
+
+// NewQuarantinePolicy builds a policy bound to svc.
+func NewQuarantinePolicy(svc *Service, cfg QuarantinePolicyConfig) *QuarantinePolicy {
+	return &QuarantinePolicy{
+		svc:    svc,
+		cfg:    cfg.withDefaults(),
+		recent: make(map[UserID][]time.Time),
+	}
+}
+
+// Observe feeds one alert into the policy. When the user's alert count
+// inside the window reaches the threshold, the user is quarantined and
+// their counting state reset (the next quarantine needs fresh
+// evidence). Alerts for already-quarantined users are ignored:
+// quarantine-denied claims still flow through the detectors (they are
+// evidence, and journaled as such), and counting them would let a
+// client that merely retries during quarantine extend it forever.
+// Unknown users (an alert for a user the service never registered) are
+// counted but the quarantine call's error is swallowed — the policy is
+// advisory, not transactional.
+func (p *QuarantinePolicy) Observe(a store.Alert) {
+	user := UserID(a.UserID)
+	if p.svc.IsQuarantined(user) {
+		return
+	}
+	p.mu.Lock()
+	p.observed++
+	if a.At.After(p.latest) {
+		p.latest = a.At
+	}
+	hist := simclock.SlideWindow(p.recent[user], a.At, p.cfg.Window)
+	if len(hist) < p.cfg.Threshold {
+		p.recent[user] = hist
+		p.sweepLocked()
+		p.mu.Unlock()
+		return
+	}
+	delete(p.recent, user)
+	p.triggered++
+	p.mu.Unlock()
+
+	// Quarantine outside the policy lock: Service.Quarantine takes the
+	// service lock and may be contended with check-ins.
+	reason := fmt.Sprintf("%d detector alerts within %s (last: %s)",
+		p.cfg.Threshold, p.cfg.Window, a.Detector)
+	_ = p.svc.Quarantine(user, p.cfg.Duration, reason, QuarantineSourcePolicy)
+}
+
+// sweepLocked drops users idle past IdleAfter, once per IdleAfter of
+// event time. Caller holds p.mu.
+func (p *QuarantinePolicy) sweepLocked() {
+	if p.latest.Sub(p.lastSweep) < p.cfg.IdleAfter {
+		return
+	}
+	p.lastSweep = p.latest
+	cutoff := p.latest.Add(-p.cfg.IdleAfter)
+	for u, hist := range p.recent {
+		if len(hist) == 0 || hist[len(hist)-1].Before(cutoff) {
+			delete(p.recent, u)
+		}
+	}
+}
+
+// Run drains a subscription channel into Observe; it returns when the
+// channel closes (pipeline shutdown). Typical wiring:
+//
+//	go policy.Run(pipeline.Subscribe(256))
+func (p *QuarantinePolicy) Run(alerts <-chan store.Alert) {
+	for a := range alerts {
+		p.Observe(a)
+	}
+}
+
+// QuarantinePolicyStats is the policy's counter snapshot.
+type QuarantinePolicyStats struct {
+	// Observed counts alerts fed into the policy.
+	Observed uint64 `json:"observed"`
+	// Triggered counts auto-quarantines issued.
+	Triggered uint64 `json:"triggered"`
+	// TrackedUsers is the current counting-state size (bounded by
+	// IdleAfter eviction).
+	TrackedUsers int `json:"trackedUsers"`
+	// Threshold/Window/Duration echo the effective config.
+	Threshold int           `json:"threshold"`
+	Window    time.Duration `json:"window"`
+	Duration  time.Duration `json:"duration"`
+}
+
+// Stats snapshots the policy counters.
+func (p *QuarantinePolicy) Stats() QuarantinePolicyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return QuarantinePolicyStats{
+		Observed:     p.observed,
+		Triggered:    p.triggered,
+		TrackedUsers: len(p.recent),
+		Threshold:    p.cfg.Threshold,
+		Window:       p.cfg.Window,
+		Duration:     p.cfg.Duration,
+	}
+}

@@ -1,0 +1,223 @@
+package lbsn
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+func quarantineFixture(t *testing.T) (*Service, *simclock.Simulated, UserID, VenueID) {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := New(DefaultConfig(), clock, nil)
+	user := svc.RegisterUser("suspect", "", "Lincoln")
+	loc := geo.Point{Lat: 40.8136, Lon: -96.7026}
+	venue, err := svc.AddVenue("Coffee", "", "Lincoln", loc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, clock, user, venue
+}
+
+func checkin(t *testing.T, svc *Service, user UserID, venue VenueID) CheckinResult {
+	t.Helper()
+	view, ok := svc.Venue(venue)
+	if !ok {
+		t.Fatalf("venue %d missing", venue)
+	}
+	res, err := svc.CheckIn(CheckinRequest{UserID: user, VenueID: venue, Reported: view.Location})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestQuarantineExpiryUnderSimclock is the deterministic expiry
+// contract: deny while active, allow again the instant the window has
+// passed — no sleeps, only clock advancement.
+func TestQuarantineExpiryUnderSimclock(t *testing.T) {
+	svc, clock, user, venue := quarantineFixture(t)
+
+	if svc.IsQuarantined(user) {
+		t.Fatal("fresh user quarantined")
+	}
+	if err := svc.Quarantine(user, time.Hour, "manual test", QuarantineSourceManual); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.IsQuarantined(user) {
+		t.Fatal("quarantine not active")
+	}
+
+	// Active: check-ins are denied with the reason and detail.
+	res := checkin(t, svc, user, venue)
+	if res.Accepted || res.Reason != DenyQuarantined {
+		t.Fatalf("quarantined check-in not denied: %+v", res)
+	}
+	if !strings.Contains(res.Detail, "manual test") {
+		t.Fatalf("denial detail missing reason: %q", res.Detail)
+	}
+	if res.PointsEarned != 0 {
+		t.Fatal("quarantined check-in earned points")
+	}
+
+	// One second before expiry: still denied.
+	clock.Advance(time.Hour - time.Second)
+	if res := checkin(t, svc, user, venue); res.Reason != DenyQuarantined {
+		t.Fatalf("denied reason %q just before expiry", res.Reason)
+	}
+
+	// Past expiry: quarantine lifts without any explicit call. The next
+	// check-in must run the normal pipeline (here: denied by the 1 h
+	// same-venue cooldown, NOT by quarantine — proving the gate opened).
+	clock.Advance(2 * time.Second)
+	if svc.IsQuarantined(user) {
+		t.Fatal("quarantine outlived its expiry")
+	}
+	if res := checkin(t, svc, user, venue); res.Reason == DenyQuarantined {
+		t.Fatal("expired quarantine still denying")
+	}
+
+	// §4.3: every denied attempt still counted.
+	uview, _ := svc.User(user)
+	if uview.TotalCheckins != 3 {
+		t.Fatalf("total check-ins %d, want 3", uview.TotalCheckins)
+	}
+	qs := svc.QuarantineStats()
+	if qs.Issued != 1 || qs.DeniedCheckins != 2 || qs.Active != 0 {
+		t.Fatalf("stats %+v", qs)
+	}
+}
+
+func TestUnquarantineAndList(t *testing.T) {
+	svc, clock, user, venue := quarantineFixture(t)
+	other := svc.RegisterUser("bystander", "", "Lincoln")
+
+	if err := svc.Quarantine(user, time.Hour, "listed", QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	list := svc.QuarantinedUsers()
+	if len(list) != 1 || list[0].UserID != user || list[0].Source != QuarantineSourcePolicy {
+		t.Fatalf("list %+v", list)
+	}
+	if want := clock.Now().Add(time.Hour); !list[0].Until.Equal(want) {
+		t.Fatalf("until %s, want %s", list[0].Until, want)
+	}
+	if svc.IsQuarantined(other) {
+		t.Fatal("quarantine leaked to another user")
+	}
+
+	if !svc.Unquarantine(user) {
+		t.Fatal("unquarantine found nothing")
+	}
+	if svc.Unquarantine(user) {
+		t.Fatal("double unquarantine reported active")
+	}
+	if res := checkin(t, svc, user, venue); res.Reason == DenyQuarantined {
+		t.Fatal("manual release not honoured")
+	}
+	if got := len(svc.QuarantinedUsers()); got != 0 {
+		t.Fatalf("list not empty after release: %d", got)
+	}
+
+	// Unknown users and bad durations are rejected.
+	if err := svc.Quarantine(9999, time.Hour, "", QuarantineSourceManual); err == nil {
+		t.Fatal("unknown user quarantined")
+	}
+	if err := svc.Quarantine(user, 0, "", QuarantineSourceManual); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestQuarantinePolicyThreshold(t *testing.T) {
+	svc, _, user, _ := quarantineFixture(t)
+	pol := NewQuarantinePolicy(svc, QuarantinePolicyConfig{
+		Threshold: 3,
+		Window:    10 * time.Minute,
+		Duration:  time.Hour,
+	})
+	t0 := simclock.Epoch()
+	alert := func(u UserID, at time.Time) store.Alert {
+		return store.Alert{Detector: "speed", UserID: uint64(u), At: at, Detail: "x"}
+	}
+
+	// Two alerts inside the window: below threshold.
+	pol.Observe(alert(user, t0))
+	pol.Observe(alert(user, t0.Add(time.Minute)))
+	if svc.IsQuarantined(user) {
+		t.Fatal("quarantined below threshold")
+	}
+	// A third alert, but outside the window relative to the first: the
+	// sliding window must have forgotten alert one... still 3 within
+	// window? Third at t0+11m: window covers (t0+1m, t0+11m] -> alerts
+	// 2 and 3 only.
+	pol.Observe(alert(user, t0.Add(11*time.Minute)))
+	if svc.IsQuarantined(user) {
+		t.Fatal("stale alerts counted toward threshold")
+	}
+	// Two more inside the window: now 3 within 10 minutes -> trigger.
+	pol.Observe(alert(user, t0.Add(12*time.Minute)))
+	if svc.IsQuarantined(user) {
+		t.Fatal("premature trigger")
+	}
+	pol.Observe(alert(user, t0.Add(13*time.Minute)))
+	if !svc.IsQuarantined(user) {
+		t.Fatal("threshold crossed but user not quarantined")
+	}
+
+	st := pol.Stats()
+	if st.Triggered != 1 || st.Observed != 5 {
+		t.Fatalf("policy stats %+v", st)
+	}
+
+	// Alerts for unknown users must not panic or quarantine anyone.
+	pol.Observe(alert(777, t0.Add(14*time.Minute)))
+	if svc.IsQuarantined(777) {
+		t.Fatal("unknown user quarantined")
+	}
+}
+
+func TestQuarantinePolicyStateBounded(t *testing.T) {
+	svc, _, _, _ := quarantineFixture(t)
+	pol := NewQuarantinePolicy(svc, QuarantinePolicyConfig{
+		Threshold: 100, // never trigger
+		Window:    time.Minute,
+		IdleAfter: 4 * time.Minute,
+	})
+	t0 := simclock.Epoch()
+	// 50 distinct users alert once in the first minute.
+	for i := 0; i < 50; i++ {
+		pol.Observe(store.Alert{UserID: uint64(i + 10), At: t0.Add(time.Duration(i) * time.Second)})
+	}
+	// A single user keeps alerting for 20 more minutes of event time.
+	for m := 1; m <= 20; m++ {
+		pol.Observe(store.Alert{UserID: 5, At: t0.Add(time.Duration(m) * time.Minute)})
+	}
+	if st := pol.Stats(); st.TrackedUsers > 2 {
+		t.Fatalf("policy retains %d users; idle eviction failed", st.TrackedUsers)
+	}
+}
+
+func TestQuarantinePolicyRunOverChannel(t *testing.T) {
+	svc, _, user, venue := quarantineFixture(t)
+	pol := NewQuarantinePolicy(svc, QuarantinePolicyConfig{Threshold: 2, Window: time.Hour, Duration: time.Hour})
+	ch := make(chan store.Alert, 4)
+	done := make(chan struct{})
+	go func() { pol.Run(ch); close(done) }()
+
+	t0 := simclock.Epoch()
+	ch <- store.Alert{UserID: uint64(user), At: t0}
+	ch <- store.Alert{UserID: uint64(user), At: t0.Add(time.Minute)}
+	close(ch)
+	<-done
+
+	if !svc.IsQuarantined(user) {
+		t.Fatal("channel-fed policy did not quarantine")
+	}
+	if res := checkin(t, svc, user, venue); res.Reason != DenyQuarantined {
+		t.Fatalf("check-in after auto-quarantine: %+v", res)
+	}
+}

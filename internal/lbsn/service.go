@@ -81,6 +81,12 @@ type Service struct {
 	seenVisitors map[VenueID]map[UserID]struct{}
 	mayorCounts  map[UserID]int
 
+	// quarantined holds the §2.3 access-control state fed back from
+	// detection (see quarantine.go); expired entries are reaped lazily.
+	quarantined       map[UserID]quarantineEntry
+	quarantinesIssued int
+	quarantineDenied  int
+
 	nextUser  UserID
 	nextVenue VenueID
 
@@ -130,6 +136,7 @@ func New(cfg Config, clock simclock.Clock, detector *cheatercode.Detector) *Serv
 		index:        geo.NewGridIndex(cfg.VenueIndexCellDeg),
 		seenVisitors: make(map[VenueID]map[UserID]struct{}),
 		mayorCounts:  make(map[UserID]int),
+		quarantined:  make(map[UserID]quarantineEntry),
 	}
 }
 
@@ -222,6 +229,21 @@ func (s *Service) CheckIn(req CheckinRequest) (CheckinResult, error) {
 		res.Reason = DenyGPSMismatch
 		res.Detail = fmt.Sprintf("reported GPS %.0f m from venue, limit %.0f m",
 			d, s.cfg.GPSVerifyRadiusMeters)
+		s.emit(req, venue.Location, now, res)
+		return res, nil
+	}
+
+	// Access control (§2.3): a quarantined user's claims are refused —
+	// no rules, no rewards. Deliberately AFTER GPS verification: the
+	// stream detectors treat every non-GPS-denied event as having
+	// venue-tied coordinates, so the gate must not short-circuit that
+	// check. The attempt still counts (§4.3) and is still published to
+	// observers, so the evidence stream keeps flowing.
+	if detail, deny := s.checkQuarantine(req.UserID, now); deny {
+		s.deniedCheckins++
+		s.quarantineDenied++
+		res.Reason = DenyQuarantined
+		res.Detail = detail
 		s.emit(req, venue.Location, now, res)
 		return res, nil
 	}

@@ -116,6 +116,10 @@ type DenyReason string
 const (
 	DenyNone        DenyReason = ""
 	DenyGPSMismatch DenyReason = "gps-mismatch"
+	// DenyQuarantined is the §2.3 access-control outcome: the user was
+	// flagged as a cheater (manually or by the alert-volume policy) and
+	// every check-in is refused until the quarantine expires.
+	DenyQuarantined DenyReason = "quarantined"
 )
 
 // CheckinResult reports the outcome of one check-in.

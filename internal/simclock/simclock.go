@@ -74,6 +74,20 @@ func (s *Simulated) AdvanceTo(t time.Time) {
 	}
 }
 
+// SlideWindow appends at to hist after dropping the leading entries
+// that have fallen out of the window relative to at (strictly older
+// than at-window). It is the shared idiom for per-user sliding-window
+// counters keyed off event time: the stream rate throttle and the
+// quarantine policy both prune with it, so the out-of-order and
+// boundary semantics stay identical. The backing array is reused.
+func SlideWindow(hist []time.Time, at time.Time, window time.Duration) []time.Time {
+	cut := 0
+	for cut < len(hist) && at.Sub(hist[cut]) > window {
+		cut++
+	}
+	return append(hist[cut:], at)
+}
+
 // Sleeper extends Clock with a Sleep that, on a simulated clock,
 // advances virtual time instead of blocking. The attack scheduler uses
 // it to "wait" the 5-minute inter-check-in interval instantly.

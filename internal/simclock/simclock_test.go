@@ -97,3 +97,25 @@ func TestEpochIsAugust2010(t *testing.T) {
 		t.Errorf("Epoch = %v, want August 2010 (the crawl snapshot month)", e)
 	}
 }
+
+func TestSlideWindow(t *testing.T) {
+	t0 := Epoch()
+	var hist []time.Time
+	// Build up within the window.
+	for i := 0; i < 3; i++ {
+		hist = SlideWindow(hist, t0.Add(time.Duration(i)*time.Minute), 10*time.Minute)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("len %d, want 3", len(hist))
+	}
+	// An entry exactly window-old stays (boundary is strict).
+	hist = SlideWindow(hist, t0.Add(10*time.Minute), 10*time.Minute)
+	if len(hist) != 4 || !hist[0].Equal(t0) {
+		t.Fatalf("boundary entry dropped: %v", hist)
+	}
+	// A later event slides the oldest two out.
+	hist = SlideWindow(hist, t0.Add(11*time.Minute+time.Second), 10*time.Minute)
+	if len(hist) != 3 || !hist[0].Equal(t0.Add(2*time.Minute)) {
+		t.Fatalf("stale entries retained: %v", hist)
+	}
+}

@@ -1,0 +1,199 @@
+// Alert persistence. The stream pipeline's detector findings used to
+// live in a ring buffer hard-coded into the pipeline itself; this file
+// moves the alert type and its lifecycle into the store layer, behind
+// an AlertStore interface with two implementations:
+//
+//   - MemoryAlertStore — the original bounded ring, for tests and
+//     ephemeral runs;
+//   - AlertJournal (journal.go) — an append-only segmented log that
+//     survives restarts.
+//
+// Every consumer — the pipeline sink, the /api/v1/alerts surface, the
+// quarantine feedback policy — talks to the interface, so durability is
+// a deployment decision, not a code path.
+
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Alert is one detector finding. It is the unit the stream pipeline
+// emits, the journal persists, and the quarantine policy consumes.
+// IDs are raw uint64 (like the crawl tables in this package) so the
+// store stays independent of the lbsn domain types.
+type Alert struct {
+	// Seq is the pipeline-assigned event sequence number that triggered
+	// the alert. Sequence numbers restart with the pipeline; At is the
+	// durable ordering key across restarts.
+	Seq      uint64    `json:"seq"`
+	Detector string    `json:"detector"`
+	UserID   uint64    `json:"userId"`
+	VenueID  uint64    `json:"venueId"`
+	At       time.Time `json:"at"`
+	Detail   string    `json:"detail"`
+}
+
+// AlertQuery filters and paginates an AlertStore read. The zero value
+// selects everything, newest first, unpaginated.
+type AlertQuery struct {
+	// UserID restricts to one user (0 = any).
+	UserID uint64
+	// Detector restricts to one detector name ("" = any).
+	Detector string
+	// Since/Until bound the alert event time: Since inclusive, Until
+	// exclusive. Zero values leave the side open.
+	Since time.Time
+	Until time.Time
+	// Offset skips that many matching alerts from the newest end.
+	Offset int
+	// Limit caps the returned page (<= 0 = no cap).
+	Limit int
+}
+
+// match reports whether a satisfies the query's filters (not its
+// pagination).
+func (q AlertQuery) match(a Alert) bool {
+	if q.UserID != 0 && a.UserID != q.UserID {
+		return false
+	}
+	if q.Detector != "" && a.Detector != q.Detector {
+		return false
+	}
+	if !q.Since.IsZero() && a.At.Before(q.Since) {
+		return false
+	}
+	if !q.Until.IsZero() && !a.At.Before(q.Until) {
+		return false
+	}
+	return true
+}
+
+// AlertStoreStats is a store's counter snapshot, surfaced through
+// /api/v1/alerts/stats.
+type AlertStoreStats struct {
+	// Kind names the implementation ("memory" or "journal").
+	Kind string `json:"kind"`
+	// Appended counts successful Append calls this process.
+	Appended uint64 `json:"appended"`
+	// Retained is how many alerts the store can currently serve.
+	Retained int `json:"retained"`
+	// Evicted counts alerts aged out by capacity or retention.
+	Evicted uint64 `json:"evicted"`
+	// Journal-only fields.
+	Segments           int    `json:"segments,omitempty"`
+	ActiveSegmentBytes int64  `json:"activeSegmentBytes,omitempty"`
+	Fsyncs             uint64 `json:"fsyncs,omitempty"`
+	Replayed           int    `json:"replayed,omitempty"`
+	ReplayErrors       int    `json:"replayErrors,omitempty"`
+}
+
+// AlertStore is the persistence seam of the alert path. Implementations
+// must be safe for concurrent use: the pipeline's shard workers append
+// while API handlers query.
+type AlertStore interface {
+	// Append records one alert.
+	Append(a Alert) error
+	// Query returns the page selected by q, newest first, plus the
+	// total number of alerts matching q's filters (ignoring Offset and
+	// Limit) so callers can paginate.
+	Query(q AlertQuery) (page []Alert, total int)
+	// Stats snapshots the store's counters.
+	Stats() AlertStoreStats
+	// Flush forces buffered writes down to the backing medium; a no-op
+	// for memory stores.
+	Flush() error
+	// Close flushes and releases the store. The store must not be used
+	// afterwards.
+	Close() error
+}
+
+// MemoryAlertStore is the bounded in-memory ring the pipeline
+// originally hard-coded, behind the AlertStore interface. Oldest
+// alerts are overwritten once the capacity is reached.
+type MemoryAlertStore struct {
+	mu       sync.Mutex
+	ring     []Alert
+	next     int
+	full     bool
+	appended uint64
+	evicted  uint64
+}
+
+var _ AlertStore = (*MemoryAlertStore)(nil)
+
+// NewMemoryAlertStore builds a ring holding the most recent capacity
+// alerts (default 1024 when capacity <= 0).
+func NewMemoryAlertStore(capacity int) *MemoryAlertStore {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &MemoryAlertStore{ring: make([]Alert, capacity)}
+}
+
+// Append implements AlertStore.
+func (m *MemoryAlertStore) Append(a Alert) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.full {
+		m.evicted++
+	}
+	m.ring[m.next] = a
+	m.next++
+	if m.next == len(m.ring) {
+		m.next = 0
+		m.full = true
+	}
+	m.appended++
+	return nil
+}
+
+// Query implements AlertStore: newest first.
+func (m *MemoryAlertStore) Query(q AlertQuery) ([]Alert, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.next
+	if m.full {
+		n = len(m.ring)
+	}
+	var page []Alert
+	total := 0
+	for i := 1; i <= n; i++ {
+		a := m.ring[(m.next-i+len(m.ring))%len(m.ring)]
+		if !q.match(a) {
+			continue
+		}
+		total++
+		if total <= q.Offset {
+			continue
+		}
+		if q.Limit > 0 && len(page) >= q.Limit {
+			continue // keep counting total past the page
+		}
+		page = append(page, a)
+	}
+	return page, total
+}
+
+// Stats implements AlertStore.
+func (m *MemoryAlertStore) Stats() AlertStoreStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.next
+	if m.full {
+		n = len(m.ring)
+	}
+	return AlertStoreStats{
+		Kind:     "memory",
+		Appended: m.appended,
+		Retained: n,
+		Evicted:  m.evicted,
+	}
+}
+
+// Flush implements AlertStore; memory needs none.
+func (m *MemoryAlertStore) Flush() error { return nil }
+
+// Close implements AlertStore; memory holds no resources.
+func (m *MemoryAlertStore) Close() error { return nil }

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mkAlert(seq uint64, user uint64, det string, at time.Time) Alert {
+	return Alert{
+		Seq:      seq,
+		Detector: det,
+		UserID:   user,
+		VenueID:  seq%7 + 1,
+		At:       at,
+		Detail:   fmt.Sprintf("alert %d", seq),
+	}
+}
+
+func TestMemoryAlertStoreRingAndQuery(t *testing.T) {
+	s := NewMemoryAlertStore(4)
+	t0 := time.Date(2010, 8, 1, 8, 0, 0, 0, time.UTC)
+	for i := 1; i <= 6; i++ {
+		det := "speed"
+		if i%2 == 0 {
+			det = "rate-throttle"
+		}
+		if err := s.Append(mkAlert(uint64(i), uint64(i%2+1), det, t0.Add(time.Duration(i)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Capacity 4: alerts 1 and 2 were overwritten.
+	page, total := s.Query(AlertQuery{})
+	if total != 4 || len(page) != 4 {
+		t.Fatalf("query all: total %d page %d, want 4/4", total, len(page))
+	}
+	if page[0].Seq != 6 || page[3].Seq != 3 {
+		t.Fatalf("want newest-first 6..3, got %d..%d", page[0].Seq, page[3].Seq)
+	}
+
+	// Pagination: total counts all matches, page honours offset+limit.
+	page, total = s.Query(AlertQuery{Offset: 1, Limit: 2})
+	if total != 4 || len(page) != 2 || page[0].Seq != 5 || page[1].Seq != 4 {
+		t.Fatalf("offset/limit page wrong: total %d page %+v", total, page)
+	}
+
+	// Filters.
+	if page, total = s.Query(AlertQuery{Detector: "speed"}); total != 2 {
+		t.Fatalf("detector filter total %d, want 2", total)
+	}
+	if page, total = s.Query(AlertQuery{UserID: 2}); total != 2 {
+		t.Fatalf("user filter total %d, want 2", total)
+	}
+	since, until := t0.Add(4*time.Minute), t0.Add(6*time.Minute)
+	page, total = s.Query(AlertQuery{Since: since, Until: until})
+	if total != 2 || page[0].Seq != 5 || page[1].Seq != 4 {
+		t.Fatalf("time range [4m,6m): total %d page %+v", total, page)
+	}
+
+	st := s.Stats()
+	if st.Kind != "memory" || st.Appended != 6 || st.Retained != 4 || st.Evicted != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMemoryAlertStoreEmpty(t *testing.T) {
+	s := NewMemoryAlertStore(0) // default capacity
+	if page, total := s.Query(AlertQuery{Limit: 10}); total != 0 || page != nil {
+		t.Fatalf("empty store returned %d/%v", total, page)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,415 @@
+// AlertJournal: the durable AlertStore. An append-only log split into
+// segment files so retention is a file deletion, not a compaction:
+//
+//	<dir>/alerts-00000001.seg
+//	<dir>/alerts-00000002.seg   <- active (appends go here)
+//
+// Each record is a 4-byte big-endian length prefix followed by the
+// alert as JSON. Appends are buffered and fsynced in batches (every
+// FsyncEvery records, plus on rotation, Flush and Close), trading a
+// bounded tail-loss window for not paying an fsync per alert. On open
+// the journal replays every retained segment into memory, so queries
+// are served without touching disk and a restarted daemon still serves
+// its pre-restart alerts. A truncated or corrupt tail — the signature
+// of a crash mid-append — is tolerated: the good prefix is kept, the
+// damage is logged and the file is truncated back to the last whole
+// record so subsequent appends extend a clean log.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+const journalSegPattern = "alerts-%08d.seg"
+
+// maxAlertRecordBytes bounds one record; a length prefix beyond it is
+// corruption, not a record (guards replay against multi-GB allocations
+// from garbage prefixes).
+const maxAlertRecordBytes = 1 << 24
+
+// JournalConfig parameterizes OpenAlertJournal. Zero values take
+// defaults.
+type JournalConfig struct {
+	// Dir is the journal directory, created if missing. Required.
+	Dir string
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (default 1 MiB).
+	SegmentBytes int64
+	// MaxSegments is the retention: once rotation would exceed it, the
+	// oldest segment file is deleted (default 8). Total durable history
+	// is therefore ~SegmentBytes*MaxSegments.
+	MaxSegments int
+	// FsyncEvery batches fsync: the file is synced after this many
+	// unsynced appends (default 64; 1 = sync every append).
+	FsyncEvery int
+	// Logf receives replay warnings (truncated tail, unreadable
+	// segment). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c JournalConfig) withDefaults() JournalConfig {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 8
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// journalSegment is one on-disk segment's bookkeeping. alerts counts
+// the records it holds so retention can drop exactly its slice of the
+// in-memory mirror.
+type journalSegment struct {
+	index  int
+	path   string
+	alerts int
+}
+
+// AlertJournal is the durable AlertStore. Safe for concurrent use.
+type AlertJournal struct {
+	cfg JournalConfig
+
+	mu       sync.Mutex
+	segments []journalSegment // oldest first; last is active
+	active   *os.File
+	activeSz int64
+	unsynced int
+
+	// recent mirrors every alert in the retained segments, oldest
+	// first; queries never touch disk. Bounded by retention.
+	recent []Alert
+
+	appended     uint64
+	evicted      uint64
+	fsyncs       uint64
+	replayed     int
+	replayErrors int
+	closed       bool
+	// writeBroken latches when a failed append could not be healed by
+	// truncation; further appends are refused rather than risking a
+	// log that replays short.
+	writeBroken bool
+}
+
+var _ AlertStore = (*AlertJournal)(nil)
+
+// OpenAlertJournal opens (creating if needed) the journal in cfg.Dir
+// and replays every retained segment into memory.
+func OpenAlertJournal(cfg JournalConfig) (*AlertJournal, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("alert journal: empty dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("alert journal: %w", err)
+	}
+	j := &AlertJournal{cfg: cfg}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
+	if err := j.openActive(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay loads every segment, oldest first, tolerating a damaged tail.
+func (j *AlertJournal) replay() error {
+	entries, err := os.ReadDir(j.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("alert journal: %w", err)
+	}
+	for _, e := range entries {
+		var idx int
+		// Round-trip the parse: Sscanf alone accepts trailing garbage
+		// ("alerts-00000002.seg.bak"), and a stray file mistaken for a
+		// segment would be replayed, retention-counted, and eventually
+		// truncated or appended to.
+		if n, _ := fmt.Sscanf(e.Name(), journalSegPattern, &idx); n != 1 ||
+			fmt.Sprintf(journalSegPattern, idx) != e.Name() {
+			continue
+		}
+		j.segments = append(j.segments, journalSegment{
+			index: idx,
+			path:  filepath.Join(j.cfg.Dir, e.Name()),
+		})
+	}
+	sort.Slice(j.segments, func(a, b int) bool { return j.segments[a].index < j.segments[b].index })
+	for i := range j.segments {
+		last := i == len(j.segments)-1
+		if err := j.replaySegment(&j.segments[i], last); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment reads one segment into the mirror. Damage in the final
+// segment truncates the file back to the last whole record; damage in
+// an earlier segment only skips that segment's unreadable remainder
+// (the file is left alone — it is retention's job to age it out).
+func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("alert journal: replay %s: %w", seg.path, err)
+	}
+	defer f.Close()
+	var off int64
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end of segment
+			}
+			break // torn length prefix
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxAlertRecordBytes {
+			break // garbage length prefix
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			break // torn record body
+		}
+		var a Alert
+		if err := json.Unmarshal(buf, &a); err != nil {
+			break // corrupt record
+		}
+		off += 4 + int64(n)
+		j.recent = append(j.recent, a)
+		seg.alerts++
+		j.replayed++
+	}
+	// Damaged tail: keep the good prefix, log, and heal the file if it
+	// is the one appends will extend.
+	j.replayErrors++
+	j.cfg.Logf("alert journal: %s: damaged record at offset %d; keeping %d alerts", seg.path, off, seg.alerts)
+	if isLast {
+		if err := os.Truncate(seg.path, off); err != nil {
+			return fmt.Errorf("alert journal: truncate damaged tail of %s: %w", seg.path, err)
+		}
+	}
+	return nil
+}
+
+// openActive positions the journal to append: reuse the newest segment
+// if it has room, else start a fresh one.
+func (j *AlertJournal) openActive() error {
+	if n := len(j.segments); n > 0 {
+		seg := j.segments[n-1]
+		info, err := os.Stat(seg.path)
+		if err != nil {
+			return fmt.Errorf("alert journal: %w", err)
+		}
+		if info.Size() < j.cfg.SegmentBytes {
+			f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("alert journal: %w", err)
+			}
+			j.active = f
+			j.activeSz = info.Size()
+			return nil
+		}
+	}
+	return j.rotateLocked()
+}
+
+// rotateLocked closes the active segment (if any), opens the next one
+// and applies retention. Caller holds j.mu (or is still constructing).
+func (j *AlertJournal) rotateLocked() error {
+	if j.active != nil {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+		if err := j.active.Close(); err != nil {
+			return fmt.Errorf("alert journal: %w", err)
+		}
+		j.active = nil
+	}
+	next := 1
+	if n := len(j.segments); n > 0 {
+		next = j.segments[n-1].index + 1
+	}
+	path := filepath.Join(j.cfg.Dir, fmt.Sprintf(journalSegPattern, next))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("alert journal: %w", err)
+	}
+	j.segments = append(j.segments, journalSegment{index: next, path: path})
+	j.active = f
+	j.activeSz = 0
+	// Retention: drop oldest segments, and their alerts from the
+	// mirror, until we are back at the cap.
+	for len(j.segments) > j.cfg.MaxSegments {
+		old := j.segments[0]
+		if err := os.Remove(old.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("alert journal: retention: %w", err)
+		}
+		j.segments = j.segments[1:]
+		j.recent = j.recent[old.alerts:]
+		j.evicted += uint64(old.alerts)
+	}
+	return nil
+}
+
+func (j *AlertJournal) syncLocked() error {
+	if j.unsynced == 0 || j.active == nil {
+		return nil
+	}
+	if err := j.active.Sync(); err != nil {
+		return fmt.Errorf("alert journal: fsync: %w", err)
+	}
+	j.unsynced = 0
+	j.fsyncs++
+	return nil
+}
+
+// Append implements AlertStore: length-prefixed JSON onto the active
+// segment, fsync every FsyncEvery records, rotate past SegmentBytes.
+func (j *AlertJournal) Append(a Alert) error {
+	buf, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("alert journal: marshal: %w", err)
+	}
+	rec := make([]byte, 4+len(buf))
+	binary.BigEndian.PutUint32(rec, uint32(len(buf)))
+	copy(rec[4:], buf)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("alert journal: closed")
+	}
+	if j.writeBroken {
+		return fmt.Errorf("alert journal: write path broken by earlier failed append")
+	}
+	if _, err := j.active.Write(rec); err != nil {
+		// A short write leaves torn bytes at the tail; appending after
+		// them would make the NEXT replay stop at the tear and truncate
+		// every later record away. Heal by cutting back to the last
+		// whole-record boundary (O_APPEND writes land at the new end).
+		if terr := j.active.Truncate(j.activeSz); terr != nil {
+			j.writeBroken = true
+			return fmt.Errorf("alert journal: append: %w (and truncate failed: %v; journal write path disabled)", err, terr)
+		}
+		return fmt.Errorf("alert journal: append: %w", err)
+	}
+	j.activeSz += int64(len(rec))
+	j.segments[len(j.segments)-1].alerts++
+	j.recent = append(j.recent, a)
+	j.appended++
+	j.unsynced++
+	if j.unsynced >= j.cfg.FsyncEvery {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if j.activeSz >= j.cfg.SegmentBytes {
+		return j.rotateLocked()
+	}
+	return nil
+}
+
+// Query implements AlertStore: newest first over the in-memory mirror.
+// The mirror can hold tens of thousands of alerts at full retention
+// and Append contends on the same mutex, so the unfiltered case (the
+// common dashboard poll) skips the scan: total is the mirror length
+// and the page is a reverse walk of the tail.
+func (j *AlertJournal) Query(q AlertQuery) ([]Alert, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if q.UserID == 0 && q.Detector == "" && q.Since.IsZero() && q.Until.IsZero() {
+		total := len(j.recent)
+		n := total - q.Offset
+		if n <= 0 {
+			return nil, total
+		}
+		if q.Limit > 0 && n > q.Limit {
+			n = q.Limit
+		}
+		page := make([]Alert, 0, n)
+		for i := 0; i < n; i++ {
+			page = append(page, j.recent[total-1-q.Offset-i])
+		}
+		return page, total
+	}
+	var page []Alert
+	total := 0
+	for i := len(j.recent) - 1; i >= 0; i-- {
+		a := j.recent[i]
+		if !q.match(a) {
+			continue
+		}
+		total++
+		if total <= q.Offset {
+			continue
+		}
+		if q.Limit > 0 && len(page) >= q.Limit {
+			continue // keep counting total past the page
+		}
+		page = append(page, a)
+	}
+	return page, total
+}
+
+// Stats implements AlertStore.
+func (j *AlertJournal) Stats() AlertStoreStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return AlertStoreStats{
+		Kind:               "journal",
+		Appended:           j.appended,
+		Retained:           len(j.recent),
+		Evicted:            j.evicted,
+		Segments:           len(j.segments),
+		ActiveSegmentBytes: j.activeSz,
+		Fsyncs:             j.fsyncs,
+		Replayed:           j.replayed,
+		ReplayErrors:       j.replayErrors,
+	}
+}
+
+// Flush implements AlertStore: fsync any batched appends.
+func (j *AlertJournal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+// Close implements AlertStore: flush and close the active segment.
+// Idempotent.
+func (j *AlertJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if j.active != nil {
+		if err := j.active.Close(); err != nil {
+			return fmt.Errorf("alert journal: %w", err)
+		}
+		j.active = nil
+	}
+	return nil
+}
+
+// Dir returns the journal directory.
+func (j *AlertJournal) Dir() string { return j.cfg.Dir }

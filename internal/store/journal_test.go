@@ -1,0 +1,350 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func journalEpoch() time.Time {
+	return time.Date(2010, 8, 1, 8, 0, 0, 0, time.UTC)
+}
+
+func fillJournal(t *testing.T, j *AlertJournal, n int) {
+	t.Helper()
+	t0 := journalEpoch()
+	for i := 1; i <= n; i++ {
+		if err := j.Append(mkAlert(uint64(i), uint64(i%3+1), "speed", t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenAlertJournal(JournalConfig{Dir: dir, FsyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillJournal(t, j, 100)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the full history must come back in order.
+	j2, err := OpenAlertJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	page, total := j2.Query(AlertQuery{})
+	if total != 100 || len(page) != 100 {
+		t.Fatalf("replayed %d/%d, want 100", total, len(page))
+	}
+	if page[0].Seq != 100 || page[99].Seq != 1 {
+		t.Fatalf("replay order wrong: %d..%d", page[0].Seq, page[99].Seq)
+	}
+	if page[0].Detail != "alert 100" || page[0].UserID != 100%3+1 {
+		t.Fatalf("replayed record corrupted: %+v", page[0])
+	}
+	st := j2.Stats()
+	if st.Kind != "journal" || st.Replayed != 100 || st.ReplayErrors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Appends after replay extend the same history.
+	if err := j2.Append(mkAlert(101, 1, "speed", journalEpoch().Add(200*time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	if _, total := j2.Query(AlertQuery{}); total != 101 {
+		t.Fatalf("post-replay append lost: total %d", total)
+	}
+}
+
+func TestJournalRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation; retention 3 drops the oldest.
+	j, err := OpenAlertJournal(JournalConfig{Dir: dir, SegmentBytes: 512, MaxSegments: 3, FsyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillJournal(t, j, 200)
+	st := j.Stats()
+	if st.Segments > 3 {
+		t.Fatalf("retention leaked: %d segments", st.Segments)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("no alerts evicted despite rotation past retention")
+	}
+	if st.Retained+int(st.Evicted) != 200 {
+		t.Fatalf("retained %d + evicted %d != 200", st.Retained, st.Evicted)
+	}
+	// The retained window is the newest suffix.
+	page, total := j.Query(AlertQuery{Limit: 1})
+	if total != st.Retained || page[0].Seq != 200 {
+		t.Fatalf("newest alert wrong: total %d seq %d", total, page[0].Seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// On-disk segment count matches retention.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs++
+		}
+	}
+	if segs != st.Segments {
+		t.Fatalf("disk has %d segments, stats say %d", segs, st.Segments)
+	}
+
+	// Replay after retention serves only the retained window.
+	j2, err := OpenAlertJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, total := j2.Query(AlertQuery{}); total != st.Retained {
+		t.Fatalf("replayed %d, want %d", total, st.Retained)
+	}
+}
+
+// TestJournalTruncatedTailRecovered is the crash-recovery contract: a
+// record torn mid-write (the crash signature) is tolerated and logged
+// on replay, the good prefix survives, and the healed journal accepts
+// new appends.
+func TestJournalTruncatedTailRecovered(t *testing.T) {
+	for _, cut := range []struct {
+		name string
+		chop int64 // bytes removed from the file end
+	}{
+		{"torn-body", 3},
+		{"torn-length-prefix", 0}, // computed below: leave 2 bytes of the prefix
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := OpenAlertJournal(JournalConfig{Dir: dir, FsyncEvery: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillJournal(t, j, 10)
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			seg := filepath.Join(dir, "alerts-00000001.seg")
+			info, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chop := cut.chop
+			if chop == 0 {
+				// Reconstruct the last record's full length and cut into
+				// its length prefix.
+				f, err := os.Open(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sizes []int64
+				var lenBuf [4]byte
+				for {
+					if _, err := f.Read(lenBuf[:]); err != nil {
+						break
+					}
+					n := int64(binary.BigEndian.Uint32(lenBuf[:]))
+					sizes = append(sizes, 4+n)
+					if _, err := f.Seek(n, 1); err != nil {
+						t.Fatal(err)
+					}
+				}
+				f.Close()
+				chop = sizes[len(sizes)-1] - 2 // keep 2 of the 4 prefix bytes
+			}
+			if err := os.Truncate(seg, info.Size()-chop); err != nil {
+				t.Fatal(err)
+			}
+
+			var logged []string
+			j2, err := OpenAlertJournal(JournalConfig{
+				Dir:  dir,
+				Logf: func(f string, a ...any) { logged = append(logged, f) },
+			})
+			if err != nil {
+				t.Fatalf("truncated tail must not be fatal: %v", err)
+			}
+			defer j2.Close()
+			page, total := j2.Query(AlertQuery{})
+			if total != 9 {
+				t.Fatalf("replayed %d alerts, want the 9 whole ones", total)
+			}
+			if page[0].Seq != 9 {
+				t.Fatalf("newest surviving alert %d, want 9", page[0].Seq)
+			}
+			if len(logged) == 0 {
+				t.Fatal("damaged tail was not logged")
+			}
+			if st := j2.Stats(); st.ReplayErrors != 1 {
+				t.Fatalf("replay errors %d, want 1", st.ReplayErrors)
+			}
+
+			// The file was healed: appends extend a clean log that
+			// replays in full.
+			if err := j2.Append(mkAlert(11, 1, "speed", journalEpoch().Add(time.Hour))); err != nil {
+				t.Fatal(err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j3, err := OpenAlertJournal(JournalConfig{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j3.Close()
+			if _, total := j3.Query(AlertQuery{}); total != 10 {
+				t.Fatalf("healed journal replayed %d, want 10", total)
+			}
+			if st := j3.Stats(); st.ReplayErrors != 0 {
+				t.Fatalf("healed journal still reports replay errors: %+v", st)
+			}
+		})
+	}
+}
+
+func TestJournalCorruptMiddleSegmentSkipsRemainder(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenAlertJournal(JournalConfig{Dir: dir, SegmentBytes: 256, MaxSegments: 16, FsyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillJournal(t, j, 30)
+	st := j.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("test needs >= 3 segments, got %d", st.Segments)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the first byte of the FIRST segment: its records become
+	// unreadable, but later segments must still replay.
+	seg := filepath.Join(dir, "alerts-00000001.seg")
+	f, err := os.OpenFile(seg, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenAlertJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("mid-journal corruption must not be fatal: %v", err)
+	}
+	defer j2.Close()
+	_, total := j2.Query(AlertQuery{})
+	if total == 0 || total >= 30 {
+		t.Fatalf("want partial replay (later segments only), got %d", total)
+	}
+	if st := j2.Stats(); st.ReplayErrors != 1 {
+		t.Fatalf("replay errors %d, want 1", st.ReplayErrors)
+	}
+}
+
+func TestJournalQueryFilters(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenAlertJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	t0 := journalEpoch()
+	for i := 1; i <= 20; i++ {
+		det := "speed"
+		if i%4 == 0 {
+			det = "cheater-code"
+		}
+		if err := j.Append(mkAlert(uint64(i), uint64(i%2+1), det, t0.Add(time.Duration(i)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, total := j.Query(AlertQuery{Detector: "cheater-code"}); total != 5 {
+		t.Fatalf("detector filter: %d, want 5", total)
+	}
+	if _, total := j.Query(AlertQuery{UserID: 1}); total != 10 {
+		t.Fatalf("user filter: %d, want 10", total)
+	}
+	page, total := j.Query(AlertQuery{Since: t0.Add(15 * time.Minute), Limit: 3, Offset: 1})
+	if total != 6 || len(page) != 3 || page[0].Seq != 19 {
+		t.Fatalf("combined query: total %d page %+v", total, page)
+	}
+}
+
+func TestJournalIgnoresStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenAlertJournal(JournalConfig{Dir: dir, FsyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillJournal(t, j, 5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// An operator backup whose name extends the segment pattern must
+	// not be treated as a segment (replayed, retention-counted, or
+	// healed-by-truncation).
+	seg := filepath.Join(dir, "alerts-00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray := seg + ".bak"
+	if err := os.WriteFile(stray, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenAlertJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, total := j2.Query(AlertQuery{}); total != 5 {
+		t.Fatalf("stray file changed replay: %d alerts, want 5", total)
+	}
+	if st := j2.Stats(); st.Segments != 1 {
+		t.Fatalf("stray file counted as segment: %d", st.Segments)
+	}
+	if _, err := os.Stat(stray); err != nil {
+		t.Fatalf("stray file touched: %v", err)
+	}
+}
+
+func TestJournalEmptyDirAndBadDir(t *testing.T) {
+	if _, err := OpenAlertJournal(JournalConfig{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	dir := t.TempDir()
+	j, err := OpenAlertJournal(JournalConfig{Dir: filepath.Join(dir, "nested", "deep")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page, total := j.Query(AlertQuery{}); total != 0 || page != nil {
+		t.Fatalf("fresh journal non-empty: %d", total)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := j.Append(Alert{}); err == nil {
+		t.Fatal("append after close accepted")
+	}
+}

@@ -64,7 +64,7 @@ func TestVirtualTourRaisesSpeedAlert(t *testing.T) {
 	// The alert must name the touring user.
 	found := false
 	for _, a := range p.RecentAlerts(0) {
-		if a.Detector == stream.StageSpeed && a.UserID == user {
+		if a.Detector == stream.StageSpeed && a.UserID == uint64(user) {
 			found = true
 			break
 		}

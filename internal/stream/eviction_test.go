@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"locheat/internal/cheatercode"
+	"locheat/internal/defense"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// --- stage-level eviction ---------------------------------------------
+
+func TestStageEvictIdle(t *testing.T) {
+	t0 := simclock.Epoch()
+	cutoff := t0.Add(30 * time.Minute)
+
+	t.Run("speed", func(t *testing.T) {
+		st := NewSpeedStage(15, time.Hour)
+		st.Process(event(1, 1, t0, testVenueLoc))
+		st.Process(event(2, 1, t0.Add(time.Hour), testVenueLoc))
+		if n := st.EvictIdle(cutoff); n != 1 {
+			t.Fatalf("evicted %d, want 1", n)
+		}
+		if len(st.last) != 1 {
+			t.Fatalf("%d users retained, want the active one", len(st.last))
+		}
+		if _, ok := st.last[2]; !ok {
+			t.Fatal("active user evicted")
+		}
+	})
+
+	t.Run("rate-throttle", func(t *testing.T) {
+		st := NewRateThrottleStage(100, time.Hour, defense.RapidBitConfig{})
+		st.Process(event(1, 1, t0, testVenueLoc))
+		st.Process(event(2, 1, t0.Add(time.Hour), testVenueLoc))
+		if n := st.EvictIdle(cutoff); n != 1 {
+			t.Fatalf("evicted %d, want 1", n)
+		}
+		if _, ok := st.recent[2]; !ok || len(st.recent) != 1 {
+			t.Fatalf("retained set wrong: %v", st.recent)
+		}
+	})
+}
+
+func TestDedupeEvictIdle(t *testing.T) {
+	t0 := simclock.Epoch()
+	st := NewDedupeStage(24 * time.Hour) // TTL longer than the eviction cutoff
+	st.Process(event(1, 1, t0, testVenueLoc))
+	st.Process(event(2, 1, t0.Add(time.Hour), testVenueLoc))
+	if n := st.EvictIdle(t0.Add(30 * time.Minute)); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if len(st.seen) != 1 {
+		t.Fatalf("%d keys retained, want 1", len(st.seen))
+	}
+}
+
+func TestCheaterCodeEvictIdle(t *testing.T) {
+	t0 := simclock.Epoch()
+	st := NewCheaterCodeStage(cheatercode.DefaultConfig())
+	st.Process(event(1, 1, t0, testVenueLoc))
+	st.Process(event(2, 2, t0.Add(2*time.Hour), testVenueLoc))
+	if n := st.EvictIdle(t0.Add(time.Hour)); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if st.det.TrackedUsers() != 1 {
+		t.Fatalf("detector tracks %d users, want 1", st.det.TrackedUsers())
+	}
+}
+
+// --- pipeline-level eviction ------------------------------------------
+
+// TestPipelineEvictionBoundsState drives many one-shot users through
+// the pipeline followed by a long quiet stretch from a single active
+// user, and verifies the sweep dropped the idle users from every
+// stateful stage — the memory bound the ROADMAP asked for.
+func TestPipelineEvictionBoundsState(t *testing.T) {
+	t0 := simclock.Epoch()
+	var speed *SpeedStage
+	var throttle *RateThrottleStage
+	var cheater *CheaterCodeStage
+	cfg := DetectConfig{}.withDefaults()
+	p := New(Config{
+		Shards: 1,
+		Clock:  simclock.NewSimulated(t0),
+		Evict:  EvictionPolicy{IdleAfter: time.Hour, SweepEvery: 10 * time.Minute},
+		Stages: func(int) []Stage {
+			speed = NewSpeedStage(cfg.SpeedMaxMetersPerSecond, cfg.SpeedWindow)
+			throttle = NewRateThrottleStage(cfg.RateMaxPerWindow, cfg.RateWindow, cfg.Challenge)
+			cheater = NewCheaterCodeStage(cfg.Cheater)
+			return []Stage{NewDedupeStage(cfg.DedupeTTL), speed, throttle, cheater}
+		},
+	})
+
+	// 500 users check in once within the first minute...
+	for i := uint64(1); i <= 500; i++ {
+		if !p.Publish(event(i, i%32+1, t0.Add(time.Duration(i)*100*time.Millisecond), testVenueLoc)) {
+			t.Fatal("publish refused")
+		}
+	}
+	// ...then user 999 alone keeps the stream alive for 3 hours of
+	// event time, carrying the shard past several sweep intervals.
+	for m := 1; m <= 180; m += 5 {
+		at := t0.Add(time.Duration(m) * time.Minute)
+		if !p.Publish(event(999, uint64(m%32+1), at, testVenueLoc)) {
+			t.Fatal("publish refused")
+		}
+	}
+	p.Close()
+
+	if got := len(speed.last); got != 1 {
+		t.Fatalf("speed stage retains %d users, want 1 (the active one)", got)
+	}
+	if got := len(throttle.recent); got != 1 {
+		t.Fatalf("rate-throttle retains %d users, want 1", got)
+	}
+	if got := cheater.det.TrackedUsers(); got != 1 {
+		t.Fatalf("cheater-code retains %d users, want 1", got)
+	}
+	st := p.Stats()
+	if st.Evicted == 0 {
+		t.Fatal("pipeline counted no evictions")
+	}
+	if st.EvictedByStage[StageSpeed] == 0 || st.EvictedByStage[StageCheaterCode] == 0 {
+		t.Fatalf("per-stage eviction counters missing: %+v", st.EvictedByStage)
+	}
+	var perShard uint64
+	for _, sh := range st.PerShard {
+		perShard += sh.Evicted
+	}
+	if perShard != st.Evicted {
+		t.Fatalf("shard eviction counters (%d) disagree with total (%d)", perShard, st.Evicted)
+	}
+}
+
+// TestPipelineJournalSink verifies the pipeline's alert path through a
+// durable store: alerts land in the journal, survive a pipeline+journal
+// restart, and the reopened store serves them to a fresh pipeline.
+func TestPipelineJournalSink(t *testing.T) {
+	dir := t.TempDir()
+	t0 := simclock.Epoch()
+	j, err := store.OpenAlertJournal(store.JournalConfig{Dir: dir, FsyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Shards: 1, Clock: simclock.NewSimulated(t0), Store: j})
+	// Lincoln -> San Francisco teleport: a guaranteed speed alert.
+	p.Publish(event(7, 1, t0, testVenueLoc))
+	p.Publish(event(7, 2, t0.Add(10*time.Minute), farVenueLoc))
+	p.Close()
+	if st := p.Stats(); st.StoreErrors != 0 {
+		t.Fatalf("store errors: %d", st.StoreErrors)
+	}
+	if page, total := j.Query(store.AlertQuery{}); total == 0 || page[0].UserID != 7 {
+		t.Fatalf("journal missing the alert: total %d", total)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a new pipeline over the reopened journal serves the
+	// pre-restart alert.
+	j2, err := store.OpenAlertJournal(store.JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	p2 := New(Config{Shards: 1, Clock: simclock.NewSimulated(t0), Store: j2})
+	defer p2.Close()
+	alerts, total := p2.Alerts(store.AlertQuery{Detector: StageSpeed})
+	if total != 1 || alerts[0].UserID != 7 {
+		t.Fatalf("restarted pipeline lost history: total %d %+v", total, alerts)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"locheat/internal/defense"
 	"locheat/internal/geo"
 	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
 )
 
 // Detector names used in alerts and stats.
@@ -142,6 +143,20 @@ func (d *DedupeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 	return nil, true
 }
 
+// EvictIdle implements UserStateEvictor. Dedupe keys already expire at
+// the (shorter) TTL; the eviction pass is a second bound that holds
+// even if no further events arrive to trigger the lazy sweep.
+func (d *DedupeStage) EvictIdle(olderThan time.Time) int {
+	n := 0
+	for k := range d.seen {
+		if time.Unix(0, k.at).Before(olderThan) {
+			delete(d.seen, k)
+			n++
+		}
+	}
+	return n
+}
+
 // sweep lazily evicts expired keys once per TTL of event time, keeping
 // the set proportional to the live working set.
 func (d *DedupeStage) sweep() {
@@ -202,8 +217,8 @@ func (s *SpeedStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 			alerts = append(alerts, Alert{
 				Seq:      ev.Seq,
 				Detector: StageSpeed,
-				UserID:   ev.UserID,
-				VenueID:  ev.VenueID,
+				UserID:   uint64(ev.UserID),
+				VenueID:  uint64(ev.VenueID),
 				At:       ev.At,
 				Detail: fmt.Sprintf("impossible travel: %.0f m in %.0f s = %.1f m/s exceeds %.1f m/s",
 					dist, elapsed, speed, s.maxSpeed),
@@ -212,6 +227,19 @@ func (s *SpeedStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 	}
 	s.last[ev.UserID] = timedPoint{at: ev.At, loc: ev.Venue}
 	return alerts, true
+}
+
+// EvictIdle implements UserStateEvictor: a retained claim older than
+// the cutoff can never be inside the comparison window again.
+func (s *SpeedStage) EvictIdle(olderThan time.Time) int {
+	n := 0
+	for u, tp := range s.last {
+		if tp.at.Before(olderThan) {
+			delete(s.last, u)
+			n++
+		}
+	}
+	return n
 }
 
 // RateThrottleStage flags users whose claim rate exceeds the per-window
@@ -244,12 +272,7 @@ func (r *RateThrottleStage) Name() string { return StageRateThrottle }
 
 // Process implements Stage.
 func (r *RateThrottleStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
-	hist := r.recent[ev.UserID]
-	cut := 0
-	for cut < len(hist) && ev.At.Sub(hist[cut]) > r.window {
-		cut++
-	}
-	hist = append(hist[cut:], ev.At)
+	hist := simclock.SlideWindow(r.recent[ev.UserID], ev.At, r.window)
 	// History is bounded without a cap: one append per event, cleared
 	// whenever the budget is blown, so it never exceeds max+1 entries.
 	if len(hist) <= r.max {
@@ -272,12 +295,25 @@ func (r *RateThrottleStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 	return []Alert{{
 		Seq:      ev.Seq,
 		Detector: StageRateThrottle,
-		UserID:   ev.UserID,
-		VenueID:  ev.VenueID,
+		UserID:   uint64(ev.UserID),
+		VenueID:  uint64(ev.VenueID),
 		At:       ev.At,
 		Detail: fmt.Sprintf("%d claims in %s exceeds %d; rapid-bit challenge: %s (false-accept p=%.2g)",
 			count, r.window, r.max, verdict, r.challenge.FalseAcceptProbability()),
 	}}, true
+}
+
+// EvictIdle implements UserStateEvictor: drop users whose newest claim
+// predates the cutoff (and the empty histories left by budget resets).
+func (r *RateThrottleStage) EvictIdle(olderThan time.Time) int {
+	n := 0
+	for u, hist := range r.recent {
+		if len(hist) == 0 || hist[len(hist)-1].Before(olderThan) {
+			delete(r.recent, u)
+			n++
+		}
+	}
+	return n
 }
 
 // CheaterCodeStage runs an independent online instance of the §2.3 rule
@@ -314,9 +350,15 @@ func (c *CheaterCodeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 	return []Alert{{
 		Seq:      ev.Seq,
 		Detector: StageCheaterCode,
-		UserID:   ev.UserID,
-		VenueID:  ev.VenueID,
+		UserID:   uint64(ev.UserID),
+		VenueID:  uint64(ev.VenueID),
 		At:       ev.At,
 		Detail:   fmt.Sprintf("%s: %s", v.Rule, v.Detail),
 	}}, true
+}
+
+// EvictIdle implements UserStateEvictor, delegating to the rule
+// engine's own history eviction.
+func (c *CheaterCodeStage) EvictIdle(olderThan time.Time) int {
+	return c.det.EvictIdle(olderThan)
 }

@@ -28,6 +28,12 @@
 // reads. Processing is deterministic under internal/simclock: every
 // window decision is keyed off event timestamps, not wall arrival
 // time.
+//
+// Alerts are not owned by the pipeline: every finding is appended to a
+// store.AlertStore (a durable journal in production, a memory ring by
+// default), and per-user stage state is bounded by idle-user eviction
+// keyed off event time — memory scales with the *active* user set, not
+// with every user ever seen.
 package stream
 
 import (
@@ -38,19 +44,13 @@ import (
 
 	"locheat/internal/lbsn"
 	"locheat/internal/simclock"
+	"locheat/internal/store"
 )
 
-// Alert is one detector finding, the pipeline's primary output.
-type Alert struct {
-	// Seq is the pipeline-assigned event sequence number that triggered
-	// the alert.
-	Seq      uint64       `json:"seq"`
-	Detector string       `json:"detector"`
-	UserID   lbsn.UserID  `json:"userId"`
-	VenueID  lbsn.VenueID `json:"venueId"`
-	At       time.Time    `json:"at"`
-	Detail   string       `json:"detail"`
-}
+// Alert is one detector finding, the pipeline's primary output. The
+// type lives in internal/store — the persistence layer owns the alert
+// lifecycle; the pipeline is just its producer.
+type Alert = store.Alert
 
 // DeadLetter is a malformed event the pipeline refused to process.
 type DeadLetter struct {
@@ -71,6 +71,40 @@ type Stage interface {
 	Process(ev lbsn.CheckinEvent) (alerts []Alert, keep bool)
 }
 
+// UserStateEvictor is the optional Stage extension for stages that
+// retain per-user state. The shard worker calls EvictIdle periodically
+// (in event time) so each stage drops users idle since olderThan;
+// without it, per-user maps grow with the lifetime user set.
+type UserStateEvictor interface {
+	// EvictIdle drops state last touched before olderThan and returns
+	// how many entries were evicted.
+	EvictIdle(olderThan time.Time) int
+}
+
+// EvictionPolicy bounds per-user stage state by idle time. All
+// durations are event time, so eviction is deterministic under
+// simclock. The zero value takes defaults; it is shared by every
+// per-user stage so one knob governs the whole pipeline's memory.
+type EvictionPolicy struct {
+	// IdleAfter is how long a user may go without an event before every
+	// stage drops their state (default 12h). Must exceed the longest
+	// stage window (speed: 1h, rate: 30m) or detection quality suffers.
+	IdleAfter time.Duration
+	// SweepEvery is how often (in observed event time) each shard runs
+	// an eviction pass (default IdleAfter/8).
+	SweepEvery time.Duration
+}
+
+func (e EvictionPolicy) withDefaults() EvictionPolicy {
+	if e.IdleAfter <= 0 {
+		e.IdleAfter = 12 * time.Hour
+	}
+	if e.SweepEvery <= 0 {
+		e.SweepEvery = e.IdleAfter / 8
+	}
+	return e
+}
+
 // Config parameterizes a Pipeline. Zero values take defaults.
 type Config struct {
 	// Shards is the worker count (default GOMAXPROCS). Events shard by
@@ -82,9 +116,18 @@ type Config struct {
 	// DLQBuffer bounds the dead-letter channel (default 256). An
 	// undrained full DLQ drops too, counted separately.
 	DLQBuffer int
-	// AlertRing bounds the in-memory recent-alert log served by the
-	// /alerts API (default 1024).
+	// Store is the alert sink. Nil builds a store.MemoryAlertStore of
+	// AlertRing capacity; production passes a store.AlertJournal so
+	// alerts survive restarts. The pipeline flushes the store on Close
+	// but does not close it — the store may outlive the pipeline (that
+	// is the point).
+	Store store.AlertStore
+	// AlertRing sizes the default in-memory store when Store is nil
+	// (default 1024).
 	AlertRing int
+	// Evict bounds per-user stage state; zero value = defaults (12h
+	// idle cutoff swept every 1h30m of event time).
+	Evict EvictionPolicy
 	// StatsWindow is the tumbling-window size for aggregate rates
 	// (default 1s). Windows are keyed by event time.
 	StatsWindow time.Duration
@@ -113,6 +156,10 @@ func (c Config) withDefaults() Config {
 	if c.AlertRing <= 0 {
 		c.AlertRing = 1024
 	}
+	if c.Store == nil {
+		c.Store = store.NewMemoryAlertStore(c.AlertRing)
+	}
+	c.Evict = c.Evict.withDefaults()
 	if c.StatsWindow <= 0 {
 		c.StatsWindow = time.Second
 	}
@@ -138,6 +185,7 @@ type shard struct {
 	processed atomic.Uint64
 	dropped   atomic.Uint64
 	filtered  atomic.Uint64
+	evicted   atomic.Uint64
 }
 
 // Pipeline is the online detector. Create with New, feed with Publish
@@ -158,18 +206,20 @@ type Pipeline struct {
 	published    atomic.Uint64
 	deadLettered atomic.Uint64
 	dlqDropped   atomic.Uint64
+	storeErrors  atomic.Uint64
 
 	dlq chan DeadLetter
 
-	// alertMu guards the ring, per-detector counters, per-stage filter
-	// counters and subscribers.
+	// alerts is the persistence sink; all alert reads go through it.
+	alerts store.AlertStore
+
+	// alertMu guards the per-detector counters, per-stage filter and
+	// eviction counters, and subscribers.
 	alertMu     sync.Mutex
-	ring        []Alert
-	ringNext    int
-	ringFull    bool
 	alertsTotal uint64
 	byDetector  map[string]uint64
 	filteredBy  map[string]uint64
+	evictedBy   map[string]uint64
 	subs        []chan Alert
 	subsClosed  bool
 }
@@ -181,9 +231,10 @@ func New(cfg Config) *Pipeline {
 		cfg:        cfg,
 		clock:      cfg.Clock,
 		dlq:        make(chan DeadLetter, cfg.DLQBuffer),
-		ring:       make([]Alert, cfg.AlertRing),
+		alerts:     cfg.Store,
 		byDetector: make(map[string]uint64),
 		filteredBy: make(map[string]uint64),
+		evictedBy:  make(map[string]uint64),
 	}
 	p.shards = make([]*shard, cfg.Shards)
 	for i := range p.shards {
@@ -200,11 +251,17 @@ func New(cfg Config) *Pipeline {
 }
 
 // run is one shard worker: strictly sequential over its queue, which is
-// what preserves per-user order.
+// what preserves per-user order. It also drives the eviction policy:
+// every SweepEvery of observed event time it asks each stateful stage
+// to drop users idle longer than IdleAfter.
 func (p *Pipeline) run(sh *shard, stages []Stage) {
 	defer p.wg.Done()
+	var latest, lastSweep time.Time
 	for ev := range sh.in {
 		sh.windows.observe(ev.At)
+		if ev.At.After(latest) {
+			latest = ev.At
+		}
 		for _, st := range stages {
 			alerts, keep := st.Process(ev)
 			for _, a := range alerts {
@@ -218,6 +275,20 @@ func (p *Pipeline) run(sh *shard, stages []Stage) {
 			}
 		}
 		sh.processed.Add(1)
+		if latest.Sub(lastSweep) >= p.cfg.Evict.SweepEvery {
+			lastSweep = latest
+			cutoff := latest.Add(-p.cfg.Evict.IdleAfter)
+			for _, st := range stages {
+				evictor, ok := st.(UserStateEvictor)
+				if !ok {
+					continue
+				}
+				if n := evictor.EvictIdle(cutoff); n > 0 {
+					sh.evicted.Add(uint64(n))
+					p.noteEvicted(st.Name(), n)
+				}
+			}
+		}
 	}
 }
 
@@ -303,16 +374,15 @@ func (p *Pipeline) Subscribe(buf int) <-chan Alert {
 }
 
 func (p *Pipeline) recordAlert(a Alert) {
+	// The store has its own synchronization; only the counters and
+	// subscriber fan-out need alertMu.
+	if err := p.alerts.Append(a); err != nil {
+		p.storeErrors.Add(1)
+	}
 	p.alertMu.Lock()
 	defer p.alertMu.Unlock()
 	p.alertsTotal++
 	p.byDetector[a.Detector]++
-	p.ring[p.ringNext] = a
-	p.ringNext++
-	if p.ringNext == len(p.ring) {
-		p.ringNext = 0
-		p.ringFull = true
-	}
 	for _, ch := range p.subs {
 		select {
 		case ch <- a:
@@ -327,24 +397,26 @@ func (p *Pipeline) noteFiltered(stage string) {
 	p.alertMu.Unlock()
 }
 
-// RecentAlerts returns up to limit most-recent alerts, newest first
-// (limit <= 0 means the whole retained ring).
-func (p *Pipeline) RecentAlerts(limit int) []Alert {
+func (p *Pipeline) noteEvicted(stage string, n int) {
 	p.alertMu.Lock()
-	defer p.alertMu.Unlock()
-	n := p.ringNext
-	if p.ringFull {
-		n = len(p.ring)
-	}
-	if limit <= 0 || limit > n {
-		limit = n
-	}
-	out := make([]Alert, 0, limit)
-	for i := 1; i <= limit; i++ {
-		idx := (p.ringNext - i + len(p.ring)) % len(p.ring)
-		out = append(out, p.ring[idx])
-	}
-	return out
+	p.evictedBy[stage] += uint64(n)
+	p.alertMu.Unlock()
+}
+
+// AlertStore exposes the pipeline's alert sink.
+func (p *Pipeline) AlertStore() store.AlertStore { return p.alerts }
+
+// Alerts queries the alert store (newest first) and returns the page
+// plus the total match count for pagination.
+func (p *Pipeline) Alerts(q store.AlertQuery) ([]Alert, int) {
+	return p.alerts.Query(q)
+}
+
+// RecentAlerts returns up to limit most-recent alerts, newest first
+// (limit <= 0 means everything the store retains).
+func (p *Pipeline) RecentAlerts(limit int) []Alert {
+	page, _ := p.alerts.Query(store.AlertQuery{Limit: limit})
+	return page
 }
 
 // ShardStats is one shard's counters.
@@ -354,20 +426,27 @@ type ShardStats struct {
 	Processed uint64 `json:"processed"`
 	Dropped   uint64 `json:"dropped"`
 	Filtered  uint64 `json:"filtered"`
+	Evicted   uint64 `json:"evicted"`
 }
 
 // Stats is a pipeline-wide counter snapshot.
 type Stats struct {
-	Shards           int               `json:"shards"`
-	Published        uint64            `json:"published"`
-	Processed        uint64            `json:"processed"`
-	Dropped          uint64            `json:"dropped"`
-	DeadLettered     uint64            `json:"deadLettered"`
+	Shards       int    `json:"shards"`
+	Published    uint64 `json:"published"`
+	Processed    uint64 `json:"processed"`
+	Dropped      uint64 `json:"dropped"`
+	DeadLettered uint64 `json:"deadLettered"`
+	// DLQQueued is the dead-letter channel's current depth; DLQDropped
+	// counts dead letters lost to an undrained full channel.
+	DLQQueued        int               `json:"dlqQueued"`
 	DLQDropped       uint64            `json:"dlqDropped"`
 	Filtered         uint64            `json:"filtered"`
 	Alerts           uint64            `json:"alerts"`
+	StoreErrors      uint64            `json:"storeErrors"`
+	Evicted          uint64            `json:"evicted"`
 	AlertsByDetector map[string]uint64 `json:"alertsByDetector"`
 	FilteredByStage  map[string]uint64 `json:"filteredByStage"`
+	EvictedByStage   map[string]uint64 `json:"evictedByStage"`
 	PerShard         []ShardStats      `json:"perShard"`
 }
 
@@ -378,7 +457,9 @@ func (p *Pipeline) Stats() Stats {
 		Shards:       len(p.shards),
 		Published:    p.published.Load(),
 		DeadLettered: p.deadLettered.Load(),
+		DLQQueued:    len(p.dlq),
 		DLQDropped:   p.dlqDropped.Load(),
+		StoreErrors:  p.storeErrors.Load(),
 	}
 	for i, sh := range p.shards {
 		st := ShardStats{
@@ -387,10 +468,12 @@ func (p *Pipeline) Stats() Stats {
 			Processed: sh.processed.Load(),
 			Dropped:   sh.dropped.Load(),
 			Filtered:  sh.filtered.Load(),
+			Evicted:   sh.evicted.Load(),
 		}
 		s.Processed += st.Processed
 		s.Dropped += st.Dropped
 		s.Filtered += st.Filtered
+		s.Evicted += st.Evicted
 		s.PerShard = append(s.PerShard, st)
 	}
 	p.alertMu.Lock()
@@ -402,6 +485,10 @@ func (p *Pipeline) Stats() Stats {
 	s.FilteredByStage = make(map[string]uint64, len(p.filteredBy))
 	for k, v := range p.filteredBy {
 		s.FilteredByStage[k] = v
+	}
+	s.EvictedByStage = make(map[string]uint64, len(p.evictedBy))
+	for k, v := range p.evictedBy {
+		s.EvictedByStage[k] = v
 	}
 	p.alertMu.Unlock()
 	return s
@@ -429,7 +516,9 @@ func (p *Pipeline) Rates() Rates {
 }
 
 // Close stops intake, drains every queued event through the stages,
-// then closes the dead-letter and subscriber channels. Idempotent.
+// flushes the alert store, then closes the dead-letter and subscriber
+// channels. The store itself is NOT closed — it may outlive the
+// pipeline (a journal is closed by whoever opened it). Idempotent.
 func (p *Pipeline) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -443,6 +532,9 @@ func (p *Pipeline) Close() {
 	p.mu.Unlock()
 
 	p.wg.Wait()
+	if err := p.alerts.Flush(); err != nil {
+		p.storeErrors.Add(1)
+	}
 	close(p.dlq)
 	p.alertMu.Lock()
 	p.subsClosed = true
