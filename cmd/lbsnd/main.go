@@ -11,6 +11,7 @@
 //	      [-journal-dir DIR] [-journal-fsync 64] [-journal-segment-bytes N]
 //	      [-journal-segments 8] [-quarantine] [-quarantine-threshold 5]
 //	      [-quarantine-window 10m] [-quarantine-duration 1h]
+//	      [-cluster-node ID] [-cluster-peers ID=URL,...] [-cluster-listen :9101]
 //
 // The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
 // can be pointed at a hardened instance. With -api-key the developer
@@ -26,6 +27,21 @@
 // threshold are auto-quarantined and their check-ins denied until the
 // quarantine expires.
 //
+// With -journal-dir the active quarantine set is also snapshotted to
+// <dir>/quarantine.json on every change and reloaded on start, so a
+// restarted daemon keeps denying flagged cheaters.
+//
+// With -cluster-node/-cluster-peers several lbsnd instances split the
+// user space: a consistent-hash ring assigns each user an owner node,
+// check-ins ingested anywhere are forwarded to their owner's detector,
+// and /api/v1/alerts, /api/v1/quarantine and /api/v1/cluster serve the
+// merged cluster view from any node. -cluster-listen binds the
+// internal /cluster/v1 surface (heartbeats, forwarding, handoff) —
+// point it at a cluster-internal interface, it is unauthenticated.
+// The peer list must include this node's own ID so its advertised URL
+// is known; on shutdown the node leaves gracefully, handing its users'
+// detector and quarantine state to the surviving owners.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP server
 // drains, then the pipeline processes every queued event before final
 // stats print.
@@ -39,10 +55,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"locheat/internal/api"
+	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
@@ -79,8 +98,15 @@ func run(args []string) error {
 	quarThreshold := fs.Int("quarantine-threshold", 5, "alerts within -quarantine-window that trigger quarantine")
 	quarWindow := fs.Duration("quarantine-window", 10*time.Minute, "alert-counting window (event time)")
 	quarDuration := fs.Duration("quarantine-duration", time.Hour, "how long an auto-quarantine lasts")
+	clusterNode := fs.String("cluster-node", "", "this node's cluster ID (enables the partitioned ingest tier; needs -stream, -cluster-peers and -cluster-listen)")
+	clusterPeers := fs.String("cluster-peers", "", "static cluster members as ID=URL,... including this node")
+	clusterListen := fs.String("cluster-listen", "", "bind address for the internal /cluster/v1 surface (unauthenticated; keep it cluster-internal)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *clusterNode != "" && (!*streamOn || *clusterPeers == "" || *clusterListen == "") {
+		return fmt.Errorf("-cluster-node needs -stream, -cluster-peers and -cluster-listen")
 	}
 
 	fmt.Printf("generating world: %d users, %d venues (seed %d)...\n", *users, 3**users, *seed)
@@ -91,9 +117,17 @@ func run(args []string) error {
 		return err
 	}
 
+	// errc carries a fatal listener failure from either server (public
+	// or cluster-internal): a node that cannot bind its cluster surface
+	// must die loudly, not run half-joined — peers would mark it dead
+	// and take its users while it keeps detecting them locally.
+	errc := make(chan error, 2)
+
 	var pipeline *stream.Pipeline
 	var journal *store.AlertJournal
 	var policy *lbsn.QuarantinePolicy
+	var clusterN *cluster.Node
+	var clusterSrv *http.Server
 	if *streamOn {
 		if *streamBuffer <= 0 {
 			*streamBuffer = 1024 // keep the banner honest about the effective size
@@ -124,7 +158,45 @@ func run(args []string) error {
 			Clock:       clock,
 			Store:       alertStore,
 		})
-		svc.SetCheckinObserver(func(ev lbsn.CheckinEvent) { pipeline.Publish(ev) })
+		observer := func(ev lbsn.CheckinEvent) { pipeline.Publish(ev) }
+		if *clusterNode != "" {
+			peers, err := cluster.ParsePeers(*clusterPeers)
+			if err != nil {
+				return err
+			}
+			var self cluster.Member
+			for _, p := range peers {
+				if p.ID == *clusterNode {
+					self = p
+				}
+			}
+			if self.ID == "" {
+				return fmt.Errorf("cluster: -cluster-peers does not list this node %q (peers need the advertised URL of every member)", *clusterNode)
+			}
+			clusterN, err = cluster.NewNode(svc, pipeline, cluster.Config{
+				Self:  self,
+				Peers: peers,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				return err
+			}
+			clusterSrv = &http.Server{Addr: *clusterListen, Handler: clusterN.Handler()}
+			go func() {
+				if err := clusterSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					errc <- fmt.Errorf("cluster listener: %w", err)
+				}
+			}()
+			clusterN.Start()
+			// The cluster node sits between the service and the pipeline:
+			// it publishes locally-owned users and forwards the rest.
+			observer = func(ev lbsn.CheckinEvent) { clusterN.Ingest(ev) }
+			fmt.Printf("cluster node %q: internal surface on %s, %d peer(s), advertised as %s\n",
+				*clusterNode, *clusterListen, len(peers)-1, self.Addr)
+		}
+		svc.SetCheckinObserver(observer)
 		// Surface dead letters and alerts on the console; both reads are
 		// best-effort and never slow the pipeline down.
 		go func() {
@@ -155,6 +227,31 @@ func run(args []string) error {
 			len(pipeline.Stats().PerShard), *streamBuffer)
 	}
 
+	// Quarantine persistence: the active set snapshots to the journal
+	// dir on every change (and at shutdown), and reloads on start — a
+	// restarted daemon keeps denying flagged cheaters instead of giving
+	// them a free reset.
+	var saveQuarantines func()
+	if *journalDir != "" {
+		snapPath := filepath.Join(*journalDir, "quarantine.json")
+		recs, err := store.LoadQuarantineSnapshot(snapPath, clock.Now())
+		if err != nil {
+			// A corrupt snapshot costs the active set, not the daemon.
+			fmt.Fprintln(os.Stderr, "lbsnd:", err)
+		} else if n := svc.RestoreQuarantines(recs); n > 0 {
+			fmt.Printf("quarantine: %d active quarantine(s) restored from %s\n", n, snapPath)
+		}
+		var snapMu sync.Mutex
+		saveQuarantines = func() {
+			snapMu.Lock()
+			defer snapMu.Unlock()
+			if err := store.SaveQuarantineSnapshot(snapPath, svc.QuarantineRecords(nil), clock.Now()); err != nil {
+				fmt.Fprintln(os.Stderr, "lbsnd:", err)
+			}
+		}
+		svc.SetQuarantineListener(saveQuarantines)
+	}
+
 	var opts []web.Option
 	if *loginWall {
 		opts = append(opts, web.WithLoginWall())
@@ -179,6 +276,9 @@ func run(args []string) error {
 		if policy != nil {
 			apiSrv.AttachQuarantinePolicy(policy)
 		}
+		if clusterN != nil {
+			apiSrv.AttachCluster(clusterN)
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/api/v1/", apiSrv)
 		mux.Handle("/", site)
@@ -196,13 +296,21 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
 	select {
 	case err := <-errc:
+		if clusterN != nil {
+			clusterN.Shutdown() // hand users off even on a failed listen
+		}
+		if clusterSrv != nil {
+			clusterSrv.Close()
+		}
 		if pipeline != nil {
 			pipeline.Close()
+		}
+		if saveQuarantines != nil {
+			saveQuarantines()
 		}
 		if journal != nil {
 			if cerr := journal.Close(); cerr != nil {
@@ -223,6 +331,23 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "lbsnd: http shutdown:", err)
 		}
 	}
+	if clusterN != nil {
+		// Leave the cluster before closing the pipeline: the handoff
+		// exports detector state through the still-running shard workers,
+		// and the leave notice stops peers forwarding to us. The internal
+		// listener stays up through the handoff so in-flight forwards and
+		// peer rebalances can still land.
+		clusterN.Shutdown()
+		cst := clusterN.Status()
+		fmt.Printf("cluster: %d forwarded (%d dropped, %d errors), %d received; handed off %d users in %d bundles\n",
+			cst.Forward.Sent, cst.Forward.Dropped, cst.Forward.Errors,
+			cst.Ingest.Received, cst.Handoff.SentUsers, cst.Handoff.SentBundles)
+	}
+	if clusterSrv != nil {
+		if err := clusterSrv.Shutdown(shutdownCtx); err != nil {
+			clusterSrv.Close()
+		}
+	}
 	if pipeline != nil {
 		pipeline.Close() // drains every queued event through the detectors, then flushes the store
 		st := pipeline.Stats()
@@ -237,6 +362,9 @@ func run(args []string) error {
 			fmt.Printf("quarantine: %d triggered by policy, %d active, %d check-ins denied\n",
 				ps.Triggered, qs.Active, qs.DeniedCheckins)
 		}
+	}
+	if saveQuarantines != nil {
+		saveQuarantines() // final snapshot: quarantines survive the restart
 	}
 	if journal != nil {
 		if err := journal.Close(); err != nil {

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
 	"locheat/internal/store"
 	"locheat/internal/stream"
@@ -43,10 +44,17 @@ const (
 type AlertsResponse struct {
 	Alerts []store.Alert `json:"alerts"`
 	// Total counts every alert matching the filters, ignoring
-	// offset/limit.
+	// offset/limit — the post-filter match count. When the merged view
+	// served the request it is the cluster-wide count: the sum of
+	// per-node totals minus observed duplicates (an upper bound if
+	// cross-node duplicates hide beyond the fetched page windows; see
+	// internal/cluster/scatter.go).
 	Total  int `json:"total"`
 	Limit  int `json:"limit"`
 	Offset int `json:"offset"`
+	// Cluster is set when a cluster backend served the merged view; it
+	// says how many nodes contributed and whether the view is partial.
+	Cluster *cluster.MergeInfo `json:"cluster,omitempty"`
 }
 
 // QuarantineStatsResponse bundles the feedback-loop state: the
@@ -56,13 +64,17 @@ type QuarantineStatsResponse struct {
 	Policy  *lbsn.QuarantinePolicyStats `json:"policy,omitempty"`
 }
 
-// StreamStatsResponse is the GET /alerts/stats body.
+// StreamStatsResponse is the GET /alerts/stats body. The top-level
+// fields are always this node's own counters (rates and windows are
+// inherently local); Cluster adds the merged per-node counters and
+// cluster-wide totals when a cluster backend is attached.
 type StreamStatsResponse struct {
-	Pipeline   stream.Stats            `json:"pipeline"`
-	Store      store.AlertStoreStats   `json:"store"`
-	Rates      stream.Rates            `json:"rates"`
-	Windows    []stream.WindowStats    `json:"windows"`
-	Quarantine QuarantineStatsResponse `json:"quarantine"`
+	Pipeline   stream.Stats              `json:"pipeline"`
+	Store      store.AlertStoreStats     `json:"store"`
+	Rates      stream.Rates              `json:"rates"`
+	Windows    []stream.WindowStats      `json:"windows"`
+	Quarantine QuarantineStatsResponse   `json:"quarantine"`
+	Cluster    *cluster.ClusterStatsView `json:"cluster,omitempty"`
 }
 
 // AttachPipeline mounts the alert endpoints over p. Call once, before
@@ -154,16 +166,18 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	page, total := p.Alerts(q)
-	if page == nil {
-		page = []store.Alert{}
+	resp := AlertsResponse{Limit: q.Limit, Offset: q.Offset}
+	if b := s.clusterBackend(); b != nil && !scopeLocal(r) {
+		var info cluster.MergeInfo
+		resp.Alerts, resp.Total, info = b.ClusterAlerts(q)
+		resp.Cluster = &info
+	} else {
+		resp.Alerts, resp.Total = p.Alerts(q)
 	}
-	writeJSON(w, http.StatusOK, AlertsResponse{
-		Alerts: page,
-		Total:  total,
-		Limit:  q.Limit,
-		Offset: q.Offset,
-	})
+	if resp.Alerts == nil {
+		resp.Alerts = []store.Alert{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
@@ -184,6 +198,10 @@ func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
 	if pol != nil {
 		st := pol.Stats()
 		resp.Quarantine.Policy = &st
+	}
+	if b := s.clusterBackend(); b != nil && !scopeLocal(r) {
+		view := b.ClusterStats()
+		resp.Cluster = &view
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

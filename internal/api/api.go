@@ -47,6 +47,7 @@ type Server struct {
 	keys     map[string]bool // key -> active
 	pipeline *stream.Pipeline
 	policy   *lbsn.QuarantinePolicy
+	cluster  ClusterBackend
 
 	served   int
 	rejected int
@@ -71,6 +72,7 @@ func NewServer(svc *lbsn.Service) *Server {
 	mux.HandleFunc("/api/v1/alerts/stats", s.auth(s.handleAlertStats))
 	mux.HandleFunc("/api/v1/quarantine", s.auth(s.handleQuarantine))
 	mux.HandleFunc("/api/v1/quarantine/", s.auth(s.handleQuarantineUser))
+	mux.HandleFunc("/api/v1/cluster", s.auth(s.handleClusterStatus))
 	s.mux = mux
 	return s
 }

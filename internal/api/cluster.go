@@ -1,0 +1,84 @@
+package api
+
+import (
+	"net/http"
+
+	"locheat/internal/cluster"
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
+)
+
+// Cluster view: when the daemon runs as part of a partitioned ingest
+// tier (internal/cluster), the API's read surface stops being a
+// single-node window. With a backend attached:
+//
+//   - GET /api/v1/alerts      returns the merged cluster view — every
+//     node's matching alerts, deduped and time-ordered, with Total
+//     counting cluster-wide matches; ?scope=local bypasses the merge
+//     (debugging one node);
+//   - GET /api/v1/alerts/stats keeps its single-node body (the local
+//     pipeline's counters are still the most detailed view) and gains
+//     a `cluster` section: per-node pipeline/store/quarantine counters
+//     plus cluster-wide totals;
+//   - GET /api/v1/quarantine  returns the merged active set (per user,
+//     the latest-expiring verdict wins) with `X-Cluster-Nodes` /
+//     `X-Cluster-Failed` headers so a partial view during an outage is
+//     distinguishable from a complete one (the body stays a bare list
+//     for compatibility); POST and DELETE stay local to the node the
+//     operator addressed;
+//   - GET /api/v1/cluster     reports membership, ring, forwarding,
+//     handoff and scatter counters.
+//
+// Without a backend everything behaves exactly as before — clustering
+// is a deployment decision, not an API change.
+
+// ClusterBackend is what the API needs from the cluster tier;
+// *cluster.Node implements it. An interface so API tests can fake a
+// multi-node view without booting one.
+type ClusterBackend interface {
+	ClusterAlerts(q store.AlertQuery) ([]store.Alert, int, cluster.MergeInfo)
+	ClusterQuarantines() ([]lbsn.QuarantineView, cluster.MergeInfo)
+	ClusterStats() cluster.ClusterStatsView
+	Status() cluster.Status
+}
+
+var _ ClusterBackend = (*cluster.Node)(nil)
+
+// AttachCluster mounts the merged views over b. Call once, before
+// serving; nil keeps the API single-node.
+func (s *Server) AttachCluster(b ClusterBackend) {
+	s.mu.Lock()
+	s.cluster = b
+	s.mu.Unlock()
+}
+
+func (s *Server) clusterBackend() ClusterBackend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cluster
+}
+
+// scopeLocal reports whether the request opted out of the merged view.
+func scopeLocal(r *http.Request) bool {
+	return r.URL.Query().Get("scope") == "local"
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	b := s.clusterBackend()
+	if b == nil {
+		writeError(w, http.StatusServiceUnavailable, "not clustered (single-node deployment)")
+		return
+	}
+	writeJSON(w, http.StatusOK, b.Status())
+}
+
+// ClusterStatus fetches the cluster status (client side).
+func (c *Client) ClusterStatus() (cluster.Status, error) {
+	var out cluster.Status
+	err := c.do(http.MethodGet, "/api/v1/cluster", nil, &out)
+	return out, err
+}

@@ -1,0 +1,165 @@
+package api
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locheat/internal/cluster"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+)
+
+// fakeCluster is a canned ClusterBackend: the API's merged-view
+// plumbing can be tested without booting three daemons (the real
+// multi-node path is covered by internal/cluster's e2e test).
+type fakeCluster struct {
+	alerts []store.Alert
+	quar   []lbsn.QuarantineView
+	status cluster.Status
+	lastQ  store.AlertQuery
+}
+
+func (f *fakeCluster) ClusterAlerts(q store.AlertQuery) ([]store.Alert, int, cluster.MergeInfo) {
+	f.lastQ = q
+	page := store.PageAlerts(f.alerts, q.Offset, q.Limit)
+	return page, len(f.alerts), cluster.MergeInfo{Nodes: 3, Deduped: 1}
+}
+
+func (f *fakeCluster) ClusterQuarantines() ([]lbsn.QuarantineView, cluster.MergeInfo) {
+	return f.quar, cluster.MergeInfo{Nodes: 3}
+}
+
+func (f *fakeCluster) ClusterStats() cluster.ClusterStatsView {
+	return cluster.ClusterStatsView{
+		Totals: cluster.ClusterTotals{Alerts: uint64(len(f.alerts))},
+		Info:   cluster.MergeInfo{Nodes: 3},
+	}
+}
+
+func (f *fakeCluster) Status() cluster.Status { return f.status }
+
+func newClusterTestServer(t *testing.T, fc *fakeCluster) (*Client, *lbsn.Service, *stream.Pipeline) {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	p := stream.New(stream.Config{Shards: 1, Clock: clock})
+	t.Cleanup(p.Close)
+	srv := NewServer(svc)
+	srv.IssueKey("k")
+	srv.AttachPipeline(p)
+	if fc != nil {
+		srv.AttachCluster(fc)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, "k"), svc, p
+}
+
+func TestAlertsServeMergedClusterView(t *testing.T) {
+	at := simclock.Epoch().Add(time.Hour)
+	fc := &fakeCluster{
+		alerts: []store.Alert{
+			{Detector: "speed", UserID: 2, At: at.Add(time.Minute), Detail: "newer"},
+			{Detector: "speed", UserID: 1, At: at, Detail: "older"},
+		},
+		status: cluster.Status{Self: "n1", Ring: []string{"n1", "n2", "n3"}},
+	}
+	client, _, _ := newClusterTestServer(t, fc)
+
+	resp, err := client.AlertsPage(store.AlertQuery{Limit: 1, Offset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 2 {
+		t.Fatalf("merged total = %d, want cluster-wide 2", resp.Total)
+	}
+	if len(resp.Alerts) != 1 || resp.Alerts[0].UserID != 1 {
+		t.Fatalf("merged page = %v, want just user 1", resp.Alerts)
+	}
+	if resp.Cluster == nil || resp.Cluster.Nodes != 3 || resp.Cluster.Deduped != 1 {
+		t.Fatalf("merge info missing or wrong: %+v", resp.Cluster)
+	}
+	if fc.lastQ.Limit != 1 || fc.lastQ.Offset != 1 {
+		t.Fatalf("query not forwarded to backend: %+v", fc.lastQ)
+	}
+
+	st, err := client.ClusterStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != "n1" || len(st.Ring) != 3 {
+		t.Fatalf("cluster status = %+v", st)
+	}
+}
+
+func TestQuarantineServesMergedClusterView(t *testing.T) {
+	until := simclock.Epoch().Add(time.Hour)
+	fc := &fakeCluster{
+		quar: []lbsn.QuarantineView{{UserID: 9, Until: until, Source: lbsn.QuarantineSourcePolicy}},
+	}
+	client, svc, _ := newClusterTestServer(t, fc)
+	// Local state is empty; the merged view still lists the remote
+	// node's quarantine.
+	if got := svc.QuarantinedUsers(); len(got) != 0 {
+		t.Fatalf("local quarantines = %v", got)
+	}
+	list, err := client.QuarantineList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].UserID != 9 {
+		t.Fatalf("merged quarantine list = %v", list)
+	}
+}
+
+func TestClusterStatusWithoutBackend(t *testing.T) {
+	client, _, _ := newClusterTestServer(t, nil)
+	if _, err := client.ClusterStatus(); err == nil {
+		t.Fatal("cluster status served on a single-node deployment")
+	}
+}
+
+// TestAlertsTotalIsPostFilterCount pins the pagination contract: Total
+// counts every alert matching the FILTERS, not the page slice — a
+// client paging with limit must see a stable total. (Regression guard:
+// the merged view reports cluster-wide totals through the same field.)
+func TestAlertsTotalIsPostFilterCount(t *testing.T) {
+	client, _, p := newClusterTestServer(t, nil)
+	at := simclock.Epoch().Add(time.Hour)
+	for i := 0; i < 10; i++ {
+		det := "speed"
+		if i%2 == 1 {
+			det = "cheater-code"
+		}
+		if err := p.AlertStore().Append(store.Alert{
+			Detector: det,
+			UserID:   uint64(i + 1),
+			VenueID:  uint64(i + 101),
+			At:       at.Add(time.Duration(i) * time.Minute),
+			Detail:   "t",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := client.AlertsPage(store.AlertQuery{Detector: "speed", Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Alerts) != 2 {
+		t.Fatalf("page = %d alerts, want 2", len(resp.Alerts))
+	}
+	if resp.Total != 5 {
+		t.Fatalf("total = %d, want 5 (post-filter count, not the page size)", resp.Total)
+	}
+	// Deeper page: same total, different alerts.
+	resp2, err := client.AlertsPage(store.AlertQuery{Detector: "speed", Limit: 2, Offset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Total != 5 || len(resp2.Alerts) != 2 || resp2.Alerts[0].UserID == resp.Alerts[0].UserID {
+		t.Fatalf("offset page wrong: total=%d alerts=%v", resp2.Total, resp2.Alerts)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
 )
 
@@ -42,7 +43,21 @@ type QuarantineResponse struct {
 func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		list := s.svc.QuarantinedUsers()
+		var list []lbsn.QuarantineView
+		if b := s.clusterBackend(); b != nil && !scopeLocal(r) {
+			// Merged cluster view: one entry per user across every live
+			// node, the latest-expiring verdict winning. The body stays a
+			// bare list for client compatibility; the headers say whether
+			// the view is partial (an unreachable peer's quarantines are
+			// missing, which an auditor must be able to tell apart from
+			// "none exist").
+			var info cluster.MergeInfo
+			list, info = b.ClusterQuarantines()
+			w.Header().Set("X-Cluster-Nodes", strconv.Itoa(info.Nodes))
+			w.Header().Set("X-Cluster-Failed", strconv.Itoa(info.Failed))
+		} else {
+			list = s.svc.QuarantinedUsers()
+		}
 		if list == nil {
 			list = []lbsn.QuarantineView{}
 		}

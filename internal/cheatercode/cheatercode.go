@@ -215,6 +215,43 @@ func (d *Detector) EvictIdle(olderThan time.Time) int {
 	return n
 }
 
+// ExportUsers removes and returns the accepted-check-in history of
+// every user for whom leaving reports true. This is the detector's half
+// of a cluster shard handoff: the history migrates to the user's new
+// owner so the rules keep their comparison baseline across the move.
+func (d *Detector) ExportUsers(leaving func(user uint64) bool) map[uint64][]Observation {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[uint64][]Observation)
+	for u, hist := range d.history {
+		if !leaving(u) {
+			continue
+		}
+		if len(hist) > 0 {
+			out[u] = hist
+		}
+		delete(d.history, u)
+	}
+	return out
+}
+
+// ImportUser installs history exported by another detector. Existing
+// local history wins — it postdates the export.
+func (d *Detector) ImportUser(user uint64, hist []Observation) {
+	if len(hist) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.history[user]) > 0 {
+		return
+	}
+	if len(hist) > d.limit {
+		hist = hist[len(hist)-d.limit:]
+	}
+	d.history[user] = hist
+}
+
 // TrackedUsers reports how many users currently have retained history
 // — the quantity EvictIdle bounds.
 func (d *Detector) TrackedUsers() int {

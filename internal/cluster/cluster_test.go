@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"locheat/internal/simclock"
+)
+
+// pingServer is a minimal peer: answers /cluster/v1/ping with its ID.
+func pingServer(t *testing.T, id string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(PingResponse{Node: id})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestMembershipFailureAndRevival(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	peer := pingServer(t, "p1")
+	var transitions int
+	m := NewMembership(
+		Member{ID: "self", Addr: "http://unused"},
+		[]Member{{ID: "p1", Addr: peer.URL}, {ID: "self", Addr: "http://unused"}},
+		MembershipConfig{HeartbeatEvery: time.Second, FailAfter: 3 * time.Second, Clock: clock},
+	)
+	m.OnChange(func() { transitions++ })
+
+	if got := len(m.Live()); got != 2 {
+		t.Fatalf("live = %d, want 2 (self is never in peers twice)", got)
+	}
+	m.Tick()
+	if len(m.LivePeers()) != 1 {
+		t.Fatal("healthy peer dropped")
+	}
+
+	// Peer goes silent: not dead until FailAfter elapses.
+	peer.Close()
+	clock.Advance(2 * time.Second)
+	m.Tick()
+	if len(m.LivePeers()) != 1 {
+		t.Fatal("peer declared dead before FailAfter")
+	}
+	clock.Advance(2 * time.Second)
+	m.Tick()
+	if len(m.LivePeers()) != 0 {
+		t.Fatal("silent peer still live past FailAfter")
+	}
+	if transitions != 1 {
+		t.Fatalf("transitions = %d, want 1", transitions)
+	}
+
+	// A leave notice is immediate, no failure window. (Peer already
+	// dead here; MarkLeft on a dead peer changes nothing.)
+	m.MarkLeft("p1")
+	if transitions != 1 {
+		t.Fatal("MarkLeft on dead peer fired onChange")
+	}
+}
+
+func TestMembershipMarkLeftImmediate(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	peer := pingServer(t, "p1")
+	fired := 0
+	m := NewMembership(Member{ID: "self"}, []Member{{ID: "p1", Addr: peer.URL}},
+		MembershipConfig{Clock: clock})
+	m.OnChange(func() { fired++ })
+	m.MarkLeft("p1")
+	if len(m.LivePeers()) != 0 || fired != 1 {
+		t.Fatalf("leave not immediate: peers=%d fired=%d", len(m.LivePeers()), fired)
+	}
+	// The leaver comes back: one heartbeat revives it.
+	m.Tick()
+	if len(m.LivePeers()) != 1 || fired != 2 {
+		t.Fatalf("returned leaver not revived: peers=%d fired=%d", len(m.LivePeers()), fired)
+	}
+}
+
+func TestMembershipRejectsImpostor(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	impostor := pingServer(t, "someone-else")
+	m := NewMembership(Member{ID: "self"}, []Member{{ID: "p1", Addr: impostor.URL}},
+		MembershipConfig{HeartbeatEvery: time.Second, FailAfter: 2 * time.Second, Clock: clock})
+	clock.Advance(3 * time.Second)
+	m.Tick()
+	if len(m.LivePeers()) != 0 {
+		t.Fatal("peer answering with the wrong node ID kept alive")
+	}
+}
+
+func TestForwarderBatchesAndDrains(t *testing.T) {
+	var mu sync.Mutex
+	var batches []IngestBatch
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b IngestBatch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			t.Errorf("bad batch: %v", err)
+		}
+		mu.Lock()
+		batches = append(batches, b)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(IngestAck{Accepted: len(b.Events)})
+	}))
+	defer srv.Close()
+
+	f := NewForwarder("src", ForwarderConfig{BatchSize: 3, FlushEvery: time.Hour, QueueSize: 64})
+	for i := 0; i < 7; i++ {
+		if !f.Enqueue(srv.URL, WireEvent{User: uint64(i + 1)}) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	f.Flush()
+	f.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	var users []uint64
+	for _, b := range batches {
+		if b.From != "src" {
+			t.Fatalf("batch From = %q", b.From)
+		}
+		if len(b.Events) > 3 {
+			t.Fatalf("batch of %d exceeds BatchSize", len(b.Events))
+		}
+		total += len(b.Events)
+		for _, ev := range b.Events {
+			users = append(users, ev.User)
+		}
+	}
+	if total != 7 {
+		t.Fatalf("delivered %d events, want 7", total)
+	}
+	for i, u := range users {
+		if u != uint64(i+1) {
+			t.Fatalf("order broken: %v", users)
+		}
+	}
+	st := f.Stats()
+	if st.Enqueued != 7 || st.Sent != 7 || st.Dropped != 0 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestForwarderDropOnFull(t *testing.T) {
+	release := make(chan struct{})
+	got := make(chan struct{}, 16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got <- struct{}{}
+		<-release
+		_ = json.NewEncoder(w).Encode(IngestAck{})
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	f := NewForwarder("src", ForwarderConfig{BatchSize: 1, FlushEvery: time.Hour, QueueSize: 2})
+	defer f.Close()
+	// First event: picked up by the sender, which blocks in the POST.
+	if !f.Enqueue(srv.URL, WireEvent{User: 1}) {
+		t.Fatal("enqueue 1 refused")
+	}
+	<-got // sender is now stuck in the handler
+	// Two more fill the queue; the fourth must drop, not block.
+	f.Enqueue(srv.URL, WireEvent{User: 2})
+	f.Enqueue(srv.URL, WireEvent{User: 3})
+	done := make(chan bool, 1)
+	go func() { done <- f.Enqueue(srv.URL, WireEvent{User: 4}) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("4th enqueue accepted past a full queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("enqueue blocked on a full queue")
+	}
+	if st := f.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestForwarderCountsErrors(t *testing.T) {
+	f := NewForwarder("src", ForwarderConfig{BatchSize: 1, FlushEvery: time.Hour, QueueSize: 8})
+	f.Enqueue("http://127.0.0.1:1", WireEvent{User: 1}) // nothing listens there
+	f.Flush()
+	f.Close()
+	if st := f.Stats(); st.Errors == 0 {
+		t.Fatalf("unreachable peer produced no error: %+v", st)
+	}
+}

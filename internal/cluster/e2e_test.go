@@ -1,0 +1,437 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+)
+
+// testNode is one in-process cluster member: service + pipeline + node
+// + internal HTTP listener, the same wiring cmd/lbsnd does.
+type testNode struct {
+	id       string
+	svc      *lbsn.Service
+	pipeline *stream.Pipeline
+	node     *Node
+	srv      *httptest.Server
+	clock    *simclock.Simulated
+}
+
+// lateHandler lets the httptest server exist before the Node whose
+// handler it serves (the node needs the server's URL as its address).
+type lateHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h = h
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.RLock()
+	h := l.h
+	l.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// startCluster brings up n nodes with identical synthetic populations
+// (the same user/venue IDs exist everywhere, as seeded lbsnd instances
+// would have).
+func startCluster(t *testing.T, ids []string, users int) map[string]*testNode {
+	t.Helper()
+	type boot struct {
+		late *lateHandler
+		srv  *httptest.Server
+	}
+	boots := make(map[string]*boot, len(ids))
+	var peers []Member
+	for _, id := range ids {
+		late := &lateHandler{}
+		srv := httptest.NewServer(late)
+		t.Cleanup(srv.Close)
+		boots[id] = &boot{late: late, srv: srv}
+		peers = append(peers, Member{ID: id, Addr: srv.URL})
+	}
+
+	nodes := make(map[string]*testNode, len(ids))
+	for _, id := range ids {
+		clock := simclock.NewSimulated(simclock.Epoch())
+		svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+		for u := 0; u < users; u++ {
+			svc.RegisterUser("user", "", "SF")
+		}
+		pipeline := stream.New(stream.Config{Shards: 2, Clock: clock})
+		node, err := NewNode(svc, pipeline, Config{
+			Self:  Member{ID: id, Addr: boots[id].srv.URL},
+			Peers: peers,
+			Forward: ForwarderConfig{
+				BatchSize:  1, // immediate delivery keeps the test event-driven
+				FlushEvery: 5 * time.Millisecond,
+			},
+			Membership: MembershipConfig{
+				HeartbeatEvery: 100 * time.Millisecond,
+				FailAfter:      300 * time.Millisecond,
+				Clock:          clock,
+			},
+			Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		boots[id].late.set(node.Handler())
+		tn := &testNode{id: id, svc: svc, pipeline: pipeline, node: node, srv: boots[id].srv, clock: clock}
+		nodes[id] = tn
+		t.Cleanup(pipeline.Close)
+	}
+	return nodes
+}
+
+// userOwnedBy finds a registered user the ring assigns to owner.
+func userOwnedBy(t *testing.T, n *Node, owner string, maxUser int) uint64 {
+	t.Helper()
+	for u := uint64(1); u <= uint64(maxUser); u++ {
+		if n.Owner(u) == owner {
+			return u
+		}
+	}
+	t.Fatalf("no user owned by %s in 1..%d", owner, maxUser)
+	return 0
+}
+
+func clusterEvent(user uint64, at time.Time, loc geo.Point) lbsn.CheckinEvent {
+	return lbsn.CheckinEvent{
+		UserID:   lbsn.UserID(user),
+		VenueID:  lbsn.VenueID(user + 1000),
+		At:       at,
+		Venue:    loc,
+		Reported: loc,
+		Accepted: true,
+	}
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestThreeNodeClusterEndToEnd is the acceptance scenario: a check-in
+// ingested at a non-owner node is detected on the owner and appears,
+// correctly ordered and deduped, in the merged view of a third node;
+// a graceful departure hands detector and quarantine state to the new
+// owner without losing either.
+func TestThreeNodeClusterEndToEnd(t *testing.T) {
+	const users = 300
+	nodes := startCluster(t, []string{"n1", "n2", "n3"}, users)
+	n1, n2, n3 := nodes["n1"], nodes["n2"], nodes["n3"]
+
+	user := userOwnedBy(t, n1.node, "n2", users)
+	t0 := simclock.Epoch()
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+
+	// Every node must agree on ownership or forwarding loops.
+	for _, tn := range nodes {
+		if got := tn.node.Owner(user); got != "n2" {
+			t.Fatalf("node %s says owner of %d is %s, want n2", tn.id, user, got)
+		}
+	}
+
+	// Ingest at n1 (a non-owner): SF, then NY ten minutes later —
+	// impossible travel the OWNER's pipeline must flag.
+	if n1.node.Ingest(clusterEvent(user, t0, sf)) == false {
+		t.Fatal("ingest refused")
+	}
+	n1.node.Ingest(clusterEvent(user, t0.Add(10*time.Minute), ny))
+
+	// The alert lands on n2 (the owner), nowhere else.
+	eventually(t, "speed alert on owner n2", func() bool {
+		_, total := n2.pipeline.Alerts(store.AlertQuery{UserID: user, Detector: stream.StageSpeed})
+		return total > 0
+	})
+	if _, total := n1.pipeline.Alerts(store.AlertQuery{UserID: user}); total != 0 {
+		t.Fatal("non-owner n1 kept local alerts for a forwarded user")
+	}
+
+	// The merged view from n3 — a node that neither ingested nor
+	// detected — shows the alert.
+	page, total, info := n3.node.ClusterAlerts(store.AlertQuery{UserID: user, Limit: 10})
+	if total < 1 || len(page) < 1 {
+		t.Fatalf("merged view from n3: total=%d page=%d", total, len(page))
+	}
+	if info.Nodes != 3 || info.Failed != 0 {
+		t.Fatalf("merge info = %+v, want all 3 nodes", info)
+	}
+	for i := 1; i < len(page); i++ {
+		if page[i].At.After(page[i-1].At) {
+			t.Fatalf("merged page out of order at %d: %v", i, page)
+		}
+	}
+
+	// Merged pagination is consistent: page size 1 at offsets 0..total-1
+	// walks distinct alerts, and totals stay fixed.
+	_, allTotal, _ := n3.node.ClusterAlerts(store.AlertQuery{})
+	seen := make(map[store.AlertKey]bool)
+	for off := 0; off < allTotal; off++ {
+		p, tot, _ := n3.node.ClusterAlerts(store.AlertQuery{Limit: 1, Offset: off})
+		if tot != allTotal {
+			t.Fatalf("total drifted while paging: %d vs %d", tot, allTotal)
+		}
+		if len(p) != 1 {
+			t.Fatalf("page at offset %d has %d alerts", off, len(p))
+		}
+		if seen[store.KeyOf(p[0])] {
+			t.Fatalf("alert repeated across pages: %+v", p[0])
+		}
+		seen[store.KeyOf(p[0])] = true
+	}
+
+	// Quarantine the user on the owner; the merged quarantine view is
+	// visible from any node.
+	if err := n2.svc.Quarantine(lbsn.UserID(user), time.Hour, "cluster test", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	merged, qinfo := n1.node.ClusterQuarantines()
+	if len(merged) != 1 || uint64(merged[0].UserID) != user || qinfo.Nodes != 3 {
+		t.Fatalf("merged quarantines from n1 = %v (info %+v)", merged, qinfo)
+	}
+
+	// ---- Membership change: n2 departs gracefully. ----
+	n2.node.Shutdown()
+
+	// Peers saw the leave notice and rebuilt their rings without n2.
+	eventually(t, "ring without n2 on n1 and n3", func() bool {
+		return n1.node.Owner(user) != "n2" && n3.node.Owner(user) != "n2" &&
+			n1.node.Owner(user) == n3.node.Owner(user)
+	})
+	newOwner := nodes[n1.node.Owner(user)]
+	t.Logf("user %d moved n2 → %s", user, newOwner.id)
+
+	// Quarantine survived the handoff: the new owner denies locally and
+	// the merged view still lists the user.
+	eventually(t, "quarantine on new owner", func() bool {
+		return newOwner.svc.IsQuarantined(lbsn.UserID(user))
+	})
+	merged, _ = n1.node.ClusterQuarantines()
+	if len(merged) != 1 || uint64(merged[0].UserID) != user {
+		t.Fatalf("merged quarantines after handoff = %v", merged)
+	}
+
+	// Detector state survived: the user's last known position (NY) was
+	// handed to the new owner, so an SF claim 10 minutes later is
+	// impossible travel ON THE FIRST POST-HANDOFF EVENT.
+	before := func() int {
+		_, n := newOwner.pipeline.Alerts(store.AlertQuery{UserID: user, Detector: stream.StageSpeed})
+		return n
+	}()
+	n1.node.Ingest(clusterEvent(user, t0.Add(20*time.Minute), sf))
+	eventually(t, "post-handoff speed alert on new owner", func() bool {
+		return before < func() int {
+			_, n := newOwner.pipeline.Alerts(store.AlertQuery{UserID: user, Detector: stream.StageSpeed})
+			return n
+		}()
+	})
+
+	// The departed node's alerts are gone from the merged view (its
+	// store left with it), but the new owner's replacement detection
+	// keeps the user visible.
+	_, totalAfter, infoAfter := n3.node.ClusterAlerts(store.AlertQuery{UserID: user})
+	if totalAfter < 1 {
+		t.Fatal("user vanished from merged view after departure")
+	}
+	if infoAfter.Nodes != 2 {
+		t.Fatalf("merge after departure spans %d nodes, want 2", infoAfter.Nodes)
+	}
+}
+
+// TestLeavingNodeNotRevivedByHeartbeat pins the shutdown race fix: a
+// node that announced its leave answers pings unhealthy, so a
+// survivor's heartbeat landing inside the handoff window must NOT
+// revive it (reviving would route fresh events — and rebalanced state
+// — to a node about to vanish).
+func TestLeavingNodeNotRevivedByHeartbeat(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, 50)
+	na, nb := nodes["a"], nodes["b"]
+	nb.node.Shutdown() // leave notice lands on a; b's listener is still up
+	if got := len(na.node.Membership().LivePeers()); got != 0 {
+		t.Fatalf("a still sees %d live peers after b's leave notice", got)
+	}
+	// The heartbeat that raced the leave: b's server still answers HTTP,
+	// but as leaving it must refuse to look healthy.
+	na.node.Tick()
+	if got := len(na.node.Membership().LivePeers()); got != 0 {
+		t.Fatal("heartbeat revived a leaving node mid-handoff")
+	}
+	if owner := na.node.Owner(7); owner != "a" {
+		t.Fatalf("user 7 owned by %s after b left, want a", owner)
+	}
+	// A handoff bundle landing on the leaver after its final export must
+	// be refused (503), not swallowed: the sender needs a send error,
+	// not a phantom success for state that dies with the receiver.
+	resp, err := http.Post(nb.srv.URL+"/cluster/v1/handoff", "application/json",
+		strings.NewReader(`{"from":"a","users":{"7":{}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("handoff to a leaving node answered %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestClusterStatsMerged covers the merged stats view: per-node rows,
+// summed totals, and partial-view accounting.
+func TestClusterStatsMerged(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, 50)
+	na, nb := nodes["a"], nodes["b"]
+	// One local event on each node's own pipeline.
+	na.pipeline.Publish(clusterEvent(1, simclock.Epoch(), geo.Point{Lat: 37.77, Lon: -122.42}))
+	nb.pipeline.Publish(clusterEvent(2, simclock.Epoch(), geo.Point{Lat: 37.77, Lon: -122.42}))
+	eventually(t, "both pipelines processed", func() bool {
+		return na.pipeline.Stats().Processed == 1 && nb.pipeline.Stats().Processed == 1
+	})
+	view := na.node.ClusterStats()
+	if view.Info.Nodes != 2 || len(view.Nodes) != 2 {
+		t.Fatalf("stats view spans %d nodes (%d rows), want 2", view.Info.Nodes, len(view.Nodes))
+	}
+	if view.Nodes[0].Node != "a" || view.Nodes[1].Node != "b" {
+		t.Fatalf("node rows unsorted: %s, %s", view.Nodes[0].Node, view.Nodes[1].Node)
+	}
+	if view.Totals.Published != 2 || view.Totals.Processed != 2 {
+		t.Fatalf("totals = %+v, want published/processed 2", view.Totals)
+	}
+	// Kill b: the view degrades, visibly.
+	nb.srv.Close()
+	view = na.node.ClusterStats()
+	if view.Info.Nodes != 1 || view.Info.Failed != 1 {
+		t.Fatalf("degraded stats info = %+v, want nodes=1 failed=1", view.Info)
+	}
+}
+
+// TestClusterMergedViewDedupes exercises the duplicate path directly:
+// the same alert journaled on two nodes (post-handoff replay) appears
+// once, and the cluster-wide total discounts it.
+func TestClusterMergedViewDedupes(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, 10)
+	na, nb := nodes["a"], nodes["b"]
+	at := simclock.Epoch().Add(time.Hour)
+	dup := store.Alert{Detector: "speed", UserID: 4, VenueID: 44, At: at, Detail: "dup"}
+	only := store.Alert{Detector: "speed", UserID: 5, VenueID: 55, At: at.Add(time.Minute), Detail: "solo"}
+	if err := na.pipeline.AlertStore().Append(dup); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.pipeline.AlertStore().Append(dup); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.pipeline.AlertStore().Append(only); err != nil {
+		t.Fatal(err)
+	}
+	page, total, info := na.node.ClusterAlerts(store.AlertQuery{Limit: 10})
+	if total != 2 || len(page) != 2 {
+		t.Fatalf("merged total=%d page=%d, want 2/2 (dedupe failed)", total, len(page))
+	}
+	if info.Deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", info.Deduped)
+	}
+	if page[0].UserID != 5 || page[1].UserID != 4 {
+		t.Fatalf("merged order wrong: %v", page)
+	}
+}
+
+// TestClusterSurvivesPeerCrash checks the heartbeat path (no graceful
+// leave): a killed peer falls out after FailAfter and queries degrade
+// to a partial view instead of failing.
+func TestClusterSurvivesPeerCrash(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, 50)
+	na, nb := nodes["a"], nodes["b"]
+
+	nb.srv.Close() // crash: no leave notice
+	na.clock.Advance(time.Second)
+	na.node.Tick()
+	eventually(t, "b dropped from a's ring", func() bool {
+		na.clock.Advance(time.Second)
+		na.node.Tick()
+		return len(na.node.Membership().LivePeers()) == 0
+	})
+
+	// Every user is now a's; ingest keeps working locally.
+	user := uint64(7)
+	if na.node.Owner(user) != "a" {
+		t.Fatal("survivor does not own the full ring")
+	}
+	if !na.node.Ingest(clusterEvent(user, simclock.Epoch(), geo.Point{Lat: 37.77, Lon: -122.42})) {
+		t.Fatal("local ingest refused after peer crash")
+	}
+	_, _, info := na.node.ClusterAlerts(store.AlertQuery{})
+	if info.Nodes != 1 {
+		t.Fatalf("crashed peer still in scatter set: %+v", info)
+	}
+}
+
+// TestForwardLatencyMeasured measures the cross-node detection
+// latency an operator actually experiences: from ingesting the
+// alert-triggering claim at a NON-owner node to the alert being
+// queryable on the owner. Logged, not asserted — absolute numbers are
+// hardware-bound; EXPERIMENTS.md records a reference run.
+func TestForwardLatencyMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency measurement")
+	}
+	const users = 400
+	nodes := startCluster(t, []string{"a", "b"}, users)
+	na, nb := nodes["a"], nodes["b"]
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+	t0 := simclock.Epoch()
+
+	var owned []uint64
+	for u := uint64(1); u <= users && len(owned) < 60; u++ {
+		if na.node.Owner(u) == "b" {
+			owned = append(owned, u)
+		}
+	}
+	var samples []time.Duration
+	for i, user := range owned {
+		at := t0.Add(time.Duration(i) * time.Hour)
+		na.node.Ingest(clusterEvent(user, at, sf))
+		start := time.Now()
+		na.node.Ingest(clusterEvent(user, at.Add(10*time.Minute), ny))
+		for {
+			if _, total := nb.pipeline.Alerts(store.AlertQuery{UserID: user, Detector: stream.StageSpeed}); total > 0 {
+				break
+			}
+			if time.Since(start) > 10*time.Second {
+				t.Fatalf("no alert for user %d", user)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		samples = append(samples, time.Since(start))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	t.Logf("forward→detect→queryable latency over %d samples: p50=%s p90=%s max=%s",
+		len(samples), samples[len(samples)/2], samples[len(samples)*9/10], samples[len(samples)-1])
+}

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ForwarderConfig tunes the cross-node ingest path. Zero values take
+// defaults.
+type ForwarderConfig struct {
+	// QueueSize bounds each peer's event queue (default 4096). A full
+	// queue drops the event — forwarding never blocks the check-in path,
+	// the same contract internal/stream gives its producer.
+	QueueSize int
+	// BatchSize caps events per POST (default 128). The sender also
+	// flushes a partial batch after FlushEvery of wall time so a trickle
+	// of events is not held hostage to batch economics.
+	BatchSize int
+	// FlushEvery is the partial-batch flush interval (default 50ms).
+	FlushEvery time.Duration
+	// HTTP posts the batches (default a client with a 5s timeout).
+	HTTP *http.Client
+	// Logf receives forwarding errors. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c ForwarderConfig) withDefaults() ForwarderConfig {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 50 * time.Millisecond
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ForwardStats is the forwarder's counter snapshot.
+type ForwardStats struct {
+	// Enqueued counts events accepted into a peer queue; Dropped counts
+	// events refused by a full queue (never blocks, always counts).
+	Enqueued uint64 `json:"enqueued"`
+	Dropped  uint64 `json:"dropped"`
+	// Batches/Events count successful POSTs and the events they carried.
+	Batches uint64 `json:"batches"`
+	Sent    uint64 `json:"sent"`
+	// Errors counts failed POSTs; their events are lost (the owner can
+	// re-derive detector state from subsequent traffic, and at-least-
+	// once delivery would need an outbox this tier deliberately avoids).
+	Errors uint64 `json:"errors"`
+	// RemoteDropped sums the Dropped numbers peers reported in acks: the
+	// events arrived but the owner's shard queue was full.
+	RemoteDropped uint64 `json:"remoteDropped"`
+}
+
+// peerQueue is one destination's bounded queue plus its sender
+// goroutine's lifecycle.
+type peerQueue struct {
+	addr string
+	ch   chan WireEvent
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Forwarder ships events to their owner nodes in batches. Queues are
+// created lazily per destination address and live until Close; a dead
+// peer's queue just accumulates errors (and drops once full), which is
+// cheaper than churning goroutines on every membership flap.
+type Forwarder struct {
+	self string
+	cfg  ForwarderConfig
+
+	mu     sync.Mutex
+	queues map[string]*peerQueue
+	closed bool
+
+	enqueued      atomic.Uint64
+	dropped       atomic.Uint64
+	batches       atomic.Uint64
+	sent          atomic.Uint64
+	errors        atomic.Uint64
+	remoteDropped atomic.Uint64
+}
+
+// NewForwarder builds a forwarder identifying itself as self in batch
+// envelopes.
+func NewForwarder(self string, cfg ForwarderConfig) *Forwarder {
+	return &Forwarder{
+		self:   self,
+		cfg:    cfg.withDefaults(),
+		queues: make(map[string]*peerQueue),
+	}
+}
+
+// Enqueue offers one event for delivery to the peer at addr. Never
+// blocks: a full queue (or a closed forwarder) drops the event and
+// returns false.
+func (f *Forwarder) Enqueue(addr string, ev WireEvent) bool {
+	q := f.queue(addr)
+	if q == nil {
+		f.dropped.Add(1)
+		return false
+	}
+	select {
+	case q.ch <- ev:
+		f.enqueued.Add(1)
+		return true
+	default:
+		f.dropped.Add(1)
+		return false
+	}
+}
+
+// queue returns (creating if needed) the peer queue for addr.
+func (f *Forwarder) queue(addr string) *peerQueue {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	if q, ok := f.queues[addr]; ok {
+		return q
+	}
+	q := &peerQueue{
+		addr: addr,
+		ch:   make(chan WireEvent, f.cfg.QueueSize),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	f.queues[addr] = q
+	go f.send(q)
+	return q
+}
+
+// send is one peer's sender loop: batch up to BatchSize, flush partial
+// batches every FlushEvery, drain what remains on stop.
+func (f *Forwarder) send(q *peerQueue) {
+	defer close(q.done)
+	t := time.NewTicker(f.cfg.FlushEvery)
+	defer t.Stop()
+	batch := make([]WireEvent, 0, f.cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		f.post(q.addr, batch)
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case ev := <-q.ch:
+			batch = append(batch, ev)
+			if len(batch) >= f.cfg.BatchSize {
+				flush()
+			}
+		case <-t.C:
+			flush()
+		case <-q.stop:
+			// Final drain: whatever made it into the queue is flushed
+			// before shutdown so a graceful exit loses nothing it accepted.
+			for {
+				select {
+				case ev := <-q.ch:
+					batch = append(batch, ev)
+					if len(batch) >= f.cfg.BatchSize {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// post ships one batch; errors are counted, logged and final.
+func (f *Forwarder) post(addr string, batch []WireEvent) {
+	body, err := json.Marshal(IngestBatch{From: f.self, Events: batch})
+	if err != nil {
+		f.errors.Add(1)
+		return
+	}
+	resp, err := f.cfg.HTTP.Post(addr+"/cluster/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		f.errors.Add(1)
+		f.cfg.Logf("cluster: forward to %s failed: %v (%d events lost)", addr, err, len(batch))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		f.errors.Add(1)
+		f.cfg.Logf("cluster: forward to %s: status %d (%d events lost)", addr, resp.StatusCode, len(batch))
+		return
+	}
+	var ack IngestAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err == nil {
+		f.remoteDropped.Add(uint64(ack.Dropped))
+	}
+	f.batches.Add(1)
+	f.sent.Add(uint64(len(batch)))
+}
+
+// Flush synchronously delivers everything currently enqueued by
+// stopping and restarting each sender around a drain. It exists for
+// tests and shutdown paths; the steady state never calls it.
+func (f *Forwarder) Flush() {
+	f.mu.Lock()
+	queues := make([]*peerQueue, 0, len(f.queues))
+	for _, q := range f.queues {
+		queues = append(queues, q)
+	}
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, q := range queues {
+		close(q.stop)
+		<-q.done
+	}
+	f.mu.Lock()
+	for _, q := range queues {
+		nq := &peerQueue{
+			addr: q.addr,
+			ch:   q.ch, // keep the channel: events enqueued mid-flush survive
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		f.queues[q.addr] = nq
+		go f.send(nq)
+	}
+	f.mu.Unlock()
+}
+
+// Stats snapshots the forwarding counters.
+func (f *Forwarder) Stats() ForwardStats {
+	return ForwardStats{
+		Enqueued:      f.enqueued.Load(),
+		Dropped:       f.dropped.Load(),
+		Batches:       f.batches.Load(),
+		Sent:          f.sent.Load(),
+		Errors:        f.errors.Load(),
+		RemoteDropped: f.remoteDropped.Load(),
+	}
+}
+
+// Close stops every sender after a final drain. Idempotent.
+func (f *Forwarder) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	queues := make([]*peerQueue, 0, len(f.queues))
+	for _, q := range f.queues {
+		queues = append(queues, q)
+	}
+	f.mu.Unlock()
+	for _, q := range queues {
+		close(q.stop)
+		<-q.done
+	}
+}

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"locheat/internal/simclock"
+)
+
+// Member is one node of the static cluster definition: a stable ID and
+// the base URL of its internal /cluster/v1 listener (scheme://host:port,
+// no trailing slash).
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// MembershipConfig tunes failure detection. Zero values take defaults.
+type MembershipConfig struct {
+	// HeartbeatEvery is the probe interval (default 1s).
+	HeartbeatEvery time.Duration
+	// FailAfter marks a peer dead after this long without a successful
+	// probe (default 3×HeartbeatEvery). Probes also revive: a dead peer
+	// that answers again rejoins the ring.
+	FailAfter time.Duration
+	// Timeout bounds one probe (default HeartbeatEvery).
+	Timeout time.Duration
+	// Clock supplies probe timestamps; simulated clocks make failure
+	// detection deterministic in tests. Default wall clock.
+	Clock simclock.Clock
+	// HTTP issues the probes (default http.DefaultClient with Timeout).
+	HTTP *http.Client
+	// Logf receives membership transitions. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c MembershipConfig) withDefaults() MembershipConfig {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3 * c.HeartbeatEvery
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.HeartbeatEvery
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.Real{}
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: c.Timeout}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// peerState tracks one peer's liveness.
+type peerState struct {
+	member   Member
+	alive    bool
+	left     bool // graceful leave: stays down until it heartbeats back
+	lastSeen time.Time
+}
+
+// Membership keeps the static peer list live with heartbeats. The
+// member set never grows beyond the configured list — this is
+// static-with-heartbeats, not gossip discovery — but members fall out
+// when they stop answering (or announce a leave) and rejoin when they
+// answer again. Safe for concurrent use.
+type Membership struct {
+	self Member
+	cfg  MembershipConfig
+
+	mu    sync.Mutex
+	peers map[string]*peerState // by ID
+
+	// onChange fires after every live-set transition, outside mu. Set
+	// once before Start.
+	onChange func()
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewMembership builds the membership view. Peers containing self (by
+// ID) are skipped, so the full cluster list can be passed to every
+// node unchanged. New peers start alive: at boot the optimistic
+// assumption routes traffic immediately and the first failed window
+// corrects it.
+func NewMembership(self Member, peers []Member, cfg MembershipConfig) *Membership {
+	cfg = cfg.withDefaults()
+	m := &Membership{
+		self:  self,
+		cfg:   cfg,
+		peers: make(map[string]*peerState),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	now := cfg.Clock.Now()
+	for _, p := range peers {
+		if p.ID == self.ID {
+			continue
+		}
+		m.peers[p.ID] = &peerState{member: p, alive: true, lastSeen: now}
+	}
+	return m
+}
+
+// OnChange installs the live-set transition hook. Call before Start;
+// the hook runs outside the membership lock.
+func (m *Membership) OnChange(fn func()) { m.onChange = fn }
+
+// Self returns this node's member record.
+func (m *Membership) Self() Member { return m.self }
+
+// Live returns the current live member set including self, sorted by
+// ID (NewRing sorts anyway; sorted here so logs are stable).
+func (m *Membership) Live() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []Member{m.self}
+	for _, p := range m.peers {
+		if p.alive {
+			out = append(out, p.member)
+		}
+	}
+	sortMembers(out)
+	return out
+}
+
+// LivePeers returns the live set excluding self.
+func (m *Membership) LivePeers() []Member {
+	live := m.Live()
+	out := live[:0]
+	for _, p := range live {
+		if p.ID != m.self.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Peer resolves a member ID to its record, live or not.
+func (m *Membership) Peer(id string) (Member, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return Member{}, false
+	}
+	return p.member, true
+}
+
+// MemberStatus is one row of the cluster status surface.
+type MemberStatus struct {
+	ID       string    `json:"id"`
+	Addr     string    `json:"addr"`
+	Self     bool      `json:"self"`
+	Alive    bool      `json:"alive"`
+	Left     bool      `json:"left,omitempty"`
+	LastSeen time.Time `json:"lastSeen,omitempty"`
+}
+
+// Status snapshots every member, self first, peers sorted by ID.
+func (m *Membership) Status() []MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []MemberStatus{{ID: m.self.ID, Addr: m.self.Addr, Self: true, Alive: true}}
+	ids := make([]string, 0, len(m.peers))
+	for id := range m.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := m.peers[id]
+		out = append(out, MemberStatus{
+			ID:       p.member.ID,
+			Addr:     p.member.Addr,
+			Alive:    p.alive,
+			Left:     p.left,
+			LastSeen: p.lastSeen,
+		})
+	}
+	return out
+}
+
+// Start runs the heartbeat loop until Stop. The loop ticks on the wall
+// clock (probe pacing is operational, not event time); tests call Tick
+// directly instead.
+func (m *Membership) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Tick()
+			}
+		}
+	}()
+}
+
+// Stop terminates the heartbeat loop. Idempotent, and safe whether or
+// not Start ever ran (tests drive Tick by hand and never start the
+// loop).
+func (m *Membership) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		<-m.done
+	}
+}
+
+// Tick runs one probe round: every peer is pinged, liveness is
+// re-evaluated against FailAfter, and onChange fires if the live set
+// changed. Exposed so tests drive failure detection deterministically.
+func (m *Membership) Tick() {
+	m.mu.Lock()
+	peers := make([]*peerState, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+
+	type probe struct {
+		id string
+		ok bool
+	}
+	results := make(chan probe, len(peers))
+	for _, p := range peers {
+		go func(mem Member) {
+			results <- probe{id: mem.ID, ok: m.ping(mem)}
+		}(p.member)
+	}
+	ok := make(map[string]bool, len(peers))
+	for range peers {
+		r := <-results
+		ok[r.id] = r.ok
+	}
+
+	changed := false
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	for id, p := range m.peers {
+		if ok[id] {
+			p.lastSeen = now
+			if !p.alive {
+				p.alive = true
+				p.left = false
+				changed = true
+				m.cfg.Logf("cluster: peer %s (%s) is back", id, p.member.Addr)
+			}
+			continue
+		}
+		if p.alive && now.Sub(p.lastSeen) >= m.cfg.FailAfter {
+			p.alive = false
+			changed = true
+			m.cfg.Logf("cluster: peer %s (%s) marked dead (silent for %s)", id, p.member.Addr, now.Sub(p.lastSeen))
+		}
+	}
+	m.mu.Unlock()
+	if changed {
+		m.notify()
+	}
+}
+
+// MarkLeft processes a graceful leave notice: the peer drops out of the
+// live set immediately. It rejoins the normal way — by answering a
+// heartbeat — if it comes back.
+func (m *Membership) MarkLeft(id string) {
+	m.mu.Lock()
+	p, known := m.peers[id]
+	changed := known && p.alive
+	if known {
+		p.alive = false
+		p.left = true
+	}
+	m.mu.Unlock()
+	if changed {
+		m.cfg.Logf("cluster: peer %s left gracefully", id)
+		m.notify()
+	}
+}
+
+func (m *Membership) notify() {
+	if m.onChange != nil {
+		m.onChange()
+	}
+}
+
+// ping issues one health probe and verifies the peer identifies as the
+// expected node (catches address reuse across deployments).
+func (m *Membership) ping(peer Member) bool {
+	resp, err := m.cfg.HTTP.Get(peer.Addr + "/cluster/v1/ping")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var pr PingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return false
+	}
+	return pr.Node == peer.ID
+}
+
+// ParsePeers parses the -cluster-peers flag format: comma-separated
+// "id=addr" entries, e.g. "a=http://10.0.0.1:9101,b=http://10.0.0.2:9101".
+// A bare "addr" entry uses the address as its own ID.
+func ParsePeers(s string) ([]Member, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr := part, part
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			id, addr = part[:i], part[i+1:]
+		}
+		if id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster peers: malformed entry %q (want id=addr)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster peers: duplicate node id %q", id)
+		}
+		seen[id] = true
+		out = append(out, Member{ID: id, Addr: strings.TrimRight(addr, "/")})
+	}
+	return out, nil
+}
+
+func sortMembers(ms []Member) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+}

@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+)
+
+// Config parameterizes a Node. Self and (for multi-node operation)
+// Peers are required; zero values elsewhere take defaults.
+type Config struct {
+	// Self identifies this node: a stable ID and the base URL peers use
+	// to reach its internal listener.
+	Self Member
+	// Peers is the static cluster definition. Including self is fine
+	// (it is skipped), so one flag value serves every node.
+	Peers []Member
+	// VirtualNodes per member on the ring (default DefaultVirtualNodes).
+	VirtualNodes int
+	// Membership tunes heartbeats and failure detection.
+	Membership MembershipConfig
+	// Forward tunes the cross-node ingest path.
+	Forward ForwarderConfig
+	// HTTP issues handoff and scatter-gather requests (default a client
+	// with a 10s timeout).
+	HTTP *http.Client
+	// Logf receives cluster events. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Membership.Logf == nil {
+		c.Membership.Logf = c.Logf
+	}
+	if c.Forward.Logf == nil {
+		c.Forward.Logf = c.Logf
+	}
+	return c
+}
+
+// HandoffStats counts state migrations in both directions.
+type HandoffStats struct {
+	SentBundles     uint64 `json:"sentBundles"`
+	SentUsers       uint64 `json:"sentUsers"`
+	SendErrors      uint64 `json:"sendErrors"`
+	RecvBundles     uint64 `json:"recvBundles"`
+	RecvUsers       uint64 `json:"recvUsers"`
+	RecvQuarantines uint64 `json:"recvQuarantines"`
+}
+
+// IngestStats counts the receiving half of forwarding.
+type IngestStats struct {
+	// Batches/Received count ingest POSTs and the events they carried;
+	// Accepted/Dropped split Received by the local pipeline's verdict.
+	Batches  uint64 `json:"batches"`
+	Received uint64 `json:"received"`
+	Accepted uint64 `json:"accepted"`
+	Dropped  uint64 `json:"dropped"`
+	// Local counts events ingested at this node for users it owns (no
+	// hop); Forwarded counts events routed to a peer queue.
+	Local     uint64 `json:"local"`
+	Forwarded uint64 `json:"forwarded"`
+}
+
+// Status is the /api/v1/cluster body: everything an operator needs to
+// see the partition tier working.
+type Status struct {
+	Self    string         `json:"self"`
+	Addr    string         `json:"addr"`
+	Leaving bool           `json:"leaving,omitempty"`
+	Members []MemberStatus `json:"members"`
+	// Ring lists the members currently owning key space.
+	Ring    []string     `json:"ring"`
+	Ingest  IngestStats  `json:"ingest"`
+	Forward ForwardStats `json:"forward"`
+	Handoff HandoffStats `json:"handoff"`
+	Scatter ScatterStats `json:"scatter"`
+}
+
+// Node is one lbsnd instance's seat in the cluster: it routes ingest by
+// ring ownership, serves the internal /cluster/v1 surface, hands state
+// off on membership change, and answers merged cluster queries.
+type Node struct {
+	cfg      Config
+	svc      *lbsn.Service
+	pipeline *stream.Pipeline
+	members  *Membership
+	fwd      *Forwarder
+
+	mu      sync.RWMutex
+	ring    *Ring
+	leaving bool
+
+	ingestBatches  atomic.Uint64
+	ingestRecv     atomic.Uint64
+	ingestAccepted atomic.Uint64
+	ingestDropped  atomic.Uint64
+	ingestLocal    atomic.Uint64
+	ingestFwd      atomic.Uint64
+
+	hoSentBundles atomic.Uint64
+	hoSentUsers   atomic.Uint64
+	hoSendErrors  atomic.Uint64
+	hoRecvBundles atomic.Uint64
+	hoRecvUsers   atomic.Uint64
+	hoRecvQuar    atomic.Uint64
+
+	scatterQueries    atomic.Uint64
+	scatterPeerErrors atomic.Uint64
+}
+
+// NewNode builds a node over the local service and pipeline. The node
+// starts with the full peer list presumed live; call Start to run
+// heartbeats (or Tick from tests).
+func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self.ID == "" {
+		return nil, fmt.Errorf("cluster: empty self node id")
+	}
+	n := &Node{
+		cfg:      cfg,
+		svc:      svc,
+		pipeline: pipeline,
+		fwd:      NewForwarder(cfg.Self.ID, cfg.Forward),
+	}
+	n.members = NewMembership(cfg.Self, cfg.Peers, cfg.Membership)
+	n.members.OnChange(n.rebalance)
+	n.ring = NewRing(memberIDs(n.members.Live()), cfg.VirtualNodes)
+	return n, nil
+}
+
+func memberIDs(ms []Member) []string {
+	ids := make([]string, len(ms))
+	for i, m := range ms {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// Start runs the heartbeat loop. Tests drive Tick directly instead.
+func (n *Node) Start() { n.members.Start() }
+
+// Tick runs one heartbeat round synchronously (test hook).
+func (n *Node) Tick() { n.members.Tick() }
+
+// Membership exposes the node's membership view.
+func (n *Node) Membership() *Membership { return n.members }
+
+// currentRing returns the ring under the read lock.
+func (n *Node) currentRing() (*Ring, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ring, n.leaving
+}
+
+// Owner reports which node owns a user right now.
+func (n *Node) Owner(user uint64) string {
+	ring, _ := n.currentRing()
+	return ring.Owner(user)
+}
+
+// Ingest routes one check-in event: users this node owns go straight
+// into the local pipeline, everyone else's are forwarded to their
+// owner. Installed as the lbsn.Service check-in observer, so it must
+// never block — and neither branch does.
+func (n *Node) Ingest(ev lbsn.CheckinEvent) bool {
+	ring, leaving := n.currentRing()
+	owner := ring.Owner(uint64(ev.UserID))
+	if owner == "" || (owner == n.cfg.Self.ID && !leaving) {
+		n.ingestLocal.Add(1)
+		return n.pipeline.Publish(ev)
+	}
+	peer, ok := n.members.Peer(owner)
+	if !ok {
+		// Ring and peer table disagree only transiently (rebalance in
+		// flight); process locally rather than dropping evidence.
+		n.ingestLocal.Add(1)
+		return n.pipeline.Publish(ev)
+	}
+	n.ingestFwd.Add(1)
+	return n.fwd.Enqueue(peer.Addr, toWire(ev))
+}
+
+// FlushForwards synchronously delivers everything enqueued for peers
+// (test and shutdown hook).
+func (n *Node) FlushForwards() { n.fwd.Flush() }
+
+// rebalance recomputes the ring from the live member set and hands off
+// state for every user whose ownership moved away from this node. Runs
+// on membership transitions (heartbeat loop) and on leave notices
+// (HTTP handler goroutine); the handoff itself is synchronous HTTP.
+func (n *Node) rebalance() {
+	n.mu.Lock()
+	if n.leaving {
+		n.mu.Unlock()
+		return // Shutdown owns the final handoff
+	}
+	ring := NewRing(memberIDs(n.members.Live()), n.cfg.VirtualNodes)
+	n.ring = ring
+	n.mu.Unlock()
+	n.cfg.Logf("cluster: ring rebuilt over %v", ring.Members())
+	n.handoffTo(ring)
+}
+
+// handoffTo exports every local user whose owner under ring is not this
+// node and ships the bundles. Quarantine records ride along with the
+// users that moved.
+func (n *Node) handoffTo(ring *Ring) {
+	selfID := n.cfg.Self.ID
+	moved := func(user uint64) bool {
+		owner := ring.Owner(user)
+		return owner != "" && owner != selfID
+	}
+	states := n.pipeline.ExportUserStates(moved)
+	quar := n.svc.QuarantineRecords(func(id lbsn.UserID) bool { return moved(uint64(id)) })
+	if len(states) == 0 && len(quar) == 0 {
+		return
+	}
+
+	// Group per destination owner.
+	type bundle struct {
+		users map[uint64]UserStateBundle
+		quar  []store.QuarantineRecord
+	}
+	byOwner := make(map[string]*bundle)
+	get := func(owner string) *bundle {
+		b := byOwner[owner]
+		if b == nil {
+			b = &bundle{users: make(map[uint64]UserStateBundle)}
+			byOwner[owner] = b
+		}
+		return b
+	}
+	for user, st := range states {
+		get(ring.Owner(user)).users[user] = UserStateBundle(st)
+	}
+	for _, r := range quar {
+		get(ring.Owner(r.UserID)).quar = append(get(ring.Owner(r.UserID)).quar, r)
+	}
+
+	for owner, b := range byOwner {
+		peer, ok := n.members.Peer(owner)
+		if !ok {
+			n.hoSendErrors.Add(1)
+			n.cfg.Logf("cluster: handoff: unknown owner %s for %d users", owner, len(b.users))
+			continue
+		}
+		n.sendHandoff(peer, HandoffBundle{From: n.cfg.Self.ID, Users: b.users, Quarantines: b.quar})
+	}
+}
+
+// sendHandoff posts one bundle; a failed handoff is logged and counted
+// but not retried — the new owner rebuilds detector state from live
+// traffic, which is degraded detection, not corruption.
+func (n *Node) sendHandoff(peer Member, hb HandoffBundle) {
+	body, err := json.Marshal(hb)
+	if err != nil {
+		n.hoSendErrors.Add(1)
+		return
+	}
+	resp, err := n.cfg.HTTP.Post(peer.Addr+"/cluster/v1/handoff", "application/json", bytes.NewReader(body))
+	if err != nil {
+		n.hoSendErrors.Add(1)
+		n.cfg.Logf("cluster: handoff to %s failed: %v (%d users)", peer.ID, err, len(hb.Users))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		n.hoSendErrors.Add(1)
+		n.cfg.Logf("cluster: handoff to %s: status %d (%d users)", peer.ID, resp.StatusCode, len(hb.Users))
+		return
+	}
+	n.hoSentBundles.Add(1)
+	n.hoSentUsers.Add(uint64(len(hb.Users)))
+	n.cfg.Logf("cluster: handed %d users / %d quarantines to %s", len(hb.Users), len(hb.Quarantines), peer.ID)
+}
+
+// Shutdown leaves the cluster gracefully: announce the departure so
+// peers reroute immediately, flush the forward queues, then export ALL
+// local user state to the post-departure ring and stop. The pipeline
+// itself is NOT closed — the daemon closes it (draining queued events)
+// after Shutdown returns; any stragglers those drains detect stay in
+// the local journal and surface through scatter-gather history until
+// retention ages them out.
+func (n *Node) Shutdown() {
+	n.mu.Lock()
+	if n.leaving {
+		n.mu.Unlock()
+		return
+	}
+	n.leaving = true
+	departed := NewRing(memberIDs(n.members.LivePeers()), n.cfg.VirtualNodes)
+	n.ring = departed
+	n.mu.Unlock()
+
+	// Announce first: peers stop routing new events here while we pack.
+	notice, _ := json.Marshal(LeaveNotice{Node: n.cfg.Self.ID})
+	for _, peer := range n.members.LivePeers() {
+		resp, err := n.cfg.HTTP.Post(peer.Addr+"/cluster/v1/leave", "application/json", bytes.NewReader(notice))
+		if err != nil {
+			n.cfg.Logf("cluster: leave notice to %s failed: %v", peer.ID, err)
+			continue
+		}
+		resp.Body.Close()
+	}
+
+	// Ship anything still queued for peers, then the state itself.
+	n.fwd.Flush()
+	if departed.Size() > 0 {
+		n.handoffTo(departed)
+	}
+	n.fwd.Close()
+	n.members.Stop()
+	n.cfg.Logf("cluster: node %s left", n.cfg.Self.ID)
+}
+
+// Handler serves the internal /cluster/v1 surface. Mount it on the
+// cluster-internal listener; it carries no authentication.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/v1/ping", n.handlePing)
+	mux.HandleFunc("/cluster/v1/ingest", n.handleIngest)
+	mux.HandleFunc("/cluster/v1/handoff", n.handleHandoff)
+	mux.HandleFunc("/cluster/v1/leave", n.handleLeave)
+	mux.HandleFunc("/cluster/v1/alerts", n.handleLocalAlerts)
+	mux.HandleFunc("/cluster/v1/quarantine", n.handleLocalQuarantine)
+	mux.HandleFunc("/cluster/v1/stats", n.handleLocalStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
+	// A leaving node answers unhealthy: a survivor's heartbeat between
+	// our leave notice and process exit must NOT revive us, or it would
+	// route fresh events — and hand freshly-rebalanced state — to a node
+	// that has already exported everything and is about to vanish.
+	if _, leaving := n.currentRing(); leaving {
+		http.Error(w, "leaving", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, PingResponse{Node: n.cfg.Self.ID})
+}
+
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch IngestBatch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		http.Error(w, "malformed batch", http.StatusBadRequest)
+		return
+	}
+	ack := IngestAck{}
+	for _, wev := range batch.Events {
+		if n.pipeline.Publish(fromWire(wev)) {
+			ack.Accepted++
+		} else {
+			ack.Dropped++
+		}
+	}
+	n.ingestBatches.Add(1)
+	n.ingestRecv.Add(uint64(len(batch.Events)))
+	n.ingestAccepted.Add(uint64(ack.Accepted))
+	n.ingestDropped.Add(uint64(ack.Dropped))
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Same guard as handlePing: a leaving node has already run its final
+	// export, so state imported now would die with the process. Refuse,
+	// and the sender counts a send error instead of a phantom success.
+	if _, leaving := n.currentRing(); leaving {
+		http.Error(w, "leaving", http.StatusServiceUnavailable)
+		return
+	}
+	var hb HandoffBundle
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		http.Error(w, "malformed bundle", http.StatusBadRequest)
+		return
+	}
+	states := make(map[uint64]map[string][]byte, len(hb.Users))
+	for user, b := range hb.Users {
+		states[user] = map[string][]byte(b)
+	}
+	ack := HandoffAck{
+		UsersImported:       n.pipeline.ImportUserStates(states),
+		QuarantinesRestored: n.svc.RestoreQuarantines(hb.Quarantines),
+	}
+	n.hoRecvBundles.Add(1)
+	n.hoRecvUsers.Add(uint64(ack.UsersImported))
+	n.hoRecvQuar.Add(uint64(ack.QuarantinesRestored))
+	n.cfg.Logf("cluster: received %d users / %d quarantines from %s", ack.UsersImported, ack.QuarantinesRestored, hb.From)
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var notice LeaveNotice
+	if err := json.NewDecoder(r.Body).Decode(&notice); err != nil || notice.Node == "" {
+		http.Error(w, "malformed notice", http.StatusBadRequest)
+		return
+	}
+	n.members.MarkLeft(notice.Node) // fires rebalance via OnChange
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleLocalAlerts serves this node's own store slice of a scatter.
+// Query parameters mirror the public /api/v1/alerts filter set, plus
+// limit/offset applied locally.
+func (n *Node) handleLocalAlerts(w http.ResponseWriter, r *http.Request) {
+	q, err := parseLocalAlertQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	page, total := n.pipeline.Alerts(q)
+	if page == nil {
+		page = []store.Alert{}
+	}
+	writeJSON(w, http.StatusOK, LocalAlertsResponse{Node: n.cfg.Self.ID, Alerts: page, Total: total})
+}
+
+func (n *Node) handleLocalQuarantine(w http.ResponseWriter, r *http.Request) {
+	active := n.svc.QuarantinedUsers()
+	if active == nil {
+		active = []lbsn.QuarantineView{}
+	}
+	writeJSON(w, http.StatusOK, LocalQuarantineResponse{Node: n.cfg.Self.ID, Active: active})
+}
+
+func (n *Node) handleLocalStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.localStats())
+}
+
+func (n *Node) localStats() LocalStatsResponse {
+	return LocalStatsResponse{
+		Node:       n.cfg.Self.ID,
+		Pipeline:   n.pipeline.Stats(),
+		Store:      n.pipeline.AlertStore().Stats(),
+		Quarantine: n.svc.QuarantineStats(),
+	}
+}
+
+// parseLocalAlertQuery decodes the internal wire query. It accepts
+// unix-nanosecond since/until (lossless, machine-to-machine) rather
+// than the human formats the public API takes.
+func parseLocalAlertQuery(r *http.Request) (store.AlertQuery, error) {
+	var q store.AlertQuery
+	get := r.URL.Query().Get
+	q.Detector = get("detector")
+	var err error
+	if v := get("user"); v != "" {
+		if q.UserID, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return q, fmt.Errorf("malformed user %q", v)
+		}
+	}
+	if v := get("limit"); v != "" {
+		if q.Limit, err = strconv.Atoi(v); err != nil {
+			return q, fmt.Errorf("malformed limit %q", v)
+		}
+	}
+	if v := get("offset"); v != "" {
+		if q.Offset, err = strconv.Atoi(v); err != nil {
+			return q, fmt.Errorf("malformed offset %q", v)
+		}
+	}
+	if v := get("sinceNs"); v != "" {
+		ns, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			return q, fmt.Errorf("malformed sinceNs %q", v)
+		}
+		q.Since = time.Unix(0, ns).UTC()
+	}
+	if v := get("untilNs"); v != "" {
+		ns, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			return q, fmt.Errorf("malformed untilNs %q", v)
+		}
+		q.Until = time.Unix(0, ns).UTC()
+	}
+	return q, nil
+}
+
+// Stats assembles the node's Status snapshot.
+func (n *Node) Status() Status {
+	n.mu.RLock()
+	ring, leaving := n.ring, n.leaving
+	n.mu.RUnlock()
+	return Status{
+		Self:    n.cfg.Self.ID,
+		Addr:    n.cfg.Self.Addr,
+		Leaving: leaving,
+		Members: n.members.Status(),
+		Ring:    ring.Members(),
+		Ingest: IngestStats{
+			Batches:   n.ingestBatches.Load(),
+			Received:  n.ingestRecv.Load(),
+			Accepted:  n.ingestAccepted.Load(),
+			Dropped:   n.ingestDropped.Load(),
+			Local:     n.ingestLocal.Load(),
+			Forwarded: n.ingestFwd.Load(),
+		},
+		Forward: n.fwd.Stats(),
+		Handoff: HandoffStats{
+			SentBundles:     n.hoSentBundles.Load(),
+			SentUsers:       n.hoSentUsers.Load(),
+			SendErrors:      n.hoSendErrors.Load(),
+			RecvBundles:     n.hoRecvBundles.Load(),
+			RecvUsers:       n.hoRecvUsers.Load(),
+			RecvQuarantines: n.hoRecvQuar.Load(),
+		},
+		Scatter: ScatterStats{
+			Queries:    n.scatterQueries.Load(),
+			PeerErrors: n.scatterPeerErrors.Load(),
+		},
+	}
+}

@@ -1,0 +1,140 @@
+// Package cluster lifts the stream pipeline's process-local user
+// sharding to a partitioned ingest tier: several lbsnd instances split
+// the user space, so server-side detection (§4) scales with node count
+// instead of one process's cores.
+//
+// The pieces, bottom to top:
+//
+//   - Ring (this file) — a consistent-hash ring over the live member
+//     set assigns every user exactly one owner node; removing a node
+//     moves only that node's users.
+//   - Membership — a static peer list kept live with HTTP heartbeats;
+//     a peer that stops answering is dropped from the ring, a graceful
+//     leaver announces itself and is dropped immediately.
+//   - Forwarder — any node accepts any check-in; events whose owner is
+//     another node are forwarded there in bounded, batched, drop-on-
+//     full queues (the same never-block-the-producer contract as
+//     internal/stream).
+//   - Handoff — on membership change, state for users whose ownership
+//     moved (detector stage state, quarantine records) is exported
+//     from the old owner and shipped to the new one.
+//   - Scatter-gather — alert and quarantine queries served from any
+//     node fan out to every live member and return the merged, deduped,
+//     correctly paginated cluster view.
+//
+// Node ties them together and serves the internal /cluster/v1 HTTP
+// surface. That surface is unauthenticated by design — it is meant to
+// bind to a cluster-internal interface (the -cluster-listen flag), not
+// the public one.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is how many points each member contributes to
+// the ring. More points smooth the load split between members at the
+// cost of a larger table; 128 keeps the imbalance under a few percent
+// for small clusters while lookups stay a cheap binary search.
+const DefaultVirtualNodes = 128
+
+// ringPoint is one virtual node: a position on the hash circle owned
+// by a member.
+type ringPoint struct {
+	pos   uint64
+	owner string
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build
+// with NewRing; rebuild on every membership change (construction is
+// cheap at cluster sizes where a static peer list makes sense).
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member (<= 0
+// uses DefaultVirtualNodes). Member order does not matter; the ring
+// depends only on the set. An empty member list yields a ring that
+// owns nothing.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{members: append([]string(nil), members...)}
+	sort.Strings(r.members)
+	for _, m := range r.members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				pos:   hash64(fmt.Sprintf("%s#%d", m, i)),
+				owner: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.pos != q.pos {
+			return p.pos < q.pos
+		}
+		return p.owner < q.owner // deterministic under (vanishingly rare) collisions
+	})
+	return r
+}
+
+// Owner returns the member owning the user, or "" on an empty ring:
+// the first ring point at or after the user's hash, wrapping around.
+func (r *Ring) Owner(user uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashUser(user)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].owner
+}
+
+// Members returns the ring's member set, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Size reports the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// hash64 hashes a string onto the circle: FNV-1a (stable across
+// processes and Go versions, which maphash is not — every node must
+// agree on ownership) strengthened with a murmur-style finalizer. Raw
+// FNV of near-identical short strings ("n1#17", "n1#18", …) leaves the
+// low-entropy structure of the input visible in the output and the
+// ring visibly lopsided; the finalizer's avalanche fixes the spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return fmix64(h.Sum64())
+}
+
+// hashUser hashes a user ID onto the same circle as the vnode labels.
+func hashUser(user uint64) uint64 {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(user >> (8 * i))
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(b[:])
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the MurmurHash3 64-bit finalizer: a fixed bijective mixer,
+// stable by construction (plain arithmetic, no runtime seeds).
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

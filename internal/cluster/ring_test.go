@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingDeterministicAcrossNodes(t *testing.T) {
+	// Two nodes building rings from the same member set (any order)
+	// must agree on every owner, or forwarding loops.
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2"}, 0)
+	for user := uint64(1); user <= 5000; user++ {
+		if a.Owner(user) != b.Owner(user) {
+			t.Fatalf("user %d: %s vs %s", user, a.Owner(user), b.Owner(user))
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	counts := map[string]int{}
+	const users = 30000
+	for user := uint64(1); user <= users; user++ {
+		counts[r.Owner(user)]++
+	}
+	for node, c := range counts {
+		frac := float64(c) / users
+		if frac < 0.20 || frac > 0.47 {
+			t.Fatalf("node %s owns %.1f%% of users — ring badly unbalanced: %v", node, frac*100, counts)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnDeparture(t *testing.T) {
+	before := NewRing([]string{"n1", "n2", "n3"}, 0)
+	after := NewRing([]string{"n1", "n3"}, 0)
+	const users = 20000
+	moved, fromDeparted := 0, 0
+	for user := uint64(1); user <= users; user++ {
+		ob, oa := before.Owner(user), after.Owner(user)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if ob == "n2" {
+			fromDeparted++
+		}
+	}
+	if moved != fromDeparted {
+		t.Fatalf("%d users moved but only %d belonged to the departed node — consistent hashing broken", moved, fromDeparted)
+	}
+	if moved == 0 {
+		t.Fatal("departed node owned nothing — ring degenerate")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner(42); owner != "" {
+		t.Fatalf("empty ring owner = %q, want empty", owner)
+	}
+	solo := NewRing([]string{"only"}, 0)
+	for user := uint64(1); user <= 100; user++ {
+		if solo.Owner(user) != "only" {
+			t.Fatal("single-member ring must own everything")
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	ms, err := ParsePeers("a=http://h1:9101, b=http://h2:9101/ ,c=http://h3:9101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[1].ID != "b" || ms[1].Addr != "http://h2:9101" {
+		t.Fatalf("parsed %v", ms)
+	}
+	if _, err := ParsePeers("a=x,a=y"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := ParsePeers("=x"); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if ms, err := ParsePeers(""); err != nil || ms != nil {
+		t.Fatalf("empty flag: %v %v", ms, err)
+	}
+}

@@ -1,0 +1,290 @@
+// Scatter-gather: any node answers alert and quarantine queries with
+// the merged cluster view. The serving node queries its own store
+// directly, fans the same filters out to every live peer's internal
+// /cluster/v1 endpoints, and merges:
+//
+//   - alerts are deduped on their cross-node identity (store.KeyOf),
+//     ordered newest first with the store's deterministic tie-break,
+//     and paginated AFTER the merge — each node is asked for its top
+//     offset+limit matches, which is exactly enough for the merged top
+//     offset+limit to be correct (k-way top-k);
+//   - the cluster-wide total is the sum of per-node post-filter totals
+//     minus the duplicates the merge observed. Duplicates deeper than
+//     the fetched windows cannot be observed without full scans, so
+//     when cross-node duplicates exist past the page horizon the total
+//     is an upper bound, not exact. Sharded ingest makes such
+//     duplicates rare (one owner per user; they need a double-processed
+//     event during a rebalance) and retention ages them out;
+//   - quarantines merge per user, keeping the entry that expires last
+//     (the strictest verdict wins, matching RestoreQuarantines).
+//
+// A peer that cannot be reached is skipped and counted: a partial view
+// that says so beats a 502 — detection keeps being served from the
+// nodes that are up.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
+)
+
+// ScatterStats counts merged-view queries.
+type ScatterStats struct {
+	// Queries counts merged alert/quarantine reads served by this node.
+	Queries uint64 `json:"queries"`
+	// PeerErrors counts per-peer fetch failures across those queries.
+	PeerErrors uint64 `json:"peerErrors"`
+}
+
+// MergeInfo rides along with a merged page so callers can tell a full
+// cluster view from a degraded one.
+type MergeInfo struct {
+	// Nodes is how many members contributed (including this one);
+	// Failed how many live peers could not be reached.
+	Nodes  int `json:"nodes"`
+	Failed int `json:"failed,omitempty"`
+	// Deduped counts alerts dropped as cross-node duplicates.
+	Deduped int `json:"deduped,omitempty"`
+}
+
+// ClusterAlerts answers an alert query with the merged cluster view.
+func (n *Node) ClusterAlerts(q store.AlertQuery) ([]store.Alert, int, MergeInfo) {
+	n.scatterQueries.Add(1)
+	peers := n.members.LivePeers()
+
+	// Each node must contribute its top offset+limit matches for the
+	// merged page to be exact; duplicates could still leave the merged
+	// page one short in a pathological overlap, so over-fetch by the
+	// peer count (cheap insurance, the filters already cut the set).
+	fan := q
+	fan.Offset = 0
+	if q.Limit > 0 {
+		fan.Limit = q.Offset + q.Limit + len(peers)
+	}
+
+	type result struct {
+		alerts []store.Alert
+		total  int
+		err    error
+	}
+	results := make([]result, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		wg.Add(1)
+		go func(i int, peer Member) {
+			defer wg.Done()
+			alerts, total, err := n.fetchPeerAlerts(peer, fan)
+			results[i] = result{alerts: alerts, total: total, err: err}
+		}(i, peer)
+	}
+	localPage, localTotal := n.pipeline.Alerts(fan)
+	wg.Wait()
+
+	pages := [][]store.Alert{localPage}
+	total := localTotal
+	info := MergeInfo{Nodes: 1}
+	for i, res := range results {
+		if res.err != nil {
+			info.Failed++
+			n.scatterPeerErrors.Add(1)
+			n.cfg.Logf("cluster: scatter alerts: peer %s: %v", peers[i].ID, res.err)
+			continue
+		}
+		info.Nodes++
+		pages = append(pages, res.alerts)
+		total += res.total
+	}
+	merged, dupes := store.MergeAlertPages(pages)
+	info.Deduped = dupes
+	total -= dupes
+	if total < 0 {
+		total = 0
+	}
+	return store.PageAlerts(merged, q.Offset, q.Limit), total, info
+}
+
+// fetchPeerAlerts runs one peer's slice of the scatter.
+func (n *Node) fetchPeerAlerts(peer Member, q store.AlertQuery) ([]store.Alert, int, error) {
+	params := url.Values{}
+	if q.UserID != 0 {
+		params.Set("user", strconv.FormatUint(q.UserID, 10))
+	}
+	if q.Detector != "" {
+		params.Set("detector", q.Detector)
+	}
+	if q.Limit > 0 {
+		params.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if !q.Since.IsZero() {
+		params.Set("sinceNs", strconv.FormatInt(q.Since.UnixNano(), 10))
+	}
+	if !q.Until.IsZero() {
+		params.Set("untilNs", strconv.FormatInt(q.Until.UnixNano(), 10))
+	}
+	u := peer.Addr + "/cluster/v1/alerts"
+	if enc := params.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := n.cfg.HTTP.Get(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out LocalAlertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, 0, err
+	}
+	return out.Alerts, out.Total, nil
+}
+
+// ClusterTotals sums the load-bearing detection counters across live
+// members — the cluster-wide half of the merged stats view.
+type ClusterTotals struct {
+	Published      uint64 `json:"published"`
+	Processed      uint64 `json:"processed"`
+	Dropped        uint64 `json:"dropped"`
+	DeadLettered   uint64 `json:"deadLettered"`
+	Alerts         uint64 `json:"alerts"`
+	StoreRetained  int    `json:"storeRetained"`
+	ActiveQuar     int    `json:"quarantineActive"`
+	DeniedCheckins int    `json:"quarantineDenied"`
+}
+
+// ClusterStatsView is the merged stats answer: per-node detail plus
+// cluster-wide totals. Totals are per-node counter sums — they count
+// each node's own view of its work, so a forwarded event appears once
+// (published by the owner), not once per hop.
+type ClusterStatsView struct {
+	Nodes  []LocalStatsResponse `json:"nodes"`
+	Totals ClusterTotals        `json:"totals"`
+	Info   MergeInfo            `json:"info"`
+}
+
+// ClusterStats answers the merged detection-stats view from this node.
+func (n *Node) ClusterStats() ClusterStatsView {
+	n.scatterQueries.Add(1)
+	peers := n.members.LivePeers()
+	results := make([]*LocalStatsResponse, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		wg.Add(1)
+		go func(i int, peer Member) {
+			defer wg.Done()
+			resp, err := n.cfg.HTTP.Get(peer.Addr + "/cluster/v1/stats")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var out LocalStatsResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				return
+			}
+			results[i] = &out
+		}(i, peer)
+	}
+	local := n.localStats()
+	wg.Wait()
+
+	view := ClusterStatsView{Nodes: []LocalStatsResponse{local}, Info: MergeInfo{Nodes: 1}}
+	for i, res := range results {
+		if res == nil {
+			view.Info.Failed++
+			n.scatterPeerErrors.Add(1)
+			n.cfg.Logf("cluster: scatter stats: peer %s unreachable", peers[i].ID)
+			continue
+		}
+		view.Info.Nodes++
+		view.Nodes = append(view.Nodes, *res)
+	}
+	sort.Slice(view.Nodes, func(i, j int) bool { return view.Nodes[i].Node < view.Nodes[j].Node })
+	for _, ns := range view.Nodes {
+		view.Totals.Published += ns.Pipeline.Published
+		view.Totals.Processed += ns.Pipeline.Processed
+		view.Totals.Dropped += ns.Pipeline.Dropped
+		view.Totals.DeadLettered += ns.Pipeline.DeadLettered
+		view.Totals.Alerts += ns.Pipeline.Alerts
+		view.Totals.StoreRetained += ns.Store.Retained
+		view.Totals.ActiveQuar += ns.Quarantine.Active
+		view.Totals.DeniedCheckins += ns.Quarantine.DeniedCheckins
+	}
+	return view
+}
+
+// ClusterQuarantines answers the merged active-quarantine view: one
+// entry per user, the latest-expiring verdict winning, ordered by user
+// ID like the local endpoint.
+func (n *Node) ClusterQuarantines() ([]lbsn.QuarantineView, MergeInfo) {
+	n.scatterQueries.Add(1)
+	peers := n.members.LivePeers()
+	type result struct {
+		active []lbsn.QuarantineView
+		err    error
+	}
+	results := make([]result, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		wg.Add(1)
+		go func(i int, peer Member) {
+			defer wg.Done()
+			resp, err := n.cfg.HTTP.Get(peer.Addr + "/cluster/v1/quarantine")
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				results[i] = result{err: fmt.Errorf("status %d", resp.StatusCode)}
+				return
+			}
+			var out LocalQuarantineResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			results[i] = result{active: out.Active}
+		}(i, peer)
+	}
+	local := n.svc.QuarantinedUsers()
+	wg.Wait()
+
+	byUser := make(map[lbsn.UserID]lbsn.QuarantineView)
+	keep := func(views []lbsn.QuarantineView) {
+		for _, v := range views {
+			if cur, ok := byUser[v.UserID]; !ok || v.Until.After(cur.Until) {
+				byUser[v.UserID] = v
+			}
+		}
+	}
+	keep(local)
+	info := MergeInfo{Nodes: 1}
+	for i, res := range results {
+		if res.err != nil {
+			info.Failed++
+			n.scatterPeerErrors.Add(1)
+			n.cfg.Logf("cluster: scatter quarantine: peer %s: %v", peers[i].ID, res.err)
+			continue
+		}
+		info.Nodes++
+		keep(res.active)
+	}
+	merged := make([]lbsn.QuarantineView, 0, len(byUser))
+	for _, v := range byUser {
+		merged = append(merged, v)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].UserID < merged[j].UserID })
+	return merged, info
+}

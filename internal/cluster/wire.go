@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+)
+
+// WireEvent is one check-in event on the forwarding wire. It mirrors
+// lbsn.CheckinEvent with plain JSON-tagged fields so the wire format
+// is explicit and decoupled from the domain types. Seq is not carried:
+// sequence numbers are per-pipeline, and the owner's pipeline assigns
+// its own on Publish.
+type WireEvent struct {
+	User     uint64    `json:"user"`
+	Venue    uint64    `json:"venue"`
+	At       time.Time `json:"at"`
+	VenueLoc geo.Point `json:"venueLoc"`
+	Reported geo.Point `json:"reported"`
+	Accepted bool      `json:"accepted"`
+	Reason   string    `json:"reason,omitempty"`
+}
+
+// toWire converts a domain event for forwarding.
+func toWire(ev lbsn.CheckinEvent) WireEvent {
+	return WireEvent{
+		User:     uint64(ev.UserID),
+		Venue:    uint64(ev.VenueID),
+		At:       ev.At,
+		VenueLoc: ev.Venue,
+		Reported: ev.Reported,
+		Accepted: ev.Accepted,
+		Reason:   string(ev.Reason),
+	}
+}
+
+// fromWire converts a forwarded event back for local publication.
+func fromWire(w WireEvent) lbsn.CheckinEvent {
+	return lbsn.CheckinEvent{
+		UserID:   lbsn.UserID(w.User),
+		VenueID:  lbsn.VenueID(w.Venue),
+		At:       w.At,
+		Venue:    w.VenueLoc,
+		Reported: w.Reported,
+		Accepted: w.Accepted,
+		Reason:   lbsn.DenyReason(w.Reason),
+	}
+}
+
+// IngestBatch is the POST /cluster/v1/ingest body: one forwarder batch.
+type IngestBatch struct {
+	// From is the sending node's ID, for counters and logs.
+	From   string      `json:"from"`
+	Events []WireEvent `json:"events"`
+}
+
+// IngestAck is the ingest endpoint's reply.
+type IngestAck struct {
+	// Accepted counts events the owner's pipeline enqueued; Dropped is
+	// the rest (full shard queue or closed pipeline) — the drop-on-full
+	// contract holds across the hop, it just moves the counter.
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+}
+
+// UserStateBundle is one user's exported detector state: stage name →
+// opaque blob, exactly as stream.Pipeline.ExportUserStates produced it.
+type UserStateBundle map[string][]byte
+
+// HandoffBundle is the POST /cluster/v1/handoff body: everything a
+// departing (or rebalancing) owner ships to a user's new owner.
+type HandoffBundle struct {
+	From string `json:"from"`
+	// Users carries per-user detector stage state keyed by user ID.
+	Users map[uint64]UserStateBundle `json:"users,omitempty"`
+	// Quarantines carries the active quarantine records for the moved
+	// users, in the same format as the on-disk snapshot.
+	Quarantines []store.QuarantineRecord `json:"quarantines,omitempty"`
+}
+
+// HandoffAck is the handoff endpoint's reply.
+type HandoffAck struct {
+	UsersImported       int `json:"usersImported"`
+	QuarantinesRestored int `json:"quarantinesRestored"`
+}
+
+// PingResponse is the GET /cluster/v1/ping body.
+type PingResponse struct {
+	Node string `json:"node"`
+}
+
+// LeaveNotice is the POST /cluster/v1/leave body: a graceful leaver
+// announcing its departure so peers drop it from the ring immediately
+// instead of waiting out the heartbeat failure window.
+type LeaveNotice struct {
+	Node string `json:"node"`
+}
+
+// LocalAlertsResponse is the GET /cluster/v1/alerts body: one node's
+// own store slice of a scatter-gather query.
+type LocalAlertsResponse struct {
+	Node   string        `json:"node"`
+	Alerts []store.Alert `json:"alerts"`
+	// Total counts every local alert matching the filters, ignoring
+	// pagination — the per-node input to the cluster-wide total.
+	Total int `json:"total"`
+}
+
+// LocalQuarantineResponse is the GET /cluster/v1/quarantine body.
+type LocalQuarantineResponse struct {
+	Node   string                `json:"node"`
+	Active []lbsn.QuarantineView `json:"active"`
+}
+
+// LocalStatsResponse is the GET /cluster/v1/stats body: one node's own
+// detection counters for the merged stats view.
+type LocalStatsResponse struct {
+	Node       string                `json:"node"`
+	Pipeline   stream.Stats          `json:"pipeline"`
+	Store      store.AlertStoreStats `json:"store"`
+	Quarantine lbsn.QuarantineStats  `json:"quarantine"`
+}

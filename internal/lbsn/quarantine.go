@@ -61,8 +61,8 @@ func (s *Service) Quarantine(id UserID, d time.Duration, reason, source string) 
 		return fmt.Errorf("quarantine user %d: non-positive duration %s", id, d)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.users[id]; !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("quarantine: user %d: %w", id, ErrUserNotFound)
 	}
 	now := s.clock.Now()
@@ -73,6 +73,11 @@ func (s *Service) Quarantine(id UserID, d time.Duration, reason, source string) 
 		since:  now,
 	}
 	s.quarantinesIssued++
+	notify := s.onQuarantineChange
+	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 	return nil
 }
 
@@ -80,14 +85,90 @@ func (s *Service) Quarantine(id UserID, d time.Duration, reason, source string) 
 // active.
 func (s *Service) Unquarantine(id UserID) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.quarantined[id]
-	if !ok || !e.until.After(s.clock.Now()) {
-		delete(s.quarantined, id)
-		return false
-	}
+	active := ok && e.until.After(s.clock.Now())
 	delete(s.quarantined, id)
-	return true
+	notify := s.onQuarantineChange
+	s.mu.Unlock()
+	if ok && notify != nil {
+		notify()
+	}
+	return active
+}
+
+// SetQuarantineListener installs fn to run after every change to the
+// quarantine set (issue, lift, restore). It is called outside the
+// service lock, so it may call back into the quarantine API — the
+// daemon's snapshot persistence reads QuarantineRecords from it. A nil
+// fn disables notification.
+func (s *Service) SetQuarantineListener(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onQuarantineChange = fn
+}
+
+// QuarantineRecords exports the active quarantine set (for users
+// matched by filter; nil matches all) as store records — the format
+// both the on-disk snapshot and the cluster handoff bundle carry.
+// Expired entries are skipped, not reaped (this is a read path).
+func (s *Service) QuarantineRecords(filter func(UserID) bool) []store.QuarantineRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	now := s.clock.Now()
+	var out []store.QuarantineRecord
+	for id, e := range s.quarantined {
+		if !e.until.After(now) {
+			continue
+		}
+		if filter != nil && !filter(id) {
+			continue
+		}
+		out = append(out, store.QuarantineRecord{
+			UserID: uint64(id),
+			Since:  e.since,
+			Until:  e.until,
+			Reason: e.reason,
+			Source: e.source,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UserID < out[j].UserID })
+	return out
+}
+
+// RestoreQuarantines installs previously exported quarantine records —
+// the snapshot reload on restart and the receiving half of a cluster
+// handoff. Unlike Quarantine it does not require the user to exist
+// locally (a handed-off user may live in a peer's world) and does not
+// count toward Issued. Records expired at the service clock are
+// dropped; when a record collides with an active local entry the later
+// Until wins (the stricter of the two verdicts). Returns how many
+// records were installed.
+func (s *Service) RestoreQuarantines(recs []store.QuarantineRecord) int {
+	s.mu.Lock()
+	now := s.clock.Now()
+	n := 0
+	for _, r := range recs {
+		if !r.Until.After(now) {
+			continue
+		}
+		id := UserID(r.UserID)
+		if e, ok := s.quarantined[id]; ok && e.until.After(r.Until) {
+			continue
+		}
+		s.quarantined[id] = quarantineEntry{
+			until:  r.Until,
+			reason: r.Reason,
+			source: r.Source,
+			since:  r.Since,
+		}
+		n++
+	}
+	notify := s.onQuarantineChange
+	s.mu.Unlock()
+	if n > 0 && notify != nil {
+		notify()
+	}
+	return n
 }
 
 // IsQuarantined reports whether the user is currently quarantined;

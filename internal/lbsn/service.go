@@ -86,6 +86,9 @@ type Service struct {
 	quarantined       map[UserID]quarantineEntry
 	quarantinesIssued int
 	quarantineDenied  int
+	// onQuarantineChange fires (outside the lock) after the quarantine
+	// set changes; the daemon hooks snapshot persistence here.
+	onQuarantineChange func()
 
 	nextUser  UserID
 	nextVenue VenueID

@@ -1,0 +1,97 @@
+// Alert merge helpers for the cluster's scatter-gather query layer.
+// Each node answers an alert query from its own store; the node serving
+// the request merges the per-node pages into one cluster view. The
+// helpers live here (not in internal/cluster) because they are pure
+// functions over the store's Alert type and the store owns the alert
+// ordering contract (newest first).
+package store
+
+import "sort"
+
+// AlertKey identifies an alert across nodes. Seq is deliberately
+// excluded: sequence numbers are assigned per pipeline (and restart
+// with it), so the same finding re-journaled on two nodes — the
+// signature of a handoff race or an at-least-once forward — differs
+// only in Seq. Everything observable about the finding is in the key.
+type AlertKey struct {
+	Detector string
+	UserID   uint64
+	VenueID  uint64
+	AtUnixNs int64
+	Detail   string
+}
+
+// KeyOf builds the cross-node identity of an alert.
+func KeyOf(a Alert) AlertKey {
+	return AlertKey{
+		Detector: a.Detector,
+		UserID:   a.UserID,
+		VenueID:  a.VenueID,
+		AtUnixNs: a.At.UnixNano(),
+		Detail:   a.Detail,
+	}
+}
+
+// MergeAlertPages combines per-node query results into one deduped
+// slice ordered newest first (the store's query order), with a
+// deterministic tie-break on equal timestamps so pagination is stable
+// across repeated scatters. Returns the merged slice and how many
+// duplicates were dropped — callers subtract that from the summed
+// per-node totals to report a cluster-wide total.
+func MergeAlertPages(pages [][]Alert) (merged []Alert, duplicates int) {
+	seen := make(map[AlertKey]struct{})
+	for _, page := range pages {
+		for _, a := range page {
+			k := KeyOf(a)
+			if _, dup := seen[k]; dup {
+				duplicates++
+				continue
+			}
+			seen[k] = struct{}{}
+			merged = append(merged, a)
+		}
+	}
+	SortAlertsNewestFirst(merged)
+	return merged, duplicates
+}
+
+// SortAlertsNewestFirst orders alerts by event time descending with a
+// total deterministic tie-break (user, venue, detector, detail) so two
+// nodes merging the same set produce the same page boundaries.
+func SortAlertsNewestFirst(alerts []Alert) {
+	sort.SliceStable(alerts, func(i, j int) bool {
+		ai, aj := alerts[i], alerts[j]
+		if !ai.At.Equal(aj.At) {
+			return ai.At.After(aj.At)
+		}
+		if ai.UserID != aj.UserID {
+			return ai.UserID < aj.UserID
+		}
+		if ai.VenueID != aj.VenueID {
+			return ai.VenueID < aj.VenueID
+		}
+		if ai.Detector != aj.Detector {
+			return ai.Detector < aj.Detector
+		}
+		return ai.Detail < aj.Detail
+	})
+}
+
+// PageAlerts applies offset/limit to an already merged, already sorted
+// slice. limit <= 0 means no cap. The result is always non-nil so it
+// serializes as [] rather than null.
+func PageAlerts(merged []Alert, offset, limit int) []Alert {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(merged) {
+		return []Alert{}
+	}
+	rest := merged[offset:]
+	if limit > 0 && len(rest) > limit {
+		rest = rest[:limit]
+	}
+	out := make([]Alert, len(rest))
+	copy(out, rest)
+	return out
+}

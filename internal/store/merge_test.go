@@ -1,0 +1,126 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mergeAlert(user uint64, at time.Time, det, detail string) Alert {
+	return Alert{Detector: det, UserID: user, VenueID: user + 100, At: at, Detail: detail}
+}
+
+func TestMergeAlertPagesDedupesAndOrders(t *testing.T) {
+	t0 := time.Unix(1_000_000, 0).UTC()
+	a1 := mergeAlert(1, t0.Add(3*time.Minute), "speed", "x")
+	a2 := mergeAlert(2, t0.Add(2*time.Minute), "speed", "y")
+	a3 := mergeAlert(3, t0.Add(1*time.Minute), "rate-throttle", "z")
+	dupOfA2 := a2
+	dupOfA2.Seq = 999 // different Seq, same finding: must dedupe
+
+	merged, dupes := MergeAlertPages([][]Alert{
+		{a1, a3},
+		{dupOfA2, a2},
+	})
+	if dupes != 1 {
+		t.Fatalf("dupes = %d, want 1", dupes)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merged %d alerts, want 3: %v", len(merged), merged)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if merged[i].UserID != want {
+			t.Fatalf("merged[%d].UserID = %d, want %d (order wrong)", i, merged[i].UserID, want)
+		}
+	}
+}
+
+func TestMergeAlertPagesDeterministicTieBreak(t *testing.T) {
+	t0 := time.Unix(1_000_000, 0).UTC()
+	same := t0.Add(time.Minute)
+	a := mergeAlert(5, same, "speed", "a")
+	b := mergeAlert(4, same, "speed", "b")
+	c := mergeAlert(4, same, "cheater-code", "c")
+
+	m1, _ := MergeAlertPages([][]Alert{{a}, {b, c}})
+	m2, _ := MergeAlertPages([][]Alert{{c, b}, {a}})
+	for i := range m1 {
+		if KeyOf(m1[i]) != KeyOf(m2[i]) {
+			t.Fatalf("merge order depends on input order at %d: %v vs %v", i, m1, m2)
+		}
+	}
+	// Equal timestamps: user asc, then detector asc.
+	if m1[0].UserID != 4 || m1[0].Detector != "cheater-code" {
+		t.Fatalf("tie-break wrong: %+v", m1[0])
+	}
+}
+
+func TestPageAlerts(t *testing.T) {
+	t0 := time.Unix(1_000_000, 0).UTC()
+	var merged []Alert
+	for i := 0; i < 5; i++ {
+		merged = append(merged, mergeAlert(uint64(i+1), t0.Add(-time.Duration(i)*time.Minute), "speed", "d"))
+	}
+	page := PageAlerts(merged, 1, 2)
+	if len(page) != 2 || page[0].UserID != 2 || page[1].UserID != 3 {
+		t.Fatalf("page = %v", page)
+	}
+	if got := PageAlerts(merged, 10, 2); len(got) != 0 {
+		t.Fatalf("past-the-end page = %v, want empty", got)
+	}
+	if got := PageAlerts(merged, 0, 0); len(got) != 5 {
+		t.Fatalf("uncapped page returned %d, want 5", len(got))
+	}
+}
+
+func TestQuarantineSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "quarantine.json")
+	now := time.Unix(2_000_000, 0).UTC()
+	recs := []QuarantineRecord{
+		{UserID: 1, Since: now.Add(-time.Hour), Until: now.Add(time.Hour), Reason: "alerts", Source: "policy"},
+		{UserID: 2, Since: now.Add(-2 * time.Hour), Until: now.Add(-time.Minute), Reason: "old", Source: "manual"},
+	}
+	if err := SaveQuarantineSnapshot(path, recs, now); err != nil {
+		t.Fatal(err)
+	}
+	live, err := LoadQuarantineSnapshot(path, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 1 || live[0].UserID != 1 {
+		t.Fatalf("loaded %v, want only the unexpired user 1", live)
+	}
+}
+
+func TestQuarantineSnapshotMissingFile(t *testing.T) {
+	recs, err := LoadQuarantineSnapshot(filepath.Join(t.TempDir(), "nope.json"), time.Now())
+	if err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v, want nil/nil", recs, err)
+	}
+}
+
+func TestQuarantineSnapshotAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "quarantine.json")
+	now := time.Unix(2_000_000, 0).UTC()
+	if err := SaveQuarantineSnapshot(path, []QuarantineRecord{{UserID: 7, Until: now.Add(time.Hour)}}, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveQuarantineSnapshot(path, []QuarantineRecord{{UserID: 8, Until: now.Add(time.Hour)}}, now); err != nil {
+		t.Fatal(err)
+	}
+	live, err := LoadQuarantineSnapshot(path, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 1 || live[0].UserID != 8 {
+		t.Fatalf("loaded %v, want only user 8", live)
+	}
+	// No temp litter left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want just the snapshot", len(entries))
+	}
+}

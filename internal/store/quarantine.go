@@ -1,0 +1,104 @@
+// Quarantine snapshotting. Quarantine is the §2.3 access-control state
+// the detection loop feeds back into the service; losing it on restart
+// meant a flagged cheater could bounce the daemon (or wait for a
+// deploy) and check in again. The snapshot is a single JSON file
+// rewritten atomically on every change — the active set is small (it
+// is bounded by quarantine duration, not history), so a full rewrite
+// is cheaper and simpler than journaling deltas. Records use raw
+// uint64 IDs like the rest of this package; internal/lbsn converts.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// QuarantineRecord is one active quarantine on disk (and on the
+// cluster handoff wire).
+type QuarantineRecord struct {
+	UserID uint64    `json:"userId"`
+	Since  time.Time `json:"since"`
+	Until  time.Time `json:"until"`
+	Reason string    `json:"reason"`
+	Source string    `json:"source"`
+}
+
+// quarantineSnapshot is the file format, versioned so a future delta
+// format can coexist with old files.
+type quarantineSnapshot struct {
+	Version int                `json:"version"`
+	SavedAt time.Time          `json:"savedAt"`
+	Active  []QuarantineRecord `json:"active"`
+}
+
+// SaveQuarantineSnapshot atomically replaces the snapshot at path with
+// the given records: write to a temp file in the same directory, fsync,
+// rename. A crash mid-save leaves the previous snapshot intact.
+func SaveQuarantineSnapshot(path string, recs []QuarantineRecord, now time.Time) error {
+	if path == "" {
+		return fmt.Errorf("quarantine snapshot: empty path")
+	}
+	if recs == nil {
+		recs = []QuarantineRecord{}
+	}
+	buf, err := json.MarshalIndent(quarantineSnapshot{
+		Version: 1,
+		SavedAt: now,
+		Active:  recs,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("quarantine snapshot: marshal: %w", err)
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("quarantine snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".quarantine-*.tmp")
+	if err != nil {
+		return fmt.Errorf("quarantine snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("quarantine snapshot: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("quarantine snapshot: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("quarantine snapshot: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("quarantine snapshot: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadQuarantineSnapshot reads the snapshot at path, dropping records
+// already expired at now. A missing file is an empty snapshot, not an
+// error — a first boot has nothing to restore.
+func LoadQuarantineSnapshot(path string, now time.Time) ([]QuarantineRecord, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("quarantine snapshot: %w", err)
+	}
+	var snap quarantineSnapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return nil, fmt.Errorf("quarantine snapshot: parse %s: %w", path, err)
+	}
+	var live []QuarantineRecord
+	for _, r := range snap.Active {
+		if r.Until.After(now) {
+			live = append(live, r)
+		}
+	}
+	return live, nil
+}

@@ -1,0 +1,156 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// drainTo publishes and waits until the pipeline has processed
+// everything published so far.
+func drainTo(t *testing.T, p *Pipeline) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := p.Stats()
+		if st.Processed+st.Filtered >= st.Published {
+			// Processed counts every event, Filtered is a subset; equality
+			// with Published means the queues are empty.
+			if st.Processed >= st.Published {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("pipeline did not drain: %+v", p.Stats())
+}
+
+func handoffEvent(user uint64, at time.Time, loc geo.Point) lbsn.CheckinEvent {
+	return lbsn.CheckinEvent{
+		UserID:   lbsn.UserID(user),
+		VenueID:  lbsn.VenueID(user*100 + uint64(at.Unix()%97) + 1),
+		At:       at,
+		Venue:    loc,
+		Reported: loc,
+		Accepted: true,
+	}
+}
+
+// TestUserStateHandoff moves a user's detector state from one pipeline
+// to another and verifies the speed stage still sees the pre-handoff
+// claim: the very first post-handoff event at an impossible distance
+// must alert, which only happens if the exported "last position"
+// arrived intact.
+func TestUserStateHandoff(t *testing.T) {
+	t0 := simclock.Epoch()
+	src := New(Config{Shards: 2, Clock: simclock.NewSimulated(t0)})
+	dst := New(Config{Shards: 3, Clock: simclock.NewSimulated(t0)})
+	defer src.Close()
+	defer dst.Close()
+
+	home := geo.Point{Lat: 37.77, Lon: -122.42} // San Francisco
+	if !src.Publish(handoffEvent(7, t0, home)) {
+		t.Fatal("publish refused")
+	}
+	drainTo(t, src)
+
+	states := src.ExportUserStates(func(u uint64) bool { return u == 7 })
+	if len(states) != 1 {
+		t.Fatalf("exported %d users, want 1 (states: %v)", len(states), states)
+	}
+	if len(states[7]) == 0 {
+		t.Fatal("user 7 exported with no stage state")
+	}
+	// The export is destructive: a second export finds nothing.
+	if again := src.ExportUserStates(func(u uint64) bool { return u == 7 }); len(again) != 0 {
+		t.Fatalf("second export returned %d users, want 0", len(again))
+	}
+
+	if n := dst.ImportUserStates(states); n != 1 {
+		t.Fatalf("imported %d users, want 1", n)
+	}
+
+	// 10 minutes later the user claims New York: ~4,100 km away, far
+	// beyond 15 m/s — but only detectable with the handed-off state.
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+	if !dst.Publish(handoffEvent(7, t0.Add(10*time.Minute), ny)) {
+		t.Fatal("publish refused")
+	}
+	drainTo(t, dst)
+
+	page, total := dst.Alerts(store.AlertQuery{UserID: 7, Detector: StageSpeed})
+	if total == 0 {
+		t.Fatalf("no speed alert after handoff; state did not survive (alerts: %v)", page)
+	}
+}
+
+// TestImportKeepsLocalState ensures an import never clobbers state the
+// destination already accumulated: local events are newer than the
+// handoff snapshot.
+func TestImportKeepsLocalState(t *testing.T) {
+	t0 := simclock.Epoch()
+	dst := New(Config{Shards: 1, Clock: simclock.NewSimulated(t0)})
+	defer dst.Close()
+
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+	if !dst.Publish(handoffEvent(9, t0.Add(time.Minute), ny)) {
+		t.Fatal("publish refused")
+	}
+	drainTo(t, dst)
+
+	// Hand-craft a stale snapshot that, if applied, would place user 9
+	// in San Francisco at t0.
+	stale := map[uint64]map[string][]byte{
+		9: {StageSpeed: []byte(`{"at":"1970-01-01T00:00:00Z","loc":{"lat":37.77,"lon":-122.42}}`)},
+	}
+	dst.ImportUserStates(stale)
+
+	// A New York claim two minutes after the local one is pedestrian
+	// speed; only the stale SF state would flag it.
+	if !dst.Publish(handoffEvent(9, t0.Add(3*time.Minute), ny)) {
+		t.Fatal("publish refused")
+	}
+	drainTo(t, dst)
+	if _, total := dst.Alerts(store.AlertQuery{UserID: 9, Detector: StageSpeed}); total != 0 {
+		t.Fatalf("stale import overrode newer local state: %d speed alerts", total)
+	}
+}
+
+// TestExportAfterCloseReturnsNil pins the shutdown contract: a closed
+// pipeline has no workers to run the export.
+func TestExportAfterCloseReturnsNil(t *testing.T) {
+	p := New(Config{Shards: 1})
+	p.Close()
+	if got := p.ExportUserStates(func(uint64) bool { return true }); got != nil {
+		t.Fatalf("export after close = %v, want nil", got)
+	}
+}
+
+// TestCustomPartitioner verifies events and imports agree on shard
+// placement under a non-default partitioner.
+func TestCustomPartitioner(t *testing.T) {
+	t0 := simclock.Epoch()
+	// Reverse the default: high users to shard 0.
+	part := func(user uint64, shards int) int {
+		return int((user / 1000) % uint64(shards))
+	}
+	p := New(Config{Shards: 4, Partitioner: part, Clock: simclock.NewSimulated(t0)})
+	defer p.Close()
+
+	home := geo.Point{Lat: 37.77, Lon: -122.42}
+	if !p.Publish(handoffEvent(4242, t0, home)) {
+		t.Fatal("publish refused")
+	}
+	drainTo(t, p)
+	states := p.ExportUserStates(func(u uint64) bool { return u == 4242 })
+	if len(states) != 1 {
+		t.Fatalf("exported %d users, want 1", len(states))
+	}
+	if n := p.ImportUserStates(states); n != 1 {
+		t.Fatalf("imported %d users, want 1", n)
+	}
+}

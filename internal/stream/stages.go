@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"time"
@@ -157,6 +158,45 @@ func (d *DedupeStage) EvictIdle(olderThan time.Time) int {
 	return n
 }
 
+// dedupeWire is one exported dedupe key on the handoff wire.
+type dedupeWire struct {
+	Venue uint64 `json:"venue"`
+	At    int64  `json:"at"`
+}
+
+// ExportUserState implements UserStatePorter: the user's remembered
+// event keys, removed from the set.
+func (d *DedupeStage) ExportUserState(leaving func(uint64) bool) map[uint64][]byte {
+	byUser := make(map[uint64][]dedupeWire)
+	for k := range d.seen {
+		if !leaving(uint64(k.user)) {
+			continue
+		}
+		byUser[uint64(k.user)] = append(byUser[uint64(k.user)], dedupeWire{Venue: uint64(k.venue), At: k.at})
+		delete(d.seen, k)
+	}
+	out := make(map[uint64][]byte, len(byUser))
+	for user, keys := range byUser {
+		if blob, err := json.Marshal(keys); err == nil {
+			out[user] = blob
+		}
+	}
+	return out
+}
+
+// ImportUserState implements UserStatePorter. Dedupe keys are a set, so
+// a union with whatever arrived locally first is always correct.
+func (d *DedupeStage) ImportUserState(user uint64, state []byte) error {
+	var keys []dedupeWire
+	if err := json.Unmarshal(state, &keys); err != nil {
+		return fmt.Errorf("dedupe import user %d: %w", user, err)
+	}
+	for _, k := range keys {
+		d.seen[dedupeKey{user: lbsn.UserID(user), venue: lbsn.VenueID(k.Venue), at: k.At}] = struct{}{}
+	}
+	return nil
+}
+
 // sweep lazily evicts expired keys once per TTL of event time, keeping
 // the set proportional to the live working set.
 func (d *DedupeStage) sweep() {
@@ -242,6 +282,42 @@ func (s *SpeedStage) EvictIdle(olderThan time.Time) int {
 	return n
 }
 
+// speedWire is the speed stage's per-user state on the handoff wire.
+type speedWire struct {
+	At  time.Time `json:"at"`
+	Loc geo.Point `json:"loc"`
+}
+
+// ExportUserState implements UserStatePorter: the user's last retained
+// claim, removed from the map.
+func (s *SpeedStage) ExportUserState(leaving func(uint64) bool) map[uint64][]byte {
+	out := make(map[uint64][]byte)
+	for u, tp := range s.last {
+		if !leaving(uint64(u)) {
+			continue
+		}
+		if blob, err := json.Marshal(speedWire{At: tp.at, Loc: tp.loc}); err == nil {
+			out[uint64(u)] = blob
+		}
+		delete(s.last, u)
+	}
+	return out
+}
+
+// ImportUserState implements UserStatePorter; an existing local claim
+// wins (it postdates the handoff).
+func (s *SpeedStage) ImportUserState(user uint64, state []byte) error {
+	if _, ok := s.last[lbsn.UserID(user)]; ok {
+		return nil
+	}
+	var w speedWire
+	if err := json.Unmarshal(state, &w); err != nil {
+		return fmt.Errorf("speed import user %d: %w", user, err)
+	}
+	s.last[lbsn.UserID(user)] = timedPoint{at: w.At, loc: w.Loc}
+	return nil
+}
+
 // RateThrottleStage flags users whose claim rate exceeds the per-window
 // budget, then escalates: the flagged device is challenged with the
 // §5.1 rapid-bit distance-bounding exchange (internal/defense). The
@@ -316,6 +392,38 @@ func (r *RateThrottleStage) EvictIdle(olderThan time.Time) int {
 	return n
 }
 
+// ExportUserState implements UserStatePorter: the user's claim history
+// inside the throttle window, removed from the map.
+func (r *RateThrottleStage) ExportUserState(leaving func(uint64) bool) map[uint64][]byte {
+	out := make(map[uint64][]byte)
+	for u, hist := range r.recent {
+		if !leaving(uint64(u)) {
+			continue
+		}
+		if len(hist) > 0 {
+			if blob, err := json.Marshal(hist); err == nil {
+				out[uint64(u)] = blob
+			}
+		}
+		delete(r.recent, u)
+	}
+	return out
+}
+
+// ImportUserState implements UserStatePorter; existing local history
+// wins.
+func (r *RateThrottleStage) ImportUserState(user uint64, state []byte) error {
+	if hist, ok := r.recent[lbsn.UserID(user)]; ok && len(hist) > 0 {
+		return nil
+	}
+	var hist []time.Time
+	if err := json.Unmarshal(state, &hist); err != nil {
+		return fmt.Errorf("rate import user %d: %w", user, err)
+	}
+	r.recent[lbsn.UserID(user)] = hist
+	return nil
+}
+
 // CheaterCodeStage runs an independent online instance of the §2.3 rule
 // engine over the stream, so inline denials — and anything an
 // alternative ingest path lets through — surface as alerts. GPS-denied
@@ -361,4 +469,27 @@ func (c *CheaterCodeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 // engine's own history eviction.
 func (c *CheaterCodeStage) EvictIdle(olderThan time.Time) int {
 	return c.det.EvictIdle(olderThan)
+}
+
+// ExportUserState implements UserStatePorter, delegating to the rule
+// engine's history export.
+func (c *CheaterCodeStage) ExportUserState(leaving func(uint64) bool) map[uint64][]byte {
+	out := make(map[uint64][]byte)
+	for user, hist := range c.det.ExportUsers(leaving) {
+		if blob, err := json.Marshal(hist); err == nil {
+			out[user] = blob
+		}
+	}
+	return out
+}
+
+// ImportUserState implements UserStatePorter; the engine keeps existing
+// local history.
+func (c *CheaterCodeStage) ImportUserState(user uint64, state []byte) error {
+	var hist []cheatercode.Observation
+	if err := json.Unmarshal(state, &hist); err != nil {
+		return fmt.Errorf("cheater-code import user %d: %w", user, err)
+	}
+	c.det.ImportUser(user, hist)
+	return nil
 }

@@ -81,6 +81,23 @@ type UserStateEvictor interface {
 	EvictIdle(olderThan time.Time) int
 }
 
+// UserStatePorter is the optional Stage extension for stages whose
+// per-user state can migrate between pipelines — the seam the cluster
+// tier's shard handoff is built on. Both methods are called from the
+// owning shard goroutine, so implementations need no locking beyond
+// what Process already assumes.
+type UserStatePorter interface {
+	// ExportUserState removes and returns the serialized state of every
+	// user for whom leaving reports true. Users without state are simply
+	// absent from the result.
+	ExportUserState(leaving func(user uint64) bool) map[uint64][]byte
+	// ImportUserState installs previously exported state for one user.
+	// If the stage already holds state for the user, the local state
+	// wins (it is newer — events may have arrived ahead of the handoff)
+	// and the import is a no-op.
+	ImportUserState(user uint64, state []byte) error
+}
+
 // EvictionPolicy bounds per-user stage state by idle time. All
 // durations are event time, so eviction is deterministic under
 // simclock. The zero value takes defaults; it is shared by every
@@ -110,6 +127,14 @@ type Config struct {
 	// Shards is the worker count (default GOMAXPROCS). Events shard by
 	// UserID, so per-user order is preserved.
 	Shards int
+	// Partitioner maps a user to a shard index in [0, shards). Nil uses
+	// user % shards, which is what every current deployment (clustered
+	// or not) runs; the seam exists for schemes that want placement
+	// beyond modulo (e.g. pinning hot users to dedicated shards), and
+	// ImportUserStates routes handed-off users through it. Must be
+	// pure: the same user must always land on the same shard or
+	// per-user ordering (and every per-user stage) breaks.
+	Partitioner func(user uint64, shards int) int
 	// ShardBuffer is each shard's bounded queue (default 1024). A full
 	// queue drops the event — the producer is never blocked.
 	ShardBuffer int
@@ -150,6 +175,11 @@ func (c Config) withDefaults() Config {
 	if c.ShardBuffer <= 0 {
 		c.ShardBuffer = 1024
 	}
+	if c.Partitioner == nil {
+		c.Partitioner = func(user uint64, shards int) int {
+			return int(user % uint64(shards))
+		}
+	}
 	if c.DLQBuffer <= 0 {
 		c.DLQBuffer = 256
 	}
@@ -180,7 +210,12 @@ func (c Config) withDefaults() Config {
 // its slice of the tumbling-window stats so the per-event bump never
 // contends with other shards.
 type shard struct {
-	in        chan lbsn.CheckinEvent
+	in chan lbsn.CheckinEvent
+	// ctl delivers control closures (state export/import for cluster
+	// handoff) into the worker goroutine, the only place stage state may
+	// be touched. Unbuffered: the sender rendezvouses with the worker,
+	// so when the send returns the closure has been picked up.
+	ctl       chan func(stages []Stage)
 	windows   *windowTracker
 	processed atomic.Uint64
 	dropped   atomic.Uint64
@@ -240,6 +275,7 @@ func New(cfg Config) *Pipeline {
 	for i := range p.shards {
 		sh := &shard{
 			in:      make(chan lbsn.CheckinEvent, cfg.ShardBuffer),
+			ctl:     make(chan func([]Stage)),
 			windows: newWindowTracker(cfg.StatsWindow, cfg.StatsHistory),
 		}
 		p.shards[i] = sh
@@ -257,7 +293,18 @@ func New(cfg Config) *Pipeline {
 func (p *Pipeline) run(sh *shard, stages []Stage) {
 	defer p.wg.Done()
 	var latest, lastSweep time.Time
-	for ev := range sh.in {
+	for {
+		var ev lbsn.CheckinEvent
+		var ok bool
+		select {
+		case ev, ok = <-sh.in:
+			if !ok {
+				return
+			}
+		case fn := <-sh.ctl:
+			fn(stages)
+			continue
+		}
 		sh.windows.observe(ev.At)
 		if ev.At.After(latest) {
 			latest = ev.At
@@ -312,7 +359,11 @@ func (p *Pipeline) Publish(ev lbsn.CheckinEvent) bool {
 		return false
 	}
 	ev.Seq = p.seq.Add(1)
-	sh := p.shards[uint64(ev.UserID)%uint64(len(p.shards))]
+	idx := p.cfg.Partitioner(uint64(ev.UserID), len(p.shards))
+	if idx < 0 || idx >= len(p.shards) {
+		idx = int(uint64(ev.UserID) % uint64(len(p.shards)))
+	}
+	sh := p.shards[idx]
 	// Count before enqueueing: the shard worker can process the event
 	// (and bump its counter) before a post-send increment would land,
 	// which would let a live Stats read show processed > published.
@@ -513,6 +564,124 @@ func (p *Pipeline) Windows() []WindowStats {
 // current window) into check-ins/sec and per-detector alert rates.
 func (p *Pipeline) Rates() Rates {
 	return computeRates(mergeWindows(p.trackers()), p.clock.Now(), p.cfg.StatsWindow)
+}
+
+// withStages runs fn inside every shard's worker goroutine (the only
+// context allowed to touch stage state) and waits for all of them.
+// Returns false without running anything when the pipeline is closed.
+func (p *Pipeline) withStages(fn func(shardIdx int, stages []Stage)) bool {
+	// Holding the read lock for the whole exchange keeps Close (write
+	// lock) from shutting the workers down between our closed check and
+	// the ctl sends, so every send is guaranteed a live receiver.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	var wg sync.WaitGroup
+	for i, sh := range p.shards {
+		i := i
+		wg.Add(1)
+		sh.ctl <- func(stages []Stage) {
+			defer wg.Done()
+			fn(i, stages)
+		}
+	}
+	wg.Wait()
+	return true
+}
+
+// ExportUserStates extracts (removes and returns) the per-stage state
+// of every user for whom leaving reports true, keyed user → stage name
+// → opaque blob. This is the departing half of a cluster shard handoff:
+// the caller ships the result to the user's new owner, which feeds it
+// to ImportUserStates. A user always lives on exactly one shard, so the
+// per-shard results never conflict. Returns nil after Close.
+func (p *Pipeline) ExportUserStates(leaving func(user uint64) bool) map[uint64]map[string][]byte {
+	out := make(map[uint64]map[string][]byte)
+	var mu sync.Mutex
+	ok := p.withStages(func(_ int, stages []Stage) {
+		for _, st := range stages {
+			porter, isPorter := st.(UserStatePorter)
+			if !isPorter {
+				continue
+			}
+			exported := porter.ExportUserState(leaving)
+			if len(exported) == 0 {
+				continue
+			}
+			mu.Lock()
+			for user, blob := range exported {
+				m := out[user]
+				if m == nil {
+					m = make(map[string][]byte)
+					out[user] = m
+				}
+				m[st.Name()] = blob
+			}
+			mu.Unlock()
+		}
+	})
+	if !ok {
+		return nil
+	}
+	return out
+}
+
+// ImportUserStates installs state exported by another pipeline's
+// ExportUserStates, routing each user to its shard via the partitioner.
+// Stages that already hold state for a user keep it (local state is
+// newer than the handoff). Returns how many users were delivered to a
+// shard worker; unknown stage names are skipped.
+func (p *Pipeline) ImportUserStates(states map[uint64]map[string][]byte) int {
+	if len(states) == 0 {
+		return 0
+	}
+	byShard := make(map[int]map[uint64]map[string][]byte)
+	for user, m := range states {
+		idx := p.cfg.Partitioner(user, len(p.shards))
+		if idx < 0 || idx >= len(p.shards) {
+			idx = int(user % uint64(len(p.shards)))
+		}
+		if byShard[idx] == nil {
+			byShard[idx] = make(map[uint64]map[string][]byte)
+		}
+		byShard[idx][user] = m
+	}
+	imported := 0
+	var mu sync.Mutex
+	p.withStages(func(shardIdx int, stages []Stage) {
+		mine := byShard[shardIdx]
+		if len(mine) == 0 {
+			return
+		}
+		byName := make(map[string]UserStatePorter, len(stages))
+		for _, st := range stages {
+			if porter, isPorter := st.(UserStatePorter); isPorter {
+				byName[st.Name()] = porter
+			}
+		}
+		n := 0
+		for user, m := range mine {
+			delivered := false
+			for stageName, blob := range m {
+				porter, known := byName[stageName]
+				if !known {
+					continue
+				}
+				if err := porter.ImportUserState(user, blob); err == nil {
+					delivered = true
+				}
+			}
+			if delivered {
+				n++
+			}
+		}
+		mu.Lock()
+		imported += n
+		mu.Unlock()
+	})
+	return imported
 }
 
 // Close stops intake, drains every queued event through the stages,
