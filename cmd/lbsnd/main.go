@@ -12,6 +12,7 @@
 //	      [-journal-segments 8] [-quarantine] [-quarantine-threshold 5]
 //	      [-quarantine-window 10m] [-quarantine-duration 1h]
 //	      [-cluster-node ID] [-cluster-peers ID=URL,...] [-cluster-listen :9101]
+//	      [-journal-mirror 0] [-replica-factor 1] [-outbox-bytes 4194304]
 //
 // The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
 // can be pointed at a hardened instance. With -api-key the developer
@@ -41,6 +42,17 @@
 // The peer list must include this node's own ID so its advertised URL
 // is known; on shutdown the node leaves gracefully, handing its users'
 // detector and quarantine state to the surviving owners.
+//
+// With -replica-factor 2+ (requires -journal-dir and the cluster tier)
+// the durability tier runs: each node streams its alert-journal
+// appends to replica-factor-1 ring successors, so a node killed -9
+// still has its full alert history served from the promoted replica in
+// merged views; quarantine transitions broadcast cluster-wide (with
+// digest anti-entropy) so a quarantined cheater is denied on every
+// node; and failed cross-node forwards spill to a bounded on-disk
+// outbox (-outbox-bytes) replayed with dedupe when the peer recovers.
+// -journal-mirror bounds the journal's in-memory mirror; older history
+// pages in from disk via the per-segment index.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP server
 // drains, then the pipeline processes every queued event before final
@@ -101,12 +113,18 @@ func run(args []string) error {
 	clusterNode := fs.String("cluster-node", "", "this node's cluster ID (enables the partitioned ingest tier; needs -stream, -cluster-peers and -cluster-listen)")
 	clusterPeers := fs.String("cluster-peers", "", "static cluster members as ID=URL,... including this node")
 	clusterListen := fs.String("cluster-listen", "", "bind address for the internal /cluster/v1 surface (unauthenticated; keep it cluster-internal)")
+	journalMirror := fs.Int("journal-mirror", 0, "bound the journal's in-memory mirror to the newest N alerts, paging older queries from disk (0 = mirror everything)")
+	replicaFactor := fs.Int("replica-factor", 1, "total alert-journal copies incl. this node; 2+ ships appends to ring successors (needs -journal-dir and the cluster tier)")
+	outboxBytes := fs.Int64("outbox-bytes", 4<<20, "per-peer on-disk spill cap for failed cross-node forwards; 0 disables the outbox (needs -journal-dir and the cluster tier)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *clusterNode != "" && (!*streamOn || *clusterPeers == "" || *clusterListen == "") {
 		return fmt.Errorf("-cluster-node needs -stream, -cluster-peers and -cluster-listen")
+	}
+	if *replicaFactor >= 2 && (*clusterNode == "" || *journalDir == "") {
+		return fmt.Errorf("-replica-factor %d needs -cluster-node and -journal-dir (replication ships the alert journal between cluster nodes)", *replicaFactor)
 	}
 
 	fmt.Printf("generating world: %d users, %d venues (seed %d)...\n", *users, 3**users, *seed)
@@ -140,6 +158,7 @@ func run(args []string) error {
 				SegmentBytes: *journalSegBytes,
 				MaxSegments:  *journalSegments,
 				FsyncEvery:   *journalFsync,
+				MirrorAlerts: *journalMirror,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
 				},
@@ -173,15 +192,31 @@ func run(args []string) error {
 			if self.ID == "" {
 				return fmt.Errorf("cluster: -cluster-peers does not list this node %q (peers need the advertised URL of every member)", *clusterNode)
 			}
+			replicaOpts := cluster.ReplicaOptions{}
+			if *journalDir != "" {
+				replicaOpts = cluster.ReplicaOptions{
+					Dir:            *journalDir,
+					Factor:         *replicaFactor,
+					OutboxMaxBytes: *outboxBytes,
+				}
+				if *outboxBytes == 0 {
+					replicaOpts.OutboxMaxBytes = -1 // explicit off
+				}
+			}
 			clusterN, err = cluster.NewNode(svc, pipeline, cluster.Config{
-				Self:  self,
-				Peers: peers,
+				Self:    self,
+				Peers:   peers,
+				Replica: replicaOpts,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
 				},
 			})
 			if err != nil {
 				return err
+			}
+			if *replicaFactor >= 2 {
+				fmt.Printf("replication: journal ships to %d ring successor(s); quarantine broadcast + forwarding outbox armed in %s\n",
+					*replicaFactor-1, *journalDir)
 			}
 			clusterSrv = &http.Server{Addr: *clusterListen, Handler: clusterN.Handler()}
 			go func() {
@@ -339,9 +374,18 @@ func run(args []string) error {
 		// peer rebalances can still land.
 		clusterN.Shutdown()
 		cst := clusterN.Status()
-		fmt.Printf("cluster: %d forwarded (%d dropped, %d errors), %d received; handed off %d users in %d bundles\n",
-			cst.Forward.Sent, cst.Forward.Dropped, cst.Forward.Errors,
+		fmt.Printf("cluster: %d forwarded (%d dropped, %d spilled, %d errors), %d received; handed off %d users in %d bundles\n",
+			cst.Forward.Sent, cst.Forward.Dropped, cst.Forward.Spilled, cst.Forward.Errors,
 			cst.Ingest.Received, cst.Handoff.SentUsers, cst.Handoff.SentBundles)
+		if rs := cst.Replication; rs.Enabled {
+			for _, f := range rs.Followers {
+				fmt.Printf("replication: follower %s acked cursor %d (lag %d, %d errors)\n",
+					f.ID, f.Cursor, f.Lag, f.Errors)
+			}
+		}
+		if ob := cst.Replication.Outbox; ob != nil && ob.Queued > 0 {
+			fmt.Printf("outbox: %d spilled event(s) persisted; they replay on the next start\n", ob.Queued)
+		}
 	}
 	if clusterSrv != nil {
 		if err := clusterSrv.Shutdown(shutdownCtx); err != nil {

@@ -171,6 +171,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		var info cluster.MergeInfo
 		resp.Alerts, resp.Total, info = b.ClusterAlerts(q)
 		resp.Cluster = &info
+		setMergeHeaders(w, info)
 	} else {
 		resp.Alerts, resp.Total = p.Alerts(q)
 	}
@@ -202,6 +203,7 @@ func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
 	if b := s.clusterBackend(); b != nil && !scopeLocal(r) {
 		view := b.ClusterStats()
 		resp.Cluster = &view
+		setMergeHeaders(w, view.Info)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

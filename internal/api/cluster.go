@@ -2,6 +2,7 @@ package api
 
 import (
 	"net/http"
+	"strconv"
 
 	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
@@ -61,6 +62,16 @@ func (s *Server) clusterBackend() ClusterBackend {
 // scopeLocal reports whether the request opted out of the merged view.
 func scopeLocal(r *http.Request) bool {
 	return r.URL.Query().Get("scope") == "local"
+}
+
+// setMergeHeaders stamps the merged-view provenance headers every
+// merged endpoint carries (alerts, alert stats, quarantine): how many
+// nodes contributed and how many live peers could not be reached, so a
+// partial view during an outage is distinguishable from a complete
+// one without parsing the body.
+func setMergeHeaders(w http.ResponseWriter, info cluster.MergeInfo) {
+	w.Header().Set("X-Cluster-Nodes", strconv.Itoa(info.Nodes))
+	w.Header().Set("X-Cluster-Failed", strconv.Itoa(info.Failed))
 }
 
 func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -112,6 +113,52 @@ func TestQuarantineServesMergedClusterView(t *testing.T) {
 	}
 	if len(list) != 1 || list[0].UserID != 9 {
 		t.Fatalf("merged quarantine list = %v", list)
+	}
+}
+
+// TestMergedViewHeadersOnAllMergedEndpoints pins the header contract:
+// every merged endpoint — alerts, alert stats AND quarantine — carries
+// X-Cluster-Nodes/X-Cluster-Failed, so a partial view during an outage
+// is detectable regardless of which surface an auditor reads. (The
+// alerts and stats endpoints used to omit them; only quarantine had
+// the headers.)
+func TestMergedViewHeadersOnAllMergedEndpoints(t *testing.T) {
+	fc := &fakeCluster{
+		alerts: []store.Alert{{Detector: "speed", UserID: 1, At: simclock.Epoch(), Detail: "x"}},
+	}
+	client, _, _ := newClusterTestServer(t, fc)
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, client.BaseURL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", "k")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	for _, path := range []string{"/api/v1/alerts", "/api/v1/alerts/stats", "/api/v1/quarantine"} {
+		resp := get(path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cluster-Nodes"); got != "3" {
+			t.Fatalf("%s: X-Cluster-Nodes = %q, want 3", path, got)
+		}
+		if got := resp.Header.Get("X-Cluster-Failed"); got != "0" {
+			t.Fatalf("%s: X-Cluster-Failed = %q, want 0", path, got)
+		}
+		// scope=local bypasses the merge and must NOT claim a merged
+		// provenance.
+		local := get(path + "?scope=local")
+		if got := local.Header.Get("X-Cluster-Nodes"); got != "" {
+			t.Fatalf("%s?scope=local still carries X-Cluster-Nodes=%q", path, got)
+		}
 	}
 }
 

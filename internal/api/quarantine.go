@@ -53,8 +53,7 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 			// "none exist").
 			var info cluster.MergeInfo
 			list, info = b.ClusterQuarantines()
-			w.Header().Set("X-Cluster-Nodes", strconv.Itoa(info.Nodes))
-			w.Header().Set("X-Cluster-Failed", strconv.Itoa(info.Failed))
+			setMergeHeaders(w, info)
 		} else {
 			list = s.svc.QuarantinedUsers()
 		}

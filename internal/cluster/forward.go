@@ -24,6 +24,15 @@ type ForwarderConfig struct {
 	FlushEvery time.Duration
 	// HTTP posts the batches (default a client with a 5s timeout).
 	HTTP *http.Client
+	// Spill receives events the forwarder would otherwise lose — a full
+	// peer queue or a failed POST — so a durability tier (the cluster's
+	// on-disk outbox) can keep them for replay, and returns how many it
+	// durably accepted (the rest — over a spill cap, I/O failure — are
+	// counted dropped, the honest outcome). Nil keeps the original
+	// at-most-once behavior: such events are dropped and counted. Spill
+	// must not block; it is called from the enqueue path and the sender
+	// goroutines.
+	Spill func(addr string, events []WireEvent) int
 	// Logf receives forwarding errors. Nil discards.
 	Logf func(format string, args ...any)
 }
@@ -56,10 +65,12 @@ type ForwardStats struct {
 	// Batches/Events count successful POSTs and the events they carried.
 	Batches uint64 `json:"batches"`
 	Sent    uint64 `json:"sent"`
-	// Errors counts failed POSTs; their events are lost (the owner can
-	// re-derive detector state from subsequent traffic, and at-least-
-	// once delivery would need an outbox this tier deliberately avoids).
+	// Errors counts failed POSTs. Without a Spill hook their events are
+	// lost; with one they are handed to the outbox and counted Spilled.
 	Errors uint64 `json:"errors"`
+	// Spilled counts events handed to the Spill hook instead of being
+	// dropped (full queue or failed POST, durably queued for replay).
+	Spilled uint64 `json:"spilled,omitempty"`
 	// RemoteDropped sums the Dropped numbers peers reported in acks: the
 	// events arrived but the owner's shard queue was full.
 	RemoteDropped uint64 `json:"remoteDropped"`
@@ -88,6 +99,7 @@ type Forwarder struct {
 
 	enqueued      atomic.Uint64
 	dropped       atomic.Uint64
+	spilled       atomic.Uint64
 	batches       atomic.Uint64
 	sent          atomic.Uint64
 	errors        atomic.Uint64
@@ -105,8 +117,10 @@ func NewForwarder(self string, cfg ForwarderConfig) *Forwarder {
 }
 
 // Enqueue offers one event for delivery to the peer at addr. Never
-// blocks: a full queue (or a closed forwarder) drops the event and
-// returns false.
+// blocks. Returns whether the event is on a delivery path: queued for
+// a sender, or (with a Spill hook) spilled to the outbox when the
+// queue is full. Without a spill hook a full queue (or a closed
+// forwarder) drops the event and returns false.
 func (f *Forwarder) Enqueue(addr string, ev WireEvent) bool {
 	q := f.queue(addr)
 	if q == nil {
@@ -118,9 +132,31 @@ func (f *Forwarder) Enqueue(addr string, ev WireEvent) bool {
 		f.enqueued.Add(1)
 		return true
 	default:
-		f.dropped.Add(1)
+		return f.spill(addr, []WireEvent{ev})
+	}
+}
+
+// spill hands refused events to the outbox hook; without one they are
+// dropped. Returns whether EVERY event survived (partial spill-cap
+// refusals count the remainder dropped).
+func (f *Forwarder) spill(addr string, events []WireEvent) bool {
+	if f.cfg.Spill == nil {
+		f.dropped.Add(uint64(len(events)))
 		return false
 	}
+	accepted := f.cfg.Spill(addr, events)
+	if accepted < 0 {
+		accepted = 0
+	}
+	if accepted > len(events) {
+		accepted = len(events)
+	}
+	f.spilled.Add(uint64(accepted))
+	if lost := len(events) - accepted; lost > 0 {
+		f.dropped.Add(uint64(lost))
+		return false
+	}
+	return true
 }
 
 // queue returns (creating if needed) the peer queue for addr.
@@ -196,13 +232,17 @@ func (f *Forwarder) post(addr string, batch []WireEvent) {
 	resp, err := f.cfg.HTTP.Post(addr+"/cluster/v1/ingest", "application/json", bytes.NewReader(body))
 	if err != nil {
 		f.errors.Add(1)
-		f.cfg.Logf("cluster: forward to %s failed: %v (%d events lost)", addr, err, len(batch))
+		if !f.spill(addr, batch) {
+			f.cfg.Logf("cluster: forward to %s failed: %v (%d events lost)", addr, err, len(batch))
+		}
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		f.errors.Add(1)
-		f.cfg.Logf("cluster: forward to %s: status %d (%d events lost)", addr, resp.StatusCode, len(batch))
+		if !f.spill(addr, batch) {
+			f.cfg.Logf("cluster: forward to %s: status %d (%d events lost)", addr, resp.StatusCode, len(batch))
+		}
 		return
 	}
 	var ack IngestAck
@@ -250,6 +290,7 @@ func (f *Forwarder) Stats() ForwardStats {
 	return ForwardStats{
 		Enqueued:      f.enqueued.Load(),
 		Dropped:       f.dropped.Load(),
+		Spilled:       f.spilled.Load(),
 		Batches:       f.batches.Load(),
 		Sent:          f.sent.Load(),
 		Errors:        f.errors.Load(),

@@ -1,0 +1,555 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+)
+
+// failproxy wraps a node's handler with per-path failure injection, so
+// tests can make one endpoint unreachable (forward POSTs fail and
+// spill) while heartbeats stay healthy.
+type failproxy struct {
+	mu    sync.RWMutex
+	h     http.Handler
+	fail  map[string]bool
+	hits  map[string]int
+	count bool
+}
+
+func (f *failproxy) set(h http.Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.h = h
+}
+
+func (f *failproxy) setFail(path string, failing bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail == nil {
+		f.fail = make(map[string]bool)
+	}
+	f.fail[path] = failing
+}
+
+func (f *failproxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.RLock()
+	h, failing := f.h, f.fail[r.URL.Path]
+	f.mu.RUnlock()
+	if failing {
+		http.Error(w, "injected failure", http.StatusServiceUnavailable)
+		return
+	}
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// replNode is one member of a replicated test cluster: journal-backed
+// pipeline, replica tier enabled.
+type replNode struct {
+	id      string
+	svc     *lbsn.Service
+	pipe    *stream.Pipeline
+	journal *store.AlertJournal
+	node    *Node
+	srv     *httptest.Server
+	proxy   *failproxy
+	clock   *simclock.Simulated
+}
+
+// startReplicatedCluster boots n journal-backed nodes with replica
+// factor 2 (each journal ships to one ring successor) and the
+// forwarding outbox armed.
+func startReplicatedCluster(t *testing.T, ids []string, users int) map[string]*replNode {
+	t.Helper()
+	type boot struct {
+		proxy *failproxy
+		srv   *httptest.Server
+	}
+	boots := make(map[string]*boot, len(ids))
+	var peers []Member
+	for _, id := range ids {
+		proxy := &failproxy{}
+		srv := httptest.NewServer(proxy)
+		t.Cleanup(srv.Close)
+		boots[id] = &boot{proxy: proxy, srv: srv}
+		peers = append(peers, Member{ID: id, Addr: srv.URL})
+	}
+
+	nodes := make(map[string]*replNode, len(ids))
+	for _, id := range ids {
+		clock := simclock.NewSimulated(simclock.Epoch())
+		svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+		for u := 0; u < users; u++ {
+			svc.RegisterUser("user", "", "SF")
+		}
+		dir := t.TempDir()
+		journal, err := store.OpenAlertJournal(store.JournalConfig{
+			Dir:          dir,
+			SegmentBytes: 8 << 10,
+			FsyncEvery:   256,
+			Logf:         t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { journal.Close() })
+		pipe := stream.New(stream.Config{Shards: 2, Clock: clock, Store: journal})
+		t.Cleanup(pipe.Close)
+		node, err := NewNode(svc, pipe, Config{
+			Self:  Member{ID: id, Addr: boots[id].srv.URL},
+			Peers: peers,
+			Forward: ForwarderConfig{
+				BatchSize:  1,
+				FlushEvery: 5 * time.Millisecond,
+			},
+			Replica: ReplicaOptions{
+				Dir:          dir,
+				Factor:       2,
+				ShipInterval: 2 * time.Millisecond,
+				DigestEvery:  time.Hour, // tests drive SyncQuarantines by hand
+			},
+			Membership: MembershipConfig{
+				HeartbeatEvery: 100 * time.Millisecond,
+				FailAfter:      300 * time.Millisecond,
+				Clock:          clock,
+			},
+			Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		boots[id].proxy.set(node.Handler())
+		nodes[id] = &replNode{
+			id: id, svc: svc, pipe: pipe, journal: journal, node: node,
+			srv: boots[id].srv, proxy: boots[id].proxy, clock: clock,
+		}
+	}
+	return nodes
+}
+
+// alertKeys collects the cross-node identity of every alert in a page.
+func alertKeys(alerts []store.Alert) map[store.AlertKey]bool {
+	out := make(map[store.AlertKey]bool, len(alerts))
+	for _, a := range alerts {
+		out[store.KeyOf(a)] = true
+	}
+	return out
+}
+
+// TestKillNineDrill is the acceptance scenario for the durability
+// tier: a 3-node cluster with replica factor 2 under load, one node
+// hard-killed (no leave notice, no handoff, no flush). The survivors
+// must serve the dead node's complete alert history from the promoted
+// replica, keep denying every quarantined user, and replay the spilled
+// forwards without producing duplicate alerts.
+func TestKillNineDrill(t *testing.T) {
+	const users = 300
+	nodes := startReplicatedCluster(t, []string{"n1", "n2", "n3"}, users)
+	n1, n2, n3 := nodes["n1"], nodes["n2"], nodes["n3"]
+	survivors := []*replNode{n1, n3}
+
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+	t0 := simclock.Epoch()
+
+	// Load: impossible-travel pairs for users owned by every node,
+	// ingested at n1 (non-owners forward).
+	owned := map[string][]uint64{}
+	for u := uint64(1); u <= users; u++ {
+		o := n1.node.Owner(u)
+		if len(owned[o]) < 8 {
+			owned[o] = append(owned[o], u)
+		}
+	}
+	if len(owned["n2"]) < 4 {
+		t.Fatalf("ring gave n2 only %d of the first %d users", len(owned["n2"]), users)
+	}
+	total := 0
+	for _, us := range owned {
+		for i, u := range us {
+			at := t0.Add(time.Duration(i) * time.Hour)
+			n1.node.Ingest(clusterEvent(u, at, sf))
+			n1.node.Ingest(clusterEvent(u, at.Add(10*time.Minute), ny))
+			total += 2
+		}
+	}
+	// Every owner detects its own users' teleports.
+	for id, tn := range nodes {
+		want := len(owned[id])
+		eventually(t, "speed alerts on "+id, func() bool {
+			_, n := tn.pipe.Alerts(store.AlertQuery{Detector: stream.StageSpeed})
+			return n >= want
+		})
+	}
+
+	// Quarantine two n2-owned users on n2 (the owner); the broadcast
+	// must make every node deny them without any digest round.
+	quarUsers := owned["n2"][:2]
+	for _, u := range quarUsers {
+		if err := n2.svc.Quarantine(lbsn.UserID(u), time.Hour, "drill", lbsn.QuarantineSourcePolicy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tn := range survivors {
+		tn := tn
+		eventually(t, "broadcast quarantine on "+tn.id, func() bool {
+			for _, u := range quarUsers {
+				if !tn.svc.IsQuarantined(lbsn.UserID(u)) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// Wait for n2's journal to be fully shipped to its follower, then
+	// record what the cluster must still know after the kill.
+	eventually(t, "n2 replica caught up", func() bool {
+		st := n2.node.Status().Replication
+		if len(st.Followers) != 1 || !st.Followers[0].Synced {
+			return false
+		}
+		return st.Followers[0].Lag == 0
+	})
+	n2Page, n2Total := n2.pipe.Alerts(store.AlertQuery{Limit: 10000})
+	if n2Total == 0 {
+		t.Fatal("n2 journaled no alerts; the drill would assert nothing")
+	}
+	mustSurvive := alertKeys(n2Page)
+	follower := n2.node.Status().Replication.Followers[0].ID
+	t.Logf("n2 holds %d alerts, replicated to %s", n2Total, follower)
+
+	// ---- kill -9: the listener vanishes mid-load, nothing flushes. ----
+	n2.srv.Close()
+	// A few more events for n2-owned users while it is dead but not yet
+	// detected: the forwards fail and must spill to the outbox.
+	spillUser := owned["n2"][2]
+	for i := 0; i < 3; i++ {
+		at := t0.Add(100*time.Hour + time.Duration(i)*time.Hour)
+		n1.node.Ingest(clusterEvent(spillUser, at, sf))
+		n1.node.Ingest(clusterEvent(spillUser, at.Add(10*time.Minute), ny))
+	}
+	eventually(t, "failed forwards spilled to outbox", func() bool {
+		st := n1.node.Status()
+		return st.Replication.Outbox != nil && st.Replication.Outbox.Queued > 0
+	})
+
+	// Failure detection: survivors drop n2 from the ring. The
+	// rebalance hook replays the outbox through re-resolved ownership.
+	for _, tn := range survivors {
+		tn := tn
+		eventually(t, tn.id+" drops n2", func() bool {
+			tn.clock.Advance(time.Second)
+			tn.node.Tick()
+			return len(tn.node.Membership().LivePeers()) == 1
+		})
+	}
+
+	// Merged alert history is COMPLETE: every alert n2 held pre-kill is
+	// in the merged view served by a survivor, via the promoted replica.
+	eventually(t, "merged history complete from promoted replica", func() bool {
+		page, _, info := n1.node.ClusterAlerts(store.AlertQuery{Limit: 10000})
+		if info.Nodes != 2 {
+			return false
+		}
+		got := alertKeys(page)
+		for k := range mustSurvive {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	})
+	// And the promotion is visible in status on whoever follows n2.
+	promotedSeen := false
+	for _, tn := range survivors {
+		for _, p := range tn.node.Status().Replication.Promoted {
+			if p == "n2" {
+				promotedSeen = true
+			}
+		}
+	}
+	if !promotedSeen {
+		t.Fatal("no survivor promoted n2's replica")
+	}
+
+	// Quarantine holds on every surviving node: check-ins are DENIED,
+	// not just flagged.
+	for _, tn := range survivors {
+		venue, err := tn.svc.AddVenue("Drill Venue", "", "SF", sf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range quarUsers {
+			res, err := tn.svc.CheckIn(lbsn.CheckinRequest{
+				UserID: lbsn.UserID(u), VenueID: venue, Reported: sf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Accepted || res.Reason != lbsn.DenyQuarantined {
+				t.Fatalf("node %s accepted quarantined user %d: %+v", tn.id, u, res)
+			}
+		}
+	}
+
+	// Outbox replay converged: the spilled events were re-routed to the
+	// new owner and detected exactly once. The replayed sequence is
+	// SF,NY at 10-minute spacing with 50-minute gaps between pairs —
+	// every hop is inside the speed window, so 6 events yield exactly 5
+	// alerts on the new owner, plus the 1 pre-kill alert served from
+	// the replica: 6 total, and ONLY 6 (more would mean a replayed
+	// duplicate re-alerted, fewer would mean spill loss).
+	const wantSpillAlerts = 6
+	eventually(t, "spilled events replayed to new owner", func() bool {
+		n1.node.ReplayOutbox() // belt and braces: rebalance already kicked one
+		_, got, info := n1.node.ClusterAlerts(store.AlertQuery{
+			UserID: spillUser, Detector: stream.StageSpeed,
+		})
+		return info.Nodes == 2 && got >= wantSpillAlerts
+	})
+	_, spillTotal, _ := n1.node.ClusterAlerts(store.AlertQuery{
+		UserID: spillUser, Detector: stream.StageSpeed,
+	})
+	if spillTotal != wantSpillAlerts {
+		t.Fatalf("spill user has %d speed alerts, want exactly %d (dupes or loss)", spillTotal, wantSpillAlerts)
+	}
+	if st := n1.node.Status(); st.Forward.Dropped != 0 {
+		t.Fatalf("forwarder dropped %d events despite the outbox", st.Forward.Dropped)
+	}
+}
+
+// TestOutboxReplayEffectivelyOnce isolates the spill/replay path: a
+// peer whose ingest endpoint fails, spilled forwards, recovery, one
+// replay — every event processed exactly once, duplicate re-deliveries
+// refused by the receiver.
+func TestOutboxReplayEffectivelyOnce(t *testing.T) {
+	const users = 100
+	nodes := startReplicatedCluster(t, []string{"a", "b"}, users)
+	na, nb := nodes["a"], nodes["b"]
+
+	// Break b's ingest (heartbeats stay healthy, so b keeps ownership
+	// and the spill stays addressed to b).
+	nb.proxy.setFail("/cluster/v1/ingest", true)
+
+	var bUsers []uint64
+	for u := uint64(1); u <= users && len(bUsers) < 10; u++ {
+		if na.node.Owner(u) == "b" {
+			bUsers = append(bUsers, u)
+		}
+	}
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	t0 := simclock.Epoch()
+	for i, u := range bUsers {
+		if !na.node.Ingest(clusterEvent(u, t0.Add(time.Duration(i)*time.Hour), sf)) {
+			t.Fatal("ingest refused despite outbox")
+		}
+	}
+	eventually(t, "all failed forwards spilled", func() bool {
+		st := na.node.Status()
+		return st.Replication.Outbox.Queued == len(bUsers)
+	})
+	if got := nb.pipe.Stats().Published; got != 0 {
+		t.Fatalf("b processed %d events while failing", got)
+	}
+
+	// Recovery: replay delivers everything exactly once.
+	nb.proxy.setFail("/cluster/v1/ingest", false)
+	eventually(t, "replay delivered all spilled events", func() bool {
+		na.node.ReplayOutbox()
+		return nb.pipe.Stats().Published == uint64(len(bUsers))
+	})
+	eventually(t, "outbox drained", func() bool {
+		return na.node.Status().Replication.Outbox.Queued == 0
+	})
+
+	// Replays of already-landed deliveries are refused by sequence, so
+	// even a crash-looped drain cannot double-process: the same
+	// numbered delivery posted twice is accepted once and refused once.
+	body, _ := json.Marshal(IngestBatch{From: "a", Events: []WireEvent{{
+		User: bUsers[0], Venue: bUsers[0] + 2000, At: t0.Add(time.Hour),
+		VenueLoc: sf, Reported: sf, Accepted: true, FwdSeq: 424242,
+	}}})
+	post := func() IngestAck {
+		t.Helper()
+		resp, err := http.Post(nb.srv.URL+"/cluster/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ack IngestAck
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+		return ack
+	}
+	if ack := post(); ack.Accepted != 1 || ack.Duplicates != 0 {
+		t.Fatalf("first delivery ack = %+v, want 1 accepted", ack)
+	}
+	if ack := post(); ack.Duplicates != 1 || ack.Accepted != 0 {
+		t.Fatalf("duplicate delivery ack = %+v, want 1 duplicate 0 accepted", ack)
+	}
+	if nb.pipe.Stats().Published != uint64(len(bUsers))+1 {
+		t.Fatal("duplicate delivery reached the pipeline")
+	}
+}
+
+// TestQuarantineDigestRepairsMissedBroadcast: a node that was
+// unreachable for the fan-out converges via the digest exchange, and a
+// release tombstone wins over the stale quarantine it still holds.
+func TestQuarantineDigestRepairsMissedBroadcast(t *testing.T) {
+	nodes := startReplicatedCluster(t, []string{"a", "b"}, 50)
+	na, nb := nodes["a"], nodes["b"]
+
+	// b misses the broadcast entirely.
+	nb.proxy.setFail("/cluster/v1/quarbcast", true)
+	if err := na.svc.Quarantine(7, time.Hour, "missed", lbsn.QuarantineSourceManual); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "broadcast attempt flushed", func() bool {
+		return na.node.Status().Replication.Broadcast.Originated >= 1
+	})
+	time.Sleep(20 * time.Millisecond) // let the failed fan-out finish
+	if nb.svc.IsQuarantined(7) {
+		t.Fatal("b learned of the quarantine despite the failure injection")
+	}
+
+	// One digest round repairs it.
+	nb.proxy.setFail("/cluster/v1/quarbcast", false)
+	na.node.SyncQuarantines()
+	eventually(t, "digest delivered the quarantine to b", func() bool {
+		return nb.svc.IsQuarantined(7)
+	})
+
+	// Release on a; b misses the broadcast again; the digest exchange
+	// must carry the tombstone BOTH ways — run it from b this time, so
+	// the repair arrives in the response leg.
+	nb.proxy.setFail("/cluster/v1/quarbcast", true)
+	na.svc.Unquarantine(7)
+	time.Sleep(20 * time.Millisecond)
+	if !nb.svc.IsQuarantined(7) {
+		t.Fatal("b lost the quarantine without any exchange")
+	}
+	nb.node.SyncQuarantines()
+	eventually(t, "tombstone released b's stale quarantine", func() bool {
+		return !nb.svc.IsQuarantined(7)
+	})
+}
+
+// TestQuarantineBroadcastShortensWindow pins the LWW apply path: a
+// re-quarantine with a SHORTER window must propagate — the remote
+// apply installs last-writer-wins rather than keeping the stricter of
+// the two verdicts (which would leave remotes denying long after the
+// origin stopped, beyond digest repair).
+func TestQuarantineBroadcastShortensWindow(t *testing.T) {
+	nodes := startReplicatedCluster(t, []string{"a", "b"}, 50)
+	na, nb := nodes["a"], nodes["b"]
+	if err := na.svc.Quarantine(9, 2*time.Hour, "long", lbsn.QuarantineSourceManual); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "b learned the 2h quarantine", func() bool {
+		return nb.svc.IsQuarantined(9)
+	})
+	if err := na.svc.Quarantine(9, 10*time.Minute, "short", lbsn.QuarantineSourceManual); err != nil {
+		t.Fatal(err)
+	}
+	cutoff := na.clock.Now().Add(time.Hour)
+	eventually(t, "b's window shortened", func() bool {
+		for _, v := range nb.svc.QuarantinedUsers() {
+			if v.UserID == 9 {
+				return v.Until.Before(cutoff) && v.Reason == "short"
+			}
+		}
+		return false
+	})
+}
+
+// TestReplicaShipLatencyMeasured measures replication lag as an
+// operator experiences it: from an alert landing in the primary's
+// journal to the follower acking it (durable on the replica). Logged,
+// not asserted — absolute numbers are hardware-bound; EXPERIMENTS.md
+// records a reference run.
+func TestReplicaShipLatencyMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency measurement")
+	}
+	nodes := startReplicatedCluster(t, []string{"a", "b"}, 10)
+	na := nodes["a"]
+	var samples []time.Duration
+	for i := 0; i < 200; i++ {
+		target := na.journal.NextIndex() + 1
+		start := time.Now()
+		if err := na.journal.Append(store.Alert{
+			Seq: uint64(i + 1), Detector: "speed", UserID: uint64(i%8 + 1),
+			VenueID: uint64(i + 100), At: simclock.Epoch().Add(time.Duration(i) * time.Second),
+			Detail: "lag probe",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			st := na.node.Status().Replication
+			if len(st.Followers) == 1 && st.Followers[0].Synced && st.Followers[0].Cursor >= target {
+				break
+			}
+			if time.Since(start) > 10*time.Second {
+				t.Fatalf("append %d never acked", i)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+		samples = append(samples, time.Since(start))
+	}
+	sortDurations(samples)
+	t.Logf("append→replica-ack latency over %d samples: p50=%s p99=%s max=%s",
+		len(samples), samples[len(samples)/2], samples[len(samples)*99/100], samples[len(samples)-1])
+}
+
+func sortDurations(d []time.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+// TestFollowerSelectionDeterministic: every node computes the same
+// follower chain for every member, and followers never include the
+// primary itself.
+func TestFollowerSelectionDeterministic(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4", "n5"}
+	r1 := NewRing(members, 64)
+	r2 := NewRing([]string{"n5", "n3", "n1", "n2", "n4"}, 64) // order must not matter
+	for _, m := range members {
+		s1 := r1.Successors(m, 2)
+		s2 := r2.Successors(m, 2)
+		if len(s1) != 2 || len(s2) != 2 {
+			t.Fatalf("successors of %s: %v / %v", m, s1, s2)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("rings disagree on %s's followers: %v vs %v", m, s1, s2)
+			}
+			if s1[i] == m {
+				t.Fatalf("%s follows itself", m)
+			}
+		}
+	}
+	// Dropping a member only changes chains that referenced it.
+	r3 := NewRing([]string{"n1", "n2", "n4", "n5"}, 64)
+	if got := r3.Successors("n3", 1); len(got) != 1 || got[0] == "n3" {
+		t.Fatalf("successors of an absent member = %v", got)
+	}
+}

@@ -149,6 +149,18 @@ func (m *Membership) LivePeers() []Member {
 	return out
 }
 
+// IsLive reports whether the member is currently in the live set
+// (self always is).
+func (m *Membership) IsLive(id string) bool {
+	if id == m.self.ID {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	return ok && p.alive
+}
+
 // Peer resolves a member ID to its record, live or not.
 func (m *Membership) Peer(id string) (Member, bool) {
 	m.mu.Lock()

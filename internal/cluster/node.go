@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"locheat/internal/lbsn"
+	"locheat/internal/replica"
+	"locheat/internal/simclock"
 	"locheat/internal/store"
 	"locheat/internal/stream"
 )
@@ -30,6 +32,9 @@ type Config struct {
 	Membership MembershipConfig
 	// Forward tunes the cross-node ingest path.
 	Forward ForwarderConfig
+	// Replica tunes the durability & dissemination tier (journal
+	// replication, quarantine broadcast, forwarding outbox).
+	Replica ReplicaOptions
 	// HTTP issues handoff and scatter-gather requests (default a client
 	// with a 10s timeout).
 	HTTP *http.Client
@@ -49,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Membership.Logf == nil {
 		c.Membership.Logf = c.Logf
+	}
+	if c.Membership.Clock == nil {
+		c.Membership.Clock = simclock.Real{}
 	}
 	if c.Forward.Logf == nil {
 		c.Forward.Logf = c.Logf
@@ -93,6 +101,8 @@ type Status struct {
 	Forward ForwardStats `json:"forward"`
 	Handoff HandoffStats `json:"handoff"`
 	Scatter ScatterStats `json:"scatter"`
+	// Replication is the durability & dissemination tier's state.
+	Replication ReplicationStatus `json:"replication"`
 }
 
 // Node is one lbsnd instance's seat in the cluster: it routes ingest by
@@ -108,6 +118,28 @@ type Node struct {
 	mu      sync.RWMutex
 	ring    *Ring
 	leaving bool
+
+	// Durability & dissemination tier (see replication.go). bcast is
+	// always set for a clustered node; rset/outbox need Replica.Dir and
+	// shipper additionally needs a journal-backed store.
+	bcast   *replica.Broadcaster
+	rset    *replica.Set
+	shipper *replica.Shipper
+	outbox  *replica.Outbox
+	journal *store.AlertJournal
+
+	// fwdSeq numbers forwarded deliveries; seen/seenQ dedupe them on
+	// the receiving side (bounded FIFO, see seenForward).
+	fwdSeq        atomic.Uint64
+	seenMu        sync.Mutex
+	seen          map[fwdKey]struct{}
+	seenQ         []fwdKey
+	dupDropped    atomic.Uint64
+	bcastSendErrs atomic.Uint64
+	replaying     atomic.Bool
+
+	bgStop chan struct{}
+	bgOnce sync.Once
 
 	ingestBatches  atomic.Uint64
 	ingestRecv     atomic.Uint64
@@ -139,12 +171,60 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 		cfg:      cfg,
 		svc:      svc,
 		pipeline: pipeline,
-		fwd:      NewForwarder(cfg.Self.ID, cfg.Forward),
+		seen:     make(map[fwdKey]struct{}),
+		bgStop:   make(chan struct{}),
+	}
+	// Seed the forwarding sequence from the wall clock: a restarted
+	// node must not re-issue sequence numbers its previous incarnation
+	// already delivered, or the receiver's (origin, seq) dedupe would
+	// silently refuse the new events as replays. Nanosecond seeding
+	// keeps incarnations disjoint without a wire or disk format for
+	// origin epochs — and spilled events from the old incarnation keep
+	// their old (still-correct) numbers.
+	n.fwdSeq.Store(uint64(time.Now().UnixNano()))
+	if err := n.initReplication(); err != nil {
+		return nil, err
+	}
+	// The outbox hooks the forwarder's loss paths, so it must exist
+	// before the forwarder does.
+	if n.outbox != nil {
+		fwdCfg := n.cfg.Forward
+		fwdCfg.Spill = n.spillForward
+		n.fwd = NewForwarder(cfg.Self.ID, fwdCfg)
+	} else {
+		n.fwd = NewForwarder(cfg.Self.ID, cfg.Forward)
 	}
 	n.members = NewMembership(cfg.Self, cfg.Peers, cfg.Membership)
 	n.members.OnChange(n.rebalance)
 	n.ring = NewRing(memberIDs(n.members.Live()), cfg.VirtualNodes)
+	n.refreshFollowers(n.ring)
 	return n, nil
+}
+
+// spillForward journals events the forwarder would lose, keyed by the
+// destination's member ID (reverse-resolved from the queue address so
+// outbox files survive address changes across restarts). Returns how
+// many events the outbox durably accepted; the forwarder counts the
+// rest dropped.
+func (n *Node) spillForward(addr string, events []WireEvent) int {
+	peerID := addr
+	for _, m := range n.cfg.Peers {
+		if m.Addr == addr {
+			peerID = m.ID
+			break
+		}
+	}
+	accepted := 0
+	for _, ev := range events {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			continue
+		}
+		if n.outbox.Append(peerID, payload) {
+			accepted++
+		}
+	}
+	return accepted
 }
 
 func memberIDs(ms []Member) []string {
@@ -155,8 +235,13 @@ func memberIDs(ms []Member) []string {
 	return ids
 }
 
-// Start runs the heartbeat loop. Tests drive Tick directly instead.
-func (n *Node) Start() { n.members.Start() }
+// Start runs the heartbeat loop and the replication tier's background
+// cadence (quarantine digest exchange, outbox replay probe). Tests
+// drive Tick / SyncQuarantines / ReplayOutbox directly instead.
+func (n *Node) Start() {
+	n.members.Start()
+	go n.runReplicationLoop()
+}
 
 // Tick runs one heartbeat round synchronously (test hook).
 func (n *Node) Tick() { n.members.Tick() }
@@ -196,7 +281,12 @@ func (n *Node) Ingest(ev lbsn.CheckinEvent) bool {
 		return n.pipeline.Publish(ev)
 	}
 	n.ingestFwd.Add(1)
-	return n.fwd.Enqueue(peer.Addr, toWire(ev))
+	w := toWire(ev)
+	// Number the delivery once, here: the sequence rides through queue,
+	// spill and replay unchanged, so the owner can recognize a replayed
+	// duplicate of a delivery that already landed.
+	w.FwdSeq = n.fwdSeq.Add(1)
+	return n.fwd.Enqueue(peer.Addr, w)
 }
 
 // FlushForwards synchronously delivers everything enqueued for peers
@@ -217,7 +307,11 @@ func (n *Node) rebalance() {
 	n.ring = ring
 	n.mu.Unlock()
 	n.cfg.Logf("cluster: ring rebuilt over %v", ring.Members())
+	n.refreshFollowers(ring)
 	n.handoffTo(ring)
+	// Membership changed: spilled events may be deliverable now (the
+	// peer is back, or its users were rebalanced to someone reachable).
+	n.ReplayOutbox()
 }
 
 // handoffTo exports every local user whose owner under ring is not this
@@ -328,6 +422,12 @@ func (n *Node) Shutdown() {
 		n.handoffTo(departed)
 	}
 	n.fwd.Close()
+	n.bgOnce.Do(func() { close(n.bgStop) })
+	// Final replica flush AFTER the forwarder drained: the drain may
+	// have produced last alerts on peers, but OUR journal tail must
+	// reach our followers before the process dies for merged history
+	// to survive the departure.
+	n.closeReplication()
 	n.members.Stop()
 	n.cfg.Logf("cluster: node %s left", n.cfg.Self.ID)
 }
@@ -343,6 +443,10 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/cluster/v1/alerts", n.handleLocalAlerts)
 	mux.HandleFunc("/cluster/v1/quarantine", n.handleLocalQuarantine)
 	mux.HandleFunc("/cluster/v1/stats", n.handleLocalStats)
+	mux.HandleFunc("/cluster/v1/replica/ship", n.handleReplicaShip)
+	mux.HandleFunc("/cluster/v1/replica/cursor", n.handleReplicaCursor)
+	mux.HandleFunc("/cluster/v1/quarbcast", n.handleQuarBroadcast)
+	mux.HandleFunc("/cluster/v1/quardigest", n.handleQuarDigest)
 	return mux
 }
 
@@ -376,7 +480,18 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	ack := IngestAck{}
 	for _, wev := range batch.Events {
+		// Numbered deliveries dedupe across outbox replays: the same
+		// (origin, seq) landing twice is the replay of a delivery that
+		// already succeeded, not a new event.
+		if wev.FwdSeq != 0 && n.seenForward(batch.From, wev.FwdSeq) {
+			ack.Duplicates++
+			n.dupDropped.Add(1)
+			continue
+		}
 		if n.pipeline.Publish(fromWire(wev)) {
+			if wev.FwdSeq != 0 {
+				n.recordForward(batch.From, wev.FwdSeq)
+			}
 			ack.Accepted++
 		} else {
 			ack.Dropped++
@@ -435,16 +550,17 @@ func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-// handleLocalAlerts serves this node's own store slice of a scatter.
-// Query parameters mirror the public /api/v1/alerts filter set, plus
-// limit/offset applied locally.
+// handleLocalAlerts serves this node's own store slice of a scatter —
+// which includes any promoted replicas it holds for dead primaries, so
+// merged history survives a killed node. Query parameters mirror the
+// public /api/v1/alerts filter set, plus limit/offset applied locally.
 func (n *Node) handleLocalAlerts(w http.ResponseWriter, r *http.Request) {
 	q, err := parseLocalAlertQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	page, total := n.pipeline.Alerts(q)
+	page, total := n.localAlerts(q)
 	if page == nil {
 		page = []store.Alert{}
 	}
@@ -464,12 +580,17 @@ func (n *Node) handleLocalStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) localStats() LocalStatsResponse {
-	return LocalStatsResponse{
+	resp := LocalStatsResponse{
 		Node:       n.cfg.Self.ID,
 		Pipeline:   n.pipeline.Stats(),
 		Store:      n.pipeline.AlertStore().Stats(),
 		Quarantine: n.svc.QuarantineStats(),
 	}
+	if n.bcast != nil {
+		rs := n.replicationStatus()
+		resp.Replication = &rs
+	}
+	return resp
 }
 
 // parseLocalAlertQuery decodes the internal wire query. It accepts
@@ -544,5 +665,6 @@ func (n *Node) Status() Status {
 			Queries:    n.scatterQueries.Load(),
 			PeerErrors: n.scatterPeerErrors.Load(),
 		},
+		Replication: n.replicationStatus(),
 	}
 }

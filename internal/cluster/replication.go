@@ -1,0 +1,553 @@
+// Replication glue: wires internal/replica's transport-agnostic
+// machinery over the cluster's internal HTTP surface and membership
+// view. Three loss windows close here:
+//
+//   - journal replication — the local AlertJournal streams to the
+//     node's ring successors (deterministic followers, Ring.Successors);
+//     when a primary drops out of the live set, any node holding its
+//     replica promotes it read-side, so merged alert history stays
+//     complete after a kill -9;
+//   - quarantine broadcast — every local quarantine transition fans out
+//     to all live peers immediately and a periodic digest exchange
+//     repairs drops, so DenyQuarantined holds on whichever node a
+//     cheater connects to;
+//   - forwarding outbox — events the forwarder would drop spill to
+//     disk and are replayed through ingest re-resolution on membership
+//     change (the receiver dedupes by forwarding sequence, the local
+//     pipeline's dedupe stage catches re-owned replays).
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"path/filepath"
+	"time"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/replica"
+	"locheat/internal/store"
+)
+
+// ReplicaOptions tunes the durability & dissemination tier. The
+// quarantine broadcast always runs on a clustered node (it needs no
+// disk); journal replication and the outbox need Dir.
+type ReplicaOptions struct {
+	// Dir is the tier's disk root (typically the journal dir): replica
+	// logs live under Dir/replicas, the outbox under Dir/outbox. ""
+	// disables both.
+	Dir string
+	// Factor is the total copy count including the primary; >= 2 ships
+	// journal appends to Factor-1 ring successors. Requires the
+	// pipeline's alert store to be a *store.AlertJournal.
+	Factor int
+	// OutboxMaxBytes caps each peer's on-disk spill (default 4 MiB;
+	// < 0 disables the outbox).
+	OutboxMaxBytes int64
+	// ShipBatch / ShipInterval tune the shipper (defaults 256 / 100ms).
+	ShipBatch    int
+	ShipInterval time.Duration
+	// DigestEvery paces the quarantine anti-entropy exchange and the
+	// background outbox replay probe (default 2s).
+	DigestEvery time.Duration
+	// TombstoneTTL bounds release-tombstone memory (default 24h).
+	TombstoneTTL time.Duration
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.DigestEvery <= 0 {
+		o.DigestEvery = 2 * time.Second
+	}
+	return o
+}
+
+// seenCap bounds the forwarded-delivery dedupe window. 64k entries
+// comfortably covers every in-flight spill at the default outbox cap.
+const seenCap = 1 << 16
+
+// fwdKey identifies one forwarded delivery: origin node + its
+// forwarding sequence.
+type fwdKey struct {
+	origin string
+	seq    uint64
+}
+
+// seenForward reports whether a delivery was already applied.
+func (n *Node) seenForward(origin string, seq uint64) bool {
+	n.seenMu.Lock()
+	defer n.seenMu.Unlock()
+	_, dup := n.seen[fwdKey{origin: origin, seq: seq}]
+	return dup
+}
+
+// recordForward marks a delivery applied, once its event actually
+// entered the pipeline — a refused Publish stays unrecorded so the
+// outbox replay of that delivery is not mistaken for a duplicate.
+// FIFO-bounded at seenCap.
+func (n *Node) recordForward(origin string, seq uint64) {
+	k := fwdKey{origin: origin, seq: seq}
+	n.seenMu.Lock()
+	defer n.seenMu.Unlock()
+	if _, dup := n.seen[k]; dup {
+		return
+	}
+	n.seen[k] = struct{}{}
+	n.seenQ = append(n.seenQ, k)
+	if len(n.seenQ) > seenCap {
+		delete(n.seen, n.seenQ[0])
+		n.seenQ = n.seenQ[1:]
+	}
+}
+
+// initReplication builds the tier during NewNode: broadcaster always,
+// replica set + outbox when a dir is configured, shipper when the
+// factor asks for copies and the store can provide cursor reads.
+func (n *Node) initReplication() error {
+	opts := n.cfg.Replica.withDefaults()
+	n.cfg.Replica = opts
+
+	n.bcast = replica.NewBroadcaster(replica.BroadcastConfig{
+		Self:         n.cfg.Self.ID,
+		Clock:        n.cfg.Membership.Clock,
+		Apply:        n.applyQuarEntry,
+		Send:         n.sendQuarBroadcast,
+		TombstoneTTL: opts.TombstoneTTL,
+		Logf:         n.cfg.Logf,
+	})
+	n.svc.AddQuarantineChangeListener(func(ch lbsn.QuarantineChange) {
+		n.bcast.LocalChange(uint64(ch.UserID), ch.Active, ch.Record)
+	})
+
+	if opts.Dir == "" {
+		return nil
+	}
+	rset, err := replica.OpenSet(replica.SetConfig{
+		Dir:  filepath.Join(opts.Dir, "replicas"),
+		Logf: n.cfg.Logf,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	n.rset = rset
+	if opts.OutboxMaxBytes >= 0 {
+		outbox, err := replica.OpenOutbox(replica.OutboxConfig{
+			Dir:             filepath.Join(opts.Dir, "outbox"),
+			MaxBytesPerPeer: opts.OutboxMaxBytes,
+			Logf:            n.cfg.Logf,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		n.outbox = outbox
+	}
+	if opts.Factor >= 2 {
+		j, ok := n.pipeline.AlertStore().(*store.AlertJournal)
+		if !ok {
+			n.cfg.Logf("cluster: replica factor %d ignored: alert store is not a journal", opts.Factor)
+			return nil
+		}
+		n.journal = j
+		n.shipper = replica.NewShipper(replica.ShipperConfig{
+			Self:        n.cfg.Self.ID,
+			Journal:     j,
+			Send:        n.sendShipBatch,
+			FetchCursor: n.fetchFollowerCursor,
+			BatchSize:   opts.ShipBatch,
+			Interval:    opts.ShipInterval,
+			Logf:        n.cfg.Logf,
+		})
+		j.SetAppendNotify(n.shipper.Notify)
+	}
+	return nil
+}
+
+// applyQuarEntry installs one remote quarantine transition locally.
+// Active entries install last-writer-wins (SetQuarantineRecord, not
+// RestoreQuarantines — the broadcaster already decided the LWW order,
+// and a max-merge would refuse a newer-but-shorter window forever,
+// beyond digest repair). The service's change listener echoes back
+// into the broadcaster, which suppresses it (applying-set), so remote
+// state is enforced without being re-originated.
+func (n *Node) applyQuarEntry(e replica.QuarEntry) {
+	if e.Active {
+		n.svc.SetQuarantineRecord(e.Record)
+		return
+	}
+	n.svc.Unquarantine(lbsn.UserID(e.User))
+}
+
+// sendQuarBroadcast fans one transition batch to every live peer.
+// Best-effort by design: the digest exchange repairs whatever this
+// misses, so a down peer costs latency, not correctness.
+func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
+	body, err := json.Marshal(QuarBroadcast{From: n.cfg.Self.ID, Entries: entries})
+	if err != nil {
+		return
+	}
+	for _, peer := range n.members.LivePeers() {
+		resp, err := n.cfg.HTTP.Post(peer.Addr+"/cluster/v1/quarbcast", "application/json", bytes.NewReader(body))
+		if err != nil {
+			n.bcastSendErrs.Add(1)
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			n.bcastSendErrs.Add(1)
+		}
+	}
+}
+
+// sendShipBatch delivers one journal batch to a follower.
+func (n *Node) sendShipBatch(t replica.Target, b replica.ShipBatch) (replica.ShipAck, error) {
+	body, err := json.Marshal(b)
+	if err != nil {
+		return replica.ShipAck{}, err
+	}
+	resp, err := n.cfg.HTTP.Post(t.Addr+"/cluster/v1/replica/ship", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return replica.ShipAck{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return replica.ShipAck{}, fmt.Errorf("ship to %s: status %d", t.ID, resp.StatusCode)
+	}
+	var ack replica.ShipAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return replica.ShipAck{}, err
+	}
+	return ack, nil
+}
+
+// fetchFollowerCursor asks a follower where it stands for this node's
+// journal, so catch-up starts from the follower's truth.
+func (n *Node) fetchFollowerCursor(t replica.Target) (replica.CursorState, error) {
+	u := t.Addr + "/cluster/v1/replica/cursor?primary=" + url.QueryEscape(n.cfg.Self.ID)
+	resp, err := n.cfg.HTTP.Get(u)
+	if err != nil {
+		return replica.CursorState{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return replica.CursorState{}, fmt.Errorf("cursor from %s: status %d", t.ID, resp.StatusCode)
+	}
+	var cr ReplicaCursorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return replica.CursorState{}, err
+	}
+	return replica.CursorState{Epoch: cr.Epoch, Cursor: cr.Cursor}, nil
+}
+
+// refreshFollowers recomputes this node's followers from the ring and
+// points the shipper at them. Called on every ring rebuild; a new
+// follower is caught up by the shipper's normal cursor-read path.
+func (n *Node) refreshFollowers(ring *Ring) {
+	if n.shipper == nil {
+		return
+	}
+	ids := ring.Successors(n.cfg.Self.ID, n.cfg.Replica.Factor-1)
+	targets := make([]replica.Target, 0, len(ids))
+	for _, id := range ids {
+		if peer, ok := n.members.Peer(id); ok {
+			targets = append(targets, replica.Target{ID: peer.ID, Addr: peer.Addr})
+		}
+	}
+	n.shipper.SetTargets(targets)
+}
+
+// promotedPrimaries lists primaries whose replica this node should
+// serve: it holds their log and they are not in the live member set.
+// Promotion is therefore automatic and reversible — a primary that
+// heartbeats back simply stops being promoted.
+func (n *Node) promotedPrimaries() []string {
+	if n.rset == nil {
+		return nil
+	}
+	primaries := n.rset.Primaries()
+	if len(primaries) == 0 {
+		return nil
+	}
+	live := make(map[string]bool)
+	for _, m := range n.members.Live() {
+		live[m.ID] = true
+	}
+	var out []string
+	for _, p := range primaries {
+		if !live[p] && p != n.cfg.Self.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// localAlerts answers an alert query from this node's own store plus
+// every promoted replica, merged and deduped. This is the node's
+// contribution to scatter-gather — which is how a killed primary's
+// history stays in the merged view.
+func (n *Node) localAlerts(q store.AlertQuery) ([]store.Alert, int) {
+	promoted := n.promotedPrimaries()
+	if len(promoted) == 0 {
+		return n.pipeline.Alerts(q)
+	}
+	// Each source must contribute its top offset+limit matches for the
+	// merged page to be exact (same argument as ClusterAlerts).
+	fetch := q
+	fetch.Offset = 0
+	if q.Limit > 0 {
+		fetch.Limit = q.Offset + q.Limit
+	}
+	page, total := n.pipeline.Alerts(fetch)
+	pages := [][]store.Alert{page}
+	for _, p := range promoted {
+		pp, pt := n.rset.Query(p, fetch)
+		pages = append(pages, pp)
+		total += pt
+	}
+	merged, dupes := store.MergeAlertPages(pages)
+	total -= dupes
+	if total < 0 {
+		total = 0
+	}
+	return store.PageAlerts(merged, q.Offset, q.Limit), total
+}
+
+// SyncQuarantines runs one digest exchange with every live peer:
+// push our versioned state, apply whatever the peer knows newer. The
+// background loop calls this on DigestEvery; tests call it directly.
+func (n *Node) SyncQuarantines() {
+	if n.bcast == nil {
+		return
+	}
+	digest := n.bcast.Digest()
+	body, err := json.Marshal(QuarBroadcast{From: n.cfg.Self.ID, Entries: digest})
+	if err != nil {
+		return
+	}
+	for _, peer := range n.members.LivePeers() {
+		resp, err := n.cfg.HTTP.Post(peer.Addr+"/cluster/v1/quardigest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			n.bcastSendErrs.Add(1)
+			continue
+		}
+		var dr QuarDigestResponse
+		err = json.NewDecoder(resp.Body).Decode(&dr)
+		resp.Body.Close()
+		if err != nil {
+			n.bcastSendErrs.Add(1)
+			continue
+		}
+		n.bcast.ApplyRemote(dr.Entries)
+	}
+}
+
+// ReplayOutbox drains every peer's spill through ingest re-resolution:
+// each event is routed by CURRENT ring ownership (its original
+// destination may be dead and rebalanced away), preserving its
+// forwarding sequence so the receiver can drop duplicates. Failures
+// compact back for the next attempt. At most one replay runs at a
+// time.
+func (n *Node) ReplayOutbox() (delivered, requeued int) {
+	if n.outbox == nil {
+		return 0, 0
+	}
+	if !n.replaying.CompareAndSwap(false, true) {
+		return 0, 0
+	}
+	defer n.replaying.Store(false)
+	for _, peer := range n.outbox.Peers() {
+		d, r := n.outbox.Drain(peer, func(payload []byte) bool {
+			var w WireEvent
+			if err := json.Unmarshal(payload, &w); err != nil {
+				n.cfg.Logf("cluster: outbox: dropping undecodable spill record: %v", err)
+				return true // poison: delivering it is impossible, keeping it is a wedge
+			}
+			return n.reingest(w)
+		})
+		delivered += d
+		requeued += r
+	}
+	if delivered > 0 || requeued > 0 {
+		n.cfg.Logf("cluster: outbox replay: %d delivered, %d requeued", delivered, requeued)
+	}
+	return delivered, requeued
+}
+
+// reingest routes one replayed event by current ownership. Locally
+// owned replays publish straight into the pipeline (its dedupe stage
+// filters exact duplicates); remote ones re-enter the forwarding path
+// with their original FwdSeq intact.
+func (n *Node) reingest(w WireEvent) bool {
+	ring, leaving := n.currentRing()
+	owner := ring.Owner(w.User)
+	if owner == "" || (owner == n.cfg.Self.ID && !leaving) {
+		return n.pipeline.Publish(fromWire(w))
+	}
+	peer, ok := n.members.Peer(owner)
+	if !ok {
+		return n.pipeline.Publish(fromWire(w))
+	}
+	if !n.members.IsLive(owner) {
+		return false // destination down: keep it spilled, retry later
+	}
+	return n.fwd.Enqueue(peer.Addr, w)
+}
+
+// runReplicationLoop is the tier's background cadence: quarantine
+// digest exchange plus an outbox replay probe, every DigestEvery.
+// Started by Node.Start, stopped by Shutdown.
+func (n *Node) runReplicationLoop() {
+	t := time.NewTicker(n.cfg.Replica.DigestEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.bgStop:
+			return
+		case <-t.C:
+			n.SyncQuarantines()
+			n.ReplayOutbox()
+		}
+	}
+}
+
+// closeReplication flushes and stops the tier during Shutdown: ship
+// the journal tail to the followers, drain pending broadcasts, close
+// everything. The outbox needs no close — its files ARE the state.
+func (n *Node) closeReplication() {
+	if n.shipper != nil {
+		if n.journal != nil {
+			n.journal.SetAppendNotify(nil)
+		}
+		n.shipper.Sync() // final tail ship: a graceful leaver's history survives in full
+		n.shipper.Close()
+	}
+	if n.bcast != nil {
+		n.bcast.Flush()
+		n.bcast.Close()
+	}
+	if n.rset != nil {
+		n.rset.Close()
+	}
+}
+
+// --- internal /cluster/v1 handlers -------------------------------------
+
+func (n *Node) handleReplicaShip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if n.rset == nil {
+		http.Error(w, "replication disabled", http.StatusServiceUnavailable)
+		return
+	}
+	// A leaving node refuses new replica data for the same reason it
+	// refuses handoffs: whatever lands now dies with the process.
+	if _, leaving := n.currentRing(); leaving {
+		http.Error(w, "leaving", http.StatusServiceUnavailable)
+		return
+	}
+	var b replica.ShipBatch
+	if err := json.NewDecoder(r.Body).Decode(&b); err != nil || b.From == "" {
+		http.Error(w, "malformed ship batch", http.StatusBadRequest)
+		return
+	}
+	cursor, err := n.rset.Apply(b.From, b.Epoch, b.Start, b.Alerts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, replica.ShipAck{Cursor: cursor})
+}
+
+func (n *Node) handleReplicaCursor(w http.ResponseWriter, r *http.Request) {
+	if n.rset == nil {
+		http.Error(w, "replication disabled", http.StatusServiceUnavailable)
+		return
+	}
+	primary := r.URL.Query().Get("primary")
+	if primary == "" {
+		http.Error(w, "missing primary", http.StatusBadRequest)
+		return
+	}
+	st := n.rset.Cursor(primary)
+	writeJSON(w, http.StatusOK, ReplicaCursorResponse{
+		Node: n.cfg.Self.ID, Primary: primary, Epoch: st.Epoch, Cursor: st.Cursor,
+	})
+}
+
+func (n *Node) handleQuarBroadcast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var qb QuarBroadcast
+	if err := json.NewDecoder(r.Body).Decode(&qb); err != nil {
+		http.Error(w, "malformed broadcast", http.StatusBadRequest)
+		return
+	}
+	applied := n.bcast.ApplyRemote(qb.Entries)
+	writeJSON(w, http.StatusOK, struct {
+		Applied int `json:"applied"`
+	}{Applied: applied})
+}
+
+func (n *Node) handleQuarDigest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var qb QuarBroadcast
+	if err := json.NewDecoder(r.Body).Decode(&qb); err != nil {
+		http.Error(w, "malformed digest", http.StatusBadRequest)
+		return
+	}
+	reply, applied := n.bcast.MergeDigest(qb.Entries)
+	writeJSON(w, http.StatusOK, QuarDigestResponse{Node: n.cfg.Self.ID, Applied: applied, Entries: reply})
+}
+
+// ReplicationStatus is the tier's externally visible state, surfaced
+// on /api/v1/cluster and in the merged stats view.
+type ReplicationStatus struct {
+	// Enabled reports whether journal shipping runs on this node.
+	Enabled bool `json:"enabled"`
+	// Followers are the ring successors this node ships its journal to,
+	// with their acked cursors and lag.
+	Followers []replica.FollowerStatus `json:"followers,omitempty"`
+	// Replicas are the primaries this node follows; Promoted names the
+	// subset it currently serves because the primary is gone.
+	Replicas []replica.ReplicaStatus `json:"replicas,omitempty"`
+	Promoted []string                `json:"promoted,omitempty"`
+	// Broadcast is the quarantine dissemination state; SendErrors
+	// counts failed fan-out posts (repaired by digest exchange).
+	Broadcast  replica.BroadcastStats `json:"broadcast"`
+	SendErrors uint64                 `json:"sendErrors,omitempty"`
+	// Outbox is the forwarding spill state.
+	Outbox *replica.OutboxStats `json:"outbox,omitempty"`
+	// DuplicatesDropped counts forwarded deliveries refused as replays.
+	DuplicatesDropped uint64 `json:"duplicatesDropped,omitempty"`
+}
+
+// replicationStatus assembles the tier's status snapshot.
+func (n *Node) replicationStatus() ReplicationStatus {
+	st := ReplicationStatus{
+		Enabled:           n.shipper != nil,
+		DuplicatesDropped: n.dupDropped.Load(),
+		SendErrors:        n.bcastSendErrs.Load(),
+	}
+	if n.bcast != nil {
+		st.Broadcast = n.bcast.Stats()
+	}
+	if n.shipper != nil {
+		st.Followers = n.shipper.Stats().Followers
+	}
+	if n.rset != nil {
+		st.Replicas = n.rset.Stats().Replicas
+		st.Promoted = n.promotedPrimaries()
+	}
+	if n.outbox != nil {
+		s := n.outbox.Stats()
+		st.Outbox = &s
+	}
+	return st
+}

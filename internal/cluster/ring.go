@@ -97,6 +97,39 @@ func (r *Ring) Owner(user uint64) string {
 	return r.points[i].owner
 }
 
+// Successors returns up to k distinct members clockwise from member's
+// anchor position on the ring, excluding member itself — the
+// deterministic follower choice of the replication tier. Every node
+// computes the same answer from the same live set, so a primary and
+// its followers always agree on who replicates whom. A member not on
+// the ring still gets an answer (its anchor hash exists regardless),
+// which keeps follower selection stable while a leave is in flight.
+func (r *Ring) Successors(member string, k int) []string {
+	if k <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(member)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos > h })
+	seen := map[string]bool{member: true}
+	var out []string
+	for range r.points {
+		if i == len(r.points) {
+			i = 0
+		}
+		p := r.points[i]
+		i++
+		if seen[p.owner] {
+			continue
+		}
+		seen[p.owner] = true
+		out = append(out, p.owner)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
 // Members returns the ring's member set, sorted.
 func (r *Ring) Members() []string {
 	return append([]string(nil), r.members...)

@@ -85,7 +85,7 @@ func (n *Node) ClusterAlerts(q store.AlertQuery) ([]store.Alert, int, MergeInfo)
 			results[i] = result{alerts: alerts, total: total, err: err}
 		}(i, peer)
 	}
-	localPage, localTotal := n.pipeline.Alerts(fan)
+	localPage, localTotal := n.localAlerts(fan)
 	wg.Wait()
 
 	pages := [][]store.Alert{localPage}

@@ -5,6 +5,7 @@ import (
 
 	"locheat/internal/geo"
 	"locheat/internal/lbsn"
+	"locheat/internal/replica"
 	"locheat/internal/store"
 	"locheat/internal/stream"
 )
@@ -22,6 +23,13 @@ type WireEvent struct {
 	Reported geo.Point `json:"reported"`
 	Accepted bool      `json:"accepted"`
 	Reason   string    `json:"reason,omitempty"`
+	// FwdSeq is the origin node's forwarding sequence number, assigned
+	// once when the event first enters the forwarding path and preserved
+	// across outbox spill and replay. Together with the batch's From it
+	// identifies the delivery, so a receiver can drop a replayed
+	// duplicate exactly (effectively-once). 0 = unnumbered (legacy or
+	// locally published), never deduped.
+	FwdSeq uint64 `json:"fwdSeq,omitempty"`
 }
 
 // toWire converts a domain event for forwarding.
@@ -64,6 +72,10 @@ type IngestAck struct {
 	// contract holds across the hop, it just moves the counter.
 	Accepted int `json:"accepted"`
 	Dropped  int `json:"dropped"`
+	// Duplicates counts events refused because their (From, FwdSeq)
+	// delivery was already applied — an outbox replay overlapping a
+	// delivery that did land. Not a loss: the first copy was processed.
+	Duplicates int `json:"duplicates,omitempty"`
 }
 
 // UserStateBundle is one user's exported detector state: stage name →
@@ -116,10 +128,37 @@ type LocalQuarantineResponse struct {
 }
 
 // LocalStatsResponse is the GET /cluster/v1/stats body: one node's own
-// detection counters for the merged stats view.
+// detection counters for the merged stats view. Replication is present
+// when the durability tier runs on the node.
 type LocalStatsResponse struct {
-	Node       string                `json:"node"`
-	Pipeline   stream.Stats          `json:"pipeline"`
-	Store      store.AlertStoreStats `json:"store"`
-	Quarantine lbsn.QuarantineStats  `json:"quarantine"`
+	Node        string                `json:"node"`
+	Pipeline    stream.Stats          `json:"pipeline"`
+	Store       store.AlertStoreStats `json:"store"`
+	Quarantine  lbsn.QuarantineStats  `json:"quarantine"`
+	Replication *ReplicationStatus    `json:"replication,omitempty"`
+}
+
+// ReplicaCursorResponse is the GET /cluster/v1/replica/cursor body:
+// where this node stands as a follower of ?primary=.
+type ReplicaCursorResponse struct {
+	Node    string `json:"node"`
+	Primary string `json:"primary"`
+	Epoch   int64  `json:"epoch"`
+	Cursor  uint64 `json:"cursor"`
+}
+
+// QuarBroadcast is the POST /cluster/v1/quarbcast body: versioned
+// quarantine transitions fanned out by their origin node.
+type QuarBroadcast struct {
+	From    string              `json:"from"`
+	Entries []replica.QuarEntry `json:"entries"`
+}
+
+// QuarDigestResponse is the POST /cluster/v1/quardigest reply: the
+// entries where the receiver knows something newer than the digest it
+// was sent (the repair half of the anti-entropy exchange).
+type QuarDigestResponse struct {
+	Node    string              `json:"node"`
+	Applied int                 `json:"applied"`
+	Entries []replica.QuarEntry `json:"entries,omitempty"`
 }

@@ -53,6 +53,18 @@ type QuarantineStats struct {
 	DeniedCheckins int `json:"deniedCheckins"`
 }
 
+// QuarantineChange is one quarantine transition, as delivered to
+// change listeners: a user entered quarantine (Active, with the full
+// record) or left it early (not Active). Lazy expiry is not a change —
+// every node's clock expires entries on its own.
+type QuarantineChange struct {
+	UserID UserID
+	Active bool
+	// Record is the installed state when Active (the same shape the
+	// snapshot and the cluster wire carry); zero otherwise.
+	Record store.QuarantineRecord
+}
+
 // Quarantine denies the user's check-ins for d from now. A second call
 // extends or shortens the window (last writer wins). The user must
 // exist; the reason is surfaced in check-in denials and the admin list.
@@ -66,19 +78,31 @@ func (s *Service) Quarantine(id UserID, d time.Duration, reason, source string) 
 		return fmt.Errorf("quarantine: user %d: %w", id, ErrUserNotFound)
 	}
 	now := s.clock.Now()
-	s.quarantined[id] = quarantineEntry{
+	e := quarantineEntry{
 		until:  now.Add(d),
 		reason: reason,
 		source: source,
 		since:  now,
 	}
+	s.quarantined[id] = e
 	s.quarantinesIssued++
-	notify := s.onQuarantineChange
+	notify, listeners := s.onQuarantineChange, s.quarChangeListeners
 	s.mu.Unlock()
-	if notify != nil {
-		notify()
-	}
+	fireQuarantineChanges(notify, listeners, []QuarantineChange{{
+		UserID: id, Active: true, Record: e.record(id),
+	}})
 	return nil
+}
+
+// record converts the internal entry to the wire/snapshot shape.
+func (e quarantineEntry) record(id UserID) store.QuarantineRecord {
+	return store.QuarantineRecord{
+		UserID: uint64(id),
+		Since:  e.since,
+		Until:  e.until,
+		Reason: e.reason,
+		Source: e.source,
+	}
 }
 
 // Unquarantine lifts a quarantine early; reports whether one was
@@ -88,10 +112,10 @@ func (s *Service) Unquarantine(id UserID) bool {
 	e, ok := s.quarantined[id]
 	active := ok && e.until.After(s.clock.Now())
 	delete(s.quarantined, id)
-	notify := s.onQuarantineChange
+	notify, listeners := s.onQuarantineChange, s.quarChangeListeners
 	s.mu.Unlock()
-	if ok && notify != nil {
-		notify()
+	if ok {
+		fireQuarantineChanges(notify, listeners, []QuarantineChange{{UserID: id, Active: false}})
 	}
 	return active
 }
@@ -105,6 +129,39 @@ func (s *Service) SetQuarantineListener(fn func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.onQuarantineChange = fn
+}
+
+// AddQuarantineChangeListener registers fn to receive every quarantine
+// transition with its detail — the seam the cluster's broadcast tier
+// hangs off. Listeners run outside the service lock, in registration
+// order, on the goroutine that made the change; they must not block
+// (hand off to a queue, as the broadcaster does). Unlike
+// SetQuarantineListener this is a fan-out: every registered listener
+// fires.
+func (s *Service) AddQuarantineChangeListener(fn func(QuarantineChange)) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarChangeListeners = append(s.quarChangeListeners, fn)
+}
+
+// fireQuarantineChanges delivers changes to the legacy no-arg listener
+// (once) and every change listener (per change). Callers must have
+// released the service lock.
+func fireQuarantineChanges(notify func(), listeners []func(QuarantineChange), changes []QuarantineChange) {
+	if len(changes) == 0 {
+		return
+	}
+	if notify != nil {
+		notify()
+	}
+	for _, fn := range listeners {
+		for _, ch := range changes {
+			fn(ch)
+		}
+	}
 }
 
 // QuarantineRecords exports the active quarantine set (for users
@@ -146,7 +203,7 @@ func (s *Service) QuarantineRecords(filter func(UserID) bool) []store.Quarantine
 func (s *Service) RestoreQuarantines(recs []store.QuarantineRecord) int {
 	s.mu.Lock()
 	now := s.clock.Now()
-	n := 0
+	var changes []QuarantineChange
 	for _, r := range recs {
 		if !r.Until.After(now) {
 			continue
@@ -155,20 +212,48 @@ func (s *Service) RestoreQuarantines(recs []store.QuarantineRecord) int {
 		if e, ok := s.quarantined[id]; ok && e.until.After(r.Until) {
 			continue
 		}
-		s.quarantined[id] = quarantineEntry{
+		e := quarantineEntry{
 			until:  r.Until,
 			reason: r.Reason,
 			source: r.Source,
 			since:  r.Since,
 		}
-		n++
+		s.quarantined[id] = e
+		changes = append(changes, QuarantineChange{UserID: id, Active: true, Record: e.record(id)})
 	}
-	notify := s.onQuarantineChange
+	notify, listeners := s.onQuarantineChange, s.quarChangeListeners
 	s.mu.Unlock()
-	if n > 0 && notify != nil {
-		notify()
+	fireQuarantineChanges(notify, listeners, changes)
+	return len(changes)
+}
+
+// SetQuarantineRecord installs rec unconditionally — last writer wins,
+// even when rec SHORTENS an active window. This is the cluster
+// broadcast's apply path: the LWW order is decided by the broadcast
+// tier's versioning, so the service must not second-guess it the way
+// RestoreQuarantines' keep-the-stricter merge (right for snapshots and
+// handoffs, where collisions are unordered) would. Expired records are
+// dropped; reports whether the record was installed.
+func (s *Service) SetQuarantineRecord(rec store.QuarantineRecord) bool {
+	s.mu.Lock()
+	if !rec.Until.After(s.clock.Now()) {
+		s.mu.Unlock()
+		return false
 	}
-	return n
+	id := UserID(rec.UserID)
+	e := quarantineEntry{
+		until:  rec.Until,
+		reason: rec.Reason,
+		source: rec.Source,
+		since:  rec.Since,
+	}
+	s.quarantined[id] = e
+	notify, listeners := s.onQuarantineChange, s.quarChangeListeners
+	s.mu.Unlock()
+	fireQuarantineChanges(notify, listeners, []QuarantineChange{{
+		UserID: id, Active: true, Record: e.record(id),
+	}})
+	return true
 }
 
 // IsQuarantined reports whether the user is currently quarantined;

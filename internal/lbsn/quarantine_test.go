@@ -221,3 +221,52 @@ func TestQuarantinePolicyRunOverChannel(t *testing.T) {
 		t.Fatalf("check-in after auto-quarantine: %+v", res)
 	}
 }
+
+// TestQuarantineChangeListenerFanOut covers the per-transition change
+// feed the cluster broadcast tier hangs off: every issue, lift and
+// restore reaches every registered listener with its detail, alongside
+// the legacy no-arg listener.
+func TestQuarantineChangeListenerFanOut(t *testing.T) {
+	svc, clock, user, _ := quarantineFixture(t)
+	var got []QuarantineChange
+	legacy := 0
+	svc.SetQuarantineListener(func() { legacy++ })
+	svc.AddQuarantineChangeListener(func(ch QuarantineChange) { got = append(got, ch) })
+	second := 0
+	svc.AddQuarantineChangeListener(func(QuarantineChange) { second++ })
+
+	if err := svc.Quarantine(user, time.Hour, "fanout", QuarantineSourceManual); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Active || got[0].UserID != user {
+		t.Fatalf("issue change = %+v", got)
+	}
+	rec := got[0].Record
+	if rec.UserID != uint64(user) || rec.Reason != "fanout" || !rec.Until.After(clock.Now()) {
+		t.Fatalf("issue record = %+v", rec)
+	}
+
+	if !svc.Unquarantine(user) {
+		t.Fatal("unquarantine reported inactive")
+	}
+	if len(got) != 2 || got[1].Active || got[1].UserID != user {
+		t.Fatalf("lift change = %+v", got)
+	}
+
+	n := svc.RestoreQuarantines([]store.QuarantineRecord{{
+		UserID: uint64(user),
+		Since:  clock.Now(),
+		Until:  clock.Now().Add(time.Hour),
+		Reason: "restored",
+		Source: QuarantineSourcePolicy,
+	}})
+	if n != 1 {
+		t.Fatalf("restored %d, want 1", n)
+	}
+	if len(got) != 3 || !got[2].Active || got[2].Record.Reason != "restored" {
+		t.Fatalf("restore change = %+v", got)
+	}
+	if legacy != 3 || second != 3 {
+		t.Fatalf("legacy fired %d, second listener %d, want 3 each", legacy, second)
+	}
+}

@@ -88,7 +88,10 @@ type Service struct {
 	quarantineDenied  int
 	// onQuarantineChange fires (outside the lock) after the quarantine
 	// set changes; the daemon hooks snapshot persistence here.
-	onQuarantineChange func()
+	// quarChangeListeners receive the per-transition detail the cluster
+	// broadcast tier needs (see quarantine.go).
+	onQuarantineChange  func()
+	quarChangeListeners []func(QuarantineChange)
 
 	nextUser  UserID
 	nextVenue VenueID

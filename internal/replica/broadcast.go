@@ -1,0 +1,290 @@
+// Broadcaster: cluster-wide quarantine dissemination. The quarantine
+// decision is made on a user's owner node (that is where the alert
+// volume accumulates), but enforcement must hold on EVERY node or a
+// cheater dodges denial by checking in elsewhere. Each transition
+// (quarantine, release) becomes a versioned per-user entry — monotonic
+// origin-local stamp, origin ID as tie-break — fanned out immediately
+// and reconciled periodically by digest exchange, so the cluster
+// converges on the last-writer-wins state even across drops, restarts
+// and partitions. Releases are tombstones: they persist (bounded by a
+// TTL) so anti-entropy cannot resurrect a lifted quarantine.
+//
+// Loop prevention: applying a remote entry calls back into the local
+// service, whose change listener feeds LocalChange. The broadcaster
+// marks users it is mid-apply for and drops those echoes, so remote
+// state is applied without being re-originated.
+package replica
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// BroadcastConfig parameterizes NewBroadcaster. Self, Apply and Send
+// are required; zero values elsewhere take defaults.
+type BroadcastConfig struct {
+	// Self is this node's member ID (the Origin on originated entries).
+	Self string
+	// Clock stamps originated entries (default wall clock).
+	Clock simclock.Clock
+	// Apply installs a remote entry locally: quarantine the user per
+	// Record when Active, release them when not. Called from the
+	// broadcaster's apply path, never concurrently for the same user.
+	Apply func(e QuarEntry)
+	// Send fans a batch of entries out to the peers (best-effort; the
+	// digest exchange repairs what it misses). Called from the sender
+	// goroutine, never the service path.
+	Send func(entries []QuarEntry)
+	// TombstoneTTL bounds how long a release tombstone is remembered
+	// (default 24h). Must exceed the longest realistic partition or a
+	// rejoining node can resurrect a released quarantine.
+	TombstoneTTL time.Duration
+	// QueueSize bounds the pending-origination queue (default 1024);
+	// overflow drops the oldest (digest anti-entropy re-disseminates).
+	QueueSize int
+	// Logf receives broadcast events. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c BroadcastConfig) withDefaults() BroadcastConfig {
+	if c.Clock == nil {
+		c.Clock = simclock.Real{}
+	}
+	if c.TombstoneTTL <= 0 {
+		c.TombstoneTTL = 24 * time.Hour
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Broadcaster holds the versioned quarantine state and runs the
+// origination queue. Safe for concurrent use.
+type Broadcaster struct {
+	cfg BroadcastConfig
+
+	mu        sync.Mutex
+	state     map[uint64]QuarEntry
+	applying  map[uint64]int // users mid-remote-apply: suppress echo
+	pending   []QuarEntry
+	lastStamp int64
+	closed    bool
+
+	originated uint64
+	applied    uint64
+	echoes     uint64
+	overflow   uint64
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewBroadcaster builds and starts a broadcaster.
+func NewBroadcaster(cfg BroadcastConfig) *Broadcaster {
+	b := &Broadcaster{
+		cfg:      cfg.withDefaults(),
+		state:    make(map[uint64]QuarEntry),
+		applying: make(map[uint64]int),
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.sender()
+	return b
+}
+
+// stampLocked returns a strictly monotonic origin-local stamp.
+func (b *Broadcaster) stampLocked() int64 {
+	s := b.cfg.Clock.Now().UnixNano()
+	if s <= b.lastStamp {
+		s = b.lastStamp + 1
+	}
+	b.lastStamp = s
+	return s
+}
+
+// LocalChange originates one local quarantine transition. Called from
+// the service's change listener — it must never block, so the entry is
+// queued for the sender goroutine. Echoes of remote applies are
+// dropped here.
+func (b *Broadcaster) LocalChange(user uint64, active bool, rec store.QuarantineRecord) {
+	b.mu.Lock()
+	if b.applying[user] > 0 {
+		b.echoes++
+		b.mu.Unlock()
+		return
+	}
+	e := QuarEntry{User: user, Stamp: b.stampLocked(), Origin: b.cfg.Self, Active: active, Record: rec}
+	b.state[user] = e
+	b.originated++
+	if len(b.pending) >= b.cfg.QueueSize {
+		b.pending = b.pending[1:]
+		b.overflow++
+	}
+	b.pending = append(b.pending, e)
+	b.mu.Unlock()
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// sender drains the origination queue into cfg.Send.
+func (b *Broadcaster) sender() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.stop:
+			b.flushPending()
+			return
+		case <-b.kick:
+			b.flushPending()
+		}
+	}
+}
+
+func (b *Broadcaster) flushPending() {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(batch) > 0 && b.cfg.Send != nil {
+		b.cfg.Send(batch)
+	}
+}
+
+// Flush synchronously drains the origination queue (tests, shutdown).
+func (b *Broadcaster) Flush() { b.flushPending() }
+
+// ApplyRemote merges a batch of remote entries, installing every one
+// that wins LWW against local knowledge. Returns how many were
+// applied.
+func (b *Broadcaster) ApplyRemote(entries []QuarEntry) int {
+	n := 0
+	for _, e := range entries {
+		b.mu.Lock()
+		cur, known := b.state[e.User]
+		if known && !e.newer(cur) {
+			b.mu.Unlock()
+			continue
+		}
+		b.state[e.User] = e
+		if e.Stamp > b.lastStamp {
+			// Adopt the highest stamp seen so our next origination
+			// orders after everything we know about, even across
+			// clock skew between origins.
+			b.lastStamp = e.Stamp
+		}
+		b.applying[e.User]++
+		b.applied++
+		b.mu.Unlock()
+
+		if b.cfg.Apply != nil {
+			b.cfg.Apply(e)
+		}
+
+		b.mu.Lock()
+		if b.applying[e.User]--; b.applying[e.User] <= 0 {
+			delete(b.applying, e.User)
+		}
+		b.mu.Unlock()
+		n++
+	}
+	return n
+}
+
+// Digest snapshots the full versioned state (tombstones included),
+// sweeping expired tombstones on the way. Small by construction: the
+// state is bounded by the active quarantine set plus TTL-bounded
+// tombstones.
+func (b *Broadcaster) Digest() []QuarEntry {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]QuarEntry, 0, len(b.state))
+	for user, e := range b.state {
+		if b.expiredLocked(e, now) {
+			delete(b.state, user)
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// expiredLocked reports whether an entry is inert and forgettable: a
+// tombstone past the TTL, or an active entry whose quarantine expired
+// a TTL ago (the service expired it locally without an event).
+func (b *Broadcaster) expiredLocked(e QuarEntry, now time.Time) bool {
+	if !e.Active {
+		return now.Sub(time.Unix(0, e.Stamp)) > b.cfg.TombstoneTTL
+	}
+	return !e.Record.Until.IsZero() && now.Sub(e.Record.Until) > b.cfg.TombstoneTTL
+}
+
+// MergeDigest runs the receiving half of a digest exchange: apply
+// every remote entry that wins LWW, and return the entries where this
+// node knows something newer (the reply that repairs the sender).
+func (b *Broadcaster) MergeDigest(entries []QuarEntry) (reply []QuarEntry, applied int) {
+	applied = b.ApplyRemote(entries)
+	remote := make(map[uint64]QuarEntry, len(entries))
+	for _, e := range entries {
+		remote[e.User] = e
+	}
+	for _, e := range b.Digest() {
+		if r, ok := remote[e.User]; !ok || e.newer(r) {
+			reply = append(reply, e)
+		}
+	}
+	return reply, applied
+}
+
+// BroadcastStats snapshots the broadcaster.
+type BroadcastStats struct {
+	// Tracked is the versioned-state size (active + tombstones).
+	Tracked int `json:"tracked"`
+	// Originated counts local transitions broadcast; Applied counts
+	// remote entries installed locally; Echoes counts apply echoes
+	// suppressed; Overflow counts originations dropped by a full queue
+	// (repaired by digest exchange).
+	Originated uint64 `json:"originated"`
+	Applied    uint64 `json:"applied"`
+	Echoes     uint64 `json:"echoes,omitempty"`
+	Overflow   uint64 `json:"overflow,omitempty"`
+}
+
+// Stats snapshots the broadcaster's counters.
+func (b *Broadcaster) Stats() BroadcastStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BroadcastStats{
+		Tracked:    len(b.state),
+		Originated: b.originated,
+		Applied:    b.applied,
+		Echoes:     b.echoes,
+		Overflow:   b.overflow,
+	}
+}
+
+// Close stops the sender after a final drain. Idempotent.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+}

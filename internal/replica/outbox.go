@@ -1,0 +1,382 @@
+// Outbox: the forwarder's bounded on-disk spill. The cross-node
+// forwarding path is deliberately drop-on-full and drop-on-error —
+// nothing may block the check-in path — but dropped events used to be
+// gone. The outbox catches them instead: one append-only file per
+// destination peer, length-prefixed opaque payloads, bounded by a
+// per-peer byte cap (over the cap the event really is dropped, and
+// counted — the bound is the contract). On peer recovery the caller
+// drains the file back through its delivery path; payloads the
+// delivery refuses are compacted back so a half-successful drain loses
+// nothing. The outbox is payload-agnostic (it stores bytes) so this
+// package does not depend on the cluster's wire types.
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// maxOutboxRecordBytes bounds one payload; larger prefixes are read as
+// corruption.
+const maxOutboxRecordBytes = 1 << 20
+
+// OutboxConfig parameterizes OpenOutbox. Zero values take defaults.
+type OutboxConfig struct {
+	// Dir is the spill directory, created if missing. Required.
+	Dir string
+	// MaxBytesPerPeer caps one peer's spill file (default 4 MiB).
+	// Appends past the cap are dropped and counted.
+	MaxBytesPerPeer int64
+	// Logf receives spill events. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c OutboxConfig) withDefaults() OutboxConfig {
+	if c.MaxBytesPerPeer <= 0 {
+		c.MaxBytesPerPeer = 4 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// peerSpill is one destination's spill file bookkeeping. Each peer has
+// its own lock: a long drain compaction (file re-read + fsync) on one
+// peer must not block the enqueue-path Append of another — the
+// forwarder contract says spills never block the check-in path beyond
+// their own peer's file.
+type peerSpill struct {
+	mu      sync.Mutex
+	peer    string
+	path    string
+	size    int64
+	records int
+}
+
+// Outbox is the per-peer on-disk spill. Safe for concurrent use.
+type Outbox struct {
+	cfg OutboxConfig
+
+	// mu guards only the peers map; file state is per-peer.
+	mu    sync.Mutex
+	peers map[string]*peerSpill
+
+	spilled   atomic.Uint64
+	dropped   atomic.Uint64
+	delivered atomic.Uint64
+	requeued  atomic.Uint64
+	ioErrors  atomic.Uint64
+}
+
+// OpenOutbox opens (creating if missing) the spill directory and
+// indexes any spill files a previous process left behind — undelivered
+// events survive a daemon restart.
+func OpenOutbox(cfg OutboxConfig) (*Outbox, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("outbox: empty dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("outbox: %w", err)
+	}
+	o := &Outbox{cfg: cfg, peers: make(map[string]*peerSpill)}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("outbox: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".obx") {
+			continue
+		}
+		path := filepath.Join(cfg.Dir, name)
+		peer, payloads, size := readSpill(path, cfg.Logf)
+		if peer == "" {
+			continue
+		}
+		o.peers[peer] = &peerSpill{peer: peer, path: path, size: size, records: len(payloads)}
+	}
+	return o, nil
+}
+
+// spill returns (creating if needed) the peer's bookkeeping.
+func (o *Outbox) spill(peer string) *peerSpill {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if ps, ok := o.peers[peer]; ok {
+		return ps
+	}
+	ps := &peerSpill{
+		peer: peer,
+		path: filepath.Join(o.cfg.Dir, sanitizeDirName(peer)+".obx"),
+	}
+	o.peers[peer] = ps
+	return ps
+}
+
+// Append spills one payload for peer. Returns false when the per-peer
+// cap refused it (the payload is dropped and counted).
+func (o *Outbox) Append(peer string, payload []byte) bool {
+	ps := o.spill(peer)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	rec := encodeSpillRecord(peer, payload, ps.size == 0)
+	if ps.size+int64(len(rec)) > o.cfg.MaxBytesPerPeer {
+		o.dropped.Add(1)
+		return false
+	}
+	f, err := os.OpenFile(ps.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		o.ioErrors.Add(1)
+		o.cfg.Logf("outbox: open %s: %v", ps.path, err)
+		return false
+	}
+	defer f.Close()
+	if _, err := f.Write(rec); err != nil {
+		o.ioErrors.Add(1)
+		o.cfg.Logf("outbox: append %s: %v", ps.path, err)
+		return false
+	}
+	ps.size += int64(len(rec))
+	ps.records++
+	o.spilled.Add(1)
+	return true
+}
+
+// encodeSpillRecord frames one payload; the file's first record is a
+// header naming the peer (filename sanitization is lossy, the header
+// is not).
+func encodeSpillRecord(peer string, payload []byte, first bool) []byte {
+	var out []byte
+	if first {
+		out = frame([]byte("peer:" + peer))
+	}
+	return append(out, frame(payload)...)
+}
+
+func frame(payload []byte) []byte {
+	rec := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(rec, uint32(len(payload)))
+	copy(rec[4:], payload)
+	return rec
+}
+
+// readSpill loads a spill file: the peer named by its header record,
+// the queued payloads, and the byte size consumed. Damage keeps the
+// good prefix, like every log in this codebase.
+func readSpill(path string, logf func(string, ...any)) (peer string, payloads [][]byte, size int64) {
+	f, err := os.Open(path)
+	if err != nil {
+		logf("outbox: read %s: %v", path, err)
+		return "", nil, 0
+	}
+	defer f.Close()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+			if err != io.EOF {
+				logf("outbox: %s: damaged tail; keeping %d records", path, len(payloads))
+			}
+			return peer, payloads, size
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxOutboxRecordBytes {
+			logf("outbox: %s: garbage length prefix; keeping %d records", path, len(payloads))
+			return peer, payloads, size
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			logf("outbox: %s: torn record; keeping %d records", path, len(payloads))
+			return peer, payloads, size
+		}
+		size += 4 + int64(n)
+		if peer == "" && strings.HasPrefix(string(buf), "peer:") {
+			peer = strings.TrimPrefix(string(buf), "peer:")
+			continue
+		}
+		payloads = append(payloads, buf)
+	}
+}
+
+// Drain replays every spilled payload for peer through deliver, in
+// spill order. Payloads deliver reports false for are compacted back
+// into a fresh spill file (order preserved); delivered ones are gone.
+// Returns (delivered, requeued). A crash mid-drain re-replays from the
+// original file — duplicates, not loss; the receiver's dedupe absorbs
+// them.
+func (o *Outbox) Drain(peer string, deliver func(payload []byte) bool) (int, int) {
+	o.mu.Lock()
+	ps, ok := o.peers[peer]
+	o.mu.Unlock()
+	if !ok {
+		return 0, 0
+	}
+	ps.mu.Lock()
+	if ps.records == 0 {
+		ps.mu.Unlock()
+		return 0, 0
+	}
+	_, payloads, _ := readSpill(ps.path, o.cfg.Logf)
+	ps.mu.Unlock()
+
+	// Deliver outside the lock: delivery may take real time (HTTP), and
+	// a delivery that spills back to this very peer (full queue on the
+	// re-forward) must be able to Append.
+	var failed [][]byte
+	delivered := 0
+	for _, p := range payloads {
+		if deliver(p) {
+			delivered++
+		} else {
+			failed = append(failed, p)
+		}
+	}
+
+	requeued := len(failed)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	// Payloads spilled while delivery ran are a tail beyond the prefix
+	// we drained; carry them into the rewrite or they would be lost.
+	_, current, _ := readSpill(ps.path, o.cfg.Logf)
+	if len(current) > len(payloads) {
+		failed = append(failed, current[len(payloads):]...)
+	}
+	// Rewrite the remainder atomically; a failure leaves the original
+	// file (and a future duplicate delivery) rather than losing events.
+	if err := writeSpill(ps.path, peer, failed); err != nil {
+		o.ioErrors.Add(1)
+		o.cfg.Logf("outbox: compact %s: %v", ps.path, err)
+		return delivered, requeued
+	}
+	ps.records = len(failed)
+	ps.size = spillSize(peer, failed)
+	o.delivered.Add(uint64(delivered))
+	o.requeued.Add(uint64(requeued))
+	return delivered, requeued
+}
+
+// writeSpill atomically replaces the spill file with the given
+// payloads (removing it when empty).
+func writeSpill(path, peer string, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		err := os.Remove(path)
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".obx-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(frame([]byte("peer:" + peer))); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, p := range payloads {
+		if _, err := tmp.Write(frame(p)); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+func spillSize(peer string, payloads [][]byte) int64 {
+	if len(payloads) == 0 {
+		return 0
+	}
+	size := int64(4 + len("peer:"+peer))
+	for _, p := range payloads {
+		size += 4 + int64(len(p))
+	}
+	return size
+}
+
+// snapshot lists the current peer spills.
+func (o *Outbox) snapshot() []*peerSpill {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*peerSpill, 0, len(o.peers))
+	for _, ps := range o.peers {
+		out = append(out, ps)
+	}
+	return out
+}
+
+// Peers lists destinations with spilled payloads, sorted.
+func (o *Outbox) Peers() []string {
+	var out []string
+	for _, ps := range o.snapshot() {
+		ps.mu.Lock()
+		n := ps.records
+		ps.mu.Unlock()
+		if n > 0 {
+			out = append(out, ps.peer)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Depth reports how many payloads are spilled for peer.
+func (o *Outbox) Depth(peer string) int {
+	o.mu.Lock()
+	ps, ok := o.peers[peer]
+	o.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.records
+}
+
+// OutboxStats snapshots the outbox counters.
+type OutboxStats struct {
+	// Queued is the total payloads currently spilled across peers.
+	Queued int `json:"queued"`
+	// Spilled counts payloads accepted onto disk; Dropped counts
+	// payloads refused by the per-peer cap; Delivered counts payloads
+	// drained successfully; Requeued counts drain failures compacted
+	// back.
+	Spilled   uint64 `json:"spilled"`
+	Dropped   uint64 `json:"dropped,omitempty"`
+	Delivered uint64 `json:"delivered"`
+	Requeued  uint64 `json:"requeued,omitempty"`
+	IOErrors  uint64 `json:"ioErrors,omitempty"`
+}
+
+// Stats snapshots the outbox.
+func (o *Outbox) Stats() OutboxStats {
+	st := OutboxStats{
+		Spilled:   o.spilled.Load(),
+		Dropped:   o.dropped.Load(),
+		Delivered: o.delivered.Load(),
+		Requeued:  o.requeued.Load(),
+		IOErrors:  o.ioErrors.Load(),
+	}
+	for _, ps := range o.snapshot() {
+		ps.mu.Lock()
+		st.Queued += ps.records
+		ps.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,87 @@
+// Package replica is the cluster's durability and dissemination tier.
+// The partitioned ingest tier (internal/cluster) made detection scale
+// across nodes but left three loss windows open: a killed node took
+// its alert journal — the evidence trail — with it, quarantine was
+// only reliably enforced on a user's owner node, and cross-node
+// forwarding was at-most-once. This package closes all three with one
+// coherent mechanism family — append logs plus versioned state
+// exchange — kept transport-agnostic (everything speaks through
+// injected send functions) so internal/cluster can wire it over its
+// /cluster/v1 HTTP surface and tests can wire it over direct calls:
+//
+//   - Shipper (ship.go) streams a store.AlertJournal's appends to the
+//     node's followers on the ring: async, batched, ack-based cursor
+//     per follower, with anti-entropy catch-up (a new or lagging
+//     follower is brought current by re-reading closed segments off
+//     disk from its acknowledged cursor).
+//   - Set (set.go) is the receiving half: one on-disk replica log per
+//     primary, with a durable cursor, epoch-based reset on primary
+//     restart, and queries so a promoted replica can serve the dead
+//     primary's alert history in merged views.
+//   - Broadcaster (broadcast.go) disseminates quarantine transitions
+//     cluster-wide: per-user last-writer-wins entries (monotonic stamp,
+//     origin tie-break), immediate best-effort fan-out, and periodic
+//     digest exchange as the anti-entropy backstop, with tombstones so
+//     releases do not resurrect.
+//   - Outbox (outbox.go) is the forwarder's bounded on-disk spill:
+//     events a peer queue dropped or a POST lost are journaled and
+//     replayed on peer recovery, upgrading migration from at-most-once
+//     to effectively-once (the receiver dedupes replays by forwarding
+//     sequence).
+package replica
+
+import "locheat/internal/store"
+
+// Target is one replication destination: a member ID plus whatever
+// address the transport needs.
+type Target struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// ShipBatch is one journal replication batch: Alerts are the primary's
+// records with global indexes [Start, Start+len). Epoch identifies the
+// primary journal's current open; indexes from different epochs are
+// not comparable, and a follower seeing a new epoch resets its replica
+// before applying.
+type ShipBatch struct {
+	From   string        `json:"from"`
+	Epoch  int64         `json:"epoch"`
+	Start  uint64        `json:"start"`
+	Alerts []store.Alert `json:"alerts"`
+}
+
+// ShipAck is the follower's reply: the cursor it will accept next.
+// The shipper adopts it wholesale, which self-heals both directions
+// of disagreement (a follower ahead after a shipper restart, or
+// behind after losing its replica).
+type ShipAck struct {
+	Cursor uint64 `json:"cursor"`
+}
+
+// CursorState is a follower's durable position for one primary.
+type CursorState struct {
+	Epoch  int64  `json:"epoch"`
+	Cursor uint64 `json:"cursor"`
+}
+
+// QuarEntry is one user's versioned quarantine state on the broadcast
+// wire. Stamp is a monotonic origin-local timestamp (nanos) and Origin
+// breaks stamp ties; together they give a total LWW order every node
+// agrees on. Active false is a tombstone: the user was released, and
+// the entry exists so anti-entropy cannot resurrect the quarantine.
+type QuarEntry struct {
+	User   uint64                 `json:"user"`
+	Stamp  int64                  `json:"stamp"`
+	Origin string                 `json:"origin"`
+	Active bool                   `json:"active"`
+	Record store.QuarantineRecord `json:"record,omitempty"`
+}
+
+// newer reports whether e should overwrite cur under LWW order.
+func (e QuarEntry) newer(cur QuarEntry) bool {
+	if e.Stamp != cur.Stamp {
+		return e.Stamp > cur.Stamp
+	}
+	return e.Origin > cur.Origin
+}

@@ -1,0 +1,451 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+func shipTestAlert(i int) store.Alert {
+	return store.Alert{
+		Seq:      uint64(i + 1),
+		Detector: "speed",
+		UserID:   uint64(i%9 + 1),
+		VenueID:  uint64(i + 500),
+		At:       simclock.Epoch().Add(time.Duration(i) * time.Minute),
+		Detail:   "ship",
+	}
+}
+
+func openTestJournal(t testing.TB, dir string) *store.AlertJournal {
+	t.Helper()
+	j, err := store.OpenAlertJournal(store.JournalConfig{
+		Dir:          dir,
+		SegmentBytes: 4 << 10,
+		MaxSegments:  64,
+		FsyncEvery:   1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// directSendPair wires a Shipper straight into a Set, no HTTP — the
+// transport seam the cluster layer fills with real requests.
+func directSendPair(t testing.TB, j *store.AlertJournal, set *Set) *Shipper {
+	t.Helper()
+	return NewShipper(ShipperConfig{
+		Self:    "primary",
+		Journal: j,
+		Send: func(_ Target, b ShipBatch) (ShipAck, error) {
+			cursor, err := set.Apply(b.From, b.Epoch, b.Start, b.Alerts)
+			return ShipAck{Cursor: cursor}, err
+		},
+		FetchCursor: func(_ Target) (CursorState, error) {
+			return set.Cursor("primary"), nil
+		},
+		BatchSize: 16,
+		Interval:  5 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+}
+
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestShipperReplicatesAppends: live appends stream to the follower and
+// the replica answers the same queries as the primary.
+func TestShipperReplicatesAppends(t *testing.T) {
+	j := openTestJournal(t, t.TempDir())
+	defer j.Close()
+	set, err := OpenSet(SetConfig{Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	sh := directSendPair(t, j, set)
+	defer sh.Close()
+	sh.SetTargets([]Target{{ID: "follower", Addr: "direct"}})
+	j.SetAppendNotify(sh.Notify)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := j.Append(shipTestAlert(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "replica caught up", func() bool {
+		if set.Cursor("primary").Cursor != uint64(n) {
+			return false
+		}
+		// The shipper records the ack after Apply returns; wait for its
+		// own view too so the stats assertion below cannot race it.
+		st := sh.Stats()
+		return len(st.Followers) == 1 && st.Followers[0].Lag == 0
+	})
+
+	page, total := set.Query("primary", store.AlertQuery{Limit: n})
+	if total != n || len(page) != n {
+		t.Fatalf("replica query total=%d page=%d, want %d", total, len(page), n)
+	}
+	if page[0].Seq != n || page[n-1].Seq != 1 {
+		t.Fatalf("replica order wrong: %d..%d", page[0].Seq, page[n-1].Seq)
+	}
+	st := sh.Stats()
+	if len(st.Followers) != 1 || st.Followers[0].Lag != 0 {
+		t.Fatalf("shipper stats = %+v, want one follower at lag 0", st)
+	}
+}
+
+// TestShipperCatchUpNewFollower: a follower adopted after the fact is
+// brought current from closed segments (anti-entropy), and a flaky
+// transport only delays convergence.
+func TestShipperCatchUpNewFollower(t *testing.T) {
+	j := openTestJournal(t, t.TempDir())
+	defer j.Close()
+	const n = 150
+	for i := 0; i < n; i++ {
+		if err := j.Append(shipTestAlert(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set, err := OpenSet(SetConfig{Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	var mu sync.Mutex
+	fails := 3 // first sends fail: the shipper must refetch and retry
+	sh := NewShipper(ShipperConfig{
+		Self:    "primary",
+		Journal: j,
+		Send: func(_ Target, b ShipBatch) (ShipAck, error) {
+			mu.Lock()
+			if fails > 0 {
+				fails--
+				mu.Unlock()
+				return ShipAck{}, errors.New("transient")
+			}
+			mu.Unlock()
+			cursor, err := set.Apply(b.From, b.Epoch, b.Start, b.Alerts)
+			return ShipAck{Cursor: cursor}, err
+		},
+		FetchCursor: func(_ Target) (CursorState, error) { return set.Cursor("primary"), nil },
+		BatchSize:   32,
+		Interval:    2 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	defer sh.Close()
+	sh.SetTargets([]Target{{ID: "late", Addr: "direct"}})
+
+	waitFor(t, "late follower caught up", func() bool {
+		return set.Cursor("primary").Cursor == uint64(n)
+	})
+	if _, total := set.Query("primary", store.AlertQuery{}); total != n {
+		t.Fatalf("late follower holds %d alerts, want %d", total, n)
+	}
+}
+
+// TestSetEpochReset: a batch from a new epoch (primary restart) resets
+// the replica rather than interleaving incomparable index spaces, and
+// overlapping resends within an epoch are skipped, not duplicated.
+func TestSetEpochReset(t *testing.T) {
+	set, err := OpenSet(SetConfig{Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	a := []store.Alert{shipTestAlert(0), shipTestAlert(1), shipTestAlert(2)}
+	if _, err := set.Apply("p", 100, 0, a); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping resend: records 1..2 again plus a new record 3.
+	cursor, err := set.Apply("p", 100, 1, []store.Alert{shipTestAlert(1), shipTestAlert(2), shipTestAlert(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 4 {
+		t.Fatalf("cursor after overlap = %d, want 4", cursor)
+	}
+	if _, total := set.Query("p", store.AlertQuery{}); total != 4 {
+		t.Fatalf("replica holds %d after overlap, want 4 (dupes appended)", total)
+	}
+
+	// New epoch: replica resets and follows the fresh index space.
+	if _, err := set.Apply("p", 200, 0, []store.Alert{shipTestAlert(10), shipTestAlert(11)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := set.Cursor("p"); st.Epoch != 200 || st.Cursor != 2 {
+		t.Fatalf("post-reset cursor = %+v, want epoch 200 cursor 2", st)
+	}
+	if _, total := set.Query("p", store.AlertQuery{}); total != 2 {
+		t.Fatalf("replica holds %d after reset, want 2", total)
+	}
+	st := set.Stats()
+	if len(st.Replicas) != 1 || st.Replicas[0].Resets != 1 {
+		t.Fatalf("stats = %+v, want one replica with one reset", st)
+	}
+}
+
+// TestSetSurvivesReopen: the replica log and cursor persist across a
+// follower restart.
+func TestSetSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	set, err := OpenSet(SetConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Apply("node-2", 7, 0, []store.Alert{shipTestAlert(0), shipTestAlert(1)}); err != nil {
+		t.Fatal(err)
+	}
+	set.Close()
+
+	set2, err := OpenSet(SetConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set2.Close()
+	if st := set2.Cursor("node-2"); st.Epoch != 7 || st.Cursor != 2 {
+		t.Fatalf("reopened cursor = %+v, want epoch 7 cursor 2", st)
+	}
+	if _, total := set2.Query("node-2", store.AlertQuery{}); total != 2 {
+		t.Fatalf("reopened replica holds %d, want 2", total)
+	}
+	if ps := set2.Primaries(); len(ps) != 1 || ps[0] != "node-2" {
+		t.Fatalf("primaries = %v", ps)
+	}
+}
+
+// TestBroadcasterLWWAndTombstones covers origination, remote apply,
+// echo suppression, release tombstones and digest repair.
+func TestBroadcasterLWWAndTombstones(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	type applied struct {
+		user   uint64
+		active bool
+	}
+	var mu sync.Mutex
+	var applies []applied
+
+	var b *Broadcaster
+	var sentBatches [][]QuarEntry
+	b = NewBroadcaster(BroadcastConfig{
+		Self:  "n1",
+		Clock: clock,
+		Apply: func(e QuarEntry) {
+			mu.Lock()
+			applies = append(applies, applied{user: e.User, active: e.Active})
+			mu.Unlock()
+			// The service listener echo: must be suppressed.
+			b.LocalChange(e.User, e.Active, e.Record)
+		},
+		Send: func(entries []QuarEntry) {
+			mu.Lock()
+			sentBatches = append(sentBatches, entries)
+			mu.Unlock()
+		},
+		Logf: t.Logf,
+	})
+	defer b.Close()
+
+	rec := store.QuarantineRecord{UserID: 7, Since: clock.Now(), Until: clock.Now().Add(time.Hour), Reason: "test", Source: "policy"}
+	b.LocalChange(7, true, rec)
+	b.Flush()
+	mu.Lock()
+	if len(sentBatches) != 1 || len(sentBatches[0]) != 1 || !sentBatches[0][0].Active {
+		t.Fatalf("sent = %+v, want one active entry", sentBatches)
+	}
+	origin := sentBatches[0][0]
+	mu.Unlock()
+
+	// A remote release newer than our entry wins; the echo from the
+	// apply callback must not re-originate.
+	release := QuarEntry{User: 7, Stamp: origin.Stamp + 10, Origin: "n2", Active: false}
+	if n := b.ApplyRemote([]QuarEntry{release}); n != 1 {
+		t.Fatalf("applied %d, want 1", n)
+	}
+	mu.Lock()
+	if len(applies) != 1 || applies[0].active {
+		t.Fatalf("applies = %+v, want one release", applies)
+	}
+	mu.Unlock()
+	if st := b.Stats(); st.Echoes != 1 {
+		t.Fatalf("stats = %+v, want one suppressed echo", st)
+	}
+
+	// An OLDER remote quarantine must lose to the release tombstone.
+	stale := QuarEntry{User: 7, Stamp: origin.Stamp + 5, Origin: "n3", Active: true, Record: rec}
+	if n := b.ApplyRemote([]QuarEntry{stale}); n != 0 {
+		t.Fatal("stale entry resurrected a released quarantine")
+	}
+
+	// Digest carries the tombstone; MergeDigest repairs a peer that
+	// still thinks the user is quarantined.
+	d := b.Digest()
+	if len(d) != 1 || d[0].Active {
+		t.Fatalf("digest = %+v, want the release tombstone", d)
+	}
+	reply, applied2 := b.MergeDigest([]QuarEntry{stale})
+	if applied2 != 0 || len(reply) != 1 || reply[0].Active {
+		t.Fatalf("merge reply = %+v applied=%d, want tombstone repair", reply, applied2)
+	}
+
+	// Tombstones expire after the TTL.
+	clock.Advance(25 * time.Hour)
+	if d := b.Digest(); len(d) != 0 {
+		t.Fatalf("digest after TTL = %+v, want empty", d)
+	}
+}
+
+// TestBroadcasterStampsMonotonic: stamps strictly increase even when
+// the clock stands still (simclock), so same-instant transitions still
+// have a total order.
+func TestBroadcasterStampsMonotonic(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	var mu sync.Mutex
+	var stamps []int64
+	b := NewBroadcaster(BroadcastConfig{
+		Self:  "n1",
+		Clock: clock,
+		Send: func(entries []QuarEntry) {
+			mu.Lock()
+			for _, e := range entries {
+				stamps = append(stamps, e.Stamp)
+			}
+			mu.Unlock()
+		},
+		Logf: t.Logf,
+	})
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		b.LocalChange(uint64(i+1), true, store.QuarantineRecord{UserID: uint64(i + 1), Until: clock.Now().Add(time.Hour)})
+	}
+	b.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stamps) != 5 {
+		t.Fatalf("sent %d entries, want 5", len(stamps))
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] <= stamps[i-1] {
+			t.Fatalf("stamps not strictly increasing: %v", stamps)
+		}
+	}
+}
+
+// TestOutboxSpillDrain: spill, partial drain (some deliveries fail),
+// compaction, restart survival, and the per-peer cap.
+func TestOutboxSpillDrain(t *testing.T) {
+	dir := t.TempDir()
+	o, err := OpenOutbox(OutboxConfig{Dir: dir, MaxBytesPerPeer: 1 << 16, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !o.Append("peer-b", []byte(fmt.Sprintf("event-%d", i))) {
+			t.Fatalf("append %d refused", i)
+		}
+	}
+	if d := o.Depth("peer-b"); d != 10 {
+		t.Fatalf("depth %d, want 10", d)
+	}
+
+	// Drain with every third delivery failing: failures compact back in
+	// order.
+	var got []string
+	i := 0
+	delivered, requeued := o.Drain("peer-b", func(p []byte) bool {
+		i++
+		if i%3 == 0 {
+			return false
+		}
+		got = append(got, string(p))
+		return true
+	})
+	if delivered != 7 || requeued != 3 {
+		t.Fatalf("drain = %d/%d, want 7 delivered 3 requeued", delivered, requeued)
+	}
+	if o.Depth("peer-b") != 3 {
+		t.Fatalf("depth after drain %d, want 3", o.Depth("peer-b"))
+	}
+
+	// Restart: the compacted remainder survives.
+	o2, err := OpenOutbox(OutboxConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := o2.Depth("peer-b"); d != 3 {
+		t.Fatalf("depth after reopen %d, want 3", d)
+	}
+	var after []string
+	o2.Drain("peer-b", func(p []byte) bool { after = append(after, string(p)); return true })
+	want := []string{"event-2", "event-5", "event-8"}
+	if len(after) != 3 || after[0] != want[0] || after[1] != want[1] || after[2] != want[2] {
+		t.Fatalf("requeued order = %v, want %v", after, want)
+	}
+	if ps := o2.Peers(); len(ps) != 0 {
+		t.Fatalf("peers after full drain = %v, want none", ps)
+	}
+
+	// The cap refuses, counts, and keeps the file bounded.
+	tiny, err := OpenOutbox(OutboxConfig{Dir: t.TempDir(), MaxBytesPerPeer: 64, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if tiny.Append("x", []byte("0123456789")) {
+			accepted++
+		}
+	}
+	st := tiny.Stats()
+	if accepted == 0 || accepted == 100 {
+		t.Fatalf("cap accepted %d of 100", accepted)
+	}
+	if st.Dropped != uint64(100-accepted) {
+		t.Fatalf("dropped %d, want %d", st.Dropped, 100-accepted)
+	}
+}
+
+// TestOutboxDrainKeepsConcurrentSpills: payloads appended while a
+// drain's deliveries are in flight survive the compaction.
+func TestOutboxDrainKeepsConcurrentSpills(t *testing.T) {
+	o, err := OpenOutbox(OutboxConfig{Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Append("p", []byte("first"))
+	delivered, _ := o.Drain("p", func(p []byte) bool {
+		// Mid-drain spill: arrives after the drain snapshot was read.
+		o.Append("p", []byte("mid-drain"))
+		return true
+	})
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+	if d := o.Depth("p"); d != 1 {
+		t.Fatalf("mid-drain spill lost: depth %d, want 1", d)
+	}
+	var rest []string
+	o.Drain("p", func(p []byte) bool { rest = append(rest, string(p)); return true })
+	if len(rest) != 1 || rest[0] != "mid-drain" {
+		t.Fatalf("remainder = %v", rest)
+	}
+}

@@ -1,0 +1,364 @@
+// Set: the receiving half of journal replication. One replica log per
+// primary, each an ordinary store.AlertJournal in its own subdirectory
+// plus a durable cursor file:
+//
+//	<dir>/replica-<primary>/alerts-00000001.seg ...
+//	<dir>/replica-<primary>/cursor.json          {epoch, cursor}
+//
+// Apply is idempotent against the cursor: a batch overlapping records
+// already applied has its duplicate prefix skipped, a batch starting
+// past the cursor is accepted with the gap counted (the primary's
+// retention outran us — nothing to fetch), and a batch from a new
+// epoch resets the replica (the primary restarted; its index space
+// began again and it will re-ship everything it retains). Promotion is
+// a read-side decision: the owner of a Set serves Query results for
+// primaries it considers dead, which is exactly how a killed node's
+// alert history stays visible in merged views.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"locheat/internal/store"
+)
+
+// SetConfig parameterizes OpenSet. Zero values take defaults.
+type SetConfig struct {
+	// Dir is the replica root, created if missing. Required.
+	Dir string
+	// SegmentBytes / MaxSegments shape each replica log (defaults match
+	// store.JournalConfig; size retention at least as large as the
+	// primary's or the replica forgets history the primary still has).
+	SegmentBytes int64
+	MaxSegments  int
+	// MirrorAlerts bounds each replica log's in-memory mirror (default
+	// 1024 — replicas are mostly written, rarely queried).
+	MirrorAlerts int
+	// Logf receives replica lifecycle events. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c SetConfig) withDefaults() SetConfig {
+	if c.MirrorAlerts == 0 {
+		c.MirrorAlerts = 1024
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// replicaLog is one primary's replica: its journal and durable cursor.
+type replicaLog struct {
+	primary string
+	dir     string
+	journal *store.AlertJournal
+	state   CursorState
+	gapped  uint64 // records lost to primary retention before we saw them
+	resets  uint64 // epoch resets observed
+}
+
+// Set manages this node's replica logs, one per primary it follows.
+// Safe for concurrent use.
+type Set struct {
+	cfg SetConfig
+
+	mu   sync.Mutex
+	logs map[string]*replicaLog
+
+	applied  uint64 // records appended into replica logs
+	skipped  uint64 // duplicate records dropped by the cursor check
+	applyErr uint64
+}
+
+// OpenSet opens (creating if needed) the replica root and reopens
+// every replica log found there.
+func OpenSet(cfg SetConfig) (*Set, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("replica set: empty dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replica set: %w", err)
+	}
+	s := &Set{cfg: cfg, logs: make(map[string]*replicaLog)}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("replica set: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "replica-") {
+			continue
+		}
+		dir := filepath.Join(cfg.Dir, e.Name())
+		state, primary, err := loadCursor(filepath.Join(dir, "cursor.json"))
+		if err != nil || primary == "" {
+			cfg.Logf("replica set: skipping %s: unreadable cursor (%v)", dir, err)
+			continue
+		}
+		rl, err := s.openLog(primary, dir, state)
+		if err != nil {
+			cfg.Logf("replica set: skipping %s: %v", dir, err)
+			continue
+		}
+		s.logs[primary] = rl
+	}
+	return s, nil
+}
+
+// cursorFile is the on-disk cursor format. Primary is stored inside so
+// directory-name sanitization never has to be reversible.
+type cursorFile struct {
+	Primary string `json:"primary"`
+	Epoch   int64  `json:"epoch"`
+	Cursor  uint64 `json:"cursor"`
+}
+
+func loadCursor(path string) (CursorState, string, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return CursorState{}, "", err
+	}
+	var cf cursorFile
+	if err := json.Unmarshal(buf, &cf); err != nil {
+		return CursorState{}, "", err
+	}
+	return CursorState{Epoch: cf.Epoch, Cursor: cf.Cursor}, cf.Primary, nil
+}
+
+// saveCursor atomically rewrites the cursor file (write temp, fsync,
+// rename) so a crash mid-save keeps the previous cursor.
+func saveCursor(path, primary string, state CursorState) error {
+	buf, err := json.Marshal(cursorFile{Primary: primary, Epoch: state.Epoch, Cursor: state.Cursor})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cursor-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// sanitizeDirName keeps member IDs filesystem-safe; anything outside
+// the safe set is hex-escaped. Collisions are impossible because the
+// escape character itself is escaped.
+func sanitizeDirName(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '.' || c == '-' || c == '_' {
+			if c != '_' {
+				b.WriteByte(c)
+				continue
+			}
+		}
+		fmt.Fprintf(&b, "_%02x", c)
+	}
+	return b.String()
+}
+
+func (s *Set) openLog(primary, dir string, state CursorState) (*replicaLog, error) {
+	j, err := store.OpenAlertJournal(store.JournalConfig{
+		Dir:          dir,
+		SegmentBytes: s.cfg.SegmentBytes,
+		MaxSegments:  s.cfg.MaxSegments,
+		MirrorAlerts: s.cfg.MirrorAlerts,
+		Logf:         s.cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &replicaLog{primary: primary, dir: dir, journal: j, state: state}, nil
+}
+
+// getLocked returns (creating if needed) the primary's replica log.
+func (s *Set) getLocked(primary string) (*replicaLog, error) {
+	if rl, ok := s.logs[primary]; ok {
+		return rl, nil
+	}
+	dir := filepath.Join(s.cfg.Dir, "replica-"+sanitizeDirName(primary))
+	rl, err := s.openLog(primary, dir, CursorState{})
+	if err != nil {
+		return nil, err
+	}
+	s.logs[primary] = rl
+	return rl, nil
+}
+
+// Apply installs one ship batch and returns the cursor the shipper
+// should resume from. See the package comment for the overlap, gap and
+// epoch-reset semantics.
+func (s *Set) Apply(from string, epoch int64, start uint64, alerts []store.Alert) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rl, err := s.getLocked(from)
+	if err != nil {
+		s.applyErr++
+		return 0, fmt.Errorf("replica set: open log for %s: %w", from, err)
+	}
+	if rl.state.Epoch != epoch {
+		// Primary restarted: its global index space began again. Drop
+		// the old replica and follow the new epoch from the start the
+		// primary offers (its oldest retained record). The primary
+		// replays its own surviving history at open, so nothing that
+		// still exists is lost — and merged views dedupe whatever the
+		// old replica also held.
+		if rl.state.Epoch != 0 {
+			rl.resets++
+			s.cfg.Logf("replica set: %s epoch %d -> %d, resetting replica", from, rl.state.Epoch, epoch)
+			rl.journal.Close()
+			if err := os.RemoveAll(rl.dir); err != nil {
+				s.applyErr++
+				return 0, fmt.Errorf("replica set: reset %s: %w", from, err)
+			}
+			fresh, err := s.openLog(from, rl.dir, CursorState{})
+			if err != nil {
+				delete(s.logs, from)
+				s.applyErr++
+				return 0, fmt.Errorf("replica set: reset %s: %w", from, err)
+			}
+			fresh.resets = rl.resets
+			fresh.gapped = rl.gapped
+			s.logs[from] = fresh
+			rl = fresh
+		}
+		rl.state = CursorState{Epoch: epoch, Cursor: start}
+	}
+	if start > rl.state.Cursor {
+		rl.gapped += start - rl.state.Cursor
+		rl.state.Cursor = start
+	}
+	for i, a := range alerts {
+		idx := start + uint64(i)
+		if idx < rl.state.Cursor {
+			s.skipped++
+			continue
+		}
+		if err := rl.journal.Append(a); err != nil {
+			s.applyErr++
+			return rl.state.Cursor, fmt.Errorf("replica set: append for %s: %w", from, err)
+		}
+		rl.state.Cursor = idx + 1
+		s.applied++
+	}
+	if err := rl.journal.Flush(); err != nil {
+		s.applyErr++
+	}
+	if err := saveCursor(filepath.Join(rl.dir, "cursor.json"), from, rl.state); err != nil {
+		s.applyErr++
+		s.cfg.Logf("replica set: save cursor for %s: %v", from, err)
+	}
+	return rl.state.Cursor, nil
+}
+
+// Cursor reports the durable position held for primary (zero state if
+// none).
+func (s *Set) Cursor(primary string) CursorState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rl, ok := s.logs[primary]; ok {
+		return rl.state
+	}
+	return CursorState{}
+}
+
+// Query answers an alert query from primary's replica log (empty if no
+// replica is held). This is the promotion read path: the caller
+// decides WHEN a replica should serve (its primary is gone), the set
+// only answers from what it holds.
+func (s *Set) Query(primary string, q store.AlertQuery) ([]store.Alert, int) {
+	s.mu.Lock()
+	rl, ok := s.logs[primary]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0
+	}
+	return rl.journal.Query(q)
+}
+
+// Primaries lists the primaries this set holds replicas for, sorted.
+func (s *Set) Primaries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.logs))
+	for p := range s.logs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReplicaStatus is one replica log's externally visible state.
+type ReplicaStatus struct {
+	Primary  string `json:"primary"`
+	Epoch    int64  `json:"epoch"`
+	Cursor   uint64 `json:"cursor"`
+	Retained int    `json:"retained"`
+	Gapped   uint64 `json:"gapped,omitempty"`
+	Resets   uint64 `json:"resets,omitempty"`
+}
+
+// SetStats snapshots the set's counters and per-replica status.
+type SetStats struct {
+	Applied  uint64          `json:"applied"`
+	Skipped  uint64          `json:"skipped,omitempty"`
+	Errors   uint64          `json:"errors,omitempty"`
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
+}
+
+// Stats snapshots the set.
+func (s *Set) Stats() SetStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SetStats{Applied: s.applied, Skipped: s.skipped, Errors: s.applyErr}
+	for _, p := range s.primariesLocked() {
+		rl := s.logs[p]
+		st.Replicas = append(st.Replicas, ReplicaStatus{
+			Primary:  p,
+			Epoch:    rl.state.Epoch,
+			Cursor:   rl.state.Cursor,
+			Retained: rl.journal.Stats().Retained,
+			Gapped:   rl.gapped,
+			Resets:   rl.resets,
+		})
+	}
+	return st
+}
+
+func (s *Set) primariesLocked() []string {
+	out := make([]string, 0, len(s.logs))
+	for p := range s.logs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close flushes and closes every replica log. Idempotent.
+func (s *Set) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rl := range s.logs {
+		rl.journal.Close()
+	}
+}

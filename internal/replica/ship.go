@@ -1,0 +1,277 @@
+// Shipper: the sending half of journal replication. One goroutine
+// tails the local store.AlertJournal and streams batches to each
+// follower target, tracking an acknowledged cursor per follower.
+// Everything is pull-from-the-journal: a fresh append, a follower
+// change and anti-entropy catch-up are all the same operation — "read
+// from the follower's cursor and send" — so a new follower is brought
+// current by the identical code path that ships the live tail, paging
+// closed segments off disk through AlertJournal.ReadFrom. Shipping is
+// asynchronous and never blocks the append path (the journal's notify
+// hook is a non-blocking channel poke); a follower that cannot be
+// reached accumulates lag and is retried on the next wake.
+package replica
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"locheat/internal/store"
+)
+
+// ShipperConfig parameterizes NewShipper. Journal and Send are
+// required; zero values elsewhere take defaults.
+type ShipperConfig struct {
+	// Self is the primary's member ID, stamped on every batch.
+	Self string
+	// Journal is the local journal being replicated.
+	Journal *store.AlertJournal
+	// Send delivers one batch to a follower and returns its ack.
+	Send func(t Target, b ShipBatch) (ShipAck, error)
+	// FetchCursor asks a follower where it stands for this primary
+	// (used when a target is first adopted or after a send error, so
+	// catch-up starts from truth rather than assumption). Nil starts
+	// new targets from the oldest retained record.
+	FetchCursor func(t Target) (CursorState, error)
+	// BatchSize caps records per batch (default 256).
+	BatchSize int
+	// Interval paces the retry/anti-entropy wake-ups (default 100ms);
+	// fresh appends wake the loop immediately regardless.
+	Interval time.Duration
+	// Logf receives shipping events. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c ShipperConfig) withDefaults() ShipperConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// followerState is one target's shipping position.
+type followerState struct {
+	target Target
+	cursor uint64
+	synced bool // cursor confirmed by the follower (fetch or ack)
+	sent   uint64
+	errors uint64
+}
+
+// Shipper replicates one journal to a dynamic follower set. Safe for
+// concurrent use.
+type Shipper struct {
+	cfg ShipperConfig
+
+	mu        sync.Mutex
+	followers map[string]*followerState
+	closed    bool
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewShipper builds and starts a shipper. Wire the journal's append
+// hook to Notify and the follower set via SetTargets.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	s := &Shipper{
+		cfg:       cfg.withDefaults(),
+		followers: make(map[string]*followerState),
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// SetTargets replaces the follower set (called on every ring change).
+// Departed followers are forgotten; new ones start unsynced, so the
+// next pass fetches their cursor and catch-up begins from wherever
+// they actually are.
+func (s *Shipper) SetTargets(targets []Target) {
+	s.mu.Lock()
+	next := make(map[string]*followerState, len(targets))
+	for _, t := range targets {
+		if f, ok := s.followers[t.ID]; ok && f.target.Addr == t.Addr {
+			next[t.ID] = f
+			continue
+		}
+		next[t.ID] = &followerState{target: t}
+	}
+	s.followers = next
+	s.mu.Unlock()
+	s.Notify()
+}
+
+// Notify wakes the shipping loop (journal append hook). Never blocks.
+func (s *Shipper) Notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop ships until Close: woken by appends, paced by Interval for
+// retries and anti-entropy.
+func (s *Shipper) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+		case <-t.C:
+		}
+		s.pass()
+	}
+}
+
+// pass pushes every follower as far toward the journal tail as one
+// round allows.
+func (s *Shipper) pass() {
+	for _, f := range s.snapshot() {
+		s.shipTo(f)
+	}
+}
+
+// snapshot lists the current follower states (pointers: shipTo updates
+// them under the lock).
+func (s *Shipper) snapshot() []*followerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*followerState, 0, len(s.followers))
+	for _, f := range s.followers {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].target.ID < out[j].target.ID })
+	return out
+}
+
+// shipTo drives one follower to the journal tail (or until an error).
+func (s *Shipper) shipTo(f *followerState) {
+	epoch := s.cfg.Journal.Epoch()
+	s.mu.Lock()
+	synced, cursor, target := f.synced, f.cursor, f.target
+	s.mu.Unlock()
+	if !synced {
+		cursor = s.cfg.Journal.OldestIndex()
+		if s.cfg.FetchCursor != nil {
+			state, err := s.cfg.FetchCursor(target)
+			if err != nil {
+				s.mu.Lock()
+				f.errors++
+				s.mu.Unlock()
+				return
+			}
+			if state.Epoch == epoch && state.Cursor > cursor {
+				cursor = state.Cursor
+			}
+		}
+		s.mu.Lock()
+		f.cursor, f.synced = cursor, true
+		s.mu.Unlock()
+	}
+	for {
+		if s.isClosed() {
+			return
+		}
+		batch, next := s.cfg.Journal.ReadFrom(cursor, s.cfg.BatchSize)
+		if len(batch) == 0 {
+			return // caught up
+		}
+		start := next - uint64(len(batch)) // ReadFrom clamps past retention gaps
+		ack, err := s.cfg.Send(target, ShipBatch{From: s.cfg.Self, Epoch: epoch, Start: start, Alerts: batch})
+		s.mu.Lock()
+		if err != nil {
+			f.errors++
+			f.synced = false // refetch the follower's truth before retrying
+			s.mu.Unlock()
+			s.cfg.Logf("replica: ship to %s failed at cursor %d: %v", target.ID, start, err)
+			return
+		}
+		f.sent += uint64(len(batch))
+		f.cursor = ack.Cursor
+		cursor = ack.Cursor
+		s.mu.Unlock()
+		if ack.Cursor < next {
+			// The follower refused part of the batch; trust its cursor
+			// and retry from there on the next wake rather than spinning.
+			return
+		}
+	}
+}
+
+func (s *Shipper) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Sync runs one synchronous shipping pass (tests, shutdown flush).
+func (s *Shipper) Sync() { s.pass() }
+
+// FollowerStatus is one follower's externally visible position.
+type FollowerStatus struct {
+	ID     string `json:"id"`
+	Cursor uint64 `json:"cursor"`
+	// Lag is how many journal records the follower has not acked.
+	Lag    uint64 `json:"lag"`
+	Synced bool   `json:"synced"`
+	Sent   uint64 `json:"sent"`
+	Errors uint64 `json:"errors,omitempty"`
+}
+
+// ShipperStats snapshots the shipper.
+type ShipperStats struct {
+	Followers []FollowerStatus `json:"followers,omitempty"`
+}
+
+// Stats snapshots per-follower cursors and lag against the journal's
+// current tail.
+func (s *Shipper) Stats() ShipperStats {
+	next := s.cfg.Journal.NextIndex()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st ShipperStats
+	ids := make([]string, 0, len(s.followers))
+	for id := range s.followers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		f := s.followers[id]
+		lag := uint64(0)
+		if f.synced && next > f.cursor {
+			lag = next - f.cursor
+		} else if !f.synced {
+			lag = next - s.cfg.Journal.OldestIndex()
+		}
+		st.Followers = append(st.Followers, FollowerStatus{
+			ID: id, Cursor: f.cursor, Lag: lag, Synced: f.synced, Sent: f.sent, Errors: f.errors,
+		})
+	}
+	return st
+}
+
+// Close stops the shipping loop. Idempotent.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+}

@@ -81,12 +81,16 @@ type AlertStoreStats struct {
 	Retained int `json:"retained"`
 	// Evicted counts alerts aged out by capacity or retention.
 	Evicted uint64 `json:"evicted"`
-	// Journal-only fields.
+	// Journal-only fields. Mirrored is how many of the retained alerts
+	// are served from memory (the rest page in from disk); ReadErrors
+	// counts failed segment page reads.
 	Segments           int    `json:"segments,omitempty"`
 	ActiveSegmentBytes int64  `json:"activeSegmentBytes,omitempty"`
 	Fsyncs             uint64 `json:"fsyncs,omitempty"`
+	Mirrored           int    `json:"mirrored,omitempty"`
 	Replayed           int    `json:"replayed,omitempty"`
 	ReplayErrors       int    `json:"replayErrors,omitempty"`
+	ReadErrors         int    `json:"readErrors,omitempty"`
 }
 
 // AlertStore is the persistence seam of the alert path. Implementations

@@ -7,13 +7,30 @@
 // Each record is a 4-byte big-endian length prefix followed by the
 // alert as JSON. Appends are buffered and fsynced in batches (every
 // FsyncEvery records, plus on rotation, Flush and Close), trading a
-// bounded tail-loss window for not paying an fsync per alert. On open
-// the journal replays every retained segment into memory, so queries
-// are served without touching disk and a restarted daemon still serves
-// its pre-restart alerts. A truncated or corrupt tail — the signature
-// of a crash mid-append — is tolerated: the good prefix is kept, the
-// damage is logged and the file is truncated back to the last whole
-// record so subsequent appends extend a clean log.
+// bounded tail-loss window for not paying an fsync per alert.
+//
+// Every retained record has a stable *global index*: record 0 is the
+// oldest record known at open and the index grows by one per append.
+// The journal keeps a per-segment index (first global index, record
+// count, min/max event time) so queries and the replication shipper
+// can address records without a full in-memory copy:
+//
+//   - the in-memory mirror holds at most MirrorAlerts of the NEWEST
+//     records (0 = everything, the original behavior). Queries that
+//     reach below the mirror page the needed segments in from disk,
+//     skipping segments whose [min,max] event-time range cannot match
+//     a time-filtered query. Memory is bounded by the mirror setting,
+//     not by retention.
+//   - ReadFrom(idx, max) serves records in ascending global-index
+//     order — the cursor read the cluster's journal replication tier
+//     (internal/replica) streams segment appends with.
+//
+// On open the journal replays every retained segment (rebuilding the
+// segment index), then trims the mirror to its bound. A truncated or
+// corrupt tail — the signature of a crash mid-append — is tolerated:
+// the good prefix is kept, the damage is logged and the file is
+// truncated back to the last whole record so subsequent appends extend
+// a clean log.
 package store
 
 import (
@@ -25,6 +42,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 const journalSegPattern = "alerts-%08d.seg"
@@ -49,6 +67,10 @@ type JournalConfig struct {
 	// FsyncEvery batches fsync: the file is synced after this many
 	// unsynced appends (default 64; 1 = sync every append).
 	FsyncEvery int
+	// MirrorAlerts bounds the in-memory mirror to the newest N records;
+	// older records are served by paged segment reads off disk (0 =
+	// mirror the full retained history, the original behavior).
+	MirrorAlerts int
 	// Logf receives replay warnings (truncated tail, unreadable
 	// segment). Nil discards them.
 	Logf func(format string, args ...any)
@@ -70,18 +92,39 @@ func (c JournalConfig) withDefaults() JournalConfig {
 	return c
 }
 
-// journalSegment is one on-disk segment's bookkeeping. alerts counts
-// the records it holds so retention can drop exactly its slice of the
-// in-memory mirror.
+// journalSegment is one on-disk segment's index entry: where its
+// records sit in the global index space, how many it holds, and the
+// event-time range they span (for time-filtered query pruning).
 type journalSegment struct {
 	index  int
 	path   string
+	first  uint64 // global index of the segment's first record
 	alerts int
+	minAt  time.Time
+	maxAt  time.Time
+}
+
+// end returns the exclusive global index past the segment's records.
+func (s journalSegment) end() uint64 { return s.first + uint64(s.alerts) }
+
+// observe folds one record's event time into the segment range.
+func (s *journalSegment) observe(at time.Time) {
+	if s.alerts == 1 || at.Before(s.minAt) {
+		s.minAt = at
+	}
+	if s.alerts == 1 || at.After(s.maxAt) {
+		s.maxAt = at
+	}
 }
 
 // AlertJournal is the durable AlertStore. Safe for concurrent use.
 type AlertJournal struct {
 	cfg JournalConfig
+
+	// epoch identifies one open of this journal (wall-clock nanos).
+	// Replication uses it to detect a primary restart: global indexes
+	// are only comparable within an epoch.
+	epoch int64
 
 	mu       sync.Mutex
 	segments []journalSegment // oldest first; last is active
@@ -89,15 +132,22 @@ type AlertJournal struct {
 	activeSz int64
 	unsynced int
 
-	// recent mirrors every alert in the retained segments, oldest
-	// first; queries never touch disk. Bounded by retention.
-	recent []Alert
+	// recent mirrors the newest records, oldest first; mirrorStart is
+	// the global index of recent[0]. With MirrorAlerts == 0 the mirror
+	// spans the full retained history.
+	recent      []Alert
+	mirrorStart uint64
+
+	// notify is called (outside mu) after every successful append —
+	// the replication shipper's wake-up.
+	notify func()
 
 	appended     uint64
 	evicted      uint64
 	fsyncs       uint64
 	replayed     int
 	replayErrors int
+	readErrors   int
 	closed       bool
 	// writeBroken latches when a failed append could not be healed by
 	// truncation; further appends are refused rather than risking a
@@ -108,7 +158,7 @@ type AlertJournal struct {
 var _ AlertStore = (*AlertJournal)(nil)
 
 // OpenAlertJournal opens (creating if needed) the journal in cfg.Dir
-// and replays every retained segment into memory.
+// and replays every retained segment, rebuilding the segment index.
 func OpenAlertJournal(cfg JournalConfig) (*AlertJournal, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Dir == "" {
@@ -117,13 +167,14 @@ func OpenAlertJournal(cfg JournalConfig) (*AlertJournal, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("alert journal: %w", err)
 	}
-	j := &AlertJournal{cfg: cfg}
+	j := &AlertJournal{cfg: cfg, epoch: time.Now().UnixNano()}
 	if err := j.replay(); err != nil {
 		return nil, err
 	}
 	if err := j.openActive(); err != nil {
 		return nil, err
 	}
+	j.trimMirrorLocked()
 	return j, nil
 }
 
@@ -149,50 +200,37 @@ func (j *AlertJournal) replay() error {
 		})
 	}
 	sort.Slice(j.segments, func(a, b int) bool { return j.segments[a].index < j.segments[b].index })
+	var first uint64
 	for i := range j.segments {
+		j.segments[i].first = first
 		last := i == len(j.segments)-1
 		if err := j.replaySegment(&j.segments[i], last); err != nil {
 			return err
 		}
+		first = j.segments[i].end()
 	}
 	return nil
 }
 
-// replaySegment reads one segment into the mirror. Damage in the final
-// segment truncates the file back to the last whole record; damage in
-// an earlier segment only skips that segment's unreadable remainder
-// (the file is left alone — it is retention's job to age it out).
+// replaySegment reads one segment into the mirror (and its index
+// entry). Damage in the final segment truncates the file back to the
+// last whole record; damage in an earlier segment only skips that
+// segment's unreadable remainder (the file is left alone — it is
+// retention's job to age it out).
 func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool) error {
 	f, err := os.Open(seg.path)
 	if err != nil {
 		return fmt.Errorf("alert journal: replay %s: %w", seg.path, err)
 	}
 	defer f.Close()
-	var off int64
-	var lenBuf [4]byte
-	for {
-		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				return nil // clean end of segment
-			}
-			break // torn length prefix
-		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n == 0 || n > maxAlertRecordBytes {
-			break // garbage length prefix
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(f, buf); err != nil {
-			break // torn record body
-		}
-		var a Alert
-		if err := json.Unmarshal(buf, &a); err != nil {
-			break // corrupt record
-		}
-		off += 4 + int64(n)
+	off, damaged := decodeRecords(f, func(a Alert) {
 		j.recent = append(j.recent, a)
 		seg.alerts++
+		seg.observe(a.At)
 		j.replayed++
+	})
+	if !damaged {
+		return nil
 	}
 	// Damaged tail: keep the good prefix, log, and heal the file if it
 	// is the one appends will extend.
@@ -204,6 +242,33 @@ func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool) error {
 		}
 	}
 	return nil
+}
+
+// decodeRecords streams length-prefixed alert records from r, calling
+// fn per good record. It returns the byte offset past the last whole
+// record and whether the stream ended in damage (anything but clean
+// EOF on a record boundary).
+func decodeRecords(r io.Reader, fn func(Alert)) (off int64, damaged bool) {
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return off, err != io.EOF
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxAlertRecordBytes {
+			return off, true // garbage length prefix
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return off, true // torn record body
+		}
+		var a Alert
+		if err := json.Unmarshal(buf, &a); err != nil {
+			return off, true // corrupt record
+		}
+		off += 4 + int64(n)
+		fn(a)
+	}
 }
 
 // openActive positions the journal to append: reuse the newest segment
@@ -241,29 +306,47 @@ func (j *AlertJournal) rotateLocked() error {
 		j.active = nil
 	}
 	next := 1
+	var first uint64
 	if n := len(j.segments); n > 0 {
 		next = j.segments[n-1].index + 1
+		first = j.segments[n-1].end()
 	}
 	path := filepath.Join(j.cfg.Dir, fmt.Sprintf(journalSegPattern, next))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("alert journal: %w", err)
 	}
-	j.segments = append(j.segments, journalSegment{index: next, path: path})
+	j.segments = append(j.segments, journalSegment{index: next, path: path, first: first})
 	j.active = f
 	j.activeSz = 0
-	// Retention: drop oldest segments, and their alerts from the
-	// mirror, until we are back at the cap.
+	// Retention: drop oldest segments, and any slice of the mirror they
+	// still cover, until we are back at the cap.
 	for len(j.segments) > j.cfg.MaxSegments {
 		old := j.segments[0]
 		if err := os.Remove(old.path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("alert journal: retention: %w", err)
 		}
 		j.segments = j.segments[1:]
-		j.recent = j.recent[old.alerts:]
+		if old.end() > j.mirrorStart {
+			drop := old.end() - j.mirrorStart
+			j.recent = j.recent[drop:]
+			j.mirrorStart = old.end()
+		}
 		j.evicted += uint64(old.alerts)
 	}
 	return nil
+}
+
+// trimMirrorLocked enforces the MirrorAlerts bound. Caller holds j.mu
+// (or is still constructing).
+func (j *AlertJournal) trimMirrorLocked() {
+	if j.cfg.MirrorAlerts <= 0 {
+		return
+	}
+	if k := len(j.recent) - j.cfg.MirrorAlerts; k > 0 {
+		j.recent = j.recent[k:]
+		j.mirrorStart += uint64(k)
+	}
 }
 
 func (j *AlertJournal) syncLocked() error {
@@ -281,6 +364,19 @@ func (j *AlertJournal) syncLocked() error {
 // Append implements AlertStore: length-prefixed JSON onto the active
 // segment, fsync every FsyncEvery records, rotate past SegmentBytes.
 func (j *AlertJournal) Append(a Alert) error {
+	err := j.append(a)
+	if err == nil {
+		j.mu.Lock()
+		fn := j.notify
+		j.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+	}
+	return err
+}
+
+func (j *AlertJournal) append(a Alert) error {
 	buf, err := json.Marshal(a)
 	if err != nil {
 		return fmt.Errorf("alert journal: marshal: %w", err)
@@ -309,8 +405,11 @@ func (j *AlertJournal) Append(a Alert) error {
 		return fmt.Errorf("alert journal: append: %w", err)
 	}
 	j.activeSz += int64(len(rec))
-	j.segments[len(j.segments)-1].alerts++
+	seg := &j.segments[len(j.segments)-1]
+	seg.alerts++
+	seg.observe(a.At)
 	j.recent = append(j.recent, a)
+	j.trimMirrorLocked()
 	j.appended++
 	j.unsynced++
 	if j.unsynced >= j.cfg.FsyncEvery {
@@ -324,16 +423,140 @@ func (j *AlertJournal) Append(a Alert) error {
 	return nil
 }
 
-// Query implements AlertStore: newest first over the in-memory mirror.
-// The mirror can hold tens of thousands of alerts at full retention
-// and Append contends on the same mutex, so the unfiltered case (the
-// common dashboard poll) skips the scan: total is the mirror length
-// and the page is a reverse walk of the tail.
+// SetAppendNotify installs fn to run (outside the journal lock) after
+// every successful append — the replication shipper's wake-up. Nil
+// disables. Install before traffic starts.
+func (j *AlertJournal) SetAppendNotify(fn func()) {
+	j.mu.Lock()
+	j.notify = fn
+	j.mu.Unlock()
+}
+
+// Epoch identifies this open of the journal (wall-clock nanos at
+// OpenAlertJournal). Global record indexes are only comparable between
+// reader and writer within one epoch.
+func (j *AlertJournal) Epoch() int64 { return j.epoch }
+
+func (j *AlertJournal) nextIndexLocked() uint64 {
+	if len(j.segments) == 0 {
+		return 0
+	}
+	return j.segments[len(j.segments)-1].end()
+}
+
+func (j *AlertJournal) oldestIndexLocked() uint64 {
+	if len(j.segments) == 0 {
+		return 0
+	}
+	return j.segments[0].first
+}
+
+// NextIndex returns the global index the next append will receive.
+func (j *AlertJournal) NextIndex() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextIndexLocked()
+}
+
+// OldestIndex returns the global index of the oldest retained record.
+func (j *AlertJournal) OldestIndex() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.oldestIndexLocked()
+}
+
+// loadSegmentLocked reads one segment's records off disk, oldest
+// first. Damage yields the good prefix (replay already healed the
+// active tail; an older segment's tear was logged at open). Caller
+// holds j.mu.
+func (j *AlertJournal) loadSegmentLocked(seg journalSegment) []Alert {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		j.readErrors++
+		j.cfg.Logf("alert journal: page read %s: %v", seg.path, err)
+		return nil
+	}
+	defer f.Close()
+	out := make([]Alert, 0, seg.alerts)
+	decodeRecords(f, func(a Alert) { out = append(out, a) })
+	if len(out) > seg.alerts {
+		out = out[:seg.alerts] // records past the indexed count (concurrent append) stay invisible
+	}
+	return out
+}
+
+// recordsLocked returns segment seg's records [from, to) in global
+// index terms, serving from the mirror when covered and from disk
+// otherwise. Caller holds j.mu and guarantees seg covers the range.
+func (j *AlertJournal) recordsLocked(seg journalSegment, from, to uint64) []Alert {
+	if from >= j.mirrorStart {
+		return j.recent[from-j.mirrorStart : to-j.mirrorStart]
+	}
+	loaded := j.loadSegmentLocked(seg)
+	lo, hi := from-seg.first, to-seg.first
+	if hi > uint64(len(loaded)) {
+		hi = uint64(len(loaded))
+	}
+	if lo >= hi {
+		return nil
+	}
+	return loaded[lo:hi]
+}
+
+// ReadFrom returns up to max records starting at global index idx in
+// ascending order, plus the index to resume from. An idx older than
+// the oldest retained record is clamped forward (the gap is retention,
+// not an error); an idx at or past the end returns an empty batch.
+// This is the replication shipper's cursor read.
+func (j *AlertJournal) ReadFrom(idx uint64, max int) ([]Alert, uint64) {
+	if max <= 0 {
+		max = 256
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	next := j.nextIndexLocked()
+	if idx < j.oldestIndexLocked() {
+		idx = j.oldestIndexLocked()
+	}
+	if idx >= next {
+		return nil, next
+	}
+	end := idx + uint64(max)
+	if end > next {
+		end = next
+	}
+	out := make([]Alert, 0, end-idx)
+	for _, seg := range j.segments {
+		if seg.end() <= idx {
+			continue
+		}
+		if seg.first >= end {
+			break
+		}
+		lo, hi := idx, end
+		if lo < seg.first {
+			lo = seg.first
+		}
+		if hi > seg.end() {
+			hi = seg.end()
+		}
+		out = append(out, j.recordsLocked(seg, lo, hi)...)
+	}
+	return out, idx + uint64(len(out))
+}
+
+// Query implements AlertStore: newest first over the retained history.
+// The mirror serves the newest records from memory; queries that reach
+// deeper page older segments in from disk, pruned by each segment's
+// event-time range when the query is time-bounded. The unfiltered case
+// (the common dashboard poll) takes a direct slice walk: total is the
+// retained count and the page is a reverse index range.
 func (j *AlertJournal) Query(q AlertQuery) ([]Alert, int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if q.UserID == 0 && q.Detector == "" && q.Since.IsZero() && q.Until.IsZero() {
-		total := len(j.recent)
+		oldest, next := j.oldestIndexLocked(), j.nextIndexLocked()
+		total := int(next - oldest)
 		n := total - q.Offset
 		if n <= 0 {
 			return nil, total
@@ -341,27 +564,77 @@ func (j *AlertJournal) Query(q AlertQuery) ([]Alert, int) {
 		if q.Limit > 0 && n > q.Limit {
 			n = q.Limit
 		}
+		// Page covers global indexes [hi-n, hi), newest first.
+		hi := next - uint64(q.Offset)
 		page := make([]Alert, 0, n)
-		for i := 0; i < n; i++ {
-			page = append(page, j.recent[total-1-q.Offset-i])
+		for si := len(j.segments) - 1; si >= 0 && len(page) < n; si-- {
+			seg := j.segments[si]
+			if seg.first >= hi {
+				continue
+			}
+			to := hi
+			if to > seg.end() {
+				to = seg.end()
+			}
+			from := seg.first
+			if need := n - len(page); to-from > uint64(need) {
+				from = to - uint64(need)
+			}
+			recs := j.recordsLocked(seg, from, to)
+			for i := len(recs) - 1; i >= 0; i-- {
+				page = append(page, recs[i])
+			}
 		}
 		return page, total
 	}
+
 	var page []Alert
 	total := 0
-	for i := len(j.recent) - 1; i >= 0; i-- {
-		a := j.recent[i]
+	scan := func(a Alert) {
 		if !q.match(a) {
-			continue
+			return
 		}
 		total++
 		if total <= q.Offset {
-			continue
+			return
 		}
 		if q.Limit > 0 && len(page) >= q.Limit {
-			continue // keep counting total past the page
+			return // keep counting total past the page
 		}
 		page = append(page, a)
+	}
+	// Mirror first (newest records), newest first.
+	for i := len(j.recent) - 1; i >= 0; i-- {
+		scan(j.recent[i])
+	}
+	// Then older segments off disk, newest first, pruning by the
+	// segment's event-time range when the query is time-bounded.
+	for si := len(j.segments) - 1; si >= 0; si-- {
+		seg := j.segments[si]
+		if seg.end() <= j.mirrorStart {
+			if seg.alerts == 0 {
+				continue
+			}
+			if !q.Since.IsZero() && seg.maxAt.Before(q.Since) {
+				continue
+			}
+			if !q.Until.IsZero() && !seg.minAt.Before(q.Until) {
+				continue
+			}
+			recs := j.loadSegmentLocked(seg)
+			for i := len(recs) - 1; i >= 0; i-- {
+				scan(recs[i])
+			}
+			continue
+		}
+		if seg.first >= j.mirrorStart {
+			continue // wholly mirrored, already scanned
+		}
+		// Straddles the mirror boundary: only the un-mirrored prefix.
+		recs := j.recordsLocked(seg, seg.first, j.mirrorStart)
+		for i := len(recs) - 1; i >= 0; i-- {
+			scan(recs[i])
+		}
 	}
 	return page, total
 }
@@ -373,13 +646,15 @@ func (j *AlertJournal) Stats() AlertStoreStats {
 	return AlertStoreStats{
 		Kind:               "journal",
 		Appended:           j.appended,
-		Retained:           len(j.recent),
+		Retained:           int(j.nextIndexLocked() - j.oldestIndexLocked()),
+		Mirrored:           len(j.recent),
 		Evicted:            j.evicted,
 		Segments:           len(j.segments),
 		ActiveSegmentBytes: j.activeSz,
 		Fsyncs:             j.fsyncs,
 		Replayed:           j.replayed,
 		ReplayErrors:       j.replayErrors,
+		ReadErrors:         j.readErrors,
 	}
 }
 

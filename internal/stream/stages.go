@@ -100,8 +100,14 @@ func DefaultStages(cfg DetectConfig) []Stage {
 }
 
 // DedupeStage filters replayed events: the same user claiming the same
-// venue at the same instant inside the TTL is an ingest replay, not a
-// second check-in. Keys expire by event time, so behaviour is
+// venue at the same instant is an ingest replay, not a second check-in
+// (no legitimate client checks in twice at the same nanosecond). Any
+// remembered key is dropped; the TTL governs only how long keys are
+// remembered (memory), not whether a remembered replay is filtered.
+// That distinction matters for the cluster's forwarding outbox: a
+// replayed spill arrives with OLD event timestamps, so an age-based
+// filter would wave exact duplicates through precisely when the replay
+// path needs them caught. Keys expire by event time, so behaviour is
 // deterministic under simclock.
 type DedupeStage struct {
 	ttl       time.Duration
@@ -136,7 +142,7 @@ func (d *DedupeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 		d.latest = ev.At
 	}
 	key := dedupeKey{user: ev.UserID, venue: ev.VenueID, at: ev.At.UnixNano()}
-	if _, ok := d.seen[key]; ok && key.age(d.latest) < d.ttl {
+	if _, ok := d.seen[key]; ok {
 		return nil, false
 	}
 	d.seen[key] = struct{}{}

@@ -55,6 +55,29 @@ func TestDedupeFiltersReplaysWithinTTL(t *testing.T) {
 	}
 }
 
+// TestDedupeFiltersStaleReplays pins the replay-safety contract the
+// cluster's forwarding outbox relies on: a remembered key is filtered
+// no matter how old the event is — the TTL bounds how long keys are
+// remembered, it does not whitelist old duplicates. (An outbox replay
+// delivers exact duplicates with OLD timestamps; an age-gated check
+// would wave them through.)
+func TestDedupeFiltersStaleReplays(t *testing.T) {
+	st := NewDedupeStage(10 * time.Minute)
+	t0 := simclock.Epoch()
+	st.Process(event(9, 9, t0, testVenueLoc)) // arms the sweep clock
+
+	ev := event(1, 1, t0.Add(5*time.Minute), testVenueLoc)
+	st.Process(ev)
+	// Sweep at +12m: ev's key (age 7m) survives, sweep clock resets.
+	st.Process(event(2, 2, t0.Add(12*time.Minute), testVenueLoc))
+	// +21m: no sweep due yet, ev's key is 16m old — past the TTL but
+	// still remembered. Its replay must be filtered.
+	st.Process(event(3, 3, t0.Add(21*time.Minute), testVenueLoc))
+	if _, keep := st.Process(ev); keep {
+		t.Fatal("remembered replay older than the TTL passed the dedupe stage")
+	}
+}
+
 func TestSpeedImpossibleTravel(t *testing.T) {
 	st := NewSpeedStage(15, time.Hour)
 	t0 := simclock.Epoch()
