@@ -1,0 +1,36 @@
+# Developer entry points. CI runs the same targets.
+
+GO ?= go
+
+# The perf-trajectory benchmarks: the three byte-moving hot paths the
+# binary codec PR (PR 5) committed to tracking. `make bench` runs them
+# with allocation accounting and snapshots the parsed results to
+# BENCH_PR5.json so successive PRs can diff throughput mechanically.
+BENCH_PATTERN := BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend
+BENCH_OUT     := BENCH_PR5.json
+
+.PHONY: build test test-race bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	# No pipe: a failing benchmark run must fail the target, not hand
+	# benchjson a truncated stream behind tee's exit status.
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1s . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_OUT)
+	@rm -f bench.out
+	@echo "wrote $(BENCH_OUT)"

@@ -481,30 +481,41 @@ func journalBenchAlert(i int) store.Alert {
 }
 
 // BenchmarkAlertJournalAppend measures the durable alert path per
-// record at several fsync batch sizes — the cost the pipeline pays to
-// make an alert survive a restart.
+// record across the two segment record formats (v1 JSON vs v2 binary)
+// and several fsync batch sizes — the cost the pipeline pays to make
+// an alert survive a restart, and what the binary codec shaves off it.
 func BenchmarkAlertJournalAppend(b *testing.B) {
-	for _, fsyncEvery := range []int{1, 64, 1024} {
-		b.Run(fmt.Sprintf("fsync-%d", fsyncEvery), func(b *testing.B) {
-			j, err := store.OpenAlertJournal(store.JournalConfig{
-				Dir:        b.TempDir(),
-				FsyncEvery: fsyncEvery,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer j.Close()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := j.Append(journalBenchAlert(i)); err != nil {
+	for _, codec := range []struct {
+		name   string
+		format store.JournalFormat
+	}{
+		{"v1json", store.JournalFormatJSON},
+		{"v2bin", store.JournalFormatBinary},
+	} {
+		for _, fsyncEvery := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/fsync-%d", codec.name, fsyncEvery), func(b *testing.B) {
+				j, err := store.OpenAlertJournal(store.JournalConfig{
+					Dir:        b.TempDir(),
+					FsyncEvery: fsyncEvery,
+					Format:     codec.format,
+				})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			b.StopTimer()
-			if secs := b.Elapsed().Seconds(); secs > 0 {
-				b.ReportMetric(float64(b.N)/secs, "alerts/sec")
-			}
-		})
+				defer j.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := j.Append(journalBenchAlert(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "alerts/sec")
+				}
+			})
+		}
 	}
 }
 
@@ -568,185 +579,206 @@ func (l *benchLateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // BenchmarkClusterForward measures the cross-node ingest hop: events
 // ingested at a non-owner node, batched over loopback HTTP into the
-// owner's pipeline. The interesting knob is the batch size — the
-// per-event cost is dominated by how many events share one POST.
+// owner's pipeline. Two knobs matter: the batch size (how many events
+// share one POST) and the wire codec (negotiated binary vs the JSON a
+// mixed-version cluster falls back to).
 func BenchmarkClusterForward(b *testing.B) {
-	for _, batchSize := range []int{1, 32, 256} {
-		b.Run(fmt.Sprintf("batch-%d", batchSize), func(b *testing.B) {
-			t0 := simclock.Epoch()
-			late := &benchLateHandler{}
-			srvB := httptest.NewServer(late)
-			defer srvB.Close()
-			peers := []cluster.Member{
-				{ID: "a", Addr: "http://unused"},
-				{ID: "b", Addr: srvB.URL},
-			}
+	for _, codec := range []string{"json", "bin"} {
+		for _, batchSize := range []int{1, 32, 256} {
+			b.Run(fmt.Sprintf("%s/batch-%d", codec, batchSize), func(b *testing.B) {
+				t0 := simclock.Epoch()
+				late := &benchLateHandler{}
+				srvB := httptest.NewServer(late)
+				defer srvB.Close()
+				peers := []cluster.Member{
+					{ID: "a", Addr: "http://unused"},
+					{ID: "b", Addr: srvB.URL},
+				}
 
-			pipeB := stream.New(stream.Config{Shards: 4, ShardBuffer: 1 << 14, Clock: simclock.NewSimulated(t0)})
-			defer pipeB.Close()
-			svcB := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
-			nodeB, err := cluster.NewNode(svcB, pipeB, cluster.Config{Self: peers[1], Peers: peers})
-			if err != nil {
-				b.Fatal(err)
-			}
-			late.set(nodeB.Handler())
+				pipeB := stream.New(stream.Config{Shards: 4, ShardBuffer: 1 << 14, Clock: simclock.NewSimulated(t0)})
+				defer pipeB.Close()
+				svcB := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
+				nodeB, err := cluster.NewNode(svcB, pipeB, cluster.Config{
+					Self: peers[1], Peers: peers,
+					// A JSON-pinned receiver stands in for the pre-upgrade
+					// baseline; the sender negotiates down to JSON.
+					DisableBinaryWire: codec == "json",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				late.set(nodeB.Handler())
 
-			pipeA := stream.New(stream.Config{Shards: 1, Clock: simclock.NewSimulated(t0)})
-			defer pipeA.Close()
-			svcA := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
-			nodeA, err := cluster.NewNode(svcA, pipeA, cluster.Config{
-				Self:    peers[0],
-				Peers:   peers,
-				Forward: cluster.ForwarderConfig{BatchSize: batchSize, QueueSize: 1 << 14},
+				pipeA := stream.New(stream.Config{Shards: 1, Clock: simclock.NewSimulated(t0)})
+				defer pipeA.Close()
+				svcA := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
+				nodeA, err := cluster.NewNode(svcA, pipeA, cluster.Config{
+					Self:    peers[0],
+					Peers:   peers,
+					Forward: cluster.ForwarderConfig{BatchSize: batchSize, QueueSize: 1 << 14},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// One heartbeat round teaches a what codec b takes.
+				nodeA.Tick()
+
+				// Events only for users the ring assigns to b: every Ingest at
+				// a takes the forwarding path.
+				var owned []uint64
+				for uid := uint64(1); len(owned) < 512; uid++ {
+					if nodeA.Owner(uid) == "b" {
+						owned = append(owned, uid)
+					}
+				}
+				base := geo.Point{Lat: 40.8136, Lon: -96.7026}
+				const ringSize = 1 << 12
+				events := make([]lbsn.CheckinEvent, ringSize)
+				for i := range events {
+					loc := base.Destination(float64(i%360), float64(200+i%1600))
+					events[i] = lbsn.CheckinEvent{
+						UserID:   lbsn.UserID(owned[i%len(owned)]),
+						VenueID:  lbsn.VenueID(i%4096 + 1),
+						At:       t0.Add(time.Duration(i) * 41 * time.Second),
+						Venue:    loc,
+						Reported: loc,
+						Accepted: true,
+					}
+				}
+
+				// Published is cumulative across the harness's b.N ramp-up
+				// runs; measure this run's delivery against its own baseline
+				// (otherwise the drain wait passes vacuously, the enqueue-only
+				// cost looks like the per-event cost, and b.N explodes).
+				baseline := pipeB.Stats().Published
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev := events[i%ringSize]
+					ev.At = ev.At.Add(time.Duration(i/ringSize) * 7 * 24 * time.Hour)
+					for !nodeA.Ingest(ev) {
+						// Full forward queue: back off so the sender gets the
+						// CPU (each refused try counts a drop — that is the
+						// contract — so the producer, not the hop, is the
+						// bottleneck here by design).
+						time.Sleep(20 * time.Microsecond)
+					}
+				}
+				// Throughput counts delivered events: drain the hop completely.
+				nodeA.FlushForwards()
+				deadline := time.Now().Add(time.Minute)
+				for pipeB.Stats().Published-baseline < uint64(b.N) {
+					if time.Now().After(deadline) {
+						b.Fatalf("owner received %d of %d", pipeB.Stats().Published-baseline, b.N)
+					}
+					runtime.Gosched()
+				}
+				elapsed := b.Elapsed()
+				b.StopTimer()
+				if st := nodeA.Status(); st.Forward.Errors > 0 || st.Forward.RemoteDropped > 0 {
+					b.Fatalf("forwarding lost events: %+v", st.Forward)
+				}
+				if secs := elapsed.Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "events/sec")
+				}
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-
-			// Events only for users the ring assigns to b: every Ingest at
-			// a takes the forwarding path.
-			var owned []uint64
-			for uid := uint64(1); len(owned) < 512; uid++ {
-				if nodeA.Owner(uid) == "b" {
-					owned = append(owned, uid)
-				}
-			}
-			base := geo.Point{Lat: 40.8136, Lon: -96.7026}
-			const ringSize = 1 << 12
-			events := make([]lbsn.CheckinEvent, ringSize)
-			for i := range events {
-				loc := base.Destination(float64(i%360), float64(200+i%1600))
-				events[i] = lbsn.CheckinEvent{
-					UserID:   lbsn.UserID(owned[i%len(owned)]),
-					VenueID:  lbsn.VenueID(i%4096 + 1),
-					At:       t0.Add(time.Duration(i) * 41 * time.Second),
-					Venue:    loc,
-					Reported: loc,
-					Accepted: true,
-				}
-			}
-
-			// Published is cumulative across the harness's b.N ramp-up
-			// runs; measure this run's delivery against its own baseline
-			// (otherwise the drain wait passes vacuously, the enqueue-only
-			// cost looks like the per-event cost, and b.N explodes).
-			baseline := pipeB.Stats().Published
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				ev := events[i%ringSize]
-				ev.At = ev.At.Add(time.Duration(i/ringSize) * 7 * 24 * time.Hour)
-				for !nodeA.Ingest(ev) {
-					// Full forward queue: back off so the sender gets the
-					// CPU (each refused try counts a drop — that is the
-					// contract — so the producer, not the hop, is the
-					// bottleneck here by design).
-					time.Sleep(20 * time.Microsecond)
-				}
-			}
-			// Throughput counts delivered events: drain the hop completely.
-			nodeA.FlushForwards()
-			deadline := time.Now().Add(time.Minute)
-			for pipeB.Stats().Published-baseline < uint64(b.N) {
-				if time.Now().After(deadline) {
-					b.Fatalf("owner received %d of %d", pipeB.Stats().Published-baseline, b.N)
-				}
-				runtime.Gosched()
-			}
-			elapsed := b.Elapsed()
-			b.StopTimer()
-			if st := nodeA.Status(); st.Forward.Errors > 0 || st.Forward.RemoteDropped > 0 {
-				b.Fatalf("forwarding lost events: %+v", st.Forward)
-			}
-			if secs := elapsed.Seconds(); secs > 0 {
-				b.ReportMetric(float64(b.N)/secs, "events/sec")
-			}
-		})
+		}
 	}
 }
 
 // BenchmarkReplicaShip measures journal replication end to end: alerts
 // appended to a primary journal, shipped in batches over loopback HTTP
-// to a follower node's replica log (durable apply + cursor persist).
-// Reported alerts/sec counts alerts ACKED by the follower — the rate
-// at which durability actually advances, not the enqueue rate.
+// to a follower node's replica log (durable apply + cursor persist),
+// in both wire codecs. Reported alerts/sec counts alerts ACKED by the
+// follower — the rate at which durability actually advances, not the
+// enqueue rate.
 func BenchmarkReplicaShip(b *testing.B) {
-	for _, batchSize := range []int{64, 256, 1024} {
-		b.Run(fmt.Sprintf("batch-%d", batchSize), func(b *testing.B) {
-			t0 := simclock.Epoch()
-			late := &benchLateHandler{}
-			srvB := httptest.NewServer(late)
-			defer srvB.Close()
-			peers := []cluster.Member{
-				{ID: "a", Addr: "http://unused"},
-				{ID: "b", Addr: srvB.URL},
-			}
+	for _, codec := range []string{"json", "bin"} {
+		for _, batchSize := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/batch-%d", codec, batchSize), func(b *testing.B) {
+				t0 := simclock.Epoch()
+				late := &benchLateHandler{}
+				srvB := httptest.NewServer(late)
+				defer srvB.Close()
+				peers := []cluster.Member{
+					{ID: "a", Addr: "http://unused"},
+					{ID: "b", Addr: srvB.URL},
+				}
 
-			// Follower node b: replica set enabled, no shipping of its own.
-			pipeB := stream.New(stream.Config{Shards: 1, Clock: simclock.NewSimulated(t0)})
-			defer pipeB.Close()
-			svcB := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
-			nodeB, err := cluster.NewNode(svcB, pipeB, cluster.Config{
-				Self: peers[1], Peers: peers,
-				Replica: cluster.ReplicaOptions{Dir: b.TempDir()},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer nodeB.Shutdown()
-			late.set(nodeB.Handler())
-
-			// Primary node a: journal-backed pipeline shipping to b.
-			journal, err := store.OpenAlertJournal(store.JournalConfig{
-				Dir: b.TempDir(), FsyncEvery: 1024, SegmentBytes: 4 << 20,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer journal.Close()
-			pipeA := stream.New(stream.Config{Shards: 1, Clock: simclock.NewSimulated(t0), Store: journal})
-			defer pipeA.Close()
-			svcA := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
-			nodeA, err := cluster.NewNode(svcA, pipeA, cluster.Config{
-				Self: peers[0], Peers: peers,
-				Replica: cluster.ReplicaOptions{
-					Dir: b.TempDir(), Factor: 2,
-					ShipBatch: batchSize, ShipInterval: time.Millisecond,
-				},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Shut the shipper (and broadcaster) down with the sub-bench,
-			// or its retry loop keeps hammering the closed follower for
-			// the rest of the benchmark binary's run.
-			defer nodeA.Shutdown()
-
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := journal.Append(journalBenchAlert(i)); err != nil {
+				// Follower node b: replica set enabled, no shipping of its
+				// own. JSON-pinned for the pre-upgrade baseline runs.
+				pipeB := stream.New(stream.Config{Shards: 1, Clock: simclock.NewSimulated(t0)})
+				defer pipeB.Close()
+				svcB := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
+				nodeB, err := cluster.NewNode(svcB, pipeB, cluster.Config{
+					Self: peers[1], Peers: peers,
+					Replica:           cluster.ReplicaOptions{Dir: b.TempDir()},
+					DisableBinaryWire: codec == "json",
+				})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			// Durability means acked: wait for the follower's cursor to
-			// cover every append.
-			deadline := time.Now().Add(time.Minute)
-			target := journal.NextIndex()
-			for {
-				st := nodeA.Status().Replication
-				if len(st.Followers) == 1 && st.Followers[0].Synced && st.Followers[0].Cursor >= target {
-					break
+				defer nodeB.Shutdown()
+				late.set(nodeB.Handler())
+
+				// Primary node a: journal-backed pipeline shipping to b.
+				journal, err := store.OpenAlertJournal(store.JournalConfig{
+					Dir: b.TempDir(), FsyncEvery: 1024, SegmentBytes: 4 << 20,
+				})
+				if err != nil {
+					b.Fatal(err)
 				}
-				if time.Now().After(deadline) {
-					b.Fatalf("follower never caught up: %+v", st)
+				defer journal.Close()
+				pipeA := stream.New(stream.Config{Shards: 1, Clock: simclock.NewSimulated(t0), Store: journal})
+				defer pipeA.Close()
+				svcA := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
+				nodeA, err := cluster.NewNode(svcA, pipeA, cluster.Config{
+					Self: peers[0], Peers: peers,
+					Replica: cluster.ReplicaOptions{
+						Dir: b.TempDir(), Factor: 2,
+						ShipBatch: batchSize, ShipInterval: time.Millisecond,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
 				}
-				runtime.Gosched()
-			}
-			elapsed := b.Elapsed()
-			b.StopTimer()
-			if secs := elapsed.Seconds(); secs > 0 {
-				b.ReportMetric(float64(b.N)/secs, "alerts/sec")
-			}
-		})
+				// Shut the shipper (and broadcaster) down with the sub-bench,
+				// or its retry loop keeps hammering the closed follower for
+				// the rest of the benchmark binary's run.
+				defer nodeA.Shutdown()
+				// One heartbeat round teaches a what codec b takes.
+				nodeA.Tick()
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := journal.Append(journalBenchAlert(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Durability means acked: wait for the follower's cursor to
+				// cover every append. Poll gently — Status() snapshots the
+				// whole node and a hot spin would measure the pollster, not
+				// the pipeline.
+				deadline := time.Now().Add(time.Minute)
+				target := journal.NextIndex()
+				for {
+					st := nodeA.Status().Replication
+					if len(st.Followers) == 1 && st.Followers[0].Synced && st.Followers[0].Cursor >= target {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("follower never caught up: %+v", st)
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+				elapsed := b.Elapsed()
+				b.StopTimer()
+				if secs := elapsed.Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "alerts/sec")
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: locheat
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkClusterForward/bin/batch-256   260000   3029 ns/op   330169 events/sec   551 B/op   2 allocs/op
+BenchmarkAlertJournalAppend/v2bin/fsync-1024   494162   1436 ns/op   696459 alerts/sec   410 B/op   0 allocs/op
+PASS
+ok   locheat   6.5s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "locheat" {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	fwd := doc.Benchmarks[0]
+	if fwd.Name != "BenchmarkClusterForward/bin/batch-256" || fwd.Iterations != 260000 {
+		t.Fatalf("first result: %+v", fwd)
+	}
+	if fwd.NsPerOp != 3029 || fwd.BytesPerOp != 551 || fwd.AllocsOp != 2 {
+		t.Fatalf("std columns: %+v", fwd)
+	}
+	if fwd.Metrics["events/sec"] != 330169 {
+		t.Fatalf("custom metric: %+v", fwd.Metrics)
+	}
+	if doc.Benchmarks[1].AllocsOp != 0 || doc.Benchmarks[1].Metrics["alerts/sec"] != 696459 {
+		t.Fatalf("second result: %+v", doc.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

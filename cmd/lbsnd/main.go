@@ -13,6 +13,7 @@
 //	      [-quarantine-window 10m] [-quarantine-duration 1h]
 //	      [-cluster-node ID] [-cluster-peers ID=URL,...] [-cluster-listen :9101]
 //	      [-journal-mirror 0] [-replica-factor 1] [-outbox-bytes 4194304]
+//	      [-cluster-json] [-journal-json] [-pprof 127.0.0.1:6060]
 //
 // The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
 // can be pointed at a hardened instance. With -api-key the developer
@@ -54,6 +55,14 @@
 // -journal-mirror bounds the journal's in-memory mirror; older history
 // pages in from disk via the per-segment index.
 //
+// Cluster nodes speak a compact binary codec on the internal wire
+// (negotiated per peer via heartbeats, with JSON fallback so a
+// mixed-version cluster interoperates during a rolling upgrade), and
+// the journal writes its v2 binary segment format; -cluster-json and
+// -journal-json pin either back to JSON. With -pprof the daemon serves
+// net/http/pprof on a separate listener — keep it on loopback, it is
+// unauthenticated.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP server
 // drains, then the pipeline processes every queued event before final
 // stats print.
@@ -65,6 +74,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // -pprof: profiling surface on its own listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -116,6 +126,9 @@ func run(args []string) error {
 	journalMirror := fs.Int("journal-mirror", 0, "bound the journal's in-memory mirror to the newest N alerts, paging older queries from disk (0 = mirror everything)")
 	replicaFactor := fs.Int("replica-factor", 1, "total alert-journal copies incl. this node; 2+ ships appends to ring successors (needs -journal-dir and the cluster tier)")
 	outboxBytes := fs.Int64("outbox-bytes", 4<<20, "per-peer on-disk spill cap for failed cross-node forwards; 0 disables the outbox (needs -journal-dir and the cluster tier)")
+	clusterJSON := fs.Bool("cluster-json", false, "pin the cluster wire to JSON: neither send nor accept the binary codec (rolling-upgrade escape hatch)")
+	journalJSON := fs.Bool("journal-json", false, "write new journal segments in the v1 JSON format instead of v2 binary (either way old segments replay as-is)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for profiling (unauthenticated; keep it loopback, e.g. 127.0.0.1:6060); empty = off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +138,19 @@ func run(args []string) error {
 	}
 	if *replicaFactor >= 2 && (*clusterNode == "" || *journalDir == "") {
 		return fmt.Errorf("-replica-factor %d needs -cluster-node and -journal-dir (replication ships the alert journal between cluster nodes)", *replicaFactor)
+	}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on http.DefaultServeMux, which nothing
+		// else in the daemon serves — the profiling surface stays off the
+		// public listener. Failure to bind is logged, not fatal: losing
+		// profiling must not take detection down.
+		go func() {
+			fmt.Printf("pprof: profiling surface on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "lbsnd: pprof:", err)
+			}
+		}()
 	}
 
 	fmt.Printf("generating world: %d users, %d venues (seed %d)...\n", *users, 3**users, *seed)
@@ -153,12 +179,17 @@ func run(args []string) error {
 		var alertStore store.AlertStore
 		if *journalDir != "" {
 			var err error
+			format := store.JournalFormatBinary
+			if *journalJSON {
+				format = store.JournalFormatJSON
+			}
 			journal, err = store.OpenAlertJournal(store.JournalConfig{
 				Dir:          *journalDir,
 				SegmentBytes: *journalSegBytes,
 				MaxSegments:  *journalSegments,
 				FsyncEvery:   *journalFsync,
 				MirrorAlerts: *journalMirror,
+				Format:       format,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
 				},
@@ -204,9 +235,10 @@ func run(args []string) error {
 				}
 			}
 			clusterN, err = cluster.NewNode(svc, pipeline, cluster.Config{
-				Self:    self,
-				Peers:   peers,
-				Replica: replicaOpts,
+				Self:              self,
+				Peers:             peers,
+				Replica:           replicaOpts,
+				DisableBinaryWire: *clusterJSON,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
 				},

@@ -1,0 +1,203 @@
+// Binary layouts for the cluster's wire messages, built on
+// internal/wirecodec, plus the HTTP-side helpers the handlers use to
+// dispatch on Content-Type. The codec is negotiated per peer: a node
+// advertises binary support in its heartbeat PingResponse (Codec), the
+// sender encodes accordingly, and an unexpected 415 downgrades one
+// request to JSON — so a mixed-version cluster exchanges forwards,
+// ships, broadcasts and handoffs losslessly during a rolling upgrade.
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"locheat/internal/replica"
+	"locheat/internal/store"
+	"locheat/internal/wirecodec"
+)
+
+// binaryCodecName is the capability string a binary-speaking node
+// advertises in its PingResponse.
+const binaryCodecName = "bin/1"
+
+// appendWireEvent appends one event's binary encoding to dst.
+func appendWireEvent(dst []byte, w WireEvent) []byte {
+	dst = wirecodec.AppendUvarint(dst, w.User)
+	dst = wirecodec.AppendUvarint(dst, w.Venue)
+	dst = wirecodec.AppendTime(dst, w.At)
+	dst = wirecodec.AppendF64(dst, w.VenueLoc.Lat)
+	dst = wirecodec.AppendF64(dst, w.VenueLoc.Lon)
+	dst = wirecodec.AppendF64(dst, w.Reported.Lat)
+	dst = wirecodec.AppendF64(dst, w.Reported.Lon)
+	dst = wirecodec.AppendBool(dst, w.Accepted)
+	dst = wirecodec.AppendString(dst, w.Reason)
+	dst = wirecodec.AppendUvarint(dst, w.FwdSeq)
+	return dst
+}
+
+// readWireEvent decodes one event; failures stick to d.
+func readWireEvent(d *wirecodec.Decoder) WireEvent {
+	var w WireEvent
+	w.User = d.Uvarint()
+	w.Venue = d.Uvarint()
+	w.At = d.Time()
+	w.VenueLoc.Lat = d.F64()
+	w.VenueLoc.Lon = d.F64()
+	w.Reported.Lat = d.F64()
+	w.Reported.Lon = d.F64()
+	w.Accepted = d.Bool()
+	w.Reason = d.String()
+	w.FwdSeq = d.Uvarint()
+	return w
+}
+
+// encodeIngestBatch appends b's binary encoding (version included) to
+// dst.
+func encodeIngestBatch(dst []byte, b IngestBatch) []byte {
+	dst = append(dst, wirecodec.Version)
+	dst = wirecodec.AppendString(dst, b.From)
+	dst = wirecodec.AppendUvarint(dst, uint64(len(b.Events)))
+	for _, w := range b.Events {
+		dst = appendWireEvent(dst, w)
+	}
+	return dst
+}
+
+// decodeIngestBatch decodes one whole ingest body.
+func decodeIngestBatch(buf []byte) (IngestBatch, error) {
+	d := wirecodec.NewDecoder(buf)
+	d.Version()
+	b := IngestBatch{From: d.String()}
+	n := d.Count(38) // an event is ≥ 38 bytes (4×f64 + accepted + minima)
+	if n > 0 {
+		b.Events = make([]WireEvent, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		b.Events = append(b.Events, readWireEvent(d))
+	}
+	if err := d.Finish(); err != nil {
+		return IngestBatch{}, err
+	}
+	return b, nil
+}
+
+// encodeSpillEvent frames one event for the on-disk outbox: the same
+// binary layout behind a version byte, which doubles as the format
+// discriminator against pre-upgrade JSON spill payloads ('{').
+func encodeSpillEvent(w WireEvent) []byte {
+	dst := make([]byte, 0, 64)
+	dst = append(dst, wirecodec.Version)
+	return appendWireEvent(dst, w)
+}
+
+// decodeSpillEvent reads an outbox payload in either format: binary
+// (leading version byte) or the JSON a pre-upgrade build spilled.
+func decodeSpillEvent(payload []byte) (WireEvent, error) {
+	if len(payload) > 0 && payload[0] == '{' {
+		var w WireEvent
+		if err := json.Unmarshal(payload, &w); err != nil {
+			return WireEvent{}, err
+		}
+		return w, nil
+	}
+	d := wirecodec.NewDecoder(payload)
+	d.Version()
+	w := readWireEvent(d)
+	if err := d.Finish(); err != nil {
+		return WireEvent{}, err
+	}
+	return w, nil
+}
+
+// encodeHandoffBundle appends hb's binary encoding (version included)
+// to dst.
+func encodeHandoffBundle(dst []byte, hb HandoffBundle) []byte {
+	dst = append(dst, wirecodec.Version)
+	dst = wirecodec.AppendString(dst, hb.From)
+	dst = wirecodec.AppendUvarint(dst, uint64(len(hb.Users)))
+	for user, bundle := range hb.Users {
+		dst = wirecodec.AppendUvarint(dst, user)
+		dst = wirecodec.AppendUvarint(dst, uint64(len(bundle)))
+		for stage, blob := range bundle {
+			dst = wirecodec.AppendString(dst, stage)
+			dst = wirecodec.AppendBytes(dst, blob)
+		}
+	}
+	dst = wirecodec.AppendUvarint(dst, uint64(len(hb.Quarantines)))
+	for _, r := range hb.Quarantines {
+		dst = store.AppendQuarantineRecord(dst, r)
+	}
+	return dst
+}
+
+// decodeHandoffBundle decodes one whole handoff body.
+func decodeHandoffBundle(buf []byte) (HandoffBundle, error) {
+	d := wirecodec.NewDecoder(buf)
+	d.Version()
+	hb := HandoffBundle{From: d.String()}
+	if n := d.Count(2); n > 0 {
+		hb.Users = make(map[uint64]UserStateBundle, n)
+		for i := 0; i < n; i++ {
+			user := d.Uvarint()
+			stages := d.Count(2)
+			bundle := make(UserStateBundle, stages)
+			for s := 0; s < stages; s++ {
+				name := d.String()
+				bundle[name] = d.Bytes()
+			}
+			if d.Err() != nil {
+				return HandoffBundle{}, d.Err()
+			}
+			hb.Users[user] = bundle
+		}
+	}
+	if n := d.Count(9); n > 0 {
+		hb.Quarantines = make([]store.QuarantineRecord, 0, n)
+		for i := 0; i < n; i++ {
+			hb.Quarantines = append(hb.Quarantines, store.ReadQuarantineRecord(d))
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return HandoffBundle{}, err
+	}
+	return hb, nil
+}
+
+// encodeQuarBroadcast appends qb's binary encoding (version included)
+// to dst.
+func encodeQuarBroadcast(dst []byte, qb QuarBroadcast) []byte {
+	dst = append(dst, wirecodec.Version)
+	dst = wirecodec.AppendString(dst, qb.From)
+	return replica.AppendQuarEntries(dst, qb.Entries)
+}
+
+// decodeQuarBroadcast decodes one whole broadcast (or digest) body.
+func decodeQuarBroadcast(buf []byte) (QuarBroadcast, error) {
+	d := wirecodec.NewDecoder(buf)
+	d.Version()
+	qb := QuarBroadcast{From: d.String()}
+	qb.Entries = replica.ReadQuarEntries(d)
+	if err := d.Finish(); err != nil {
+		return QuarBroadcast{}, err
+	}
+	return qb, nil
+}
+
+// isBinaryRequest reports whether an inbound request body carries the
+// binary codec.
+func isBinaryRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), wirecodec.ContentTypeBinary)
+}
+
+// readBody drains a request body into a pooled buffer. The caller owns
+// the buffer and must PutBuffer it when done with the decoded result
+// (decoded strings and byte slices are copies, so reuse is safe).
+func readBody(r *http.Request) (*wirecodec.Buffer, error) {
+	buf := wirecodec.GetBuffer()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		wirecodec.PutBuffer(buf)
+		return nil, err
+	}
+	return buf, nil
+}

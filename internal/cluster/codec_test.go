@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/replica"
+	"locheat/internal/store"
+)
+
+func codecWireEvent() WireEvent {
+	return WireEvent{
+		User:     42,
+		Venue:    4242,
+		At:       time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC),
+		VenueLoc: geo.Point{Lat: 37.7749, Lon: -122.4194},
+		Reported: geo.Point{Lat: 40.7128, Lon: -74.006},
+		Accepted: true,
+		Reason:   "quarantined",
+		FwdSeq:   991,
+	}
+}
+
+func codecIngestBatch() IngestBatch {
+	return IngestBatch{From: "node-a", Events: []WireEvent{codecWireEvent(), {User: 7}}}
+}
+
+func codecHandoffBundle() HandoffBundle {
+	t0 := time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC)
+	return HandoffBundle{
+		From: "node-a",
+		Users: map[uint64]UserStateBundle{
+			4: {"speed": []byte{1, 2, 3}, "dedupe": []byte("state")},
+			9: {},
+		},
+		Quarantines: []store.QuarantineRecord{
+			{UserID: 4, Since: t0, Until: t0.Add(time.Hour), Reason: "alerts", Source: "policy"},
+		},
+	}
+}
+
+// TestClusterCodecsEquivalence: for each hot wire message, the binary
+// round trip must reproduce exactly what the JSON round trip does.
+func TestClusterCodecsEquivalence(t *testing.T) {
+	t.Run("ingest", func(t *testing.T) {
+		b := codecIngestBatch()
+		jb, _ := json.Marshal(b)
+		var viaJSON IngestBatch
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		viaBin, err := decodeIngestBatch(encodeIngestBatch(nil, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
+		}
+	})
+	t.Run("handoff", func(t *testing.T) {
+		hb := codecHandoffBundle()
+		jb, _ := json.Marshal(hb)
+		var viaJSON HandoffBundle
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		viaBin, err := decodeHandoffBundle(encodeHandoffBundle(nil, hb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
+		}
+	})
+	t.Run("quarbcast", func(t *testing.T) {
+		t0 := time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC)
+		qb := QuarBroadcast{From: "node-a", Entries: []replica.QuarEntry{
+			{User: 4, Stamp: 77, Origin: "node-a", Active: true, Record: store.QuarantineRecord{
+				UserID: 4, Since: t0, Until: t0.Add(time.Hour), Reason: "r", Source: "s",
+			}},
+		}}
+		jb, _ := json.Marshal(qb)
+		var viaJSON QuarBroadcast
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		viaBin, err := decodeQuarBroadcast(encodeQuarBroadcast(nil, qb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
+		}
+	})
+}
+
+// TestSpillEventBothFormats: the outbox payload decoder must read both
+// what this build spills (binary) and what a pre-upgrade build spilled
+// (JSON) — outbox files survive the upgrade.
+func TestSpillEventBothFormats(t *testing.T) {
+	ev := codecWireEvent()
+	got, err := decodeSpillEvent(encodeSpillEvent(ev))
+	if err != nil || !reflect.DeepEqual(got, ev) {
+		t.Fatalf("binary spill round trip: %v / %+v", err, got)
+	}
+	jb, _ := json.Marshal(ev)
+	got, err = decodeSpillEvent(jb)
+	if err != nil || !reflect.DeepEqual(got, ev) {
+		t.Fatalf("legacy JSON spill: %v / %+v", err, got)
+	}
+	if _, err := decodeSpillEvent([]byte{}); err == nil {
+		t.Fatal("empty spill payload accepted")
+	}
+	if _, err := decodeSpillEvent([]byte("{broken")); err == nil {
+		t.Fatal("broken JSON spill payload accepted")
+	}
+}
+
+// FuzzDecodeIngestBatch: the forwarding wire decoder must reject
+// malformed/truncated input with an error — never a panic — and
+// anything it accepts must re-encode canonically.
+func FuzzDecodeIngestBatch(f *testing.F) {
+	f.Add(encodeIngestBatch(nil, codecIngestBatch()))
+	f.Add(encodeIngestBatch(nil, IngestBatch{From: "x"}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 'a', 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		b, err := decodeIngestBatch(in)
+		if err != nil {
+			return
+		}
+		// Compare canonical re-encodings, not structs: float fields may
+		// legitimately carry NaN bits (NaN != NaN scuttles DeepEqual).
+		enc1 := encodeIngestBatch(nil, b)
+		again, err := decodeIngestBatch(enc1)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-decode: %v", err)
+		}
+		if enc2 := encodeIngestBatch(nil, again); !bytes.Equal(enc1, enc2) {
+			t.Fatal("accepted batch does not round-trip canonically")
+		}
+	})
+}
+
+// FuzzDecodeHandoffBundle guards the remaining binary surface the
+// ingest fuzzer does not reach (nested maps and opaque blobs).
+func FuzzDecodeHandoffBundle(f *testing.F) {
+	f.Add(encodeHandoffBundle(nil, codecHandoffBundle()))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if _, err := decodeHandoffBundle(in); err != nil {
+			return
+		}
+	})
+}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"locheat/internal/wirecodec"
 )
 
 // ForwarderConfig tunes the cross-node ingest path. Zero values take
@@ -22,8 +24,14 @@ type ForwarderConfig struct {
 	BatchSize int
 	// FlushEvery is the partial-batch flush interval (default 50ms).
 	FlushEvery time.Duration
-	// HTTP posts the batches (default a client with a 5s timeout).
+	// HTTP posts the batches (default a client over the shared cluster
+	// transport with a 5s timeout).
 	HTTP *http.Client
+	// Binary reports whether the peer at addr accepts the binary wire
+	// codec (from its heartbeat advertisement). Nil — or false — keeps
+	// that peer on JSON. The codec is re-consulted per POST, so a peer
+	// upgrading or downgrading mid-flight switches within a heartbeat.
+	Binary func(addr string) bool
 	// Spill receives events the forwarder would otherwise lose — a full
 	// peer queue or a failed POST — so a durability tier (the cluster's
 	// on-disk outbox) can keep them for replay, and returns how many it
@@ -48,7 +56,7 @@ func (c ForwarderConfig) withDefaults() ForwarderConfig {
 		c.FlushEvery = 50 * time.Millisecond
 	}
 	if c.HTTP == nil {
-		c.HTTP = &http.Client{Timeout: 5 * time.Second}
+		c.HTTP = newHTTPClient(5 * time.Second)
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -222,28 +230,61 @@ func (f *Forwarder) send(q *peerQueue) {
 	}
 }
 
-// post ships one batch; errors are counted, logged and final.
+// post ships one batch in the peer's negotiated codec; errors are
+// counted, logged and final. A 415 on a binary POST means the codec
+// advertisement was stale (address reuse, mid-flight downgrade): the
+// batch is retried once as JSON, and the next heartbeat refreshes the
+// advertisement.
 func (f *Forwarder) post(addr string, batch []WireEvent) {
-	body, err := json.Marshal(IngestBatch{From: f.self, Events: batch})
-	if err != nil {
-		f.errors.Add(1)
-		return
+	if f.cfg.Binary != nil && f.cfg.Binary(addr) {
+		status, ok := f.postOnce(addr, batch, true)
+		if ok || status != http.StatusUnsupportedMediaType {
+			return
+		}
+		// fall through: one JSON retry for this batch
 	}
-	resp, err := f.cfg.HTTP.Post(addr+"/cluster/v1/ingest", "application/json", bytes.NewReader(body))
+	f.postOnce(addr, batch, false)
+}
+
+// postOnce issues one POST in the given codec. It returns the HTTP
+// status (0 on transport error) and whether the batch was acked; on
+// any failure other than a binary 415 it runs the spill/loss
+// accounting itself.
+func (f *Forwarder) postOnce(addr string, batch []WireEvent, binary bool) (int, bool) {
+	var body []byte
+	contentType := "application/json"
+	if binary {
+		buf := wirecodec.GetBuffer()
+		defer wirecodec.PutBuffer(buf)
+		buf.B = encodeIngestBatch(buf.B, IngestBatch{From: f.self, Events: batch})
+		body = buf.B
+		contentType = wirecodec.ContentTypeBinary
+	} else {
+		var err error
+		body, err = json.Marshal(IngestBatch{From: f.self, Events: batch})
+		if err != nil {
+			f.errors.Add(1)
+			return 0, false
+		}
+	}
+	resp, err := f.cfg.HTTP.Post(addr+"/cluster/v1/ingest", contentType, bytes.NewReader(body))
 	if err != nil {
 		f.errors.Add(1)
 		if !f.spill(addr, batch) {
 			f.cfg.Logf("cluster: forward to %s failed: %v (%d events lost)", addr, err, len(batch))
 		}
-		return
+		return 0, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if binary && resp.StatusCode == http.StatusUnsupportedMediaType {
+			return resp.StatusCode, false // caller retries as JSON; not a loss
+		}
 		f.errors.Add(1)
 		if !f.spill(addr, batch) {
 			f.cfg.Logf("cluster: forward to %s: status %d (%d events lost)", addr, resp.StatusCode, len(batch))
 		}
-		return
+		return resp.StatusCode, false
 	}
 	var ack IngestAck
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err == nil {
@@ -251,6 +292,7 @@ func (f *Forwarder) post(addr string, batch []WireEvent) {
 	}
 	f.batches.Add(1)
 	f.sent.Add(uint64(len(batch)))
+	return resp.StatusCode, true
 }
 
 // Flush synchronously delivers everything currently enqueued by

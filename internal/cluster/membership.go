@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -33,8 +34,20 @@ type MembershipConfig struct {
 	// Clock supplies probe timestamps; simulated clocks make failure
 	// detection deterministic in tests. Default wall clock.
 	Clock simclock.Clock
-	// HTTP issues the probes (default http.DefaultClient with Timeout).
+	// HTTP issues the probes (default a client over the shared cluster
+	// transport with Timeout).
 	HTTP *http.Client
+	// ProbePayload, when set, supplies a body (and its content type)
+	// attached to every heartbeat probe — computed once per Tick round
+	// and POSTed to each peer. This is how the quarantine digest rides
+	// the heartbeats instead of costing its own O(peers) request round.
+	// Nil keeps probes as bodyless GETs.
+	ProbePayload func() (body []byte, contentType string)
+	// ProbeReply receives each successful probe's parsed response,
+	// outside the membership lock (possibly concurrently, one call per
+	// peer). The node uses it to apply piggybacked digest repairs and
+	// to trigger an immediate outbox drain toward a reachable peer.
+	ProbeReply func(peer Member, pr PingResponse)
 	// Logf receives membership transitions. Nil discards.
 	Logf func(format string, args ...any)
 }
@@ -53,7 +66,7 @@ func (c MembershipConfig) withDefaults() MembershipConfig {
 		c.Clock = simclock.Real{}
 	}
 	if c.HTTP == nil {
-		c.HTTP = &http.Client{Timeout: c.Timeout}
+		c.HTTP = newHTTPClient(c.Timeout)
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -61,12 +74,19 @@ func (c MembershipConfig) withDefaults() MembershipConfig {
 	return c
 }
 
-// peerState tracks one peer's liveness.
+// peerState tracks one peer's liveness and advertised capabilities.
 type peerState struct {
 	member   Member
 	alive    bool
 	left     bool // graceful leave: stays down until it heartbeats back
 	lastSeen time.Time
+	// binary records the peer's last advertised wire codec: true once
+	// a ping response carried the binary capability string. Peers start
+	// false — JSON is the safe default until the peer says otherwise —
+	// and every successful probe refreshes it, so a peer that restarts
+	// into an older (or JSON-pinned) build downgrades within one
+	// heartbeat interval.
+	binary bool
 }
 
 // Membership keeps the static peer list live with heartbeats. The
@@ -172,6 +192,28 @@ func (m *Membership) Peer(id string) (Member, bool) {
 	return p.member, true
 }
 
+// SupportsBinary reports whether the peer's last heartbeat advertised
+// the binary wire codec (false until a probe has succeeded).
+func (m *Membership) SupportsBinary(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	return ok && p.binary
+}
+
+// SupportsBinaryAddr is SupportsBinary keyed by the peer's address —
+// the forwarder's view of the world.
+func (m *Membership) SupportsBinaryAddr(addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		if p.member.Addr == addr {
+			return p.binary
+		}
+	}
+	return false
+}
+
 // MemberStatus is one row of the cluster status surface.
 type MemberStatus struct {
 	ID       string    `json:"id"`
@@ -255,6 +297,14 @@ func (m *Membership) Tick() {
 	}
 	m.mu.Unlock()
 
+	// The piggyback payload (quarantine digest) is built once per round
+	// and shared by every probe goroutine read-only.
+	var body []byte
+	var bodyCT string
+	if m.cfg.ProbePayload != nil {
+		body, bodyCT = m.cfg.ProbePayload()
+	}
+
 	type probe struct {
 		id string
 		ok bool
@@ -262,7 +312,7 @@ func (m *Membership) Tick() {
 	results := make(chan probe, len(peers))
 	for _, p := range peers {
 		go func(mem Member) {
-			results <- probe{id: mem.ID, ok: m.ping(mem)}
+			results <- probe{id: mem.ID, ok: m.ping(mem, body, bodyCT)}
 		}(p.member)
 	}
 	ok := make(map[string]bool, len(peers))
@@ -322,9 +372,19 @@ func (m *Membership) notify() {
 }
 
 // ping issues one health probe and verifies the peer identifies as the
-// expected node (catches address reuse across deployments).
-func (m *Membership) ping(peer Member) bool {
-	resp, err := m.cfg.HTTP.Get(peer.Addr + "/cluster/v1/ping")
+// expected node (catches address reuse across deployments). A probe
+// with a piggyback body POSTs it (an old receiver ignores the body and
+// still answers its PingResponse); a successful probe records the
+// peer's advertised codec and hands the response to the ProbeReply
+// hook.
+func (m *Membership) ping(peer Member, body []byte, bodyCT string) bool {
+	var resp *http.Response
+	var err error
+	if body != nil {
+		resp, err = m.cfg.HTTP.Post(peer.Addr+"/cluster/v1/ping", bodyCT, bytes.NewReader(body))
+	} else {
+		resp, err = m.cfg.HTTP.Get(peer.Addr + "/cluster/v1/ping")
+	}
 	if err != nil {
 		return false
 	}
@@ -336,7 +396,18 @@ func (m *Membership) ping(peer Member) bool {
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 		return false
 	}
-	return pr.Node == peer.ID
+	if pr.Node != peer.ID {
+		return false
+	}
+	m.mu.Lock()
+	if p, ok := m.peers[peer.ID]; ok {
+		p.binary = pr.Codec == binaryCodecName
+	}
+	m.mu.Unlock()
+	if m.cfg.ProbeReply != nil {
+		m.cfg.ProbeReply(peer, pr)
+	}
+	return true
 }
 
 // ParsePeers parses the -cluster-peers flag format: comma-separated

@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+	"locheat/internal/wirecodec"
+)
+
+// ctRecorder wraps a node's internal handler and counts request
+// Content-Types per path — how the tests below prove which codec
+// actually crossed the wire.
+type ctRecorder struct {
+	mu   sync.Mutex
+	seen map[string]map[string]int
+	next http.Handler
+}
+
+func newCTRecorder(next http.Handler) *ctRecorder {
+	return &ctRecorder{seen: make(map[string]map[string]int), next: next}
+}
+
+func (c *ctRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	m := c.seen[r.URL.Path]
+	if m == nil {
+		m = make(map[string]int)
+		c.seen[r.URL.Path] = m
+	}
+	m[r.Header.Get("Content-Type")]++
+	c.mu.Unlock()
+	c.next.ServeHTTP(w, r)
+}
+
+// codecOf reduces a path's recorded content types to "bin", "json",
+// "mixed" or "" (no traffic).
+func (c *ctRecorder) codecOf(path string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bin, js := 0, 0
+	for ct, n := range c.seen[path] {
+		if ct == wirecodec.ContentTypeBinary {
+			bin += n
+		} else {
+			js += n
+		}
+	}
+	switch {
+	case bin > 0 && js > 0:
+		return "mixed"
+	case bin > 0:
+		return "bin"
+	case js > 0:
+		return "json"
+	}
+	return ""
+}
+
+// wireNode is a testNode plus the codec recorder on its listener and
+// its journal (when journal-backed).
+type wireNode struct {
+	*testNode
+	rec     *ctRecorder
+	journal *store.AlertJournal
+}
+
+type wireSpec struct {
+	id       string
+	jsonOnly bool // DisableBinaryWire: stands in for a pre-upgrade build
+	journal  bool // journal-backed store + replica factor 2 + outbox
+}
+
+// startWireCluster is startCluster with per-node codec pinning,
+// replica tiers and content-type recording.
+func startWireCluster(t *testing.T, specs []wireSpec) map[string]*wireNode {
+	t.Helper()
+	type boot struct {
+		late *lateHandler
+		srv  *httptest.Server
+	}
+	boots := make(map[string]*boot, len(specs))
+	var peers []Member
+	for _, s := range specs {
+		late := &lateHandler{}
+		srv := httptest.NewServer(late)
+		t.Cleanup(srv.Close)
+		boots[s.id] = &boot{late: late, srv: srv}
+		peers = append(peers, Member{ID: s.id, Addr: srv.URL})
+	}
+	nodes := make(map[string]*wireNode, len(specs))
+	for _, s := range specs {
+		clock := simclock.NewSimulated(simclock.Epoch())
+		svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+		for u := 0; u < 200; u++ {
+			svc.RegisterUser("user", "", "SF")
+		}
+		cfg := Config{
+			Self:              Member{ID: s.id, Addr: boots[s.id].srv.URL},
+			Peers:             peers,
+			DisableBinaryWire: s.jsonOnly,
+			Forward: ForwarderConfig{
+				BatchSize:  1,
+				FlushEvery: 5 * time.Millisecond,
+			},
+			Membership: MembershipConfig{
+				HeartbeatEvery: 100 * time.Millisecond,
+				FailAfter:      300 * time.Millisecond,
+				Clock:          clock,
+			},
+			Logf: t.Logf,
+		}
+		scfg := stream.Config{Shards: 2, Clock: clock}
+		var journal *store.AlertJournal
+		if s.journal {
+			var err error
+			journal, err = store.OpenAlertJournal(store.JournalConfig{Dir: t.TempDir(), FsyncEvery: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scfg.Store = journal
+			cfg.Replica = ReplicaOptions{
+				Dir:          t.TempDir(),
+				Factor:       2,
+				ShipInterval: 5 * time.Millisecond,
+				DigestEvery:  time.Hour, // background loop stays out of the way
+			}
+		}
+		pipeline := stream.New(scfg)
+		node, err := NewNode(svc, pipeline, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := newCTRecorder(node.Handler())
+		boots[s.id].late.set(rec)
+		tn := &testNode{id: s.id, svc: svc, pipeline: pipeline, node: node, srv: boots[s.id].srv, clock: clock}
+		nodes[s.id] = &wireNode{testNode: tn, rec: rec, journal: journal}
+		t.Cleanup(pipeline.Close)
+		t.Cleanup(node.Shutdown)
+	}
+	return nodes
+}
+
+func wireAlert(seq uint64, user uint64, at time.Time) store.Alert {
+	return store.Alert{Seq: seq, Detector: "speed", UserID: user, VenueID: user + 1000, At: at, Detail: "codec test"}
+}
+
+// followerCaughtUp reports whether primary's single follower acked at
+// least target.
+func followerCaughtUp(n *Node, target uint64) bool {
+	fs := n.Status().Replication.Followers
+	return len(fs) == 1 && fs[0].Synced && fs[0].Cursor >= target
+}
+
+// TestMixedCodecClusterInterop is the rolling-upgrade drill: a binary
+// node and a JSON-pinned peer (standing in for a pre-upgrade build)
+// exchange forwards, journal ships and quarantine broadcasts in both
+// directions without loss — every body on the pinned node's wire
+// staying JSON.
+func TestMixedCodecClusterInterop(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "bin", journal: true},
+		{id: "json", jsonOnly: true, journal: true},
+	})
+	nb, nj := nodes["bin"], nodes["json"]
+
+	// Heartbeats first: codec capabilities are learned, not assumed.
+	nb.node.Tick()
+	nj.node.Tick()
+	if nb.node.peerBinary("json") {
+		t.Fatal("binary node believes the JSON-pinned peer takes binary")
+	}
+	if nj.node.peerBinary("bin") {
+		t.Fatal("a pinned node must never choose binary, whatever the peer advertises")
+	}
+
+	// Forward both directions: each event lands on its owner's pipeline.
+	t0 := simclock.Epoch()
+	toJSON := userOwnedBy(t, nb.node, "json", 200)
+	toBin := userOwnedBy(t, nj.node, "bin", 200)
+	if !nb.node.Ingest(clusterEvent(toJSON, t0, sfPoint())) {
+		t.Fatal("bin→json ingest refused")
+	}
+	if !nj.node.Ingest(clusterEvent(toBin, t0, sfPoint())) {
+		t.Fatal("json→bin ingest refused")
+	}
+	eventually(t, "forwards delivered both ways", func() bool {
+		return nj.pipeline.Stats().Published >= 1 && nb.pipeline.Stats().Published >= 1
+	})
+
+	// Replicate both directions: each journal's appends reach the other
+	// node's replica set.
+	for i := 0; i < 10; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		if err := nb.journal.Append(wireAlert(uint64(i+1), 4, at)); err != nil {
+			t.Fatal(err)
+		}
+		if err := nj.journal.Append(wireAlert(uint64(i+1), 5, at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "ships acked both ways", func() bool {
+		return followerCaughtUp(nb.node, nb.journal.NextIndex()) &&
+			followerCaughtUp(nj.node, nj.journal.NextIndex())
+	})
+
+	// Broadcast both directions: quarantine decided on one node denies
+	// on the other.
+	if err := nb.svc.Quarantine(lbsn.UserID(11), time.Hour, "mixed test", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	if err := nj.svc.Quarantine(lbsn.UserID(12), time.Hour, "mixed test", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "quarantines broadcast both ways", func() bool {
+		return nj.svc.IsQuarantined(lbsn.UserID(11)) && nb.svc.IsQuarantined(lbsn.UserID(12))
+	})
+
+	// The pinned node's wire never saw a binary body on any hot path.
+	for _, path := range []string{"/cluster/v1/ingest", "/cluster/v1/replica/ship", "/cluster/v1/quarbcast"} {
+		if codec := nj.rec.codecOf(path); codec != "json" {
+			t.Fatalf("pinned node's %s saw codec %q, want pure json", path, codec)
+		}
+	}
+}
+
+// TestBinaryCodecUsedBetweenBinaryNodes proves the negotiated fast
+// path actually engages: once capabilities are exchanged, forwards,
+// ships and broadcasts between two binary-capable nodes travel as
+// application/x-locheat-bin.
+func TestBinaryCodecUsedBetweenBinaryNodes(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "a", journal: true},
+		{id: "b", journal: true},
+	})
+	na, nb := nodes["a"], nodes["b"]
+	na.node.Tick()
+	nb.node.Tick()
+	eventually(t, "capability learned", func() bool {
+		return na.node.peerBinary("b") && nb.node.peerBinary("a")
+	})
+
+	t0 := simclock.Epoch()
+	user := userOwnedBy(t, na.node, "b", 200)
+	if !na.node.Ingest(clusterEvent(user, t0, sfPoint())) {
+		t.Fatal("ingest refused")
+	}
+	eventually(t, "forward delivered", func() bool { return nb.pipeline.Stats().Published >= 1 })
+
+	for i := 0; i < 5; i++ {
+		if err := na.journal.Append(wireAlert(uint64(i+1), 4, t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "ship acked", func() bool { return followerCaughtUp(na.node, na.journal.NextIndex()) })
+
+	if err := na.svc.Quarantine(lbsn.UserID(9), time.Hour, "bin test", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "broadcast applied", func() bool { return nb.svc.IsQuarantined(lbsn.UserID(9)) })
+
+	for _, path := range []string{"/cluster/v1/ingest", "/cluster/v1/replica/ship", "/cluster/v1/quarbcast"} {
+		if codec := nb.rec.codecOf(path); codec != "bin" {
+			t.Fatalf("binary pair's %s saw codec %q, want pure bin", path, codec)
+		}
+	}
+}
+
+// TestHeartbeatDigestPiggyback pins the satellite: with the dedicated
+// digest round never called, quarantine state still converges in BOTH
+// directions through the heartbeat probes alone — the probe body
+// carries the prober's digest, the reply carries the repairs.
+func TestHeartbeatDigestPiggyback(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{{id: "a"}, {id: "b"}})
+	na, nb := nodes["a"], nodes["b"]
+
+	// Quarantine on each node while the OTHER node's listener is
+	// rejecting everything, so the immediate fan-out provably fails and
+	// only anti-entropy can repair.
+	broken := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	})
+	// a originates user 21 while b is down.
+	nbHandler := nb.rec
+	nb.srvSet(t, broken)
+	if err := na.svc.Quarantine(lbsn.UserID(21), time.Hour, "piggyback", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	na.node.bcast.Flush()
+	eventually(t, "fan-out from a failed", func() bool { return na.node.bcastSendErrs.Load() >= 1 })
+	nb.srvSet(t, nbHandler)
+
+	// b originates user 22 while a is down.
+	naHandler := na.rec
+	na.srvSet(t, broken)
+	if err := nb.svc.Quarantine(lbsn.UserID(22), time.Hour, "piggyback", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	nb.node.bcast.Flush()
+	eventually(t, "fan-out from b failed", func() bool { return nb.node.bcastSendErrs.Load() >= 1 })
+	na.srvSet(t, naHandler)
+
+	if nb.svc.IsQuarantined(lbsn.UserID(21)) || na.svc.IsQuarantined(lbsn.UserID(22)) {
+		t.Fatal("fan-out was not actually suppressed; the piggyback test is vacuous")
+	}
+
+	// ONE heartbeat round from a: its probe pushes a's digest (21) to b
+	// and pulls b's newer knowledge (22) from the reply. No
+	// SyncQuarantines anywhere.
+	na.node.Tick()
+	if !nb.svc.IsQuarantined(lbsn.UserID(21)) {
+		t.Fatal("probe body did not deliver the prober's digest")
+	}
+	if !na.svc.IsQuarantined(lbsn.UserID(22)) {
+		t.Fatal("probe reply did not deliver the probed node's repairs")
+	}
+}
+
+// TestHeartbeatTriggersOutboxReplay pins the other satellite: spill
+// whose destination recovers is replayed by the next successful probe
+// — one round trip — with no membership transition and no background
+// cadence involved.
+func TestHeartbeatTriggersOutboxReplay(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "a", journal: true},
+		{id: "b", journal: true},
+	})
+	na, nb := nodes["a"], nodes["b"]
+	user := userOwnedBy(t, na.node, "b", 200)
+
+	// b's listener starts failing requests (the node itself never
+	// leaves a's live set — a transient fault, not a death).
+	failing := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "transient", http.StatusInternalServerError)
+	})
+	restore := nb.rec
+	nb.srvSet(t, failing)
+
+	if !na.node.Ingest(clusterEvent(user, simclock.Epoch(), sfPoint())) {
+		t.Fatal("ingest refused despite spill being armed")
+	}
+	eventually(t, "forward spilled to the outbox", func() bool {
+		return na.node.outbox.Depth("b") > 0
+	})
+
+	// b recovers; the next probe round must drain the spill by itself.
+	nb.srvSet(t, restore)
+	na.node.Tick()
+	eventually(t, "outbox drained by the probe", func() bool {
+		return na.node.outbox.Depth("b") == 0
+	})
+	eventually(t, "replayed event reached the owner", func() bool {
+		return nb.pipeline.Stats().Published >= 1
+	})
+}
+
+// srvSet swaps the handler behind the node's listener.
+func (n *wireNode) srvSet(t *testing.T, h http.Handler) {
+	t.Helper()
+	n.srv.Config.Handler.(*lateHandler).set(h)
+}
+
+func sfPoint() geo.Point {
+	return geo.Point{Lat: 37.7749, Lon: -122.4194}
+}

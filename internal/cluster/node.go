@@ -15,6 +15,7 @@ import (
 	"locheat/internal/simclock"
 	"locheat/internal/store"
 	"locheat/internal/stream"
+	"locheat/internal/wirecodec"
 )
 
 // Config parameterizes a Node. Self and (for multi-node operation)
@@ -35,8 +36,13 @@ type Config struct {
 	// Replica tunes the durability & dissemination tier (journal
 	// replication, quarantine broadcast, forwarding outbox).
 	Replica ReplicaOptions
+	// DisableBinaryWire pins this node to JSON on the internal wire:
+	// it neither advertises nor accepts the binary codec (requests
+	// carrying it get 415, which downgrades the sender). The rolling-
+	// upgrade escape hatch — and how tests stand up a JSON-only peer.
+	DisableBinaryWire bool
 	// HTTP issues handoff and scatter-gather requests (default a client
-	// with a 10s timeout).
+	// over the shared cluster transport with a 10s timeout).
 	HTTP *http.Client
 	// Logf receives cluster events. Nil discards.
 	Logf func(format string, args ...any)
@@ -47,7 +53,7 @@ func (c Config) withDefaults() Config {
 		c.VirtualNodes = DefaultVirtualNodes
 	}
 	if c.HTTP == nil {
-		c.HTTP = &http.Client{Timeout: 10 * time.Second}
+		c.HTTP = newHTTPClient(10 * time.Second)
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -187,14 +193,22 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 	}
 	// The outbox hooks the forwarder's loss paths, so it must exist
 	// before the forwarder does.
+	fwdCfg := n.cfg.Forward
 	if n.outbox != nil {
-		fwdCfg := n.cfg.Forward
 		fwdCfg.Spill = n.spillForward
-		n.fwd = NewForwarder(cfg.Self.ID, fwdCfg)
-	} else {
-		n.fwd = NewForwarder(cfg.Self.ID, cfg.Forward)
 	}
-	n.members = NewMembership(cfg.Self, cfg.Peers, cfg.Membership)
+	// The forwarder asks per POST whether its destination advertised
+	// the binary codec (learned from heartbeats, below).
+	fwdCfg.Binary = n.peerBinaryAddr
+	n.fwd = NewForwarder(cfg.Self.ID, fwdCfg)
+	// Heartbeat probes carry the quarantine digest out and bring repair
+	// entries (plus codec advertisements) back — steady-state
+	// anti-entropy piggybacks on the failure detector's round instead
+	// of costing a dedicated O(peers) exchange.
+	mcfg := n.cfg.Membership
+	mcfg.ProbePayload = n.heartbeatPayload
+	mcfg.ProbeReply = n.heartbeatReply
+	n.members = NewMembership(cfg.Self, cfg.Peers, mcfg)
 	n.members.OnChange(n.rebalance)
 	n.ring = NewRing(memberIDs(n.members.Live()), cfg.VirtualNodes)
 	n.refreshFollowers(n.ring)
@@ -203,7 +217,9 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 
 // spillForward journals events the forwarder would lose, keyed by the
 // destination's member ID (reverse-resolved from the queue address so
-// outbox files survive address changes across restarts). Returns how
+// outbox files survive address changes across restarts). Payloads are
+// binary-framed (decodeSpillEvent also reads the JSON a pre-upgrade
+// build spilled, so old outbox files replay unchanged). Returns how
 // many events the outbox durably accepted; the forwarder counts the
 // rest dropped.
 func (n *Node) spillForward(addr string, events []WireEvent) int {
@@ -216,15 +232,22 @@ func (n *Node) spillForward(addr string, events []WireEvent) int {
 	}
 	accepted := 0
 	for _, ev := range events {
-		payload, err := json.Marshal(ev)
-		if err != nil {
-			continue
-		}
-		if n.outbox.Append(peerID, payload) {
+		if n.outbox.Append(peerID, encodeSpillEvent(ev)) {
 			accepted++
 		}
 	}
 	return accepted
+}
+
+// peerBinary reports whether the peer (by member ID) takes the binary
+// wire codec right now.
+func (n *Node) peerBinary(id string) bool {
+	return !n.cfg.DisableBinaryWire && n.members != nil && n.members.SupportsBinary(id)
+}
+
+// peerBinaryAddr is peerBinary keyed by address (the forwarder's view).
+func (n *Node) peerBinaryAddr(addr string) bool {
+	return !n.cfg.DisableBinaryWire && n.members != nil && n.members.SupportsBinaryAddr(addr)
 }
 
 func memberIDs(ms []Member) []string {
@@ -361,16 +384,38 @@ func (n *Node) handoffTo(ring *Ring) {
 	}
 }
 
+// postNegotiated POSTs one message to a peer in its negotiated codec:
+// binary when the peer advertises it — with a one-shot JSON retry on
+// 415, covering a stale advertisement — and JSON otherwise. encodeBin
+// appends the binary form to its argument; jsonV is the same message
+// for the JSON path.
+func (n *Node) postNegotiated(addr, path, peerID string, encodeBin func([]byte) []byte, jsonV any) (*http.Response, error) {
+	if n.peerBinary(peerID) {
+		buf := wirecodec.GetBuffer()
+		buf.B = encodeBin(buf.B)
+		resp, err := n.cfg.HTTP.Post(addr+path, wirecodec.ContentTypeBinary, bytes.NewReader(buf.B))
+		wirecodec.PutBuffer(buf)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			return resp, nil
+		}
+		resp.Body.Close() // stale advertisement: downgrade this request
+	}
+	body, err := json.Marshal(jsonV)
+	if err != nil {
+		return nil, err
+	}
+	return n.cfg.HTTP.Post(addr+path, "application/json", bytes.NewReader(body))
+}
+
 // sendHandoff posts one bundle; a failed handoff is logged and counted
 // but not retried — the new owner rebuilds detector state from live
 // traffic, which is degraded detection, not corruption.
 func (n *Node) sendHandoff(peer Member, hb HandoffBundle) {
-	body, err := json.Marshal(hb)
-	if err != nil {
-		n.hoSendErrors.Add(1)
-		return
-	}
-	resp, err := n.cfg.HTTP.Post(peer.Addr+"/cluster/v1/handoff", "application/json", bytes.NewReader(body))
+	resp, err := n.postNegotiated(peer.Addr, "/cluster/v1/handoff", peer.ID,
+		func(dst []byte) []byte { return encodeHandoffBundle(dst, hb) }, hb)
 	if err != nil {
 		n.hoSendErrors.Add(1)
 		n.cfg.Logf("cluster: handoff to %s failed: %v (%d users)", peer.ID, err, len(hb.Users))
@@ -465,7 +510,66 @@ func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "leaving", http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, http.StatusOK, PingResponse{Node: n.cfg.Self.ID})
+	pr := PingResponse{Node: n.cfg.Self.ID}
+	if !n.cfg.DisableBinaryWire {
+		pr.Codec = binaryCodecName
+	}
+	// A probe POSTing a digest body gets the full anti-entropy
+	// exchange in the reply: apply what the prober knows newer, return
+	// what we know newer.
+	if r.Method == http.MethodPost && n.bcast != nil {
+		if qb, err := n.decodeQuarBody(r); err == nil {
+			pr.Digest, pr.Applied = n.bcast.MergeDigest(qb.Entries)
+		}
+	}
+	writeJSON(w, http.StatusOK, pr)
+}
+
+// decodeQuarBody reads a QuarBroadcast request body in its declared
+// codec (used by the broadcast, digest and ping-piggyback handlers).
+func (n *Node) decodeQuarBody(r *http.Request) (QuarBroadcast, error) {
+	if isBinaryRequest(r) {
+		if n.cfg.DisableBinaryWire {
+			return QuarBroadcast{}, errBinaryDisabled
+		}
+		buf, err := readBody(r)
+		if err != nil {
+			return QuarBroadcast{}, err
+		}
+		defer wirecodec.PutBuffer(buf)
+		return decodeQuarBroadcast(buf.B)
+	}
+	var qb QuarBroadcast
+	if err := json.NewDecoder(r.Body).Decode(&qb); err != nil {
+		return QuarBroadcast{}, err
+	}
+	return qb, nil
+}
+
+// errBinaryDisabled marks a binary body refused by a JSON-pinned node;
+// handlers translate it to 415 so the sender downgrades.
+var errBinaryDisabled = fmt.Errorf("binary codec disabled")
+
+// decodeBinaryRequest handles the binary half of a dual-codec handler:
+// 415 when this node is JSON-pinned (so the sender downgrades), pooled
+// body read, decode, 400 on damage — writing the error response itself.
+// Returns whether decode succeeded and the handler should proceed.
+func (n *Node) decodeBinaryRequest(w http.ResponseWriter, r *http.Request, label string, decode func([]byte) error) bool {
+	if n.cfg.DisableBinaryWire {
+		http.Error(w, "binary codec disabled", http.StatusUnsupportedMediaType)
+		return false
+	}
+	buf, err := readBody(r)
+	if err != nil {
+		http.Error(w, label, http.StatusBadRequest)
+		return false
+	}
+	defer wirecodec.PutBuffer(buf)
+	if err := decode(buf.B); err != nil {
+		http.Error(w, label, http.StatusBadRequest)
+		return false
+	}
+	return true
 }
 
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -474,7 +578,14 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var batch IngestBatch
-	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+	if isBinaryRequest(r) {
+		if !n.decodeBinaryRequest(w, r, "malformed batch", func(b []byte) (err error) {
+			batch, err = decodeIngestBatch(b)
+			return err
+		}) {
+			return
+		}
+	} else if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
 		http.Error(w, "malformed batch", http.StatusBadRequest)
 		return
 	}
@@ -517,7 +628,14 @@ func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var hb HandoffBundle
-	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+	if isBinaryRequest(r) {
+		if !n.decodeBinaryRequest(w, r, "malformed bundle", func(b []byte) (err error) {
+			hb, err = decodeHandoffBundle(b)
+			return err
+		}) {
+			return
+		}
+	} else if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
 		http.Error(w, "malformed bundle", http.StatusBadRequest)
 		return
 	}

@@ -178,16 +178,15 @@ func (n *Node) applyQuarEntry(e replica.QuarEntry) {
 	n.svc.Unquarantine(lbsn.UserID(e.User))
 }
 
-// sendQuarBroadcast fans one transition batch to every live peer.
-// Best-effort by design: the digest exchange repairs whatever this
-// misses, so a down peer costs latency, not correctness.
+// sendQuarBroadcast fans one transition batch to every live peer in
+// its negotiated codec. Best-effort by design: the digest exchange
+// repairs whatever this misses, so a down peer costs latency, not
+// correctness.
 func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
-	body, err := json.Marshal(QuarBroadcast{From: n.cfg.Self.ID, Entries: entries})
-	if err != nil {
-		return
-	}
+	qb := QuarBroadcast{From: n.cfg.Self.ID, Entries: entries}
 	for _, peer := range n.members.LivePeers() {
-		resp, err := n.cfg.HTTP.Post(peer.Addr+"/cluster/v1/quarbcast", "application/json", bytes.NewReader(body))
+		resp, err := n.postNegotiated(peer.Addr, "/cluster/v1/quarbcast", peer.ID,
+			func(dst []byte) []byte { return encodeQuarBroadcast(dst, qb) }, qb)
 		if err != nil {
 			n.bcastSendErrs.Add(1)
 			continue
@@ -199,13 +198,11 @@ func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
 	}
 }
 
-// sendShipBatch delivers one journal batch to a follower.
+// sendShipBatch delivers one journal batch to a follower in its
+// negotiated codec.
 func (n *Node) sendShipBatch(t replica.Target, b replica.ShipBatch) (replica.ShipAck, error) {
-	body, err := json.Marshal(b)
-	if err != nil {
-		return replica.ShipAck{}, err
-	}
-	resp, err := n.cfg.HTTP.Post(t.Addr+"/cluster/v1/replica/ship", "application/json", bytes.NewReader(body))
+	resp, err := n.postNegotiated(t.Addr, "/cluster/v1/replica/ship", t.ID,
+		func(dst []byte) []byte { return replica.AppendShipBatch(dst, b) }, b)
 	if err != nil {
 		return replica.ShipAck{}, err
 	}
@@ -312,9 +309,11 @@ func (n *Node) localAlerts(q store.AlertQuery) ([]store.Alert, int) {
 	return store.PageAlerts(merged, q.Offset, q.Limit), total
 }
 
-// SyncQuarantines runs one digest exchange with every live peer:
-// push our versioned state, apply whatever the peer knows newer. The
-// background loop calls this on DigestEvery; tests call it directly.
+// SyncQuarantines runs one explicit digest exchange with every live
+// peer: push our versioned state, apply whatever the peer knows newer.
+// Steady-state anti-entropy now piggybacks on heartbeat probes
+// (heartbeatPayload); this dedicated round remains for tests and for
+// flushing state synchronously (shutdown).
 func (n *Node) SyncQuarantines() {
 	if n.bcast == nil {
 		return
@@ -341,6 +340,17 @@ func (n *Node) SyncQuarantines() {
 	}
 }
 
+// deliverSpill replays one outbox payload (binary or pre-upgrade JSON)
+// through ingest re-resolution.
+func (n *Node) deliverSpill(payload []byte) bool {
+	w, err := decodeSpillEvent(payload)
+	if err != nil {
+		n.cfg.Logf("cluster: outbox: dropping undecodable spill record: %v", err)
+		return true // poison: delivering it is impossible, keeping it is a wedge
+	}
+	return n.reingest(w)
+}
+
 // ReplayOutbox drains every peer's spill through ingest re-resolution:
 // each event is routed by CURRENT ring ownership (its original
 // destination may be dead and rebalanced away), preserving its
@@ -356,14 +366,7 @@ func (n *Node) ReplayOutbox() (delivered, requeued int) {
 	}
 	defer n.replaying.Store(false)
 	for _, peer := range n.outbox.Peers() {
-		d, r := n.outbox.Drain(peer, func(payload []byte) bool {
-			var w WireEvent
-			if err := json.Unmarshal(payload, &w); err != nil {
-				n.cfg.Logf("cluster: outbox: dropping undecodable spill record: %v", err)
-				return true // poison: delivering it is impossible, keeping it is a wedge
-			}
-			return n.reingest(w)
-		})
+		d, r := n.outbox.Drain(peer, n.deliverSpill)
 		delivered += d
 		requeued += r
 	}
@@ -371,6 +374,59 @@ func (n *Node) ReplayOutbox() (delivered, requeued int) {
 		n.cfg.Logf("cluster: outbox replay: %d delivered, %d requeued", delivered, requeued)
 	}
 	return delivered, requeued
+}
+
+// replayOutboxPeer drains one peer's spill — the targeted fast path a
+// successful heartbeat probe triggers, cutting replay latency to one
+// probe round instead of the background cadence. Skipped (and left to
+// the cadence) when a full replay is already running.
+func (n *Node) replayOutboxPeer(id string) (delivered, requeued int) {
+	if n.outbox == nil {
+		return 0, 0
+	}
+	if !n.replaying.CompareAndSwap(false, true) {
+		return 0, 0
+	}
+	defer n.replaying.Store(false)
+	delivered, requeued = n.outbox.Drain(id, n.deliverSpill)
+	if delivered > 0 || requeued > 0 {
+		n.cfg.Logf("cluster: outbox replay to %s: %d delivered, %d requeued", id, delivered, requeued)
+	}
+	return delivered, requeued
+}
+
+// heartbeatPayload builds the digest body each heartbeat round POSTs
+// with its probes (Membership.ProbePayload). Sending the digest even
+// when it is empty matters: the peer's reply then carries everything
+// it knows that we do not — a fresh node pulls the cluster's
+// quarantine state with its first probe round.
+func (n *Node) heartbeatPayload() ([]byte, string) {
+	if n.bcast == nil {
+		return nil, ""
+	}
+	// JSON, always: the digest is small and the peer's codec support is
+	// not yet known when the first probe goes out.
+	body, err := json.Marshal(QuarBroadcast{From: n.cfg.Self.ID, Entries: n.bcast.Digest()})
+	if err != nil {
+		return nil, ""
+	}
+	return body, "application/json"
+}
+
+// heartbeatReply consumes a successful probe's response
+// (Membership.ProbeReply): apply the piggybacked digest repairs, and
+// if the outbox holds spill for this now-demonstrably-reachable peer,
+// drain it immediately — the peer-recovered signal the fixed cadence
+// used to stand in for. Events whose ownership moved while the peer
+// was down are re-resolved (and re-spilled if their new owner is still
+// unreachable); the rebalance that follows a revival replays the rest.
+func (n *Node) heartbeatReply(peer Member, pr PingResponse) {
+	if n.bcast != nil && len(pr.Digest) > 0 {
+		n.bcast.ApplyRemote(pr.Digest)
+	}
+	if n.outbox != nil && n.outbox.Depth(peer.ID) > 0 {
+		n.replayOutboxPeer(peer.ID)
+	}
 }
 
 // reingest routes one replayed event by current ownership. Locally
@@ -393,9 +449,14 @@ func (n *Node) reingest(w WireEvent) bool {
 	return n.fwd.Enqueue(peer.Addr, w)
 }
 
-// runReplicationLoop is the tier's background cadence: quarantine
-// digest exchange plus an outbox replay probe, every DigestEvery.
-// Started by Node.Start, stopped by Shutdown.
+// runReplicationLoop is the tier's background cadence, every
+// DigestEvery. Started by Node.Start, stopped by Shutdown. Since the
+// quarantine digest now piggybacks on every heartbeat probe round
+// (heartbeatPayload/handlePing), the loop no longer spends a dedicated
+// O(peers) request round on it — only the outbox replay probe remains,
+// as the backstop for spill whose destination never answers a probe
+// (so the targeted heartbeat drain never fires) yet is reachable
+// through re-resolved ownership.
 func (n *Node) runReplicationLoop() {
 	t := time.NewTicker(n.cfg.Replica.DigestEvery)
 	defer t.Stop()
@@ -404,7 +465,6 @@ func (n *Node) runReplicationLoop() {
 		case <-n.bgStop:
 			return
 		case <-t.C:
-			n.SyncQuarantines()
 			n.ReplayOutbox()
 		}
 	}
@@ -448,7 +508,17 @@ func (n *Node) handleReplicaShip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var b replica.ShipBatch
-	if err := json.NewDecoder(r.Body).Decode(&b); err != nil || b.From == "" {
+	if isBinaryRequest(r) {
+		if !n.decodeBinaryRequest(w, r, "malformed ship batch", func(body []byte) (err error) {
+			b, err = replica.DecodeShipBatch(body)
+			if err == nil && b.From == "" {
+				err = fmt.Errorf("missing from")
+			}
+			return err
+		}) {
+			return
+		}
+	} else if err := json.NewDecoder(r.Body).Decode(&b); err != nil || b.From == "" {
 		http.Error(w, "malformed ship batch", http.StatusBadRequest)
 		return
 	}
@@ -481,8 +551,12 @@ func (n *Node) handleQuarBroadcast(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var qb QuarBroadcast
-	if err := json.NewDecoder(r.Body).Decode(&qb); err != nil {
+	qb, err := n.decodeQuarBody(r)
+	if err == errBinaryDisabled {
+		http.Error(w, "binary codec disabled", http.StatusUnsupportedMediaType)
+		return
+	}
+	if err != nil {
 		http.Error(w, "malformed broadcast", http.StatusBadRequest)
 		return
 	}
@@ -497,8 +571,12 @@ func (n *Node) handleQuarDigest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var qb QuarBroadcast
-	if err := json.NewDecoder(r.Body).Decode(&qb); err != nil {
+	qb, err := n.decodeQuarBody(r)
+	if err == errBinaryDisabled {
+		http.Error(w, "binary codec disabled", http.StatusUnsupportedMediaType)
+		return
+	}
+	if err != nil {
 		http.Error(w, "malformed digest", http.StatusBadRequest)
 		return
 	}

@@ -1,0 +1,28 @@
+// Shared HTTP transport for every cluster-internal client. The
+// default http.Transport caps idle connections per host at 2, so the
+// forwarder's batch cadence, the shipper, the quarantine broadcast and
+// scatter-gather were all paying connection churn against the same
+// handful of peers. One tuned transport, shared process-wide, keeps a
+// warm keep-alive pool sized for a cluster's worth of peers; each
+// client keeps its own timeout on top.
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// sharedTransport is the process-wide connection pool for cluster
+// traffic (forwarding, replication, broadcast, probes, scatter).
+var sharedTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 32,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// newHTTPClient returns a client over the shared transport with the
+// given overall request timeout.
+func newHTTPClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout, Transport: sharedTransport}
+}

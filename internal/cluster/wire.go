@@ -99,9 +99,22 @@ type HandoffAck struct {
 	QuarantinesRestored int `json:"quarantinesRestored"`
 }
 
-// PingResponse is the GET /cluster/v1/ping body.
+// PingResponse is the /cluster/v1/ping reply. Beyond node identity it
+// carries the codec advertisement (how peers learn they may switch a
+// sender to the binary wire format) and the piggybacked quarantine
+// anti-entropy exchange: a probe POSTing a digest body gets back the
+// entries the probed node knows newer (Digest) and how many of the
+// probe's entries it applied — steady-state anti-entropy rides the
+// heartbeats it already pays for.
 type PingResponse struct {
 	Node string `json:"node"`
+	// Codec advertises the wire codecs this node accepts beyond JSON
+	// ("bin/1", or empty for a JSON-only node).
+	Codec string `json:"codec,omitempty"`
+	// Digest is the repair half of a piggybacked digest exchange.
+	Digest []replica.QuarEntry `json:"digest,omitempty"`
+	// Applied counts the probe's digest entries this node installed.
+	Applied int `json:"applied,omitempty"`
 }
 
 // LeaveNotice is the POST /cluster/v1/leave body: a graceful leaver

@@ -1,0 +1,81 @@
+// Binary layouts for the replication tier's wire types, built on
+// internal/wirecodec. ShipBatch is a versioned top-level message (it
+// travels as a whole HTTP body); QuarEntry lists are unversioned
+// elements — the containers that carry them (cluster's QuarBroadcast
+// message, the ping piggyback) hold the version byte.
+package replica
+
+import (
+	"locheat/internal/store"
+	"locheat/internal/wirecodec"
+)
+
+// AppendShipBatch appends b's binary encoding (version byte included)
+// to dst.
+func AppendShipBatch(dst []byte, b ShipBatch) []byte {
+	dst = append(dst, wirecodec.Version)
+	dst = wirecodec.AppendString(dst, b.From)
+	dst = wirecodec.AppendVarint(dst, b.Epoch)
+	dst = wirecodec.AppendUvarint(dst, b.Start)
+	dst = wirecodec.AppendUvarint(dst, uint64(len(b.Alerts)))
+	for _, a := range b.Alerts {
+		dst = store.AppendAlert(dst, a)
+	}
+	return dst
+}
+
+// DecodeShipBatch decodes one whole ship batch body. Malformed or
+// truncated input errors, never panics.
+func DecodeShipBatch(buf []byte) (ShipBatch, error) {
+	d := wirecodec.NewDecoder(buf)
+	d.Version()
+	b := ShipBatch{
+		From:  d.String(),
+		Epoch: d.Varint(),
+		Start: d.Uvarint(),
+	}
+	n := d.Count(8)
+	if n > 0 {
+		b.Alerts = make([]store.Alert, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		b.Alerts = append(b.Alerts, store.ReadAlert(d))
+	}
+	if err := d.Finish(); err != nil {
+		return ShipBatch{}, err
+	}
+	return b, nil
+}
+
+// AppendQuarEntries appends a counted QuarEntry list to dst.
+func AppendQuarEntries(dst []byte, entries []QuarEntry) []byte {
+	dst = wirecodec.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = wirecodec.AppendUvarint(dst, e.User)
+		dst = wirecodec.AppendVarint(dst, e.Stamp)
+		dst = wirecodec.AppendString(dst, e.Origin)
+		dst = wirecodec.AppendBool(dst, e.Active)
+		dst = store.AppendQuarantineRecord(dst, e.Record)
+	}
+	return dst
+}
+
+// ReadQuarEntries decodes a counted QuarEntry list; failures stick to
+// d (check d.Err or d.Finish).
+func ReadQuarEntries(d *wirecodec.Decoder) []QuarEntry {
+	n := d.Count(9)
+	if n == 0 {
+		return nil
+	}
+	out := make([]QuarEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, QuarEntry{
+			User:   d.Uvarint(),
+			Stamp:  d.Varint(),
+			Origin: d.String(),
+			Active: d.Bool(),
+			Record: store.ReadQuarantineRecord(d),
+		})
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package replica
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"locheat/internal/store"
+	"locheat/internal/wirecodec"
+)
+
+func codecShipBatch() ShipBatch {
+	t0 := time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC)
+	return ShipBatch{
+		From:  "node-a",
+		Epoch: 1308571200000000000,
+		Start: 9912,
+		Alerts: []store.Alert{
+			{Seq: 1, Detector: "speed", UserID: 4, VenueID: 44, At: t0, Detail: "impossible travel"},
+			{Seq: 2, Detector: "throttle", UserID: 5, VenueID: 55, At: t0.Add(time.Second), Detail: "rate"},
+		},
+	}
+}
+
+func codecQuarEntries() []QuarEntry {
+	t0 := time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC)
+	return []QuarEntry{
+		{User: 4, Stamp: 100, Origin: "node-a", Active: true, Record: store.QuarantineRecord{
+			UserID: 4, Since: t0, Until: t0.Add(time.Hour), Reason: "alerts", Source: "policy",
+		}},
+		{User: 9, Stamp: 101, Origin: "node-b", Active: false}, // tombstone, zero record
+	}
+}
+
+// TestShipBatchCodecEquivalence: binary and JSON round trips of a ship
+// batch must agree value-for-value.
+func TestShipBatchCodecEquivalence(t *testing.T) {
+	b := codecShipBatch()
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaJSON ShipBatch
+	if err := json.Unmarshal(jb, &viaJSON); err != nil {
+		t.Fatal(err)
+	}
+	viaBin, err := DecodeShipBatch(AppendShipBatch(nil, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaBin, viaJSON) {
+		t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
+	}
+}
+
+func TestQuarEntriesCodecRoundTrip(t *testing.T) {
+	entries := codecQuarEntries()
+	buf := AppendQuarEntries(nil, entries)
+	d := wirecodec.NewDecoder(buf)
+	got := ReadQuarEntries(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Times decode UTC; the fixtures are UTC, so deep equality holds.
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatalf("round trip:\n in:  %+v\n out: %+v", entries, got)
+	}
+	// Empty list round-trips as nil.
+	d = wirecodec.NewDecoder(AppendQuarEntries(nil, nil))
+	if got := ReadQuarEntries(d); got != nil || d.Finish() != nil {
+		t.Fatalf("empty list round trip: %v, %v", got, d.Err())
+	}
+}
+
+// FuzzDecodeShipBatch: the replication wire decoder must reject
+// malformed/truncated input with an error — never a panic — and
+// anything it accepts must re-encode canonically.
+func FuzzDecodeShipBatch(f *testing.F) {
+	f.Add(AppendShipBatch(nil, codecShipBatch()))
+	f.Add(AppendShipBatch(nil, ShipBatch{From: "x"}))
+	f.Add([]byte{})
+	f.Add([]byte{wirecodec.Version, 1, 'a', 0, 0, 0xff})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		b, err := DecodeShipBatch(in)
+		if err != nil {
+			return
+		}
+		again, err := DecodeShipBatch(AppendShipBatch(nil, b))
+		if err != nil || !reflect.DeepEqual(b, again) {
+			t.Fatalf("accepted batch does not round-trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+// Binary layouts for the store's wire-and-disk types, built on the
+// internal/wirecodec primitives. Alert is the single hottest record in
+// the system — every journal append, replication ship and promoted-
+// replica read moves it — so its layout is the one the journal's v2
+// segment format (journal.go) and replica.ShipBatch both reuse.
+// Elements are unversioned by design: the containers (a v2 segment's
+// header byte, a ship batch's leading version byte) carry the version.
+package store
+
+import (
+	"locheat/internal/wirecodec"
+)
+
+// AppendAlert appends a's binary encoding to dst.
+func AppendAlert(dst []byte, a Alert) []byte {
+	dst = wirecodec.AppendUvarint(dst, a.Seq)
+	dst = wirecodec.AppendString(dst, a.Detector)
+	dst = wirecodec.AppendUvarint(dst, a.UserID)
+	dst = wirecodec.AppendUvarint(dst, a.VenueID)
+	dst = wirecodec.AppendTime(dst, a.At)
+	dst = wirecodec.AppendString(dst, a.Detail)
+	return dst
+}
+
+// ReadAlert decodes one alert; failures stick to d (check d.Err or
+// d.Finish).
+func ReadAlert(d *wirecodec.Decoder) Alert {
+	return Alert{
+		Seq:      d.Uvarint(),
+		Detector: d.String(),
+		UserID:   d.Uvarint(),
+		VenueID:  d.Uvarint(),
+		At:       d.Time(),
+		Detail:   d.String(),
+	}
+}
+
+// AppendQuarantineRecord appends r's binary encoding to dst.
+func AppendQuarantineRecord(dst []byte, r QuarantineRecord) []byte {
+	dst = wirecodec.AppendUvarint(dst, r.UserID)
+	dst = wirecodec.AppendTime(dst, r.Since)
+	dst = wirecodec.AppendTime(dst, r.Until)
+	dst = wirecodec.AppendString(dst, r.Reason)
+	dst = wirecodec.AppendString(dst, r.Source)
+	return dst
+}
+
+// ReadQuarantineRecord decodes one record; failures stick to d.
+func ReadQuarantineRecord(d *wirecodec.Decoder) QuarantineRecord {
+	return QuarantineRecord{
+		UserID: d.Uvarint(),
+		Since:  d.Time(),
+		Until:  d.Time(),
+		Reason: d.String(),
+		Source: d.String(),
+	}
+}

@@ -5,9 +5,26 @@
 //	<dir>/alerts-00000002.seg   <- active (appends go here)
 //
 // Each record is a 4-byte big-endian length prefix followed by the
-// alert as JSON. Appends are buffered and fsynced in batches (every
-// FsyncEvery records, plus on rotation, Flush and Close), trading a
-// bounded tail-loss window for not paying an fsync per alert.
+// alert payload. The payload format is per segment:
+//
+//   - v1 (JournalFormatJSON): the alert as JSON, no file header — the
+//     original format, byte-identical to what pre-v2 builds wrote;
+//   - v2 (JournalFormatBinary): a 5-byte file header ("LCSG" magic +
+//     format byte) then alerts in the internal/wirecodec binary layout
+//     (store.AppendAlert) — ~4x smaller and an order of magnitude
+//     cheaper to encode than the JSON path.
+//
+// The format byte travels with the segment, not the journal: a dir of
+// v1 segments replays unchanged under a v2-capable reader, appends
+// extend the active segment in ITS format, and only rotation adopts
+// the configured format — so upgrading a deployment never rewrites or
+// strands history. (v1 detection is sound because a v1 file begins
+// with a length prefix whose first byte is always 0x00 — record sizes
+// are capped well below 2^24 — which can never collide with the magic.)
+//
+// Appends are buffered and fsynced in batches (every FsyncEvery
+// records, plus on rotation, Flush and Close), trading a bounded
+// tail-loss window for not paying an fsync per alert.
 //
 // Every retained record has a stable *global index*: record 0 is the
 // oldest record known at open and the index grows by one per append.
@@ -43,6 +60,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"locheat/internal/wirecodec"
 )
 
 const journalSegPattern = "alerts-%08d.seg"
@@ -51,6 +70,29 @@ const journalSegPattern = "alerts-%08d.seg"
 // corruption, not a record (guards replay against multi-GB allocations
 // from garbage prefixes).
 const maxAlertRecordBytes = 1 << 24
+
+// JournalFormat identifies a segment's record payload encoding.
+type JournalFormat byte
+
+const (
+	// JournalFormatJSON is the v1 format: headerless segment files of
+	// length-prefixed JSON alerts.
+	JournalFormatJSON JournalFormat = 1
+	// JournalFormatBinary is the v2 format: a segMagic+format header
+	// then length-prefixed binary alerts (AppendAlert).
+	JournalFormatBinary JournalFormat = 2
+)
+
+// segMagic leads every v2+ segment file, followed by the format byte.
+const segMagic = "LCSG"
+
+// segHeaderLen returns the file-header size for a segment format.
+func segHeaderLen(f JournalFormat) int64 {
+	if f == JournalFormatJSON {
+		return 0
+	}
+	return int64(len(segMagic)) + 1
+}
 
 // JournalConfig parameterizes OpenAlertJournal. Zero values take
 // defaults.
@@ -71,6 +113,12 @@ type JournalConfig struct {
 	// older records are served by paged segment reads off disk (0 =
 	// mirror the full retained history, the original behavior).
 	MirrorAlerts int
+	// Format is the record encoding NEW segments are created with
+	// (default JournalFormatBinary). Existing segments keep their own
+	// format — appends extend the active segment in its format, and
+	// replay reads each segment by its header — so any mix of v1 and
+	// v2 segments in one dir works.
+	Format JournalFormat
 	// Logf receives replay warnings (truncated tail, unreadable
 	// segment). Nil discards them.
 	Logf func(format string, args ...any)
@@ -85,6 +133,9 @@ func (c JournalConfig) withDefaults() JournalConfig {
 	}
 	if c.FsyncEvery <= 0 {
 		c.FsyncEvery = 64
+	}
+	if c.Format != JournalFormatJSON && c.Format != JournalFormatBinary {
+		c.Format = JournalFormatBinary
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -102,6 +153,11 @@ type journalSegment struct {
 	alerts int
 	minAt  time.Time
 	maxAt  time.Time
+	// format is the segment's record encoding, read from its header at
+	// replay (headerless = v1 JSON) or stamped at creation. 0 marks a
+	// segment whose header names a format this build does not know:
+	// its records are invisible and appends rotate past it.
+	format JournalFormat
 }
 
 // end returns the exclusive global index past the segment's records.
@@ -212,6 +268,32 @@ func (j *AlertJournal) replay() error {
 	return nil
 }
 
+// sniffSegmentFormat reads a segment file's format from its header and
+// leaves f positioned at the first record. Headerless files (including
+// files shorter than a header) are v1 JSON; a recognized magic with an
+// unknown format byte returns format 0 — readable by a future build,
+// invisible to this one.
+func sniffSegmentFormat(f *os.File) (JournalFormat, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			_, serr := f.Seek(0, io.SeekStart)
+			return JournalFormatJSON, serr
+		}
+		return 0, err
+	}
+	if string(hdr[:4]) != segMagic {
+		_, err := f.Seek(0, io.SeekStart)
+		return JournalFormatJSON, err
+	}
+	switch ft := JournalFormat(hdr[4]); ft {
+	case JournalFormatBinary:
+		return ft, nil
+	default:
+		return 0, nil
+	}
+}
+
 // replaySegment reads one segment into the mirror (and its index
 // entry). Damage in the final segment truncates the file back to the
 // last whole record; damage in an earlier segment only skips that
@@ -223,7 +305,18 @@ func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool) error {
 		return fmt.Errorf("alert journal: replay %s: %w", seg.path, err)
 	}
 	defer f.Close()
-	off, damaged := decodeRecords(f, func(a Alert) {
+	seg.format, err = sniffSegmentFormat(f)
+	if err != nil {
+		return fmt.Errorf("alert journal: replay %s: %w", seg.path, err)
+	}
+	if seg.format == 0 {
+		// A future format. Leave the file alone — its records are simply
+		// not served by this build — and let openActive rotate past it.
+		j.replayErrors++
+		j.cfg.Logf("alert journal: %s: unknown segment format; its records are skipped", seg.path)
+		return nil
+	}
+	off, damaged := decodeRecords(f, seg.format, func(a Alert) {
 		j.recent = append(j.recent, a)
 		seg.alerts++
 		seg.observe(a.At)
@@ -237,18 +330,20 @@ func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool) error {
 	j.replayErrors++
 	j.cfg.Logf("alert journal: %s: damaged record at offset %d; keeping %d alerts", seg.path, off, seg.alerts)
 	if isLast {
-		if err := os.Truncate(seg.path, off); err != nil {
+		if err := os.Truncate(seg.path, segHeaderLen(seg.format)+off); err != nil {
 			return fmt.Errorf("alert journal: truncate damaged tail of %s: %w", seg.path, err)
 		}
 	}
 	return nil
 }
 
-// decodeRecords streams length-prefixed alert records from r, calling
-// fn per good record. It returns the byte offset past the last whole
-// record and whether the stream ended in damage (anything but clean
-// EOF on a record boundary).
-func decodeRecords(r io.Reader, fn func(Alert)) (off int64, damaged bool) {
+// decodeRecords streams length-prefixed alert records from r (already
+// positioned past any segment header), decoding payloads per format
+// and calling fn per good record. It returns the byte offset past the
+// last whole record, relative to the first record, and whether the
+// stream ended in damage (anything but clean EOF on a record
+// boundary).
+func decodeRecords(r io.Reader, format JournalFormat, fn func(Alert)) (off int64, damaged bool) {
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -263,7 +358,13 @@ func decodeRecords(r io.Reader, fn func(Alert)) (off int64, damaged bool) {
 			return off, true // torn record body
 		}
 		var a Alert
-		if err := json.Unmarshal(buf, &a); err != nil {
+		if format == JournalFormatBinary {
+			d := wirecodec.NewDecoder(buf)
+			a = ReadAlert(d)
+			if d.Finish() != nil {
+				return off, true // corrupt record
+			}
+		} else if err := json.Unmarshal(buf, &a); err != nil {
 			return off, true // corrupt record
 		}
 		off += 4 + int64(n)
@@ -272,7 +373,10 @@ func decodeRecords(r io.Reader, fn func(Alert)) (off int64, damaged bool) {
 }
 
 // openActive positions the journal to append: reuse the newest segment
-// if it has room, else start a fresh one.
+// if it has room (appends continue in that segment's own format, so a
+// pre-upgrade v1 tail keeps its JSON records), else start a fresh one
+// in the configured format. A newest segment in a format this build
+// cannot write is never extended — rotate past it.
 func (j *AlertJournal) openActive() error {
 	if n := len(j.segments); n > 0 {
 		seg := j.segments[n-1]
@@ -280,7 +384,7 @@ func (j *AlertJournal) openActive() error {
 		if err != nil {
 			return fmt.Errorf("alert journal: %w", err)
 		}
-		if info.Size() < j.cfg.SegmentBytes {
+		if info.Size() < j.cfg.SegmentBytes && seg.format != 0 {
 			f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return fmt.Errorf("alert journal: %w", err)
@@ -316,9 +420,16 @@ func (j *AlertJournal) rotateLocked() error {
 	if err != nil {
 		return fmt.Errorf("alert journal: %w", err)
 	}
-	j.segments = append(j.segments, journalSegment{index: next, path: path, first: first})
-	j.active = f
 	j.activeSz = 0
+	if hdr := segHeaderLen(j.cfg.Format); hdr > 0 {
+		if _, err := f.Write(append([]byte(segMagic), byte(j.cfg.Format))); err != nil {
+			f.Close()
+			return fmt.Errorf("alert journal: segment header: %w", err)
+		}
+		j.activeSz = hdr
+	}
+	j.segments = append(j.segments, journalSegment{index: next, path: path, first: first, format: j.cfg.Format})
+	j.active = f
 	// Retention: drop oldest segments, and any slice of the mirror they
 	// still cover, until we are back at the cap.
 	for len(j.segments) > j.cfg.MaxSegments {
@@ -361,8 +472,9 @@ func (j *AlertJournal) syncLocked() error {
 	return nil
 }
 
-// Append implements AlertStore: length-prefixed JSON onto the active
-// segment, fsync every FsyncEvery records, rotate past SegmentBytes.
+// Append implements AlertStore: one length-prefixed record onto the
+// active segment in its format, fsync every FsyncEvery records, rotate
+// past SegmentBytes.
 func (j *AlertJournal) Append(a Alert) error {
 	err := j.append(a)
 	if err == nil {
@@ -376,15 +488,99 @@ func (j *AlertJournal) Append(a Alert) error {
 	return err
 }
 
-func (j *AlertJournal) append(a Alert) error {
-	buf, err := json.Marshal(a)
-	if err != nil {
-		return fmt.Errorf("alert journal: marshal: %w", err)
+// AppendBatch appends alerts as one framed write per segment — the
+// replication apply path's bulk entry point, collapsing a batch's
+// per-record write syscalls into one. Returns how many records were
+// durably written (all of them unless an error cuts the batch short);
+// the fsync cadence counts the whole batch. The notify hook fires once
+// per batch.
+func (j *AlertJournal) AppendBatch(alerts []Alert) (int, error) {
+	if len(alerts) == 0 {
+		return 0, nil
 	}
-	rec := make([]byte, 4+len(buf))
-	binary.BigEndian.PutUint32(rec, uint32(len(buf)))
-	copy(rec[4:], buf)
+	n, err := j.appendBatch(alerts)
+	if n > 0 {
+		j.mu.Lock()
+		fn := j.notify
+		j.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+	}
+	return n, err
+}
 
+func (j *AlertJournal) appendBatch(alerts []Alert) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, fmt.Errorf("alert journal: closed")
+	}
+	if j.writeBroken {
+		return 0, fmt.Errorf("alert journal: write path broken by earlier failed append")
+	}
+	buf := wirecodec.GetBuffer()
+	defer wirecodec.PutBuffer(buf)
+	done := 0
+	for done < len(alerts) {
+		// Frame records until the active segment would fill, then write
+		// the run with ONE syscall and rotate if needed. The first
+		// record of a run is always admitted — the same write-then-
+		// rotate-on-crossing semantics as the single-record Append, so
+		// a pathological SegmentBytes can never refuse every record and
+		// rotate forever.
+		buf.B = buf.B[:0]
+		seg := &j.segments[len(j.segments)-1]
+		run := 0
+		for done+run < len(alerts) && (run == 0 || j.activeSz+int64(len(buf.B)) < j.cfg.SegmentBytes) {
+			start := len(buf.B)
+			buf.B = append(buf.B, 0, 0, 0, 0)
+			if seg.format == JournalFormatBinary {
+				buf.B = AppendAlert(buf.B, alerts[done+run])
+			} else {
+				jb, err := json.Marshal(alerts[done+run])
+				if err != nil {
+					return done, fmt.Errorf("alert journal: marshal: %w", err)
+				}
+				buf.B = append(buf.B, jb...)
+			}
+			binary.BigEndian.PutUint32(buf.B[start:], uint32(len(buf.B)-start-4))
+			run++
+		}
+		if _, err := j.active.Write(buf.B); err != nil {
+			// Same heal as append: cut back to the last whole-record
+			// boundary so the tail stays clean.
+			if terr := j.active.Truncate(j.activeSz); terr != nil {
+				j.writeBroken = true
+				return done, fmt.Errorf("alert journal: append batch: %w (and truncate failed: %v; journal write path disabled)", err, terr)
+			}
+			return done, fmt.Errorf("alert journal: append batch: %w", err)
+		}
+		j.activeSz += int64(len(buf.B))
+		for i := 0; i < run; i++ {
+			seg.alerts++
+			seg.observe(alerts[done+i].At)
+			j.recent = append(j.recent, alerts[done+i])
+		}
+		j.trimMirrorLocked()
+		j.appended += uint64(run)
+		j.unsynced += run
+		done += run
+		if j.unsynced >= j.cfg.FsyncEvery {
+			if err := j.syncLocked(); err != nil {
+				return done, err
+			}
+		}
+		if j.activeSz >= j.cfg.SegmentBytes {
+			if err := j.rotateLocked(); err != nil {
+				return done, err
+			}
+		}
+	}
+	return done, nil
+}
+
+func (j *AlertJournal) append(a Alert) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -393,6 +589,24 @@ func (j *AlertJournal) append(a Alert) error {
 	if j.writeBroken {
 		return fmt.Errorf("alert journal: write path broken by earlier failed append")
 	}
+	// The record is framed in a pooled buffer (reserve the length
+	// prefix, encode in place, backfill) so the steady-state append
+	// allocates nothing. Encoding happens under the lock because the
+	// format belongs to the ACTIVE segment, which rotation changes.
+	buf := wirecodec.GetBuffer()
+	defer wirecodec.PutBuffer(buf)
+	buf.B = append(buf.B, 0, 0, 0, 0)
+	if j.segments[len(j.segments)-1].format == JournalFormatBinary {
+		buf.B = AppendAlert(buf.B, a)
+	} else {
+		jb, err := json.Marshal(a)
+		if err != nil {
+			return fmt.Errorf("alert journal: marshal: %w", err)
+		}
+		buf.B = append(buf.B, jb...)
+	}
+	rec := buf.B
+	binary.BigEndian.PutUint32(rec, uint32(len(rec)-4))
 	if _, err := j.active.Write(rec); err != nil {
 		// A short write leaves torn bytes at the tail; appending after
 		// them would make the NEXT replay stop at the tear and truncate
@@ -477,8 +691,13 @@ func (j *AlertJournal) loadSegmentLocked(seg journalSegment) []Alert {
 		return nil
 	}
 	defer f.Close()
+	if _, err := f.Seek(segHeaderLen(seg.format), io.SeekStart); err != nil {
+		j.readErrors++
+		j.cfg.Logf("alert journal: page read %s: %v", seg.path, err)
+		return nil
+	}
 	out := make([]Alert, 0, seg.alerts)
-	decodeRecords(f, func(a Alert) { out = append(out, a) })
+	decodeRecords(f, seg.format, func(a Alert) { out = append(out, a) })
 	if len(out) > seg.alerts {
 		out = out[:seg.alerts] // records past the indexed count (concurrent append) stay invisible
 	}

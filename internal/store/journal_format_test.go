@@ -1,0 +1,213 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestJournalV1DirReplaysUnderV2Reader is the upgrade contract: a
+// journal directory written entirely in the v1 JSON format (what every
+// pre-upgrade build produced) must replay unchanged under the
+// v2-default reader, keep accepting appends — which extend the v1
+// active segment in ITS format — and only adopt the binary format at
+// rotation. The result is a mixed-format directory that replays in
+// full, in order.
+func TestJournalV1DirReplaysUnderV2Reader(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2011, 6, 20, 8, 0, 0, 0, time.UTC)
+
+	// A "pre-upgrade" journal: JSON segments, no headers.
+	j1, err := OpenAlertJournal(JournalConfig{Dir: dir, Format: JournalFormatJSON, FsyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		if err := j1.Append(mkAlert(uint64(i), uint64(i%5+1), "speed", t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "alerts-00000001.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft, _ := sniffSegmentFormat(f); ft != JournalFormatJSON {
+		t.Fatalf("v1 config wrote format %d segments", ft)
+	}
+	f.Close()
+
+	// The upgraded build opens the same dir with the binary default.
+	// Tiny segments force a rotation soon, so the dir goes mixed.
+	j2, err := OpenAlertJournal(JournalConfig{Dir: dir, SegmentBytes: 1 << 10, FsyncEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Stats(); st.Replayed != 40 || st.ReplayErrors != 0 {
+		t.Fatalf("v1 replay under v2 reader: %+v", st)
+	}
+	for i := 41; i <= 120; i++ {
+		if err := j2.Append(mkAlert(uint64(i), uint64(i%5+1), "speed", t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j2.Stats(); st.Segments < 2 {
+		t.Fatalf("rotation never happened (%d segments); the mixed-dir case is untested", st.Segments)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The newest segment is binary, the oldest is still v1.
+	newest := ""
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	f, err = os.Open(filepath.Join(dir, newest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft, _ := sniffSegmentFormat(f); ft != JournalFormatBinary {
+		t.Fatalf("rotated segment has format %d, want binary", ft)
+	}
+	f.Close()
+
+	// The mixed dir replays in full, ordered, with every record intact.
+	j3, err := OpenAlertJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	page, total := j3.Query(AlertQuery{})
+	if total != 120 || len(page) != 120 {
+		t.Fatalf("mixed-format replay: %d/%d records, want 120", total, len(page))
+	}
+	for i, a := range page {
+		if want := uint64(120 - i); a.Seq != want {
+			t.Fatalf("record %d out of order: seq %d, want %d", i, a.Seq, want)
+		}
+	}
+	if page[0].Detail == "" || page[119].Detail == "" {
+		t.Fatal("record bodies lost across formats")
+	}
+}
+
+// TestJournalAppendBatch: the bulk append must agree with record-at-a-
+// time appends — same indexes, same rotation, same replay — while
+// writing whole runs per syscall.
+func TestJournalAppendBatch(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2011, 6, 20, 8, 0, 0, 0, time.UTC)
+	// Tiny segments force several rotations inside one batch; retention
+	// is kept wide so every record survives to the replay check.
+	j, err := OpenAlertJournal(JournalConfig{Dir: dir, SegmentBytes: 1 << 9, MaxSegments: 64, FsyncEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []Alert
+	for i := 1; i <= 200; i++ {
+		batch = append(batch, mkAlert(uint64(i), uint64(i%7+1), "speed", t0.Add(time.Duration(i)*time.Second)))
+	}
+	notified := 0
+	j.SetAppendNotify(func() { notified++ })
+	n, err := j.AppendBatch(batch)
+	if err != nil || n != 200 {
+		t.Fatalf("batch append: n=%d err=%v", n, err)
+	}
+	if notified != 1 {
+		t.Fatalf("notify fired %d times for one batch, want 1", notified)
+	}
+	if next := j.NextIndex(); next != 200 {
+		t.Fatalf("next index %d, want 200", next)
+	}
+	if st := j.Stats(); st.Segments < 3 {
+		t.Fatalf("batch never rotated (%d segments)", st.Segments)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenAlertJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	page, total := j2.Query(AlertQuery{})
+	if total != 200 {
+		t.Fatalf("replayed %d, want 200", total)
+	}
+	for i, a := range page {
+		if want := uint64(200 - i); a.Seq != want {
+			t.Fatalf("record %d: seq %d, want %d", i, a.Seq, want)
+		}
+	}
+}
+
+// TestJournalAppendBatchPathologicalSegmentBytes: a SegmentBytes no
+// larger than the v2 header must not wedge the batch path — the first
+// record of a run is always admitted (write, then rotate on crossing),
+// matching the single-record Append.
+func TestJournalAppendBatchPathologicalSegmentBytes(t *testing.T) {
+	j, err := OpenAlertJournal(JournalConfig{Dir: t.TempDir(), SegmentBytes: 3, MaxSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	t0 := time.Date(2011, 6, 20, 8, 0, 0, 0, time.UTC)
+	var batch []Alert
+	for i := 1; i <= 10; i++ {
+		batch = append(batch, mkAlert(uint64(i), 1, "speed", t0))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if n, err := j.AppendBatch(batch); err != nil || n != 10 {
+			t.Errorf("batch append under tiny SegmentBytes: n=%d err=%v", n, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("AppendBatch wedged on a pathological SegmentBytes")
+	}
+}
+
+// TestJournalUnknownFormatSkippedNotDestroyed: a segment from a future
+// format is invisible to this build but must survive on disk, and
+// appends must rotate past it rather than extend it.
+func TestJournalUnknownFormatSkipped(t *testing.T) {
+	dir := t.TempDir()
+	future := filepath.Join(dir, "alerts-00000001.seg")
+	content := append([]byte(segMagic), 99 /* format from the future */, 1, 2, 3)
+	if err := os.WriteFile(future, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenAlertJournal(JournalConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Replayed != 0 || st.ReplayErrors != 1 || st.Segments != 2 {
+		t.Fatalf("unknown-format open: %+v (want 0 replayed, 1 replay error, rotated to 2 segments)", st)
+	}
+	if err := j.Append(mkAlert(1, 1, "speed", time.Date(2011, 6, 20, 8, 0, 0, 0, time.UTC))); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(content) {
+		t.Fatal("future-format segment was modified")
+	}
+}

@@ -170,9 +170,11 @@ func TestJournalReadFrom(t *testing.T) {
 	}
 
 	// A cursor older than retention clamps forward instead of erroring.
+	// (Binary records are ~4x smaller than the JSON originals; the
+	// segment size is shrunk to match so retention still kicks in.)
 	jr, err := OpenAlertJournal(JournalConfig{
 		Dir:          t.TempDir(),
-		SegmentBytes: 1 << 10,
+		SegmentBytes: 1 << 8,
 		MaxSegments:  2,
 		Logf:         t.Logf,
 	})

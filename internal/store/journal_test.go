@@ -153,6 +153,9 @@ func TestJournalTruncatedTailRecovered(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				if ft, err := sniffSegmentFormat(f); err != nil || ft != JournalFormatBinary {
+					t.Fatalf("default segment format %d, err %v", ft, err)
+				}
 				var sizes []int64
 				var lenBuf [4]byte
 				for {

@@ -1,0 +1,322 @@
+// Package wirecodec is the hot-path binary codec: the primitives every
+// byte-moving path in the system (cross-node forwarding, journal
+// replication, quarantine broadcast, handoff, and the on-disk journal's
+// v2 record format) encodes with instead of encoding/json.
+//
+// The package deliberately holds only the *mechanics* — append-style
+// encoders over pooled buffers and a bounds-checked sticky-error
+// decoder. The per-type layouts live next to the types they encode
+// (store.AppendAlert, replica.AppendShipBatch, cluster's codec.go), so
+// the dependency order of the layers is preserved: wirecodec sits at
+// the bottom and imports nothing from the repo.
+//
+// Design rules, shared by every layout built on these primitives:
+//
+//   - top-level messages lead with a version byte (Version) so the
+//     format can evolve; containers are versioned, elements are not;
+//   - variable-length fields are uvarint-length-prefixed;
+//   - times are an instant (presence byte + UnixNano varint, decoded
+//     UTC) — the same information JSON's RFC3339 carries, minus the
+//     redundant zone rendering;
+//   - decoding malformed or truncated input must return an error and
+//     never panic or over-allocate: every length is checked against
+//     the remaining input before use (see Decoder.Count), which is
+//     what makes the decoder safe to fuzz and to face the network.
+//
+// On the wire the codec is negotiated per peer via the Content-Type
+// ContentTypeBinary with JSON fallback, so a mixed-version cluster
+// interoperates during a rolling upgrade (see internal/cluster).
+package wirecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// ContentTypeBinary is the HTTP Content-Type announcing (and carrying)
+// this codec on the cluster's internal wire. A receiver that does not
+// speak it answers 415 and the sender falls back to JSON.
+const ContentTypeBinary = "application/x-locheat-bin"
+
+// Version is the current codec version. Every top-level message starts
+// with this byte; decoders reject others. It also doubles as the
+// first-byte discriminator against JSON payloads ('{' = 0x7b), which
+// is how format-sniffing readers (the outbox spill) tell them apart.
+const Version byte = 1
+
+// ErrMalformed is the sticky decoder error for any structural damage:
+// short input, oversized length prefix, bad version or enum byte,
+// trailing garbage.
+var ErrMalformed = errors.New("wirecodec: malformed input")
+
+// maxPooledBuffer caps the buffers returned to the pool; encoding a
+// pathological batch must not pin its high-water mark forever.
+const maxPooledBuffer = 1 << 20
+
+// Buffer is a reusable encode/read buffer. Callers append to B (the
+// Append* helpers return the grown slice) and must not retain B after
+// Put.
+type Buffer struct{ B []byte }
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 512)} }}
+
+// GetBuffer returns an empty pooled buffer.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuffer returns a buffer to the pool. Oversized buffers are
+// dropped instead so one huge message does not become permanent
+// per-P memory.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.B) > maxPooledBuffer {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// ReadFrom fills the buffer from r until EOF (the pooled replacement
+// for io.ReadAll on request bodies).
+func (b *Buffer) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	for {
+		if len(b.B) == cap(b.B) {
+			b.B = append(b.B, 0)[:len(b.B)]
+		}
+		n, err := r.Read(b.B[len(b.B):cap(b.B)])
+		b.B = b.B[:len(b.B)+n]
+		total += int64(n)
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// --- append-style encoders ---------------------------------------------
+
+// AppendUvarint appends v in unsigned varint form.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// AppendVarint appends v in zig-zag varint form.
+func AppendVarint(dst []byte, v int64) []byte { return binary.AppendVarint(dst, v) }
+
+// AppendBool appends a single 0/1 byte.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendString appends a uvarint length prefix followed by the bytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a uvarint length prefix followed by the bytes.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendF64 appends the IEEE-754 bits big-endian.
+func AppendF64(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendTime appends an instant: presence byte, then UnixNano as a
+// varint. The zero time round-trips as zero; non-zero times decode as
+// the same instant in UTC (zone rendering is JSON baggage the wire
+// does not pay for). Instants outside the int64-nanosecond range
+// (years ≲1678 / ≳2262) are not representable — nothing in this
+// system produces them.
+func AppendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.AppendVarint(dst, t.UnixNano())
+}
+
+// --- bounds-checked decoder --------------------------------------------
+
+// Decoder consumes a byte slice with a sticky error: after the first
+// structural failure every read returns a zero value and Err reports
+// the failure, so per-field error plumbing disappears from the type
+// codecs. Strings and byte slices are copied out — decoded values
+// never alias the (possibly pooled) input buffer.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps buf for decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the sticky error, nil while the input has been
+// well-formed so far.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the unconsumed byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrMalformed
+	}
+}
+
+// Version consumes and checks the leading message version byte.
+func (d *Decoder) Version() {
+	if d.Byte() != Version {
+		d.fail()
+	}
+}
+
+// Byte consumes one byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Uvarint consumes an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint consumes a zig-zag varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Bool consumes a 0/1 byte; anything else is malformed.
+func (d *Decoder) Bool() bool {
+	switch d.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail()
+		return false
+	}
+}
+
+// take consumes n raw bytes, bounds-checked.
+func (d *Decoder) take(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// String consumes a length-prefixed string (copied out of the buffer).
+func (d *Decoder) String() string {
+	return string(d.take(d.Uvarint()))
+}
+
+// Bytes consumes a length-prefixed byte slice (copied out of the
+// buffer, so the result survives the input buffer's reuse).
+func (d *Decoder) Bytes() []byte {
+	b := d.take(d.Uvarint())
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// F64 consumes 8 big-endian IEEE-754 bytes.
+func (d *Decoder) F64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// Time consumes an instant written by AppendTime, in UTC.
+func (d *Decoder) Time() time.Time {
+	if !d.Bool() {
+		return time.Time{}
+	}
+	ns := d.Varint()
+	if d.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// Count consumes a collection length and rejects any count that cannot
+// possibly fit in the remaining input at elemMin bytes per element —
+// the guard that keeps a malicious length prefix from turning into a
+// multi-gigabyte allocation before the first element even fails to
+// parse.
+func (d *Decoder) Count(elemMin int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n > uint64(d.Remaining()/elemMin) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// Finish reports the terminal decode verdict: the sticky error if any,
+// or ErrMalformed when well-formed fields were followed by trailing
+// garbage (a message must be exactly its encoding).
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return ErrMalformed
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package wirecodec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	at := time.Date(2011, 6, 20, 12, 30, 45, 987654321, time.UTC)
+	var b []byte
+	b = append(b, Version)
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<63)
+	b = AppendVarint(b, -42)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendString(b, "hello, wire")
+	b = AppendString(b, "")
+	b = AppendBytes(b, []byte{0, 1, 2, 0xff})
+	b = AppendF64(b, -122.4194)
+	b = AppendTime(b, at)
+	b = AppendTime(b, time.Time{})
+
+	d := NewDecoder(b)
+	d.Version()
+	if got := d.Uvarint(); got != 0 {
+		t.Fatalf("uvarint 0 = %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<63 {
+		t.Fatalf("uvarint 2^63 = %d", got)
+	}
+	if got := d.Varint(); got != -42 {
+		t.Fatalf("varint -42 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bools flipped")
+	}
+	if got := d.String(); got != "hello, wire" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("empty string = %q", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{0, 1, 2, 0xff}) {
+		t.Fatalf("bytes = %v", got)
+	}
+	if got := d.F64(); got != -122.4194 {
+		t.Fatalf("f64 = %v", got)
+	}
+	if got := d.Time(); !got.Equal(at) {
+		t.Fatalf("time = %v, want %v", got, at)
+	}
+	if got := d.Time(); !got.IsZero() {
+		t.Fatalf("zero time = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+// TestDecoderBytesOutliveBuffer pins the copy-out contract: decoded
+// strings and byte slices must survive the input buffer being reused
+// (the handlers decode out of pooled buffers).
+func TestDecoderBytesOutliveBuffer(t *testing.T) {
+	var b []byte
+	b = AppendString(b, "stage-name")
+	b = AppendBytes(b, []byte("blob"))
+	d := NewDecoder(b)
+	s, blob := d.String(), d.Bytes()
+	for i := range b {
+		b[i] = 0xee
+	}
+	if s != "stage-name" || string(blob) != "blob" {
+		t.Fatalf("decoded values aliased the input: %q %q", s, blob)
+	}
+}
+
+// TestDecoderRejectsDamage: every strict prefix of a valid message is
+// truncation and must error; trailing garbage must error; a bool byte
+// outside 0/1 must error; none may panic.
+func TestDecoderRejectsDamage(t *testing.T) {
+	var b []byte
+	b = append(b, Version)
+	b = AppendString(b, "payload")
+	b = AppendUvarint(b, 7)
+	b = AppendTime(b, time.Date(2011, 1, 2, 3, 4, 5, 6, time.UTC))
+	decode := func(in []byte) error {
+		d := NewDecoder(in)
+		d.Version()
+		_ = d.String()
+		_ = d.Uvarint()
+		_ = d.Time()
+		return d.Finish()
+	}
+	if err := decode(b); err != nil {
+		t.Fatalf("valid message rejected: %v", err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if err := decode(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(b))
+		}
+	}
+	if err := decode(append(append([]byte{}, b...), 0xaa)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if d := NewDecoder([]byte{2}); d.Bool() || d.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+// TestCountGuardsAllocation: a length prefix claiming more elements
+// than the remaining input could hold must fail BEFORE any per-element
+// allocation happens.
+func TestCountGuardsAllocation(t *testing.T) {
+	b := AppendUvarint(nil, 1<<40) // claims a trillion elements, carries none
+	d := NewDecoder(b)
+	if n := d.Count(8); n != 0 || d.Err() == nil {
+		t.Fatalf("oversized count passed: n=%d err=%v", n, d.Err())
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	b := GetBuffer()
+	b.B = AppendString(b.B, "x")
+	PutBuffer(b)
+	b2 := GetBuffer()
+	if len(b2.B) != 0 {
+		t.Fatal("pooled buffer not reset")
+	}
+	if _, err := b2.ReadFrom(strings.NewReader(strings.Repeat("y", 9000))); err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.B) != 9000 {
+		t.Fatalf("ReadFrom read %d bytes, want 9000", len(b2.B))
+	}
+	PutBuffer(b2)
+}
+
+// FuzzDecoder drives the primitive decoder over arbitrary input: it
+// must never panic, and every length it honors must fit the input (no
+// oversized allocations).
+func FuzzDecoder(f *testing.F) {
+	var seed []byte
+	seed = append(seed, Version)
+	seed = AppendString(seed, "seed")
+	seed = AppendUvarint(seed, 123)
+	seed = AppendTime(seed, time.Date(2011, 6, 20, 0, 0, 0, 0, time.UTC))
+	seed = AppendF64(seed, 1.5)
+	seed = AppendBool(seed, true)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{Version, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		d := NewDecoder(in)
+		d.Version()
+		_ = d.String()
+		_ = d.Uvarint()
+		_ = d.Time()
+		_ = d.F64()
+		_ = d.Bool()
+		_ = d.Bytes()
+		_ = d.Count(4)
+		_ = d.Finish() // may be nil for coincidentally valid input; must not panic
+	})
+}
