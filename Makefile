@@ -3,11 +3,14 @@
 GO ?= go
 
 # The perf-trajectory benchmarks: the three byte-moving hot paths the
-# binary codec PR (PR 5) committed to tracking. `make bench` runs them
-# with allocation accounting and snapshots the parsed results to
-# BENCH_PR5.json so successive PRs can diff throughput mechanically.
-BENCH_PATTERN := BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend
-BENCH_OUT     := BENCH_PR5.json
+# binary codec PR (PR 5) committed to tracking, plus the telemetry
+# overhead benches the observability PR (PR 6) added (obs on vs off on
+# the journal and pipeline hot paths, and the /metrics scrape cost).
+# `make bench` runs them with allocation accounting and snapshots the
+# parsed results to BENCH_PR6.json so successive PRs can diff
+# throughput mechanically against BENCH_PR5.json.
+BENCH_PATTERN := BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend|BenchmarkObs
+BENCH_OUT     := BENCH_PR6.json
 
 .PHONY: build test test-race bench fmt vet
 

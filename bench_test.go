@@ -5,6 +5,7 @@
 package locheat_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -27,6 +28,7 @@ import (
 	"locheat/internal/geo"
 	"locheat/internal/lbsn"
 	"locheat/internal/nmea"
+	"locheat/internal/obs"
 	"locheat/internal/replica"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
@@ -866,5 +868,115 @@ func BenchmarkWorldGeneration(b *testing.B) {
 		if len(w.Users) != 2000 {
 			b.Fatal("bad world")
 		}
+	}
+}
+
+// BenchmarkObsOverheadJournalAppend measures what the telemetry tier
+// costs the durable alert path: the same v2-binary fsync-64 append,
+// with and without a registry attached. "off" exercises the nil-handle
+// fast path every unobserved deployment takes; the delta is the price
+// of the append/fsync histograms and journal counters.
+func BenchmarkObsOverheadJournalAppend(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := store.JournalConfig{Dir: b.TempDir(), FsyncEvery: 64}
+			if mode == "on" {
+				cfg.Obs = obs.NewRegistry()
+			}
+			j, err := store.OpenAlertJournal(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append(journalBenchAlert(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "alerts/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverheadStreamPipeline measures the telemetry cost of the
+// detection hot path end to end: publish → stage chain → (no store),
+// with and without the per-stage latency histograms, detection-latency
+// stamping and read-through counters armed. Throughput counts processed
+// events, so the delta covers both the Publish-side stamp and the
+// worker-side stage timing.
+func BenchmarkObsOverheadStreamPipeline(b *testing.B) {
+	base := geo.Point{Lat: 40.8136, Lon: -96.7026}
+	t0 := simclock.Epoch()
+	const ringSize = 1 << 12
+	events := make([]lbsn.CheckinEvent, ringSize)
+	for i := range events {
+		loc := base.Destination(float64(i%360), float64(200+i%1600))
+		events[i] = lbsn.CheckinEvent{
+			UserID:   lbsn.UserID(i%2048 + 1),
+			VenueID:  lbsn.VenueID(i%4096 + 1),
+			At:       t0.Add(time.Duration(i) * 41 * time.Second),
+			Venue:    loc,
+			Reported: loc,
+			Accepted: true,
+		}
+	}
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := stream.Config{Shards: 4, ShardBuffer: 1 << 14, Clock: simclock.NewSimulated(t0)}
+			if mode == "on" {
+				cfg.Obs = obs.NewRegistry()
+			}
+			p := stream.New(cfg)
+			defer p.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := events[i%ringSize]
+				ev.At = ev.At.Add(time.Duration(i/ringSize) * 7 * 24 * time.Hour)
+				for !p.Publish(ev) {
+					runtime.Gosched()
+				}
+			}
+			for p.Stats().Processed < uint64(b.N) {
+				runtime.Gosched()
+			}
+			elapsed := b.Elapsed()
+			b.StopTimer()
+			if secs := elapsed.Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "events/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkObsScrape measures one full /metrics render over a registry
+// populated like a busy node's — the cost a Prometheus scrape interval
+// imposes on the daemon.
+func BenchmarkObsScrape(b *testing.B) {
+	reg := obs.NewRegistry()
+	cfg := stream.Config{Shards: 4, Clock: simclock.NewSimulated(simclock.Epoch()), Obs: reg}
+	p := stream.New(cfg)
+	defer p.Close()
+	h := reg.Histogram("locheat_detection_latency_seconds_bench", "bench fill", obs.Seconds)
+	for i := 0; i < 100_000; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := reg.WritePrometheus(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if buf.Len() == 0 {
+		b.Fatal("empty scrape")
 	}
 }

@@ -14,6 +14,7 @@
 //	      [-cluster-node ID] [-cluster-peers ID=URL,...] [-cluster-listen :9101]
 //	      [-journal-mirror 0] [-replica-factor 1] [-outbox-bytes 4194304]
 //	      [-cluster-json] [-journal-json] [-pprof 127.0.0.1:6060]
+//	      [-mutexprofile 0] [-blockprofile 0]
 //
 // The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
 // can be pointed at a hardened instance. With -api-key the developer
@@ -60,8 +61,15 @@
 // mixed-version cluster interoperates during a rolling upgrade), and
 // the journal writes its v2 binary segment format; -cluster-json and
 // -journal-json pin either back to JSON. With -pprof the daemon serves
-// net/http/pprof on a separate listener — keep it on loopback, it is
-// unauthenticated.
+// net/http/pprof (plus a second /metrics scrape) on a separate listener
+// — keep it on loopback, it is unauthenticated; -mutexprofile and
+// -blockprofile arm the corresponding runtime profiles.
+//
+// Every tier reports into a zero-allocation telemetry registry exposed
+// as Prometheus text on GET /metrics, with GET /healthz (liveness) and
+// GET /readyz (readiness: journal replayed and writable, cluster seat
+// held) beside it — all three are on the public listener regardless of
+// -api-key.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP server
 // drains, then the pipeline processes every queued event before final
@@ -78,6 +86,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -85,6 +94,7 @@ import (
 	"locheat/internal/api"
 	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
+	"locheat/internal/obs"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
 	"locheat/internal/stream"
@@ -97,6 +107,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbsnd:", err)
 		os.Exit(1)
 	}
+}
+
+// pprofMetricsOnce guards the DefaultServeMux registration — ServeMux
+// panics on a duplicate pattern and run is re-entrant in tests.
+var pprofMetricsOnce sync.Once
+
+func registerPprofMetrics(reg *obs.Registry) {
+	pprofMetricsOnce.Do(func() {
+		http.DefaultServeMux.Handle("/metrics", reg.Handler())
+	})
 }
 
 func run(args []string) error {
@@ -129,6 +149,8 @@ func run(args []string) error {
 	clusterJSON := fs.Bool("cluster-json", false, "pin the cluster wire to JSON: neither send nor accept the binary codec (rolling-upgrade escape hatch)")
 	journalJSON := fs.Bool("journal-json", false, "write new journal segments in the v1 JSON format instead of v2 binary (either way old segments replay as-is)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for profiling (unauthenticated; keep it loopback, e.g. 127.0.0.1:6060); empty = off")
+	mutexProfile := fs.Int("mutexprofile", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off; needs -pprof)")
+	blockProfile := fs.Int("blockprofile", 0, "sample blocking events >= N ns for /debug/pprof/block (0 = off; needs -pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,13 +162,27 @@ func run(args []string) error {
 		return fmt.Errorf("-replica-factor %d needs -cluster-node and -journal-dir (replication ships the alert journal between cluster nodes)", *replicaFactor)
 	}
 
+	// reg is the node's telemetry registry: every tier registers into it
+	// and both scrape surfaces (/metrics on the public listener and on
+	// the pprof listener) read from it.
+	reg := obs.NewRegistry()
+
+	if *mutexProfile > 0 {
+		runtime.SetMutexProfileFraction(*mutexProfile)
+	}
+	if *blockProfile > 0 {
+		runtime.SetBlockProfileRate(*blockProfile)
+	}
 	if *pprofAddr != "" {
 		// net/http/pprof registers on http.DefaultServeMux, which nothing
 		// else in the daemon serves — the profiling surface stays off the
-		// public listener. Failure to bind is logged, not fatal: losing
-		// profiling must not take detection down.
+		// public listener. /metrics rides the same mux so an operator can
+		// scrape a node whose public listener is wedged. Failure to bind
+		// is logged, not fatal: losing profiling must not take detection
+		// down.
+		registerPprofMetrics(reg)
 		go func() {
-			fmt.Printf("pprof: profiling surface on http://%s/debug/pprof/\n", *pprofAddr)
+			fmt.Printf("pprof: profiling surface on http://%s/debug/pprof/ (plus /metrics)\n", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "lbsnd: pprof:", err)
 			}
@@ -160,6 +196,7 @@ func run(args []string) error {
 	if err := world.LoadInto(svc); err != nil {
 		return err
 	}
+	svc.RegisterObs(reg)
 
 	// errc carries a fatal listener failure from either server (public
 	// or cluster-internal): a node that cannot bind its cluster surface
@@ -190,6 +227,7 @@ func run(args []string) error {
 				FsyncEvery:   *journalFsync,
 				MirrorAlerts: *journalMirror,
 				Format:       format,
+				Obs:          reg,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
 				},
@@ -207,6 +245,7 @@ func run(args []string) error {
 			ShardBuffer: *streamBuffer,
 			Clock:       clock,
 			Store:       alertStore,
+			Obs:         reg,
 		})
 		observer := func(ev lbsn.CheckinEvent) { pipeline.Publish(ev) }
 		if *clusterNode != "" {
@@ -239,6 +278,7 @@ func run(args []string) error {
 				Peers:             peers,
 				Replica:           replicaOpts,
 				DisableBinaryWire: *clusterJSON,
+				Obs:               reg,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
 				},
@@ -333,7 +373,27 @@ func run(args []string) error {
 		opts = append(opts, web.WithoutWhosBeenHere())
 	}
 	site := web.NewServer(svc, clock, opts...)
-	var handler http.Handler = site
+	// The operational surface always mounts, API key or not: /metrics is
+	// the registry scrape, /healthz is liveness (the process answers),
+	// /readyz is readiness — replay finished (the journal opens only
+	// after replaying), the journal still writable, and the cluster seat
+	// held (not mid-leave).
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if journal != nil && !journal.WriteHealthy() {
+			http.Error(w, "journal not writable", http.StatusServiceUnavailable)
+			return
+		}
+		if clusterN != nil && !clusterN.Ready() {
+			http.Error(w, "leaving cluster", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
 	if *apiKey != "" {
 		apiSrv := api.NewServer(svc)
 		apiSrv.IssueKey(*apiKey)
@@ -346,15 +406,15 @@ func run(args []string) error {
 		if clusterN != nil {
 			apiSrv.AttachCluster(clusterN)
 		}
-		mux := http.NewServeMux()
+		apiSrv.AttachObs(reg)
 		mux.Handle("/api/v1/", apiSrv)
-		mux.Handle("/", site)
-		handler = mux
 		fmt.Printf("developer API mounted at /api/v1 (key %q)\n", *apiKey)
 		if pipeline != nil {
 			fmt.Printf("alerts: GET /api/v1/alerts (paginated), /api/v1/alerts/stats, /api/v1/quarantine\n")
 		}
 	}
+	mux.Handle("/", site)
+	var handler http.Handler = mux
 
 	fmt.Printf("serving %d users / %d venues on %s\n", svc.UserCount(), svc.VenueCount(), *addr)
 	fmt.Printf("try: curl http://localhost%s/user/1  and  /venue/1\n", *addr)

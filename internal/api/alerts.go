@@ -9,6 +9,7 @@ import (
 
 	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
+	"locheat/internal/obs"
 	"locheat/internal/store"
 	"locheat/internal/stream"
 )
@@ -75,6 +76,10 @@ type StreamStatsResponse struct {
 	Windows    []stream.WindowStats      `json:"windows"`
 	Quarantine QuarantineStatsResponse   `json:"quarantine"`
 	Cluster    *cluster.ClusterStatsView `json:"cluster,omitempty"`
+	// Obs carries the latency summaries (count/sum/p50/p99/p999) from
+	// the node's telemetry registry, keyed by metric series — the same
+	// registry /metrics scrapes, so both surfaces read the same memory.
+	Obs map[string]obs.Summary `json:"obs,omitempty"`
 }
 
 // AttachPipeline mounts the alert endpoints over p. Call once, before
@@ -90,6 +95,14 @@ func (s *Server) AttachPipeline(p *stream.Pipeline) {
 func (s *Server) AttachQuarantinePolicy(p *lbsn.QuarantinePolicy) {
 	s.mu.Lock()
 	s.policy = p
+	s.mu.Unlock()
+}
+
+// AttachObs surfaces the telemetry registry's histogram summaries on
+// /alerts/stats. Optional; nil detaches.
+func (s *Server) AttachObs(reg *obs.Registry) {
+	s.mu.Lock()
+	s.obs = reg
 	s.mu.Unlock()
 }
 
@@ -183,7 +196,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	p, pol := s.pipeline, s.policy
+	p, pol, reg := s.pipeline, s.policy, s.obs
 	s.mu.Unlock()
 	if p == nil {
 		writeError(w, http.StatusServiceUnavailable, "no stream pipeline attached")
@@ -199,6 +212,9 @@ func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
 	if pol != nil {
 		st := pol.Stats()
 		resp.Quarantine.Policy = &st
+	}
+	if reg != nil {
+		resp.Obs = reg.Summaries()
 	}
 	if b := s.clusterBackend(); b != nil && !scopeLocal(r) {
 		view := b.ClusterStats()

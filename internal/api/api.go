@@ -28,6 +28,7 @@ import (
 
 	"locheat/internal/geo"
 	"locheat/internal/lbsn"
+	"locheat/internal/obs"
 	"locheat/internal/stream"
 )
 
@@ -48,6 +49,7 @@ type Server struct {
 	pipeline *stream.Pipeline
 	policy   *lbsn.QuarantinePolicy
 	cluster  ClusterBackend
+	obs      *obs.Registry
 
 	served   int
 	rejected int

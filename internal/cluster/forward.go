@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locheat/internal/obs"
 	"locheat/internal/wirecodec"
 )
 
@@ -43,6 +44,10 @@ type ForwarderConfig struct {
 	Spill func(addr string, events []WireEvent) int
 	// Logf receives forwarding errors. Nil discards.
 	Logf func(format string, args ...any)
+	// Obs registers forwarding telemetry: batch size and POST latency
+	// histograms plus read-through counters over the same atomics
+	// Stats() reports. Nil forwards unobserved.
+	Obs *obs.Registry
 }
 
 func (c ForwarderConfig) withDefaults() ForwarderConfig {
@@ -112,16 +117,49 @@ type Forwarder struct {
 	sent          atomic.Uint64
 	errors        atomic.Uint64
 	remoteDropped atomic.Uint64
+
+	// fwdLat/fwdBatch are nil without ForwarderConfig.Obs.
+	fwdLat   *obs.Histogram
+	fwdBatch *obs.Histogram
 }
 
 // NewForwarder builds a forwarder identifying itself as self in batch
 // envelopes.
 func NewForwarder(self string, cfg ForwarderConfig) *Forwarder {
-	return &Forwarder{
+	f := &Forwarder{
 		self:   self,
 		cfg:    cfg.withDefaults(),
 		queues: make(map[string]*peerQueue),
 	}
+	f.registerObs(f.cfg.Obs)
+	return f
+}
+
+// registerObs exposes the forwarding tier on reg: read-through counters
+// over the Stats() atomics plus acked-POST latency and size histograms.
+// No-op on a nil registry.
+func (f *Forwarder) registerObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("locheat_cluster_forward_enqueued_total",
+		"events accepted into a peer forwarding queue", f.enqueued.Load)
+	reg.CounterFunc("locheat_cluster_forward_dropped_total",
+		"events lost to a full queue or unspillable failure", f.dropped.Load)
+	reg.CounterFunc("locheat_cluster_forward_spilled_total",
+		"events handed to the outbox instead of being dropped", f.spilled.Load)
+	reg.CounterFunc("locheat_cluster_forward_batches_total",
+		"successful forward POSTs", f.batches.Load)
+	reg.CounterFunc("locheat_cluster_forward_sent_total",
+		"events delivered by successful forward POSTs", f.sent.Load)
+	reg.CounterFunc("locheat_cluster_forward_errors_total",
+		"failed forward POSTs", f.errors.Load)
+	reg.CounterFunc("locheat_cluster_forward_remote_dropped_total",
+		"forwarded events the owner's shard queue refused", f.remoteDropped.Load)
+	f.fwdLat = reg.Histogram("locheat_cluster_forward_latency_seconds",
+		"round trip of one acked forward POST", obs.Seconds)
+	f.fwdBatch = reg.Histogram("locheat_cluster_forward_batch_records",
+		"events per acked forward POST", obs.Units)
 }
 
 // Enqueue offers one event for delivery to the peer at addr. Never
@@ -267,6 +305,10 @@ func (f *Forwarder) postOnce(addr string, batch []WireEvent, binary bool) (int, 
 			return 0, false
 		}
 	}
+	var start time.Time
+	if f.fwdLat != nil {
+		start = time.Now()
+	}
 	resp, err := f.cfg.HTTP.Post(addr+"/cluster/v1/ingest", contentType, bytes.NewReader(body))
 	if err != nil {
 		f.errors.Add(1)
@@ -292,6 +334,8 @@ func (f *Forwarder) postOnce(addr string, batch []WireEvent, binary bool) (int, 
 	}
 	f.batches.Add(1)
 	f.sent.Add(uint64(len(batch)))
+	f.fwdLat.ObserveSince(start)
+	f.fwdBatch.Observe(int64(len(batch)))
 	return resp.StatusCode, true
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"locheat/internal/obs"
 	"locheat/internal/simclock"
 )
 
@@ -50,6 +51,11 @@ type MembershipConfig struct {
 	ProbeReply func(peer Member, pr PingResponse)
 	// Logf receives membership transitions. Nil discards.
 	Logf func(format string, args ...any)
+	// Obs registers failure-detector telemetry: heartbeat RTT histogram
+	// plus per-peer liveness and codec-negotiation gauges (labelled by
+	// peer ID, bounded by the static cluster definition). Nil probes
+	// unobserved.
+	Obs *obs.Registry
 }
 
 func (c MembershipConfig) withDefaults() MembershipConfig {
@@ -109,6 +115,9 @@ type Membership struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	// rtt is nil without MembershipConfig.Obs.
+	rtt *obs.Histogram
 }
 
 // NewMembership builds the membership view. Peers containing self (by
@@ -132,7 +141,41 @@ func NewMembership(self Member, peers []Member, cfg MembershipConfig) *Membershi
 		}
 		m.peers[p.ID] = &peerState{member: p, alive: true, lastSeen: now}
 	}
+	m.registerObs(cfg.Obs)
 	return m
+}
+
+// registerObs exposes the failure detector on reg: probe RTTs plus one
+// liveness gauge and one codec-negotiation gauge per configured peer.
+// The peer set is static, so the label cardinality is the cluster size.
+// No-op on a nil registry.
+func (m *Membership) registerObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.rtt = reg.Histogram("locheat_cluster_heartbeat_rtt_seconds",
+		"round trip of one successful heartbeat probe", obs.Seconds)
+	reg.GaugeFunc("locheat_cluster_live_members",
+		"members in the current live set, self included",
+		func() float64 { return float64(len(m.Live())) })
+	peek := func(id string, read func(*peerState) bool) func() float64 {
+		return func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if p, ok := m.peers[id]; ok && read(p) {
+				return 1
+			}
+			return 0
+		}
+	}
+	for id := range m.peers {
+		reg.GaugeFunc("locheat_cluster_peer_alive",
+			"1 while the peer answers heartbeats",
+			peek(id, func(p *peerState) bool { return p.alive }), "peer", id)
+		reg.GaugeFunc("locheat_cluster_peer_binary",
+			"1 while the peer's heartbeats advertise the binary wire codec",
+			peek(id, func(p *peerState) bool { return p.binary }), "peer", id)
+	}
 }
 
 // OnChange installs the live-set transition hook. Call before Start;
@@ -378,6 +421,10 @@ func (m *Membership) notify() {
 // peer's advertised codec and hands the response to the ProbeReply
 // hook.
 func (m *Membership) ping(peer Member, body []byte, bodyCT string) bool {
+	var start time.Time
+	if m.rtt != nil {
+		start = time.Now()
+	}
 	var resp *http.Response
 	var err error
 	if body != nil {
@@ -399,6 +446,7 @@ func (m *Membership) ping(peer Member, body []byte, bodyCT string) bool {
 	if pr.Node != peer.ID {
 		return false
 	}
+	m.rtt.ObserveSince(start)
 	m.mu.Lock()
 	if p, ok := m.peers[peer.ID]; ok {
 		p.binary = pr.Codec == binaryCodecName

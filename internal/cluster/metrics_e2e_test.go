@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/obs"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+)
+
+// obsNode is one journal-backed cluster member with its own telemetry
+// registry — the full wiring cmd/lbsnd does, including replication.
+type obsNode struct {
+	id       string
+	reg      *obs.Registry
+	pipeline *stream.Pipeline
+	node     *Node
+}
+
+// startObsCluster boots n journal-backed nodes (replica factor 2) each
+// reporting into its own registry. The memory-store startCluster harness
+// cannot exercise ship lag — shipping needs a real journal behind the
+// pipeline — which is why this one exists.
+func startObsCluster(t *testing.T, ids []string, users int) map[string]*obsNode {
+	t.Helper()
+	type boot struct {
+		late *lateHandler
+		addr string
+	}
+	boots := make(map[string]*boot, len(ids))
+	var peers []Member
+	for _, id := range ids {
+		late := &lateHandler{}
+		srv := httptest.NewServer(late)
+		t.Cleanup(srv.Close)
+		boots[id] = &boot{late: late, addr: srv.URL}
+		peers = append(peers, Member{ID: id, Addr: srv.URL})
+	}
+
+	nodes := make(map[string]*obsNode, len(ids))
+	for _, id := range ids {
+		reg := obs.NewRegistry()
+		clock := simclock.NewSimulated(simclock.Epoch())
+		svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+		svc.RegisterObs(reg)
+		for u := 0; u < users; u++ {
+			svc.RegisterUser("user", "", "SF")
+		}
+		dir := t.TempDir()
+		journal, err := store.OpenAlertJournal(store.JournalConfig{Dir: dir, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { journal.Close() })
+		pipeline := stream.New(stream.Config{Shards: 2, Clock: clock, Store: journal, Obs: reg})
+		node, err := NewNode(svc, pipeline, Config{
+			Self:  Member{ID: id, Addr: boots[id].addr},
+			Peers: peers,
+			Forward: ForwarderConfig{
+				BatchSize:  1,
+				FlushEvery: 5 * time.Millisecond,
+			},
+			Membership: MembershipConfig{
+				HeartbeatEvery: 100 * time.Millisecond,
+				FailAfter:      300 * time.Millisecond,
+				Clock:          clock,
+			},
+			Replica: ReplicaOptions{Dir: dir, Factor: 2, ShipInterval: 10 * time.Millisecond},
+			Obs:     reg,
+			Logf:    t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		boots[id].late.set(node.Handler())
+		nodes[id] = &obsNode{id: id, reg: reg, pipeline: pipeline, node: node}
+		t.Cleanup(pipeline.Close)
+	}
+	return nodes
+}
+
+// count reads one series' observation count from the node's registry.
+func (n *obsNode) count(t *testing.T, series string) uint64 {
+	t.Helper()
+	s, ok := n.reg.Summaries()[series]
+	if !ok {
+		t.Fatalf("series %s not registered on %s", series, n.id)
+	}
+	return s.Count
+}
+
+// TestMetricsEndToEnd drives impossible-travel traffic through a
+// 3-node journal-backed cluster and asserts the headline telemetry is
+// live: the owner's detection-latency histogram and ship-lag histogram
+// both record observations, the forward/propagation paths count, and
+// every node's /metrics output parses as valid Prometheus text.
+func TestMetricsEndToEnd(t *testing.T) {
+	const users = 300
+	nodes := startObsCluster(t, []string{"n1", "n2", "n3"}, users)
+	n1, n2 := nodes["n1"], nodes["n2"]
+
+	user := userOwnedBy(t, n1.node, "n2", users)
+	t0 := simclock.Epoch()
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+
+	// Ingest at a non-owner: SF then NY 10 minutes later — impossible
+	// travel the owner's pipeline must flag (and journal, and ship).
+	if !n1.node.Ingest(clusterEvent(user, t0, sf)) {
+		t.Fatal("ingest refused")
+	}
+	n1.node.Ingest(clusterEvent(user, t0.Add(10*time.Minute), ny))
+
+	eventually(t, "speed alert journaled on owner n2", func() bool {
+		_, total := n2.pipeline.Alerts(store.AlertQuery{UserID: user, Detector: stream.StageSpeed})
+		return total > 0
+	})
+
+	// Detection latency was observed on the owner, end to end.
+	eventually(t, "detection-latency observations on n2", func() bool {
+		return n2.count(t, "locheat_detection_latency_seconds") > 0
+	})
+	if s := n2.reg.Summaries()["locheat_detection_latency_seconds"]; s.P99 <= 0 {
+		t.Fatalf("detection latency p99 = %v, want > 0", s.P99)
+	}
+
+	// The journal append was shipped to n2's ring successor and the
+	// append-to-replicated lag window closed.
+	eventually(t, "ship-lag observations on n2", func() bool {
+		return n2.count(t, "locheat_replica_ship_lag_seconds") > 0
+	})
+	if n2.count(t, "locheat_journal_append_seconds") == 0 {
+		t.Fatal("owner journaled an alert without observing append latency")
+	}
+
+	// The forward path counted on the ingesting node.
+	if n1.count(t, "locheat_cluster_forward_batch_records") == 0 {
+		t.Fatal("n1 forwarded events without observing a batch")
+	}
+
+	// Quarantine on the owner propagates; a remote node observes the
+	// propagation histogram when it applies the broadcast entry.
+	if err := nodes["n2"].node.svc.Quarantine(lbsn.UserID(user), time.Hour, "metrics e2e", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "quarantine propagation observed on a remote node", func() bool {
+		return n1.count(t, "locheat_quarantine_propagation_seconds") > 0 ||
+			nodes["n3"].count(t, "locheat_quarantine_propagation_seconds") > 0
+	})
+
+	// Every node's scrape output is valid Prometheus exposition text
+	// and carries the cross-tier series the dashboards key on.
+	for _, n := range nodes {
+		var buf bytes.Buffer
+		if err := n.reg.WritePrometheus(&buf); err != nil {
+			t.Fatalf("scrape %s: %v", n.id, err)
+		}
+		text := buf.String()
+		if err := obs.LintPrometheusText(text); err != nil {
+			t.Fatalf("scrape %s is not valid exposition text: %v", n.id, err)
+		}
+		for _, series := range []string{
+			"locheat_detection_latency_seconds_count",
+			"locheat_replica_ship_lag_seconds_count",
+			"locheat_stream_published_total",
+			"locheat_cluster_forward_batches_total",
+			"locheat_journal_append_seconds_count",
+			"locheat_lbsn_quarantine_active",
+			"locheat_quarantine_propagation_seconds_count",
+		} {
+			if !strings.Contains(text, series) {
+				t.Fatalf("scrape %s missing series %s", n.id, series)
+			}
+		}
+	}
+}

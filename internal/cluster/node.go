@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"locheat/internal/lbsn"
+	"locheat/internal/obs"
 	"locheat/internal/replica"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
@@ -46,6 +47,10 @@ type Config struct {
 	HTTP *http.Client
 	// Logf receives cluster events. Nil discards.
 	Logf func(format string, args ...any)
+	// Obs registers the cluster tier's telemetry (forwarding, ingest,
+	// handoff, scatter, heartbeats, replication) and is threaded into
+	// the forwarder, membership and shipper. Nil runs unobserved.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +168,15 @@ type Node struct {
 
 	scatterQueries    atomic.Uint64
 	scatterPeerErrors atomic.Uint64
+
+	// Replication-tier instrumentation (nil without Config.Obs):
+	// quarProp is the quarantine-propagation histogram (origin stamp →
+	// remote apply), bcastFanout counts per-peer broadcast sends, and
+	// antiRepairs counts entries installed by digest anti-entropy.
+	quarProp       *obs.Histogram
+	bcastFanout    *obs.Counter
+	antiRepairs    *obs.Counter
+	outboxReplayed *obs.Counter
 }
 
 // NewNode builds a node over the local service and pipeline. The node
@@ -200,6 +214,7 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 	// The forwarder asks per POST whether its destination advertised
 	// the binary codec (learned from heartbeats, below).
 	fwdCfg.Binary = n.peerBinaryAddr
+	fwdCfg.Obs = cfg.Obs
 	n.fwd = NewForwarder(cfg.Self.ID, fwdCfg)
 	// Heartbeat probes carry the quarantine digest out and bring repair
 	// entries (plus codec advertisements) back — steady-state
@@ -208,11 +223,87 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 	mcfg := n.cfg.Membership
 	mcfg.ProbePayload = n.heartbeatPayload
 	mcfg.ProbeReply = n.heartbeatReply
+	mcfg.Obs = cfg.Obs
 	n.members = NewMembership(cfg.Self, cfg.Peers, mcfg)
 	n.members.OnChange(n.rebalance)
 	n.ring = NewRing(memberIDs(n.members.Live()), cfg.VirtualNodes)
 	n.refreshFollowers(n.ring)
+	n.registerObs(cfg.Obs)
 	return n, nil
+}
+
+// registerObs exposes the node's routing, handoff, scatter and
+// replication counters as read-through metrics over the same atomics
+// Status() reports. No-op on a nil registry.
+func (n *Node) registerObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	load := func(v *atomic.Uint64) func() uint64 {
+		return v.Load
+	}
+	reg.CounterFunc("locheat_cluster_ingest_local_total",
+		"events ingested for locally-owned users", load(&n.ingestLocal))
+	reg.CounterFunc("locheat_cluster_ingest_forwarded_total",
+		"events routed toward a peer's queue", load(&n.ingestFwd))
+	reg.CounterFunc("locheat_cluster_ingest_received_total",
+		"events received from peers over /cluster/v1/ingest", load(&n.ingestRecv))
+	reg.CounterFunc("locheat_cluster_ingest_accepted_total",
+		"received events accepted by the local pipeline", load(&n.ingestAccepted))
+	reg.CounterFunc("locheat_cluster_ingest_dropped_total",
+		"received events refused by the local pipeline", load(&n.ingestDropped))
+	reg.CounterFunc("locheat_cluster_ingest_duplicates_total",
+		"forwarded deliveries deduped as outbox replays", load(&n.dupDropped))
+	reg.CounterFunc("locheat_cluster_handoff_sent_users_total",
+		"users whose detector state was handed to a new owner", load(&n.hoSentUsers))
+	reg.CounterFunc("locheat_cluster_handoff_recv_users_total",
+		"users whose detector state arrived from a departing owner", load(&n.hoRecvUsers))
+	reg.CounterFunc("locheat_cluster_handoff_errors_total",
+		"handoff bundles that failed to send", load(&n.hoSendErrors))
+	reg.CounterFunc("locheat_cluster_scatter_queries_total",
+		"merged scatter-gather queries served", load(&n.scatterQueries))
+	// The satellite fix: per-node scatter failures were only visible in
+	// X-Cluster-Failed response headers; this counter makes partial
+	// merged views scrapeable.
+	reg.CounterFunc("locheat_cluster_scatter_failures_total",
+		"per-peer failures while assembling merged scatter-gather views", load(&n.scatterPeerErrors))
+	reg.CounterFunc("locheat_replica_broadcast_send_errors_total",
+		"failed quarantine-broadcast posts", load(&n.bcastSendErrs))
+
+	n.quarProp = reg.Histogram("locheat_quarantine_propagation_seconds",
+		"quarantine propagation: origin broadcast stamp to remote apply", obs.Seconds)
+	n.bcastFanout = reg.Counter("locheat_replica_broadcast_fanout_total",
+		"per-peer quarantine broadcast sends attempted")
+	n.antiRepairs = reg.Counter("locheat_replica_antientropy_repairs_total",
+		"quarantine entries installed by digest anti-entropy")
+	n.outboxReplayed = reg.Counter("locheat_cluster_outbox_replayed_total",
+		"spilled events replayed from the outbox to a recovered peer")
+
+	if n.bcast != nil {
+		reg.CounterFunc("locheat_replica_broadcast_originated_total",
+			"quarantine transitions originated locally",
+			func() uint64 { return n.bcast.Stats().Originated })
+		reg.CounterFunc("locheat_replica_broadcast_applied_total",
+			"remote quarantine entries applied locally",
+			func() uint64 { return n.bcast.Stats().Applied })
+	}
+	if n.outbox != nil {
+		reg.GaugeFunc("locheat_cluster_outbox_queued",
+			"spilled events waiting in the on-disk outbox",
+			func() float64 { return float64(n.outbox.Stats().Queued) })
+		reg.CounterFunc("locheat_cluster_outbox_spilled_total",
+			"payloads accepted onto the on-disk outbox",
+			func() uint64 { return n.outbox.Stats().Spilled })
+	}
+}
+
+// Ready reports whether the node is serving its seat in the cluster:
+// constructed, not in the middle of leaving. The daemon's /readyz
+// reads it.
+func (n *Node) Ready() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return !n.leaving
 }
 
 // spillForward journals events the forwarder would lose, keyed by the
@@ -520,6 +611,7 @@ func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost && n.bcast != nil {
 		if qb, err := n.decodeQuarBody(r); err == nil {
 			pr.Digest, pr.Applied = n.bcast.MergeDigest(qb.Entries)
+			n.antiRepairs.Add(uint64(pr.Applied))
 		}
 	}
 	writeJSON(w, http.StatusOK, pr)

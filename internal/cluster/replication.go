@@ -157,6 +157,7 @@ func (n *Node) initReplication() error {
 			BatchSize:   opts.ShipBatch,
 			Interval:    opts.ShipInterval,
 			Logf:        n.cfg.Logf,
+			Obs:         n.cfg.Obs,
 		})
 		j.SetAppendNotify(n.shipper.Notify)
 	}
@@ -171,6 +172,13 @@ func (n *Node) initReplication() error {
 // into the broadcaster, which suppresses it (applying-set), so remote
 // state is enforced without being re-originated.
 func (n *Node) applyQuarEntry(e replica.QuarEntry) {
+	// Propagation latency: the originator stamped the entry at its local
+	// transition (UnixNano, monotonic-bumped); applying it here closes
+	// the window. Echo-suppressed local entries never reach this hook
+	// with a foreign origin, so the self check is enough.
+	if n.quarProp != nil && e.Origin != n.cfg.Self.ID {
+		n.quarProp.Observe(time.Now().UnixNano() - e.Stamp)
+	}
 	if e.Active {
 		n.svc.SetQuarantineRecord(e.Record)
 		return
@@ -185,6 +193,7 @@ func (n *Node) applyQuarEntry(e replica.QuarEntry) {
 func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
 	qb := QuarBroadcast{From: n.cfg.Self.ID, Entries: entries}
 	for _, peer := range n.members.LivePeers() {
+		n.bcastFanout.Inc()
 		resp, err := n.postNegotiated(peer.Addr, "/cluster/v1/quarbcast", peer.ID,
 			func(dst []byte) []byte { return encodeQuarBroadcast(dst, qb) }, qb)
 		if err != nil {
@@ -336,7 +345,7 @@ func (n *Node) SyncQuarantines() {
 			n.bcastSendErrs.Add(1)
 			continue
 		}
-		n.bcast.ApplyRemote(dr.Entries)
+		n.antiRepairs.Add(uint64(n.bcast.ApplyRemote(dr.Entries)))
 	}
 }
 
@@ -370,6 +379,7 @@ func (n *Node) ReplayOutbox() (delivered, requeued int) {
 		delivered += d
 		requeued += r
 	}
+	n.outboxReplayed.Add(uint64(delivered))
 	if delivered > 0 || requeued > 0 {
 		n.cfg.Logf("cluster: outbox replay: %d delivered, %d requeued", delivered, requeued)
 	}
@@ -389,6 +399,7 @@ func (n *Node) replayOutboxPeer(id string) (delivered, requeued int) {
 	}
 	defer n.replaying.Store(false)
 	delivered, requeued = n.outbox.Drain(id, n.deliverSpill)
+	n.outboxReplayed.Add(uint64(delivered))
 	if delivered > 0 || requeued > 0 {
 		n.cfg.Logf("cluster: outbox replay to %s: %d delivered, %d requeued", id, delivered, requeued)
 	}
@@ -422,7 +433,7 @@ func (n *Node) heartbeatPayload() ([]byte, string) {
 // unreachable); the rebalance that follows a revival replays the rest.
 func (n *Node) heartbeatReply(peer Member, pr PingResponse) {
 	if n.bcast != nil && len(pr.Digest) > 0 {
-		n.bcast.ApplyRemote(pr.Digest)
+		n.antiRepairs.Add(uint64(n.bcast.ApplyRemote(pr.Digest)))
 	}
 	if n.outbox != nil && n.outbox.Depth(peer.ID) > 0 {
 		n.replayOutboxPeer(peer.ID)
@@ -581,6 +592,7 @@ func (n *Node) handleQuarDigest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reply, applied := n.bcast.MergeDigest(qb.Entries)
+	n.antiRepairs.Add(uint64(applied))
 	writeJSON(w, http.StatusOK, QuarDigestResponse{Node: n.cfg.Self.ID, Applied: applied, Entries: reply})
 }
 

@@ -29,6 +29,13 @@ type CheckinEvent struct {
 	// Reason is the deny reason for rejected attempts, empty when
 	// Accepted.
 	Reason DenyReason
+	// IngestedAt is the wall-clock instant the event entered a
+	// pipeline, stamped by the first Publish that sees it zero and
+	// read back when an alert it caused is appended — the two ends of
+	// the end-to-end detection-latency histogram. It never crosses
+	// the wire (WireEvent omits it): a forwarded event is re-stamped
+	// by the owner, and the forward hop is measured separately.
+	IngestedAt time.Time `json:"-"`
 }
 
 // CheckinObserver receives every check-in attempt the service

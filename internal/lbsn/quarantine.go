@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"locheat/internal/obs"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
 )
@@ -49,6 +50,9 @@ type QuarantineStats struct {
 	Active int `json:"active"`
 	// Issued counts Quarantine calls (manual and policy).
 	Issued int `json:"issued"`
+	// Released counts quarantines lifted early via Unquarantine
+	// (lazy expiry is not a release — it is not an operator action).
+	Released int `json:"released"`
 	// DeniedCheckins counts check-ins refused because of quarantine.
 	DeniedCheckins int `json:"deniedCheckins"`
 }
@@ -112,6 +116,9 @@ func (s *Service) Unquarantine(id UserID) bool {
 	e, ok := s.quarantined[id]
 	active := ok && e.until.After(s.clock.Now())
 	delete(s.quarantined, id)
+	if ok {
+		s.quarantinesReleased++
+	}
 	notify, listeners := s.onQuarantineChange, s.quarChangeListeners
 	s.mu.Unlock()
 	if ok {
@@ -304,8 +311,31 @@ func (s *Service) QuarantineStats() QuarantineStats {
 	return QuarantineStats{
 		Active:         active,
 		Issued:         s.quarantinesIssued,
+		Released:       s.quarantinesReleased,
 		DeniedCheckins: s.quarantineDenied,
 	}
+}
+
+// RegisterObs exposes the quarantine tier on reg via read-through
+// functions over the same counters QuarantineStats reports — the
+// scrape surface and the stats API cannot disagree. Safe on a nil
+// registry.
+func (s *Service) RegisterObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("locheat_lbsn_quarantine_adds_total",
+		"quarantines issued locally (manual and policy; remote installs are counted by the propagation histogram)",
+		func() uint64 { return uint64(s.QuarantineStats().Issued) })
+	reg.CounterFunc("locheat_lbsn_quarantine_releases_total",
+		"quarantines lifted early via Unquarantine",
+		func() uint64 { return uint64(s.QuarantineStats().Released) })
+	reg.CounterFunc("locheat_lbsn_quarantine_denies_total",
+		"check-ins denied because the user was quarantined",
+		func() uint64 { return uint64(s.QuarantineStats().DeniedCheckins) })
+	reg.GaugeFunc("locheat_lbsn_quarantine_active",
+		"users currently quarantined",
+		func() float64 { return float64(s.QuarantineStats().Active) })
 }
 
 // checkQuarantine is the CheckIn gate. Called with s.mu held; returns

@@ -83,9 +83,10 @@ type Service struct {
 
 	// quarantined holds the §2.3 access-control state fed back from
 	// detection (see quarantine.go); expired entries are reaped lazily.
-	quarantined       map[UserID]quarantineEntry
-	quarantinesIssued int
-	quarantineDenied  int
+	quarantined         map[UserID]quarantineEntry
+	quarantinesIssued   int
+	quarantinesReleased int
+	quarantineDenied    int
 	// onQuarantineChange fires (outside the lock) after the quarantine
 	// set changes; the daemon hooks snapshot persistence here.
 	// quarChangeListeners receive the per-transition detail the cluster

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The core record benchmarks back the ISSUE acceptance bar: hot-path
+// instrumentation at 0 allocs/op. Run with -benchmem.
+
+func BenchmarkObsCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", Seconds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*37 + 1)
+	}
+}
+
+func BenchmarkObsHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", Seconds)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			h.Observe(i*37 + 1)
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserveSince(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", Seconds)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(start)
+	}
+}
+
+func BenchmarkObsNilHandles(b *testing.B) {
+	var c *Counter
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkObsWritePrometheus(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 8; i++ {
+		reg.Counter("bench_processed_total", "", "shard", string(rune('0'+i))).Add(uint64(i))
+		reg.Histogram("bench_stage_seconds", "", Seconds, "shard", string(rune('0'+i))).Observe(int64(i + 1))
+	}
+	b.ReportAllocs()
+	var sb strings.Builder
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		if err := reg.WritePrometheus(&sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Scale constants for Registry.Histogram.
+const (
+	// Seconds exports nanosecond observations as seconds — the
+	// Prometheus base unit for durations.
+	Seconds = 1e-9
+	// Units exports observations as-is (batch sizes, record counts).
+	Units = 1.0
+)
+
+// Bucket layout: values 0..3 get exact buckets; above that each
+// power-of-two range [2^(m-1), 2^m) splits into 4 linear sub-buckets
+// of width 2^(m-3). That bounds the relative quantile error at 25%
+// (bucket width / range floor) while covering the full uint64 domain
+// in a fixed 252-slot array — no per-histogram configuration, and
+// snapshots from different shards or nodes merge by plain addition.
+const (
+	histBuckets = 4 + 4*62 // 0..3 exact, then 4 sub-buckets per power of two up to 2^64
+	histShards  = 4        // power of two; Observe picks one with the cheap RNG
+)
+
+// bucketIndex maps a value to its bucket. Inverse of bucketBounds.
+func bucketIndex(v uint64) int {
+	if v < 4 {
+		return int(v)
+	}
+	m := uint(bits.Len64(v)) // v in [2^(m-1), 2^m), m >= 3
+	sub := (v >> (m - 3)) & 3
+	return 4*(int(m)-2) + int(sub)
+}
+
+// bucketBounds returns the inclusive [lo, hi] range of bucket i.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < 4 {
+		return uint64(i), uint64(i)
+	}
+	m := uint(i/4 + 2)
+	sub := uint64(i % 4)
+	step := uint64(1) << (m - 3)
+	lo = uint64(1)<<(m-1) + sub*step
+	return lo, lo + step - 1
+}
+
+// histShard is one stripe of a histogram. Each shard is its own cache
+// region (2KB of buckets), so concurrent recorders spread across
+// shards rarely contend on a line.
+type histShard struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Histogram is a sharded, log-bucketed histogram of non-negative
+// integer observations (typically nanoseconds). A nil Histogram is a
+// no-op. Construct through Registry.Histogram.
+type Histogram struct {
+	scale  float64
+	shards [histShards]histShard
+}
+
+func newHistogram(scale float64) *Histogram {
+	if scale == 0 {
+		scale = Units
+	}
+	return &Histogram{scale: scale}
+}
+
+// Observe records one value. Negative values clamp to zero. Zero
+// allocations, three atomic adds, no locks.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	var u uint64
+	if v > 0 {
+		u = uint64(v)
+	}
+	sh := &h.shards[stripeIdx(histShards-1)]
+	sh.buckets[bucketIndex(u)].Add(1)
+	sh.count.Add(1)
+	sh.sum.Add(u)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the nanoseconds elapsed since start. A zero
+// start is ignored — callers stamp opportunistically and this guard
+// keeps unstamped events out of the distribution.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets.
+// Snapshots merge by addition: across shards (Snapshot already does
+// that), across histograms, or across nodes.
+type HistogramSnapshot struct {
+	Scale   float64
+	Count   uint64
+	Sum     uint64 // raw units (pre-scale)
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot merges the shard stripes into one snapshot. Concurrent
+// Observe calls may land between stripe reads; the snapshot is a
+// consistent-enough moment view, same as any scrape.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		s.Scale = Units
+		return s
+	}
+	s.Scale = h.scale
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Count += sh.count.Load()
+		s.Sum += sh.sum.Load()
+		for b := range sh.buckets {
+			s.Buckets[b] += sh.buckets[b].Load()
+		}
+	}
+	return s
+}
+
+// Merge adds o into s. Scales must match (they do for snapshots of
+// the same metric, which is the only sensible merge).
+func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// SumScaled is the sum of observations in the exported unit.
+func (s *HistogramSnapshot) SumScaled() float64 {
+	return float64(s.Sum) * s.Scale
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in the exported
+// unit, interpolating linearly inside the landing bucket — accurate
+// to the bucket's 25% relative width. Returns 0 for an empty
+// snapshot so JSON surfaces never see NaN; the Prometheus encoder
+// emits NaN for empty summaries itself.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+float64(n) >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / float64(n)
+			v := float64(lo) + frac*float64(hi-lo)
+			return v * s.Scale
+		}
+		cum += float64(n)
+	}
+	// Unreachable when counts are consistent; fall back to the top.
+	lo, _ := bucketBounds(histBuckets - 1)
+	return float64(lo) * s.Scale
+}

@@ -1,0 +1,337 @@
+// Package obs is the daemon's dependency-free metrics core: sharded
+// atomic counters and gauges, log-bucketed latency histograms with
+// mergeable snapshots, and a registry that renders the whole set as
+// Prometheus text exposition format.
+//
+// The design goal is that instrumentation can sit directly on the
+// hot paths the codec tier opened up (500k+ ev/s forwarding, journal
+// appends): every record call — Counter.Add, Gauge.Set,
+// Histogram.Observe — is zero-alloc and lock-free, striped across
+// padded atomics so concurrent shards don't bounce a cache line.
+//
+// Handles are nil-safe: calling Add/Set/Observe on a nil *Counter,
+// *Gauge or *Histogram is a no-op. Tiers therefore instrument
+// unconditionally and "observability off" is simply a nil *Registry —
+// no branches or build tags on the hot path beyond the nil check the
+// inliner folds away.
+//
+// For metrics the tiers already count (pipeline atomics, forwarder
+// totals, journal stats) the registry supports read-through
+// registration via CounterFunc/GaugeFunc: /metrics reads the very
+// same atomics /alerts/stats reports, so the two surfaces cannot
+// disagree and the hot path pays nothing it wasn't already paying.
+package obs
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// stripes is the number of padded atomic cells a Counter spreads its
+// increments across. Must be a power of two: the stripe pick is a
+// single AND off the per-P cheap RNG.
+const stripes = 8
+
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte // pad to a cache line so stripes never share one
+}
+
+// stripeIdx picks a stripe with the runtime's per-P ChaCha8 generator
+// (math/rand/v2 global functions): lock-free, alloc-free, a few ns.
+// Distribution quality is irrelevant — any spreading defeats the
+// cache-line ping-pong.
+func stripeIdx(mask uint64) uint64 { return rand.Uint64() & mask }
+
+// Counter is a monotonically increasing sharded counter. The zero
+// value is ready to use; a nil Counter is a no-op.
+type Counter struct {
+	s [stripes]paddedUint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.s[stripeIdx(stripes-1)].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes. It is safe to call concurrently with Add;
+// the result is a moment-in-time lower bound, like any counter read.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.s {
+		total += c.s[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous value that can go up and down. The zero
+// value is ready to use; a nil Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		// Histograms export as precomputed-quantile summaries: the
+		// 252-bucket layout would bloat the scrape, and the quantiles
+		// are what the acceptance criteria and dashboards read.
+		return "summary"
+	}
+}
+
+// sameSeries reports whether two kinds may share a metric name in one
+// exposition group (Prometheus requires a single TYPE per name).
+func compatibleKinds(a, b metricKind) bool { return a.promType() == b.promType() }
+
+type metric struct {
+	name   string
+	help   string
+	labels string // pre-rendered `{k="v",...}` or ""
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	cfn     func() uint64
+	gfn     func() float64
+	hist    *Histogram
+}
+
+// series is the full sample identity: name + rendered labels.
+func (m *metric) series() string { return m.name + m.labels }
+
+// Registry holds a process's metrics. Registration (not recording) is
+// the synchronized slow path; it is get-or-create, so re-registering
+// the same name+labels returns the prior handle — tiers that rebuild
+// on membership change (follower gauges, peer gauges) just register
+// again. A nil *Registry returns nil handles, turning every record
+// call downstream into a no-op.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byKey   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// renderLabels turns k,v pairs into a canonical `{k="v",...}` block.
+// Pairs are sorted by key so the same label set always renders — and
+// therefore dedupes — identically.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: labels must be key,value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register is the shared get-or-create. make builds a fresh metric if
+// the series is new; update (optional) refreshes an existing one —
+// func metrics replace their closure so rebuilt tiers don't serve
+// stale captures.
+func (r *Registry) register(name, help string, kv []string, kind metricKind,
+	make func() *metric, update func(*metric)) *metric {
+	labels := renderLabels(kv)
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %v, was %v", key, kind, m.kind))
+		}
+		if update != nil {
+			update(m)
+		}
+		return m
+	}
+	// A name shared across label sets must keep one exposition type.
+	for _, m := range r.metrics {
+		if m.name == name && !compatibleKinds(m.kind, kind) {
+			panic(fmt.Sprintf("obs: %s registered as both %s and %s",
+				name, m.kind.promType(), kind.promType()))
+		}
+	}
+	m := make()
+	m.name, m.help, m.labels, m.kind = name, help, labels, kind
+	r.byKey[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or finds) a counter. kv are label key,value
+// pairs; keep values from small fixed sets (shard indexes, stage
+// names, peer IDs) — never user IDs — so cardinality stays bounded.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, kv, kindCounter, func() *metric {
+		return &metric{counter: &Counter{}}
+	}, nil)
+	return m.counter
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, kv, kindGauge, func() *metric {
+		return &metric{gauge: &Gauge{}}
+	}, nil)
+	return m.gauge
+}
+
+// CounterFunc registers a read-through counter: the value is fn() at
+// scrape time. Use it to expose totals a tier already counts in its
+// own atomics, so /metrics and the tier's stats API literally read
+// the same memory.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, kv ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kv, kindCounterFunc, func() *metric {
+		return &metric{cfn: fn}
+	}, func(m *metric) { m.cfn = fn })
+}
+
+// GaugeFunc registers a read-through gauge sampled at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kv, kindGaugeFunc, func() *metric {
+		return &metric{gfn: fn}
+	}, func(m *metric) { m.gfn = fn })
+}
+
+// Histogram registers (or finds) a histogram. scale converts the raw
+// observed integers into the exported unit — pass obs.Seconds for
+// durations observed in nanoseconds, obs.Units for plain quantities.
+func (r *Registry) Histogram(name, help string, scale float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, kv, kindHistogram, func() *metric {
+		return &metric{hist: newHistogram(scale)}
+	}, nil)
+	return m.hist
+}
+
+// Summary is a histogram digest for JSON surfaces (/alerts/stats):
+// the same snapshot /metrics quantiles come from.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Summaries digests every registered histogram, keyed by series name
+// (name plus rendered labels).
+func (r *Registry) Summaries() map[string]Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make(map[string]Summary)
+	for _, m := range metrics {
+		if m.kind != kindHistogram {
+			continue
+		}
+		s := m.hist.Snapshot()
+		out[m.series()] = Summary{
+			Count: s.Count,
+			Sum:   s.SumScaled(),
+			P50:   s.Quantile(0.5),
+			P99:   s.Quantile(0.99),
+			P999:  s.Quantile(0.999),
+		}
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every probe value must land in a bucket whose bounds contain it,
+	// and bucket indexes must be monotone in the value.
+	probes := []uint64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1000,
+		1 << 20, (1 << 20) + 12345, 1 << 40, math.MaxUint64/2 + 1, math.MaxUint64}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		probes = append(probes, rng.Uint64())
+	}
+	prevIdx := -1
+	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+	for _, v := range probes {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if idx < prevIdx {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prevIdx)
+		}
+		prevIdx = idx
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d]", v, idx, lo, hi)
+		}
+	}
+	// Bounds must tile the domain without gaps or overlaps.
+	var next uint64
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != next {
+			t.Fatalf("bucket %d starts at %d, want %d", i, lo, next)
+		}
+		if i < histBuckets-1 {
+			next = hi + 1
+		} else if hi != math.MaxUint64 {
+			t.Fatalf("last bucket ends at %d, want MaxUint64", hi)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Known distributions: the estimated quantile must sit within the
+	// bucket layout's 25% relative error of the true quantile.
+	relErr := func(got, want float64) float64 {
+		if want == 0 {
+			return math.Abs(got)
+		}
+		return math.Abs(got-want) / want
+	}
+
+	t.Run("uniform", func(t *testing.T) {
+		h := newHistogram(Units)
+		const n = 1_000_000
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < n; i++ {
+			h.Observe(int64(rng.Intn(n)) + 1)
+		}
+		s := h.Snapshot()
+		for _, tc := range []struct{ q, want float64 }{
+			{0.5, n / 2}, {0.99, 0.99 * n}, {0.999, 0.999 * n},
+		} {
+			got := s.Quantile(tc.q)
+			if e := relErr(got, tc.want); e > 0.25 {
+				t.Errorf("uniform p%g = %g, want ~%g (rel err %.3f)", tc.q*100, got, tc.want, e)
+			}
+		}
+	})
+
+	t.Run("constant", func(t *testing.T) {
+		h := newHistogram(Units)
+		for i := 0; i < 1000; i++ {
+			h.Observe(5000)
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if got := s.Quantile(q); relErr(got, 5000) > 0.25 {
+				t.Errorf("constant p%g = %g, want ~5000", q*100, got)
+			}
+		}
+	})
+
+	t.Run("bimodal", func(t *testing.T) {
+		// 90% fast (1ms) / 10% slow (1s): p50 must report the fast
+		// mode, p99 the slow one.
+		h := newHistogram(Seconds)
+		for i := 0; i < 9000; i++ {
+			h.Observe(int64(time.Millisecond))
+		}
+		for i := 0; i < 1000; i++ {
+			h.Observe(int64(time.Second))
+		}
+		s := h.Snapshot()
+		if got := s.Quantile(0.5); relErr(got, 0.001) > 0.25 {
+			t.Errorf("bimodal p50 = %g, want ~0.001", got)
+		}
+		if got := s.Quantile(0.99); relErr(got, 1.0) > 0.25 {
+			t.Errorf("bimodal p99 = %g, want ~1.0", got)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		h := newHistogram(Seconds)
+		s := h.Snapshot()
+		if got := s.Quantile(0.5); got != 0 {
+			t.Errorf("empty quantile = %g, want 0", got)
+		}
+	})
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	// Observing a stream split across two histograms and merging their
+	// snapshots must equal observing the whole stream in one — the
+	// property per-shard and per-node aggregation relies on.
+	whole := newHistogram(Units)
+	a, b := newHistogram(Units), newHistogram(Units)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100_000; i++ {
+		v := int64(rng.Intn(1 << 30))
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	merged := a.Snapshot()
+	bs := b.Snapshot()
+	merged.Merge(&bs)
+	want := whole.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	if merged.Buckets != want.Buckets {
+		t.Fatal("merged buckets differ from whole-stream buckets")
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if m, w := merged.Quantile(q), want.Quantile(q); m != w {
+			t.Errorf("p%g after merge = %g, want %g", q*100, m, w)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// Hammer one counter, gauge and histogram from many goroutines;
+	// totals must balance exactly. Run under -race this doubles as the
+	// data-race check for the sharded structures.
+	reg := NewRegistry()
+	c := reg.Counter("locheat_test_ops_total", "ops")
+	g := reg.Gauge("locheat_test_inflight", "inflight")
+	h := reg.Histogram("locheat_test_latency_seconds", "latency", Seconds)
+
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(rng.Intn(1_000_000)))
+				g.Add(-1)
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() { // concurrent scrapes while recording
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				var sb strings.Builder
+				_ = reg.WritePrometheus(&sb)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("locheat_test_total", "t")
+	g := reg.Gauge("locheat_test_gauge", "t")
+	h := reg.Histogram("locheat_test_seconds", "t", Seconds)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(42)
+		h.Observe(12345)
+		h.ObserveSince(time.Time{})
+	}); n != 0 {
+		t.Fatalf("hot-path record allocates %.1f per op, want 0", n)
+	}
+	// Nil handles (obs disabled) must also be alloc-free no-ops.
+	var nc *Counter
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nc.Add(1)
+		nh.Observe(1)
+	}); n != 0 {
+		t.Fatalf("nil-handle record allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x_seconds", "", Seconds)
+	reg.CounterFunc("y_total", "", func() uint64 { return 1 })
+	reg.GaugeFunc("y", "", func() float64 { return 1 })
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Summaries() != nil {
+		t.Fatal("nil registry summaries must be nil")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "help", "peer", "n2")
+	b := reg.Counter("dup_total", "help", "peer", "n2")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter handle")
+	}
+	other := reg.Counter("dup_total", "help", "peer", "n3")
+	if a == other {
+		t.Fatal("different labels must return a distinct handle")
+	}
+	// Func metrics refresh their closure on re-registration.
+	v := uint64(1)
+	reg.CounterFunc("fn_total", "", func() uint64 { return v })
+	reg.CounterFunc("fn_total", "", func() uint64 { return 99 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn_total 99") {
+		t.Fatalf("re-registered func not refreshed:\n%s", sb.String())
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("locheat_stream_published_total", "events accepted into the pipeline").Add(12)
+	reg.Counter("locheat_stream_processed_total", "events processed", "shard", "0").Add(7)
+	reg.Counter("locheat_stream_processed_total", "events processed", "shard", "1").Add(5)
+	reg.Gauge("locheat_stream_queue_depth", "queued events", "shard", "0").Set(3)
+	reg.CounterFunc("locheat_journal_appended_total", "journal appends", func() uint64 { return 42 })
+	reg.GaugeFunc("locheat_journal_segments", "segments on disk", func() float64 { return 2 })
+	h := reg.Histogram("locheat_detection_latency_seconds",
+		"ingest-to-alert latency", Seconds)
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(5 * time.Millisecond)
+	}
+	reg.Histogram("locheat_quarantine_propagation_seconds", "empty on purpose", Seconds)
+	reg.Counter("odd_label_total", "escaping", "path", `a\b"c`+"\n")
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	if err := LintPrometheusText(text); err != nil {
+		t.Fatalf("exposition lint: %v\noutput:\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE locheat_stream_published_total counter",
+		"locheat_stream_published_total 12",
+		`locheat_stream_processed_total{shard="0"} 7`,
+		`locheat_stream_processed_total{shard="1"} 5`,
+		"# TYPE locheat_detection_latency_seconds summary",
+		`locheat_detection_latency_seconds{quantile="0.99"}`,
+		"locheat_detection_latency_seconds_count 100",
+		`locheat_quarantine_propagation_seconds{quantile="0.5"} NaN`,
+		"locheat_journal_appended_total 42",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+	// Exactly one TYPE line per metric family.
+	if n := strings.Count(text, "# TYPE locheat_stream_processed_total "); n != 1 {
+		t.Errorf("processed_total has %d TYPE lines, want 1", n)
+	}
+}
+
+func TestLintCatchesMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value\n",
+		"1leading_digit 3\n",
+		"ok{unterminated=\"x} 1\n",
+		"# TYPE x wibble\nx 1\n",
+		"a 1\nb 2\na 3\n",         // non-contiguous family
+		"x 1\n# TYPE x counter\n", // TYPE after samples
+	} {
+		if err := LintPrometheusText(bad); err == nil {
+			t.Errorf("lint accepted malformed input %q", bad)
+		}
+	}
+	good := "# HELP a_total help text\n# TYPE a_total counter\na_total 5 1712000000\n"
+	if err := LintPrometheusText(good); err != nil {
+		t.Errorf("lint rejected valid input: %v", err)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("locheat_detection_latency_seconds", "", Seconds)
+	for i := 0; i < 1000; i++ {
+		h.ObserveDuration(2 * time.Millisecond)
+	}
+	s, ok := reg.Summaries()["locheat_detection_latency_seconds"]
+	if !ok {
+		t.Fatal("summary missing")
+	}
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.P50 < 0.0015 || s.P50 > 0.0025 {
+		t.Fatalf("p50 = %g, want ~0.002", s.P50)
+	}
+	if s.Sum < 1.9 || s.Sum > 2.1 {
+		t.Fatalf("sum = %g, want ~2.0", s.Sum)
+	}
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Series are grouped by metric
+// name with a single HELP/TYPE header per group, names sorted so
+// scrapes are diffable. Histograms render as summaries: precomputed
+// p50/p99/p999 quantile series plus _sum and _count — the fixed
+// 252-bucket layout stays internal.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	// Group by name, preserving registration order within a group.
+	sort.SliceStable(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+
+	bw := bufio.NewWriter(w)
+	var prevName string
+	for _, m := range metrics {
+		if m.name != prevName {
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind.promType())
+			prevName = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.series(), m.counter.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(bw, "%s %d\n", m.series(), m.cfn())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.series(), m.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", m.series(), formatFloat(m.gfn()))
+		case kindHistogram:
+			writeSummary(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSummary(w io.Writer, m *metric) {
+	s := m.hist.Snapshot()
+	for _, q := range [...]struct {
+		q     float64
+		label string
+	}{{0.5, "0.5"}, {0.99, "0.99"}, {0.999, "0.999"}} {
+		v := math.NaN() // Prometheus convention for an empty summary
+		if s.Count > 0 {
+			v = s.Quantile(q.q)
+		}
+		fmt.Fprintf(w, "%s %s\n", withLabel(m.name, m.labels, `quantile="`+q.label+`"`), formatFloat(v))
+	}
+	fmt.Fprintf(w, "%s %s\n", m.name+"_sum"+m.labels, formatFloat(s.SumScaled()))
+	fmt.Fprintf(w, "%s %d\n", m.name+"_count"+m.labels, s.Count)
+}
+
+// withLabel splices one extra label into a pre-rendered label block.
+func withLabel(name, labels, extra string) string {
+	if labels == "" {
+		return name + "{" + extra + "}"
+	}
+	return name + labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// Handler serves GET /metrics from this registry. It carries no
+// authentication — mount it on surfaces that are already operator-
+// internal (the main listener next to /healthz, and the pprof
+// listener).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		if err := r.WritePrometheus(w); err != nil {
+			// Too late for a status code; the scraper sees a short body.
+			return
+		}
+	})
+}
+
+// LintPrometheusText validates text in Prometheus exposition format:
+// well-formed HELP/TYPE headers, known types, parseable sample lines,
+// series grouped by metric name, and TYPE preceding its samples. It
+// is the lint the exposition tests (and any scrape-smoke script) run
+// against /metrics output.
+func LintPrometheusText(text string) error {
+	typeOf := make(map[string]string)
+	seenSamples := make(map[string]bool) // metric name -> samples emitted
+	closed := make(map[string]bool)      // name -> group ended (another name seen since)
+	var lastName string
+
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE needs a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := typeOf[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if seenSamples[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				typeOf[name] = fields[3]
+			}
+			continue
+		}
+		name, err := lintSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := baseName(name, typeOf)
+		if closed[base] {
+			return fmt.Errorf("line %d: series of %s not contiguous", lineNo, base)
+		}
+		if lastName != "" && lastName != base {
+			closed[lastName] = true
+		}
+		lastName = base
+		seenSamples[base] = true
+	}
+	return nil
+}
+
+// baseName strips the _sum/_count suffix when the bare name has a
+// summary or histogram TYPE, so grouping checks treat them as one
+// family.
+func baseName(name string, typeOf map[string]string) string {
+	for _, suffix := range [...]string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t := typeOf[base]; t == "summary" || t == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// lintSampleLine validates one sample and returns its metric name.
+func lintSampleLine(line string) (string, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return "", fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := lintLabels(rest[1:end]); err != nil {
+			return "", fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// Value, optionally followed by a timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("expected value [timestamp] in %q", line)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return "", fmt.Errorf("bad value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, nil
+}
+
+func lintLabels(block string) error {
+	if block == "" {
+		return nil
+	}
+	// Labels render as k="v" pairs; values may contain escaped quotes.
+	rest := block
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label %q", rest)
+		}
+		if !validLabelName(rest[:eq]) {
+			return fmt.Errorf("invalid label name %q", rest[:eq])
+		}
+		rest = rest[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("label value must be quoted")
+		}
+		rest = rest[1:]
+		for {
+			q := strings.IndexByte(rest, '"')
+			if q < 0 {
+				return fmt.Errorf("unterminated label value")
+			}
+			// Count the backslashes before the quote: odd = escaped.
+			bs := 0
+			for q-bs-1 >= 0 && rest[q-bs-1] == '\\' {
+				bs++
+			}
+			rest = rest[q+1:]
+			if bs%2 == 0 {
+				break
+			}
+		}
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func validLabelName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}

@@ -14,8 +14,10 @@ package replica
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"locheat/internal/obs"
 	"locheat/internal/store"
 )
 
@@ -40,6 +42,10 @@ type ShipperConfig struct {
 	Interval time.Duration
 	// Logf receives shipping events. Nil discards.
 	Logf func(format string, args ...any)
+	// Obs registers shipping telemetry: batch send latency and size
+	// histograms, the append-to-replicated ship-lag histogram, and
+	// per-follower record-lag gauges. Nil ships unobserved.
+	Obs *obs.Registry
 }
 
 func (c ShipperConfig) withDefaults() ShipperConfig {
@@ -76,6 +82,16 @@ type Shipper struct {
 	wake chan struct{}
 	stop chan struct{}
 	done chan struct{}
+
+	// shipLat/batchSize/shipLag are nil without ShipperConfig.Obs.
+	// pendingNano is the UnixNano stamp of the oldest append not yet
+	// fully replicated (0 = everything shipped): Notify CASes it in,
+	// and the ack that brings a follower to the journal tail swaps it
+	// out and observes the delta as ship lag in wall time.
+	shipLat     *obs.Histogram
+	batchSize   *obs.Histogram
+	shipLag     *obs.Histogram
+	pendingNano atomic.Int64
 }
 
 // NewShipper builds and starts a shipper. Wire the journal's append
@@ -88,8 +104,41 @@ func NewShipper(cfg ShipperConfig) *Shipper {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	s.registerObs(s.cfg.Obs)
 	go s.loop()
 	return s
+}
+
+// registerObs exposes the shipping tier on reg. Aggregate counters
+// read through the same follower states Stats() reports; per-follower
+// lag gauges are registered as targets are adopted (SetTargets).
+func (s *Shipper) registerObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.shipLat = reg.Histogram("locheat_replica_ship_latency_seconds",
+		"round trip of one ship batch: send to follower ack", obs.Seconds)
+	s.batchSize = reg.Histogram("locheat_replica_ship_batch_records",
+		"records per shipped batch", obs.Units)
+	s.shipLag = reg.Histogram("locheat_replica_ship_lag_seconds",
+		"wall time from a journal append to a follower holding the full tail", obs.Seconds)
+	sum := func(read func(*followerState) uint64) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var total uint64
+			for _, f := range s.followers {
+				total += read(f)
+			}
+			return total
+		}
+	}
+	reg.CounterFunc("locheat_replica_ship_sent_total",
+		"records acked by followers (all followers summed)",
+		sum(func(f *followerState) uint64 { return f.sent }))
+	reg.CounterFunc("locheat_replica_ship_errors_total",
+		"failed ship sends and cursor fetches (all followers summed)",
+		sum(func(f *followerState) uint64 { return f.errors }))
 }
 
 // SetTargets replaces the follower set (called on every ring change).
@@ -108,11 +157,36 @@ func (s *Shipper) SetTargets(targets []Target) {
 	}
 	s.followers = next
 	s.mu.Unlock()
+	// Per-follower lag gauges, labelled by follower ID (bounded by the
+	// ring size). A departed follower's gauge reads zero rather than
+	// unregistering — the series going flat is the signal.
+	if reg := s.cfg.Obs; reg != nil {
+		for _, t := range targets {
+			id := t.ID
+			reg.GaugeFunc("locheat_replica_ship_lag_records",
+				"journal records the follower has not acked",
+				func() float64 {
+					for _, fs := range s.Stats().Followers {
+						if fs.ID == id {
+							return float64(fs.Lag)
+						}
+					}
+					return 0
+				}, "follower", id)
+		}
+	}
 	s.Notify()
 }
 
 // Notify wakes the shipping loop (journal append hook). Never blocks.
 func (s *Shipper) Notify() {
+	// Stamp the start of a replication backlog: the first notify while
+	// fully shipped opens the ship-lag window shipTo closes. A plain
+	// load guards the CAS so the steady-backlog case costs one atomic
+	// read; skipped entirely when obs is off.
+	if s.shipLag != nil && s.pendingNano.Load() == 0 {
+		s.pendingNano.CompareAndSwap(0, time.Now().UnixNano())
+	}
 	select {
 	case s.wake <- struct{}{}:
 	default:
@@ -190,6 +264,10 @@ func (s *Shipper) shipTo(f *followerState) {
 			return // caught up
 		}
 		start := next - uint64(len(batch)) // ReadFrom clamps past retention gaps
+		var sendStart time.Time
+		if s.shipLat != nil {
+			sendStart = time.Now()
+		}
 		ack, err := s.cfg.Send(target, ShipBatch{From: s.cfg.Self, Epoch: epoch, Start: start, Alerts: batch})
 		s.mu.Lock()
 		if err != nil {
@@ -203,6 +281,15 @@ func (s *Shipper) shipTo(f *followerState) {
 		f.cursor = ack.Cursor
 		cursor = ack.Cursor
 		s.mu.Unlock()
+		s.shipLat.ObserveSince(sendStart)
+		s.batchSize.Observe(int64(len(batch)))
+		// A follower holding the full tail closes the ship-lag window
+		// Notify opened at the first unreplicated append.
+		if s.shipLag != nil && ack.Cursor >= next {
+			if p := s.pendingNano.Swap(0); p != 0 {
+				s.shipLag.Observe(time.Now().UnixNano() - p)
+			}
+		}
 		if ack.Cursor < next {
 			// The follower refused part of the batch; trust its cursor
 			// and retry from there on the next wake rather than spinning.

@@ -61,6 +61,7 @@ import (
 	"sync"
 	"time"
 
+	"locheat/internal/obs"
 	"locheat/internal/wirecodec"
 )
 
@@ -122,6 +123,10 @@ type JournalConfig struct {
 	// Logf receives replay warnings (truncated tail, unreadable
 	// segment). Nil discards them.
 	Logf func(format string, args ...any)
+	// Obs registers the journal's telemetry: append/fsync latency
+	// histograms plus read-through counters and gauges over the same
+	// fields Stats() reports. Nil leaves the journal unobserved.
+	Obs *obs.Registry
 }
 
 func (c JournalConfig) withDefaults() JournalConfig {
@@ -209,6 +214,13 @@ type AlertJournal struct {
 	// truncation; further appends are refused rather than risking a
 	// log that replays short.
 	writeBroken bool
+
+	// replayDur is how long the open-time replay took; exposed as a
+	// gauge. appendLat/fsyncLat are nil when JournalConfig.Obs is —
+	// the nil checks keep the unobserved write path clock-free.
+	replayDur time.Duration
+	appendLat *obs.Histogram
+	fsyncLat  *obs.Histogram
 }
 
 var _ AlertStore = (*AlertJournal)(nil)
@@ -224,14 +236,67 @@ func OpenAlertJournal(cfg JournalConfig) (*AlertJournal, error) {
 		return nil, fmt.Errorf("alert journal: %w", err)
 	}
 	j := &AlertJournal{cfg: cfg, epoch: time.Now().UnixNano()}
+	replayStart := time.Now()
 	if err := j.replay(); err != nil {
 		return nil, err
 	}
+	j.replayDur = time.Since(replayStart)
 	if err := j.openActive(); err != nil {
 		return nil, err
 	}
 	j.trimMirrorLocked()
+	j.registerObs(cfg.Obs)
 	return j, nil
+}
+
+// registerObs exposes the journal on reg: latency histograms for the
+// two disk-touching operations plus read-through counters and gauges
+// over the fields Stats() reports. No-op on a nil registry.
+func (j *AlertJournal) registerObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	j.appendLat = reg.Histogram("locheat_journal_append_seconds",
+		"wall time of one Append/AppendBatch call (framing, write, amortized fsync/rotate)",
+		obs.Seconds)
+	j.fsyncLat = reg.Histogram("locheat_journal_fsync_seconds",
+		"wall time of one batched fsync", obs.Seconds)
+	stat := func(read func(AlertStoreStats) uint64) func() uint64 {
+		return func() uint64 { return read(j.Stats()) }
+	}
+	reg.CounterFunc("locheat_journal_appended_total",
+		"alerts appended since open",
+		stat(func(s AlertStoreStats) uint64 { return s.Appended }))
+	reg.CounterFunc("locheat_journal_fsyncs_total",
+		"fsync calls since open",
+		stat(func(s AlertStoreStats) uint64 { return s.Fsyncs }))
+	reg.CounterFunc("locheat_journal_evicted_total",
+		"alerts aged out by segment retention",
+		stat(func(s AlertStoreStats) uint64 { return s.Evicted }))
+	reg.CounterFunc("locheat_journal_replayed_total",
+		"alerts replayed at open",
+		stat(func(s AlertStoreStats) uint64 { return uint64(s.Replayed) }))
+	reg.GaugeFunc("locheat_journal_segments",
+		"segment files on disk",
+		func() float64 { return float64(j.Stats().Segments) })
+	reg.GaugeFunc("locheat_journal_active_segment_bytes",
+		"bytes in the active segment",
+		func() float64 { return float64(j.Stats().ActiveSegmentBytes) })
+	reg.GaugeFunc("locheat_journal_retained",
+		"records retained across all segments",
+		func() float64 { return float64(j.Stats().Retained) })
+	reg.GaugeFunc("locheat_journal_replay_seconds",
+		"duration of the open-time segment replay",
+		func() float64 { return j.replayDur.Seconds() })
+}
+
+// WriteHealthy reports whether the journal can still accept appends:
+// open, and not latched broken by an unhealable write failure. The
+// daemon's /readyz reads it.
+func (j *AlertJournal) WriteHealthy() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.closed && !j.writeBroken
 }
 
 // replay loads every segment, oldest first, tolerating a damaged tail.
@@ -464,7 +529,13 @@ func (j *AlertJournal) syncLocked() error {
 	if j.unsynced == 0 || j.active == nil {
 		return nil
 	}
-	if err := j.active.Sync(); err != nil {
+	var start time.Time
+	if j.fsyncLat != nil {
+		start = time.Now()
+	}
+	err := j.active.Sync()
+	j.fsyncLat.ObserveSince(start)
+	if err != nil {
 		return fmt.Errorf("alert journal: fsync: %w", err)
 	}
 	j.unsynced = 0
@@ -476,7 +547,12 @@ func (j *AlertJournal) syncLocked() error {
 // active segment in its format, fsync every FsyncEvery records, rotate
 // past SegmentBytes.
 func (j *AlertJournal) Append(a Alert) error {
+	var start time.Time
+	if j.appendLat != nil {
+		start = time.Now()
+	}
 	err := j.append(a)
+	j.appendLat.ObserveSince(start)
 	if err == nil {
 		j.mu.Lock()
 		fn := j.notify
@@ -498,7 +574,12 @@ func (j *AlertJournal) AppendBatch(alerts []Alert) (int, error) {
 	if len(alerts) == 0 {
 		return 0, nil
 	}
+	var start time.Time
+	if j.appendLat != nil {
+		start = time.Now()
+	}
 	n, err := j.appendBatch(alerts)
+	j.appendLat.ObserveSince(start)
 	if n > 0 {
 		j.mu.Lock()
 		fn := j.notify

@@ -38,11 +38,13 @@ package stream
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"locheat/internal/lbsn"
+	"locheat/internal/obs"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
 )
@@ -166,6 +168,13 @@ type Config struct {
 	Stages func(shard int) []Stage
 	// Detect tunes the default stage chain; ignored when Stages is set.
 	Detect DetectConfig
+	// Obs registers the pipeline's telemetry: read-through counters
+	// over the per-shard atomics, queue-depth gauges, per-stage
+	// processing-latency histograms, and the end-to-end detection-
+	// latency histogram (IngestedAt stamp → alert append). Nil runs
+	// the pipeline unobserved — the hot path then does not even read
+	// the wall clock.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -257,6 +266,11 @@ type Pipeline struct {
 	evictedBy   map[string]uint64
 	subs        []chan Alert
 	subsClosed  bool
+
+	// detLat is the paper's headline metric: ingest stamp → alert
+	// append. Nil (obs off) doubles as the "don't stamp" switch in
+	// Publish. Stage histograms live on each worker's stack slice.
+	detLat *obs.Histogram
 }
 
 // New builds and starts a pipeline; its shard workers run until Close.
@@ -271,6 +285,7 @@ func New(cfg Config) *Pipeline {
 		filteredBy: make(map[string]uint64),
 		evictedBy:  make(map[string]uint64),
 	}
+	p.registerObs(cfg.Obs)
 	p.shards = make([]*shard, cfg.Shards)
 	for i := range p.shards {
 		sh := &shard{
@@ -279,19 +294,96 @@ func New(cfg Config) *Pipeline {
 			windows: newWindowTracker(cfg.StatsWindow, cfg.StatsHistory),
 		}
 		p.shards[i] = sh
+		p.registerShardObs(cfg.Obs, i, sh)
 		stages := cfg.Stages(i)
 		p.wg.Add(1)
-		go p.run(sh, stages)
+		go p.run(sh, stages, stageHistograms(cfg.Obs, stages))
 	}
 	return p
+}
+
+// registerObs exposes the pipeline-wide counters as read-through
+// metrics over the same atomics Stats() reports, plus the detection-
+// latency histogram. No-op on a nil registry.
+func (p *Pipeline) registerObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("locheat_stream_published_total",
+		"events accepted into a shard queue",
+		func() uint64 { return p.published.Load() })
+	reg.CounterFunc("locheat_stream_dead_letters_total",
+		"malformed events sent to the DLQ",
+		func() uint64 { return p.deadLettered.Load() })
+	reg.CounterFunc("locheat_stream_dlq_dropped_total",
+		"dead letters lost to an undrained full DLQ",
+		func() uint64 { return p.dlqDropped.Load() })
+	reg.CounterFunc("locheat_stream_store_errors_total",
+		"alert store append/flush failures",
+		func() uint64 { return p.storeErrors.Load() })
+	reg.CounterFunc("locheat_stream_alerts_total",
+		"alerts raised by all detectors",
+		func() uint64 {
+			p.alertMu.Lock()
+			defer p.alertMu.Unlock()
+			return p.alertsTotal
+		})
+	reg.GaugeFunc("locheat_stream_dlq_depth",
+		"dead-letter channel depth",
+		func() float64 { return float64(len(p.dlq)) })
+	p.detLat = reg.Histogram("locheat_detection_latency_seconds",
+		"end-to-end detection latency: pipeline ingest stamp to alert append",
+		obs.Seconds)
+}
+
+// registerShardObs exposes one shard's counters and queue depth,
+// labelled by shard index.
+func (p *Pipeline) registerShardObs(reg *obs.Registry, idx int, sh *shard) {
+	if reg == nil {
+		return
+	}
+	label := strconv.Itoa(idx)
+	reg.CounterFunc("locheat_stream_processed_total",
+		"events fully processed by the stage chain",
+		func() uint64 { return sh.processed.Load() }, "shard", label)
+	reg.CounterFunc("locheat_stream_dropped_total",
+		"events dropped because the shard queue was full",
+		func() uint64 { return sh.dropped.Load() }, "shard", label)
+	reg.CounterFunc("locheat_stream_filtered_total",
+		"events stopped mid-chain by a stage (dedupe replays etc.)",
+		func() uint64 { return sh.filtered.Load() }, "shard", label)
+	reg.CounterFunc("locheat_stream_evicted_total",
+		"idle per-user state entries evicted",
+		func() uint64 { return sh.evicted.Load() }, "shard", label)
+	reg.GaugeFunc("locheat_stream_queue_depth",
+		"events waiting in the shard queue",
+		func() float64 { return float64(len(sh.in)) }, "shard", label)
+}
+
+// stageHistograms resolves one latency histogram per stage, labelled
+// by stage name. Shards share handles (get-or-create on name+label),
+// so the per-stage series aggregates across shards — cardinality is
+// the stage count, not stages × shards.
+func stageHistograms(reg *obs.Registry, stages []Stage) []*obs.Histogram {
+	if reg == nil {
+		return nil
+	}
+	hists := make([]*obs.Histogram, len(stages))
+	for i, st := range stages {
+		hists[i] = reg.Histogram("locheat_stream_stage_seconds",
+			"per-event processing latency of one stage",
+			obs.Seconds, "stage", st.Name())
+	}
+	return hists
 }
 
 // run is one shard worker: strictly sequential over its queue, which is
 // what preserves per-user order. It also drives the eviction policy:
 // every SweepEvery of observed event time it asks each stateful stage
 // to drop users idle longer than IdleAfter.
-func (p *Pipeline) run(sh *shard, stages []Stage) {
+func (p *Pipeline) run(sh *shard, stages []Stage, stageLat []*obs.Histogram) {
 	defer p.wg.Done()
+	timed := len(stageLat) == len(stages) && len(stages) > 0
 	var latest, lastSweep time.Time
 	for {
 		var ev lbsn.CheckinEvent
@@ -309,11 +401,26 @@ func (p *Pipeline) run(sh *shard, stages []Stage) {
 		if ev.At.After(latest) {
 			latest = ev.At
 		}
-		for _, st := range stages {
+		// One clock read per stage boundary: each stage's end is the
+		// next one's start, so timing N stages costs N+1 reads, and
+		// none at all when obs is off.
+		var stageStart time.Time
+		if timed {
+			stageStart = time.Now()
+		}
+		for si, st := range stages {
 			alerts, keep := st.Process(ev)
+			if timed {
+				now := time.Now()
+				stageLat[si].ObserveDuration(now.Sub(stageStart))
+				stageStart = now
+			}
 			for _, a := range alerts {
 				sh.windows.alert(a.At, a.Detector)
 				p.recordAlert(a)
+				// Alert append is the far end of the detection-latency
+				// histogram; the near end was stamped by Publish.
+				p.detLat.ObserveSince(ev.IngestedAt)
 			}
 			if !keep {
 				sh.filtered.Add(1)
@@ -359,6 +466,13 @@ func (p *Pipeline) Publish(ev lbsn.CheckinEvent) bool {
 		return false
 	}
 	ev.Seq = p.seq.Add(1)
+	// Stamp the detection-latency start on first ingest. Forwarded
+	// events arrive unstamped (the field never crosses the wire) and
+	// get their stamp here, on the owner. Skipped entirely when obs
+	// is off so the unobserved hot path never reads the wall clock.
+	if p.detLat != nil && ev.IngestedAt.IsZero() {
+		ev.IngestedAt = time.Now()
+	}
 	idx := p.cfg.Partitioner(uint64(ev.UserID), len(p.shards))
 	if idx < 0 || idx >= len(p.shards) {
 		idx = int(uint64(ev.UserID) % uint64(len(p.shards)))
