@@ -2,17 +2,24 @@
 
 GO ?= go
 
-# The perf-trajectory benchmarks: the three byte-moving hot paths the
-# binary codec PR (PR 5) committed to tracking, plus the telemetry
-# overhead benches the observability PR (PR 6) added (obs on vs off on
-# the journal and pipeline hot paths, and the /metrics scrape cost).
+# The perf-trajectory benchmarks: the byte-moving hot paths the binary
+# codec PR (PR 5) committed to tracking, the telemetry overhead benches
+# the observability PR (PR 6) added, and the batched hot-path benches
+# PR 7 added (PublishBatch pipeline, journal AppendBatch).
 # `make bench` runs them with allocation accounting and snapshots the
-# parsed results to BENCH_PR6.json so successive PRs can diff
-# throughput mechanically against BENCH_PR5.json.
-BENCH_PATTERN := BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend|BenchmarkObs
-BENCH_OUT     := BENCH_PR6.json
+# parsed results to $(BENCH_OUT); `make bench-diff` then gates the
+# snapshot against the previous PR's committed baseline, failing on a
+# >15% throughput drop in any hot-path row.
+BENCH_PATTERN := BenchmarkStreamPipelineBatch|BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend|BenchmarkObs
+BENCH_OUT     := BENCH_PR7.json
+BENCH_BASE    := BENCH_PR6.json
+# Rows eligible to FAIL bench-diff: the CPU/codec-bound hot paths where
+# a 15% throughput drop means a code regression. Rows bound by an fsync
+# per record or an HTTP round trip per event swing ±30% run to run on
+# the reference box, so they print as (info) instead of gating.
+BENCH_GATE    := BenchmarkStreamPipelineBatch|BenchmarkAlertJournalAppendBatch|BenchmarkClusterForward/bin/batch-(32|256)|BenchmarkReplicaShip/bin/batch-1024
 
-.PHONY: build test test-race bench fmt vet
+.PHONY: build test test-race bench bench-diff fmt vet
 
 build:
 	$(GO) build ./...
@@ -32,8 +39,15 @@ vet:
 bench:
 	# No pipe: a failing benchmark run must fail the target, not hand
 	# benchjson a truncated stream behind tee's exit status.
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1s . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 2s . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_OUT)
 	@rm -f bench.out
 	@echo "wrote $(BENCH_OUT)"
+
+# Mechanical perf gate: compare the fresh snapshot against the previous
+# PR's committed baseline. Rows are matched by name; only rows with a
+# */sec throughput metric AND a $(BENCH_GATE) name gate (micro-bench
+# ns/op and physics-bound rows are informational).
+bench-diff:
+	$(GO) run ./cmd/benchdiff -max-regress 15 -gate '$(BENCH_GATE)' $(BENCH_BASE) $(BENCH_OUT)

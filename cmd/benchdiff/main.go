@@ -1,0 +1,138 @@
+// Command benchdiff compares two benchjson snapshots (BENCH_*.json)
+// and fails when a hot-path row regresses. Rows are matched by full
+// benchmark name; throughput comes from the row's custom */sec metric
+// (events/sec, alerts/sec — the rows the perf trajectory gates on) and
+// falls back to ops/sec (1e9/nsPerOp) for rows without one, which are
+// reported but never gate: micro-bench ns/op on shared runners is too
+// noisy to fail a build over.
+//
+// -gate narrows the failing set further to rows matching a regexp.
+// The reference box's I/O-bound rows (an fsync per record, an HTTP
+// round trip per event) swing ±30% run to run — physics noise, not
+// code — so the Makefile gates only the CPU/codec-bound rows where a
+// 15% drop means a real regression; everything else still prints,
+// marked (info).
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff [-max-regress 15] [-gate REGEX] OLD.json NEW.json
+//
+// Exit status 1 when any gated row's throughput drops by more than
+// -max-regress percent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Result mirrors cmd/benchjson's per-row output.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"nsPerOp"`
+	BytesPerOp float64            `json:"bytesPerOp"`
+	AllocsOp   float64            `json:"allocsPerOp"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc mirrors cmd/benchjson's document.
+type Doc struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// throughput returns the row's rate and whether it came from a */sec
+// metric (the gated kind) rather than the ns/op fallback.
+func throughput(r Result) (rate float64, gated bool) {
+	for name, v := range r.Metrics {
+		if len(name) > 4 && name[len(name)-4:] == "/sec" && v > 0 {
+			return v, true
+		}
+	}
+	if r.NsPerOp > 0 {
+		return 1e9 / r.NsPerOp, false
+	}
+	return 0, false
+}
+
+func load(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(doc.Benchmarks))
+	for _, r := range doc.Benchmarks {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 15, "max allowed throughput drop, percent, on gated rows")
+	gatePat := flag.String("gate", ".*", "regexp of benchmark names eligible to fail the diff")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress N] [-gate REGEX] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	gate, err := regexp.Compile(*gatePat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -gate:", err)
+		os.Exit(2)
+	}
+	oldRows, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRows, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldRows))
+	for name := range oldRows {
+		if _, ok := newRows[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no shared rows between the snapshots")
+		os.Exit(2)
+	}
+
+	failed := 0
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	for _, name := range names {
+		or, nr := oldRows[name], newRows[name]
+		oldRate, oldGated := throughput(or)
+		newRate, newGated := throughput(nr)
+		if oldRate == 0 || newRate == 0 {
+			continue
+		}
+		delta := (newRate - oldRate) / oldRate * 100
+		gated := oldGated && newGated && gate.MatchString(name)
+		mark := ""
+		if gated && delta < -*maxRegress {
+			mark = "  REGRESSION"
+			failed++
+		} else if !gated {
+			mark = "  (info)"
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%%%s\n", name, oldRate, newRate, delta, mark)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed more than %.0f%%\n", failed, *maxRegress)
+		os.Exit(1)
+	}
+}

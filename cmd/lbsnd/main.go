@@ -147,7 +147,7 @@ func run(args []string) error {
 	replicaFactor := fs.Int("replica-factor", 1, "total alert-journal copies incl. this node; 2+ ships appends to ring successors (needs -journal-dir and the cluster tier)")
 	outboxBytes := fs.Int64("outbox-bytes", 4<<20, "per-peer on-disk spill cap for failed cross-node forwards; 0 disables the outbox (needs -journal-dir and the cluster tier)")
 	clusterJSON := fs.Bool("cluster-json", false, "pin the cluster wire to JSON: neither send nor accept the binary codec (rolling-upgrade escape hatch)")
-	journalJSON := fs.Bool("journal-json", false, "write new journal segments in the v1 JSON format instead of v2 binary (either way old segments replay as-is)")
+	journalJSON := fs.Bool("journal-json", false, "write new journal segments in the v1 JSON format instead of v3 binary+table (either way old segments replay as-is)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for profiling (unauthenticated; keep it loopback, e.g. 127.0.0.1:6060); empty = off")
 	mutexProfile := fs.Int("mutexprofile", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off; needs -pprof)")
 	blockProfile := fs.Int("blockprofile", 0, "sample blocking events >= N ns for /debug/pprof/block (0 = off; needs -pprof)")
@@ -216,7 +216,7 @@ func run(args []string) error {
 		var alertStore store.AlertStore
 		if *journalDir != "" {
 			var err error
-			format := store.JournalFormatBinary
+			format := store.JournalFormatBinaryTable
 			if *journalJSON {
 				format = store.JournalFormatJSON
 			}

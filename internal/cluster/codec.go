@@ -66,13 +66,19 @@ func encodeIngestBatch(dst []byte, b IngestBatch) []byte {
 
 // decodeIngestBatch decodes one whole ingest body.
 func decodeIngestBatch(buf []byte) (IngestBatch, error) {
+	return decodeIngestBatchInto(buf, nil)
+}
+
+// decodeIngestBatchInto is decodeIngestBatch appending into the
+// caller's scratch slice (hot receive path: the ingest handler reuses
+// a pooled slice across requests instead of allocating per POST).
+// scratch is reset; on error it may have been grown but the returned
+// batch is empty.
+func decodeIngestBatchInto(buf []byte, scratch []WireEvent) (IngestBatch, error) {
 	d := wirecodec.NewDecoder(buf)
 	d.Version()
-	b := IngestBatch{From: d.String()}
+	b := IngestBatch{From: d.String(), Events: scratch[:0]}
 	n := d.Count(38) // an event is ≥ 38 bytes (4×f64 + accepted + minima)
-	if n > 0 {
-		b.Events = make([]WireEvent, 0, n)
-	}
 	for i := 0; i < n; i++ {
 		b.Events = append(b.Events, readWireEvent(d))
 	}
@@ -182,6 +188,46 @@ func decodeQuarBroadcast(buf []byte) (QuarBroadcast, error) {
 		return QuarBroadcast{}, err
 	}
 	return qb, nil
+}
+
+// encodeLocalAlerts appends a scatter response's binary encoding
+// (version included) to dst — the Accept-negotiated reply body of
+// /cluster/v1/alerts, which a merged query fans to every peer and so
+// pays the JSON tax once per peer per dashboard poll.
+func encodeLocalAlerts(dst []byte, resp LocalAlertsResponse) []byte {
+	dst = append(dst, wirecodec.Version)
+	dst = wirecodec.AppendString(dst, resp.Node)
+	dst = wirecodec.AppendUvarint(dst, uint64(resp.Total))
+	dst = wirecodec.AppendUvarint(dst, uint64(len(resp.Alerts)))
+	for _, a := range resp.Alerts {
+		dst = store.AppendAlert(dst, a)
+	}
+	return dst
+}
+
+// decodeLocalAlerts decodes one whole binary scatter response body.
+func decodeLocalAlerts(buf []byte) (LocalAlertsResponse, error) {
+	d := wirecodec.NewDecoder(buf)
+	d.Version()
+	resp := LocalAlertsResponse{Node: d.String(), Total: int(d.Uvarint())}
+	n := d.Count(8) // an alert is ≥ 8 bytes (time + uvarint/length minima)
+	if n > 0 {
+		resp.Alerts = make([]store.Alert, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		resp.Alerts = append(resp.Alerts, store.ReadAlert(d))
+	}
+	if err := d.Finish(); err != nil {
+		return LocalAlertsResponse{}, err
+	}
+	return resp, nil
+}
+
+// acceptsBinary reports whether the requester asked for a binary
+// response body (Accept negotiation on GET endpoints; the request-body
+// analogue is isBinaryRequest).
+func acceptsBinary(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Accept"), wirecodec.ContentTypeBinary)
 }
 
 // isBinaryRequest reports whether an inbound request body carries the

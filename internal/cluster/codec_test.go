@@ -76,6 +76,25 @@ func TestClusterCodecsEquivalence(t *testing.T) {
 			t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
 		}
 	})
+	t.Run("alerts", func(t *testing.T) {
+		t0 := time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC)
+		resp := LocalAlertsResponse{Node: "node-a", Total: 7, Alerts: []store.Alert{
+			{Seq: 1, Detector: "speed", UserID: 4, VenueID: 9, At: t0, Detail: "d1"},
+			{Seq: 2, Detector: "rate-throttle", UserID: 5, VenueID: 10, At: t0.Add(time.Minute), Detail: "d2"},
+		}}
+		jb, _ := json.Marshal(resp)
+		var viaJSON LocalAlertsResponse
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		viaBin, err := decodeLocalAlerts(encodeLocalAlerts(nil, resp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
+		}
+	})
 	t.Run("quarbcast", func(t *testing.T) {
 		t0 := time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC)
 		qb := QuarBroadcast{From: "node-a", Entries: []replica.QuarEntry{

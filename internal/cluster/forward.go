@@ -3,7 +3,9 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -226,18 +228,71 @@ func (f *Forwarder) queue(addr string) *peerQueue {
 	return q
 }
 
+// fwdSender is one sender goroutine's reusable POST state. The queue
+// serializes its sends (one outstanding POST at a time), so the parsed
+// URL, header map, body reader and scratch buffers are built once per
+// sender and reused for every request — at batch=1 the per-POST cost
+// used to be dominated by exactly this construction, not the bytes.
+type fwdSender struct {
+	f      *Forwarder
+	addr   string
+	url    *url.URL
+	header http.Header
+	body   *bytes.Reader
+	json   bytes.Buffer // JSON encode scratch (binary uses a pooled wirecodec buffer)
+	ack    bytes.Buffer // response body scratch
+}
+
+// reusableBody adapts the sender's reusable reader to the Body
+// contract; Close is a no-op because the sender owns the reader.
+type reusableBody struct{ *bytes.Reader }
+
+func (reusableBody) Close() error { return nil }
+
+func newFwdSender(f *Forwarder, addr string) *fwdSender {
+	s := &fwdSender{f: f, addr: addr, body: bytes.NewReader(nil), header: make(http.Header, 2)}
+	s.url, _ = url.Parse(addr + "/cluster/v1/ingest")
+	return s
+}
+
+// do issues one POST of body with the given content type over the
+// sender's reusable request state. Falls back to the stock client path
+// when the address failed to parse (the error then surfaces per POST,
+// same as before).
+func (s *fwdSender) do(contentType string, body []byte) (*http.Response, error) {
+	if s.url == nil {
+		return s.f.cfg.HTTP.Post(s.addr+"/cluster/v1/ingest", contentType, bytes.NewReader(body))
+	}
+	s.body.Reset(body)
+	s.header.Set("Content-Type", contentType)
+	req := &http.Request{
+		Method:        http.MethodPost,
+		URL:           s.url,
+		Header:        s.header,
+		Body:          reusableBody{s.body},
+		ContentLength: int64(len(body)),
+		Host:          s.url.Host,
+	}
+	// GetBody keeps the transport's idempotent-retry behavior (what
+	// http.Post over a *bytes.Reader provided): body is only read during
+	// RoundTrip, so handing out fresh readers over it is safe.
+	req.GetBody = func() (io.ReadCloser, error) { return reusableBody{bytes.NewReader(body)}, nil }
+	return s.f.cfg.HTTP.Do(req)
+}
+
 // send is one peer's sender loop: batch up to BatchSize, flush partial
 // batches every FlushEvery, drain what remains on stop.
 func (f *Forwarder) send(q *peerQueue) {
 	defer close(q.done)
 	t := time.NewTicker(f.cfg.FlushEvery)
 	defer t.Stop()
+	s := newFwdSender(f, q.addr)
 	batch := make([]WireEvent, 0, f.cfg.BatchSize)
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		f.post(q.addr, batch)
+		s.post(batch)
 		batch = batch[:0]
 	}
 	for {
@@ -273,22 +328,23 @@ func (f *Forwarder) send(q *peerQueue) {
 // advertisement was stale (address reuse, mid-flight downgrade): the
 // batch is retried once as JSON, and the next heartbeat refreshes the
 // advertisement.
-func (f *Forwarder) post(addr string, batch []WireEvent) {
-	if f.cfg.Binary != nil && f.cfg.Binary(addr) {
-		status, ok := f.postOnce(addr, batch, true)
+func (s *fwdSender) post(batch []WireEvent) {
+	if s.f.cfg.Binary != nil && s.f.cfg.Binary(s.addr) {
+		status, ok := s.postOnce(batch, true)
 		if ok || status != http.StatusUnsupportedMediaType {
 			return
 		}
 		// fall through: one JSON retry for this batch
 	}
-	f.postOnce(addr, batch, false)
+	s.postOnce(batch, false)
 }
 
 // postOnce issues one POST in the given codec. It returns the HTTP
 // status (0 on transport error) and whether the batch was acked; on
 // any failure other than a binary 415 it runs the spill/loss
 // accounting itself.
-func (f *Forwarder) postOnce(addr string, batch []WireEvent, binary bool) (int, bool) {
+func (s *fwdSender) postOnce(batch []WireEvent, binary bool) (int, bool) {
+	f := s.f
 	var body []byte
 	contentType := "application/json"
 	if binary {
@@ -298,22 +354,22 @@ func (f *Forwarder) postOnce(addr string, batch []WireEvent, binary bool) (int, 
 		body = buf.B
 		contentType = wirecodec.ContentTypeBinary
 	} else {
-		var err error
-		body, err = json.Marshal(IngestBatch{From: f.self, Events: batch})
-		if err != nil {
+		s.json.Reset()
+		if err := json.NewEncoder(&s.json).Encode(IngestBatch{From: f.self, Events: batch}); err != nil {
 			f.errors.Add(1)
 			return 0, false
 		}
+		body = s.json.Bytes()
 	}
 	var start time.Time
 	if f.fwdLat != nil {
 		start = time.Now()
 	}
-	resp, err := f.cfg.HTTP.Post(addr+"/cluster/v1/ingest", contentType, bytes.NewReader(body))
+	resp, err := s.do(contentType, body)
 	if err != nil {
 		f.errors.Add(1)
-		if !f.spill(addr, batch) {
-			f.cfg.Logf("cluster: forward to %s failed: %v (%d events lost)", addr, err, len(batch))
+		if !f.spill(s.addr, batch) {
+			f.cfg.Logf("cluster: forward to %s failed: %v (%d events lost)", s.addr, err, len(batch))
 		}
 		return 0, false
 	}
@@ -323,14 +379,17 @@ func (f *Forwarder) postOnce(addr string, batch []WireEvent, binary bool) (int, 
 			return resp.StatusCode, false // caller retries as JSON; not a loss
 		}
 		f.errors.Add(1)
-		if !f.spill(addr, batch) {
-			f.cfg.Logf("cluster: forward to %s: status %d (%d events lost)", addr, resp.StatusCode, len(batch))
+		if !f.spill(s.addr, batch) {
+			f.cfg.Logf("cluster: forward to %s: status %d (%d events lost)", s.addr, resp.StatusCode, len(batch))
 		}
 		return resp.StatusCode, false
 	}
+	s.ack.Reset()
 	var ack IngestAck
-	if err := json.NewDecoder(resp.Body).Decode(&ack); err == nil {
-		f.remoteDropped.Add(uint64(ack.Dropped))
+	if _, err := s.ack.ReadFrom(resp.Body); err == nil {
+		if json.Unmarshal(s.ack.Bytes(), &ack) == nil {
+			f.remoteDropped.Add(uint64(ack.Dropped))
+		}
 	}
 	f.batches.Add(1)
 	f.sent.Add(uint64(len(batch)))

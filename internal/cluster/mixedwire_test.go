@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -369,4 +371,131 @@ func (n *wireNode) srvSet(t *testing.T, h http.Handler) {
 
 func sfPoint() geo.Point {
 	return geo.Point{Lat: 37.7749, Lon: -122.4194}
+}
+
+// TestMixedCodecScatterInterop pins the scatter-gather half of the
+// rolling-upgrade drill: a binary node and a JSON-pinned peer each hold
+// distinct alerts, and the merged /alerts view read from EITHER side
+// returns the full set losslessly — the binary node degrading to JSON
+// for the pinned peer's slice, the pinned node never asking for binary.
+func TestMixedCodecScatterInterop(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "bin", journal: true},
+		{id: "json", jsonOnly: true, journal: true},
+	})
+	nb, nj := nodes["bin"], nodes["json"]
+	nb.node.Tick()
+	nj.node.Tick()
+
+	t0 := simclock.Epoch()
+	want := make(map[store.AlertKey]bool, 10)
+	for i := 0; i < 5; i++ {
+		ab := wireAlert(uint64(i+1), uint64(100+i), t0.Add(time.Duration(i)*time.Minute))
+		aj := wireAlert(uint64(i+1), uint64(200+i), t0.Add(time.Duration(i)*time.Minute))
+		if err := nb.journal.Append(ab); err != nil {
+			t.Fatal(err)
+		}
+		if err := nj.journal.Append(aj); err != nil {
+			t.Fatal(err)
+		}
+		want[store.KeyOf(ab)] = true
+		want[store.KeyOf(aj)] = true
+	}
+
+	check := func(name string, n *wireNode) {
+		t.Helper()
+		alerts, total, info := n.node.ClusterAlerts(store.AlertQuery{Limit: 50})
+		if info.Failed != 0 || info.Nodes != 2 {
+			t.Fatalf("%s merged view degraded: %+v", name, info)
+		}
+		if total != len(want) {
+			t.Fatalf("%s merged total = %d, want %d", name, total, len(want))
+		}
+		got := make(map[store.AlertKey]bool, len(alerts))
+		for _, a := range alerts {
+			got[store.KeyOf(a)] = true
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("%s merged view is missing alert %+v", name, k)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s merged view has %d distinct alerts, want %d", name, len(got), len(want))
+		}
+	}
+	check("binary node", nb)
+	check("pinned node", nj)
+}
+
+// TestLocalAlertsAcceptNegotiation proves the binary scatter response
+// actually engages and is lossless: the same node's /cluster/v1/alerts
+// body, fetched once as JSON and once with Accept: binary, decodes to
+// identical alerts — and a JSON-pinned node ignores the Accept header.
+func TestLocalAlertsAcceptNegotiation(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "bin", journal: true},
+		{id: "json", jsonOnly: true, journal: true},
+	})
+	nb, nj := nodes["bin"], nodes["json"]
+	t0 := simclock.Epoch()
+	for i := 0; i < 4; i++ {
+		if err := nb.journal.Append(wireAlert(uint64(i+1), uint64(30+i), t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+		if err := nj.journal.Append(wireAlert(uint64(i+1), uint64(40+i), t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fetch := func(addr string, binary bool) (string, LocalAlertsResponse) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, addr+"/cluster/v1/alerts?limit=10", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary {
+			req.Header.Set("Accept", wirecodec.ContentTypeBinary)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		ct := resp.Header.Get("Content-Type")
+		var out LocalAlertsResponse
+		if strings.HasPrefix(ct, wirecodec.ContentTypeBinary) {
+			buf := wirecodec.GetBuffer()
+			defer wirecodec.PutBuffer(buf)
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			out, err = decodeLocalAlerts(buf.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return ct, out
+	}
+
+	ctJSON, viaJSON := fetch(nb.srv.URL, false)
+	ctBin, viaBin := fetch(nb.srv.URL, true)
+	if strings.HasPrefix(ctJSON, wirecodec.ContentTypeBinary) {
+		t.Fatalf("JSON fetch got binary Content-Type %q", ctJSON)
+	}
+	if !strings.HasPrefix(ctBin, wirecodec.ContentTypeBinary) {
+		t.Fatalf("Accept-negotiated fetch got Content-Type %q, want binary", ctBin)
+	}
+	wantBody, _ := json.Marshal(viaJSON)
+	gotBody, _ := json.Marshal(viaBin)
+	if string(wantBody) != string(gotBody) {
+		t.Fatalf("binary response diverges from JSON:\njson: %s\nbin:  %s", wantBody, gotBody)
+	}
+
+	// The pinned node must ignore the Accept header entirely.
+	if ct, _ := fetch(nj.srv.URL, true); strings.HasPrefix(ct, wirecodec.ContentTypeBinary) {
+		t.Fatalf("JSON-pinned node honoured Accept: binary (Content-Type %q)", ct)
+	}
 }

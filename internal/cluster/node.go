@@ -140,11 +140,14 @@ type Node struct {
 	journal *store.AlertJournal
 
 	// fwdSeq numbers forwarded deliveries; seen/seenQ dedupe them on
-	// the receiving side (bounded FIFO, see seenForward).
+	// the receiving side (bounded FIFO: seenQ is a circular buffer,
+	// seenHead the slot the next eviction overwrites — see
+	// recordForwardLocked).
 	fwdSeq        atomic.Uint64
 	seenMu        sync.Mutex
 	seen          map[fwdKey]struct{}
 	seenQ         []fwdKey
+	seenHead      int
 	dupDropped    atomic.Uint64
 	bcastSendErrs atomic.Uint64
 	replaying     atomic.Bool
@@ -605,13 +608,22 @@ func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
 	if !n.cfg.DisableBinaryWire {
 		pr.Codec = binaryCodecName
 	}
-	// A probe POSTing a digest body gets the full anti-entropy
-	// exchange in the reply: apply what the prober knows newer, return
-	// what we know newer.
+	// A probe POSTing a digest body gets the anti-entropy exchange in
+	// the reply. Hash-first: a probe carrying only the 16-byte digest
+	// hash costs nothing when it matches ours (the steady state); on
+	// mismatch we reply with our full digest and the prober pushes its
+	// own back (heartbeatReply), converging both sides. A probe carrying
+	// full entries (an older build) gets the original merge.
 	if r.Method == http.MethodPost && n.bcast != nil {
 		if qb, err := n.decodeQuarBody(r); err == nil {
-			pr.Digest, pr.Applied = n.bcast.MergeDigest(qb.Entries)
-			n.antiRepairs.Add(uint64(pr.Applied))
+			if len(qb.Hash) > 0 && len(qb.Entries) == 0 {
+				if !bytes.Equal(qb.Hash, n.bcast.DigestHash()) {
+					pr.Digest = n.bcast.Digest()
+				}
+			} else {
+				pr.Digest, pr.Applied = n.bcast.MergeDigest(qb.Entries)
+				n.antiRepairs.Add(uint64(pr.Applied))
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, pr)
@@ -664,42 +676,79 @@ func (n *Node) decodeBinaryRequest(w http.ResponseWriter, r *http.Request, label
 	return true
 }
 
+// ingestScratch is the pooled per-request state of the ingest handler:
+// the binary decode target and the source-index map the batched
+// publish uses to credit per-event verdicts back to wire events.
+type ingestScratch struct {
+	wire []WireEvent
+	srcs []int32
+}
+
+var ingestScratchPool = sync.Pool{New: func() any { return &ingestScratch{} }}
+
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	sc := ingestScratchPool.Get().(*ingestScratch)
+	defer func() {
+		sc.wire = sc.wire[:0]
+		sc.srcs = sc.srcs[:0]
+		ingestScratchPool.Put(sc)
+	}()
 	var batch IngestBatch
 	if isBinaryRequest(r) {
 		if !n.decodeBinaryRequest(w, r, "malformed batch", func(b []byte) (err error) {
-			batch, err = decodeIngestBatch(b)
+			batch, err = decodeIngestBatchInto(b, sc.wire)
 			return err
 		}) {
 			return
 		}
+		sc.wire = batch.Events // keep the grown capacity pooled
 	} else if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
 		http.Error(w, "malformed batch", http.StatusBadRequest)
 		return
 	}
 	ack := IngestAck{}
-	for _, wev := range batch.Events {
-		// Numbered deliveries dedupe across outbox replays: the same
-		// (origin, seq) landing twice is the replay of a delivery that
-		// already succeeded, not a new event.
-		if wev.FwdSeq != 0 && n.seenForward(batch.From, wev.FwdSeq) {
-			ack.Duplicates++
-			n.dupDropped.Add(1)
+	eb := stream.GetEventBatch()
+	sc.srcs = sc.srcs[:0]
+	// Numbered deliveries dedupe across outbox replays: the same
+	// (origin, seq) landing twice is the replay of a delivery that
+	// already succeeded, not a new event. One lock acquisition filters
+	// the whole batch.
+	n.seenMu.Lock()
+	for i := range batch.Events {
+		if seq := batch.Events[i].FwdSeq; seq != 0 {
+			if _, dup := n.seen[fwdKey{origin: batch.From, seq: seq}]; dup {
+				ack.Duplicates++
+				continue
+			}
+		}
+		eb.Events = append(eb.Events, fromWire(batch.Events[i]))
+		sc.srcs = append(sc.srcs, int32(i))
+	}
+	n.seenMu.Unlock()
+	if ack.Duplicates > 0 {
+		n.dupDropped.Add(uint64(ack.Duplicates))
+	}
+	// One batched publish: N events, one shard-ring push per shard. The
+	// reject callback voids the source index of every refused event so
+	// only deliveries that actually entered the pipeline get recorded —
+	// a refused one must stay replayable from the outbox.
+	ack.Accepted = n.pipeline.PublishBatch(eb.Events, func(i int) { sc.srcs[i] = -1 })
+	ack.Dropped = len(eb.Events) - ack.Accepted
+	n.seenMu.Lock()
+	for _, wi := range sc.srcs {
+		if wi < 0 {
 			continue
 		}
-		if n.pipeline.Publish(fromWire(wev)) {
-			if wev.FwdSeq != 0 {
-				n.recordForward(batch.From, wev.FwdSeq)
-			}
-			ack.Accepted++
-		} else {
-			ack.Dropped++
+		if seq := batch.Events[wi].FwdSeq; seq != 0 {
+			n.recordForwardLocked(batch.From, seq)
 		}
 	}
+	n.seenMu.Unlock()
+	stream.PutEventBatch(eb)
 	n.ingestBatches.Add(1)
 	n.ingestRecv.Add(uint64(len(batch.Events)))
 	n.ingestAccepted.Add(uint64(ack.Accepted))
@@ -764,6 +813,10 @@ func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
 // which includes any promoted replicas it holds for dead primaries, so
 // merged history survives a killed node. Query parameters mirror the
 // public /api/v1/alerts filter set, plus limit/offset applied locally.
+// The response body is Accept-negotiated: a peer asking for the binary
+// codec gets the wirecodec framing (a JSON-pinned node ignores the
+// header and answers JSON, which the caller detects by Content-Type —
+// mixed-version scatters stay lossless).
 func (n *Node) handleLocalAlerts(w http.ResponseWriter, r *http.Request) {
 	q, err := parseLocalAlertQuery(r)
 	if err != nil {
@@ -771,6 +824,15 @@ func (n *Node) handleLocalAlerts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	page, total := n.localAlerts(q)
+	if acceptsBinary(r) && !n.cfg.DisableBinaryWire {
+		buf := wirecodec.GetBuffer()
+		defer wirecodec.PutBuffer(buf)
+		buf.B = encodeLocalAlerts(buf.B, LocalAlertsResponse{Node: n.cfg.Self.ID, Alerts: page, Total: total})
+		w.Header().Set("Content-Type", wirecodec.ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.B)
+		return
+	}
 	if page == nil {
 		page = []store.Alert{}
 	}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"net/url"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"locheat/internal/lbsn"
@@ -87,17 +88,30 @@ func (n *Node) seenForward(origin string, seq uint64) bool {
 // outbox replay of that delivery is not mistaken for a duplicate.
 // FIFO-bounded at seenCap.
 func (n *Node) recordForward(origin string, seq uint64) {
-	k := fwdKey{origin: origin, seq: seq}
 	n.seenMu.Lock()
 	defer n.seenMu.Unlock()
+	n.recordForwardLocked(origin, seq)
+}
+
+// recordForwardLocked is recordForward under an already-held seenMu —
+// the batched ingest handler records a whole batch's deliveries in one
+// lock acquisition. The FIFO is a circular buffer: growing a slice and
+// re-slicing past the evicted head would march through its backing
+// array and reallocate seenCap entries' worth of keys on every lap.
+func (n *Node) recordForwardLocked(origin string, seq uint64) {
+	k := fwdKey{origin: origin, seq: seq}
 	if _, dup := n.seen[k]; dup {
 		return
 	}
 	n.seen[k] = struct{}{}
-	n.seenQ = append(n.seenQ, k)
-	if len(n.seenQ) > seenCap {
-		delete(n.seen, n.seenQ[0])
-		n.seenQ = n.seenQ[1:]
+	if len(n.seenQ) < seenCap {
+		n.seenQ = append(n.seenQ, k)
+		return
+	}
+	delete(n.seen, n.seenQ[n.seenHead])
+	n.seenQ[n.seenHead] = k
+	if n.seenHead++; n.seenHead == seenCap {
+		n.seenHead = 0
 	}
 }
 
@@ -407,17 +421,20 @@ func (n *Node) replayOutboxPeer(id string) (delivered, requeued int) {
 }
 
 // heartbeatPayload builds the digest body each heartbeat round POSTs
-// with its probes (Membership.ProbePayload). Sending the digest even
-// when it is empty matters: the peer's reply then carries everything
-// it knows that we do not — a fresh node pulls the cluster's
-// quarantine state with its first probe round.
+// with its probes (Membership.ProbePayload). Hash-first: the probe
+// carries the 16-byte digest-state hash, not the digest itself, so the
+// steady state (every node in sync) spends 16 bytes per probe instead
+// of the full quarantine set. A peer whose hash differs replies with
+// its full digest — including a fresh node's empty-state mismatch,
+// which pulls the cluster's quarantine state with its first probe
+// round; a pre-hash peer sees an empty digest and does the same.
 func (n *Node) heartbeatPayload() ([]byte, string) {
 	if n.bcast == nil {
 		return nil, ""
 	}
-	// JSON, always: the digest is small and the peer's codec support is
+	// JSON, always: the body is tiny and the peer's codec support is
 	// not yet known when the first probe goes out.
-	body, err := json.Marshal(QuarBroadcast{From: n.cfg.Self.ID, Entries: n.bcast.Digest()})
+	body, err := json.Marshal(QuarBroadcast{From: n.cfg.Self.ID, Hash: n.bcast.DigestHash()})
 	if err != nil {
 		return nil, ""
 	}
@@ -425,19 +442,48 @@ func (n *Node) heartbeatPayload() ([]byte, string) {
 }
 
 // heartbeatReply consumes a successful probe's response
-// (Membership.ProbeReply): apply the piggybacked digest repairs, and
-// if the outbox holds spill for this now-demonstrably-reachable peer,
-// drain it immediately — the peer-recovered signal the fixed cadence
-// used to stand in for. Events whose ownership moved while the peer
-// was down are re-resolved (and re-spilled if their new owner is still
-// unreachable); the rebalance that follows a revival replays the rest.
+// (Membership.ProbeReply): apply the piggybacked digest repairs — and,
+// since a non-empty reply means the hashes diverged, push our full
+// digest back so the peer repairs its side of the divergence too (the
+// probe only carried our hash). Also, if the outbox holds spill for
+// this now-demonstrably-reachable peer, drain it immediately — the
+// peer-recovered signal the fixed cadence used to stand in for. Events
+// whose ownership moved while the peer was down are re-resolved (and
+// re-spilled if their new owner is still unreachable); the rebalance
+// that follows a revival replays the rest.
 func (n *Node) heartbeatReply(peer Member, pr PingResponse) {
 	if n.bcast != nil && len(pr.Digest) > 0 {
 		n.antiRepairs.Add(uint64(n.bcast.ApplyRemote(pr.Digest)))
+		n.pushDigest(peer)
 	}
 	if n.outbox != nil && n.outbox.Depth(peer.ID) > 0 {
 		n.replayOutboxPeer(peer.ID)
 	}
+}
+
+// pushDigest runs one full digest exchange with a single peer — the
+// repair direction the hash-first probe cannot cover (the peer never
+// saw our entries, only our hash). Entries the peer knows newer come
+// back in the response and are applied here, so one push converges
+// both sides.
+func (n *Node) pushDigest(peer Member) {
+	body, err := json.Marshal(QuarBroadcast{From: n.cfg.Self.ID, Entries: n.bcast.Digest()})
+	if err != nil {
+		return
+	}
+	resp, err := n.cfg.HTTP.Post(peer.Addr+"/cluster/v1/quardigest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		n.bcastSendErrs.Add(1)
+		return
+	}
+	var dr QuarDigestResponse
+	err = json.NewDecoder(resp.Body).Decode(&dr)
+	resp.Body.Close()
+	if err != nil {
+		n.bcastSendErrs.Add(1)
+		return
+	}
+	n.antiRepairs.Add(uint64(n.bcast.ApplyRemote(dr.Entries)))
 }
 
 // reingest routes one replayed event by current ownership. Locally
@@ -503,6 +549,10 @@ func (n *Node) closeReplication() {
 
 // --- internal /cluster/v1 handlers -------------------------------------
 
+// shipDecodeScratch pools the alert slice a binary ship decode appends
+// into, so steady-state replication receive allocates no batch slice.
+var shipDecodeScratch = sync.Pool{New: func() any { return new([]store.Alert) }}
+
 func (n *Node) handleReplicaShip(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -520,8 +570,13 @@ func (n *Node) handleReplicaShip(w http.ResponseWriter, r *http.Request) {
 	}
 	var b replica.ShipBatch
 	if isBinaryRequest(r) {
+		// Pooled decode scratch: Set.Apply lands the alerts into the
+		// replica journal by value, so the slice is free for reuse the
+		// moment this handler returns.
+		scratch := shipDecodeScratch.Get().(*[]store.Alert)
+		defer func() { *scratch = b.Alerts[:0]; shipDecodeScratch.Put(scratch) }()
 		if !n.decodeBinaryRequest(w, r, "malformed ship batch", func(body []byte) (err error) {
-			b, err = replica.DecodeShipBatch(body)
+			b, err = replica.DecodeShipBatchInto(body, *scratch)
 			if err == nil && b.From == "" {
 				err = fmt.Errorf("missing from")
 			}

@@ -30,10 +30,12 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"locheat/internal/lbsn"
 	"locheat/internal/store"
+	"locheat/internal/wirecodec"
 )
 
 // ScatterStats counts merged-view queries.
@@ -133,13 +135,36 @@ func (n *Node) fetchPeerAlerts(peer Member, q store.AlertQuery) ([]store.Alert, 
 	if enc := params.Encode(); enc != "" {
 		u += "?" + enc
 	}
-	resp, err := n.cfg.HTTP.Get(u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Ask for the binary body when the peer advertises the codec; the
+	// reply's Content-Type says what actually came back, so a stale
+	// advertisement (or a JSON-pinned peer) degrades to JSON, not to an
+	// error.
+	if n.peerBinary(peer.ID) {
+		req.Header.Set("Accept", wirecodec.ContentTypeBinary)
+	}
+	resp, err := n.cfg.HTTP.Do(req)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return nil, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), wirecodec.ContentTypeBinary) {
+		buf := wirecodec.GetBuffer()
+		defer wirecodec.PutBuffer(buf)
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return nil, 0, err
+		}
+		out, err := decodeLocalAlerts(buf.B)
+		if err != nil {
+			return nil, 0, err
+		}
+		return out.Alerts, out.Total, nil
 	}
 	var out LocalAlertsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {

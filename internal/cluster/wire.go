@@ -161,10 +161,17 @@ type ReplicaCursorResponse struct {
 }
 
 // QuarBroadcast is the POST /cluster/v1/quarbcast body: versioned
-// quarantine transitions fanned out by their origin node.
+// quarantine transitions fanned out by their origin node. It doubles
+// as the digest-exchange body (quardigest, ping piggyback), where Hash
+// may replace Entries: a 16-byte digest-state hash
+// (replica.Broadcaster.DigestHash) that lets two in-sync nodes confirm
+// it with 16 bytes on the heartbeat instead of the full digest. A
+// receiver that predates Hash simply sees an empty digest and replies
+// with everything it knows — correct, just not hash-cheap.
 type QuarBroadcast struct {
 	From    string              `json:"from"`
 	Entries []replica.QuarEntry `json:"entries"`
+	Hash    []byte              `json:"hash,omitempty"`
 }
 
 // QuarDigestResponse is the POST /cluster/v1/quardigest reply: the

@@ -16,6 +16,7 @@
 package replica
 
 import (
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -220,6 +221,18 @@ func (b *Broadcaster) Digest() []QuarEntry {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
 	return out
+}
+
+// DigestHash returns a 16-byte hash identifying the digest state:
+// fnv-128a over the canonical (sorted, binary) encoding of Digest().
+// Two nodes in sync produce the same hash, so a heartbeat can carry
+// these 16 bytes instead of the full digest and exchange entries only
+// on mismatch. The hash is content-derived, not versioned — any state
+// divergence, in either direction, changes it on at least one side.
+func (b *Broadcaster) DigestHash() []byte {
+	h := fnv.New128a()
+	h.Write(AppendQuarEntries(nil, b.Digest()))
+	return h.Sum(nil)
 }
 
 // expiredLocked reports whether an entry is inert and forgettable: a

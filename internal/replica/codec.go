@@ -27,6 +27,14 @@ func AppendShipBatch(dst []byte, b ShipBatch) []byte {
 // DecodeShipBatch decodes one whole ship batch body. Malformed or
 // truncated input errors, never panics.
 func DecodeShipBatch(buf []byte) (ShipBatch, error) {
+	return DecodeShipBatchInto(buf, nil)
+}
+
+// DecodeShipBatchInto is DecodeShipBatch appending the alerts into the
+// caller's scratch slice (reset first), so the receiving handler can
+// reuse one slice across POSTs. Decoded strings are copies; the result
+// never aliases buf.
+func DecodeShipBatchInto(buf []byte, scratch []store.Alert) (ShipBatch, error) {
 	d := wirecodec.NewDecoder(buf)
 	d.Version()
 	b := ShipBatch{
@@ -35,9 +43,7 @@ func DecodeShipBatch(buf []byte) (ShipBatch, error) {
 		Start: d.Uvarint(),
 	}
 	n := d.Count(8)
-	if n > 0 {
-		b.Alerts = make([]store.Alert, 0, n)
-	}
+	b.Alerts = scratch[:0]
 	for i := 0; i < n; i++ {
 		b.Alerts = append(b.Alerts, store.ReadAlert(d))
 	}

@@ -61,6 +61,14 @@ func (c ShipperConfig) withDefaults() ShipperConfig {
 	return c
 }
 
+// shipScratch pools the per-pass read buffer: each shipTo loop reuses
+// one []store.Alert across journal reads instead of allocating a batch
+// per pass. Pooled (not a Shipper field) because pass() runs from both
+// the loop goroutine and Sync callers. Safe because cfg.Send is
+// synchronous: the batch is encoded on the wire before the next read
+// overwrites the slice.
+var shipScratch = sync.Pool{New: func() any { return new([]store.Alert) }}
+
 // followerState is one target's shipping position.
 type followerState struct {
 	target Target
@@ -255,11 +263,14 @@ func (s *Shipper) shipTo(f *followerState) {
 		f.cursor, f.synced = cursor, true
 		s.mu.Unlock()
 	}
+	scratch := shipScratch.Get().(*[]store.Alert)
+	defer shipScratch.Put(scratch)
 	for {
 		if s.isClosed() {
 			return
 		}
-		batch, next := s.cfg.Journal.ReadFrom(cursor, s.cfg.BatchSize)
+		batch, next := s.cfg.Journal.ReadFromInto(*scratch, cursor, s.cfg.BatchSize)
+		*scratch = batch[:0]
 		if len(batch) == 0 {
 			return // caught up
 		}

@@ -85,7 +85,16 @@ func SlideWindow(hist []time.Time, at time.Time, window time.Duration) []time.Ti
 	for cut < len(hist) && at.Sub(hist[cut]) > window {
 		cut++
 	}
-	return append(hist[cut:], at)
+	if cut > 0 {
+		// Compact to the FRONT of the backing array rather than
+		// re-slicing past the expired prefix: hist[cut:] would march
+		// the slice toward the end of its allocation until cap runs
+		// out and every append reallocates — one allocation per event
+		// for a user whose entries always expire between claims.
+		n := copy(hist, hist[cut:])
+		hist = hist[:n]
+	}
+	return append(hist, at)
 }
 
 // Sleeper extends Clock with a Sleep that, on a simulated clock,

@@ -35,6 +35,29 @@ func ReadAlert(d *wirecodec.Decoder) Alert {
 	}
 }
 
+// appendAlertBody appends a's fields minus Detector. The journal's
+// v2+table segment format (journal.go) stores the detector as a
+// per-segment table index, so the record body omits the string.
+func appendAlertBody(dst []byte, a Alert) []byte {
+	dst = wirecodec.AppendUvarint(dst, a.Seq)
+	dst = wirecodec.AppendUvarint(dst, a.UserID)
+	dst = wirecodec.AppendUvarint(dst, a.VenueID)
+	dst = wirecodec.AppendTime(dst, a.At)
+	dst = wirecodec.AppendString(dst, a.Detail)
+	return dst
+}
+
+// readAlertBody decodes an alert minus Detector; failures stick to d.
+func readAlertBody(d *wirecodec.Decoder) Alert {
+	return Alert{
+		Seq:     d.Uvarint(),
+		UserID:  d.Uvarint(),
+		VenueID: d.Uvarint(),
+		At:      d.Time(),
+		Detail:  d.String(),
+	}
+}
+
 // AppendQuarantineRecord appends r's binary encoding to dst.
 func AppendQuarantineRecord(dst []byte, r QuarantineRecord) []byte {
 	dst = wirecodec.AppendUvarint(dst, r.UserID)

@@ -12,7 +12,16 @@
 //   - v2 (JournalFormatBinary): a 5-byte file header ("LCSG" magic +
 //     format byte) then alerts in the internal/wirecodec binary layout
 //     (store.AppendAlert) — ~4x smaller and an order of magnitude
-//     cheaper to encode than the JSON path.
+//     cheaper to encode than the JSON path;
+//   - v2+table (JournalFormatBinaryTable): v2 with a per-segment
+//     string table for detector names. A record is either a define
+//     (table index + name, written the first time a detector appears
+//     in the segment) or an alert whose detector is a 1-byte table
+//     index instead of the repeated string — detector names are drawn
+//     from a handful of stages, so every record shaves the name's
+//     length. The table is strictly per segment (reset at rotation),
+//     so segments stay self-contained and retention deletes stay
+//     trivial.
 //
 // The format byte travels with the segment, not the journal: a dir of
 // v1 segments replays unchanged under a v2-capable reader, appends
@@ -82,6 +91,16 @@ const (
 	// JournalFormatBinary is the v2 format: a segMagic+format header
 	// then length-prefixed binary alerts (AppendAlert).
 	JournalFormatBinary JournalFormat = 2
+	// JournalFormatBinaryTable is v2 plus a per-segment detector-name
+	// string table: each record payload is tagged as a table define or
+	// an alert referencing a table index. The default for new segments.
+	JournalFormatBinaryTable JournalFormat = 3
+)
+
+// Record tags inside a JournalFormatBinaryTable segment.
+const (
+	tableRecDefine = 0x00 // uvarint id (== current table size) + name
+	tableRecAlert  = 0x01 // uvarint detector id + alert body sans name
 )
 
 // segMagic leads every v2+ segment file, followed by the format byte.
@@ -115,10 +134,10 @@ type JournalConfig struct {
 	// mirror the full retained history, the original behavior).
 	MirrorAlerts int
 	// Format is the record encoding NEW segments are created with
-	// (default JournalFormatBinary). Existing segments keep their own
-	// format — appends extend the active segment in its format, and
-	// replay reads each segment by its header — so any mix of v1 and
-	// v2 segments in one dir works.
+	// (default JournalFormatBinaryTable). Existing segments keep their
+	// own format — appends extend the active segment in its format, and
+	// replay reads each segment by its header — so any mix of v1, v2
+	// and v2+table segments in one dir works.
 	Format JournalFormat
 	// Logf receives replay warnings (truncated tail, unreadable
 	// segment). Nil discards them.
@@ -139,8 +158,9 @@ func (c JournalConfig) withDefaults() JournalConfig {
 	if c.FsyncEvery <= 0 {
 		c.FsyncEvery = 64
 	}
-	if c.Format != JournalFormatJSON && c.Format != JournalFormatBinary {
-		c.Format = JournalFormatBinary
+	if c.Format != JournalFormatJSON && c.Format != JournalFormatBinary &&
+		c.Format != JournalFormatBinaryTable {
+		c.Format = JournalFormatBinaryTable
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -192,6 +212,13 @@ type AlertJournal struct {
 	active   *os.File
 	activeSz int64
 	unsynced int
+
+	// activeNames/activeIDs are the ACTIVE segment's detector-name
+	// table (JournalFormatBinaryTable only): names by id, and the
+	// encode-side reverse map. Rebuilt from replay when an existing
+	// v2+table segment is extended, reset on rotation.
+	activeNames []string
+	activeIDs   map[string]uint64
 
 	// recent mirrors the newest records, oldest first; mirrorStart is
 	// the global index of recent[0]. With MirrorAlerts == 0 the mirror
@@ -325,8 +352,17 @@ func (j *AlertJournal) replay() error {
 	for i := range j.segments {
 		j.segments[i].first = first
 		last := i == len(j.segments)-1
-		if err := j.replaySegment(&j.segments[i], last); err != nil {
+		tbl := &detTable{}
+		if err := j.replaySegment(&j.segments[i], last, tbl); err != nil {
 			return err
+		}
+		if last && j.segments[i].format == JournalFormatBinaryTable {
+			// Appends may extend this segment; carry its table forward.
+			j.activeNames = tbl.names
+			j.activeIDs = make(map[string]uint64, len(tbl.names))
+			for id, name := range tbl.names {
+				j.activeIDs[name] = uint64(id)
+			}
 		}
 		first = j.segments[i].end()
 	}
@@ -352,7 +388,7 @@ func sniffSegmentFormat(f *os.File) (JournalFormat, error) {
 		return JournalFormatJSON, err
 	}
 	switch ft := JournalFormat(hdr[4]); ft {
-	case JournalFormatBinary:
+	case JournalFormatBinary, JournalFormatBinaryTable:
 		return ft, nil
 	default:
 		return 0, nil
@@ -364,7 +400,7 @@ func sniffSegmentFormat(f *os.File) (JournalFormat, error) {
 // last whole record; damage in an earlier segment only skips that
 // segment's unreadable remainder (the file is left alone — it is
 // retention's job to age it out).
-func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool) error {
+func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool, tbl *detTable) error {
 	f, err := os.Open(seg.path)
 	if err != nil {
 		return fmt.Errorf("alert journal: replay %s: %w", seg.path, err)
@@ -381,7 +417,7 @@ func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool) error {
 		j.cfg.Logf("alert journal: %s: unknown segment format; its records are skipped", seg.path)
 		return nil
 	}
-	off, damaged := decodeRecords(f, seg.format, func(a Alert) {
+	off, damaged := decodeRecords(f, seg.format, tbl, func(a Alert) {
 		j.recent = append(j.recent, a)
 		seg.alerts++
 		seg.observe(a.At)
@@ -402,13 +438,22 @@ func (j *AlertJournal) replaySegment(seg *journalSegment, isLast bool) error {
 	return nil
 }
 
-// decodeRecords streams length-prefixed alert records from r (already
+// detTable is a v2+table segment's decode-side detector-name table,
+// built up from define records as the segment streams by.
+type detTable struct{ names []string }
+
+// decodeRecords streams length-prefixed records from r (already
 // positioned past any segment header), decoding payloads per format
-// and calling fn per good record. It returns the byte offset past the
-// last whole record, relative to the first record, and whether the
+// and calling fn per good alert. tbl carries the detector-name table
+// across records of a JournalFormatBinaryTable segment (nil gets a
+// fresh one); other formats ignore it. It returns the byte offset past
+// the last whole record, relative to the first record, and whether the
 // stream ended in damage (anything but clean EOF on a record
 // boundary).
-func decodeRecords(r io.Reader, format JournalFormat, fn func(Alert)) (off int64, damaged bool) {
+func decodeRecords(r io.Reader, format JournalFormat, tbl *detTable, fn func(Alert)) (off int64, damaged bool) {
+	if tbl == nil {
+		tbl = &detTable{}
+	}
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -423,14 +468,41 @@ func decodeRecords(r io.Reader, format JournalFormat, fn func(Alert)) (off int64
 			return off, true // torn record body
 		}
 		var a Alert
-		if format == JournalFormatBinary {
+		switch format {
+		case JournalFormatBinary:
 			d := wirecodec.NewDecoder(buf)
 			a = ReadAlert(d)
 			if d.Finish() != nil {
 				return off, true // corrupt record
 			}
-		} else if err := json.Unmarshal(buf, &a); err != nil {
-			return off, true // corrupt record
+		case JournalFormatBinaryTable:
+			d := wirecodec.NewDecoder(buf)
+			switch tag := d.Byte(); tag {
+			case tableRecDefine:
+				id := d.Uvarint()
+				name := d.String()
+				// Defines are strictly sequential; anything else is
+				// corruption, not a tolerable quirk.
+				if d.Finish() != nil || id != uint64(len(tbl.names)) {
+					return off, true
+				}
+				tbl.names = append(tbl.names, name)
+				off += 4 + int64(n)
+				continue // a define is not an alert
+			case tableRecAlert:
+				id := d.Uvarint()
+				a = readAlertBody(d)
+				if d.Finish() != nil || id >= uint64(len(tbl.names)) {
+					return off, true // corrupt record or dangling index
+				}
+				a.Detector = tbl.names[id]
+			default:
+				return off, true // unknown record tag
+			}
+		default:
+			if err := json.Unmarshal(buf, &a); err != nil {
+				return off, true // corrupt record
+			}
 		}
 		off += 4 + int64(n)
 		fn(a)
@@ -495,6 +567,10 @@ func (j *AlertJournal) rotateLocked() error {
 	}
 	j.segments = append(j.segments, journalSegment{index: next, path: path, first: first, format: j.cfg.Format})
 	j.active = f
+	// The detector-name table is per segment: a fresh segment starts
+	// empty and re-defines names on first use.
+	j.activeNames = j.activeNames[:0]
+	clear(j.activeIDs)
 	// Retention: drop oldest segments, and any slice of the mirror they
 	// still cover, until we are back at the cap.
 	for len(j.segments) > j.cfg.MaxSegments {
@@ -541,6 +617,59 @@ func (j *AlertJournal) syncLocked() error {
 	j.unsynced = 0
 	j.fsyncs++
 	return nil
+}
+
+// frameAlertLocked appends one length-prefixed record for a onto buf
+// in format. For JournalFormatBinaryTable a detector name not yet in
+// the active table gets a define record first (registered in
+// activeNames/activeIDs as a side effect); if the framed bytes then
+// fail to reach disk the caller must undo those registrations with
+// rollbackTableLocked, or the name would be "defined" in memory but
+// absent from the file. Caller holds j.mu.
+func (j *AlertJournal) frameAlertLocked(buf []byte, format JournalFormat, a Alert) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	switch format {
+	case JournalFormatBinary:
+		buf = AppendAlert(buf, a)
+	case JournalFormatBinaryTable:
+		id, ok := j.activeIDs[a.Detector]
+		if !ok {
+			id = uint64(len(j.activeNames))
+			buf = append(buf, tableRecDefine)
+			buf = wirecodec.AppendUvarint(buf, id)
+			buf = wirecodec.AppendString(buf, a.Detector)
+			binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+			if j.activeIDs == nil {
+				j.activeIDs = make(map[string]uint64)
+			}
+			j.activeIDs[a.Detector] = id
+			j.activeNames = append(j.activeNames, a.Detector)
+			start = len(buf)
+			buf = append(buf, 0, 0, 0, 0)
+		}
+		buf = append(buf, tableRecAlert)
+		buf = wirecodec.AppendUvarint(buf, id)
+		buf = appendAlertBody(buf, a)
+	default:
+		jb, err := json.Marshal(a)
+		if err != nil {
+			return buf[:start], fmt.Errorf("alert journal: marshal: %w", err)
+		}
+		buf = append(buf, jb...)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf, nil
+}
+
+// rollbackTableLocked undoes detector-name registrations past mark:
+// the defines framed for a failed write never became durable, so the
+// next use of those names must re-define them. Caller holds j.mu.
+func (j *AlertJournal) rollbackTableLocked(mark int) {
+	for _, name := range j.activeNames[mark:] {
+		delete(j.activeIDs, name)
+	}
+	j.activeNames = j.activeNames[:mark]
 }
 
 // Append implements AlertStore: one length-prefixed record onto the
@@ -612,25 +741,21 @@ func (j *AlertJournal) appendBatch(alerts []Alert) (int, error) {
 		// rotate forever.
 		buf.B = buf.B[:0]
 		seg := &j.segments[len(j.segments)-1]
+		tblMark := len(j.activeNames)
 		run := 0
 		for done+run < len(alerts) && (run == 0 || j.activeSz+int64(len(buf.B)) < j.cfg.SegmentBytes) {
-			start := len(buf.B)
-			buf.B = append(buf.B, 0, 0, 0, 0)
-			if seg.format == JournalFormatBinary {
-				buf.B = AppendAlert(buf.B, alerts[done+run])
-			} else {
-				jb, err := json.Marshal(alerts[done+run])
-				if err != nil {
-					return done, fmt.Errorf("alert journal: marshal: %w", err)
-				}
-				buf.B = append(buf.B, jb...)
+			var err error
+			buf.B, err = j.frameAlertLocked(buf.B, seg.format, alerts[done+run])
+			if err != nil {
+				j.rollbackTableLocked(tblMark)
+				return done, err
 			}
-			binary.BigEndian.PutUint32(buf.B[start:], uint32(len(buf.B)-start-4))
 			run++
 		}
 		if _, err := j.active.Write(buf.B); err != nil {
 			// Same heal as append: cut back to the last whole-record
 			// boundary so the tail stays clean.
+			j.rollbackTableLocked(tblMark)
 			if terr := j.active.Truncate(j.activeSz); terr != nil {
 				j.writeBroken = true
 				return done, fmt.Errorf("alert journal: append batch: %w (and truncate failed: %v; journal write path disabled)", err, terr)
@@ -676,30 +801,26 @@ func (j *AlertJournal) append(a Alert) error {
 	// format belongs to the ACTIVE segment, which rotation changes.
 	buf := wirecodec.GetBuffer()
 	defer wirecodec.PutBuffer(buf)
-	buf.B = append(buf.B, 0, 0, 0, 0)
-	if j.segments[len(j.segments)-1].format == JournalFormatBinary {
-		buf.B = AppendAlert(buf.B, a)
-	} else {
-		jb, err := json.Marshal(a)
-		if err != nil {
-			return fmt.Errorf("alert journal: marshal: %w", err)
-		}
-		buf.B = append(buf.B, jb...)
+	tblMark := len(j.activeNames)
+	var err error
+	buf.B, err = j.frameAlertLocked(buf.B[:0], j.segments[len(j.segments)-1].format, a)
+	if err != nil {
+		j.rollbackTableLocked(tblMark)
+		return err
 	}
-	rec := buf.B
-	binary.BigEndian.PutUint32(rec, uint32(len(rec)-4))
-	if _, err := j.active.Write(rec); err != nil {
+	if _, err := j.active.Write(buf.B); err != nil {
 		// A short write leaves torn bytes at the tail; appending after
 		// them would make the NEXT replay stop at the tear and truncate
 		// every later record away. Heal by cutting back to the last
 		// whole-record boundary (O_APPEND writes land at the new end).
+		j.rollbackTableLocked(tblMark)
 		if terr := j.active.Truncate(j.activeSz); terr != nil {
 			j.writeBroken = true
 			return fmt.Errorf("alert journal: append: %w (and truncate failed: %v; journal write path disabled)", err, terr)
 		}
 		return fmt.Errorf("alert journal: append: %w", err)
 	}
-	j.activeSz += int64(len(rec))
+	j.activeSz += int64(len(buf.B))
 	seg := &j.segments[len(j.segments)-1]
 	seg.alerts++
 	seg.observe(a.At)
@@ -778,7 +899,7 @@ func (j *AlertJournal) loadSegmentLocked(seg journalSegment) []Alert {
 		return nil
 	}
 	out := make([]Alert, 0, seg.alerts)
-	decodeRecords(f, seg.format, func(a Alert) { out = append(out, a) })
+	decodeRecords(f, seg.format, nil, func(a Alert) { out = append(out, a) })
 	if len(out) > seg.alerts {
 		out = out[:seg.alerts] // records past the indexed count (concurrent append) stay invisible
 	}
@@ -809,9 +930,18 @@ func (j *AlertJournal) recordsLocked(seg journalSegment, from, to uint64) []Aler
 // not an error); an idx at or past the end returns an empty batch.
 // This is the replication shipper's cursor read.
 func (j *AlertJournal) ReadFrom(idx uint64, max int) ([]Alert, uint64) {
+	return j.ReadFromInto(nil, idx, max)
+}
+
+// ReadFromInto is ReadFrom appending into the caller's dst slice
+// (reset first), so a steady-state shipper reuses one batch buffer
+// across passes instead of allocating per read. Records are copied
+// into dst; the result never aliases journal internals.
+func (j *AlertJournal) ReadFromInto(dst []Alert, idx uint64, max int) ([]Alert, uint64) {
 	if max <= 0 {
 		max = 256
 	}
+	out := dst[:0]
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	next := j.nextIndexLocked()
@@ -819,13 +949,12 @@ func (j *AlertJournal) ReadFrom(idx uint64, max int) ([]Alert, uint64) {
 		idx = j.oldestIndexLocked()
 	}
 	if idx >= next {
-		return nil, next
+		return out, next
 	}
 	end := idx + uint64(max)
 	if end > next {
 		end = next
 	}
-	out := make([]Alert, 0, end-idx)
 	for _, seg := range j.segments {
 		if seg.end() <= idx {
 			continue

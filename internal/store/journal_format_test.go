@@ -76,8 +76,8 @@ func TestJournalV1DirReplaysUnderV2Reader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ft, _ := sniffSegmentFormat(f); ft != JournalFormatBinary {
-		t.Fatalf("rotated segment has format %d, want binary", ft)
+	if ft, _ := sniffSegmentFormat(f); ft != JournalFormatBinaryTable {
+		t.Fatalf("rotated segment has format %d, want binary+table", ft)
 	}
 	f.Close()
 

@@ -153,7 +153,7 @@ func TestJournalTruncatedTailRecovered(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if ft, err := sniffSegmentFormat(f); err != nil || ft != JournalFormatBinary {
+				if ft, err := sniffSegmentFormat(f); err != nil || ft != JournalFormatBinaryTable {
 					t.Fatalf("default segment format %d, err %v", ft, err)
 				}
 				var sizes []int64

@@ -1,0 +1,350 @@
+// Batched hot path. The per-event pipeline surface (Publish, one
+// Stage.Process per event) still works unchanged, but every layer now
+// has a batch fast path so a burst of N events costs one ring push,
+// one clock read per stage, and one framed journal write instead of N
+// of each:
+//
+//   - callers build []lbsn.CheckinEvent batches from a sync.Pool
+//     (GetEventBatch/PutEventBatch) and hand them to PublishBatch,
+//     which partitions the whole batch and pushes one run per shard
+//     ring;
+//   - the shard worker drains its ring in runs (up to maxWorkerBatch)
+//     and walks the stage chain stage-major: stages implementing
+//     BatchStage process the run in one call, others fall back to
+//     per-event Process — existing stages keep working unmodified;
+//   - alerts raised by a run are appended through the store's
+//     AppendBatch (one framed write) when available.
+//
+// Pool ownership rule: a batch belongs to exactly one side at a time.
+// PublishBatch copies events out of the caller's slice synchronously,
+// so the caller may PutEventBatch (or reuse) it the moment the call
+// returns; nothing downstream retains a reference.
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/obs"
+	"locheat/internal/store"
+)
+
+// maxWorkerBatch caps how many queued events one ring drain hands to
+// the stage chain, bounding worker-local scratch and how long the ctl
+// channel waits behind a backlog.
+const maxWorkerBatch = 256
+
+// EventBatch is a pooled, reusable event slice for batched publishing.
+// Get one, append to Events, pass Events to PublishBatch, put it back.
+type EventBatch struct {
+	Events []lbsn.CheckinEvent
+}
+
+var eventBatchPool = sync.Pool{
+	New: func() any { return &EventBatch{Events: make([]lbsn.CheckinEvent, 0, 512)} },
+}
+
+// GetEventBatch takes a cleared batch from the pool.
+func GetEventBatch() *EventBatch { return eventBatchPool.Get().(*EventBatch) }
+
+// PutEventBatch clears and returns a batch to the pool. The caller
+// must not touch the batch afterwards. Oversized backing arrays are
+// dropped so one pathological burst does not pin memory forever.
+func PutEventBatch(b *EventBatch) {
+	if b == nil || cap(b.Events) > 1<<16 {
+		return
+	}
+	b.Events = b.Events[:0]
+	eventBatchPool.Put(b)
+}
+
+// BatchStage is the optional Stage fast path. ProcessBatch must be
+// behaviorally identical to calling Process once per event in order:
+// the same alerts (byte for byte) appended to alerts, and the kept
+// events — those Process would have returned keep=true for — compacted
+// in place (the returned slice reuses events' backing array, order
+// preserved). Stages without it are driven per event by the worker.
+type BatchStage interface {
+	Stage
+	ProcessBatch(events []lbsn.CheckinEvent, alerts []Alert) ([]lbsn.CheckinEvent, []Alert)
+}
+
+// resolveBatchStages snapshots which stages take the fast path; the
+// stage chain is fixed at New so this is computed once per worker.
+func resolveBatchStages(stages []Stage) []BatchStage {
+	out := make([]BatchStage, len(stages))
+	for i, st := range stages {
+		if bs, ok := st.(BatchStage); ok {
+			out[i] = bs
+		}
+	}
+	return out
+}
+
+// PublishBatch offers a batch of events to the pipeline, partitioning
+// them into per-shard runs pushed in one ring operation each. It never
+// blocks and returns how many events were enqueued. Per-event outcomes
+// match Publish exactly: malformed events dead-letter, a full shard
+// ring drops the run's tail, a closed pipeline refuses everything.
+// reject, when non-nil, is called with the index (into events) of
+// every event NOT enqueued, so callers tracking per-event delivery
+// (the cluster ingest dedupe) stay exact. The events slice is copied
+// from synchronously and may be reused when the call returns.
+func (p *Pipeline) PublishBatch(events []lbsn.CheckinEvent, reject func(i int)) int {
+	if len(events) == 0 {
+		return 0
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		if reject != nil {
+			for i := range events {
+				reject(i)
+			}
+		}
+		return 0
+	}
+	sc := p.getScatter()
+	stamp := p.detLat != nil
+	var now time.Time
+	if stamp {
+		now = time.Now()
+	}
+	for i := range events {
+		ev := events[i]
+		if reason := malformed(ev); reason != "" {
+			p.deadLettered.Add(1)
+			select {
+			case p.dlq <- DeadLetter{Event: ev, Reason: reason}:
+			default:
+				p.dlqDropped.Add(1)
+			}
+			if reject != nil {
+				reject(i)
+			}
+			continue
+		}
+		ev.Seq = p.seq.Add(1)
+		if stamp && ev.IngestedAt.IsZero() {
+			ev.IngestedAt = now
+		}
+		idx := p.cfg.Partitioner(uint64(ev.UserID), len(p.shards))
+		if idx < 0 || idx >= len(p.shards) {
+			idx = int(uint64(ev.UserID) % uint64(len(p.shards)))
+		}
+		sc.byShard[idx] = append(sc.byShard[idx], ev)
+		sc.srcIdx[idx] = append(sc.srcIdx[idx], int32(i))
+	}
+	enq := 0
+	for si, run := range sc.byShard {
+		if len(run) == 0 {
+			continue
+		}
+		sh := p.shards[si]
+		// Count before pushing (same as Publish): the worker may process
+		// and count an event before a post-push increment would land.
+		p.published.Add(uint64(len(run)))
+		n := sh.ring.push(run)
+		enq += n
+		if short := len(run) - n; short > 0 {
+			p.published.Add(^uint64(short) + 1) // undo the refused tail
+			sh.dropped.Add(uint64(short))
+			if reject != nil {
+				for _, src := range sc.srcIdx[si][n:] {
+					reject(int(src))
+				}
+			}
+		}
+	}
+	p.putScatter(sc)
+	return enq
+}
+
+// scatterState is the pooled per-PublishBatch partition scratch: one
+// run (plus source indexes for reject reporting) per shard.
+type scatterState struct {
+	byShard [][]lbsn.CheckinEvent
+	srcIdx  [][]int32
+}
+
+func (p *Pipeline) getScatter() *scatterState {
+	if v := p.scatterPool.Get(); v != nil {
+		return v.(*scatterState)
+	}
+	return &scatterState{
+		byShard: make([][]lbsn.CheckinEvent, len(p.shards)),
+		srcIdx:  make([][]int32, len(p.shards)),
+	}
+}
+
+func (p *Pipeline) putScatter(sc *scatterState) {
+	for i := range sc.byShard {
+		sc.byShard[i] = sc.byShard[i][:0]
+		sc.srcIdx[i] = sc.srcIdx[i][:0]
+	}
+	p.scatterPool.Put(sc)
+}
+
+// shardWorker is one shard's processing state: reusable run/alert
+// scratch plus the eviction clock, so the steady-state loop allocates
+// nothing.
+type shardWorker struct {
+	p        *Pipeline
+	sh       *shard
+	stages   []Stage
+	batchers []BatchStage
+	stageLat []*obs.Histogram
+	timed    bool
+
+	run       []lbsn.CheckinEvent
+	alerts    []Alert
+	latest    time.Time
+	lastSweep time.Time
+}
+
+// process walks one drained run through the stage chain, stage-major:
+// stage i sees every event still alive after stage i-1, in order.
+// Stages hold no shared state, so this is observably identical to the
+// old event-major loop except that per-stage latency is now observed
+// once per run (the whole point: one clock read per stage, not per
+// event) and alerts land in the store as one batch.
+func (w *shardWorker) process(events []lbsn.CheckinEvent) {
+	sh, p := w.sh, w.p
+	for i := range events {
+		sh.windows.observe(events[i].At)
+		if events[i].At.After(w.latest) {
+			w.latest = events[i].At
+		}
+	}
+	evs := events
+	alerts := w.alerts[:0]
+	var stageStart time.Time
+	if w.timed {
+		stageStart = time.Now()
+	}
+	for si, st := range w.stages {
+		before := len(evs)
+		if bs := w.batchers[si]; bs != nil {
+			evs, alerts = bs.ProcessBatch(evs, alerts)
+		} else {
+			kept := evs[:0]
+			for _, ev := range evs {
+				as, keep := st.Process(ev)
+				alerts = append(alerts, as...)
+				if keep {
+					kept = append(kept, ev)
+				}
+			}
+			evs = kept
+		}
+		if w.timed {
+			now := time.Now()
+			w.stageLat[si].ObserveDuration(now.Sub(stageStart))
+			stageStart = now
+		}
+		if f := before - len(evs); f > 0 {
+			sh.filtered.Add(uint64(f))
+			p.noteFilteredN(st.Name(), f)
+		}
+		if len(evs) == 0 {
+			break
+		}
+	}
+	sh.processed.Add(uint64(len(events)))
+	if len(alerts) > 0 {
+		// The stage-major walk groups alerts by stage; consumers (store
+		// order, subscribers) expect the event-major order the per-event
+		// loop produced. A stable sort by Seq restores it exactly: same
+		// event's alerts are already in stage order, and stability keeps
+		// them that way. Insertion sort: runs are small, alerts rare,
+		// and it allocates nothing.
+		for i := 1; i < len(alerts); i++ {
+			for j := i; j > 0 && alerts[j].Seq < alerts[j-1].Seq; j-- {
+				alerts[j], alerts[j-1] = alerts[j-1], alerts[j]
+			}
+		}
+		for i := range alerts {
+			sh.windows.alert(alerts[i].At, alerts[i].Detector)
+		}
+		p.recordAlerts(alerts, events)
+	}
+	w.alerts = alerts[:0] // keep the grown capacity for the next run
+	if w.latest.Sub(w.lastSweep) >= p.cfg.Evict.SweepEvery {
+		w.lastSweep = w.latest
+		cutoff := w.latest.Add(-p.cfg.Evict.IdleAfter)
+		for _, st := range w.stages {
+			evictor, ok := st.(UserStateEvictor)
+			if !ok {
+				continue
+			}
+			if n := evictor.EvictIdle(cutoff); n > 0 {
+				sh.evicted.Add(uint64(n))
+				p.noteEvicted(st.Name(), n)
+			}
+		}
+	}
+}
+
+// batchAlertAppender is the store fast path: persist a run's alerts in
+// one framed write. store.AlertJournal implements it.
+type batchAlertAppender interface {
+	AppendBatch(alerts []store.Alert) (int, error)
+}
+
+// recordAlerts is recordAlert for a run's worth of alerts: one store
+// batch append, one counter-lock acquisition, one subscriber snapshot.
+// The alerts slice is worker scratch — everything downstream copies.
+func (p *Pipeline) recordAlerts(alerts []Alert, events []lbsn.CheckinEvent) {
+	if ba, ok := p.alerts.(batchAlertAppender); ok {
+		if _, err := ba.AppendBatch(alerts); err != nil {
+			p.storeErrors.Add(1)
+		}
+	} else {
+		for i := range alerts {
+			if err := p.alerts.Append(alerts[i]); err != nil {
+				p.storeErrors.Add(1)
+			}
+		}
+	}
+	if p.detLat != nil {
+		// Alert → originating event by Seq for the ingest stamp. Alerts
+		// are rare relative to events; the linear scan beats building a
+		// map on every run.
+		for i := range alerts {
+			for j := range events {
+				if events[j].Seq == alerts[i].Seq {
+					p.detLat.ObserveSince(events[j].IngestedAt)
+					break
+				}
+			}
+		}
+	}
+	p.alertMu.Lock()
+	p.alertsTotal += uint64(len(alerts))
+	for i := range alerts {
+		p.byDetector[alerts[i].Detector]++
+	}
+	p.alertMu.Unlock()
+	p.fanOut(alerts)
+}
+
+// fanOut delivers alerts to subscribers from a lock-free snapshot.
+// Delivery is non-blocking: a slow subscriber loses the alert (counted
+// in subDropped) rather than slowing detection or holding alertMu
+// across N sends.
+func (p *Pipeline) fanOut(alerts []Alert) {
+	subs := p.subsPtr.Load()
+	if subs == nil || len(*subs) == 0 {
+		return
+	}
+	for _, ch := range *subs {
+		for i := range alerts {
+			select {
+			case ch <- alerts[i]:
+			default:
+				p.subDropped.Add(1)
+			}
+		}
+	}
+}

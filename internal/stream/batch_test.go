@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+)
+
+// genEventMix builds a randomized but adversarial event stream: a
+// handful of users, timestamps stepping forward with jitter, venue
+// teleports (speed alerts), exact replays (dedupe filters), GPS-deny
+// claims, and bursty repeats (rate throttle + cheater-code rapid-fire).
+// Every behaviour class each stage branches on shows up in the mix.
+func genEventMix(r *rand.Rand, n int) []lbsn.CheckinEvent {
+	locs := []geo.Point{
+		testVenueLoc,
+		farVenueLoc,
+		{Lat: 51.5074, Lon: -0.1278},
+		{Lat: testVenueLoc.Lat + 0.0001, Lon: testVenueLoc.Lon},
+	}
+	t0 := simclock.Epoch()
+	out := make([]lbsn.CheckinEvent, 0, n)
+	at := t0
+	for len(out) < n {
+		switch r.Intn(10) {
+		case 0: // exact replay of a previous event (dedupe fodder)
+			if len(out) > 0 {
+				dup := out[r.Intn(len(out))]
+				dup.Seq = uint64(len(out) + 1)
+				out = append(out, dup)
+				continue
+			}
+			fallthrough
+		case 1, 2: // burst: same user hammering nearby venues
+			user := uint64(1 + r.Intn(3))
+			base := locs[r.Intn(len(locs))]
+			for i := 0; i < 3+r.Intn(5) && len(out) < n; i++ {
+				at = at.Add(time.Duration(r.Intn(1000)) * time.Millisecond)
+				ev := event(user, uint64(100+r.Intn(4)), at, base)
+				ev.Seq = uint64(len(out) + 1)
+				out = append(out, ev)
+			}
+		case 3: // denied claim: GPS mismatch reason set
+			at = at.Add(time.Duration(r.Intn(30)) * time.Second)
+			ev := event(uint64(1+r.Intn(5)), uint64(100+r.Intn(8)), at, locs[r.Intn(len(locs))])
+			ev.Accepted = false
+			ev.Reason = lbsn.DenyGPSMismatch
+			ev.Seq = uint64(len(out) + 1)
+			out = append(out, ev)
+		default: // ordinary claim, occasionally a teleport
+			at = at.Add(time.Duration(r.Intn(120)) * time.Second)
+			ev := event(uint64(1+r.Intn(5)), uint64(100+r.Intn(8)), at, locs[r.Intn(len(locs))])
+			ev.Seq = uint64(len(out) + 1)
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// runPerEvent drives a stage chain the slow way: Process once per
+// event, filtered events stopping their chain walk, alerts appended in
+// event order — exactly what the shard worker's fallback path does.
+func runPerEvent(stages []Stage, events []lbsn.CheckinEvent) (kept []lbsn.CheckinEvent, alerts []Alert) {
+	for _, ev := range events {
+		dropped := false
+		for _, st := range stages {
+			out, keep := st.Process(ev)
+			alerts = append(alerts, out...)
+			if !keep {
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			kept = append(kept, ev)
+		}
+	}
+	return kept, alerts
+}
+
+// TestProcessBatchEquivalence is the batch-path contract test: for
+// every stage, ProcessBatch over arbitrary chunkings must produce
+// byte-identical alerts and the same kept set as N sequential Process
+// calls. Two independently-built chains consume the same randomized
+// stream, one per event and one in random-size batches, across many
+// seeds.
+func TestProcessBatchEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			events := genEventMix(rand.New(rand.NewSource(seed)), 400)
+			cfg := DetectConfig{}.withDefaults()
+			ref := DefaultStages(cfg)
+			batched := DefaultStages(cfg)
+
+			wantKept, wantAlerts := runPerEvent(ref, events)
+
+			chunkRand := rand.New(rand.NewSource(seed * 7919))
+			var gotKept []lbsn.CheckinEvent
+			var gotAlerts []Alert
+			scratch := make([]lbsn.CheckinEvent, 0, len(events))
+			for off := 0; off < len(events); {
+				sz := 1 + chunkRand.Intn(64)
+				if off+sz > len(events) {
+					sz = len(events) - off
+				}
+				// ProcessBatch compacts in place, so hand it a copy the
+				// way the worker hands its private run buffer.
+				run := append(scratch[:0], events[off:off+sz]...)
+				mark := len(gotAlerts)
+				for _, st := range batched {
+					bs, ok := st.(BatchStage)
+					if !ok {
+						t.Fatalf("stage %s does not implement BatchStage", st.Name())
+					}
+					run, gotAlerts = bs.ProcessBatch(run, gotAlerts)
+				}
+				// Stage-major drains emit alerts grouped by stage; the
+				// worker restores event order with a stable sort by Seq
+				// (stages ran in chain order, so ties keep chain order).
+				// Mirror that here before comparing to the per-event run.
+				chunk := gotAlerts[mark:]
+				sort.SliceStable(chunk, func(i, j int) bool { return chunk[i].Seq < chunk[j].Seq })
+				gotKept = append(gotKept, run...)
+				off += sz
+			}
+
+			wantJSON, _ := json.Marshal(wantAlerts)
+			gotJSON, _ := json.Marshal(gotAlerts)
+			if string(wantJSON) != string(gotJSON) {
+				t.Fatalf("alerts diverge:\nper-event: %s\nbatched:   %s", wantJSON, gotJSON)
+			}
+			if len(gotKept) != len(wantKept) {
+				t.Fatalf("kept %d events batched, %d per-event", len(gotKept), len(wantKept))
+			}
+			for i := range gotKept {
+				if gotKept[i].Seq != wantKept[i].Seq {
+					t.Fatalf("kept[%d]: seq %d batched, %d per-event", i, gotKept[i].Seq, wantKept[i].Seq)
+				}
+			}
+		})
+	}
+}
+
+// TestProcessBatchAlertOrderMatchesPerEvent pins the worker-level
+// invariant on top of the stage-level one: a pipeline fed through
+// PublishBatch must store the same alerts in the same order as one fed
+// the same events through Publish. This exercises the stage-major
+// drain plus the Seq re-sort in shardWorker.process.
+func TestProcessBatchAlertOrderMatchesPerEvent(t *testing.T) {
+	events := genEventMix(rand.New(rand.NewSource(99)), 600)
+
+	run := func(publish func(p *Pipeline)) []Alert {
+		mem := store.NewMemoryAlertStore(4096)
+		p := New(Config{
+			Shards: 1, // single shard: global order is deterministic
+			Store:  mem,
+			Clock:  simclock.NewSimulated(simclock.Epoch()),
+		})
+		publish(p)
+		p.Close()
+		alerts, _ := mem.Query(store.AlertQuery{Limit: 4096})
+		return alerts
+	}
+
+	perEvent := run(func(p *Pipeline) {
+		for _, ev := range events {
+			if !p.Publish(ev) {
+				t.Fatal("publish refused")
+			}
+		}
+	})
+	batched := run(func(p *Pipeline) {
+		for off := 0; off < len(events); off += 100 {
+			end := off + 100
+			if end > len(events) {
+				end = len(events)
+			}
+			batch := append([]lbsn.CheckinEvent(nil), events[off:end]...)
+			if got := p.PublishBatch(batch, nil); got != end-off {
+				t.Fatalf("batch publish accepted %d of %d", got, end-off)
+			}
+		}
+	})
+
+	want, _ := json.Marshal(perEvent)
+	got, _ := json.Marshal(batched)
+	if string(want) != string(got) {
+		t.Fatalf("alert streams diverge (%d per-event, %d batched):\nper-event: %s\nbatched:   %s",
+			len(perEvent), len(batched), want, got)
+	}
+	if len(perEvent) == 0 {
+		t.Fatal("mix produced no alerts; test is vacuous")
+	}
+}
+
+// TestCloseDrainsPartialBatches is the shutdown contract: every event
+// PublishBatch accepted is processed before Close returns, even the
+// partially-filled tail run sitting in a shard ring with no further
+// wakeups coming.
+func TestCloseDrainsPartialBatches(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			p := New(Config{
+				Shards:      shards,
+				ShardBuffer: 1 << 14,
+				Clock:       simclock.NewSimulated(simclock.Epoch()),
+			})
+			events := genEventMix(rand.New(rand.NewSource(7)), 1000)
+			accepted := 0
+			// Odd batch sizes so the final run into each shard is a
+			// partial one.
+			for off := 0; off < len(events); off += 37 {
+				end := off + 37
+				if end > len(events) {
+					end = len(events)
+				}
+				batch := append([]lbsn.CheckinEvent(nil), events[off:end]...)
+				accepted += p.PublishBatch(batch, nil)
+			}
+			if accepted != len(events) {
+				t.Fatalf("accepted %d of %d (ring overflow defeats the drain assertion)", accepted, len(events))
+			}
+			p.Close()
+			st := p.Stats()
+			if st.Processed != uint64(accepted) {
+				t.Fatalf("processed %d of %d accepted events after Close", st.Processed, accepted)
+			}
+			if st.Dropped != 0 {
+				t.Fatalf("%d events dropped with an oversized ring", st.Dropped)
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"locheat/internal/lbsn"
+)
+
+// eventRing is a shard's bounded input queue: a power-of-two ring of
+// events with a lock-free consumer side, replacing the per-shard
+// channel. A channel send costs a lock handoff and often a scheduler
+// wakeup per event; the ring amortizes both across a batch — producers
+// publish a whole run of events under one (producer-side) lock and one
+// wakeup, and the shard worker drains every queued event with two
+// atomic loads and one store.
+//
+// Concurrency contract: exactly one consumer (the shard worker) calls
+// pop. The producer side is the partitioner — Publish/PublishBatch
+// callers — serialized by mu so the ring behaves as SPSC; the consumer
+// never takes that lock. Slot payloads are synchronized purely by the
+// acquire/release pairing on head and tail: producers fill slots
+// before publishing tail, the consumer copies slots out before
+// publishing head, so neither side ever reads a slot the other is
+// still writing.
+type eventRing struct {
+	buf  []lbsn.CheckinEvent
+	mask uint64
+
+	// head is the consumer cursor, tail the producer cursor; queued
+	// events are [head, tail).
+	head atomic.Uint64
+	tail atomic.Uint64
+
+	// mu serializes producers. The consumer never acquires it, so a
+	// stalled worker cannot block Publish (the ring just fills and
+	// drops, same as the channel it replaces).
+	mu sync.Mutex
+
+	// notify wakes the consumer from its empty-queue park. Capacity 1:
+	// a pending wakeup is never lost, and redundant wakeups collapse
+	// into the buffered token instead of piling up.
+	notify chan struct{}
+
+	closed atomic.Bool
+}
+
+func newEventRing(capacity int) *eventRing {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &eventRing{
+		buf:    make([]lbsn.CheckinEvent, size),
+		mask:   uint64(size - 1),
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// push offers evs in order and returns how many were accepted before
+// the ring filled; the caller drops (and counts) the refused tail.
+func (r *eventRing) push(evs []lbsn.CheckinEvent) int {
+	r.mu.Lock()
+	if r.closed.Load() {
+		r.mu.Unlock()
+		return 0
+	}
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := len(evs)
+	if uint64(n) > free {
+		n = int(free)
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(tail+uint64(i))&r.mask] = evs[i]
+	}
+	r.tail.Store(tail + uint64(n))
+	r.mu.Unlock()
+	if n > 0 {
+		r.wake()
+	}
+	return n
+}
+
+// push1 is push for a single event — the unbatched Publish path keeps
+// its exact accept/drop semantics without building a slice.
+func (r *eventRing) push1(ev lbsn.CheckinEvent) bool {
+	r.mu.Lock()
+	if r.closed.Load() {
+		r.mu.Unlock()
+		return false
+	}
+	tail := r.tail.Load()
+	if tail-r.head.Load() == uint64(len(r.buf)) {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[tail&r.mask] = ev
+	r.tail.Store(tail + 1)
+	r.mu.Unlock()
+	r.wake()
+	return true
+}
+
+func (r *eventRing) wake() {
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop appends up to max queued events to dst and advances the consumer
+// cursor. Consumer-only.
+func (r *eventRing) pop(dst []lbsn.CheckinEvent, max int) []lbsn.CheckinEvent {
+	head := r.head.Load()
+	n := r.tail.Load() - head
+	if n == 0 {
+		return dst
+	}
+	if n > uint64(max) {
+		n = uint64(max)
+	}
+	for i := uint64(0); i < n; i++ {
+		dst = append(dst, r.buf[(head+i)&r.mask])
+	}
+	r.head.Store(head + n)
+	return dst
+}
+
+// depth is the queued-event count; safe from any goroutine (it powers
+// the queue-depth gauge and ShardStats.Queued).
+func (r *eventRing) depth() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// close refuses further pushes and wakes the consumer so it can drain
+// what is queued and exit. Producers are additionally gated by
+// Pipeline.closed; the flag here is a backstop.
+func (r *eventRing) close() {
+	r.closed.Store(true)
+	r.wake()
+}
+
+// drained reports closed-and-empty: the consumer's exit condition.
+func (r *eventRing) drained() bool {
+	return r.closed.Load() && r.depth() == 0
+}

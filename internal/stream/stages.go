@@ -150,6 +150,19 @@ func (d *DedupeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 	return nil, true
 }
 
+// ProcessBatch implements BatchStage. Dedupe raises no alerts, so the
+// fast path is just the keep/compact loop without the per-call return
+// slice.
+func (d *DedupeStage) ProcessBatch(events []lbsn.CheckinEvent, alerts []Alert) ([]lbsn.CheckinEvent, []Alert) {
+	kept := events[:0]
+	for _, ev := range events {
+		if _, keep := d.Process(ev); keep {
+			kept = append(kept, ev)
+		}
+	}
+	return kept, alerts
+}
+
 // EvictIdle implements UserStateEvictor. Dedupe keys already expire at
 // the (shorter) TTL; the eviction pass is a second bound that holds
 // even if no further events arrive to trigger the lazy sweep.
@@ -252,10 +265,26 @@ func (s *SpeedStage) Name() string { return StageSpeed }
 
 // Process implements Stage.
 func (s *SpeedStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
-	if ev.Reason == lbsn.DenyGPSMismatch {
-		return nil, true
+	return s.processInto(ev, nil)
+}
+
+// ProcessBatch implements BatchStage: the same per-event core, but
+// alerts append into the worker's shared slice instead of a fresh
+// allocation per finding.
+func (s *SpeedStage) ProcessBatch(events []lbsn.CheckinEvent, alerts []Alert) ([]lbsn.CheckinEvent, []Alert) {
+	for i := range events {
+		alerts, _ = s.processInto(events[i], alerts)
 	}
-	var alerts []Alert
+	return events, alerts // speed never filters
+}
+
+// processInto is the shared core of Process and ProcessBatch,
+// appending any alert to dst.
+func (s *SpeedStage) processInto(ev lbsn.CheckinEvent, dst []Alert) ([]Alert, bool) {
+	if ev.Reason == lbsn.DenyGPSMismatch {
+		return dst, true
+	}
+	alerts := dst
 	if prev, ok := s.last[ev.UserID]; ok && ev.At.Sub(prev.at) <= s.window {
 		dist := prev.loc.DistanceMeters(ev.Venue)
 		elapsed := ev.At.Sub(prev.at).Seconds()
@@ -354,12 +383,26 @@ func (r *RateThrottleStage) Name() string { return StageRateThrottle }
 
 // Process implements Stage.
 func (r *RateThrottleStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
+	return r.processInto(ev, nil)
+}
+
+// ProcessBatch implements BatchStage.
+func (r *RateThrottleStage) ProcessBatch(events []lbsn.CheckinEvent, alerts []Alert) ([]lbsn.CheckinEvent, []Alert) {
+	for i := range events {
+		alerts, _ = r.processInto(events[i], alerts)
+	}
+	return events, alerts // the throttle never filters
+}
+
+// processInto is the shared core of Process and ProcessBatch,
+// appending any alert to dst.
+func (r *RateThrottleStage) processInto(ev lbsn.CheckinEvent, dst []Alert) ([]Alert, bool) {
 	hist := simclock.SlideWindow(r.recent[ev.UserID], ev.At, r.window)
 	// History is bounded without a cap: one append per event, cleared
 	// whenever the budget is blown, so it never exceeds max+1 entries.
 	if len(hist) <= r.max {
 		r.recent[ev.UserID] = hist
-		return nil, true
+		return dst, true
 	}
 	count := len(hist)
 	// Budget blown: challenge the device, then reset the window so the
@@ -374,7 +417,7 @@ func (r *RateThrottleStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 		verdict = fmt.Sprintf("device FAILED distance bounding (%d timing, %d bit fails)",
 			res.TimingFails, res.BitFails)
 	}
-	return []Alert{{
+	return append(dst, Alert{
 		Seq:      ev.Seq,
 		Detector: StageRateThrottle,
 		UserID:   uint64(ev.UserID),
@@ -382,7 +425,7 @@ func (r *RateThrottleStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 		At:       ev.At,
 		Detail: fmt.Sprintf("%d claims in %s exceeds %d; rapid-bit challenge: %s (false-accept p=%.2g)",
 			count, r.window, r.max, verdict, r.challenge.FalseAcceptProbability()),
-	}}, true
+	}), true
 }
 
 // EvictIdle implements UserStateEvictor: drop users whose newest claim
@@ -449,8 +492,22 @@ func (c *CheaterCodeStage) Name() string { return StageCheaterCode }
 
 // Process implements Stage.
 func (c *CheaterCodeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
+	return c.processInto(ev, nil)
+}
+
+// ProcessBatch implements BatchStage.
+func (c *CheaterCodeStage) ProcessBatch(events []lbsn.CheckinEvent, alerts []Alert) ([]lbsn.CheckinEvent, []Alert) {
+	for i := range events {
+		alerts, _ = c.processInto(events[i], alerts)
+	}
+	return events, alerts // the rule engine never filters
+}
+
+// processInto is the shared core of Process and ProcessBatch,
+// appending any alert to dst.
+func (c *CheaterCodeStage) processInto(ev lbsn.CheckinEvent, dst []Alert) ([]Alert, bool) {
 	if ev.Reason == lbsn.DenyGPSMismatch {
-		return nil, true
+		return dst, true
 	}
 	v := c.det.Check(cheatercode.Observation{
 		UserID:   uint64(ev.UserID),
@@ -459,16 +516,16 @@ func (c *CheaterCodeStage) Process(ev lbsn.CheckinEvent) ([]Alert, bool) {
 		Location: ev.Venue,
 	})
 	if v == nil {
-		return nil, true
+		return dst, true
 	}
-	return []Alert{{
+	return append(dst, Alert{
 		Seq:      ev.Seq,
 		Detector: StageCheaterCode,
 		UserID:   uint64(ev.UserID),
 		VenueID:  uint64(ev.VenueID),
 		At:       ev.At,
 		Detail:   fmt.Sprintf("%s: %s", v.Rule, v.Detail),
-	}}, true
+	}), true
 }
 
 // EvictIdle implements UserStateEvictor, delegating to the rule

@@ -219,7 +219,11 @@ func (c Config) withDefaults() Config {
 // its slice of the tumbling-window stats so the per-event bump never
 // contends with other shards.
 type shard struct {
-	in chan lbsn.CheckinEvent
+	// ring is the bounded input queue (see ring.go): producers are the
+	// Publish/PublishBatch partitioner, the consumer is this shard's
+	// worker loop. Same drop-on-full semantics as the channel it
+	// replaced, but a batch costs one push and one wakeup.
+	ring *eventRing
 	// ctl delivers control closures (state export/import for cluster
 	// handoff) into the worker goroutine, the only place stage state may
 	// be touched. Unbuffered: the sender rendezvouses with the worker,
@@ -258,14 +262,24 @@ type Pipeline struct {
 	alerts store.AlertStore
 
 	// alertMu guards the per-detector counters, per-stage filter and
-	// eviction counters, and subscribers.
+	// eviction counters, and subscriber registration. The alert fan-out
+	// itself reads subsPtr without the lock (see fanOut).
 	alertMu     sync.Mutex
 	alertsTotal uint64
 	byDetector  map[string]uint64
 	filteredBy  map[string]uint64
 	evictedBy   map[string]uint64
-	subs        []chan Alert
 	subsClosed  bool
+
+	// subsPtr is the copy-on-write subscriber list: Subscribe/Close
+	// replace the whole slice under alertMu, the fan-out loads a
+	// snapshot and delivers without any lock. subDropped counts alerts
+	// a slow subscriber missed.
+	subsPtr    atomic.Pointer[[]chan Alert]
+	subDropped atomic.Uint64
+
+	// scatterPool holds PublishBatch's per-call partition scratch.
+	scatterPool sync.Pool
 
 	// detLat is the paper's headline metric: ingest stamp → alert
 	// append. Nil (obs off) doubles as the "don't stamp" switch in
@@ -289,7 +303,7 @@ func New(cfg Config) *Pipeline {
 	p.shards = make([]*shard, cfg.Shards)
 	for i := range p.shards {
 		sh := &shard{
-			in:      make(chan lbsn.CheckinEvent, cfg.ShardBuffer),
+			ring:    newEventRing(cfg.ShardBuffer),
 			ctl:     make(chan func([]Stage)),
 			windows: newWindowTracker(cfg.StatsWindow, cfg.StatsHistory),
 		}
@@ -328,6 +342,9 @@ func (p *Pipeline) registerObs(reg *obs.Registry) {
 			defer p.alertMu.Unlock()
 			return p.alertsTotal
 		})
+	reg.CounterFunc("locheat_stream_sub_dropped_total",
+		"alerts a slow subscriber channel missed (non-blocking fan-out)",
+		func() uint64 { return p.subDropped.Load() })
 	reg.GaugeFunc("locheat_stream_dlq_depth",
 		"dead-letter channel depth",
 		func() float64 { return float64(len(p.dlq)) })
@@ -357,7 +374,7 @@ func (p *Pipeline) registerShardObs(reg *obs.Registry, idx int, sh *shard) {
 		func() uint64 { return sh.evicted.Load() }, "shard", label)
 	reg.GaugeFunc("locheat_stream_queue_depth",
 		"events waiting in the shard queue",
-		func() float64 { return float64(len(sh.in)) }, "shard", label)
+		func() float64 { return float64(sh.ring.depth()) }, "shard", label)
 }
 
 // stageHistograms resolves one latency histogram per stage, labelled
@@ -378,71 +395,44 @@ func stageHistograms(reg *obs.Registry, stages []Stage) []*obs.Histogram {
 }
 
 // run is one shard worker: strictly sequential over its queue, which is
-// what preserves per-user order. It also drives the eviction policy:
-// every SweepEvery of observed event time it asks each stateful stage
-// to drop users idle longer than IdleAfter.
+// what preserves per-user order. Each pass drains a run of queued
+// events from the ring and hands it to the batch processor (batch.go),
+// which also drives the eviction policy. Control closures jump the
+// queue between runs; when the ring is empty the worker parks on the
+// ring's wakeup and the ctl channel, and it exits once the ring is
+// closed and fully drained — graceful shutdown flushes every queued
+// event, however partial the final run.
 func (p *Pipeline) run(sh *shard, stages []Stage, stageLat []*obs.Histogram) {
 	defer p.wg.Done()
-	timed := len(stageLat) == len(stages) && len(stages) > 0
-	var latest, lastSweep time.Time
+	w := &shardWorker{
+		p:        p,
+		sh:       sh,
+		stages:   stages,
+		batchers: resolveBatchStages(stages),
+		stageLat: stageLat,
+		timed:    len(stageLat) == len(stages) && len(stages) > 0,
+		run:      make([]lbsn.CheckinEvent, 0, maxWorkerBatch),
+	}
 	for {
-		var ev lbsn.CheckinEvent
-		var ok bool
 		select {
-		case ev, ok = <-sh.in:
-			if !ok {
-				return
-			}
 		case fn := <-sh.ctl:
 			fn(stages)
 			continue
+		default:
 		}
-		sh.windows.observe(ev.At)
-		if ev.At.After(latest) {
-			latest = ev.At
-		}
-		// One clock read per stage boundary: each stage's end is the
-		// next one's start, so timing N stages costs N+1 reads, and
-		// none at all when obs is off.
-		var stageStart time.Time
-		if timed {
-			stageStart = time.Now()
-		}
-		for si, st := range stages {
-			alerts, keep := st.Process(ev)
-			if timed {
-				now := time.Now()
-				stageLat[si].ObserveDuration(now.Sub(stageStart))
-				stageStart = now
+		w.run = sh.ring.pop(w.run[:0], maxWorkerBatch)
+		if len(w.run) == 0 {
+			if sh.ring.drained() {
+				return
 			}
-			for _, a := range alerts {
-				sh.windows.alert(a.At, a.Detector)
-				p.recordAlert(a)
-				// Alert append is the far end of the detection-latency
-				// histogram; the near end was stamped by Publish.
-				p.detLat.ObserveSince(ev.IngestedAt)
+			select {
+			case fn := <-sh.ctl:
+				fn(stages)
+			case <-sh.ring.notify:
 			}
-			if !keep {
-				sh.filtered.Add(1)
-				p.noteFiltered(st.Name())
-				break
-			}
+			continue
 		}
-		sh.processed.Add(1)
-		if latest.Sub(lastSweep) >= p.cfg.Evict.SweepEvery {
-			lastSweep = latest
-			cutoff := latest.Add(-p.cfg.Evict.IdleAfter)
-			for _, st := range stages {
-				evictor, ok := st.(UserStateEvictor)
-				if !ok {
-					continue
-				}
-				if n := evictor.EvictIdle(cutoff); n > 0 {
-					sh.evicted.Add(uint64(n))
-					p.noteEvicted(st.Name(), n)
-				}
-			}
-		}
+		w.process(w.run)
 	}
 }
 
@@ -479,17 +469,15 @@ func (p *Pipeline) Publish(ev lbsn.CheckinEvent) bool {
 	}
 	sh := p.shards[idx]
 	// Count before enqueueing: the shard worker can process the event
-	// (and bump its counter) before a post-send increment would land,
+	// (and bump its counter) before a post-push increment would land,
 	// which would let a live Stats read show processed > published.
 	p.published.Add(1)
-	select {
-	case sh.in <- ev:
+	if sh.ring.push1(ev) {
 		return true
-	default:
-		p.published.Add(^uint64(0)) // undo: the event was never enqueued
-		sh.dropped.Add(1)
-		return false
 	}
+	p.published.Add(^uint64(0)) // undo: the event was never enqueued
+	sh.dropped.Add(1)
+	return false
 }
 
 // malformed returns a non-empty reason when the event cannot be
@@ -521,8 +509,9 @@ func malformed(ev lbsn.CheckinEvent) string {
 func (p *Pipeline) DeadLetters() <-chan DeadLetter { return p.dlq }
 
 // Subscribe returns a channel that receives subsequent alerts. Delivery
-// is best-effort: a slow subscriber misses alerts rather than slowing
-// detection. The channel closes on Close.
+// is best-effort and non-blocking: a slow subscriber misses alerts
+// (counted in Stats.SubDropped) rather than slowing detection. The
+// channel closes on Close.
 func (p *Pipeline) Subscribe(buf int) <-chan Alert {
 	if buf <= 0 {
 		buf = 64
@@ -534,31 +523,20 @@ func (p *Pipeline) Subscribe(buf int) <-chan Alert {
 		close(ch)
 		return ch
 	}
-	p.subs = append(p.subs, ch)
+	// Copy-on-write: the fan-out reads the list without alertMu, so
+	// registration replaces the slice rather than appending in place.
+	var next []chan Alert
+	if cur := p.subsPtr.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, ch)
+	p.subsPtr.Store(&next)
 	return ch
 }
 
-func (p *Pipeline) recordAlert(a Alert) {
-	// The store has its own synchronization; only the counters and
-	// subscriber fan-out need alertMu.
-	if err := p.alerts.Append(a); err != nil {
-		p.storeErrors.Add(1)
-	}
+func (p *Pipeline) noteFilteredN(stage string, n int) {
 	p.alertMu.Lock()
-	defer p.alertMu.Unlock()
-	p.alertsTotal++
-	p.byDetector[a.Detector]++
-	for _, ch := range p.subs {
-		select {
-		case ch <- a:
-		default:
-		}
-	}
-}
-
-func (p *Pipeline) noteFiltered(stage string) {
-	p.alertMu.Lock()
-	p.filteredBy[stage]++
+	p.filteredBy[stage] += uint64(n)
 	p.alertMu.Unlock()
 }
 
@@ -603,8 +581,10 @@ type Stats struct {
 	DeadLettered uint64 `json:"deadLettered"`
 	// DLQQueued is the dead-letter channel's current depth; DLQDropped
 	// counts dead letters lost to an undrained full channel.
-	DLQQueued        int               `json:"dlqQueued"`
-	DLQDropped       uint64            `json:"dlqDropped"`
+	DLQQueued  int    `json:"dlqQueued"`
+	DLQDropped uint64 `json:"dlqDropped"`
+	// SubDropped counts alerts slow subscriber channels missed.
+	SubDropped       uint64            `json:"subDropped"`
 	Filtered         uint64            `json:"filtered"`
 	Alerts           uint64            `json:"alerts"`
 	StoreErrors      uint64            `json:"storeErrors"`
@@ -624,12 +604,13 @@ func (p *Pipeline) Stats() Stats {
 		DeadLettered: p.deadLettered.Load(),
 		DLQQueued:    len(p.dlq),
 		DLQDropped:   p.dlqDropped.Load(),
+		SubDropped:   p.subDropped.Load(),
 		StoreErrors:  p.storeErrors.Load(),
 	}
 	for i, sh := range p.shards {
 		st := ShardStats{
 			Shard:     i,
-			Queued:    len(sh.in),
+			Queued:    sh.ring.depth(),
 			Processed: sh.processed.Load(),
 			Dropped:   sh.dropped.Load(),
 			Filtered:  sh.filtered.Load(),
@@ -810,7 +791,7 @@ func (p *Pipeline) Close() {
 	}
 	p.closed = true
 	for _, sh := range p.shards {
-		close(sh.in)
+		sh.ring.close()
 	}
 	p.mu.Unlock()
 
@@ -821,9 +802,11 @@ func (p *Pipeline) Close() {
 	close(p.dlq)
 	p.alertMu.Lock()
 	p.subsClosed = true
-	for _, ch := range p.subs {
-		close(ch)
-	}
-	p.subs = nil
+	subs := p.subsPtr.Swap(nil)
 	p.alertMu.Unlock()
+	if subs != nil {
+		for _, ch := range *subs {
+			close(ch)
+		}
+	}
 }
