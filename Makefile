@@ -4,20 +4,25 @@ GO ?= go
 
 # The perf-trajectory benchmarks: the byte-moving hot paths the binary
 # codec PR (PR 5) committed to tracking, the telemetry overhead benches
-# the observability PR (PR 6) added, and the batched hot-path benches
-# PR 7 added (PublishBatch pipeline, journal AppendBatch).
+# the observability PR (PR 6) added, the batched hot-path benches PR 7
+# added (PublishBatch pipeline, journal AppendBatch), and the tracing
+# overhead benches PR 8 added (traced pipeline + traced forward hop).
 # `make bench` runs them with allocation accounting and snapshots the
 # parsed results to $(BENCH_OUT); `make bench-diff` then gates the
 # snapshot against the previous PR's committed baseline, failing on a
 # >15% throughput drop in any hot-path row.
-BENCH_PATTERN := BenchmarkStreamPipelineBatch|BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend|BenchmarkObs
-BENCH_OUT     := BENCH_PR7.json
-BENCH_BASE    := BENCH_PR6.json
+BENCH_PATTERN := BenchmarkStreamPipelineBatch|BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend|BenchmarkObs|BenchmarkTraceOverhead
+BENCH_OUT     := BENCH_PR8.json
+BENCH_BASE    := BENCH_PR7.json
 # Rows eligible to FAIL bench-diff: the CPU/codec-bound hot paths where
 # a 15% throughput drop means a code regression. Rows bound by an fsync
 # per record or an HTTP round trip per event swing ±30% run to run on
 # the reference box, so they print as (info) instead of gating.
-BENCH_GATE    := BenchmarkStreamPipelineBatch|BenchmarkAlertJournalAppendBatch|BenchmarkClusterForward/bin/batch-(32|256)|BenchmarkReplicaShip/bin/batch-1024
+# TraceOverhead/pipeline/(off|sample-0) gate too: they pin the
+# tracing-compiled-in-but-idle contract — tracing at rate 0 may not tax
+# the batched hot path. sample-1 and the HTTP-bound forward rows are
+# informational.
+BENCH_GATE    := BenchmarkStreamPipelineBatch|BenchmarkAlertJournalAppendBatch|BenchmarkClusterForward/bin/batch-(32|256)|BenchmarkReplicaShip/bin/batch-1024|BenchmarkTraceOverhead/pipeline/(off|sample-0)
 
 .PHONY: build test test-race bench bench-diff fmt vet
 

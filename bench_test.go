@@ -34,6 +34,7 @@ import (
 	"locheat/internal/store"
 	"locheat/internal/stream"
 	"locheat/internal/synth"
+	"locheat/internal/trace"
 	"locheat/internal/web"
 )
 
@@ -1073,6 +1074,201 @@ func BenchmarkObsOverheadStreamPipeline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTraceOverhead measures what the tracing tier costs the two
+// hot paths it instruments.
+//
+// pipeline/*: the batched publish → stage chain path of
+// BenchmarkStreamPipelineBatch (chunk 256). "off" has no tracer
+// compiled into the pipeline; "sample-0" has the tracer armed at rate
+// 0 — the production default, whose contract is zero allocs/op and no
+// measurable cost on untraced events; "sample-1" traces every event,
+// the worst case (span recording plus recorder retention for each).
+//
+// forward/*: the cross-node hop of BenchmarkClusterForward
+// (bin/batch-256). "off" is the untraced baseline; "sample-1" traces
+// every event through the bin/2 wire — ID propagation, hop spans on
+// the origin, Begin/stage spans on the owner.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("pipeline", func(b *testing.B) {
+		const ringSize = 1 << 14
+		const chunk = 256
+		base := geo.Point{Lat: 40.8136, Lon: -96.7026}
+		events := make([]lbsn.CheckinEvent, ringSize)
+		t0 := simclock.Epoch()
+		for i := range events {
+			loc := base.Destination(float64(i%360), float64(200+i%1600))
+			events[i] = lbsn.CheckinEvent{
+				UserID:   lbsn.UserID(i%1024 + 1),
+				VenueID:  lbsn.VenueID(i%4096 + 1),
+				At:       t0.Add(time.Duration(i) * 37 * time.Second),
+				Venue:    loc,
+				Reported: loc,
+				Accepted: true,
+			}
+		}
+		for _, mode := range []struct {
+			name string
+			rate float64
+			on   bool
+		}{
+			{"off", 0, false},
+			{"sample-0", 0, true},
+			{"sample-1", 1, true},
+		} {
+			b.Run(mode.name, func(b *testing.B) {
+				cfg := stream.Config{
+					Shards:      runtime.GOMAXPROCS(0),
+					ShardBuffer: 1 << 14,
+					StatsWindow: time.Hour,
+					Clock:       simclock.NewSimulated(t0),
+				}
+				if mode.on {
+					cfg.Tracer = trace.New(trace.Config{Node: "bench", SampleRate: mode.rate})
+				}
+				p := stream.New(cfg)
+				pending := make([]lbsn.CheckinEvent, 0, chunk)
+				retry := make([]lbsn.CheckinEvent, 0, chunk)
+				var rejected []int
+				reject := func(i int) { rejected = append(rejected, i) }
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; {
+					pending = pending[:0]
+					for k := 0; k < chunk && i+k < b.N; k++ {
+						ev := events[(i+k)%ringSize]
+						ev.At = ev.At.Add(time.Duration((i+k)/ringSize) * 7 * 24 * time.Hour)
+						pending = append(pending, ev)
+					}
+					i += len(pending)
+					for {
+						rejected = rejected[:0]
+						p.PublishBatch(pending, reject)
+						if len(rejected) == 0 {
+							break
+						}
+						retry = retry[:0]
+						for _, idx := range rejected {
+							retry = append(retry, pending[idx])
+						}
+						pending, retry = retry, pending
+						runtime.Gosched()
+					}
+				}
+				p.Close()
+				elapsed := b.Elapsed()
+				if st := p.Stats(); st.Processed != uint64(b.N) {
+					b.Fatalf("processed %d of %d", st.Processed, b.N)
+				}
+				if secs := elapsed.Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "events/sec")
+				}
+			})
+		}
+	})
+
+	b.Run("forward", func(b *testing.B) {
+		for _, mode := range []struct {
+			name string
+			rate float64
+		}{
+			{"off", 0},
+			{"sample-1", 1},
+		} {
+			b.Run(mode.name, func(b *testing.B) {
+				t0 := simclock.Epoch()
+				late := &benchLateHandler{}
+				srvB := httptest.NewServer(late)
+				defer srvB.Close()
+				peers := []cluster.Member{
+					{ID: "a", Addr: "http://unused"},
+					{ID: "b", Addr: srvB.URL},
+				}
+
+				var trA, trB *trace.Tracer
+				if mode.rate > 0 {
+					trA = trace.New(trace.Config{Node: "a", SampleRate: mode.rate})
+					trB = trace.New(trace.Config{Node: "b", SampleRate: mode.rate})
+				}
+				pipeB := stream.New(stream.Config{
+					Shards: 4, ShardBuffer: 1 << 14,
+					Clock: simclock.NewSimulated(t0), Tracer: trB,
+				})
+				defer pipeB.Close()
+				svcB := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
+				nodeB, err := cluster.NewNode(svcB, pipeB, cluster.Config{
+					Self: peers[1], Peers: peers, Tracer: trB,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				late.set(nodeB.Handler())
+
+				pipeA := stream.New(stream.Config{Shards: 1, Clock: simclock.NewSimulated(t0), Tracer: trA})
+				defer pipeA.Close()
+				svcA := lbsn.New(lbsn.DefaultConfig(), simclock.NewSimulated(t0), nil)
+				nodeA, err := cluster.NewNode(svcA, pipeA, cluster.Config{
+					Self:    peers[0],
+					Peers:   peers,
+					Forward: cluster.ForwarderConfig{BatchSize: 256, QueueSize: 1 << 14},
+					Tracer:  trA,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodeA.Tick()
+
+				var owned []uint64
+				for uid := uint64(1); len(owned) < 512; uid++ {
+					if nodeA.Owner(uid) == "b" {
+						owned = append(owned, uid)
+					}
+				}
+				base := geo.Point{Lat: 40.8136, Lon: -96.7026}
+				const ringSize = 1 << 12
+				events := make([]lbsn.CheckinEvent, ringSize)
+				for i := range events {
+					loc := base.Destination(float64(i%360), float64(200+i%1600))
+					events[i] = lbsn.CheckinEvent{
+						UserID:   lbsn.UserID(owned[i%len(owned)]),
+						VenueID:  lbsn.VenueID(i%4096 + 1),
+						At:       t0.Add(time.Duration(i) * 41 * time.Second),
+						Venue:    loc,
+						Reported: loc,
+						Accepted: true,
+					}
+				}
+
+				baseline := pipeB.Stats().Published
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev := events[i%ringSize]
+					ev.At = ev.At.Add(time.Duration(i/ringSize) * 7 * 24 * time.Hour)
+					for !nodeA.Ingest(ev) {
+						time.Sleep(20 * time.Microsecond)
+					}
+				}
+				nodeA.FlushForwards()
+				deadline := time.Now().Add(time.Minute)
+				for pipeB.Stats().Published-baseline < uint64(b.N) {
+					if time.Now().After(deadline) {
+						b.Fatalf("owner received %d of %d", pipeB.Stats().Published-baseline, b.N)
+					}
+					runtime.Gosched()
+				}
+				elapsed := b.Elapsed()
+				b.StopTimer()
+				if st := nodeA.Status(); st.Forward.Errors > 0 || st.Forward.RemoteDropped > 0 {
+					b.Fatalf("forwarding lost events: %+v", st.Forward)
+				}
+				if secs := elapsed.Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "events/sec")
+				}
+			})
+		}
+	})
 }
 
 // BenchmarkObsScrape measures one full /metrics render over a registry

@@ -15,6 +15,7 @@
 //	      [-journal-mirror 0] [-replica-factor 1] [-outbox-bytes 4194304]
 //	      [-cluster-json] [-journal-json] [-pprof 127.0.0.1:6060]
 //	      [-mutexprofile 0] [-blockprofile 0]
+//	      [-trace-sample 0] [-trace-buffer 256]
 //
 // The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
 // can be pointed at a hardened instance. With -api-key the developer
@@ -65,6 +66,17 @@
 // — keep it on loopback, it is unauthenticated; -mutexprofile and
 // -blockprofile arm the corresponding runtime profiles.
 //
+// With -trace-sample > 0 the cross-node tracing tier runs: that
+// fraction of check-ins (plus every denied claim) is head-sampled
+// into a trace whose spans follow the event through the shard rings,
+// detector stages, journal appends and cross-node forwards; a
+// tail-based flight recorder keeps the interesting traces (alerted,
+// dropped, or slower than the rolling detection-latency p99) in a
+// -trace-buffer-bounded ring served at GET /api/v1/traces (merged
+// across the cluster) and GET /api/v1/traces/{id}. Detection-latency
+// and ship-lag histogram scrapes carry OpenMetrics exemplars naming
+// a retained trace.
+//
 // Every tier reports into a zero-allocation telemetry registry exposed
 // as Prometheus text on GET /metrics, with GET /healthz (liveness) and
 // GET /readyz (readiness: journal replayed and writable, cluster seat
@@ -99,6 +111,7 @@ import (
 	"locheat/internal/store"
 	"locheat/internal/stream"
 	"locheat/internal/synth"
+	"locheat/internal/trace"
 	"locheat/internal/web"
 )
 
@@ -148,6 +161,8 @@ func run(args []string) error {
 	outboxBytes := fs.Int64("outbox-bytes", 4<<20, "per-peer on-disk spill cap for failed cross-node forwards; 0 disables the outbox (needs -journal-dir and the cluster tier)")
 	clusterJSON := fs.Bool("cluster-json", false, "pin the cluster wire to JSON: neither send nor accept the binary codec (rolling-upgrade escape hatch)")
 	journalJSON := fs.Bool("journal-json", false, "write new journal segments in the v1 JSON format instead of v3 binary+table (either way old segments replay as-is)")
+	traceSample := fs.Float64("trace-sample", 0, "head-sample this fraction of check-ins (0-1) into the trace flight recorder; denied claims always trace when > 0; 0 = tracing off (needs -stream)")
+	traceBuffer := fs.Int("trace-buffer", 256, "flight-recorder capacity in retained trace trees")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for profiling (unauthenticated; keep it loopback, e.g. 127.0.0.1:6060); empty = off")
 	mutexProfile := fs.Int("mutexprofile", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off; needs -pprof)")
 	blockProfile := fs.Int("blockprofile", 0, "sample blocking events >= N ns for /debug/pprof/block (0 = off; needs -pprof)")
@@ -209,9 +224,36 @@ func run(args []string) error {
 	var policy *lbsn.QuarantinePolicy
 	var clusterN *cluster.Node
 	var clusterSrv *http.Server
+	var tracer *trace.Tracer
 	if *streamOn {
 		if *streamBuffer <= 0 {
 			*streamBuffer = 1024 // keep the banner honest about the effective size
+		}
+		if *traceSample > 0 {
+			nodeID := *clusterNode
+			if nodeID == "" {
+				nodeID = "local"
+			}
+			// Register the detection-latency histogram before the pipeline
+			// does (register-or-find: the pipeline gets the same handle) so
+			// the tail-retention threshold can read its rolling p99 — a
+			// trace is "interesting" when it is slower than what the node
+			// currently considers normal.
+			detLat := reg.Histogram("locheat_detection_latency_seconds",
+				"end-to-end detection latency: pipeline ingest stamp to alert append",
+				obs.Seconds)
+			tracer = trace.New(trace.Config{
+				Node:       nodeID,
+				SampleRate: *traceSample,
+				Buffer:     *traceBuffer,
+				Threshold: func() float64 {
+					s := detLat.Snapshot()
+					return s.Quantile(0.99)
+				},
+				Obs: reg,
+			})
+			fmt.Printf("tracing: sampling %.3g of check-ins into a %d-trace flight recorder (GET /api/v1/traces)\n",
+				*traceSample, *traceBuffer)
 		}
 		var alertStore store.AlertStore
 		if *journalDir != "" {
@@ -246,6 +288,7 @@ func run(args []string) error {
 			Clock:       clock,
 			Store:       alertStore,
 			Obs:         reg,
+			Tracer:      tracer,
 		})
 		observer := func(ev lbsn.CheckinEvent) { pipeline.Publish(ev) }
 		if *clusterNode != "" {
@@ -279,6 +322,7 @@ func run(args []string) error {
 				Replica:           replicaOpts,
 				DisableBinaryWire: *clusterJSON,
 				Obs:               reg,
+				Tracer:            tracer,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, "lbsnd: "+format+"\n", args...)
 				},
@@ -407,6 +451,7 @@ func run(args []string) error {
 			apiSrv.AttachCluster(clusterN)
 		}
 		apiSrv.AttachObs(reg)
+		apiSrv.AttachTracer(tracer)
 		mux.Handle("/api/v1/", apiSrv)
 		fmt.Printf("developer API mounted at /api/v1 (key %q)\n", *apiKey)
 		if pipeline != nil {

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMetricsDocCurrent regenerates the reference and fails when the
+// committed METRICS.md is missing any registered series — the guard
+// that makes `go run ./cmd/metricsdoc` part of adding a metric.
+func TestMetricsDocCurrent(t *testing.T) {
+	want, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatalf("read METRICS.md: %v (run `go run ./cmd/metricsdoc` from the repo root)", err)
+	}
+	for _, line := range strings.Split(want, "\n") {
+		if !strings.HasPrefix(line, "| `locheat_") {
+			continue
+		}
+		name := strings.TrimPrefix(strings.SplitN(line, "`", 3)[1], "")
+		if !strings.Contains(string(got), "| `"+name+"` |") {
+			t.Errorf("METRICS.md is missing registered series %s — run `go run ./cmd/metricsdoc`", name)
+		}
+	}
+	if string(got) != want {
+		t.Error("METRICS.md is stale — run `go run ./cmd/metricsdoc` from the repo root")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"locheat/internal/lbsn"
 	"locheat/internal/obs"
 	"locheat/internal/stream"
+	"locheat/internal/trace"
 )
 
 // Errors the client surfaces.
@@ -50,6 +51,7 @@ type Server struct {
 	policy   *lbsn.QuarantinePolicy
 	cluster  ClusterBackend
 	obs      *obs.Registry
+	tracer   *trace.Tracer
 
 	served   int
 	rejected int
@@ -75,6 +77,8 @@ func NewServer(svc *lbsn.Service) *Server {
 	mux.HandleFunc("/api/v1/quarantine", s.auth(s.handleQuarantine))
 	mux.HandleFunc("/api/v1/quarantine/", s.auth(s.handleQuarantineUser))
 	mux.HandleFunc("/api/v1/cluster", s.auth(s.handleClusterStatus))
+	mux.HandleFunc("/api/v1/traces", s.auth(s.handleTraces))
+	mux.HandleFunc("/api/v1/traces/", s.auth(s.handleTraceByID))
 	s.mux = mux
 	return s
 }
@@ -146,6 +150,10 @@ type CheckinResponse struct {
 	NewBadges       []string `json:"newBadges,omitempty"`
 	BecameMayor     bool     `json:"becameMayor"`
 	SpecialUnlocked string   `json:"specialUnlocked,omitempty"`
+	// TraceID names the trace this check-in was head-sampled into,
+	// when a tracer is attached and the rate draw hit — fetch the tree
+	// at GET /api/v1/traces/{traceId}. Empty when unsampled.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 type errorBody struct {
@@ -174,10 +182,15 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed JSON body")
 		return
 	}
+	// Head-sample at the edge so the response can name the trace; a
+	// rate miss here can still be force-sampled at publish (denied
+	// claims always trace), the response just won't carry the ID.
+	tctx := s.tracerHandle().Sample(false)
 	res, err := s.svc.CheckIn(lbsn.CheckinRequest{
 		UserID:   lbsn.UserID(req.UserID),
 		VenueID:  lbsn.VenueID(req.VenueID),
 		Reported: geo.Point{Lat: req.Lat, Lon: req.Lon},
+		Trace:    tctx,
 	})
 	switch {
 	case errors.Is(err, lbsn.ErrUserNotFound), errors.Is(err, lbsn.ErrVenueNotFound):
@@ -190,7 +203,7 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, CheckinResponse{
+	out := CheckinResponse{
 		Accepted:        res.Accepted,
 		Reason:          string(res.Reason),
 		Detail:          res.Detail,
@@ -198,7 +211,11 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 		NewBadges:       res.NewBadges,
 		BecameMayor:     res.BecameMayor,
 		SpecialUnlocked: res.SpecialUnlocked,
-	})
+	}
+	if tctx.Sampled() {
+		out.TraceID = tctx.ID.String()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleVenueSearch(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,216 @@
+package api
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"locheat/internal/cluster"
+	"locheat/internal/trace"
+)
+
+// Flight-recorder surface: when a Tracer is attached, the API serves
+// the retained trace trees so an operator chasing a slow or alerting
+// check-in can see where the time went — which shard ring it waited
+// in, which detector stages ran, whether it hopped nodes, when the
+// journal fsynced.
+//
+//	GET /api/v1/traces?user=N&detector=S&minMs=N&limit=N
+//	    retained traces, newest first; limit defaults to 50, capped
+//	    at 500; minMs filters on total stitched duration
+//	GET /api/v1/traces/{id}
+//	    one trace tree by its 32-hex-digit ID (the value histogram
+//	    exemplars and check-in responses carry)
+//
+// With a cluster backend attached both endpoints serve the merged
+// view — fragments from every live node stitched into one tree per
+// trace — and carry the X-Cluster-Nodes / X-Cluster-Failed headers
+// like the other merged endpoints, so a partial view during a peer
+// outage is visible instead of a silent hole. ?scope=local bypasses
+// the merge. Without a tracer the endpoints answer 503.
+
+// TraceBackend is the optional cluster-side trace scatter; a
+// ClusterBackend that also implements it (as *cluster.Node does)
+// serves the merged trace view. Separate from ClusterBackend so
+// existing fakes and pre-trace backends keep compiling.
+type TraceBackend interface {
+	ClusterTraces(f trace.Filter) ([]trace.View, cluster.MergeInfo)
+	ClusterTrace(id trace.ID) (trace.View, bool, cluster.MergeInfo)
+}
+
+var _ TraceBackend = (*cluster.Node)(nil)
+
+// DefaultTracesLimit is the page size when ?limit is absent;
+// MaxTracesLimit the hard cap (the recorder is bounded anyway).
+const (
+	DefaultTracesLimit = 50
+	MaxTracesLimit     = 500
+)
+
+// TracesResponse is the GET /traces body.
+type TracesResponse struct {
+	Traces []trace.View `json:"traces"`
+	// Cluster is set when the merged view served the request.
+	Cluster *cluster.MergeInfo `json:"cluster,omitempty"`
+}
+
+// TraceResponse is the GET /traces/{id} body.
+type TraceResponse struct {
+	Trace   trace.View         `json:"trace"`
+	Cluster *cluster.MergeInfo `json:"cluster,omitempty"`
+}
+
+// AttachTracer mounts the trace endpoints over t and makes the
+// check-in handler head-sample requests (so responses can carry
+// their trace ID). Call once, before serving; nil detaches.
+func (s *Server) AttachTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+}
+
+func (s *Server) tracerHandle() *trace.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer
+}
+
+// traceBackend returns the cluster backend's trace scatter, if the
+// attached backend has one.
+func (s *Server) traceBackend() TraceBackend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tb, ok := s.cluster.(TraceBackend); ok {
+		return tb
+	}
+	return nil
+}
+
+// parseTracesQuery builds the recorder filter from request
+// parameters, clamping the page size.
+func parseTracesQuery(r *http.Request) (trace.Filter, string) {
+	f := trace.Filter{
+		Limit:    DefaultTracesLimit,
+		Detector: r.URL.Query().Get("detector"),
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return f, "malformed limit " + strconv.Quote(v)
+		}
+		f.Limit = n
+	}
+	if f.Limit > MaxTracesLimit {
+		f.Limit = MaxTracesLimit
+	}
+	if v := r.URL.Query().Get("user"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return f, "malformed user " + strconv.Quote(v)
+		}
+		f.UserID = n
+	}
+	if v := r.URL.Query().Get("minMs"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return f, "malformed minMs " + strconv.Quote(v)
+		}
+		f.MinDurationNanos = n * 1e6
+	}
+	return f, ""
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tr := s.tracerHandle()
+	if tr == nil {
+		writeError(w, http.StatusServiceUnavailable, "tracing disabled (no tracer attached)")
+		return
+	}
+	f, errMsg := parseTracesQuery(r)
+	if errMsg != "" {
+		writeError(w, http.StatusBadRequest, errMsg)
+		return
+	}
+	resp := TracesResponse{}
+	if b := s.traceBackend(); b != nil && !scopeLocal(r) {
+		var info cluster.MergeInfo
+		resp.Traces, info = b.ClusterTraces(f)
+		resp.Cluster = &info
+		setMergeHeaders(w, info)
+	} else {
+		resp.Traces = tr.List(f)
+	}
+	if resp.Traces == nil {
+		resp.Traces = []trace.View{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tr := s.tracerHandle()
+	if tr == nil {
+		writeError(w, http.StatusServiceUnavailable, "tracing disabled (no tracer attached)")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/v1/traces/")
+	id, ok := trace.ParseID(idStr)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "malformed trace id (want 32 hex digits)")
+		return
+	}
+	resp := TraceResponse{}
+	found := false
+	if b := s.traceBackend(); b != nil && !scopeLocal(r) {
+		var info cluster.MergeInfo
+		resp.Trace, found, info = b.ClusterTrace(id)
+		resp.Cluster = &info
+		setMergeHeaders(w, info)
+	} else {
+		resp.Trace, found = tr.Get(id)
+	}
+	if !found {
+		writeError(w, http.StatusNotFound, "trace not retained (recycled, evicted, or never sampled)")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Traces fetches retained traces matching the filter (client side).
+func (c *Client) Traces(f trace.Filter) (TracesResponse, error) {
+	params := url.Values{}
+	if f.UserID != 0 {
+		params.Set("user", strconv.FormatUint(f.UserID, 10))
+	}
+	if f.Detector != "" {
+		params.Set("detector", f.Detector)
+	}
+	if f.MinDurationNanos > 0 {
+		params.Set("minMs", strconv.FormatInt(f.MinDurationNanos/1e6, 10))
+	}
+	if f.Limit > 0 {
+		params.Set("limit", strconv.Itoa(f.Limit))
+	}
+	path := "/api/v1/traces"
+	if enc := params.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out TracesResponse
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Trace fetches one trace tree by ID (client side).
+func (c *Client) Trace(id string) (TraceResponse, error) {
+	var out TraceResponse
+	err := c.do(http.MethodGet, "/api/v1/traces/"+id, nil, &out)
+	return out, err
+}

@@ -1,0 +1,220 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"locheat/internal/cluster"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/trace"
+)
+
+// fakeTraceCluster is a ClusterBackend that also scatters traces — a
+// canned stand-in for *cluster.Node so the API's merged-trace plumbing
+// (headers, degraded peers, scope=local bypass) can be tested without
+// booting a cluster.
+type fakeTraceCluster struct {
+	fakeCluster
+	traces []trace.View
+	info   cluster.MergeInfo
+	lastF  trace.Filter
+}
+
+func (f *fakeTraceCluster) ClusterTraces(flt trace.Filter) ([]trace.View, cluster.MergeInfo) {
+	f.lastF = flt
+	return f.traces, f.info
+}
+
+func (f *fakeTraceCluster) ClusterTrace(id trace.ID) (trace.View, bool, cluster.MergeInfo) {
+	for _, v := range f.traces {
+		if v.ID == id.String() {
+			return v, true, f.info
+		}
+	}
+	return trace.View{}, false, f.info
+}
+
+func traceAPIWorld(t *testing.T, tr *trace.Tracer, fc *fakeTraceCluster) (*Client, string) {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	sf, _ := geo.FindCity("San Francisco")
+	if _, err := svc.AddVenue("Starbucks #1", "1 Market St", "San Francisco", sf.Center, nil); err != nil {
+		t.Fatal(err)
+	}
+	svc.RegisterUser("Dev", "dev", "San Francisco")
+	srv := NewServer(svc)
+	srv.IssueKey("k")
+	srv.AttachTracer(tr)
+	if fc != nil {
+		srv.AttachCluster(fc)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, "k"), ts.URL
+}
+
+func traceGET(t *testing.T, base, path string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-API-Key", "k")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestTracesRequireTracer(t *testing.T) {
+	_, base := traceAPIWorld(t, nil, nil)
+	for _, path := range []string{"/api/v1/traces", "/api/v1/traces/" + strings.Repeat("ab", 16)} {
+		if resp := traceGET(t, base, path); resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s without tracer: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTraceByIDValidation(t *testing.T) {
+	tr := trace.New(trace.Config{Node: "n1", SampleRate: 1})
+	_, base := traceAPIWorld(t, tr, nil)
+	for _, bad := range []string{"xyz", strings.Repeat("0", 32), strings.Repeat("a", 31)} {
+		if resp := traceGET(t, base, "/api/v1/traces/"+bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("id %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// Well-formed but unknown: the body names the likely causes.
+	resp := traceGET(t, base, "/api/v1/traces/"+strings.Repeat("ab", 16))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTracesDegradeWhenPeerDown pins the partial-view contract: a dead
+// peer during the trace scatter must surface as X-Cluster-Failed > 0 on
+// a 200 response — never as an error that hides the fragments the live
+// nodes did return.
+func TestTracesDegradeWhenPeerDown(t *testing.T) {
+	tr := trace.New(trace.Config{Node: "n1", SampleRate: 1})
+	id := strings.Repeat("ab", 16)
+	fc := &fakeTraceCluster{
+		traces: []trace.View{{ID: id, UserID: 7, Nodes: []string{"n1", "n2"}}},
+		info:   cluster.MergeInfo{Nodes: 2, Failed: 1},
+	}
+	client, base := traceAPIWorld(t, tr, fc)
+
+	for _, path := range []string{"/api/v1/traces", "/api/v1/traces/" + id} {
+		resp := traceGET(t, base, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, want 200 despite failed peer", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cluster-Nodes"); got != "2" {
+			t.Fatalf("%s: X-Cluster-Nodes = %q, want 2", path, got)
+		}
+		if got := resp.Header.Get("X-Cluster-Failed"); got != "1" {
+			t.Fatalf("%s: X-Cluster-Failed = %q, want 1", path, got)
+		}
+	}
+
+	// The typed client surfaces the same provenance in the body.
+	list, err := client.Traces(trace.Filter{UserID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Cluster == nil || list.Cluster.Failed != 1 {
+		t.Fatalf("merged list = %+v", list)
+	}
+	if fc.lastF.UserID != 7 {
+		t.Fatalf("filter not forwarded: %+v", fc.lastF)
+	}
+	one, err := client.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Trace.UserID != 7 || one.Cluster == nil || one.Cluster.Failed != 1 {
+		t.Fatalf("merged trace = %+v", one)
+	}
+
+	// scope=local bypasses the scatter entirely: no headers, local
+	// recorder only (empty here).
+	local := traceGET(t, base, "/api/v1/traces?scope=local")
+	if local.StatusCode != http.StatusOK {
+		t.Fatalf("scope=local: status %d", local.StatusCode)
+	}
+	if got := local.Header.Get("X-Cluster-Nodes"); got != "" {
+		t.Fatalf("scope=local still carries X-Cluster-Nodes=%q", got)
+	}
+}
+
+func TestTracesServeLocalRecorder(t *testing.T) {
+	tr := trace.New(trace.Config{Node: "n1", SampleRate: 1})
+	ctx := tr.Sample(true) // forced => retained
+	tr.Begin(ctx, 42, 1, 1000)
+	tr.MarkAlert(ctx, "speed")
+	tr.End(ctx, 2000)
+
+	client, _ := traceAPIWorld(t, tr, nil)
+	list, err := client.Traces(trace.Filter{Detector: "speed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].UserID != 42 {
+		t.Fatalf("local traces = %+v", list.Traces)
+	}
+	if list.Cluster != nil {
+		t.Fatalf("single-node response claims merged provenance: %+v", list.Cluster)
+	}
+	one, err := client.Trace(ctx.ID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.Trace.Alerted {
+		t.Fatalf("trace by id = %+v", one.Trace)
+	}
+}
+
+func TestTracesBadQuery(t *testing.T) {
+	tr := trace.New(trace.Config{Node: "n1", SampleRate: 1})
+	_, base := traceAPIWorld(t, tr, nil)
+	for _, q := range []string{"?limit=0", "?limit=x", "?user=-1", "?minMs=-5"} {
+		if resp := traceGET(t, base, "/api/v1/traces"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestCheckinResponseCarriesTraceID pins the edge head-sampling loop:
+// with sampling on, the check-in response names the trace the caller
+// can immediately fetch from /api/v1/traces/{id}.
+func TestCheckinResponseCarriesTraceID(t *testing.T) {
+	tr := trace.New(trace.Config{Node: "n1", SampleRate: 1})
+	client, _ := traceAPIWorld(t, tr, nil)
+	sf, _ := geo.FindCity("San Francisco")
+	res, err := client.CheckIn(1, 1, sf.Center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TraceID) != 32 {
+		t.Fatalf("traceId = %q, want 32 hex digits at sample rate 1", res.TraceID)
+	}
+	if _, ok := trace.ParseID(res.TraceID); !ok {
+		t.Fatalf("traceId %q does not parse", res.TraceID)
+	}
+
+	// Without a tracer the field stays absent.
+	plain, _ := traceAPIWorld(t, nil, nil)
+	res, err = plain.CheckIn(1, 1, sf.Center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != "" {
+		t.Fatalf("traceId = %q without a tracer, want empty", res.TraceID)
+	}
+}

@@ -18,8 +18,26 @@ import (
 )
 
 // binaryCodecName is the capability string a binary-speaking node
-// advertises in its PingResponse.
-const binaryCodecName = "bin/1"
+// advertises in its PingResponse. tracedCodecName supersedes it: a
+// node advertising "bin/2" accepts everything a "bin/1" node does
+// plus the trace-aware v2 bodies (wirecodec.VersionTraced). Senders
+// pick the highest layout the receiver advertised, so a mixed
+// "bin/1"/"bin/2" cluster interoperates — the old peer just never
+// sees (or produces) trace context on the binary wire. On JSON the
+// trace fields are omitempty and unknown-field-tolerant, so the JSON
+// fallback is trace-lossless in the new→new case and trace-stripping
+// only when the receiver is genuinely old.
+const (
+	binaryCodecName = "bin/1"
+	tracedCodecName = "bin/2"
+)
+
+// acceptTracedParam is the Accept/Content-Type media-type parameter a
+// trace-aware requester appends (";v=2") to ask for v2 response
+// bodies. An old responder's prefix match ignores the parameter and
+// answers v1; a new responder answers v2. Either way the requester's
+// VersionUpTo decoder accepts what comes back.
+const acceptTracedParam = ";v=2"
 
 // appendWireEvent appends one event's binary encoding to dst.
 func appendWireEvent(dst []byte, w WireEvent) []byte {
@@ -34,6 +52,15 @@ func appendWireEvent(dst []byte, w WireEvent) []byte {
 	dst = wirecodec.AppendString(dst, w.Reason)
 	dst = wirecodec.AppendUvarint(dst, w.FwdSeq)
 	return dst
+}
+
+// appendWireEventTraced is appendWireEvent plus the trailing trace
+// context, for v2 (VersionTraced) containers. Untraced events inside
+// a v2 batch cost two bytes (empty string + zero flags).
+func appendWireEventTraced(dst []byte, w WireEvent) []byte {
+	dst = appendWireEvent(dst, w)
+	dst = wirecodec.AppendString(dst, w.Trace)
+	return append(dst, w.TraceFlags)
 }
 
 // readWireEvent decodes one event; failures stick to d.
@@ -52,14 +79,34 @@ func readWireEvent(d *wirecodec.Decoder) WireEvent {
 	return w
 }
 
-// encodeIngestBatch appends b's binary encoding (version included) to
-// dst.
+// readWireEventTraced decodes an appendWireEventTraced element.
+func readWireEventTraced(d *wirecodec.Decoder) WireEvent {
+	w := readWireEvent(d)
+	w.Trace = d.String()
+	w.TraceFlags = d.Byte()
+	return w
+}
+
+// encodeIngestBatch appends b's v1 binary encoding (version included)
+// to dst, dropping any trace context — the layout for "bin/1" peers.
 func encodeIngestBatch(dst []byte, b IngestBatch) []byte {
 	dst = append(dst, wirecodec.Version)
 	dst = wirecodec.AppendString(dst, b.From)
 	dst = wirecodec.AppendUvarint(dst, uint64(len(b.Events)))
 	for _, w := range b.Events {
 		dst = appendWireEvent(dst, w)
+	}
+	return dst
+}
+
+// encodeIngestBatchTraced is encodeIngestBatch in the v2 layout, for
+// peers that advertised tracedCodecName.
+func encodeIngestBatchTraced(dst []byte, b IngestBatch) []byte {
+	dst = append(dst, wirecodec.VersionTraced)
+	dst = wirecodec.AppendString(dst, b.From)
+	dst = wirecodec.AppendUvarint(dst, uint64(len(b.Events)))
+	for _, w := range b.Events {
+		dst = appendWireEventTraced(dst, w)
 	}
 	return dst
 }
@@ -76,11 +123,15 @@ func decodeIngestBatch(buf []byte) (IngestBatch, error) {
 // batch is empty.
 func decodeIngestBatchInto(buf []byte, scratch []WireEvent) (IngestBatch, error) {
 	d := wirecodec.NewDecoder(buf)
-	d.Version()
+	v := d.VersionUpTo(wirecodec.VersionTraced)
 	b := IngestBatch{From: d.String(), Events: scratch[:0]}
 	n := d.Count(38) // an event is ≥ 38 bytes (4×f64 + accepted + minima)
 	for i := 0; i < n; i++ {
-		b.Events = append(b.Events, readWireEvent(d))
+		if v == wirecodec.VersionTraced {
+			b.Events = append(b.Events, readWireEventTraced(d))
+		} else {
+			b.Events = append(b.Events, readWireEvent(d))
+		}
 	}
 	if err := d.Finish(); err != nil {
 		return IngestBatch{}, err
@@ -93,12 +144,20 @@ func decodeIngestBatchInto(buf []byte, scratch []WireEvent) (IngestBatch, error)
 // discriminator against pre-upgrade JSON spill payloads ('{').
 func encodeSpillEvent(w WireEvent) []byte {
 	dst := make([]byte, 0, 64)
+	if w.Trace != "" {
+		// Traced events spill in the v2 frame so replay after restart
+		// keeps the trace link; untraced events stay v1, readable by a
+		// pre-trace build inheriting the outbox after a downgrade.
+		dst = append(dst, wirecodec.VersionTraced)
+		return appendWireEventTraced(dst, w)
+	}
 	dst = append(dst, wirecodec.Version)
 	return appendWireEvent(dst, w)
 }
 
-// decodeSpillEvent reads an outbox payload in either format: binary
-// (leading version byte) or the JSON a pre-upgrade build spilled.
+// decodeSpillEvent reads an outbox payload in any spilled format:
+// binary v1 or v2 (leading version byte) or the JSON a pre-upgrade
+// build spilled.
 func decodeSpillEvent(payload []byte) (WireEvent, error) {
 	if len(payload) > 0 && payload[0] == '{' {
 		var w WireEvent
@@ -108,8 +167,13 @@ func decodeSpillEvent(payload []byte) (WireEvent, error) {
 		return w, nil
 	}
 	d := wirecodec.NewDecoder(payload)
-	d.Version()
-	w := readWireEvent(d)
+	v := d.VersionUpTo(wirecodec.VersionTraced)
+	var w WireEvent
+	if v == wirecodec.VersionTraced {
+		w = readWireEventTraced(d)
+	} else {
+		w = readWireEvent(d)
+	}
 	if err := d.Finish(); err != nil {
 		return WireEvent{}, err
 	}
@@ -170,20 +234,33 @@ func decodeHandoffBundle(buf []byte) (HandoffBundle, error) {
 	return hb, nil
 }
 
-// encodeQuarBroadcast appends qb's binary encoding (version included)
-// to dst.
+// encodeQuarBroadcast appends qb's v1 binary encoding (version
+// included) to dst, dropping entry trace links.
 func encodeQuarBroadcast(dst []byte, qb QuarBroadcast) []byte {
 	dst = append(dst, wirecodec.Version)
 	dst = wirecodec.AppendString(dst, qb.From)
 	return replica.AppendQuarEntries(dst, qb.Entries)
 }
 
-// decodeQuarBroadcast decodes one whole broadcast (or digest) body.
+// encodeQuarBroadcastTraced is encodeQuarBroadcast in the v2 layout
+// (entries carry their trace link), for tracedCodecName peers.
+func encodeQuarBroadcastTraced(dst []byte, qb QuarBroadcast) []byte {
+	dst = append(dst, wirecodec.VersionTraced)
+	dst = wirecodec.AppendString(dst, qb.From)
+	return replica.AppendQuarEntriesTraced(dst, qb.Entries)
+}
+
+// decodeQuarBroadcast decodes one whole broadcast (or digest) body,
+// v1 or v2.
 func decodeQuarBroadcast(buf []byte) (QuarBroadcast, error) {
 	d := wirecodec.NewDecoder(buf)
-	d.Version()
+	v := d.VersionUpTo(wirecodec.VersionTraced)
 	qb := QuarBroadcast{From: d.String()}
-	qb.Entries = replica.ReadQuarEntries(d)
+	if v == wirecodec.VersionTraced {
+		qb.Entries = replica.ReadQuarEntriesTraced(d)
+	} else {
+		qb.Entries = replica.ReadQuarEntries(d)
+	}
 	if err := d.Finish(); err != nil {
 		return QuarBroadcast{}, err
 	}
@@ -205,17 +282,36 @@ func encodeLocalAlerts(dst []byte, resp LocalAlertsResponse) []byte {
 	return dst
 }
 
-// decodeLocalAlerts decodes one whole binary scatter response body.
+// encodeLocalAlertsTraced is encodeLocalAlerts in the v2 layout
+// (alerts keep their trace link), answered when the requester's
+// Accept carried acceptTracedParam.
+func encodeLocalAlertsTraced(dst []byte, resp LocalAlertsResponse) []byte {
+	dst = append(dst, wirecodec.VersionTraced)
+	dst = wirecodec.AppendString(dst, resp.Node)
+	dst = wirecodec.AppendUvarint(dst, uint64(resp.Total))
+	dst = wirecodec.AppendUvarint(dst, uint64(len(resp.Alerts)))
+	for _, a := range resp.Alerts {
+		dst = store.AppendAlertTraced(dst, a)
+	}
+	return dst
+}
+
+// decodeLocalAlerts decodes one whole binary scatter response body,
+// v1 or v2.
 func decodeLocalAlerts(buf []byte) (LocalAlertsResponse, error) {
 	d := wirecodec.NewDecoder(buf)
-	d.Version()
+	v := d.VersionUpTo(wirecodec.VersionTraced)
 	resp := LocalAlertsResponse{Node: d.String(), Total: int(d.Uvarint())}
 	n := d.Count(8) // an alert is ≥ 8 bytes (time + uvarint/length minima)
 	if n > 0 {
 		resp.Alerts = make([]store.Alert, 0, n)
 	}
 	for i := 0; i < n; i++ {
-		resp.Alerts = append(resp.Alerts, store.ReadAlert(d))
+		if v == wirecodec.VersionTraced {
+			resp.Alerts = append(resp.Alerts, store.ReadAlertTraced(d))
+		} else {
+			resp.Alerts = append(resp.Alerts, store.ReadAlert(d))
+		}
 	}
 	if err := d.Finish(); err != nil {
 		return LocalAlertsResponse{}, err
@@ -228,6 +324,13 @@ func decodeLocalAlerts(buf []byte) (LocalAlertsResponse, error) {
 // analogue is isBinaryRequest).
 func acceptsBinary(r *http.Request) bool {
 	return strings.HasPrefix(r.Header.Get("Accept"), wirecodec.ContentTypeBinary)
+}
+
+// acceptsTraced reports whether a binary-accepting requester also
+// asked for the trace-aware v2 response layout (acceptTracedParam).
+// Old requesters never send the parameter, so they keep getting v1.
+func acceptsTraced(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), acceptTracedParam)
 }
 
 // isBinaryRequest reports whether an inbound request body carries the

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"locheat/internal/obs"
+	"locheat/internal/trace"
 	"locheat/internal/wirecodec"
 )
 
@@ -35,6 +36,17 @@ type ForwarderConfig struct {
 	// that peer on JSON. The codec is re-consulted per POST, so a peer
 	// upgrading or downgrading mid-flight switches within a heartbeat.
 	Binary func(addr string) bool
+	// Traced reports whether the peer at addr advertised the
+	// trace-aware binary codec ("bin/2"), allowing v2 bodies that
+	// carry trace context. Only consulted when Binary said yes; JSON
+	// bodies always carry trace context (omitempty fields an old
+	// receiver ignores). Nil keeps binary POSTs on v1.
+	Traced func(addr string) bool
+	// Tracer records the cross-node hop span ("forward" with peer and
+	// codec attributes) on sampled events and finishes the origin's
+	// trace fragment once the batch is acked, spilled or lost. Nil
+	// forwards untraced.
+	Tracer *trace.Tracer
 	// Spill receives events the forwarder would otherwise lose — a full
 	// peer queue or a failed POST — so a durability tier (the cluster's
 	// on-disk outbox) can keep them for replay, and returns how many it
@@ -190,6 +202,7 @@ func (f *Forwarder) Enqueue(addr string, ev WireEvent) bool {
 func (f *Forwarder) spill(addr string, events []WireEvent) bool {
 	if f.cfg.Spill == nil {
 		f.dropped.Add(uint64(len(events)))
+		f.endTraced(events, "forward-drop", addr, true)
 		return false
 	}
 	accepted := f.cfg.Spill(addr, events)
@@ -200,11 +213,72 @@ func (f *Forwarder) spill(addr string, events []WireEvent) bool {
 		accepted = len(events)
 	}
 	f.spilled.Add(uint64(accepted))
+	// A spilled event survives (the outbox replays it), but its origin
+	// trace fragment ends here: the replayed copy carries the trace ID
+	// on the wire, while the local recorder keeps the "spill" verdict.
+	f.endTraced(events[:accepted], "spill", addr, false)
 	if lost := len(events) - accepted; lost > 0 {
 		f.dropped.Add(uint64(lost))
+		f.endTraced(events[accepted:], "forward-drop", addr, true)
 		return false
 	}
 	return true
+}
+
+// endTraced finishes the origin trace fragments of a batch's sampled
+// events: one terminal span (or drop mark) each, then End. The common
+// all-untraced batch exits before touching the clock.
+func (f *Forwarder) endTraced(events []WireEvent, name, attrs string, dropped bool) {
+	tr := f.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	now := int64(0)
+	for _, w := range events {
+		if w.Trace == "" {
+			continue
+		}
+		id, ok := trace.ParseID(w.Trace)
+		if !ok {
+			continue
+		}
+		if now == 0 {
+			now = time.Now().UnixNano()
+		}
+		ctx := trace.Context{ID: id, Flags: w.TraceFlags | trace.FlagSampled}
+		if dropped {
+			tr.MarkDrop(ctx, name, now)
+		} else {
+			tr.Span(ctx, name, now, now, attrs)
+		}
+		tr.End(ctx, now)
+	}
+}
+
+// hopTraced records the cross-node hop span on a batch's sampled
+// events after an acked POST and finishes their origin fragments —
+// the owner node carries the trace onward from here.
+func (f *Forwarder) hopTraced(events []WireEvent, peer, codec string, start, end int64) {
+	tr := f.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	var attrs string
+	for _, w := range events {
+		if w.Trace == "" {
+			continue
+		}
+		id, ok := trace.ParseID(w.Trace)
+		if !ok {
+			continue
+		}
+		if attrs == "" {
+			attrs = "peer=" + peer + " codec=" + codec
+		}
+		ctx := trace.Context{ID: id, Flags: w.TraceFlags | trace.FlagSampled}
+		tr.Span(ctx, "forward", start, end, attrs)
+		tr.End(ctx, end)
+	}
 }
 
 // queue returns (creating if needed) the peer queue for addr.
@@ -347,10 +421,17 @@ func (s *fwdSender) postOnce(batch []WireEvent, binary bool) (int, bool) {
 	f := s.f
 	var body []byte
 	contentType := "application/json"
+	codec := "json"
 	if binary {
 		buf := wirecodec.GetBuffer()
 		defer wirecodec.PutBuffer(buf)
-		buf.B = encodeIngestBatch(buf.B, IngestBatch{From: f.self, Events: batch})
+		if f.cfg.Traced != nil && f.cfg.Traced(s.addr) {
+			buf.B = encodeIngestBatchTraced(buf.B, IngestBatch{From: f.self, Events: batch})
+			codec = tracedCodecName
+		} else {
+			buf.B = encodeIngestBatch(buf.B, IngestBatch{From: f.self, Events: batch})
+			codec = binaryCodecName
+		}
 		body = buf.B
 		contentType = wirecodec.ContentTypeBinary
 	} else {
@@ -362,7 +443,7 @@ func (s *fwdSender) postOnce(batch []WireEvent, binary bool) (int, bool) {
 		body = s.json.Bytes()
 	}
 	var start time.Time
-	if f.fwdLat != nil {
+	if f.fwdLat != nil || f.cfg.Tracer != nil {
 		start = time.Now()
 	}
 	resp, err := s.do(contentType, body)
@@ -395,6 +476,9 @@ func (s *fwdSender) postOnce(batch []WireEvent, binary bool) (int, bool) {
 	f.sent.Add(uint64(len(batch)))
 	f.fwdLat.ObserveSince(start)
 	f.fwdBatch.Observe(int64(len(batch)))
+	if f.cfg.Tracer != nil {
+		f.hopTraced(batch, s.addr, codec, start.UnixNano(), time.Now().UnixNano())
+	}
 	return resp.StatusCode, true
 }
 

@@ -87,12 +87,15 @@ type peerState struct {
 	left     bool // graceful leave: stays down until it heartbeats back
 	lastSeen time.Time
 	// binary records the peer's last advertised wire codec: true once
-	// a ping response carried the binary capability string. Peers start
-	// false — JSON is the safe default until the peer says otherwise —
-	// and every successful probe refreshes it, so a peer that restarts
-	// into an older (or JSON-pinned) build downgrades within one
-	// heartbeat interval.
+	// a ping response carried a binary capability string ("bin/1" or
+	// "bin/2"). Peers start false — JSON is the safe default until the
+	// peer says otherwise — and every successful probe refreshes it,
+	// so a peer that restarts into an older (or JSON-pinned) build
+	// downgrades within one heartbeat interval. traced narrows it:
+	// true only for "bin/2" peers, which additionally accept the
+	// trace-aware v2 message layouts.
 	binary bool
+	traced bool
 }
 
 // Membership keeps the static peer list live with heartbeats. The
@@ -175,6 +178,9 @@ func (m *Membership) registerObs(reg *obs.Registry) {
 		reg.GaugeFunc("locheat_cluster_peer_binary",
 			"1 while the peer's heartbeats advertise the binary wire codec",
 			peek(id, func(p *peerState) bool { return p.binary }), "peer", id)
+		reg.GaugeFunc("locheat_cluster_peer_traced",
+			"1 while the peer's heartbeats advertise the trace-aware binary wire codec",
+			peek(id, func(p *peerState) bool { return p.traced }), "peer", id)
 	}
 }
 
@@ -252,6 +258,28 @@ func (m *Membership) SupportsBinaryAddr(addr string) bool {
 	for _, p := range m.peers {
 		if p.member.Addr == addr {
 			return p.binary
+		}
+	}
+	return false
+}
+
+// SupportsTraced reports whether the peer's last heartbeat advertised
+// the trace-aware binary codec ("bin/2"), i.e. the peer may be sent
+// v2 message layouts carrying trace context.
+func (m *Membership) SupportsTraced(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	return ok && p.traced
+}
+
+// SupportsTracedAddr is SupportsTraced keyed by the peer's address.
+func (m *Membership) SupportsTracedAddr(addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		if p.member.Addr == addr {
+			return p.traced
 		}
 	}
 	return false
@@ -449,7 +477,8 @@ func (m *Membership) ping(peer Member, body []byte, bodyCT string) bool {
 	m.rtt.ObserveSince(start)
 	m.mu.Lock()
 	if p, ok := m.peers[peer.ID]; ok {
-		p.binary = pr.Codec == binaryCodecName
+		p.binary = pr.Codec == binaryCodecName || pr.Codec == tracedCodecName
+		p.traced = pr.Codec == tracedCodecName
 	}
 	m.mu.Unlock()
 	if m.cfg.ProbeReply != nil {

@@ -11,9 +11,11 @@ import (
 
 	"locheat/internal/geo"
 	"locheat/internal/lbsn"
+	"locheat/internal/obs"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
 	"locheat/internal/stream"
+	"locheat/internal/trace"
 	"locheat/internal/wirecodec"
 )
 
@@ -72,12 +74,17 @@ type wireNode struct {
 	*testNode
 	rec     *ctRecorder
 	journal *store.AlertJournal
+	tracer  *trace.Tracer
+	reg     *obs.Registry
 }
 
 type wireSpec struct {
 	id       string
-	jsonOnly bool // DisableBinaryWire: stands in for a pre-upgrade build
-	journal  bool // journal-backed store + replica factor 2 + outbox
+	jsonOnly bool    // DisableBinaryWire: stands in for a pre-upgrade build
+	journal  bool    // journal-backed store + replica factor 2 + outbox
+	sample   float64 // > 0: attach a tracer head-sampling this fraction
+	preTrace bool    // DisableTracedWire: stands in for a bin/1-only build
+	metered  bool    // obs registry wired through every tier (scrape assertions)
 }
 
 // startWireCluster is startCluster with per-node codec pinning,
@@ -104,10 +111,21 @@ func startWireCluster(t *testing.T, specs []wireSpec) map[string]*wireNode {
 		for u := 0; u < 200; u++ {
 			svc.RegisterUser("user", "", "SF")
 		}
+		var reg *obs.Registry
+		if s.metered {
+			reg = obs.NewRegistry()
+		}
+		var tracer *trace.Tracer
+		if s.sample > 0 {
+			tracer = trace.New(trace.Config{Node: s.id, SampleRate: s.sample, Obs: reg})
+		}
 		cfg := Config{
 			Self:              Member{ID: s.id, Addr: boots[s.id].srv.URL},
 			Peers:             peers,
 			DisableBinaryWire: s.jsonOnly,
+			DisableTracedWire: s.preTrace,
+			Tracer:            tracer,
+			Obs:               reg,
 			Forward: ForwarderConfig{
 				BatchSize:  1,
 				FlushEvery: 5 * time.Millisecond,
@@ -119,11 +137,11 @@ func startWireCluster(t *testing.T, specs []wireSpec) map[string]*wireNode {
 			},
 			Logf: t.Logf,
 		}
-		scfg := stream.Config{Shards: 2, Clock: clock}
+		scfg := stream.Config{Shards: 2, Clock: clock, Tracer: tracer, Obs: reg}
 		var journal *store.AlertJournal
 		if s.journal {
 			var err error
-			journal, err = store.OpenAlertJournal(store.JournalConfig{Dir: t.TempDir(), FsyncEvery: 1})
+			journal, err = store.OpenAlertJournal(store.JournalConfig{Dir: t.TempDir(), FsyncEvery: 1, Obs: reg})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -143,7 +161,7 @@ func startWireCluster(t *testing.T, specs []wireSpec) map[string]*wireNode {
 		rec := newCTRecorder(node.Handler())
 		boots[s.id].late.set(rec)
 		tn := &testNode{id: s.id, svc: svc, pipeline: pipeline, node: node, srv: boots[s.id].srv, clock: clock}
-		nodes[s.id] = &wireNode{testNode: tn, rec: rec, journal: journal}
+		nodes[s.id] = &wireNode{testNode: tn, rec: rec, journal: journal, tracer: tracer, reg: reg}
 		t.Cleanup(pipeline.Close)
 		t.Cleanup(node.Shutdown)
 	}

@@ -16,6 +16,7 @@ import (
 	"locheat/internal/simclock"
 	"locheat/internal/store"
 	"locheat/internal/stream"
+	"locheat/internal/trace"
 	"locheat/internal/wirecodec"
 )
 
@@ -42,6 +43,16 @@ type Config struct {
 	// carrying it get 415, which downgrades the sender). The rolling-
 	// upgrade escape hatch — and how tests stand up a JSON-only peer.
 	DisableBinaryWire bool
+	// DisableTracedWire caps the binary advertisement at "bin/1": the
+	// node still decodes v2 bodies but peers will not send trace
+	// context in binary form. Tests use it to stand up a peer that
+	// looks like a pre-trace build to everyone else.
+	DisableTracedWire bool
+	// Tracer head-samples check-ins at ingest, records cross-node hop
+	// spans, and backs the /cluster/v1/traces scatter surface. Nil
+	// disables tracing on this node (it still decodes and forwards
+	// trace context originated elsewhere).
+	Tracer *trace.Tracer
 	// HTTP issues handoff and scatter-gather requests (default a client
 	// over the shared cluster transport with a 10s timeout).
 	HTTP *http.Client
@@ -217,6 +228,8 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 	// The forwarder asks per POST whether its destination advertised
 	// the binary codec (learned from heartbeats, below).
 	fwdCfg.Binary = n.peerBinaryAddr
+	fwdCfg.Traced = n.peerTracedAddr
+	fwdCfg.Tracer = cfg.Tracer
 	fwdCfg.Obs = cfg.Obs
 	n.fwd = NewForwarder(cfg.Self.ID, fwdCfg)
 	// Heartbeat probes carry the quarantine digest out and bring repair
@@ -344,6 +357,17 @@ func (n *Node) peerBinaryAddr(addr string) bool {
 	return !n.cfg.DisableBinaryWire && n.members != nil && n.members.SupportsBinaryAddr(addr)
 }
 
+// peerTraced reports whether the peer (by member ID) takes trace-aware
+// (v2) binary bodies right now.
+func (n *Node) peerTraced(id string) bool {
+	return n.peerBinary(id) && n.members.SupportsTraced(id)
+}
+
+// peerTracedAddr is peerTraced keyed by address (the forwarder's view).
+func (n *Node) peerTracedAddr(addr string) bool {
+	return n.peerBinaryAddr(addr) && n.members.SupportsTracedAddr(addr)
+}
+
 func memberIDs(ms []Member) []string {
 	ids := make([]string, len(ms))
 	for i, m := range ms {
@@ -384,6 +408,18 @@ func (n *Node) Owner(user uint64) string {
 // owner. Installed as the lbsn.Service check-in observer, so it must
 // never block — and neither branch does.
 func (n *Node) Ingest(ev lbsn.CheckinEvent) bool {
+	// Head-sample HERE, before routing: the origin decides once, so the
+	// trace ID travels the wire with the event and the owner continues
+	// the same trace instead of rolling its own dice. The untraced
+	// majority pays one nil check and one flags-byte test.
+	if tr := n.cfg.Tracer; tr != nil && !ev.Trace.Sampled() {
+		if ev.Trace = tr.Sample(!ev.Accepted); ev.Trace.Sampled() {
+			if ev.IngestedAt.IsZero() {
+				ev.IngestedAt = time.Now()
+			}
+			tr.Begin(ev.Trace, uint64(ev.UserID), uint64(ev.VenueID), ev.IngestedAt.UnixNano())
+		}
+	}
 	ring, leaving := n.currentRing()
 	owner := ring.Owner(uint64(ev.UserID))
 	if owner == "" || (owner == n.cfg.Self.ID && !leaving) {
@@ -586,6 +622,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/cluster/v1/replica/cursor", n.handleReplicaCursor)
 	mux.HandleFunc("/cluster/v1/quarbcast", n.handleQuarBroadcast)
 	mux.HandleFunc("/cluster/v1/quardigest", n.handleQuarDigest)
+	mux.HandleFunc("/cluster/v1/traces", n.handleLocalTraces)
+	mux.HandleFunc("/cluster/v1/traces/", n.handleLocalTraces)
 	return mux
 }
 
@@ -606,7 +644,15 @@ func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
 	}
 	pr := PingResponse{Node: n.cfg.Self.ID}
 	if !n.cfg.DisableBinaryWire {
-		pr.Codec = binaryCodecName
+		// Advertise the trace-aware codec whether or not a Tracer runs
+		// here: the capability is about what this node DECODES, and a
+		// new build decodes v2 regardless. DisableTracedWire pins the
+		// advert to "bin/1" for mixed-version tests and rollback drills.
+		if n.cfg.DisableTracedWire {
+			pr.Codec = binaryCodecName
+		} else {
+			pr.Codec = tracedCodecName
+		}
 	}
 	// A probe POSTing a digest body gets the anti-entropy exchange in
 	// the reply. Hash-first: a probe carrying only the 16-byte digest
@@ -827,7 +873,11 @@ func (n *Node) handleLocalAlerts(w http.ResponseWriter, r *http.Request) {
 	if acceptsBinary(r) && !n.cfg.DisableBinaryWire {
 		buf := wirecodec.GetBuffer()
 		defer wirecodec.PutBuffer(buf)
-		buf.B = encodeLocalAlerts(buf.B, LocalAlertsResponse{Node: n.cfg.Self.ID, Alerts: page, Total: total})
+		if acceptsTraced(r) && !n.cfg.DisableTracedWire {
+			buf.B = encodeLocalAlertsTraced(buf.B, LocalAlertsResponse{Node: n.cfg.Self.ID, Alerts: page, Total: total})
+		} else {
+			buf.B = encodeLocalAlerts(buf.B, LocalAlertsResponse{Node: n.cfg.Self.ID, Alerts: page, Total: total})
+		}
 		w.Header().Set("Content-Type", wirecodec.ContentTypeBinary)
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(buf.B)

@@ -131,7 +131,7 @@ func (n *Node) initReplication() error {
 		Logf:         n.cfg.Logf,
 	})
 	n.svc.AddQuarantineChangeListener(func(ch lbsn.QuarantineChange) {
-		n.bcast.LocalChange(uint64(ch.UserID), ch.Active, ch.Record)
+		n.bcast.LocalChangeTraced(uint64(ch.UserID), ch.Active, ch.Record, ch.Trace)
 	})
 
 	if opts.Dir == "" {
@@ -172,6 +172,7 @@ func (n *Node) initReplication() error {
 			Interval:    opts.ShipInterval,
 			Logf:        n.cfg.Logf,
 			Obs:         n.cfg.Obs,
+			Tracer:      n.cfg.Tracer,
 		})
 		j.SetAppendNotify(n.shipper.Notify)
 	}
@@ -208,8 +209,12 @@ func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
 	qb := QuarBroadcast{From: n.cfg.Self.ID, Entries: entries}
 	for _, peer := range n.members.LivePeers() {
 		n.bcastFanout.Inc()
+		encode := encodeQuarBroadcast
+		if n.peerTraced(peer.ID) {
+			encode = encodeQuarBroadcastTraced
+		}
 		resp, err := n.postNegotiated(peer.Addr, "/cluster/v1/quarbcast", peer.ID,
-			func(dst []byte) []byte { return encodeQuarBroadcast(dst, qb) }, qb)
+			func(dst []byte) []byte { return encode(dst, qb) }, qb)
 		if err != nil {
 			n.bcastSendErrs.Add(1)
 			continue
@@ -224,8 +229,12 @@ func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
 // sendShipBatch delivers one journal batch to a follower in its
 // negotiated codec.
 func (n *Node) sendShipBatch(t replica.Target, b replica.ShipBatch) (replica.ShipAck, error) {
+	appendBatch := replica.AppendShipBatch
+	if n.peerTraced(t.ID) {
+		appendBatch = replica.AppendShipBatchTraced
+	}
 	resp, err := n.postNegotiated(t.Addr, "/cluster/v1/replica/ship", t.ID,
-		func(dst []byte) []byte { return replica.AppendShipBatch(dst, b) }, b)
+		func(dst []byte) []byte { return appendBatch(dst, b) }, b)
 	if err != nil {
 		return replica.ShipAck{}, err
 	}

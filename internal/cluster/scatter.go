@@ -142,9 +142,15 @@ func (n *Node) fetchPeerAlerts(peer Member, q store.AlertQuery) ([]store.Alert, 
 	// Ask for the binary body when the peer advertises the codec; the
 	// reply's Content-Type says what actually came back, so a stale
 	// advertisement (or a JSON-pinned peer) degrades to JSON, not to an
-	// error.
+	// error. Trace-aware peers are asked for the v2 layout (alerts keep
+	// their trace links); the ";v=2" parameter is invisible to a peer
+	// doing the v1 prefix match, which simply answers v1.
 	if n.peerBinary(peer.ID) {
-		req.Header.Set("Accept", wirecodec.ContentTypeBinary)
+		accept := wirecodec.ContentTypeBinary
+		if n.peerTraced(peer.ID) {
+			accept += acceptTracedParam
+		}
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := n.cfg.HTTP.Do(req)
 	if err != nil {

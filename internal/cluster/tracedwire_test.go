@@ -1,0 +1,470 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"locheat/internal/geo"
+	"locheat/internal/replica"
+	"locheat/internal/store"
+	"locheat/internal/trace"
+	"locheat/internal/wirecodec"
+)
+
+func tracedWireEvent() WireEvent {
+	w := codecWireEvent()
+	w.Trace = "0102030405060708090a0b0c0d0e0f10"
+	w.TraceFlags = trace.FlagSampled | trace.FlagForced
+	return w
+}
+
+// TestTracedCodecsEquivalence: every v2 container must reproduce
+// exactly what the JSON round trip does, trace context included — the
+// same bar the v1 layouts hold.
+func TestTracedCodecsEquivalence(t *testing.T) {
+	t0 := time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC)
+	t.Run("ingest", func(t *testing.T) {
+		b := IngestBatch{From: "node-a", Events: []WireEvent{tracedWireEvent(), {User: 7}}}
+		jb, _ := json.Marshal(b)
+		var viaJSON IngestBatch
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		viaBin, err := decodeIngestBatch(encodeIngestBatchTraced(nil, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
+		}
+	})
+	t.Run("quarbcast", func(t *testing.T) {
+		qb := QuarBroadcast{From: "node-a", Entries: []replica.QuarEntry{
+			{User: 4, Stamp: 77, Origin: "node-a", Active: true,
+				Trace: "0102030405060708090a0b0c0d0e0f10",
+				Record: store.QuarantineRecord{
+					UserID: 4, Since: t0, Until: t0.Add(time.Hour), Reason: "r", Source: "s",
+				}},
+			{User: 5, Stamp: 78, Origin: "node-b"}, // untraced entry in a v2 body
+		}}
+		jb, _ := json.Marshal(qb)
+		var viaJSON QuarBroadcast
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		viaBin, err := decodeQuarBroadcast(encodeQuarBroadcastTraced(nil, qb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
+		}
+	})
+	t.Run("alerts", func(t *testing.T) {
+		resp := LocalAlertsResponse{Node: "node-a", Total: 2, Alerts: []store.Alert{
+			{Seq: 1, Detector: "speed", UserID: 4, VenueID: 9, At: t0, Detail: "d1",
+				Trace: "0102030405060708090a0b0c0d0e0f10"},
+			{Seq: 2, Detector: "rate-throttle", UserID: 5, VenueID: 10, At: t0.Add(time.Minute), Detail: "d2"},
+		}}
+		jb, _ := json.Marshal(resp)
+		var viaJSON LocalAlertsResponse
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		viaBin, err := decodeLocalAlerts(encodeLocalAlertsTraced(nil, resp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codecs disagree:\n json: %+v\n bin:  %+v", viaJSON, viaBin)
+		}
+	})
+	t.Run("ship", func(t *testing.T) {
+		batch := []store.Alert{
+			{Seq: 1, Detector: "speed", UserID: 4, VenueID: 9, At: t0, Detail: "d1",
+				Trace: "0102030405060708090a0b0c0d0e0f10"},
+			{Seq: 2, Detector: "dedupe", UserID: 5, VenueID: 10, At: t0, Detail: "d2"},
+		}
+		sb := replica.ShipBatch{From: "node-a", Epoch: 3, Start: 7, Alerts: batch}
+		got, err := replica.DecodeShipBatch(replica.AppendShipBatchTraced(nil, sb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, sb) {
+			t.Fatalf("ship batch:\n want: %+v\n got:  %+v", sb, got)
+		}
+	})
+	t.Run("v1-strips-trace", func(t *testing.T) {
+		// A v1 body for a bin/1 peer must simply omit the context: the
+		// decode is the same event minus trace.
+		b := IngestBatch{From: "node-a", Events: []WireEvent{tracedWireEvent()}}
+		got, err := decodeIngestBatch(encodeIngestBatch(nil, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := b.Events[0]
+		want.Trace, want.TraceFlags = "", 0
+		if !reflect.DeepEqual(got.Events[0], want) {
+			t.Fatalf("v1 strip:\n want: %+v\n got:  %+v", want, got.Events[0])
+		}
+	})
+}
+
+// TestTracedSpillEventFormats: traced events spill in the v2 frame
+// and replay with their trace link; untraced events stay v1 so a
+// pre-trace build inheriting the outbox still replays them.
+func TestTracedSpillEventFormats(t *testing.T) {
+	ev := tracedWireEvent()
+	payload := encodeSpillEvent(ev)
+	if payload[0] != wirecodec.VersionTraced {
+		t.Fatalf("traced spill frame version %d, want %d", payload[0], wirecodec.VersionTraced)
+	}
+	got, err := decodeSpillEvent(payload)
+	if err != nil || !reflect.DeepEqual(got, ev) {
+		t.Fatalf("traced spill round trip: %v / %+v", err, got)
+	}
+	plain := codecWireEvent()
+	payload = encodeSpillEvent(plain)
+	if payload[0] != wirecodec.Version {
+		t.Fatalf("untraced spill frame version %d, want v1 %d", payload[0], wirecodec.Version)
+	}
+	if got, err := decodeSpillEvent(payload); err != nil || !reflect.DeepEqual(got, plain) {
+		t.Fatalf("untraced spill round trip: %v / %+v", err, got)
+	}
+}
+
+// TestFromWireMalformedTrace: trace context is observability freight —
+// a corrupt ID degrades to an untraced event, never an error.
+func TestFromWireMalformedTrace(t *testing.T) {
+	w := codecWireEvent()
+	w.Trace = "not-hex"
+	if ev := fromWire(w); ev.Trace.Sampled() {
+		t.Fatal("malformed trace ID decoded as sampled")
+	}
+	w.Trace = "0102030405060708090a0b0c0d0e0f10"
+	w.TraceFlags = trace.FlagSampled
+	ev := fromWire(w)
+	if !ev.Trace.Sampled() || ev.Trace.ID.String() != w.Trace {
+		t.Fatalf("well-formed trace lost: %+v", ev.Trace)
+	}
+}
+
+// FuzzDecodeSpillEvent hammers the span-decoding surface the ingest
+// fuzzer does not reach: the three-format sniff (JSON / v1 / v2) and
+// the traced-element tail. Malformed input must error, never panic;
+// accepted input must round-trip canonically through its own format.
+func FuzzDecodeSpillEvent(f *testing.F) {
+	f.Add(encodeSpillEvent(tracedWireEvent()))
+	f.Add(encodeSpillEvent(codecWireEvent()))
+	jb, _ := json.Marshal(codecWireEvent())
+	f.Add(jb)
+	f.Add([]byte{})
+	f.Add([]byte{wirecodec.VersionTraced})
+	f.Add([]byte{wirecodec.VersionTraced, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		w, err := decodeSpillEvent(in)
+		if err != nil {
+			return
+		}
+		again, err := decodeSpillEvent(encodeSpillEvent(w))
+		if err != nil {
+			t.Fatalf("accepted spill does not re-decode: %v", err)
+		}
+		// Canonical re-encode comparison (floats may carry NaN bits).
+		if a, b := encodeSpillEvent(w), encodeSpillEvent(again); string(a) != string(b) {
+			t.Fatal("accepted spill does not round-trip canonically")
+		}
+	})
+}
+
+// FuzzDecodeIngestBatchTraced seeds the batch fuzzer with v2 bodies so
+// the traced element decoder is on the fuzzed surface too.
+func FuzzDecodeIngestBatchTraced(f *testing.F) {
+	f.Add(encodeIngestBatchTraced(nil, IngestBatch{From: "node-a", Events: []WireEvent{tracedWireEvent(), {User: 7}}}))
+	f.Add(encodeIngestBatchTraced(nil, IngestBatch{From: "x"}))
+	f.Add([]byte{wirecodec.VersionTraced, 1, 'a', 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		b, err := decodeIngestBatch(in)
+		if err != nil {
+			return
+		}
+		enc1 := encodeIngestBatchTraced(nil, b)
+		again, err := decodeIngestBatch(enc1)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-decode: %v", err)
+		}
+		if enc2 := encodeIngestBatchTraced(nil, again); string(enc1) != string(enc2) {
+			t.Fatal("accepted batch does not round-trip canonically")
+		}
+	})
+}
+
+// TestTracedForwardCrossNode is the tentpole's cross-node acceptance
+// at the cluster tier: a head-sampled check-in ingested at a non-owner
+// node produces trace fragments on BOTH nodes — the origin's forward
+// hop, the owner's pipeline spans — and the merged ClusterTrace view
+// stitches them into one tree attributed to two nodes.
+func TestTracedForwardCrossNode(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "a", sample: 1},
+		{id: "b", sample: 1},
+	})
+	na, nb := nodes["a"], nodes["b"]
+	na.node.Tick()
+	nb.node.Tick()
+	eventually(t, "traced capability learned", func() bool {
+		return na.node.peerTraced("b") && nb.node.peerTraced("a")
+	})
+
+	user := userOwnedBy(t, na.node, "b", 200)
+	if !na.node.Ingest(clusterEvent(user, simclock2011(), sfPoint())) {
+		t.Fatal("ingest refused")
+	}
+	eventually(t, "forward delivered", func() bool { return nb.pipeline.Stats().Published >= 1 })
+
+	// The origin retains its fragment once the POST is acked.
+	var id trace.ID
+	eventually(t, "origin fragment retained", func() bool {
+		views := na.tracer.List(trace.Filter{})
+		if len(views) == 0 {
+			return false
+		}
+		got, ok := trace.ParseID(views[0].ID)
+		id = got
+		return ok
+	})
+
+	eventually(t, "merged trace spans two nodes", func() bool {
+		v, ok, info := na.node.ClusterTrace(id)
+		return ok && info.Failed == 0 && len(v.Nodes) >= 2
+	})
+	v, ok, _ := na.node.ClusterTrace(id)
+	if !ok {
+		t.Fatal("merged trace vanished")
+	}
+	hop, pipe := false, false
+	for _, sp := range v.Spans {
+		if sp.Name == "forward" {
+			hop = true
+		}
+		if sp.Name == "ring-wait" || strings.HasPrefix(sp.Name, "stage:") {
+			pipe = true
+		}
+	}
+	if !hop {
+		t.Fatalf("origin hop span missing from merged tree: %+v", v.Spans)
+	}
+	if !pipe {
+		t.Fatalf("owner pipeline spans missing from merged tree: %+v", v.Spans)
+	}
+	if v.UserID != user {
+		t.Fatalf("merged trace user = %d, want %d", v.UserID, user)
+	}
+}
+
+// TestTracedThreeNodeExemplarDiscovery is the 3-node acceptance drill
+// run in the operator's direction: an impossible-travel check-in
+// sampled at a non-owner node alerts on its owner, the owner's
+// /metrics scrape pins that trace's ID as the exemplar on the
+// detection-latency summary, and following the ID through the merged
+// endpoint from the THIRD node (neither origin nor owner) yields one
+// tree carrying the origin's forward hop plus the owner's stage and
+// journal spans — fragments from at least two nodes.
+func TestTracedThreeNodeExemplarDiscovery(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "n1", sample: 1, journal: true, metered: true},
+		{id: "n2", sample: 1, journal: true, metered: true},
+		{id: "n3", sample: 1, journal: true, metered: true},
+	})
+	n1, n2, n3 := nodes["n1"], nodes["n2"], nodes["n3"]
+	for _, n := range nodes {
+		n.node.Tick()
+	}
+	eventually(t, "traced capability learned", func() bool {
+		return n1.node.peerTraced("n2") && n2.node.peerTraced("n1") && n3.node.peerTraced("n2")
+	})
+
+	// SF, then NY ten minutes later, both ingested at non-owner n1:
+	// impossible travel the owner's speed stage must flag.
+	user := userOwnedBy(t, n1.node, "n2", 200)
+	t0 := simclock2011()
+	if !n1.node.Ingest(clusterEvent(user, t0, sfPoint())) {
+		t.Fatal("ingest refused")
+	}
+	if !n1.node.Ingest(clusterEvent(user, t0.Add(10*time.Minute), geo.Point{Lat: 40.71, Lon: -74.01})) {
+		t.Fatal("ingest refused")
+	}
+	eventually(t, "speed alert on owner n2", func() bool {
+		_, total := n2.pipeline.Alerts(store.AlertQuery{UserID: user, Detector: "speed"})
+		return total > 0
+	})
+
+	// Discovery starts at /metrics: the alerting observation pinned a
+	// trace-ID exemplar on the owner's detection-latency summary.
+	exemplar := regexp.MustCompile(
+		`locheat_detection_latency_seconds_count \d+ # \{trace_id="([0-9a-f]{32})"\}`)
+	var id trace.ID
+	eventually(t, "detection-latency exemplar on owner scrape", func() bool {
+		var buf bytes.Buffer
+		if err := n2.reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m := exemplar.FindSubmatch(buf.Bytes())
+		if m == nil {
+			return false
+		}
+		got, ok := trace.ParseID(string(m[1]))
+		id = got
+		return ok
+	})
+
+	eventually(t, "merged trace spans two nodes", func() bool {
+		v, ok, info := n3.node.ClusterTrace(id)
+		return ok && info.Failed == 0 && len(v.Nodes) >= 2
+	})
+	v, ok, _ := n3.node.ClusterTrace(id)
+	if !ok {
+		t.Fatal("merged trace vanished")
+	}
+	var hop, stage, journal bool
+	for _, sp := range v.Spans {
+		switch {
+		case sp.Name == "forward":
+			hop = true
+		case strings.HasPrefix(sp.Name, "stage:"):
+			stage = true
+		case sp.Name == "journal-append":
+			journal = true
+		}
+	}
+	if !hop || !stage || !journal {
+		t.Fatalf("merged tree missing spans (forward=%v stage=%v journal=%v): %+v",
+			hop, stage, journal, v.Spans)
+	}
+	if v.UserID != user {
+		t.Fatalf("merged trace user = %d, want %d", v.UserID, user)
+	}
+}
+
+// TestMixedVersionTracedInterop is the rolling-upgrade drill for the
+// trace tier: a traced node forwarding to a bin/1-only peer (standing
+// in for a pre-trace build) negotiates down to the v1 layout — the
+// peer strips the context, the event is delivered losslessly, and the
+// origin still retains its partial trace; the merged view degrades to
+// the origin's fragment without counting the old peer as failed.
+func TestMixedVersionTracedInterop(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "new", sample: 1},
+		{id: "old", preTrace: true},
+	})
+	nn, no := nodes["new"], nodes["old"]
+	nn.node.Tick()
+	no.node.Tick()
+	eventually(t, "capabilities learned", func() bool {
+		return nn.node.peerBinary("old") && no.node.peerBinary("new")
+	})
+	if nn.node.peerTraced("old") {
+		t.Fatal("new node believes the pre-trace peer takes v2 bodies")
+	}
+	if !no.node.peerTraced("new") {
+		t.Fatal("pre-trace node failed to learn the new peer's capability (advert is decode-side)")
+	}
+
+	user := userOwnedBy(t, nn.node, "old", 200)
+	if !nn.node.Ingest(clusterEvent(user, simclock2011(), sfPoint())) {
+		t.Fatal("ingest refused")
+	}
+	eventually(t, "forward delivered to the old peer", func() bool {
+		return no.pipeline.Stats().Published >= 1
+	})
+
+	// The origin's partial trace survives the stripped hop.
+	var id trace.ID
+	eventually(t, "origin fragment retained", func() bool {
+		views := nn.tracer.List(trace.Filter{})
+		if len(views) == 0 {
+			return false
+		}
+		got, ok := trace.ParseID(views[0].ID)
+		id = got
+		return ok
+	})
+	v, ok, info := nn.node.ClusterTrace(id)
+	if !ok {
+		t.Fatal("partial trace not retrievable")
+	}
+	// The old peer answers 404 on /cluster/v1/traces — no fragments
+	// there, NOT a failed node.
+	if info.Failed != 0 {
+		t.Fatalf("pre-trace peer counted as failed: %+v", info)
+	}
+	if len(v.Nodes) != 1 || v.Nodes[0] != "new" {
+		t.Fatalf("partial trace nodes = %v, want [new]", v.Nodes)
+	}
+	found := false
+	for _, sp := range v.Spans {
+		if sp.Name == "forward" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("forward hop span missing from partial trace: %+v", v.Spans)
+	}
+}
+
+// TestClusterTraceDownPeer: an unreachable peer degrades the merged
+// trace view — the local fragment still serves, with the failure
+// counted — instead of erroring out.
+func TestClusterTraceDownPeer(t *testing.T) {
+	nodes := startWireCluster(t, []wireSpec{
+		{id: "a", sample: 1},
+		{id: "b", sample: 1},
+	})
+	na, nb := nodes["a"], nodes["b"]
+	na.node.Tick()
+	nb.node.Tick()
+
+	// A locally-owned traced event: the whole trace lives on a.
+	user := userOwnedBy(t, na.node, "a", 200)
+	if !na.node.Ingest(clusterEvent(user, simclock2011(), sfPoint())) {
+		t.Fatal("ingest refused")
+	}
+	var id trace.ID
+	eventually(t, "fragment retained", func() bool {
+		views := na.tracer.List(trace.Filter{})
+		if len(views) == 0 {
+			return false
+		}
+		got, ok := trace.ParseID(views[0].ID)
+		id = got
+		return ok
+	})
+
+	// b's listener dies (but stays in a's live set — FailAfter has not
+	// elapsed on the simulated clock).
+	nb.srv.Close()
+
+	v, ok, info := na.node.ClusterTrace(id)
+	if !ok {
+		t.Fatal("local fragment lost when a peer is down")
+	}
+	if info.Failed != 1 || info.Nodes != 1 {
+		t.Fatalf("degraded view not reported: %+v", info)
+	}
+	if len(v.Spans) == 0 {
+		t.Fatal("degraded view dropped the local spans")
+	}
+	views, info2 := na.node.ClusterTraces(trace.Filter{})
+	if len(views) == 0 || info2.Failed != 1 {
+		t.Fatalf("degraded listing: %d traces, info %+v", len(views), info2)
+	}
+}
+
+func simclock2011() time.Time {
+	return time.Date(2011, 6, 20, 12, 0, 0, 0, time.UTC)
+}

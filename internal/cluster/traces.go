@@ -1,0 +1,245 @@
+// Trace scatter-gather: any node answers flight-recorder queries with
+// the merged cluster view. A trace for a forwarded check-in exists as
+// per-node fragments — the origin holds the ingest and forward-hop
+// spans, the owner holds the stage and journal spans — so the merged
+// endpoints group fragments by trace ID and stitch them with
+// trace.Merge into one tree. The fan-out mirrors ClusterAlerts: local
+// recorder first, live peers in parallel, unreachable peers skipped
+// and counted so a partial view says so instead of erroring.
+//
+// The wire is JSON-only by design: trace views are a cold operator
+// surface (bounded by the flight-recorder capacity), not a hot path
+// worth a binary layout. A peer without the endpoints (a pre-trace
+// build) answers 404, which merges as "no fragments there" rather
+// than a failure — mixed-version clusters degrade to the tracing
+// nodes' view.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"locheat/internal/trace"
+)
+
+// LocalTracesResponse is the GET /cluster/v1/traces body: one node's
+// own retained fragments.
+type LocalTracesResponse struct {
+	Node   string       `json:"node"`
+	Traces []trace.View `json:"traces"`
+}
+
+// handleLocalTraces serves this node's recorder slice of a scatter:
+// /cluster/v1/traces lists fragments, /cluster/v1/traces/<id> fetches
+// one. A node running without a tracer answers empty, not 404 — the
+// endpoint existing means the build understands traces.
+func (n *Node) handleLocalTraces(w http.ResponseWriter, r *http.Request) {
+	if id := strings.TrimPrefix(r.URL.Path, "/cluster/v1/traces/"); id != r.URL.Path && id != "" {
+		tid, ok := trace.ParseID(id)
+		if !ok {
+			http.Error(w, "malformed trace id", http.StatusBadRequest)
+			return
+		}
+		v, ok := n.cfg.Tracer.Get(tid)
+		if !ok {
+			http.Error(w, "trace not retained here", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, LocalTracesResponse{Node: n.cfg.Self.ID, Traces: []trace.View{v}})
+		return
+	}
+	f, err := parseTraceFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	views := n.cfg.Tracer.List(f)
+	if views == nil {
+		views = []trace.View{}
+	}
+	writeJSON(w, http.StatusOK, LocalTracesResponse{Node: n.cfg.Self.ID, Traces: views})
+}
+
+// parseTraceFilter decodes the internal trace query (shared shape with
+// the public /api/v1/traces endpoint): user, detector, minNs, limit.
+func parseTraceFilter(r *http.Request) (trace.Filter, error) {
+	var f trace.Filter
+	get := r.URL.Query().Get
+	f.Detector = get("detector")
+	var err error
+	if v := get("user"); v != "" {
+		if f.UserID, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return f, fmt.Errorf("malformed user %q", v)
+		}
+	}
+	if v := get("minNs"); v != "" {
+		if f.MinDurationNanos, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return f, fmt.Errorf("malformed minNs %q", v)
+		}
+	}
+	if v := get("limit"); v != "" {
+		if f.Limit, err = strconv.Atoi(v); err != nil {
+			return f, fmt.Errorf("malformed limit %q", v)
+		}
+	}
+	return f, nil
+}
+
+// ClusterTraces answers a trace listing with the merged cluster view:
+// every node's matching fragments, grouped by trace ID and stitched,
+// newest first.
+func (n *Node) ClusterTraces(f trace.Filter) ([]trace.View, MergeInfo) {
+	n.scatterQueries.Add(1)
+	peers := n.members.LivePeers()
+	// Fan the filter without the limit: a fragment that fails the
+	// duration cut on one node can pass after merging with the hop
+	// spans from another, so cutting early would drop cluster-slow
+	// traces. The recorder bound keeps per-node responses small.
+	fan := f
+	fan.Limit = 0
+	fan.MinDurationNanos = 0
+
+	type result struct {
+		views []trace.View
+		err   error
+	}
+	results := make([]result, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		wg.Add(1)
+		go func(i int, peer Member) {
+			defer wg.Done()
+			views, err := n.fetchPeerTraces(peer, fan)
+			results[i] = result{views: views, err: err}
+		}(i, peer)
+	}
+	local := n.cfg.Tracer.List(fan)
+	wg.Wait()
+
+	groups := make(map[string][]trace.View)
+	order := make([]string, 0, len(local))
+	add := func(views []trace.View) {
+		for _, v := range views {
+			if _, ok := groups[v.ID]; !ok {
+				order = append(order, v.ID)
+			}
+			groups[v.ID] = append(groups[v.ID], v)
+		}
+	}
+	add(local)
+	info := MergeInfo{Nodes: 1}
+	for i, res := range results {
+		if res.err != nil {
+			info.Failed++
+			n.scatterPeerErrors.Add(1)
+			n.cfg.Logf("cluster: scatter traces: peer %s: %v", peers[i].ID, res.err)
+			continue
+		}
+		info.Nodes++
+		add(res.views)
+	}
+	merged := make([]trace.View, 0, len(order))
+	for _, id := range order {
+		m := trace.Merge(groups[id])
+		// Re-apply the duration cut on the stitched whole.
+		if f.MinDurationNanos > 0 && int64(m.DurationMs*1e6) < f.MinDurationNanos {
+			continue
+		}
+		merged = append(merged, m)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Start > merged[j].Start })
+	if f.Limit > 0 && len(merged) > f.Limit {
+		merged = merged[:f.Limit]
+	}
+	return merged, info
+}
+
+// ClusterTrace answers one trace by ID with the merged cluster view.
+func (n *Node) ClusterTrace(id trace.ID) (trace.View, bool, MergeInfo) {
+	n.scatterQueries.Add(1)
+	peers := n.members.LivePeers()
+	type result struct {
+		views []trace.View
+		err   error
+	}
+	results := make([]result, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		wg.Add(1)
+		go func(i int, peer Member) {
+			defer wg.Done()
+			views, err := n.fetchPeerTrace(peer, id)
+			results[i] = result{views: views, err: err}
+		}(i, peer)
+	}
+	var fragments []trace.View
+	if v, ok := n.cfg.Tracer.Get(id); ok {
+		fragments = append(fragments, v)
+	}
+	wg.Wait()
+
+	info := MergeInfo{Nodes: 1}
+	for i, res := range results {
+		if res.err != nil {
+			info.Failed++
+			n.scatterPeerErrors.Add(1)
+			n.cfg.Logf("cluster: scatter trace %s: peer %s: %v", id, peers[i].ID, res.err)
+			continue
+		}
+		info.Nodes++
+		fragments = append(fragments, res.views...)
+	}
+	if len(fragments) == 0 {
+		return trace.View{}, false, info
+	}
+	return trace.Merge(fragments), true, info
+}
+
+// fetchPeerTraces runs one peer's slice of the listing scatter.
+func (n *Node) fetchPeerTraces(peer Member, f trace.Filter) ([]trace.View, error) {
+	params := url.Values{}
+	if f.UserID != 0 {
+		params.Set("user", strconv.FormatUint(f.UserID, 10))
+	}
+	if f.Detector != "" {
+		params.Set("detector", f.Detector)
+	}
+	u := peer.Addr + "/cluster/v1/traces"
+	if enc := params.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	return n.fetchTraceViews(u, true)
+}
+
+// fetchPeerTrace fetches one peer's fragment of a trace, nil when the
+// peer does not hold one.
+func (n *Node) fetchPeerTrace(peer Member, id trace.ID) ([]trace.View, error) {
+	return n.fetchTraceViews(peer.Addr+"/cluster/v1/traces/"+id.String(), true)
+}
+
+// fetchTraceViews GETs one trace endpoint. notFoundOK maps 404 — a
+// pre-trace peer, or a by-ID miss — to "no fragments", not an error.
+func (n *Node) fetchTraceViews(u string, notFoundOK bool) ([]trace.View, error) {
+	resp, err := n.cfg.HTTP.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound && notFoundOK {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out LocalTracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}

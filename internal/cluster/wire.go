@@ -8,6 +8,7 @@ import (
 	"locheat/internal/replica"
 	"locheat/internal/store"
 	"locheat/internal/stream"
+	"locheat/internal/trace"
 )
 
 // WireEvent is one check-in event on the forwarding wire. It mirrors
@@ -30,11 +31,21 @@ type WireEvent struct {
 	// duplicate exactly (effectively-once). 0 = unnumbered (legacy or
 	// locally published), never deduped.
 	FwdSeq uint64 `json:"fwdSeq,omitempty"`
+	// Trace/TraceFlags carry the origin's trace context when the event
+	// was head-sampled (internal/trace): Trace is the 32-hex-digit ID,
+	// TraceFlags the sampling flags. On JSON both are omitempty, so an
+	// old peer ignores them harmlessly; on the binary wire they ride
+	// only v2 (VersionTraced) bodies, which are sent only to peers that
+	// advertised "bin/2". Empty = untraced.
+	Trace      string `json:"trace,omitempty"`
+	TraceFlags uint8  `json:"traceFlags,omitempty"`
 }
 
-// toWire converts a domain event for forwarding.
+// toWire converts a domain event for forwarding. The trace ID is
+// rendered to hex only for sampled events, so the untraced majority
+// pays no allocation here.
 func toWire(ev lbsn.CheckinEvent) WireEvent {
-	return WireEvent{
+	w := WireEvent{
 		User:     uint64(ev.UserID),
 		Venue:    uint64(ev.VenueID),
 		At:       ev.At,
@@ -43,11 +54,19 @@ func toWire(ev lbsn.CheckinEvent) WireEvent {
 		Accepted: ev.Accepted,
 		Reason:   string(ev.Reason),
 	}
+	if ev.Trace.Sampled() {
+		w.Trace = ev.Trace.ID.String()
+		w.TraceFlags = ev.Trace.Flags
+	}
+	return w
 }
 
-// fromWire converts a forwarded event back for local publication.
+// fromWire converts a forwarded event back for local publication. A
+// malformed or missing trace ID decodes as untraced rather than an
+// error: trace context is observability freight, never a reason to
+// reject a check-in.
 func fromWire(w WireEvent) lbsn.CheckinEvent {
-	return lbsn.CheckinEvent{
+	ev := lbsn.CheckinEvent{
 		UserID:   lbsn.UserID(w.User),
 		VenueID:  lbsn.VenueID(w.Venue),
 		At:       w.At,
@@ -56,6 +75,12 @@ func fromWire(w WireEvent) lbsn.CheckinEvent {
 		Accepted: w.Accepted,
 		Reason:   lbsn.DenyReason(w.Reason),
 	}
+	if w.Trace != "" {
+		if id, ok := trace.ParseID(w.Trace); ok {
+			ev.Trace = trace.Context{ID: id, Flags: w.TraceFlags | trace.FlagSampled}
+		}
+	}
+	return ev
 }
 
 // IngestBatch is the POST /cluster/v1/ingest body: one forwarder batch.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"locheat/internal/geo"
+	"locheat/internal/trace"
 )
 
 // CheckinEvent is the service's record of one check-in attempt as it
@@ -36,6 +37,11 @@ type CheckinEvent struct {
 	// the wire (WireEvent omits it): a forwarded event is re-stamped
 	// by the owner, and the forward hop is measured separately.
 	IngestedAt time.Time `json:"-"`
+	// Trace is the span context stamped at ingest when the event is
+	// head-sampled (internal/trace). Like IngestedAt it is excluded
+	// from direct JSON encoding — the cluster wire types carry it
+	// explicitly, version-gated, so old peers stay decodable.
+	Trace trace.Context `json:"-"`
 }
 
 // CheckinObserver receives every check-in attempt the service
@@ -68,5 +74,6 @@ func (s *Service) emit(req CheckinRequest, venueLoc geo.Point, at time.Time, res
 		Reported: req.Reported,
 		Accepted: res.Accepted,
 		Reason:   res.Reason,
+		Trace:    req.Trace,
 	})
 }

@@ -67,12 +67,25 @@ type QuarantineChange struct {
 	// Record is the installed state when Active (the same shape the
 	// snapshot and the cluster wire carry); zero otherwise.
 	Record store.QuarantineRecord
+	// Trace is the trace ID of the alert that triggered the transition,
+	// when that check-in was head-sampled (internal/trace); empty for
+	// manual quarantines and unsampled events. Observability freight
+	// only — it rides the broadcast wire so remote nodes can link the
+	// quarantine back to the originating trace.
+	Trace string
 }
 
 // Quarantine denies the user's check-ins for d from now. A second call
 // extends or shortens the window (last writer wins). The user must
 // exist; the reason is surfaced in check-in denials and the admin list.
 func (s *Service) Quarantine(id UserID, d time.Duration, reason, source string) error {
+	return s.QuarantineTraced(id, d, reason, source, "")
+}
+
+// QuarantineTraced is Quarantine carrying the trace ID of the alert
+// that triggered it (the quarantine policy's path); the ID flows to
+// change listeners and onto the broadcast wire unmodified.
+func (s *Service) QuarantineTraced(id UserID, d time.Duration, reason, source, traceID string) error {
 	if d <= 0 {
 		return fmt.Errorf("quarantine user %d: non-positive duration %s", id, d)
 	}
@@ -93,7 +106,7 @@ func (s *Service) Quarantine(id UserID, d time.Duration, reason, source string) 
 	notify, listeners := s.onQuarantineChange, s.quarChangeListeners
 	s.mu.Unlock()
 	fireQuarantineChanges(notify, listeners, []QuarantineChange{{
-		UserID: id, Active: true, Record: e.record(id),
+		UserID: id, Active: true, Record: e.record(id), Trace: traceID,
 	}})
 	return nil
 }
@@ -449,7 +462,9 @@ func (p *QuarantinePolicy) Observe(a store.Alert) {
 	// service lock and may be contended with check-ins.
 	reason := fmt.Sprintf("%d detector alerts within %s (last: %s)",
 		p.cfg.Threshold, p.cfg.Window, a.Detector)
-	_ = p.svc.Quarantine(user, p.cfg.Duration, reason, QuarantineSourcePolicy)
+	// The triggering alert's trace ID (empty when unsampled) rides the
+	// transition so remote nodes can link the quarantine to its trace.
+	_ = p.svc.QuarantineTraced(user, p.cfg.Duration, reason, QuarantineSourcePolicy, a.Trace)
 }
 
 // sweepLocked drops users idle past IdleAfter, once per IdleAfter of

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"locheat/internal/geo"
+	"locheat/internal/trace"
 )
 
 // UserID identifies a user. IDs are assigned incrementally starting at
@@ -106,6 +107,11 @@ type CheckinRequest struct {
 	UserID   UserID
 	VenueID  VenueID
 	Reported geo.Point // device GPS reading — the value attackers forge
+	// Trace carries a pre-sampled span context from the edge (the API
+	// server head-samples before calling CheckIn so the response can
+	// name the trace). Zero means the pipeline makes its own sampling
+	// decision at publish.
+	Trace trace.Context
 }
 
 // DenyReason classifies why a check-in earned no rewards.

@@ -63,6 +63,19 @@ type histShard struct {
 type Histogram struct {
 	scale  float64
 	shards [histShards]histShard
+	// ex is the most recent traced observation, linking the
+	// distribution to a concrete trace in the flight recorder.
+	ex atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to a trace ID. The exposition
+// appends it to the histogram's _count line in OpenMetrics exemplar
+// syntax, so a bad latency distribution links to a concrete trace.
+type Exemplar struct {
+	// Value is the observation in the exported unit (e.g. seconds).
+	Value float64
+	// TraceID is the 32-hex-digit trace reference.
+	TraceID string
 }
 
 func newHistogram(scale float64) *Histogram {
@@ -90,6 +103,36 @@ func (h *Histogram) Observe(v int64) {
 
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveExemplar records one value and remembers it as the
+// histogram's current exemplar under traceID. Only traced
+// observations pay the pointer swap (and its allocation) — the
+// untraced hot path keeps calling Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	var u uint64
+	if v > 0 {
+		u = uint64(v)
+	}
+	h.ex.Store(&Exemplar{Value: float64(u) * h.scale, TraceID: traceID})
+}
+
+// LastExemplar returns the most recent traced observation, if any.
+func (h *Histogram) LastExemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	if e := h.ex.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
+}
 
 // ObserveSince records the nanoseconds elapsed since start. A zero
 // start is ignored — callers stamp opportunistically and this guard

@@ -310,6 +310,45 @@ type Summary struct {
 	P999  float64 `json:"p999"`
 }
 
+// SeriesDesc identifies one registered series for documentation and
+// introspection: the exposition name, the Prometheus type it exports
+// as, the rendered label block (may be ""), and the help string.
+type SeriesDesc struct {
+	Name   string
+	Type   string
+	Labels string
+	Help   string
+}
+
+// Describe lists every registered series, sorted by name then labels.
+// It is the introspection Summaries does not provide: counters and
+// gauges too, with type and help — what cmd/metricsdoc renders into
+// METRICS.md.
+func (r *Registry) Describe() []SeriesDesc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make([]SeriesDesc, 0, len(metrics))
+	for _, m := range metrics {
+		out = append(out, SeriesDesc{
+			Name:   m.name,
+			Type:   m.kind.promType(),
+			Labels: m.labels,
+			Help:   m.help,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
 // Summaries digests every registered histogram, keyed by series name
 // (name plus rendered labels).
 func (r *Registry) Summaries() map[string]Summary {

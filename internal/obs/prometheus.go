@@ -67,6 +67,14 @@ func writeSummary(w io.Writer, m *metric) {
 		fmt.Fprintf(w, "%s %s\n", withLabel(m.name, m.labels, `quantile="`+q.label+`"`), formatFloat(v))
 	}
 	fmt.Fprintf(w, "%s %s\n", m.name+"_sum"+m.labels, formatFloat(s.SumScaled()))
+	// The exemplar rides the _count line in OpenMetrics syntax
+	// (`value # {trace_id="..."} exemplar-value`), linking the
+	// distribution to one concrete retained trace.
+	if e, ok := m.hist.LastExemplar(); ok {
+		fmt.Fprintf(w, "%s %d # {trace_id=%q} %s\n",
+			m.name+"_count"+m.labels, s.Count, e.TraceID, formatFloat(e.Value))
+		return
+	}
 	fmt.Fprintf(w, "%s %d\n", m.name+"_count"+m.labels, s.Count)
 }
 
@@ -213,6 +221,28 @@ func lintSampleLine(line string) (string, error) {
 		rest = rest[end+1:]
 	}
 	rest = strings.TrimPrefix(rest, " ")
+	// An OpenMetrics exemplar (` # {labels} value`) may trail the
+	// sample; validate and strip it before the value parse.
+	if body, ex, ok := strings.Cut(rest, " # "); ok {
+		if !strings.HasPrefix(ex, "{") {
+			return "", fmt.Errorf("malformed exemplar %q", ex)
+		}
+		end := strings.Index(ex, "}")
+		if end < 0 {
+			return "", fmt.Errorf("unterminated exemplar labels in %q", line)
+		}
+		if err := lintLabels(ex[1:end]); err != nil {
+			return "", fmt.Errorf("%w in exemplar of %q", err, line)
+		}
+		exFields := strings.Fields(ex[end+1:])
+		if len(exFields) < 1 || len(exFields) > 2 {
+			return "", fmt.Errorf("expected exemplar value [timestamp] in %q", line)
+		}
+		if _, err := strconv.ParseFloat(exFields[0], 64); err != nil {
+			return "", fmt.Errorf("bad exemplar value %q", exFields[0])
+		}
+		rest = body
+	}
 	// Value, optionally followed by a timestamp.
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {

@@ -118,13 +118,20 @@ func (b *Broadcaster) stampLocked() int64 {
 // queued for the sender goroutine. Echoes of remote applies are
 // dropped here.
 func (b *Broadcaster) LocalChange(user uint64, active bool, rec store.QuarantineRecord) {
+	b.LocalChangeTraced(user, active, rec, "")
+}
+
+// LocalChangeTraced is LocalChange carrying the trace ID of the alert
+// that caused the transition (empty when unsampled or unknown) — pure
+// observability freight on the broadcast entry.
+func (b *Broadcaster) LocalChangeTraced(user uint64, active bool, rec store.QuarantineRecord, traceID string) {
 	b.mu.Lock()
 	if b.applying[user] > 0 {
 		b.echoes++
 		b.mu.Unlock()
 		return
 	}
-	e := QuarEntry{User: user, Stamp: b.stampLocked(), Origin: b.cfg.Self, Active: active, Record: rec}
+	e := QuarEntry{User: user, Stamp: b.stampLocked(), Origin: b.cfg.Self, Active: active, Record: rec, Trace: traceID}
 	b.state[user] = e
 	b.originated++
 	if len(b.pending) >= b.cfg.QueueSize {

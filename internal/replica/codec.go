@@ -10,8 +10,9 @@ import (
 	"locheat/internal/wirecodec"
 )
 
-// AppendShipBatch appends b's binary encoding (version byte included)
-// to dst.
+// AppendShipBatch appends b's v1 binary encoding (version byte
+// included) to dst, dropping alert trace links — the layout for
+// followers that did not advertise the trace-aware codec.
 func AppendShipBatch(dst []byte, b ShipBatch) []byte {
 	dst = append(dst, wirecodec.Version)
 	dst = wirecodec.AppendString(dst, b.From)
@@ -20,6 +21,21 @@ func AppendShipBatch(dst []byte, b ShipBatch) []byte {
 	dst = wirecodec.AppendUvarint(dst, uint64(len(b.Alerts)))
 	for _, a := range b.Alerts {
 		dst = store.AppendAlert(dst, a)
+	}
+	return dst
+}
+
+// AppendShipBatchTraced is AppendShipBatch in the v2 layout: the same
+// container with store.AppendAlertTraced elements, so a promoted
+// replica keeps the alert→trace links the primary recorded.
+func AppendShipBatchTraced(dst []byte, b ShipBatch) []byte {
+	dst = append(dst, wirecodec.VersionTraced)
+	dst = wirecodec.AppendString(dst, b.From)
+	dst = wirecodec.AppendVarint(dst, b.Epoch)
+	dst = wirecodec.AppendUvarint(dst, b.Start)
+	dst = wirecodec.AppendUvarint(dst, uint64(len(b.Alerts)))
+	for _, a := range b.Alerts {
+		dst = store.AppendAlertTraced(dst, a)
 	}
 	return dst
 }
@@ -36,7 +52,7 @@ func DecodeShipBatch(buf []byte) (ShipBatch, error) {
 // never aliases buf.
 func DecodeShipBatchInto(buf []byte, scratch []store.Alert) (ShipBatch, error) {
 	d := wirecodec.NewDecoder(buf)
-	d.Version()
+	v := d.VersionUpTo(wirecodec.VersionTraced)
 	b := ShipBatch{
 		From:  d.String(),
 		Epoch: d.Varint(),
@@ -45,7 +61,11 @@ func DecodeShipBatchInto(buf []byte, scratch []store.Alert) (ShipBatch, error) {
 	n := d.Count(8)
 	b.Alerts = scratch[:0]
 	for i := 0; i < n; i++ {
-		b.Alerts = append(b.Alerts, store.ReadAlert(d))
+		if v == wirecodec.VersionTraced {
+			b.Alerts = append(b.Alerts, store.ReadAlertTraced(d))
+		} else {
+			b.Alerts = append(b.Alerts, store.ReadAlert(d))
+		}
 	}
 	if err := d.Finish(); err != nil {
 		return ShipBatch{}, err
@@ -66,6 +86,21 @@ func AppendQuarEntries(dst []byte, entries []QuarEntry) []byte {
 	return dst
 }
 
+// AppendQuarEntriesTraced is AppendQuarEntries plus each entry's
+// trailing trace link, for trace-aware (v2) containers.
+func AppendQuarEntriesTraced(dst []byte, entries []QuarEntry) []byte {
+	dst = wirecodec.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = wirecodec.AppendUvarint(dst, e.User)
+		dst = wirecodec.AppendVarint(dst, e.Stamp)
+		dst = wirecodec.AppendString(dst, e.Origin)
+		dst = wirecodec.AppendBool(dst, e.Active)
+		dst = store.AppendQuarantineRecord(dst, e.Record)
+		dst = wirecodec.AppendString(dst, e.Trace)
+	}
+	return dst
+}
+
 // ReadQuarEntries decodes a counted QuarEntry list; failures stick to
 // d (check d.Err or d.Finish).
 func ReadQuarEntries(d *wirecodec.Decoder) []QuarEntry {
@@ -82,6 +117,27 @@ func ReadQuarEntries(d *wirecodec.Decoder) []QuarEntry {
 			Active: d.Bool(),
 			Record: store.ReadQuarantineRecord(d),
 		})
+	}
+	return out
+}
+
+// ReadQuarEntriesTraced decodes an AppendQuarEntriesTraced list.
+func ReadQuarEntriesTraced(d *wirecodec.Decoder) []QuarEntry {
+	n := d.Count(10)
+	if n == 0 {
+		return nil
+	}
+	out := make([]QuarEntry, 0, n)
+	for i := 0; i < n; i++ {
+		e := QuarEntry{
+			User:   d.Uvarint(),
+			Stamp:  d.Varint(),
+			Origin: d.String(),
+			Active: d.Bool(),
+			Record: store.ReadQuarantineRecord(d),
+		}
+		e.Trace = d.String()
+		out = append(out, e)
 	}
 	return out
 }

@@ -76,6 +76,12 @@ type QuarEntry struct {
 	Origin string                 `json:"origin"`
 	Active bool                   `json:"active"`
 	Record store.QuarantineRecord `json:"record,omitempty"`
+	// Trace links the quarantine transition to the flight-recorder
+	// trace of the alert that caused it, when that check-in was
+	// head-sampled (internal/trace). Best-effort observability
+	// freight: it never participates in the LWW order, and on the
+	// binary wire it rides only trace-aware (v2) containers.
+	Trace string `json:"trace,omitempty"`
 }
 
 // newer reports whether e should overwrite cur under LWW order.

@@ -19,6 +19,7 @@ import (
 
 	"locheat/internal/obs"
 	"locheat/internal/store"
+	"locheat/internal/trace"
 )
 
 // ShipperConfig parameterizes NewShipper. Journal and Send are
@@ -46,6 +47,11 @@ type ShipperConfig struct {
 	// histograms, the append-to-replicated ship-lag histogram, and
 	// per-follower record-lag gauges. Nil ships unobserved.
 	Obs *obs.Registry
+	// Tracer appends the replication-hop span to retained traces of
+	// shipped alerts (the owner fragment completed before shipping, so
+	// the span lands post-hoc via SpanKept) and attaches the trace ID
+	// as the ship-lag histogram's exemplar. Nil ships untraced.
+	Tracer *trace.Tracer
 }
 
 func (c ShipperConfig) withDefaults() ShipperConfig {
@@ -294,11 +300,14 @@ func (s *Shipper) shipTo(f *followerState) {
 		s.mu.Unlock()
 		s.shipLat.ObserveSince(sendStart)
 		s.batchSize.Observe(int64(len(batch)))
+		lastTrace := s.shipSpans(batch, target, sendStart)
 		// A follower holding the full tail closes the ship-lag window
 		// Notify opened at the first unreplicated append.
 		if s.shipLag != nil && ack.Cursor >= next {
 			if p := s.pendingNano.Swap(0); p != 0 {
-				s.shipLag.Observe(time.Now().UnixNano() - p)
+				// The batch's last traced alert exemplifies the lag
+				// sample, linking the histogram back to a full trace.
+				s.shipLag.ObserveExemplar(time.Now().UnixNano()-p, lastTrace)
 			}
 		}
 		if ack.Cursor < next {
@@ -307,6 +316,36 @@ func (s *Shipper) shipTo(f *followerState) {
 			return
 		}
 	}
+}
+
+// shipSpans appends the replication-hop span to the retained trace of
+// every traced alert in an acked batch, returning the last trace ID
+// seen (the ship-lag exemplar). The all-untraced common case is one
+// string comparison per alert.
+func (s *Shipper) shipSpans(batch []store.Alert, target Target, sendStart time.Time) string {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		return ""
+	}
+	last := ""
+	var start, end int64
+	var attrs string
+	for _, a := range batch {
+		if a.Trace == "" {
+			continue
+		}
+		id, ok := trace.ParseID(a.Trace)
+		if !ok {
+			continue
+		}
+		if attrs == "" {
+			start, end = sendStart.UnixNano(), time.Now().UnixNano()
+			attrs = "follower=" + target.ID
+		}
+		tr.SpanKept(id, "replica-ship", start, end, attrs)
+		last = a.Trace
+	}
+	return last
 }
 
 func (s *Shipper) isClosed() bool {

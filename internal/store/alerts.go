@@ -33,6 +33,12 @@ type Alert struct {
 	VenueID  uint64    `json:"venueId"`
 	At       time.Time `json:"at"`
 	Detail   string    `json:"detail"`
+	// Trace is the 32-hex-digit trace ID of the check-in that raised
+	// the alert, when that event was head-sampled (internal/trace);
+	// empty otherwise. It links an alert to its flight-recorder trace
+	// and rides the trace-aware (v2) wire containers; the binary
+	// journal record formats predate it and drop it on replay.
+	Trace string `json:"trace,omitempty"`
 }
 
 // AlertQuery filters and paginates an AlertStore read. The zero value

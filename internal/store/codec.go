@@ -35,6 +35,21 @@ func ReadAlert(d *wirecodec.Decoder) Alert {
 	}
 }
 
+// AppendAlertTraced is AppendAlert plus the trace ID, for trace-aware
+// (v2) containers. Elements stay unversioned — the container's
+// version byte selects which pair of functions both ends run.
+func AppendAlertTraced(dst []byte, a Alert) []byte {
+	dst = AppendAlert(dst, a)
+	return wirecodec.AppendString(dst, a.Trace)
+}
+
+// ReadAlertTraced decodes an AppendAlertTraced element.
+func ReadAlertTraced(d *wirecodec.Decoder) Alert {
+	a := ReadAlert(d)
+	a.Trace = d.String()
+	return a
+}
+
 // appendAlertBody appends a's fields minus Detector. The journal's
 // v2+table segment format (journal.go) stores the detector as a
 // per-segment table index, so the record body omits the string.

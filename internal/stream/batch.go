@@ -28,6 +28,7 @@ import (
 	"locheat/internal/lbsn"
 	"locheat/internal/obs"
 	"locheat/internal/store"
+	"locheat/internal/trace"
 )
 
 // maxWorkerBatch caps how many queued events one ring drain hands to
@@ -106,7 +107,8 @@ func (p *Pipeline) PublishBatch(events []lbsn.CheckinEvent, reject func(i int)) 
 		return 0
 	}
 	sc := p.getScatter()
-	stamp := p.detLat != nil
+	tr := p.tracer
+	stamp := p.detLat != nil || tr != nil
 	var now time.Time
 	if stamp {
 		now = time.Now()
@@ -120,6 +122,10 @@ func (p *Pipeline) PublishBatch(events []lbsn.CheckinEvent, reject func(i int)) 
 			default:
 				p.dlqDropped.Add(1)
 			}
+			if ev.Trace.Sampled() {
+				tr.MarkDrop(ev.Trace, "dlq:"+reason, now.UnixNano())
+				tr.End(ev.Trace, now.UnixNano())
+			}
 			if reject != nil {
 				reject(i)
 			}
@@ -128,6 +134,14 @@ func (p *Pipeline) PublishBatch(events []lbsn.CheckinEvent, reject func(i int)) 
 		ev.Seq = p.seq.Add(1)
 		if stamp && ev.IngestedAt.IsZero() {
 			ev.IngestedAt = now
+		}
+		if tr != nil {
+			if !ev.Trace.Sampled() {
+				ev.Trace = tr.Sample(!ev.Accepted)
+			}
+			if ev.Trace.Sampled() {
+				tr.Begin(ev.Trace, uint64(ev.UserID), uint64(ev.VenueID), ev.IngestedAt.UnixNano())
+			}
 		}
 		idx := p.cfg.Partitioner(uint64(ev.UserID), len(p.shards))
 		if idx < 0 || idx >= len(p.shards) {
@@ -153,6 +167,13 @@ func (p *Pipeline) PublishBatch(events []lbsn.CheckinEvent, reject func(i int)) 
 			if reject != nil {
 				for _, src := range sc.srcIdx[si][n:] {
 					reject(int(src))
+				}
+			}
+			for k := n; k < len(run); k++ {
+				if run[k].Trace.Sampled() {
+					nowN := time.Now().UnixNano()
+					tr.MarkDrop(run[k].Trace, "ring-full", nowN)
+					tr.End(run[k].Trace, nowN)
 				}
 			}
 		}
@@ -196,11 +217,19 @@ type shardWorker struct {
 	batchers []BatchStage
 	stageLat []*obs.Histogram
 	timed    bool
+	// spanNames precomputes "stage:<name>" so traced runs never build
+	// span names on the fly.
+	spanNames []string
 
 	run       []lbsn.CheckinEvent
 	alerts    []Alert
 	latest    time.Time
 	lastSweep time.Time
+	// tall/tctx are the traced-event scratch: every sampled context in
+	// the current run, and the subset still alive after each stage.
+	// Empty (and untouched) for the untraced majority of runs.
+	tall []trace.Context
+	tctx []trace.Context
 }
 
 // process walks one drained run through the stage chain, stage-major:
@@ -217,10 +246,41 @@ func (w *shardWorker) process(events []lbsn.CheckinEvent) {
 			w.latest = events[i].At
 		}
 	}
+	// Traced runs take a slow lane: ring-wait spans on entry, a span
+	// per stage, drop marks for filtered events. One flags scan per
+	// run is the entire cost when nothing is sampled.
+	tr := p.tracer
+	traced := false
+	if tr != nil {
+		for i := range events {
+			if events[i].Trace.Sampled() {
+				traced = true
+				break
+			}
+		}
+	}
+	if traced {
+		nowN := time.Now().UnixNano()
+		w.tall = w.tall[:0]
+		for i := range events {
+			ev := &events[i]
+			if !ev.Trace.Sampled() {
+				continue
+			}
+			w.tall = append(w.tall, ev.Trace)
+			start := nowN
+			if !ev.IngestedAt.IsZero() {
+				start = ev.IngestedAt.UnixNano()
+			}
+			tr.Begin(ev.Trace, uint64(ev.UserID), uint64(ev.VenueID), start)
+			tr.Span(ev.Trace, "ring-wait", start, nowN, "")
+		}
+		w.tctx = append(w.tctx[:0], w.tall...)
+	}
 	evs := events
 	alerts := w.alerts[:0]
 	var stageStart time.Time
-	if w.timed {
+	if w.timed || traced {
 		stageStart = time.Now()
 	}
 	for si, st := range w.stages {
@@ -238,9 +298,28 @@ func (w *shardWorker) process(events []lbsn.CheckinEvent) {
 			}
 			evs = kept
 		}
-		if w.timed {
+		if w.timed || traced {
 			now := time.Now()
-			w.stageLat[si].ObserveDuration(now.Sub(stageStart))
+			if w.timed {
+				w.stageLat[si].ObserveDuration(now.Sub(stageStart))
+			}
+			if traced && len(w.tctx) > 0 {
+				// Stage timing is per run, not per event — the span says
+				// which stage the event was in and when, at run
+				// granularity (the clock reads the batch walk already
+				// takes). A context whose event vanished was filtered
+				// here: mark the drop so tail retention keeps the trace.
+				alive := w.tctx[:0]
+				for _, ctx := range w.tctx {
+					if eventWithTrace(evs, ctx.ID) {
+						tr.Span(ctx, w.spanNames[si], stageStart.UnixNano(), now.UnixNano(), "")
+						alive = append(alive, ctx)
+					} else {
+						tr.MarkDrop(ctx, st.Name(), now.UnixNano())
+					}
+				}
+				w.tctx = alive
+			}
 			stageStart = now
 		}
 		if f := before - len(evs); f > 0 {
@@ -269,6 +348,12 @@ func (w *shardWorker) process(events []lbsn.CheckinEvent) {
 		}
 		p.recordAlerts(alerts, events)
 	}
+	if traced {
+		endN := time.Now().UnixNano()
+		for _, ctx := range w.tall {
+			tr.End(ctx, endN)
+		}
+	}
 	w.alerts = alerts[:0] // keep the grown capacity for the next run
 	if w.latest.Sub(w.lastSweep) >= p.cfg.Evict.SweepEvery {
 		w.lastSweep = w.latest
@@ -292,10 +377,39 @@ type batchAlertAppender interface {
 	AppendBatch(alerts []store.Alert) (int, error)
 }
 
+// eventWithTrace reports whether any event in evs carries the trace
+// ID — the "did this traced event survive the stage?" probe.
+func eventWithTrace(evs []lbsn.CheckinEvent, id trace.ID) bool {
+	for i := range evs {
+		if evs[i].Trace.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
 // recordAlerts is recordAlert for a run's worth of alerts: one store
 // batch append, one counter-lock acquisition, one subscriber snapshot.
 // The alerts slice is worker scratch — everything downstream copies.
 func (p *Pipeline) recordAlerts(alerts []Alert, events []lbsn.CheckinEvent) {
+	tr := p.tracer
+	var jStart int64
+	if tr != nil {
+		// Stamp each alert with its event's trace ID before persisting,
+		// so the journal, the ship wire and the alert APIs all link back
+		// to the trace. Cold path: alerts are rare.
+		for i := range alerts {
+			for j := range events {
+				if events[j].Seq == alerts[i].Seq {
+					if events[j].Trace.Sampled() {
+						alerts[i].Trace = events[j].Trace.ID.String()
+					}
+					break
+				}
+			}
+		}
+		jStart = time.Now().UnixNano()
+	}
 	if ba, ok := p.alerts.(batchAlertAppender); ok {
 		if _, err := ba.AppendBatch(alerts); err != nil {
 			p.storeErrors.Add(1)
@@ -307,14 +421,32 @@ func (p *Pipeline) recordAlerts(alerts []Alert, events []lbsn.CheckinEvent) {
 			}
 		}
 	}
+	if tr != nil {
+		jEnd := time.Now().UnixNano()
+		for i := range alerts {
+			if alerts[i].Trace == "" {
+				continue
+			}
+			if id, ok := trace.ParseID(alerts[i].Trace); ok {
+				ctx := trace.Context{ID: id, Flags: trace.FlagSampled}
+				tr.Span(ctx, "journal-append", jStart, jEnd, "")
+				tr.MarkAlert(ctx, alerts[i].Detector)
+			}
+		}
+	}
 	if p.detLat != nil {
 		// Alert → originating event by Seq for the ingest stamp. Alerts
 		// are rare relative to events; the linear scan beats building a
-		// map on every run.
+		// map on every run. Traced alerts also pin the latency exemplar,
+		// linking the histogram's tail to a concrete trace.
 		for i := range alerts {
 			for j := range events {
 				if events[j].Seq == alerts[i].Seq {
-					p.detLat.ObserveSince(events[j].IngestedAt)
+					if at := events[j].IngestedAt; !at.IsZero() && events[j].Trace.Sampled() {
+						p.detLat.ObserveExemplar(int64(time.Since(at)), events[j].Trace.ID.String())
+					} else {
+						p.detLat.ObserveSince(at)
+					}
 					break
 				}
 			}

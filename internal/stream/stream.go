@@ -47,6 +47,7 @@ import (
 	"locheat/internal/obs"
 	"locheat/internal/simclock"
 	"locheat/internal/store"
+	"locheat/internal/trace"
 )
 
 // Alert is one detector finding, the pipeline's primary output. The
@@ -175,6 +176,12 @@ type Config struct {
 	// the pipeline unobserved — the hot path then does not even read
 	// the wall clock.
 	Obs *obs.Registry
+	// Tracer head-samples events at publish and records spans for the
+	// sampled ones (ring wait, per stage, journal append). Nil — and,
+	// on the untraced majority, one flags-byte check — keeps the hot
+	// path exactly as before: zero allocations, no clock reads beyond
+	// what Obs already takes.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -285,6 +292,9 @@ type Pipeline struct {
 	// append. Nil (obs off) doubles as the "don't stamp" switch in
 	// Publish. Stage histograms live on each worker's stack slice.
 	detLat *obs.Histogram
+
+	// tracer records spans for head-sampled events; nil = untraced.
+	tracer *trace.Tracer
 }
 
 // New builds and starts a pipeline; its shard workers run until Close.
@@ -298,6 +308,7 @@ func New(cfg Config) *Pipeline {
 		byDetector: make(map[string]uint64),
 		filteredBy: make(map[string]uint64),
 		evictedBy:  make(map[string]uint64),
+		tracer:     cfg.Tracer,
 	}
 	p.registerObs(cfg.Obs)
 	p.shards = make([]*shard, cfg.Shards)
@@ -404,14 +415,19 @@ func stageHistograms(reg *obs.Registry, stages []Stage) []*obs.Histogram {
 // event, however partial the final run.
 func (p *Pipeline) run(sh *shard, stages []Stage, stageLat []*obs.Histogram) {
 	defer p.wg.Done()
+	spanNames := make([]string, len(stages))
+	for i, st := range stages {
+		spanNames[i] = "stage:" + st.Name()
+	}
 	w := &shardWorker{
-		p:        p,
-		sh:       sh,
-		stages:   stages,
-		batchers: resolveBatchStages(stages),
-		stageLat: stageLat,
-		timed:    len(stageLat) == len(stages) && len(stages) > 0,
-		run:      make([]lbsn.CheckinEvent, 0, maxWorkerBatch),
+		p:         p,
+		sh:        sh,
+		stages:    stages,
+		batchers:  resolveBatchStages(stages),
+		stageLat:  stageLat,
+		timed:     len(stageLat) == len(stages) && len(stages) > 0,
+		spanNames: spanNames,
+		run:       make([]lbsn.CheckinEvent, 0, maxWorkerBatch),
 	}
 	for {
 		select {
@@ -453,6 +469,11 @@ func (p *Pipeline) Publish(ev lbsn.CheckinEvent) bool {
 		default:
 			p.dlqDropped.Add(1)
 		}
+		if ev.Trace.Sampled() {
+			now := time.Now().UnixNano()
+			p.tracer.MarkDrop(ev.Trace, "dlq:"+reason, now)
+			p.tracer.End(ev.Trace, now)
+		}
 		return false
 	}
 	ev.Seq = p.seq.Add(1)
@@ -462,6 +483,17 @@ func (p *Pipeline) Publish(ev lbsn.CheckinEvent) bool {
 	// is off so the unobserved hot path never reads the wall clock.
 	if p.detLat != nil && ev.IngestedAt.IsZero() {
 		ev.IngestedAt = time.Now()
+	}
+	if tr := p.tracer; tr != nil {
+		if !ev.Trace.Sampled() {
+			ev.Trace = tr.Sample(!ev.Accepted)
+		}
+		if ev.Trace.Sampled() {
+			if ev.IngestedAt.IsZero() {
+				ev.IngestedAt = time.Now()
+			}
+			tr.Begin(ev.Trace, uint64(ev.UserID), uint64(ev.VenueID), ev.IngestedAt.UnixNano())
+		}
 	}
 	idx := p.cfg.Partitioner(uint64(ev.UserID), len(p.shards))
 	if idx < 0 || idx >= len(p.shards) {
@@ -477,6 +509,11 @@ func (p *Pipeline) Publish(ev lbsn.CheckinEvent) bool {
 	}
 	p.published.Add(^uint64(0)) // undo: the event was never enqueued
 	sh.dropped.Add(1)
+	if ev.Trace.Sampled() {
+		now := time.Now().UnixNano()
+		p.tracer.MarkDrop(ev.Trace, "ring-full", now)
+		p.tracer.End(ev.Trace, now)
+	}
 	return false
 }
 

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// recorder is the flight recorder: a bounded ring of retained
+// fragments plus an ID index. Keeping a new fragment evicts the
+// oldest; evicted fragments go back to the tracer's pool.
+type recorder struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	byID map[ID]*Trace
+}
+
+func (r *recorder) init(capacity int) {
+	r.buf = make([]*Trace, capacity)
+	r.byID = make(map[ID]*Trace, capacity)
+}
+
+func (r *recorder) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// keep retains tr, returning the evicted fragment (nil while the
+// ring is filling) for the caller to recycle.
+func (r *recorder) keep(tr *Trace) *Trace {
+	r.mu.Lock()
+	old := r.buf[r.next]
+	if old != nil {
+		delete(r.byID, old.ID)
+	}
+	// A re-kept ID (same trace finishing twice — possible only under
+	// pathological replay) overwrites the index entry; the stale ring
+	// slot ages out naturally.
+	r.buf[r.next] = tr
+	r.byID[tr.ID] = tr
+	r.next = (r.next + 1) % len(r.buf)
+	r.mu.Unlock()
+	return old
+}
+
+func (r *recorder) appendSpan(id ID, sp Span) {
+	r.mu.Lock()
+	if tr := r.byID[id]; tr != nil && len(tr.Spans) < maxSpans {
+		tr.Spans = append(tr.Spans, sp)
+		if sp.End > tr.End {
+			tr.End = sp.End
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *recorder) get(id ID) (View, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := r.byID[id]
+	if tr == nil {
+		return View{}, false
+	}
+	return snapshot(tr), true
+}
+
+func (r *recorder) list(f Filter) []View {
+	r.mu.Lock()
+	out := make([]View, 0, len(r.byID))
+	for _, tr := range r.byID {
+		if f.matches(tr) {
+			out = append(out, snapshot(tr))
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start > out[j].Start })
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Filter selects retained fragments for listing.
+type Filter struct {
+	// UserID filters to one user when nonzero.
+	UserID uint64
+	// Detector keeps only traces a named detector alerted on.
+	Detector string
+	// MinDurationNanos keeps only traces at least this long.
+	MinDurationNanos int64
+	// Limit caps the result count (newest first); 0 means all.
+	Limit int
+}
+
+func (f Filter) matches(tr *Trace) bool {
+	if f.UserID != 0 && tr.UserID != f.UserID {
+		return false
+	}
+	if f.MinDurationNanos > 0 && tr.End-tr.Start < f.MinDurationNanos {
+		return false
+	}
+	if f.Detector != "" {
+		for _, d := range tr.Detectors {
+			if d == f.Detector {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// SpanView is one span in the API rendering of a trace, attributed
+// to the node that recorded it.
+type SpanView struct {
+	Name       string  `json:"name"`
+	Node       string  `json:"node"`
+	Start      int64   `json:"start"`
+	DurationMs float64 `json:"durationMs"`
+	Attrs      string  `json:"attrs,omitempty"`
+}
+
+// View is the API rendering of a trace: one node's fragment, or —
+// after Merge — the stitched cluster-wide tree. Spans are sorted by
+// start time; Nodes lists every node that contributed a fragment.
+type View struct {
+	ID         string     `json:"id"`
+	UserID     uint64     `json:"userId"`
+	VenueID    uint64     `json:"venueId"`
+	Start      int64      `json:"start"`
+	DurationMs float64    `json:"durationMs"`
+	Alerted    bool       `json:"alerted"`
+	Dropped    bool       `json:"dropped"`
+	Forced     bool       `json:"forced"`
+	Detectors  []string   `json:"detectors,omitempty"`
+	Nodes      []string   `json:"nodes"`
+	Spans      []SpanView `json:"spans"`
+}
+
+// snapshot copies a retained fragment into an owned View. Callers
+// hold the recorder lock; the copy is what makes recycling safe.
+func snapshot(tr *Trace) View {
+	v := View{
+		ID:         tr.ID.String(),
+		UserID:     tr.UserID,
+		VenueID:    tr.VenueID,
+		Start:      tr.Start,
+		DurationMs: float64(tr.End-tr.Start) / 1e6,
+		Alerted:    tr.Alerted,
+		Dropped:    tr.Dropped,
+		Forced:     tr.Forced,
+		Nodes:      []string{tr.Node},
+		Spans:      make([]SpanView, len(tr.Spans)),
+	}
+	if len(tr.Detectors) > 0 {
+		v.Detectors = append([]string(nil), tr.Detectors...)
+	}
+	for i, sp := range tr.Spans {
+		v.Spans[i] = SpanView{
+			Name:       sp.Name,
+			Node:       tr.Node,
+			Start:      sp.Start,
+			DurationMs: float64(sp.End-sp.Start) / 1e6,
+			Attrs:      sp.Attrs,
+		}
+	}
+	return v
+}
+
+// Merge stitches per-node fragments of one trace into a single view:
+// spans interleaved by start time, node set unioned, verdicts OR-ed,
+// the envelope spanning the earliest fragment start to the latest
+// span end. Fragments for different IDs must not be mixed; the first
+// fragment's identity wins on disagreement.
+func Merge(fragments []View) View {
+	if len(fragments) == 0 {
+		return View{}
+	}
+	m := fragments[0]
+	end := m.Start + int64(m.DurationMs*1e6)
+	for _, f := range fragments[1:] {
+		if f.Start < m.Start && f.Start != 0 {
+			m.Start = f.Start
+		}
+		if fe := f.Start + int64(f.DurationMs*1e6); fe > end {
+			end = fe
+		}
+		m.Alerted = m.Alerted || f.Alerted
+		m.Dropped = m.Dropped || f.Dropped
+		m.Forced = m.Forced || f.Forced
+		if m.UserID == 0 {
+			m.UserID, m.VenueID = f.UserID, f.VenueID
+		}
+		m.Detectors = append(m.Detectors, f.Detectors...)
+		m.Nodes = append(m.Nodes, f.Nodes...)
+		m.Spans = append(m.Spans, f.Spans...)
+	}
+	m.Nodes = dedupeStrings(m.Nodes)
+	m.Detectors = dedupeStrings(m.Detectors)
+	sort.SliceStable(m.Spans, func(i, j int) bool { return m.Spans[i].Start < m.Spans[j].Start })
+	m.DurationMs = float64(end-m.Start) / 1e6
+	return m
+}
+
+func dedupeStrings(in []string) []string {
+	if len(in) < 2 {
+		return in
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, s := range in[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package trace is the cluster's event-tracing core: head-sampled,
+// zero-alloc on the untraced path, tail-retained.
+//
+// The design mirrors internal/obs. A Tracer is plumbed through the
+// pipeline as a nilable handle; every entry point begins with one
+// nil/sampled check, so a build with tracing compiled in but nothing
+// sampled pays a single predictable branch per call site — the same
+// bar the metrics core set. Sampling is decided once, at ingest
+// (head sampling): a configurable fraction of check-ins plus every
+// denied claim gets a 16-byte trace ID stamped into the event, and
+// that context rides the event through shard rings, stage chains,
+// journal appends and cross-node hops. Each node records its own
+// *fragment* of the trace; the API layer scatter-gathers fragments
+// so a trace spanning origin and owner nodes renders as one tree.
+//
+// Retention is tail-based: when a fragment completes, it is kept
+// only if it turned out interesting — its latency exceeded a rolling
+// quantile threshold (read from the live obs histograms), it raised
+// an alert, or it hit a drop/DLQ/spill path. Everything else is
+// recycled through a sync.Pool without ever reaching the flight
+// recorder, so steady-state tracing of a healthy cluster costs a
+// bounded ring of the slowest and strangest traces and nothing more.
+package trace
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// ID is a 16-byte trace identifier. The zero ID means "untraced" —
+// events carry IDs by value, so absence needs no pointer.
+type ID [16]byte
+
+// IsZero reports whether the ID is the untraced sentinel.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// String renders the ID as 32 lowercase hex digits (allocates; only
+// called on traced/cold paths).
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseID parses the 32-hex-digit form. ok is false for malformed
+// input and for the zero ID (which is not a valid trace reference).
+func ParseID(s string) (ID, bool) {
+	var id ID
+	if len(s) != 32 {
+		return ID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return ID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// Context flag bits. FlagSampled marks the event as traced;
+// FlagForced marks a trace that must be retained regardless of the
+// latency threshold (denied claims — the paper's interesting events —
+// are always forced).
+const (
+	FlagSampled uint8 = 1 << 0
+	FlagForced  uint8 = 1 << 1
+)
+
+// Context is the span context stamped into an event at ingest and
+// propagated across the wire: the trace ID plus a flags byte. The
+// zero Context is the untraced state every event starts in.
+type Context struct {
+	ID    ID
+	Flags uint8
+}
+
+// Sampled reports whether the event is traced. This is THE hot-path
+// check: untraced events short-circuit every tracing call site here.
+func (c Context) Sampled() bool { return c.Flags&FlagSampled != 0 }
+
+// Forced reports whether the trace bypasses the retention threshold.
+func (c Context) Forced() bool { return c.Flags&FlagForced != 0 }
+
+// newID draws a random non-zero trace ID. Uniqueness is
+// probabilistic (128 random bits), which is the usual tracing
+// contract.
+func newID() ID {
+	var id ID
+	for id.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+// Span is one timed step of a trace fragment: a static name, start
+// and end instants (UnixNano), and an optional pre-formatted
+// attribute string ("peer=node-b codec=bin/2"). Spans are recorded
+// flat; the tree structure of a trace is its fragments (one per
+// node) ordered by time.
+type Span struct {
+	Name  string
+	Start int64
+	End   int64
+	Attrs string
+}
+
+// Trace is one node-local fragment of a distributed trace: the spans
+// this node recorded for one traced event, plus the tail-retention
+// verdict inputs (alerted / dropped / forced). Fragments from
+// different nodes sharing an ID are merged at query time.
+type Trace struct {
+	ID      ID
+	Node    string
+	UserID  uint64
+	VenueID uint64
+	Start   int64
+	End     int64
+	Alerted bool
+	Dropped bool
+	Forced  bool
+	// Detectors lists the stages that alerted on this event, in
+	// order. Powers the detector filter on /api/v1/traces.
+	Detectors []string
+	Spans     []Span
+}
+
+// reset clears a fragment for pool reuse, keeping the allocated
+// span/detector capacity.
+func (t *Trace) reset() {
+	t.ID = ID{}
+	t.Node = ""
+	t.UserID, t.VenueID = 0, 0
+	t.Start, t.End = 0, 0
+	t.Alerted, t.Dropped, t.Forced = false, false, false
+	t.Detectors = t.Detectors[:0]
+	t.Spans = t.Spans[:0]
+}

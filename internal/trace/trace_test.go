@@ -1,0 +1,298 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseIDRoundTrip(t *testing.T) {
+	id := newID()
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+	got, ok := ParseID(s)
+	if !ok || got != id {
+		t.Fatalf("ParseID(%q) = %v, %v; want %v, true", s, got, ok, id)
+	}
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 32), strings.Repeat("g", 32), strings.Repeat("a", 31)} {
+		if _, ok := ParseID(bad); ok {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if ctx := tr.Sample(true); ctx.Sampled() {
+		t.Fatal("nil tracer sampled")
+	}
+	// None of these may panic.
+	tr.Begin(Context{}, 1, 2, 0)
+	tr.Span(Context{}, "x", 0, 0, "")
+	tr.MarkAlert(Context{}, "d")
+	tr.MarkDrop(Context{}, "why", 0)
+	tr.End(Context{}, 0)
+	tr.SpanKept(ID{}, "x", 0, 0, "")
+	if got := tr.List(Filter{}); got != nil {
+		t.Fatalf("nil tracer List = %v", got)
+	}
+	if _, ok := tr.Get(ID{1}); ok {
+		t.Fatal("nil tracer Get found something")
+	}
+	if tr.Node() != "" {
+		t.Fatal("nil tracer has a node")
+	}
+}
+
+func TestSampleRates(t *testing.T) {
+	off := New(Config{Node: "n", SampleRate: 0})
+	for i := 0; i < 100; i++ {
+		if off.Sample(false).Sampled() {
+			t.Fatal("rate 0 sampled an accepted check-in")
+		}
+	}
+	// Denied claims always trace, forced past the threshold.
+	ctx := off.Sample(true)
+	if !ctx.Sampled() || !ctx.Forced() {
+		t.Fatalf("denied claim: ctx = %+v, want sampled+forced", ctx)
+	}
+
+	all := New(Config{Node: "n", SampleRate: 1})
+	seen := map[ID]bool{}
+	for i := 0; i < 100; i++ {
+		c := all.Sample(false)
+		if !c.Sampled() || c.Forced() {
+			t.Fatalf("rate 1: ctx = %+v, want sampled, not forced", c)
+		}
+		if seen[c.ID] {
+			t.Fatal("duplicate trace ID minted")
+		}
+		seen[c.ID] = true
+	}
+}
+
+// endAt completes a begun trace n nanoseconds after start.
+func endAt(tr *Tracer, ctx Context, start, dur int64) {
+	tr.Begin(ctx, 7, 9, start)
+	tr.End(ctx, start+dur)
+}
+
+func TestTailRetention(t *testing.T) {
+	// Threshold 1s: only traces slower than that survive on latency
+	// alone. Use real UnixNano instants so the threshold cache
+	// refreshes on first use.
+	tr := New(Config{Node: "n", SampleRate: 1, Threshold: func() float64 { return 1.0 }})
+	base := time.Now().UnixNano()
+
+	fast := tr.Sample(false)
+	endAt(tr, fast, base, int64(time.Millisecond))
+	if _, ok := tr.Get(fast.ID); ok {
+		t.Fatal("fast healthy trace retained; want recycled")
+	}
+
+	slow := tr.Sample(false)
+	endAt(tr, slow, base, int64(2*time.Second))
+	if _, ok := tr.Get(slow.ID); !ok {
+		t.Fatal("slow trace not retained")
+	}
+
+	alerted := tr.Sample(false)
+	tr.Begin(alerted, 7, 9, base)
+	tr.MarkAlert(alerted, "speed")
+	tr.End(alerted, base+10)
+	v, ok := tr.Get(alerted.ID)
+	if !ok || !v.Alerted || len(v.Detectors) != 1 || v.Detectors[0] != "speed" {
+		t.Fatalf("alerted trace: %+v, %v; want retained with detector", v, ok)
+	}
+
+	dropped := tr.Sample(false)
+	tr.Begin(dropped, 7, 9, base)
+	tr.MarkDrop(dropped, "ring-full", base+5)
+	tr.End(dropped, base+5)
+	v, ok = tr.Get(dropped.ID)
+	if !ok || !v.Dropped {
+		t.Fatalf("dropped trace: %+v, %v; want retained with Dropped", v, ok)
+	}
+	if len(v.Spans) != 1 || v.Spans[0].Name != "drop" || v.Spans[0].Attrs != "ring-full" {
+		t.Fatalf("drop span missing: %+v", v.Spans)
+	}
+
+	forced := tr.Sample(true) // denied
+	endAt(tr, forced, base, 1)
+	if v, ok := tr.Get(forced.ID); !ok || !v.Forced {
+		t.Fatalf("forced trace: %+v, %v; want retained", v, ok)
+	}
+}
+
+func TestRecorderEviction(t *testing.T) {
+	tr := New(Config{Node: "n", SampleRate: 1, Buffer: 2})
+	base := time.Now().UnixNano()
+	var ids []ID
+	for i := 0; i < 3; i++ {
+		ctx := tr.Sample(true) // forced => all retained
+		endAt(tr, ctx, base+int64(i), 1)
+		ids = append(ids, ctx.ID)
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Fatal("oldest trace survived a full ring")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := tr.Get(id); !ok {
+			t.Fatalf("recent trace %s evicted", id)
+		}
+	}
+}
+
+func TestSpanKept(t *testing.T) {
+	tr := New(Config{Node: "n", SampleRate: 1})
+	base := time.Now().UnixNano()
+	ctx := tr.Sample(true)
+	endAt(tr, ctx, base, 10)
+
+	tr.SpanKept(ctx.ID, "replica-ship", base+20, base+30, "follower=b")
+	v, ok := tr.Get(ctx.ID)
+	if !ok {
+		t.Fatal("trace gone")
+	}
+	found := false
+	for _, sp := range v.Spans {
+		if sp.Name == "replica-ship" && sp.Attrs == "follower=b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-completion span not appended: %+v", v.Spans)
+	}
+	// The envelope stretches to cover the late span.
+	if wantMs := float64(30) / 1e6; v.DurationMs < wantMs {
+		t.Fatalf("DurationMs = %v, want >= %v", v.DurationMs, wantMs)
+	}
+	// Unknown IDs are a silent no-op.
+	tr.SpanKept(ID{0xff}, "x", 0, 1, "")
+}
+
+func TestMaxSpansBound(t *testing.T) {
+	tr := New(Config{Node: "n", SampleRate: 1})
+	base := time.Now().UnixNano()
+	ctx := tr.Sample(true)
+	tr.Begin(ctx, 1, 2, base)
+	for i := 0; i < maxSpans*2; i++ {
+		tr.Span(ctx, "stage", base, base+1, "")
+	}
+	tr.End(ctx, base+2)
+	v, ok := tr.Get(ctx.ID)
+	if !ok {
+		t.Fatal("trace gone")
+	}
+	if len(v.Spans) != maxSpans {
+		t.Fatalf("spans = %d, want capped at %d", len(v.Spans), maxSpans)
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	tr := New(Config{Node: "n", SampleRate: 1})
+	base := time.Now().UnixNano()
+
+	mk := func(user uint64, dur int64, detector string) ID {
+		ctx := tr.Sample(true)
+		tr.Begin(ctx, user, 1, base)
+		if detector != "" {
+			tr.MarkAlert(ctx, detector)
+		}
+		tr.End(ctx, base+dur)
+		base += 100 // distinct, increasing starts
+		return ctx.ID
+	}
+	u1 := mk(1, 10, "")
+	u2slow := mk(2, int64(5*time.Second), "")
+	u2alert := mk(2, 20, "speed")
+
+	if got := tr.List(Filter{}); len(got) != 3 {
+		t.Fatalf("unfiltered: %d traces, want 3", len(got))
+	}
+	got := tr.List(Filter{UserID: 2})
+	if len(got) != 2 {
+		t.Fatalf("user filter: %d, want 2", len(got))
+	}
+	// Newest first.
+	if got[0].ID != u2alert.String() || got[1].ID != u2slow.String() {
+		t.Fatalf("order: %s, %s", got[0].ID, got[1].ID)
+	}
+	if got := tr.List(Filter{Detector: "speed"}); len(got) != 1 || got[0].ID != u2alert.String() {
+		t.Fatalf("detector filter: %+v", got)
+	}
+	if got := tr.List(Filter{MinDurationNanos: int64(time.Second)}); len(got) != 1 || got[0].ID != u2slow.String() {
+		t.Fatalf("duration filter: %+v", got)
+	}
+	if got := tr.List(Filter{Limit: 1}); len(got) != 1 || got[0].ID != u2alert.String() {
+		t.Fatalf("limit: %+v", got)
+	}
+	_ = u1
+}
+
+func TestMergeFragments(t *testing.T) {
+	origin := View{
+		ID: "abc", UserID: 7, VenueID: 9, Start: 1000, DurationMs: 0.001, // ends 2000
+		Nodes: []string{"a"},
+		Spans: []SpanView{
+			{Name: "ingest", Node: "a", Start: 1000},
+			{Name: "forward", Node: "a", Start: 1500},
+		},
+	}
+	owner := View{
+		ID: "abc", Start: 1800, DurationMs: 0.0012, // ends 3000
+		Alerted: true, Detectors: []string{"speed"},
+		Nodes: []string{"b"},
+		Spans: []SpanView{
+			{Name: "stage", Node: "b", Start: 1900},
+		},
+	}
+	m := Merge([]View{origin, owner})
+	if m.ID != "abc" || m.UserID != 7 || m.VenueID != 9 {
+		t.Fatalf("identity lost: %+v", m)
+	}
+	if !m.Alerted || len(m.Detectors) != 1 {
+		t.Fatalf("verdicts not OR-ed: %+v", m)
+	}
+	if len(m.Nodes) != 2 || m.Nodes[0] != "a" || m.Nodes[1] != "b" {
+		t.Fatalf("nodes: %v", m.Nodes)
+	}
+	if m.Start != 1000 {
+		t.Fatalf("start: %d", m.Start)
+	}
+	// Envelope reaches the owner fragment's end: 1800 + 1200ns.
+	if gotEnd := m.Start + int64(m.DurationMs*1e6); gotEnd != 3000 {
+		t.Fatalf("end: %d, want 3000", gotEnd)
+	}
+	names := make([]string, len(m.Spans))
+	for i, sp := range m.Spans {
+		names[i] = sp.Name
+	}
+	if strings.Join(names, ",") != "ingest,forward,stage" {
+		t.Fatalf("span order: %v", names)
+	}
+	if Merge(nil).ID != "" {
+		t.Fatal("empty merge not zero")
+	}
+}
+
+func TestThresholdCacheRefresh(t *testing.T) {
+	calls := 0
+	tr := New(Config{Node: "n", SampleRate: 1, Threshold: func() float64 { calls++; return 10 }})
+	base := time.Now().UnixNano()
+	for i := 0; i < 100; i++ {
+		ctx := tr.Sample(false)
+		endAt(tr, ctx, base+int64(i), 1)
+	}
+	if calls != 1 {
+		t.Fatalf("threshold consulted %d times within the refresh window, want 1", calls)
+	}
+	// Past the refresh window it is consulted again.
+	ctx := tr.Sample(false)
+	endAt(tr, ctx, base+int64(time.Second), 1)
+	if calls != 2 {
+		t.Fatalf("threshold consulted %d times after refresh window, want 2", calls)
+	}
+}

@@ -1,0 +1,332 @@
+package trace
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"locheat/internal/obs"
+)
+
+// activeShards stripes the in-flight fragment table. Traced events
+// are a sampled minority, so contention is low; 16 shards keeps the
+// table off any single lock without wasting memory.
+const activeShards = 16
+
+// maxSpans bounds one fragment's span list. A runaway instrumentation
+// loop (or a hostile peer feeding spans into a kept trace) saturates
+// the fragment instead of growing it.
+const maxSpans = 64
+
+// thresholdRefreshNanos is how long a cached retention threshold is
+// trusted before the Threshold func is consulted again. Reading a
+// histogram quantile snapshots four shards of 252 buckets — cheap,
+// but not per-event cheap.
+const thresholdRefreshNanos = 250e6
+
+// Config tunes a Tracer.
+type Config struct {
+	// Node is this node's ID, stamped on every fragment so merged
+	// traces attribute spans to nodes.
+	Node string
+	// SampleRate is the head-sampling fraction of accepted check-ins
+	// in [0,1]. Denied claims are always sampled regardless.
+	SampleRate float64
+	// Buffer is the flight-recorder capacity in retained fragments
+	// (default 256). The recorder is a ring: keeping a new
+	// interesting trace recycles the oldest.
+	Buffer int
+	// Threshold returns the current tail-retention latency threshold
+	// in seconds — typically a rolling p99 read from the detection
+	// latency histogram. Fragments slower than this are kept.
+	// Nil (or a func returning 0, as an empty histogram's quantile
+	// does) keeps every completed sampled trace, which is exactly
+	// right at startup: the first traces seed the baseline.
+	Threshold func() float64
+	// Obs registers the tracer's own telemetry (sampled/kept/recycled
+	// counters, active + retained gauges). Nil runs unobserved.
+	Obs *obs.Registry
+}
+
+// Tracer records trace fragments for sampled events. The zero-value
+// handle rules from obs apply: a nil *Tracer is a valid no-op tracer,
+// and every method takes the one-branch exit on nil or untraced input.
+type Tracer struct {
+	node   string
+	buffer int
+	// rateBits is SampleRate mapped onto the uint64 range: sample
+	// when rand.Uint64() < rateBits. Zero never samples without a
+	// branch on the float.
+	rateBits uint64
+
+	thresh func() float64
+	// cachedThresh holds the last threshold read as float64 bits;
+	// threshAt is when (UnixNano) it was read.
+	cachedThresh atomic.Uint64
+	threshAt     atomic.Int64
+
+	shards [activeShards]activeShard
+	pool   sync.Pool
+	rec    recorder
+
+	sampled  *obs.Counter
+	kept     *obs.Counter
+	recycled *obs.Counter
+}
+
+type activeShard struct {
+	mu     sync.Mutex
+	active map[ID]*Trace
+}
+
+// New builds a Tracer. Unlike the obs handles a Tracer has real
+// configuration, so construction is explicit; pass nil where tracing
+// is off.
+func New(cfg Config) *Tracer {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	t := &Tracer{
+		node:   cfg.Node,
+		buffer: cfg.Buffer,
+		thresh: cfg.Threshold,
+	}
+	switch {
+	case cfg.SampleRate >= 1:
+		t.rateBits = math.MaxUint64
+	case cfg.SampleRate > 0:
+		t.rateBits = uint64(cfg.SampleRate * math.MaxUint64)
+	}
+	t.pool.New = func() any {
+		return &Trace{Spans: make([]Span, 0, 16)}
+	}
+	for i := range t.shards {
+		t.shards[i].active = make(map[ID]*Trace)
+	}
+	t.rec.init(cfg.Buffer)
+	t.registerObs(cfg.Obs)
+	return t
+}
+
+func (t *Tracer) registerObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.sampled = reg.Counter("locheat_trace_sampled_total",
+		"events head-sampled into a trace (rate draw or forced deny)")
+	t.kept = reg.Counter("locheat_trace_kept_total",
+		"completed fragments retained by the flight recorder")
+	t.recycled = reg.Counter("locheat_trace_recycled_total",
+		"completed fragments recycled as uninteresting (tail sampling)")
+	reg.GaugeFunc("locheat_trace_active",
+		"trace fragments currently in flight",
+		func() float64 { return float64(t.activeCount()) })
+	reg.GaugeFunc("locheat_trace_retained",
+		"trace fragments held by the flight recorder",
+		func() float64 { return float64(t.rec.len()) })
+}
+
+func (t *Tracer) activeCount() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.active)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Node returns the configured node ID ("" on a nil tracer).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Sample makes the head-sampling decision for a fresh event: denied
+// claims always trace (forced past the retention threshold — they
+// are the paper's interesting events), accepted ones trace at the
+// configured rate. Returns the zero Context when untraced. This is
+// the only place trace IDs are minted.
+func (t *Tracer) Sample(denied bool) Context {
+	if t == nil {
+		return Context{}
+	}
+	if denied {
+		t.sampled.Inc()
+		return Context{ID: newID(), Flags: FlagSampled | FlagForced}
+	}
+	if t.rateBits == 0 || rand.Uint64() >= t.rateBits {
+		return Context{}
+	}
+	t.sampled.Inc()
+	return Context{ID: newID(), Flags: FlagSampled}
+}
+
+func (t *Tracer) shardFor(id ID) *activeShard {
+	return &t.shards[id[0]&(activeShards-1)]
+}
+
+// fragment returns the in-flight fragment for ctx, creating it on
+// first touch. Creation is idempotent so Begin and late span sources
+// can race benignly.
+func (t *Tracer) fragment(ctx Context, now int64) *Trace {
+	s := t.shardFor(ctx.ID)
+	s.mu.Lock()
+	tr := s.active[ctx.ID]
+	if tr == nil {
+		tr = t.pool.Get().(*Trace)
+		tr.reset()
+		tr.ID = ctx.ID
+		tr.Node = t.node
+		tr.Start = now
+		tr.Forced = ctx.Forced()
+		s.active[ctx.ID] = tr
+	}
+	s.mu.Unlock()
+	return tr
+}
+
+// Begin opens (or refreshes) this node's fragment for a traced
+// event, recording who the event is about. No-op when untraced.
+func (t *Tracer) Begin(ctx Context, userID, venueID uint64, now int64) {
+	if t == nil || !ctx.Sampled() {
+		return
+	}
+	s := t.shardFor(ctx.ID)
+	s.mu.Lock()
+	tr := s.active[ctx.ID]
+	if tr == nil {
+		tr = t.pool.Get().(*Trace)
+		tr.reset()
+		tr.ID = ctx.ID
+		tr.Node = t.node
+		tr.Start = now
+		s.active[ctx.ID] = tr
+	}
+	tr.Forced = tr.Forced || ctx.Forced()
+	tr.UserID, tr.VenueID = userID, venueID
+	s.mu.Unlock()
+}
+
+// Span records one timed step on the event's fragment. Attrs is a
+// pre-formatted attribute string; build it only after the sampled
+// check at the call site so untraced events never pay for it.
+func (t *Tracer) Span(ctx Context, name string, start, end int64, attrs string) {
+	if t == nil || !ctx.Sampled() {
+		return
+	}
+	tr := t.fragment(ctx, start)
+	s := t.shardFor(ctx.ID)
+	s.mu.Lock()
+	if len(tr.Spans) < maxSpans {
+		tr.Spans = append(tr.Spans, Span{Name: name, Start: start, End: end, Attrs: attrs})
+	}
+	s.mu.Unlock()
+}
+
+// MarkAlert records that a detector alerted on the traced event —
+// an automatic retention verdict.
+func (t *Tracer) MarkAlert(ctx Context, detector string) {
+	if t == nil || !ctx.Sampled() {
+		return
+	}
+	s := t.shardFor(ctx.ID)
+	s.mu.Lock()
+	if tr := s.active[ctx.ID]; tr != nil {
+		tr.Alerted = true
+		tr.Detectors = append(tr.Detectors, detector)
+	}
+	s.mu.Unlock()
+}
+
+// MarkDrop records that the traced event hit a loss path (ring
+// drop, DLQ, forward spill, stage filter) — also an automatic
+// retention verdict. why becomes a zero-length span so the drop
+// site is visible in the tree.
+func (t *Tracer) MarkDrop(ctx Context, why string, now int64) {
+	if t == nil || !ctx.Sampled() {
+		return
+	}
+	tr := t.fragment(ctx, now)
+	s := t.shardFor(ctx.ID)
+	s.mu.Lock()
+	tr.Dropped = true
+	if len(tr.Spans) < maxSpans {
+		tr.Spans = append(tr.Spans, Span{Name: "drop", Start: now, End: now, Attrs: why})
+	}
+	s.mu.Unlock()
+}
+
+// End completes this node's fragment and applies the tail-retention
+// policy: keep it if the event alerted, was dropped, was forced, or
+// ran longer than the rolling threshold; recycle it otherwise.
+func (t *Tracer) End(ctx Context, now int64) {
+	if t == nil || !ctx.Sampled() {
+		return
+	}
+	s := t.shardFor(ctx.ID)
+	s.mu.Lock()
+	tr := s.active[ctx.ID]
+	delete(s.active, ctx.ID)
+	s.mu.Unlock()
+	if tr == nil {
+		return
+	}
+	tr.End = now
+	if tr.Alerted || tr.Dropped || tr.Forced || now-tr.Start > t.thresholdNanos(now) {
+		t.kept.Inc()
+		if old := t.rec.keep(tr); old != nil {
+			old.reset()
+			t.pool.Put(old)
+		}
+		return
+	}
+	t.recycled.Inc()
+	tr.reset()
+	t.pool.Put(tr)
+}
+
+// SpanKept appends a span to an already-retained fragment — the ship
+// hop happens after the owner fragment completed, and is only worth
+// recording on traces that survived retention anyway. No-op if the
+// trace was recycled or already evicted from the recorder.
+func (t *Tracer) SpanKept(id ID, name string, start, end int64, attrs string) {
+	if t == nil || id.IsZero() {
+		return
+	}
+	t.rec.appendSpan(id, Span{Name: name, Start: start, End: end, Attrs: attrs})
+}
+
+// thresholdNanos returns the retention threshold in nanoseconds,
+// refreshing the cached quantile read at most every 250ms.
+func (t *Tracer) thresholdNanos(now int64) int64 {
+	if t.thresh == nil {
+		return 0
+	}
+	last := t.threshAt.Load()
+	if now-last > thresholdRefreshNanos && t.threshAt.CompareAndSwap(last, now) {
+		t.cachedThresh.Store(math.Float64bits(t.thresh()))
+	}
+	return int64(math.Float64frombits(t.cachedThresh.Load()) * 1e9)
+}
+
+// List snapshots retained fragments matching the filter, newest
+// first. Cold path: copies out so callers never see recycled memory.
+func (t *Tracer) List(f Filter) []View {
+	if t == nil {
+		return nil
+	}
+	return t.rec.list(f)
+}
+
+// Get snapshots the retained fragment for id, if any.
+func (t *Tracer) Get(id ID) (View, bool) {
+	if t == nil {
+		return View{}, false
+	}
+	return t.rec.get(id)
+}

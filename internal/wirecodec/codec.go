@@ -48,6 +48,15 @@ const ContentTypeBinary = "application/x-locheat-bin"
 // is how format-sniffing readers (the outbox spill) tell them apart.
 const Version byte = 1
 
+// VersionTraced is the trace-aware message version: the same layout
+// as Version with trailing trace-context fields on the elements that
+// carry one. Encoders emit it only to peers that advertised the
+// capability (codec "bin/2" in the heartbeat); decoders accept both,
+// so a mixed-version cluster stays lossless — an old receiver never
+// sees a version byte it does not know, and a new receiver reads
+// old bodies as untraced.
+const VersionTraced byte = 2
+
 // ErrMalformed is the sticky decoder error for any structural damage:
 // short input, oversized length prefix, bad version or enum byte,
 // trailing garbage.
@@ -182,6 +191,19 @@ func (d *Decoder) Version() {
 	if d.Byte() != Version {
 		d.fail()
 	}
+}
+
+// VersionUpTo consumes the leading version byte, accepting any
+// version in [1, max] — the entry point for containers whose decoder
+// understands multiple layouts. Returns 0 (with the sticky error set)
+// on anything else.
+func (d *Decoder) VersionUpTo(max byte) byte {
+	v := d.Byte()
+	if v < 1 || v > max {
+		d.fail()
+		return 0
+	}
+	return v
 }
 
 // Byte consumes one byte.
