@@ -5,26 +5,30 @@ GO ?= go
 # The perf-trajectory benchmarks: the byte-moving hot paths the binary
 # codec PR (PR 5) committed to tracking, the telemetry overhead benches
 # the observability PR (PR 6) added, the batched hot-path benches PR 7
-# added (PublishBatch pipeline, journal AppendBatch), and the tracing
-# overhead benches PR 8 added (traced pipeline + traced forward hop).
+# added (PublishBatch pipeline, journal AppendBatch), the tracing
+# overhead benches PR 8 added (traced pipeline + traced forward hop),
+# and the admission-control overhead bench PR 9 added (the per-request
+# cost of sitting on the API ingest hot path).
 # `make bench` runs them with allocation accounting and snapshots the
 # parsed results to $(BENCH_OUT); `make bench-diff` then gates the
 # snapshot against the previous PR's committed baseline, failing on a
 # >15% throughput drop in any hot-path row.
-BENCH_PATTERN := BenchmarkStreamPipelineBatch|BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend|BenchmarkObs|BenchmarkTraceOverhead
-BENCH_OUT     := BENCH_PR8.json
-BENCH_BASE    := BENCH_PR7.json
+BENCH_PATTERN := BenchmarkStreamPipelineBatch|BenchmarkClusterForward|BenchmarkReplicaShip|BenchmarkAlertJournalAppend|BenchmarkObs|BenchmarkTraceOverhead|BenchmarkAdmissionOverhead
+BENCH_OUT     := BENCH_PR9.json
+BENCH_BASE    := BENCH_PR8.json
 # Rows eligible to FAIL bench-diff: the CPU/codec-bound hot paths where
 # a 15% throughput drop means a code regression. Rows bound by an fsync
 # per record or an HTTP round trip per event swing ±30% run to run on
 # the reference box, so they print as (info) instead of gating.
 # TraceOverhead/pipeline/(off|sample-0) gate too: they pin the
 # tracing-compiled-in-but-idle contract — tracing at rate 0 may not tax
-# the batched hot path. sample-1 and the HTTP-bound forward rows are
-# informational.
-BENCH_GATE    := BenchmarkStreamPipelineBatch|BenchmarkAlertJournalAppendBatch|BenchmarkClusterForward/bin/batch-(32|256)|BenchmarkReplicaShip/bin/batch-1024|BenchmarkTraceOverhead/pipeline/(off|sample-0)
+# the batched hot path. AdmissionOverhead/unsaturated gates the
+# admission fast path (one fingerprint probe + one atomic load per
+# check-in); the nil and engaged rows are informational. sample-1 and
+# the HTTP-bound forward rows are informational.
+BENCH_GATE    := BenchmarkStreamPipelineBatch|BenchmarkAlertJournalAppendBatch|BenchmarkClusterForward/bin/batch-(32|256)|BenchmarkReplicaShip/bin/batch-1024|BenchmarkTraceOverhead/pipeline/(off|sample-0)|BenchmarkAdmissionOverhead/unsaturated
 
-.PHONY: build test test-race bench bench-diff fmt vet
+.PHONY: build test test-race bench bench-diff fmt vet soak
 
 build:
 	$(GO) build ./...
@@ -56,3 +60,11 @@ bench:
 # ns/op and physics-bound rows are informational).
 bench-diff:
 	$(GO) run ./cmd/benchdiff -max-regress 15 -gate '$(BENCH_GATE)' $(BENCH_BASE) $(BENCH_OUT)
+
+# Standing perf gate: boot a real 3-node cluster and soak it with
+# cmd/loadgen — benign traffic paced inside the detection envelope plus
+# compressed attack cohorts — failing on any report violation (critical
+# shed, detection p99 breach, silent drops, drain timeout). Scale with
+# SOAK_USERS / SOAK_DURATION / SOAK_RATE; CI runs the 50k-user minute.
+soak:
+	sh scripts/soak.sh

@@ -19,6 +19,7 @@ import (
 	"locheat/internal/analysis"
 	"locheat/internal/api"
 	"locheat/internal/attack"
+	"locheat/internal/backpressure"
 	"locheat/internal/cheatercode"
 	"locheat/internal/cluster"
 	"locheat/internal/core"
@@ -1296,4 +1297,54 @@ func BenchmarkObsScrape(b *testing.B) {
 	if buf.Len() == 0 {
 		b.Fatal("empty scrape")
 	}
+}
+
+// BenchmarkAdmissionOverhead pins the admission controller's per-
+// request cost at the API ingest edge — the contract that lets it sit
+// on the hot path unconditionally. "nil" is the detached baseline
+// (admission disabled), "unsaturated" the normal-operation fast path
+// (Classify fingerprint probe + one atomic severity load), "engaged"
+// the full-saturation path where every Normal decision sheds and
+// computes a Retry-After.
+func BenchmarkAdmissionOverhead(b *testing.B) {
+	run := func(b *testing.B, a *backpressure.Admission) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u, v := uint64(i), uint64(i%4096)
+			a.Admit(a.Classify(u, v, false))
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "checks/sec")
+		}
+	}
+	depth := 0
+	newAdm := func() *backpressure.Admission {
+		mon := backpressure.NewMonitor(backpressure.Stage{
+			Name:   "stream",
+			Sample: func() (int, int) { return depth, 100 },
+		})
+		return backpressure.NewAdmission(backpressure.AdmissionConfig{Monitor: mon, Interval: -1})
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("unsaturated", func(b *testing.B) {
+		depth = 0
+		a := newAdm()
+		defer a.Close()
+		a.Tick()
+		run(b, a)
+	})
+	b.Run("engaged", func(b *testing.B) {
+		depth = 200
+		a := newAdm()
+		defer a.Close()
+		for i := 0; i < 20; i++ {
+			a.Tick()
+		}
+		if !a.Saturated() {
+			b.Fatal("controller failed to engage")
+		}
+		run(b, a)
+	})
 }

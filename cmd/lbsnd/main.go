@@ -16,6 +16,7 @@
 //	      [-cluster-json] [-journal-json] [-pprof 127.0.0.1:6060]
 //	      [-mutexprofile 0] [-blockprofile 0]
 //	      [-trace-sample 0] [-trace-buffer 256]
+//	      [-backpressure] [-bp-high-water 0.85] [-bp-low-water 0]
 //
 // The defence flags enable the §5.2 mitigations so a crawler (cmd/crawl)
 // can be pointed at a hardened instance. With -api-key the developer
@@ -77,6 +78,19 @@
 // and ship-lag histogram scrapes carry OpenMetrics exemplars naming
 // a retained trace.
 //
+// With -backpressure (default on when the stream runs) the adaptive
+// admission tier gates POST /api/v1/checkins: depth monitors over the
+// shard rings, DLQ and cluster forward queues feed an EWMA-smoothed
+// controller that shed-by-priority answers 429 + Retry-After once
+// utilization crosses -bp-high-water (releasing at -bp-low-water) —
+// repeat dedupe-cheap claims shed first, fresh claims probabilistically,
+// quarantined users' denied-claim evidence never. While shedding,
+// /readyz answers 503 so balancers steer around the node; the
+// controller state is on /metrics and /api/v1/alerts/stats. Cross-node
+// clients (forward, journal ship, quarantine broadcast) run per-peer
+// circuit breakers with half-open probing, so a dead peer costs one
+// probe per window instead of a timeout per batch.
+//
 // Every tier reports into a zero-allocation telemetry registry exposed
 // as Prometheus text on GET /metrics, with GET /healthz (liveness) and
 // GET /readyz (readiness: journal replayed and writable, cluster seat
@@ -104,6 +118,7 @@ import (
 	"time"
 
 	"locheat/internal/api"
+	"locheat/internal/backpressure"
 	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
 	"locheat/internal/obs"
@@ -163,6 +178,9 @@ func run(args []string) error {
 	journalJSON := fs.Bool("journal-json", false, "write new journal segments in the v1 JSON format instead of v3 binary+table (either way old segments replay as-is)")
 	traceSample := fs.Float64("trace-sample", 0, "head-sample this fraction of check-ins (0-1) into the trace flight recorder; denied claims always trace when > 0; 0 = tracing off (needs -stream)")
 	traceBuffer := fs.Int("trace-buffer", 256, "flight-recorder capacity in retained trace trees")
+	bpOn := fs.Bool("backpressure", true, "adaptive admission control: shed API check-ins by priority when pipeline queues saturate (needs -stream)")
+	bpHigh := fs.Float64("bp-high-water", 0.85, "queue utilization that engages load shedding")
+	bpLow := fs.Float64("bp-low-water", 0, "utilization that releases shedding (0 = half of -bp-high-water)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for profiling (unauthenticated; keep it loopback, e.g. 127.0.0.1:6060); empty = off")
 	mutexProfile := fs.Int("mutexprofile", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off; needs -pprof)")
 	blockProfile := fs.Int("blockprofile", 0, "sample blocking events >= N ns for /debug/pprof/block (0 = off; needs -pprof)")
@@ -378,6 +396,30 @@ func run(args []string) error {
 			len(pipeline.Stats().PerShard), *streamBuffer)
 	}
 
+	// The backpressure tier: per-stage depth monitors feed the adaptive
+	// admission controller that gates POST /checkins — saturation turns
+	// into explicit 429s at the edge instead of silent drops deeper in
+	// the pipeline. The stage list is the event path: shard rings, DLQ,
+	// and (clustered) the forwarder's peer queues.
+	var admission *backpressure.Admission
+	if *bpOn && pipeline != nil {
+		mon := backpressure.NewMonitor(
+			backpressure.Stage{Name: "stream", Sample: pipeline.QueueSample},
+			backpressure.Stage{Name: "dlq", Sample: pipeline.DLQSample},
+		)
+		if clusterN != nil {
+			mon.Add(backpressure.Stage{Name: "forward", Sample: clusterN.QueueSample})
+		}
+		admission = backpressure.NewAdmission(backpressure.AdmissionConfig{
+			Monitor:   mon,
+			HighWater: *bpHigh,
+			LowWater:  *bpLow,
+			Clock:     clock,
+			Obs:       reg,
+		})
+		fmt.Printf("backpressure: adaptive admission armed (engage at %.0f%% queue utilization)\n", *bpHigh*100)
+	}
+
 	// Quarantine persistence: the active set snapshots to the journal
 	// dir on every change (and at shutdown), and reloads on start — a
 	// restarted daemon keeps denying flagged cheaters instead of giving
@@ -436,6 +478,12 @@ func run(args []string) error {
 			http.Error(w, "leaving cluster", http.StatusServiceUnavailable)
 			return
 		}
+		if admission != nil && admission.Saturated() {
+			// Shedding load: tell the balancer to route around this node
+			// while it drains. Liveness (/healthz) is unaffected.
+			http.Error(w, "overloaded, shedding load", http.StatusServiceUnavailable)
+			return
+		}
 		w.Write([]byte("ready\n"))
 	})
 	if *apiKey != "" {
@@ -449,6 +497,9 @@ func run(args []string) error {
 		}
 		if clusterN != nil {
 			apiSrv.AttachCluster(clusterN)
+		}
+		if admission != nil {
+			apiSrv.AttachAdmission(admission)
 		}
 		apiSrv.AttachObs(reg)
 		apiSrv.AttachTracer(tracer)
@@ -472,6 +523,9 @@ func run(args []string) error {
 
 	select {
 	case err := <-errc:
+		if admission != nil {
+			admission.Close()
+		}
 		if clusterN != nil {
 			clusterN.Shutdown() // hand users off even on a failed listen
 		}
@@ -502,6 +556,14 @@ func run(args []string) error {
 		} else {
 			fmt.Fprintln(os.Stderr, "lbsnd: http shutdown:", err)
 		}
+	}
+	if admission != nil {
+		admission.Close()
+		st := admission.Status()
+		fmt.Printf("backpressure: %d engagement(s); admitted low/normal/critical %d/%d/%d, shed %d/%d/%d\n",
+			st.Engagements,
+			st.Admitted["low"], st.Admitted["normal"], st.Admitted["critical"],
+			st.Shed["low"], st.Shed["normal"], st.Shed["critical"])
 	}
 	if clusterN != nil {
 		// Leave the cluster before closing the pipeline: the handoff

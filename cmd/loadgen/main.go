@@ -1,0 +1,127 @@
+// Command loadgen replays a synthetic world's check-in traffic against
+// a live lbsnd cluster at a target rate, mixing ground-truth-labelled
+// attack cohorts into the benign stream, and emits a structured JSON
+// report: sustained throughput, detection-latency quantiles scraped
+// from /metrics, drop/shed/quarantine accounting, per-cohort detection
+// recall, and the invariant violations the CI soak gate fails on.
+//
+// Usage:
+//
+//	loadgen -targets http://n1:8080,http://n2:8080 -api-key KEY \
+//	        [-users 100000] [-seed 42] [-rate 100] [-duration 60s] \
+//	        [-workers 32] [-attack-users 8] [-time-scale 600] \
+//	        [-max-p99 50ms] [-drain-timeout 15s] [-recall-probes 25] \
+//	        [-out report.json] [-fail-on-violations]
+//
+// The cluster must have been started with the same -users and -seed:
+// the harness derives every user/venue ID and ground-truth class from
+// its own copy of the world and never registers anything.
+//
+// Exit status: 0 on a clean run; 1 on a harness error; 2 when
+// -fail-on-violations is set and the report lists violations.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"locheat/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	targets := fs.String("targets", "http://127.0.0.1:8080", "comma-separated cluster node base URLs")
+	apiKey := fs.String("api-key", "", "developer API key (the cluster's -api-key)")
+	users := fs.Int("users", 100000, "world scale; must match the cluster's -users")
+	seed := fs.Int64("seed", 42, "world seed; must match the cluster's -seed")
+	rate := fs.Float64("rate", 100, "benign target check-ins per second (open loop)")
+	duration := fs.Duration("duration", 60*time.Second, "traffic window")
+	workers := fs.Int("workers", 32, "benign posting workers")
+	attackUsers := fs.Int("attack-users", 8, "attackers per cohort (mayor-campaign, virtual-tour, spoof-jump)")
+	timeScale := fs.Float64("time-scale", 600, "attack time compression: virtual seconds per wall second")
+	maxP99 := fs.Duration("max-p99", 50*time.Millisecond, "detection-latency p99 gate")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "post-traffic wait for cluster queues to empty")
+	recallProbes := fs.Int("recall-probes", 25, "max users probed per cohort when scoring recall")
+	out := fs.String("out", "", "write the JSON report here ('-' or empty = stdout)")
+	failOnViolations := fs.Bool("fail-on-violations", false, "exit 2 when the report lists violations (the CI soak gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		Targets:      splitTargets(*targets),
+		APIKey:       *apiKey,
+		Users:        *users,
+		Seed:         *seed,
+		Rate:         *rate,
+		Duration:     *duration,
+		Workers:      *workers,
+		AttackUsers:  *attackUsers,
+		TimeScale:    *timeScale,
+		MaxP99:       *maxP99,
+		DrainTimeout: *drainTimeout,
+		RecallProbes: *recallProbes,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		},
+	}
+	runner, err := loadgen.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := runner.Run(ctx)
+	if rep == nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+	if werr := rep.WriteJSON(w); werr != nil {
+		return werr
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d sent at %.0f ev/s sustained; detection p99 %.1fms over %d events; %d violation(s)\n",
+		rep.Sent, rep.SustainedRate, rep.DetectionP99*1000, int(rep.DetectionN), len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Fprintf(os.Stderr, "loadgen: VIOLATION [%s] %s\n", v.Kind, v.Detail)
+	}
+	if err != nil {
+		return err
+	}
+	if *failOnViolations && len(rep.Violations) > 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

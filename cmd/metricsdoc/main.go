@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"locheat/internal/backpressure"
 	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
 	"locheat/internal/obs"
@@ -90,6 +91,21 @@ func Generate() (string, error) {
 		return "", err
 	}
 	defer node.Shutdown()
+
+	// Admission controller (no background sampler) plus one breaker
+	// probe: the per-peer state gauge only registers when a breaker is
+	// first fetched for a peer, which the node above does lazily on its
+	// first forward — never during doc generation.
+	admission := backpressure.NewAdmission(backpressure.AdmissionConfig{
+		Monitor: backpressure.NewMonitor(
+			backpressure.Stage{Name: "stream", Sample: pipe.QueueSample},
+		),
+		Interval: -1,
+		Clock:    clock,
+		Obs:      reg,
+	})
+	defer admission.Close()
+	backpressure.NewBreakerGroup("doc", backpressure.BreakerConfig{Clock: clock}, reg).For("doc-b")
 
 	return render(reg), nil
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"locheat/internal/backpressure"
 	"locheat/internal/cluster"
 	"locheat/internal/lbsn"
 	"locheat/internal/obs"
@@ -76,6 +77,10 @@ type StreamStatsResponse struct {
 	Windows    []stream.WindowStats      `json:"windows"`
 	Quarantine QuarantineStatsResponse   `json:"quarantine"`
 	Cluster    *cluster.ClusterStatsView `json:"cluster,omitempty"`
+	// Backpressure is the admission controller's state (engaged flag,
+	// smoothed utilization, per-priority admitted/shed counts, per-stage
+	// samples), when one is attached.
+	Backpressure *backpressure.AdmissionStatus `json:"backpressure,omitempty"`
 	// Obs carries the latency summaries (count/sum/p50/p99/p999) from
 	// the node's telemetry registry, keyed by metric series — the same
 	// registry /metrics scrapes, so both surfaces read the same memory.
@@ -196,7 +201,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	p, pol, reg := s.pipeline, s.policy, s.obs
+	p, pol, reg, adm := s.pipeline, s.policy, s.obs, s.admission
 	s.mu.Unlock()
 	if p == nil {
 		writeError(w, http.StatusServiceUnavailable, "no stream pipeline attached")
@@ -212,6 +217,10 @@ func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
 	if pol != nil {
 		st := pol.Stats()
 		resp.Quarantine.Policy = &st
+	}
+	if adm != nil {
+		st := adm.Status()
+		resp.Backpressure = &st
 	}
 	if reg != nil {
 		resp.Obs = reg.Summaries()

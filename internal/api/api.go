@@ -25,7 +25,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"locheat/internal/backpressure"
 	"locheat/internal/geo"
 	"locheat/internal/lbsn"
 	"locheat/internal/obs"
@@ -40,18 +42,39 @@ var (
 	ErrNotFound     = errors.New("api: not found")
 )
 
+// OverloadedError is the client-side view of a 429: the admission
+// controller shed the request and advertised when to come back.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("api: overloaded, retry after %s", e.RetryAfter)
+}
+
+// IsOverloaded reports whether err is a shed (429) response, returning
+// the advertised backoff.
+func IsOverloaded(err error) (time.Duration, bool) {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
 // Server exposes the developer API over an lbsn.Service.
 type Server struct {
 	svc *lbsn.Service
 	mux *http.ServeMux
 
-	mu       sync.Mutex
-	keys     map[string]bool // key -> active
-	pipeline *stream.Pipeline
-	policy   *lbsn.QuarantinePolicy
-	cluster  ClusterBackend
-	obs      *obs.Registry
-	tracer   *trace.Tracer
+	mu        sync.Mutex
+	keys      map[string]bool // key -> active
+	pipeline  *stream.Pipeline
+	policy    *lbsn.QuarantinePolicy
+	cluster   ClusterBackend
+	obs       *obs.Registry
+	tracer    *trace.Tracer
+	admission *backpressure.Admission
 
 	served   int
 	rejected int
@@ -110,6 +133,22 @@ func (s *Server) Stats() (served, rejected int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.served, s.rejected
+}
+
+// AttachAdmission gates POST /checkins behind the adaptive admission
+// controller: saturated nodes answer 429 with a Retry-After instead of
+// silently losing events deeper in the pipeline. Call before serving;
+// nil detaches (every request admitted).
+func (s *Server) AttachAdmission(a *backpressure.Admission) {
+	s.mu.Lock()
+	s.admission = a
+	s.mu.Unlock()
+}
+
+func (s *Server) admissionHandle() *backpressure.Admission {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admission
 }
 
 func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
@@ -181,6 +220,24 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "malformed JSON body")
 		return
+	}
+	// Adaptive admission at the ingest edge. Priority order: check-ins
+	// from quarantined users are the denied-claim evidence path the
+	// detectors feed on (never shed); repeat (user, venue) claims within
+	// the window are dedupe-cheap (first shed); the rest are fresh
+	// claims that shed probabilistically as saturation deepens.
+	if adm := s.admissionHandle(); adm != nil {
+		prio := adm.Classify(req.UserID, req.VenueID,
+			s.svc.IsQuarantined(lbsn.UserID(req.UserID)))
+		if d := adm.Admit(prio); !d.OK {
+			secs := int(d.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+			return
+		}
 	}
 	// Head-sample at the edge so the response can name the trace; a
 	// rate miss here can still be force-sampled at publish (denied
@@ -339,6 +396,12 @@ func (c *Client) do(method, path string, body any, out any) error {
 		return ErrNotFound
 	case http.StatusBadRequest:
 		return ErrBadRequest
+	case http.StatusTooManyRequests:
+		ra := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+		return &OverloadedError{RetryAfter: ra}
 	default:
 		return fmt.Errorf("api client: unexpected status %d", resp.StatusCode)
 	}

@@ -1,0 +1,353 @@
+package backpressure
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locheat/internal/obs"
+	"locheat/internal/simclock"
+)
+
+// Priority classes traffic at the admission edge. Shedding is strictly
+// ordered: Low goes first (repeat "dedupe-cheap" check-ins the
+// detectors learn almost nothing from), Normal sheds probabilistically
+// as severity grows, Critical — denied-claim evidence and alert reads —
+// is never shed.
+type Priority int32
+
+const (
+	// PriorityLow is dedupe-cheap traffic: a user re-claiming the same
+	// venue within the repeat window. First to shed.
+	PriorityLow Priority = iota
+	// PriorityNormal is a fresh check-in claim.
+	PriorityNormal
+	// PriorityCritical is evidence the paper's detection pipeline must
+	// not lose: check-ins from already-quarantined users (the denied-
+	// claim path) and alert/quarantine surfaces. Never shed.
+	PriorityCritical
+
+	numPriorities = 3
+)
+
+// String names the priority for metric labels.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityCritical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// AdmissionConfig tunes the controller. Zero values take defaults.
+type AdmissionConfig struct {
+	// Monitor supplies the per-stage depth samples.
+	Monitor *Monitor
+	// HighWater is the smoothed utilization at which shedding engages
+	// (default 0.85); LowWater is where it releases (default 0.5). The
+	// gap is the hysteresis band that stops the controller flapping at
+	// the boundary.
+	HighWater float64
+	LowWater  float64
+	// Interval is the background sampling cadence (default 50ms).
+	// Negative disables the background goroutine; tests then drive the
+	// controller deterministically with Tick.
+	Interval time.Duration
+	// RetryAfter is the base client backoff hint (default 1s); the
+	// advertised value scales up with severity.
+	RetryAfter time.Duration
+	// RepeatWindow is how recently a (user, venue) pair must have been
+	// seen for the next claim to classify as dedupe-cheap PriorityLow
+	// (default 60s).
+	RepeatWindow time.Duration
+	// Clock is used for repeat-window timestamps (default wall clock).
+	Clock simclock.Clock
+	// Obs registers the admission telemetry (nil runs unobserved).
+	Obs *obs.Registry
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.HighWater <= 0 || c.HighWater > 1 {
+		c.HighWater = 0.85
+	}
+	if c.LowWater <= 0 || c.LowWater >= c.HighWater {
+		c.LowWater = c.HighWater / 2
+	}
+	if c.Interval == 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.RepeatWindow <= 0 {
+		c.RepeatWindow = 60 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.Real{}
+	}
+	return c
+}
+
+// repeatSlots sizes the fixed fingerprint table the dedupe-cheap
+// classifier uses: 64k packed uint64 slots (512 KiB), one hash-indexed
+// read plus one store per check-in, no allocation, no locks. False
+// sharing of a slot misclassifies at worst one claim's priority — an
+// acceptable error for a shedding hint.
+const repeatSlots = 1 << 16
+
+// Decision is the outcome of one Admit call.
+type Decision struct {
+	OK bool
+	// RetryAfter is the backoff to advertise when OK is false.
+	RetryAfter time.Duration
+}
+
+// Admission is the adaptive controller at API ingest. A background
+// sampler reads the Monitor every Interval, smooths the max stage
+// utilization with an EWMA, and engages shedding above HighWater
+// (releasing below LowWater). The Admit hot path is a single atomic
+// load while the system is unsaturated — the overhead contract
+// BenchmarkAdmissionOverhead pins.
+type Admission struct {
+	cfg AdmissionConfig
+
+	// severity is 0 when disengaged, else 1..1000 (permille of the
+	// shedding range). The Admit fast path is one load of this.
+	severity atomic.Uint64
+	// utilMilli is the smoothed utilization in permille, for gauges.
+	utilMilli atomic.Uint64
+
+	admitted [numPriorities]obs.Counter
+	shed     [numPriorities]obs.Counter
+	engages  obs.Counter
+
+	repeat [repeatSlots]atomic.Uint64
+
+	mu       sync.Mutex
+	ewma     float64
+	hotStage string
+	samples  []StageSample
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAdmission builds the controller and, unless Interval is negative,
+// starts its background sampler. Close stops it.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	a := &Admission{
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if reg := a.cfg.Obs; reg != nil {
+		reg.GaugeFunc("locheat_backpressure_utilization",
+			"smoothed max queue utilization across monitored stages (0-1)",
+			func() float64 { return float64(a.utilMilli.Load()) / 1000 })
+		reg.GaugeFunc("locheat_backpressure_engaged",
+			"1 while the admission controller is shedding, else 0",
+			func() float64 {
+				if a.severity.Load() > 0 {
+					return 1
+				}
+				return 0
+			})
+		reg.CounterFunc("locheat_backpressure_engagements_total",
+			"times the admission controller crossed the high-water mark and engaged",
+			a.engages.Value)
+		for p := PriorityLow; p <= PriorityCritical; p++ {
+			p := p
+			reg.CounterFunc("locheat_backpressure_admitted_total",
+				"requests admitted at the API ingest edge",
+				a.admitted[p].Value, "priority", p.String())
+			reg.CounterFunc("locheat_backpressure_shed_total",
+				"requests shed (429) at the API ingest edge",
+				a.shed[p].Value, "priority", p.String())
+		}
+	}
+	if a.cfg.Interval > 0 {
+		go a.run()
+	} else {
+		close(a.done)
+	}
+	return a
+}
+
+func (a *Admission) run() {
+	defer close(a.done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.Tick()
+		}
+	}
+}
+
+// Close stops the background sampler. Safe to call twice; a nil
+// Admission is a no-op (admission is optional like every obs handle).
+func (a *Admission) Close() {
+	if a == nil {
+		return
+	}
+	a.stopOnce.Do(func() { close(a.stop) })
+	<-a.done
+}
+
+// Tick runs one sampling step: read the monitor, smooth, and update
+// the engage/severity state. The background goroutine calls this every
+// Interval; tests call it directly.
+func (a *Admission) Tick() {
+	if a == nil {
+		return
+	}
+	samples, util, hot := a.cfg.Monitor.Sample()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// EWMA with alpha 0.3: a few ticks of real pressure to engage, a
+	// few ticks of drain to release — transient single-sample spikes
+	// (one burst filling a ring that drains in 10ms) don't flap the
+	// controller.
+	const alpha = 0.3
+	a.ewma = alpha*util + (1-alpha)*a.ewma
+	a.hotStage = hot
+	a.samples = samples
+	a.utilMilli.Store(uint64(a.ewma * 1000))
+
+	engaged := a.severity.Load() > 0
+	switch {
+	case !engaged && a.ewma >= a.cfg.HighWater:
+		a.engages.Inc()
+		a.severity.Store(a.severityFor(a.ewma))
+	case engaged && a.ewma <= a.cfg.LowWater:
+		a.severity.Store(0)
+	case engaged:
+		a.severity.Store(a.severityFor(a.ewma))
+	}
+}
+
+// severityFor maps smoothed utilization onto 1..1000: LowWater → 1,
+// full queues → 1000. Severity drives the Normal-class shed
+// probability and the advertised Retry-After.
+func (a *Admission) severityFor(util float64) uint64 {
+	s := (util - a.cfg.LowWater) / (1 - a.cfg.LowWater)
+	if s < 0.001 {
+		s = 0.001
+	}
+	if s > 1 {
+		s = 1
+	}
+	return uint64(s * 1000)
+}
+
+// Admit decides one request. Unsaturated fast path: one atomic load
+// plus the admitted counter. When engaged: Low sheds outright, Normal
+// sheds with probability equal to severity, Critical always passes.
+func (a *Admission) Admit(p Priority) Decision {
+	if a == nil {
+		return Decision{OK: true}
+	}
+	sev := a.severity.Load()
+	if sev == 0 || p == PriorityCritical {
+		a.admitted[p].Inc()
+		return Decision{OK: true}
+	}
+	if p == PriorityNormal && rand.Uint64()%1000 >= sev {
+		a.admitted[p].Inc()
+		return Decision{OK: true}
+	}
+	a.shed[p].Inc()
+	// Back clients off harder the deeper the saturation: base at the
+	// low end, 4x base when queues are pinned full.
+	ra := a.cfg.RetryAfter + 3*time.Duration(sev)*a.cfg.RetryAfter/1000
+	return Decision{OK: false, RetryAfter: ra}
+}
+
+// Repeat reports whether (user, venue) was seen within RepeatWindow —
+// the dedupe-cheap classifier. It also records the sighting, so the
+// first claim of a pair answers false and primes the slot.
+func (a *Admission) Repeat(user, venue uint64) bool {
+	if a == nil {
+		return false
+	}
+	// FNV-style mix of the pair; low bits pick the slot, high 32 tag it.
+	h := (user*0x9E3779B97F4A7C15 ^ venue) * 0x2545F4914F6CDD1D
+	slot := &a.repeat[h&(repeatSlots-1)]
+	tag := h >> 32 << 32
+	now := uint64(a.cfg.Clock.Now().Unix()) & 0xFFFFFFFF
+	prev := slot.Load()
+	slot.Store(tag | now)
+	if prev>>32<<32 != tag {
+		return false
+	}
+	elapsed := int64(now) - int64(prev&0xFFFFFFFF)
+	return elapsed >= 0 && elapsed <= int64(a.cfg.RepeatWindow/time.Second)
+}
+
+// Classify assigns a check-in's priority at the API edge: quarantined
+// users ride the denied-claim evidence path (Critical — the paper's
+// detectors feed on exactly these), repeat claims within the window
+// are dedupe-cheap (Low), everything else is a fresh claim (Normal).
+func (a *Admission) Classify(user, venue uint64, quarantined bool) Priority {
+	if quarantined {
+		return PriorityCritical
+	}
+	if a.Repeat(user, venue) {
+		return PriorityLow
+	}
+	return PriorityNormal
+}
+
+// Saturated reports whether shedding is currently engaged — /readyz
+// turns this into a 503 so load balancers steer new traffic away while
+// the node drains.
+func (a *Admission) Saturated() bool {
+	return a != nil && a.severity.Load() > 0
+}
+
+// AdmissionStatus is the /alerts/stats view of the controller.
+type AdmissionStatus struct {
+	Engaged     bool              `json:"engaged"`
+	Severity    float64           `json:"severity"`
+	Utilization float64           `json:"utilization"`
+	HotStage    string            `json:"hotStage,omitempty"`
+	Stages      []StageSample     `json:"stages,omitempty"`
+	Admitted    map[string]uint64 `json:"admitted"`
+	Shed        map[string]uint64 `json:"shed"`
+	Engagements uint64            `json:"engagements"`
+}
+
+// Status snapshots the controller.
+func (a *Admission) Status() AdmissionStatus {
+	if a == nil {
+		return AdmissionStatus{}
+	}
+	a.mu.Lock()
+	st := AdmissionStatus{
+		Engaged:     a.severity.Load() > 0,
+		Severity:    float64(a.severity.Load()) / 1000,
+		Utilization: a.ewma,
+		HotStage:    a.hotStage,
+		Stages:      append([]StageSample(nil), a.samples...),
+		Admitted:    make(map[string]uint64, numPriorities),
+		Shed:        make(map[string]uint64, numPriorities),
+		Engagements: a.engages.Value(),
+	}
+	a.mu.Unlock()
+	for p := PriorityLow; p <= PriorityCritical; p++ {
+		st.Admitted[p.String()] = a.admitted[p].Value()
+		st.Shed[p.String()] = a.shed[p].Value()
+	}
+	return st
+}

@@ -1,0 +1,351 @@
+// Package backpressure is the admission/degradation layer the load
+// harness (cmd/loadgen) demanded: the tiers it protects keep their
+// never-block contract, but instead of silently hitting drop-on-full
+// queues under sustained overload, the system now degrades on purpose
+// and visibly —
+//
+//   - Monitor samples per-stage queue depths (shard rings, DLQ, peer
+//     forward queues) into a single utilization figure;
+//   - Admission turns that figure into an adaptive admit/shed decision
+//     at API ingest (429 + Retry-After), shedding by priority: repeat
+//     "dedupe-cheap" traffic first, fresh check-ins under real
+//     pressure, denied-claim/alert evidence never;
+//   - Breaker wraps the cross-node clients (forward, ship, quarbcast)
+//     with a circuit breaker so a dead peer costs one fast-fail — and
+//     a spill to the outbox — instead of a blocking timeout per batch.
+//
+// The shapes are the classic streamz idioms (see DESIGN.md §
+// "Backpressure"): a three-state breaker with half-open probing, a
+// dropping buffer that counts what it refuses, and depth monitors
+// feeding a controller. Everything here is dependency-free and
+// deterministic under internal/simclock.
+package backpressure
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locheat/internal/obs"
+	"locheat/internal/simclock"
+)
+
+// BreakerState is the circuit's position. The zero value is Closed
+// (requests flow).
+type BreakerState int32
+
+const (
+	// StateClosed passes requests through while counting consecutive
+	// failures.
+	StateClosed BreakerState = iota
+	// StateHalfOpen lets a bounded number of probe requests through;
+	// one success closes the circuit, one failure re-opens it.
+	StateHalfOpen
+	// StateOpen rejects every request until OpenFor has elapsed.
+	StateOpen
+)
+
+// String names the state for labels and status JSON.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes one breaker (or every breaker in a group). Zero
+// values take defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the
+	// circuit (default 5).
+	FailureThreshold int
+	// OpenFor is how long an open circuit rejects before letting a
+	// half-open probe through (default 2s).
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent in-flight probes while
+	// half-open (default 1).
+	HalfOpenProbes int
+	// Clock times the open window; simulated clocks make transition
+	// tests deterministic (default wall clock).
+	Clock simclock.Clock
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.Real{}
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker: Closed → (threshold
+// consecutive failures) → Open → (OpenFor elapses) → HalfOpen →
+// (probe success) → Closed, or (probe failure) → Open again.
+//
+// Allow is the hot path: on a closed circuit it is one atomic load.
+// The caller reports every attempt's outcome with Success/Failure —
+// without a report a half-open probe slot stays occupied, so wrap the
+// guarded call in exactly one Allow/report pair.
+type Breaker struct {
+	cfg BreakerConfig
+
+	// state is read lock-free by Allow's fast path; transitions happen
+	// under mu so the bookkeeping (fails, openedAt, probes) stays
+	// consistent.
+	state atomic.Int32
+	mu    sync.Mutex
+	fails int
+	// openedAt is when the circuit last opened; the open window is
+	// measured from it.
+	openedAt time.Time
+	// probes counts in-flight half-open probes.
+	probes int
+
+	opens    atomic.Uint64
+	rejected atomic.Uint64
+
+	// onTransition/onReject (set by the group) feed the shared path-
+	// level counters; onTransition is called under mu.
+	onTransition func(to BreakerState)
+	onReject     func()
+}
+
+// noteReject counts a rejection on the breaker and its group.
+func (b *Breaker) noteReject() {
+	b.rejected.Add(1)
+	if b.onReject != nil {
+		b.onReject()
+	}
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports the circuit's current position.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return StateClosed
+	}
+	return BreakerState(b.state.Load())
+}
+
+// Allow reports whether a request may proceed. Open circuits reject
+// (counted) until OpenFor has elapsed, then admit probes one at a
+// time. Every true return must be matched by exactly one Success or
+// Failure call. A nil breaker always allows — breakers are optional
+// exactly like nil obs handles.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	switch BreakerState(b.state.Load()) {
+	case StateClosed:
+		return true
+	case StateOpen:
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		// Re-check under the lock: another caller may have transitioned.
+		if BreakerState(b.state.Load()) != StateOpen {
+			return b.allowLocked()
+		}
+		if b.cfg.Clock.Now().Sub(b.openedAt) < b.cfg.OpenFor {
+			b.noteReject()
+			return false
+		}
+		b.transitionLocked(StateHalfOpen)
+		b.probes = 1
+		return true
+	default: // half-open
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.allowLocked()
+	}
+}
+
+// allowLocked is the half-open/closed admit under an already-held mu.
+func (b *Breaker) allowLocked() bool {
+	switch BreakerState(b.state.Load()) {
+	case StateClosed:
+		return true
+	case StateHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		b.noteReject()
+		return false
+	default:
+		b.noteReject()
+		return false
+	}
+}
+
+// Success reports a guarded call that completed: it resets the
+// failure streak and, from half-open, closes the circuit.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	switch BreakerState(b.state.Load()) {
+	case StateHalfOpen:
+		b.probes = 0
+		b.transitionLocked(StateClosed)
+	}
+}
+
+// Failure reports a guarded call that failed: it extends the streak
+// and trips the circuit at the threshold; a failed half-open probe
+// re-opens immediately (the peer is still down — restart the window).
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch BreakerState(b.state.Load()) {
+	case StateClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.openLocked()
+		}
+	case StateHalfOpen:
+		b.probes = 0
+		b.openLocked()
+	case StateOpen:
+		// A straggler report from before the trip; the window restarts
+		// would over-penalize, so ignore it.
+	}
+}
+
+func (b *Breaker) openLocked() {
+	b.fails = 0
+	b.openedAt = b.cfg.Clock.Now()
+	b.opens.Add(1)
+	b.transitionLocked(StateOpen)
+}
+
+func (b *Breaker) transitionLocked(to BreakerState) {
+	b.state.Store(int32(to))
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
+}
+
+// BreakerStatus is one breaker's externally visible state.
+type BreakerStatus struct {
+	Path     string       `json:"path"`
+	Peer     string       `json:"peer"`
+	State    string       `json:"state"`
+	Opens    uint64       `json:"opens"`
+	Rejected uint64       `json:"rejected"`
+	state    BreakerState // for sorting/tests
+}
+
+// Open reports whether the status snapshot shows a non-closed circuit.
+func (s BreakerStatus) Open() bool { return s.state != StateClosed }
+
+// BreakerGroup manages one breaker per peer for a named client path
+// ("forward", "ship", "quarbcast"). Get-or-create keyed by peer; the
+// peer set is bounded (cluster membership), so the per-peer telemetry
+// series stay bounded too.
+type BreakerGroup struct {
+	path string
+	cfg  BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+
+	reg         *obs.Registry
+	rejected    *obs.Counter
+	transitions map[BreakerState]*obs.Counter
+}
+
+// NewBreakerGroup builds a group for path, registering its telemetry
+// on reg (nil runs unobserved): rejected-call and transition counters
+// labelled by path, plus a per-peer state gauge.
+func NewBreakerGroup(path string, cfg BreakerConfig, reg *obs.Registry) *BreakerGroup {
+	g := &BreakerGroup{
+		path: path,
+		cfg:  cfg.withDefaults(),
+		m:    make(map[string]*Breaker),
+		reg:  reg,
+	}
+	if reg != nil {
+		g.rejected = reg.Counter("locheat_breaker_rejected_total",
+			"calls fast-failed by an open circuit breaker", "path", path)
+		g.transitions = map[BreakerState]*obs.Counter{}
+		for _, st := range [...]BreakerState{StateClosed, StateHalfOpen, StateOpen} {
+			g.transitions[st] = reg.Counter("locheat_breaker_transitions_total",
+				"circuit breaker state transitions", "path", path, "to", st.String())
+		}
+	}
+	return g
+}
+
+// For returns (creating if needed) the breaker guarding peer.
+func (g *BreakerGroup) For(peer string) *Breaker {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b, ok := g.m[peer]; ok {
+		return b
+	}
+	b := NewBreaker(g.cfg)
+	b.onTransition = func(to BreakerState) {
+		if g.transitions != nil {
+			g.transitions[to].Inc()
+		}
+	}
+	b.onReject = g.rejected.Inc
+	g.m[peer] = b
+	if g.reg != nil {
+		g.reg.GaugeFunc("locheat_breaker_state",
+			"circuit position: 0 closed, 1 half-open, 2 open",
+			func() float64 { return float64(b.state.Load()) },
+			"path", g.path, "peer", peer)
+	}
+	return b
+}
+
+// Status snapshots every breaker in the group.
+func (g *BreakerGroup) Status() []BreakerStatus {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(g.m))
+	for peer, b := range g.m {
+		st := b.State()
+		out = append(out, BreakerStatus{
+			Path:     g.path,
+			Peer:     peer,
+			State:    st.String(),
+			Opens:    b.opens.Load(),
+			Rejected: b.rejected.Load(),
+			state:    st,
+		})
+	}
+	return out
+}

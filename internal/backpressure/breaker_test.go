@@ -1,0 +1,207 @@
+package backpressure
+
+import (
+	"testing"
+	"time"
+
+	"locheat/internal/obs"
+	"locheat/internal/simclock"
+)
+
+func newTestBreaker(clock simclock.Clock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		OpenFor:          2 * time.Second,
+		HalfOpenProbes:   1,
+		Clock:            clock,
+	})
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	sim := simclock.NewSimulated(simclock.Epoch())
+	b := newTestBreaker(sim)
+
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("new breaker state = %v, want closed", got)
+	}
+	// Failures below the threshold keep the circuit closed.
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("closed breaker under threshold must allow")
+	}
+	// A success resets the streak: two more failures still don't trip.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after reset + 2 failures = %v, want closed", got)
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker inside the window must reject")
+	}
+	if b.rejected.Load() != 1 {
+		t.Fatalf("rejected = %d, want 1", b.rejected.Load())
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	sim := simclock.NewSimulated(simclock.Epoch())
+	b := newTestBreaker(sim)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+
+	// The open window rejects; elapsing it admits exactly one probe.
+	if b.Allow() {
+		t.Fatal("open breaker must reject before OpenFor elapses")
+	}
+	sim.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("elapsed open window must admit a half-open probe")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be rejected (HalfOpenProbes=1)")
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	sim := simclock.NewSimulated(simclock.Epoch())
+	b := newTestBreaker(sim)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	sim.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("want half-open probe")
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The window restarts from the failed probe: still rejecting 1s in,
+	// admitting again after the full OpenFor.
+	sim.Advance(time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker must reject inside the fresh window")
+	}
+	sim.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker must probe after the fresh window elapses")
+	}
+	if b.opens.Load() != 2 {
+		t.Fatalf("opens = %d, want 2", b.opens.Load())
+	}
+}
+
+func TestBreakerStragglerFailureWhileOpen(t *testing.T) {
+	sim := simclock.NewSimulated(simclock.Epoch())
+	b := newTestBreaker(sim)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	sim.Advance(time.Second)
+	// A late failure report from before the trip must not restart the
+	// open window.
+	b.Failure()
+	sim.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("straggler failure must not extend the open window")
+	}
+}
+
+func TestBreakerNilIsAlwaysClosed(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must allow")
+	}
+	b.Success() // must not panic
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("nil breaker state = %v, want closed", got)
+	}
+}
+
+func TestBreakerGroupSharedCounters(t *testing.T) {
+	sim := simclock.NewSimulated(simclock.Epoch())
+	reg := obs.NewRegistry()
+	g := NewBreakerGroup("forward", BreakerConfig{
+		FailureThreshold: 1, OpenFor: time.Minute, Clock: sim,
+	}, reg)
+
+	if g.For("n2") != g.For("n2") {
+		t.Fatal("For must return the same breaker per peer")
+	}
+	bN2, bN3 := g.For("n2"), g.For("n3")
+	bN2.Failure()
+	bN3.Failure()
+	for i := 0; i < 4; i++ {
+		bN2.Allow()
+	}
+	bN3.Allow()
+
+	if got := g.rejected.Value(); got != 5 {
+		t.Fatalf("group rejected counter = %d, want 5 (4 from n2 + 1 from n3)", got)
+	}
+	if got := g.transitions[StateOpen].Value(); got != 2 {
+		t.Fatalf("open transitions = %d, want 2", got)
+	}
+	status := g.Status()
+	if len(status) != 2 {
+		t.Fatalf("status entries = %d, want 2", len(status))
+	}
+	for _, st := range status {
+		if !st.Open() || st.State != "open" {
+			t.Fatalf("peer %s status = %+v, want open", st.Peer, st)
+		}
+		if st.Path != "forward" {
+			t.Fatalf("status path = %q, want forward", st.Path)
+		}
+	}
+}
+
+func TestNilGroupFor(t *testing.T) {
+	var g *BreakerGroup
+	if b := g.For("anyone"); b != nil {
+		t.Fatalf("nil group For = %v, want nil breaker", b)
+	}
+	if st := g.Status(); st != nil {
+		t.Fatalf("nil group Status = %v, want nil", st)
+	}
+}
+
+func TestMonitorMaxAcrossStages(t *testing.T) {
+	depthA, depthB := 10, 90
+	m := NewMonitor(
+		Stage{Name: "a", Sample: func() (int, int) { return depthA, 100 }},
+		Stage{Name: "empty", Sample: func() (int, int) { return 0, 0 }}, // skipped: no capacity
+	)
+	m.Add(Stage{Name: "b", Sample: func() (int, int) { return depthB, 100 }})
+
+	samples, util, hot := m.Sample()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2 (capacityless stage skipped)", len(samples))
+	}
+	if util != 0.9 || hot != "b" {
+		t.Fatalf("util, hot = %v, %q; want 0.9, \"b\" (max, not average)", util, hot)
+	}
+	depthB = 0
+	_, util, hot = m.Sample()
+	if util != 0.1 || hot != "a" {
+		t.Fatalf("after b drains: util, hot = %v, %q; want 0.1, \"a\"", util, hot)
+	}
+}

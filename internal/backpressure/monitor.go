@@ -1,0 +1,76 @@
+package backpressure
+
+import "sync"
+
+// SampleFunc reports a stage's instantaneous queue occupancy: current
+// depth and total capacity. Implementations must be safe to call from
+// the admission sampler goroutine while the stage runs (the stages all
+// expose lock-free depth reads).
+type SampleFunc func() (depth, capacity int)
+
+// Stage is one monitored queue: a bounded buffer somewhere in the
+// pipeline whose fill level signals pressure.
+type Stage struct {
+	Name   string
+	Sample SampleFunc
+}
+
+// StageSample is one stage's reading at a sampling tick.
+type StageSample struct {
+	Name     string  `json:"name"`
+	Depth    int     `json:"depth"`
+	Capacity int     `json:"capacity"`
+	Util     float64 `json:"util"`
+}
+
+// Monitor aggregates per-stage depth samplers into the single
+// utilization figure the admission controller keys off: the maximum
+// fill fraction across stages, because the pipeline is a chain — its
+// headroom is its fullest queue's headroom, and averaging would let
+// one saturated stage hide behind nine idle ones.
+type Monitor struct {
+	mu     sync.RWMutex
+	stages []Stage
+}
+
+// NewMonitor builds a monitor over the given stages; more can be added
+// later with Add (the forwarder's peer queues appear after cluster
+// wiring).
+func NewMonitor(stages ...Stage) *Monitor {
+	return &Monitor{stages: stages}
+}
+
+// Add registers another stage.
+func (m *Monitor) Add(s Stage) {
+	if m == nil || s.Sample == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stages = append(m.stages, s)
+	m.mu.Unlock()
+}
+
+// Sample reads every stage and returns the readings plus the hottest
+// stage's utilization and name. Stages reporting no capacity are
+// skipped (an unbounded or unbuilt queue cannot saturate).
+func (m *Monitor) Sample() (samples []StageSample, maxUtil float64, hot string) {
+	if m == nil {
+		return nil, 0, ""
+	}
+	m.mu.RLock()
+	stages := m.stages
+	m.mu.RUnlock()
+	samples = make([]StageSample, 0, len(stages))
+	for _, st := range stages {
+		depth, cap := st.Sample()
+		if cap <= 0 {
+			continue
+		}
+		u := float64(depth) / float64(cap)
+		samples = append(samples, StageSample{Name: st.Name, Depth: depth, Capacity: cap, Util: u})
+		if u > maxUtil {
+			maxUtil, hot = u, st.Name
+		}
+	}
+	return samples, maxUtil, hot
+}

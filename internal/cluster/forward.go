@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locheat/internal/backpressure"
 	"locheat/internal/obs"
 	"locheat/internal/trace"
 	"locheat/internal/wirecodec"
@@ -56,6 +57,12 @@ type ForwarderConfig struct {
 	// must not block; it is called from the enqueue path and the sender
 	// goroutines.
 	Spill func(addr string, events []WireEvent) int
+	// Breaker returns the circuit breaker guarding the peer at addr, or
+	// nil for none. An open circuit fast-fails the batch straight to
+	// Spill (reason "breaker-open") instead of burning an HTTP timeout
+	// per batch against a dead peer; half-open probes ride the normal
+	// POST path and report their outcome.
+	Breaker func(addr string) *backpressure.Breaker
 	// Logf receives forwarding errors. Nil discards.
 	Logf func(format string, args ...any)
 	// Obs registers forwarding telemetry: batch size and POST latency
@@ -125,12 +132,20 @@ type Forwarder struct {
 	closed bool
 
 	enqueued      atomic.Uint64
-	dropped       atomic.Uint64
 	spilled       atomic.Uint64
 	batches       atomic.Uint64
 	sent          atomic.Uint64
 	errors        atomic.Uint64
 	remoteDropped atomic.Uint64
+
+	// Loss accounting is split by reason so the soak gate's "zero
+	// uncounted drops" criterion is checkable per path; Stats().Dropped
+	// is their sum.
+	dropQueueFull  atomic.Uint64 // peer queue full, no/failed spill
+	dropSendFail   atomic.Uint64 // POST failed, no/failed spill
+	dropOutboxFull atomic.Uint64 // spill hook refused (cap/IO) the remainder
+	dropBreaker    atomic.Uint64 // open circuit, no/failed spill
+	dropClosed     atomic.Uint64 // enqueue after Close
 
 	// fwdLat/fwdBatch are nil without ForwarderConfig.Obs.
 	fwdLat   *obs.Histogram
@@ -159,7 +174,20 @@ func (f *Forwarder) registerObs(reg *obs.Registry) {
 	reg.CounterFunc("locheat_cluster_forward_enqueued_total",
 		"events accepted into a peer forwarding queue", f.enqueued.Load)
 	reg.CounterFunc("locheat_cluster_forward_dropped_total",
-		"events lost to a full queue or unspillable failure", f.dropped.Load)
+		"events lost at the forwarding tier, by reason",
+		f.dropQueueFull.Load, "reason", "queue-full")
+	reg.CounterFunc("locheat_cluster_forward_dropped_total",
+		"events lost at the forwarding tier, by reason",
+		f.dropSendFail.Load, "reason", "send-failure")
+	reg.CounterFunc("locheat_cluster_forward_dropped_total",
+		"events lost at the forwarding tier, by reason",
+		f.dropOutboxFull.Load, "reason", "outbox-full")
+	reg.CounterFunc("locheat_cluster_forward_dropped_total",
+		"events lost at the forwarding tier, by reason",
+		f.dropBreaker.Load, "reason", "breaker-open")
+	reg.CounterFunc("locheat_cluster_forward_dropped_total",
+		"events lost at the forwarding tier, by reason",
+		f.dropClosed.Load, "reason", "closed")
 	reg.CounterFunc("locheat_cluster_forward_spilled_total",
 		"events handed to the outbox instead of being dropped", f.spilled.Load)
 	reg.CounterFunc("locheat_cluster_forward_batches_total",
@@ -184,7 +212,7 @@ func (f *Forwarder) registerObs(reg *obs.Registry) {
 func (f *Forwarder) Enqueue(addr string, ev WireEvent) bool {
 	q := f.queue(addr)
 	if q == nil {
-		f.dropped.Add(1)
+		f.dropClosed.Add(1)
 		return false
 	}
 	select {
@@ -192,16 +220,18 @@ func (f *Forwarder) Enqueue(addr string, ev WireEvent) bool {
 		f.enqueued.Add(1)
 		return true
 	default:
-		return f.spill(addr, []WireEvent{ev})
+		return f.spill(addr, []WireEvent{ev}, &f.dropQueueFull)
 	}
 }
 
 // spill hands refused events to the outbox hook; without one they are
-// dropped. Returns whether EVERY event survived (partial spill-cap
-// refusals count the remainder dropped).
-func (f *Forwarder) spill(addr string, events []WireEvent) bool {
+// dropped against reason (the counter naming why this batch left the
+// delivery path). Returns whether EVERY event survived (partial
+// spill-cap refusals count the remainder under "outbox-full" — the
+// refusal, not the original pressure, is what lost them).
+func (f *Forwarder) spill(addr string, events []WireEvent, reason *atomic.Uint64) bool {
 	if f.cfg.Spill == nil {
-		f.dropped.Add(uint64(len(events)))
+		reason.Add(uint64(len(events)))
 		f.endTraced(events, "forward-drop", addr, true)
 		return false
 	}
@@ -218,7 +248,7 @@ func (f *Forwarder) spill(addr string, events []WireEvent) bool {
 	// on the wire, while the local recorder keeps the "spill" verdict.
 	f.endTraced(events[:accepted], "spill", addr, false)
 	if lost := len(events) - accepted; lost > 0 {
-		f.dropped.Add(uint64(lost))
+		f.dropOutboxFull.Add(uint64(lost))
 		f.endTraced(events[accepted:], "forward-drop", addr, true)
 		return false
 	}
@@ -419,6 +449,16 @@ func (s *fwdSender) post(batch []WireEvent) {
 // accounting itself.
 func (s *fwdSender) postOnce(batch []WireEvent, binary bool) (int, bool) {
 	f := s.f
+	var br *backpressure.Breaker
+	if f.cfg.Breaker != nil {
+		br = f.cfg.Breaker(s.addr)
+	}
+	if !br.Allow() {
+		// Open circuit: fast-fail to the outbox instead of waiting out an
+		// HTTP timeout against a peer the breaker already knows is down.
+		s.f.spill(s.addr, batch, &f.dropBreaker)
+		return 0, false
+	}
 	var body []byte
 	contentType := "application/json"
 	codec := "json"
@@ -448,8 +488,9 @@ func (s *fwdSender) postOnce(batch []WireEvent, binary bool) (int, bool) {
 	}
 	resp, err := s.do(contentType, body)
 	if err != nil {
+		br.Failure()
 		f.errors.Add(1)
-		if !f.spill(s.addr, batch) {
+		if !f.spill(s.addr, batch, &f.dropSendFail) {
 			f.cfg.Logf("cluster: forward to %s failed: %v (%d events lost)", s.addr, err, len(batch))
 		}
 		return 0, false
@@ -457,14 +498,19 @@ func (s *fwdSender) postOnce(batch []WireEvent, binary bool) (int, bool) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		if binary && resp.StatusCode == http.StatusUnsupportedMediaType {
+			// The peer answered — it is alive, just negotiating codecs —
+			// so the probe outcome is success, not failure.
+			br.Success()
 			return resp.StatusCode, false // caller retries as JSON; not a loss
 		}
+		br.Failure()
 		f.errors.Add(1)
-		if !f.spill(s.addr, batch) {
+		if !f.spill(s.addr, batch, &f.dropSendFail) {
 			f.cfg.Logf("cluster: forward to %s: status %d (%d events lost)", s.addr, resp.StatusCode, len(batch))
 		}
 		return resp.StatusCode, false
 	}
+	br.Success()
 	s.ack.Reset()
 	var ack IngestAck
 	if _, err := s.ack.ReadFrom(resp.Body); err == nil {
@@ -514,11 +560,27 @@ func (f *Forwarder) Flush() {
 	f.mu.Unlock()
 }
 
+// QueueSample reports the deepest peer queue and the shared per-peer
+// capacity — the backpressure monitor's view of the forwarding tier.
+// Max across peers for the same reason the pipeline reports its worst
+// shard: one backed-up peer is already losing that peer's events.
+func (f *Forwarder) QueueSample() (depth, capacity int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, q := range f.queues {
+		if d := len(q.ch); d > depth {
+			depth = d
+		}
+	}
+	return depth, f.cfg.QueueSize
+}
+
 // Stats snapshots the forwarding counters.
 func (f *Forwarder) Stats() ForwardStats {
 	return ForwardStats{
-		Enqueued:      f.enqueued.Load(),
-		Dropped:       f.dropped.Load(),
+		Enqueued: f.enqueued.Load(),
+		Dropped: f.dropQueueFull.Load() + f.dropSendFail.Load() +
+			f.dropOutboxFull.Load() + f.dropBreaker.Load() + f.dropClosed.Load(),
 		Spilled:       f.spilled.Load(),
 		Batches:       f.batches.Load(),
 		Sent:          f.sent.Load(),

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locheat/internal/backpressure"
 	"locheat/internal/lbsn"
 	"locheat/internal/obs"
 	"locheat/internal/replica"
@@ -38,6 +39,11 @@ type Config struct {
 	// Replica tunes the durability & dissemination tier (journal
 	// replication, quarantine broadcast, forwarding outbox).
 	Replica ReplicaOptions
+	// Breaker tunes the per-peer circuit breakers guarding the forward,
+	// ship and quarbcast client paths. Zero values take the package
+	// defaults; tests inject a simulated clock here to step the open
+	// window deterministically.
+	Breaker backpressure.BreakerConfig
 	// DisableBinaryWire pins this node to JSON on the internal wire:
 	// it neither advertises nor accepts the binary codec (requests
 	// carrying it get 415, which downgrades the sender). The rolling-
@@ -125,6 +131,9 @@ type Status struct {
 	Scatter ScatterStats `json:"scatter"`
 	// Replication is the durability & dissemination tier's state.
 	Replication ReplicationStatus `json:"replication"`
+	// Breakers lists the per-peer circuit breakers on the forward, ship
+	// and quarbcast client paths.
+	Breakers []backpressure.BreakerStatus `json:"breakers,omitempty"`
 }
 
 // Node is one lbsnd instance's seat in the cluster: it routes ingest by
@@ -161,7 +170,17 @@ type Node struct {
 	seenHead      int
 	dupDropped    atomic.Uint64
 	bcastSendErrs atomic.Uint64
+	bcastSkipped  atomic.Uint64
 	replaying     atomic.Bool
+
+	// Per-peer circuit breakers on the three cross-node client paths
+	// (PR 9). A dead peer trips its breaker after a few failed calls;
+	// subsequent traffic fast-fails to the durability tier (outbox,
+	// resync cursor, digest anti-entropy) instead of stacking HTTP
+	// timeouts, and half-open probes re-admit the peer when it returns.
+	fwdBreakers   *backpressure.BreakerGroup
+	shipBreakers  *backpressure.BreakerGroup
+	bcastBreakers *backpressure.BreakerGroup
 
 	bgStop chan struct{}
 	bgOnce sync.Once
@@ -216,6 +235,12 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 	// origin epochs — and spilled events from the old incarnation keep
 	// their old (still-correct) numbers.
 	n.fwdSeq.Store(uint64(time.Now().UnixNano()))
+	// One breaker group per cross-node client path, peers keyed the way
+	// each path addresses them (forward by queue address, ship and
+	// quarbcast by member ID).
+	n.fwdBreakers = backpressure.NewBreakerGroup("forward", cfg.Breaker, cfg.Obs)
+	n.shipBreakers = backpressure.NewBreakerGroup("ship", cfg.Breaker, cfg.Obs)
+	n.bcastBreakers = backpressure.NewBreakerGroup("quarbcast", cfg.Breaker, cfg.Obs)
 	if err := n.initReplication(); err != nil {
 		return nil, err
 	}
@@ -231,6 +256,7 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 	fwdCfg.Traced = n.peerTracedAddr
 	fwdCfg.Tracer = cfg.Tracer
 	fwdCfg.Obs = cfg.Obs
+	fwdCfg.Breaker = n.fwdBreakers.For
 	n.fwd = NewForwarder(cfg.Self.ID, fwdCfg)
 	// Heartbeat probes carry the quarantine digest out and bring repair
 	// entries (plus codec advertisements) back — steady-state
@@ -285,6 +311,9 @@ func (n *Node) registerObs(reg *obs.Registry) {
 		"per-peer failures while assembling merged scatter-gather views", load(&n.scatterPeerErrors))
 	reg.CounterFunc("locheat_replica_broadcast_send_errors_total",
 		"failed quarantine-broadcast posts", load(&n.bcastSendErrs))
+	reg.CounterFunc("locheat_replica_broadcast_skipped_total",
+		"quarantine-broadcast posts skipped by an open peer breaker (repaired by digest anti-entropy)",
+		load(&n.bcastSkipped))
 
 	n.quarProp = reg.Histogram("locheat_quarantine_propagation_seconds",
 		"quarantine propagation: origin broadcast stamp to remote apply", obs.Seconds)
@@ -302,6 +331,12 @@ func (n *Node) registerObs(reg *obs.Registry) {
 		reg.CounterFunc("locheat_replica_broadcast_applied_total",
 			"remote quarantine entries applied locally",
 			func() uint64 { return n.bcast.Stats().Applied })
+		// Silent-drop audit (PR 9): origination-queue overflow was only
+		// visible in BroadcastStats JSON; the soak gate's "every drop
+		// site counted" criterion needs it on /metrics too.
+		reg.CounterFunc("locheat_replica_broadcast_dropped_total",
+			"quarantine originations dropped by a full pending queue, by reason (repaired by digest anti-entropy)",
+			func() uint64 { return n.bcast.Stats().Overflow }, "reason", "overflow")
 	}
 	if n.outbox != nil {
 		reg.GaugeFunc("locheat_cluster_outbox_queued",
@@ -988,5 +1023,19 @@ func (n *Node) Status() Status {
 			PeerErrors: n.scatterPeerErrors.Load(),
 		},
 		Replication: n.replicationStatus(),
+		Breakers:    n.breakerStatus(),
 	}
 }
+
+// breakerStatus concatenates the three client paths' breaker snapshots.
+func (n *Node) breakerStatus() []backpressure.BreakerStatus {
+	var out []backpressure.BreakerStatus
+	out = append(out, n.fwdBreakers.Status()...)
+	out = append(out, n.shipBreakers.Status()...)
+	out = append(out, n.bcastBreakers.Status()...)
+	return out
+}
+
+// QueueSample exposes the forwarder's deepest peer queue for the
+// daemon's backpressure monitor.
+func (n *Node) QueueSample() (depth, capacity int) { return n.fwd.QueueSample() }

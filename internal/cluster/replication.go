@@ -208,6 +208,14 @@ func (n *Node) applyQuarEntry(e replica.QuarEntry) {
 func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
 	qb := QuarBroadcast{From: n.cfg.Self.ID, Entries: entries}
 	for _, peer := range n.members.LivePeers() {
+		// An open breaker skips the peer outright: the digest exchange on
+		// the next heartbeat repairs the gap, so hammering a down peer
+		// buys nothing but timeout latency in the origination loop.
+		br := n.bcastBreakers.For(peer.ID)
+		if !br.Allow() {
+			n.bcastSkipped.Add(1)
+			continue
+		}
 		n.bcastFanout.Inc()
 		encode := encodeQuarBroadcast
 		if n.peerTraced(peer.ID) {
@@ -216,19 +224,30 @@ func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
 		resp, err := n.postNegotiated(peer.Addr, "/cluster/v1/quarbcast", peer.ID,
 			func(dst []byte) []byte { return encode(dst, qb) }, qb)
 		if err != nil {
+			br.Failure()
 			n.bcastSendErrs.Add(1)
 			continue
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
+			br.Failure()
 			n.bcastSendErrs.Add(1)
+			continue
 		}
+		br.Success()
 	}
 }
 
 // sendShipBatch delivers one journal batch to a follower in its
 // negotiated codec.
 func (n *Node) sendShipBatch(t replica.Target, b replica.ShipBatch) (replica.ShipAck, error) {
+	// An open breaker fast-fails the batch; the shipper treats any send
+	// error as "re-read the follower's cursor and resync", so nothing is
+	// lost — the half-open probe after OpenFor is what retries the wire.
+	br := n.shipBreakers.For(t.ID)
+	if !br.Allow() {
+		return replica.ShipAck{}, fmt.Errorf("ship to %s: circuit open", t.ID)
+	}
 	appendBatch := replica.AppendShipBatch
 	if n.peerTraced(t.ID) {
 		appendBatch = replica.AppendShipBatchTraced
@@ -236,16 +255,20 @@ func (n *Node) sendShipBatch(t replica.Target, b replica.ShipBatch) (replica.Shi
 	resp, err := n.postNegotiated(t.Addr, "/cluster/v1/replica/ship", t.ID,
 		func(dst []byte) []byte { return appendBatch(dst, b) }, b)
 	if err != nil {
+		br.Failure()
 		return replica.ShipAck{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		br.Failure()
 		return replica.ShipAck{}, fmt.Errorf("ship to %s: status %d", t.ID, resp.StatusCode)
 	}
 	var ack replica.ShipAck
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		br.Failure()
 		return replica.ShipAck{}, err
 	}
+	br.Success()
 	return ack, nil
 }
 

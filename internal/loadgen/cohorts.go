@@ -1,0 +1,221 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"locheat/internal/attack"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/synth"
+)
+
+// Cohort names, stable in reports.
+const (
+	CohortMayorCampaign = "mayor-campaign"
+	CohortVirtualTour   = "virtual-tour"
+	CohortSpoofJump     = "spoof-jump"
+)
+
+// attackCohort is one labelled attacker population running a shared
+// behavioural model. Its users are drawn from the world's ground-truth
+// cheater classes, so recall is scored against synth.TrueClass, not
+// against what the harness happened to inject.
+type attackCohort struct {
+	name  string
+	users []int // world user indexes
+	stats *cohortStats
+	// plan builds the next schedule round for one attacker, plus the
+	// virtual rest to sleep before replanning.
+	plan func(rng *rand.Rand) (attack.Schedule, time.Duration)
+}
+
+// buildCohorts partitions the world's cheater population into the
+// three attack models. Every cohort member is a ground-truth cheater
+// (ClassCheater/ClassCaught/ClassSuperMayor), so a detector that
+// flags them is right and one that misses them is measurable.
+func (r *Runner) buildCohorts() {
+	var cheaters []int
+	for i := range r.world.Users {
+		if r.world.Users[i].Class.Cheating() {
+			cheaters = append(cheaters, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 2))
+	rng.Shuffle(len(cheaters), func(i, j int) { cheaters[i], cheaters[j] = cheaters[j], cheaters[i] })
+
+	take := func(n int) []int {
+		if n > len(cheaters) {
+			n = len(cheaters)
+		}
+		out := cheaters[:n]
+		cheaters = cheaters[n:]
+		return out
+	}
+	n := r.cfg.AttackUsers
+	r.cohorts = []*attackCohort{
+		{name: CohortMayorCampaign, users: take(n), stats: &cohortStats{}, plan: r.planMayorCampaign},
+		{name: CohortVirtualTour, users: take(n), stats: &cohortStats{}, plan: r.planVirtualTour},
+		{name: CohortSpoofJump, users: take(n), stats: &cohortStats{}, plan: r.planSpoofJump},
+	}
+}
+
+// venueView adapts a world venue record to the planner's input.
+func (r *Runner) venueView(idx int) lbsn.VenueView {
+	return lbsn.VenueView{
+		ID:       lbsn.VenueID(idx + 1),
+		Location: r.world.Venues[idx].Seed.Location,
+	}
+}
+
+// cityVenues returns the world venue indexes of a random non-empty
+// city.
+func (r *Runner) cityVenues(rng *rand.Rand) []int {
+	w := r.world
+	byCity := make([][]int, len(w.Cities))
+	for j, v := range w.Venues {
+		byCity[v.City] = append(byCity[v.City], j)
+	}
+	for try := 0; try < 32; try++ {
+		if list := byCity[rng.Intn(len(byCity))]; len(list) > 0 {
+			return list
+		}
+	}
+	// Degenerate world: fall back to everything.
+	all := make([]int, len(w.Venues))
+	for j := range all {
+		all[j] = j
+	}
+	return all
+}
+
+// planMayorCampaign is the E1 recipe generalized: check into a fixed
+// city-bound target set daily, paced by the §3.3 interval rule, until
+// the mayorships fall. One executed round is one campaign day; the
+// rest sleep carries the schedule to the next day.
+func (r *Runner) planMayorCampaign(rng *rand.Rand) (attack.Schedule, time.Duration) {
+	list := r.cityVenues(rng)
+	targets := 4 + rng.Intn(4)
+	views := make([]lbsn.VenueView, 0, targets)
+	for len(views) < targets {
+		views = append(views, r.venueView(list[rng.Intn(len(list))]))
+	}
+	sch := attack.Plan(attack.DefaultPlannerConfig(), views)
+	rest := 24*time.Hour - sch.TotalWait()
+	if rest < time.Hour {
+		rest = time.Hour // tomorrow revisits today's venues: clear the cooldown
+	}
+	return sch, rest
+}
+
+// planVirtualTour is the Fig 3.5 semiautomatic tool run against the
+// live cluster: a right-turning move sequence whose every target point
+// resolves to the nearest venue — resolved against the harness's own
+// world copy, since a real attacker would resolve against crawled
+// venue data, not a service internal.
+func (r *Runner) planVirtualTour(rng *rand.Rand) (attack.Schedule, time.Duration) {
+	list := r.cityVenues(rng)
+	startIdx := list[rng.Intn(len(list))]
+	moves := attack.RightTurnTour(10+rng.Intn(7), 450)
+
+	views := []lbsn.VenueView{r.venueView(startIdx)}
+	pos := views[0].Location
+	last := startIdx
+	for _, m := range moves {
+		target := pos.Destination(m.BearingDeg, m.DistanceMeters)
+		next := nearestVenue(r.world, list, target, last)
+		if next < 0 {
+			break
+		}
+		views = append(views, r.venueView(next))
+		pos = r.world.Venues[next].Seed.Location
+		last = next
+	}
+	return attack.Plan(attack.DefaultPlannerConfig(), views), time.Hour
+}
+
+// planSpoofJump is the raw §3.1 coordinate forgery with no planner
+// discipline: teleporting check-ins across the country at a cadence no
+// traveller could hold. This cohort exists to exercise the obvious
+// detectors (speed, rate) while the other two exercise the subtle
+// ones.
+func (r *Runner) planSpoofJump(rng *rand.Rand) (attack.Schedule, time.Duration) {
+	w := r.world
+	stops := 8 + rng.Intn(7)
+	sch := make(attack.Schedule, 0, stops)
+	for n := 0; n < stops; n++ {
+		j := rng.Intn(len(w.Venues))
+		sch = append(sch, attack.Stop{
+			Venue:    lbsn.VenueID(j + 1),
+			Location: w.Venues[j].Seed.Location,
+			Wait:     time.Duration(1+rng.Intn(3)) * time.Minute,
+		})
+	}
+	return sch, 30 * time.Minute
+}
+
+// nearestVenue scans candidate venue indexes for the closest to
+// target, skipping `skip` so tours advance. Returns -1 when there are
+// no candidates.
+func nearestVenue(w *synth.World, candidates []int, target geo.Point, skip int) int {
+	best, bestD := -1, 0.0
+	for _, j := range candidates {
+		if j == skip {
+			continue
+		}
+		d := w.Venues[j].Seed.Location.DistanceMeters(target)
+		if best < 0 || d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}
+
+// runAttacker executes one attacker's schedule rounds until the
+// traffic window closes, pacing virtual waits through a private
+// ScaledSleeper — the §3.3 waits are honoured in virtual time and
+// compressed in wall time.
+func (r *Runner) runAttacker(ctx context.Context, c *attackCohort, n int) {
+	userIdx := c.users[n]
+	userID := uint64(userIdx + 1)
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(1000*n) + int64(userIdx)))
+	sleeper := simclock.NewScaledSleeper(simclock.Epoch(), r.cfg.TimeScale)
+	for ctx.Err() == nil {
+		sch, rest := c.plan(rng)
+		for _, stop := range sch {
+			if !pace(ctx, sleeper, stop.Wait) {
+				return
+			}
+			r.post(userID, uint64(stop.Venue), stop.Location, c.stats)
+		}
+		if !pace(ctx, sleeper, rest) {
+			return
+		}
+	}
+}
+
+// pace sleeps a virtual duration through the scaled sleeper in short
+// wall-clock chunks so a closing context is noticed promptly. Reports
+// whether the full wait completed.
+func pace(ctx context.Context, s *simclock.ScaledSleeper, d time.Duration) bool {
+	f := s.Factor
+	if f <= 0 {
+		f = 1
+	}
+	// Chunk at ~250ms of wall time per sleep.
+	chunk := time.Duration(0.25 * f * float64(time.Second))
+	for d > 0 {
+		if ctx.Err() != nil {
+			return false
+		}
+		step := d
+		if step > chunk {
+			step = chunk
+		}
+		s.Sleep(step)
+		d -= step
+	}
+	return ctx.Err() == nil
+}

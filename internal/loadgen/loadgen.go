@@ -1,0 +1,479 @@
+// Package loadgen is the million-user load harness: it materializes a
+// synth.World at 100k–1M users and replays its check-in traffic against
+// a LIVE lbsnd cluster over the public developer API — the same
+// trust-the-client surface the §3.1 attackers use — at a target
+// events-per-second, mixing ground-truth-labelled attack cohorts from
+// internal/attack into the benign stream so the detection pipeline's
+// output can be scored for recall.
+//
+// The harness is open-loop: the benign dispatcher paces wall-clock
+// time and never blocks on the system under test — when the cluster
+// sheds (429) or a posting queue backs up, the harness counts the loss
+// and keeps pacing, which is what makes the backpressure measurements
+// honest (a closed-loop generator slows down exactly when the system
+// misbehaves, hiding the overload it was supposed to produce).
+//
+// The cluster must be started from the SAME -users/-seed world: user
+// index i is service ID i+1 and venue index j is ID j+1 on both sides,
+// so the harness knows every ID and every ground-truth class without
+// asking the cluster.
+//
+// Two clocks run side by side, deliberately:
+//
+//   - benign users pace in real wall time, spaced to stay inside the
+//     detection envelope (rate throttle 12/30min, speed 15 m/s,
+//     same-venue cooldown 1h) — they are the traffic that must NOT
+//     alert;
+//   - attack cohorts pace through simclock.ScaledSleeper, compressing
+//     the §3.3 multi-day schedules (5-minute hops, day-long mayorship
+//     campaigns) onto seconds of wall time. The server stamps arrivals
+//     with its own clock, so compression makes every attacker's
+//     implied travel physically impossible — they are the traffic
+//     that MUST alert, and per-cohort recall scores whether it did.
+package loadgen
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locheat/internal/api"
+	"locheat/internal/geo"
+	"locheat/internal/synth"
+)
+
+// Config sizes the run. Zero fields take defaults.
+type Config struct {
+	// Targets are the cluster nodes' public base URLs (http://host:port);
+	// check-ins round-robin across them. At least one is required.
+	Targets []string
+	// APIKey authenticates against /api/v1 (the cluster's -api-key).
+	APIKey string
+
+	// Users is the world scale; the cluster must have been started with
+	// the same -users and -seed (default 100000).
+	Users int
+	// Seed is the world RNG seed (default 42).
+	Seed int64
+
+	// Rate is the benign target in check-ins per second (default 100).
+	// The harness caps each user's own pace to stay inside the
+	// detection envelope, so a rate the sampled pool cannot sustain
+	// shows up as Starved in the report instead of as false alerts.
+	Rate float64
+	// Duration is the traffic window (default 60s).
+	Duration time.Duration
+	// Workers is the benign posting pool size (default 32).
+	Workers int
+
+	// AttackUsers is the attacker count per cohort (default 8). The
+	// attackers are drawn from the world's ground-truth cheater
+	// population, so detection recall is measured against TrueClass.
+	AttackUsers int
+	// TimeScale compresses attack schedules: virtual seconds per wall
+	// second (default 600 — a 5-minute §3.3 hop takes 500ms).
+	TimeScale float64
+
+	// MaxP99 is the detection-latency gate: a scraped p99 above it is a
+	// violation (default 50ms).
+	MaxP99 time.Duration
+	// DrainTimeout bounds the post-traffic wait for the cluster's
+	// queues to empty (default 15s); not draining is a violation.
+	DrainTimeout time.Duration
+	// RecallProbes caps the per-cohort users probed for alerts when
+	// scoring recall (default 25).
+	RecallProbes int
+
+	// HTTP overrides the posting client (default: pooled transport).
+	HTTP *http.Client
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Users <= 0 {
+		c.Users = 100000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 32
+	}
+	if c.AttackUsers <= 0 {
+		c.AttackUsers = 8
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 600
+	}
+	if c.MaxP99 <= 0 {
+		c.MaxP99 = 50 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.RecallProbes <= 0 {
+		c.RecallProbes = 25
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+			},
+		}
+	}
+	return c
+}
+
+// Detection-envelope constants the benign pacing respects. They mirror
+// the server defaults (stream.DetectConfig / cheatercode.DefaultConfig)
+// with safety margin: the benign cohort exists to prove the detectors
+// do NOT fire on honest traffic, so its pacing must clear every rule.
+const (
+	// minUserGap clears the 12-claims/30-minute rate throttle
+	// (150s/claim) with margin.
+	minUserGap = 155 * time.Second
+	// cooldownSlack clears the 1h same-venue cooldown: a user's ring of
+	// venues must take at least this long to cycle.
+	cooldownSlack = 3700 * time.Second
+	// benignSpeed is the assumed honest travel speed in m/s, placed
+	// under the 15 m/s envelope with margin.
+	benignSpeed = 12.0
+	// ringSize is the venues each benign user rotates through.
+	ringSize = 24
+)
+
+// benignUser is one paced honest user: a ring of nearby home-city
+// venues cycled at a per-user gap that clears the detection envelope.
+type benignUser struct {
+	idx    int   // world user index (service ID idx+1)
+	ring   []int // world venue indexes, visit order
+	cursor int
+	gap    time.Duration
+	nextAt time.Time
+}
+
+// userHeap orders benign users by when they may next check in.
+type userHeap []*benignUser
+
+func (h userHeap) Len() int           { return len(h) }
+func (h userHeap) Less(i, j int) bool { return h[i].nextAt.Before(h[j].nextAt) }
+func (h userHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *userHeap) Push(x any)        { *h = append(*h, x.(*benignUser)) }
+func (h *userHeap) Pop() any          { old := *h; n := len(old); u := old[n-1]; *h = old[:n-1]; return u }
+
+type job struct {
+	user  uint64
+	venue uint64
+	loc   geo.Point
+}
+
+// cohortStats aggregates one traffic class's outcomes.
+type cohortStats struct {
+	sent     atomic.Uint64
+	accepted atomic.Uint64
+	denied   atomic.Uint64
+	shed     atomic.Uint64
+	errors   atomic.Uint64
+}
+
+func (s *cohortStats) record(resp api.CheckinResponse, err error) {
+	s.sent.Add(1)
+	switch {
+	case err == nil && resp.Accepted:
+		s.accepted.Add(1)
+	case err == nil:
+		s.denied.Add(1)
+	default:
+		if _, ok := api.IsOverloaded(err); ok {
+			s.shed.Add(1)
+		} else {
+			s.errors.Add(1)
+		}
+	}
+}
+
+// Runner drives one load run.
+type Runner struct {
+	cfg     Config
+	world   *synth.World
+	clients []*api.Client
+	rr      atomic.Uint64 // round-robin cursor over clients
+
+	benign  *cohortStats
+	starved atomic.Uint64 // pacing ticks with no envelope-eligible user
+	lagged  atomic.Uint64 // jobs lost to a full posting queue (open loop)
+
+	cohorts []*attackCohort
+}
+
+// New materializes the world and prepares the cohorts. It does not
+// touch the network.
+func New(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	r := &Runner{cfg: cfg, benign: &cohortStats{}}
+	for _, t := range cfg.Targets {
+		c := api.NewClient(t, cfg.APIKey)
+		c.HTTP = cfg.HTTP
+		r.clients = append(r.clients, c)
+	}
+	r.logf("generating world: %d users, %d venues (seed %d)", cfg.Users, 3*cfg.Users, cfg.Seed)
+	r.world = synth.Generate(synth.Config{Seed: cfg.Seed, Users: cfg.Users})
+	r.buildCohorts()
+	return r, nil
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// client returns the next round-robin API client.
+func (r *Runner) client() *api.Client {
+	return r.clients[int(r.rr.Add(1))%len(r.clients)]
+}
+
+// post issues one check-in and records the outcome into stats.
+func (r *Runner) post(user, venue uint64, loc geo.Point, stats *cohortStats) {
+	resp, err := r.client().CheckIn(user, venue, loc)
+	stats.record(resp, err)
+}
+
+// buildBenignPool samples honest users and assembles their venue
+// rings: consecutive venues from a per-city spatial sort, so ring hops
+// stay short and the per-user gap stays near the rate-throttle floor.
+func (r *Runner) buildBenignPool(rng *rand.Rand) []*benignUser {
+	w := r.world
+	// Per-city venue lists, spatially sorted (coarse lat cell, then
+	// lon): consecutive entries are near neighbours in dense cities.
+	byCity := make([][]int, len(w.Cities))
+	for j, v := range w.Venues {
+		byCity[v.City] = append(byCity[v.City], j)
+	}
+	for _, list := range byCity {
+		sort.Slice(list, func(a, b int) bool {
+			va, vb := w.Venues[list[a]].Seed.Location, w.Venues[list[b]].Seed.Location
+			ca, cb := int(va.Lat/0.02), int(vb.Lat/0.02)
+			if ca != cb {
+				return ca < cb
+			}
+			return va.Lon < vb.Lon
+		})
+	}
+
+	var pool []*benignUser
+	start := time.Now()
+	for i := range w.Users {
+		switch w.Users[i].Class {
+		case synth.ClassCasual, synth.ClassActive, synth.ClassPower:
+		default:
+			continue // inactive users stay silent; cheaters belong to the attack cohorts
+		}
+		list := byCity[w.Users[i].HomeCity]
+		if len(list) == 0 {
+			continue
+		}
+		k := ringSize
+		if k > len(list) {
+			k = len(list)
+		}
+		off := rng.Intn(len(list))
+		ring := make([]int, k)
+		maxHop := 0.0
+		for n := 0; n < k; n++ {
+			ring[n] = list[(off+n)%len(list)]
+		}
+		for n := 0; n < k; n++ {
+			a := w.Venues[ring[n]].Seed.Location
+			b := w.Venues[ring[(n+1)%k]].Seed.Location
+			if d := a.DistanceMeters(b); d > maxHop {
+				maxHop = d
+			}
+		}
+		gap := minUserGap
+		if g := cooldownSlack / time.Duration(k); g > gap {
+			gap = g
+		}
+		if g := time.Duration(maxHop / benignSpeed * float64(time.Second)); g > gap {
+			gap = g
+		}
+		pool = append(pool, &benignUser{
+			idx:  i,
+			ring: ring,
+			gap:  gap,
+			// Stagger first check-ins across one full gap so the pool
+			// doesn't fire as a thundering herd at t=0.
+			nextAt: start.Add(time.Duration(rng.Int63n(int64(gap)))),
+		})
+	}
+	return pool
+}
+
+// dispatchBenign is the open-loop pacer: it releases jobs at the
+// target rate, drawing the next envelope-eligible user from the heap.
+// When no user is eligible (the pool cannot sustain the rate without
+// tripping the detectors) the slot is counted as starved and dropped —
+// never compressed onto a user who would then alert.
+func (r *Runner) dispatchBenign(ctx context.Context, pool []*benignUser, jobs chan<- job) {
+	h := userHeap(pool)
+	heap.Init(&h)
+	const tick = 10 * time.Millisecond
+	perTick := r.cfg.Rate * tick.Seconds()
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	acc := 0.0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		acc += perTick
+		// Bound the backlog so a stall doesn't burst-release later.
+		if burst := 10 * perTick; acc > burst && burst >= 1 {
+			acc = burst
+		}
+		now := time.Now()
+		for acc >= 1 && h.Len() > 0 {
+			acc--
+			u := h[0]
+			if u.nextAt.After(now) {
+				r.starved.Add(1)
+				continue
+			}
+			v := u.ring[u.cursor%len(u.ring)]
+			u.cursor++
+			u.nextAt = now.Add(u.gap)
+			heap.Fix(&h, 0)
+			j := job{
+				user:  uint64(u.idx + 1),
+				venue: uint64(v + 1),
+				loc:   r.world.Venues[v].Seed.Location,
+			}
+			select {
+			case jobs <- j:
+			default:
+				r.lagged.Add(1) // open loop: never block on the system under test
+			}
+		}
+	}
+}
+
+// Run executes the load: benign pacing plus attack cohorts for
+// cfg.Duration, then drain, scrape and score. The context cancels the
+// whole run early.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	cfg := r.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	pool := r.buildBenignPool(rng)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("loadgen: world has no benign users to sample")
+	}
+	// Advertise the envelope-limited capacity so an unsustainable -rate
+	// is understood before the starved counter says it.
+	capacity := 0.0
+	for _, u := range pool {
+		capacity += 1 / u.gap.Seconds()
+	}
+	r.logf("benign pool: %d users, envelope-limited capacity %.0f ev/s (target %.0f)",
+		len(pool), capacity, cfg.Rate)
+	r.logf("attack cohorts: %d users x %d cohorts, time scale %.0fx", cfg.AttackUsers, len(r.cohorts), cfg.TimeScale)
+
+	trafficCtx, stopTraffic := context.WithTimeout(ctx, cfg.Duration)
+	defer stopTraffic()
+
+	jobs := make(chan job, 4*cfg.Workers)
+	var workers sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for j := range jobs {
+				r.post(j.user, j.venue, j.loc, r.benign)
+			}
+		}()
+	}
+	var producers sync.WaitGroup
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		r.dispatchBenign(trafficCtx, pool, jobs)
+	}()
+	for _, c := range r.cohorts {
+		for n := range c.users {
+			producers.Add(1)
+			go func(c *attackCohort, n int) {
+				defer producers.Done()
+				r.runAttacker(trafficCtx, c, n)
+			}(c, n)
+		}
+	}
+
+	started := time.Now()
+	producers.Wait()
+	close(jobs)
+	workers.Wait()
+	elapsed := time.Since(started)
+	r.logf("traffic done after %s: %d benign sent (%d starved, %d lagged)",
+		elapsed.Round(time.Millisecond), r.benign.sent.Load(), r.starved.Load(), r.lagged.Load())
+
+	rep := r.newReport(elapsed)
+	drained := r.awaitDrain(ctx, rep)
+	if !drained {
+		rep.addViolation("drain-timeout",
+			fmt.Sprintf("cluster queues not empty after %s", cfg.DrainTimeout))
+	}
+	r.scrapeNodes(rep)
+	r.scoreRecall(ctx, rep)
+	rep.finalize(cfg)
+	return rep, ctx.Err()
+}
+
+// awaitDrain polls the cluster until every node's stream and DLQ
+// depths read zero and the published counter stops moving — i.e. all
+// accepted traffic has cleared the detectors.
+func (r *Runner) awaitDrain(ctx context.Context, rep *Report) bool {
+	deadline := time.Now().Add(r.cfg.DrainTimeout)
+	var lastPublished float64 = -1
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		depth, published := 0.0, 0.0
+		healthy := true
+		for _, t := range r.cfg.Targets {
+			ms, err := scrape(r.cfg.HTTP, t)
+			if err != nil {
+				healthy = false
+				break
+			}
+			depth += ms.sum("locheat_stream_queue_depth") + ms.sum("locheat_stream_dlq_depth")
+			published += ms.sum("locheat_stream_published_total")
+		}
+		if healthy && depth == 0 && published == lastPublished {
+			return true
+		}
+		lastPublished = published
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locheat/internal/api"
+	"locheat/internal/backpressure"
+	"locheat/internal/lbsn"
+	"locheat/internal/obs"
+	"locheat/internal/simclock"
+	"locheat/internal/stream"
+	"locheat/internal/synth"
+)
+
+func TestParseSample(t *testing.T) {
+	cases := []struct {
+		line   string
+		name   string
+		labels map[string]string
+		value  float64
+		ok     bool
+	}{
+		{"locheat_stream_published_total 42", "locheat_stream_published_total", nil, 42, true},
+		{`locheat_backpressure_shed_total{priority="low"} 7`, "locheat_backpressure_shed_total",
+			map[string]string{"priority": "low"}, 7, true},
+		{`locheat_detection_latency_seconds{quantile="0.99"} 0.0031 # {trace_id="abc"} 0.004 1690000000`,
+			"locheat_detection_latency_seconds", map[string]string{"quantile": "0.99"}, 0.0031, true},
+		{`weird{k="a,b",k2="c\"d"} 1.5`, "weird", map[string]string{"k": "a,b", "k2": `c\"d`}, 1.5, true},
+		{"# HELP ignored", "", nil, 0, false},
+		{"no-value-here", "", nil, 0, false},
+	}
+	for _, tc := range cases {
+		s, ok := parseSample(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseSample(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if s.name != tc.name || s.value != tc.value {
+			t.Errorf("parseSample(%q) = %q %v, want %q %v", tc.line, s.name, s.value, tc.name, tc.value)
+		}
+		for k, v := range tc.labels {
+			if s.labels[k] != v {
+				t.Errorf("parseSample(%q) label %s = %q, want %q", tc.line, k, s.labels[k], v)
+			}
+		}
+	}
+}
+
+func TestNodeMetricsAggregates(t *testing.T) {
+	m := &nodeMetrics{samples: []sample{
+		{name: "locheat_stream_dropped_total", labels: map[string]string{"reason": "full"}, value: 3},
+		{name: "locheat_stream_dropped_total", labels: map[string]string{"reason": "closed"}, value: 0},
+		{name: "locheat_shard_drops_total", value: 2},
+		{name: "locheat_detection_latency_seconds", labels: map[string]string{"quantile": "0.99"}, value: 0.004},
+		{name: "locheat_detection_latency_seconds", labels: map[string]string{"quantile": "0.99", "shard": "1"}, value: 0.009},
+		{name: "locheat_backpressure_shed_total", labels: map[string]string{"priority": "low"}, value: 5},
+		{name: "locheat_backpressure_shed_total", labels: map[string]string{"priority": "critical"}, value: 1},
+	}}
+	if got := m.sum("locheat_stream_dropped_total"); got != 3 {
+		t.Errorf("sum = %v, want 3", got)
+	}
+	if got := m.sumLabel("locheat_backpressure_shed_total", "priority", "low"); got != 5 {
+		t.Errorf("sumLabel low = %v, want 5", got)
+	}
+	// Max across label sets: the conservative read for a latency gate.
+	if got := m.quantile("locheat_detection_latency_seconds", "0.99"); got != 0.009 {
+		t.Errorf("quantile = %v, want 0.009", got)
+	}
+	drops := m.droppedSeries()
+	if len(drops) != 2 {
+		t.Errorf("droppedSeries = %v, want 2 nonzero entries (zero-valued series excluded)", drops)
+	}
+	if drops[`locheat_stream_dropped_total{reason="full"}`] != 3 {
+		t.Errorf("droppedSeries missing reason-labelled entry: %v", drops)
+	}
+}
+
+// startTestNode wires the full single-node stack the way cmd/lbsnd
+// does — service, stream pipeline, admission controller, API server,
+// /metrics — over the same synthetic world the harness will generate.
+func startTestNode(t *testing.T, users int, seed int64) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	clock := simclock.Real{}
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	svc.RegisterObs(reg)
+	world := synth.Generate(synth.Config{Seed: seed, Users: users})
+	if err := world.LoadInto(svc); err != nil {
+		t.Fatal(err)
+	}
+	pipeline := stream.New(stream.Config{Shards: 2, Clock: clock, Obs: reg})
+	t.Cleanup(pipeline.Close)
+	svc.SetCheckinObserver(func(ev lbsn.CheckinEvent) { pipeline.Publish(ev) })
+
+	mon := backpressure.NewMonitor(
+		backpressure.Stage{Name: "stream", Sample: pipeline.QueueSample},
+		backpressure.Stage{Name: "dlq", Sample: pipeline.DLQSample},
+	)
+	admission := backpressure.NewAdmission(backpressure.AdmissionConfig{Monitor: mon, Obs: reg})
+	t.Cleanup(admission.Close)
+
+	apiSrv := api.NewServer(svc)
+	apiSrv.IssueKey("k-soak")
+	apiSrv.AttachPipeline(pipeline)
+	apiSrv.AttachObs(reg)
+	apiSrv.AttachAdmission(admission)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/api/v1/", apiSrv)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunnerEndToEnd drives a scaled-down soak — same code path as
+// `make soak`, one in-process node — and audits the report.
+func TestRunnerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	const users, seed = 1000, 7
+	ts := startTestNode(t, users, seed)
+
+	r, err := New(Config{
+		Targets:      []string{ts.URL},
+		APIKey:       "k-soak",
+		Users:        users,
+		Seed:         seed,
+		Rate:         40,
+		Duration:     3 * time.Second,
+		Workers:      8,
+		AttackUsers:  2,
+		TimeScale:    7200, // 1 virtual hour ≈ 0.5s wall: full plans fit the window
+		MaxP99:       5 * time.Second,
+		DrainTimeout: 10 * time.Second,
+		RecallProbes: 5,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benign.Sent == 0 {
+		t.Error("benign cohort sent nothing")
+	}
+	var attackSent uint64
+	for _, c := range rep.Cohorts {
+		attackSent += c.Sent
+	}
+	if attackSent == 0 {
+		t.Error("attack cohorts sent nothing")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("transport errors = %d, want 0 (report %+v)", rep.Errors, rep)
+	}
+	if len(rep.Cohorts) != 3 {
+		t.Errorf("cohorts = %d, want 3", len(rep.Cohorts))
+	}
+	if len(rep.Nodes) != 1 || rep.Nodes[0].ScrapeError != "" {
+		t.Fatalf("node scrape failed: %+v", rep.Nodes)
+	}
+	if rep.Nodes[0].Published == 0 {
+		t.Error("node published nothing — check-ins never reached the pipeline")
+	}
+	// Benign traffic is paced inside the detection envelope, so probing
+	// it for alerts measures false positives: must be zero.
+	if rep.Benign.Detected != 0 {
+		t.Errorf("benign false positives = %d/%d probed", rep.Benign.Detected, rep.Benign.Probed)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation [%s] %s", v.Kind, v.Detail)
+	}
+	if rep.SustainedRate <= 0 {
+		t.Errorf("sustained rate = %v, want > 0", rep.SustainedRate)
+	}
+}
+
+// TestRunnerRefusesEmptyTargets pins New's config validation.
+func TestRunnerConfigValidation(t *testing.T) {
+	if _, err := New(Config{Users: 100}); err == nil {
+		t.Error("New without targets must fail")
+	}
+}

@@ -1,0 +1,285 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"locheat/internal/store"
+	"locheat/internal/synth"
+)
+
+// CohortReport scores one traffic class.
+type CohortReport struct {
+	Name     string  `json:"name"`
+	Users    int     `json:"users"`
+	Sent     uint64  `json:"sent"`
+	Accepted uint64  `json:"accepted"`
+	Denied   uint64  `json:"denied"`
+	Shed     uint64  `json:"shed"`
+	Errors   uint64  `json:"errors"`
+	Probed   int     `json:"probed"`
+	Detected int     `json:"detected"`
+	Recall   float64 `json:"recall"`
+}
+
+// NodeReport is one cluster node's scraped telemetry after the run.
+type NodeReport struct {
+	Target        string  `json:"target"`
+	ScrapeError   string  `json:"scrapeError,omitempty"`
+	Published     float64 `json:"published"`
+	Processed     float64 `json:"processed"`
+	Dropped       float64 `json:"dropped"`
+	DeadLettered  float64 `json:"deadLettered"`
+	DetectionN    float64 `json:"detectionCount"`
+	DetectionP50  float64 `json:"detectionP50Seconds"`
+	DetectionP99  float64 `json:"detectionP99Seconds"`
+	DetectionP999 float64 `json:"detectionP999Seconds"`
+	// DroppedBySeries lists every nonzero drop counter on the node,
+	// keyed by rendered series — if an event was lost, its reason is
+	// here or the loss was silent (a violation).
+	DroppedBySeries map[string]float64 `json:"droppedBySeries,omitempty"`
+	ShedByPriority  map[string]float64 `json:"shedByPriority,omitempty"`
+	Engagements     float64            `json:"backpressureEngagements"`
+	BreakerOpens    float64            `json:"breakerOpens"`
+	BreakerRejected float64            `json:"breakerRejected"`
+	QuarantineAdds  float64            `json:"quarantineAdds"`
+}
+
+// Violation is one failed invariant; any violation fails a gated run.
+type Violation struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// Report is the run's structured output, written as JSON by
+// cmd/loadgen and consumed by the CI soak gate.
+type Report struct {
+	Targets     []string  `json:"targets"`
+	Users       int       `json:"users"`
+	Seed        int64     `json:"seed"`
+	TargetRate  float64   `json:"targetRate"`
+	TimeScale   float64   `json:"timeScale"`
+	StartedAt   time.Time `json:"startedAt"`
+	WallSeconds float64   `json:"wallSeconds"`
+
+	Sent          uint64  `json:"sent"`
+	Accepted      uint64  `json:"accepted"`
+	Denied        uint64  `json:"denied"`
+	Shed          uint64  `json:"shed"`
+	Errors        uint64  `json:"errors"`
+	Starved       uint64  `json:"starved"`
+	Lagged        uint64  `json:"lagged"`
+	SustainedRate float64 `json:"sustainedRate"`
+
+	Benign  CohortReport   `json:"benign"`
+	Cohorts []CohortReport `json:"cohorts"`
+	Nodes   []NodeReport   `json:"nodes"`
+
+	// Cluster-wide maxima/sums derived from Nodes.
+	DetectionP50  float64 `json:"detectionP50Seconds"`
+	DetectionP99  float64 `json:"detectionP99Seconds"`
+	DetectionP999 float64 `json:"detectionP999Seconds"`
+	DetectionN    float64 `json:"detectionCount"`
+	DroppedTotal  float64 `json:"droppedTotal"`
+	ShedCritical  float64 `json:"shedCritical"`
+
+	Violations []Violation `json:"violations"`
+}
+
+func (rep *Report) addViolation(kind, detail string) {
+	rep.Violations = append(rep.Violations, Violation{Kind: kind, Detail: detail})
+}
+
+// WriteJSON renders the report, indented.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func (r *Runner) newReport(elapsed time.Duration) *Report {
+	cfg := r.cfg
+	rep := &Report{
+		Targets:     cfg.Targets,
+		Users:       cfg.Users,
+		Seed:        cfg.Seed,
+		TargetRate:  cfg.Rate,
+		TimeScale:   cfg.TimeScale,
+		StartedAt:   time.Now().Add(-elapsed),
+		WallSeconds: elapsed.Seconds(),
+		Starved:     r.starved.Load(),
+		Lagged:      r.lagged.Load(),
+	}
+	rep.Benign = CohortReport{
+		Name:     "benign",
+		Sent:     r.benign.sent.Load(),
+		Accepted: r.benign.accepted.Load(),
+		Denied:   r.benign.denied.Load(),
+		Shed:     r.benign.shed.Load(),
+		Errors:   r.benign.errors.Load(),
+	}
+	for _, c := range r.cohorts {
+		rep.Cohorts = append(rep.Cohorts, CohortReport{
+			Name:     c.name,
+			Users:    len(c.users),
+			Sent:     c.stats.sent.Load(),
+			Accepted: c.stats.accepted.Load(),
+			Denied:   c.stats.denied.Load(),
+			Shed:     c.stats.shed.Load(),
+			Errors:   c.stats.errors.Load(),
+		})
+	}
+	return rep
+}
+
+// scrapeNodes reads each node's /metrics into the report.
+func (r *Runner) scrapeNodes(rep *Report) {
+	for _, t := range r.cfg.Targets {
+		nr := NodeReport{Target: t}
+		ms, err := scrape(r.cfg.HTTP, t)
+		if err != nil {
+			nr.ScrapeError = err.Error()
+			rep.Nodes = append(rep.Nodes, nr)
+			continue
+		}
+		nr.Published = ms.sum("locheat_stream_published_total")
+		nr.Processed = ms.sum("locheat_stream_processed_total")
+		nr.Dropped = ms.sum("locheat_stream_dropped_total")
+		nr.DeadLettered = ms.sum("locheat_stream_dead_letters_total")
+		nr.DetectionN = ms.sum("locheat_detection_latency_seconds_count")
+		nr.DetectionP50 = ms.quantile("locheat_detection_latency_seconds", "0.5")
+		nr.DetectionP99 = ms.quantile("locheat_detection_latency_seconds", "0.99")
+		nr.DetectionP999 = ms.quantile("locheat_detection_latency_seconds", "0.999")
+		nr.DroppedBySeries = ms.droppedSeries()
+		nr.ShedByPriority = map[string]float64{}
+		for _, p := range []string{"low", "normal", "critical"} {
+			if v := ms.sumLabel("locheat_backpressure_shed_total", "priority", p); v > 0 {
+				nr.ShedByPriority[p] = v
+			}
+		}
+		nr.Engagements = ms.sum("locheat_backpressure_engagements_total")
+		nr.BreakerOpens = ms.sumLabel("locheat_breaker_transitions_total", "to", "open")
+		nr.BreakerRejected = ms.sum("locheat_breaker_rejected_total")
+		nr.QuarantineAdds = ms.sum("locheat_lbsn_quarantine_adds_total")
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+}
+
+// scoreRecall probes per-cohort users for alerts: a cohort member with
+// at least one alert anywhere in the cluster counts as detected. The
+// benign cohort is probed the same way — its "recall" is the false-
+// positive rate and should be zero.
+func (r *Runner) scoreRecall(ctx context.Context, rep *Report) {
+	client := r.clients[0]
+	probe := func(userIdx int) bool {
+		page, err := client.AlertsPage(store.AlertQuery{UserID: uint64(userIdx + 1), Limit: 1})
+		return err == nil && page.Total > 0
+	}
+	for i, c := range r.cohorts {
+		probed, detected := 0, 0
+		for _, ui := range c.users {
+			if ctx.Err() != nil || probed >= r.cfg.RecallProbes {
+				break
+			}
+			probed++
+			if probe(ui) {
+				detected++
+			}
+		}
+		rep.Cohorts[i].Probed = probed
+		rep.Cohorts[i].Detected = detected
+		if probed > 0 {
+			rep.Cohorts[i].Recall = float64(detected) / float64(probed)
+		}
+	}
+	// Benign false positives: sample the honest classes.
+	probed, detected := 0, 0
+	for ui := range r.world.Users {
+		if ctx.Err() != nil || probed >= r.cfg.RecallProbes {
+			break
+		}
+		switch r.world.Users[ui].Class {
+		case synth.ClassCasual, synth.ClassActive, synth.ClassPower:
+			probed++
+			if probe(ui) {
+				detected++
+			}
+		}
+	}
+	rep.Benign.Users = probed
+	rep.Benign.Probed = probed
+	rep.Benign.Detected = detected
+	if probed > 0 {
+		rep.Benign.Recall = float64(detected) / float64(probed)
+	}
+}
+
+// finalize derives the cluster-wide aggregates and runs the invariant
+// audit that turns telemetry into violations:
+//
+//   - shed-critical: the admission controller shed the never-shed
+//     priority (denied-claim/alert path) — the priority order broke;
+//   - detection-p99: end-to-end detection latency exceeded the gate;
+//   - silent-drops: events were dropped while every backpressure
+//     signal (engagements, sheds, breaker activity) read zero — loss
+//     without an admission story is the failure mode this subsystem
+//     exists to eliminate.
+func (rep *Report) finalize(cfg Config) {
+	rep.Sent = rep.Benign.Sent
+	rep.Accepted = rep.Benign.Accepted
+	rep.Denied = rep.Benign.Denied
+	rep.Shed = rep.Benign.Shed
+	rep.Errors = rep.Benign.Errors
+	for _, c := range rep.Cohorts {
+		rep.Sent += c.Sent
+		rep.Accepted += c.Accepted
+		rep.Denied += c.Denied
+		rep.Shed += c.Shed
+		rep.Errors += c.Errors
+	}
+	if rep.WallSeconds > 0 {
+		rep.SustainedRate = float64(rep.Sent) / rep.WallSeconds
+	}
+	backpressureSignal := 0.0
+	dropped := 0.0
+	for _, n := range rep.Nodes {
+		if n.ScrapeError != "" {
+			rep.addViolation("scrape-failed", fmt.Sprintf("%s: %s", n.Target, n.ScrapeError))
+			continue
+		}
+		if n.DetectionP50 > rep.DetectionP50 {
+			rep.DetectionP50 = n.DetectionP50
+		}
+		if n.DetectionP99 > rep.DetectionP99 {
+			rep.DetectionP99 = n.DetectionP99
+		}
+		if n.DetectionP999 > rep.DetectionP999 {
+			rep.DetectionP999 = n.DetectionP999
+		}
+		rep.DetectionN += n.DetectionN
+		for _, v := range n.DroppedBySeries {
+			dropped += v
+		}
+		rep.ShedCritical += n.ShedByPriority["critical"]
+		backpressureSignal += n.Engagements + n.BreakerOpens + n.BreakerRejected +
+			n.ShedByPriority["low"] + n.ShedByPriority["normal"]
+	}
+	rep.DroppedTotal = dropped
+
+	if rep.ShedCritical > 0 {
+		rep.addViolation("shed-critical",
+			fmt.Sprintf("%.0f critical-priority check-ins shed (the alert path must never shed)", rep.ShedCritical))
+	}
+	if rep.DetectionN > 0 && rep.DetectionP99 > cfg.MaxP99.Seconds() {
+		rep.addViolation("detection-p99",
+			fmt.Sprintf("detection latency p99 %.1fms exceeds gate %.1fms",
+				rep.DetectionP99*1000, float64(cfg.MaxP99.Milliseconds())))
+	}
+	if dropped > 0 && backpressureSignal == 0 && rep.Shed == 0 {
+		rep.addViolation("silent-drops",
+			fmt.Sprintf("%.0f events dropped with zero backpressure signal (no engagement, no shed, no breaker activity)", dropped))
+	}
+}

@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the harness's Prometheus scraper: a minimal parser for
+// the text exposition the cluster's /metrics serves (internal/obs
+// writes it; no client library exists in-tree, by design). The harness
+// reads detection-latency summaries, the drop counters, and the
+// backpressure/breaker state straight off the same surface an operator
+// would scrape — if a loss isn't on /metrics, the harness counts it as
+// silent, which is exactly the audit the report's violations enforce.
+
+// sample is one scraped series value.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// labelGet returns a label value or "".
+func (s sample) labelGet(key string) string { return s.labels[key] }
+
+// key renders name{k="v",...} with sorted label keys — stable across
+// scrapes for report maps.
+func (s sample) key() string {
+	if len(s.labels) == 0 {
+		return s.name
+	}
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// nodeMetrics is one node's parsed scrape.
+type nodeMetrics struct {
+	samples []sample
+}
+
+// scrape fetches and parses base/metrics.
+func scrape(httpc *http.Client, base string) (*nodeMetrics, error) {
+	resp, err := httpc.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %d", base, resp.StatusCode)
+	}
+	m := &nodeMetrics{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if s, ok := parseSample(line); ok {
+			m.samples = append(m.samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", base, err)
+	}
+	return m, nil
+}
+
+// parseSample parses `name{k="v",...} value` or `name value`. Exemplar
+// suffixes (`# {...}`) are ignored.
+func parseSample(line string) (sample, bool) {
+	if i := strings.Index(line, " # "); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return sample{}, false
+	}
+	series, valStr := line[:sp], line[sp+1:]
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return sample{}, false
+	}
+	s := sample{value: val}
+	if open := strings.IndexByte(series, '{'); open >= 0 {
+		s.name = series[:open]
+		body := strings.TrimSuffix(series[open+1:], "}")
+		s.labels = parseLabels(body)
+	} else {
+		s.name = series
+	}
+	return s, true
+}
+
+// parseLabels parses `k="v",k2="v2"`, tolerating commas inside quoted
+// values.
+func parseLabels(body string) map[string]string {
+	labels := make(map[string]string)
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			break
+		}
+		key := strings.TrimSpace(body[:eq])
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			break
+		}
+		end := 1
+		for end < len(rest) && rest[end] != '"' {
+			if rest[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(rest) {
+			break
+		}
+		val := rest[1:end]
+		labels[key] = val
+		body = strings.TrimPrefix(rest[end+1:], ",")
+	}
+	return labels
+}
+
+// sum totals every sample with the name, across label sets.
+func (m *nodeMetrics) sum(name string) float64 {
+	total := 0.0
+	for _, s := range m.samples {
+		if s.name == name {
+			total += s.value
+		}
+	}
+	return total
+}
+
+// sumLabel totals samples with the name whose label matches.
+func (m *nodeMetrics) sumLabel(name, key, val string) float64 {
+	total := 0.0
+	for _, s := range m.samples {
+		if s.name == name && s.labelGet(key) == val {
+			total += s.value
+		}
+	}
+	return total
+}
+
+// quantile reads a summary quantile series (obs renders histograms as
+// summaries: name{quantile="0.99"}). Multiple matching series (extra
+// labels) report their max — the conservative read for a latency gate.
+func (m *nodeMetrics) quantile(name, q string) float64 {
+	best := 0.0
+	for _, s := range m.samples {
+		if s.name == name && s.labelGet("quantile") == q && s.value > best {
+			best = s.value
+		}
+	}
+	return best
+}
+
+// droppedSeries returns every nonzero series whose name ends in
+// _dropped_total or _drops_total, keyed by rendered series — the
+// silent-drop audit's raw material.
+func (m *nodeMetrics) droppedSeries() map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range m.samples {
+		if s.value == 0 {
+			continue
+		}
+		if strings.HasSuffix(s.name, "_dropped_total") || strings.HasSuffix(s.name, "_drops_total") {
+			out[s.key()] = s.value
+		}
+	}
+	return out
+}

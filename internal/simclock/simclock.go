@@ -117,3 +117,51 @@ var _ Sleeper = RealSleeper{}
 
 // Sleep blocks for d.
 func (RealSleeper) Sleep(d time.Duration) { time.Sleep(d) }
+
+// ScaledSleeper is a Sleeper that compresses virtual time onto the
+// wall clock: Sleep(d) blocks d/Factor of real time while Now advances
+// by the full d. The load harness uses it to replay multi-day attack
+// schedules (5-minute §3.3 cooldowns, day-long mayorship campaigns)
+// against a live cluster in seconds — the same models, the same waits,
+// just a faster metronome. Safe for concurrent use; each goroutine
+// pacing its own schedule should own its own instance, since Now is a
+// single shared virtual cursor.
+type ScaledSleeper struct {
+	// Factor is how many virtual seconds pass per wall second (e.g.
+	// 600: a 5-minute wait blocks 500ms). Values <= 0 behave as 1.
+	Factor float64
+
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Sleeper = (*ScaledSleeper)(nil)
+
+// NewScaledSleeper returns a scaled sleeper starting its virtual clock
+// at start.
+func NewScaledSleeper(start time.Time, factor float64) *ScaledSleeper {
+	return &ScaledSleeper{Factor: factor, now: start}
+}
+
+// Now returns the current virtual instant.
+func (s *ScaledSleeper) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep blocks d/Factor of wall time and advances the virtual clock
+// by d.
+func (s *ScaledSleeper) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f := s.Factor
+	if f <= 0 {
+		f = 1
+	}
+	time.Sleep(time.Duration(float64(d) / f))
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+}

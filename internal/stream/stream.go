@@ -545,6 +545,30 @@ func malformed(ev lbsn.CheckinEvent) string {
 // pipeline. The channel closes on Close.
 func (p *Pipeline) DeadLetters() <-chan DeadLetter { return p.dlq }
 
+// QueueSample reports the deepest shard ring and the shared per-shard
+// capacity — the backpressure monitor's view of the pipeline. Max, not
+// sum: one pinned shard saturates its users' detection latency even
+// while the others idle, so the controller must react to the worst.
+func (p *Pipeline) QueueSample() (depth, capacity int) {
+	for _, sh := range p.shards {
+		if d := sh.ring.depth(); d > depth {
+			depth = d
+		}
+		if c := len(sh.ring.buf); c > capacity {
+			capacity = c
+		}
+	}
+	return depth, capacity
+}
+
+// DLQSample reports the dead-letter channel's occupancy for the
+// backpressure monitor. A filling DLQ means malformed events are
+// arriving faster than the drainer consumes them — overflow drops are
+// counted, but sustained pressure here should engage shedding too.
+func (p *Pipeline) DLQSample() (depth, capacity int) {
+	return len(p.dlq), cap(p.dlq)
+}
+
 // Subscribe returns a channel that receives subsequent alerts. Delivery
 // is best-effort and non-blocking: a slow subscriber misses alerts
 // (counted in Stats.SubDropped) rather than slowing detection. The

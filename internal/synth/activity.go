@@ -10,6 +10,12 @@ import (
 	"locheat/internal/simclock"
 )
 
+// CheckinFunc delivers one generated check-in somewhere: the in-process
+// service (the default), or an HTTP client posting against a live
+// cluster (the load harness). It reports whether the claim was
+// accepted.
+type CheckinFunc func(user lbsn.UserID, venue lbsn.VenueID, at geo.Point) (accepted bool, err error)
+
 // ActivityDriver replays ongoing daily activity for a sample of the
 // world's users through the LIVE service pipeline, so that repeated
 // crawls see the site change — the prerequisite for the §3.2
@@ -17,11 +23,17 @@ import (
 // home at a human cadence; uncaught cheaters run paced spoofed
 // itineraries across cities (which is why they stay uncaught); caught
 // cheaters fire recklessly and get their check-ins invalidated.
+//
+// The driver is clock-agnostic: it paces itself through a
+// simclock.Sleeper, so the same behavioural models run as day-batch
+// simulation (simclock.Simulated — Sleep advances instantly) and as
+// wall-clock load against a live daemon (simclock.RealSleeper or a
+// compressed simclock.ScaledSleeper).
 type ActivityDriver struct {
-	world *World
-	svc   *lbsn.Service
-	clock *simclock.Simulated
-	rng   *rand.Rand
+	world   *World
+	sink    CheckinFunc
+	sleeper simclock.Sleeper
+	rng     *rand.Rand
 
 	// sampled user indexes by behaviour bucket.
 	actives  []int
@@ -39,18 +51,33 @@ type DayStats struct {
 }
 
 // NewActivityDriver samples up to sampleActives normal users plus all
-// cheaters, preparing them to generate daily traffic. The service must
-// already hold the world (LoadInto) and share the given clock.
-func NewActivityDriver(w *World, svc *lbsn.Service, clock *simclock.Simulated, seed int64, sampleActives int) (*ActivityDriver, error) {
+// cheaters, preparing them to generate daily traffic against svc. The
+// service must already hold the world (LoadInto) and share the
+// sleeper's clock.
+func NewActivityDriver(w *World, svc *lbsn.Service, sleeper simclock.Sleeper, seed int64, sampleActives int) (*ActivityDriver, error) {
 	if svc.UserCount() < len(w.Users) {
 		return nil, fmt.Errorf("activity driver: service has %d users, world has %d (LoadInto first)",
 			svc.UserCount(), len(w.Users))
 	}
+	sink := func(user lbsn.UserID, venue lbsn.VenueID, at geo.Point) (bool, error) {
+		res, err := svc.CheckIn(lbsn.CheckinRequest{UserID: user, VenueID: venue, Reported: at})
+		return res.Accepted, err
+	}
+	return NewActivityDriverFunc(w, sink, sleeper, seed, sampleActives)
+}
+
+// NewActivityDriverFunc is NewActivityDriver with a pluggable check-in
+// sink instead of an in-process service — the live-replay entry point:
+// the same sampled users and schedules, delivered wherever sink posts.
+func NewActivityDriverFunc(w *World, sink CheckinFunc, sleeper simclock.Sleeper, seed int64, sampleActives int) (*ActivityDriver, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("activity driver: nil check-in sink")
+	}
 	d := &ActivityDriver{
-		world: w,
-		svc:   svc,
-		clock: clock,
-		rng:   rand.New(rand.NewSource(seed)),
+		world:   w,
+		sink:    sink,
+		sleeper: sleeper,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 	d.byCity = make([][]int, len(w.Cities))
 	for i, v := range w.Venues {
@@ -74,11 +101,12 @@ func NewActivityDriver(w *World, svc *lbsn.Service, clock *simclock.Simulated, s
 	return d, nil
 }
 
-// Day simulates 24 hours of activity and leaves the clock one day
-// later than it started.
+// Day generates 24 hours of activity and leaves the sleeper's clock one
+// day later than it started (under a simulated clock that is an instant
+// batch; under a real or scaled sleeper the calls actually pace out).
 func (d *ActivityDriver) Day() (DayStats, error) {
 	var stats DayStats
-	dayStart := d.clock.Now()
+	dayStart := d.sleeper.Now()
 
 	// Normal users: 1–3 venues near home, tens of minutes apart.
 	for _, ui := range d.actives {
@@ -88,7 +116,7 @@ func (d *ActivityDriver) Day() (DayStats, error) {
 			if v < 0 {
 				continue
 			}
-			d.clock.Advance(time.Duration(20+d.rng.Intn(90)) * time.Minute)
+			d.sleeper.Sleep(time.Duration(20+d.rng.Intn(90)) * time.Minute)
 			if err := d.checkin(ui, v, &stats); err != nil {
 				return stats, err
 			}
@@ -120,7 +148,7 @@ func (d *ActivityDriver) Day() (DayStats, error) {
 					wait = time.Duration(miles * float64(5*time.Minute))
 				}
 			}
-			d.clock.Advance(wait)
+			d.sleeper.Sleep(wait)
 			if err := d.checkin(ui, v, &stats); err != nil {
 				return stats, err
 			}
@@ -135,15 +163,20 @@ func (d *ActivityDriver) Day() (DayStats, error) {
 			if v < 0 {
 				continue
 			}
-			d.clock.Advance(time.Duration(1+d.rng.Intn(3)) * time.Minute)
+			d.sleeper.Sleep(time.Duration(1+d.rng.Intn(3)) * time.Minute)
 			if err := d.checkin(ui, v, &stats); err != nil {
 				return stats, err
 			}
 		}
 	}
 
-	// Close out the day.
-	d.clock.AdvanceTo(dayStart.Add(24 * time.Hour))
+	// Close out the day: sleep whatever remains of the 24 hours. (The
+	// simulated clock's AdvanceTo is exactly this; phrasing it as a
+	// relative sleep is what lets a wall-clock sleeper drive the same
+	// schedule.)
+	if rest := 24*time.Hour - d.sleeper.Now().Sub(dayStart); rest > 0 {
+		d.sleeper.Sleep(rest)
+	}
 	return stats, nil
 }
 
@@ -156,16 +189,13 @@ func (d *ActivityDriver) pickVenue(city int) int {
 }
 
 func (d *ActivityDriver) checkin(userIdx, venueIdx int, stats *DayStats) error {
-	res, err := d.svc.CheckIn(lbsn.CheckinRequest{
-		UserID:   lbsn.UserID(userIdx + 1),
-		VenueID:  lbsn.VenueID(venueIdx + 1),
-		Reported: d.world.Venues[venueIdx].Seed.Location,
-	})
+	accepted, err := d.sink(lbsn.UserID(userIdx+1), lbsn.VenueID(venueIdx+1),
+		d.world.Venues[venueIdx].Seed.Location)
 	if err != nil {
 		return fmt.Errorf("activity check-in user %d venue %d: %w", userIdx+1, venueIdx+1, err)
 	}
 	stats.Attempted++
-	if res.Accepted {
+	if accepted {
 		stats.Accepted++
 	} else {
 		stats.Denied++

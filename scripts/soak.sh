@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# Soak gate: boot a 3-node lbsnd cluster, drive it with cmd/loadgen
+# (benign open-loop traffic inside the detection envelope plus
+# compressed attack cohorts), and fail on any report violation —
+# critical-priority shed, detection-latency p99 breach, silent drops,
+# or an unbounded post-traffic drain. CI runs this scaled down
+# (SOAK_USERS=50000, SOAK_DURATION=60s); the full million-user run is
+# the same script with the knobs turned up.
+#
+# Tunables (env):
+#   SOAK_USERS      world scale                     (default 50000)
+#   SOAK_DURATION   traffic window                  (default 60s)
+#   SOAK_RATE       benign check-ins/sec            (default 100)
+#   SOAK_ATTACKERS  attackers per cohort            (default 8)
+#   SOAK_TIME_SCALE attack time compression         (default 600)
+#   SOAK_MAX_P99    detection-latency gate          (default 50ms)
+#   SOAK_SEED       world seed                      (default 42)
+#   SOAK_OUT        JSON report path                (default soak_report.json)
+set -eu
+
+USERS="${SOAK_USERS:-50000}"
+DURATION="${SOAK_DURATION:-60s}"
+RATE="${SOAK_RATE:-100}"
+ATTACKERS="${SOAK_ATTACKERS:-8}"
+TIME_SCALE="${SOAK_TIME_SCALE:-600}"
+MAX_P99="${SOAK_MAX_P99:-50ms}"
+SEED="${SOAK_SEED:-42}"
+OUT="${SOAK_OUT:-soak_report.json}"
+API_KEY=soak
+
+WORK="$(mktemp -d)"
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "soak: building lbsnd + loadgen"
+go build -o "$WORK/lbsnd" ./cmd/lbsnd
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+# Three nodes: public API on 1809x, internal cluster surface on 1909x.
+PEERS="n1=http://127.0.0.1:19091,n2=http://127.0.0.1:19092,n3=http://127.0.0.1:19093"
+TARGETS="http://127.0.0.1:18091,http://127.0.0.1:18092,http://127.0.0.1:18093"
+for i in 1 2 3; do
+    mkdir -p "$WORK/journal-n$i"
+    "$WORK/lbsnd" \
+        -users "$USERS" -seed "$SEED" -api-key "$API_KEY" \
+        -addr "127.0.0.1:1809$i" \
+        -cluster-node "n$i" -cluster-peers "$PEERS" \
+        -cluster-listen "127.0.0.1:1909$i" \
+        -journal-dir "$WORK/journal-n$i" -replica-factor 2 \
+        >"$WORK/n$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+done
+
+echo "soak: waiting for readiness ($USERS users per node)"
+for i in 1 2 3; do
+    ok=0
+    for _ in $(seq 1 150); do
+        if curl -fsS "http://127.0.0.1:1809$i/readyz" >/dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        sleep 0.4
+    done
+    if [ "$ok" != 1 ]; then
+        echo "soak: node n$i never became ready; log tail:" >&2
+        tail -20 "$WORK/n$i.log" >&2
+        exit 1
+    fi
+done
+
+echo "soak: driving $RATE ev/s for $DURATION (attackers: 3x$ATTACKERS, time scale $TIME_SCALE)"
+status=0
+"$WORK/loadgen" \
+    -targets "$TARGETS" -api-key "$API_KEY" \
+    -users "$USERS" -seed "$SEED" \
+    -rate "$RATE" -duration "$DURATION" \
+    -attack-users "$ATTACKERS" -time-scale "$TIME_SCALE" \
+    -max-p99 "$MAX_P99" \
+    -out "$OUT" -fail-on-violations || status=$?
+
+if [ "$status" != 0 ]; then
+    echo "soak: FAILED (exit $status); report: $OUT" >&2
+    exit "$status"
+fi
+echo "soak: PASS; report: $OUT"
