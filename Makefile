@@ -66,5 +66,10 @@ bench-diff:
 # compressed attack cohorts — failing on any report violation (critical
 # shed, detection p99 breach, silent drops, drain timeout). Scale with
 # SOAK_USERS / SOAK_DURATION / SOAK_RATE; CI runs the 50k-user minute.
+# `make soak SOAK_CHAOS=1` runs the elastic drill instead: mid-soak the
+# script joins a 4th node via gossip, kill -9s n2, partitions and heals
+# n3, and the gate additionally requires full post-rebalance recall.
+SOAK_CHAOS ?= 0
+export SOAK_CHAOS
 soak:
 	sh scripts/soak.sh

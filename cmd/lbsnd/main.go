@@ -12,6 +12,7 @@
 //	      [-journal-segments 8] [-quarantine] [-quarantine-threshold 5]
 //	      [-quarantine-window 10m] [-quarantine-duration 1h]
 //	      [-cluster-node ID] [-cluster-peers ID=URL,...] [-cluster-listen :9101]
+//	      [-cluster-join URL,...] [-cluster-advertise URL] [-chaos]
 //	      [-journal-mirror 0] [-replica-factor 1] [-outbox-bytes 4194304]
 //	      [-cluster-json] [-journal-json] [-pprof 127.0.0.1:6060]
 //	      [-mutexprofile 0] [-blockprofile 0]
@@ -46,6 +47,15 @@
 // The peer list must include this node's own ID so its advertised URL
 // is known; on shutdown the node leaves gracefully, handing its users'
 // detector and quarantine state to the surviving owners.
+//
+// Instead of a static peer list a node can join a running cluster:
+// -cluster-join points at one or more seed nodes, the member table
+// arrives over the join handshake and gossip, and the node advertises
+// -cluster-advertise (derived from -cluster-listen when omitted).
+// /readyz reports "joining cluster" until the node owns traffic.
+// -chaos mounts the fault-injection control surface at
+// /cluster/v1/fault and routes all cluster-internal clients through
+// it, for partition/flap drills (scripts/soak.sh SOAK_CHAOS=1).
 //
 // With -replica-factor 2+ (requires -journal-dir and the cluster tier)
 // the durability tier runs: each node streams its alert-journal
@@ -113,6 +123,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -168,9 +179,12 @@ func run(args []string) error {
 	quarThreshold := fs.Int("quarantine-threshold", 5, "alerts within -quarantine-window that trigger quarantine")
 	quarWindow := fs.Duration("quarantine-window", 10*time.Minute, "alert-counting window (event time)")
 	quarDuration := fs.Duration("quarantine-duration", time.Hour, "how long an auto-quarantine lasts")
-	clusterNode := fs.String("cluster-node", "", "this node's cluster ID (enables the partitioned ingest tier; needs -stream, -cluster-peers and -cluster-listen)")
+	clusterNode := fs.String("cluster-node", "", "this node's cluster ID (enables the partitioned ingest tier; needs -stream, -cluster-listen and -cluster-peers or -cluster-join)")
 	clusterPeers := fs.String("cluster-peers", "", "static cluster members as ID=URL,... including this node")
+	clusterJoin := fs.String("cluster-join", "", "seed node base URL(s), comma-separated: join a running cluster via the gossip handshake instead of a static -cluster-peers roll")
+	clusterAdvertise := fs.String("cluster-advertise", "", "base URL peers use to reach this node's cluster listener (default derived from -cluster-listen); required with -cluster-join when -cluster-peers omits this node")
 	clusterListen := fs.String("cluster-listen", "", "bind address for the internal /cluster/v1 surface (unauthenticated; keep it cluster-internal)")
+	chaosOn := fs.Bool("chaos", false, "mount the fault-injection control surface at /cluster/v1/fault and route cluster clients through it (chaos drills only; the flag gates an unauthenticated endpoint)")
 	journalMirror := fs.Int("journal-mirror", 0, "bound the journal's in-memory mirror to the newest N alerts, paging older queries from disk (0 = mirror everything)")
 	replicaFactor := fs.Int("replica-factor", 1, "total alert-journal copies incl. this node; 2+ ships appends to ring successors (needs -journal-dir and the cluster tier)")
 	outboxBytes := fs.Int64("outbox-bytes", 4<<20, "per-peer on-disk spill cap for failed cross-node forwards; 0 disables the outbox (needs -journal-dir and the cluster tier)")
@@ -188,8 +202,8 @@ func run(args []string) error {
 		return err
 	}
 
-	if *clusterNode != "" && (!*streamOn || *clusterPeers == "" || *clusterListen == "") {
-		return fmt.Errorf("-cluster-node needs -stream, -cluster-peers and -cluster-listen")
+	if *clusterNode != "" && (!*streamOn || (*clusterPeers == "" && *clusterJoin == "") || *clusterListen == "") {
+		return fmt.Errorf("-cluster-node needs -stream, -cluster-listen, and -cluster-peers or -cluster-join")
 	}
 	if *replicaFactor >= 2 && (*clusterNode == "" || *journalDir == "") {
 		return fmt.Errorf("-replica-factor %d needs -cluster-node and -journal-dir (replication ships the alert journal between cluster nodes)", *replicaFactor)
@@ -310,9 +324,21 @@ func run(args []string) error {
 		})
 		observer := func(ev lbsn.CheckinEvent) { pipeline.Publish(ev) }
 		if *clusterNode != "" {
-			peers, err := cluster.ParsePeers(*clusterPeers)
-			if err != nil {
-				return err
+			var peers []cluster.Member
+			var err error
+			if *clusterPeers != "" {
+				peers, err = cluster.ParsePeers(*clusterPeers)
+				if err != nil {
+					return err
+				}
+			}
+			var joinSeeds []string
+			if *clusterJoin != "" {
+				for _, seed := range strings.Split(*clusterJoin, ",") {
+					if seed = strings.TrimSpace(seed); seed != "" {
+						joinSeeds = append(joinSeeds, seed)
+					}
+				}
 			}
 			var self cluster.Member
 			for _, p := range peers {
@@ -321,7 +347,28 @@ func run(args []string) error {
 				}
 			}
 			if self.ID == "" {
-				return fmt.Errorf("cluster: -cluster-peers does not list this node %q (peers need the advertised URL of every member)", *clusterNode)
+				// A dynamically joining node is not in anyone's static peer
+				// list — it advertises itself through the join handshake.
+				if len(joinSeeds) == 0 {
+					return fmt.Errorf("cluster: -cluster-peers does not list this node %q (peers need the advertised URL of every member, or join dynamically with -cluster-join)", *clusterNode)
+				}
+				advertise := *clusterAdvertise
+				if advertise == "" {
+					// Best-effort derivation: a bare ":port" listen binds every
+					// interface, so loopback is only right for single-host
+					// drills — production joins should pass -cluster-advertise.
+					if strings.HasPrefix(*clusterListen, ":") {
+						advertise = "http://127.0.0.1" + *clusterListen
+					} else {
+						advertise = "http://" + *clusterListen
+					}
+				}
+				self = cluster.Member{ID: *clusterNode, Addr: strings.TrimRight(advertise, "/")}
+			}
+			var fault *cluster.FaultInjector
+			if *chaosOn {
+				fault = cluster.NewFaultInjector(clock)
+				fmt.Printf("chaos: fault injection armed — POST /cluster/v1/fault on %s steers it\n", *clusterListen)
 			}
 			replicaOpts := cluster.ReplicaOptions{}
 			if *journalDir != "" {
@@ -337,7 +384,9 @@ func run(args []string) error {
 			clusterN, err = cluster.NewNode(svc, pipeline, cluster.Config{
 				Self:              self,
 				Peers:             peers,
+				Join:              joinSeeds,
 				Replica:           replicaOpts,
+				Fault:             fault,
 				DisableBinaryWire: *clusterJSON,
 				Obs:               reg,
 				Tracer:            tracer,
@@ -358,12 +407,23 @@ func run(args []string) error {
 					errc <- fmt.Errorf("cluster listener: %w", err)
 				}
 			}()
+			if len(joinSeeds) > 0 {
+				// Announce to a seed and pull the member table before the
+				// heartbeat loop starts; gossip spreads us from there. A node
+				// that cannot reach any seed must die loudly, not run as a
+				// cluster of one.
+				if err := clusterN.JoinCluster(); err != nil {
+					clusterSrv.Close()
+					return err
+				}
+				fmt.Printf("cluster: join handshake complete via %s; serving after the first probe round\n", joinSeeds[0])
+			}
 			clusterN.Start()
 			// The cluster node sits between the service and the pipeline:
 			// it publishes locally-owned users and forwards the rest.
 			observer = func(ev lbsn.CheckinEvent) { clusterN.Ingest(ev) }
-			fmt.Printf("cluster node %q: internal surface on %s, %d peer(s), advertised as %s\n",
-				*clusterNode, *clusterListen, len(peers)-1, self.Addr)
+			fmt.Printf("cluster node %q: internal surface on %s, %d static peer(s), advertised as %s\n",
+				*clusterNode, *clusterListen, len(peers), self.Addr)
 		}
 		svc.SetCheckinObserver(observer)
 		// Surface dead letters and alerts on the console; both reads are
@@ -474,9 +534,18 @@ func run(args []string) error {
 			http.Error(w, "journal not writable", http.StatusServiceUnavailable)
 			return
 		}
-		if clusterN != nil && !clusterN.Ready() {
-			http.Error(w, "leaving cluster", http.StatusServiceUnavailable)
-			return
+		if clusterN != nil {
+			switch clusterN.ReadyState() {
+			case "joining":
+				// Mid-join: the member table is synced but the node owns no
+				// ring share until its first successful probe round. Tell
+				// the balancer to hold traffic a beat longer.
+				http.Error(w, "joining cluster", http.StatusServiceUnavailable)
+				return
+			case "leaving":
+				http.Error(w, "leaving cluster", http.StatusServiceUnavailable)
+				return
+			}
 		}
 		if admission != nil && admission.Saturated() {
 			// Shedding load: tell the balancer to route around this node

@@ -11,7 +11,13 @@
 //	        [-users 100000] [-seed 42] [-rate 100] [-duration 60s] \
 //	        [-workers 32] [-attack-users 8] [-time-scale 600] \
 //	        [-max-p99 50ms] [-drain-timeout 15s] [-recall-probes 25] \
-//	        [-out report.json] [-fail-on-violations]
+//	        [-out report.json] [-fail-on-violations] [-require-full-recall]
+//
+// The report's membership section accounts for cluster elasticity
+// observed during the run: live-member gauge edges per target, traffic
+// sent while the ring was changing, targets that died mid-run, and
+// post failovers. -require-full-recall adds the chaos-drill gate: any
+// probed attacker left undetected after the run is a violation.
 //
 // The cluster must have been started with the same -users and -seed:
 // the harness derives every user/venue ID and ground-truth class from
@@ -57,6 +63,7 @@ func run(args []string) error {
 	recallProbes := fs.Int("recall-probes", 25, "max users probed per cohort when scoring recall")
 	out := fs.String("out", "", "write the JSON report here ('-' or empty = stdout)")
 	failOnViolations := fs.Bool("fail-on-violations", false, "exit 2 when the report lists violations (the CI soak gate)")
+	requireFullRecall := fs.Bool("require-full-recall", false, "violation when any probed attacker goes undetected (the chaos-drill gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +81,8 @@ func run(args []string) error {
 		MaxP99:       *maxP99,
 		DrainTimeout: *drainTimeout,
 		RecallProbes: *recallProbes,
+
+		RequireFullRecall: *requireFullRecall,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
 		},
@@ -104,6 +113,10 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d sent at %.0f ev/s sustained; detection p99 %.1fms over %d events; %d violation(s)\n",
 		rep.Sent, rep.SustainedRate, rep.DetectionP99*1000, int(rep.DetectionN), len(rep.Violations))
+	if m := rep.Membership; m.RingChanges > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: membership: %d ring change(s), %d event(s) in flight during changes, %d failover(s), %d target(s) down\n",
+			m.RingChanges, m.SentDuringChange, m.Failovers, len(m.DownTargets))
+	}
 	for _, v := range rep.Violations {
 		fmt.Fprintf(os.Stderr, "loadgen: VIOLATION [%s] %s\n", v.Kind, v.Detail)
 	}

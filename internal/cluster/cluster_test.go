@@ -31,7 +31,7 @@ func TestMembershipFailureAndRevival(t *testing.T) {
 	m := NewMembership(
 		Member{ID: "self", Addr: "http://unused"},
 		[]Member{{ID: "p1", Addr: peer.URL}, {ID: "self", Addr: "http://unused"}},
-		MembershipConfig{HeartbeatEvery: time.Second, FailAfter: 3 * time.Second, Clock: clock},
+		MembershipConfig{HeartbeatEvery: time.Second, FailAfter: 3 * time.Second, SuspectAfter: 2 * time.Second, Clock: clock},
 	)
 	m.OnChange(func() { transitions++ })
 
@@ -43,7 +43,10 @@ func TestMembershipFailureAndRevival(t *testing.T) {
 		t.Fatal("healthy peer dropped")
 	}
 
-	// Peer goes silent: not dead until FailAfter elapses.
+	// Peer goes silent: two-phase decline. Before FailAfter it is
+	// alive; past FailAfter it turns suspect but KEEPS its ring seat
+	// (the flap hysteresis); only past FailAfter+SuspectAfter is it
+	// declared left and dropped.
 	peer.Close()
 	clock.Advance(2 * time.Second)
 	m.Tick()
@@ -51,9 +54,17 @@ func TestMembershipFailureAndRevival(t *testing.T) {
 		t.Fatal("peer declared dead before FailAfter")
 	}
 	clock.Advance(2 * time.Second)
-	m.Tick()
+	m.Tick() // silence 4s >= FailAfter: suspect
+	if len(m.LivePeers()) != 1 {
+		t.Fatal("suspect peer lost its ring seat (hysteresis broken)")
+	}
+	if transitions != 0 {
+		t.Fatalf("suspect transition fired onChange (%d): suspicion must not rebalance", transitions)
+	}
+	clock.Advance(3 * time.Second)
+	m.Tick() // silence 7s >= FailAfter+SuspectAfter: left
 	if len(m.LivePeers()) != 0 {
-		t.Fatal("silent peer still live past FailAfter")
+		t.Fatal("silent peer still live past FailAfter+SuspectAfter")
 	}
 	if transitions != 1 {
 		t.Fatalf("transitions = %d, want 1", transitions)
@@ -89,9 +100,11 @@ func TestMembershipRejectsImpostor(t *testing.T) {
 	clock := simclock.NewSimulated(simclock.Epoch())
 	impostor := pingServer(t, "someone-else")
 	m := NewMembership(Member{ID: "self"}, []Member{{ID: "p1", Addr: impostor.URL}},
-		MembershipConfig{HeartbeatEvery: time.Second, FailAfter: 2 * time.Second, Clock: clock})
+		MembershipConfig{HeartbeatEvery: time.Second, FailAfter: 2 * time.Second, SuspectAfter: time.Second, Clock: clock})
 	clock.Advance(3 * time.Second)
-	m.Tick()
+	m.Tick() // wrong ID = failed probe: suspect
+	clock.Advance(3 * time.Second)
+	m.Tick() // past FailAfter+SuspectAfter: left
 	if len(m.LivePeers()) != 0 {
 		t.Fatal("peer answering with the wrong node ID kept alive")
 	}

@@ -1,0 +1,753 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locheat/internal/backpressure"
+	"locheat/internal/geo"
+	"locheat/internal/lbsn"
+	"locheat/internal/simclock"
+	"locheat/internal/store"
+	"locheat/internal/stream"
+)
+
+// elasticNode is one member of an elastic test cluster: replicated
+// journal, fault injector, fast handoff scheduler — the full PR 10
+// surface in-process.
+type elasticNode struct {
+	id      string
+	svc     *lbsn.Service
+	pipe    *stream.Pipeline
+	journal *store.AlertJournal
+	node    *Node
+	srv     *httptest.Server
+	proxy   *failproxy
+	clock   *simclock.Simulated
+	fault   *FaultInjector
+}
+
+// bootElasticNode wires one node the way cmd/lbsnd does with
+// -replica-factor 2 -chaos, with either a static peer list or join
+// seeds.
+func bootElasticNode(t *testing.T, id string, srv *httptest.Server, proxy *failproxy, peers []Member, join []string, users int) *elasticNode {
+	t.Helper()
+	clock := simclock.NewSimulated(simclock.Epoch())
+	fault := NewFaultInjector(clock)
+	svc := lbsn.New(lbsn.DefaultConfig(), clock, nil)
+	for u := 0; u < users; u++ {
+		svc.RegisterUser("user", "", "SF")
+	}
+	dir := t.TempDir()
+	journal, err := store.OpenAlertJournal(store.JournalConfig{
+		Dir:          dir,
+		SegmentBytes: 8 << 10,
+		FsyncEvery:   256,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { journal.Close() })
+	pipe := stream.New(stream.Config{Shards: 2, Clock: clock, Store: journal})
+	t.Cleanup(pipe.Close)
+	node, err := NewNode(svc, pipe, Config{
+		Self:  Member{ID: id, Addr: srv.URL},
+		Peers: peers,
+		Join:  join,
+		Forward: ForwarderConfig{
+			BatchSize:  1,
+			FlushEvery: 5 * time.Millisecond,
+		},
+		Replica: ReplicaOptions{
+			Dir:          dir,
+			Factor:       2,
+			ShipInterval: 2 * time.Millisecond,
+			DigestEvery:  time.Hour,
+		},
+		Membership: MembershipConfig{
+			HeartbeatEvery: 100 * time.Millisecond,
+			FailAfter:      300 * time.Millisecond,
+			Clock:          clock,
+		},
+		Handoff: HandoffConfig{Concurrency: 2, BundleUsers: 8, RetryEvery: 25 * time.Millisecond},
+		Breaker: backpressure.BreakerConfig{OpenFor: 50 * time.Millisecond},
+		Fault:   fault,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.set(node.Handler())
+	return &elasticNode{
+		id: id, svc: svc, pipe: pipe, journal: journal, node: node,
+		srv: srv, proxy: proxy, clock: clock, fault: fault,
+	}
+}
+
+// startElasticCluster boots a static cluster of elastic nodes.
+func startElasticCluster(t *testing.T, ids []string, users int) map[string]*elasticNode {
+	t.Helper()
+	type boot struct {
+		proxy *failproxy
+		srv   *httptest.Server
+	}
+	boots := make(map[string]*boot, len(ids))
+	var peers []Member
+	for _, id := range ids {
+		proxy := &failproxy{}
+		srv := httptest.NewServer(proxy)
+		t.Cleanup(srv.Close)
+		boots[id] = &boot{proxy: proxy, srv: srv}
+		peers = append(peers, Member{ID: id, Addr: srv.URL})
+	}
+	nodes := make(map[string]*elasticNode, len(ids))
+	for _, id := range ids {
+		nodes[id] = bootElasticNode(t, id, boots[id].srv, boots[id].proxy, peers, nil, users)
+	}
+	return nodes
+}
+
+// joinElasticNode boots a node with no static peers that joins through
+// the given seeds (the -cluster-join path).
+func joinElasticNode(t *testing.T, id string, seeds []string, users int) *elasticNode {
+	t.Helper()
+	proxy := &failproxy{}
+	srv := httptest.NewServer(proxy)
+	t.Cleanup(srv.Close)
+	return bootElasticNode(t, id, srv, proxy, nil, seeds, users)
+}
+
+// hostOf strips the scheme from a test server URL — the fault
+// injector's rules are keyed by host:port.
+func hostOf(u string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
+}
+
+// TestJoinHandshakeAndGossipSpread covers the dynamic join path: a
+// seedless node announces itself to one seed, pulls the member table,
+// owns no traffic until its first probe round, and spreads to the
+// whole cluster through gossip alone.
+func TestJoinHandshakeAndGossipSpread(t *testing.T) {
+	const users = 200
+	nodes := startElasticCluster(t, []string{"a", "b"}, users)
+	na, nb := nodes["a"], nodes["b"]
+
+	// Malformed and impostor announcements are refused by the seed.
+	resp, err := http.Post(na.srv.URL+"/cluster/v1/join", "application/json",
+		strings.NewReader(`{"entry":{"id":"","addr":"http://x"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty-ID join answered %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(na.srv.URL+"/cluster/v1/join", "application/json",
+		strings.NewReader(`{"entry":{"id":"a","addr":"http://evil","state":"alive","ver":99}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("join claiming the seed's own ID answered %d, want 409", resp.StatusCode)
+	}
+
+	// The joiner: no peers configured, only a seed URL.
+	nc := joinElasticNode(t, "c", []string{na.srv.URL}, users)
+	if got := nc.node.ReadyState(); got != "joining" {
+		t.Fatalf("pre-join ReadyState = %q, want joining", got)
+	}
+	if err := nc.node.JoinCluster(); err != nil {
+		t.Fatal(err)
+	}
+	// The handshake delivered the full member table...
+	if got := len(nc.node.Membership().LivePeers()); got != 2 {
+		t.Fatalf("joiner learned %d peers from the seed, want 2", got)
+	}
+	// ...but the node still owns nothing until a probe round succeeds.
+	if got := nc.node.ReadyState(); got != "joining" {
+		t.Fatalf("post-handshake ReadyState = %q, want joining", got)
+	}
+	nc.node.Tick()
+	if got := nc.node.ReadyState(); got != "ok" {
+		t.Fatalf("ReadyState after first probe round = %q, want ok", got)
+	}
+
+	// Gossip spreads the new member: b never spoke to c directly, it
+	// learns c from entries piggybacked on heartbeat traffic.
+	eventually(t, "a and b adopt c via gossip", func() bool {
+		nc.node.Tick()
+		na.node.Tick()
+		nb.node.Tick()
+		return len(na.node.Membership().LivePeers()) == 2 &&
+			len(nb.node.Membership().LivePeers()) == 2
+	})
+
+	// All three rings agree, and c owns a share.
+	cOwns := false
+	for u := uint64(1); u <= users; u++ {
+		oa, ob, oc := na.node.Owner(u), nb.node.Owner(u), nc.node.Owner(u)
+		if oa != ob || oa != oc {
+			t.Fatalf("rings disagree on user %d: a=%s b=%s c=%s", u, oa, ob, oc)
+		}
+		if oa == "c" {
+			cOwns = true
+		}
+	}
+	if !cOwns {
+		t.Fatal("joined node owns no users")
+	}
+}
+
+// TestMembershipFlapNoOscillation is the flap-hysteresis regression:
+// heartbeats that are delayed past FailAfter and then land must not
+// oscillate the peer alive<->dead — the peer turns suspect, KEEPS its
+// ring seat, and recovers without a single ring transition (and so
+// without re-triggering handoffs, which ride ring transitions).
+func TestMembershipFlapNoOscillation(t *testing.T) {
+	clock := simclock.NewSimulated(simclock.Epoch())
+	var failing atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "delayed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"node":"p1"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	transitions := 0
+	m := NewMembership(
+		Member{ID: "self", Addr: "http://unused"},
+		[]Member{{ID: "p1", Addr: srv.URL}},
+		MembershipConfig{HeartbeatEvery: time.Second, FailAfter: 3 * time.Second,
+			SuspectAfter: 6 * time.Second, Clock: clock},
+	)
+	m.OnChange(func() { transitions++ })
+
+	for cycle := 0; cycle < 4; cycle++ {
+		// Heartbeats delayed for 5s: past FailAfter (suspect) but short of
+		// FailAfter+SuspectAfter (left).
+		failing.Store(true)
+		for i := 0; i < 5; i++ {
+			clock.Advance(time.Second)
+			m.Tick()
+			if len(m.LivePeers()) != 1 {
+				t.Fatalf("cycle %d: flapping peer lost its ring seat after %ds of silence", cycle, i+1)
+			}
+		}
+		// The delayed heartbeats land again.
+		failing.Store(false)
+		clock.Advance(time.Second)
+		m.Tick()
+		if len(m.LivePeers()) != 1 {
+			t.Fatalf("cycle %d: peer not live after heartbeats resumed", cycle)
+		}
+	}
+	if transitions != 0 {
+		t.Fatalf("%d ring transitions under a flapping link, want 0 (each would re-trigger a rebalance)", transitions)
+	}
+
+	// Reordered gossip: a stale left claim at an old version arrives
+	// after the peer's version advanced through the flap cycles. It must
+	// lose the LWW merge.
+	m.Merge([]MemberEntry{{ID: "p1", Addr: srv.URL, State: "left", Ver: 1}})
+	if len(m.LivePeers()) != 1 {
+		t.Fatal("stale reordered 'left' gossip deposed a live peer")
+	}
+	if transitions != 0 {
+		t.Fatalf("stale gossip caused %d ring transitions", transitions)
+	}
+}
+
+// bOwnedUsers lists users the full two-node ring assigns to b.
+func bOwnedUsers(n *Node, users, max int) []uint64 {
+	var out []uint64
+	for u := uint64(1); u <= uint64(users) && len(out) < max; u++ {
+		if n.Owner(u) == "b" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// TestBoundedHandoffParksRetriesDelivers: a rebalance toward a peer
+// whose handoff endpoint is down must PARK the displaced state and
+// retry — not drop it, not block the membership path — then deliver it
+// in bounded bundles once the peer heals, including quarantines.
+func TestBoundedHandoffParksRetriesDelivers(t *testing.T) {
+	const users = 300
+	nodes := startElasticCluster(t, []string{"a", "b"}, users)
+	na, nb := nodes["a"], nodes["b"]
+	bUsers := bOwnedUsers(na.node, users, 20)
+	if len(bUsers) < 10 {
+		t.Fatalf("ring gave b only %d of %d users", len(bUsers), users)
+	}
+
+	// b dies; a absorbs the full ring.
+	nb.proxy.setFail("/cluster/v1/ping", true)
+	eventually(t, "b declared left on a", func() bool {
+		na.clock.Advance(time.Second)
+		na.node.Tick()
+		return len(na.node.Membership().LivePeers()) == 0
+	})
+
+	// Build detector state on a for users b will reclaim, and quarantine
+	// one of them.
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	t0 := simclock.Epoch()
+	for i, u := range bUsers {
+		// Minute spacing keeps every user inside the speed stage's idle
+		// window, so all of them have state to hand off.
+		if !na.node.Ingest(clusterEvent(u, t0.Add(time.Duration(i)*time.Minute), sf)) {
+			t.Fatal("local ingest refused")
+		}
+	}
+	eventually(t, "a processed the warm-up events", func() bool {
+		return na.pipe.Stats().Processed >= uint64(len(bUsers))
+	})
+	quarUser := bUsers[1]
+	if err := na.svc.Quarantine(lbsn.UserID(quarUser), time.Hour, "parked", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+
+	// b revives — but its handoff endpoint is broken. The displaced
+	// users' state must park on a, with retries, and none of it may leak
+	// through the failing endpoint.
+	nb.proxy.setFail("/cluster/v1/handoff", true)
+	nb.proxy.setFail("/cluster/v1/ping", false)
+	eventually(t, "b revived on a", func() bool {
+		na.clock.Advance(time.Second)
+		na.node.Tick()
+		return len(na.node.Membership().LivePeers()) == 1
+	})
+	if na.node.handoff.Pending() == 0 {
+		t.Fatal("revival displaced no users into the handoff scheduler")
+	}
+	na.node.handoff.Drain() // no progress possible: endpoint down
+	if na.node.handoff.Pending() == 0 {
+		t.Fatal("parked state vanished while the destination was failing")
+	}
+	if na.node.handoff.retries.Load() == 0 {
+		t.Fatal("failed deliveries recorded no retries")
+	}
+	if got := nb.node.Status().Handoff.RecvUsers; got != 0 {
+		t.Fatalf("b received %d users through a failing endpoint", got)
+	}
+
+	// Heal: the worker (or an explicit drain) delivers everything, in
+	// bundles capped at HandoffConfig.BundleUsers.
+	nb.proxy.setFail("/cluster/v1/handoff", false)
+	eventually(t, "parked state delivered after heal", func() bool {
+		na.node.handoff.Drain()
+		return na.node.handoff.Pending() == 0
+	})
+	st := nb.node.Status().Handoff
+	if st.RecvUsers < uint64(len(bUsers)) {
+		t.Fatalf("b received %d users, want >= %d", st.RecvUsers, len(bUsers))
+	}
+	if st.RecvBundles < 2 {
+		t.Fatalf("delivery used %d bundles for %d users with BundleUsers=8 — not chunked", st.RecvBundles, len(bUsers))
+	}
+	eventually(t, "quarantine moved with the handoff", func() bool {
+		return nb.svc.IsQuarantined(lbsn.UserID(quarUser))
+	})
+
+	// Detector state continuity: the FIRST post-handoff event for a
+	// moved user completes an impossible-travel pair started on a.
+	u := bUsers[0]
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+	na.node.Ingest(clusterEvent(u, t0.Add(10*time.Minute), ny))
+	eventually(t, "post-handoff speed alert on b", func() bool {
+		_, n := nb.pipe.Alerts(store.AlertQuery{UserID: u, Detector: stream.StageSpeed})
+		return n > 0
+	})
+}
+
+// TestHandoffReclaimOnOwnershipFlipBack: state parked for a peer that
+// dies before taking delivery must be re-imported locally when
+// ownership flips back — resumable rebalancing can neither strand nor
+// lose it.
+func TestHandoffReclaimOnOwnershipFlipBack(t *testing.T) {
+	const users = 300
+	nodes := startElasticCluster(t, []string{"a", "b"}, users)
+	na, nb := nodes["a"], nodes["b"]
+	bUsers := bOwnedUsers(na.node, users, 10)
+	if len(bUsers) < 4 {
+		t.Fatalf("ring gave b only %d users", len(bUsers))
+	}
+
+	nb.proxy.setFail("/cluster/v1/ping", true)
+	eventually(t, "b declared left on a", func() bool {
+		na.clock.Advance(time.Second)
+		na.node.Tick()
+		return len(na.node.Membership().LivePeers()) == 0
+	})
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	t0 := simclock.Epoch()
+	for i, u := range bUsers {
+		na.node.Ingest(clusterEvent(u, t0.Add(time.Duration(i)*time.Minute), sf))
+	}
+	eventually(t, "a processed the warm-up events", func() bool {
+		return na.pipe.Stats().Processed >= uint64(len(bUsers))
+	})
+
+	// b flaps up (handoff broken, so the state parks)...
+	nb.proxy.setFail("/cluster/v1/handoff", true)
+	nb.proxy.setFail("/cluster/v1/ping", false)
+	eventually(t, "b revived on a", func() bool {
+		na.clock.Advance(time.Second)
+		na.node.Tick()
+		return len(na.node.Membership().LivePeers()) == 1
+	})
+	if na.node.handoff.Pending() == 0 {
+		t.Fatal("no state parked for the revived owner")
+	}
+	// ...and dies again before taking delivery.
+	nb.proxy.setFail("/cluster/v1/ping", true)
+	eventually(t, "b declared left again", func() bool {
+		na.clock.Advance(time.Second)
+		na.node.Tick()
+		return len(na.node.Membership().LivePeers()) == 0
+	})
+
+	// Ownership flipped back to a: the parked bundles are reclaimed.
+	eventually(t, "parked state reclaimed", func() bool {
+		na.node.handoff.Drain()
+		return na.node.handoff.Pending() == 0
+	})
+	if na.node.handoff.reclaimed.Load() == 0 {
+		t.Fatal("drain delivered instead of reclaiming — b was dead")
+	}
+
+	// The reclaimed detector state is live again on a: the next event
+	// completes the impossible-travel pair.
+	u := bUsers[0]
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+	na.node.Ingest(clusterEvent(u, t0.Add(10*time.Minute), ny))
+	eventually(t, "speed alert from reclaimed state on a", func() bool {
+		_, n := na.pipe.Alerts(store.AlertQuery{UserID: u, Detector: stream.StageSpeed})
+		return n > 0
+	})
+}
+
+// TestOutboxReplayAcrossRingChange is the satellite regression: events
+// spilled for an unreachable owner whose ring seat then changes must
+// replay to the NEW owner exactly once — re-resolved routing, no
+// duplicates from repeated replays.
+func TestOutboxReplayAcrossRingChange(t *testing.T) {
+	const users = 300
+	nodes := startElasticCluster(t, []string{"a", "b", "c"}, users)
+	na, nb, nc := nodes["a"], nodes["b"], nodes["c"]
+
+	var spillUser uint64
+	for u := uint64(1); u <= users; u++ {
+		if na.node.Owner(u) == "b" {
+			spillUser = u
+			break
+		}
+	}
+	if spillUser == 0 {
+		t.Fatal("no b-owned user")
+	}
+
+	// b's ingest fails (heartbeats healthy): forwards spill, addressed
+	// to b.
+	nb.proxy.setFail("/cluster/v1/ingest", true)
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+	t0 := simclock.Epoch()
+	for i := 0; i < 3; i++ {
+		at := t0.Add(time.Duration(i) * time.Hour)
+		na.node.Ingest(clusterEvent(spillUser, at, sf))
+		na.node.Ingest(clusterEvent(spillUser, at.Add(10*time.Minute), ny))
+	}
+	eventually(t, "all six forwards spilled", func() bool {
+		st := na.node.Status()
+		return st.Replication.Outbox != nil && st.Replication.Outbox.Queued == 6
+	})
+
+	// A replay attempt while b still owns the users but refuses ingest:
+	// the events re-enter the forward path, fail against b again, and
+	// spill back — nothing is lost, nothing lands.
+	na.node.ReplayOutbox()
+	eventually(t, "replayed events re-spilled", func() bool {
+		return na.node.Status().Replication.Outbox.Queued == 6
+	})
+	if got := nb.pipe.Stats().Published; got != 0 {
+		t.Fatalf("refusing owner processed %d events", got)
+	}
+
+	// Ring change mid-replay: b is hard-killed. The spill must re-route
+	// to whoever owns spillUser now.
+	nb.srv.Close()
+	for _, tn := range []*elasticNode{na, nc} {
+		tn := tn
+		eventually(t, tn.id+" drops b", func() bool {
+			tn.clock.Advance(time.Second)
+			tn.node.Tick()
+			return len(tn.node.Membership().LivePeers()) == 1
+		})
+	}
+	newOwner := na.node.Owner(spillUser)
+	if newOwner == "b" {
+		t.Fatal("ring still routes to the dead node")
+	}
+
+	// The replayed sequence is SF,NY pairs 10 minutes apart with
+	// 50-minute gaps — every hop is inside the speed window, so 6 events
+	// processed once yield exactly 5 alerts on the new owner.
+	const wantAlerts = 5
+	eventually(t, "spill replayed to new owner", func() bool {
+		na.node.ReplayOutbox()
+		_, got, info := na.node.ClusterAlerts(store.AlertQuery{UserID: spillUser, Detector: stream.StageSpeed})
+		return info.Nodes == 2 && got >= wantAlerts
+	})
+	// Replaying again must not duplicate: the outbox is drained and the
+	// receiver dedupes by forward sequence.
+	na.node.ReplayOutbox()
+	na.node.ReplayOutbox()
+	_, got, _ := na.node.ClusterAlerts(store.AlertQuery{UserID: spillUser, Detector: stream.StageSpeed})
+	if got != wantAlerts {
+		t.Fatalf("new owner has %d speed alerts, want exactly %d (dupes or loss)", got, wantAlerts)
+	}
+	eventually(t, "outbox drained", func() bool {
+		return na.node.Status().Replication.Outbox.Queued == 0
+	})
+}
+
+// TestElasticChaosDrill is the PR 10 acceptance scenario, in-process
+// and deterministic: a 3-node replicated cluster under load takes a
+// dynamic join, a network partition that heals inside the suspect
+// window (no rebalance), a kill -9, chain re-replication back to
+// factor 2, and cluster-wide quarantine convergence — with every
+// cross-node client routed through the fault injector.
+func TestElasticChaosDrill(t *testing.T) {
+	const users = 300
+	nodes := startElasticCluster(t, []string{"n1", "n2", "n3"}, users)
+	n1, n2, n3 := nodes["n1"], nodes["n2"], nodes["n3"]
+
+	sf := geo.Point{Lat: 37.77, Lon: -122.42}
+	ny := geo.Point{Lat: 40.71, Lon: -74.01}
+	t0 := simclock.Epoch()
+
+	// ---- Load: impossible-travel pairs for users of every owner. ----
+	owned := map[string][]uint64{}
+	for u := uint64(1); u <= users; u++ {
+		o := n1.node.Owner(u)
+		if len(owned[o]) < 8 {
+			owned[o] = append(owned[o], u)
+		}
+	}
+	for _, us := range owned {
+		for i, u := range us {
+			// Minute spacing keeps every user inside the detectors' idle
+			// window, so the join rebalance has state to move.
+			at := t0.Add(time.Duration(i) * time.Minute)
+			n1.node.Ingest(clusterEvent(u, at, sf))
+			n1.node.Ingest(clusterEvent(u, at.Add(10*time.Minute), ny))
+		}
+	}
+	for id, tn := range nodes {
+		want := len(owned[id])
+		tn := tn
+		eventually(t, "speed alerts on "+id, func() bool {
+			_, n := tn.pipe.Alerts(store.AlertQuery{Detector: stream.StageSpeed})
+			return n >= want
+		})
+	}
+
+	// ---- Dynamic join: n4 enters the running cluster via one seed. ----
+	n4 := joinElasticNode(t, "n4", []string{n1.srv.URL}, users)
+	if err := n4.node.JoinCluster(); err != nil {
+		t.Fatal(err)
+	}
+	n4.node.Tick() // first probe round promotes n4 to alive
+	if got := n4.node.ReadyState(); got != "ok" {
+		t.Fatalf("n4 ReadyState after promotion = %q", got)
+	}
+	all := []*elasticNode{n1, n2, n3, n4}
+	tickAll := func() {
+		for _, tn := range all {
+			tn.node.Tick()
+		}
+	}
+	eventually(t, "all four nodes share one ring", func() bool {
+		tickAll()
+		for _, tn := range all {
+			if len(tn.node.Membership().LivePeers()) != 3 {
+				return false
+			}
+		}
+		for u := uint64(1); u <= 40; u++ {
+			o := n1.node.Owner(u)
+			for _, tn := range all[1:] {
+				if tn.node.Owner(u) != o {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	// Displaced detector state trickles to n4 through the bounded
+	// scheduler; wait for every node's parked set to drain.
+	eventually(t, "rebalance handoffs drained", func() bool {
+		for _, tn := range all {
+			if tn.node.handoff.Pending() != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if got := n4.node.Status().Handoff.RecvUsers; got == 0 {
+		t.Fatal("no displaced state reached the joined node")
+	}
+	// The joined node detects: a fresh pair for an n4-owned user,
+	// ingested at n1, is flagged on n4.
+	var u4 uint64
+	for u := uint64(1); u <= users; u++ {
+		if n1.node.Owner(u) == "n4" {
+			u4 = u
+			break
+		}
+	}
+	if u4 == 0 {
+		t.Fatal("n4 owns nothing")
+	}
+	n1.node.Ingest(clusterEvent(u4, t0.Add(200*time.Hour), sf))
+	n1.node.Ingest(clusterEvent(u4, t0.Add(200*time.Hour+10*time.Minute), ny))
+	eventually(t, "joined node detects forwarded pair", func() bool {
+		_, n := n4.pipe.Alerts(store.AlertQuery{UserID: u4, Detector: stream.StageSpeed})
+		return n > 0
+	})
+
+	// ---- Partition / heal inside the suspect window: no rebalance. ----
+	others := []*elasticNode{n1, n2, n4}
+	sentBefore := n1.node.Status().Handoff.SentBundles
+	ringBefore := n1.node.Status().Ring
+	for _, tn := range others {
+		tn.fault.Partition(hostOf(n3.srv.URL), true)
+		n3.fault.Partition(hostOf(tn.srv.URL), true)
+	}
+	// Silence past FailAfter (300ms): n3 turns suspect everywhere but
+	// keeps its ring seat.
+	for _, tn := range others {
+		tn.clock.Advance(400 * time.Millisecond)
+		tn.node.Tick()
+	}
+	for _, tn := range others {
+		if got := len(tn.node.Status().Ring); got != len(ringBefore) {
+			t.Fatalf("%s rebalanced during the suspect window: ring %d members, want %d", tn.id, got, len(ringBefore))
+		}
+	}
+	// Heal before FailAfter+SuspectAfter: n3 recovers with no ring
+	// transition and no re-handoff.
+	for _, tn := range all {
+		tn.fault.Heal()
+	}
+	eventually(t, "n3 back to alive everywhere", func() bool {
+		tickAll()
+		for _, tn := range all {
+			if len(tn.node.Membership().LivePeers()) != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	if got := n1.node.Status().Handoff.SentBundles; got != sentBefore {
+		t.Fatalf("partition-heal inside the suspect window re-triggered handoffs (%d -> %d bundles)", sentBefore, got)
+	}
+
+	// ---- kill -9 n2, after pinning what must survive. ----
+	eventually(t, "n2's replica caught up", func() bool {
+		st := n2.node.Status().Replication
+		return len(st.Followers) == 1 && st.Followers[0].Synced && st.Followers[0].Lag == 0
+	})
+	n2Page, n2Total := n2.pipe.Alerts(store.AlertQuery{Limit: 10000})
+	if n2Total == 0 {
+		t.Fatal("n2 holds no alerts; the drill would assert nothing")
+	}
+	mustSurvive := alertKeys(n2Page)
+	n2.srv.Close()
+	survivors := []*elasticNode{n1, n3, n4}
+	for _, tn := range survivors {
+		tn := tn
+		eventually(t, tn.id+" drops n2", func() bool {
+			tn.clock.Advance(time.Second)
+			tn.node.Tick()
+			return len(tn.node.Membership().LivePeers()) == 2
+		})
+	}
+
+	// Chain re-replication: the dead primary's first live successor
+	// re-ships the promoted log until factor 2 holds again.
+	eventually(t, "repair restores replica factor for n2's log", func() bool {
+		for _, tn := range survivors {
+			tn.node.RunRepair()
+		}
+		repaired := false
+		for _, tn := range survivors {
+			for _, r := range tn.node.Status().Replication.Repairs {
+				if r.Primary == "n2" && r.Done {
+					repaired = true
+				}
+			}
+		}
+		if !repaired {
+			return false
+		}
+		holders := 0
+		for _, tn := range survivors {
+			for _, rs := range tn.node.Status().Replication.Replicas {
+				if rs.Primary == "n2" && rs.Cursor > 0 {
+					holders++
+				}
+			}
+		}
+		return holders >= 2
+	})
+
+	// Merged history is complete from the promoted replica.
+	eventually(t, "merged history complete", func() bool {
+		page, _, info := n1.node.ClusterAlerts(store.AlertQuery{Limit: 10000})
+		if info.Nodes != 3 {
+			return false
+		}
+		got := alertKeys(page)
+		for k := range mustSurvive {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Ring-routed quarantine fan-out converges on every survivor,
+	// starting from the newest member.
+	quarUser := owned["n1"][0]
+	if err := n4.svc.Quarantine(lbsn.UserID(quarUser), time.Hour, "drill", lbsn.QuarantineSourcePolicy); err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range survivors {
+		tn := tn
+		eventually(t, "quarantine converged on "+tn.id, func() bool {
+			return tn.svc.IsQuarantined(lbsn.UserID(quarUser))
+		})
+	}
+
+	// Zero-loss accounting: the forwarder never dropped an event — the
+	// outbox absorbed every failure window.
+	for _, tn := range survivors {
+		if st := tn.node.Status(); st.Forward.Dropped != 0 {
+			t.Fatalf("%s dropped %d forwards during the drill", tn.id, st.Forward.Dropped)
+		}
+	}
+}

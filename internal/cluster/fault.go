@@ -1,0 +1,262 @@
+// Fault injection for chaos drills: a RoundTripper wrapped around the
+// shared cluster transport that drops, delays, partitions or flaps
+// traffic per destination host. Every cluster-internal client built
+// through Config.Fault routes through it, so an injected partition
+// severs probes, forwards, ship batches, quarantine spread and scatter
+// all at once — exactly what a real network split does. Decisions are
+// pure functions of the rule table and the injected clock, so drills
+// under simclock are deterministic.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"locheat/internal/simclock"
+)
+
+// faultRule is one host's injected behavior.
+type faultRule struct {
+	// Drop fails every request outright (connection-refused shaped).
+	Drop bool
+	// Delay is added before the request is attempted.
+	Delay time.Duration
+	// Partition severs the host both ways at the transport level; held
+	// separately from Drop so Heal can lift partitions without
+	// forgetting drop/delay rules a test set independently.
+	Partition bool
+	// Flap alternates reachable/unreachable windows of FlapPeriod,
+	// starting unreachable at FlapStart.
+	Flap       bool
+	FlapStart  time.Time
+	FlapPeriod time.Duration
+}
+
+// FaultInjector holds the rule table. Build one with NewFaultInjector,
+// hand it to cluster.Config.Fault (and the daemon's -chaos flag), then
+// steer it from tests via the setters or over HTTP via Handler.
+type FaultInjector struct {
+	clock simclock.Clock
+
+	mu    sync.Mutex
+	rules map[string]faultRule
+
+	injected, delayed uint64
+}
+
+// NewFaultInjector builds an injector; clock drives flap windows (nil
+// uses the wall clock).
+func NewFaultInjector(clock simclock.Clock) *FaultInjector {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &FaultInjector{clock: clock, rules: make(map[string]faultRule)}
+}
+
+func (f *FaultInjector) update(host string, fn func(*faultRule)) {
+	f.mu.Lock()
+	r := f.rules[host]
+	fn(&r)
+	if (r == faultRule{}) {
+		delete(f.rules, host)
+	} else {
+		f.rules[host] = r
+	}
+	f.mu.Unlock()
+}
+
+// Drop makes every request to host fail (or stops failing them).
+func (f *FaultInjector) Drop(host string, on bool) {
+	f.update(host, func(r *faultRule) { r.Drop = on })
+}
+
+// Delay adds d of latency to every request to host (0 removes it).
+func (f *FaultInjector) Delay(host string, d time.Duration) {
+	f.update(host, func(r *faultRule) { r.Delay = d })
+}
+
+// Partition severs (or restores) the network between this process and
+// host.
+func (f *FaultInjector) Partition(host string, on bool) {
+	f.update(host, func(r *faultRule) { r.Partition = on })
+}
+
+// Flap alternates host between reachable and unreachable in windows of
+// period, starting unreachable now. period <= 0 stops the flapping.
+func (f *FaultInjector) Flap(host string, period time.Duration) {
+	now := f.clock.Now()
+	f.update(host, func(r *faultRule) {
+		r.Flap = period > 0
+		r.FlapStart = now
+		r.FlapPeriod = period
+	})
+}
+
+// Heal lifts partitions and flaps on every host (drop/delay rules a
+// test set explicitly survive — heal mirrors a network split ending).
+func (f *FaultInjector) Heal() {
+	f.mu.Lock()
+	for host, r := range f.rules {
+		r.Partition = false
+		r.Flap = false
+		if (r == faultRule{}) {
+			delete(f.rules, host)
+		} else {
+			f.rules[host] = r
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Clear removes every rule.
+func (f *FaultInjector) Clear() {
+	f.mu.Lock()
+	f.rules = make(map[string]faultRule)
+	f.mu.Unlock()
+}
+
+// decide returns (blocked, delay) for one request to host.
+func (f *FaultInjector) decide(host string) (bool, time.Duration) {
+	f.mu.Lock()
+	r, ok := f.rules[host]
+	f.mu.Unlock()
+	if !ok {
+		return false, 0
+	}
+	if r.Drop || r.Partition {
+		return true, 0
+	}
+	if r.Flap && r.FlapPeriod > 0 {
+		// Window parity off the injected clock: even windows (starting
+		// with the one Flap was called in) are unreachable.
+		elapsed := f.clock.Now().Sub(r.FlapStart)
+		if elapsed >= 0 && (elapsed/r.FlapPeriod)%2 == 0 {
+			return true, 0
+		}
+	}
+	return false, r.Delay
+}
+
+// faultTransport injects f's rules in front of a base RoundTripper.
+type faultTransport struct {
+	f    *FaultInjector
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	blocked, delay := t.f.decide(req.URL.Host)
+	if blocked {
+		t.f.mu.Lock()
+		t.f.injected++
+		t.f.mu.Unlock()
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("fault injected: %s unreachable", req.URL.Host)
+	}
+	if delay > 0 {
+		t.f.mu.Lock()
+		t.f.delayed++
+		t.f.mu.Unlock()
+		// Real sleep even under simclock: delay models wire latency the
+		// caller's timeout must race, not simulated time passing.
+		time.Sleep(delay)
+	}
+	return t.base.RoundTrip(req)
+}
+
+// Transport wraps base (nil: the shared cluster transport) with fault
+// injection.
+func (f *FaultInjector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = sharedTransport
+	}
+	return &faultTransport{f: f, base: base}
+}
+
+// Client returns an HTTP client routed through the injector, with the
+// given overall request timeout — the drop-in replacement for
+// newHTTPClient on a chaos node.
+func (f *FaultInjector) Client(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout, Transport: f.Transport(nil)}
+}
+
+// FaultStats counts injections.
+type FaultStats struct {
+	Rules    int    `json:"rules"`
+	Injected uint64 `json:"injected"`
+	Delayed  uint64 `json:"delayed"`
+}
+
+// Stats snapshots the injector.
+func (f *FaultInjector) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FaultStats{Rules: len(f.rules), Injected: f.injected, Delayed: f.delayed}
+}
+
+// faultCommand is the POST /cluster/v1/fault body the chaos drill's
+// driver (scripts/soak.sh) steers a live node with.
+type faultCommand struct {
+	// Action: "partition", "heal", "drop", "undrop", "delay", "flap",
+	// "clear".
+	Action string `json:"action"`
+	// Hosts are destination host:port values as they appear in peer
+	// URLs. Ignored by heal/clear.
+	Hosts []string `json:"hosts,omitempty"`
+	// Ms is the delay or flap period in milliseconds.
+	Ms int64 `json:"ms,omitempty"`
+}
+
+// Handler is the HTTP control surface, mounted at /cluster/v1/fault on
+// nodes started with fault injection enabled (lbsnd -chaos). Like the
+// rest of /cluster/v1 it is unauthenticated by design: the flag gates
+// it, and the listener is cluster-internal.
+func (f *FaultInjector) Handler(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, f.Stats())
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var cmd faultCommand
+	if err := json.NewDecoder(r.Body).Decode(&cmd); err != nil {
+		http.Error(w, "malformed fault command", http.StatusBadRequest)
+		return
+	}
+	switch cmd.Action {
+	case "partition":
+		for _, h := range cmd.Hosts {
+			f.Partition(h, true)
+		}
+	case "heal":
+		f.Heal()
+	case "drop":
+		for _, h := range cmd.Hosts {
+			f.Drop(h, true)
+		}
+	case "undrop":
+		for _, h := range cmd.Hosts {
+			f.Drop(h, false)
+		}
+	case "delay":
+		for _, h := range cmd.Hosts {
+			f.Delay(h, time.Duration(cmd.Ms)*time.Millisecond)
+		}
+	case "flap":
+		for _, h := range cmd.Hosts {
+			f.Flap(h, time.Duration(cmd.Ms)*time.Millisecond)
+		}
+	case "clear":
+		f.Clear()
+	default:
+		http.Error(w, "unknown action", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, f.Stats())
+}

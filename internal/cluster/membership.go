@@ -8,30 +8,130 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locheat/internal/obs"
 	"locheat/internal/simclock"
 )
 
-// Member is one node of the static cluster definition: a stable ID and
-// the base URL of its internal /cluster/v1 listener (scheme://host:port,
-// no trailing slash).
+// Member is one node of the cluster: a stable ID and the base URL of
+// its internal /cluster/v1 listener (scheme://host:port, no trailing
+// slash).
 type Member struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr"`
 }
 
-// MembershipConfig tunes failure detection. Zero values take defaults.
+// MemberState is one member's lifecycle position in the gossip table.
+// The zero value is StateJoining so a half-initialized entry never
+// claims ring ownership.
+type MemberState uint8
+
+const (
+	// StateJoining: announced via the join handshake but not yet owning
+	// traffic. Excluded from the ring; the member promotes itself to
+	// alive (with a version bump) after its first successful probe
+	// round.
+	StateJoining MemberState = iota
+	// StateAlive: answering probes, owns its ring share.
+	StateAlive
+	// StateSuspect: silent past FailAfter but not yet written off. Still
+	// in the ring — the hysteresis that keeps delayed or reordered
+	// heartbeats from oscillating ownership and re-triggering handoffs.
+	StateSuspect
+	// StateLeft: gone — gracefully (leave notice) or declared dead after
+	// the suspect window expired. Out of the ring; kept as a tombstone
+	// so stale gossip cannot resurrect it at an older version.
+	StateLeft
+)
+
+// String renders the wire form used in gossip entries and status rows.
+func (s MemberState) String() string {
+	switch s {
+	case StateJoining:
+		return "joining"
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateLeft:
+		return "left"
+	}
+	return "unknown"
+}
+
+// parseMemberState is the inverse of String; unknown strings map to
+// StateLeft (the conservative reading: never grant ring share on a
+// state this build cannot interpret).
+func parseMemberState(s string) MemberState {
+	switch s {
+	case "joining":
+		return StateJoining
+	case "alive":
+		return StateAlive
+	case "suspect":
+		return StateSuspect
+	case "left":
+		return StateLeft
+	}
+	return StateLeft
+}
+
+// statePrecedence breaks version ties in the LWW merge: at equal
+// version the more "terminal" claim wins, so a left/suspect assertion
+// is not silently shadowed by an alive echo at the same version — the
+// member refutes it by bumping its version, which is the only way back.
+func statePrecedence(s MemberState) int {
+	switch s {
+	case StateJoining:
+		return 0
+	case StateAlive:
+		return 1
+	case StateSuspect:
+		return 2
+	case StateLeft:
+		return 3
+	}
+	return 3
+}
+
+// ringEligible reports whether a state owns key space. Suspect members
+// stay in the ring: flapping probes must not churn ownership (and the
+// handoffs that ride on it) until the suspect window expires for real.
+func ringEligible(s MemberState) bool { return s == StateAlive || s == StateSuspect }
+
+// MemberEntry is one gossip-table row on the wire: identity, address,
+// lifecycle state and its LWW version. Entries piggyback on heartbeat
+// probe bodies and ping replies (anti-entropy both ways per round) and
+// seed the join handshake's member-table transfer.
+type MemberEntry struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	Ver   uint64 `json:"ver"`
+}
+
+// MembershipConfig tunes failure detection and gossip. Zero values
+// take defaults.
 type MembershipConfig struct {
 	// HeartbeatEvery is the probe interval (default 1s).
 	HeartbeatEvery time.Duration
-	// FailAfter marks a peer dead after this long without a successful
-	// probe (default 3×HeartbeatEvery). Probes also revive: a dead peer
-	// that answers again rejoins the ring.
+	// FailAfter marks a peer suspect after this long without a
+	// successful probe (default 3×HeartbeatEvery). Suspect members keep
+	// their ring share; probes also revive — a suspect or left peer that
+	// answers again rejoins at a bumped version.
 	FailAfter time.Duration
+	// SuspectAfter is the additional silence, past FailAfter, before a
+	// suspect member is declared left and its ring share rebalanced
+	// (default 2×FailAfter). This is the flap-hysteresis window.
+	SuspectAfter time.Duration
 	// Timeout bounds one probe (default HeartbeatEvery).
 	Timeout time.Duration
+	// Joining starts this node in StateJoining: it gossips but owns no
+	// ring share until its first successful probe round promotes it.
+	// Set by the -cluster-join boot path; static boots start alive.
+	Joining bool
 	// Clock supplies probe timestamps; simulated clocks make failure
 	// detection deterministic in tests. Default wall clock.
 	Clock simclock.Clock
@@ -40,9 +140,9 @@ type MembershipConfig struct {
 	HTTP *http.Client
 	// ProbePayload, when set, supplies a body (and its content type)
 	// attached to every heartbeat probe — computed once per Tick round
-	// and POSTed to each peer. This is how the quarantine digest rides
-	// the heartbeats instead of costing its own O(peers) request round.
-	// Nil keeps probes as bodyless GETs.
+	// and POSTed to each peer. This is how the quarantine digest and the
+	// gossip member table ride the heartbeats instead of costing their
+	// own O(peers) request rounds.
 	ProbePayload func() (body []byte, contentType string)
 	// ProbeReply receives each successful probe's parsed response,
 	// outside the membership lock (possibly concurrently, one call per
@@ -53,7 +153,8 @@ type MembershipConfig struct {
 	Logf func(format string, args ...any)
 	// Obs registers failure-detector telemetry: heartbeat RTT histogram
 	// plus per-peer liveness and codec-negotiation gauges (labelled by
-	// peer ID, bounded by the static cluster definition). Nil probes
+	// peer ID, registered as peers are learned — statically at
+	// construction or dynamically through gossip). Nil probes
 	// unobserved.
 	Obs *obs.Registry
 }
@@ -64,6 +165,9 @@ func (c MembershipConfig) withDefaults() MembershipConfig {
 	}
 	if c.FailAfter <= 0 {
 		c.FailAfter = 3 * c.HeartbeatEvery
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2 * c.FailAfter
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = c.HeartbeatEvery
@@ -80,11 +184,12 @@ func (c MembershipConfig) withDefaults() MembershipConfig {
 	return c
 }
 
-// peerState tracks one peer's liveness and advertised capabilities.
+// peerState tracks one peer's gossip entry, local probe view and
+// advertised capabilities.
 type peerState struct {
 	member   Member
-	alive    bool
-	left     bool // graceful leave: stays down until it heartbeats back
+	state    MemberState
+	ver      uint64
 	lastSeen time.Time
 	// binary records the peer's last advertised wire codec: true once
 	// a ping response carried a binary capability string ("bin/1" or
@@ -98,20 +203,28 @@ type peerState struct {
 	traced bool
 }
 
-// Membership keeps the static peer list live with heartbeats. The
-// member set never grows beyond the configured list — this is
-// static-with-heartbeats, not gossip discovery — but members fall out
-// when they stop answering (or announce a leave) and rejoin when they
-// answer again. Safe for concurrent use.
+// Membership keeps the cluster's member table live with heartbeats and
+// gossip. Peers enter statically (boot flags), through the join
+// handshake, or by gossip from any existing member; they fall out when
+// they announce a leave or stay silent past the suspect window, and
+// rejoin when they answer again. Every entry is version-stamped and
+// merged last-writer-wins, so concurrent observations converge without
+// coordination. Safe for concurrent use.
 type Membership struct {
 	self Member
 	cfg  MembershipConfig
 
 	mu    sync.Mutex
 	peers map[string]*peerState // by ID
+	// selfState/selfVer are this node's own gossip entry. A node seeing
+	// itself gossiped suspect or left refutes the claim by re-asserting
+	// alive at a higher version (the SWIM incarnation idiom) — that is
+	// what makes partition heal instead of wedge.
+	selfState MemberState
+	selfVer   uint64
 
-	// onChange fires after every live-set transition, outside mu. Set
-	// once before Start.
+	// onChange fires after every ring-eligible-set transition, outside
+	// mu. Set once before Start.
 	onChange func()
 
 	started  bool
@@ -119,49 +232,86 @@ type Membership struct {
 	stop     chan struct{}
 	done     chan struct{}
 
-	// rtt is nil without MembershipConfig.Obs.
-	rtt *obs.Histogram
+	adopted  atomic.Uint64
+	refuted  atomic.Uint64
+	rtt      *obs.Histogram // nil without MembershipConfig.Obs
+	obsReg   *obs.Registry
+	obsOnce  map[string]bool
+	obsPeekM sync.Mutex
 }
 
 // NewMembership builds the membership view. Peers containing self (by
 // ID) are skipped, so the full cluster list can be passed to every
-// node unchanged. New peers start alive: at boot the optimistic
-// assumption routes traffic immediately and the first failed window
-// corrects it.
+// node unchanged. Statically configured peers start alive: at boot the
+// optimistic assumption routes traffic immediately and the first
+// failed window corrects it. With cfg.Joining the node itself starts
+// in StateJoining and owns no ring share until promoted.
 func NewMembership(self Member, peers []Member, cfg MembershipConfig) *Membership {
 	cfg = cfg.withDefaults()
 	m := &Membership{
-		self:  self,
-		cfg:   cfg,
-		peers: make(map[string]*peerState),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		self:      self,
+		cfg:       cfg,
+		peers:     make(map[string]*peerState),
+		selfState: StateAlive,
+		selfVer:   1,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		obsOnce:   make(map[string]bool),
+	}
+	if cfg.Joining {
+		m.selfState = StateJoining
 	}
 	now := cfg.Clock.Now()
+	m.registerObs(cfg.Obs)
 	for _, p := range peers {
 		if p.ID == self.ID {
 			continue
 		}
-		m.peers[p.ID] = &peerState{member: p, alive: true, lastSeen: now}
+		m.peers[p.ID] = &peerState{member: p, state: StateAlive, lastSeen: now}
+		m.registerPeerObs(p.ID)
 	}
-	m.registerObs(cfg.Obs)
 	return m
 }
 
-// registerObs exposes the failure detector on reg: probe RTTs plus one
-// liveness gauge and one codec-negotiation gauge per configured peer.
-// The peer set is static, so the label cardinality is the cluster size.
-// No-op on a nil registry.
+// registerObs exposes the failure detector on reg: probe RTTs, the
+// live-set gauge and the gossip merge counters. Per-peer gauges are
+// registered by registerPeerObs as peers are learned. No-op on a nil
+// registry.
 func (m *Membership) registerObs(reg *obs.Registry) {
+	m.obsReg = reg
 	if reg == nil {
 		return
 	}
 	m.rtt = reg.Histogram("locheat_cluster_heartbeat_rtt_seconds",
 		"round trip of one successful heartbeat probe", obs.Seconds)
 	reg.GaugeFunc("locheat_cluster_live_members",
-		"members in the current live set, self included",
+		"members in the current ring-eligible set, self included",
 		func() float64 { return float64(len(m.Live())) })
-	peek := func(id string, read func(*peerState) bool) func() float64 {
+	reg.CounterFunc("locheat_cluster_gossip_adopted_total",
+		"member-table entries adopted from gossip (LWW merge wins)",
+		m.adopted.Load)
+	reg.CounterFunc("locheat_cluster_gossip_refuted_total",
+		"suspect/left claims about this node refuted by re-asserting alive",
+		m.refuted.Load)
+}
+
+// registerPeerObs registers the per-peer gauges for one learned peer.
+// Idempotent (the registry get-or-creates, and obsOnce filters repeat
+// merges); called under no lock ordering constraint with mu — it only
+// takes the small obsPeekM.
+func (m *Membership) registerPeerObs(id string) {
+	reg := m.obsReg
+	if reg == nil {
+		return
+	}
+	m.obsPeekM.Lock()
+	if m.obsOnce[id] {
+		m.obsPeekM.Unlock()
+		return
+	}
+	m.obsOnce[id] = true
+	m.obsPeekM.Unlock()
+	peek := func(read func(*peerState) bool) func() float64 {
 		return func() float64 {
 			m.mu.Lock()
 			defer m.mu.Unlock()
@@ -171,34 +321,43 @@ func (m *Membership) registerObs(reg *obs.Registry) {
 			return 0
 		}
 	}
-	for id := range m.peers {
-		reg.GaugeFunc("locheat_cluster_peer_alive",
-			"1 while the peer answers heartbeats",
-			peek(id, func(p *peerState) bool { return p.alive }), "peer", id)
-		reg.GaugeFunc("locheat_cluster_peer_binary",
-			"1 while the peer's heartbeats advertise the binary wire codec",
-			peek(id, func(p *peerState) bool { return p.binary }), "peer", id)
-		reg.GaugeFunc("locheat_cluster_peer_traced",
-			"1 while the peer's heartbeats advertise the trace-aware binary wire codec",
-			peek(id, func(p *peerState) bool { return p.traced }), "peer", id)
-	}
+	reg.GaugeFunc("locheat_cluster_peer_alive",
+		"1 while the peer holds ring share (alive or suspect)",
+		peek(func(p *peerState) bool { return ringEligible(p.state) }), "peer", id)
+	reg.GaugeFunc("locheat_cluster_peer_binary",
+		"1 while the peer's heartbeats advertise the binary wire codec",
+		peek(func(p *peerState) bool { return p.binary }), "peer", id)
+	reg.GaugeFunc("locheat_cluster_peer_traced",
+		"1 while the peer's heartbeats advertise the trace-aware binary wire codec",
+		peek(func(p *peerState) bool { return p.traced }), "peer", id)
 }
 
-// OnChange installs the live-set transition hook. Call before Start;
-// the hook runs outside the membership lock.
+// OnChange installs the ring-eligible-set transition hook. Call before
+// Start; the hook runs outside the membership lock.
 func (m *Membership) OnChange(fn func()) { m.onChange = fn }
 
 // Self returns this node's member record.
 func (m *Membership) Self() Member { return m.self }
 
-// Live returns the current live member set including self, sorted by
-// ID (NewRing sorts anyway; sorted here so logs are stable).
+// Joining reports whether this node is still waiting to own traffic.
+func (m *Membership) Joining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.selfState == StateJoining
+}
+
+// Live returns the current ring-eligible member set (alive and
+// suspect), including self once self is past joining, sorted by ID
+// (NewRing sorts anyway; sorted here so logs are stable).
 func (m *Membership) Live() []Member {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := []Member{m.self}
+	out := make([]Member, 0, len(m.peers)+1)
+	if ringEligible(m.selfState) {
+		out = append(out, m.self)
+	}
 	for _, p := range m.peers {
-		if p.alive {
+		if ringEligible(p.state) {
 			out = append(out, p.member)
 		}
 	}
@@ -206,28 +365,30 @@ func (m *Membership) Live() []Member {
 	return out
 }
 
-// LivePeers returns the live set excluding self.
+// LivePeers returns the ring-eligible set excluding self.
 func (m *Membership) LivePeers() []Member {
-	live := m.Live()
-	out := live[:0]
-	for _, p := range live {
-		if p.ID != m.self.ID {
-			out = append(out, p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Member, 0, len(m.peers))
+	for _, p := range m.peers {
+		if ringEligible(p.state) {
+			out = append(out, p.member)
 		}
 	}
+	sortMembers(out)
 	return out
 }
 
-// IsLive reports whether the member is currently in the live set
-// (self always is).
+// IsLive reports whether the member currently holds ring share (self
+// does once past joining).
 func (m *Membership) IsLive(id string) bool {
-	if id == m.self.ID {
-		return true
-	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if id == m.self.ID {
+		return ringEligible(m.selfState)
+	}
 	p, ok := m.peers[id]
-	return ok && p.alive
+	return ok && ringEligible(p.state)
 }
 
 // Peer resolves a member ID to its record, live or not.
@@ -239,6 +400,20 @@ func (m *Membership) Peer(id string) (Member, bool) {
 		return Member{}, false
 	}
 	return p.member, true
+}
+
+// PeerByAddr resolves a peer by its advertised address — the reverse
+// lookup the forwarder's spill path needs now that the member table is
+// dynamic.
+func (m *Membership) PeerByAddr(addr string) (Member, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		if p.member.Addr == addr {
+			return p.member, true
+		}
+	}
+	return Member{}, false
 }
 
 // SupportsBinary reports whether the peer's last heartbeat advertised
@@ -291,6 +466,8 @@ type MemberStatus struct {
 	Addr     string    `json:"addr"`
 	Self     bool      `json:"self"`
 	Alive    bool      `json:"alive"`
+	State    string    `json:"state"`
+	Ver      uint64    `json:"ver"`
 	Left     bool      `json:"left,omitempty"`
 	LastSeen time.Time `json:"lastSeen,omitempty"`
 }
@@ -299,7 +476,11 @@ type MemberStatus struct {
 func (m *Membership) Status() []MemberStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := []MemberStatus{{ID: m.self.ID, Addr: m.self.Addr, Self: true, Alive: true}}
+	out := []MemberStatus{{
+		ID: m.self.ID, Addr: m.self.Addr, Self: true,
+		Alive: ringEligible(m.selfState),
+		State: m.selfState.String(), Ver: m.selfVer,
+	}}
 	ids := make([]string, 0, len(m.peers))
 	for id := range m.peers {
 		ids = append(ids, id)
@@ -310,12 +491,117 @@ func (m *Membership) Status() []MemberStatus {
 		out = append(out, MemberStatus{
 			ID:       p.member.ID,
 			Addr:     p.member.Addr,
-			Alive:    p.alive,
-			Left:     p.left,
+			Alive:    ringEligible(p.state),
+			State:    p.state.String(),
+			Ver:      p.ver,
+			Left:     p.state == StateLeft,
 			LastSeen: p.lastSeen,
 		})
 	}
 	return out
+}
+
+// GossipEntries snapshots the member table — self included — in wire
+// form, for piggybacking on probes, ping replies and join responses.
+func (m *Membership) GossipEntries() []MemberEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemberEntry, 0, len(m.peers)+1)
+	out = append(out, MemberEntry{
+		ID: m.self.ID, Addr: m.self.Addr,
+		State: m.selfState.String(), Ver: m.selfVer,
+	})
+	for _, p := range m.peers {
+		out = append(out, MemberEntry{
+			ID: p.member.ID, Addr: p.member.Addr,
+			State: p.state.String(), Ver: p.ver,
+		})
+	}
+	return out
+}
+
+// Merge folds remote gossip entries into the table: higher version
+// wins, ties break toward the more terminal state (statePrecedence).
+// Unknown members are learned (that is how a join spreads past the
+// seed). Claims about self in suspect or left are refuted by bumping
+// our own version — the next gossip round carries the correction.
+// Fires onChange when the ring-eligible set changed.
+func (m *Membership) Merge(entries []MemberEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	changed := false
+	var learned []string
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	for _, e := range entries {
+		if e.ID == "" {
+			continue
+		}
+		st := parseMemberState(e.State)
+		if e.ID == m.self.ID {
+			// Self-refutation: a rumor that we are suspect/left at a version
+			// at or past ours would, unrefuted, strip our ring share
+			// everywhere. Re-assert alive above it. A joining node does not
+			// contest a joining claim — that is just its own announcement
+			// echoing back.
+			if st != m.selfState && e.Ver >= m.selfVer && statePrecedence(st) > statePrecedence(m.selfState) {
+				m.selfVer = e.Ver + 1
+				m.refuted.Add(1)
+				m.cfg.Logf("cluster: refuting gossip claiming self %s (ver %d); re-asserting %s ver %d",
+					st, e.Ver, m.selfState, m.selfVer)
+			} else if e.Ver > m.selfVer && st == m.selfState {
+				// Someone carried our own entry forward at a higher version
+				// (e.g. we restarted); keep ours monotonic past it.
+				m.selfVer = e.Ver + 1
+			}
+			continue
+		}
+		p, ok := m.peers[e.ID]
+		if !ok {
+			m.peers[e.ID] = &peerState{
+				member:   Member{ID: e.ID, Addr: strings.TrimRight(e.Addr, "/")},
+				state:    st,
+				ver:      e.Ver,
+				lastSeen: now,
+			}
+			learned = append(learned, e.ID)
+			m.adopted.Add(1)
+			if ringEligible(st) {
+				changed = true
+			}
+			m.cfg.Logf("cluster: learned member %s (%s) state %s ver %d via gossip", e.ID, e.Addr, st, e.Ver)
+			continue
+		}
+		if e.Ver < p.ver || (e.Ver == p.ver && statePrecedence(st) <= statePrecedence(p.state)) {
+			continue
+		}
+		wasEligible := ringEligible(p.state)
+		if e.Addr != "" {
+			p.member.Addr = strings.TrimRight(e.Addr, "/")
+		}
+		if st != p.state {
+			m.cfg.Logf("cluster: gossip: peer %s %s -> %s (ver %d -> %d)", e.ID, p.state, st, p.ver, e.Ver)
+		}
+		p.state = st
+		p.ver = e.Ver
+		m.adopted.Add(1)
+		if ringEligible(st) && !wasEligible {
+			// Fresh grace window: adopting a revival must not be instantly
+			// undone by our own stale lastSeen.
+			p.lastSeen = now
+		}
+		if wasEligible != ringEligible(st) {
+			changed = true
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range learned {
+		m.registerPeerObs(id)
+	}
+	if changed {
+		m.notify()
+	}
 }
 
 // Start runs the heartbeat loop until Stop. The loop ticks on the wall
@@ -357,19 +643,24 @@ func (m *Membership) Stop() {
 	}
 }
 
-// Tick runs one probe round: every peer is pinged, liveness is
-// re-evaluated against FailAfter, and onChange fires if the live set
-// changed. Exposed so tests drive failure detection deterministically.
+// Tick runs one probe round: every known peer is pinged, state is
+// re-evaluated against the suspect/left windows, a joining self is
+// promoted on its first successful round, and onChange fires if the
+// ring-eligible set changed. Exposed so tests drive failure detection
+// deterministically.
 func (m *Membership) Tick() {
+	// Snapshot Member VALUES under the lock: a concurrent gossip merge
+	// (riding another probe's reply) may rewrite a peer's address.
 	m.mu.Lock()
-	peers := make([]*peerState, 0, len(m.peers))
+	peers := make([]Member, 0, len(m.peers))
 	for _, p := range m.peers {
-		peers = append(peers, p)
+		peers = append(peers, p.member)
 	}
 	m.mu.Unlock()
 
-	// The piggyback payload (quarantine digest) is built once per round
-	// and shared by every probe goroutine read-only.
+	// The piggyback payload (quarantine digest + gossip entries) is
+	// built once per round and shared by every probe goroutine
+	// read-only.
 	var body []byte
 	var bodyCT string
 	if m.cfg.ProbePayload != nil {
@@ -381,15 +672,17 @@ func (m *Membership) Tick() {
 		ok bool
 	}
 	results := make(chan probe, len(peers))
-	for _, p := range peers {
+	for _, mem := range peers {
 		go func(mem Member) {
 			results <- probe{id: mem.ID, ok: m.ping(mem, body, bodyCT)}
-		}(p.member)
+		}(mem)
 	}
 	ok := make(map[string]bool, len(peers))
+	anyOK := false
 	for range peers {
 		r := <-results
 		ok[r.id] = r.ok
+		anyOK = anyOK || r.ok
 	}
 
 	changed := false
@@ -398,19 +691,53 @@ func (m *Membership) Tick() {
 	for id, p := range m.peers {
 		if ok[id] {
 			p.lastSeen = now
-			if !p.alive {
-				p.alive = true
-				p.left = false
-				changed = true
-				m.cfg.Logf("cluster: peer %s (%s) is back", id, p.member.Addr)
+			switch p.state {
+			case StateAlive:
+			case StateJoining:
+				// The joiner promotes itself; a probe answer alone must not
+				// grant it ring share before it has pulled the cluster's
+				// quarantine/member state.
+			default:
+				// Revival: answering again after suspect/left. Bump the
+				// version so gossip out-ranks the stale claim everywhere.
+				// Only a left peer's return changes ring eligibility — a
+				// suspect one never lost its seat, so its recovery must not
+				// fire onChange (that would let a flapping link re-trigger
+				// rebalances).
+				if !ringEligible(p.state) {
+					changed = true
+				}
+				p.state = StateAlive
+				p.ver++
+				m.cfg.Logf("cluster: peer %s (%s) is back (ver %d)", id, p.member.Addr, p.ver)
 			}
 			continue
 		}
-		if p.alive && now.Sub(p.lastSeen) >= m.cfg.FailAfter {
-			p.alive = false
-			changed = true
-			m.cfg.Logf("cluster: peer %s (%s) marked dead (silent for %s)", id, p.member.Addr, now.Sub(p.lastSeen))
+		switch p.state {
+		case StateAlive:
+			if now.Sub(p.lastSeen) >= m.cfg.FailAfter {
+				p.state = StateSuspect
+				p.ver++
+				// Suspect keeps ring share: no eligibility change, no
+				// rebalance — the hysteresis against heartbeat flaps.
+				m.cfg.Logf("cluster: peer %s (%s) suspect (silent for %s)", id, p.member.Addr, now.Sub(p.lastSeen))
+			}
+		case StateSuspect:
+			if now.Sub(p.lastSeen) >= m.cfg.FailAfter+m.cfg.SuspectAfter {
+				p.state = StateLeft
+				p.ver++
+				changed = true
+				m.cfg.Logf("cluster: peer %s (%s) declared left (silent for %s)", id, p.member.Addr, now.Sub(p.lastSeen))
+			}
 		}
+	}
+	if m.selfState == StateJoining && (anyOK || len(peers) == 0) {
+		// First successful probe round (or a seedless solo boot): this
+		// node has synced state with the cluster and can own traffic.
+		m.selfState = StateAlive
+		m.selfVer++
+		changed = true
+		m.cfg.Logf("cluster: join complete — node %s owns ring share (ver %d)", m.self.ID, m.selfVer)
 	}
 	m.mu.Unlock()
 	if changed {
@@ -419,15 +746,16 @@ func (m *Membership) Tick() {
 }
 
 // MarkLeft processes a graceful leave notice: the peer drops out of the
-// live set immediately. It rejoins the normal way — by answering a
-// heartbeat — if it comes back.
+// ring immediately, at a bumped version so gossip spreads the
+// departure. It rejoins the normal way — by answering a heartbeat or
+// re-running the join handshake.
 func (m *Membership) MarkLeft(id string) {
 	m.mu.Lock()
 	p, known := m.peers[id]
-	changed := known && p.alive
-	if known {
-		p.alive = false
-		p.left = true
+	changed := known && ringEligible(p.state)
+	if known && p.state != StateLeft {
+		p.state = StateLeft
+		p.ver++
 	}
 	m.mu.Unlock()
 	if changed {
@@ -446,8 +774,8 @@ func (m *Membership) notify() {
 // expected node (catches address reuse across deployments). A probe
 // with a piggyback body POSTs it (an old receiver ignores the body and
 // still answers its PingResponse); a successful probe records the
-// peer's advertised codec and hands the response to the ProbeReply
-// hook.
+// peer's advertised codec, merges the gossip entries riding the reply,
+// and hands the response to the ProbeReply hook.
 func (m *Membership) ping(peer Member, body []byte, bodyCT string) bool {
 	var start time.Time
 	if m.rtt != nil {
@@ -481,6 +809,7 @@ func (m *Membership) ping(peer Member, body []byte, bodyCT string) bool {
 		p.traced = pr.Codec == tracedCodecName
 	}
 	m.mu.Unlock()
+	m.Merge(pr.Members)
 	if m.cfg.ProbeReply != nil {
 		m.cfg.ProbeReply(peer, pr)
 	}

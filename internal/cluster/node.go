@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,8 +29,16 @@ type Config struct {
 	// to reach its internal listener.
 	Self Member
 	// Peers is the static cluster definition. Including self is fine
-	// (it is skipped), so one flag value serves every node.
+	// (it is skipped), so one flag value serves every node. May be empty
+	// when Join names seed nodes — the member table then arrives through
+	// the join handshake and gossip.
 	Peers []Member
+	// Join lists seed-node base URLs for the dynamic join path
+	// (-cluster-join). When non-empty the node boots in the "joining"
+	// state: it announces itself to the first seed that answers, pulls
+	// the member table, and owns no ring share until its first
+	// successful probe round promotes it to alive.
+	Join []string
 	// VirtualNodes per member on the ring (default DefaultVirtualNodes).
 	VirtualNodes int
 	// Membership tunes heartbeats and failure detection.
@@ -54,6 +63,14 @@ type Config struct {
 	// context in binary form. Tests use it to stand up a peer that
 	// looks like a pre-trace build to everyone else.
 	DisableTracedWire bool
+	// Handoff tunes the bounded rebalancing scheduler (concurrency,
+	// bundle size, retry pacing). Zero values take defaults.
+	Handoff HandoffConfig
+	// Fault, when set, wires every cross-node HTTP client through the
+	// fault injector (drop/delay/partition/flap by peer) and mounts its
+	// control surface at /cluster/v1/fault. Chaos drills only — never
+	// set in normal operation.
+	Fault *FaultInjector
 	// Tracer head-samples check-ins at ingest, records cross-node hop
 	// spans, and backs the /cluster/v1/traces scatter surface. Nil
 	// disables tracing on this node (it still decodes and forwards
@@ -75,7 +92,11 @@ func (c Config) withDefaults() Config {
 		c.VirtualNodes = DefaultVirtualNodes
 	}
 	if c.HTTP == nil {
-		c.HTTP = newHTTPClient(10 * time.Second)
+		if c.Fault != nil {
+			c.HTTP = c.Fault.Client(10 * time.Second)
+		} else {
+			c.HTTP = newHTTPClient(10 * time.Second)
+		}
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -88,6 +109,23 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Forward.Logf == nil {
 		c.Forward.Logf = c.Logf
+	}
+	if c.Fault != nil {
+		// Every cross-node client rides the injector so a partitioned
+		// peer is unreachable on all paths at once, the way a real
+		// network split behaves.
+		if c.Membership.HTTP == nil {
+			timeout := c.Membership.Timeout
+			if timeout <= 0 {
+				if timeout = c.Membership.HeartbeatEvery; timeout <= 0 {
+					timeout = time.Second
+				}
+			}
+			c.Membership.HTTP = c.Fault.Client(timeout)
+		}
+		if c.Forward.HTTP == nil {
+			c.Forward.HTTP = c.Fault.Client(5 * time.Second)
+		}
 	}
 	return c
 }
@@ -178,9 +216,25 @@ type Node struct {
 	// subsequent traffic fast-fails to the durability tier (outbox,
 	// resync cursor, digest anti-entropy) instead of stacking HTTP
 	// timeouts, and half-open probes re-admit the peer when it returns.
-	fwdBreakers   *backpressure.BreakerGroup
-	shipBreakers  *backpressure.BreakerGroup
-	bcastBreakers *backpressure.BreakerGroup
+	fwdBreakers     *backpressure.BreakerGroup
+	shipBreakers    *backpressure.BreakerGroup
+	bcastBreakers   *backpressure.BreakerGroup
+	handoffBreakers *backpressure.BreakerGroup
+	scatterBreakers *backpressure.BreakerGroup
+
+	// handoff is the bounded rebalancing scheduler: ring changes park
+	// displaced users' state here and a worker moves it with capped
+	// concurrency, resumable across further ring changes.
+	handoff *handoffScheduler
+
+	// Chain re-replication state (repair.go): repairing guards one pass
+	// at a time; repairMu/repairs expose per-(primary,target) progress
+	// in ReplicationStatus.
+	repairing     atomic.Bool
+	repairMu      sync.Mutex
+	repairs       map[string]RepairStatus
+	repairShipped atomic.Uint64
+	bcastRelayed  atomic.Uint64
 
 	bgStop chan struct{}
 	bgOnce sync.Once
@@ -225,6 +279,7 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 		svc:      svc,
 		pipeline: pipeline,
 		seen:     make(map[fwdKey]struct{}),
+		repairs:  make(map[string]RepairStatus),
 		bgStop:   make(chan struct{}),
 	}
 	// Seed the forwarding sequence from the wall clock: a restarted
@@ -241,6 +296,8 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 	n.fwdBreakers = backpressure.NewBreakerGroup("forward", cfg.Breaker, cfg.Obs)
 	n.shipBreakers = backpressure.NewBreakerGroup("ship", cfg.Breaker, cfg.Obs)
 	n.bcastBreakers = backpressure.NewBreakerGroup("quarbcast", cfg.Breaker, cfg.Obs)
+	n.handoffBreakers = backpressure.NewBreakerGroup("handoff", cfg.Breaker, cfg.Obs)
+	n.scatterBreakers = backpressure.NewBreakerGroup("scatter", cfg.Breaker, cfg.Obs)
 	if err := n.initReplication(); err != nil {
 		return nil, err
 	}
@@ -266,9 +323,14 @@ func NewNode(svc *lbsn.Service, pipeline *stream.Pipeline, cfg Config) (*Node, e
 	mcfg.ProbePayload = n.heartbeatPayload
 	mcfg.ProbeReply = n.heartbeatReply
 	mcfg.Obs = cfg.Obs
+	// A node booted with seeds instead of a static peer list joins
+	// dynamically: no ring share until the handshake and first probe
+	// round complete.
+	mcfg.Joining = len(cfg.Join) > 0
 	n.members = NewMembership(cfg.Self, cfg.Peers, mcfg)
 	n.members.OnChange(n.rebalance)
 	n.ring = NewRing(memberIDs(n.members.Live()), cfg.VirtualNodes)
+	n.handoff = newHandoffScheduler(n, cfg.Handoff)
 	n.refreshFollowers(n.ring)
 	n.registerObs(cfg.Obs)
 	return n, nil
@@ -314,6 +376,34 @@ func (n *Node) registerObs(reg *obs.Registry) {
 	reg.CounterFunc("locheat_replica_broadcast_skipped_total",
 		"quarantine-broadcast posts skipped by an open peer breaker (repaired by digest anti-entropy)",
 		load(&n.bcastSkipped))
+	reg.CounterFunc("locheat_replica_broadcast_relayed_total",
+		"quarantine entries re-forwarded along the ring (owner -> successors -> spread)",
+		load(&n.bcastRelayed))
+	reg.CounterFunc("locheat_replica_repair_shipped_total",
+		"alerts re-shipped by chain re-replication to restore the replica factor",
+		load(&n.repairShipped))
+	reg.GaugeFunc("locheat_replica_repairs_active",
+		"chain re-replication streams currently behind their goal cursor",
+		func() float64 {
+			n.repairMu.Lock()
+			defer n.repairMu.Unlock()
+			active := 0
+			for _, r := range n.repairs {
+				if !r.Done {
+					active++
+				}
+			}
+			return float64(active)
+		})
+	reg.GaugeFunc("locheat_cluster_handoff_pending",
+		"users whose state is parked in the rebalancing scheduler awaiting delivery",
+		func() float64 { return float64(n.handoff.Pending()) })
+	reg.CounterFunc("locheat_cluster_handoff_retries_total",
+		"handoff bundles requeued after a failed or breaker-refused send",
+		func() uint64 { return n.handoff.retries.Load() })
+	reg.CounterFunc("locheat_cluster_handoff_reclaimed_total",
+		"parked users re-imported locally because ownership moved back mid-handoff",
+		func() uint64 { return n.handoff.reclaimed.Load() })
 
 	n.quarProp = reg.Histogram("locheat_quarantine_propagation_seconds",
 		"quarantine propagation: origin broadcast stamp to remote apply", obs.Seconds)
@@ -349,12 +439,24 @@ func (n *Node) registerObs(reg *obs.Registry) {
 }
 
 // Ready reports whether the node is serving its seat in the cluster:
-// constructed, not in the middle of leaving. The daemon's /readyz
-// reads it.
-func (n *Node) Ready() bool {
+// constructed, past joining, not in the middle of leaving. The
+// daemon's /readyz reads it.
+func (n *Node) Ready() bool { return n.ReadyState() == "ok" }
+
+// ReadyState names the node's cluster lifecycle position for /readyz:
+// "joining" until the node owns traffic, "leaving" during shutdown,
+// "ok" otherwise.
+func (n *Node) ReadyState() string {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return !n.leaving
+	leaving := n.leaving
+	n.mu.RUnlock()
+	if leaving {
+		return "leaving"
+	}
+	if n.members.Joining() {
+		return "joining"
+	}
+	return "ok"
 }
 
 // spillForward journals events the forwarder would lose, keyed by the
@@ -365,12 +467,11 @@ func (n *Node) Ready() bool {
 // many events the outbox durably accepted; the forwarder counts the
 // rest dropped.
 func (n *Node) spillForward(addr string, events []WireEvent) int {
+	// Resolve through the live member table, not the static boot list:
+	// gossip-learned peers spill under their member ID too.
 	peerID := addr
-	for _, m := range n.cfg.Peers {
-		if m.Addr == addr {
-			peerID = m.ID
-			break
-		}
+	if m, ok := n.members.PeerByAddr(addr); ok {
+		peerID = m.ID
 	}
 	accepted := 0
 	for _, ev := range events {
@@ -421,6 +522,53 @@ func (n *Node) Start() {
 
 // Tick runs one heartbeat round synchronously (test hook).
 func (n *Node) Tick() { n.members.Tick() }
+
+// JoinCluster runs the seed handshake for a node booted with
+// Config.Join: announce self to the first seed that answers and merge
+// the member table it returns. Call after the internal listener is up
+// (the seed's gossip immediately points peers at this node) and before
+// Start. The node stays in the joining state — owning no ring share —
+// until its first successful probe round; /readyz surfaces that.
+func (n *Node) JoinCluster() error {
+	if len(n.cfg.Join) == 0 {
+		return nil
+	}
+	req := JoinRequest{Entry: MemberEntry{
+		ID: n.cfg.Self.ID, Addr: n.cfg.Self.Addr,
+		State: StateJoining.String(), Ver: 1,
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for _, seed := range n.cfg.Join {
+		seed = strings.TrimRight(seed, "/")
+		resp, err := n.cfg.HTTP.Post(seed+"/cluster/v1/join", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var jr JoinResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("join via %s: status %d", seed, resp.StatusCode)
+			continue
+		}
+		if err != nil {
+			lastErr = fmt.Errorf("join via %s: %w", seed, err)
+			continue
+		}
+		n.members.Merge(jr.Members)
+		n.cfg.Logf("cluster: joined via seed %s (%s); learned %d members", jr.Node, seed, len(jr.Members))
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no seeds configured")
+	}
+	return fmt.Errorf("cluster: join failed: %w", lastErr)
+}
 
 // Membership exposes the node's membership view.
 func (n *Node) Membership() *Membership { return n.members }
@@ -481,10 +629,12 @@ func (n *Node) Ingest(ev lbsn.CheckinEvent) bool {
 // (test and shutdown hook).
 func (n *Node) FlushForwards() { n.fwd.Flush() }
 
-// rebalance recomputes the ring from the live member set and hands off
-// state for every user whose ownership moved away from this node. Runs
+// rebalance recomputes the ring from the live member set and parks
+// every displaced user's state in the bounded handoff scheduler. Runs
 // on membership transitions (heartbeat loop) and on leave notices
-// (HTTP handler goroutine); the handoff itself is synchronous HTTP.
+// (HTTP handler goroutine); the actual state movement happens on the
+// scheduler's worker with capped concurrency — a membership change
+// must never stampede the cluster with synchronous bulk HTTP.
 func (n *Node) rebalance() {
 	n.mu.Lock()
 	if n.leaving {
@@ -496,10 +646,13 @@ func (n *Node) rebalance() {
 	n.mu.Unlock()
 	n.cfg.Logf("cluster: ring rebuilt over %v", ring.Members())
 	n.refreshFollowers(ring)
-	n.handoffTo(ring)
+	n.handoff.schedule(ring)
 	// Membership changed: spilled events may be deliverable now (the
 	// peer is back, or its users were rebalanced to someone reachable).
 	n.ReplayOutbox()
+	// A dead primary's replica factor may need restoring; the pass
+	// no-ops when nothing is promoted.
+	n.kickRepair()
 }
 
 // handoffTo exports every local user whose owner under ring is not this
@@ -575,26 +728,29 @@ func (n *Node) postNegotiated(addr, path, peerID string, encodeBin func([]byte) 
 	return n.cfg.HTTP.Post(addr+path, "application/json", bytes.NewReader(body))
 }
 
-// sendHandoff posts one bundle; a failed handoff is logged and counted
-// but not retried — the new owner rebuilds detector state from live
-// traffic, which is degraded detection, not corruption.
-func (n *Node) sendHandoff(peer Member, hb HandoffBundle) {
+// sendHandoff posts one bundle and reports whether the new owner
+// acknowledged it. On the shutdown path a failure is terminal (logged
+// and counted — the new owner rebuilds detector state from live
+// traffic, which is degraded detection, not corruption); the
+// rebalancing scheduler instead keeps the bundle parked and retries.
+func (n *Node) sendHandoff(peer Member, hb HandoffBundle) bool {
 	resp, err := n.postNegotiated(peer.Addr, "/cluster/v1/handoff", peer.ID,
 		func(dst []byte) []byte { return encodeHandoffBundle(dst, hb) }, hb)
 	if err != nil {
 		n.hoSendErrors.Add(1)
 		n.cfg.Logf("cluster: handoff to %s failed: %v (%d users)", peer.ID, err, len(hb.Users))
-		return
+		return false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		n.hoSendErrors.Add(1)
 		n.cfg.Logf("cluster: handoff to %s: status %d (%d users)", peer.ID, resp.StatusCode, len(hb.Users))
-		return
+		return false
 	}
 	n.hoSentBundles.Add(1)
 	n.hoSentUsers.Add(uint64(len(hb.Users)))
 	n.cfg.Logf("cluster: handed %d users / %d quarantines to %s", len(hb.Users), len(hb.Quarantines), peer.ID)
+	return true
 }
 
 // Shutdown leaves the cluster gracefully: announce the departure so
@@ -627,7 +783,11 @@ func (n *Node) Shutdown() {
 	}
 
 	// Ship anything still queued for peers, then the state itself.
+	// The rebalancing scheduler drains first: state parked mid-handoff
+	// lives only in its pending set, so it must flush (and stop) before
+	// the terminal export walks what's left in the pipeline.
 	n.fwd.Flush()
+	n.handoff.close()
 	if departed.Size() > 0 {
 		n.handoffTo(departed)
 	}
@@ -647,6 +807,7 @@ func (n *Node) Shutdown() {
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster/v1/ping", n.handlePing)
+	mux.HandleFunc("/cluster/v1/join", n.handleJoin)
 	mux.HandleFunc("/cluster/v1/ingest", n.handleIngest)
 	mux.HandleFunc("/cluster/v1/handoff", n.handleHandoff)
 	mux.HandleFunc("/cluster/v1/leave", n.handleLeave)
@@ -659,6 +820,9 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/cluster/v1/quardigest", n.handleQuarDigest)
 	mux.HandleFunc("/cluster/v1/traces", n.handleLocalTraces)
 	mux.HandleFunc("/cluster/v1/traces/", n.handleLocalTraces)
+	if n.cfg.Fault != nil {
+		mux.HandleFunc("/cluster/v1/fault", n.cfg.Fault.Handler)
+	}
 	return mux
 }
 
@@ -694,20 +858,57 @@ func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
 	// hash costs nothing when it matches ours (the steady state); on
 	// mismatch we reply with our full digest and the prober pushes its
 	// own back (heartbeatReply), converging both sides. A probe carrying
-	// full entries (an older build) gets the original merge.
-	if r.Method == http.MethodPost && n.bcast != nil {
+	// full entries (an older build) gets the original merge. Gossip
+	// member entries riding the same body are merged here, and our own
+	// table rides back in the reply — membership anti-entropy costs the
+	// heartbeat round it already pays for.
+	if r.Method == http.MethodPost {
 		if qb, err := n.decodeQuarBody(r); err == nil {
-			if len(qb.Hash) > 0 && len(qb.Entries) == 0 {
-				if !bytes.Equal(qb.Hash, n.bcast.DigestHash()) {
-					pr.Digest = n.bcast.Digest()
+			if len(qb.Members) > 0 {
+				n.members.Merge(qb.Members)
+			}
+			if n.bcast != nil {
+				if len(qb.Hash) > 0 && len(qb.Entries) == 0 {
+					if !bytes.Equal(qb.Hash, n.bcast.DigestHash()) {
+						pr.Digest = n.bcast.Digest()
+					}
+				} else if len(qb.Entries) > 0 || len(qb.Hash) > 0 {
+					pr.Digest, pr.Applied = n.bcast.MergeDigest(qb.Entries)
+					n.antiRepairs.Add(uint64(pr.Applied))
 				}
-			} else {
-				pr.Digest, pr.Applied = n.bcast.MergeDigest(qb.Entries)
-				n.antiRepairs.Add(uint64(pr.Applied))
 			}
 		}
 	}
+	pr.Members = n.members.GossipEntries()
 	writeJSON(w, http.StatusOK, pr)
+}
+
+// handleJoin serves the seed half of the dynamic join handshake: merge
+// the joiner's announcement into the member table (gossip spreads it
+// from here) and hand back the full table so the joiner can bootstrap
+// its view in one round trip.
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if _, leaving := n.currentRing(); leaving {
+		http.Error(w, "leaving", http.StatusServiceUnavailable)
+		return
+	}
+	var req JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil ||
+		req.Entry.ID == "" || req.Entry.Addr == "" {
+		http.Error(w, "malformed join request", http.StatusBadRequest)
+		return
+	}
+	if req.Entry.ID == n.cfg.Self.ID {
+		http.Error(w, "joiner claims this node's id", http.StatusConflict)
+		return
+	}
+	n.members.Merge([]MemberEntry{req.Entry})
+	n.cfg.Logf("cluster: join request from %s (%s)", req.Entry.ID, req.Entry.Addr)
+	writeJSON(w, http.StatusOK, JoinResponse{Node: n.cfg.Self.ID, Members: n.members.GossipEntries()})
 }
 
 // decodeQuarBody reads a QuarBroadcast request body in its declared
@@ -1027,12 +1228,14 @@ func (n *Node) Status() Status {
 	}
 }
 
-// breakerStatus concatenates the three client paths' breaker snapshots.
+// breakerStatus concatenates the client paths' breaker snapshots.
 func (n *Node) breakerStatus() []backpressure.BreakerStatus {
 	var out []backpressure.BreakerStatus
 	out = append(out, n.fwdBreakers.Status()...)
 	out = append(out, n.shipBreakers.Status()...)
 	out = append(out, n.bcastBreakers.Status()...)
+	out = append(out, n.handoffBreakers.Status()...)
+	out = append(out, n.scatterBreakers.Status()...)
 	return out
 }
 

@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locheat/internal/lbsn"
+	"locheat/internal/store"
+)
+
+// HandoffConfig tunes the bounded rebalancing scheduler. Zero values
+// take the defaults below.
+type HandoffConfig struct {
+	// Concurrency caps simultaneous handoff POSTs across all
+	// destination peers (default 2). A ring change displacing half the
+	// user space must trickle state out, not stampede it.
+	Concurrency int
+	// BundleUsers caps users per handoff bundle (default 512), so one
+	// giant POST can't stall a receiver or blow a body limit.
+	BundleUsers int
+	// RetryEvery is the worker's retry cadence for parked state whose
+	// delivery failed or was breaker-refused (default 500ms).
+	RetryEvery time.Duration
+}
+
+func (c HandoffConfig) withDefaults() HandoffConfig {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if c.BundleUsers <= 0 {
+		c.BundleUsers = 512
+	}
+	if c.RetryEvery <= 0 {
+		c.RetryEvery = 500 * time.Millisecond
+	}
+	return c
+}
+
+// pendingUser is one displaced user's exported state, parked until a
+// new owner acknowledges it (or ownership flips back and it is
+// re-imported locally).
+type pendingUser struct {
+	state UserStateBundle
+	quar  []store.QuarantineRecord
+}
+
+// handoffScheduler moves displaced users' detector/quarantine state
+// after a ring change with bounded concurrency, resumably. schedule()
+// destructively exports the moved users from the live pipeline (so a
+// half-owner doesn't keep detecting on a stale state copy) and parks
+// the bundles here; a single worker drains the pending set, re-resolving
+// each user's owner against the CURRENT ring at send time — a second
+// ring change mid-handoff just redirects (or reclaims) the parked
+// state, it never double-sends or loses it. Delivery reuses the
+// "handoff" per-peer breaker group, so a dead destination fast-fails
+// to a retry instead of stacking timeouts, and a concurrency semaphore
+// caps the cluster-wide stampede a mass displacement would otherwise
+// cause. State is lost only if the process dies while bundles are
+// parked — the same degraded-detection (never corruption) contract the
+// shutdown handoff has always had.
+type handoffScheduler struct {
+	n   *Node
+	cfg HandoffConfig
+
+	mu      sync.Mutex
+	pending map[uint64]pendingUser
+
+	// passMu serializes delivery passes: the worker loop, Drain (tests,
+	// shutdown) and close-time flush must not race over the same bundle.
+	passMu sync.Mutex
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	retries   atomic.Uint64
+	reclaimed atomic.Uint64
+}
+
+func newHandoffScheduler(n *Node, cfg HandoffConfig) *handoffScheduler {
+	s := &handoffScheduler{
+		n:       n,
+		cfg:     cfg.withDefaults(),
+		pending: make(map[uint64]pendingUser),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Pending reports how many users' state is parked awaiting delivery.
+func (s *handoffScheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// schedule exports every local user displaced by ring and parks the
+// state for the worker. Runs on the membership-change path, so it must
+// be quick: the export walks local maps, no network.
+func (s *handoffScheduler) schedule(ring *Ring) {
+	selfID := s.n.cfg.Self.ID
+	moved := func(user uint64) bool {
+		owner := ring.Owner(user)
+		return owner != "" && owner != selfID
+	}
+	states := s.n.pipeline.ExportUserStates(moved)
+	quar := s.n.svc.QuarantineRecords(func(id lbsn.UserID) bool { return moved(uint64(id)) })
+	if len(states) == 0 && len(quar) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for user, st := range states {
+		p := s.pending[user]
+		p.state = UserStateBundle(st)
+		s.pending[user] = p
+	}
+	for _, r := range quar {
+		p := s.pending[r.UserID]
+		p.quar = append(p.quar, r)
+		s.pending[r.UserID] = p
+	}
+	parked := len(s.pending)
+	s.mu.Unlock()
+	s.n.cfg.Logf("cluster: rebalance parked %d users (%d quarantines) for bounded handoff", parked, len(quar))
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *handoffScheduler) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.RetryEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+		case <-t.C:
+		}
+		s.pass()
+	}
+}
+
+// pass attempts delivery of everything parked, against the ring as it
+// stands NOW. Owners are re-resolved per user: a user whose ownership
+// flipped back to this node is re-imported locally (reclaimed), the
+// rest are grouped into capped bundles per destination and sent with
+// at most cfg.Concurrency posts in flight.
+func (s *handoffScheduler) pass() {
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
+
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	snapshot := make(map[uint64]pendingUser, len(s.pending))
+	for u, p := range s.pending {
+		snapshot[u] = p
+	}
+	s.mu.Unlock()
+
+	ring, leaving := s.n.currentRing()
+	selfID := s.n.cfg.Self.ID
+
+	// Partition the snapshot: back-to-self, per-destination, unroutable.
+	reclaimStates := make(map[uint64]map[string][]byte)
+	var reclaimQuar []store.QuarantineRecord
+	var reclaimed []uint64
+	byOwner := make(map[string][]uint64)
+	for user, p := range snapshot {
+		owner := ring.Owner(user)
+		if owner == "" {
+			continue // no ring (everyone else died): keep parked
+		}
+		if owner == selfID && !leaving {
+			if p.state != nil {
+				reclaimStates[user] = map[string][]byte(p.state)
+			}
+			reclaimQuar = append(reclaimQuar, p.quar...)
+			reclaimed = append(reclaimed, user)
+			continue
+		}
+		byOwner[owner] = append(byOwner[owner], user)
+	}
+
+	if len(reclaimed) > 0 {
+		s.n.pipeline.ImportUserStates(reclaimStates)
+		s.n.svc.RestoreQuarantines(reclaimQuar)
+		s.reclaimed.Add(uint64(len(reclaimed)))
+		s.remove(reclaimed)
+		s.n.cfg.Logf("cluster: reclaimed %d users whose ownership moved back mid-handoff", len(reclaimed))
+	}
+
+	// Deliver with bounded concurrency across every (peer, chunk).
+	sem := make(chan struct{}, s.cfg.Concurrency)
+	var wg sync.WaitGroup
+	for owner, users := range byOwner {
+		peer, ok := s.n.members.Peer(owner)
+		if !ok || !s.n.members.IsLive(owner) {
+			s.retries.Add(1)
+			continue // owner unknown or not yet reachable: keep parked
+		}
+		br := s.n.handoffBreakers.For(peer.ID)
+		for start := 0; start < len(users); start += s.cfg.BundleUsers {
+			end := start + s.cfg.BundleUsers
+			if end > len(users) {
+				end = len(users)
+			}
+			chunk := users[start:end]
+			if !br.Allow() {
+				s.retries.Add(1)
+				continue // breaker open: fast-fail, retry next pass
+			}
+			hb := HandoffBundle{From: selfID, Users: make(map[uint64]UserStateBundle, len(chunk))}
+			for _, user := range chunk {
+				p := snapshot[user]
+				if p.state != nil {
+					hb.Users[user] = p.state
+				}
+				hb.Quarantines = append(hb.Quarantines, p.quar...)
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(peer Member, hb HandoffBundle, chunk []uint64) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if s.n.sendHandoff(peer, hb) {
+					br.Success()
+					s.remove(chunk)
+				} else {
+					br.Failure()
+					s.retries.Add(1)
+				}
+			}(peer, hb, chunk)
+		}
+	}
+	wg.Wait()
+}
+
+// remove clears delivered (or reclaimed) users from the pending set —
+// unless a newer schedule() re-parked fresher state for them while the
+// send was in flight; comparing against the snapshot is unnecessary
+// because schedule only ever ADDS state exported after a newer ring
+// change, which this delivery did not cover.
+func (s *handoffScheduler) remove(users []uint64) {
+	s.mu.Lock()
+	for _, u := range users {
+		delete(s.pending, u)
+	}
+	s.mu.Unlock()
+}
+
+// Drain synchronously runs delivery passes until the pending set is
+// empty or a full pass makes no progress. Tests and shutdown use it;
+// the background worker keeps retrying whatever Drain leaves behind.
+func (s *handoffScheduler) Drain() {
+	for {
+		before := s.Pending()
+		if before == 0 {
+			return
+		}
+		s.pass()
+		if s.Pending() >= before {
+			return // no progress: destinations down, leave parked
+		}
+	}
+}
+
+// close stops the worker after a best-effort final drain. Called from
+// Shutdown before the terminal full-state handoff, so anything still
+// parked gets one last chance to reach its owner.
+func (s *handoffScheduler) close() {
+	s.once.Do(func() {
+		s.Drain()
+		close(s.stop)
+		<-s.done
+	})
+}

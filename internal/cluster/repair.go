@@ -1,0 +1,216 @@
+// Chain re-replication: restoring the replica factor after a primary
+// dies. Read-side promotion (promotedPrimaries) makes a dead node's
+// history *visible* — some follower serves its replica in merged views
+// — but visibility is one copy, and one copy is how data dies next. The
+// repair pass closes the gap: the dead primary's first live ring
+// successor (deterministic, so exactly one node volunteers) re-ships
+// its replica of the promoted log to the primary's new successor set
+// until Factor copies exist again. Shipping reuses the normal replica
+// wire (sendShipBatch → Set.Apply) with From = the dead primary, so
+// receivers file the records under the right log, the cursor dedupe
+// makes retries idempotent, and if the primary ever comes back its own
+// shipper simply resumes from wherever the repair left its followers.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"sort"
+
+	"locheat/internal/replica"
+	"locheat/internal/store"
+)
+
+// RepairStatus is one (primary, target) re-replication stream's
+// externally visible progress, surfaced in ReplicationStatus.Repairs.
+type RepairStatus struct {
+	// Primary is the dead node whose log is being re-shipped; Target is
+	// the new successor receiving the copy.
+	Primary string `json:"primary"`
+	Target  string `json:"target"`
+	// Cursor is the target's acked position in the primary's cursor
+	// space; Goal is the promoted replica's own position — the repair is
+	// Done when Cursor reaches it.
+	Cursor uint64 `json:"cursor"`
+	Goal   uint64 `json:"goal"`
+	Done   bool   `json:"done"`
+	Errors uint64 `json:"errors,omitempty"`
+}
+
+// kickRepair starts one asynchronous repair pass unless one is already
+// running. Called on every ring change and from the replication loop's
+// cadence; no-ops without a replica set or factor.
+func (n *Node) kickRepair() {
+	if n.rset == nil || n.cfg.Replica.Factor < 2 {
+		return
+	}
+	if !n.repairing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer n.repairing.Store(false)
+		n.runRepairPass()
+	}()
+}
+
+// RunRepair runs one synchronous repair pass (tests, drills). Skipped
+// if an asynchronous pass is mid-flight.
+func (n *Node) RunRepair() {
+	if n.rset == nil || n.cfg.Replica.Factor < 2 {
+		return
+	}
+	if !n.repairing.CompareAndSwap(false, true) {
+		return
+	}
+	defer n.repairing.Store(false)
+	n.runRepairPass()
+}
+
+// runRepairPass walks every promoted primary this node is the repairer
+// for and pushes its new successor set to the replica's tail.
+func (n *Node) runRepairPass() {
+	ring, leaving := n.currentRing()
+	if leaving || ring.Size() == 0 {
+		return
+	}
+	promoted := n.promotedPrimaries()
+	n.pruneRepairs(promoted)
+	factor := n.cfg.Replica.Factor
+	for _, p := range promoted {
+		// The repairer is the dead primary's FIRST live ring successor:
+		// every node computes the same ring, so exactly one volunteers
+		// and a repairer dying just moves the job one seat clockwise.
+		heirs := ring.Successors(p, factor)
+		if len(heirs) == 0 || heirs[0] != n.cfg.Self.ID {
+			continue
+		}
+		n.repairPrimary(p, heirs[1:])
+	}
+}
+
+// pruneRepairs drops progress rows for primaries no longer promoted —
+// the primary came back (its own shipper owns the chain again) or its
+// replica aged out.
+func (n *Node) pruneRepairs(promoted []string) {
+	keep := make(map[string]bool, len(promoted))
+	for _, p := range promoted {
+		keep[p] = true
+	}
+	n.repairMu.Lock()
+	for k, r := range n.repairs {
+		if !keep[r.Primary] {
+			delete(n.repairs, k)
+		}
+	}
+	n.repairMu.Unlock()
+}
+
+func (n *Node) setRepairStatus(r RepairStatus) {
+	n.repairMu.Lock()
+	n.repairs[r.Primary+"\x00"+r.Target] = r
+	n.repairMu.Unlock()
+}
+
+// repairPrimary re-ships the promoted replica of primary to each live
+// heir until every one holds the replica's full tail. Batches ride the
+// normal ship wire with the dead primary's identity and epoch, so the
+// receiver's Apply files and dedupes them exactly as if the primary
+// had shipped them itself.
+func (n *Node) repairPrimary(primary string, heirs []string) {
+	st := n.rset.Cursor(primary)
+	goal := st.Cursor
+	batchSize := n.cfg.Replica.ShipBatch
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	want := n.cfg.Replica.Factor - 1 // copies beyond our own
+	repaired := 0
+	var scratch []store.Alert
+	for _, id := range heirs {
+		if repaired >= want {
+			break
+		}
+		peer, ok := n.members.Peer(id)
+		if !ok {
+			continue
+		}
+		repaired++ // counted even while catching up: the stream exists
+		status := RepairStatus{Primary: primary, Target: id, Goal: goal}
+		cur, err := n.fetchCursorFor(peer.Addr, primary)
+		if err != nil {
+			status.Errors++
+			n.setRepairStatus(status)
+			continue
+		}
+		cursor := uint64(0)
+		if cur.Epoch == st.Epoch {
+			cursor = cur.Cursor
+		}
+		status.Cursor = cursor
+		for cursor < goal {
+			batch, next := n.rset.ReadFrom(primary, scratch[:0], cursor, batchSize)
+			scratch = batch[:0]
+			if len(batch) == 0 {
+				// We hold nothing past cursor (retention gap at the head of
+				// our replica): nothing more to give this target.
+				break
+			}
+			ack, err := n.sendShipBatch(
+				replica.Target{ID: peer.ID, Addr: peer.Addr},
+				replica.ShipBatch{From: primary, Epoch: st.Epoch, Start: next - uint64(len(batch)), Alerts: batch})
+			if err != nil {
+				status.Errors++
+				n.cfg.Logf("cluster: repair %s -> %s failed at cursor %d: %v", primary, id, cursor, err)
+				break
+			}
+			n.repairShipped.Add(uint64(len(batch)))
+			if ack.Cursor <= cursor {
+				break // target refuses to advance: stop rather than spin
+			}
+			cursor = ack.Cursor
+			status.Cursor = cursor
+		}
+		status.Done = cursor >= goal
+		n.setRepairStatus(status)
+		if status.Done {
+			n.cfg.Logf("cluster: repaired %s on %s to cursor %d (factor restored for this seat)", primary, id, cursor)
+		}
+	}
+}
+
+// fetchCursorFor asks a peer where it stands for an arbitrary primary
+// (fetchFollowerCursor asks about our own journal; the repair path asks
+// about the dead primary's).
+func (n *Node) fetchCursorFor(addr, primary string) (replica.CursorState, error) {
+	resp, err := n.cfg.HTTP.Get(addr + "/cluster/v1/replica/cursor?primary=" + url.QueryEscape(primary))
+	if err != nil {
+		return replica.CursorState{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return replica.CursorState{}, fmt.Errorf("cursor for %s: status %d", primary, resp.StatusCode)
+	}
+	var cr ReplicaCursorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return replica.CursorState{}, err
+	}
+	return replica.CursorState{Epoch: cr.Epoch, Cursor: cr.Cursor}, nil
+}
+
+// repairStatuses snapshots the progress rows, sorted for stable JSON.
+func (n *Node) repairStatuses() []RepairStatus {
+	n.repairMu.Lock()
+	out := make([]RepairStatus, 0, len(n.repairs))
+	for _, r := range n.repairs {
+		out = append(out, r)
+	}
+	n.repairMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Primary != out[j].Primary {
+			return out[i].Primary < out[j].Primary
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}

@@ -201,13 +201,20 @@ func (n *Node) applyQuarEntry(e replica.QuarEntry) {
 	n.svc.Unquarantine(lbsn.UserID(e.User))
 }
 
-// sendQuarBroadcast fans one transition batch to every live peer in
-// its negotiated codec. Best-effort by design: the digest exchange
-// repairs whatever this misses, so a down peer costs latency, not
-// correctness.
+// sendQuarBroadcast fans one transition batch along the ring instead
+// of to every live peer: the origin sends to its k = max(2, Factor)
+// ring successors, and each receiver relays whatever entries were NEW
+// to it onward to its own successors (handleQuarBroadcast). The LWW
+// merge is the termination condition — once a node has seen an entry,
+// relaying it there again applies nothing and the spread stops — so
+// the transition reaches the whole cluster in O(log n) hops with O(k)
+// sends per node, where the old broadcast cost the origin O(peers)
+// posts per transition. Best-effort by design: the digest exchange
+// repairs whatever the spread misses, so a down successor costs
+// latency, not correctness.
 func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
 	qb := QuarBroadcast{From: n.cfg.Self.ID, Entries: entries}
-	for _, peer := range n.members.LivePeers() {
+	for _, peer := range n.ringFanoutPeers(n.cfg.Self.ID, "") {
 		// An open breaker skips the peer outright: the digest exchange on
 		// the next heartbeat repairs the gap, so hammering a down peer
 		// buys nothing but timeout latency in the origination loop.
@@ -235,6 +242,72 @@ func (n *Node) sendQuarBroadcast(entries []replica.QuarEntry) {
 			continue
 		}
 		br.Success()
+	}
+}
+
+// ringFanoutPeers picks the quarantine spread's next hops: up to
+// max(2, Factor) live members clockwise from `from`'s ring anchor,
+// excluding this node and (on the relay path) the peer the entries
+// arrived from. A two-successor floor keeps the spread redundant even
+// at Factor 1 — one dead successor never stalls a transition's
+// propagation past digest repair.
+func (n *Node) ringFanoutPeers(from, exclude string) []Member {
+	ring, _ := n.currentRing()
+	k := n.cfg.Replica.Factor
+	if k < 2 {
+		k = 2
+	}
+	// Ask for extra seats to survive the exclusions without shrinking
+	// the effective fan-out at small cluster sizes.
+	ids := ring.Successors(from, k+2)
+	out := make([]Member, 0, k)
+	for _, id := range ids {
+		if len(out) == k {
+			break
+		}
+		if id == n.cfg.Self.ID || id == exclude {
+			continue
+		}
+		if peer, ok := n.members.Peer(id); ok {
+			out = append(out, peer)
+		}
+	}
+	return out
+}
+
+// relayQuarEntries forwards the entries a broadcast NEWLY taught this
+// node to its own ring successors — the spread half of the ring-routed
+// fan-out. The sender is excluded (it already has them); everyone else
+// either applies-and-relays or already knew, which terminates the
+// flood.
+func (n *Node) relayQuarEntries(from string, entries []replica.QuarEntry) {
+	qb := QuarBroadcast{From: n.cfg.Self.ID, Entries: entries}
+	for _, peer := range n.ringFanoutPeers(n.cfg.Self.ID, from) {
+		br := n.bcastBreakers.For(peer.ID)
+		if !br.Allow() {
+			n.bcastSkipped.Add(1)
+			continue
+		}
+		n.bcastFanout.Inc()
+		encode := encodeQuarBroadcast
+		if n.peerTraced(peer.ID) {
+			encode = encodeQuarBroadcastTraced
+		}
+		resp, err := n.postNegotiated(peer.Addr, "/cluster/v1/quarbcast", peer.ID,
+			func(dst []byte) []byte { return encode(dst, qb) }, qb)
+		if err != nil {
+			br.Failure()
+			n.bcastSendErrs.Add(1)
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			br.Failure()
+			n.bcastSendErrs.Add(1)
+			continue
+		}
+		br.Success()
+		n.bcastRelayed.Add(uint64(len(entries)))
 	}
 }
 
@@ -460,13 +533,17 @@ func (n *Node) replayOutboxPeer(id string) (delivered, requeued int) {
 // its full digest — including a fresh node's empty-state mismatch,
 // which pulls the cluster's quarantine state with its first probe
 // round; a pre-hash peer sees an empty digest and does the same.
+// The same body now carries the gossip member table — the push half of
+// per-heartbeat membership anti-entropy (the reply's Members field is
+// the pull half, merged by Membership.ping).
 func (n *Node) heartbeatPayload() ([]byte, string) {
-	if n.bcast == nil {
-		return nil, ""
+	qb := QuarBroadcast{From: n.cfg.Self.ID, Members: n.members.GossipEntries()}
+	if n.bcast != nil {
+		qb.Hash = n.bcast.DigestHash()
 	}
 	// JSON, always: the body is tiny and the peer's codec support is
 	// not yet known when the first probe goes out.
-	body, err := json.Marshal(QuarBroadcast{From: n.cfg.Self.ID, Hash: n.bcast.DigestHash()})
+	body, err := json.Marshal(qb)
 	if err != nil {
 		return nil, ""
 	}
@@ -555,6 +632,11 @@ func (n *Node) runReplicationLoop() {
 			return
 		case <-t.C:
 			n.ReplayOutbox()
+			// Chain re-replication cadence: the ring-change kick covers
+			// the common case, this covers repairs that failed mid-pass
+			// (target briefly unreachable) and replica sets reopened
+			// after a restart with their primary already gone.
+			n.kickRepair()
 		}
 	}
 }
@@ -658,10 +740,15 @@ func (n *Node) handleQuarBroadcast(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "malformed broadcast", http.StatusBadRequest)
 		return
 	}
-	applied := n.bcast.ApplyRemote(qb.Entries)
+	won := n.bcast.ApplyRemoteDetailed(qb.Entries)
+	if len(won) > 0 {
+		// Relay only what was NEW here, off the handler goroutine: the
+		// sender's post must not wait on our own fan-out round.
+		go n.relayQuarEntries(qb.From, won)
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Applied int `json:"applied"`
-	}{Applied: applied})
+	}{Applied: len(won)})
 }
 
 func (n *Node) handleQuarDigest(w http.ResponseWriter, r *http.Request) {
@@ -695,6 +782,10 @@ type ReplicationStatus struct {
 	// subset it currently serves because the primary is gone.
 	Replicas []replica.ReplicaStatus `json:"replicas,omitempty"`
 	Promoted []string                `json:"promoted,omitempty"`
+	// Repairs are the chain re-replication streams this node runs (or
+	// ran) as a promoted primary's repairer: per (primary, target)
+	// progress toward the replica-factor goal.
+	Repairs []RepairStatus `json:"repairs,omitempty"`
 	// Broadcast is the quarantine dissemination state; SendErrors
 	// counts failed fan-out posts (repaired by digest exchange).
 	Broadcast  replica.BroadcastStats `json:"broadcast"`
@@ -721,6 +812,7 @@ func (n *Node) replicationStatus() ReplicationStatus {
 	if n.rset != nil {
 		st.Replicas = n.rset.Stats().Replicas
 		st.Promoted = n.promotedPrimaries()
+		st.Repairs = n.repairStatuses()
 	}
 	if n.outbox != nil {
 		s := n.outbox.Stats()

@@ -46,6 +46,12 @@ type ScatterStats struct {
 	PeerErrors uint64 `json:"peerErrors"`
 }
 
+// errScatterBreakerOpen marks a peer skipped by its open scatter
+// breaker: the peer has been failing fetches, so the merged view
+// degrades immediately instead of burning the full HTTP timeout per
+// query while the peer is down. Half-open probes re-admit it.
+var errScatterBreakerOpen = fmt.Errorf("scatter breaker open")
+
 // MergeInfo rides along with a merged page so callers can tell a full
 // cluster view from a degraded one.
 type MergeInfo struct {
@@ -83,7 +89,17 @@ func (n *Node) ClusterAlerts(q store.AlertQuery) ([]store.Alert, int, MergeInfo)
 		wg.Add(1)
 		go func(i int, peer Member) {
 			defer wg.Done()
+			br := n.scatterBreakers.For(peer.ID)
+			if !br.Allow() {
+				results[i] = result{err: errScatterBreakerOpen}
+				return
+			}
 			alerts, total, err := n.fetchPeerAlerts(peer, fan)
+			if err != nil {
+				br.Failure()
+			} else {
+				br.Success()
+			}
 			results[i] = result{alerts: alerts, total: total, err: err}
 		}(i, peer)
 	}
@@ -212,18 +228,26 @@ func (n *Node) ClusterStats() ClusterStatsView {
 		wg.Add(1)
 		go func(i int, peer Member) {
 			defer wg.Done()
+			br := n.scatterBreakers.For(peer.ID)
+			if !br.Allow() {
+				return
+			}
 			resp, err := n.cfg.HTTP.Get(peer.Addr + "/cluster/v1/stats")
 			if err != nil {
+				br.Failure()
 				return
 			}
 			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
+				br.Failure()
 				return
 			}
 			var out LocalStatsResponse
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				br.Failure()
 				return
 			}
+			br.Success()
 			results[i] = &out
 		}(i, peer)
 	}
@@ -271,21 +295,30 @@ func (n *Node) ClusterQuarantines() ([]lbsn.QuarantineView, MergeInfo) {
 		wg.Add(1)
 		go func(i int, peer Member) {
 			defer wg.Done()
+			br := n.scatterBreakers.For(peer.ID)
+			if !br.Allow() {
+				results[i] = result{err: errScatterBreakerOpen}
+				return
+			}
 			resp, err := n.cfg.HTTP.Get(peer.Addr + "/cluster/v1/quarantine")
 			if err != nil {
+				br.Failure()
 				results[i] = result{err: err}
 				return
 			}
 			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
+				br.Failure()
 				results[i] = result{err: fmt.Errorf("status %d", resp.StatusCode)}
 				return
 			}
 			var out LocalQuarantineResponse
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				br.Failure()
 				results[i] = result{err: err}
 				return
 			}
+			br.Success()
 			results[i] = result{active: out.Active}
 		}(i, peer)
 	}

@@ -140,6 +140,25 @@ type PingResponse struct {
 	Digest []replica.QuarEntry `json:"digest,omitempty"`
 	// Applied counts the probe's digest entries this node installed.
 	Applied int `json:"applied,omitempty"`
+	// Members is the responder's gossip member table — the pull half of
+	// the per-heartbeat anti-entropy exchange (the probe body pushes the
+	// prober's table). An old peer omits it; an old prober ignores it.
+	Members []MemberEntry `json:"members,omitempty"`
+}
+
+// JoinRequest is the POST /cluster/v1/join body: a new node announcing
+// itself to a seed. Entry is the joiner's own gossip row (state
+// "joining", its initial version).
+type JoinRequest struct {
+	Entry MemberEntry `json:"entry"`
+}
+
+// JoinResponse is the join handshake reply: the seed's full member
+// table, which bootstraps the joiner's view of the cluster. Gossip
+// spreads the joiner to everyone else within a heartbeat round.
+type JoinResponse struct {
+	Node    string        `json:"node"`
+	Members []MemberEntry `json:"members"`
 }
 
 // LeaveNotice is the POST /cluster/v1/leave body: a graceful leaver
@@ -197,6 +216,11 @@ type QuarBroadcast struct {
 	From    string              `json:"from"`
 	Entries []replica.QuarEntry `json:"entries"`
 	Hash    []byte              `json:"hash,omitempty"`
+	// Members piggybacks the sender's gossip member table on heartbeat
+	// probe bodies (heartbeatPayload): the push half of the per-round
+	// membership anti-entropy. Omitted on the dedicated quarbcast and
+	// quardigest exchanges; a pre-gossip receiver ignores it.
+	Members []MemberEntry `json:"members,omitempty"`
 }
 
 // QuarDigestResponse is the POST /cluster/v1/quardigest reply: the

@@ -90,6 +90,17 @@ type Config struct {
 	// scoring recall (default 25).
 	RecallProbes int
 
+	// MembershipEvery is the interval at which the harness samples each
+	// target's locheat_cluster_live_members gauge to detect ring
+	// changes mid-run (default 500ms).
+	MembershipEvery time.Duration
+	// RequireFullRecall turns any attack cohort with a missed probe
+	// into a violation. It is the chaos-drill gate: after joins, kills
+	// and partitions, the rebalanced cluster must still catch every
+	// probed attacker (default off — steady-state soaks gate on the
+	// other invariants).
+	RequireFullRecall bool
+
 	// HTTP overrides the posting client (default: pooled transport).
 	HTTP *http.Client
 	// Logf receives progress lines; nil discards them.
@@ -126,6 +137,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecallProbes <= 0 {
 		c.RecallProbes = 25
+	}
+	if c.MembershipEvery <= 0 {
+		c.MembershipEvery = 500 * time.Millisecond
 	}
 	if c.HTTP == nil {
 		c.HTTP = &http.Client{
@@ -189,6 +203,10 @@ type cohortStats struct {
 	denied   atomic.Uint64
 	shed     atomic.Uint64
 	errors   atomic.Uint64
+	// duringChange counts the cohort's posts inside a membership
+	// change window (ring edge + settle) — traffic in flight while the
+	// cluster was reshaping.
+	duringChange atomic.Uint64
 }
 
 func (s *cohortStats) record(resp api.CheckinResponse, err error) {
@@ -219,6 +237,9 @@ type Runner struct {
 	lagged  atomic.Uint64 // jobs lost to a full posting queue (open loop)
 
 	cohorts []*attackCohort
+
+	watch     *membershipWatcher
+	failovers atomic.Uint64 // posts retried on the next target after a transport failure
 }
 
 // New materializes the world and prepares the cohorts. It does not
@@ -251,10 +272,24 @@ func (r *Runner) client() *api.Client {
 	return r.clients[int(r.rr.Add(1))%len(r.clients)]
 }
 
-// post issues one check-in and records the outcome into stats.
+// post issues one check-in and records the outcome into stats. A
+// transport-level failure (connection refused, node killed mid-drill)
+// fails over to the next round-robin target once: a dying node is a
+// membership event the report accounts for, not a harness error. A
+// 429 is never retried — shed traffic must stay shed or the
+// backpressure measurement lies.
 func (r *Runner) post(user, venue uint64, loc geo.Point, stats *cohortStats) {
 	resp, err := r.client().CheckIn(user, venue, loc)
+	if err != nil && len(r.clients) > 1 {
+		if _, overloaded := api.IsOverloaded(err); !overloaded {
+			r.failovers.Add(1)
+			resp, err = r.client().CheckIn(user, venue, loc)
+		}
+	}
 	stats.record(resp, err)
+	if r.watch != nil && r.watch.changing() {
+		stats.duringChange.Add(1)
+	}
 }
 
 // buildBenignPool samples honest users and assembles their venue
@@ -400,6 +435,19 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	trafficCtx, stopTraffic := context.WithTimeout(ctx, cfg.Duration)
 	defer stopTraffic()
 
+	// The membership watcher outlives the traffic window: rebalancing
+	// trails the ring edge, so changes during the drain wait are still
+	// part of the run's elasticity story.
+	r.watch = newMembershipWatcher(r)
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		r.watch.run(watchCtx)
+	}()
+
 	jobs := make(chan job, 4*cfg.Workers)
 	var workers sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -441,6 +489,14 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		rep.addViolation("drain-timeout",
 			fmt.Sprintf("cluster queues not empty after %s", cfg.DrainTimeout))
 	}
+	stopWatch()
+	watchWG.Wait()
+	r.watch.fill(rep)
+	rep.Membership.SentDuringChange = r.benign.duringChange.Load()
+	for _, c := range r.cohorts {
+		rep.Membership.SentDuringChange += c.stats.duringChange.Load()
+	}
+	rep.Membership.Failovers = r.failovers.Load()
 	r.scrapeNodes(rep)
 	r.scoreRecall(ctx, rep)
 	rep.finalize(cfg)
@@ -457,6 +513,11 @@ func (r *Runner) awaitDrain(ctx context.Context, rep *Report) bool {
 		depth, published := 0.0, 0.0
 		healthy := true
 		for _, t := range r.cfg.Targets {
+			// A target the watcher declared dead can never drain; its
+			// loss is membership accounting, not a drain stall.
+			if r.watch != nil && r.watch.isDown(t) {
+				continue
+			}
 			ms, err := scrape(r.cfg.HTTP, t)
 			if err != nil {
 				healthy = false

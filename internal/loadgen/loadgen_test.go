@@ -2,8 +2,10 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -79,6 +81,74 @@ func TestNodeMetricsAggregates(t *testing.T) {
 	}
 	if drops[`locheat_stream_dropped_total{reason="full"}`] != 3 {
 		t.Errorf("droppedSeries missing reason-labelled entry: %v", drops)
+	}
+}
+
+// TestMembershipWatcher drives the elasticity watcher against a fake
+// /metrics endpoint: gauge edges become MembershipChange records and
+// open the change window; a target that stops answering is declared
+// down (one membership event, not repeated), and the report fill
+// accounts for all of it.
+func TestMembershipWatcher(t *testing.T) {
+	var live atomic.Int64
+	live.Store(3)
+	var dead atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			http.Error(w, "gone", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "locheat_cluster_live_members %d\n", live.Load())
+	}))
+	defer srv.Close()
+
+	r := &Runner{cfg: Config{Targets: []string{srv.URL}, MembershipEvery: 10 * time.Millisecond}.withDefaults()}
+	w := newMembershipWatcher(r)
+
+	w.sample() // baseline: no edge on the first observation
+	if w.changing() {
+		t.Fatal("first sample counted as a ring change")
+	}
+	live.Store(4) // a node joined
+	w.sample()
+	if !w.changing() {
+		t.Fatal("live-member edge did not open the change window")
+	}
+	if w.isDown(srv.URL) {
+		t.Fatal("healthy target marked down")
+	}
+
+	dead.Store(true) // kill -9
+	for i := 0; i < downAfterFailures+2; i++ {
+		w.sample()
+	}
+	if !w.isDown(srv.URL) {
+		t.Fatalf("target not declared down after %d failed scrapes", downAfterFailures+2)
+	}
+
+	rep := &Report{}
+	w.fill(rep)
+	m := rep.Membership
+	if m.RingChanges != 2 { // the 3->4 edge plus the death
+		t.Fatalf("ring changes = %d, want 2 (%+v)", m.RingChanges, m.Changes)
+	}
+	if m.Changes[0].From != 3 || m.Changes[0].To != 4 {
+		t.Fatalf("first change = %+v, want 3 -> 4", m.Changes[0])
+	}
+	if len(m.DownTargets) != 1 || m.DownTargets[0] != srv.URL {
+		t.Fatalf("down targets = %v, want [%s]", m.DownTargets, srv.URL)
+	}
+	if !m.PostRebalanceRecall {
+		t.Fatal("ring changes observed but PostRebalanceRecall unset")
+	}
+	if len(m.LiveMembers) != 0 {
+		t.Fatalf("down target still reports live members: %v", m.LiveMembers)
+	}
+
+	dead.Store(false) // revival clears the down mark
+	w.sample()
+	if w.isDown(srv.URL) {
+		t.Fatal("revived target still marked down")
 	}
 }
 

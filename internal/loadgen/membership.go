@@ -1,0 +1,184 @@
+package loadgen
+
+// This file is the harness's view of the cluster's elasticity. During
+// the traffic window a watcher samples every target's
+// locheat_cluster_live_members gauge and turns edges into
+// MembershipChange records: a node joining mid-soak, a kill -9, a
+// partition pushing peers to suspect-then-left. The report then says
+// how much traffic was in flight while the ring was reshaping and —
+// because recall is always scored after the last observed change —
+// whether the post-rebalance cluster still catches every attacker.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// downAfterFailures is how many consecutive failed scrapes declare a
+// target dead (killed or unreachable) rather than transiently slow.
+const downAfterFailures = 3
+
+// MembershipChange is one observed edge on a target's live-member
+// gauge, stamped relative to traffic start. To == 0 with From > 0 and
+// Down targets means the node itself went away, not that it saw an
+// empty ring.
+type MembershipChange struct {
+	Target string  `json:"target"`
+	AtSec  float64 `json:"atSeconds"`
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+}
+
+// MembershipReport is the run's elasticity accounting.
+type MembershipReport struct {
+	// RingChanges counts the observed live-member edges across all
+	// targets (a 3-node cluster absorbing one join typically logs one
+	// edge per surviving node).
+	RingChanges int                `json:"ringChanges"`
+	Changes     []MembershipChange `json:"changes,omitempty"`
+	// SentDuringChange is the check-ins posted inside a change window —
+	// traffic that landed on a cluster mid-handoff and must still be
+	// accounted for by admission or detection, never silently lost.
+	SentDuringChange uint64 `json:"sentDuringChange"`
+	// Failovers counts posts retried against the next target after a
+	// transport-level failure on the first.
+	Failovers uint64 `json:"failovers"`
+	// DownTargets are nodes that stopped answering scrapes for the rest
+	// of the run (the kill -9 drill); they are excluded from the drain
+	// wait and the scrape-failed audit because their death is recorded
+	// here instead.
+	DownTargets []string `json:"downTargets,omitempty"`
+	// LiveMembers is the final gauge per reachable target.
+	LiveMembers map[string]float64 `json:"liveMembers,omitempty"`
+	// PostRebalanceRecall is set when ring changes were observed: the
+	// cohort recall figures were scored after the last change, so they
+	// measure the rebalanced cluster, not the original ring.
+	PostRebalanceRecall bool `json:"postRebalanceRecall"`
+}
+
+// membershipWatcher polls the targets' live-member gauges in the
+// background and keeps a "ring is changing" window other goroutines
+// can test lock-free.
+type membershipWatcher struct {
+	r        *Runner
+	interval time.Duration
+	// settle extends the change window past the last observed edge:
+	// handoff and re-replication trail the gauge edge, so traffic sent
+	// shortly after still lands on a reshaping cluster.
+	settle time.Duration
+
+	mu       sync.Mutex
+	start    time.Time
+	last     map[string]float64
+	seen     map[string]bool
+	failures map[string]int
+	down     map[string]bool
+	changes  []MembershipChange
+
+	changingUntil atomic.Int64 // unix nanos; 0 = never changed
+}
+
+func newMembershipWatcher(r *Runner) *membershipWatcher {
+	return &membershipWatcher{
+		r:        r,
+		interval: r.cfg.MembershipEvery,
+		settle:   4 * r.cfg.MembershipEvery,
+		start:    time.Now(),
+		last:     make(map[string]float64),
+		seen:     make(map[string]bool),
+		failures: make(map[string]int),
+		down:     make(map[string]bool),
+	}
+}
+
+func (w *membershipWatcher) run(ctx context.Context) {
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			w.sample()
+		}
+	}
+}
+
+// sample scrapes every target once and records gauge edges and
+// target deaths.
+func (w *membershipWatcher) sample() {
+	now := time.Now()
+	for _, t := range w.r.cfg.Targets {
+		ms, err := scrape(w.r.cfg.HTTP, t)
+		w.mu.Lock()
+		if err != nil {
+			w.failures[t]++
+			if w.failures[t] == downAfterFailures && !w.down[t] {
+				w.down[t] = true
+				w.record(now, MembershipChange{Target: t, AtSec: now.Sub(w.start).Seconds(), From: w.last[t]})
+				w.r.logf("membership: target %s down after %d failed scrapes", t, downAfterFailures)
+			}
+			w.mu.Unlock()
+			continue
+		}
+		w.failures[t] = 0
+		if w.down[t] {
+			w.down[t] = false
+			w.r.logf("membership: target %s back", t)
+		}
+		live := ms.sum("locheat_cluster_live_members")
+		if w.seen[t] && w.last[t] != live {
+			w.record(now, MembershipChange{Target: t, AtSec: now.Sub(w.start).Seconds(), From: w.last[t], To: live})
+			w.r.logf("membership: %s live members %.0f -> %.0f at +%.1fs", t, w.last[t], live, now.Sub(w.start).Seconds())
+		}
+		w.last[t] = live
+		w.seen[t] = true
+		w.mu.Unlock()
+	}
+}
+
+// record appends a change and opens/extends the change window. Caller
+// holds w.mu.
+func (w *membershipWatcher) record(now time.Time, c MembershipChange) {
+	w.changes = append(w.changes, c)
+	w.changingUntil.Store(now.Add(w.settle).UnixNano())
+}
+
+// changing reports whether the ring changed within the settle window —
+// safe from any goroutine.
+func (w *membershipWatcher) changing() bool {
+	until := w.changingUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// isDown reports whether the target stopped answering scrapes.
+func (w *membershipWatcher) isDown(target string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.down[target]
+}
+
+// fill snapshots the watcher into the report's membership section.
+func (w *membershipWatcher) fill(rep *Report) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := &rep.Membership
+	m.RingChanges = len(w.changes)
+	m.Changes = append(m.Changes, w.changes...)
+	m.PostRebalanceRecall = len(w.changes) > 0
+	for t, isDown := range w.down {
+		if isDown {
+			m.DownTargets = append(m.DownTargets, t)
+		}
+	}
+	for t, v := range w.last {
+		if w.seen[t] && !w.down[t] {
+			if m.LiveMembers == nil {
+				m.LiveMembers = make(map[string]float64)
+			}
+			m.LiveMembers[t] = v
+		}
+	}
+}

@@ -23,12 +23,19 @@ type CohortReport struct {
 	Probed   int     `json:"probed"`
 	Detected int     `json:"detected"`
 	Recall   float64 `json:"recall"`
+	// SentDuringChange is the cohort's traffic posted inside a
+	// membership change window (see Report.Membership).
+	SentDuringChange uint64 `json:"sentDuringChange,omitempty"`
 }
 
 // NodeReport is one cluster node's scraped telemetry after the run.
 type NodeReport struct {
-	Target        string  `json:"target"`
-	ScrapeError   string  `json:"scrapeError,omitempty"`
+	Target      string `json:"target"`
+	ScrapeError string `json:"scrapeError,omitempty"`
+	// Down marks a target that stopped answering during the run (the
+	// kill drill); its missing scrape is accounted in
+	// Report.Membership instead of failing the scrape audit.
+	Down          bool    `json:"down,omitempty"`
 	Published     float64 `json:"published"`
 	Processed     float64 `json:"processed"`
 	Dropped       float64 `json:"dropped"`
@@ -78,6 +85,11 @@ type Report struct {
 	Cohorts []CohortReport `json:"cohorts"`
 	Nodes   []NodeReport   `json:"nodes"`
 
+	// Membership is the run's elasticity accounting: ring edges seen on
+	// the live-member gauges, traffic in flight during changes, target
+	// deaths and post failovers.
+	Membership MembershipReport `json:"membership"`
+
 	// Cluster-wide maxima/sums derived from Nodes.
 	DetectionP50  float64 `json:"detectionP50Seconds"`
 	DetectionP99  float64 `json:"detectionP99Seconds"`
@@ -114,22 +126,24 @@ func (r *Runner) newReport(elapsed time.Duration) *Report {
 		Lagged:      r.lagged.Load(),
 	}
 	rep.Benign = CohortReport{
-		Name:     "benign",
-		Sent:     r.benign.sent.Load(),
-		Accepted: r.benign.accepted.Load(),
-		Denied:   r.benign.denied.Load(),
-		Shed:     r.benign.shed.Load(),
-		Errors:   r.benign.errors.Load(),
+		Name:             "benign",
+		Sent:             r.benign.sent.Load(),
+		Accepted:         r.benign.accepted.Load(),
+		Denied:           r.benign.denied.Load(),
+		Shed:             r.benign.shed.Load(),
+		Errors:           r.benign.errors.Load(),
+		SentDuringChange: r.benign.duringChange.Load(),
 	}
 	for _, c := range r.cohorts {
 		rep.Cohorts = append(rep.Cohorts, CohortReport{
-			Name:     c.name,
-			Users:    len(c.users),
-			Sent:     c.stats.sent.Load(),
-			Accepted: c.stats.accepted.Load(),
-			Denied:   c.stats.denied.Load(),
-			Shed:     c.stats.shed.Load(),
-			Errors:   c.stats.errors.Load(),
+			Name:             c.name,
+			Users:            len(c.users),
+			Sent:             c.stats.sent.Load(),
+			Accepted:         c.stats.accepted.Load(),
+			Denied:           c.stats.denied.Load(),
+			Shed:             c.stats.shed.Load(),
+			Errors:           c.stats.errors.Load(),
+			SentDuringChange: c.stats.duringChange.Load(),
 		})
 	}
 	return rep
@@ -139,6 +153,12 @@ func (r *Runner) newReport(elapsed time.Duration) *Report {
 func (r *Runner) scrapeNodes(rep *Report) {
 	for _, t := range r.cfg.Targets {
 		nr := NodeReport{Target: t}
+		if r.watch != nil && r.watch.isDown(t) {
+			nr.Down = true
+			nr.ScrapeError = "target down (stopped answering during the run)"
+			rep.Nodes = append(rep.Nodes, nr)
+			continue
+		}
 		ms, err := scrape(r.cfg.HTTP, t)
 		if err != nil {
 			nr.ScrapeError = err.Error()
@@ -173,10 +193,17 @@ func (r *Runner) scrapeNodes(rep *Report) {
 // benign cohort is probed the same way — its "recall" is the false-
 // positive rate and should be zero.
 func (r *Runner) scoreRecall(ctx context.Context, rep *Report) {
-	client := r.clients[0]
+	// Probes fail over across targets: after a kill drill the first
+	// configured node may be gone, and any survivor serves the merged
+	// cluster-wide alert view.
 	probe := func(userIdx int) bool {
-		page, err := client.AlertsPage(store.AlertQuery{UserID: uint64(userIdx + 1), Limit: 1})
-		return err == nil && page.Total > 0
+		for range r.clients {
+			page, err := r.client().AlertsPage(store.AlertQuery{UserID: uint64(userIdx + 1), Limit: 1})
+			if err == nil {
+				return page.Total > 0
+			}
+		}
+		return false
 	}
 	for i, c := range r.cohorts {
 		probed, detected := 0, 0
@@ -226,7 +253,10 @@ func (r *Runner) scoreRecall(ctx context.Context, rep *Report) {
 //   - silent-drops: events were dropped while every backpressure
 //     signal (engagements, sheds, breaker activity) read zero — loss
 //     without an admission story is the failure mode this subsystem
-//     exists to eliminate.
+//     exists to eliminate;
+//   - recall-loss (only with RequireFullRecall): a probed attacker
+//     went undetected — the chaos-drill gate that rebalancing and
+//     re-replication must not lose detections.
 func (rep *Report) finalize(cfg Config) {
 	rep.Sent = rep.Benign.Sent
 	rep.Accepted = rep.Benign.Accepted
@@ -246,6 +276,11 @@ func (rep *Report) finalize(cfg Config) {
 	backpressureSignal := 0.0
 	dropped := 0.0
 	for _, n := range rep.Nodes {
+		if n.Down {
+			// The node's death is membership accounting (DownTargets),
+			// not a scrape audit failure.
+			continue
+		}
 		if n.ScrapeError != "" {
 			rep.addViolation("scrape-failed", fmt.Sprintf("%s: %s", n.Target, n.ScrapeError))
 			continue
@@ -281,5 +316,14 @@ func (rep *Report) finalize(cfg Config) {
 	if dropped > 0 && backpressureSignal == 0 && rep.Shed == 0 {
 		rep.addViolation("silent-drops",
 			fmt.Sprintf("%.0f events dropped with zero backpressure signal (no engagement, no shed, no breaker activity)", dropped))
+	}
+	if cfg.RequireFullRecall {
+		for _, c := range rep.Cohorts {
+			if c.Probed > 0 && c.Detected < c.Probed {
+				rep.addViolation("recall-loss",
+					fmt.Sprintf("cohort %s: %d/%d probed attackers detected after %d ring change(s) — rebalancing lost detections",
+						c.Name, c.Detected, c.Probed, rep.Membership.RingChanges))
+			}
+		}
 	}
 }

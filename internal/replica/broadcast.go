@@ -177,7 +177,16 @@ func (b *Broadcaster) Flush() { b.flushPending() }
 // that wins LWW against local knowledge. Returns how many were
 // applied.
 func (b *Broadcaster) ApplyRemote(entries []QuarEntry) int {
-	n := 0
+	return len(b.ApplyRemoteDetailed(entries))
+}
+
+// ApplyRemoteDetailed is ApplyRemote returning the entries that
+// actually won LWW and were installed — the set a ring-routed receiver
+// relays onward. An entry the receiver already knew produces nothing,
+// which is what terminates the relay spread: once the LWW state stops
+// changing, forwarding stops. Returns nil when nothing applied.
+func (b *Broadcaster) ApplyRemoteDetailed(entries []QuarEntry) []QuarEntry {
+	var won []QuarEntry
 	for _, e := range entries {
 		b.mu.Lock()
 		cur, known := b.state[e.User]
@@ -205,9 +214,9 @@ func (b *Broadcaster) ApplyRemote(entries []QuarEntry) int {
 			delete(b.applying, e.User)
 		}
 		b.mu.Unlock()
-		n++
+		won = append(won, e)
 	}
-	return n
+	return won
 }
 
 // Digest snapshots the full versioned state (tombstones included),

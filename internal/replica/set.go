@@ -300,6 +300,48 @@ func (s *Set) Cursor(primary string) CursorState {
 	return CursorState{}
 }
 
+// ReadFrom reads up to max alerts from primary's replica log, starting
+// at a position in the PRIMARY's cursor space, appending into scratch.
+// Returns the batch and the primary-space cursor after the last record
+// read (== start when nothing is held past it). This is the chain
+// re-replication read path: a promoted replica re-ships its copy of a
+// dead primary's log to the new successor set, and because both sides
+// number records in the primary's space, the receiver's normal Apply
+// dedupe (cursor overlap skip) makes the repair idempotent.
+//
+// The mapping from primary space to local journal indexes is the tail
+// offset cursor−NextIndex: the replica journal holds the suffix of the
+// primary's log it has seen, contiguous at the tail. Records that
+// predate a retention gap may be labeled high by the gap width — the
+// receiver then over-skips rather than duplicating, which matches the
+// gap's existing semantics (the primary's retention outran us; those
+// records were already lost to the chain).
+func (s *Set) ReadFrom(primary string, scratch []store.Alert, start uint64, max int) ([]store.Alert, uint64) {
+	s.mu.Lock()
+	rl, ok := s.logs[primary]
+	var next, cursor uint64
+	if ok {
+		next = rl.journal.NextIndex()
+		cursor = rl.state.Cursor
+	}
+	s.mu.Unlock()
+	if !ok {
+		return scratch[:0], start
+	}
+	if cursor < next {
+		// Never happens in practice (the cursor advances with every
+		// append), but a negative offset must not underflow.
+		return scratch[:0], start
+	}
+	offset := cursor - next
+	local := uint64(0)
+	if start > offset {
+		local = start - offset
+	}
+	batch, localNext := rl.journal.ReadFromInto(scratch, local, max)
+	return batch, localNext + offset
+}
+
 // Query answers an alert query from primary's replica log (empty if no
 // replica is held). This is the promotion read path: the caller
 // decides WHEN a replica should serve (its primary is gone), the set

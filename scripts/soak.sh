@@ -7,6 +7,16 @@
 # (SOAK_USERS=50000, SOAK_DURATION=60s); the full million-user run is
 # the same script with the knobs turned up.
 #
+# SOAK_CHAOS=1 turns the soak into the elastic drill: the nodes boot
+# with -chaos (mounting the fault-injection surface), and while the
+# load runs the script joins a 4th node via the gossip handshake
+# (~25% of the window), kill -9s n2 (~60%), partitions n3 from the
+# survivors (~75%) and heals it (~85%) — the partition window sits
+# inside the suspect phase of the failure detector (fail 3s, suspect
+# +6s at default 1s heartbeats), so healing must cost zero rebalances.
+# The loadgen gate then also requires full post-rebalance recall: an
+# attacker lost to handoff or re-replication fails the run.
+#
 # Tunables (env):
 #   SOAK_USERS      world scale                     (default 50000)
 #   SOAK_DURATION   traffic window                  (default 60s)
@@ -16,6 +26,7 @@
 #   SOAK_MAX_P99    detection-latency gate          (default 50ms)
 #   SOAK_SEED       world seed                      (default 42)
 #   SOAK_OUT        JSON report path                (default soak_report.json)
+#   SOAK_CHAOS      1 = run the membership drill    (default 0)
 set -eu
 
 USERS="${SOAK_USERS:-50000}"
@@ -26,7 +37,18 @@ TIME_SCALE="${SOAK_TIME_SCALE:-600}"
 MAX_P99="${SOAK_MAX_P99:-50ms}"
 SEED="${SOAK_SEED:-42}"
 OUT="${SOAK_OUT:-soak_report.json}"
+CHAOS="${SOAK_CHAOS:-0}"
 API_KEY=soak
+
+CHAOS_FLAG=""
+if [ "$CHAOS" = 1 ]; then
+    CHAOS_FLAG="-chaos"
+    # The choreography schedules against seconds; accept 90 or 90s.
+    case "$DURATION" in
+        *m*|*h*) echo "soak: SOAK_CHAOS needs SOAK_DURATION in seconds (got $DURATION)" >&2; exit 1 ;;
+    esac
+    DUR_S="${DURATION%s}"
+fi
 
 WORK="$(mktemp -d)"
 PIDS=""
@@ -56,8 +78,10 @@ for i in 1 2 3; do
         -cluster-node "n$i" -cluster-peers "$PEERS" \
         -cluster-listen "127.0.0.1:1909$i" \
         -journal-dir "$WORK/journal-n$i" -replica-factor 2 \
+        $CHAOS_FLAG \
         >"$WORK/n$i.log" 2>&1 &
     PIDS="$PIDS $!"
+    eval "N${i}_PID=$!"
 done
 
 echo "soak: waiting for readiness ($USERS users per node)"
@@ -77,18 +101,110 @@ for i in 1 2 3; do
     fi
 done
 
+# fault POSTs one command to a node's chaos control surface; a dead or
+# partitioned-off node is tolerated (the drill may have removed it).
+fault() {
+    curl -fsS -X POST "http://127.0.0.1:$1/cluster/v1/fault" -d "$2" >/dev/null 2>&1 || true
+}
+
+# sleep_until sleeps to an absolute offset (seconds) from the drill
+# start, so a slow step (n4's world generation) doesn't slip the rest
+# of the schedule.
+sleep_until() {
+    _now=$(date +%s)
+    _d=$((CHAOS_T0 + $1 - _now))
+    if [ "$_d" -gt 0 ]; then sleep "$_d"; fi
+}
+
+choreograph() {
+    CHAOS_T0=$(date +%s)
+
+    # ~25%: a 4th node joins the running cluster through the gossip
+    # handshake — no static peer roll. Its /readyz answers 503
+    # "joining" until the member table marks it alive and it owns
+    # traffic, which is exactly what the readiness poll waits out.
+    sleep_until $((DUR_S / 4))
+    echo "soak: chaos: n4 joining via n1"
+    mkdir -p "$WORK/journal-n4"
+    "$WORK/lbsnd" \
+        -users "$USERS" -seed "$SEED" -api-key "$API_KEY" \
+        -addr "127.0.0.1:18094" \
+        -cluster-node n4 \
+        -cluster-join "http://127.0.0.1:19091" \
+        -cluster-listen "127.0.0.1:19094" \
+        -cluster-advertise "http://127.0.0.1:19094" \
+        -journal-dir "$WORK/journal-n4" -replica-factor 2 \
+        $CHAOS_FLAG \
+        >"$WORK/n4.log" 2>&1 &
+    PIDS="$PIDS $!"
+    for _ in $(seq 1 150); do
+        if curl -fsS "http://127.0.0.1:18094/readyz" >/dev/null 2>&1; then
+            echo "soak: chaos: n4 joined and ready"
+            break
+        fi
+        sleep 0.4
+    done
+
+    # ~60%: kill -9 n2 — no leave notice. The failure detector must
+    # walk it through suspect to left (~9s at defaults), the survivors
+    # rebalance its users, and chain repair re-ships its promoted logs
+    # until replica factor is restored.
+    sleep_until $((DUR_S * 3 / 5))
+    echo "soak: chaos: kill -9 n2"
+    kill -9 "$N2_PID" 2>/dev/null || true
+
+    # ~75%: partition n3 from the survivors, both directions, via the
+    # fault surface on each side.
+    sleep_until $((DUR_S * 3 / 4))
+    echo "soak: chaos: partitioning n3"
+    fault 19091 '{"action":"partition","hosts":["127.0.0.1:19093"]}'
+    fault 19094 '{"action":"partition","hosts":["127.0.0.1:19093"]}'
+    fault 19093 '{"action":"partition","hosts":["127.0.0.1:19091","127.0.0.1:19092","127.0.0.1:19094"]}'
+
+    # ~85%: heal. The window is shorter than FailAfter+SuspectAfter, so
+    # n3 only ever reached suspect — it kept its ring seat and the heal
+    # must cost zero rebalances.
+    sleep_until $((DUR_S * 17 / 20))
+    echo "soak: chaos: healing the partition"
+    fault 19091 '{"action":"heal"}'
+    fault 19093 '{"action":"heal"}'
+    fault 19094 '{"action":"heal"}'
+}
+
 echo "soak: driving $RATE ev/s for $DURATION (attackers: 3x$ATTACKERS, time scale $TIME_SCALE)"
 status=0
-"$WORK/loadgen" \
-    -targets "$TARGETS" -api-key "$API_KEY" \
-    -users "$USERS" -seed "$SEED" \
-    -rate "$RATE" -duration "$DURATION" \
-    -attack-users "$ATTACKERS" -time-scale "$TIME_SCALE" \
-    -max-p99 "$MAX_P99" \
-    -out "$OUT" -fail-on-violations || status=$?
+if [ "$CHAOS" = 1 ]; then
+    # The drill gates on full post-rebalance recall on top of the
+    # standing invariants: an attacker lost to handoff, re-replication
+    # or the partition is a violation.
+    "$WORK/loadgen" \
+        -targets "$TARGETS" -api-key "$API_KEY" \
+        -users "$USERS" -seed "$SEED" \
+        -rate "$RATE" -duration "$DURATION" \
+        -attack-users "$ATTACKERS" -time-scale "$TIME_SCALE" \
+        -max-p99 "$MAX_P99" \
+        -out "$OUT" -fail-on-violations -require-full-recall &
+    LOADGEN_PID=$!
+    choreograph
+    wait "$LOADGEN_PID" || status=$?
+else
+    "$WORK/loadgen" \
+        -targets "$TARGETS" -api-key "$API_KEY" \
+        -users "$USERS" -seed "$SEED" \
+        -rate "$RATE" -duration "$DURATION" \
+        -attack-users "$ATTACKERS" -time-scale "$TIME_SCALE" \
+        -max-p99 "$MAX_P99" \
+        -out "$OUT" -fail-on-violations || status=$?
+fi
 
 if [ "$status" != 0 ]; then
     echo "soak: FAILED (exit $status); report: $OUT" >&2
+    if [ "$CHAOS" = 1 ]; then
+        for i in 1 2 3 4; do
+            echo "--- n$i log tail ---" >&2
+            tail -15 "$WORK/n$i.log" >&2 2>/dev/null || true
+        done
+    fi
     exit "$status"
 fi
 echo "soak: PASS; report: $OUT"
